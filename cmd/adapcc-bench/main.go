@@ -1,0 +1,82 @@
+// Command adapcc-bench regenerates the paper's evaluation figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	adapcc-bench -experiment fig12            # one figure
+//	adapcc-bench -experiment all              # every figure + summary
+//	adapcc-bench -experiment fig12 -bytes 268435456 -seed 7
+//	adapcc-bench -list
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adapcc/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adapcc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adapcc-bench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment id (see -list) or 'all'")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		bytes      = fs.Int64("bytes", 32<<20, "collective payload for the micro-benchmarks")
+		iters      = fs.Int("iterations", 0, "override training iteration counts (0 = per-experiment default)")
+		quick      = fs.Bool("quick", false, "shrink workloads for a fast pass")
+		format     = fs.String("format", "table", "output format: table | csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	cfg := experiments.Config{
+		Seed:       *seed,
+		Bytes:      *bytes,
+		Iterations: *iters,
+		Quick:      *quick,
+	}
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = experiments.IDs()
+	}
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := experiments.Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n", table.ID, table.Title)
+			if err := table.FormatCSV(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			continue
+		}
+		table.Format(os.Stdout)
+		fmt.Printf("  (%s regenerated in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

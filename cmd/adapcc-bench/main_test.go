@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleQuickExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig1", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	if err := run([]string{"-experiment", "fig1", "-quick", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-experiment", "fig1", "-format", "nope"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Command adapccsim runs one collective through the full AdapCC pipeline —
+// topology detection, link profiling, strategy synthesis, and execution on
+// the simulated fabric — and prints the synthesised strategy (as the XML
+// the Communicator parses), the predicted completion time, and the
+// measured one.
+//
+// Usage:
+//
+//	adapccsim -case "A100:(4,4) V100:(4,4)" -primitive allreduce -bytes 67108864
+//	adapccsim -case "A100:(4,4,4,4)" -primitive alltoall -transport tcp -m 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+	"adapcc/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adapccsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adapccsim", flag.ContinueOnError)
+	var (
+		caseName  = fs.String("case", "A100:(4,4) V100:(4,4)", "GPU allocation, e.g. \"A100:(4,4,4,4) V100:(4,4)\"")
+		primName  = fs.String("primitive", "allreduce", "reduce | broadcast | allreduce | alltoall")
+		transport = fs.String("transport", "rdma", "rdma | tcp")
+		bytes     = fs.Int64("bytes", 64<<20, "per-GPU tensor size")
+		m         = fs.Int("m", 4, "parallel sub-collectives M")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		dumpXML   = fs.Bool("xml", false, "print the full strategy XML")
+		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the execution to this file (open in chrome://tracing or Perfetto)")
+		dotOut    = fs.String("dot", "", "write the synthesised strategy as Graphviz DOT to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	prim, err := parsePrimitive(*primName)
+	if err != nil {
+		return err
+	}
+	tp := topology.TransportRDMA
+	if *transport == "tcp" {
+		tp = topology.TransportTCP
+	}
+	bc, err := cluster.ParseCase(*caseName)
+	if err != nil {
+		return err
+	}
+	cl, err := bc.Build(tp)
+	if err != nil {
+		return err
+	}
+	env, err := backend.NewEnv(cl, *seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cluster: %s over %s (%d GPUs on %d servers)\n",
+		bc.Name, tp, cl.NumGPUs(), len(cl.Servers))
+
+	a, err := core.New(env, core.Options{M: *m})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology inference: %v (constant in job scale, concurrent per server)\n",
+		a.InitTime().Round(time.Millisecond))
+
+	var setupOverhead time.Duration
+	a.Reconstruct(func(d time.Duration) { setupOverhead = d })
+	env.Engine.Run()
+	prof, _, setup := a.Overheads()
+	fmt.Printf("setup: %v total (profiling %v, context set-up %v)\n",
+		setupOverhead.Round(time.Millisecond), prof.Round(time.Millisecond), setup.Round(time.Millisecond))
+
+	root := -1
+	if prim == strategy.Reduce || prim == strategy.Broadcast {
+		root = 0
+	}
+	res, err := a.Strategy(prim, *bytes, nil, nil, root)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strategy: %s variant, M=%d sub-collectives, predicted %v\n",
+		res.Variant, len(res.Strategy.SubCollectives), res.Eval.Time.Round(time.Microsecond))
+	for _, sc := range res.Strategy.SubCollectives {
+		fmt.Printf("  sub %d: %d bytes, %d chunks of %d KiB, root rank %d, %d flows\n",
+			sc.ID, sc.Bytes, sc.Chunks(), sc.ChunkBytes>>10, sc.Root, len(sc.Flows))
+	}
+	if *dumpXML {
+		xml, err := res.Strategy.MarshalXMLBytes()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", xml)
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Strategy.WriteDOT(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("strategy DOT -> %s\n", *dotOut)
+	}
+
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New()
+		env.Exec.SetTracer(tracer)
+	}
+
+	inputs := backend.MakeInputs(env.AllRanks(), *bytes)
+	var measured time.Duration
+	err = a.Run(backend.Request{
+		Primitive: prim, Bytes: *bytes, Root: root, Inputs: inputs,
+		OnDone: func(r collective.Result) { measured = r.Elapsed },
+	})
+	if err != nil {
+		return err
+	}
+	env.Engine.Run()
+	fmt.Printf("executed: %v (algorithm bandwidth %.2f GB/s; prediction off by %+.1f%%)\n",
+		measured.Round(time.Microsecond),
+		collective.AlgoBandwidthBps(*bytes, measured)/1e9,
+		(float64(res.Eval.Time)/float64(measured)-1)*100)
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s\n", tracer.Len(), *traceOut)
+	}
+	return nil
+}
+
+func parsePrimitive(name string) (strategy.Primitive, error) {
+	switch name {
+	case "reduce":
+		return strategy.Reduce, nil
+	case "broadcast":
+		return strategy.Broadcast, nil
+	case "allreduce":
+		return strategy.AllReduce, nil
+	case "alltoall":
+		return strategy.AlltoAll, nil
+	default:
+		return 0, fmt.Errorf("unknown primitive %q", name)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDefaultCase(t *testing.T) {
+	if err := run([]string{"-case", "A100:(2) V100:(2)", "-bytes", "4194304", "-m", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAlltoAllWithXML(t *testing.T) {
+	if err := run([]string{"-case", "A100:(2,2)", "-primitive", "alltoall", "-bytes", "1048576", "-xml"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-primitive", "nope"},
+		{"-case", "H100:(4)"},
+		{"-case", "garbage"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParsePrimitive(t *testing.T) {
+	for _, name := range []string{"reduce", "broadcast", "allreduce", "alltoall"} {
+		if _, err := parsePrimitive(name); err != nil {
+			t.Errorf("%s rejected: %v", name, err)
+		}
+	}
+	if _, err := parsePrimitive("allgather"); err == nil {
+		t.Error("unknown primitive accepted")
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-case", "A100:(2,2)", "-bytes", "4194304", "-trace", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	var nets int
+	for _, rec := range records {
+		if rec["cat"] == "net" {
+			nets++
+		}
+	}
+	if nets == 0 {
+		t.Error("trace holds no transfer events")
+	}
+}

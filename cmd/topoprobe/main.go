@@ -1,0 +1,135 @@
+// Command topoprobe runs AdapCC's Detector and Profiler standalone and
+// dumps the inferred logical topology with its measured α–β link
+// properties — the information the synthesizer consumes.
+//
+// Usage:
+//
+//	topoprobe -case "A100:(4,4) V100:(4,4)" -transport tcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/detect"
+	"adapcc/internal/fabric"
+	"adapcc/internal/profile"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topoprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topoprobe", flag.ContinueOnError)
+	var (
+		caseName  = fs.String("case", "A100:(4,4) V100:(4,4)", "GPU allocation")
+		transport = fs.String("transport", "rdma", "rdma | tcp")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		dotOut    = fs.String("dot", "", "write the inferred topology as Graphviz DOT to this file")
+		jsonOut   = fs.String("json", "", "write the profiled α–β report as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tp := topology.TransportRDMA
+	if *transport == "tcp" {
+		tp = topology.TransportTCP
+	}
+	bc, err := cluster.ParseCase(*caseName)
+	if err != nil {
+		return err
+	}
+	cl, err := bc.Build(tp)
+	if err != nil {
+		return err
+	}
+
+	// Stage 1: detection (Sec. IV-A).
+	res, err := detect.Detect(cl, detect.NewHardwareProber(cl, rand.New(rand.NewSource(*seed))))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detected %d servers in %v (concurrent per server):\n",
+		len(res.Layouts), res.InferenceTime.Round(time.Millisecond))
+	for si, l := range res.Layouts {
+		fmt.Printf("  server %d: NIC NUMA affinity %v, PCIe switch groups %v\n",
+			si, l.NICAffinityNuma, l.SwitchGroups)
+		for g, shares := range l.GPUSharesNICSwitch {
+			for nic, sh := range shares {
+				if sh {
+					fmt.Printf("    gpu %d shares a PCIe switch with nic %d\n", g, nic)
+				}
+			}
+		}
+	}
+
+	// Stage 2: profiling (Sec. IV-B) over the live fabric.
+	eng := sim.NewEngine(*seed)
+	fab := fabric.New(eng, res.Graph)
+	var report *profile.Report
+	profile.New(fab, profile.Options{}).Run(func(r *profile.Report) { report = r })
+	eng.Run()
+	if report == nil {
+		return fmt.Errorf("profiling never completed")
+	}
+	fmt.Printf("\nprofiled %d links in %v (training blocked meanwhile):\n",
+		len(report.ByEdge), report.Duration().Round(time.Millisecond))
+
+	ids := make([]int, 0, len(report.ByEdge))
+	for eid := range report.ByEdge {
+		ids = append(ids, int(eid))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		m := report.ByEdge[topology.EdgeID(id)]
+		e := res.Graph.Edge(m.Edge)
+		fmt.Printf("  %-28s %-7s alpha=%-9v bw=%7.2f GB/s",
+			fmt.Sprintf("%v -> %v", res.Graph.Node(e.From), res.Graph.Node(e.To)),
+			e.Type, m.Alpha.Round(100*time.Nanosecond), m.StreamBps/1e9)
+		if m.AggregateBps > m.StreamBps*1.05 {
+			fmt.Printf("  (aggregate %.2f GB/s with parallel streams)", m.AggregateBps/1e9)
+		}
+		fmt.Println()
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(res.Graph, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nprofile JSON -> %s\n", *jsonOut)
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Graph.WriteDOT(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ntopology DOT -> %s (render: dot -Tsvg %s -o topo.svg)\n", *dotOut, *dotOut)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallCluster(t *testing.T) {
+	if err := run([]string{"-case", "A100:(2) V100:(2)", "-transport", "tcp"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadCase(t *testing.T) {
+	if err := run([]string{"-case", "bogus"}); err == nil {
+		t.Fatal("bad case accepted")
+	}
+}
+
+func TestRunWritesDOT(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "topo.dot")
+	if err := run([]string{"-case", "A100:(2,2)", "-dot", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := string(data)
+	if !strings.HasPrefix(dot, "digraph topology {") {
+		t.Errorf("not a DOT digraph: %.40q", dot)
+	}
+	if !strings.Contains(dot, "core switch") {
+		t.Error("multi-server DOT lacks the core switch")
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "profile.json")
+	if err := run([]string{"-case", "A100:(2,2)", "-transport", "tcp", "-json", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		ProfilingMs float64 `json:"profiling_ms"`
+		Edges       []struct {
+			From         string  `json:"from"`
+			Type         string  `json:"type"`
+			StreamBps    float64 `json:"stream_bps"`
+			AggregateBps float64 `json:"aggregate_bps"`
+		} `json:"edges"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("JSON report unparseable: %v", err)
+	}
+	if rep.ProfilingMs <= 0 {
+		t.Error("no profiling duration")
+	}
+	if len(rep.Edges) == 0 {
+		t.Fatal("no edges in the report")
+	}
+	sawCappedTCP := false
+	for _, e := range rep.Edges {
+		if e.StreamBps <= 0 {
+			t.Errorf("edge %s has no bandwidth", e.From)
+		}
+		if e.Type == "tcp" && e.AggregateBps > e.StreamBps*1.5 {
+			sawCappedTCP = true
+		}
+	}
+	if !sawCappedTCP {
+		t.Error("TCP links should show aggregate bandwidth above the per-stream cap")
+	}
+}

@@ -1,0 +1,17 @@
+// Package adapcc is a from-scratch Go reproduction of "AdapCC: Making
+// Collective Communication in Distributed Machine Learning Adaptive"
+// (Zhao, Zhang, Wu — ICDCS 2024): an adaptive collective-communication
+// library that profiles link performance at run time, synthesises
+// per-collective communication strategies (routing, chunk sizes,
+// aggregation control, M parallel sub-collectives), reacts to stragglers
+// with ski-rental-scheduled partial communication over relay GPUs, and
+// reconstructs its graphs mid-training without restarts.
+//
+// The GPU/RDMA testbed of the paper is replaced by a deterministic
+// discrete-event simulation (see DESIGN.md for the substitution map); all
+// collectives move real float32 data so correctness is testable end to
+// end. The public entry points live in internal/core (the AdapCC API),
+// internal/backend (the shared harness) and internal/experiments (one
+// runner per paper figure). See README.md for a tour and EXPERIMENTS.md
+// for paper-vs-measured results.
+package adapcc

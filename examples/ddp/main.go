@@ -1,0 +1,88 @@
+// DDP communication hook: PyTorch-style gradient bucketing overlaps each
+// bucket's AllReduce with the rest of the backward pass (paper Sec. VI-A —
+// "we provide a communication hook for PyTorch DDP"). Buckets stream into
+// AdapCC's ordered work queue as backprop produces them, so only the last
+// bucket's tail is exposed — versus paying the full AllReduce after the
+// backward pass like a hook-less setup.
+//
+// Run with: go run ./examples/ddp
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+	"adapcc/internal/train"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cl, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		return err
+	}
+	env, err := backend.NewEnv(cl, 31)
+	if err != nil {
+		return err
+	}
+	a, err := core.New(env, core.Options{})
+	if err != nil {
+		return err
+	}
+	a.Setup(func() {})
+	env.Engine.Run()
+
+	// A quarter-scale VGG16 keeps the simulator's real float32 buffers
+	// (bytes x ranks x stages) inside laptop memory; the overlap story is
+	// size-independent.
+	w := train.VGG16()
+	gradBytes := w.ParamBytes / 4
+	backward := 120 * time.Millisecond
+	sched := train.NewBucketSchedule(gradBytes, train.DefaultBucketBytes, backward)
+	fmt.Printf("VGG16 (1/4 scale): %d MB of gradients -> %d buckets of <=25 MiB over a %v backward pass\n\n",
+		gradBytes>>20, len(sched.Buckets), backward)
+
+	// Hook-less reference: one full-tensor AllReduce after backward ends.
+	var sequential time.Duration
+	if err := a.Run(backend.Request{
+		Primitive: strategy.AllReduce,
+		Bytes:     gradBytes,
+		Root:      -1,
+		Inputs:    backend.MakeInputs(env.AllRanks(), gradBytes),
+		OnDone:    func(r collective.Result) { sequential = r.Elapsed },
+	}); err != nil {
+		return err
+	}
+	env.Engine.Run()
+
+	// With the hook: buckets overlap the backward pass via the work queue.
+	q := a.NewQueue()
+	var tail, total time.Duration
+	if err := train.RunBucketedIteration(a, q, sched, func(tl, tt time.Duration) {
+		tail, total = tl, tt
+	}); err != nil {
+		return err
+	}
+	env.Engine.Run()
+
+	fmt.Printf("without the hook: backward %v + AllReduce %v   = %v exposed comm\n",
+		backward, sequential.Round(time.Microsecond), sequential.Round(time.Microsecond))
+	fmt.Printf("with the hook:    backward %v, comm tail after = %v (iteration %v)\n",
+		backward, tail.Round(time.Microsecond), total.Round(time.Microsecond))
+	fmt.Printf("\n%.1f%% of communication hidden behind the backward pass\n",
+		(1-float64(tail)/float64(sequential))*100)
+	fmt.Println("the queue keeps buckets ordered, so overlap never reorders gradient updates.")
+	return nil
+}

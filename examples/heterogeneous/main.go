@@ -1,0 +1,137 @@
+// Heterogeneous training: data-parallel VGG16 on the paper's mixed
+// testbed (two A100 servers + two V100 servers) comparing AdapCC's
+// adaptive relay control against wait-for-all NCCL — the Fig. 14
+// heterogeneous scenario, where V100 workers straggle structurally and
+// AdapCC overlaps partial communication with their compute.
+//
+// Run with: go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+	"adapcc/internal/train"
+)
+
+const iterations = 60
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	w := train.VGG16()
+
+	adapccStats, relayStats, err := trainAdapCC(w)
+	if err != nil {
+		return err
+	}
+	ncclStats, err := trainNCCL(w)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("VGG16 on 2xA100 + 2xV100 servers, %d iterations:\n\n", iterations)
+	fmt.Printf("%-10s %14s %14s %14s\n", "backend", "comm/iter", "iter time", "throughput")
+	print := func(name string, s *train.Stats) {
+		fmt.Printf("%-10s %14v %14v %11.0f im/s\n", name,
+			s.MeanComm().Round(time.Millisecond),
+			(s.Makespan / time.Duration(len(s.Iters))).Round(time.Millisecond),
+			s.Throughput())
+	}
+	print("AdapCC", adapccStats)
+	print("NCCL", ncclStats)
+	fmt.Printf("\ncommunication speed-up: %.2fx\n",
+		ncclStats.MeanComm().Seconds()/adapccStats.MeanComm().Seconds())
+	fmt.Printf("AdapCC iterations split: %d waited for everyone, %d used phase-1/phase-2 relay control\n",
+		relayStats.FullRuns(), relayStats.PartialRuns())
+
+	fmt.Println("\nrelay selection probability (V100 stragglers relay most):")
+	for rank := 0; rank < 16; rank++ {
+		kind := "A100"
+		if rank >= 8 {
+			kind = "V100"
+		}
+		fmt.Printf("  rank %2d (%s): %5.1f%%\n", rank, kind, 100*relayStats.RelayProbability(rank))
+	}
+	return nil
+}
+
+func trainAdapCC(w train.Workload) (*train.Stats, interface {
+	RelayProbability(int) float64
+	FullRuns() int
+	PartialRuns() int
+}, error) {
+	cl, err := cluster.Heterogeneous(topology.TransportRDMA, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	env, err := backend.NewEnv(cl, 9)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := core.New(env, core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	a.Setup(func() {})
+	env.Engine.Run()
+
+	driver, err := train.NewAdaptiveDriver(a, env.AllRanks(), strategy.AllReduce, w.ParamBytes, nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, err := runTrainer(env, cl, w, driver)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats, statsView{driver}, nil
+}
+
+func trainNCCL(w train.Workload) (*train.Stats, error) {
+	cl, err := cluster.Heterogeneous(topology.TransportRDMA, 4)
+	if err != nil {
+		return nil, err
+	}
+	env, err := backend.NewEnv(cl, 9)
+	if err != nil {
+		return nil, err
+	}
+	driver := train.NewWaitAllDriver(env, train.NCCLPlanner(env), strategy.AllReduce, w.ParamBytes, env.AllRanks())
+	return runTrainer(env, cl, w, driver)
+}
+
+func runTrainer(env *backend.Env, cl *topology.Cluster, w train.Workload, driver train.Driver) (*train.Stats, error) {
+	tr, err := train.NewTrainer(train.Config{
+		Workload: w, Env: env, Cluster: cl, Driver: driver,
+		Iterations: iterations, Seed: 9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var stats *train.Stats
+	tr.Start(func(s *train.Stats) { stats = s })
+	env.Engine.Run()
+	return stats, nil
+}
+
+// statsView adapts the adaptive driver's coordinator stats for printing.
+type statsView struct {
+	d *train.AdaptiveDriver
+}
+
+func (v statsView) RelayProbability(rank int) float64 {
+	s := v.d.Coordinator().Stats()
+	return s.RelayProbability(rank)
+}
+func (v statsView) FullRuns() int    { return v.d.Coordinator().Stats().FullRuns }
+func (v statsView) PartialRuns() int { return v.d.Coordinator().Stats().PartialRuns }

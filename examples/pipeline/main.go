@@ -1,0 +1,108 @@
+// Pipeline parallelism over AdapCC's point-to-point path: a 4-stage model
+// sharded across 4 GPUs on 2 servers, GPipe-style microbatching. Stage
+// activations travel through a.Send — the same profiled, chunk-pipelined
+// fabric as the collectives — so the inter-server hop between stages 1 and
+// 2 rides the synthesised route, not a hard-coded one.
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/core"
+	"adapcc/internal/topology"
+)
+
+const (
+	stages       = 4
+	microbatches = 12
+	// activation tensor between stages: 4M floats = 16 MB
+	activationElems = 4 << 20
+	// per-stage compute per microbatch
+	stageCompute = 18 * time.Millisecond
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cl, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		return err
+	}
+	env, err := backend.NewEnv(cl, 11)
+	if err != nil {
+		return err
+	}
+	a, err := core.New(env, core.Options{})
+	if err != nil {
+		return err
+	}
+	a.Setup(func() {})
+	env.Engine.Run()
+	eng := env.Engine
+
+	fmt.Printf("4-stage pipeline on 2x2 GPUs (stage 1->2 crosses servers), %d microbatches of %d MB activations\n\n",
+		microbatches, activationElems*4>>20)
+
+	// busyUntil serialises each stage's compute slot.
+	busyUntil := make([]time.Duration, stages)
+	var doneCount int
+	var firstOut, lastOut time.Duration
+	start := eng.Now()
+
+	// compute schedules microbatch m's work on stage s once its input has
+	// arrived, then forwards the activation.
+	var compute func(s, m int, act []float32)
+	compute = func(s, m int, act []float32) {
+		at := eng.Now()
+		if busyUntil[s] > at {
+			at = busyUntil[s]
+		}
+		finish := at + stageCompute
+		busyUntil[s] = finish
+		eng.At(finish, func() {
+			if s == stages-1 {
+				doneCount++
+				if doneCount == 1 {
+					firstOut = eng.Now() - start
+				}
+				if doneCount == microbatches {
+					lastOut = eng.Now() - start
+				}
+				return
+			}
+			if err := a.Send(s, s+1, act, func(data []float32, _ time.Duration) {
+				compute(s+1, m, data)
+			}); err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	activation := make([]float32, activationElems)
+	for m := 0; m < microbatches; m++ {
+		compute(0, m, activation)
+	}
+	eng.Run()
+
+	serial := time.Duration(microbatches*stages) * stageCompute
+	ideal := time.Duration(microbatches+stages-1) * stageCompute
+	fmt.Printf("first microbatch out after %v (fill latency)\n", firstOut.Round(time.Millisecond))
+	fmt.Printf("all %d microbatches done in  %v\n", microbatches, lastOut.Round(time.Millisecond))
+	fmt.Printf("single-GPU serial would be   %v  -> pipeline speedup %.2fx\n",
+		serial, float64(serial)/float64(lastOut))
+	fmt.Printf("zero-comm GPipe bound is     %v  -> comm overhead %.1f%%\n",
+		ideal, (float64(lastOut)/float64(ideal)-1)*100)
+	fmt.Println("\nactivation sends overlap with the next microbatch's compute; the")
+	fmt.Println("inter-server hop costs the same as any AdapCC route: profiled and chunked.")
+	return nil
+}

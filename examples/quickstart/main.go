@@ -1,0 +1,81 @@
+// Quickstart: bring up AdapCC on a simulated two-server cluster and run
+// one AllReduce, mirroring the paper's usage (Sec. VI-A):
+//
+//	import adapcc            →  core.New(env, opts)
+//	adapcc.init()            →  done inside core.New (topology detection)
+//	adapcc.setup()           →  a.Setup(...)  (profiling + contexts)
+//	adapcc.allreduce(tensor) →  a.Run(backend.Request{...})
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Two servers with four A100s each on 100 Gbps RDMA.
+	cl, err := cluster.Homogeneous(topology.TransportRDMA, 2, 4)
+	if err != nil {
+		return err
+	}
+	env, err := backend.NewEnv(cl, 1)
+	if err != nil {
+		return err
+	}
+
+	// adapcc.init(): detect GPU placement, NIC affinity, logical topology.
+	a, err := core.New(env, core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detected topology in %v\n", a.InitTime().Round(time.Millisecond))
+
+	// adapcc.setup(): profile links, synthesise strategies, register
+	// transmission contexts.
+	a.Setup(func() {
+		fmt.Printf("setup complete at t=%v\n", env.Engine.Now().Round(time.Millisecond))
+	})
+	env.Engine.Run()
+
+	// adapcc.allreduce(): each of the 8 workers contributes a 64 MiB
+	// gradient tensor.
+	const tensorBytes = 64 << 20
+	ranks := env.AllRanks()
+	inputs := backend.MakeInputs(ranks, tensorBytes)
+
+	err = a.Run(backend.Request{
+		Primitive: strategy.AllReduce,
+		Bytes:     tensorBytes,
+		Root:      -1,
+		Inputs:    inputs,
+		OnDone: func(res collective.Result) {
+			bw := collective.AlgoBandwidthBps(tensorBytes, res.Elapsed)
+			fmt.Printf("allreduce of %d MiB finished in %v (Algo.bw %.2f GB/s)\n",
+				tensorBytes>>20, res.Elapsed.Round(time.Microsecond), bw/1e9)
+			// Every rank holds the element-wise sum.
+			fmt.Printf("rank 0 result[0..3] = %v\n", res.Outputs[0][:4])
+			fmt.Printf("rank 7 result[0..3] = %v\n", res.Outputs[7][:4])
+		},
+	})
+	if err != nil {
+		return err
+	}
+	env.Engine.Run()
+	return nil
+}

@@ -1,0 +1,88 @@
+// Volatile network: train under cloud bandwidth volatility and watch
+// AdapCC reprofile and reconstruct its communication graphs mid-training —
+// without checkpointing or restarting the job (the Fig. 18a scenario).
+//
+// Run with: go run ./examples/volatile
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cloudtrace"
+	"adapcc/internal/cluster"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+	"adapcc/internal/train"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cl, err := cluster.Homogeneous(topology.TransportRDMA, 4, 4)
+	if err != nil {
+		return err
+	}
+	env, err := backend.NewEnv(cl, 5)
+	if err != nil {
+		return err
+	}
+	a, err := core.New(env, core.Options{})
+	if err != nil {
+		return err
+	}
+	a.Setup(func() {})
+	env.Engine.Run()
+
+	// Replay an amplified public-cloud bandwidth trace onto every
+	// server's NIC ports — the simulator's `tc` (Sec. VI-D).
+	traces := cloudtrace.PerServerTraces(5, len(cl.Servers), 0.6, cloudtrace.GenOptions{
+		Duration: 2 * time.Hour,
+		Step:     15 * time.Second,
+	})
+	for s, tr := range traces {
+		fmt.Printf("server %d trace: %v\n", s, tr)
+	}
+	cloudtrace.ApplyPerServer(env.Fabric, traces)
+
+	w := train.VGG16()
+	driver, err := train.NewAdaptiveDriver(a, env.AllRanks(), strategy.AllReduce, w.ParamBytes, nil, nil)
+	if err != nil {
+		return err
+	}
+	reconstructions := 0
+	tr, err := train.NewTrainer(train.Config{
+		Workload: w, Env: env, Cluster: cl, Driver: driver,
+		Iterations: 1200, Seed: 5,
+		ReprofileEvery: 300,
+		Reprofile: func(done func()) {
+			a.Reconstruct(func(overhead time.Duration) {
+				reconstructions++
+				prof, solve, setup := a.Overheads()
+				fmt.Printf("t=%8v reconstruction #%d: %v total (profile %v, solve %v, setup %v) — no restart, no checkpoint\n",
+					env.Engine.Now().Round(time.Second), reconstructions,
+					overhead.Round(time.Millisecond), prof.Round(time.Millisecond),
+					solve.Round(time.Millisecond), setup.Round(time.Millisecond))
+				done()
+			})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	var stats *train.Stats
+	tr.Start(func(s *train.Stats) { stats = s })
+	env.Engine.Run()
+
+	fmt.Printf("\ntrained %d iterations in %v (mean comm %v/iter, %d graph reconstructions)\n",
+		len(stats.Iters), stats.Makespan.Round(time.Second),
+		stats.MeanComm().Round(time.Millisecond), reconstructions)
+	return nil
+}

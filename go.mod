@@ -1,0 +1,3 @@
+module adapcc
+
+go 1.24

@@ -1,0 +1,164 @@
+package backend
+
+import (
+	"testing"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+func TestNewEnvBuildsAllPieces(t *testing.T) {
+	c, err := cluster.Heterogeneous(topology.TransportRDMA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Engine == nil || env.Fabric == nil || env.Exec == nil || env.Graph == nil {
+		t.Fatal("missing environment pieces")
+	}
+	ranks := env.AllRanks()
+	if len(ranks) != 8 {
+		t.Fatalf("ranks = %d, want 8", len(ranks))
+	}
+	for i, r := range ranks {
+		if r != i {
+			t.Fatalf("ranks not contiguous: %v", ranks)
+		}
+		gpu, ok := env.GPUs[r]
+		if !ok {
+			t.Fatalf("rank %d has no GPU", r)
+		}
+		wantModel := topology.GPUA100
+		if r >= 4 {
+			wantModel = topology.GPUV100
+		}
+		if gpu.Model() != wantModel {
+			t.Errorf("rank %d model = %v, want %v", r, gpu.Model(), wantModel)
+		}
+	}
+}
+
+func TestMakeInputsShape(t *testing.T) {
+	in := MakeInputs([]int{0, 3}, 1024)
+	if len(in) != 2 {
+		t.Fatalf("inputs = %d ranks", len(in))
+	}
+	if len(in[0]) != 256 || len(in[3]) != 256 {
+		t.Fatal("wrong element counts")
+	}
+	if in[0][0] == in[3][0] {
+		t.Fatal("ranks should get distinct patterns")
+	}
+}
+
+// fakeBackend completes instantly for Measure-path tests.
+type fakeBackend struct {
+	fail bool
+	seen Request
+}
+
+func (f *fakeBackend) Name() string { return "fake" }
+func (f *fakeBackend) Run(req Request) error {
+	f.seen = req
+	if f.fail {
+		return errFake
+	}
+	req.OnDone(collective.Result{Elapsed: 42})
+	return nil
+}
+
+var errFake = errorf("fake failure")
+
+type errorf string
+
+func (e errorf) Error() string { return string(e) }
+
+func TestMeasureFillsInputsAndReturnsElapsed(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &fakeBackend{}
+	elapsed, err := Measure(env, fb, Request{Primitive: strategy.AllReduce, Bytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 42 {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+	if fb.seen.Inputs == nil {
+		t.Fatal("Measure did not synthesise inputs")
+	}
+	if len(fb.seen.Inputs) != 2 {
+		t.Fatalf("inputs for %d ranks, want 2", len(fb.seen.Inputs))
+	}
+}
+
+func TestMeasurePropagatesErrors(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Measure(env, &fakeBackend{fail: true}, Request{Bytes: 64}); err == nil {
+		t.Fatal("backend error swallowed")
+	}
+}
+
+func TestAlgoBandwidth(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := AlgoBandwidth(env, &fakeBackend{}, Request{Bytes: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(42) / (42e-9) // 42 bytes in 42 ns
+	if bw != want {
+		t.Fatalf("bandwidth = %v, want %v", bw, want)
+	}
+}
+
+func TestAlgoBandwidthMetric(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &fakeBackend{}
+	const bytes = 10 << 20
+	// The fake completes in a fixed 42 ns.
+	bw, err := AlgoBandwidth(env, fb, Request{Primitive: strategy.AllReduce, Bytes: bytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(bytes) / (42e-9)
+	if d := bw/want - 1; d > 0.01 || d < -0.01 {
+		t.Errorf("AlgoBandwidth = %v, want %v", bw, want)
+	}
+	// A backend whose Run errors propagates the error.
+	if _, err := AlgoBandwidth(env, &fakeBackend{fail: true},
+		Request{Primitive: strategy.AllReduce, Bytes: bytes}); err == nil {
+		t.Error("backend error swallowed")
+	}
+}

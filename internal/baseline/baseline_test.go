@@ -1,0 +1,263 @@
+// Package baseline_test exercises the three baseline backends on the same
+// fabric and checks both data correctness and the relative performance
+// ordering the paper reports (AdapCC > MSCCL ≳ NCCL > Blink on the
+// heterogeneous multi-server testbed).
+package baseline_test
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/baseline/blink"
+	"adapcc/internal/baseline/msccl"
+	"adapcc/internal/baseline/nccl"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+func newEnv(t *testing.T, c *topology.Cluster) *backend.Env {
+	t.Helper()
+	env, err := backend.NewEnv(c, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func testbedEnv(t *testing.T) *backend.Env {
+	t.Helper()
+	c, err := cluster.Testbed(topology.TransportRDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newEnv(t, c)
+}
+
+func checkAllReduceSum(t *testing.T, env *backend.Env, b backend.Backend, bytes int64) time.Duration {
+	t.Helper()
+	ranks := env.AllRanks()
+	inputs := backend.MakeInputs(ranks, bytes)
+	want := make([]float32, bytes/4)
+	for _, in := range inputs {
+		for i := range in {
+			want[i] += in[i]
+		}
+	}
+	var got collective.Result
+	elapsed, err := backend.Measure(env, b, backend.Request{
+		Primitive: strategy.AllReduce,
+		Bytes:     bytes,
+		Inputs:    inputs,
+		OnDone:    func(r collective.Result) { got = r },
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name(), err)
+	}
+	for _, r := range ranks {
+		out := got.Outputs[r]
+		if out == nil {
+			t.Fatalf("%s: rank %d has no output", b.Name(), r)
+		}
+		for i := 0; i < len(want); i += 1 + len(want)/97 {
+			if d := out[i] - want[i]; d > 1e-2 || d < -1e-2 {
+				t.Fatalf("%s: rank %d elem %d = %v, want %v", b.Name(), r, i, out[i], want[i])
+			}
+		}
+	}
+	return elapsed
+}
+
+func TestNCCLAllReduceCorrect(t *testing.T) {
+	env := testbedEnv(t)
+	checkAllReduceSum(t, env, nccl.New(env), 16<<20)
+}
+
+func TestMSCCLAllReduceCorrect(t *testing.T) {
+	env := testbedEnv(t)
+	checkAllReduceSum(t, env, msccl.New(env), 16<<20)
+}
+
+func TestBlinkAllReduceCorrect(t *testing.T) {
+	env := testbedEnv(t)
+	checkAllReduceSum(t, env, blink.New(env), 16<<20)
+}
+
+func TestPaperOrderingOnHeterogeneousReduce(t *testing.T) {
+	// One shared workload; fresh env per system so timings don't
+	// interfere. Paper Fig. 12: AdapCC 1.05–1.29× over NCCL, 1.02–1.21×
+	// over MSCCL, 1.30–1.61× over Blink.
+	const bytes = 128 << 20
+	timeOf := func(name string) time.Duration {
+		env := testbedEnv(t)
+		var b backend.Backend
+		switch name {
+		case "nccl":
+			b = nccl.New(env)
+		case "msccl":
+			b = msccl.New(env)
+		case "blink":
+			b = blink.New(env)
+		case "adapcc":
+			a, err := core.New(env, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Setup(func() {})
+			env.Engine.Run()
+			b = a
+		}
+		elapsed, err := backend.Measure(env, b, backend.Request{
+			Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return elapsed
+	}
+	adapcc := timeOf("adapcc")
+	ncclT := timeOf("nccl")
+	mscclT := timeOf("msccl")
+	blinkT := timeOf("blink")
+	t.Logf("AllReduce %dMB: adapcc=%v msccl=%v nccl=%v blink=%v", bytes>>20, adapcc, mscclT, ncclT, blinkT)
+
+	if adapcc >= ncclT {
+		t.Errorf("AdapCC (%v) not faster than NCCL (%v)", adapcc, ncclT)
+	}
+	if adapcc >= mscclT {
+		t.Errorf("AdapCC (%v) not faster than MSCCL (%v)", adapcc, mscclT)
+	}
+	if adapcc >= blinkT {
+		t.Errorf("AdapCC (%v) not faster than Blink (%v)", adapcc, blinkT)
+	}
+	if blinkT <= ncclT {
+		t.Errorf("Blink (%v) should be slowest in multi-server setting (NCCL %v)", blinkT, ncclT)
+	}
+}
+
+func TestNCCLSingleChannelHurtsOnTCP(t *testing.T) {
+	// Paper Sec. VI-D: a single channel peaks around 20 Gbps on TCP;
+	// AdapCC's parallel sub-collectives do much better.
+	c, err := cluster.Homogeneous(topology.TransportTCP, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 64 << 20
+	envN := newEnv(t, c)
+	ncclT, err := backend.Measure(envN, nccl.New(envN), backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA := newEnv(t, c)
+	a, err := core.New(envA, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Setup(func() {})
+	envA.Engine.Run()
+	adapccT, err := backend.Measure(envA, a, backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("TCP AllReduce: adapcc=%v nccl=%v (%.2fx)", adapccT, ncclT, float64(ncclT)/float64(adapccT))
+	if float64(adapccT) > 0.6*float64(ncclT) {
+		t.Errorf("AdapCC on TCP (%v) should be well under NCCL (%v) via parallel streams", adapccT, ncclT)
+	}
+}
+
+func TestBlinkRejectsMultiServerAlltoAll(t *testing.T) {
+	env := testbedEnv(t)
+	err := blink.New(env).Run(backend.Request{
+		Primitive: strategy.AlltoAll, Bytes: 1 << 20,
+		Inputs: backend.MakeInputs(env.AllRanks(), 1<<20),
+	})
+	if err == nil {
+		t.Fatal("multi-server AlltoAll accepted by Blink")
+	}
+}
+
+func TestBlinkSingleServerAlltoAll(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(t, c)
+	elapsed, err := backend.Measure(env, blink.New(env), backend.Request{
+		Primitive: strategy.AlltoAll, Bytes: 4 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestNCCLAlltoAllCorrect(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(t, c)
+	ranks := env.AllRanks()
+	const bytes = 4 << 20
+	inputs := backend.MakeInputs(ranks, bytes)
+	var got collective.Result
+	_, err = backend.Measure(env, nccl.New(env), backend.Request{
+		Primitive: strategy.AlltoAll, Bytes: bytes, Inputs: inputs,
+		OnDone: func(r collective.Result) { got = r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ranks {
+		if got.Outputs[r] == nil {
+			t.Fatalf("rank %d has no output", r)
+		}
+	}
+}
+
+func TestNCCLStrategyShape(t *testing.T) {
+	env := testbedEnv(t)
+	b := nccl.New(env)
+	st, err := b.BuildStrategy(strategy.AllReduce, 64<<20, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.SubCollectives) != 2 {
+		t.Errorf("NCCL trees = %d, want 2 (dual complementary trees in one channel)", len(st.SubCollectives))
+	}
+	if err := st.Validate(env.Graph); err != nil {
+		t.Fatalf("invalid NCCL strategy: %v", err)
+	}
+	if got := st.SubCollectives[0].ChunkBytes; got != nccl.ChunkBytes {
+		t.Errorf("chunk = %d, want %d", got, nccl.ChunkBytes)
+	}
+}
+
+func TestMSCCLStrategyShape(t *testing.T) {
+	env := testbedEnv(t)
+	b := msccl.New(env)
+	st, err := b.BuildStrategy(strategy.AllReduce, 64<<20, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.SubCollectives) != msccl.Channels {
+		t.Errorf("MSCCL channels = %d, want %d", len(st.SubCollectives), msccl.Channels)
+	}
+	if err := st.Validate(env.Graph); err != nil {
+		t.Fatalf("invalid MSCCL strategy: %v", err)
+	}
+	// Fixed chunk COUNT: chunk size scales with the buffer.
+	sc := st.SubCollectives[0]
+	if got, want := sc.Chunks(), msccl.FixedChunkCount; got != want {
+		t.Errorf("chunk count = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,447 @@
+// Package blink models the Blink baseline (Sec. VI-B): topology-aware
+// spanning trees for intra-server communication, NCCL-style operations for
+// inter-server aggregation, and an empirically fixed 8 MB chunk size. As
+// the paper observes, Blink's two stages — intra-server and inter-server —
+// are not pipelined with each other, so this backend executes them with a
+// hard barrier in between: the full intra-server reduction finishes before
+// any byte crosses a NIC, and the inter-server stage finishes before the
+// local re-broadcast starts. Blink does not support multi-server AlltoAll.
+package blink
+
+import (
+	"fmt"
+	"sort"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/sim"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// ChunkBytes is Blink's empirical chunk size (8 MB).
+const ChunkBytes = 8 << 20
+
+// Backend is the Blink-like baseline.
+type Backend struct {
+	env *backend.Env
+}
+
+var _ backend.Backend = (*Backend)(nil)
+
+// New returns a Blink baseline over the environment.
+func New(env *backend.Env) *Backend { return &Backend{env: env} }
+
+// Name implements backend.Backend.
+func (b *Backend) Name() string { return "Blink" }
+
+// Run implements backend.Backend.
+func (b *Backend) Run(req backend.Request) error {
+	ranks := req.Ranks
+	if ranks == nil {
+		ranks = b.env.AllRanks()
+	}
+	byServer, servers, err := groupRanks(b.env.Graph, ranks)
+	if err != nil {
+		return err
+	}
+	switch req.Primitive {
+	case strategy.AllReduce, strategy.Reduce:
+		return b.runReduceLike(req, ranks, byServer, servers)
+	case strategy.AlltoAll:
+		if len(servers) > 1 {
+			return fmt.Errorf("blink: AlltoAll unsupported across servers")
+		}
+		return b.runLocalAlltoAll(req, ranks)
+	default:
+		return fmt.Errorf("blink: unsupported primitive %v", req.Primitive)
+	}
+}
+
+// runReduceLike executes the staged pipeline: local spanning-tree reduce →
+// barrier → inter-server reduce(+broadcast) among leaders → barrier →
+// local broadcast (AllReduce only).
+func (b *Backend) runReduceLike(req backend.Request, ranks []int, byServer map[int][]int, servers []int) error {
+	g := b.env.Graph
+	eng := b.env.Engine
+	start := eng.Now()
+
+	root := req.Root
+	if req.Primitive == strategy.AllReduce || root < 0 {
+		root = ranks[0]
+	}
+	rootID, ok := g.GPUByRank(root)
+	if !ok {
+		return fmt.Errorf("blink: unknown root %d", root)
+	}
+	rootServer := g.Node(rootID).Server
+
+	leaders := make(map[int]int, len(servers))
+	var leaderRanks []int
+	for _, s := range servers {
+		l := byServer[s][0]
+		if s == rootServer {
+			l = root
+		}
+		leaders[s] = l
+		leaderRanks = append(leaderRanks, l)
+	}
+	sort.Ints(leaderRanks)
+
+	finalOutputs := make(map[int][]float32)
+	finish := func() {
+		if req.OnDone != nil {
+			req.OnDone(collective.Result{Outputs: finalOutputs, Elapsed: eng.Now() - start})
+		}
+	}
+
+	// Stage 2 inputs: per-leader local sums.
+	stage2Inputs := make(map[int][]float32, len(leaderRanks))
+
+	stage3 := func() {
+		if req.Primitive == strategy.Reduce {
+			finish()
+			return
+		}
+		// Local broadcast from each leader.
+		var ops int
+		for _, s := range servers {
+			if len(byServer[s]) > 1 {
+				ops++
+			}
+		}
+		if ops == 0 {
+			finish()
+			return
+		}
+		barrier := sim.NewCountdown(ops, finish)
+		for _, s := range servers {
+			rs := byServer[s]
+			if len(rs) <= 1 {
+				continue
+			}
+			l := leaders[s]
+			st, err := b.localTree(strategy.Broadcast, req.Bytes, rs, l)
+			if err != nil {
+				panic(err) // structure was validated in stage 1
+			}
+			inputs := map[int][]float32{l: finalOutputs[l]}
+			for _, r := range rs {
+				if r != l {
+					inputs[r] = finalOutputs[l] // unused by broadcast non-roots
+				}
+			}
+			err = b.env.Exec.Run(collective.Op{
+				Strategy: st,
+				Inputs:   inputs,
+				OnDone: func(res collective.Result) {
+					for r, out := range res.Outputs {
+						finalOutputs[r] = out
+					}
+					barrier.Done()
+				},
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	stage2 := func() {
+		if len(leaderRanks) == 1 {
+			finalOutputs[leaderRanks[0]] = stage2Inputs[leaderRanks[0]]
+			stage3()
+			return
+		}
+		prim := strategy.Reduce
+		if req.Primitive == strategy.AllReduce {
+			prim = strategy.AllReduce
+		}
+		st, err := b.interTree(prim, req.Bytes, leaderRanks, root)
+		if err != nil {
+			panic(err)
+		}
+		err = b.env.Exec.Run(collective.Op{
+			Strategy: st,
+			Inputs:   stage2Inputs,
+			OnDone: func(res collective.Result) {
+				for r, out := range res.Outputs {
+					finalOutputs[r] = out
+				}
+				stage3()
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	// Stage 1: local spanning-tree reduce on every multi-GPU server.
+	var ops int
+	for _, s := range servers {
+		if len(byServer[s]) > 1 {
+			ops++
+		} else {
+			l := leaders[s]
+			stage2Inputs[l] = req.Inputs[l]
+		}
+	}
+	if ops == 0 {
+		stage2()
+		return nil
+	}
+	barrier := sim.NewCountdown(ops, stage2)
+	for _, s := range servers {
+		rs := byServer[s]
+		if len(rs) <= 1 {
+			continue
+		}
+		l := leaders[s]
+		st, err := b.localTree(strategy.Reduce, req.Bytes, rs, l)
+		if err != nil {
+			return err
+		}
+		inputs := make(map[int][]float32, len(rs))
+		for _, r := range rs {
+			inputs[r] = req.Inputs[r]
+		}
+		err = b.env.Exec.Run(collective.Op{
+			Strategy: st,
+			Inputs:   inputs,
+			OnDone: func(res collective.Result) {
+				stage2Inputs[l] = res.Outputs[l]
+				barrier.Done()
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// localTree builds the intra-server spanning tree (a star onto the leader
+// over NVLink, or via the host path without NVLink).
+func (b *Backend) localTree(p strategy.Primitive, bytes int64, rs []int, leader int) (*strategy.Strategy, error) {
+	g := b.env.Graph
+	sc := strategy.SubCollective{ID: 0, Bytes: bytes, ChunkBytes: chunkFor(bytes), Root: leader}
+	id := 0
+	for _, r := range rs {
+		if r == leader {
+			continue
+		}
+		path, err := route(g, r, leader)
+		if err != nil {
+			return nil, err
+		}
+		sc.Flows = append(sc.Flows, strategy.Flow{ID: id, SrcRank: r, DstRank: leader, Path: path})
+		id++
+	}
+	st := &strategy.Strategy{Primitive: p, TotalBytes: bytes, SubCollectives: []strategy.SubCollective{sc}}
+	if p == strategy.Broadcast {
+		st = reverse(st)
+	}
+	return st, nil
+}
+
+// interTree builds the NCCL-style binary tree among server leaders.
+func (b *Backend) interTree(p strategy.Primitive, bytes int64, leaders []int, root int) (*strategy.Strategy, error) {
+	g := b.env.Graph
+	sc := strategy.SubCollective{ID: 0, Bytes: bytes, ChunkBytes: chunkFor(bytes), Root: root}
+	var others []int
+	for _, l := range leaders {
+		if l != root {
+			others = append(others, l)
+		}
+	}
+	id := 0
+	for i, l := range others {
+		up := root
+		if i > 0 {
+			up = others[(i-1)/2]
+		}
+		path, err := route(g, l, up)
+		if err != nil {
+			return nil, err
+		}
+		sc.Flows = append(sc.Flows, strategy.Flow{ID: id, SrcRank: l, DstRank: up, Path: path})
+		id++
+	}
+	return &strategy.Strategy{Primitive: p, TotalBytes: bytes, SubCollectives: []strategy.SubCollective{sc}}, nil
+}
+
+func (b *Backend) runLocalAlltoAll(req backend.Request, ranks []int) error {
+	g := b.env.Graph
+	sc := strategy.SubCollective{ID: 0, Bytes: req.Bytes, ChunkBytes: chunkFor(req.Bytes), Root: -1}
+	id := 0
+	for _, src := range ranks {
+		for _, dst := range ranks {
+			if src == dst {
+				continue
+			}
+			path, err := route(g, src, dst)
+			if err != nil {
+				return err
+			}
+			sc.Flows = append(sc.Flows, strategy.Flow{ID: id, SrcRank: src, DstRank: dst, Path: path})
+			id++
+		}
+	}
+	st := &strategy.Strategy{Primitive: strategy.AlltoAll, TotalBytes: req.Bytes, SubCollectives: []strategy.SubCollective{sc}}
+	return b.env.Exec.Run(collective.Op{Strategy: st, Inputs: req.Inputs, OnDone: req.OnDone})
+}
+
+func chunkFor(bytes int64) int64 {
+	c := int64(ChunkBytes)
+	if c > bytes {
+		c = bytes
+	}
+	if c < 4 {
+		c = 4
+	}
+	return c / 4 * 4
+}
+
+func route(g *topology.Graph, fromRank, toRank int) ([]topology.NodeID, error) {
+	from, ok := g.GPUByRank(fromRank)
+	if !ok {
+		return nil, fmt.Errorf("blink: unknown rank %d", fromRank)
+	}
+	to, ok := g.GPUByRank(toRank)
+	if !ok {
+		return nil, fmt.Errorf("blink: unknown rank %d", toRank)
+	}
+	if g.SameServer(from, to) {
+		if _, direct := g.EdgeBetween(from, to); direct {
+			return []topology.NodeID{from, to}, nil
+		}
+		nic, ok := g.NICOfServer(g.Node(from).Server, 0)
+		if !ok {
+			return nil, fmt.Errorf("blink: server %d has no NIC", g.Node(from).Server)
+		}
+		return []topology.NodeID{from, nic, to}, nil
+	}
+	fromNIC, ok := g.NICOfServer(g.Node(from).Server, 0)
+	if !ok {
+		return nil, fmt.Errorf("blink: server %d has no NIC", g.Node(from).Server)
+	}
+	toNIC, ok := g.NICOfServer(g.Node(to).Server, 0)
+	if !ok {
+		return nil, fmt.Errorf("blink: server %d has no NIC", g.Node(to).Server)
+	}
+	sw, ok := g.Switch()
+	if !ok {
+		return nil, fmt.Errorf("blink: no core switch in a multi-server graph")
+	}
+	return []topology.NodeID{from, fromNIC, sw, toNIC, to}, nil
+}
+
+func groupRanks(g *topology.Graph, ranks []int) (map[int][]int, []int, error) {
+	byServer := make(map[int][]int)
+	for _, r := range ranks {
+		id, ok := g.GPUByRank(r)
+		if !ok {
+			return nil, nil, fmt.Errorf("blink: unknown rank %d", r)
+		}
+		byServer[g.Node(id).Server] = append(byServer[g.Node(id).Server], r)
+	}
+	servers := make([]int, 0, len(byServer))
+	for s := range byServer {
+		sort.Ints(byServer[s])
+		servers = append(servers, s)
+	}
+	sort.Ints(servers)
+	return byServer, servers, nil
+}
+
+func reverse(st *strategy.Strategy) *strategy.Strategy {
+	out := &strategy.Strategy{Primitive: st.Primitive, TotalBytes: st.TotalBytes}
+	for _, sc := range st.SubCollectives {
+		rev := strategy.SubCollective{ID: sc.ID, Bytes: sc.Bytes, ChunkBytes: sc.ChunkBytes, Root: sc.Root}
+		for i := len(sc.Flows) - 1; i >= 0; i-- {
+			f := sc.Flows[i]
+			path := make([]topology.NodeID, len(f.Path))
+			for j, n := range f.Path {
+				path[len(f.Path)-1-j] = n
+			}
+			rev.Flows = append(rev.Flows, strategy.Flow{
+				ID:      len(rev.Flows),
+				SrcRank: f.DstRank,
+				DstRank: f.SrcRank,
+				Path:    path,
+			})
+		}
+		out.SubCollectives = append(out.SubCollectives, rev)
+	}
+	return out
+}
+
+// StagePlans returns the strategies of each barrier-separated stage for
+// analytic evaluation by the training simulator: stage 1 holds one local
+// reduce tree per multi-GPU server (they run in parallel), stage 2 the
+// inter-server tree among leaders, stage 3 the local broadcasts (AllReduce
+// only). The stage structure is identical to what Run executes.
+func (b *Backend) StagePlans(p strategy.Primitive, bytes int64, ranks []int, root int) ([][]*strategy.Strategy, error) {
+	if p != strategy.AllReduce && p != strategy.Reduce {
+		return nil, fmt.Errorf("blink: StagePlans supports Reduce/AllReduce only")
+	}
+	g := b.env.Graph
+	byServer, servers, err := groupRanks(g, ranks)
+	if err != nil {
+		return nil, err
+	}
+	if p == strategy.AllReduce || root < 0 {
+		root = ranks[0]
+	}
+	rootID, ok := g.GPUByRank(root)
+	if !ok {
+		return nil, fmt.Errorf("blink: unknown root %d", root)
+	}
+	rootServer := g.Node(rootID).Server
+
+	leaders := make(map[int]int, len(servers))
+	var leaderRanks []int
+	for _, s := range servers {
+		l := byServer[s][0]
+		if s == rootServer {
+			l = root
+		}
+		leaders[s] = l
+		leaderRanks = append(leaderRanks, l)
+	}
+	sort.Ints(leaderRanks)
+
+	var stage1, stage2, stage3 []*strategy.Strategy
+	for _, s := range servers {
+		rs := byServer[s]
+		if len(rs) <= 1 {
+			continue
+		}
+		st, err := b.localTree(strategy.Reduce, bytes, rs, leaders[s])
+		if err != nil {
+			return nil, err
+		}
+		stage1 = append(stage1, st)
+		if p == strategy.AllReduce {
+			bc, err := b.localTree(strategy.Broadcast, bytes, rs, leaders[s])
+			if err != nil {
+				return nil, err
+			}
+			stage3 = append(stage3, bc)
+		}
+	}
+	if len(leaderRanks) > 1 {
+		st, err := b.interTree(p, bytes, leaderRanks, root)
+		if err != nil {
+			return nil, err
+		}
+		stage2 = append(stage2, st)
+	}
+	var stages [][]*strategy.Strategy
+	for _, st := range [][]*strategy.Strategy{stage1, stage2, stage3} {
+		if len(st) > 0 {
+			stages = append(stages, st)
+		}
+	}
+	return stages, nil
+}

@@ -1,0 +1,248 @@
+package blink
+
+import (
+	"testing"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+func newEnv(t *testing.T, c *topology.Cluster) *backend.Env {
+	t.Helper()
+	env, err := backend.NewEnv(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func homoEnv(t *testing.T, servers, gpus int) *backend.Env {
+	t.Helper()
+	c, err := cluster.Homogeneous(topology.TransportRDMA, servers, gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newEnv(t, c)
+}
+
+func TestChunkForCapsAtEightMB(t *testing.T) {
+	if got := chunkFor(64 << 20); got != ChunkBytes {
+		t.Errorf("chunkFor(64MB) = %d, want the fixed 8 MB", got)
+	}
+	if got := chunkFor(1 << 20); got != 1<<20 {
+		t.Errorf("chunkFor(1MB) = %d, want the whole buffer", got)
+	}
+	if got := chunkFor(2); got != 4 {
+		t.Errorf("chunkFor(2) = %d, want the 4-byte floor", got)
+	}
+}
+
+func TestLocalTreeIsStarOntoLeader(t *testing.T) {
+	env := homoEnv(t, 1, 4)
+	st, err := New(env).localTree(strategy.Reduce, 8<<20, []int{0, 1, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := st.SubCollectives[0]
+	if sc.Root != 2 {
+		t.Errorf("root = %d, want 2", sc.Root)
+	}
+	if len(sc.Flows) != 3 {
+		t.Fatalf("flows = %d, want 3", len(sc.Flows))
+	}
+	for _, f := range sc.Flows {
+		if f.DstRank != 2 {
+			t.Errorf("flow %d->%d is not a star spoke onto the leader", f.SrcRank, f.DstRank)
+		}
+	}
+	if err := st.Validate(env.Graph); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalBroadcastTreeReversed(t *testing.T) {
+	env := homoEnv(t, 1, 4)
+	st, err := New(env).localTree(strategy.Broadcast, 8<<20, []int{0, 1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range st.SubCollectives[0].Flows {
+		if f.SrcRank != 0 {
+			t.Errorf("broadcast flow %d->%d does not originate at the leader", f.SrcRank, f.DstRank)
+		}
+	}
+	if err := st.Validate(env.Graph); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterTreeBinaryShape(t *testing.T) {
+	env := homoEnv(t, 4, 1)
+	st, err := New(env).interTree(strategy.Reduce, 8<<20, []int{0, 1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := st.SubCollectives[0]
+	if len(sc.Flows) != 3 {
+		t.Fatalf("flows = %d, want one per non-root leader", len(sc.Flows))
+	}
+	// Fan-in of a binary tree: no node receives more than 2 children.
+	fanIn := map[int]int{}
+	for _, f := range sc.Flows {
+		fanIn[f.DstRank]++
+	}
+	for r, n := range fanIn {
+		if n > 2 {
+			t.Errorf("leader %d has fan-in %d, want <= 2", r, n)
+		}
+	}
+}
+
+func TestStagePlansStructure(t *testing.T) {
+	c, err := cluster.Testbed(topology.TransportRDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(t, c)
+	b := New(env)
+
+	stages, err := b.StagePlans(strategy.AllReduce, 64<<20, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("AllReduce stages = %d, want 3 (reduce / inter / broadcast)", len(stages))
+	}
+	servers := 6 // the paper's testbed
+	if got := len(stages[0]); got != servers {
+		t.Errorf("stage 1 has %d local trees, want one per server (%d)", got, servers)
+	}
+	if got := len(stages[1]); got != 1 {
+		t.Errorf("stage 2 has %d plans, want the single leader tree", got)
+	}
+	if got := len(stages[2]); got != servers {
+		t.Errorf("stage 3 has %d local broadcasts, want %d", got, servers)
+	}
+	for si, stage := range stages {
+		for _, st := range stage {
+			if err := st.Validate(env.Graph); err != nil {
+				t.Errorf("stage %d plan invalid: %v", si+1, err)
+			}
+		}
+	}
+
+	// Reduce drops the re-broadcast stage.
+	stages, err = b.StagePlans(strategy.Reduce, 64<<20, env.AllRanks(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 2 {
+		t.Errorf("Reduce stages = %d, want 2", len(stages))
+	}
+
+	if _, err := b.StagePlans(strategy.AlltoAll, 1<<20, env.AllRanks(), -1); err == nil {
+		t.Error("StagePlans accepted AlltoAll")
+	}
+}
+
+func TestSingleServerAllReduceSkipsInterStage(t *testing.T) {
+	env := homoEnv(t, 1, 4)
+	ranks := env.AllRanks()
+	const bytes = 4 << 20
+	inputs := backend.MakeInputs(ranks, bytes)
+	want := make([]float32, bytes/4)
+	for _, in := range inputs {
+		for i := range in {
+			want[i] += in[i]
+		}
+	}
+	var got collective.Result
+	if _, err := backend.Measure(env, New(env), backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Inputs: inputs,
+		OnDone: func(r collective.Result) { got = r },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ranks {
+		out := got.Outputs[r]
+		if out == nil {
+			t.Fatalf("rank %d missing output", r)
+		}
+		for i := 0; i < len(want); i += 499 {
+			if d := out[i] - want[i]; d > 1e-2 || d < -1e-2 {
+				t.Fatalf("rank %d elem %d = %v, want %v", r, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReduceDeliversOnlyToRoot(t *testing.T) {
+	env := homoEnv(t, 2, 2)
+	ranks := env.AllRanks()
+	const bytes = 4 << 20
+	inputs := backend.MakeInputs(ranks, bytes)
+	want := make([]float32, bytes/4)
+	for _, in := range inputs {
+		for i := range in {
+			want[i] += in[i]
+		}
+	}
+	var got collective.Result
+	if _, err := backend.Measure(env, New(env), backend.Request{
+		Primitive: strategy.Reduce, Bytes: bytes, Root: 2, Inputs: inputs,
+		OnDone: func(r collective.Result) { got = r },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := got.Outputs[2]
+	if out == nil {
+		t.Fatal("root has no output")
+	}
+	for i := 0; i < len(want); i += 499 {
+		if d := out[i] - want[i]; d > 1e-2 || d < -1e-2 {
+			t.Fatalf("root elem %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestStagesDoNotOverlap(t *testing.T) {
+	// The whole point of the Blink model: with a hard barrier, a
+	// two-server AllReduce must cost at least the sum of a local reduce
+	// and the inter-server exchange — i.e. strictly more than the
+	// inter-server exchange alone on the same byte count.
+	env1 := homoEnv(t, 2, 4)
+	full, err := backend.Measure(env1, New(env1), backend.Request{
+		Primitive: strategy.AllReduce, Bytes: 32 << 20, Root: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := homoEnv(t, 2, 1) // leaders only: no local stages at all
+	interOnly, err := backend.Measure(env2, New(env2), backend.Request{
+		Primitive: strategy.AllReduce, Bytes: 32 << 20, Root: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full <= interOnly {
+		t.Errorf("staged AllReduce (%v) not slower than the bare inter-server stage (%v)", full, interOnly)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	env := homoEnv(t, 2, 2)
+	b := New(env)
+	if err := b.Run(backend.Request{Primitive: strategy.Broadcast, Bytes: 1 << 20}); err == nil {
+		t.Error("broadcast accepted (Blink models Reduce/AllReduce/local AlltoAll only)")
+	}
+	if err := b.Run(backend.Request{Primitive: strategy.Reduce, Bytes: 1 << 20, Root: 99,
+		Ranks: []int{0, 99}}); err == nil {
+		t.Error("unknown rank accepted")
+	}
+	if got := b.Name(); got != "Blink" {
+		t.Errorf("Name() = %q", got)
+	}
+}

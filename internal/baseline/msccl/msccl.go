@@ -1,0 +1,276 @@
+// Package msccl models the MSCCL baseline (Sec. VI-B): the paper runs the
+// pareto-optimal SCCL algorithm family through MSCCL's runtime. Those
+// algorithms search latency-bandwidth tradeoffs for DGX-like topologies,
+// so they use good hierarchical graphs and two channels — but the sketches
+// assume a fixed architecture: the chunk count is fixed regardless of
+// tensor or link properties, no link is ever profiled, and heterogeneous
+// NICs/GPUs are treated as identical.
+package msccl
+
+import (
+	"fmt"
+	"sort"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+const (
+	// Channels is the number of parallel channels the recommended
+	// algorithms instantiate.
+	Channels = 2
+	// FixedChunkCount: each channel's buffer is always split into this
+	// many chunks, whatever its size (the paper: "the chunk size also
+	// remains fixed" in the provided sketches).
+	FixedChunkCount = 8
+)
+
+// Backend is the MSCCL-like baseline.
+type Backend struct {
+	env *backend.Env
+}
+
+var _ backend.Backend = (*Backend)(nil)
+
+// New returns an MSCCL baseline over the environment.
+func New(env *backend.Env) *Backend { return &Backend{env: env} }
+
+// Name implements backend.Backend.
+func (b *Backend) Name() string { return "MSCCL" }
+
+// Run implements backend.Backend.
+func (b *Backend) Run(req backend.Request) error {
+	ranks := req.Ranks
+	if ranks == nil {
+		ranks = b.env.AllRanks()
+	}
+	st, err := b.BuildStrategy(req.Primitive, req.Bytes, ranks, req.Root)
+	if err != nil {
+		return err
+	}
+	return b.env.Exec.Run(collective.Op{
+		Strategy: st,
+		Inputs:   req.Inputs,
+		OnDone:   req.OnDone,
+	})
+}
+
+// BuildStrategy constructs the MSCCL-style plan: per channel, a DGX-like
+// hierarchical graph — NVLink star onto a per-channel leader, then direct
+// leader-to-root transfers (the sketches' inter-node stage, written for a
+// homogeneous topology and blind to actual NIC speeds).
+func (b *Backend) BuildStrategy(p strategy.Primitive, bytes int64, ranks []int, root int) (*strategy.Strategy, error) {
+	g := b.env.Graph
+	byServer, servers, err := groupRanks(g, ranks)
+	if err != nil {
+		return nil, err
+	}
+
+	st := &strategy.Strategy{Primitive: p, TotalBytes: bytes}
+	parts := splitBytes(bytes, Channels)
+	for ch := 0; ch < Channels; ch++ {
+		chunk := parts[ch] / FixedChunkCount / 4 * 4
+		if chunk < 4 {
+			chunk = 4
+		}
+		var sc *strategy.SubCollective
+		switch p {
+		case strategy.Reduce, strategy.AllReduce, strategy.Broadcast:
+			chRoot := root
+			if p == strategy.AllReduce || chRoot < 0 {
+				// Channels alternate root servers, as the DGX
+				// sketches do.
+				chRoot = byServer[servers[ch%len(servers)]][0]
+			}
+			sc, err = b.rootedSub(p, byServer, servers, chRoot, ch)
+		case strategy.AlltoAll:
+			sc, err = b.alltoallSub(ranks, ch)
+		default:
+			return nil, fmt.Errorf("msccl: unsupported primitive %v", p)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sc.ID = ch
+		sc.Bytes = parts[ch]
+		sc.ChunkBytes = chunk
+		st.SubCollectives = append(st.SubCollectives, *sc)
+	}
+	if p == strategy.Broadcast {
+		st = reverseRooted(st)
+	}
+	return st, nil
+}
+
+func (b *Backend) rootedSub(p strategy.Primitive, byServer map[int][]int, servers []int, root, ch int) (*strategy.SubCollective, error) {
+	g := b.env.Graph
+	rootID, ok := g.GPUByRank(root)
+	if !ok {
+		return nil, fmt.Errorf("msccl: unknown root %d", root)
+	}
+	rootServer := g.Node(rootID).Server
+	pb := pathResolver{g: g}
+
+	sc := &strategy.SubCollective{Root: root}
+	id := 0
+	add := func(src, dst int) error {
+		path, err := pb.route(src, dst)
+		if err != nil {
+			return err
+		}
+		sc.Flows = append(sc.Flows, strategy.Flow{ID: id, SrcRank: src, DstRank: dst, Path: path})
+		id++
+		return nil
+	}
+
+	leader := make(map[int]int, len(servers))
+	for _, s := range servers {
+		rs := byServer[s]
+		l := rs[ch%len(rs)] // channels use different leaders
+		if s == rootServer {
+			l = root
+		}
+		leader[s] = l
+		for _, r := range rs {
+			if r == l || r == root {
+				continue
+			}
+			if err := add(r, l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Inter-node stage: direct transfers at small scale, a binary tree
+	// over leaders beyond that (the pareto-optimal algorithms switch to
+	// trees as hop counts grow) — but always ordered by server index,
+	// blind to actual NIC speeds.
+	var others []int
+	for _, s := range servers {
+		if s != rootServer {
+			others = append(others, s)
+		}
+	}
+	for i, s := range others {
+		up := root
+		if len(others) > 2 && i > 0 {
+			up = leader[others[(i-1)/2]]
+		}
+		if err := add(leader[s], up); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+func (b *Backend) alltoallSub(ranks []int, ch int) (*strategy.SubCollective, error) {
+	pb := pathResolver{g: b.env.Graph}
+	sc := &strategy.SubCollective{Root: -1}
+	id := 0
+	for _, src := range ranks {
+		for _, dst := range ranks {
+			if src == dst {
+				continue
+			}
+			path, err := pb.route(src, dst)
+			if err != nil {
+				return nil, err
+			}
+			sc.Flows = append(sc.Flows, strategy.Flow{ID: id, SrcRank: src, DstRank: dst, Path: path})
+			id++
+		}
+	}
+	return sc, nil
+}
+
+func splitBytes(total int64, n int) []int64 {
+	parts := make([]int64, n)
+	base := total / int64(n) / 4 * 4
+	var used int64
+	for i := range parts {
+		parts[i] = base
+		used += base
+	}
+	parts[n-1] += total - used
+	return parts
+}
+
+func groupRanks(g *topology.Graph, ranks []int) (map[int][]int, []int, error) {
+	byServer := make(map[int][]int)
+	for _, r := range ranks {
+		id, ok := g.GPUByRank(r)
+		if !ok {
+			return nil, nil, fmt.Errorf("msccl: unknown rank %d", r)
+		}
+		byServer[g.Node(id).Server] = append(byServer[g.Node(id).Server], r)
+	}
+	servers := make([]int, 0, len(byServer))
+	for s := range byServer {
+		sort.Ints(byServer[s])
+		servers = append(servers, s)
+	}
+	sort.Ints(servers)
+	return byServer, servers, nil
+}
+
+type pathResolver struct {
+	g *topology.Graph
+}
+
+func (pr pathResolver) route(fromRank, toRank int) ([]topology.NodeID, error) {
+	g := pr.g
+	from, ok := g.GPUByRank(fromRank)
+	if !ok {
+		return nil, fmt.Errorf("msccl: unknown rank %d", fromRank)
+	}
+	to, ok := g.GPUByRank(toRank)
+	if !ok {
+		return nil, fmt.Errorf("msccl: unknown rank %d", toRank)
+	}
+	if g.SameServer(from, to) {
+		if _, direct := g.EdgeBetween(from, to); direct {
+			return []topology.NodeID{from, to}, nil
+		}
+		nic, ok := g.NICOfServer(g.Node(from).Server, 0)
+		if !ok {
+			return nil, fmt.Errorf("msccl: server %d has no NIC", g.Node(from).Server)
+		}
+		return []topology.NodeID{from, nic, to}, nil
+	}
+	fromNIC, ok := g.NICOfServer(g.Node(from).Server, 0)
+	if !ok {
+		return nil, fmt.Errorf("msccl: server %d has no NIC", g.Node(from).Server)
+	}
+	toNIC, ok := g.NICOfServer(g.Node(to).Server, 0)
+	if !ok {
+		return nil, fmt.Errorf("msccl: server %d has no NIC", g.Node(to).Server)
+	}
+	sw, ok := g.Switch()
+	if !ok {
+		return nil, fmt.Errorf("msccl: no core switch in a multi-server graph")
+	}
+	return []topology.NodeID{from, fromNIC, sw, toNIC, to}, nil
+}
+
+func reverseRooted(st *strategy.Strategy) *strategy.Strategy {
+	out := &strategy.Strategy{Primitive: st.Primitive, TotalBytes: st.TotalBytes}
+	for _, sc := range st.SubCollectives {
+		rev := strategy.SubCollective{ID: sc.ID, Bytes: sc.Bytes, ChunkBytes: sc.ChunkBytes, Root: sc.Root}
+		for i := len(sc.Flows) - 1; i >= 0; i-- {
+			f := sc.Flows[i]
+			path := make([]topology.NodeID, len(f.Path))
+			for j, n := range f.Path {
+				path[len(f.Path)-1-j] = n
+			}
+			rev.Flows = append(rev.Flows, strategy.Flow{
+				ID:      len(rev.Flows),
+				SrcRank: f.DstRank,
+				DstRank: f.SrcRank,
+				Path:    path,
+			})
+		}
+		out.SubCollectives = append(out.SubCollectives, rev)
+	}
+	return out
+}

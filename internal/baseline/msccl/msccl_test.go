@@ -1,0 +1,188 @@
+package msccl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+func newEnv(t *testing.T, servers, gpus int) *backend.Env {
+	t.Helper()
+	c, err := cluster.Homogeneous(topology.TransportRDMA, servers, gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestChannelsAlternateRootServers(t *testing.T) {
+	env := newEnv(t, 2, 4)
+	st, err := New(env).BuildStrategy(strategy.AllReduce, 32<<20, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.SubCollectives) != Channels {
+		t.Fatalf("channels = %d, want %d", len(st.SubCollectives), Channels)
+	}
+	g := env.Graph
+	serverOf := func(rank int) int {
+		id, _ := g.GPUByRank(rank)
+		return g.Node(id).Server
+	}
+	s0 := serverOf(st.SubCollectives[0].Root)
+	s1 := serverOf(st.SubCollectives[1].Root)
+	if s0 == s1 {
+		t.Errorf("both channels root on server %d; the DGX sketches alternate", s0)
+	}
+}
+
+func TestFixedChunkCountAcrossSizes(t *testing.T) {
+	env := newEnv(t, 2, 2)
+	for _, bytes := range []int64{1 << 20, 16 << 20, 256 << 20} {
+		st, err := New(env).BuildStrategy(strategy.AllReduce, bytes, env.AllRanks(), -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range st.SubCollectives {
+			if got := sc.Chunks(); got != FixedChunkCount {
+				t.Errorf("bytes=%d channel %d: %d chunks, want %d (MSCCL never re-chunks)",
+					bytes, sc.ID, got, FixedChunkCount)
+			}
+		}
+	}
+}
+
+func TestChannelsUseDifferentIntraLeaders(t *testing.T) {
+	env := newEnv(t, 2, 4)
+	// Root pinned to rank 0 so both channels share a root but may differ in
+	// the non-root server's leader.
+	st, err := New(env).BuildStrategy(strategy.Reduce, 32<<20, env.AllRanks(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderOfServer1 := func(sc strategy.SubCollective) int {
+		// Server 1 ranks are 4..7; its leader is the one whose flow
+		// crosses servers.
+		g := env.Graph
+		for _, f := range sc.Flows {
+			src, _ := g.GPUByRank(f.SrcRank)
+			dst, _ := g.GPUByRank(f.DstRank)
+			if g.Node(src).Server == 1 && g.Node(dst).Server != 1 {
+				return f.SrcRank
+			}
+		}
+		t.Fatalf("channel %d: server 1 never crosses to the root", sc.ID)
+		return -1
+	}
+	l0 := leaderOfServer1(st.SubCollectives[0])
+	l1 := leaderOfServer1(st.SubCollectives[1])
+	if l0 == l1 {
+		t.Errorf("both channels drain server 1 through rank %d; channels should use different leaders", l0)
+	}
+}
+
+func TestInterStageBecomesTreeAtScale(t *testing.T) {
+	// With > 3 servers the inter-node stage must not be a flat star on the
+	// root (that collapsed at scale; the pareto algorithms switch to trees).
+	env := newEnv(t, 4, 1)
+	st, err := New(env).BuildStrategy(strategy.AllReduce, 32<<20, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := st.SubCollectives[0]
+	nonRootDst := 0
+	for _, f := range sc.Flows {
+		if f.DstRank != sc.Root {
+			nonRootDst++
+		}
+	}
+	if nonRootDst == 0 {
+		t.Error("4-server inter stage is a flat star; want a tree with interior leaders")
+	}
+	if err := st.Validate(env.Graph); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitBytesProperty(t *testing.T) {
+	f := func(total int64, n uint8) bool {
+		if total < 0 {
+			total = -total
+		}
+		total %= 1 << 30
+		k := int(n%7) + 1
+		parts := splitBytes(total, k)
+		var sum int64
+		for i, p := range parts {
+			sum += p
+			if p < 0 {
+				return false
+			}
+			// All but the remainder-carrying last part are 4-aligned.
+			if i < len(parts)-1 && p%4 != 0 {
+				return false
+			}
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcastValidatesAsOutTree(t *testing.T) {
+	env := newEnv(t, 2, 2)
+	st, err := New(env).BuildStrategy(strategy.Broadcast, 8<<20, env.AllRanks(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(env.Graph); err != nil {
+		t.Fatalf("broadcast strategy invalid: %v", err)
+	}
+	for _, sc := range st.SubCollectives {
+		for _, f := range sc.Flows {
+			if f.DstRank == sc.Root {
+				t.Errorf("broadcast flow %d->%d terminates at the root", f.SrcRank, f.DstRank)
+			}
+		}
+	}
+}
+
+func TestAlltoAllPairCount(t *testing.T) {
+	env := newEnv(t, 2, 2)
+	st, err := New(env).BuildStrategy(strategy.AlltoAll, 8<<20, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(env.AllRanks())
+	for _, sc := range st.SubCollectives {
+		if got, want := len(sc.Flows), n*(n-1); got != want {
+			t.Errorf("channel %d: %d flows, want %d pairwise", sc.ID, got, want)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	env := newEnv(t, 1, 2)
+	b := New(env)
+	if _, err := b.BuildStrategy(strategy.Primitive(99), 1<<20, env.AllRanks(), -1); err == nil {
+		t.Error("unknown primitive accepted")
+	}
+	if _, err := b.BuildStrategy(strategy.Reduce, 1<<20, []int{0, 77}, 0); err == nil {
+		t.Error("unknown rank accepted")
+	}
+	if _, err := b.BuildStrategy(strategy.Reduce, 1<<20, env.AllRanks(), 42); err == nil {
+		t.Error("unknown root accepted")
+	}
+	if got := b.Name(); got != "MSCCL" {
+		t.Errorf("Name() = %q", got)
+	}
+}

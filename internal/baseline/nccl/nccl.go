@@ -1,0 +1,303 @@
+// Package nccl models the NCCL v2.14 baseline the paper compares against
+// (Sec. VI-B): communication graphs built from link *types* with empirical
+// bandwidth labels rather than measured performance, a single intra-server
+// channel reducing onto the GPU closest to the NIC, a binary tree across
+// servers that assumes homogeneous nodes (so the slowest NIC bottlenecks
+// the whole tree), one channel / one CUDA stream per collective (which
+// caps TCP throughput at a single stream's rate), and fixed pipeline
+// chunking. The graphs never adapt to profiled or time-varying link
+// performance.
+package nccl
+
+import (
+	"fmt"
+	"sort"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// ChunkBytes is NCCL's fixed pipeline chunk size.
+const ChunkBytes = 512 << 10
+
+// Backend is the NCCL-like baseline.
+type Backend struct {
+	env *backend.Env
+}
+
+var _ backend.Backend = (*Backend)(nil)
+
+// New returns an NCCL baseline over the environment.
+func New(env *backend.Env) *Backend { return &Backend{env: env} }
+
+// Name implements backend.Backend.
+func (b *Backend) Name() string { return "NCCL" }
+
+// Run implements backend.Backend.
+func (b *Backend) Run(req backend.Request) error {
+	ranks := req.Ranks
+	if ranks == nil {
+		ranks = b.env.AllRanks()
+	}
+	st, err := b.BuildStrategy(req.Primitive, req.Bytes, ranks, req.Root)
+	if err != nil {
+		return err
+	}
+	return b.env.Exec.Run(collective.Op{
+		Strategy:     st,
+		Inputs:       req.Inputs,
+		SingleStream: true, // one channel / one stream
+		OnDone:       req.OnDone,
+	})
+}
+
+// BuildStrategy constructs the NCCL-style communication graph. Exported so
+// the accuracy experiment can run AdapCC's executor on "the graph dumped
+// from NCCL" (Fig. 19b's AdapCC-nccl-graph arm).
+func (b *Backend) BuildStrategy(p strategy.Primitive, bytes int64, ranks []int, root int) (*strategy.Strategy, error) {
+	switch p {
+	case strategy.Reduce, strategy.AllReduce, strategy.Broadcast:
+		return b.rootedStrategy(p, bytes, ranks, root)
+	case strategy.AlltoAll:
+		return b.alltoallStrategy(bytes, ranks)
+	default:
+		return nil, fmt.Errorf("nccl: unsupported primitive %v", p)
+	}
+}
+
+// rootedStrategy: intra-server chain onto the server leader (lowest GPU
+// index — the GPU NCCL picks as closest to the NIC), and NCCL's dual
+// complementary binary trees across servers: each tree carries half the
+// data, so interior tree nodes' NIC load balances out — but both trees
+// run in the ONE channel, assume homogeneous nodes, and order servers by
+// index, so the slowest NIC still gates every chunk that crosses it.
+func (b *Backend) rootedStrategy(p strategy.Primitive, bytes int64, ranks []int, root int) (*strategy.Strategy, error) {
+	g := b.env.Graph
+	if p == strategy.AllReduce || root < 0 {
+		root = ranks[0]
+	}
+	byServer, servers, err := groupRanks(g, ranks)
+	if err != nil {
+		return nil, err
+	}
+	rootID, ok := g.GPUByRank(root)
+	if !ok {
+		return nil, fmt.Errorf("nccl: unknown root %d", root)
+	}
+	rootServer := g.Node(rootID).Server
+
+	leader := make(map[int]int, len(servers))
+	intraParent := make(map[int]int)
+	for _, s := range servers {
+		rs := byServer[s]
+		l := rs[0]
+		if s == rootServer {
+			l = root
+		}
+		leader[s] = l
+		// Intra-server chain onto the leader: sort, chain neighbours.
+		chain := append([]int(nil), rs...)
+		sort.Ints(chain)
+		for i, r := range chain {
+			if r == l {
+				chain[0], chain[i] = chain[i], chain[0]
+				break
+			}
+		}
+		for i := 1; i < len(chain); i++ {
+			intraParent[chain[i]] = chain[i-1]
+		}
+	}
+	others := make([]int, 0, len(servers))
+	for _, s := range servers {
+		if s != rootServer {
+			others = append(others, s)
+		}
+	}
+
+	trees := 2
+	if len(others) == 0 {
+		trees = 1 // single server: no inter-server stage to mirror
+	}
+	parts := make([]int64, trees)
+	base := bytes / int64(trees) / 4 * 4
+	var used int64
+	for i := range parts {
+		parts[i] = base
+		used += base
+	}
+	parts[trees-1] += bytes - used
+
+	st := &strategy.Strategy{Primitive: p, TotalBytes: bytes}
+	pb := pathResolver{g: g}
+	for tree := 0; tree < trees; tree++ {
+		parent := make(map[int]int, len(intraParent)+len(others))
+		for k, v := range intraParent {
+			parent[k] = v
+		}
+		// Complementary trees: the second uses the reversed server
+		// order, so each interior server of one tree is a leaf of the
+		// other and per-NIC load halves.
+		order := append([]int(nil), others...)
+		if tree == 1 {
+			for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		for i, s := range order {
+			up := rootServer
+			if i > 0 {
+				up = order[(i-1)/2]
+			}
+			parent[leader[s]] = leader[up]
+		}
+
+		sc := strategy.SubCollective{ID: tree, Bytes: parts[tree], ChunkBytes: chunkFor(parts[tree]), Root: root}
+		id := 0
+		for _, r := range ranks {
+			if r == root {
+				continue
+			}
+			pRank, ok := parent[r]
+			if !ok {
+				return nil, fmt.Errorf("nccl: rank %d has no parent", r)
+			}
+			path, err := pb.route(r, pRank)
+			if err != nil {
+				return nil, err
+			}
+			sc.Flows = append(sc.Flows, strategy.Flow{ID: id, SrcRank: r, DstRank: pRank, Path: path})
+			id++
+		}
+		st.SubCollectives = append(st.SubCollectives, sc)
+	}
+	if p == strategy.Broadcast {
+		st = reverseRooted(st)
+	}
+	return st, nil
+}
+
+// alltoallStrategy: NCCL has no native AlltoAll; the paper implements it
+// with pairwise ncclSend/ncclRecv — direct flows, one channel.
+func (b *Backend) alltoallStrategy(bytes int64, ranks []int) (*strategy.Strategy, error) {
+	pb := pathResolver{g: b.env.Graph}
+	sc := strategy.SubCollective{ID: 0, Bytes: bytes, ChunkBytes: chunkFor(bytes), Root: -1}
+	id := 0
+	for _, src := range ranks {
+		for _, dst := range ranks {
+			if src == dst {
+				continue
+			}
+			path, err := pb.route(src, dst)
+			if err != nil {
+				return nil, err
+			}
+			sc.Flows = append(sc.Flows, strategy.Flow{ID: id, SrcRank: src, DstRank: dst, Path: path})
+			id++
+		}
+	}
+	return &strategy.Strategy{
+		Primitive:      strategy.AlltoAll,
+		TotalBytes:     bytes,
+		SubCollectives: []strategy.SubCollective{sc},
+	}, nil
+}
+
+func chunkFor(bytes int64) int64 {
+	c := int64(ChunkBytes)
+	if c > bytes {
+		c = bytes
+	}
+	if c < 4 {
+		c = 4
+	}
+	return c / 4 * 4
+}
+
+// groupRanks buckets participant ranks by server.
+func groupRanks(g *topology.Graph, ranks []int) (map[int][]int, []int, error) {
+	byServer := make(map[int][]int)
+	for _, r := range ranks {
+		id, ok := g.GPUByRank(r)
+		if !ok {
+			return nil, nil, fmt.Errorf("nccl: unknown rank %d", r)
+		}
+		s := g.Node(id).Server
+		byServer[s] = append(byServer[s], r)
+	}
+	servers := make([]int, 0, len(byServer))
+	for s := range byServer {
+		sort.Ints(byServer[s])
+		servers = append(servers, s)
+	}
+	sort.Ints(servers)
+	return byServer, servers, nil
+}
+
+// pathResolver routes between two ranks the way NCCL's transports do:
+// NVLink if present, host/PCIe bounce otherwise, NIC-to-NIC across
+// servers.
+type pathResolver struct {
+	g *topology.Graph
+}
+
+func (pr pathResolver) route(fromRank, toRank int) ([]topology.NodeID, error) {
+	g := pr.g
+	from, ok := g.GPUByRank(fromRank)
+	if !ok {
+		return nil, fmt.Errorf("nccl: unknown rank %d", fromRank)
+	}
+	to, ok := g.GPUByRank(toRank)
+	if !ok {
+		return nil, fmt.Errorf("nccl: unknown rank %d", toRank)
+	}
+	if g.SameServer(from, to) {
+		if _, direct := g.EdgeBetween(from, to); direct {
+			return []topology.NodeID{from, to}, nil
+		}
+		nic, ok := g.NICOfServer(g.Node(from).Server, 0)
+		if !ok {
+			return nil, fmt.Errorf("nccl: server %d has no NIC", g.Node(from).Server)
+		}
+		return []topology.NodeID{from, nic, to}, nil
+	}
+	fromNIC, ok := g.NICOfServer(g.Node(from).Server, 0)
+	if !ok {
+		return nil, fmt.Errorf("nccl: server %d has no NIC", g.Node(from).Server)
+	}
+	toNIC, ok := g.NICOfServer(g.Node(to).Server, 0)
+	if !ok {
+		return nil, fmt.Errorf("nccl: server %d has no NIC", g.Node(to).Server)
+	}
+	sw, ok := g.Switch()
+	if !ok {
+		return nil, fmt.Errorf("nccl: no core switch in a multi-server graph")
+	}
+	return []topology.NodeID{from, fromNIC, sw, toNIC, to}, nil
+}
+
+// reverseRooted turns a reduce in-tree strategy into the broadcast
+// out-tree with the same shape.
+func reverseRooted(st *strategy.Strategy) *strategy.Strategy {
+	out := &strategy.Strategy{Primitive: st.Primitive, TotalBytes: st.TotalBytes}
+	for _, sc := range st.SubCollectives {
+		rev := strategy.SubCollective{ID: sc.ID, Bytes: sc.Bytes, ChunkBytes: sc.ChunkBytes, Root: sc.Root}
+		for i := len(sc.Flows) - 1; i >= 0; i-- {
+			f := sc.Flows[i]
+			path := make([]topology.NodeID, len(f.Path))
+			for j, n := range f.Path {
+				path[len(f.Path)-1-j] = n
+			}
+			rev.Flows = append(rev.Flows, strategy.Flow{
+				ID:      len(rev.Flows),
+				SrcRank: f.DstRank,
+				DstRank: f.SrcRank,
+				Path:    path,
+			})
+		}
+		out.SubCollectives = append(out.SubCollectives, rev)
+	}
+	return out
+}

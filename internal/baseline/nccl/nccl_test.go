@@ -1,0 +1,236 @@
+package nccl
+
+import (
+	"testing"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+func newEnv(t *testing.T, c *topology.Cluster) *backend.Env {
+	t.Helper()
+	env, err := backend.NewEnv(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func homoEnv(t *testing.T, servers, gpus int) *backend.Env {
+	t.Helper()
+	c, err := cluster.Homogeneous(topology.TransportRDMA, servers, gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newEnv(t, c)
+}
+
+// crossServerEdges extracts the (srcLeader -> dstLeader) pairs of a
+// sub-collective's inter-server flows.
+func crossServerEdges(g *topology.Graph, sc strategy.SubCollective) map[[2]int]bool {
+	out := make(map[[2]int]bool)
+	for _, f := range sc.Flows {
+		src, _ := g.GPUByRank(f.SrcRank)
+		dst, _ := g.GPUByRank(f.DstRank)
+		if g.Node(src).Server != g.Node(dst).Server {
+			out[[2]int{f.SrcRank, f.DstRank}] = true
+		}
+	}
+	return out
+}
+
+func TestDualTreesAreComplementary(t *testing.T) {
+	env := homoEnv(t, 4, 4)
+	b := New(env)
+	st, err := b.BuildStrategy(strategy.AllReduce, 64<<20, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.SubCollectives) != 2 {
+		t.Fatalf("sub-collectives = %d, want 2", len(st.SubCollectives))
+	}
+	if err := st.Validate(env.Graph); err != nil {
+		t.Fatal(err)
+	}
+	e0 := crossServerEdges(env.Graph, st.SubCollectives[0])
+	e1 := crossServerEdges(env.Graph, st.SubCollectives[1])
+	if len(e0) == 0 || len(e1) == 0 {
+		t.Fatal("no inter-server flows in a 4-server tree")
+	}
+	same := true
+	for e := range e0 {
+		if !e1[e] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("the two trees route the same inter-server edges; they should be complementary")
+	}
+	// Both trees split the buffer (4-aligned halves that sum to total).
+	total := st.SubCollectives[0].Bytes + st.SubCollectives[1].Bytes
+	if total != 64<<20 {
+		t.Errorf("tree bytes sum to %d, want %d", total, 64<<20)
+	}
+	for _, sc := range st.SubCollectives {
+		if sc.Bytes%4 != 0 && sc.ID == 0 {
+			t.Errorf("tree %d carries unaligned %d bytes", sc.ID, sc.Bytes)
+		}
+	}
+}
+
+func TestInteriorServersSwapBetweenTrees(t *testing.T) {
+	env := homoEnv(t, 4, 1) // one GPU per server isolates the server tree
+	b := New(env)
+	st, err := b.BuildStrategy(strategy.AllReduce, 8<<20, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rank is interior in a tree if some flow terminates at it and it is
+	// not the root (the root is interior by construction in both trees).
+	interior := func(sc strategy.SubCollective) map[int]bool {
+		in := make(map[int]bool)
+		for _, f := range sc.Flows {
+			if f.DstRank != sc.Root {
+				in[f.DstRank] = true
+			}
+		}
+		return in
+	}
+	i0 := interior(st.SubCollectives[0])
+	i1 := interior(st.SubCollectives[1])
+	for r := range i0 {
+		if i1[r] {
+			t.Errorf("rank %d is interior in both complementary trees", r)
+		}
+	}
+	if len(i0) == 0 || len(i1) == 0 {
+		t.Fatalf("degenerate trees: interior sets %v and %v", i0, i1)
+	}
+}
+
+func TestIntraServerChainOntoLeader(t *testing.T) {
+	env := homoEnv(t, 2, 4)
+	b := New(env)
+	st, err := b.BuildStrategy(strategy.Reduce, 8<<20, env.AllRanks(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server 1 holds ranks 4..7 with leader 4: the chain must be
+	// 7 -> 6 -> 5 -> 4 in every tree.
+	want := map[int]int{5: 4, 6: 5, 7: 6}
+	for _, sc := range st.SubCollectives {
+		got := make(map[int]int)
+		for _, f := range sc.Flows {
+			if f.SrcRank >= 4 && f.SrcRank <= 7 {
+				got[f.SrcRank] = f.DstRank
+			}
+		}
+		for src, dst := range want {
+			if got[src] != dst {
+				t.Errorf("tree %d: rank %d sends to %d, want %d", sc.ID, src, got[src], dst)
+			}
+		}
+	}
+}
+
+func TestSingleServerBuildsOneTree(t *testing.T) {
+	env := homoEnv(t, 1, 4)
+	st, err := New(env).BuildStrategy(strategy.AllReduce, 8<<20, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.SubCollectives) != 1 {
+		t.Errorf("single server built %d trees, want 1 (no inter-server stage to mirror)", len(st.SubCollectives))
+	}
+}
+
+func TestBroadcastIsReversedReduce(t *testing.T) {
+	env := homoEnv(t, 2, 2)
+	b := New(env)
+	red, err := b.BuildStrategy(strategy.Reduce, 8<<20, env.AllRanks(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := b.BuildStrategy(strategy.Broadcast, 8<<20, env.AllRanks(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Validate(env.Graph); err != nil {
+		t.Fatalf("broadcast strategy invalid: %v", err)
+	}
+	for i := range red.SubCollectives {
+		rf := red.SubCollectives[i].Flows
+		bf := bc.SubCollectives[i].Flows
+		if len(rf) != len(bf) {
+			t.Fatalf("tree %d: %d reduce flows vs %d broadcast flows", i, len(rf), len(bf))
+		}
+		// Every broadcast flow must be the reverse of some reduce flow.
+		rev := make(map[[2]int]bool, len(rf))
+		for _, f := range rf {
+			rev[[2]int{f.DstRank, f.SrcRank}] = true
+		}
+		for _, f := range bf {
+			if !rev[[2]int{f.SrcRank, f.DstRank}] {
+				t.Errorf("tree %d: broadcast flow %d->%d has no reduce mirror", i, f.SrcRank, f.DstRank)
+			}
+		}
+	}
+}
+
+func TestChunkFor(t *testing.T) {
+	cases := []struct{ bytes, want int64 }{
+		{64 << 20, ChunkBytes}, // large buffers use the fixed chunk
+		{100 << 10, 100 << 10}, // small buffers collapse to one chunk
+		{3, 4},                 // never below one element
+		{1002, 1000},           // 4-aligned
+	}
+	for _, c := range cases {
+		if got := chunkFor(c.bytes); got != c.want {
+			t.Errorf("chunkFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestRouteShapes(t *testing.T) {
+	env := homoEnv(t, 2, 2)
+	pr := pathResolver{g: env.Graph}
+	intra, err := pr.route(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intra) != 2 {
+		t.Errorf("NVLink route has %d hops, want direct (2 nodes)", len(intra))
+	}
+	inter, err := pr.route(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inter) != 5 {
+		t.Errorf("cross-server route has %d nodes, want 5 (gpu-nic-switch-nic-gpu)", len(inter))
+	}
+	if _, err := pr.route(0, 99); err == nil {
+		t.Error("unknown rank routed without error")
+	}
+}
+
+func TestUnsupportedPrimitiveRejected(t *testing.T) {
+	env := homoEnv(t, 1, 2)
+	if _, err := New(env).BuildStrategy(strategy.Primitive(99), 1<<20, env.AllRanks(), -1); err == nil {
+		t.Error("unknown primitive accepted")
+	}
+}
+
+func TestUnknownRootRejected(t *testing.T) {
+	env := homoEnv(t, 1, 2)
+	if _, err := New(env).BuildStrategy(strategy.Reduce, 1<<20, env.AllRanks(), 42); err == nil {
+		t.Error("unknown root accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := New(homoEnv(t, 1, 2)).Name(); got != "NCCL" {
+		t.Errorf("Name() = %q", got)
+	}
+}

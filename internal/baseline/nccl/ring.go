@@ -1,0 +1,127 @@
+package nccl
+
+import (
+	"fmt"
+	"sort"
+
+	"adapcc/internal/strategy"
+)
+
+// RingChannels is how many ring channels the ring algorithm instantiates:
+// the cyclic ring order is fixed by the topology, and each channel cuts the
+// cycle at a different point so the chain roots (and therefore the busiest
+// path prefixes) spread around the ring.
+const RingChannels = 4
+
+// RingThresholdBytes is the payload size above which AutoStrategy prefers
+// the ring algorithm, mirroring NCCL's own tuning: trees win on latency
+// (log-depth, few hops per chunk), rings win on bandwidth (every NIC
+// carries an identical load, no interior tree nodes doing double duty). On
+// this fabric the ring's bandwidth advantage only materialises from three
+// servers up — at two servers the dual trees already balance both NICs and
+// the ring's longer chain just adds pipeline depth — so AutoStrategy also
+// requires a multi-server ring long enough to pay off.
+const RingThresholdBytes = 16 << 20
+
+// RingStrategy builds NCCL's ring algorithm for Reduce/AllReduce: the ranks
+// are ordered server-by-server (so intra-server hops ride NVLink and each
+// server boundary is crossed exactly once per direction), and each channel
+// is that cycle cut at a different point, forming a chain onto the
+// channel's root. Like the tree algorithm it assumes homogeneous links: the
+// ring order is index order, never profiled, so one slow NIC stalls the
+// whole pipeline.
+//
+// NCCL's real rings reduce-scatter segment-by-segment; a store-and-forward
+// chain carries whole chunks instead, which preserves the ring's defining
+// property (uniform per-NIC load) while fitting the flow IR.
+func (b *Backend) RingStrategy(p strategy.Primitive, bytes int64, ranks []int, root int) (*strategy.Strategy, error) {
+	if p != strategy.Reduce && p != strategy.AllReduce {
+		return nil, fmt.Errorf("nccl: ring algorithm supports Reduce/AllReduce, not %v", p)
+	}
+	if len(ranks) < 2 {
+		return nil, fmt.Errorf("nccl: ring needs at least 2 ranks")
+	}
+	order, err := b.ringOrder(ranks)
+	if err != nil {
+		return nil, err
+	}
+	if p == strategy.Reduce && root >= 0 {
+		// Rotate so the requested root sits at a cut point.
+		for i, r := range order {
+			if r == root {
+				order = append(order[i+1:], order[:i+1]...)
+				break
+			}
+		}
+	}
+
+	channels := RingChannels
+	if len(ranks) < channels {
+		channels = len(ranks)
+	}
+	if p == strategy.Reduce && root >= 0 {
+		channels = 1 // a rooted reduce cannot rotate its destination
+	}
+	parts := make([]int64, channels)
+	base := bytes / int64(channels) / 4 * 4
+	var used int64
+	for i := range parts {
+		parts[i] = base
+		used += base
+	}
+	parts[channels-1] += bytes - used
+
+	pb := pathResolver{g: b.env.Graph}
+	st := &strategy.Strategy{Primitive: p, TotalBytes: bytes}
+	n := len(order)
+	for ch := 0; ch < channels; ch++ {
+		cut := ch * n / channels
+		sc := strategy.SubCollective{
+			ID:         ch,
+			Bytes:      parts[ch],
+			ChunkBytes: chunkFor(parts[ch]),
+			Root:       order[(cut+n-1)%n],
+		}
+		for i := 0; i < n-1; i++ {
+			src := order[(cut+i)%n]
+			dst := order[(cut+i+1)%n]
+			path, err := pb.route(src, dst)
+			if err != nil {
+				return nil, err
+			}
+			sc.Flows = append(sc.Flows, strategy.Flow{ID: i, SrcRank: src, DstRank: dst, Path: path})
+		}
+		st.SubCollectives = append(st.SubCollectives, sc)
+	}
+	return st, nil
+}
+
+// AutoStrategy mimics NCCL's algorithm selection: the tree algorithm below
+// RingThresholdBytes (latency-bound regime), the ring above it
+// (bandwidth-bound regime). Reduce with a pinned root and everything other
+// than Reduce/AllReduce always use the tree/pairwise builders.
+func (b *Backend) AutoStrategy(p strategy.Primitive, bytes int64, ranks []int, root int) (*strategy.Strategy, error) {
+	if (p == strategy.AllReduce || (p == strategy.Reduce && root < 0)) && bytes >= RingThresholdBytes {
+		if _, servers, err := groupRanks(b.env.Graph, ranks); err == nil && len(servers) >= 3 {
+			return b.RingStrategy(p, bytes, ranks, root)
+		}
+	}
+	return b.BuildStrategy(p, bytes, ranks, root)
+}
+
+// ringOrder lays the ranks on the topology-aware cycle: servers in index
+// order, each server's GPUs in rank order, so the cycle uses NVLink inside
+// a server and one NIC crossing per server boundary.
+func (b *Backend) ringOrder(ranks []int) ([]int, error) {
+	byServer, servers, err := groupRanks(b.env.Graph, ranks)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, 0, len(ranks))
+	for _, s := range servers {
+		rs := append([]int(nil), byServer[s]...)
+		sort.Ints(rs)
+		order = append(order, rs...)
+	}
+	return order, nil
+}

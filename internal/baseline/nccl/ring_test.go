@@ -1,0 +1,279 @@
+package nccl
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/strategy"
+)
+
+func runAllReduce(t *testing.T, env *backend.Env, st *strategy.Strategy, bytes int64) (time.Duration, collective.Result) {
+	t.Helper()
+	ranks := env.AllRanks()
+	inputs := backend.MakeInputs(ranks, bytes)
+	start := env.Engine.Now()
+	var got collective.Result
+	err := env.Exec.Run(collective.Op{
+		Strategy:     st,
+		Inputs:       inputs,
+		SingleStream: true, // both algorithms run in NCCL's one channel model
+		OnDone:       func(r collective.Result) { got = r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if got.Outputs == nil {
+		t.Fatal("collective never completed")
+	}
+	return env.Engine.Now() - start, got
+}
+
+func TestRingAllReduceCorrect(t *testing.T) {
+	env := homoEnv(t, 2, 4)
+	const bytes = 16 << 20
+	st, err := New(env).RingStrategy(strategy.AllReduce, bytes, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := env.AllRanks()
+	inputs := backend.MakeInputs(ranks, bytes)
+	want := make([]float32, bytes/4)
+	for _, in := range inputs {
+		for i := range in {
+			want[i] += in[i]
+		}
+	}
+	var got collective.Result
+	if err := env.Exec.Run(collective.Op{
+		Strategy: st, Inputs: inputs, SingleStream: true,
+		OnDone: func(r collective.Result) { got = r },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	for _, r := range ranks {
+		out := got.Outputs[r]
+		if out == nil {
+			t.Fatalf("rank %d missing output", r)
+		}
+		for i := 0; i < len(want); i += 1 + len(want)/97 {
+			if d := out[i] - want[i]; d > 1e-2 || d < -1e-2 {
+				t.Fatalf("rank %d elem %d = %v, want %v", r, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRingChannelsAreHamiltonianChains(t *testing.T) {
+	env := homoEnv(t, 4, 4)
+	st, err := New(env).RingStrategy(strategy.AllReduce, 64<<20, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.SubCollectives) != RingChannels {
+		t.Fatalf("channels = %d, want %d", len(st.SubCollectives), RingChannels)
+	}
+	if err := st.Validate(env.Graph); err != nil {
+		t.Fatal(err)
+	}
+	n := len(env.AllRanks())
+	roots := make(map[int]bool)
+	for _, sc := range st.SubCollectives {
+		if len(sc.Flows) != n-1 {
+			t.Fatalf("channel %d: %d flows, want %d (a chain over every rank)", sc.ID, len(sc.Flows), n-1)
+		}
+		out := make(map[int]int)
+		in := make(map[int]int)
+		for _, f := range sc.Flows {
+			out[f.SrcRank]++
+			in[f.DstRank]++
+		}
+		for r := 0; r < n; r++ {
+			if out[r] > 1 || in[r] > 1 {
+				t.Errorf("channel %d: rank %d has out=%d in=%d, want a simple chain", sc.ID, r, out[r], in[r])
+			}
+			if r != sc.Root && out[r] != 1 {
+				t.Errorf("channel %d: non-root rank %d has %d outgoing flows", sc.ID, r, out[r])
+			}
+		}
+		if out[sc.Root] != 0 {
+			t.Errorf("channel %d: root %d sends upstream", sc.ID, sc.Root)
+		}
+		roots[sc.Root] = true
+	}
+	if len(roots) != RingChannels {
+		t.Errorf("channel roots %v not distinct; cuts should spread around the ring", roots)
+	}
+}
+
+func TestRingCrossesEachServerBoundaryOnce(t *testing.T) {
+	env := homoEnv(t, 4, 4)
+	st, err := New(env).RingStrategy(strategy.AllReduce, 64<<20, env.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := env.Graph
+	for _, sc := range st.SubCollectives {
+		cross := 0
+		for _, f := range sc.Flows {
+			src, _ := g.GPUByRank(f.SrcRank)
+			dst, _ := g.GPUByRank(f.DstRank)
+			if g.Node(src).Server != g.Node(dst).Server {
+				cross++
+			}
+		}
+		// A cycle over 4 servers crosses 4 boundaries; the chain is the
+		// cycle minus one edge, so 3 or 4 crossings depending on the cut.
+		if cross < 3 || cross > 4 {
+			t.Errorf("channel %d crosses %d server boundaries, want 3-4", sc.ID, cross)
+		}
+	}
+}
+
+func TestRingBeatsTreeAtScale(t *testing.T) {
+	// Four servers, bandwidth-bound: interior tree servers carry double
+	// NIC load while every ring NIC carries exactly the payload once per
+	// direction.
+	const bytes = 64 << 20
+	envT := homoEnv(t, 4, 4)
+	tree, err := New(envT).BuildStrategy(strategy.AllReduce, bytes, envT.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeT, _ := runAllReduce(t, envT, tree, bytes)
+
+	envR := homoEnv(t, 4, 4)
+	ring, err := New(envR).RingStrategy(strategy.AllReduce, bytes, envR.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringT, _ := runAllReduce(t, envR, ring, bytes)
+
+	t.Logf("4 servers x 4 GPUs, %dMB: tree=%v ring=%v", bytes>>20, treeT, ringT)
+	if ringT >= treeT {
+		t.Errorf("ring (%v) not faster than tree (%v) in the bandwidth-bound regime", ringT, treeT)
+	}
+}
+
+func TestTreeBeatsRingAtTwoServers(t *testing.T) {
+	// Two servers: the dual trees already balance both NICs, and the ring
+	// pays for its 8-deep chain.
+	const bytes = 64 << 20
+	envT := homoEnv(t, 2, 4)
+	tree, err := New(envT).BuildStrategy(strategy.AllReduce, bytes, envT.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeT, _ := runAllReduce(t, envT, tree, bytes)
+
+	envR := homoEnv(t, 2, 4)
+	ring, err := New(envR).RingStrategy(strategy.AllReduce, bytes, envR.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringT, _ := runAllReduce(t, envR, ring, bytes)
+
+	t.Logf("2 servers x 4 GPUs, %dMB: tree=%v ring=%v", bytes>>20, treeT, ringT)
+	if treeT >= ringT {
+		t.Errorf("tree (%v) not faster than ring (%v) at two servers", treeT, ringT)
+	}
+}
+
+func TestAutoStrategySelection(t *testing.T) {
+	isRing := func(st *strategy.Strategy, n int) bool {
+		// A ring channel is a simple chain: no node has fan-in above 1.
+		for _, sc := range st.SubCollectives {
+			if len(sc.Flows) != n-1 {
+				return false
+			}
+			in := make(map[int]int)
+			for _, f := range sc.Flows {
+				if in[f.DstRank]++; in[f.DstRank] > 1 {
+					return false
+				}
+			}
+		}
+		return len(st.SubCollectives) >= 1
+	}
+	env4 := homoEnv(t, 4, 4)
+	n4 := len(env4.AllRanks())
+	big, err := New(env4).AutoStrategy(strategy.AllReduce, 64<<20, env4.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isRing(big, n4) {
+		t.Error("large multi-server AllReduce did not select the ring")
+	}
+	small, err := New(env4).AutoStrategy(strategy.AllReduce, 1<<20, env4.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isRing(small, n4) {
+		t.Error("small AllReduce selected the ring; trees win the latency-bound regime")
+	}
+	env2 := homoEnv(t, 2, 4)
+	two, err := New(env2).AutoStrategy(strategy.AllReduce, 64<<20, env2.AllRanks(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isRing(two, len(env2.AllRanks())) {
+		t.Error("two-server AllReduce selected the ring; dual trees already balance both NICs")
+	}
+}
+
+func TestRingRootedReduce(t *testing.T) {
+	env := homoEnv(t, 2, 2)
+	const bytes = 4 << 20
+	st, err := New(env).RingStrategy(strategy.Reduce, bytes, env.AllRanks(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.SubCollectives) != 1 {
+		t.Fatalf("rooted ring reduce uses %d channels, want 1", len(st.SubCollectives))
+	}
+	if st.SubCollectives[0].Root != 2 {
+		t.Fatalf("root = %d, want 2", st.SubCollectives[0].Root)
+	}
+	ranks := env.AllRanks()
+	inputs := backend.MakeInputs(ranks, bytes)
+	want := make([]float32, bytes/4)
+	for _, in := range inputs {
+		for i := range in {
+			want[i] += in[i]
+		}
+	}
+	var got collective.Result
+	if err := env.Exec.Run(collective.Op{
+		Strategy: st, Inputs: inputs, SingleStream: true,
+		OnDone: func(r collective.Result) { got = r },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	out := got.Outputs[2]
+	if out == nil {
+		t.Fatal("root has no output")
+	}
+	for i := 0; i < len(want); i += 499 {
+		if d := out[i] - want[i]; d > 1e-2 || d < -1e-2 {
+			t.Fatalf("root elem %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestRingRejectsUnsupported(t *testing.T) {
+	env := homoEnv(t, 2, 2)
+	b := New(env)
+	if _, err := b.RingStrategy(strategy.AlltoAll, 1<<20, env.AllRanks(), -1); err == nil {
+		t.Error("ring accepted AlltoAll")
+	}
+	if _, err := b.RingStrategy(strategy.AllReduce, 1<<20, []int{0}, -1); err == nil {
+		t.Error("ring accepted a single rank")
+	}
+	if _, err := b.RingStrategy(strategy.AllReduce, 1<<20, []int{0, 77}, -1); err == nil {
+		t.Error("ring accepted an unknown rank")
+	}
+}

@@ -1,0 +1,251 @@
+// Package cloudtrace generates synthetic public-cloud network-performance
+// traces and applies them to a running fabric.
+//
+// The paper measures bandwidth and latency between two reserved cloud
+// instances over six hours and observes degradation of up to 34% in
+// bandwidth and 17% in latency from peak (Fig. 1), driven by cross-traffic.
+// Those measurements are proprietary, so this package synthesises traces
+// with the same statistics: a slow diurnal component, a bounded random walk
+// and occasional sharp congestion dips, with latency inversely correlated
+// to bandwidth. Fig. 18a amplifies the trace's excursions by a factor x; the
+// Amplify method reproduces exactly the paper's rule (drops multiplied by
+// 1−x, rises by 1+x).
+package cloudtrace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"adapcc/internal/fabric"
+	"adapcc/internal/sim"
+)
+
+// Sample is one point of a trace: multiplicative deviations from nominal.
+type Sample struct {
+	At time.Duration
+	// BandwidthScale multiplies nominal link bandwidth (1.0 = peak).
+	BandwidthScale float64
+	// LatencyScale multiplies nominal link latency (1.0 = best).
+	LatencyScale float64
+}
+
+// Trace is a step-wise bandwidth/latency schedule.
+type Trace struct {
+	Step    time.Duration
+	Samples []Sample
+}
+
+// GenOptions configures trace synthesis.
+type GenOptions struct {
+	Duration time.Duration // total trace length (default 6 h, as in Fig. 1)
+	Step     time.Duration // sampling period (default 1 min)
+	// MaxBandwidthDrop is the deepest sustained bandwidth degradation
+	// (default 0.34, the paper's −34%).
+	MaxBandwidthDrop float64
+	// MaxLatencyRise is the worst latency inflation (default 0.17).
+	MaxLatencyRise float64
+}
+
+func (o *GenOptions) defaults() {
+	if o.Duration <= 0 {
+		o.Duration = 6 * time.Hour
+	}
+	if o.Step <= 0 {
+		o.Step = time.Minute
+	}
+	if o.MaxBandwidthDrop <= 0 {
+		o.MaxBandwidthDrop = 0.34
+	}
+	if o.MaxLatencyRise <= 0 {
+		o.MaxLatencyRise = 0.17
+	}
+}
+
+// Generate synthesises a trace from the seed. Identical seeds and options
+// yield identical traces.
+func Generate(seed int64, opts GenOptions) *Trace {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	n := int(opts.Duration/opts.Step) + 1
+	tr := &Trace{Step: opts.Step, Samples: make([]Sample, 0, n)}
+
+	walk := 0.0
+	congestion := 0.0
+	phase := rng.Float64() * 2 * math.Pi
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * opts.Step
+		hours := at.Hours()
+
+		// Slow diurnal-style swell (cross-traffic follows tenant load).
+		diurnal := 0.5 + 0.5*math.Sin(2*math.Pi*hours/6+phase) // 0..1
+
+		// Bounded random walk.
+		walk += rng.NormFloat64() * 0.05
+		walk = clamp(walk, -0.5, 0.5)
+
+		// Occasional sharp congestion events with exponential decay.
+		if rng.Float64() < 0.03 {
+			congestion = 0.6 + 0.4*rng.Float64()
+		}
+		congestion *= 0.7
+
+		// Combine into a degradation level in [0,1].
+		level := clamp(0.55*diurnal+0.35*(walk+0.5)+0.6*congestion, 0, 1)
+
+		bw := 1 - opts.MaxBandwidthDrop*level
+		lat := 1 + opts.MaxLatencyRise*level
+		tr.Samples = append(tr.Samples, Sample{At: at, BandwidthScale: bw, LatencyScale: lat})
+	}
+	return tr
+}
+
+// At returns the sample in effect at the given offset (step-wise, holding
+// the last sample beyond the end).
+func (t *Trace) At(at time.Duration) Sample {
+	if len(t.Samples) == 0 {
+		return Sample{BandwidthScale: 1, LatencyScale: 1}
+	}
+	idx := int(at / t.Step)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(t.Samples) {
+		idx = len(t.Samples) - 1
+	}
+	return t.Samples[idx]
+}
+
+// Duration returns the trace length.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	return t.Samples[len(t.Samples)-1].At
+}
+
+// Amplify returns a copy whose deviations from nominal are scaled by the
+// paper's Fig. 18a rule: when the traced bandwidth is below nominal the
+// amplified value is trace×(1−x); when above, trace×(1+x). Latency is
+// amplified symmetrically. Bandwidth is floored at 5% of nominal so links
+// never vanish entirely.
+func (t *Trace) Amplify(x float64) *Trace {
+	out := &Trace{Step: t.Step, Samples: make([]Sample, len(t.Samples))}
+	for i, s := range t.Samples {
+		bw := s.BandwidthScale
+		switch {
+		case bw < 1:
+			bw *= 1 - x
+		case bw > 1:
+			bw *= 1 + x
+		}
+		lat := s.LatencyScale
+		switch {
+		case lat > 1:
+			lat *= 1 + x
+		case lat < 1:
+			lat *= 1 - x
+		}
+		out.Samples[i] = Sample{
+			At:             s.At,
+			BandwidthScale: clamp(bw, 0.05, 4),
+			LatencyScale:   clamp(lat, 0.25, 8),
+		}
+	}
+	return out
+}
+
+// Stats summarises a trace: worst-case and mean degradation.
+type Stats struct {
+	MinBandwidthScale  float64
+	MeanBandwidthScale float64
+	MaxLatencyScale    float64
+	MeanLatencyScale   float64
+}
+
+// Summarize computes trace statistics.
+func (t *Trace) Summarize() Stats {
+	if len(t.Samples) == 0 {
+		return Stats{MinBandwidthScale: 1, MeanBandwidthScale: 1, MaxLatencyScale: 1, MeanLatencyScale: 1}
+	}
+	st := Stats{MinBandwidthScale: math.Inf(1)}
+	for _, s := range t.Samples {
+		st.MinBandwidthScale = math.Min(st.MinBandwidthScale, s.BandwidthScale)
+		st.MaxLatencyScale = math.Max(st.MaxLatencyScale, s.LatencyScale)
+		st.MeanBandwidthScale += s.BandwidthScale
+		st.MeanLatencyScale += s.LatencyScale
+	}
+	st.MeanBandwidthScale /= float64(len(t.Samples))
+	st.MeanLatencyScale /= float64(len(t.Samples))
+	return st
+}
+
+// String renders a short human-readable summary.
+func (t *Trace) String() string {
+	s := t.Summarize()
+	return fmt.Sprintf("trace{%v, bw %.0f%%..100%%, lat up to +%.0f%%}",
+		t.Duration(), s.MinBandwidthScale*100, (s.MaxLatencyScale-1)*100)
+}
+
+// Applier replays traces onto a fabric's network links. Each server gets its
+// own trace (distinct phase/seed) applied to all network edges it touches —
+// the simulator's analogue of running `tc` on every server (Sec. VI-D).
+type Applier struct {
+	fab     *fabric.Fabric
+	tickers []*sim.Ticker
+}
+
+// ApplyPerServer starts replaying per-server traces. traces[i] governs
+// server i's network edges (both directions). Servers without an entry keep
+// nominal bandwidth. Replay stops by itself at the end of each trace (the
+// last sample stays in effect), so a drained engine terminates; call Stop
+// to cease replay earlier.
+func ApplyPerServer(fab *fabric.Fabric, traces map[int]*Trace) *Applier {
+	a := &Applier{fab: fab}
+	eng := fab.Engine()
+	for server, tr := range traces {
+		server, tr := server, tr
+		apply := func() {
+			s := tr.At(eng.Now())
+			fab.SetServerNetworkScale(server, s.BandwidthScale)
+		}
+		apply()
+		var tk *sim.Ticker
+		tk = sim.NewTicker(eng, tr.Step, func() {
+			apply()
+			if eng.Now() >= tr.Duration() {
+				tk.Stop()
+			}
+		})
+		a.tickers = append(a.tickers, tk)
+	}
+	return a
+}
+
+// Stop ceases trace replay (link scales remain at their last value).
+func (a *Applier) Stop() {
+	for _, t := range a.tickers {
+		t.Stop()
+	}
+}
+
+// PerServerTraces generates one trace per server of a cluster, seeded
+// deterministically from seed, all amplified by x.
+func PerServerTraces(seed int64, servers int, x float64, opts GenOptions) map[int]*Trace {
+	out := make(map[int]*Trace, servers)
+	for i := 0; i < servers; i++ {
+		out[i] = Generate(seed+int64(i)*7919, opts).Amplify(x)
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,201 @@
+package cloudtrace
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/fabric"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+func TestGenerateMatchesFig1Statistics(t *testing.T) {
+	tr := Generate(42, GenOptions{})
+	if got := tr.Duration(); got != 6*time.Hour {
+		t.Fatalf("duration = %v, want 6h", got)
+	}
+	s := tr.Summarize()
+	// The paper observes up to 34% bandwidth degradation and 17% latency
+	// inflation: the trace must show substantial dips but never exceed
+	// the configured bounds.
+	if s.MinBandwidthScale < 0.66-1e-9 {
+		t.Errorf("min bandwidth scale %.3f below paper floor 0.66", s.MinBandwidthScale)
+	}
+	if s.MinBandwidthScale > 0.80 {
+		t.Errorf("min bandwidth scale %.3f: trace shows no meaningful dip", s.MinBandwidthScale)
+	}
+	if s.MaxLatencyScale > 1.17+1e-9 {
+		t.Errorf("max latency scale %.3f exceeds paper ceiling 1.17", s.MaxLatencyScale)
+	}
+	if s.MaxLatencyScale < 1.08 {
+		t.Errorf("max latency scale %.3f: no meaningful latency inflation", s.MaxLatencyScale)
+	}
+	for _, sm := range tr.Samples {
+		if sm.BandwidthScale > 1 || sm.BandwidthScale <= 0 {
+			t.Fatalf("bandwidth scale %v out of (0,1]", sm.BandwidthScale)
+		}
+		if sm.LatencyScale < 1 {
+			t.Fatalf("latency scale %v below 1", sm.LatencyScale)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, GenOptions{Duration: time.Hour})
+	b := Generate(7, GenOptions{Duration: time.Hour})
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("sample counts differ")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	c := Generate(8, GenOptions{Duration: time.Hour})
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestAtIsStepwiseAndClamped(t *testing.T) {
+	tr := &Trace{Step: time.Minute, Samples: []Sample{
+		{At: 0, BandwidthScale: 1.0, LatencyScale: 1.0},
+		{At: time.Minute, BandwidthScale: 0.8, LatencyScale: 1.1},
+	}}
+	if got := tr.At(30 * time.Second).BandwidthScale; got != 1.0 {
+		t.Errorf("At(30s) = %v, want 1.0", got)
+	}
+	if got := tr.At(90 * time.Second).BandwidthScale; got != 0.8 {
+		t.Errorf("At(90s) = %v, want 0.8", got)
+	}
+	if got := tr.At(time.Hour).BandwidthScale; got != 0.8 {
+		t.Errorf("At(beyond end) = %v, want last sample", got)
+	}
+	if got := tr.At(-time.Second).BandwidthScale; got != 1.0 {
+		t.Errorf("At(negative) = %v, want first sample", got)
+	}
+}
+
+func TestEmptyTraceAt(t *testing.T) {
+	tr := &Trace{Step: time.Minute}
+	s := tr.At(0)
+	if s.BandwidthScale != 1 || s.LatencyScale != 1 {
+		t.Fatalf("empty trace At = %+v, want nominal", s)
+	}
+	if tr.Duration() != 0 {
+		t.Fatal("empty trace has nonzero duration")
+	}
+}
+
+func TestAmplifyFollowsPaperRule(t *testing.T) {
+	tr := &Trace{Step: time.Minute, Samples: []Sample{
+		{At: 0, BandwidthScale: 0.8, LatencyScale: 1.1}, // degraded
+		{At: time.Minute, BandwidthScale: 1.0, LatencyScale: 1.0},
+	}}
+	amp := tr.Amplify(0.5)
+	// Dropped bandwidth: 0.8 × (1−0.5) = 0.4.
+	if got := amp.Samples[0].BandwidthScale; got != 0.4 {
+		t.Errorf("amplified drop = %v, want 0.4", got)
+	}
+	// Inflated latency: 1.1 × (1+0.5) = 1.65.
+	if got := amp.Samples[0].LatencyScale; got < 1.649 || got > 1.651 {
+		t.Errorf("amplified latency = %v, want 1.65", got)
+	}
+	// Nominal samples are unchanged.
+	if amp.Samples[1].BandwidthScale != 1.0 {
+		t.Errorf("nominal sample changed: %v", amp.Samples[1].BandwidthScale)
+	}
+	// x = 0 is the identity.
+	id := tr.Amplify(0)
+	for i := range tr.Samples {
+		if id.Samples[i] != tr.Samples[i] {
+			t.Fatalf("Amplify(0) changed sample %d", i)
+		}
+	}
+}
+
+func TestAmplifyFloorsBandwidth(t *testing.T) {
+	tr := &Trace{Step: time.Minute, Samples: []Sample{
+		{At: 0, BandwidthScale: 0.1, LatencyScale: 1.0},
+	}}
+	amp := tr.Amplify(0.99)
+	if got := amp.Samples[0].BandwidthScale; got < 0.05 {
+		t.Fatalf("amplified bandwidth %v below floor", got)
+	}
+}
+
+func TestApplierDrivesFabric(t *testing.T) {
+	c, err := topology.NewCluster(topology.TransportRDMA,
+		topology.ServerSpec{GPUs: []topology.GPUModel{topology.GPUA100}, NICs: []topology.NICSpec{{BandwidthBps: 1e9}}},
+		topology.ServerSpec{GPUs: []topology.GPUModel{topology.GPUA100}, NICs: []topology.NICSpec{{BandwidthBps: 1e9}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	fab := fabric.New(eng, g)
+	tr := &Trace{Step: time.Minute, Samples: []Sample{
+		{At: 0, BandwidthScale: 0.9, LatencyScale: 1},
+		{At: time.Minute, BandwidthScale: 0.5, LatencyScale: 1.1},
+	}}
+	app := ApplyPerServer(fab, map[int]*Trace{1: tr})
+
+	var netEdge topology.EdgeID = -1
+	for _, e := range g.Edges() {
+		if e.Type.Network() && g.Node(e.To).Server == 1 {
+			netEdge = e.ID
+			break
+		}
+	}
+	if netEdge < 0 {
+		t.Fatal("no network edge found")
+	}
+	if got := fab.Scale(netEdge); got != 0.9 {
+		t.Fatalf("initial scale = %v, want 0.9", got)
+	}
+	eng.RunUntil(sim.Time(90 * time.Second))
+	if got := fab.Scale(netEdge); got != 0.5 {
+		t.Fatalf("scale after step = %v, want 0.5", got)
+	}
+	app.Stop()
+	eng.Run()
+}
+
+func TestPerServerTracesDistinct(t *testing.T) {
+	traces := PerServerTraces(3, 4, 0, GenOptions{Duration: time.Hour})
+	if len(traces) != 4 {
+		t.Fatalf("traces = %d, want 4", len(traces))
+	}
+	a, b := traces[0], traces[1]
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("per-server traces identical; servers would degrade in lockstep")
+	}
+}
+
+func TestAmplifyIncreasesSeverity(t *testing.T) {
+	base := Generate(11, GenOptions{Duration: time.Hour})
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		amp := base.Amplify(x)
+		if amp.Summarize().MinBandwidthScale >= base.Summarize().MinBandwidthScale {
+			t.Errorf("Amplify(%v) did not deepen the worst dip", x)
+		}
+	}
+}

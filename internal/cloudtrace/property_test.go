@@ -1,0 +1,80 @@
+package cloudtrace
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestGenerateBoundsProperty: for every seed, every sample of a generated
+// trace stays inside the Fig. 1 envelope — bandwidth never below
+// 1 − MaxBandwidthDrop of peak, latency never above 1 + MaxLatencyRise —
+// and sample times are strictly increasing.
+func TestGenerateBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := Generate(seed, GenOptions{})
+		if len(tr.Samples) == 0 {
+			t.Error("empty trace")
+			return false
+		}
+		prev := time.Duration(-1)
+		for _, s := range tr.Samples {
+			if s.BandwidthScale < 1-0.34-1e-9 || s.BandwidthScale > 1+1e-9 {
+				t.Errorf("seed %d: bandwidth scale %v outside [0.66, 1]", seed, s.BandwidthScale)
+				return false
+			}
+			if s.LatencyScale < 1-1e-9 || s.LatencyScale > 1+0.17+1e-9 {
+				t.Errorf("seed %d: latency scale %v outside [1, 1.17]", seed, s.LatencyScale)
+				return false
+			}
+			if s.At <= prev {
+				t.Errorf("seed %d: sample times not increasing (%v after %v)", seed, s.At, prev)
+				return false
+			}
+			prev = s.At
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAmplifyBoundsProperty: amplification by any x in [0, 1) keeps every
+// sample within the documented hard clamps and never *improves* a degraded
+// sample (bandwidth below peak only drops further, latency above best only
+// rises further).
+func TestAmplifyBoundsProperty(t *testing.T) {
+	f := func(seed int64, rawX uint8) bool {
+		x := float64(rawX%90) / 100 // 0.00 .. 0.89
+		base := Generate(seed, GenOptions{})
+		amp := base.Amplify(x)
+		if len(amp.Samples) != len(base.Samples) {
+			t.Error("Amplify changed the sample count")
+			return false
+		}
+		for i, s := range amp.Samples {
+			b := base.Samples[i]
+			if s.BandwidthScale < 0.05-1e-9 || s.BandwidthScale > 4+1e-9 {
+				t.Errorf("amplified bandwidth %v outside clamps", s.BandwidthScale)
+				return false
+			}
+			if s.LatencyScale < 0.25-1e-9 || s.LatencyScale > 8+1e-9 {
+				t.Errorf("amplified latency %v outside clamps", s.LatencyScale)
+				return false
+			}
+			if b.BandwidthScale < 1 && s.BandwidthScale > b.BandwidthScale+1e-9 {
+				t.Errorf("amplification improved degraded bandwidth: %v -> %v", b.BandwidthScale, s.BandwidthScale)
+				return false
+			}
+			if b.LatencyScale > 1 && s.LatencyScale < b.LatencyScale-1e-9 {
+				t.Errorf("amplification improved inflated latency: %v -> %v", b.LatencyScale, s.LatencyScale)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

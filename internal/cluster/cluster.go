@@ -1,0 +1,156 @@
+// Package cluster provides factories for the physical testbeds used in the
+// paper's evaluation (Sec. VI-B): four servers with 4×A100 GPUs, NVLink,
+// PCIe 4.0 and one 100 Gbps Mellanox NIC each, plus two servers with 4×V100
+// GPUs, NVLink, PCIe 3.0 and one 50 Gbps NIC each, and the GPU-count cases
+// of Figs. 11–13.
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"adapcc/internal/topology"
+)
+
+// A100Server returns a testbed A100 server spec with n GPUs.
+func A100Server(n int) topology.ServerSpec {
+	return topology.ServerSpec{
+		GPUs: repeatModel(topology.GPUA100, n),
+		NICs: []topology.NICSpec{{BandwidthBps: topology.Gbps(100)}},
+		PCIe: topology.PCIe4,
+	}
+}
+
+// V100Server returns a testbed V100 server spec with n GPUs.
+func V100Server(n int) topology.ServerSpec {
+	return topology.ServerSpec{
+		GPUs: repeatModel(topology.GPUV100, n),
+		NICs: []topology.NICSpec{{BandwidthBps: topology.Gbps(50)}},
+		PCIe: topology.PCIe3,
+	}
+}
+
+// FragmentedA100Server returns an A100 server where allocated GPUs have no
+// direct NVLink connectivity (cloud resource-fragmentation case of
+// Sec. II-A): communication falls back to PCIe through the NICs' host path.
+func FragmentedA100Server(n int) topology.ServerSpec {
+	s := A100Server(n)
+	s.NVLinkPairs = [][2]int{} // explicitly none
+	return s
+}
+
+// Testbed returns the paper's full six-server testbed: servers 0–3 are
+// A100 (4 GPUs each), servers 4–5 are V100 (4 GPUs each).
+func Testbed(transport topology.Transport) (*topology.Cluster, error) {
+	return topology.NewCluster(transport,
+		A100Server(4), A100Server(4), A100Server(4), A100Server(4),
+		V100Server(4), V100Server(4))
+}
+
+// Homogeneous returns n A100 servers with gpusEach GPUs ("Homo" setting of
+// Sec. VI-D uses n=4, gpusEach=4).
+func Homogeneous(transport topology.Transport, n, gpusEach int) (*topology.Cluster, error) {
+	servers := make([]topology.ServerSpec, n)
+	for i := range servers {
+		servers[i] = A100Server(gpusEach)
+	}
+	return topology.NewCluster(transport, servers...)
+}
+
+// Heterogeneous returns the "Heter" setting of Sec. VI-D: two A100 servers
+// and two V100 servers, gpusEach GPUs per server.
+func Heterogeneous(transport topology.Transport, gpusEach int) (*topology.Cluster, error) {
+	return topology.NewCluster(transport,
+		A100Server(gpusEach), A100Server(gpusEach),
+		V100Server(gpusEach), V100Server(gpusEach))
+}
+
+// Case describes one x-axis configuration of Figs. 11–13: the number of
+// GPUs used on each A100 server and each V100 server.
+type Case struct {
+	Name string
+	A100 []int
+	V100 []int
+}
+
+// Build materialises the case as a cluster.
+func (c Case) Build(transport topology.Transport) (*topology.Cluster, error) {
+	var servers []topology.ServerSpec
+	for _, n := range c.A100 {
+		servers = append(servers, A100Server(n))
+	}
+	for _, n := range c.V100 {
+		servers = append(servers, V100Server(n))
+	}
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("cluster: case %q selects no servers", c.Name)
+	}
+	return topology.NewCluster(transport, servers...)
+}
+
+// NumGPUs returns the total GPUs the case uses.
+func (c Case) NumGPUs() int {
+	n := 0
+	for _, v := range c.A100 {
+		n += v
+	}
+	for _, v := range c.V100 {
+		n += v
+	}
+	return n
+}
+
+// BenchmarkCases returns the GPU-count cases used on the x-axes of
+// Figs. 11–13, from small homogeneous subsets to the full heterogeneous
+// testbed (the paper's rightmost case is 'A100:(4,4,4,4) V100:(4,4)').
+func BenchmarkCases() []Case {
+	return []Case{
+		{Name: "A100:(4,4)", A100: []int{4, 4}},
+		{Name: "A100:(2,2,2,2)", A100: []int{2, 2, 2, 2}},
+		{Name: "A100:(4,4,4,4)", A100: []int{4, 4, 4, 4}},
+		{Name: "A100:(2,2) V100:(2,2)", A100: []int{2, 2}, V100: []int{2, 2}},
+		{Name: "A100:(4,4) V100:(4,4)", A100: []int{4, 4}, V100: []int{4, 4}},
+		{Name: "A100:(4,4,4,4) V100:(4,4)", A100: []int{4, 4, 4, 4}, V100: []int{4, 4}},
+	}
+}
+
+// ParseCase parses a case name such as "A100:(4,4) V100:(2,2)".
+func ParseCase(name string) (Case, error) {
+	c := Case{Name: name}
+	for _, field := range strings.Fields(name) {
+		model, counts, ok := strings.Cut(field, ":")
+		if !ok {
+			return Case{}, fmt.Errorf("cluster: malformed case field %q", field)
+		}
+		counts = strings.TrimSuffix(strings.TrimPrefix(counts, "("), ")")
+		var parsed []int
+		for _, part := range strings.Split(counts, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return Case{}, fmt.Errorf("cluster: bad GPU count %q in %q", part, field)
+			}
+			parsed = append(parsed, n)
+		}
+		switch strings.ToUpper(model) {
+		case "A100":
+			c.A100 = append(c.A100, parsed...)
+		case "V100":
+			c.V100 = append(c.V100, parsed...)
+		default:
+			return Case{}, fmt.Errorf("cluster: unknown GPU model %q", model)
+		}
+	}
+	if c.NumGPUs() == 0 {
+		return Case{}, fmt.Errorf("cluster: case %q selects no GPUs", name)
+	}
+	return c, nil
+}
+
+func repeatModel(m topology.GPUModel, n int) []topology.GPUModel {
+	out := make([]topology.GPUModel, n)
+	for i := range out {
+		out[i] = m
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"testing"
+
+	"adapcc/internal/topology"
+)
+
+func TestTestbedMatchesPaper(t *testing.T) {
+	c, err := Testbed(topology.TransportRDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Servers) != 6 {
+		t.Fatalf("servers = %d, want 6", len(c.Servers))
+	}
+	if c.NumGPUs() != 24 {
+		t.Fatalf("GPUs = %d, want 24", c.NumGPUs())
+	}
+	for i := 0; i < 4; i++ {
+		if c.Servers[i].GPUs[0] != topology.GPUA100 {
+			t.Errorf("server %d is %v, want A100", i, c.Servers[i].GPUs[0])
+		}
+		if got := c.Servers[i].NICs[0].BandwidthBps; got != topology.Gbps(100) {
+			t.Errorf("server %d NIC = %v, want 100 Gbps", i, got)
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if c.Servers[i].GPUs[0] != topology.GPUV100 {
+			t.Errorf("server %d is %v, want V100", i, c.Servers[i].GPUs[0])
+		}
+		if got := c.Servers[i].NICs[0].BandwidthBps; got != topology.Gbps(50) {
+			t.Errorf("server %d NIC = %v, want 50 Gbps", i, got)
+		}
+		if c.Servers[i].PCIe != topology.PCIe3 {
+			t.Errorf("server %d PCIe = %v, want Gen3", i, c.Servers[i].PCIe)
+		}
+	}
+}
+
+func TestHomogeneousAndHeterogeneous(t *testing.T) {
+	homo, err := Homogeneous(topology.TransportRDMA, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if homo.NumGPUs() != 16 {
+		t.Errorf("homo GPUs = %d, want 16", homo.NumGPUs())
+	}
+	heter, err := Heterogeneous(topology.TransportTCP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heter.NumGPUs() != 16 {
+		t.Errorf("heter GPUs = %d, want 16", heter.NumGPUs())
+	}
+	if heter.Servers[0].GPUs[0] != topology.GPUA100 || heter.Servers[3].GPUs[0] != topology.GPUV100 {
+		t.Error("heter server mix wrong")
+	}
+	if heter.Transport != topology.TransportTCP {
+		t.Error("transport not propagated")
+	}
+}
+
+func TestBenchmarkCasesBuild(t *testing.T) {
+	for _, bc := range BenchmarkCases() {
+		bc := bc
+		t.Run(bc.Name, func(t *testing.T) {
+			c, err := bc.Build(topology.TransportRDMA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.NumGPUs() != bc.NumGPUs() {
+				t.Errorf("built %d GPUs, case says %d", c.NumGPUs(), bc.NumGPUs())
+			}
+			g, err := c.LogicalGraph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("invalid graph: %v", err)
+			}
+		})
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	tests := []struct {
+		give     string
+		wantA    []int
+		wantV    []int
+		wantGPUs int
+		wantErr  bool
+	}{
+		{give: "A100:(4,4)", wantA: []int{4, 4}, wantGPUs: 8},
+		{give: "A100:(4,4,4,4) V100:(4,4)", wantA: []int{4, 4, 4, 4}, wantV: []int{4, 4}, wantGPUs: 24},
+		{give: "V100:(2)", wantV: []int{2}, wantGPUs: 2},
+		{give: "A100:4,4", wantA: []int{4, 4}, wantGPUs: 8}, // parens optional
+		{give: "H100:(4)", wantErr: true},
+		{give: "A100", wantErr: true},
+		{give: "A100:(0)", wantErr: true},
+		{give: "A100:(x)", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			c, err := ParseCase(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !intsEqual(c.A100, tt.wantA) || !intsEqual(c.V100, tt.wantV) {
+				t.Errorf("parsed A=%v V=%v, want A=%v V=%v", c.A100, c.V100, tt.wantA, tt.wantV)
+			}
+			if c.NumGPUs() != tt.wantGPUs {
+				t.Errorf("NumGPUs = %d, want %d", c.NumGPUs(), tt.wantGPUs)
+			}
+		})
+	}
+}
+
+func TestFragmentedServer(t *testing.T) {
+	s := FragmentedA100Server(4)
+	c, err := topology.NewCluster(topology.TransportRDMA, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if e.Type == topology.LinkNVLink {
+			t.Fatal("fragmented server produced NVLink edges")
+		}
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,802 @@
+package collective
+
+import (
+	"fmt"
+	"time"
+
+	"adapcc/internal/device"
+	"adapcc/internal/fabric"
+	"adapcc/internal/relay"
+	"adapcc/internal/sim"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+	"adapcc/internal/trace"
+)
+
+// Executor runs synthesised strategies over a fabric with simulated GPUs.
+type Executor struct {
+	fab    *fabric.Fabric
+	gpus   map[int]*device.GPU
+	tracer *trace.Tracer
+}
+
+// NewExecutor wires an executor to a fabric and the per-rank GPUs.
+func NewExecutor(fab *fabric.Fabric, gpus map[int]*device.GPU) *Executor {
+	return &Executor{fab: fab, gpus: gpus}
+}
+
+// Fabric returns the executor's data plane.
+func (e *Executor) Fabric() *fabric.Fabric { return e.fab }
+
+// Op is one collective invocation.
+type Op struct {
+	Strategy *strategy.Strategy
+	// Inputs holds each active rank's tensor (TotalBytes/4 float32s).
+	Inputs map[int][]float32
+	// Active marks contributing ranks; nil means every participant of
+	// the strategy is active. Inactive participants act as relays per
+	// their behaviour tuples.
+	Active map[int]bool
+	// SingleStream forces every flow of the collective onto one logical
+	// stream — the NCCL single-channel behaviour, which caps the whole
+	// collective at one stream's TCP rate.
+	SingleStream bool
+	// OnDone fires when the collective completes.
+	OnDone func(Result)
+}
+
+// Result is the outcome of one collective.
+type Result struct {
+	// Outputs maps rank → result tensor. Which ranks hold outputs
+	// depends on the primitive: the roots for Reduce, every tree rank
+	// for AllReduce/Broadcast, every participant for AlltoAll.
+	Outputs map[int][]float32
+	// Elapsed is the virtual time from start to the last delivery.
+	Elapsed time.Duration
+}
+
+// AlgoBandwidthBps is the evaluation metric of Sec. VI-C: input tensor
+// size divided by completion time.
+func AlgoBandwidthBps(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / elapsed.Seconds()
+}
+
+// Run validates and starts the collective. All progress happens on the
+// fabric's simulation engine; Run itself returns immediately.
+func (e *Executor) Run(op Op) error {
+	st := op.Strategy
+	if st == nil {
+		return fmt.Errorf("collective: nil strategy")
+	}
+	g := e.fab.Graph()
+	if err := st.Validate(g); err != nil {
+		return err
+	}
+
+	active := op.Active
+	if active == nil {
+		active = make(map[int]bool)
+		for _, r := range st.Participants() {
+			active[r] = true
+		}
+	}
+	totalElems := elemsOf(st.TotalBytes)
+	anyActive := false
+	for r, a := range active {
+		if !a {
+			continue
+		}
+		anyActive = true
+		in, ok := op.Inputs[r]
+		if !ok {
+			return fmt.Errorf("collective: active rank %d has no input", r)
+		}
+		if len(in) != totalElems {
+			return fmt.Errorf("collective: rank %d input has %d elems, want %d", r, len(in), totalElems)
+		}
+		if _, ok := e.gpus[r]; !ok {
+			return fmt.Errorf("collective: rank %d has no GPU", r)
+		}
+	}
+	if !anyActive {
+		return fmt.Errorf("collective: no active ranks")
+	}
+
+	spans, err := partitionSpans(st)
+	if err != nil {
+		return err
+	}
+
+	run := &opRun{
+		ex:      e,
+		st:      st,
+		active:  active,
+		inputs:  op.Inputs,
+		outputs: make(map[int][]float32),
+		started: e.fab.Engine().Now(),
+		streams: make(map[streamKey]*device.Stream),
+		onDone:  op.OnDone,
+	}
+	if op.SingleStream {
+		run.rankStream = make(map[int]fabric.StreamID)
+	}
+
+	subs := make([]*subRun, len(st.SubCollectives))
+	expected := 0
+	for i := range st.SubCollectives {
+		sub, err := newSubRun(run, &st.SubCollectives[i], i, spans[i])
+		if err != nil {
+			return err
+		}
+		subs[i] = sub
+		expected += sub.expectedEvents
+	}
+	if expected == 0 {
+		return fmt.Errorf("collective: nothing to communicate (no carrying flows)")
+	}
+	run.remaining = sim.NewCountdown(expected, run.finish)
+	for _, sub := range subs {
+		sub.start()
+	}
+	return nil
+}
+
+type streamKey struct {
+	rank  int
+	sub   int
+	stage int // 0 = forward, 1 = allreduce broadcast stage
+}
+
+// opRun is the shared state of one in-flight collective.
+type opRun struct {
+	ex        *Executor
+	st        *strategy.Strategy
+	active    map[int]bool
+	inputs    map[int][]float32
+	outputs   map[int][]float32
+	started   sim.Time
+	remaining *sim.Countdown
+	streams   map[streamKey]*device.Stream
+	// rankStream, when non-nil, gives every rank exactly one stream for
+	// all its flows and stages (single-channel mode: NCCL's one CUDA
+	// stream per device).
+	rankStream map[int]fabric.StreamID
+	// streamFree serialises chunk send-initiations per stream: each
+	// initiation costs a kernel/copy launch, so a single stream issues
+	// sends strictly one after another while parallel contexts overlap
+	// them (Sec. V-A multi-stream parallelism).
+	streamFree map[fabric.StreamID]sim.Time
+	onDone     func(Result)
+}
+
+// initiate charges the per-chunk launch cost on a stream and runs send when
+// the stream's initiation slot frees up.
+func (r *opRun) initiate(stream fabric.StreamID, send func()) {
+	if r.streamFree == nil {
+		r.streamFree = make(map[fabric.StreamID]sim.Time)
+	}
+	eng := r.engine()
+	start := eng.Now()
+	if free := r.streamFree[stream]; free > start {
+		start = free
+	}
+	start += device.KernelLaunchLatency
+	r.streamFree[stream] = start
+	eng.At(start, send)
+}
+
+func (r *opRun) engine() *sim.Engine { return r.ex.fab.Engine() }
+
+// output returns (allocating on first use) a rank's result tensor.
+func (r *opRun) output(rank int) []float32 {
+	out, ok := r.outputs[rank]
+	if !ok {
+		out = r.ex.gpus[rank].Alloc(elemsOf(r.st.TotalBytes))
+		r.outputs[rank] = out
+	}
+	return out
+}
+
+func (r *opRun) stream(k streamKey) *device.Stream {
+	s, ok := r.streams[k]
+	if !ok {
+		s = r.ex.gpus[k.rank].NewStream()
+		r.streams[k] = s
+	}
+	return s
+}
+
+func (r *opRun) finish() {
+	if r.onDone == nil {
+		return
+	}
+	r.onDone(Result{
+		Outputs: r.outputs,
+		Elapsed: r.engine().Now() - r.started,
+	})
+}
+
+// subRun executes one sub-collective (one transmission context per rank).
+type subRun struct {
+	op     *opRun
+	sc     *strategy.SubCollective
+	idx    int
+	pspan  span
+	chunks []span // chunk layout of the partition (rooted primitives)
+
+	flows   []flowRun
+	carries []bool // does flow fi move any data?
+	tuples  map[int]relay.Tuple
+
+	// originFlow[rank] = index of the flow the rank originates (-1 if
+	// none). Valid for rooted primitives only.
+	originFlow map[int]int
+	// aggs[node] tracks aggregation progress at flow-terminal GPU nodes.
+	aggs map[topology.NodeID]*aggState
+
+	// participantsSorted is the sorted participant rank list (AlltoAll
+	// block indexing).
+	participantsSorted []int
+	rankIndex          map[int]int
+
+	expectedEvents int
+}
+
+type flowRun struct {
+	f         *strategy.Flow
+	edges     []topology.EdgeID
+	revEdges  []topology.EdgeID
+	streamFwd fabric.StreamID
+	streamRev fabric.StreamID
+	sender    *flowSender // forward-stage sender
+	revSender *flowSender // AllReduce broadcast-stage sender
+	// blockChunks is the AlltoAll chunk layout of this flow's block.
+	blockChunks []span
+	blockDst    span // where the receiver stores the block
+}
+
+type aggState struct {
+	rank     int
+	node     topology.NodeID
+	expected int                 // carrying terminal flows
+	got      map[int][][]float32 // chunk -> received buffers
+	hasLocal bool
+}
+
+func newSubRun(op *opRun, sc *strategy.SubCollective, idx int, pspan span) (*subRun, error) {
+	g := op.ex.fab.Graph()
+	s := &subRun{
+		op:         op,
+		sc:         sc,
+		idx:        idx,
+		pspan:      pspan,
+		tuples:     relay.Tuples(g, sc, op.st.Primitive, op.active),
+		originFlow: make(map[int]int),
+		aggs:       make(map[topology.NodeID]*aggState),
+		rankIndex:  make(map[int]int),
+	}
+	chunkElems := elemsOf(sc.ChunkBytes)
+	if chunkElems <= 0 {
+		chunkElems = 1
+	}
+	s.chunks = chunkSpans(pspan, chunkElems)
+
+	// Resolve flow hop edges. Streams follow the paper's transmission
+	// contexts: within one sub-collective, all flows originating at one
+	// GPU share a logical stream per stage (its persistent context
+	// thread / QP), so chunks of one source deliver strictly in order
+	// and the M parallel contexts aggregate bandwidth on capped links.
+	fab := op.ex.fab
+	fwdStream := make(map[int]fabric.StreamID)
+	revStream := make(map[int]fabric.StreamID)
+	streamOf := func(m map[int]fabric.StreamID, src int) fabric.StreamID {
+		if op.rankStream != nil {
+			// Single-channel mode: one stream per device, shared by
+			// every flow and stage of that rank.
+			m = op.rankStream
+		}
+		id, ok := m[src]
+		if !ok {
+			id = fab.NewStreamID()
+			m[src] = id
+		}
+		return id
+	}
+	s.flows = make([]flowRun, len(sc.Flows))
+	for i := range sc.Flows {
+		f := &sc.Flows[i]
+		fr := flowRun{
+			f:         f,
+			streamFwd: streamOf(fwdStream, f.SrcRank),
+			streamRev: streamOf(revStream, f.DstRank),
+		}
+		for h := 1; h < len(f.Path); h++ {
+			eid, ok := g.EdgeBetween(f.Path[h-1], f.Path[h])
+			if !ok {
+				return nil, fmt.Errorf("collective: flow %d missing edge", f.ID)
+			}
+			fr.edges = append(fr.edges, eid)
+		}
+		for h := len(f.Path) - 1; h >= 1; h-- {
+			eid, ok := g.EdgeBetween(f.Path[h], f.Path[h-1])
+			if !ok {
+				return nil, fmt.Errorf("collective: flow %d has no reverse edge %v -> %v (needed for the AllReduce broadcast stage)",
+					f.ID, f.Path[h], f.Path[h-1])
+			}
+			fr.revEdges = append(fr.revEdges, eid)
+		}
+		s.flows[i] = fr
+	}
+
+	// Carrying analysis: a flow moves data if its source is active or
+	// data terminates at its origin (relay continuation). AlltoAll flows
+	// are independent: each carries exactly when its source is active.
+	s.carries = make([]bool, len(sc.Flows))
+	if op.st.Primitive == strategy.AlltoAll {
+		for i := range sc.Flows {
+			s.carries[i] = op.active[sc.Flows[i].SrcRank]
+		}
+	} else {
+		carriesAt := make(map[topology.NodeID]bool)
+		order, err := relay.FlowDependencyOrder(sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, fi := range order {
+			f := &sc.Flows[fi]
+			carry := op.active[f.SrcRank] || carriesAt[f.Path[0]]
+			s.carries[fi] = carry
+			if carry {
+				carriesAt[f.Path[len(f.Path)-1]] = true
+			}
+		}
+	}
+
+	for i := range sc.Flows {
+		s.originFlow[sc.Flows[i].SrcRank] = i
+	}
+
+	switch op.st.Primitive {
+	case strategy.Reduce, strategy.AllReduce:
+		s.setupReduce(g)
+	case strategy.Broadcast:
+		s.setupBroadcast()
+	case strategy.AlltoAll:
+		s.setupAlltoAll()
+	}
+	return s, nil
+}
+
+// setupReduce prepares aggregation states and completion counts.
+func (s *subRun) setupReduce(g *topology.Graph) {
+	// Aggregators: GPU nodes where carrying flows terminate, plus the
+	// root (which always finalises chunks even with no carrying input
+	// if it is active).
+	termCount := make(map[topology.NodeID]int)
+	for fi := range s.flows {
+		if !s.carries[fi] {
+			continue
+		}
+		p := s.flows[fi].f.Path
+		termCount[p[len(p)-1]]++
+	}
+	for node, n := range termCount {
+		rank := g.Node(node).Rank
+		s.aggs[node] = &aggState{
+			rank:     rank,
+			node:     node,
+			expected: n,
+			got:      make(map[int][][]float32),
+			hasLocal: s.op.active[rank],
+		}
+	}
+
+	rootID, _ := g.GPUByRank(s.sc.Root)
+	treeRanks := s.treeRankCount()
+	switch s.op.st.Primitive {
+	case strategy.Reduce:
+		s.expectedEvents = len(s.chunks)
+	case strategy.AllReduce:
+		// Root completion + one reversed delivery per non-root tree
+		// rank, per chunk.
+		s.expectedEvents = len(s.chunks) * treeRanks
+	}
+	// Degenerate: the root has no carrying input (it is the only active
+	// rank, or everything upstream idle). The collective still
+	// completes: the root's "aggregate" is its own data.
+	_ = rootID
+}
+
+func (s *subRun) treeRankCount() int {
+	set := make(map[int]bool)
+	for i := range s.flows {
+		set[s.flows[i].f.SrcRank] = true
+		set[s.flows[i].f.DstRank] = true
+	}
+	return len(set)
+}
+
+// setupBroadcast counts terminal deliveries.
+func (s *subRun) setupBroadcast() {
+	s.expectedEvents = len(s.chunks) * len(s.flows)
+}
+
+// setupAlltoAll computes block layouts per flow: each partition is split
+// into n equal blocks of floor(len/n) elements (slot k of sender j goes to
+// rank k and lands in the receiver's slot j); the sub-element-count tail
+// that does not divide evenly (< n elements per partition) stays local.
+func (s *subRun) setupAlltoAll() {
+	for _, r := range s.op.st.Participants() {
+		s.participantsSorted = append(s.participantsSorted, r)
+	}
+	for i, r := range s.participantsSorted {
+		s.rankIndex[r] = i
+	}
+	n := len(s.participantsSorted)
+	chunkElems := elemsOf(s.sc.ChunkBytes)
+	if chunkElems <= 0 {
+		chunkElems = 1
+	}
+	s.expectedEvents = 0
+	for fi := range s.flows {
+		f := s.flows[fi].f
+		if !s.op.active[f.SrcRank] {
+			continue
+		}
+		srcIdx := s.rankIndex[f.SrcRank]
+		dstIdx := s.rankIndex[f.DstRank]
+		src := equalBlock(s.pspan, n, dstIdx)
+		dst := equalBlock(s.pspan, n, srcIdx)
+		if src.Len() == 0 {
+			continue
+		}
+		s.flows[fi].blockChunks = chunkSpans(src, chunkElems)
+		s.flows[fi].blockDst = dst
+		s.expectedEvents += len(s.flows[fi].blockChunks)
+	}
+}
+
+// start kicks off the sub-collective.
+func (s *subRun) start() {
+	switch s.op.st.Primitive {
+	case strategy.Reduce, strategy.AllReduce:
+		s.startReduce()
+	case strategy.Broadcast:
+		s.startBroadcast()
+	case strategy.AlltoAll:
+		s.startAlltoAll()
+	}
+}
+
+// startReduce: pure sources (active, no carrying inputs) stream their
+// local chunks; aggregators fire as inputs arrive. A root with no carrying
+// inputs finalises its own data immediately.
+func (s *subRun) startReduce() {
+	g := s.op.ex.fab.Graph()
+	for fi := range s.flows {
+		if !s.carries[fi] {
+			continue
+		}
+		f := s.flows[fi].f
+		origin := f.Path[0]
+		if _, isAgg := s.aggs[origin]; isAgg {
+			continue // fed by aggregation completions
+		}
+		// Pure source: must be active (otherwise carries would be false).
+		for c := range s.chunks {
+			s.sender(fi).enqueue(c, s.localChunk(f.SrcRank, c))
+		}
+	}
+	// Root with no carrying input: finalise all chunks directly.
+	rootID, _ := g.GPUByRank(s.sc.Root)
+	if _, ok := s.aggs[rootID]; !ok {
+		for c := range s.chunks {
+			s.finalizeRootChunk(c, s.localChunk(s.sc.Root, c))
+		}
+	}
+}
+
+func (s *subRun) startBroadcast() {
+	// Root copies its own partition into its output and streams chunks
+	// down each flow it originates.
+	root := s.sc.Root
+	out := s.op.output(root)
+	for c, sp := range s.chunks {
+		data := s.localChunk(root, c)
+		copy(out[sp.Start:sp.End], data)
+		for fi := range s.flows {
+			if s.flows[fi].f.SrcRank == root {
+				s.sender(fi).enqueue(c, data)
+			}
+		}
+	}
+}
+
+func (s *subRun) startAlltoAll() {
+	n := len(s.participantsSorted)
+	for _, rank := range s.participantsSorted {
+		if !s.op.active[rank] {
+			continue
+		}
+		// Self block plus the undivided tail: local copies.
+		idx := s.rankIndex[rank]
+		sp := equalBlock(s.pspan, n, idx)
+		out := s.op.output(rank)
+		copy(out[sp.Start:sp.End], s.op.inputs[rank][sp.Start:sp.End])
+		tail := alltoallTail(s.pspan, n)
+		copy(out[tail.Start:tail.End], s.op.inputs[rank][tail.Start:tail.End])
+	}
+	for fi := range s.flows {
+		fr := &s.flows[fi]
+		if len(fr.blockChunks) == 0 {
+			continue
+		}
+		for c, sp := range fr.blockChunks {
+			s.sender(fi).enqueue(c, s.op.inputs[fr.f.SrcRank][sp.Start:sp.End])
+		}
+	}
+}
+
+// localChunk returns a rank's input slice for chunk c of this partition.
+func (s *subRun) localChunk(rank, c int) []float32 {
+	sp := s.chunks[c]
+	return s.op.inputs[rank][sp.Start:sp.End]
+}
+
+// sender lazily creates the pipelined sender of a flow.
+func (s *subRun) sender(fi int) *flowSender {
+	if s.flows[fi].sender == nil {
+		s.flows[fi].sender = &flowSender{sub: s, flowIdx: fi}
+	}
+	return s.flows[fi].sender
+}
+
+// chunkMsg is one chunk in flight.
+type chunkMsg struct {
+	flowIdx  int
+	chunk    int
+	hop      int // index of the hop just traversed (0-based)
+	data     []float32
+	reversed bool // AllReduce broadcast stage
+}
+
+// flowSender pipelines chunks onto a flow's first hop: the next chunk is
+// posted when the previous finishes serialising on the first link, so
+// chunks stream hop-by-hop exactly as the Eq. 5 pipeline model assumes.
+type flowSender struct {
+	sub      *subRun
+	flowIdx  int
+	reversed bool
+	queue    []chunkMsg
+	busy     bool
+}
+
+func (fs *flowSender) enqueue(chunk int, data []float32) {
+	fs.queue = append(fs.queue, chunkMsg{
+		flowIdx:  fs.flowIdx,
+		chunk:    chunk,
+		data:     data,
+		reversed: fs.reversed,
+	})
+	if !fs.busy {
+		fs.kick()
+	}
+}
+
+func (fs *flowSender) kick() {
+	if len(fs.queue) == 0 {
+		fs.busy = false
+		return
+	}
+	fs.busy = true
+	msg := fs.queue[0]
+	fs.queue = fs.queue[1:]
+	fs.sub.sendHop(msg, func() { fs.kick() })
+}
+
+// sendHop transmits msg over its next hop. onFirstHopDone (nil for
+// forwarding hops) fires when this hop's serialisation+latency completes,
+// releasing the sender to post the next chunk. The source hop additionally
+// pays the per-chunk launch cost, serialised on the flow's stream.
+func (s *subRun) sendHop(msg chunkMsg, onFirstHopDone func()) {
+	fr := &s.flows[msg.flowIdx]
+	edges := fr.edges
+	stream := fr.streamFwd
+	if msg.reversed {
+		edges = fr.revEdges
+		stream = fr.streamRev
+	}
+	eid := edges[msg.hop]
+	bytes := int64(len(msg.data)) * 4
+	if bytes == 0 {
+		bytes = 4 // metadata-only chunk, still costs a message
+	}
+	send := func() {
+		sendStart := s.op.engine().Now()
+		s.op.ex.fab.SendStream(eid, stream, bytes, msg, func(payload any) {
+			m, ok := payload.(chunkMsg)
+			if !ok {
+				panic("collective: foreign payload on flow")
+			}
+			s.traceTransfer(m, eid, sendStart, bytes)
+			if onFirstHopDone != nil {
+				onFirstHopDone()
+			}
+			s.arrived(m)
+		})
+	}
+	if msg.hop == 0 {
+		s.op.initiate(stream, send)
+		return
+	}
+	send()
+}
+
+// arrived handles a chunk landing at the node after hop msg.hop.
+func (s *subRun) arrived(msg chunkMsg) {
+	fr := &s.flows[msg.flowIdx]
+	path := fr.f.Path
+	var node topology.NodeID
+	if msg.reversed {
+		node = path[len(path)-2-msg.hop]
+	} else {
+		node = path[msg.hop+1]
+	}
+	lastHop := msg.hop == len(fr.edges)-1
+	if !lastHop {
+		msg.hop++
+		s.sendHop(msg, nil)
+		return
+	}
+	if msg.reversed {
+		s.reversedDelivered(msg, node)
+		return
+	}
+	switch s.op.st.Primitive {
+	case strategy.Reduce, strategy.AllReduce:
+		s.aggArrival(node, msg)
+	case strategy.Broadcast:
+		s.broadcastDelivered(node, msg)
+	case strategy.AlltoAll:
+		s.alltoallDelivered(msg)
+	}
+}
+
+// aggArrival collects a chunk at an aggregation point and launches the
+// kernel when all expected inputs for that chunk are present.
+func (s *subRun) aggArrival(node topology.NodeID, msg chunkMsg) {
+	agg := s.aggs[node]
+	if agg == nil {
+		panic(fmt.Sprintf("collective: chunk arrived at non-aggregating node %v", node))
+	}
+	agg.got[msg.chunk] = append(agg.got[msg.chunk], msg.data)
+	if len(agg.got[msg.chunk]) < agg.expected {
+		return
+	}
+	inputs := agg.got[msg.chunk]
+	delete(agg.got, msg.chunk)
+	tuple := s.tuples[agg.rank]
+	chunk := msg.chunk
+
+	if !tuple.HasKernel {
+		// Single-stream relay: forward the data untouched, no kernel.
+		if len(inputs) != 1 || agg.hasLocal {
+			panic("collective: kernel-less aggregation with multiple inputs")
+		}
+		s.aggregated(agg, chunk, inputs[0])
+		return
+	}
+	// Aggregate into a fresh buffer: local chunk (if any) plus inputs.
+	sp := s.chunks[chunk]
+	buf := make([]float32, sp.Len())
+	if agg.hasLocal {
+		copy(buf, s.localChunk(agg.rank, chunk))
+	} else {
+		copy(buf, inputs[0])
+		inputs = inputs[1:]
+	}
+	key := streamKey{rank: agg.rank, sub: s.idx}
+	kernelStart := s.op.engine().Now()
+	nInputs := len(inputs)
+	s.op.stream(key).LaunchReduceMulti(buf, inputs, func() {
+		s.traceKernel(agg.rank, chunk, nInputs, kernelStart)
+		s.aggregated(agg, chunk, buf)
+	})
+}
+
+// aggregated routes a completed aggregation: onward to the parent, or
+// finalisation at the root.
+func (s *subRun) aggregated(agg *aggState, chunk int, data []float32) {
+	if agg.rank == s.sc.Root {
+		s.finalizeRootChunk(chunk, data)
+		return
+	}
+	fi, ok := s.originFlow[agg.rank]
+	if !ok {
+		panic(fmt.Sprintf("collective: aggregator rank %d has no continuation flow", agg.rank))
+	}
+	s.sender(fi).enqueue(chunk, data)
+}
+
+// finalizeRootChunk records the fully reduced chunk at the root and, for
+// AllReduce, immediately pipelines it down the reversed tree (multi-stage
+// parallelism, Sec. V-B).
+func (s *subRun) finalizeRootChunk(chunk int, data []float32) {
+	sp := s.chunks[chunk]
+	out := s.op.output(s.sc.Root)
+	copy(out[sp.Start:sp.End], data)
+	s.traceRootChunk(chunk)
+	s.op.remaining.Done()
+	if s.op.st.Primitive != strategy.AllReduce {
+		return
+	}
+	// Broadcast stage: reversed flows originating at the root are the
+	// original flows that terminated at the root.
+	rootID, _ := s.op.ex.fab.Graph().GPUByRank(s.sc.Root)
+	for fi := range s.flows {
+		p := s.flows[fi].f.Path
+		if p[len(p)-1] == rootID {
+			s.reverseSender(fi).enqueue(chunk, data)
+		}
+	}
+}
+
+// reverseSender lazily creates the broadcast-stage sender of a flow.
+func (s *subRun) reverseSender(fi int) *flowSender {
+	fr := &s.flows[fi]
+	if fr.revSender == nil {
+		fr.revSender = &flowSender{sub: s, flowIdx: fi, reversed: true}
+	}
+	return fr.revSender
+}
+
+// reversedDelivered handles an AllReduce broadcast-stage chunk reaching a
+// tree rank: store the result and cascade further down.
+func (s *subRun) reversedDelivered(msg chunkMsg, node topology.NodeID) {
+	g := s.op.ex.fab.Graph()
+	rank := g.Node(node).Rank
+	sp := s.chunks[msg.chunk]
+	out := s.op.output(rank)
+	copy(out[sp.Start:sp.End], msg.data)
+	s.op.remaining.Done()
+	// Cascade: reversed flows originating here are the original flows
+	// that terminated at this node.
+	for fi := range s.flows {
+		p := s.flows[fi].f.Path
+		if p[len(p)-1] == node {
+			s.reverseSender(fi).enqueue(msg.chunk, msg.data)
+		}
+	}
+}
+
+// broadcastDelivered stores a Broadcast chunk at a flow destination and
+// forwards it down the out-tree.
+func (s *subRun) broadcastDelivered(node topology.NodeID, msg chunkMsg) {
+	g := s.op.ex.fab.Graph()
+	rank := g.Node(node).Rank
+	sp := s.chunks[msg.chunk]
+	out := s.op.output(rank)
+	copy(out[sp.Start:sp.End], msg.data)
+	s.op.remaining.Done()
+	for fi := range s.flows {
+		if s.flows[fi].f.SrcRank == rank {
+			s.sender(fi).enqueue(msg.chunk, msg.data)
+		}
+	}
+}
+
+// alltoallDelivered stores a block chunk at its receiver.
+func (s *subRun) alltoallDelivered(msg chunkMsg) {
+	fr := &s.flows[msg.flowIdx]
+	srcChunk := fr.blockChunks[msg.chunk]
+	// Map the chunk's offset within the source block onto the
+	// receiver-side block (blocks are equal length by construction).
+	srcBlock := equalBlock(s.pspan, len(s.participantsSorted), s.rankIndex[fr.f.DstRank])
+	offset := srcChunk.Start - srcBlock.Start
+	dst := s.op.output(fr.f.DstRank)
+	copy(dst[fr.blockDst.Start+offset:fr.blockDst.Start+offset+srcChunk.Len()], msg.data)
+	s.op.remaining.Done()
+}

@@ -1,0 +1,99 @@
+package collective
+
+import (
+	"fmt"
+
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+	"adapcc/internal/trace"
+)
+
+// NetPID is the Chrome-trace process group that holds one thread track per
+// fabric link; GPU ranks use their rank number as the process group.
+const NetPID = 10000
+
+// SetTracer attaches (or, with nil, detaches) a trace recorder to the
+// executor. While attached, every chunk transfer on a link, every
+// aggregation kernel and every root-chunk finalisation of subsequent
+// collectives is recorded on the virtual clock, ready for
+// trace.Tracer.WriteJSON and chrome://tracing.
+func (e *Executor) SetTracer(t *trace.Tracer) {
+	e.tracer = t
+	if t == nil {
+		return
+	}
+	g := e.fab.Graph()
+	t.LabelProcess(NetPID, "network links")
+	for rank := range e.gpus {
+		if id, ok := g.GPUByRank(rank); ok {
+			t.LabelProcess(rank, fmt.Sprintf("rank %d (%v)", rank, g.Node(id)))
+		}
+	}
+	for _, ed := range g.Edges() {
+		t.LabelThread(NetPID, int(ed.ID),
+			fmt.Sprintf("%v -> %v [%v]", g.Node(ed.From), g.Node(ed.To), ed.Type))
+	}
+}
+
+// Tracer returns the attached trace recorder, or nil.
+func (e *Executor) Tracer() *trace.Tracer { return e.tracer }
+
+// traceTransfer records one chunk's serialisation+latency on one link.
+func (s *subRun) traceTransfer(msg chunkMsg, eid topology.EdgeID, start sim.Time, bytes int64) {
+	tr := s.op.ex.tracer
+	if tr == nil {
+		return
+	}
+	stage := "fwd"
+	if msg.reversed {
+		stage = "bcast"
+	}
+	tr.Add(trace.Event{
+		Name:  fmt.Sprintf("s%d f%d c%d", s.idx, msg.flowIdx, msg.chunk),
+		Cat:   "net",
+		PID:   NetPID,
+		TID:   int(eid),
+		Start: start,
+		Dur:   s.op.engine().Now() - start,
+		Args: map[string]any{
+			"bytes": bytes,
+			"stage": stage,
+			"flow":  fmt.Sprintf("%d->%d", s.flows[msg.flowIdx].f.SrcRank, s.flows[msg.flowIdx].f.DstRank),
+		},
+	})
+}
+
+// traceKernel records one aggregation kernel on the owning rank's track.
+func (s *subRun) traceKernel(rank, chunk, inputs int, start sim.Time) {
+	tr := s.op.ex.tracer
+	if tr == nil {
+		return
+	}
+	tr.LabelThread(rank, s.idx, fmt.Sprintf("sub%d reduce stream", s.idx))
+	tr.Add(trace.Event{
+		Name:  fmt.Sprintf("reduce s%d c%d", s.idx, chunk),
+		Cat:   "kernel",
+		PID:   rank,
+		TID:   s.idx,
+		Start: start,
+		Dur:   s.op.engine().Now() - start,
+		Args:  map[string]any{"inputs": inputs},
+	})
+}
+
+// traceRootChunk marks a chunk's full reduction at the root.
+func (s *subRun) traceRootChunk(chunk int) {
+	tr := s.op.ex.tracer
+	if tr == nil {
+		return
+	}
+	tr.LabelThread(s.sc.Root, s.idx, fmt.Sprintf("sub%d reduce stream", s.idx))
+	tr.Add(trace.Event{
+		Name:  fmt.Sprintf("root final s%d c%d", s.idx, chunk),
+		Cat:   "milestone",
+		PID:   s.sc.Root,
+		TID:   s.idx,
+		Start: s.op.engine().Now(),
+		Phase: trace.Instant,
+	})
+}

@@ -1,0 +1,128 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+)
+
+// TestRelaySubsetsNeverDeadlock is DESIGN.md invariant 5: for random
+// active/relay splits on synthesised graphs, the executor always
+// terminates and every active rank holds the sum over active ranks only.
+func TestRelaySubsetsNeverDeadlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c, err := cluster.Heterogeneous(topology.TransportRDMA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 1 << 20
+	for trial := 0; trial < 12; trial++ {
+		// Random split: at least 2 active, the rest relays.
+		var active, relays []int
+		activeSet := make(map[int]bool)
+		for r := 0; r < 8; r++ {
+			if rng.Float64() < 0.3 && len(relays) < 5 {
+				relays = append(relays, r)
+			} else {
+				active = append(active, r)
+				activeSet[r] = true
+			}
+		}
+		if len(active) < 2 {
+			active = append(active, relays[0])
+			activeSet[relays[0]] = true
+			relays = relays[1:]
+		}
+
+		e := newEnv(t, c)
+		res, err := synth.Synthesize(e.costs, synth.Request{
+			Primitive: strategy.AllReduce, Bytes: bytes,
+			Ranks: active, Relays: relays, Root: -1,
+			M: 1 + rng.Intn(4),
+		})
+		if err != nil {
+			t.Fatalf("trial %d (active=%v relays=%v): %v", trial, active, relays, err)
+		}
+		inputs := pattern(res.Strategy.Participants(), elemsOf(bytes))
+		want := sumOfActive(inputs, activeSet, elemsOf(bytes))
+		done := false
+		var got Result
+		err = e.ex.Run(Op{
+			Strategy: res.Strategy, Inputs: inputs, Active: activeSet,
+			OnDone: func(r Result) { got = r; done = true },
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		e.eng.Run()
+		if !done {
+			t.Fatalf("trial %d deadlocked (active=%v relays=%v)", trial, active, relays)
+		}
+		for _, r := range active {
+			out := got.Outputs[r]
+			if out == nil {
+				t.Fatalf("trial %d: active rank %d got no output", trial, r)
+			}
+			for i := 0; i < len(want); i += 97 {
+				if !approxEqual(out[i], want[i]) {
+					t.Fatalf("trial %d rank %d elem %d = %v, want %v", trial, r, i, out[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictorExecutorConsistency is DESIGN.md invariant 3 across several
+// topologies, primitives and strategies: the analytic Eq. 2–6 evaluation
+// must track the event-driven executor within a modest band.
+func TestPredictorExecutorConsistency(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*topology.Cluster, error)
+		prim  strategy.Primitive
+		m     int
+	}{
+		{"homo-2x4-allreduce", func() (*topology.Cluster, error) { return cluster.Homogeneous(topology.TransportRDMA, 2, 4) }, strategy.AllReduce, 4},
+		{"heter-4x2-allreduce", func() (*topology.Cluster, error) { return cluster.Heterogeneous(topology.TransportRDMA, 2) }, strategy.AllReduce, 4},
+		{"heter-4x4-reduce", func() (*topology.Cluster, error) { return cluster.Heterogeneous(topology.TransportRDMA, 4) }, strategy.Reduce, 2},
+		{"tcp-2x4-allreduce", func() (*topology.Cluster, error) { return cluster.Homogeneous(topology.TransportTCP, 2, 4) }, strategy.AllReduce, 4},
+		{"homo-4x2-alltoall", func() (*topology.Cluster, error) { return cluster.Homogeneous(topology.TransportRDMA, 4, 2) }, strategy.AlltoAll, 2},
+		{"homo-2x2-broadcast", func() (*topology.Cluster, error) { return cluster.Homogeneous(topology.TransportRDMA, 2, 2) }, strategy.Broadcast, 2},
+	}
+	const bytes = 16 << 20
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := newEnv(t, c)
+			root := -1
+			if tc.prim == strategy.Reduce || tc.prim == strategy.Broadcast {
+				root = 0
+			}
+			res, err := synth.Synthesize(e.costs, synth.Request{
+				Primitive: tc.prim, Bytes: bytes, Root: root, M: tc.m,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inputs := pattern(res.Strategy.Participants(), elemsOf(bytes))
+			var got Result
+			if err := e.ex.Run(Op{Strategy: res.Strategy, Inputs: inputs, OnDone: func(r Result) { got = r }}); err != nil {
+				t.Fatal(err)
+			}
+			e.eng.Run()
+			ratio := float64(got.Elapsed) / float64(res.Eval.Time)
+			t.Logf("%s: predicted %v, measured %v (ratio %.2f)", tc.name, res.Eval.Time, got.Elapsed, ratio)
+			if ratio < 0.6 || ratio > 1.6 {
+				t.Errorf("predictor and executor diverge: ratio %.2f", ratio)
+			}
+		})
+	}
+}

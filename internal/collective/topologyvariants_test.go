@@ -1,0 +1,124 @@
+package collective
+
+import (
+	"testing"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+)
+
+// dualNICServer builds an A100 server with two 100 Gbps NICs (one per NUMA
+// node), the multi-rail configuration AdapCC's NIC rotation exploits.
+func dualNICServer() topology.ServerSpec {
+	return topology.ServerSpec{
+		GPUs: []topology.GPUModel{topology.GPUA100, topology.GPUA100, topology.GPUA100, topology.GPUA100},
+		NICs: []topology.NICSpec{
+			{BandwidthBps: topology.Gbps(100)},
+			{BandwidthBps: topology.Gbps(100)},
+		},
+		NICNuma: []int{0, 1},
+	}
+}
+
+// TestMultiNICSpreadsSubCollectives: with two NICs per server, the M
+// parallel sub-collectives must use both rails (the per-sub NIC rotation),
+// roughly doubling cross-server AllReduce bandwidth vs a single rail.
+func TestMultiNICSpreadsSubCollectives(t *testing.T) {
+	dual, err := topology.NewCluster(topology.TransportRDMA, dualNICServer(), dualNICServer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := cluster.Homogeneous(topology.TransportRDMA, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 32 << 20
+
+	elapsed := func(c *topology.Cluster) (Result, *synth.Result, *env) {
+		e := newEnv(t, c)
+		res, err := synth.Synthesize(e.costs, synth.Request{
+			Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := pattern(res.Strategy.Participants(), elemsOf(bytes))
+		var got Result
+		if err := e.ex.Run(Op{Strategy: res.Strategy, Inputs: inputs, OnDone: func(r Result) { got = r }}); err != nil {
+			t.Fatal(err)
+		}
+		e.eng.Run()
+		return got, res, e
+	}
+
+	dualRes, dualStrat, dualEnv := elapsed(dual)
+	singleRes, _, _ := elapsed(single)
+
+	t.Logf("dual-NIC %v vs single-NIC %v", dualRes.Elapsed, singleRes.Elapsed)
+	if float64(dualRes.Elapsed) > 0.7*float64(singleRes.Elapsed) {
+		t.Errorf("two rails (%v) should be well under one rail (%v)", dualRes.Elapsed, singleRes.Elapsed)
+	}
+
+	// Both NICs of server 0 must have carried data.
+	g := dualEnv.fab.Graph()
+	sw, _ := g.Switch()
+	for nic := 0; nic < 2; nic++ {
+		nid, ok := g.NICOfServer(0, nic)
+		if !ok {
+			t.Fatal("missing NIC")
+		}
+		eid, ok := g.EdgeBetween(nid, sw)
+		if !ok {
+			t.Fatal("missing uplink")
+		}
+		if dualEnv.fab.BytesDelivered(eid) == 0 {
+			t.Errorf("NIC %d uplink idle: sub-collectives did not spread across rails", nic)
+		}
+	}
+	_ = dualStrat
+}
+
+// TestFragmentedAllocationEndToEnd reproduces the Sec. II-A motivation: a
+// cloud allocation without NVLink. Collectives must still be correct over
+// the PCIe host path, and AdapCC must not lose to NCCL's fallback.
+func TestFragmentedAllocationEndToEnd(t *testing.T) {
+	c, err := topology.NewCluster(topology.TransportRDMA,
+		cluster.FragmentedA100Server(4), cluster.FragmentedA100Server(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 8 << 20
+	e := newEnv(t, c)
+	res, err := synth.Synthesize(e.costs, synth.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := pattern(res.Strategy.Participants(), elemsOf(bytes))
+	want := sumOfActive(inputs, nil, elemsOf(bytes))
+	var got Result
+	if err := e.ex.Run(Op{Strategy: res.Strategy, Inputs: inputs, OnDone: func(r Result) { got = r }}); err != nil {
+		t.Fatal(err)
+	}
+	e.eng.Run()
+	for _, r := range res.Strategy.Participants() {
+		out := got.Outputs[r]
+		if out == nil {
+			t.Fatalf("rank %d got no output on fragmented topology", r)
+		}
+		for i := 0; i < len(want); i += 211 {
+			if !approxEqual(out[i], want[i]) {
+				t.Fatalf("rank %d elem %d = %v, want %v", r, i, out[i], want[i])
+			}
+		}
+	}
+	// Everything crossed the PCIe host path: no NVLink edges exist.
+	for _, edge := range e.fab.Graph().Edges() {
+		if edge.Type == topology.LinkNVLink {
+			t.Fatal("fragmented topology has NVLink edges")
+		}
+	}
+}

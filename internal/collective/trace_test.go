@@ -1,0 +1,166 @@
+package collective_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+	"adapcc/internal/trace"
+)
+
+// TestExecutorTraceCoversCollective attaches a tracer, runs an AllReduce
+// and checks the recorded timeline is a faithful Chrome trace: transfers on
+// link tracks, kernels on rank tracks, every event inside the measured
+// elapsed window, and serialisable JSON.
+func TestExecutorTraceCoversCollective(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	env.Exec.SetTracer(tr)
+	if env.Exec.Tracer() != tr {
+		t.Fatal("tracer not attached")
+	}
+
+	const bytesTotal = 8 << 20
+	res, err := synth.Synthesize(synth.NewCosts(env.Graph, nil), synth.Request{
+		Primitive: strategy.AllReduce, Bytes: bytesTotal, Root: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done collective.Result
+	err = env.Exec.Run(collective.Op{
+		Strategy: res.Strategy,
+		Inputs:   backend.MakeInputs(env.AllRanks(), bytesTotal),
+		OnDone:   func(r collective.Result) { done = r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if done.Outputs == nil {
+		t.Fatal("collective never finished")
+	}
+
+	var nets, kernels, milestones int
+	for _, ev := range tr.Events() {
+		switch ev.Cat {
+		case "net":
+			nets++
+			if ev.PID != collective.NetPID {
+				t.Errorf("net event on pid %d, want %d", ev.PID, collective.NetPID)
+			}
+			if ev.Dur <= 0 {
+				t.Errorf("net event %q has non-positive duration %v", ev.Name, ev.Dur)
+			}
+		case "kernel":
+			kernels++
+			if ev.PID == collective.NetPID {
+				t.Errorf("kernel event %q on the network pid", ev.Name)
+			}
+		case "milestone":
+			milestones++
+		}
+		if ev.Start < 0 || ev.Start+ev.Dur > done.Elapsed {
+			t.Errorf("event %q [%v +%v] outside the collective window %v",
+				ev.Name, ev.Start, ev.Dur, done.Elapsed)
+		}
+	}
+	if nets == 0 {
+		t.Error("no transfer events recorded")
+	}
+	if kernels == 0 {
+		t.Error("no kernel events recorded")
+	}
+	if milestones == 0 {
+		t.Error("no root-finalisation milestones recorded")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(out) <= tr.Len() {
+		t.Errorf("JSON has %d records for %d events; metadata labels missing", len(out), tr.Len())
+	}
+
+	// Detaching stops recording.
+	env.Exec.SetTracer(nil)
+	n := tr.Len()
+	err = env.Exec.Run(collective.Op{
+		Strategy: res.Strategy,
+		Inputs:   backend.MakeInputs(env.AllRanks(), bytesTotal),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if tr.Len() != n {
+		t.Error("detached tracer kept recording")
+	}
+}
+
+// TestTraceTransferBytesAccount sums the traced bytes on each first-hop
+// link of a Reduce and checks the total equals what the strategy actually
+// moves — the trace is complete, not sampled.
+func TestTraceTransferBytesAccount(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	env.Exec.SetTracer(tr)
+
+	const bytesTotal = 4 << 20
+	res, err := synth.Synthesize(synth.NewCosts(env.Graph, nil), synth.Request{
+		Primitive: strategy.Reduce, Bytes: bytesTotal, Root: 0, M: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = env.Exec.Run(collective.Op{
+		Strategy: res.Strategy,
+		Inputs:   backend.MakeInputs(env.AllRanks(), bytesTotal),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+
+	// Every strategy flow is a single NVLink hop here (star onto rank 0),
+	// so total traced bytes = sum over flows of the partition bytes.
+	var want int64
+	for _, sc := range res.Strategy.SubCollectives {
+		want += sc.Bytes * int64(len(sc.Flows))
+	}
+	var got int64
+	for _, ev := range tr.Events() {
+		if ev.Cat != "net" {
+			continue
+		}
+		got += ev.Args["bytes"].(int64)
+	}
+	if got != want {
+		t.Errorf("traced %d bytes on links, strategy moves %d", got, want)
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/relay"
+	"adapcc/internal/sim"
+	"adapcc/internal/strategy"
+)
+
+// Adaptive is a per-training-job AllReduce session with the relay control
+// of Sec. IV-C enabled: each iteration, workers report tensor readiness;
+// the coordinator decides between waiting and a phase-1/phase-2 split with
+// straggler GPUs as relays, and faulty workers are excluded on the fly.
+type Adaptive struct {
+	a     *AdapCC
+	co    *relay.Coordinator
+	bytes int64
+
+	// per-iteration state
+	inputs      map[int][]float32
+	onIterDone  func(results map[int][]float32, elapsed time.Duration)
+	iterStart   sim.Time
+	phase1Out   map[int][]float32
+	phase1Ready []int
+	lastResults map[int][]float32
+}
+
+// AdaptiveOptions tunes the session.
+type AdaptiveOptions struct {
+	// Policy overrides the wait-vs-proceed rule (default break-even
+	// ski rental).
+	Policy relay.Policy
+	// Cycle overrides the coordinator decision period.
+	Cycle time.Duration
+	// OnFault is invoked when workers are excluded (the training side
+	// redistributes its data loader here).
+	OnFault func(faulty []int)
+}
+
+// NewAdaptiveAllReduce builds an adaptive AllReduce session for the given
+// world and per-iteration tensor size.
+func (a *AdapCC) NewAdaptiveAllReduce(world []int, tensorBytes int64, opts AdaptiveOptions) (*Adaptive, error) {
+	if tensorBytes <= 0 {
+		return nil, fmt.Errorf("core: non-positive tensor size %d", tensorBytes)
+	}
+	ad := &Adaptive{a: a, bytes: tensorBytes}
+	est := &PredictEstimator{A: a, TensorBytes: tensorBytes, World: len(world)}
+	co, err := relay.NewCoordinator(relay.Config{
+		Engine:    a.env.Engine,
+		World:     world,
+		Policy:    opts.Policy,
+		Cycle:     opts.Cycle,
+		Estimator: est,
+		Callbacks: relay.Callbacks{
+			StartFull:   ad.startFull,
+			StartPhase1: ad.startPhase1,
+			StartPhase2: ad.startPhase2,
+			OnFault:     opts.OnFault,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ad.co = co
+	return ad, nil
+}
+
+// Coordinator exposes the session's coordinator (relay statistics, alive
+// set, fault history).
+func (ad *Adaptive) Coordinator() *relay.Coordinator { return ad.co }
+
+// BeginIteration arms the session with this iteration's tensors. onDone
+// receives each alive rank's aggregated tensor and the communication
+// elapsed time (including straggler wait).
+func (ad *Adaptive) BeginIteration(inputs map[int][]float32, onDone func(map[int][]float32, time.Duration)) {
+	ad.inputs = inputs
+	ad.onIterDone = onDone
+	ad.iterStart = ad.a.env.Engine.Now()
+	ad.phase1Out = nil
+	ad.phase1Ready = nil
+	ad.co.BeginIteration(func() {
+		done := ad.onIterDone
+		ad.onIterDone = nil
+		if done != nil {
+			done(ad.lastResults, ad.a.env.Engine.Now()-ad.iterStart)
+		}
+	})
+}
+
+// WorkerReady reports that a worker finished computing its gradients.
+func (ad *Adaptive) WorkerReady(rank int) { ad.co.WorkerReady(rank) }
+
+func (ad *Adaptive) startFull(ranks []int, done func()) {
+	err := ad.a.Run(backend.Request{
+		Primitive: strategy.AllReduce,
+		Bytes:     ad.bytes,
+		Ranks:     ranks,
+		Root:      -1,
+		Inputs:    ad.inputs,
+		OnDone: func(res collective.Result) {
+			ad.lastResults = res.Outputs
+			done()
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: adaptive full allreduce: %v", err))
+	}
+}
+
+func (ad *Adaptive) startPhase1(ready, relays []int, done func()) {
+	ad.phase1Ready = append([]int(nil), ready...)
+	err := ad.a.RunPartial(backend.Request{
+		Primitive: strategy.AllReduce,
+		Bytes:     ad.bytes,
+		Ranks:     ready,
+		Root:      -1,
+		Inputs:    ad.inputs,
+		OnDone: func(res collective.Result) {
+			ad.phase1Out = res.Outputs
+			// If every straggler is caught up in phase 1 or excluded
+			// as faulty, the coordinator finishes without a phase 2:
+			// the phase-1 aggregate is then the iteration's result.
+			ad.lastResults = res.Outputs
+			done()
+		},
+	}, relays)
+	if err != nil {
+		panic(fmt.Sprintf("core: adaptive phase-1 allreduce: %v", err))
+	}
+}
+
+// startPhase2 catches late workers up (Sec. IV-C: chunks not aggregated in
+// phase 1 are broadcast and locally combined with the phase-1 results from
+// the relay GPUs' result queues). To keep the catch-up cheap it is staged:
+//
+//  1. the late workers' tensors are reduced onto one late root (a single
+//     partial Reduce, with the ready workers' GPUs available as relays),
+//  2. that aggregate is broadcast once to all alive workers, and the
+//     phase-1 aggregate is broadcast to the late workers,
+//  3. every worker locally combines.
+func (ad *Adaptive) startPhase2(participants, late []int, done func()) {
+	elems := int(ad.bytes / 4)
+	anchor := ad.phase1Ready[0]
+	lateRoot := late[0]
+
+	lateAgg := make(map[int][]float32) // rank -> reduced late tensor
+	aggForLate := make(map[int][]float32)
+
+	lateSet := make(map[int]bool, len(late))
+	for _, l := range late {
+		lateSet[l] = true
+	}
+
+	// Stage 3: local combine on every alive rank. Late ranks always use
+	// the broadcast phase-1 aggregate: a relay may appear in only some
+	// sub-collectives' trees, so its own phase-1 buffer can be partial.
+	combineAll := func() {
+		results := make(map[int][]float32, len(participants))
+		combine := sim.NewCountdown(len(participants), func() {
+			ad.lastResults = results
+			done()
+		})
+		for _, rank := range participants {
+			rank := rank
+			base := ad.phase1Out[rank]
+			if lateSet[rank] || base == nil {
+				base = aggForLate[rank]
+			}
+			if base == nil {
+				panic(fmt.Sprintf("core: rank %d has no phase-1 aggregate", rank))
+			}
+			lateSum := lateAgg[rank]
+			if lateSum == nil {
+				panic(fmt.Sprintf("core: rank %d has no late aggregate", rank))
+			}
+			buf := make([]float32, elems)
+			copy(buf, base)
+			gpu := ad.a.env.GPUs[rank]
+			if gpu == nil {
+				panic(fmt.Sprintf("core: rank %d has no GPU", rank))
+			}
+			gpu.NewStream().LaunchReduce(buf, lateSum, func() {
+				results[rank] = buf
+				combine.Done()
+			})
+		}
+	}
+
+	// Stage 2: broadcast the late aggregate to all alive workers and the
+	// phase-1 aggregate to the late workers, concurrently.
+	stage2 := func(lateSum []float32) {
+		barrier := sim.NewCountdown(2, combineAll)
+		bcastInputs := make(map[int][]float32, len(participants))
+		for _, r := range participants {
+			bcastInputs[r] = lateSum
+		}
+		err := ad.a.runFast(backend.Request{
+			Primitive: strategy.Broadcast,
+			Bytes:     ad.bytes,
+			Ranks:     participants,
+			Root:      lateRoot,
+			Inputs:    bcastInputs,
+			OnDone: func(res collective.Result) {
+				for _, r := range participants {
+					if out := res.Outputs[r]; out != nil {
+						lateAgg[r] = out
+					}
+				}
+				lateAgg[lateRoot] = lateSum
+				barrier.Done()
+			},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: phase-2 late-aggregate broadcast: %v", err))
+		}
+
+		group := append(append([]int(nil), late...), anchor)
+		aggInputs := make(map[int][]float32, len(group))
+		for _, r := range group {
+			aggInputs[r] = ad.phase1Out[anchor]
+		}
+		err = ad.a.runFast(backend.Request{
+			Primitive: strategy.Broadcast,
+			Bytes:     ad.bytes,
+			Ranks:     group,
+			Root:      anchor,
+			Inputs:    aggInputs,
+			OnDone: func(res collective.Result) {
+				for _, l := range late {
+					aggForLate[l] = res.Outputs[l]
+				}
+				barrier.Done()
+			},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: phase-2 aggregate broadcast: %v", err))
+		}
+	}
+
+	// Stage 1: reduce the late tensors onto the late root.
+	if len(late) == 1 {
+		stage2(ad.inputs[lateRoot])
+		return
+	}
+	err := ad.a.RunPartial(backend.Request{
+		Primitive: strategy.Reduce,
+		Bytes:     ad.bytes,
+		Ranks:     late,
+		Root:      lateRoot,
+		Inputs:    ad.inputs,
+		OnDone: func(res collective.Result) {
+			stage2(res.Outputs[lateRoot])
+		},
+	}, ad.phase1Ready)
+	if err != nil {
+		panic(fmt.Sprintf("core: phase-2 late reduce: %v", err))
+	}
+}
+
+// PredictEstimator prices the coordinator's wait-vs-proceed decision by
+// scaling the synthesizer's cached full-collective prediction with the
+// paper's S/B volume ratios: phase 1 moves 2(n−1)/2(N−1) of the full
+// volume; phase 2 reduces the late tensors (l−1 transfers) and adds two
+// broadcasts.
+type PredictEstimator struct {
+	A           *AdapCC
+	TensorBytes int64
+	World       int
+
+	full time.Duration
+}
+
+var _ relay.CostEstimator = (*PredictEstimator)(nil)
+
+func (e *PredictEstimator) base() time.Duration {
+	if e.full == 0 {
+		t, err := e.A.Predict(strategy.AllReduce, e.TensorBytes, nil, nil, -1)
+		if err != nil || t <= 0 {
+			t = time.Second
+		}
+		e.full = t
+	}
+	return e.full
+}
+
+// PartialTime implements relay.CostEstimator.
+func (e *PredictEstimator) PartialTime(ready, relays []int) time.Duration {
+	n := len(ready)
+	if n < 2 || e.World < 2 {
+		return 0
+	}
+	return time.Duration(float64(e.base()) * float64(n-1) / float64(e.World-1))
+}
+
+// CatchupTime implements relay.CostEstimator. Phase 2 is one
+// allreduce-shaped pass over the fraction of the late tensors that missed
+// phase 1; stragglers usually join partway (Sec. IV-C), so the estimate
+// prices half a pass.
+func (e *PredictEstimator) CatchupTime(late []int) time.Duration {
+	if len(late) == 0 {
+		return 0
+	}
+	return e.base() / 2
+}
+
+// FullTime implements relay.CostEstimator.
+func (e *PredictEstimator) FullTime(all []int) time.Duration { return e.base() }

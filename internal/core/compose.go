@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/sim"
+	"adapcc/internal/strategy"
+)
+
+// AllGather gathers each rank's shard into every rank: the result of rank
+// r is the concatenation of all shards in rank order. Per the paper
+// (Sec. IV-D) it is composed of one Broadcast per GPU, all running
+// concurrently over synthesised trees.
+//
+// shards maps rank → its shard; every shard must have equal length.
+// onDone receives rank → concatenated tensor and the elapsed time.
+func (a *AdapCC) AllGather(ranks []int, shards map[int][]float32, onDone func(map[int][]float32, time.Duration)) error {
+	if ranks == nil {
+		ranks = a.env.AllRanks()
+	}
+	ranks = append([]int(nil), ranks...)
+	sort.Ints(ranks)
+	if len(ranks) < 2 {
+		return fmt.Errorf("core: allgather needs >= 2 ranks")
+	}
+	shardLen := -1
+	for _, r := range ranks {
+		sh, ok := shards[r]
+		if !ok {
+			return fmt.Errorf("core: rank %d has no shard", r)
+		}
+		if shardLen == -1 {
+			shardLen = len(sh)
+		} else if len(sh) != shardLen {
+			return fmt.Errorf("core: shard lengths differ (%d vs %d)", len(sh), shardLen)
+		}
+	}
+	if shardLen == 0 {
+		return fmt.Errorf("core: empty shards")
+	}
+
+	start := a.env.Engine.Now()
+	results := make(map[int][]float32, len(ranks))
+	for _, r := range ranks {
+		results[r] = make([]float32, shardLen*len(ranks))
+	}
+	barrier := sim.NewCountdown(len(ranks), func() {
+		if onDone != nil {
+			onDone(results, a.env.Engine.Now()-start)
+		}
+	})
+	bytes := int64(shardLen) * 4
+	for slot, root := range ranks {
+		slot, root := slot, root
+		inputs := make(map[int][]float32, len(ranks))
+		for _, r := range ranks {
+			inputs[r] = shards[root] // only the root's input is read
+		}
+		err := a.Run(backend.Request{
+			Primitive: strategy.Broadcast,
+			Bytes:     bytes,
+			Ranks:     ranks,
+			Root:      root,
+			Inputs:    inputs,
+			OnDone: func(res collective.Result) {
+				for _, r := range ranks {
+					out := res.Outputs[r]
+					if out == nil && r == root {
+						out = shards[root]
+					}
+					copy(results[r][slot*shardLen:(slot+1)*shardLen], out)
+				}
+				barrier.Done()
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("core: allgather broadcast from %d: %w", root, err)
+		}
+	}
+	return nil
+}
+
+// ReduceScatter reduces the full tensors element-wise and leaves each rank
+// with its own shard of the sum (rank i gets the i-th of len(ranks) equal
+// slices). It is composed of one Reduce per GPU over synthesised trees.
+// The tensor length must be divisible by the rank count.
+func (a *AdapCC) ReduceScatter(ranks []int, tensors map[int][]float32, onDone func(map[int][]float32, time.Duration)) error {
+	if ranks == nil {
+		ranks = a.env.AllRanks()
+	}
+	ranks = append([]int(nil), ranks...)
+	sort.Ints(ranks)
+	if len(ranks) < 2 {
+		return fmt.Errorf("core: reducescatter needs >= 2 ranks")
+	}
+	total := -1
+	for _, r := range ranks {
+		in, ok := tensors[r]
+		if !ok {
+			return fmt.Errorf("core: rank %d has no tensor", r)
+		}
+		if total == -1 {
+			total = len(in)
+		} else if len(in) != total {
+			return fmt.Errorf("core: tensor lengths differ")
+		}
+	}
+	if total == 0 || total%len(ranks) != 0 {
+		return fmt.Errorf("core: tensor length %d not divisible by %d ranks", total, len(ranks))
+	}
+	shardLen := total / len(ranks)
+
+	start := a.env.Engine.Now()
+	results := make(map[int][]float32, len(ranks))
+	barrier := sim.NewCountdown(len(ranks), func() {
+		if onDone != nil {
+			onDone(results, a.env.Engine.Now()-start)
+		}
+	})
+	bytes := int64(shardLen) * 4
+	for slot, root := range ranks {
+		slot, root := slot, root
+		inputs := make(map[int][]float32, len(ranks))
+		for _, r := range ranks {
+			inputs[r] = tensors[r][slot*shardLen : (slot+1)*shardLen]
+		}
+		err := a.Run(backend.Request{
+			Primitive: strategy.Reduce,
+			Bytes:     bytes,
+			Ranks:     ranks,
+			Root:      root,
+			Inputs:    inputs,
+			OnDone: func(res collective.Result) {
+				results[root] = res.Outputs[root]
+				barrier.Done()
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("core: reducescatter reduce to %d: %w", root, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+// Package core is AdapCC's public API (paper Sec. III, VI-A): it wires the
+// Controller — Detector, Profiler, Synthesizer and relay Coordinator — to
+// the Communicator/Executor. The lifecycle mirrors the paper's Python
+// module:
+//
+//	a, _ := core.New(env, core.Options{})       // adapcc.init(): detect topology
+//	a.Setup(done)                               // adapcc.setup(): profile + register contexts
+//	a.Run(backend.Request{...})                 // adapcc.allreduce() / alltoall() / ...
+//	a.Reconstruct(done)                         // runtime re-profiling + graph reconstruction
+//
+// Strategies are synthesised from profiled link properties and cached per
+// (primitive, size, participant set); Reconstruct invalidates the cache
+// after re-profiling, without checkpointing or restarting anything.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/detect"
+	"adapcc/internal/profile"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+)
+
+// Options configures an AdapCC instance.
+type Options struct {
+	// M is the number of parallel sub-collectives (default synth.DefaultM).
+	M int
+	// ExactM pins M instead of treating it as a cap (Fig. 19a sweep).
+	ExactM bool
+	// ChunkGrid overrides the chunk-size search grid.
+	ChunkGrid []int64
+	// SkipProfiling makes the synthesizer run on nominal hardware labels
+	// (the profiling ablation).
+	SkipProfiling bool
+}
+
+// AdapCC is one job-wide library instance (logically replicated on every
+// worker; the controller modules run on rank 0).
+type AdapCC struct {
+	env  *backend.Env
+	opts Options
+
+	detection *detect.Result
+	report    *profile.Report
+	costs     *synth.Costs
+
+	cache map[string]*synth.Result
+
+	// Accounting for the reconstruction-overhead experiment (Fig. 19c).
+	lastProfileTime time.Duration
+	lastSolveTime   time.Duration
+	lastSetupTime   time.Duration
+	setupCount      int
+}
+
+var _ backend.Backend = (*AdapCC)(nil)
+
+// New runs topology detection (adapcc.init()) and returns the instance.
+// Detection probes the physical cluster through the hardware prober; its
+// cost is the constant per-server probe time (Sec. VI-E: ≈1.2 s,
+// concurrent across servers) and is reported by InitTime rather than
+// charged to the engine, since it happens before training starts.
+func New(env *backend.Env, opts Options) (*AdapCC, error) {
+	if env == nil {
+		return nil, fmt.Errorf("core: nil environment")
+	}
+	if opts.M <= 0 {
+		opts.M = synth.DefaultM
+	}
+	prober := detect.NewHardwareProber(env.Cluster, env.Engine.Fork())
+	det, err := detect.Detect(env.Cluster, prober)
+	if err != nil {
+		return nil, fmt.Errorf("core: detection: %w", err)
+	}
+	a := &AdapCC{
+		env:       env,
+		opts:      opts,
+		detection: det,
+		costs:     synth.NewCosts(env.Graph, nil),
+		cache:     make(map[string]*synth.Result),
+	}
+	return a, nil
+}
+
+// Name implements backend.Backend.
+func (a *AdapCC) Name() string { return "AdapCC" }
+
+// Env returns the simulated hardware environment.
+func (a *AdapCC) Env() *backend.Env { return a.env }
+
+// InitTime is the topology-inference cost (constant in job scale).
+func (a *AdapCC) InitTime() time.Duration { return a.detection.InferenceTime }
+
+// Detection exposes the inferred per-server layouts.
+func (a *AdapCC) Detection() *detect.Result { return a.detection }
+
+// Costs returns the current α–β view used by the synthesizer.
+func (a *AdapCC) Costs() *synth.Costs { return a.costs }
+
+// Report returns the latest profiling report (nil before Setup).
+func (a *AdapCC) Report() *profile.Report { return a.report }
+
+// Setup profiles the links and registers transmission contexts
+// (adapcc.setup()); onDone fires on the engine when ready. Training must
+// not start before it completes.
+func (a *AdapCC) Setup(onDone func()) {
+	a.Reconstruct(func(time.Duration) {
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// Reconstruct re-profiles the links, refreshes the cost model, drops the
+// strategy cache and re-registers transmission contexts. The training job
+// is never checkpointed or restarted: onDone receives the full overhead —
+// profiling + strategy solving + context set-up — which is what Fig. 19c
+// measures against an NCCL restart.
+func (a *AdapCC) Reconstruct(onDone func(overhead time.Duration)) {
+	start := a.env.Engine.Now()
+	run := func(rep *profile.Report) {
+		if rep != nil {
+			a.report = rep
+			a.costs = synth.NewCosts(a.env.Graph, rep)
+			a.lastProfileTime = rep.Duration()
+		} else {
+			a.lastProfileTime = 0
+		}
+		a.cache = make(map[string]*synth.Result)
+		a.lastSolveTime = 0
+		setup := a.setupTime()
+		a.lastSetupTime = setup
+		a.setupCount++
+		a.env.Engine.After(setup, func() {
+			if onDone != nil {
+				onDone(a.env.Engine.Now() - start)
+			}
+		})
+	}
+	if a.opts.SkipProfiling {
+		run(nil)
+		return
+	}
+	profile.New(a.env.Fabric, profile.Options{}).Run(run)
+}
+
+// setupTime models the transmission-context set-up phase of Sec. V-A:
+// buffer allocation, CUDA IPC handle creation, the handle AllGather within
+// each server and the host-IP exchange across servers. Registered memory
+// is reused afterwards, so this is paid once per (re)construction.
+const (
+	setupBase       = 120 * time.Millisecond
+	setupPerContext = 30 * time.Millisecond
+	setupPerServer  = 12 * time.Millisecond
+)
+
+func (a *AdapCC) setupTime() time.Duration {
+	servers := len(a.env.Cluster.Servers)
+	return setupBase +
+		time.Duration(a.opts.M)*setupPerContext +
+		time.Duration(servers*a.opts.M)*setupPerServer
+}
+
+// Overheads reports the components of the last reconstruction.
+func (a *AdapCC) Overheads() (profiling, solving, setup time.Duration) {
+	return a.lastProfileTime, a.lastSolveTime, a.lastSetupTime
+}
+
+// Run implements backend.Backend: it synthesises (or reuses) the strategy
+// for the request and executes it.
+func (a *AdapCC) Run(req backend.Request) error {
+	res, err := a.Strategy(req.Primitive, req.Bytes, req.Ranks, nil, req.Root)
+	if err != nil {
+		return err
+	}
+	return a.env.Exec.Run(collective.Op{
+		Strategy: res.Strategy,
+		Inputs:   req.Inputs,
+		OnDone:   req.OnDone,
+	})
+}
+
+// runFast executes a collective synthesised with the restricted search
+// (per-iteration catch-up operations).
+func (a *AdapCC) runFast(req backend.Request) error {
+	res, err := a.Strategy(req.Primitive, req.Bytes, req.Ranks, nil, req.Root)
+	if err != nil {
+		return err
+	}
+	return a.env.Exec.Run(collective.Op{
+		Strategy: res.Strategy,
+		Inputs:   req.Inputs,
+		OnDone:   req.OnDone,
+	})
+}
+
+// RunPartial executes a collective among ready workers only, using the
+// given relays (phase 1 of the adaptive relay control).
+func (a *AdapCC) RunPartial(req backend.Request, relays []int) error {
+	res, err := a.Strategy(req.Primitive, req.Bytes, req.Ranks, relays, req.Root)
+	if err != nil {
+		return err
+	}
+	active := make(map[int]bool, len(req.Ranks))
+	for _, r := range req.Ranks {
+		active[r] = true
+	}
+	return a.env.Exec.Run(collective.Op{
+		Strategy: res.Strategy,
+		Inputs:   req.Inputs,
+		Active:   active,
+		OnDone:   req.OnDone,
+	})
+}
+
+// Strategy synthesises (with caching) the plan for a collective using the
+// full candidate search.
+func (a *AdapCC) Strategy(p strategy.Primitive, bytes int64, ranks, relays []int, root int) (*synth.Result, error) {
+	return a.synthesize(p, bytes, ranks, relays, root, false)
+}
+
+// FastStrategy synthesises with the restricted per-iteration search the
+// relay coordinator uses for phase-1/phase-2 plans over transient
+// ready-sets (synthesis latency is on the iteration's critical path).
+func (a *AdapCC) FastStrategy(p strategy.Primitive, bytes int64, ranks, relays []int, root int) (*synth.Result, error) {
+	return a.synthesize(p, bytes, ranks, relays, root, true)
+}
+
+func (a *AdapCC) synthesize(p strategy.Primitive, bytes int64, ranks, relays []int, root int, fast bool) (*synth.Result, error) {
+	if ranks == nil {
+		ranks = a.env.AllRanks()
+	}
+	key := cacheKey(p, bytes, ranks, relays, root)
+	if fast {
+		key = "fast|" + key
+	}
+	if res, ok := a.cache[key]; ok {
+		return res, nil
+	}
+	res, err := synth.Synthesize(a.costs, synth.Request{
+		Primitive:  p,
+		Bytes:      bytes,
+		Ranks:      ranks,
+		Relays:     relays,
+		Root:       root,
+		M:          a.opts.M,
+		ExactM:     a.opts.ExactM,
+		ChunkGrid:  a.opts.ChunkGrid,
+		FastSearch: fast,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.cache[key] = res
+	a.lastSolveTime += res.SolveTime
+	return res, nil
+}
+
+// Predict returns the synthesizer's predicted completion time for a
+// collective (the coordinator's cost estimates use this).
+func (a *AdapCC) Predict(p strategy.Primitive, bytes int64, ranks, relays []int, root int) (time.Duration, error) {
+	res, err := a.Strategy(p, bytes, ranks, relays, root)
+	if err != nil {
+		return 0, err
+	}
+	return res.Eval.Time, nil
+}
+
+// AggregateBandwidthBps implements the paper's B: the accumulated profiled
+// bandwidth of the network links feeding the servers that host the given
+// workers (plus relays).
+func (a *AdapCC) AggregateBandwidthBps(ready, relays []int) float64 {
+	g := a.env.Graph
+	servers := make(map[int]bool)
+	for _, set := range [][]int{ready, relays} {
+		for _, r := range set {
+			if id, ok := g.GPUByRank(r); ok {
+				servers[g.Node(id).Server] = true
+			}
+		}
+	}
+	var sum float64
+	for _, e := range g.Edges() {
+		if !e.Type.Network() {
+			continue
+		}
+		// NIC port edges (to/from the core switch) of involved servers.
+		endpoint := g.Node(e.From)
+		if endpoint.Kind != topology.KindNIC {
+			endpoint = g.Node(e.To)
+		}
+		if endpoint.Kind != topology.KindNIC || !servers[endpoint.Server] {
+			continue
+		}
+		if a.report != nil {
+			sum += a.report.AggregateBps(g, e.ID)
+		} else {
+			sum += e.BandwidthBps
+		}
+	}
+	sum /= 2 // each port was counted for both directions
+	if sum == 0 && len(servers) == 1 {
+		// Single-server job: accumulate NVLink bandwidth instead.
+		for _, e := range g.Edges() {
+			if e.Type == topology.LinkNVLink {
+				sum += e.BandwidthBps
+			}
+		}
+	}
+	return sum
+}
+
+func cacheKey(p strategy.Primitive, bytes int64, ranks, relays []int, root int) string {
+	b := make([]byte, 0, 64)
+	b = strconv.AppendInt(b, int64(p), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, bytes, 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(root), 10)
+	for _, set := range [][]int{ranks, relays} {
+		b = append(b, '|')
+		sorted := append([]int(nil), set...)
+		sort.Ints(sorted)
+		for _, r := range sorted {
+			b = strconv.AppendInt(b, int64(r), 10)
+			b = append(b, ',')
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/relay"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+func newInstance(t *testing.T, c *topology.Cluster, opts Options) (*backend.Env, *AdapCC) {
+	t.Helper()
+	env, err := backend.NewEnv(c, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, a
+}
+
+func testbedInstance(t *testing.T) (*backend.Env, *AdapCC) {
+	t.Helper()
+	c, err := cluster.Testbed(topology.TransportRDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newInstance(t, c, Options{})
+}
+
+func setup(t *testing.T, env *backend.Env, a *AdapCC) {
+	t.Helper()
+	done := false
+	a.Setup(func() { done = true })
+	env.Engine.Run()
+	if !done {
+		t.Fatal("Setup never completed")
+	}
+}
+
+func TestNewRunsDetection(t *testing.T) {
+	_, a := testbedInstance(t)
+	if a.InitTime() <= 0 {
+		t.Error("no detection time accounted")
+	}
+	if got := len(a.Detection().Layouts); got != 6 {
+		t.Errorf("layouts = %d, want 6", got)
+	}
+	if a.Name() != "AdapCC" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestSetupProfilesAndCharges(t *testing.T) {
+	env, a := testbedInstance(t)
+	if a.Report() != nil {
+		t.Fatal("report before setup")
+	}
+	setup(t, env, a)
+	if a.Report() == nil {
+		t.Fatal("no profiling report after setup")
+	}
+	prof, solve, su := a.Overheads()
+	if prof <= 0 {
+		t.Error("no profiling time")
+	}
+	if su <= 0 {
+		t.Error("no setup time")
+	}
+	_ = solve // solve time accrues lazily with Strategy calls
+	if env.Engine.Now() < prof+su {
+		t.Errorf("engine advanced %v, less than overheads %v", env.Engine.Now(), prof+su)
+	}
+}
+
+func TestRunAllReduceThroughBackendInterface(t *testing.T) {
+	env, a := testbedInstance(t)
+	setup(t, env, a)
+	elapsed, err := backend.Measure(env, a, backend.Request{
+		Primitive: strategy.AllReduce,
+		Bytes:     16 << 20,
+		Root:      -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestStrategyCaching(t *testing.T) {
+	env, a := testbedInstance(t)
+	setup(t, env, a)
+	r1, err := a.Strategy(strategy.AllReduce, 16<<20, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Strategy(strategy.AllReduce, 16<<20, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical request not cached")
+	}
+	done := false
+	a.Reconstruct(func(time.Duration) { done = true })
+	env.Engine.Run()
+	if !done {
+		t.Fatal("Reconstruct never completed")
+	}
+	r3, err := a.Strategy(strategy.AllReduce, 16<<20, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("cache not invalidated by Reconstruct")
+	}
+}
+
+func TestReconstructReactsToDegradedLink(t *testing.T) {
+	env, a := testbedInstance(t)
+	setup(t, env, a)
+	before, err := a.Predict(strategy.AllReduce, 256<<20, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade server 1's network sharply and reconstruct.
+	env.Fabric.SetServerNetworkScale(1, 0.2)
+	reconstructed := false
+	a.Reconstruct(func(time.Duration) { reconstructed = true })
+	env.Engine.Run()
+	if !reconstructed {
+		t.Fatal("reconstruct incomplete")
+	}
+	after, err := a.Predict(strategy.AllReduce, 256<<20, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Errorf("prediction after degradation (%v) should exceed before (%v)", after, before)
+	}
+}
+
+func TestAdaptiveAllReduceFullPath(t *testing.T) {
+	env, a := testbedInstance(t)
+	setup(t, env, a)
+	world := env.AllRanks()
+	const bytes = 4 << 20
+	ad, err := a.NewAdaptiveAllReduce(world, bytes, AdaptiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := backend.MakeInputs(world, bytes)
+	want := make([]float32, bytes/4)
+	for _, in := range inputs {
+		for i := range in {
+			want[i] += in[i]
+		}
+	}
+	var results map[int][]float32
+	ad.BeginIteration(inputs, func(res map[int][]float32, elapsed time.Duration) {
+		results = res
+	})
+	for _, r := range world {
+		r := r
+		env.Engine.After(time.Millisecond, func() { ad.WorkerReady(r) })
+	}
+	env.Engine.Run()
+	if results == nil {
+		t.Fatal("iteration never completed")
+	}
+	for _, r := range world {
+		out := results[r]
+		if out == nil {
+			t.Fatalf("rank %d has no result", r)
+		}
+		for i := range want {
+			if d := out[i] - want[i]; d > 1e-2 || d < -1e-2 {
+				t.Fatalf("rank %d elem %d = %v, want %v", r, i, out[i], want[i])
+			}
+		}
+	}
+	st := ad.Coordinator().Stats()
+	if st.FullRuns != 1 || st.PartialRuns != 0 {
+		t.Errorf("stats = %+v, want one full run", st)
+	}
+}
+
+func TestAdaptiveAllReduceStragglerPath(t *testing.T) {
+	env, a := testbedInstance(t)
+	setup(t, env, a)
+	world := env.AllRanks()
+	const bytes = 32 << 20
+	ad, err := a.NewAdaptiveAllReduce(world, bytes, AdaptiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := backend.MakeInputs(world, bytes)
+	want := make([]float32, bytes/4)
+	for _, in := range inputs {
+		for i := range in {
+			want[i] += in[i]
+		}
+	}
+	var results map[int][]float32
+	ad.BeginIteration(inputs, func(res map[int][]float32, elapsed time.Duration) {
+		results = res
+	})
+	straggler := world[len(world)-1]
+	for _, r := range world {
+		r := r
+		delay := time.Millisecond
+		if r == straggler {
+			// Late enough to trigger phase 1, early enough to beat
+			// the fault deadline so phase 2 catches it up.
+			delay = 60 * time.Millisecond
+		}
+		env.Engine.After(delay, func() { ad.WorkerReady(r) })
+	}
+	env.Engine.Run()
+	if results == nil {
+		t.Fatal("iteration never completed")
+	}
+	st := ad.Coordinator().Stats()
+	if st.PartialRuns != 1 {
+		t.Fatalf("stats = %+v, want one partial run", st)
+	}
+	if st.RelayCounts[straggler] != 1 {
+		t.Errorf("straggler relay count = %d, want 1", st.RelayCounts[straggler])
+	}
+	// Model-update consistency (Fig. 19b): the phase-1+phase-2 result
+	// must equal the full-collective sum on every alive rank.
+	for _, r := range world {
+		out := results[r]
+		if out == nil {
+			t.Fatalf("rank %d has no result", r)
+		}
+		for i := range want {
+			if d := out[i] - want[i]; d > 1e-2 || d < -1e-2 {
+				t.Fatalf("rank %d elem %d = %v, want %v (phase-2 must preserve accuracy)", r, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAdaptiveFaultContinuesTraining(t *testing.T) {
+	env, a := testbedInstance(t)
+	setup(t, env, a)
+	world := env.AllRanks()
+	const bytes = 8 << 20
+	var faulted []int
+	ad, err := a.NewAdaptiveAllReduce(world, bytes, AdaptiveOptions{
+		OnFault: func(f []int) { faulted = append(faulted, f...) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := backend.MakeInputs(world, bytes)
+	dead := world[len(world)-1]
+
+	completed := 0
+	runIter := func() {
+		ad.BeginIteration(inputs, func(map[int][]float32, time.Duration) { completed++ })
+		for _, r := range world {
+			if r == dead {
+				continue // never reports ready
+			}
+			r := r
+			env.Engine.After(time.Millisecond, func() { ad.WorkerReady(r) })
+		}
+		env.Engine.Run()
+	}
+	runIter()
+	if completed != 1 {
+		t.Fatal("iteration with dead worker never completed")
+	}
+	if len(faulted) != 1 || faulted[0] != dead {
+		t.Fatalf("faulted = %v, want [%d]", faulted, dead)
+	}
+	// Next iteration proceeds with survivors.
+	runIter()
+	if completed != 2 {
+		t.Fatal("post-fault iteration never completed")
+	}
+	alive := ad.Coordinator().Alive()
+	if len(alive) != len(world)-1 {
+		t.Fatalf("alive = %d, want %d", len(alive), len(world)-1)
+	}
+}
+
+func TestAdaptivePolicyOverride(t *testing.T) {
+	env, a := testbedInstance(t)
+	setup(t, env, a)
+	world := env.AllRanks()
+	ad, err := a.NewAdaptiveAllReduce(world, 4<<20, AdaptiveOptions{Policy: relay.AlwaysWait{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := backend.MakeInputs(world, 4<<20)
+	doneAt := time.Duration(-1)
+	ad.BeginIteration(inputs, func(_ map[int][]float32, elapsed time.Duration) { doneAt = elapsed })
+	for i, r := range world {
+		r := r
+		delay := time.Millisecond
+		if i == 0 {
+			delay = 80 * time.Millisecond
+		}
+		env.Engine.After(delay, func() { ad.WorkerReady(r) })
+	}
+	env.Engine.Run()
+	if doneAt < 80*time.Millisecond {
+		t.Fatalf("always-wait finished in %v before the straggler", doneAt)
+	}
+	if st := ad.Coordinator().Stats(); st.PartialRuns != 0 {
+		t.Errorf("always-wait ran a partial collective: %+v", st)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	c, err := cluster.Heterogeneous(topology.TransportRDMA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	setup(t, env, a)
+	ranks := env.AllRanks()
+	const shardLen = 1 << 18
+	shards := make(map[int][]float32, len(ranks))
+	for _, r := range ranks {
+		sh := make([]float32, shardLen)
+		for i := range sh {
+			sh[i] = float32(r*100) + float32(i%5)
+		}
+		shards[r] = sh
+	}
+	var results map[int][]float32
+	if err := a.AllGather(ranks, shards, func(res map[int][]float32, _ time.Duration) { results = res }); err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if results == nil {
+		t.Fatal("allgather never completed")
+	}
+	for _, r := range ranks {
+		out := results[r]
+		if len(out) != shardLen*len(ranks) {
+			t.Fatalf("rank %d result len %d", r, len(out))
+		}
+		for slot, src := range ranks {
+			for i := 0; i < shardLen; i += shardLen / 7 {
+				if out[slot*shardLen+i] != shards[src][i] {
+					t.Fatalf("rank %d slot %d elem %d = %v, want %v",
+						r, slot, i, out[slot*shardLen+i], shards[src][i])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	setup(t, env, a)
+	ranks := env.AllRanks()
+	total := 1 << 20
+	tensors := make(map[int][]float32, len(ranks))
+	want := make([]float32, total)
+	for _, r := range ranks {
+		v := make([]float32, total)
+		for i := range v {
+			v[i] = float32(r + 1)
+			want[i] += v[i]
+		}
+		tensors[r] = v
+	}
+	var results map[int][]float32
+	if err := a.ReduceScatter(ranks, tensors, func(res map[int][]float32, _ time.Duration) { results = res }); err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if results == nil {
+		t.Fatal("reducescatter never completed")
+	}
+	shardLen := total / len(ranks)
+	for slot, r := range ranks {
+		out := results[r]
+		if len(out) != shardLen {
+			t.Fatalf("rank %d shard len = %d, want %d", r, len(out), shardLen)
+		}
+		for i := 0; i < shardLen; i += shardLen / 9 {
+			if d := out[i] - want[slot*shardLen+i]; d > 1e-3 || d < -1e-3 {
+				t.Fatalf("rank %d elem %d = %v, want %v", r, i, out[i], want[slot*shardLen+i])
+			}
+		}
+	}
+}
+
+func TestQueueExecutesInOrder(t *testing.T) {
+	env, a := testbedInstance(t)
+	setup(t, env, a)
+	q := a.NewQueue()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		q.Submit(backend.Request{
+			Primitive: strategy.AllReduce,
+			Bytes:     1 << 20,
+			Root:      -1,
+			Inputs:    backend.MakeInputs(env.AllRanks(), 1<<20),
+			OnDone:    func(collective.Result) { order = append(order, i) },
+		})
+	}
+	if q.Len() == 0 {
+		t.Log("queue drained synchronously before engine ran (first op started eagerly)")
+	}
+	env.Engine.Run()
+	if len(order) != 3 {
+		t.Fatalf("completed %d ops, want 3", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+	if q.Completed() != 3 {
+		t.Errorf("Completed = %d", q.Completed())
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	env, a := testbedInstance(t)
+	setup(t, env, a)
+	if err := a.AllGather([]int{0}, map[int][]float32{0: {1}}, nil); err == nil {
+		t.Error("single-rank allgather accepted")
+	}
+	if err := a.AllGather([]int{0, 1}, map[int][]float32{0: {1}, 1: {1, 2}}, nil); err == nil {
+		t.Error("ragged shards accepted")
+	}
+	if err := a.ReduceScatter([]int{0, 1}, map[int][]float32{0: make([]float32, 3), 1: make([]float32, 3)}, nil); err == nil {
+		t.Error("non-divisible reducescatter accepted")
+	}
+	_ = env
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+func TestPredictEstimatorScaling(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	setup(t, env, a)
+
+	est := &PredictEstimator{A: a, TensorBytes: 64 << 20, World: 16}
+	full := est.FullTime(env.AllRanks())
+	if full <= 0 {
+		t.Fatal("no full-time estimate")
+	}
+	// Partial cost scales with the ready fraction.
+	half := est.PartialTime(env.AllRanks()[:8], env.AllRanks()[8:])
+	if half <= 0 || half >= full {
+		t.Fatalf("partial(8/16) = %v, want in (0, full=%v)", half, full)
+	}
+	want := time.Duration(float64(full) * 7 / 15)
+	if d := half - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("partial = %v, want ≈%v", half, want)
+	}
+	// Degenerate sets cost nothing.
+	if est.PartialTime([]int{0}, nil) != 0 {
+		t.Error("single-rank partial should cost 0")
+	}
+	if est.CatchupTime(nil) != 0 {
+		t.Error("empty catch-up should cost 0")
+	}
+	// Catch-up is priced at half a pass regardless of late count.
+	if got := est.CatchupTime([]int{3}); got != full/2 {
+		t.Errorf("catch-up = %v, want %v", got, full/2)
+	}
+	// The full estimate is memoised.
+	if est.FullTime(nil) != full {
+		t.Error("full time not memoised")
+	}
+}
+
+func TestFastStrategyCachesSeparately(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	setup(t, env, a)
+
+	full, err := a.Strategy(strategy.AllReduce, 32<<20, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := a.FastStrategy(strategy.AllReduce, 32<<20, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full == fast {
+		t.Fatal("fast and full searches share a cache entry")
+	}
+	// The restricted search can never beat the full one (by prediction).
+	if fast.Eval.Time < full.Eval.Time {
+		t.Errorf("fast search predicted faster (%v) than full (%v)", fast.Eval.Time, full.Eval.Time)
+	}
+	again, err := a.FastStrategy(strategy.AllReduce, 32<<20, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != fast {
+		t.Error("fast strategy not cached")
+	}
+}
+
+func TestAggregateBandwidthSingleServer(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	_ = env
+	// No network edges: fall back to accumulated NVLink bandwidth.
+	if bw := a.AggregateBandwidthBps([]int{0, 1, 2, 3}, nil); bw <= 0 {
+		t.Fatalf("single-server aggregate bandwidth = %v", bw)
+	}
+}
+
+func TestQueuePanicsOnInvalidRequest(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	setup(t, env, a)
+	q := a.NewQueue()
+	defer func() {
+		if recover() == nil {
+			t.Error("queued invalid request did not panic")
+		}
+	}()
+	q.Submit(backend.Request{Primitive: strategy.AllReduce, Bytes: -5})
+}
+
+func TestCoreAccessors(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	if a.Env() != env {
+		t.Error("Env() does not return the wired environment")
+	}
+	if a.Costs() == nil {
+		t.Error("no cost view before setup")
+	}
+	if a.Name() != "AdapCC" {
+		t.Errorf("Name() = %q", a.Name())
+	}
+	if a.Report() != nil {
+		t.Error("profiling report exists before Setup")
+	}
+	setup(t, env, a)
+	if a.Report() == nil {
+		t.Error("no profiling report after Setup")
+	}
+	// Profiled branch of the aggregate-bandwidth accumulator: two servers'
+	// ports, roughly twice one server's.
+	both := a.AggregateBandwidthBps(env.AllRanks(), nil)
+	one := a.AggregateBandwidthBps(env.AllRanks()[:2], nil)
+	if both <= one {
+		t.Errorf("two servers aggregate %v, one server %v", both, one)
+	}
+	if ratio := both / one; ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("aggregate ratio %.2f, want ~2 for twin servers", ratio)
+	}
+}

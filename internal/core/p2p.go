@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/sim"
+	"adapcc/internal/strategy"
+)
+
+// Send moves one rank's tensor to another over a synthesised route — the
+// point-to-point primitive the paper's AlltoAll builds on (ncclSend/
+// ncclRecv equivalents), exposed for pipeline parallelism: stage
+// activations and gradients travel between neighbouring stages through the
+// same profiled, chunk-pipelined fabric as the collectives.
+func (a *AdapCC) Send(src, dst int, data []float32, onDone func([]float32, time.Duration)) error {
+	if src == dst {
+		return fmt.Errorf("core: send to self (rank %d)", src)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("core: empty send")
+	}
+	start := a.env.Engine.Now()
+	return a.Run(backend.Request{
+		Primitive: strategy.Broadcast,
+		Bytes:     int64(len(data)) * 4,
+		Ranks:     []int{src, dst},
+		Root:      src,
+		Inputs:    map[int][]float32{src: data, dst: data},
+		OnDone: func(res collective.Result) {
+			if onDone != nil {
+				onDone(res.Outputs[dst], a.env.Engine.Now()-start)
+			}
+		},
+	})
+}
+
+// Gather collects every rank's shard at the root, concatenated in rank
+// order (the inverse of Scatter). Composed of one point-to-point transfer
+// per non-root rank, all in flight concurrently.
+func (a *AdapCC) Gather(ranks []int, root int, shards map[int][]float32, onDone func([]float32, time.Duration)) error {
+	ranks, shardLen, err := validateShards(a, ranks, shards)
+	if err != nil {
+		return fmt.Errorf("core: gather: %w", err)
+	}
+	slot := slotOf(ranks, root)
+	if slot < 0 {
+		return fmt.Errorf("core: gather root %d not among ranks %v", root, ranks)
+	}
+
+	start := a.env.Engine.Now()
+	out := make([]float32, shardLen*len(ranks))
+	copy(out[slot*shardLen:(slot+1)*shardLen], shards[root])
+	barrier := sim.NewCountdown(len(ranks)-1, func() {
+		if onDone != nil {
+			onDone(out, a.env.Engine.Now()-start)
+		}
+	})
+	for i, r := range ranks {
+		if r == root {
+			continue
+		}
+		i := i
+		err := a.Send(r, root, shards[r], func(data []float32, _ time.Duration) {
+			copy(out[i*shardLen:(i+1)*shardLen], data)
+			barrier.Done()
+		})
+		if err != nil {
+			return fmt.Errorf("core: gather from %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Scatter slices the root's tensor into len(ranks) equal shards and
+// delivers the i-th to the i-th rank in sorted order (the root keeps its
+// own slot). The tensor length must divide evenly.
+func (a *AdapCC) Scatter(ranks []int, root int, tensor []float32, onDone func(map[int][]float32, time.Duration)) error {
+	if ranks == nil {
+		ranks = a.env.AllRanks()
+	}
+	ranks = append([]int(nil), ranks...)
+	sort.Ints(ranks)
+	if len(ranks) < 2 {
+		return fmt.Errorf("core: scatter needs >= 2 ranks")
+	}
+	if len(tensor) == 0 || len(tensor)%len(ranks) != 0 {
+		return fmt.Errorf("core: tensor length %d not divisible by %d ranks", len(tensor), len(ranks))
+	}
+	slot := slotOf(ranks, root)
+	if slot < 0 {
+		return fmt.Errorf("core: scatter root %d not among ranks %v", root, ranks)
+	}
+	shardLen := len(tensor) / len(ranks)
+
+	start := a.env.Engine.Now()
+	results := make(map[int][]float32, len(ranks))
+	results[root] = tensor[slot*shardLen : (slot+1)*shardLen]
+	barrier := sim.NewCountdown(len(ranks)-1, func() {
+		if onDone != nil {
+			onDone(results, a.env.Engine.Now()-start)
+		}
+	})
+	for i, r := range ranks {
+		if r == root {
+			continue
+		}
+		r := r
+		err := a.Send(root, r, tensor[i*shardLen:(i+1)*shardLen], func(data []float32, _ time.Duration) {
+			results[r] = data
+			barrier.Done()
+		})
+		if err != nil {
+			return fmt.Errorf("core: scatter to %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// validateShards normalises the rank list and checks equal shard lengths.
+func validateShards(a *AdapCC, ranks []int, shards map[int][]float32) ([]int, int, error) {
+	if ranks == nil {
+		ranks = a.env.AllRanks()
+	}
+	ranks = append([]int(nil), ranks...)
+	sort.Ints(ranks)
+	if len(ranks) < 2 {
+		return nil, 0, fmt.Errorf("needs >= 2 ranks")
+	}
+	shardLen := -1
+	for _, r := range ranks {
+		sh, ok := shards[r]
+		if !ok {
+			return nil, 0, fmt.Errorf("rank %d has no shard", r)
+		}
+		if shardLen == -1 {
+			shardLen = len(sh)
+		} else if len(sh) != shardLen {
+			return nil, 0, fmt.Errorf("shard lengths differ (%d vs %d)", len(sh), shardLen)
+		}
+	}
+	if shardLen == 0 {
+		return nil, 0, fmt.Errorf("empty shards")
+	}
+	return ranks, shardLen, nil
+}
+
+func slotOf(ranks []int, r int) int {
+	for i, x := range ranks {
+		if x == r {
+			return i
+		}
+	}
+	return -1
+}

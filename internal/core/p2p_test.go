@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/topology"
+)
+
+func TestSendDeliversAcrossServers(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	setup(t, env, a)
+
+	data := make([]float32, 1<<18)
+	for i := range data {
+		data[i] = float32(i%97) * 0.5
+	}
+	var got []float32
+	var elapsed time.Duration
+	if err := a.Send(0, 3, data, func(out []float32, d time.Duration) {
+		got, elapsed = out, d
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if got == nil {
+		t.Fatal("send never delivered")
+	}
+	if elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("elem %d = %v, want %v", i, got[i], data[i])
+		}
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	setup(t, env, a)
+	if err := a.Send(0, 0, []float32{1}, nil); err == nil {
+		t.Error("self-send accepted")
+	}
+	if err := a.Send(0, 1, nil, nil); err == nil {
+		t.Error("empty send accepted")
+	}
+}
+
+func TestGatherConcatenatesInRankOrder(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	setup(t, env, a)
+
+	const shardLen = 1 << 14
+	shards := make(map[int][]float32, 4)
+	for r := 0; r < 4; r++ {
+		sh := make([]float32, shardLen)
+		for i := range sh {
+			sh[i] = float32(r*1000 + i%13)
+		}
+		shards[r] = sh
+	}
+	var got []float32
+	if err := a.Gather(nil, 2, shards, func(out []float32, _ time.Duration) { got = out }); err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if len(got) != 4*shardLen {
+		t.Fatalf("gathered %d elems, want %d", len(got), 4*shardLen)
+	}
+	for r := 0; r < 4; r++ {
+		for i := 0; i < shardLen; i += 997 {
+			if got[r*shardLen+i] != shards[r][i] {
+				t.Fatalf("slot %d elem %d = %v, want %v", r, i, got[r*shardLen+i], shards[r][i])
+			}
+		}
+	}
+}
+
+func TestScatterInvertsGather(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	setup(t, env, a)
+
+	const shardLen = 1 << 14
+	tensor := make([]float32, 4*shardLen)
+	for i := range tensor {
+		tensor[i] = float32(i % 31)
+	}
+	var got map[int][]float32
+	if err := a.Scatter(nil, 1, tensor, func(out map[int][]float32, _ time.Duration) { got = out }); err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if got == nil {
+		t.Fatal("scatter never completed")
+	}
+	for r := 0; r < 4; r++ {
+		sh := got[r]
+		if len(sh) != shardLen {
+			t.Fatalf("rank %d shard has %d elems, want %d", r, len(sh), shardLen)
+		}
+		for i := 0; i < shardLen; i += 991 {
+			if sh[i] != tensor[r*shardLen+i] {
+				t.Fatalf("rank %d elem %d = %v, want %v", r, i, sh[i], tensor[r*shardLen+i])
+			}
+		}
+	}
+}
+
+func TestGatherScatterErrors(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, Options{})
+	setup(t, env, a)
+
+	if err := a.Gather(nil, 9, map[int][]float32{0: {1}, 1: {1}, 2: {1}, 3: {1}}, nil); err == nil {
+		t.Error("gather with foreign root accepted")
+	}
+	if err := a.Gather(nil, 0, map[int][]float32{0: {1}, 1: {1, 2}, 2: {1}, 3: {1}}, nil); err == nil {
+		t.Error("gather with ragged shards accepted")
+	}
+	if err := a.Gather([]int{0}, 0, map[int][]float32{0: {1}}, nil); err == nil {
+		t.Error("single-rank gather accepted")
+	}
+	if err := a.Scatter(nil, 0, make([]float32, 7), nil); err == nil {
+		t.Error("indivisible scatter accepted")
+	}
+	if err := a.Scatter(nil, 9, make([]float32, 8), nil); err == nil {
+		t.Error("scatter with foreign root accepted")
+	}
+	if err := a.Scatter([]int{0}, 0, make([]float32, 4), nil); err == nil {
+		t.Error("single-rank scatter accepted")
+	}
+}

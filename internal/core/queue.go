@@ -1,0 +1,60 @@
+package core
+
+import (
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+)
+
+// Queue is the Work/Result queue pair of Sec. III: the ML framework pushes
+// communication requests in gradient-bucket order and they execute
+// strictly in order; completed tensors surface through the result
+// callback. One Queue per training session.
+type Queue struct {
+	a       *AdapCC
+	pending []backend.Request
+	busy    bool
+	// Depth statistics (exposed for tests and micro-benchmarks).
+	submitted int
+	completed int
+}
+
+// NewQueue returns an empty work queue bound to the instance.
+func (a *AdapCC) NewQueue() *Queue { return &Queue{a: a} }
+
+// Submit appends a request to the work queue. Requests execute in
+// submission order; each request's OnDone fires before the next request
+// starts (matching the in-order execution of the paper's work queue).
+// Errors starting a request are delivered by panicking on the engine, as
+// they indicate an invalid request against an already-validated session.
+func (q *Queue) Submit(req backend.Request) {
+	q.submitted++
+	userDone := req.OnDone
+	req.OnDone = func(res collective.Result) {
+		q.completed++
+		if userDone != nil {
+			userDone(res)
+		}
+		q.busy = false
+		q.kick()
+	}
+	q.pending = append(q.pending, req)
+	q.kick()
+}
+
+// Len reports queued (not yet started) requests.
+func (q *Queue) Len() int { return len(q.pending) }
+
+// Completed reports how many requests have finished.
+func (q *Queue) Completed() int { return q.completed }
+
+func (q *Queue) kick() {
+	if q.busy || len(q.pending) == 0 {
+		return
+	}
+	q.busy = true
+	req := q.pending[0]
+	q.pending = q.pending[1:]
+	if err := q.a.Run(req); err != nil {
+		panic("core: queued request failed to start: " + err.Error())
+	}
+}

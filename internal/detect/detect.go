@@ -1,0 +1,310 @@
+// Package detect implements AdapCC's Detector (paper Sec. IV-A): it infers
+// each instance's internal layout — which NUMA node each NIC is closest to,
+// which GPUs share a PCIe switch, and which GPUs share their switch with a
+// NIC — purely from probe measurements, then treats instance-to-instance
+// connectivity as a full mesh.
+//
+// The three probes mirror the paper exactly:
+//
+//  1. NIC/NUMA affinity: pin the local rank0 host thread to each NUMA node
+//     and loop a socket back to each NIC; the smallest latency wins.
+//  2. GPU/PCIe-switch co-location: two GPUs copy 20 MB to the CPU
+//     concurrently (8 parallel transmissions); depressed bandwidth reveals a
+//     shared switch.
+//  3. NIC PCIe locality: a GPU copies to the CPU while the CPU loops back to
+//     the NIC; depressed copy bandwidth reveals a shared switch.
+//
+// On real hardware the measurements come from CUDA memcpy and sockets; here
+// a Prober backed by the ground-truth topology.Cluster synthesises them with
+// realistic noise, so the inference logic runs unchanged.
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adapcc/internal/topology"
+)
+
+// Prober supplies raw measurements. Implementations must be deterministic
+// given their random source.
+type Prober interface {
+	// LoopbackLatency measures a socket loopback to nic from a host
+	// thread bound to the given NUMA node.
+	LoopbackLatency(server, numa, nic int) time.Duration
+	// SoloCopyBandwidth measures gpu's host-copy bandwidth with the PCIe
+	// fabric otherwise idle (bytes/sec).
+	SoloCopyBandwidth(server, gpu int) float64
+	// ConcurrentCopyBandwidth measures gpuA's host-copy bandwidth while
+	// gpuB copies simultaneously (bytes/sec).
+	ConcurrentCopyBandwidth(server, gpuA, gpuB int) float64
+	// CopyDuringLoopback measures gpu's host-copy bandwidth while the CPU
+	// drives a loopback through nic (bytes/sec).
+	CopyDuringLoopback(server, gpu, nic int) float64
+}
+
+// Decision thresholds and probe repetition counts.
+const (
+	probeReps = 5
+	// A concurrent copy below this fraction of solo bandwidth implies a
+	// shared PCIe switch.
+	switchShareThreshold = 0.75
+	// A copy-during-loopback below this fraction of solo bandwidth
+	// implies the GPU shares its switch with the NIC.
+	nicShareThreshold = 0.85
+)
+
+// Per-probe simulated costs, calibrated so that a 4-GPU server's full
+// detection takes ≈1.2 s (the paper's measured constant, Fig. 19c
+// discussion). Probing runs concurrently on all servers, so job-level
+// inference time is the slowest server's time.
+const (
+	loopbackProbeCost = 1 * time.Millisecond
+	pairProbeCost     = 30 * time.Millisecond
+	nicProbeCost      = 20 * time.Millisecond
+)
+
+// ServerLayout is the inferred layout of one server.
+type ServerLayout struct {
+	// NICAffinityNuma[n] is the NUMA node inferred closest to NIC n.
+	NICAffinityNuma []int
+	// SwitchGroups partitions GPU indices into inferred PCIe-switch
+	// groups (each group sorted ascending; groups ordered by first GPU).
+	SwitchGroups [][]int
+	// GPUSharesNICSwitch[g][n] reports whether GPU g was inferred to
+	// share a PCIe switch with NIC n.
+	GPUSharesNICSwitch [][]bool
+}
+
+// SameSwitch reports whether the layout places two GPUs on one switch.
+func (l *ServerLayout) SameSwitch(a, b int) bool {
+	for _, grp := range l.SwitchGroups {
+		var hasA, hasB bool
+		for _, g := range grp {
+			hasA = hasA || g == a
+			hasB = hasB || g == b
+		}
+		if hasA || hasB {
+			return hasA && hasB
+		}
+	}
+	return false
+}
+
+// Result is the detector's output for the whole job.
+type Result struct {
+	Layouts []ServerLayout
+	// Graph is the logical communication graph (Fig. 5a) with nominal
+	// edge properties; the Profiler refines them.
+	Graph *topology.Graph
+	// InferenceTime is the simulated wall time of detection. Probing runs
+	// concurrently on every server, so this is the slowest server's
+	// probe time — constant in job scale (Sec. VI-E: 1.2 s).
+	InferenceTime time.Duration
+}
+
+// Detect runs the three probe stages on every server and assembles the
+// logical topology.
+func Detect(c *topology.Cluster, p Prober) (*Result, error) {
+	if c == nil || p == nil {
+		return nil, fmt.Errorf("detect: nil cluster or prober")
+	}
+	res := &Result{Layouts: make([]ServerLayout, len(c.Servers))}
+	var slowest time.Duration
+	for si := range c.Servers {
+		layout, cost, err := detectServer(c, p, si)
+		if err != nil {
+			return nil, fmt.Errorf("detect: server %d: %w", si, err)
+		}
+		res.Layouts[si] = layout
+		if cost > slowest {
+			slowest = cost
+		}
+	}
+	res.InferenceTime = slowest
+
+	g, err := c.LogicalGraph()
+	if err != nil {
+		return nil, fmt.Errorf("detect: building logical graph: %w", err)
+	}
+	res.Graph = g
+	return res, nil
+}
+
+func detectServer(c *topology.Cluster, p Prober, si int) (ServerLayout, time.Duration, error) {
+	srv := c.Servers[si]
+	nGPU, nNIC := len(srv.GPUs), len(srv.NICs)
+	var cost time.Duration
+
+	// Stage 1: NIC/NUMA affinity via pinned loopback latency.
+	layout := ServerLayout{NICAffinityNuma: make([]int, nNIC)}
+	for nic := 0; nic < nNIC; nic++ {
+		best, bestNuma := time.Duration(1<<62), -1
+		for numa := 0; numa < srv.NUMACount; numa++ {
+			lat := medianLatency(probeReps, func() time.Duration {
+				return p.LoopbackLatency(si, numa, nic)
+			})
+			cost += probeReps * loopbackProbeCost
+			if lat < best {
+				best, bestNuma = lat, numa
+			}
+		}
+		layout.NICAffinityNuma[nic] = bestNuma
+	}
+
+	// Stage 2: pairwise GPU switch co-location.
+	solo := make([]float64, nGPU)
+	for g := 0; g < nGPU; g++ {
+		solo[g] = medianBandwidth(probeReps, func() float64 {
+			return p.SoloCopyBandwidth(si, g)
+		})
+		cost += probeReps * pairProbeCost / 2
+		if solo[g] <= 0 {
+			return ServerLayout{}, 0, fmt.Errorf("GPU %d solo bandwidth %v not positive", g, solo[g])
+		}
+	}
+	parent := make([]int, nGPU)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for a := 0; a < nGPU; a++ {
+		for b := a + 1; b < nGPU; b++ {
+			bw := medianBandwidth(probeReps, func() float64 {
+				return p.ConcurrentCopyBandwidth(si, a, b)
+			})
+			cost += probeReps * pairProbeCost
+			if bw < switchShareThreshold*solo[a] {
+				parent[find(a)] = find(b)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for g := 0; g < nGPU; g++ {
+		root := find(g)
+		groups[root] = append(groups[root], g)
+	}
+	for g := 0; g < nGPU; g++ {
+		// Emit each group once, when visiting its smallest member
+		// (members were appended in ascending order above).
+		if grp := groups[find(g)]; len(grp) > 0 && grp[0] == g {
+			layout.SwitchGroups = append(layout.SwitchGroups, grp)
+		}
+	}
+
+	// Stage 3: NIC PCIe locality.
+	layout.GPUSharesNICSwitch = make([][]bool, nGPU)
+	for g := 0; g < nGPU; g++ {
+		layout.GPUSharesNICSwitch[g] = make([]bool, nNIC)
+		for nic := 0; nic < nNIC; nic++ {
+			bw := medianBandwidth(probeReps, func() float64 {
+				return p.CopyDuringLoopback(si, g, nic)
+			})
+			cost += probeReps * nicProbeCost
+			layout.GPUSharesNICSwitch[g][nic] = bw < nicShareThreshold*solo[g]
+		}
+	}
+	return layout, cost, nil
+}
+
+func medianLatency(n int, probe func() time.Duration) time.Duration {
+	vals := make([]time.Duration, n)
+	for i := range vals {
+		vals[i] = probe()
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[n/2]
+}
+
+func medianBandwidth(n int, probe func() float64) float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = probe()
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[n/2]
+}
+
+// HardwareProber synthesises probe measurements from the ground-truth
+// cluster description, with multiplicative measurement noise. It stands in
+// for the CUDA/socket measurements of the real system.
+type HardwareProber struct {
+	cluster *topology.Cluster
+	rng     *rand.Rand
+	// Noise is the relative standard deviation of measurement noise
+	// (default 0.03).
+	Noise float64
+}
+
+var _ Prober = (*HardwareProber)(nil)
+
+// NewHardwareProber returns a prober over the cluster using rng for noise.
+func NewHardwareProber(c *topology.Cluster, rng *rand.Rand) *HardwareProber {
+	return &HardwareProber{cluster: c, rng: rng, Noise: 0.03}
+}
+
+const (
+	baseLoopbackLatency  = 20 * time.Microsecond
+	crossNumaPenalty     = 12 * time.Microsecond
+	sharedSwitchFraction = 0.55 // concurrent copies on one switch see ~55% of solo
+	nicContentionFrac    = 0.70 // copy during NIC loopback on shared switch
+)
+
+// LoopbackLatency implements Prober.
+func (hp *HardwareProber) LoopbackLatency(server, numa, nic int) time.Duration {
+	srv := hp.cluster.Servers[server]
+	lat := baseLoopbackLatency
+	if srv.NICNuma[nic] != numa {
+		lat += crossNumaPenalty
+	}
+	return time.Duration(float64(lat) * hp.noise())
+}
+
+// SoloCopyBandwidth implements Prober.
+func (hp *HardwareProber) SoloCopyBandwidth(server, gpu int) float64 {
+	srv := hp.cluster.Servers[server]
+	return srv.PCIe.Bps() * hp.noise()
+}
+
+// ConcurrentCopyBandwidth implements Prober.
+func (hp *HardwareProber) ConcurrentCopyBandwidth(server, gpuA, gpuB int) float64 {
+	srv := hp.cluster.Servers[server]
+	bw := srv.PCIe.Bps()
+	if gpuA != gpuB && srv.GPUSwitch[gpuA] == srv.GPUSwitch[gpuB] {
+		bw *= sharedSwitchFraction
+	}
+	return bw * hp.noise()
+}
+
+// CopyDuringLoopback implements Prober.
+func (hp *HardwareProber) CopyDuringLoopback(server, gpu, nic int) float64 {
+	srv := hp.cluster.Servers[server]
+	bw := srv.PCIe.Bps()
+	if srv.GPUSwitch[gpu] == srv.NICSwitch[nic] {
+		bw *= nicContentionFrac
+	}
+	return bw * hp.noise()
+}
+
+func (hp *HardwareProber) noise() float64 {
+	n := 1 + hp.rng.NormFloat64()*hp.Noise
+	if n < 0.5 {
+		n = 0.5
+	}
+	return n
+}

@@ -1,0 +1,201 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/topology"
+)
+
+func defaultServer() topology.ServerSpec {
+	return topology.ServerSpec{
+		GPUs: []topology.GPUModel{topology.GPUA100, topology.GPUA100, topology.GPUA100, topology.GPUA100},
+		NICs: []topology.NICSpec{{BandwidthBps: topology.Gbps(100)}},
+	}
+}
+
+func detectOne(t *testing.T, servers ...topology.ServerSpec) *Result {
+	t.Helper()
+	c, err := topology.NewCluster(topology.TransportRDMA, servers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(c, NewHardwareProber(c, rand.New(rand.NewSource(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRecoversNICAffinity(t *testing.T) {
+	srv := defaultServer()
+	srv.NICNuma = []int{1} // plant the NIC on NUMA node 1
+	res := detectOne(t, srv)
+	if got := res.Layouts[0].NICAffinityNuma[0]; got != 1 {
+		t.Fatalf("inferred NIC NUMA %d, want 1", got)
+	}
+}
+
+func TestRecoversSwitchGroups(t *testing.T) {
+	srv := defaultServer()
+	srv.GPUSwitch = []int{0, 0, 1, 1} // GPUs 0,1 share a switch; 2,3 share another
+	res := detectOne(t, srv)
+	l := res.Layouts[0]
+	if len(l.SwitchGroups) != 2 {
+		t.Fatalf("inferred %d switch groups %v, want 2", len(l.SwitchGroups), l.SwitchGroups)
+	}
+	if !l.SameSwitch(0, 1) || !l.SameSwitch(2, 3) {
+		t.Errorf("co-located pairs not detected: %v", l.SwitchGroups)
+	}
+	if l.SameSwitch(0, 2) || l.SameSwitch(1, 3) {
+		t.Errorf("cross-switch pairs wrongly merged: %v", l.SwitchGroups)
+	}
+}
+
+func TestRecoversNICLocality(t *testing.T) {
+	srv := defaultServer()
+	srv.GPUSwitch = []int{0, 0, 1, 1}
+	srv.NICSwitch = []int{0} // NIC hangs off switch 0, next to GPUs 0 and 1
+	res := detectOne(t, srv)
+	l := res.Layouts[0]
+	for g := 0; g < 4; g++ {
+		want := g < 2
+		if got := l.GPUSharesNICSwitch[g][0]; got != want {
+			t.Errorf("GPU %d shares NIC switch = %v, want %v", g, got, want)
+		}
+	}
+}
+
+func TestRecoveryUnderRandomLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		nGPU := 2 + rng.Intn(6)
+		srv := topology.ServerSpec{
+			GPUs:      make([]topology.GPUModel, nGPU),
+			NICs:      []topology.NICSpec{{BandwidthBps: topology.Gbps(100)}},
+			NUMACount: 2,
+			GPUNuma:   make([]int, nGPU),
+			GPUSwitch: make([]int, nGPU),
+			NICNuma:   []int{rng.Intn(2)},
+			NICSwitch: []int{rng.Intn(2)},
+		}
+		for i := 0; i < nGPU; i++ {
+			srv.GPUs[i] = topology.GPUA100
+			srv.GPUNuma[i] = rng.Intn(2)
+			srv.GPUSwitch[i] = rng.Intn(2)
+		}
+		c, err := topology.NewCluster(topology.TransportRDMA, srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Detect(c, NewHardwareProber(c, rand.New(rand.NewSource(int64(trial)))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := res.Layouts[0]
+		if got := l.NICAffinityNuma[0]; got != srv.NICNuma[0] {
+			t.Errorf("trial %d: NIC NUMA %d, want %d", trial, got, srv.NICNuma[0])
+		}
+		for a := 0; a < nGPU; a++ {
+			for b := a + 1; b < nGPU; b++ {
+				want := srv.GPUSwitch[a] == srv.GPUSwitch[b]
+				if got := l.SameSwitch(a, b); got != want {
+					t.Errorf("trial %d: SameSwitch(%d,%d) = %v, want %v", trial, a, b, got, want)
+				}
+			}
+			want := srv.GPUSwitch[a] == srv.NICSwitch[0]
+			if got := l.GPUSharesNICSwitch[a][0]; got != want {
+				t.Errorf("trial %d: GPU %d/NIC locality = %v, want %v", trial, a, got, want)
+			}
+		}
+	}
+}
+
+func TestInferenceTimeConstantInScale(t *testing.T) {
+	one := detectOne(t, defaultServer())
+	six := detectOne(t, defaultServer(), defaultServer(), defaultServer(),
+		defaultServer(), defaultServer(), defaultServer())
+	if one.InferenceTime != six.InferenceTime {
+		t.Fatalf("inference time grew with scale: %v (1 server) vs %v (6 servers); probing is concurrent per server",
+			one.InferenceTime, six.InferenceTime)
+	}
+	// The paper measures ≈1.2 s for a 4-GPU server.
+	if one.InferenceTime < 500*time.Millisecond || one.InferenceTime > 3*time.Second {
+		t.Errorf("inference time %v implausibly far from the paper's 1.2 s", one.InferenceTime)
+	}
+}
+
+func TestGraphBuiltAndValid(t *testing.T) {
+	res := detectOne(t, defaultServer(), defaultServer())
+	if res.Graph == nil {
+		t.Fatal("no graph produced")
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatalf("invalid graph: %v", err)
+	}
+	if got := len(res.Graph.GPUs()); got != 8 {
+		t.Fatalf("graph has %d GPUs, want 8", got)
+	}
+	// Instance connectivity goes through the core switch: each NIC has
+	// one uplink and one downlink port edge.
+	network := 0
+	for _, e := range res.Graph.Edges() {
+		if e.Type.Network() {
+			network++
+		}
+	}
+	if network != 4 {
+		t.Fatalf("network edges = %d, want 4 (2 NICs x up/down port)", network)
+	}
+	if _, ok := res.Graph.Switch(); !ok {
+		t.Fatal("no core switch in multi-server graph")
+	}
+}
+
+func TestDetectNilArgs(t *testing.T) {
+	if _, err := Detect(nil, nil); err == nil {
+		t.Fatal("nil args accepted")
+	}
+}
+
+func TestSameSwitchUnknownGPU(t *testing.T) {
+	l := &ServerLayout{SwitchGroups: [][]int{{0, 1}}}
+	if l.SameSwitch(0, 5) {
+		t.Fatal("unknown GPU reported as co-located")
+	}
+}
+
+func TestFragmentedAllocationHasNoNVLinkEdges(t *testing.T) {
+	// The cloud resource-fragmentation case of Sec. II-A: allocated GPUs
+	// share no NVLink, so the detector's graph must route everything over
+	// the PCIe host path.
+	c, err := topology.NewCluster(topology.TransportRDMA, cluster.FragmentedA100Server(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(c, NewHardwareProber(c, rand.New(rand.NewSource(7))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Graph.Edges() {
+		if e.Type == topology.LinkNVLink {
+			t.Fatalf("fragmented allocation produced an NVLink edge %v->%v", e.From, e.To)
+		}
+	}
+	// Every GPU still reaches the NIC over PCIe.
+	nic, ok := res.Graph.NICOfServer(0, 0)
+	if !ok {
+		t.Fatal("no NIC")
+	}
+	for r := 0; r < 4; r++ {
+		id, ok := res.Graph.GPUByRank(r)
+		if !ok {
+			t.Fatalf("rank %d missing", r)
+		}
+		if _, ok := res.Graph.EdgeBetween(id, nic); !ok {
+			t.Errorf("rank %d has no host path to the NIC", r)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package device simulates GPUs: memory buffers, CUDA-like streams whose
+// kernels serialise per stream but run concurrently across streams, and
+// aggregation ("reduce") kernels that operate on real float32 data.
+//
+// This is the substitute for the CUDA runtime: collectives move actual
+// numbers through these buffers, so tests can assert that every rank ends
+// with the true aggregate, while kernel-launch latency and reduce throughput
+// are charged on the simulation clock exactly where a real GPU would spend
+// them (paper Sec. V-B: pipelining hides kernel launch under NVLink time).
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// KernelLaunchLatency is the fixed host-side cost of launching one kernel.
+const KernelLaunchLatency = 4 * time.Microsecond
+
+// reduceThroughputBps returns the bytes/second an aggregation kernel
+// processes on the given model.
+func reduceThroughputBps(m topology.GPUModel) float64 {
+	switch m {
+	case topology.GPUH100:
+		return 1200e9
+	case topology.GPUA100:
+		return 600e9
+	case topology.GPUV100:
+		return 300e9
+	default:
+		return 150e9
+	}
+}
+
+// GPU is one simulated device, owned by one worker rank.
+type GPU struct {
+	eng   *sim.Engine
+	model topology.GPUModel
+	rank  int
+
+	allocBytes int64
+	kernels    int64
+}
+
+// New returns a GPU of the given model for the given global rank.
+func New(eng *sim.Engine, model topology.GPUModel, rank int) *GPU {
+	return &GPU{eng: eng, model: model, rank: rank}
+}
+
+// Rank returns the owning worker's global rank.
+func (g *GPU) Rank() int { return g.rank }
+
+// Model returns the GPU model.
+func (g *GPU) Model() topology.GPUModel { return g.model }
+
+// Alloc allocates a float32 buffer of n elements on the device, tracking
+// memory footprint (the set-up phase of Sec. V-A registers these once and
+// reuses them across iterations).
+func (g *GPU) Alloc(n int) []float32 {
+	g.allocBytes += int64(n) * 4
+	return make([]float32, n)
+}
+
+// AllocatedBytes reports the cumulative device memory registered.
+func (g *GPU) AllocatedBytes() int64 { return g.allocBytes }
+
+// KernelsLaunched reports how many kernels have been launched.
+func (g *GPU) KernelsLaunched() int64 { return g.kernels }
+
+// NewStream creates an independent execution stream. Kernels within one
+// stream serialise; kernels on different streams overlap (the multi-stream
+// parallelism of Sec. V-A, unlike NCCL's single stream).
+func (g *GPU) NewStream() *Stream {
+	return &Stream{gpu: g}
+}
+
+// Stream is a CUDA-stream analogue: an in-order kernel queue.
+type Stream struct {
+	gpu       *GPU
+	busyUntil sim.Time
+}
+
+// LaunchReduce enqueues a kernel that accumulates src element-wise into dst
+// (dst[i] += src[i]) and calls onDone when the kernel retires. The slices
+// must be equal length.
+func (s *Stream) LaunchReduce(dst, src []float32, onDone func()) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("device: reduce length mismatch %d vs %d", len(dst), len(src)))
+	}
+	s.launch(int64(len(src))*4, func() {
+		for i, v := range src {
+			dst[i] += v
+		}
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// LaunchReduceMulti enqueues a kernel that accumulates every source into dst
+// in one launch (used when several predecessors' chunks are ready together).
+func (s *Stream) LaunchReduceMulti(dst []float32, srcs [][]float32, onDone func()) {
+	var bytes int64
+	for _, src := range srcs {
+		if len(src) != len(dst) {
+			panic(fmt.Sprintf("device: reduce length mismatch %d vs %d", len(dst), len(src)))
+		}
+		bytes += int64(len(src)) * 4
+	}
+	s.launch(bytes, func() {
+		for _, src := range srcs {
+			for i, v := range src {
+				dst[i] += v
+			}
+		}
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// LaunchCopy enqueues a kernel that copies src into dst (intra-device
+// movement, e.g. staging a result buffer).
+func (s *Stream) LaunchCopy(dst, src []float32, onDone func()) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("device: copy length mismatch %d vs %d", len(dst), len(src)))
+	}
+	s.launch(int64(len(src))*4, func() {
+		copy(dst, src)
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// launch charges launch latency plus throughput time, serialised after any
+// kernel already queued on this stream, then runs body.
+func (s *Stream) launch(bytes int64, body func()) {
+	g := s.gpu
+	g.kernels++
+	start := g.eng.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	dur := KernelLaunchLatency + sim.Time(float64(bytes)/reduceThroughputBps(g.model)*1e9)
+	finish := start + dur
+	s.busyUntil = finish
+	g.eng.At(finish, body)
+}

@@ -1,0 +1,175 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+func TestReduceAccumulates(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := New(eng, topology.GPUA100, 0)
+	dst := []float32{1, 2, 3}
+	src := []float32{10, 20, 30}
+	done := false
+	g.NewStream().LaunchReduce(dst, src, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("kernel never retired")
+	}
+	want := []float32{11, 22, 33}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestReduceMulti(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := New(eng, topology.GPUA100, 0)
+	dst := []float32{1, 1}
+	g.NewStream().LaunchReduceMulti(dst, [][]float32{{2, 2}, {3, 3}}, nil)
+	eng.Run()
+	if dst[0] != 6 || dst[1] != 6 {
+		t.Fatalf("dst = %v, want [6 6]", dst)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := New(eng, topology.GPUV100, 0)
+	dst := make([]float32, 3)
+	g.NewStream().LaunchCopy(dst, []float32{7, 8, 9}, nil)
+	eng.Run()
+	if dst[0] != 7 || dst[2] != 9 {
+		t.Fatalf("dst = %v, want [7 8 9]", dst)
+	}
+}
+
+func TestKernelTimingChargesLaunchAndThroughput(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := New(eng, topology.GPUA100, 0)
+	// 600e9 B/s → 6 MB takes 10 µs, plus 4 µs launch.
+	dst := make([]float32, 1_500_000)
+	src := make([]float32, 1_500_000)
+	var at sim.Time = -1
+	g.NewStream().LaunchReduce(dst, src, func() { at = eng.Now() })
+	eng.Run()
+	want := KernelLaunchLatency + 10*time.Microsecond
+	if diff := at - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("kernel retired at %v, want ≈%v", at, want)
+	}
+}
+
+func TestSameStreamSerialises(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := New(eng, topology.GPUA100, 0)
+	s := g.NewStream()
+	buf := make([]float32, 1_500_000) // 10 µs of reduce work each
+	var first, second sim.Time
+	s.LaunchReduce(buf, buf, func() { first = eng.Now() })
+	s.LaunchReduce(buf, buf, func() { second = eng.Now() })
+	eng.Run()
+	if second-first < 10*time.Microsecond {
+		t.Fatalf("second kernel at %v did not wait for first at %v", second, first)
+	}
+}
+
+func TestDifferentStreamsOverlap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := New(eng, topology.GPUA100, 0)
+	buf := make([]float32, 1_500_000)
+	var first, second sim.Time
+	g.NewStream().LaunchReduce(buf, buf, func() { first = eng.Now() })
+	g.NewStream().LaunchCopy(buf, buf, func() { second = eng.Now() })
+	eng.Run()
+	if first != second {
+		t.Fatalf("independent streams should finish together: %v vs %v", first, second)
+	}
+}
+
+func TestV100SlowerThanA100(t *testing.T) {
+	timeOn := func(m topology.GPUModel) sim.Time {
+		eng := sim.NewEngine(1)
+		g := New(eng, m, 0)
+		buf := make([]float32, 10_000_000)
+		var at sim.Time
+		g.NewStream().LaunchReduce(buf, buf, func() { at = eng.Now() })
+		eng.Run()
+		return at
+	}
+	if timeOn(topology.GPUV100) <= timeOn(topology.GPUA100) {
+		t.Fatal("V100 reduce kernel should be slower than A100")
+	}
+}
+
+func TestAllocTracksBytes(t *testing.T) {
+	g := New(sim.NewEngine(1), topology.GPUA100, 3)
+	g.Alloc(1000)
+	g.Alloc(500)
+	if got := g.AllocatedBytes(); got != 6000 {
+		t.Fatalf("AllocatedBytes = %d, want 6000", got)
+	}
+	if g.Rank() != 3 {
+		t.Fatalf("Rank = %d, want 3", g.Rank())
+	}
+}
+
+func TestKernelsCounted(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := New(eng, topology.GPUA100, 0)
+	s := g.NewStream()
+	buf := []float32{0}
+	s.LaunchReduce(buf, buf, nil)
+	s.LaunchCopy(buf, buf, nil)
+	eng.Run()
+	if got := g.KernelsLaunched(); got != 2 {
+		t.Fatalf("KernelsLaunched = %d, want 2", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := New(eng, topology.GPUA100, 0)
+	s := g.NewStream()
+	for name, fn := range map[string]func(){
+		"reduce": func() { s.LaunchReduce(make([]float32, 2), make([]float32, 3), nil) },
+		"copy":   func() { s.LaunchCopy(make([]float32, 2), make([]float32, 3), nil) },
+		"multi":  func() { s.LaunchReduceMulti(make([]float32, 2), [][]float32{make([]float32, 3)}, nil) },
+	} {
+		fn := fn
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("mismatched lengths did not panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestModelAccessorAndThroughputCatalog(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := New(eng, topology.GPUV100, 7)
+	if g.Rank() != 7 {
+		t.Errorf("Rank() = %d", g.Rank())
+	}
+	if g.Model() != topology.GPUV100 {
+		t.Errorf("Model() = %v", g.Model())
+	}
+	// Catalog ordering: H100 > A100 > V100 reduce throughput.
+	h := reduceThroughputBps(topology.GPUH100)
+	a := reduceThroughputBps(topology.GPUA100)
+	v := reduceThroughputBps(topology.GPUV100)
+	if !(h > a && a > v && v > 0) {
+		t.Errorf("throughput ordering broken: h=%v a=%v v=%v", h, a, v)
+	}
+	// Unknown models still aggregate at some positive rate.
+	if reduceThroughputBps(topology.GPUModel(99)) <= 0 {
+		t.Error("unknown model has no reduce throughput")
+	}
+}

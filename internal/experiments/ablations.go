@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/baseline/nccl"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+)
+
+// Ablations isolates the contribution of individual design choices
+// (DESIGN.md Sec. 4) as slowdown factors against the full system. The
+// training-loop ablation (ski rental vs always-wait/always-proceed) lives
+// in BenchmarkAblationRelayPolicy; everything executor-priced is here so
+// `adapcc-bench -experiment ablations` covers it without a bench run.
+func Ablations(cfg Config) (*Table, error) {
+	cfg = cfg.defaults()
+	t := &Table{
+		ID:      "ablations",
+		Title:   "Design-choice ablations (slowdown vs the full system)",
+		Columns: []string{"slowdown-x"},
+	}
+	heter, err := cluster.Heterogeneous(topology.TransportRDMA, 4)
+	if err != nil {
+		return nil, err
+	}
+
+	exec := func(mutate func(*synth.Request)) (time.Duration, error) {
+		env, err := backend.NewEnv(heter, cfg.Seed)
+		if err != nil {
+			return 0, err
+		}
+		req := synth.Request{Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1}
+		if mutate != nil {
+			mutate(&req)
+		}
+		res, err := synth.Synthesize(synth.NewCosts(env.Graph, nil), req)
+		if err != nil {
+			return 0, err
+		}
+		var elapsed time.Duration
+		err = env.Exec.Run(collective.Op{
+			Strategy: res.Strategy,
+			Inputs:   backend.MakeInputs(env.AllRanks(), cfg.Bytes),
+			OnDone:   func(r collective.Result) { elapsed = r.Elapsed },
+		})
+		if err != nil {
+			return 0, err
+		}
+		env.Engine.Run()
+		return elapsed, nil
+	}
+
+	full, err := exec(nil)
+	if err != nil {
+		return nil, err
+	}
+	fixed8M, err := exec(func(r *synth.Request) { r.ChunkGrid = []int64{8 << 20} })
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("fixed 8MB chunks (Blink) vs searched", float64(fixed8M)/float64(full))
+
+	agg, err := exec(func(r *synth.Request) { r.ForceVariant = "hier-star" })
+	if err != nil {
+		return nil, err
+	}
+	noAgg, err := exec(func(r *synth.Request) { r.ForceVariant = "flat-star" })
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("no aggregation control (flat star)", float64(noAgg)/float64(agg))
+
+	// Profiled vs nominal synthesis with one silently degraded server —
+	// through the full core pipeline, so profiling also steers the root
+	// plans away from the degraded ports (that placement, not the α–β
+	// numbers alone, is most of the win).
+	homo4, err := cluster.Homogeneous(topology.TransportRDMA, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	degraded := func(skipProfiling bool) (time.Duration, error) {
+		env, err := backend.NewEnv(homo4, cfg.Seed)
+		if err != nil {
+			return 0, err
+		}
+		env.Fabric.SetServerNetworkScale(2, 0.3)
+		a, err := core.New(env, core.Options{SkipProfiling: skipProfiling})
+		if err != nil {
+			return 0, err
+		}
+		a.Setup(func() {})
+		env.Engine.Run()
+		return backend.Measure(env, a, backend.Request{
+			Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1,
+		})
+	}
+	profiled, err := degraded(false)
+	if err != nil {
+		return nil, err
+	}
+	nominal, err := degraded(true)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("nominal labels w/ degraded server", float64(nominal)/float64(profiled))
+
+	// NCCL's own design space: dual trees vs ring at four servers.
+	ncclAlgo := func(ring bool) (time.Duration, error) {
+		c, err := cluster.Homogeneous(topology.TransportRDMA, 4, 4)
+		if err != nil {
+			return 0, err
+		}
+		env, err := backend.NewEnv(c, cfg.Seed)
+		if err != nil {
+			return 0, err
+		}
+		n := nccl.New(env)
+		var st *strategy.Strategy
+		if ring {
+			st, err = n.RingStrategy(strategy.AllReduce, cfg.Bytes, env.AllRanks(), -1)
+		} else {
+			st, err = n.BuildStrategy(strategy.AllReduce, cfg.Bytes, env.AllRanks(), -1)
+		}
+		if err != nil {
+			return 0, err
+		}
+		var elapsed time.Duration
+		err = env.Exec.Run(collective.Op{
+			Strategy:     st,
+			Inputs:       backend.MakeInputs(env.AllRanks(), cfg.Bytes),
+			SingleStream: true,
+			OnDone:       func(r collective.Result) { elapsed = r.Elapsed },
+		})
+		if err != nil {
+			return 0, err
+		}
+		env.Engine.Run()
+		return elapsed, nil
+	}
+	tree, err := ncclAlgo(false)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := ncclAlgo(true)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("NCCL dual trees vs ring (4 servers)", float64(tree)/float64(ring))
+
+	t.Note("values > 1 mean the ablated variant is slower (the design choice pays off)")
+	t.Note("ski-rental vs always-wait/always-proceed needs the training loop: go test -bench=BenchmarkAblationRelayPolicy")
+	return t, nil
+}

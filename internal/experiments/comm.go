@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/baseline/blink"
+	"adapcc/internal/baseline/msccl"
+	"adapcc/internal/baseline/nccl"
+	"adapcc/internal/cluster"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// systemNames is the column order of the Fig. 11–13 benchmarks.
+var systemNames = []string{"AdapCC", "MSCCL", "NCCL", "Blink"}
+
+// makeBackend builds one communication system over a fresh environment.
+// AdapCC runs its full init+setup pipeline (detection, profiling,
+// synthesis) before measurement, exactly as adapcc.init()/setup() would.
+func makeBackend(name string, env *backend.Env) (backend.Backend, error) {
+	switch name {
+	case "AdapCC":
+		a, err := core.New(env, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		done := false
+		a.Setup(func() { done = true })
+		env.Engine.Run()
+		if !done {
+			return nil, fmt.Errorf("experiments: AdapCC setup incomplete")
+		}
+		return a, nil
+	case "MSCCL":
+		return msccl.New(env), nil
+	case "NCCL":
+		return nccl.New(env), nil
+	case "Blink":
+		return blink.New(env), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown system %q", name)
+	}
+}
+
+// algoBandwidthGBps measures one collective's algorithm bandwidth on a
+// fresh environment (GB/s). A NaN-signalling -1 is returned for
+// unsupported combinations (e.g. Blink multi-server AlltoAll).
+func algoBandwidthGBps(cfg Config, bc cluster.Case, system string, prim strategy.Primitive) (float64, error) {
+	cl, err := bc.Build(topology.TransportRDMA)
+	if err != nil {
+		return 0, err
+	}
+	env, err := backend.NewEnv(cl, cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	b, err := makeBackend(system, env)
+	if err != nil {
+		return 0, err
+	}
+	bw, err := backend.AlgoBandwidth(env, b, backend.Request{
+		Primitive: prim,
+		Bytes:     cfg.Bytes,
+		Root:      rootFor(prim),
+	})
+	if err != nil {
+		return -1, nil // unsupported combination: hole in the figure
+	}
+	return bw / 1e9, nil
+}
+
+func rootFor(p strategy.Primitive) int {
+	if p == strategy.Reduce || p == strategy.Broadcast {
+		return 0
+	}
+	return -1
+}
+
+// benchCases returns the Fig. 11–13 x-axis, trimmed in Quick mode.
+func benchCases(cfg Config) []cluster.Case {
+	cases := cluster.BenchmarkCases()
+	if cfg.Quick {
+		return []cluster.Case{cases[0], cases[3]}
+	}
+	return cases
+}
+
+// commFigure runs one of the Fig. 11–13 benchmarks.
+func commFigure(cfg Config, id, title string, prim strategy.Primitive, systems []string) (*Table, error) {
+	cfg = cfg.defaults()
+	t := &Table{ID: id, Title: title, Columns: append([]string(nil), systems...)}
+	speedups := make(map[string][]float64)
+	for _, bc := range benchCases(cfg) {
+		row := make([]float64, 0, len(systems))
+		byName := make(map[string]float64, len(systems))
+		for _, sys := range systems {
+			bw, err := algoBandwidthGBps(cfg, bc, sys, prim)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s %s: %w", id, bc.Name, sys, err)
+			}
+			row = append(row, bw)
+			byName[sys] = bw
+		}
+		t.AddRow(bc.Name, row...)
+		for _, sys := range systems[1:] {
+			if byName[sys] > 0 && byName["AdapCC"] > 0 {
+				speedups[sys] = append(speedups[sys], byName["AdapCC"]/byName[sys])
+			}
+		}
+	}
+	for _, sys := range systems[1:] {
+		if g := geomean(speedups[sys]); g > 0 {
+			t.Note("AdapCC vs %s: %.2fx geomean speedup", sys, g)
+		}
+	}
+	t.Note("algorithm bandwidth in GB/s, %d MiB payload, M=4; -1 marks unsupported combinations", cfg.Bytes>>20)
+	return t, nil
+}
+
+// Fig11Reduce reproduces Fig. 11: Reduce algorithm bandwidth per GPU-count
+// case for AdapCC, MSCCL, NCCL and Blink.
+func Fig11Reduce(cfg Config) (*Table, error) {
+	return commFigure(cfg, "fig11", "Reduce algorithm bandwidth (GB/s)", strategy.Reduce, systemNames)
+}
+
+// Fig12AllReduce reproduces Fig. 12: AllReduce algorithm bandwidth.
+func Fig12AllReduce(cfg Config) (*Table, error) {
+	return commFigure(cfg, "fig12", "AllReduce algorithm bandwidth (GB/s)", strategy.AllReduce, systemNames)
+}
+
+// Fig13AlltoAll reproduces Fig. 13: AlltoAll algorithm bandwidth (the
+// paper compares NCCL and MSCCL only; Blink has no multi-server AlltoAll).
+func Fig13AlltoAll(cfg Config) (*Table, error) {
+	return commFigure(cfg, "fig13", "AlltoAll algorithm bandwidth (GB/s)", strategy.AlltoAll,
+		[]string{"AdapCC", "MSCCL", "NCCL"})
+}
+
+// Fig19aParallelism reproduces Fig. 19a: AdapCC's communication speed-up
+// over NCCL as the number of parallel sub-collectives M varies, on the
+// full testbed with VGG16-sized tensors.
+func Fig19aParallelism(cfg Config) (*Table, error) {
+	cfg = cfg.defaults()
+	t := &Table{
+		ID:      "fig19a",
+		Title:   "AllReduce speed-up over NCCL vs parallelization degree M",
+		Columns: []string{"speedup", "gpu-streams"},
+	}
+	cl, err := cluster.Testbed(topology.TransportRDMA)
+	if err != nil {
+		return nil, err
+	}
+
+	envN, err := backend.NewEnv(cl, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ncclTime, err := backend.Measure(envN, nccl.New(envN), backend.Request{
+		Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ms := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		ms = []int{1, 4}
+	}
+	for _, m := range ms {
+		env, err := backend.NewEnv(cl, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.New(env, core.Options{M: m, ExactM: true})
+		if err != nil {
+			return nil, err
+		}
+		a.Setup(func() {})
+		env.Engine.Run()
+		elapsed, err := backend.Measure(env, a, backend.Request{
+			Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("M=%d", m), float64(ncclTime)/float64(elapsed), float64(2*m))
+	}
+	t.Note("NCCL reference time %v; gpu-streams counts reduce+broadcast streams per GPU (resource cost of larger M)", ncclTime.Round(time.Microsecond))
+	t.Note("the paper picks M=4 as the speed-up/GPU-resource sweet spot")
+	return t, nil
+}

@@ -1,0 +1,235 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Sec. VI): each runner regenerates one figure's series as a printable
+// table, running the same workloads through AdapCC and the baselines over
+// the simulated testbed. Absolute numbers come from the simulator, so the
+// claims under test are the *shapes* — who wins, by what rough factor, and
+// where crossovers fall. EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Table is one reproduced figure: labelled rows of named columns.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one line of a table.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a row (values must match Columns).
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	width := 28
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", width+2, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, "%14s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-*s", width+2, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(w, "%14.4g", v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// FormatCSV renders the table as CSV: a header of "label" plus the column
+// names, then one record per row. Notes are omitted — CSV output is for
+// plotting pipelines, which EXPERIMENTS.md's commentary does not feed.
+func (t *Table) FormatCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"label"}, t.Columns...)); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := make([]string, 0, len(r.Values)+1)
+		rec = append(rec, r.Label)
+		for _, v := range r.Values {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Value looks up a cell by row label and column name.
+func (t *Table) Value(label, column string) (float64, bool) {
+	col := -1
+	for i, c := range t.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == label && col < len(r.Values) {
+			return r.Values[col], true
+		}
+	}
+	return 0, false
+}
+
+// Config parameterises experiment runs.
+type Config struct {
+	// Seed drives every random stream.
+	Seed int64
+	// Bytes is the collective payload for the micro-benchmarks
+	// (default 32 MiB; the paper uses 256 MiB and notes that "similar
+	// performance is observed in various data sizes").
+	Bytes int64
+	// Iterations scales training-loop experiments (default per
+	// experiment; Quick divides further).
+	Iterations int
+	// Quick shrinks workloads for test runs.
+	Quick bool
+}
+
+func (c Config) defaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Bytes <= 0 {
+		c.Bytes = 32 << 20
+	}
+	return c
+}
+
+// iters picks an iteration count honouring overrides and Quick mode.
+func (c Config) iters(def int) int {
+	n := def
+	if c.Iterations > 0 {
+		n = c.Iterations
+	}
+	if c.Quick && n > def/10 {
+		n = def / 10
+		if n < 5 {
+			n = 5
+		}
+	}
+	return n
+}
+
+// Runner produces one figure's table.
+type Runner func(Config) (*Table, error)
+
+// Registry maps experiment ids to runners, in presentation order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"fig1", Fig01CloudTrace},
+		{"fig3b", Fig03bWaitRatio},
+		{"fig11", Fig11Reduce},
+		{"fig12", Fig12AllReduce},
+		{"fig13", Fig13AlltoAll},
+		{"fig14", Fig14TrainingComm},
+		{"fig15", Fig15RelayProbability},
+		{"fig16", Fig16GPT2Batch},
+		{"fig17", Fig17ViTBatch},
+		{"fig18a", Fig18aVolatile},
+		{"fig18b", Fig18bInterference},
+		{"fig19a", Fig19aParallelism},
+		{"fig19b", Fig19bAccuracy},
+		{"fig19c", Fig19cReconstruction},
+		{"fig19d", Fig19dRPCDelay},
+		{"summary", SummarySpeedups},
+		{"ablations", Ablations},
+		{"scaling", Scaling},
+	}
+}
+
+// Run looks up and executes one experiment by id.
+func Run(id string, cfg Config) (*Table, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run(cfg)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have: %s)", id, strings.Join(IDs(), ", "))
+}
+
+// IDs lists the registered experiment ids.
+func IDs() []string {
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// geomean computes the geometric mean of positive values.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sumLog := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		sumLog += math.Log(v)
+	}
+	return math.Exp(sumLog / float64(len(vals)))
+}
+
+// percentile returns the p-th percentile (0..100) of vals.
+func percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	idx := int(p / 100 * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// quickCfg shrinks each experiment enough for CI while keeping its shape
+// assertions meaningful.
+func quickCfg() Config {
+	return Config{Seed: 3, Bytes: 32 << 20, Quick: true}
+}
+
+func run(t *testing.T, id string) *Table {
+	t.Helper()
+	tab, err := Run(id, quickCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if tab.ID != id {
+		t.Fatalf("table id %q, want %q", tab.ID, id)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	var sb strings.Builder
+	tab.Format(&sb)
+	t.Logf("\n%s", sb.String())
+	return tab
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig3b", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "fig18a", "fig18b", "fig19a", "fig19b",
+		"fig19c", "fig19d", "summary", "ablations", "scaling",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, err := Run("nope", quickCfg()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	tab := run(t, "fig1")
+	for _, r := range tab.Rows {
+		if r.Values[0] > 100 || r.Values[0] < 60 {
+			t.Errorf("%s bandwidth %.1f%% outside (60,100]", r.Label, r.Values[0])
+		}
+		if r.Values[1] < 100 || r.Values[1] > 120 {
+			t.Errorf("%s latency %.1f%% outside [100,120)", r.Label, r.Values[1])
+		}
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	tab := run(t, "fig3b")
+	heterMed, ok1 := tab.Value("heterogeneous (2xV100+2xA100)", "p50")
+	homoMed, ok2 := tab.Value("homogeneous (4xA100)", "p50")
+	if !ok1 || !ok2 {
+		t.Fatal("missing medians")
+	}
+	if heterMed <= homoMed {
+		t.Errorf("hetero median %.2f not above homo %.2f", heterMed, homoMed)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tab := run(t, "fig12")
+	for _, r := range tab.Rows {
+		adapcc, _ := tab.Value(r.Label, "AdapCC")
+		for _, sys := range []string{"NCCL", "MSCCL", "Blink"} {
+			v, ok := tab.Value(r.Label, sys)
+			if !ok || v < 0 {
+				continue
+			}
+			// MSCCL's pareto algorithms can tie AdapCC on small
+			// homogeneous cases (the paper's low end is 1.02x);
+			// require no more than 3% regression per case.
+			if adapcc < v*0.97 {
+				t.Errorf("%s: AdapCC %.2f below %s %.2f", r.Label, adapcc, sys, v)
+			}
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tab := run(t, "fig13")
+	for _, r := range tab.Rows {
+		adapcc, _ := tab.Value(r.Label, "AdapCC")
+		ncclV, _ := tab.Value(r.Label, "NCCL")
+		if adapcc <= ncclV {
+			t.Errorf("%s: AdapCC %.2f not above NCCL %.2f", r.Label, adapcc, ncclV)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	tab := run(t, "fig14")
+	for _, r := range tab.Rows {
+		speedup := r.Values[2]
+		if speedup < 1.0 {
+			t.Errorf("%s: AdapCC slower than NCCL (%.2fx)", r.Label, speedup)
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tab := run(t, "fig15")
+	// In the heterogeneous rows, V100 ranks must relay more often than
+	// A100 ranks on average.
+	var v100, a100 []float64
+	for _, r := range tab.Rows {
+		if !strings.HasPrefix(r.Label, "heter") {
+			continue
+		}
+		if r.Values[1] == 1 {
+			v100 = append(v100, r.Values[0])
+		} else {
+			a100 = append(a100, r.Values[0])
+		}
+	}
+	if len(v100) == 0 || len(a100) == 0 {
+		t.Fatal("missing GPU kinds in fig15")
+	}
+	if mean(v100) <= mean(a100) {
+		t.Errorf("V100 relay probability %.3f not above A100 %.3f", mean(v100), mean(a100))
+	}
+}
+
+func TestFig16Fig17Shape(t *testing.T) {
+	for _, id := range []string{"fig16", "fig17"} {
+		tab := run(t, id)
+		best := 0.0
+		for _, r := range tab.Rows {
+			if r.Values[2] < 0 {
+				t.Errorf("%s %s: AdapCC throughput below NCCL (%.1f%%)", id, r.Label, r.Values[2])
+			}
+			if r.Values[2] > best {
+				best = r.Values[2]
+			}
+		}
+		// AdapCC's throughput advantage must be material somewhere in
+		// the sweep. (The paper's monotone growth with batch size
+		// depends on its compute/communication balance; see
+		// EXPERIMENTS.md for the deviation discussion.)
+		if best < 2 {
+			t.Errorf("%s: best improvement %.1f%% too small", id, best)
+		}
+	}
+}
+
+func TestFig18aShape(t *testing.T) {
+	tab := run(t, "fig18a")
+	base := tab.Rows[0].Values[2]
+	worst := tab.Rows[len(tab.Rows)-1].Values[2]
+	if worst < base {
+		t.Errorf("makespan reduction should grow with volatility: x=0 %.1f%% vs max %.1f%%", base, worst)
+	}
+	for _, r := range tab.Rows {
+		if r.Values[2] < -2 {
+			t.Errorf("%s: AdapCC made things worse (%.1f%%)", r.Label, r.Values[2])
+		}
+	}
+}
+
+func TestFig18bShape(t *testing.T) {
+	tab := run(t, "fig18b")
+	for _, r := range tab.Rows {
+		if r.Values[2] < 1.0 {
+			t.Errorf("%s: AdapCC slower than NCCL (%.2fx)", r.Label, r.Values[2])
+		}
+	}
+}
+
+func TestFig19aShape(t *testing.T) {
+	tab := run(t, "fig19a")
+	m1, _ := tab.Value("M=1", "speedup")
+	m4, _ := tab.Value("M=4", "speedup")
+	if m4 <= m1 {
+		t.Errorf("M=4 speedup %.2f not above M=1 %.2f", m4, m1)
+	}
+	if m4 < 1.0 {
+		t.Errorf("M=4 not faster than NCCL (%.2f)", m4)
+	}
+}
+
+func TestFig19bShape(t *testing.T) {
+	tab := run(t, "fig19b")
+	adapcc, _ := tab.Value("AdapCC", "final")
+	ncclV, _ := tab.Value("NCCL", "final")
+	ncclGraph, _ := tab.Value("AdapCC-nccl-graph", "final")
+	async, _ := tab.Value("Relay Async", "final")
+	if d := adapcc - ncclV; d > 0.015 || d < -0.015 {
+		t.Errorf("AdapCC final %.3f diverges from NCCL %.3f", adapcc, ncclV)
+	}
+	if d := adapcc - ncclGraph; d > 0.015 || d < -0.015 {
+		t.Errorf("aggregation order changed convergence: %.3f vs %.3f", adapcc, ncclGraph)
+	}
+	if async >= adapcc-0.01 {
+		t.Errorf("Relay Async %.3f should converge below AdapCC %.3f", async, adapcc)
+	}
+}
+
+func TestFig19cShape(t *testing.T) {
+	tab := run(t, "fig19c")
+	for _, r := range tab.Rows {
+		saved := r.Values[5]
+		if saved < 60 || saved > 95 {
+			t.Errorf("%s: saved %.0f%% outside the paper's 74-91%% band (±tolerance)", r.Label, saved)
+		}
+	}
+}
+
+func TestFig19dShape(t *testing.T) {
+	tab := run(t, "fig19d")
+	p90, ok := tab.Value("p90", "latency-ms")
+	if !ok {
+		t.Fatal("missing p90")
+	}
+	if p90 > 1.8 {
+		t.Errorf("p90 RPC latency %.2f ms, paper: 90%% under 1.5 ms", p90)
+	}
+}
+
+func TestSummaryShape(t *testing.T) {
+	tab := run(t, "summary")
+	for _, r := range tab.Rows {
+		for i, sys := range []string{"vs NCCL", "vs MSCCL"} {
+			if r.Values[i] <= 1.0 {
+				t.Errorf("%s %s: geomean speedup %.2f not above 1", r.Label, sys, r.Values[i])
+			}
+		}
+	}
+}
+
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+func TestFormatCSV(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "t", Columns: []string{"a", "b"},
+	}
+	tab.AddRow("row,with,commas", 1.5, 2)
+	tab.Note("ignored in csv")
+	var sb strings.Builder
+	if err := tab.FormatCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(sb.String()))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output unparseable: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want header+1", len(recs))
+	}
+	if recs[0][0] != "label" || recs[0][2] != "b" {
+		t.Errorf("bad header %v", recs[0])
+	}
+	if recs[1][0] != "row,with,commas" || recs[1][1] != "1.5" {
+		t.Errorf("bad row %v", recs[1])
+	}
+	if strings.Contains(sb.String(), "ignored") {
+		t.Error("notes leaked into CSV")
+	}
+}
+
+func TestAblationsAllPayOff(t *testing.T) {
+	tab := run(t, "ablations")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d ablation rows, want 4", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.Values[0] <= 1 {
+			t.Errorf("%s: slowdown %.3fx — the ablated variant should be slower", r.Label, r.Values[0])
+		}
+	}
+}
+
+func TestScalingShape(t *testing.T) {
+	tab, err := Run("scaling", Config{Seed: 3, Bytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d scale points, want 4 homogeneous + 1 heterogeneous", len(tab.Rows))
+	}
+	for i, r := range tab.Rows {
+		adapcc, tree, ring := r.Values[0], r.Values[1], r.Values[2]
+		// AdapCC never loses to the tree (the paper's NCCL comparison).
+		if adapcc < tree {
+			t.Errorf("%s: AdapCC %.2f below the NCCL tree %.2f", r.Label, adapcc, tree)
+		}
+		// Within the paper's tested scale (<= 6 servers) AdapCC leads the
+		// ring too; at 8 homogeneous servers the ring overtakes (D6).
+		if i != 3 && adapcc < ring {
+			t.Errorf("%s: AdapCC %.2f below the ring %.2f inside the paper's regime", r.Label, adapcc, ring)
+		}
+	}
+	// Trees flatten with scale; rings hold up better at 8 servers.
+	at8 := tab.Rows[3]
+	if at8.Values[2] <= at8.Values[1] {
+		t.Errorf("at 8 servers the ring (%.2f) should beat the tree (%.2f)", at8.Values[2], at8.Values[1])
+	}
+	// Heterogeneity inverts it: the slowest NIC gates the whole ring.
+	heter := tab.Rows[4]
+	if heter.Values[0] < 1.2*heter.Values[2] {
+		t.Errorf("heterogeneous: AdapCC %.2f should clearly beat the gated ring %.2f", heter.Values[0], heter.Values[2])
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// Invariant 7 at the highest level: same seed, same table, cell for
+	// cell — across an executor-driven figure and a training-driven one.
+	for _, id := range []string{"fig1", "fig12", "fig3b"} {
+		a, err := Run(id, quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s: row counts differ (%d vs %d)", id, len(a.Rows), len(b.Rows))
+		}
+		for i := range a.Rows {
+			if a.Rows[i].Label != b.Rows[i].Label {
+				t.Fatalf("%s row %d: labels differ", id, i)
+			}
+			for j := range a.Rows[i].Values {
+				if a.Rows[i].Values[j] != b.Rows[i].Values[j] {
+					t.Errorf("%s cell (%s, %s): %v vs %v — not deterministic",
+						id, a.Rows[i].Label, a.Columns[j],
+						a.Rows[i].Values[j], b.Rows[i].Values[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	tests := []struct {
+		give []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{2, 8}, 4},
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{3}, 3},
+		{[]float64{1, -2}, 0}, // non-positive input is rejected
+	}
+	for _, tt := range tests {
+		if got := geomean(tt.give); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("geomean(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+// Property: the geomean lies between min and max of the inputs.
+func TestGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		lo, hi := math.Inf(1), 0.0
+		for i, r := range raw {
+			vals[i] = float64(r%1000) + 1
+			lo = math.Min(lo, vals[i])
+			hi = math.Max(hi, vals[i])
+		}
+		g := geomean(vals)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	}
+	for _, tt := range tests {
+		if got := percentile(vals, tt.p); got != tt.want {
+			t.Errorf("percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	// Input must not be mutated (sorted copy).
+	if vals[0] != 5 {
+		t.Error("percentile mutated its input")
+	}
+}
+
+func TestTableFormatAndValue(t *testing.T) {
+	tab := &Table{
+		ID: "t", Title: "demo",
+		Columns: []string{"a", "b"},
+	}
+	tab.AddRow("row1", 1.5, 2.5)
+	tab.AddRow("row2", 3, 4)
+	tab.Note("hello %d", 7)
+
+	var sb strings.Builder
+	tab.Format(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "row1", "row2", "hello 7", "1.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+
+	if v, ok := tab.Value("row2", "b"); !ok || v != 4 {
+		t.Errorf("Value(row2,b) = %v,%v", v, ok)
+	}
+	if _, ok := tab.Value("row2", "nope"); ok {
+		t.Error("unknown column found")
+	}
+	if _, ok := tab.Value("nope", "a"); ok {
+		t.Error("unknown row found")
+	}
+}
+
+func TestConfigDefaultsAndIters(t *testing.T) {
+	c := Config{}.defaults()
+	if c.Seed == 0 || c.Bytes == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if got := (Config{}).iters(100); got != 100 {
+		t.Errorf("iters default = %d", got)
+	}
+	if got := (Config{Iterations: 7}).iters(100); got != 7 {
+		t.Errorf("iters override = %d", got)
+	}
+	if got := (Config{Quick: true}).iters(100); got != 10 {
+		t.Errorf("quick iters = %d", got)
+	}
+	if got := (Config{Quick: true}).iters(20); got != 5 {
+		t.Errorf("quick floor = %d", got)
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/baseline/nccl"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// Scaling is an extension beyond the paper's figures: strong scaling of
+// AllReduce algorithm bandwidth as the job grows from 2 to 8 four-GPU
+// servers, comparing AdapCC's searched strategies against both of NCCL's
+// algorithms (dual complementary trees and the ring). It makes the regimes
+// behind Figs. 11–12 visible in one sweep: trees flatten as interior
+// servers saturate, rings hold per-NIC load constant, and AdapCC's
+// M-parallel hierarchy tracks the best of both while profiling keeps it
+// honest on heterogeneous extensions. It also exposes a real limit of the
+// paper's search space: at 8 homogeneous servers the ring overtakes,
+// because the Eq. 1-6 model prices deep rotated-chain ensembles (which
+// would match the ring) conservatively and the search therefore avoids
+// them — see EXPERIMENTS.md D6.
+func Scaling(cfg Config) (*Table, error) {
+	cfg = cfg.defaults()
+	t := &Table{
+		ID:      "scaling",
+		Title:   "AllReduce algorithm bandwidth vs job scale (GB/s) [extension]",
+		Columns: []string{"AdapCC", "NCCL-tree", "NCCL-ring"},
+	}
+	scales := []int{2, 4, 6, 8}
+	if cfg.Quick {
+		scales = []int{2, 4}
+	}
+	for _, servers := range scales {
+		cl, err := cluster.Homogeneous(topology.TransportRDMA, servers, 4)
+		if err != nil {
+			return nil, err
+		}
+
+		adapccBw, err := scalingAdapCC(cl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		treeBw, err := scalingNCCL(cl, cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		ringBw, err := scalingNCCL(cl, cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d servers (%d GPUs)", servers, servers*4),
+			adapccBw/1e9, treeBw/1e9, ringBw/1e9)
+	}
+	// The heterogeneous counterpoint: one ring hop over a 50 Gbps V100
+	// NIC gates the whole ring, while AdapCC's profiled hierarchy routes
+	// around it — the regime the paper actually evaluates.
+	heter, err := cluster.Heterogeneous(topology.TransportRDMA, 4)
+	if err != nil {
+		return nil, err
+	}
+	adapccBw, err := scalingAdapCC(heter, cfg)
+	if err != nil {
+		return nil, err
+	}
+	treeBw, err := scalingNCCL(heter, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	ringBw, err := scalingNCCL(heter, cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("6 servers heterogeneous", adapccBw/1e9, treeBw/1e9, ringBw/1e9)
+
+	t.Note("extension sweep (not a paper figure): AdapCC leads through the paper's 6-server scale and always beats NCCL's tree")
+	t.Note("heterogeneous row: one V100 NIC hop gates the whole ring, while profiling routes AdapCC around it")
+	t.Note("at 8 homogeneous servers the ring overtakes: the paper's candidate family prices deep rotated-chain ensembles conservatively (a forced M=8 server-chain *measures* ~6.7 GB/s here, above the ring, but Eq. 1-6 overpredicts its cost ~2.9x, so the search avoids it)")
+	return t, nil
+}
+
+func scalingAdapCC(cl *topology.Cluster, cfg Config) (float64, error) {
+	env, err := backend.NewEnv(cl, cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	a, err := core.New(env, core.Options{})
+	if err != nil {
+		return 0, err
+	}
+	a.Setup(func() {})
+	env.Engine.Run()
+	elapsed, err := backend.Measure(env, a, backend.Request{
+		Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return collective.AlgoBandwidthBps(cfg.Bytes, elapsed), nil
+}
+
+func scalingNCCL(cl *topology.Cluster, cfg Config, ring bool) (float64, error) {
+	env, err := backend.NewEnv(cl, cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	n := nccl.New(env)
+	var st *strategy.Strategy
+	if ring {
+		st, err = n.RingStrategy(strategy.AllReduce, cfg.Bytes, env.AllRanks(), -1)
+	} else {
+		st, err = n.BuildStrategy(strategy.AllReduce, cfg.Bytes, env.AllRanks(), -1)
+	}
+	if err != nil {
+		return 0, err
+	}
+	var elapsed time.Duration
+	err = env.Exec.Run(collective.Op{
+		Strategy:     st,
+		Inputs:       backend.MakeInputs(env.AllRanks(), cfg.Bytes),
+		SingleStream: true,
+		OnDone:       func(r collective.Result) { elapsed = r.Elapsed },
+	})
+	if err != nil {
+		return 0, err
+	}
+	env.Engine.Run()
+	return collective.AlgoBandwidthBps(cfg.Bytes, elapsed), nil
+}

@@ -1,0 +1,286 @@
+// Package fabric is the simulated data plane: it moves chunks of bytes over
+// the logical topology graph under a fluid bandwidth-sharing model.
+//
+// Each directed edge is an independent fluid link: the transfers active on
+// the link share its (time-varying) bandwidth equally, with an optional
+// per-stream cap (models the single-TCP-channel kernel ceiling). A transfer
+// occupies exactly one link — multi-hop movement is store-and-forward at
+// chunk granularity, which is precisely the pipelining behaviour AdapCC's
+// optimisation model (paper Eq. 2–6) reasons about. Link latency α is added
+// after serialisation and does not occupy the link.
+//
+// The fabric replaces NVLink/PCIe/RDMA/TCP hardware: contention, chunk
+// pipelining, heterogeneous rates and mid-training bandwidth changes all
+// emerge from this model.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// completion slack: a transfer whose remaining bytes fall below this is done
+// (absorbs float rounding between rate integration and event timestamps).
+const epsilonBytes = 1e-3
+
+// StreamID groups transfers that belong to one logical stream (e.g. the
+// pipelined chunks of one flow in one transmission context). A link's
+// per-stream bandwidth cap applies to the whole group, not to each chunk:
+// this is what limits a single TCP channel to ~20 Gbps no matter how many
+// chunks it pipelines, while distinct streams aggregate. Zero means "its
+// own stream".
+type StreamID int64
+
+// Transfer is one in-flight chunk on one link.
+type Transfer struct {
+	link      *link
+	stream    StreamID
+	remaining float64
+	rate      float64 // bytes/sec currently granted
+	payload   any
+	onArrive  func(payload any)
+	size      int64
+	started   sim.Time
+}
+
+// Size returns the transfer's total size in bytes.
+func (t *Transfer) Size() int64 { return t.size }
+
+// Fabric simulates the data plane over a logical graph.
+type Fabric struct {
+	eng      *sim.Engine
+	graph    *topology.Graph
+	links    []*link
+	streamID StreamID
+	uniqueID StreamID
+}
+
+// NewStreamID allocates a fresh logical stream identifier.
+func (f *Fabric) NewStreamID() StreamID {
+	f.streamID++
+	return f.streamID
+}
+
+// New builds a fabric over the graph. Every edge starts at its nominal
+// bandwidth (scale 1.0).
+func New(eng *sim.Engine, graph *topology.Graph) *Fabric {
+	f := &Fabric{eng: eng, graph: graph}
+	f.links = make([]*link, graph.NumEdges())
+	for i := range f.links {
+		f.links[i] = &link{
+			fab:   f,
+			edge:  graph.Edge(topology.EdgeID(i)),
+			scale: 1.0,
+		}
+	}
+	return f
+}
+
+// Engine returns the simulation engine driving this fabric.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Graph returns the logical graph the fabric runs over.
+func (f *Fabric) Graph() *topology.Graph { return f.graph }
+
+// Send starts transferring size bytes over a single edge as its own
+// stream. onArrive fires (with the payload) once serialisation and the
+// link latency α complete. Size must be positive.
+func (f *Fabric) Send(edge topology.EdgeID, size int64, payload any, onArrive func(payload any)) *Transfer {
+	return f.SendStream(edge, 0, size, payload, onArrive)
+}
+
+// SendStream starts a transfer that belongs to the given logical stream
+// (0 = independent). Concurrent transfers of one stream share a single
+// per-stream bandwidth allowance on the link.
+func (f *Fabric) SendStream(edge topology.EdgeID, stream StreamID, size int64, payload any, onArrive func(payload any)) *Transfer {
+	if size <= 0 {
+		panic(fmt.Sprintf("fabric: transfer size %d must be positive", size))
+	}
+	if stream == 0 {
+		// Unique group: negative ids never collide with NewStreamID.
+		f.uniqueID--
+		stream = f.uniqueID
+	}
+	l := f.links[edge]
+	t := &Transfer{
+		link:      l,
+		stream:    stream,
+		remaining: float64(size),
+		size:      size,
+		payload:   payload,
+		onArrive:  onArrive,
+		started:   f.eng.Now(),
+	}
+	l.advance()
+	l.active = append(l.active, t)
+	l.reallocate()
+	return t
+}
+
+// SendBetween is a convenience that sends over the edge from one node to
+// another; it returns an error if no such edge exists.
+func (f *Fabric) SendBetween(from, to topology.NodeID, size int64, payload any, onArrive func(payload any)) (*Transfer, error) {
+	eid, ok := f.graph.EdgeBetween(from, to)
+	if !ok {
+		return nil, fmt.Errorf("fabric: no edge %v -> %v", from, to)
+	}
+	return f.Send(eid, size, payload, onArrive), nil
+}
+
+// SetScale changes the live bandwidth of an edge to scale × nominal
+// (volatile-network and interference experiments use this; it is the
+// simulator's analogue of `tc`). In-flight transfers immediately see the new
+// rate. Scale 0 stalls the link.
+func (f *Fabric) SetScale(edge topology.EdgeID, scale float64) {
+	if scale < 0 {
+		scale = 0
+	}
+	l := f.links[edge]
+	l.advance()
+	l.scale = scale
+	l.reallocate()
+}
+
+// Scale returns the current bandwidth multiplier of an edge.
+func (f *Fabric) Scale(edge topology.EdgeID) float64 { return f.links[edge].scale }
+
+// LiveBandwidthBps returns the instantaneous total bandwidth of an edge.
+func (f *Fabric) LiveBandwidthBps(edge topology.EdgeID) float64 {
+	l := f.links[edge]
+	return l.edge.BandwidthBps * l.scale
+}
+
+// BytesDelivered returns the cumulative bytes fully serialised on an edge.
+func (f *Fabric) BytesDelivered(edge topology.EdgeID) int64 { return f.links[edge].bytesDone }
+
+// ActiveTransfers returns the number of in-flight transfers on an edge.
+func (f *Fabric) ActiveTransfers(edge topology.EdgeID) int { return len(f.links[edge].active) }
+
+// SetServerIngressScale applies a bandwidth scale to every network edge
+// entering the given server (the paper's Fig. 2a scenario: server B's
+// ingress degrades under cross-traffic).
+func (f *Fabric) SetServerIngressScale(server int, scale float64) {
+	for _, e := range f.graph.Edges() {
+		if !e.Type.Network() {
+			continue
+		}
+		if f.graph.Node(e.To).Server == server {
+			f.SetScale(e.ID, scale)
+		}
+	}
+}
+
+// SetServerNetworkScale applies a bandwidth scale to every network edge
+// touching the given server, in either direction.
+func (f *Fabric) SetServerNetworkScale(server int, scale float64) {
+	for _, e := range f.graph.Edges() {
+		if !e.Type.Network() {
+			continue
+		}
+		if f.graph.Node(e.To).Server == server || f.graph.Node(e.From).Server == server {
+			f.SetScale(e.ID, scale)
+		}
+	}
+}
+
+// link is the per-edge fluid model state.
+type link struct {
+	fab        *Fabric
+	edge       topology.Edge
+	scale      float64
+	active     []*Transfer
+	lastUpdate sim.Time
+	nextEv     *sim.Event
+	bytesDone  int64
+}
+
+// advance integrates transferred bytes up to the current virtual time and
+// delivers any transfer that completed exactly now.
+func (l *link) advance() {
+	now := l.fab.eng.Now()
+	dt := (now - l.lastUpdate).Seconds()
+	l.lastUpdate = now
+	if dt > 0 {
+		for _, t := range l.active {
+			t.remaining -= t.rate * dt
+		}
+	}
+	var still []*Transfer
+	for _, t := range l.active {
+		if t.remaining <= epsilonBytes {
+			l.deliver(t)
+			continue
+		}
+		still = append(still, t)
+	}
+	l.active = still
+}
+
+// reallocate recomputes per-transfer rates and schedules the next
+// completion event. Bandwidth is shared equally among logical *streams*
+// (with the per-stream cap applied per stream). Within one stream the
+// transfers are served FIFO — the whole stream allowance goes to the
+// oldest in-flight chunk — matching in-order byte-stream delivery; an
+// equal split would make queued chunks of a stream complete together (a
+// convoy), which breaks downstream chunk pipelining.
+func (l *link) reallocate() {
+	if l.nextEv != nil {
+		l.fab.eng.Cancel(l.nextEv)
+		l.nextEv = nil
+	}
+	if len(l.active) == 0 {
+		return
+	}
+	groups := make(map[StreamID]bool, len(l.active))
+	for _, t := range l.active {
+		groups[t.stream] = true
+	}
+	capacity := l.edge.BandwidthBps * l.scale
+	streamShare := capacity / float64(len(groups))
+	if cap := l.edge.PerStreamBps; cap > 0 && cap < streamShare {
+		streamShare = cap
+	}
+	soonest := math.Inf(1)
+	served := make(map[StreamID]bool, len(groups))
+	for _, t := range l.active { // insertion order = FIFO per stream
+		if served[t.stream] {
+			t.rate = 0
+			continue
+		}
+		served[t.stream] = true
+		t.rate = streamShare
+		if t.rate > 0 {
+			if sec := t.remaining / t.rate; sec < soonest {
+				soonest = sec
+			}
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return // link stalled; a future SetScale will reschedule
+	}
+	// Round up to the next nanosecond: rounding down could fire the
+	// completion event fractionally early and spin without progress.
+	d := time.Duration(math.Ceil(soonest * float64(time.Second)))
+	l.nextEv = l.fab.eng.After(d, func() {
+		l.nextEv = nil
+		l.advance()
+		l.reallocate()
+	})
+}
+
+// deliver finishes a transfer: counts its bytes and fires the arrival
+// callback after the link latency α.
+func (l *link) deliver(t *Transfer) {
+	l.bytesDone += t.size
+	t.remaining = 0
+	if t.onArrive == nil {
+		return
+	}
+	payload, onArrive := t.payload, t.onArrive
+	t.onArrive = nil
+	l.fab.eng.After(l.edge.Alpha, func() { onArrive(payload) })
+}

@@ -1,0 +1,311 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// lineGraph builds a 2-node graph with one directed edge of the given
+// properties and returns (engine, fabric, edge id).
+func lineGraph(t *testing.T, e topology.Edge) (*sim.Engine, *Fabric, topology.EdgeID) {
+	t.Helper()
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 0, Rank: 0})
+	b := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 0, Rank: 1})
+	e.From, e.To = a, b
+	if e.Type == 0 {
+		e.Type = topology.LinkNVLink
+	}
+	eid := g.AddEdge(e)
+	eng := sim.NewEngine(1)
+	return eng, New(eng, g), eid
+}
+
+func approxDuration(t *testing.T, got, want time.Duration, tol time.Duration, msg string) {
+	t.Helper()
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > tol {
+		t.Errorf("%s: got %v, want %v (±%v)", msg, got, want, tol)
+	}
+}
+
+func TestSingleTransferTiming(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{
+		Alpha: 10 * time.Microsecond, BandwidthBps: 1e9,
+	})
+	var arrived sim.Time = -1
+	f.Send(eid, 1_000_000, "chunk", func(any) { arrived = eng.Now() })
+	eng.Run()
+	// 1 MB at 1 GB/s = 1 ms serialisation + 10 µs α.
+	approxDuration(t, arrived, time.Millisecond+10*time.Microsecond, time.Microsecond, "arrival")
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	var got any
+	f.Send(eid, 100, 42, func(p any) { got = p })
+	eng.Run()
+	if got != 42 {
+		t.Fatalf("payload = %v, want 42", got)
+	}
+}
+
+func TestFairSharingDoublesTime(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	var t1, t2 sim.Time = -1, -1
+	f.Send(eid, 1_000_000, nil, func(any) { t1 = eng.Now() })
+	f.Send(eid, 1_000_000, nil, func(any) { t2 = eng.Now() })
+	eng.Run()
+	// Both share the link: each sees 0.5 GB/s, finishing together at 2 ms.
+	approxDuration(t, t1, 2*time.Millisecond, 10*time.Microsecond, "transfer 1")
+	approxDuration(t, t2, 2*time.Millisecond, 10*time.Microsecond, "transfer 2")
+}
+
+func TestShortTransferReleasesBandwidth(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	var tBig sim.Time = -1
+	f.Send(eid, 2_000_000, nil, func(any) { tBig = eng.Now() })
+	f.Send(eid, 500_000, nil, func(any) {})
+	eng.Run()
+	// Small transfer: 0.5 MB at 0.5 GB/s → done at 1 ms; big transfer has
+	// 1.5 MB left, now at full rate → +1.5 ms → 2.5 ms total.
+	approxDuration(t, tBig, 2500*time.Microsecond, 10*time.Microsecond, "big transfer")
+}
+
+func TestPerStreamCapLimitsSingleStream(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{
+		Type:         topology.LinkTCP,
+		BandwidthBps: 12.5e9, // 100 Gbps NIC
+		PerStreamBps: 2.5e9,  // 20 Gbps per stream
+	})
+	var done sim.Time = -1
+	f.Send(eid, 25_000_000, nil, func(any) { done = eng.Now() })
+	eng.Run()
+	// One stream is capped at 2.5 GB/s: 25 MB → 10 ms, not 2 ms.
+	approxDuration(t, done, 10*time.Millisecond, 50*time.Microsecond, "capped stream")
+}
+
+func TestParallelStreamsAggregateUnderCap(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{
+		Type:         topology.LinkTCP,
+		BandwidthBps: 12.5e9,
+		PerStreamBps: 2.5e9,
+	})
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		f.Send(eid, 25_000_000, nil, func(any) { last = eng.Now() })
+	}
+	eng.Run()
+	// 4 streams × 2.5 GB/s = 10 GB/s aggregate (still under the 12.5 GB/s
+	// line rate): each 25 MB stream finishes at 10 ms, same as one alone —
+	// the fabric lets parallel streams multiply TCP throughput.
+	approxDuration(t, last, 10*time.Millisecond, 50*time.Microsecond, "4 capped streams")
+}
+
+func TestManyStreamsHitLineRate(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{
+		Type:         topology.LinkTCP,
+		BandwidthBps: 12.5e9,
+		PerStreamBps: 2.5e9,
+	})
+	var last sim.Time
+	for i := 0; i < 10; i++ {
+		f.Send(eid, 12_500_000, nil, func(any) { last = eng.Now() })
+	}
+	eng.Run()
+	// 10 streams want 25 GB/s but the link carries 12.5 GB/s: fair share
+	// 1.25 GB/s each → 12.5 MB per stream takes 10 ms.
+	approxDuration(t, last, 10*time.Millisecond, 50*time.Microsecond, "line-rate saturation")
+}
+
+func TestSetScaleMidFlight(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	var done sim.Time = -1
+	f.Send(eid, 2_000_000, nil, func(any) { done = eng.Now() })
+	eng.At(time.Millisecond, func() { f.SetScale(eid, 0.5) })
+	eng.Run()
+	// First 1 ms at 1 GB/s moves 1 MB; remaining 1 MB at 0.5 GB/s takes
+	// 2 ms → total 3 ms.
+	approxDuration(t, done, 3*time.Millisecond, 10*time.Microsecond, "rescaled transfer")
+}
+
+func TestStalledLinkResumes(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	var done sim.Time = -1
+	f.Send(eid, 1_000_000, nil, func(any) { done = eng.Now() })
+	eng.At(500*time.Microsecond, func() { f.SetScale(eid, 0) })
+	eng.At(10*time.Millisecond, func() { f.SetScale(eid, 1) })
+	eng.Run()
+	// 0.5 ms of transfer + 9.5 ms stalled + 0.5 ms remaining = 10.5 ms.
+	approxDuration(t, done, 10500*time.Microsecond, 10*time.Microsecond, "stall and resume")
+	if done < 0 {
+		t.Fatal("transfer never completed after stall")
+	}
+}
+
+func TestBytesDeliveredAccumulates(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	for i := 0; i < 5; i++ {
+		f.Send(eid, 1000, nil, nil)
+	}
+	eng.Run()
+	if got := f.BytesDelivered(eid); got != 5000 {
+		t.Fatalf("BytesDelivered = %d, want 5000", got)
+	}
+}
+
+func TestActiveTransfersTracked(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	f.Send(eid, 1_000_000, nil, nil)
+	f.Send(eid, 1_000_000, nil, nil)
+	if got := f.ActiveTransfers(eid); got != 2 {
+		t.Fatalf("ActiveTransfers = %d, want 2", got)
+	}
+	eng.Run()
+	if got := f.ActiveTransfers(eid); got != 0 {
+		t.Fatalf("ActiveTransfers after run = %d, want 0", got)
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	_, f, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-size Send did not panic")
+		}
+	}()
+	f.Send(eid, 0, nil, nil)
+}
+
+func TestSendBetweenUnknownEdge(t *testing.T) {
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Node{Kind: topology.KindGPU, Rank: 0})
+	b := g.AddNode(topology.Node{Kind: topology.KindGPU, Rank: 1})
+	g.AddEdge(topology.Edge{From: a, To: b, Type: topology.LinkNVLink, BandwidthBps: 1e9})
+	eng := sim.NewEngine(1)
+	f := New(eng, g)
+	if _, err := f.SendBetween(b, a, 100, nil, nil); err == nil {
+		t.Error("SendBetween on missing reverse edge succeeded")
+	}
+	if _, err := f.SendBetween(a, b, 100, nil, nil); err != nil {
+		t.Errorf("SendBetween on existing edge failed: %v", err)
+	}
+}
+
+func TestServerIngressScale(t *testing.T) {
+	c, err := topology.NewCluster(topology.TransportRDMA,
+		topology.ServerSpec{GPUs: []topology.GPUModel{topology.GPUA100}, NICs: []topology.NICSpec{{BandwidthBps: 1e9}}},
+		topology.ServerSpec{GPUs: []topology.GPUModel{topology.GPUA100}, NICs: []topology.NICSpec{{BandwidthBps: 1e9}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	f := New(eng, g)
+	f.SetServerIngressScale(1, 0.25)
+	for _, e := range g.Edges() {
+		if !e.Type.Network() {
+			continue
+		}
+		want := 1.0
+		if g.Node(e.To).Server == 1 {
+			want = 0.25
+		}
+		if got := f.Scale(e.ID); got != want {
+			t.Errorf("edge %v scale = %v, want %v", e.ID, got, want)
+		}
+	}
+}
+
+// Sanity: exact throughput accounting — N transfers of random sizes on one
+// link finish in exactly total/bandwidth seconds regardless of arrival
+// interleaving (work conservation).
+func TestWorkConservation(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	rng := eng.Fork()
+	var total int64
+	var last sim.Time
+	n := 50
+	for i := 0; i < n; i++ {
+		size := int64(rng.Intn(1_000_000) + 1)
+		total += size
+		at := sim.Time(rng.Intn(1000)) // all arrive within the first µs
+		eng.At(at, func() {
+			f.Send(eid, size, nil, func(any) {
+				if eng.Now() > last {
+					last = eng.Now()
+				}
+			})
+		})
+	}
+	eng.Run()
+	want := time.Duration(float64(total) / 1e9 * float64(time.Second))
+	got := last
+	if math.Abs(float64(got-want)) > float64(50*time.Microsecond) {
+		t.Fatalf("all transfers done at %v, want ≈%v (total %d bytes)", got, want, total)
+	}
+}
+
+func TestDeterministicTimeline(t *testing.T) {
+	run := func() []time.Duration {
+		eng, f, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+		rng := eng.Fork()
+		var arrivals []time.Duration
+		for i := 0; i < 20; i++ {
+			size := int64(rng.Intn(100_000) + 1)
+			eng.At(sim.Time(rng.Intn(100)), func() {
+				f.Send(eid, size, nil, func(any) {
+					arrivals = append(arrivals, eng.Now())
+				})
+			})
+		}
+		eng.Run()
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different arrival counts across identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSharedStreamSharesCap(t *testing.T) {
+	eng, f, eid := lineGraph(t, topology.Edge{
+		Type:         topology.LinkTCP,
+		BandwidthBps: 12.5e9,
+		PerStreamBps: 2.5e9,
+	})
+	// Four pipelined chunks of ONE logical stream: they share a single
+	// 2.5 GB/s allowance, so 4 × 6.25 MB takes 10 ms — no faster than a
+	// single 25 MB transfer would.
+	sid := f.NewStreamID()
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		f.SendStream(eid, sid, 6_250_000, nil, func(any) { last = eng.Now() })
+	}
+	eng.Run()
+	approxDuration(t, last, 10*time.Millisecond, 50*time.Microsecond, "shared-stream chunks")
+}
+
+func TestDistinctStreamIDs(t *testing.T) {
+	_, f, _ := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	a, b := f.NewStreamID(), f.NewStreamID()
+	if a == b || a == 0 || b == 0 {
+		t.Fatalf("stream ids not unique: %v %v", a, b)
+	}
+}

@@ -1,0 +1,144 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adapcc/internal/topology"
+)
+
+// sendSpec is one randomly generated transfer in the property tests.
+type sendSpec struct {
+	Size   uint16 // +1, scaled to bytes
+	Stream uint8  // stream group (folded to a few ids)
+	Delay  uint16 // enqueue time in microseconds
+}
+
+// TestConservationProperty: for any schedule of transfers on one link, every
+// transfer is delivered exactly once and BytesDelivered equals the sum of
+// sizes — the fluid model neither loses nor invents bytes, whatever the
+// stream mix.
+func TestConservationProperty(t *testing.T) {
+	f := func(specs []sendSpec) bool {
+		if len(specs) == 0 {
+			return true
+		}
+		if len(specs) > 64 {
+			specs = specs[:64]
+		}
+		eng, fab, eid := lineGraph(t, topology.Edge{
+			Alpha: 2 * time.Microsecond, BandwidthBps: 1e9, PerStreamBps: 3e8,
+		})
+		var want int64
+		delivered := make(map[int]bool)
+		for i, sp := range specs {
+			i := i
+			size := int64(sp.Size)%100_000 + 1
+			want += size
+			stream := StreamID(int(sp.Stream)%5 + 1)
+			at := time.Duration(sp.Delay) * time.Microsecond
+			eng.At(at, func() {
+				fab.SendStream(eid, stream, size, i, func(p any) {
+					idx := p.(int)
+					if delivered[idx] {
+						t.Errorf("transfer %d delivered twice", idx)
+					}
+					delivered[idx] = true
+				})
+			})
+		}
+		eng.Run()
+		if len(delivered) != len(specs) {
+			t.Errorf("%d of %d transfers delivered", len(delivered), len(specs))
+			return false
+		}
+		if got := fab.BytesDelivered(eid); got != want {
+			t.Errorf("BytesDelivered = %d, want %d", got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamFIFOProperty: transfers enqueued on one stream at one time
+// deliver in enqueue order, whatever their sizes — the convoy-effect fix
+// (FIFO within a stream) must hold for arbitrary schedules.
+func TestStreamFIFOProperty(t *testing.T) {
+	f := func(sizes []uint16, competing uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 32 {
+			sizes = sizes[:32]
+		}
+		eng, fab, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+		var order []int
+		for i, raw := range sizes {
+			i := i
+			fab.SendStream(eid, 1, int64(raw)%50_000+1, i, func(p any) {
+				order = append(order, p.(int))
+			})
+		}
+		// Competing streams must not reorder stream 1.
+		for c := 0; c < int(competing)%4; c++ {
+			fab.SendStream(eid, StreamID(10+c), 30_000, -1, func(any) {})
+		}
+		eng.Run()
+		if len(order) != len(sizes) {
+			t.Errorf("delivered %d of %d", len(order), len(sizes))
+			return false
+		}
+		for i, got := range order {
+			if got != i {
+				t.Errorf("position %d delivered transfer %d (out of order)", i, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoFasterThanWireProperty: no transfer ever finishes before its ideal
+// exclusive serialisation time α + size/BW, regardless of contention.
+func TestNoFasterThanWireProperty(t *testing.T) {
+	f := func(specs []sendSpec) bool {
+		if len(specs) == 0 {
+			return true
+		}
+		if len(specs) > 32 {
+			specs = specs[:32]
+		}
+		const bw = 1e9
+		alpha := 5 * time.Microsecond
+		eng, fab, eid := lineGraph(t, topology.Edge{Alpha: alpha, BandwidthBps: bw})
+		ok := true
+		for _, sp := range specs {
+			size := int64(sp.Size)%100_000 + 1
+			stream := StreamID(int(sp.Stream)%3 + 1)
+			at := time.Duration(sp.Delay) * time.Microsecond
+			minDur := alpha + time.Duration(float64(size)/bw*float64(time.Second))
+			eng.At(at, func() {
+				start := eng.Now()
+				fab.SendStream(eid, stream, size, nil, func(any) {
+					if eng.Now()-start < minDur-time.Nanosecond {
+						t.Errorf("transfer of %d bytes took %v, wire floor %v",
+							size, eng.Now()-start, minDur)
+						ok = false
+					}
+				})
+			})
+		}
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package profile
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"adapcc/internal/topology"
+)
+
+// edgeJSON is the wire form of one profiled edge.
+type edgeJSON struct {
+	From         string  `json:"from"`
+	To           string  `json:"to"`
+	Type         string  `json:"type"`
+	AlphaNs      int64   `json:"alpha_ns"`
+	StreamBps    float64 `json:"stream_bps"`
+	AggregateBps float64 `json:"aggregate_bps"`
+}
+
+// reportJSON is the wire form of a whole report.
+type reportJSON struct {
+	DurationMs float64    `json:"profiling_ms"`
+	Edges      []edgeJSON `json:"edges"`
+}
+
+// WriteJSON dumps the profiled α–β values in a machine-readable form, one
+// record per measured directed edge, ordered by edge id — the measurements
+// a monitoring pipeline would scrape to watch link health over time.
+func (r *Report) WriteJSON(g *topology.Graph, w io.Writer) error {
+	ids := make([]int, 0, len(r.ByEdge))
+	for eid := range r.ByEdge {
+		ids = append(ids, int(eid))
+	}
+	sort.Ints(ids)
+	out := reportJSON{DurationMs: r.Duration().Seconds() * 1e3}
+	for _, id := range ids {
+		m := r.ByEdge[topology.EdgeID(id)]
+		e := g.Edge(m.Edge)
+		out.Edges = append(out.Edges, edgeJSON{
+			From:         g.Node(e.From).String(),
+			To:           g.Node(e.To).String(),
+			Type:         e.Type.String(),
+			AlphaNs:      int64(m.Alpha / time.Nanosecond),
+			StreamBps:    m.StreamBps,
+			AggregateBps: m.AggregateBps,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,602 @@
+// Package profile implements AdapCC's Profiler (paper Sec. IV-B): it
+// measures the α–β cost model of every NVLink and network link by sending
+// probe transfers over the live fabric and fitting the results, using the
+// paper's interference-free schedule:
+//
+//   - All instances profile their intra-instance GPU-GPU links first,
+//     concurrently (each instance probes its own links sequentially).
+//   - Then N−1 inter-instance rounds with a barrier between rounds: in
+//     round i, instance n probes instance (n+i) mod N, so at any moment
+//     each ingress and egress port carries exactly one probing flow.
+//
+// For each link the probe plan follows the paper: send a piece of size s
+// n times back-to-back (measuring n·(α+β·s)) and then one batch of n·s
+// (measuring α+β·n·s), for several (n,s) combinations; α and β come from a
+// least-squares fit of all observations. PCIe links are not profiled —
+// their movement overlaps with network transmission.
+//
+// Training is blocked while profiling runs, so the profiling duration is
+// part of the graph-reconstruction overhead measured in Fig. 19c.
+package profile
+
+import (
+	"fmt"
+	"time"
+
+	"adapcc/internal/fabric"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// Measurement is the fitted α–β model of one directed edge.
+type Measurement struct {
+	Edge  topology.EdgeID
+	Alpha time.Duration
+	// StreamBps is the single-stream bandwidth (1/β).
+	StreamBps float64
+	// AggregateBps is the bandwidth reachable with parallel streams
+	// (differs from StreamBps on per-stream-capped TCP links; equal to
+	// StreamBps elsewhere).
+	AggregateBps float64
+}
+
+// Report is the profiler's output, gathered on (world) rank 0 and fed to
+// the synthesizer.
+type Report struct {
+	ByEdge map[topology.EdgeID]Measurement
+	// Started and Finished bound the profiling window in virtual time.
+	Started  sim.Time
+	Finished sim.Time
+}
+
+// Duration returns how long profiling blocked training.
+func (r *Report) Duration() time.Duration { return r.Finished - r.Started }
+
+// Alpha returns the profiled latency of an edge, falling back to the
+// graph's nominal value when the edge was not profiled (PCIe).
+func (r *Report) Alpha(g *topology.Graph, eid topology.EdgeID) time.Duration {
+	if m, ok := r.ByEdge[eid]; ok {
+		return m.Alpha
+	}
+	return g.Edge(eid).Alpha
+}
+
+// StreamBps returns the profiled single-stream bandwidth of an edge with
+// nominal fallback.
+func (r *Report) StreamBps(g *topology.Graph, eid topology.EdgeID) float64 {
+	if m, ok := r.ByEdge[eid]; ok {
+		return m.StreamBps
+	}
+	e := g.Edge(eid)
+	if e.PerStreamBps > 0 && e.PerStreamBps < e.BandwidthBps {
+		return e.PerStreamBps
+	}
+	return e.BandwidthBps
+}
+
+// AggregateBps returns the profiled multi-stream bandwidth of an edge with
+// nominal fallback.
+func (r *Report) AggregateBps(g *topology.Graph, eid topology.EdgeID) float64 {
+	if m, ok := r.ByEdge[eid]; ok {
+		return m.AggregateBps
+	}
+	return g.Edge(eid).BandwidthBps
+}
+
+// Options tunes the probe plan.
+type Options struct {
+	// Combos lists the (count, size) pairs probed per link class. Zero
+	// values select the defaults below.
+	NVLinkCombos  []Combo
+	NetworkCombos []Combo
+	// ParallelStreams is the stream count of the aggregate-bandwidth
+	// probe on network links (default 4).
+	ParallelStreams int
+	// NaiveSchedule replaces the paper's interference-free (n+i)%N
+	// multi-round schedule with a single round probing every connection
+	// at once — concurrent probes then contend on shared ports and the
+	// fitted bandwidths come out wrong. Exists for the profiling-schedule
+	// ablation bench.
+	NaiveSchedule bool
+}
+
+// Combo is one (n, s) probe configuration.
+type Combo struct {
+	Count int
+	Size  int64
+}
+
+func (o *Options) defaults() {
+	if len(o.NVLinkCombos) == 0 {
+		o.NVLinkCombos = []Combo{{Count: 8, Size: 256 << 10}, {Count: 4, Size: 1 << 20}}
+	}
+	if len(o.NetworkCombos) == 0 {
+		o.NetworkCombos = []Combo{{Count: 8, Size: 2 << 20}, {Count: 4, Size: 8 << 20}}
+	}
+	if o.ParallelStreams <= 0 {
+		o.ParallelStreams = 4
+	}
+}
+
+// Profiler drives probe traffic over a fabric.
+type Profiler struct {
+	fab  *fabric.Fabric
+	opts Options
+}
+
+// New returns a profiler over the fabric.
+func New(fab *fabric.Fabric, opts Options) *Profiler {
+	opts.defaults()
+	return &Profiler{fab: fab, opts: opts}
+}
+
+// Run profiles every NVLink and network edge and calls onDone with the
+// report when the last round completes. It returns immediately; all work
+// happens on the fabric's simulation engine.
+func (p *Profiler) Run(onDone func(*Report)) {
+	eng := p.fab.Engine()
+	report := &Report{
+		ByEdge:  make(map[topology.EdgeID]Measurement),
+		Started: eng.Now(),
+	}
+
+	intra := p.intraPlans()
+	rounds := p.interRounds()
+
+	finish := func() {
+		report.Finished = eng.Now()
+		onDone(report)
+	}
+
+	runRounds := func() {
+		p.runRound(rounds, 0, newPortAccumulator(), report, finish)
+	}
+
+	if len(intra) == 0 {
+		runRounds()
+		return
+	}
+	barrier := sim.NewCountdown(len(intra), runRounds)
+	for _, edges := range intra {
+		p.probeSequence(edges, report, barrier.Done)
+	}
+}
+
+// intraPlans groups one direction of every NVLink pair by server.
+func (p *Profiler) intraPlans() map[int][]topology.EdgeID {
+	g := p.fab.Graph()
+	plans := make(map[int][]topology.EdgeID)
+	for _, e := range g.Edges() {
+		if e.Type != topology.LinkNVLink {
+			continue
+		}
+		// Probe the lower-rank → higher-rank direction; the reverse
+		// direction gets the same measurement installed.
+		if g.Node(e.From).Rank < g.Node(e.To).Rank {
+			server := g.Node(e.From).Server
+			plans[server] = append(plans[server], e.ID)
+		}
+	}
+	return plans
+}
+
+// connection is one NIC-to-NIC network path through the core switch: the
+// source server's uplink (egress port) followed by the destination
+// server's downlink (ingress port).
+type connection struct {
+	up, down topology.EdgeID
+}
+
+// interRounds builds the N−1 round schedule of NIC-to-NIC connections: in
+// round i, server n probes server (n+i)%N, so each ingress and egress port
+// carries exactly one probing flow at any time.
+func (p *Profiler) interRounds() [][]connection {
+	g := p.fab.Graph()
+	sw, ok := g.Switch()
+	if !ok {
+		return nil
+	}
+	uplinks := make(map[int][]topology.EdgeID)
+	downlinks := make(map[int][]topology.EdgeID)
+	servers := make(map[int]bool)
+	for _, e := range g.Edges() {
+		if !e.Type.Network() {
+			continue
+		}
+		if e.To == sw {
+			srv := g.Node(e.From).Server
+			uplinks[srv] = append(uplinks[srv], e.ID)
+			servers[srv] = true
+		} else if e.From == sw {
+			srv := g.Node(e.To).Server
+			downlinks[srv] = append(downlinks[srv], e.ID)
+			servers[srv] = true
+		}
+	}
+	n := 0
+	for srv := range servers {
+		if srv+1 > n {
+			n = srv + 1
+		}
+	}
+	var rounds [][]connection
+	for i := 1; i < n; i++ {
+		var round []connection
+		for src := 0; src < n; src++ {
+			dst := (src + i) % n
+			for _, up := range uplinks[src] {
+				for _, down := range downlinks[dst] {
+					round = append(round, connection{up: up, down: down})
+				}
+			}
+		}
+		if len(round) > 0 {
+			rounds = append(rounds, round)
+		}
+	}
+	if p.opts.NaiveSchedule {
+		// All pairs at once: probe flows interfere on shared ports.
+		var all []connection
+		for _, r := range rounds {
+			all = append(all, r...)
+		}
+		return [][]connection{all}
+	}
+	return rounds
+}
+
+// runRound executes inter-instance rounds sequentially with a barrier
+// between them; flows within a round run concurrently.
+func (p *Profiler) runRound(rounds [][]connection, idx int, acc *portAccumulator, report *Report, onDone func()) {
+	if idx >= len(rounds) {
+		acc.install(report)
+		onDone()
+		return
+	}
+	round := rounds[idx]
+	barrier := sim.NewCountdown(len(round), func() {
+		p.runRound(rounds, idx+1, acc, report, onDone)
+	})
+	for _, conn := range round {
+		p.probeConnection(conn, acc, barrier.Done)
+	}
+}
+
+// portAccumulator collects end-to-end connection measurements and solves
+// per-port values jointly: sequential-probe α and β are additive across
+// the two ports (β_conn = β_up + β_down), so an iterative least-squares
+// refinement attributes a degraded port's slowness to that port instead of
+// smearing it over every peer; pipelined aggregate bandwidth is the MIN of
+// the two port rates, so each port's aggregate is the max observed across
+// its connections.
+type portAccumulator struct {
+	conns []connMeasure
+}
+
+type connMeasure struct {
+	up, down topology.EdgeID
+	alphaSec float64
+	beta     float64 // seconds per byte, end to end
+	aggBps   float64
+}
+
+func newPortAccumulator() *portAccumulator { return &portAccumulator{} }
+
+func (a *portAccumulator) add(conn connection, alpha time.Duration, beta, agg float64) {
+	a.conns = append(a.conns, connMeasure{
+		up: conn.up, down: conn.down,
+		alphaSec: alpha.Seconds(), beta: beta, aggBps: agg,
+	})
+}
+
+// solveAdditive attributes an additive end-to-end quantity to ports by
+// alternating averages, starting from the symmetric split.
+func (a *portAccumulator) solveAdditive(value func(connMeasure) float64) map[topology.EdgeID]float64 {
+	est := make(map[topology.EdgeID]float64)
+	for _, cm := range a.conns {
+		v := value(cm) / 2
+		est[cm.up] += 0
+		est[cm.down] += 0
+		if est[cm.up] == 0 {
+			est[cm.up] = v
+		}
+		if est[cm.down] == 0 {
+			est[cm.down] = v
+		}
+	}
+	for iter := 0; iter < 12; iter++ {
+		sums := make(map[topology.EdgeID]float64, len(est))
+		counts := make(map[topology.EdgeID]int, len(est))
+		for _, cm := range a.conns {
+			v := value(cm)
+			sums[cm.up] += v - est[cm.down]
+			counts[cm.up]++
+			sums[cm.down] += v - est[cm.up]
+			counts[cm.down]++
+		}
+		for eid := range est {
+			if counts[eid] > 0 {
+				next := sums[eid] / float64(counts[eid])
+				if next < 0 {
+					next = 0
+				}
+				est[eid] = next
+			}
+		}
+	}
+	return est
+}
+
+func (a *portAccumulator) install(report *Report) {
+	if len(a.conns) == 0 {
+		return
+	}
+	alphas := a.solveAdditive(func(cm connMeasure) float64 { return cm.alphaSec })
+	betas := a.solveAdditive(func(cm connMeasure) float64 { return cm.beta })
+	aggs := make(map[topology.EdgeID]float64)
+	for _, cm := range a.conns {
+		if cm.aggBps > aggs[cm.up] {
+			aggs[cm.up] = cm.aggBps
+		}
+		if cm.aggBps > aggs[cm.down] {
+			aggs[cm.down] = cm.aggBps
+		}
+	}
+	for eid, beta := range betas {
+		m := Measurement{
+			Edge:  eid,
+			Alpha: time.Duration(alphas[eid] * float64(time.Second)),
+		}
+		if beta > 1e-15 {
+			m.StreamBps = 1 / beta
+		}
+		m.AggregateBps = aggs[eid]
+		if m.AggregateBps < m.StreamBps {
+			m.AggregateBps = m.StreamBps
+		}
+		report.ByEdge[eid] = m
+	}
+}
+
+// probeConnection runs the probe plan end-to-end over the two-hop
+// connection and attributes the fit symmetrically to both ports (routes
+// always traverse an uplink then a downlink, so the attributed pair
+// reproduces the measured end-to-end cost exactly).
+func (p *Profiler) probeConnection(conn connection, acc *portAccumulator, onDone func()) {
+	g := p.fab.Graph()
+	edges := []topology.EdgeID{conn.up, conn.down}
+	combos := p.opts.NetworkCombos
+
+	var obs []observation
+	var runCombo func(i int)
+	runCombo = func(i int) {
+		if i >= len(combos) {
+			alpha, beta, err := fitAlphaBeta(obs)
+			if err != nil {
+				// Degenerate fit: fall back to nominal values.
+				up := g.Edge(conn.up)
+				alpha, beta = 2*up.Alpha, 2*up.Beta()
+			}
+			p.probePathAggregate(edges, func(aggBps float64) {
+				acc.add(conn, alpha, beta, aggBps)
+				onDone()
+			})
+			return
+		}
+		c := combos[i]
+		start := p.fab.Engine().Now()
+		p.sendPathSequential(edges, c.Count, c.Size, func() {
+			obs = append(obs, observation{
+				count: float64(c.Count),
+				bytes: float64(c.Count) * float64(c.Size),
+				secs:  (p.fab.Engine().Now() - start).Seconds(),
+			})
+			batchStart := p.fab.Engine().Now()
+			p.sendPath(edges, int64(c.Count)*c.Size, func() {
+				obs = append(obs, observation{
+					count: 1,
+					bytes: float64(c.Count) * float64(c.Size),
+					secs:  (p.fab.Engine().Now() - batchStart).Seconds(),
+				})
+				runCombo(i + 1)
+			})
+		})
+	}
+	runCombo(0)
+}
+
+// sendPath moves one message over consecutive edges (store-and-forward).
+func (p *Profiler) sendPath(edges []topology.EdgeID, size int64, onDone func()) {
+	if len(edges) == 0 {
+		onDone()
+		return
+	}
+	p.fab.Send(edges[0], size, nil, func(any) {
+		p.sendPath(edges[1:], size, onDone)
+	})
+}
+
+// sendPathSequential sends size bytes n times end-to-end, each message
+// starting after the previous delivery.
+func (p *Profiler) sendPathSequential(edges []topology.EdgeID, n int, size int64, onDone func()) {
+	if n <= 0 {
+		onDone()
+		return
+	}
+	p.sendPath(edges, size, func() {
+		p.sendPathSequential(edges, n-1, size, onDone)
+	})
+}
+
+// probePathAggregate measures the connection's multi-stream bandwidth:
+// ParallelStreams pipelined chunked streams run concurrently; pipelining
+// across the two hops makes the end-to-end rate approach the port rate.
+func (p *Profiler) probePathAggregate(edges []topology.EdgeID, onDone func(float64)) {
+	streams := p.opts.ParallelStreams
+	const (
+		chunk   = int64(1 << 20)
+		nChunks = 8
+	)
+	start := p.fab.Engine().Now()
+	barrier := sim.NewCountdown(streams, func() {
+		elapsed := (p.fab.Engine().Now() - start).Seconds()
+		if elapsed <= 0 {
+			onDone(0)
+			return
+		}
+		onDone(float64(streams) * float64(chunk) * nChunks / elapsed)
+	})
+	for i := 0; i < streams; i++ {
+		sid := p.fab.NewStreamID()
+		p.pipelinePath(edges, sid, chunk, nChunks, func() { barrier.Done() })
+	}
+}
+
+// pipelinePath streams nChunks chunks over the edges, posting chunk c+1
+// when chunk c finishes its first hop.
+func (p *Profiler) pipelinePath(edges []topology.EdgeID, sid fabric.StreamID, chunk int64, nChunks int, onDone func()) {
+	remaining := nChunks
+	barrier := sim.NewCountdown(nChunks, onDone)
+	var postNext func()
+	forward := func(rest []topology.EdgeID) {
+		var step func(r []topology.EdgeID)
+		step = func(r []topology.EdgeID) {
+			if len(r) == 0 {
+				barrier.Done()
+				return
+			}
+			p.fab.SendStream(r[0], sid, chunk, nil, func(any) { step(r[1:]) })
+		}
+		step(rest)
+	}
+	postNext = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		p.fab.SendStream(edges[0], sid, chunk, nil, func(any) {
+			forward(edges[1:])
+			postNext()
+		})
+	}
+	postNext()
+}
+
+// probeSequence probes edges one after another (intra-server sequences).
+func (p *Profiler) probeSequence(edges []topology.EdgeID, report *Report, onDone func()) {
+	if len(edges) == 0 {
+		onDone()
+		return
+	}
+	p.probeEdge(edges[0], report, func() {
+		p.probeSequence(edges[1:], report, onDone)
+	})
+}
+
+// observation is one timed probe pattern: T ≈ count·α + bytes·β.
+type observation struct {
+	count float64
+	bytes float64
+	secs  float64
+}
+
+// probeEdge runs the full probe plan on one edge and records the fit. For
+// NVLink edges the measurement is mirrored onto the reverse direction.
+func (p *Profiler) probeEdge(eid topology.EdgeID, report *Report, onDone func()) {
+	g := p.fab.Graph()
+	edge := g.Edge(eid)
+	combos := p.opts.NVLinkCombos
+
+	var obs []observation
+	finishFit := func() {
+		alpha, beta, err := fitAlphaBeta(obs)
+		if err != nil {
+			// Degenerate fit: fall back to nominal values rather
+			// than aborting profiling mid-training.
+			alpha = edge.Alpha
+			beta = edge.Beta()
+		}
+		m := Measurement{Edge: eid, Alpha: alpha}
+		if beta > 0 {
+			m.StreamBps = 1 / beta
+		} else {
+			m.StreamBps = edge.BandwidthBps
+		}
+		m.AggregateBps = m.StreamBps
+		report.ByEdge[eid] = m
+		if rev, ok := g.EdgeBetween(edge.To, edge.From); ok {
+			rm := m
+			rm.Edge = rev
+			report.ByEdge[rev] = rm
+		}
+		onDone()
+	}
+
+	// Run each combo's sequential pattern then batch pattern, chaining.
+	var runCombo func(i int)
+	runCombo = func(i int) {
+		if i >= len(combos) {
+			finishFit()
+			return
+		}
+		c := combos[i]
+		start := p.fab.Engine().Now()
+		p.sendSequential(eid, c.Count, c.Size, func() {
+			obs = append(obs, observation{
+				count: float64(c.Count),
+				bytes: float64(c.Count) * float64(c.Size),
+				secs:  (p.fab.Engine().Now() - start).Seconds(),
+			})
+			batchStart := p.fab.Engine().Now()
+			p.fab.Send(eid, int64(c.Count)*c.Size, nil, func(any) {
+				obs = append(obs, observation{
+					count: 1,
+					bytes: float64(c.Count) * float64(c.Size),
+					secs:  (p.fab.Engine().Now() - batchStart).Seconds(),
+				})
+				runCombo(i + 1)
+			})
+		})
+	}
+	runCombo(0)
+}
+
+// sendSequential sends size bytes n times, each send starting after the
+// previous delivery (so each send pays the full α).
+func (p *Profiler) sendSequential(eid topology.EdgeID, n int, size int64, onDone func()) {
+	if n <= 0 {
+		onDone()
+		return
+	}
+	p.fab.Send(eid, size, nil, func(any) {
+		p.sendSequential(eid, n-1, size, onDone)
+	})
+}
+
+// fitAlphaBeta solves the least-squares system T_k = count_k·α + bytes_k·β.
+func fitAlphaBeta(obs []observation) (time.Duration, float64, error) {
+	if len(obs) < 2 {
+		return 0, 0, fmt.Errorf("profile: %d observations, need >= 2", len(obs))
+	}
+	var scc, scb, sbb, sct, sbt float64
+	for _, o := range obs {
+		scc += o.count * o.count
+		scb += o.count * o.bytes
+		sbb += o.bytes * o.bytes
+		sct += o.count * o.secs
+		sbt += o.bytes * o.secs
+	}
+	det := scc*sbb - scb*scb
+	if det == 0 {
+		return 0, 0, fmt.Errorf("profile: singular probe design")
+	}
+	alphaSec := (sct*sbb - sbt*scb) / det
+	beta := (scc*sbt - scb*sct) / det
+	if alphaSec < 0 {
+		alphaSec = 0
+	}
+	if beta <= 0 {
+		return 0, 0, fmt.Errorf("profile: fitted non-positive beta %v", beta)
+	}
+	return time.Duration(alphaSec * float64(time.Second)), beta, nil
+}

@@ -1,0 +1,275 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/fabric"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+func buildFabric(t *testing.T, c *topology.Cluster) (*sim.Engine, *fabric.Fabric, *topology.Graph) {
+	t.Helper()
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	return eng, fabric.New(eng, g), g
+}
+
+func runProfiler(t *testing.T, fab *fabric.Fabric) *Report {
+	t.Helper()
+	var report *Report
+	New(fab, Options{}).Run(func(r *Report) { report = r })
+	fab.Engine().Run()
+	if report == nil {
+		t.Fatal("profiler never completed")
+	}
+	return report
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
+
+func TestProfilesAllNVLinkAndNetworkEdges(t *testing.T) {
+	c, err := cluster.Heterogeneous(topology.TransportRDMA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fab, g := buildFabric(t, c)
+	report := runProfiler(t, fab)
+	for _, e := range g.Edges() {
+		_, profiled := report.ByEdge[e.ID]
+		wantProfiled := e.Type == topology.LinkNVLink || e.Type.Network()
+		if profiled != wantProfiled {
+			t.Errorf("edge %v (%v): profiled=%v, want %v", e.ID, e.Type, profiled, wantProfiled)
+		}
+	}
+}
+
+func TestFitRecoversGroundTruth(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fab, g := buildFabric(t, c)
+	report := runProfiler(t, fab)
+	for eid, m := range report.ByEdge {
+		e := g.Edge(eid)
+		if re := relErr(m.StreamBps, e.BandwidthBps); re > 0.02 {
+			t.Errorf("edge %v (%v): bandwidth %.3g, want %.3g (err %.1f%%)",
+				eid, e.Type, m.StreamBps, e.BandwidthBps, re*100)
+		}
+		if re := relErr(m.Alpha.Seconds(), e.Alpha.Seconds()); re > 0.05 {
+			t.Errorf("edge %v (%v): alpha %v, want %v", eid, e.Type, m.Alpha, e.Alpha)
+		}
+	}
+}
+
+func TestTCPAggregateExceedsStream(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportTCP, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fab, g := buildFabric(t, c)
+	report := runProfiler(t, fab)
+	checked := 0
+	for eid, m := range report.ByEdge {
+		if !g.Edge(eid).Type.Network() {
+			continue
+		}
+		checked++
+		// Single stream is capped near 20 Gbps (2.5e9 B/s).
+		if re := relErr(m.StreamBps, topology.TCPPerStreamBps); re > 0.05 {
+			t.Errorf("edge %v: stream bw %.3g, want ≈%.3g", eid, m.StreamBps, topology.TCPPerStreamBps)
+		}
+		// Four parallel streams approach 4× (pipeline ramp-up keeps the
+		// estimate a bit conservative).
+		if m.AggregateBps < 3*m.StreamBps {
+			t.Errorf("edge %v: aggregate %.3g not ≫ stream %.3g", eid, m.AggregateBps, m.StreamBps)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no network edges profiled")
+	}
+}
+
+func TestProfilerSeesLiveDegradation(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fab, g := buildFabric(t, c)
+	// Degrade server 1's ingress to 40% before profiling. Pair probes
+	// attribute cost symmetrically to both ports of a connection, so the
+	// invariant is END-TO-END: the profiled cost of the path into server
+	// 1 must match the degraded ground truth.
+	fab.SetServerIngressScale(1, 0.4)
+	report := runProfiler(t, fab)
+	sw, ok := g.Switch()
+	if !ok {
+		t.Fatal("no switch")
+	}
+	up0, _ := g.NICOfServer(0, 0)
+	down1, _ := g.NICOfServer(1, 0)
+	upEdge, _ := g.EdgeBetween(up0, sw)
+	downEdge, _ := g.EdgeBetween(sw, down1)
+	profiledBeta := 1/report.StreamBps(g, upEdge) + 1/report.StreamBps(g, downEdge)
+	trueBeta := 1/g.Edge(upEdge).BandwidthBps + 1/(g.Edge(downEdge).BandwidthBps*0.4)
+	if re := relErr(profiledBeta, trueBeta); re > 0.05 {
+		t.Errorf("end-to-end beta into degraded server: profiled %.3g, want ≈%.3g", profiledBeta, trueBeta)
+	}
+}
+
+func TestBothNetworkDirectionsCovered(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fab, g := buildFabric(t, c)
+	report := runProfiler(t, fab)
+	for _, e := range g.Edges() {
+		if e.Type.Network() {
+			if _, ok := report.ByEdge[e.ID]; !ok {
+				t.Errorf("network edge %v (%v→%v) unprofiled",
+					e.ID, g.Node(e.From), g.Node(e.To))
+			}
+		}
+	}
+}
+
+func TestNVLinkReverseMirrored(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fab, g := buildFabric(t, c)
+	report := runProfiler(t, fab)
+	a, _ := g.GPUByRank(0)
+	b, _ := g.GPUByRank(1)
+	fwd, _ := g.EdgeBetween(a, b)
+	rev, _ := g.EdgeBetween(b, a)
+	mf, okF := report.ByEdge[fwd]
+	mr, okR := report.ByEdge[rev]
+	if !okF || !okR {
+		t.Fatal("NVLink direction missing from report")
+	}
+	if mf.StreamBps != mr.StreamBps || mf.Alpha != mr.Alpha {
+		t.Errorf("mirrored NVLink measurement differs: %+v vs %+v", mf, mr)
+	}
+}
+
+func TestReportFallbacks(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportTCP, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, g := buildFabric(t, c)
+	empty := &Report{ByEdge: map[topology.EdgeID]Measurement{}}
+	for _, e := range g.Edges() {
+		if e.Type == topology.LinkPCIe {
+			if got := empty.Alpha(g, e.ID); got != e.Alpha {
+				t.Errorf("PCIe alpha fallback = %v, want %v", got, e.Alpha)
+			}
+			if got := empty.AggregateBps(g, e.ID); got != e.BandwidthBps {
+				t.Errorf("PCIe aggregate fallback = %v, want %v", got, e.BandwidthBps)
+			}
+		}
+		if e.Type == topology.LinkTCP {
+			if got := empty.StreamBps(g, e.ID); got != topology.TCPPerStreamBps {
+				t.Errorf("TCP stream fallback = %v, want per-stream cap", got)
+			}
+		}
+	}
+}
+
+func TestProfilingDurationPositiveAndBounded(t *testing.T) {
+	c, err := cluster.Testbed(topology.TransportRDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fab, _ := buildFabric(t, c)
+	report := runProfiler(t, fab)
+	if report.Duration() <= 0 {
+		t.Fatal("profiling took no virtual time")
+	}
+	// Profiling blocks training, so it must stay well under a second on
+	// the testbed (the paper's reconstruction totals are tens of ms to
+	// ~1 s depending on scale).
+	if report.Duration() > 2*time.Second {
+		t.Errorf("profiling blocked training for %v", report.Duration())
+	}
+}
+
+func TestFitAlphaBetaExact(t *testing.T) {
+	alpha, beta := 5e-6, 1e-9 // 5 µs, 1 GB/s
+	mk := func(count, bytes float64) observation {
+		return observation{count: count, bytes: bytes, secs: count*alpha + bytes*beta}
+	}
+	obs := []observation{mk(8, 8e6), mk(1, 8e6), mk(4, 16e6), mk(1, 16e6)}
+	gotAlpha, gotBeta, err := fitAlphaBeta(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(gotAlpha.Seconds(), alpha) > 1e-6 {
+		t.Errorf("alpha = %v, want 5µs", gotAlpha)
+	}
+	if relErr(gotBeta, beta) > 1e-9 {
+		t.Errorf("beta = %v, want 1e-9", gotBeta)
+	}
+}
+
+func TestFitAlphaBetaDegenerate(t *testing.T) {
+	if _, _, err := fitAlphaBeta(nil); err == nil {
+		t.Error("empty observations accepted")
+	}
+	// Identical observations: singular design matrix.
+	o := observation{count: 1, bytes: 100, secs: 1}
+	if _, _, err := fitAlphaBeta([]observation{o, o}); err == nil {
+		t.Error("singular design accepted")
+	}
+}
+
+// TestNaiveScheduleMismeasures demonstrates why the paper's multi-round
+// schedule matters: probing all pairs at once makes concurrent flows
+// contend on shared ports, and the fitted single-stream bandwidths come
+// out far below the truth.
+func TestNaiveScheduleMismeasures(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fab, g := buildFabric(t, c)
+	var naive *Report
+	New(fab, Options{NaiveSchedule: true}).Run(func(r *Report) { naive = r })
+	fab.Engine().Run()
+	if naive == nil {
+		t.Fatal("naive profiling never completed")
+	}
+	undershoot := 0
+	network := 0
+	for eid, m := range naive.ByEdge {
+		e := g.Edge(eid)
+		if !e.Type.Network() {
+			continue
+		}
+		network++
+		if m.StreamBps < 0.8*e.BandwidthBps {
+			undershoot++
+		}
+	}
+	if network == 0 {
+		t.Fatal("no network measurements")
+	}
+	if undershoot == 0 {
+		t.Errorf("naive all-pairs probing should mismeasure contended ports (0 of %d undershot)", network)
+	}
+}

@@ -1,0 +1,409 @@
+package relay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"adapcc/internal/sim"
+)
+
+// DefaultCycle is the coordinator's decision period (the paper uses 5 ms).
+const DefaultCycle = 5 * time.Millisecond
+
+// DefaultFaultMultiple scales the fault-detection threshold: T_fault is
+// five times the duration since the fastest worker became ready.
+const DefaultFaultMultiple = 5.0
+
+// DefaultMinFaultDelay floors the fault deadline so that structurally slow
+// workers (e.g. V100s doing the same batch as A100s) are never mistaken
+// for crashes when communication is much faster than the compute spread.
+// PyTorch Elastic's keep-alive is 15 s; AdapCC can be far more aggressive
+// but still needs a floor.
+const DefaultMinFaultDelay = 2 * time.Second
+
+// Callbacks connect the coordinator to the communication executor. Each
+// Start* callback must eventually invoke done exactly once (in virtual
+// time) when the corresponding communication finishes.
+type Callbacks struct {
+	// StartFull runs the collective over all (non-excluded) workers.
+	StartFull func(ranks []int, done func())
+	// StartPhase1 runs the partial collective among ready workers with
+	// the given relays assisting.
+	StartPhase1 func(ready, relays []int, done func())
+	// StartPhase2 broadcasts the late workers' tensors for catch-up
+	// aggregation among all participants.
+	StartPhase2 func(participants, late []int, done func())
+	// OnFault reports workers excluded after exceeding T_fault. The
+	// training side must redistribute the data loader so the global
+	// batch size stays constant (Sec. IV-C(2)).
+	OnFault func(faulty []int)
+}
+
+// Config parameterises a Coordinator.
+type Config struct {
+	Engine *sim.Engine
+	// World lists all worker ranks.
+	World []int
+	// Cycle is the decision period (default DefaultCycle).
+	Cycle time.Duration
+	// Policy decides wait-vs-proceed (default BreakEven).
+	Policy Policy
+	// Estimator prices the buying option.
+	Estimator CostEstimator
+	// FaultMultiple scales T_fault (default DefaultFaultMultiple).
+	FaultMultiple float64
+	// MinFaultDelay floors the post-phase-1 fault deadline (default
+	// DefaultMinFaultDelay).
+	MinFaultDelay time.Duration
+	// RPCDelay models the worker→coordinator notification latency
+	// (Fig. 19d). Nil installs a lognormal with 90th percentile ≈1.5 ms.
+	RPCDelay  func() time.Duration
+	Callbacks Callbacks
+}
+
+// Stats aggregates coordinator telemetry across iterations.
+type Stats struct {
+	Iterations   int
+	FullRuns     int         // iterations where everyone was awaited
+	PartialRuns  int         // iterations with phase-1/phase-2 split
+	RelayCounts  map[int]int // times each rank served as a relay
+	RPCSamples   []time.Duration
+	WaitTime     time.Duration // total time spent waiting for stragglers
+	FaultedRanks []int
+}
+
+// RelayProbability returns the fraction of iterations each rank relayed
+// (Fig. 15).
+func (s *Stats) RelayProbability(rank int) float64 {
+	if s.Iterations == 0 {
+		return 0
+	}
+	return float64(s.RelayCounts[rank]) / float64(s.Iterations)
+}
+
+// Coordinator is the rank-0 control loop of Sec. IV-C. It is single-
+// iteration re-entrant: BeginIteration must not be called again until the
+// previous iteration's onComplete fired.
+type Coordinator struct {
+	cfg   Config
+	rng   *rand.Rand
+	stats Stats
+
+	excluded map[int]bool
+
+	// per-iteration state
+	inIteration  bool
+	ready        map[int]bool
+	firstReadyAt sim.Time
+	anyReady     bool
+	started      bool // communication already triggered
+	ticker       *sim.Ticker
+	iterStart    sim.Time
+	onComplete   func()
+	phase1Ready  map[int]bool
+	faultEvent   *sim.Event
+	phase1Done   bool
+	phase2Going  bool
+}
+
+// NewCoordinator validates the config and builds a coordinator.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("relay: nil engine")
+	}
+	if len(cfg.World) < 2 {
+		return nil, fmt.Errorf("relay: world of %d workers (need >= 2)", len(cfg.World))
+	}
+	if cfg.Estimator == nil {
+		return nil, fmt.Errorf("relay: nil estimator")
+	}
+	if cfg.Callbacks.StartFull == nil || cfg.Callbacks.StartPhase1 == nil || cfg.Callbacks.StartPhase2 == nil {
+		return nil, fmt.Errorf("relay: missing communication callbacks")
+	}
+	if cfg.Cycle <= 0 {
+		cfg.Cycle = DefaultCycle
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = BreakEven{}
+	}
+	if cfg.FaultMultiple <= 0 {
+		cfg.FaultMultiple = DefaultFaultMultiple
+	}
+	if cfg.MinFaultDelay <= 0 {
+		cfg.MinFaultDelay = DefaultMinFaultDelay
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		rng:      cfg.Engine.Fork(),
+		excluded: make(map[int]bool),
+	}
+	c.stats.RelayCounts = make(map[int]int)
+	if c.cfg.RPCDelay == nil {
+		c.cfg.RPCDelay = c.defaultRPCDelay
+	}
+	return c, nil
+}
+
+// defaultRPCDelay draws from a lognormal with median ≈0.7 ms and 90th
+// percentile ≈1.5 ms, matching Fig. 19d.
+func (c *Coordinator) defaultRPCDelay() time.Duration {
+	const (
+		mu    = -7.264 // ln(0.0007)
+		sigma = 0.595
+	)
+	sec := math.Exp(mu + sigma*c.rng.NormFloat64())
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Stats returns a snapshot of accumulated telemetry.
+func (c *Coordinator) Stats() Stats {
+	out := c.stats
+	out.RelayCounts = make(map[int]int, len(c.stats.RelayCounts))
+	for k, v := range c.stats.RelayCounts {
+		out.RelayCounts[k] = v
+	}
+	out.RPCSamples = append([]time.Duration(nil), c.stats.RPCSamples...)
+	out.FaultedRanks = append([]int(nil), c.stats.FaultedRanks...)
+	return out
+}
+
+// Readmit returns a previously excluded (faulted) worker to the training
+// group — the elastic-scaling counterpart of fault exclusion: a restarted
+// worker rejoins from the next iteration without any job restart. It is a
+// no-op for unknown or never-excluded ranks.
+func (c *Coordinator) Readmit(rank int) {
+	for _, r := range c.cfg.World {
+		if r == rank {
+			delete(c.excluded, rank)
+			return
+		}
+	}
+}
+
+// Alive returns the non-excluded worker ranks.
+func (c *Coordinator) Alive() []int {
+	var out []int
+	for _, r := range c.cfg.World {
+		if !c.excluded[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BeginIteration arms the coordinator for one training iteration.
+// onComplete fires when the iteration's communication (full, or phase 1 +
+// phase 2) has finished.
+func (c *Coordinator) BeginIteration(onComplete func()) {
+	if c.inIteration {
+		panic("relay: BeginIteration while an iteration is in flight")
+	}
+	c.inIteration = true
+	c.ready = make(map[int]bool)
+	c.anyReady = false
+	c.started = false
+	c.phase1Done = false
+	c.phase2Going = false
+	c.phase1Ready = nil
+	c.iterStart = c.cfg.Engine.Now()
+	c.onComplete = onComplete
+	c.stats.Iterations++
+}
+
+// WorkerReady notifies the coordinator (after the RPC delay) that a worker
+// finished computing its tensors.
+func (c *Coordinator) WorkerReady(rank int) {
+	if c.excluded[rank] {
+		return
+	}
+	delay := c.cfg.RPCDelay()
+	c.stats.RPCSamples = append(c.stats.RPCSamples, delay)
+	c.cfg.Engine.After(delay, func() { c.markReady(rank) })
+}
+
+func (c *Coordinator) markReady(rank int) {
+	if !c.inIteration || c.excluded[rank] || c.ready[rank] {
+		return
+	}
+	c.ready[rank] = true
+	if !c.anyReady {
+		c.anyReady = true
+		c.firstReadyAt = c.cfg.Engine.Now()
+		if !c.started {
+			c.ticker = sim.NewTicker(c.cfg.Engine, c.cfg.Cycle, c.decide)
+		}
+	}
+	if !c.started && c.allReady() {
+		// Everyone arrived before the break-even point: trigger the
+		// full collective immediately, like existing libraries do.
+		c.startFull()
+		return
+	}
+	if c.started && !c.phase2Going && c.phase1Done {
+		c.maybeStartPhase2()
+	}
+}
+
+func (c *Coordinator) allReady() bool {
+	for _, r := range c.Alive() {
+		if !c.ready[r] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Coordinator) lateRanks() []int {
+	var late []int
+	for _, r := range c.Alive() {
+		if !c.ready[r] {
+			late = append(late, r)
+		}
+	}
+	return late
+}
+
+func (c *Coordinator) readyRanks() []int {
+	var out []int
+	for _, r := range c.Alive() {
+		if c.ready[r] {
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// decide runs once per cycle until communication starts.
+func (c *Coordinator) decide() {
+	if c.started || !c.inIteration {
+		return
+	}
+	eng := c.cfg.Engine
+	if c.allReady() {
+		c.startFull()
+		return
+	}
+	ready := c.readyRanks()
+	if len(ready) < 2 {
+		return // nothing to communicate yet
+	}
+	late := c.lateRanks()
+	waited := eng.Now() - c.firstReadyAt
+	c.stats.WaitTime += c.cfg.Cycle
+	buy := c.cfg.Estimator.PartialTime(ready, late) + c.cfg.Estimator.CatchupTime(late)
+	if c.cfg.Policy.Decide(waited, buy) == DecideProceed {
+		c.startPhase1(ready, late)
+	}
+}
+
+func (c *Coordinator) stopTicker() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+}
+
+func (c *Coordinator) startFull() {
+	c.started = true
+	c.stopTicker()
+	c.stats.FullRuns++
+	ranks := c.readyRanks()
+	c.cfg.Callbacks.StartFull(ranks, func() { c.finish() })
+}
+
+func (c *Coordinator) startPhase1(ready, relays []int) {
+	c.started = true
+	c.stopTicker()
+	c.stats.PartialRuns++
+	for _, r := range relays {
+		c.stats.RelayCounts[r]++
+	}
+	c.phase1Ready = make(map[int]bool, len(ready))
+	for _, r := range ready {
+		c.phase1Ready[r] = true
+	}
+	c.cfg.Callbacks.StartPhase1(ready, relays, func() { c.onPhase1Done() })
+}
+
+func (c *Coordinator) onPhase1Done() {
+	c.phase1Done = true
+	eng := c.cfg.Engine
+	if c.allReady() {
+		c.maybeStartPhase2()
+		return
+	}
+	// Arm the fault deadline: five times the span from the fastest
+	// worker's readiness to phase-1 completion (Sec. IV-C(2)).
+	span := eng.Now() - c.firstReadyAt
+	deadline := time.Duration(c.cfg.FaultMultiple * float64(span))
+	if deadline < c.cfg.MinFaultDelay {
+		deadline = c.cfg.MinFaultDelay
+	}
+	c.faultEvent = eng.After(deadline, func() {
+		c.faultEvent = nil
+		c.declareFaults()
+	})
+}
+
+func (c *Coordinator) maybeStartPhase2() {
+	if !c.phase1Done || c.phase2Going || !c.allReady() {
+		return
+	}
+	if c.faultEvent != nil {
+		c.cfg.Engine.Cancel(c.faultEvent)
+		c.faultEvent = nil
+	}
+	c.phase2Going = true
+	// Late workers: alive ranks that missed phase 1.
+	var late []int
+	for _, r := range c.Alive() {
+		if !c.phase1Ready[r] {
+			late = append(late, r)
+		}
+	}
+	if len(late) == 0 {
+		c.finish()
+		return
+	}
+	c.cfg.Callbacks.StartPhase2(c.Alive(), late, func() { c.finish() })
+}
+
+// declareFaults excludes workers that never became ready and proceeds with
+// the survivors (continued training without restart).
+func (c *Coordinator) declareFaults() {
+	var faulty []int
+	for _, r := range c.Alive() {
+		if !c.ready[r] {
+			faulty = append(faulty, r)
+			c.excluded[r] = true
+		}
+	}
+	if len(faulty) > 0 {
+		c.stats.FaultedRanks = append(c.stats.FaultedRanks, faulty...)
+		if c.cfg.Callbacks.OnFault != nil {
+			c.cfg.Callbacks.OnFault(faulty)
+		}
+	}
+	c.maybeStartPhase2()
+}
+
+func (c *Coordinator) finish() {
+	if !c.inIteration {
+		return
+	}
+	c.inIteration = false
+	c.stopTicker()
+	if c.faultEvent != nil {
+		c.cfg.Engine.Cancel(c.faultEvent)
+		c.faultEvent = nil
+	}
+	done := c.onComplete
+	c.onComplete = nil
+	if done != nil {
+		done()
+	}
+}

@@ -1,0 +1,63 @@
+package relay
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPolicyStringsAndStubs(t *testing.T) {
+	if DecideWait.String() != "wait" || DecideProceed.String() != "proceed" {
+		t.Error("decision strings wrong")
+	}
+	if (AlwaysWait{}).Decide(time.Hour, 0) != DecideWait {
+		t.Error("AlwaysWait proceeded")
+	}
+	if (AlwaysProceed{}).Decide(0, time.Hour) != DecideProceed {
+		t.Error("AlwaysProceed waited")
+	}
+}
+
+func TestVolumeEstimatorFullTime(t *testing.T) {
+	e := &VolumeEstimator{
+		TensorBytes: 1 << 20,
+		Volume:      AllReduceVolume,
+		BandwidthBps: func(ready, relays []int) float64 {
+			return 1e9
+		},
+	}
+	all := []int{0, 1, 2, 3}
+	// S = 2(N-1) x tensor = 6 MiB at 1 GB/s.
+	want := time.Duration(float64(6<<20) / 1e9 * float64(time.Second))
+	got := e.FullTime(all)
+	if d := got - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("FullTime = %v, want %v", got, want)
+	}
+	// Degenerate: single worker has nothing to allreduce.
+	if e.FullTime([]int{0}) != 0 {
+		t.Error("single-worker full time not free")
+	}
+	// Zero bandwidth: effectively never buy.
+	zero := &VolumeEstimator{
+		TensorBytes:  1 << 20,
+		Volume:       AllReduceVolume,
+		BandwidthBps: func([]int, []int) float64 { return 0 },
+	}
+	if zero.FullTime(all) < time.Hour {
+		t.Error("zero-bandwidth estimate should be effectively infinite")
+	}
+}
+
+func TestRelayProbabilityAccounting(t *testing.T) {
+	var s Stats
+	if s.RelayProbability(0) != 0 {
+		t.Error("zero-iteration stats report a relay probability")
+	}
+	s.Iterations = 4
+	s.RelayCounts = map[int]int{2: 3}
+	if got := s.RelayProbability(2); got != 0.75 {
+		t.Errorf("RelayProbability(2) = %v, want 0.75", got)
+	}
+	if got := s.RelayProbability(1); got != 0 {
+		t.Errorf("RelayProbability(1) = %v, want 0", got)
+	}
+}

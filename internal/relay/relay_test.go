@@ -1,0 +1,480 @@
+package relay
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adapcc/internal/sim"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// fig7Graph reproduces the paper's Fig. 7 scenario: a 4-GPU reduce chain
+// GPU3 → GPU1, GPU2 → GPU1, GPU1 → GPU0 where GPU1 may act as a relay. All
+// four GPUs share one server with a full NVLink mesh.
+func fig7Graph(t *testing.T) (*topology.Graph, strategy.SubCollective) {
+	t.Helper()
+	c, err := topology.NewCluster(topology.TransportRDMA, topology.ServerSpec{
+		GPUs: []topology.GPUModel{topology.GPUA100, topology.GPUA100, topology.GPUA100, topology.GPUA100},
+		NICs: []topology.NICSpec{{BandwidthBps: topology.Gbps(100)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := func(rank int) topology.NodeID {
+		id, ok := g.GPUByRank(rank)
+		if !ok {
+			t.Fatalf("rank %d missing", rank)
+		}
+		return id
+	}
+	sc := strategy.SubCollective{
+		ID: 0, Bytes: 1 << 20, ChunkBytes: 1 << 18, Root: 0,
+		Flows: []strategy.Flow{
+			{ID: 0, SrcRank: 2, DstRank: 1, Path: []topology.NodeID{node(2), node(1)}},
+			{ID: 1, SrcRank: 3, DstRank: 1, Path: []topology.NodeID{node(3), node(1)}},
+			{ID: 2, SrcRank: 1, DstRank: 0, Path: []topology.NodeID{node(1), node(0)}},
+		},
+	}
+	return g, sc
+}
+
+func TestTuplesAllActive(t *testing.T) {
+	g, sc := fig7Graph(t)
+	active := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	tuples := Tuples(g, &sc, strategy.Reduce, active)
+	want := map[int]Tuple{
+		0: {IsActive: true, HasRecv: true, HasKernel: true, HasSend: false},
+		1: {IsActive: true, HasRecv: true, HasKernel: true, HasSend: true},
+		2: {IsActive: true, HasRecv: false, HasKernel: false, HasSend: true},
+		3: {IsActive: true, HasRecv: false, HasKernel: false, HasSend: true},
+	}
+	for rank, w := range want {
+		if got := tuples[rank]; got != w {
+			t.Errorf("rank %d tuple = %+v, want %+v", rank, got, w)
+		}
+	}
+}
+
+// TestTuplesFig7b reproduces Fig. 7(b): GPU1 is a relay (inactive). With
+// both GPU2 and GPU3 active, GPU1 still aggregates their two streams; GPU0
+// aggregates the merged stream with its local data.
+func TestTuplesFig7b(t *testing.T) {
+	g, sc := fig7Graph(t)
+	active := map[int]bool{0: true, 1: false, 2: true, 3: true}
+	tuples := Tuples(g, &sc, strategy.Reduce, active)
+	want := map[int]Tuple{
+		0: {IsActive: true, HasRecv: true, HasKernel: true, HasSend: false},
+		1: {IsActive: false, HasRecv: true, HasKernel: true, HasSend: true},
+		2: {IsActive: true, HasRecv: false, HasKernel: false, HasSend: true},
+		3: {IsActive: true, HasRecv: false, HasKernel: false, HasSend: true},
+	}
+	for rank, w := range want {
+		if got := tuples[rank]; got != w {
+			t.Errorf("rank %d tuple = %+v, want %+v", rank, got, w)
+		}
+	}
+}
+
+// TestTuplesRelaySingleStream: only GPU3 active upstream of relay GPU1 —
+// the paper's rule (2): the relay forwards without launching a kernel.
+func TestTuplesRelaySingleStream(t *testing.T) {
+	g, sc := fig7Graph(t)
+	active := map[int]bool{0: true, 1: false, 2: false, 3: true}
+	tuples := Tuples(g, &sc, strategy.Reduce, active)
+	r1 := tuples[1]
+	if r1.HasKernel {
+		t.Error("relay with one active stream should not launch a kernel")
+	}
+	if !r1.HasRecv || !r1.HasSend {
+		t.Errorf("relay should still receive and send: %+v", r1)
+	}
+	// GPU2 is inactive and receives nothing: fully idle.
+	r2 := tuples[2]
+	if r2.HasRecv || r2.HasSend || r2.HasKernel || r2.IsActive {
+		t.Errorf("idle rank 2 tuple = %+v, want all false", r2)
+	}
+}
+
+func TestTuplesNoUpstreamActive(t *testing.T) {
+	g, sc := fig7Graph(t)
+	active := map[int]bool{0: true, 1: true, 2: false, 3: false}
+	tuples := Tuples(g, &sc, strategy.Reduce, active)
+	r1 := tuples[1]
+	if r1.HasRecv {
+		t.Error("no active upstream: hasRecv must be false")
+	}
+	if r1.HasKernel {
+		t.Error("nothing received: no kernel")
+	}
+	if !r1.HasSend {
+		t.Error("active rank with successor must send its local data")
+	}
+}
+
+func TestTuplesBroadcastNoKernel(t *testing.T) {
+	g, sc := fig7Graph(t)
+	// Reverse flows to make an out-tree from rank 0.
+	for i := range sc.Flows {
+		f := &sc.Flows[i]
+		f.SrcRank, f.DstRank = f.DstRank, f.SrcRank
+		for l, r := 0, len(f.Path)-1; l < r; l, r = l+1, r-1 {
+			f.Path[l], f.Path[r] = f.Path[r], f.Path[l]
+		}
+	}
+	active := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	tuples := Tuples(g, &sc, strategy.Broadcast, active)
+	for rank, tp := range tuples {
+		if tp.HasKernel {
+			t.Errorf("broadcast rank %d has kernel", rank)
+		}
+	}
+}
+
+func TestBreakEvenPolicy(t *testing.T) {
+	var p BreakEven
+	if got := p.Decide(4*time.Millisecond, 10*time.Millisecond); got != DecideWait {
+		t.Errorf("under break-even: %v, want wait", got)
+	}
+	if got := p.Decide(10*time.Millisecond, 10*time.Millisecond); got != DecideProceed {
+		t.Errorf("at break-even: %v, want proceed", got)
+	}
+	if got := p.Decide(11*time.Millisecond, 10*time.Millisecond); got != DecideProceed {
+		t.Errorf("past break-even: %v, want proceed", got)
+	}
+}
+
+// Ski-rental competitiveness: for any straggler arrival time and buying
+// cost, the break-even rule's total cost (wait + chosen action) is at most
+// 2× the offline optimum (+ one cycle of quantisation).
+func TestBreakEvenCompetitive(t *testing.T) {
+	const cycle = time.Millisecond
+	f := func(arrivalMs, buyMs uint16) bool {
+		arrival := time.Duration(arrivalMs%2000) * time.Millisecond
+		buy := time.Duration(buyMs%200+1) * time.Millisecond
+
+		// Online: wait in cycles until break-even or arrival.
+		var online time.Duration
+		var waited time.Duration
+		for {
+			if waited >= arrival {
+				online = waited // straggler arrived while renting
+				break
+			}
+			if (BreakEven{}).Decide(waited, buy) == DecideProceed {
+				online = waited + buy
+				break
+			}
+			waited += cycle
+		}
+		opt := arrival
+		if buy < opt {
+			opt = buy
+		}
+		return online <= 2*opt+cycle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolumeEstimator(t *testing.T) {
+	e := &VolumeEstimator{
+		TensorBytes: 100 << 20,
+		Volume:      AllReduceVolume,
+		BandwidthBps: func(ready, relays []int) float64 {
+			return float64(len(ready)+len(relays)) * 1e9
+		},
+	}
+	// 4 ready: S = 2·3·100MB = 600MB at 4 GB/s = 150 ms.
+	got := e.PartialTime([]int{0, 1, 2, 3}, nil)
+	want := time.Duration(float64(600<<20) / 4e9 * float64(time.Second))
+	if d := got - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("PartialTime = %v, want ≈%v", got, want)
+	}
+	if e.CatchupTime(nil) != 0 {
+		t.Error("empty catch-up should cost 0")
+	}
+	if e.CatchupTime([]int{7}) <= 0 {
+		t.Error("catch-up for one late worker should cost > 0")
+	}
+	if AllReduceVolume(100, 1) != 0 {
+		t.Error("single-worker allreduce volume should be 0")
+	}
+	if AlltoAllVolume(100, 4) != 400 {
+		t.Error("alltoall volume wrong")
+	}
+	if BroadcastVolume(100, 4) != 100 {
+		t.Error("broadcast volume wrong")
+	}
+}
+
+// coordHarness wires a coordinator to scripted communication callbacks.
+type coordHarness struct {
+	eng      *sim.Engine
+	co       *Coordinator
+	events   []string
+	commTime time.Duration
+}
+
+func newCoordHarness(t *testing.T, world []int, policy Policy) *coordHarness {
+	t.Helper()
+	h := &coordHarness{eng: sim.NewEngine(7), commTime: 20 * time.Millisecond}
+	est := &VolumeEstimator{
+		TensorBytes: 10 << 20,
+		Volume:      AllReduceVolume,
+		BandwidthBps: func(ready, relays []int) float64 {
+			return float64(len(ready)) * 12.5e9
+		},
+	}
+	co, err := NewCoordinator(Config{
+		Engine:    h.eng,
+		World:     world,
+		Policy:    policy,
+		Estimator: est,
+		RPCDelay:  func() time.Duration { return 100 * time.Microsecond },
+		Callbacks: Callbacks{
+			StartFull: func(ranks []int, done func()) {
+				h.events = append(h.events, "full")
+				h.eng.After(h.commTime, done)
+			},
+			StartPhase1: func(ready, relays []int, done func()) {
+				h.events = append(h.events, "phase1")
+				h.eng.After(h.commTime, done)
+			},
+			StartPhase2: func(participants, late []int, done func()) {
+				h.events = append(h.events, "phase2")
+				h.eng.After(h.commTime/4, done)
+			},
+			OnFault: func(faulty []int) {
+				h.events = append(h.events, "fault")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.co = co
+	return h
+}
+
+func (h *coordHarness) run(t *testing.T, readyAt map[int]time.Duration) time.Duration {
+	t.Helper()
+	var elapsed time.Duration = -1
+	start := h.eng.Now()
+	h.co.BeginIteration(func() { elapsed = h.eng.Now() - start })
+	for rank, at := range readyAt {
+		rank := rank
+		h.eng.At(start+at, func() { h.co.WorkerReady(rank) })
+	}
+	h.eng.Run()
+	if elapsed < 0 {
+		t.Fatal("iteration never completed")
+	}
+	return elapsed
+}
+
+func TestCoordinatorFullWhenTogether(t *testing.T) {
+	h := newCoordHarness(t, []int{0, 1, 2, 3}, BreakEven{})
+	h.run(t, map[int]time.Duration{
+		0: time.Millisecond, 1: time.Millisecond,
+		2: 2 * time.Millisecond, 3: 2 * time.Millisecond,
+	})
+	if len(h.events) != 1 || h.events[0] != "full" {
+		t.Fatalf("events = %v, want [full]", h.events)
+	}
+	st := h.co.Stats()
+	if st.FullRuns != 1 || st.PartialRuns != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCoordinatorPartialOnStraggler(t *testing.T) {
+	h := newCoordHarness(t, []int{0, 1, 2, 3}, BreakEven{})
+	h.run(t, map[int]time.Duration{
+		0: time.Millisecond, 1: time.Millisecond, 2: time.Millisecond,
+		3: 100 * time.Millisecond, // past break-even, within the fault deadline
+	})
+	wantPrefix := []string{"phase1", "phase2"}
+	if len(h.events) != 2 {
+		t.Fatalf("events = %v, want %v", h.events, wantPrefix)
+	}
+	for i, w := range wantPrefix {
+		if h.events[i] != w {
+			t.Fatalf("events = %v, want %v", h.events, wantPrefix)
+		}
+	}
+	st := h.co.Stats()
+	if st.RelayCounts[3] != 1 {
+		t.Errorf("rank 3 relay count = %d, want 1", st.RelayCounts[3])
+	}
+	if st.RelayProbability(3) != 1.0 {
+		t.Errorf("relay probability = %v, want 1", st.RelayProbability(3))
+	}
+}
+
+func TestCoordinatorAlwaysWaitNeverPartial(t *testing.T) {
+	h := newCoordHarness(t, []int{0, 1, 2, 3}, AlwaysWait{})
+	elapsed := h.run(t, map[int]time.Duration{
+		0: time.Millisecond, 1: time.Millisecond, 2: time.Millisecond,
+		3: 300 * time.Millisecond,
+	})
+	if len(h.events) != 1 || h.events[0] != "full" {
+		t.Fatalf("events = %v, want [full]", h.events)
+	}
+	if elapsed < 300*time.Millisecond {
+		t.Errorf("always-wait finished in %v, should have waited for the straggler", elapsed)
+	}
+}
+
+func TestCoordinatorBreakEvenBeatsAlwaysWait(t *testing.T) {
+	ready := map[int]time.Duration{
+		0: time.Millisecond, 1: time.Millisecond, 2: time.Millisecond,
+		3: 400 * time.Millisecond,
+	}
+	hWait := newCoordHarness(t, []int{0, 1, 2, 3}, AlwaysWait{})
+	tWait := hWait.run(t, ready)
+	hBE := newCoordHarness(t, []int{0, 1, 2, 3}, BreakEven{})
+	tBE := hBE.run(t, ready)
+	if tBE >= tWait {
+		t.Errorf("break-even (%v) not faster than always-wait (%v) under a heavy straggler", tBE, tWait)
+	}
+}
+
+func TestCoordinatorFaultExclusion(t *testing.T) {
+	h := newCoordHarness(t, []int{0, 1, 2, 3}, BreakEven{})
+	// Rank 3 never becomes ready: after phase 1 and T_fault it must be
+	// excluded, and the iteration completes without phase 2.
+	h.run(t, map[int]time.Duration{
+		0: time.Millisecond, 1: time.Millisecond, 2: time.Millisecond,
+	})
+	foundFault := false
+	for _, e := range h.events {
+		if e == "fault" {
+			foundFault = true
+		}
+	}
+	if !foundFault {
+		t.Fatalf("events = %v, want fault exclusion", h.events)
+	}
+	alive := h.co.Alive()
+	sort.Ints(alive)
+	if len(alive) != 3 || alive[0] != 0 || alive[2] != 2 {
+		t.Fatalf("alive = %v, want [0 1 2]", alive)
+	}
+	st := h.co.Stats()
+	if len(st.FaultedRanks) != 1 || st.FaultedRanks[0] != 3 {
+		t.Errorf("faulted = %v, want [3]", st.FaultedRanks)
+	}
+
+	// The next iteration proceeds with the survivors only.
+	h.events = nil
+	h.run(t, map[int]time.Duration{
+		0: time.Millisecond, 1: time.Millisecond, 2: time.Millisecond,
+	})
+	if len(h.events) != 1 || h.events[0] != "full" {
+		t.Fatalf("post-fault events = %v, want [full]", h.events)
+	}
+}
+
+func TestCoordinatorLateArrivalDuringPhase1(t *testing.T) {
+	h := newCoordHarness(t, []int{0, 1, 2, 3}, BreakEven{})
+	// Rank 3 becomes ready while phase 1 runs: phase 2 must still
+	// deliver its tensor (no fault).
+	h.run(t, map[int]time.Duration{
+		0: time.Millisecond, 1: time.Millisecond, 2: time.Millisecond,
+		3: 60 * time.Millisecond,
+	})
+	for _, e := range h.events {
+		if e == "fault" {
+			t.Fatalf("events = %v: worker wrongly declared faulty", h.events)
+		}
+	}
+	if h.events[len(h.events)-1] != "phase2" {
+		t.Fatalf("events = %v, want trailing phase2", h.events)
+	}
+}
+
+func TestCoordinatorRPCSamplesRecorded(t *testing.T) {
+	h := newCoordHarness(t, []int{0, 1}, BreakEven{})
+	h.run(t, map[int]time.Duration{0: time.Millisecond, 1: time.Millisecond})
+	st := h.co.Stats()
+	if len(st.RPCSamples) != 2 {
+		t.Fatalf("RPC samples = %d, want 2", len(st.RPCSamples))
+	}
+}
+
+func TestDefaultRPCDelayDistribution(t *testing.T) {
+	eng := sim.NewEngine(3)
+	co := &Coordinator{rng: eng.Fork()}
+	n := 5000
+	under := 0
+	for i := 0; i < n; i++ {
+		if co.defaultRPCDelay() < 1500*time.Microsecond {
+			under++
+		}
+	}
+	frac := float64(under) / float64(n)
+	// Fig. 19d: ~90% of negotiation latencies below 1.5 ms.
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("fraction under 1.5ms = %.3f, want ≈0.90", frac)
+	}
+}
+
+func TestCoordinatorConfigValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	est := &VolumeEstimator{TensorBytes: 1, Volume: AllReduceVolume,
+		BandwidthBps: func(a, b []int) float64 { return 1 }}
+	cb := Callbacks{
+		StartFull:   func([]int, func()) {},
+		StartPhase1: func([]int, []int, func()) {},
+		StartPhase2: func([]int, []int, func()) {},
+	}
+	bad := []Config{
+		{World: []int{0, 1}, Estimator: est, Callbacks: cb},           // no engine
+		{Engine: eng, World: []int{0}, Estimator: est, Callbacks: cb}, // 1 worker
+		{Engine: eng, World: []int{0, 1}, Callbacks: cb},              // no estimator
+		{Engine: eng, World: []int{0, 1}, Estimator: est},             // no callbacks
+	}
+	for i, cfg := range bad {
+		if _, err := NewCoordinator(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestReadmitRestoresWorker(t *testing.T) {
+	h := newCoordHarness(t, []int{0, 1, 2, 3}, BreakEven{})
+	// Rank 3 faults in iteration 1.
+	h.run(t, map[int]time.Duration{
+		0: time.Millisecond, 1: time.Millisecond, 2: time.Millisecond,
+	})
+	if got := len(h.co.Alive()); got != 3 {
+		t.Fatalf("alive = %d after fault, want 3", got)
+	}
+	// The worker restarts and rejoins.
+	h.co.Readmit(3)
+	if got := len(h.co.Alive()); got != 4 {
+		t.Fatalf("alive = %d after readmit, want 4", got)
+	}
+	// A rank outside the world is ignored.
+	h.co.Readmit(99)
+	if got := len(h.co.Alive()); got != 4 {
+		t.Fatalf("alive = %d after bogus readmit, want 4", got)
+	}
+	// Next iteration runs with all four again.
+	h.events = nil
+	h.run(t, map[int]time.Duration{
+		0: time.Millisecond, 1: time.Millisecond,
+		2: time.Millisecond, 3: time.Millisecond,
+	})
+	if len(h.events) != 1 || h.events[0] != "full" {
+		t.Fatalf("post-readmit events = %v, want [full]", h.events)
+	}
+}

@@ -1,0 +1,143 @@
+package relay
+
+import (
+	"time"
+)
+
+// Decision is the coordinator's per-cycle choice.
+type Decision int
+
+// Coordinator decisions.
+const (
+	// DecideWait keeps waiting for stragglers (renting).
+	DecideWait Decision = iota + 1
+	// DecideProceed triggers phase-1 partial communication among ready
+	// workers (buying).
+	DecideProceed
+)
+
+// String names the decision for logs and tests.
+func (d Decision) String() string {
+	if d == DecideProceed {
+		return "proceed"
+	}
+	return "wait"
+}
+
+// BreakEven is the deterministic ski-rental policy of Sec. IV-C(1): keep
+// waiting while the accumulated waiting cost is below the current buying
+// cost; buy (start partial communication) once it would exceed it. The
+// classic analysis gives this rule a competitive ratio of 2.
+//
+// Waiting cost accumulates one cycle per decision cycle. The buying cost —
+// the estimated time of phase 1 + phase 2 — varies between cycles as more
+// workers become ready, so it is re-evaluated at every decision.
+type BreakEven struct{}
+
+// Decide returns DecideProceed when the waited duration has reached the
+// current buying cost.
+func (BreakEven) Decide(waited, buyCost time.Duration) Decision {
+	if waited >= buyCost {
+		return DecideProceed
+	}
+	return DecideWait
+}
+
+// AlwaysWait is the baseline policy of existing libraries (NCCL): always
+// wait for every worker. Used by the relay-policy ablation bench.
+type AlwaysWait struct{}
+
+// Decide always returns DecideWait.
+func (AlwaysWait) Decide(waited, buyCost time.Duration) Decision { return DecideWait }
+
+// AlwaysProceed starts partial communication at the first decision cycle.
+// Used by the relay-policy ablation bench.
+type AlwaysProceed struct{}
+
+// Decide always returns DecideProceed.
+func (AlwaysProceed) Decide(waited, buyCost time.Duration) Decision { return DecideProceed }
+
+// Policy abstracts the wait-vs-proceed rule.
+type Policy interface {
+	Decide(waited, buyCost time.Duration) Decision
+}
+
+var (
+	_ Policy = BreakEven{}
+	_ Policy = AlwaysWait{}
+	_ Policy = AlwaysProceed{}
+)
+
+// CostEstimator predicts communication times for the coordinator's buying
+// cost (Sec. IV-C: S divided by the aggregate bandwidth B of the graph).
+type CostEstimator interface {
+	// PartialTime estimates phase 1: the collective among the ready
+	// workers, with the given relays assisting.
+	PartialTime(ready, relays []int) time.Duration
+	// CatchupTime estimates phase 2: broadcasting the late workers'
+	// tensors and locally combining them.
+	CatchupTime(late []int) time.Duration
+	// FullTime estimates the collective over all workers at once.
+	FullTime(all []int) time.Duration
+}
+
+// VolumeEstimator is the paper's closed-form estimate: communicated volume
+// S over aggregate bandwidth B, where S depends on the primitive
+// (AllReduce: 2(N−1)×tensor, AlltoAll: N×tensor, Broadcast: tensor) and B
+// accumulates the profiled link bandwidth available to the participant
+// set.
+type VolumeEstimator struct {
+	// TensorBytes is each worker's tensor size.
+	TensorBytes int64
+	// Volume computes S for n participating workers.
+	Volume func(tensorBytes int64, n int) int64
+	// BandwidthBps returns the aggregate bandwidth B of a worker set
+	// (with relays contributing their links).
+	BandwidthBps func(ready, relays []int) float64
+}
+
+var _ CostEstimator = (*VolumeEstimator)(nil)
+
+// AllReduceVolume is S = 2(N−1) × tensor.
+func AllReduceVolume(tensorBytes int64, n int) int64 {
+	if n < 2 {
+		return 0
+	}
+	return 2 * int64(n-1) * tensorBytes
+}
+
+// AlltoAllVolume is S = N × tensor.
+func AlltoAllVolume(tensorBytes int64, n int) int64 { return int64(n) * tensorBytes }
+
+// BroadcastVolume is S = tensor.
+func BroadcastVolume(tensorBytes int64, n int) int64 { return tensorBytes }
+
+// PartialTime implements CostEstimator.
+func (e *VolumeEstimator) PartialTime(ready, relays []int) time.Duration {
+	return e.est(e.Volume(e.TensorBytes, len(ready)), ready, relays)
+}
+
+// CatchupTime implements CostEstimator: phase 2 broadcasts each late
+// worker's tensor to the group and merges locally.
+func (e *VolumeEstimator) CatchupTime(late []int) time.Duration {
+	if len(late) == 0 {
+		return 0
+	}
+	return e.est(int64(len(late))*e.TensorBytes, late, nil)
+}
+
+// FullTime implements CostEstimator.
+func (e *VolumeEstimator) FullTime(all []int) time.Duration {
+	return e.est(e.Volume(e.TensorBytes, len(all)), all, nil)
+}
+
+func (e *VolumeEstimator) est(volume int64, ready, relays []int) time.Duration {
+	if volume <= 0 {
+		return 0
+	}
+	bw := e.BandwidthBps(ready, relays)
+	if bw <= 0 {
+		return time.Hour // effectively infinite: never worth buying
+	}
+	return time.Duration(float64(volume) / bw * float64(time.Second))
+}

@@ -1,0 +1,168 @@
+// Package relay implements AdapCC's adaptive relay control (paper
+// Sec. IV-C): the rank-0 coordinator that collects per-worker tensor-ready
+// times, decides each 5 ms cycle between waiting for stragglers and starting a
+// partial collective (via the break-even ski-rental rule), assigns
+// non-ready workers' GPUs as relays, schedules the phase-2 catch-up
+// communication, detects faulty workers, and derives the per-GPU behaviour
+// tuple <isActive, hasRecv, hasKernel, hasSend> that lets the executor
+// apply arbitrary relay control on a fixed communication graph (Fig. 7).
+package relay
+
+import (
+	"errors"
+
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// Tuple is the GPU behaviour abstraction of Sec. IV-C(3).
+type Tuple struct {
+	// IsActive: the worker is ready for communication (not a relay).
+	IsActive bool
+	// HasRecv: the GPU must wait to receive data from predecessors —
+	// set when any (transitively reachable) upstream rank is active.
+	HasRecv bool
+	// HasKernel: an aggregation kernel must be launched.
+	HasKernel bool
+	// HasSend: the GPU sends data to a successor.
+	HasSend bool
+}
+
+// Tuples derives the behaviour tuple of every GPU node participating in a
+// sub-collective, given which ranks are active. The rules follow the paper
+// exactly:
+//
+//   - isActive: provided by the coordinator.
+//   - hasRecv: recursively check whether any predecessor has data to send;
+//     set as soon as an active rank is found upstream.
+//   - hasKernel: set for reducing primitives unless (1) hasRecv is unset —
+//     the rank only forwards its local data; (2) the rank is a relay
+//     (inactive) with exactly one active upstream source — it just relays
+//     that single stream; or (3) the synthesizer routed flows through the
+//     node without aggregation (the node is not a flow terminal).
+//   - hasSend: unset when both isActive and hasRecv are false, and for
+//     ranks without a successor (e.g. the root of a reduce tree).
+func Tuples(g *topology.Graph, sc *strategy.SubCollective, p strategy.Primitive, active map[int]bool) map[int]Tuple {
+	ios := sc.NodeLinks()
+
+	// activeUpstream[node] = number of *distinct active GPU ranks* whose
+	// data transits or originates at the node, computed by walking each
+	// flow: a flow contributes its source's activity to every node it
+	// passes, and (transitively) the activity it has absorbed at its
+	// origin via earlier-terminating flows. Process flows in dependency
+	// order (origins after their feeders) so absorption composes.
+	// carried[n]: active ranks whose data transits n (including data
+	// terminating there) — drives hasRecv. held[n]: active ranks whose
+	// data n owns after aggregation (flows terminating at n) — only held
+	// data merges into n's own continuation flow; pass-through traffic
+	// does not.
+	carried := make(map[topology.NodeID]map[int]bool)
+	held := make(map[topology.NodeID]map[int]bool)
+	add := func(m map[topology.NodeID]map[int]bool, n topology.NodeID, ranks map[int]bool) {
+		if m[n] == nil {
+			m[n] = make(map[int]bool)
+		}
+		for r := range ranks {
+			m[n][r] = true
+		}
+	}
+
+	order, err := FlowDependencyOrder(sc)
+	if err != nil {
+		// Cyclic flow sets cannot occur for validated strategies; fall
+		// back to flow index order to stay total.
+		order = make([]int, len(sc.Flows))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	for _, fi := range order {
+		f := &sc.Flows[fi]
+		load := make(map[int]bool)
+		if active[f.SrcRank] {
+			load[f.SrcRank] = true
+		}
+		// Data absorbed at the origin from flows that terminated there.
+		for r := range held[f.Path[0]] {
+			load[r] = true
+		}
+		for _, node := range f.Path[1:] {
+			add(carried, node, load)
+		}
+		add(held, f.Path[len(f.Path)-1], load)
+	}
+
+	tuples := make(map[int]Tuple)
+	for node, io := range ios {
+		n := g.Node(node)
+		if n.Kind != topology.KindGPU {
+			continue
+		}
+		rank := n.Rank
+		t := Tuple{IsActive: active[rank]}
+
+		t.HasRecv = len(carried[node]) > 0
+
+		if p.NeedsAggregation() {
+			switch {
+			case !t.HasRecv:
+				// (1) nothing to receive: send local data only.
+			case !io.Terminal:
+				// (3) synthesizer routes flows through without
+				// aggregation.
+			case !t.IsActive && len(held[node]) == 1:
+				// (2) pure relay of a single active stream.
+			default:
+				t.HasKernel = true
+			}
+		}
+
+		hasSucc := len(io.Succs) > 0
+		t.HasSend = hasSucc && (t.IsActive || t.HasRecv)
+		tuples[rank] = t
+	}
+	return tuples
+}
+
+// FlowDependencyOrder orders flows so that any flow terminating at node o
+// precedes flows originating at o. The executor uses the same order to
+// propagate data-carrying information.
+func FlowDependencyOrder(sc *strategy.SubCollective) ([]int, error) {
+	n := len(sc.Flows)
+	terminatesAt := make(map[topology.NodeID][]int)
+	for i := range sc.Flows {
+		p := sc.Flows[i].Path
+		terminatesAt[p[len(p)-1]] = append(terminatesAt[p[len(p)-1]], i)
+	}
+	indeg := make([]int, n)
+	deps := make([][]int, n)
+	for i := range sc.Flows {
+		for _, j := range terminatesAt[sc.Flows[i].Path[0]] {
+			deps[j] = append(deps[j], i)
+			indeg[i]++
+		}
+	}
+	var queue, order []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		order = append(order, f)
+		for _, d := range deps[f] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errCyclicFlows
+	}
+	return order, nil
+}
+
+var errCyclicFlows = errors.New("relay: cyclic flow set")

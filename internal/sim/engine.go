@@ -1,0 +1,197 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an ordered queue of events.
+// All AdapCC substrates (network fabric, simulated GPUs, training loops)
+// schedule work on one shared Engine so that an entire distributed run is
+// reproducible from a single seed: identical seeds produce identical
+// timelines, byte-for-byte identical results and identical measurements.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as an offset from simulation start.
+// It shares the representation of time.Duration so arithmetic with durations
+// is natural (t + 5*time.Millisecond).
+type Time = time.Duration
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it before it fires.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index, -1 when not queued
+	dead bool
+}
+
+// At returns the virtual time at which the event is (or was) scheduled.
+func (e *Event) At() Time { return e.at }
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; construct with NewEngine.
+//
+// Engine is not safe for concurrent use: the simulation is single-threaded by
+// design, which is what makes it deterministic.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// stream is derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random stream. All randomness in a
+// simulation must come from this stream (or a stream forked from it with
+// Fork) to preserve reproducibility.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fork returns a new independent random stream seeded from the engine's
+// stream. Use one fork per logical component so that adding events to one
+// component does not perturb another component's randomness.
+func (e *Engine) Fork() *rand.Rand { return rand.New(rand.NewSource(e.rng.Int63())) }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are currently queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently corrupt causality, which is a programming error.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, idx: -1}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents ev from firing. Cancelling a nil, already-fired or
+// already-cancelled event is a no-op, so callers need no bookkeeping.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.dead {
+		return
+	}
+	ev.dead = true
+	if ev.idx >= 0 {
+		heap.Remove(&e.events, ev.idx)
+	}
+}
+
+// Step executes the next event, advancing the clock to its timestamp. It
+// returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev, ok := heap.Pop(&e.events).(*Event)
+		if !ok {
+			panic("sim: event heap holds non-event")
+		}
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.dead = true
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (even if the queue still holds later events).
+func (e *Engine) RunUntil(deadline Time) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events within the next d of virtual time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if !ev.dead {
+			return ev
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, insertion sequence); the sequence
+// tie-break makes same-timestamp execution order deterministic (FIFO).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		panic("sim: pushing non-event")
+	}
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, d := range []time.Duration{30, 10, 20, 10, 0} {
+		d := d
+		e.At(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{0, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameTimestampIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO at equal timestamps)", i, v, i)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var fired Time = -1
+	e.At(100, func() {
+		e.After(50, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 150 {
+		t.Fatalf("nested After fired at %v, want 150", fired)
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {
+		ev := e.After(-5, func() {})
+		if ev.At() != 10 {
+			t.Errorf("negative After scheduled at %v, want 10", ev.At())
+		}
+	})
+	e.Run()
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.At(10, func() {})
+	e.Cancel(ev)
+	e.Cancel(ev)
+	e.Cancel(nil)
+	e.Run()
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.At(10, func() {})
+	e.Run()
+	e.Cancel(ev) // must not panic or corrupt the heap
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.At(Time(i), func() { got = append(got, i) }))
+	}
+	for i := 1; i < 20; i += 2 {
+		e.Cancel(evs[i])
+	}
+	e.Run()
+	for _, v := range got {
+		if v%2 != 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("fired %d events, want 10", len(got))
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(30, func() { fired++ })
+	e.RunUntil(20)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now() = %v, want 20", e.Now())
+	}
+	e.Run()
+	if fired != 2 || e.Now() != 30 {
+		t.Fatalf("after Run: fired=%d now=%v, want 2 and 30", fired, e.Now())
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(100)
+	e.RunFor(50)
+	if e.Now() != 150 {
+		t.Fatalf("Now() = %v, want 150", e.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine(1)
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+func TestFiredCounts(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+func TestDeterministicRandomStreams(t *testing.T) {
+	a, b := NewEngine(42), NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	fa, fb := a.Fork(), b.Fork()
+	for i := 0; i < 100; i++ {
+		if fa.Int63() != fb.Int63() {
+			t.Fatal("forked streams diverged")
+		}
+	}
+}
+
+// Property: events always execute in non-decreasing time order, whatever the
+// scheduling pattern.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			e.At(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountdownFires(t *testing.T) {
+	fired := false
+	c := NewCountdown(3, func() { fired = true })
+	c.Done()
+	c.Done()
+	if fired {
+		t.Fatal("fired early")
+	}
+	c.Done()
+	if !fired {
+		t.Fatal("did not fire after n Done calls")
+	}
+}
+
+func TestCountdownZeroFiresImmediately(t *testing.T) {
+	fired := false
+	NewCountdown(0, func() { fired = true })
+	if !fired {
+		t.Fatal("zero countdown did not fire immediately")
+	}
+}
+
+func TestCountdownOverDonePanics(t *testing.T) {
+	c := NewCountdown(1, nil)
+	c.Done()
+	defer func() {
+		if recover() == nil {
+			t.Error("extra Done did not panic")
+		}
+	}()
+	c.Done()
+}
+
+func TestTickerPeriodic(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	tk := NewTicker(e, 5*time.Millisecond, func() {
+		ticks = append(ticks, e.Now())
+	})
+	e.RunUntil(22 * time.Millisecond)
+	tk.Stop()
+	e.Run()
+	want := []Time{5 * time.Millisecond, 10 * time.Millisecond, 15 * time.Millisecond, 20 * time.Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("got %d ticks %v, want %d", len(ticks), ticks, len(want))
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(e, time.Millisecond, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (ticker stopped from its own callback)", count)
+	}
+}
+
+func TestTickerInvalidPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	NewTicker(NewEngine(1), 0, func() {})
+}
+
+func TestCountdownRemaining(t *testing.T) {
+	fired := false
+	c := NewCountdown(3, func() { fired = true })
+	if c.Remaining() != 3 {
+		t.Fatalf("Remaining = %d, want 3", c.Remaining())
+	}
+	c.Done()
+	c.Done()
+	if c.Remaining() != 1 || fired {
+		t.Fatalf("Remaining = %d fired=%v, want 1,false", c.Remaining(), fired)
+	}
+	c.Done()
+	if !fired || c.Remaining() != 0 {
+		t.Fatalf("fired=%v remaining=%d after the last Done", fired, c.Remaining())
+	}
+}
+
+func TestTickerStopIsIdempotent(t *testing.T) {
+	eng := NewEngine(1)
+	n := 0
+	tk := NewTicker(eng, time.Millisecond, func() { n++ })
+	eng.RunUntil(3500 * time.Microsecond)
+	tk.Stop()
+	tk.Stop() // second stop must be a no-op
+	eng.RunUntil(10 * time.Millisecond)
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import "time"
+
+// Countdown invokes a callback once a fixed number of Done calls have been
+// made. It is the event-driven analogue of sync.WaitGroup for simulated
+// components that need to rendezvous (e.g. "all chunks of this partition
+// arrived, launch the aggregation kernel").
+type Countdown struct {
+	remaining int
+	fn        func()
+	fired     bool
+}
+
+// NewCountdown returns a countdown that fires fn after n Done calls. With
+// n <= 0 the callback fires immediately.
+func NewCountdown(n int, fn func()) *Countdown {
+	c := &Countdown{remaining: n, fn: fn}
+	if n <= 0 {
+		c.fire()
+	}
+	return c
+}
+
+// Done records one completion; the callback fires exactly once, when the
+// count reaches zero. Extra Done calls after firing panic, because they
+// indicate the simulation produced more completions than were expected.
+func (c *Countdown) Done() {
+	if c.fired {
+		panic("sim: Countdown.Done after fire")
+	}
+	c.remaining--
+	if c.remaining <= 0 {
+		c.fire()
+	}
+}
+
+// Remaining reports how many Done calls are still expected.
+func (c *Countdown) Remaining() int { return c.remaining }
+
+func (c *Countdown) fire() {
+	c.fired = true
+	if c.fn != nil {
+		c.fn()
+	}
+}
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// The coordinator uses one for its 5 ms relay decision cycle.
+type Ticker struct {
+	eng     *Engine
+	period  time.Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker starts a ticker on eng with the given period. The first tick
+// fires one period from now. period must be positive.
+func NewTicker(eng *Engine, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+// Stop cancels future ticks. Stopping twice is a no-op.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.eng.Cancel(t.ev)
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.eng.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package strategy
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// dotPalette colours one sub-collective each; cycles beyond its length.
+var dotPalette = []string{
+	"#1b9e77", "#d95f02", "#7570b3", "#e7298a",
+	"#66a61e", "#e6ab02", "#a6761d", "#666666",
+}
+
+// WriteDOT renders the strategy as a Graphviz DOT digraph: participant
+// ranks as nodes (sub-collective roots double-circled), one coloured edge
+// per flow, labelled with its sub-collective. Intermediate routing hops are
+// omitted — the plot shows the logical data movement the synthesizer chose;
+// use topology.Graph.WriteDOT for the physical picture.
+func (s *Strategy) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph strategy {\n  rankdir=LR;\n  label=\"%v, %d bytes, M=%d\";\n  node [fontname=\"Helvetica\", fontsize=10, shape=circle];\n  edge [fontname=\"Helvetica\", fontsize=8];\n",
+		s.Primitive, s.TotalBytes, len(s.SubCollectives)); err != nil {
+		return err
+	}
+	roots := make(map[int]bool)
+	for i := range s.SubCollectives {
+		if s.SubCollectives[i].Root >= 0 {
+			roots[s.SubCollectives[i].Root] = true
+		}
+	}
+	ranks := s.Participants()
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		shape := "circle"
+		if roots[r] {
+			shape = "doublecircle"
+		}
+		if _, err := fmt.Fprintf(w, "  r%d [label=\"%d\", shape=%s];\n", r, r, shape); err != nil {
+			return err
+		}
+	}
+	for i := range s.SubCollectives {
+		sc := &s.SubCollectives[i]
+		color := dotPalette[i%len(dotPalette)]
+		for _, f := range sc.Flows {
+			if _, err := fmt.Fprintf(w, "  r%d -> r%d [label=\"s%d\", color=\"%s\"];\n",
+				f.SrcRank, f.DstRank, sc.ID, color); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "}\n")
+	return err
+}

@@ -1,0 +1,68 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+)
+
+func dotStrategy() *Strategy {
+	return &Strategy{
+		Primitive:  AllReduce,
+		TotalBytes: 1 << 20,
+		SubCollectives: []SubCollective{
+			{ID: 0, Root: 0, Bytes: 512 << 10, ChunkBytes: 64 << 10, Flows: []Flow{
+				{ID: 0, SrcRank: 1, DstRank: 0},
+				{ID: 1, SrcRank: 2, DstRank: 0},
+			}},
+			{ID: 1, Root: 2, Bytes: 512 << 10, ChunkBytes: 64 << 10, Flows: []Flow{
+				{ID: 0, SrcRank: 0, DstRank: 2},
+				{ID: 1, SrcRank: 1, DstRank: 2},
+			}},
+		},
+	}
+}
+
+func TestStrategyWriteDOT(t *testing.T) {
+	var sb strings.Builder
+	if err := dotStrategy().WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	if !strings.HasPrefix(dot, "digraph strategy {") {
+		t.Fatal("not a strategy digraph")
+	}
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Fatal("unbalanced braces")
+	}
+	// Both roots double-circled, the non-root plain.
+	if strings.Count(dot, "doublecircle") != 2 {
+		t.Errorf("want 2 doublecircle roots, got %d", strings.Count(dot, "doublecircle"))
+	}
+	// One edge per flow, coloured per sub-collective.
+	if got := strings.Count(dot, "->"); got != 4 {
+		t.Errorf("%d edges, want 4", got)
+	}
+	if strings.Count(dot, dotPalette[0]) != 2 || strings.Count(dot, dotPalette[1]) != 2 {
+		t.Error("sub-collectives not coloured distinctly")
+	}
+	if !strings.Contains(dot, "allreduce") {
+		t.Error("label missing the primitive")
+	}
+}
+
+func TestStrategyWriteDOTPaletteCycles(t *testing.T) {
+	st := &Strategy{Primitive: Reduce, TotalBytes: 4}
+	for i := 0; i < len(dotPalette)+2; i++ {
+		st.SubCollectives = append(st.SubCollectives, SubCollective{
+			ID: i, Root: 0, Bytes: 4, ChunkBytes: 4,
+			Flows: []Flow{{ID: 0, SrcRank: 1, DstRank: 0}},
+		})
+	}
+	var sb strings.Builder
+	if err := st.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), dotPalette[0]) < 2 {
+		t.Error("palette did not cycle for >8 sub-collectives")
+	}
+}

@@ -1,0 +1,36 @@
+package strategy_test
+
+import (
+	"fmt"
+
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// ExampleParseXML round-trips a strategy through the XML form the paper's
+// Controller hands to the Communicator.
+func ExampleParseXML() {
+	st := &strategy.Strategy{
+		Primitive:  strategy.Reduce,
+		TotalBytes: 2 << 20,
+		SubCollectives: []strategy.SubCollective{{
+			ID: 0, Root: 0, Bytes: 2 << 20, ChunkBytes: 512 << 10,
+			Flows: []strategy.Flow{
+				{ID: 0, SrcRank: 1, DstRank: 0, Path: []topology.NodeID{1, 0}},
+				{ID: 1, SrcRank: 2, DstRank: 0, Path: []topology.NodeID{2, 0}},
+			},
+		}},
+	}
+	xml, _ := st.MarshalXMLBytes()
+	parsed, _ := strategy.ParseXML(xml)
+	fmt.Printf("primitive: %v\n", parsed.Primitive)
+	fmt.Printf("sub-collectives: %d, flows: %d, chunks: %d\n",
+		len(parsed.SubCollectives),
+		len(parsed.SubCollectives[0].Flows),
+		parsed.SubCollectives[0].Chunks())
+	fmt.Printf("participants: %v\n", parsed.Participants())
+	// Output:
+	// primitive: reduce
+	// sub-collectives: 1, flows: 2, chunks: 4
+	// participants: [0 1 2]
+}

@@ -1,0 +1,56 @@
+package strategy
+
+import (
+	"testing"
+
+	"adapcc/internal/topology"
+)
+
+// FuzzParseXML hardens the strategy parser against arbitrary input: no
+// panic, and whatever parses must survive a marshal→parse round trip
+// unchanged in structure. Run with `go test -fuzz=FuzzParseXML`; the seed
+// corpus alone runs under plain `go test`.
+func FuzzParseXML(f *testing.F) {
+	good, err := (&Strategy{
+		Primitive:  AllReduce,
+		TotalBytes: 1 << 20,
+		SubCollectives: []SubCollective{
+			{ID: 0, Root: 0, Bytes: 1 << 20, ChunkBytes: 256 << 10, Flows: []Flow{
+				{ID: 0, SrcRank: 1, DstRank: 0, Path: []topology.NodeID{1, 0}},
+			}},
+		},
+	}).MarshalXMLBytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte("<strategy></strategy>"))
+	f.Add([]byte("<strategy primitive=\"allreduce\"><sub root=\"0\"/></strategy>"))
+	f.Add([]byte("not xml at all"))
+	f.Add([]byte("<strategy><sub><flow src=\"-1\" dst=\"99999999999999999999\"/></sub></strategy>"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ParseXML(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out, err := st.MarshalXMLBytes()
+		if err != nil {
+			t.Fatalf("parsed strategy failed to marshal: %v", err)
+		}
+		again, err := ParseXML(out)
+		if err != nil {
+			t.Fatalf("round-tripped XML failed to parse: %v", err)
+		}
+		if len(again.SubCollectives) != len(st.SubCollectives) {
+			t.Fatalf("round trip changed sub-collective count: %d -> %d",
+				len(st.SubCollectives), len(again.SubCollectives))
+		}
+		for i := range st.SubCollectives {
+			if len(again.SubCollectives[i].Flows) != len(st.SubCollectives[i].Flows) {
+				t.Fatalf("round trip changed flow count in sub %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,379 @@
+// Package strategy defines the communication-strategy intermediate
+// representation that AdapCC's synthesizer emits and the Communicator
+// executes (paper Sec. IV-D): a collective is split into M parallel
+// sub-collectives, each with its own communication graph (a set of routed
+// flows), partition size S_m, chunk size C_m and per-node aggregation flags
+// a_{m,g}. Strategies serialise to XML, exactly as in the paper.
+package strategy
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"adapcc/internal/topology"
+)
+
+// Primitive names a collective operation.
+type Primitive int
+
+// Collective primitives with dedicated strategies. AllGather and
+// ReduceScatter are compositions (a Broadcast per GPU / a Reduce per GPU)
+// assembled at the API layer, per the paper.
+const (
+	Reduce Primitive = iota + 1
+	Broadcast
+	AllReduce // synthesised as Reduce; Broadcast executes reversely
+	AlltoAll
+)
+
+// String names the collective primitive as the XML encoding spells it.
+func (p Primitive) String() string {
+	switch p {
+	case Reduce:
+		return "reduce"
+	case Broadcast:
+		return "broadcast"
+	case AllReduce:
+		return "allreduce"
+	case AlltoAll:
+		return "alltoall"
+	default:
+		return fmt.Sprintf("primitive(%d)", int(p))
+	}
+}
+
+// NeedsAggregation reports whether the primitive reduces data (launches
+// aggregation kernels anywhere).
+func (p Primitive) NeedsAggregation() bool { return p == Reduce || p == AllReduce }
+
+// Flow is tensor data sent from one GPU toward another along an explicit
+// routed path (the x^f_{i,j} variables of Eq. 1, resolved to a path).
+type Flow struct {
+	ID      int               `xml:"id,attr"`
+	SrcRank int               `xml:"src,attr"`
+	DstRank int               `xml:"dst,attr"`
+	Path    []topology.NodeID `xml:"path>node"`
+}
+
+// SubCollective is one of the M parallel communication graphs, moving one
+// partition of the tensor.
+type SubCollective struct {
+	ID int `xml:"id,attr"`
+	// Bytes is the partition size S_m.
+	Bytes int64 `xml:"bytes,attr"`
+	// ChunkBytes is the pipelining chunk size C_m.
+	ChunkBytes int64 `xml:"chunk,attr"`
+	// Root is the root rank for Reduce/Broadcast/AllReduce; -1 for
+	// AlltoAll.
+	Root int `xml:"root,attr"`
+	// Flows are the routed data movements. Aggregation control a_{m,g}
+	// is encoded structurally: for reducing primitives a GPU node
+	// aggregates exactly where flows terminate (each non-root rank sends
+	// one flow to its parent aggregator in an in-tree), while a GPU node
+	// that a flow merely passes through forwards chunks without
+	// synchronisation — the paper's a_{m,g} = 0 case.
+	Flows []Flow `xml:"flows>flow"`
+}
+
+// Chunks returns the number of pipelined chunks, ceil(S_m / C_m).
+func (sc *SubCollective) Chunks() int {
+	if sc.ChunkBytes <= 0 || sc.Bytes <= 0 {
+		return 1
+	}
+	return int((sc.Bytes + sc.ChunkBytes - 1) / sc.ChunkBytes)
+}
+
+// Aggregator reports whether a node performs aggregation in this
+// sub-collective under a reducing primitive: it is a GPU node at which at
+// least one flow terminates.
+func (sc *SubCollective) Aggregator(g *topology.Graph, node topology.NodeID) bool {
+	if g.Node(node).Kind != topology.KindGPU {
+		return false
+	}
+	for _, f := range sc.Flows {
+		if len(f.Path) > 0 && f.Path[len(f.Path)-1] == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Strategy is the full plan for one collective primitive.
+type Strategy struct {
+	XMLName        xml.Name        `xml:"strategy"`
+	Primitive      Primitive       `xml:"primitive,attr"`
+	TotalBytes     int64           `xml:"bytes,attr"`
+	SubCollectives []SubCollective `xml:"subcollective"`
+}
+
+// NodeIO summarises a node's role in one sub-collective graph: its distinct
+// predecessors and successors across all flows traversing it.
+type NodeIO struct {
+	Preds []topology.NodeID
+	Succs []topology.NodeID
+	// FlowsIn[p] counts flows arriving from predecessor p; FlowsOut[s]
+	// counts flows departing to successor s.
+	FlowsIn  map[topology.NodeID]int
+	FlowsOut map[topology.NodeID]int
+	// Origin reports whether a flow starts at this node.
+	Origin bool
+	// Terminal reports whether a flow ends at this node.
+	Terminal bool
+}
+
+// NodeLinks computes the NodeIO of every node participating in the
+// sub-collective.
+func (sc *SubCollective) NodeLinks() map[topology.NodeID]*NodeIO {
+	ios := make(map[topology.NodeID]*NodeIO)
+	get := func(n topology.NodeID) *NodeIO {
+		io, ok := ios[n]
+		if !ok {
+			io = &NodeIO{
+				FlowsIn:  make(map[topology.NodeID]int),
+				FlowsOut: make(map[topology.NodeID]int),
+			}
+			ios[n] = io
+		}
+		return io
+	}
+	for _, f := range sc.Flows {
+		for i, node := range f.Path {
+			io := get(node)
+			if i == 0 {
+				io.Origin = true
+			} else {
+				prev := f.Path[i-1]
+				if io.FlowsIn[prev] == 0 {
+					io.Preds = append(io.Preds, prev)
+				}
+				io.FlowsIn[prev]++
+			}
+			if i == len(f.Path)-1 {
+				io.Terminal = true
+			} else {
+				next := f.Path[i+1]
+				if io.FlowsOut[next] == 0 {
+					io.Succs = append(io.Succs, next)
+				}
+				io.FlowsOut[next]++
+			}
+		}
+	}
+	return ios
+}
+
+// Validate checks the strategy against a graph: partition sizes sum to the
+// total, chunk sizes are positive, and every flow is a simple path over
+// existing edges from its source GPU to its destination GPU (flow
+// conservation, Eq. 1).
+func (s *Strategy) Validate(g *topology.Graph) error {
+	if len(s.SubCollectives) == 0 {
+		return fmt.Errorf("strategy: no sub-collectives")
+	}
+	var sum int64
+	for i := range s.SubCollectives {
+		sc := &s.SubCollectives[i]
+		sum += sc.Bytes
+		if sc.Bytes <= 0 {
+			return fmt.Errorf("strategy: sub-collective %d has non-positive partition %d", sc.ID, sc.Bytes)
+		}
+		if sc.ChunkBytes <= 0 {
+			return fmt.Errorf("strategy: sub-collective %d has non-positive chunk size %d", sc.ID, sc.ChunkBytes)
+		}
+		if sc.ChunkBytes > sc.Bytes {
+			return fmt.Errorf("strategy: sub-collective %d chunk %d exceeds partition %d", sc.ID, sc.ChunkBytes, sc.Bytes)
+		}
+		if err := sc.validateFlows(g, s.Primitive); err != nil {
+			return fmt.Errorf("strategy: sub-collective %d: %w", sc.ID, err)
+		}
+	}
+	if sum != s.TotalBytes {
+		return fmt.Errorf("strategy: partitions sum to %d, want total %d", sum, s.TotalBytes)
+	}
+	return nil
+}
+
+func (sc *SubCollective) validateFlows(g *topology.Graph, p Primitive) error {
+	if len(sc.Flows) == 0 {
+		return fmt.Errorf("no flows")
+	}
+	for _, f := range sc.Flows {
+		if len(f.Path) < 2 {
+			return fmt.Errorf("flow %d: path too short (%d nodes)", f.ID, len(f.Path))
+		}
+		src, ok := g.GPUByRank(f.SrcRank)
+		if !ok {
+			return fmt.Errorf("flow %d: unknown src rank %d", f.ID, f.SrcRank)
+		}
+		dst, ok := g.GPUByRank(f.DstRank)
+		if !ok {
+			return fmt.Errorf("flow %d: unknown dst rank %d", f.ID, f.DstRank)
+		}
+		if f.Path[0] != src {
+			return fmt.Errorf("flow %d: path starts at %v, not src %v", f.ID, f.Path[0], src)
+		}
+		if f.Path[len(f.Path)-1] != dst {
+			return fmt.Errorf("flow %d: path ends at %v, not dst %v", f.ID, f.Path[len(f.Path)-1], dst)
+		}
+		seen := make(map[topology.NodeID]bool, len(f.Path))
+		for i, node := range f.Path {
+			if seen[node] {
+				return fmt.Errorf("flow %d: node %v repeated (not a simple path)", f.ID, node)
+			}
+			seen[node] = true
+			if i == 0 {
+				continue
+			}
+			if _, ok := g.EdgeBetween(f.Path[i-1], node); !ok {
+				return fmt.Errorf("flow %d: no edge %v -> %v", f.ID, f.Path[i-1], node)
+			}
+		}
+	}
+	switch p {
+	case Reduce, AllReduce:
+		return sc.validateInTree(g)
+	case Broadcast:
+		return sc.validateOutTree(g)
+	case AlltoAll:
+		return sc.validatePairs()
+	}
+	return nil
+}
+
+// validateInTree checks the reducing-primitive structure: every non-root
+// participant originates exactly one flow to its parent aggregator, and
+// following parents from any rank reaches the root without cycles.
+func (sc *SubCollective) validateInTree(g *topology.Graph) error {
+	if _, ok := g.GPUByRank(sc.Root); !ok {
+		return fmt.Errorf("unknown root rank %d", sc.Root)
+	}
+	parent := make(map[int]int)
+	for _, f := range sc.Flows {
+		if f.SrcRank == sc.Root {
+			return fmt.Errorf("root rank %d originates flow %d", sc.Root, f.ID)
+		}
+		if _, dup := parent[f.SrcRank]; dup {
+			return fmt.Errorf("rank %d originates more than one flow", f.SrcRank)
+		}
+		parent[f.SrcRank] = f.DstRank
+	}
+	for rank := range parent {
+		seen := map[int]bool{}
+		cur := rank
+		for cur != sc.Root {
+			if seen[cur] {
+				return fmt.Errorf("aggregation cycle through rank %d", cur)
+			}
+			seen[cur] = true
+			next, ok := parent[cur]
+			if !ok {
+				return fmt.Errorf("rank %d's data strands at rank %d (no flow to root)", rank, cur)
+			}
+			cur = next
+		}
+	}
+	return nil
+}
+
+// validateOutTree checks the Broadcast structure: every non-root
+// participant receives exactly one flow, and every flow's source has a
+// path of flows back to the root.
+func (sc *SubCollective) validateOutTree(g *topology.Graph) error {
+	if _, ok := g.GPUByRank(sc.Root); !ok {
+		return fmt.Errorf("unknown root rank %d", sc.Root)
+	}
+	source := make(map[int]int)
+	for _, f := range sc.Flows {
+		if f.DstRank == sc.Root {
+			return fmt.Errorf("flow %d targets the broadcast root", f.ID)
+		}
+		if _, dup := source[f.DstRank]; dup {
+			return fmt.Errorf("rank %d receives more than one flow", f.DstRank)
+		}
+		source[f.DstRank] = f.SrcRank
+	}
+	for rank := range source {
+		seen := map[int]bool{}
+		cur := rank
+		for cur != sc.Root {
+			if seen[cur] {
+				return fmt.Errorf("broadcast cycle through rank %d", cur)
+			}
+			seen[cur] = true
+			next, ok := source[cur]
+			if !ok {
+				return fmt.Errorf("rank %d receives from rank %d, which never receives the data", rank, cur)
+			}
+			cur = next
+		}
+	}
+	return nil
+}
+
+// validatePairs checks the AlltoAll structure: exactly one flow per ordered
+// pair of participant ranks.
+func (sc *SubCollective) validatePairs() error {
+	ranks := make(map[int]bool)
+	pairs := make(map[[2]int]bool)
+	for _, f := range sc.Flows {
+		if f.SrcRank == f.DstRank {
+			return fmt.Errorf("flow %d is a self-send (rank %d)", f.ID, f.SrcRank)
+		}
+		key := [2]int{f.SrcRank, f.DstRank}
+		if pairs[key] {
+			return fmt.Errorf("duplicate flow for pair %v", key)
+		}
+		pairs[key] = true
+		ranks[f.SrcRank] = true
+		ranks[f.DstRank] = true
+	}
+	for a := range ranks {
+		for b := range ranks {
+			if a != b && !pairs[[2]int{a, b}] {
+				return fmt.Errorf("missing flow for pair (%d,%d)", a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// MarshalXML serialises the strategy (the paper's Communicator parses the
+// synthesizer's XML output).
+func (s *Strategy) MarshalXMLBytes() ([]byte, error) {
+	out, err := xml.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("strategy: marshal: %w", err)
+	}
+	return out, nil
+}
+
+// ParseXML deserialises a strategy.
+func ParseXML(data []byte) (*Strategy, error) {
+	var s Strategy
+	if err := xml.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("strategy: unmarshal: %w", err)
+	}
+	return &s, nil
+}
+
+// Participants returns the distinct GPU ranks appearing as flow endpoints.
+func (s *Strategy) Participants() []int {
+	set := make(map[int]bool)
+	for _, sc := range s.SubCollectives {
+		for _, f := range sc.Flows {
+			set[f.SrcRank] = true
+			set[f.DstRank] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	// insertion sort for determinism
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,404 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"adapcc/internal/topology"
+)
+
+// testGraph builds 2 servers × 2 GPUs with NVLink and RDMA, returning the
+// graph plus rank→node lookups.
+func testGraph(t *testing.T) (*topology.Graph, map[int]topology.NodeID, []topology.NodeID) {
+	t.Helper()
+	c, err := topology.NewCluster(topology.TransportRDMA,
+		topology.ServerSpec{
+			GPUs: []topology.GPUModel{topology.GPUA100, topology.GPUA100},
+			NICs: []topology.NICSpec{{BandwidthBps: topology.Gbps(100)}},
+		},
+		topology.ServerSpec{
+			GPUs: []topology.GPUModel{topology.GPUA100, topology.GPUA100},
+			NICs: []topology.NICSpec{{BandwidthBps: topology.Gbps(100)}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpus := make(map[int]topology.NodeID, 4)
+	for r := 0; r < 4; r++ {
+		id, ok := g.GPUByRank(r)
+		if !ok {
+			t.Fatalf("rank %d missing", r)
+		}
+		gpus[r] = id
+	}
+	sw, ok := g.Switch()
+	if !ok {
+		t.Fatal("no core switch")
+	}
+	// Return hop nodes in traversal order: nic0, switch, nic1.
+	nics := g.NICs()
+	return g, gpus, []topology.NodeID{nics[0], sw, nics[1]}
+}
+
+// hierReduce builds a valid hierarchical reduce sub-collective: rank 3 →
+// rank 2 (leader of server 1), rank 1 → rank 0, rank 2 → rank 0 via NICs.
+func hierReduce(gpus map[int]topology.NodeID, nics []topology.NodeID) SubCollective {
+	return SubCollective{
+		ID: 0, Bytes: 1 << 20, ChunkBytes: 256 << 10, Root: 0,
+		Flows: []Flow{
+			{ID: 0, SrcRank: 1, DstRank: 0, Path: []topology.NodeID{gpus[1], gpus[0]}},
+			{ID: 1, SrcRank: 3, DstRank: 2, Path: []topology.NodeID{gpus[3], gpus[2]}},
+			{ID: 2, SrcRank: 2, DstRank: 0, Path: []topology.NodeID{gpus[2], nics[2], nics[1], nics[0], gpus[0]}},
+		},
+	}
+}
+
+func validReduce(gpus map[int]topology.NodeID, nics []topology.NodeID) *Strategy {
+	return &Strategy{
+		Primitive:      Reduce,
+		TotalBytes:     1 << 20,
+		SubCollectives: []SubCollective{hierReduce(gpus, nics)},
+	}
+}
+
+func TestValidateAcceptsHierarchicalReduce(t *testing.T) {
+	g, gpus, nics := testGraph(t)
+	if err := validReduce(gpus, nics).Validate(g); err != nil {
+		t.Fatalf("valid strategy rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadStrategies(t *testing.T) {
+	g, gpus, nics := testGraph(t)
+	tests := []struct {
+		name    string
+		mutate  func(*Strategy)
+		wantSub string
+	}{
+		{
+			name:    "no subcollectives",
+			mutate:  func(s *Strategy) { s.SubCollectives = nil },
+			wantSub: "no sub-collectives",
+		},
+		{
+			name:    "partition sum mismatch",
+			mutate:  func(s *Strategy) { s.TotalBytes = 42 },
+			wantSub: "sum",
+		},
+		{
+			name:    "zero chunk",
+			mutate:  func(s *Strategy) { s.SubCollectives[0].ChunkBytes = 0 },
+			wantSub: "chunk",
+		},
+		{
+			name:    "chunk exceeds partition",
+			mutate:  func(s *Strategy) { s.SubCollectives[0].ChunkBytes = 2 << 20 },
+			wantSub: "exceeds",
+		},
+		{
+			name: "path missing edge",
+			mutate: func(s *Strategy) {
+				// GPUs 1 and 2 are on different servers: no direct edge.
+				s.SubCollectives[0].Flows[0].Path = []topology.NodeID{gpus[1], gpus[2], gpus[0]}
+			},
+			wantSub: "no edge",
+		},
+		{
+			name: "path wrong source",
+			mutate: func(s *Strategy) {
+				s.SubCollectives[0].Flows[0].Path = []topology.NodeID{gpus[0], gpus[1]}
+			},
+			wantSub: "starts at",
+		},
+		{
+			name: "repeated node",
+			mutate: func(s *Strategy) {
+				s.SubCollectives[0].Flows[0].Path = []topology.NodeID{gpus[1], gpus[0], gpus[1], gpus[0]}
+			},
+			wantSub: "repeated",
+		},
+		{
+			name: "root originates flow",
+			mutate: func(s *Strategy) {
+				s.SubCollectives[0].Flows = append(s.SubCollectives[0].Flows,
+					Flow{ID: 9, SrcRank: 0, DstRank: 1, Path: []topology.NodeID{gpus[0], gpus[1]}})
+			},
+			wantSub: "root",
+		},
+		{
+			name: "duplicate origin",
+			mutate: func(s *Strategy) {
+				s.SubCollectives[0].Flows = append(s.SubCollectives[0].Flows,
+					Flow{ID: 9, SrcRank: 1, DstRank: 0, Path: []topology.NodeID{gpus[1], gpus[0]}})
+			},
+			wantSub: "more than one",
+		},
+		{
+			name: "stranded data",
+			mutate: func(s *Strategy) {
+				// Remove the leader's flow to root: rank 3's data strands at 2.
+				s.SubCollectives[0].Flows = s.SubCollectives[0].Flows[:2]
+			},
+			wantSub: "strands",
+		},
+		{
+			name: "unknown root",
+			mutate: func(s *Strategy) {
+				s.SubCollectives[0].Root = 99
+			},
+			wantSub: "root",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := validReduce(gpus, nics)
+			tt.mutate(s)
+			err := s.Validate(g)
+			if err == nil {
+				t.Fatal("invalid strategy accepted")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateBroadcastTree(t *testing.T) {
+	g, gpus, nics := testGraph(t)
+	s := &Strategy{
+		Primitive:  Broadcast,
+		TotalBytes: 4096,
+		SubCollectives: []SubCollective{{
+			ID: 0, Bytes: 4096, ChunkBytes: 1024, Root: 0,
+			Flows: []Flow{
+				{ID: 0, SrcRank: 0, DstRank: 1, Path: []topology.NodeID{gpus[0], gpus[1]}},
+				{ID: 1, SrcRank: 0, DstRank: 2, Path: []topology.NodeID{gpus[0], nics[0], nics[1], nics[2], gpus[2]}},
+				{ID: 2, SrcRank: 2, DstRank: 3, Path: []topology.NodeID{gpus[2], gpus[3]}},
+			},
+		}},
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatalf("valid broadcast rejected: %v", err)
+	}
+	// A receiver fed by a rank that never receives: swap flow 2's source
+	// to rank 1 and drop flow 0 so rank 1 has no data.
+	s.SubCollectives[0].Flows = []Flow{
+		{ID: 1, SrcRank: 0, DstRank: 2, Path: []topology.NodeID{gpus[0], nics[0], nics[1], nics[2], gpus[2]}},
+		{ID: 2, SrcRank: 1, DstRank: 3, Path: []topology.NodeID{gpus[1], gpus[0]}},
+	}
+	// Fix path endpoints for the broken flow (1→3 has no direct edge, use 1→0).
+	s.SubCollectives[0].Flows[1].DstRank = 0
+	if err := s.Validate(g); err == nil {
+		t.Fatal("broadcast targeting the root accepted")
+	}
+}
+
+func TestValidateAlltoAllPairs(t *testing.T) {
+	g, gpus, _ := testGraph(t)
+	mkFlow := func(id, src, dst int) Flow {
+		return Flow{ID: id, SrcRank: src, DstRank: dst, Path: []topology.NodeID{gpus[src], gpus[dst]}}
+	}
+	s := &Strategy{
+		Primitive:  AlltoAll,
+		TotalBytes: 4096,
+		SubCollectives: []SubCollective{{
+			ID: 0, Bytes: 4096, ChunkBytes: 1024, Root: -1,
+			Flows: []Flow{mkFlow(0, 0, 1), mkFlow(1, 1, 0)},
+		}},
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatalf("valid alltoall rejected: %v", err)
+	}
+	s.SubCollectives[0].Flows = s.SubCollectives[0].Flows[:1]
+	if err := s.Validate(g); err == nil {
+		t.Fatal("incomplete pair set accepted")
+	}
+}
+
+func TestNodeLinks(t *testing.T) {
+	_, gpus, nics := testGraph(t)
+	sc := hierReduce(gpus, nics)
+	ios := sc.NodeLinks()
+
+	root := ios[gpus[0]]
+	if !root.Terminal || root.Origin {
+		t.Errorf("root: terminal=%v origin=%v, want true/false", root.Terminal, root.Origin)
+	}
+	if len(root.Preds) != 2 { // gpus[1] and nics[0]
+		t.Errorf("root preds = %v, want 2", root.Preds)
+	}
+
+	leader := ios[gpus[2]]
+	if !leader.Terminal || !leader.Origin {
+		t.Errorf("leader: terminal=%v origin=%v, want true/true", leader.Terminal, leader.Origin)
+	}
+
+	nic := ios[nics[0]]
+	if nic.Terminal || nic.Origin {
+		t.Errorf("nic should be pure pass-through, got %+v", nic)
+	}
+	if nic.FlowsIn[nics[1]] != 1 {
+		t.Errorf("nic in-flows = %v", nic.FlowsIn)
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	g, gpus, nics := testGraph(t)
+	sc := hierReduce(gpus, nics)
+	if !sc.Aggregator(g, gpus[0]) {
+		t.Error("root not an aggregator")
+	}
+	if !sc.Aggregator(g, gpus[2]) {
+		t.Error("leader not an aggregator")
+	}
+	if sc.Aggregator(g, gpus[1]) {
+		t.Error("pure source marked aggregator")
+	}
+	if sc.Aggregator(g, nics[0]) {
+		t.Error("NIC marked aggregator")
+	}
+}
+
+func TestChunks(t *testing.T) {
+	tests := []struct {
+		bytes, chunk int64
+		want         int
+	}{
+		{1024, 256, 4},
+		{1000, 256, 4},
+		{1024, 1024, 1},
+		{1024, 2048, 1},
+		{0, 256, 1},
+	}
+	for _, tt := range tests {
+		sc := SubCollective{Bytes: tt.bytes, ChunkBytes: tt.chunk}
+		if got := sc.Chunks(); got != tt.want {
+			t.Errorf("Chunks(%d/%d) = %d, want %d", tt.bytes, tt.chunk, got, tt.want)
+		}
+	}
+}
+
+func TestParticipantsSorted(t *testing.T) {
+	_, gpus, nics := testGraph(t)
+	s := validReduce(gpus, nics)
+	got := s.Participants()
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("participants = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("participants = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	g, gpus, nics := testGraph(t)
+	s := validReduce(gpus, nics)
+	data, err := s.MarshalXMLBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<strategy") {
+		t.Fatalf("unexpected XML: %s", data)
+	}
+	back, err := ParseXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(g); err != nil {
+		t.Fatalf("round-tripped strategy invalid: %v", err)
+	}
+	if back.Primitive != Reduce || back.TotalBytes != s.TotalBytes {
+		t.Errorf("round trip lost header: %+v", back)
+	}
+	if len(back.SubCollectives) != 1 || len(back.SubCollectives[0].Flows) != 3 {
+		t.Fatalf("round trip lost flows: %+v", back.SubCollectives)
+	}
+	f := back.SubCollectives[0].Flows[2]
+	if len(f.Path) != 5 {
+		t.Errorf("flow path lost: %v", f.Path)
+	}
+}
+
+func TestParseXMLGarbage(t *testing.T) {
+	if _, err := ParseXML([]byte("<not-a-strategy")); err == nil {
+		t.Fatal("garbage XML accepted")
+	}
+}
+
+func TestPrimitiveStrings(t *testing.T) {
+	tests := []struct {
+		p    Primitive
+		want string
+	}{
+		{Reduce, "reduce"}, {Broadcast, "broadcast"},
+		{AllReduce, "allreduce"}, {AlltoAll, "alltoall"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+	if !AllReduce.NeedsAggregation() || Broadcast.NeedsAggregation() {
+		t.Error("NeedsAggregation wrong")
+	}
+}
+
+// Property: any strategy that validates against the graph survives an XML
+// round trip unchanged (testing/quick over random tree shapes).
+func TestXMLRoundTripProperty(t *testing.T) {
+	g, gpus, nics := testGraph(t)
+	f := func(seedByte uint8, chunkKB uint8) bool {
+		// Random in-tree over 4 ranks rooted at 0 built from the seed.
+		seed := int(seedByte)
+		chunk := (int64(chunkKB%64) + 1) * 1024
+		s := &Strategy{Primitive: Reduce, TotalBytes: 1 << 20}
+		sc := SubCollective{ID: 0, Bytes: 1 << 20, ChunkBytes: chunk, Root: 0}
+		// rank1 -> 0 always; rank3 -> 2 always; rank2 -> 0 via NICs.
+		sc.Flows = []Flow{
+			{ID: 0, SrcRank: 1, DstRank: 0, Path: []topology.NodeID{gpus[1], gpus[0]}},
+			{ID: 1, SrcRank: 3, DstRank: 2, Path: []topology.NodeID{gpus[3], gpus[2]}},
+			{ID: 2, SrcRank: 2, DstRank: 0, Path: []topology.NodeID{gpus[2], nics[2], nics[1], nics[0], gpus[0]}},
+		}
+		if seed%2 == 0 {
+			// Variant: rank 3 routes via rank 2's NIC path directly to 0.
+			sc.Flows[1] = Flow{ID: 1, SrcRank: 3, DstRank: 0, Path: []topology.NodeID{gpus[3], nics[2], nics[1], nics[0], gpus[0]}}
+		}
+		s.SubCollectives = []SubCollective{sc}
+		if err := s.Validate(g); err != nil {
+			return true // invalid configurations are out of scope
+		}
+		data, err := s.MarshalXMLBytes()
+		if err != nil {
+			return false
+		}
+		back, err := ParseXML(data)
+		if err != nil {
+			return false
+		}
+		if back.Validate(g) != nil || back.TotalBytes != s.TotalBytes {
+			return false
+		}
+		if len(back.SubCollectives) != 1 || len(back.SubCollectives[0].Flows) != len(sc.Flows) {
+			return false
+		}
+		for i, f := range back.SubCollectives[0].Flows {
+			if len(f.Path) != len(sc.Flows[i].Path) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

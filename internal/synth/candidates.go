@@ -1,0 +1,356 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// members groups participating ranks by server.
+type members struct {
+	byServer map[int][]int
+	servers  []int // sorted
+}
+
+func groupByServer(g *topology.Graph, ranks []int) (members, error) {
+	m := members{byServer: make(map[int][]int)}
+	for _, r := range ranks {
+		id, ok := g.GPUByRank(r)
+		if !ok {
+			return members{}, fmt.Errorf("synth: unknown rank %d", r)
+		}
+		s := g.Node(id).Server
+		m.byServer[s] = append(m.byServer[s], r)
+	}
+	for s, rs := range m.byServer {
+		sort.Ints(rs)
+		m.byServer[s] = rs
+		m.servers = append(m.servers, s)
+	}
+	sort.Ints(m.servers)
+	return m, nil
+}
+
+// pathBuilder constructs routed paths over the logical graph.
+type pathBuilder struct {
+	g *topology.Graph
+}
+
+func (pb pathBuilder) gpu(rank int) (topology.NodeID, error) {
+	id, ok := pb.g.GPUByRank(rank)
+	if !ok {
+		return 0, fmt.Errorf("synth: unknown rank %d", rank)
+	}
+	return id, nil
+}
+
+// nic picks the idx-th NIC of a server (modulo the NIC count) so
+// sub-collectives can spread across NICs on multi-NIC servers.
+func (pb pathBuilder) nic(server, idx int) (topology.NodeID, error) {
+	var nics []topology.NodeID
+	for _, n := range pb.g.Nodes() {
+		if n.Kind == topology.KindNIC && n.Server == server {
+			nics = append(nics, n.ID)
+		}
+	}
+	if len(nics) == 0 {
+		return 0, fmt.Errorf("synth: server %d has no NIC", server)
+	}
+	return nics[idx%len(nics)], nil
+}
+
+// intra returns a path between two GPUs on the same server: the direct
+// NVLink edge when present, otherwise a bounce through the server's NIC
+// host path (the PCIe fallback of fragmented allocations), optionally via a
+// relay GPU.
+func (pb pathBuilder) intra(from, to topology.NodeID, nicIdx int) ([]topology.NodeID, error) {
+	if _, ok := pb.g.EdgeBetween(from, to); ok {
+		return []topology.NodeID{from, to}, nil
+	}
+	nic, err := pb.nic(pb.g.Node(from).Server, nicIdx)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := pb.g.EdgeBetween(from, nic); !ok {
+		return nil, fmt.Errorf("synth: no path %v -> %v", from, to)
+	}
+	if _, ok := pb.g.EdgeBetween(nic, to); !ok {
+		return nil, fmt.Errorf("synth: no path %v -> %v", from, to)
+	}
+	return []topology.NodeID{from, nic, to}, nil
+}
+
+// inter returns the cross-server path src → srcNIC → core switch →
+// dstNIC → dst.
+func (pb pathBuilder) inter(from, to topology.NodeID, nicIdx int) ([]topology.NodeID, error) {
+	fromNIC, err := pb.nic(pb.g.Node(from).Server, nicIdx)
+	if err != nil {
+		return nil, err
+	}
+	toNIC, err := pb.nic(pb.g.Node(to).Server, nicIdx)
+	if err != nil {
+		return nil, err
+	}
+	sw, ok := pb.g.Switch()
+	if !ok {
+		return nil, fmt.Errorf("synth: no core switch in a multi-server graph")
+	}
+	path := []topology.NodeID{from, fromNIC, sw, toNIC, to}
+	for i := 1; i < len(path); i++ {
+		if _, ok := pb.g.EdgeBetween(path[i-1], path[i]); !ok {
+			return nil, fmt.Errorf("synth: missing edge %v -> %v", path[i-1], path[i])
+		}
+	}
+	return path, nil
+}
+
+// route returns a path between any two GPUs.
+func (pb pathBuilder) route(fromRank, toRank, nicIdx int) ([]topology.NodeID, error) {
+	from, err := pb.gpu(fromRank)
+	if err != nil {
+		return nil, err
+	}
+	to, err := pb.gpu(toRank)
+	if err != nil {
+		return nil, err
+	}
+	if pb.g.SameServer(from, to) {
+		return pb.intra(from, to, nicIdx)
+	}
+	return pb.inter(from, to, nicIdx)
+}
+
+// variant names a candidate communication-graph family.
+type variant int
+
+const (
+	// variantHierStar: per-server leader aggregation, leaders send
+	// directly to the root's server.
+	variantHierStar variant = iota + 1
+	// variantFlatStar: every GPU sends directly to the root (aggregation
+	// only at the root).
+	variantFlatStar
+	// variantServerChain: leaders form an aggregation chain ending at
+	// the root's server, ordered by server index rotation.
+	variantServerChain
+	// variantServerTree: leaders form a binary aggregation tree.
+	variantServerTree
+)
+
+func (v variant) String() string {
+	switch v {
+	case variantHierStar:
+		return "hier-star"
+	case variantFlatStar:
+		return "flat-star"
+	case variantServerChain:
+		return "server-chain"
+	case variantServerTree:
+		return "server-tree"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+func allVariants() []variant {
+	return []variant{variantHierStar, variantFlatStar, variantServerChain, variantServerTree}
+}
+
+// reduceSub builds the flow set of one Reduce sub-collective.
+//
+// root is the sub-collective's root rank; m rotates leader and NIC choices
+// so the M parallel sub-collectives use different resources; relays lists
+// non-contributing ranks usable as extra aggregation/forwarding points
+// (Sec. IV-C relay control); ranks are the contributing workers.
+func reduceSub(g *topology.Graph, v variant, ranks []int, relays []int, root, m int) (*strategy.SubCollective, error) {
+	pb := pathBuilder{g: g}
+	mem, err := groupByServer(g, ranks)
+	if err != nil {
+		return nil, err
+	}
+	rootID, err := pb.gpu(root)
+	if err != nil {
+		return nil, err
+	}
+	rootServer := g.Node(rootID).Server
+
+	relaysByServer := make(map[int][]int)
+	for _, r := range relays {
+		if id, ok := g.GPUByRank(r); ok {
+			s := g.Node(id).Server
+			relaysByServer[s] = append(relaysByServer[s], r)
+		}
+	}
+	for s := range relaysByServer {
+		sort.Ints(relaysByServer[s])
+	}
+
+	sc := &strategy.SubCollective{ID: m, Root: root}
+	flowID := 0
+	addFlow := func(src, dst int, path []topology.NodeID) {
+		sc.Flows = append(sc.Flows, strategy.Flow{ID: flowID, SrcRank: src, DstRank: dst, Path: path})
+		flowID++
+	}
+
+	// leader returns the aggregation point of a server: the root on the
+	// root's server; otherwise a rank rotated by m among the server's
+	// contributors. Alternate sub-collectives prefer a relay GPU when one
+	// is available — the relay absorbs aggregation work and adds links
+	// (Sec. IV-C) — while the others keep a ready leader, so a straggling
+	// relay's host path never carries the whole partition set.
+	leader := func(server int) int {
+		if server == rootServer {
+			return root
+		}
+		rl := relaysByServer[server]
+		rs := mem.byServer[server]
+		if len(rl) > 0 && (m%2 == 1 || len(rs) == 0) {
+			return rl[m%len(rl)]
+		}
+		if len(rs) == 0 {
+			return rl[m%len(rl)]
+		}
+		return rs[m%len(rs)]
+	}
+
+	if v == variantFlatStar {
+		for _, r := range ranks {
+			if r == root {
+				continue
+			}
+			path, err := pb.route(r, root, m)
+			if err != nil {
+				return nil, err
+			}
+			addFlow(r, root, path)
+		}
+		return sc, nil
+	}
+
+	// Hierarchical variants: local flows into each server's leader.
+	leaders := make(map[int]int, len(mem.servers))
+	for _, s := range mem.servers {
+		leaders[s] = leader(s)
+	}
+	// The root's server always has a leader (the root), even if no
+	// contributor lives there.
+	leaders[rootServer] = root
+	for _, s := range mem.servers {
+		l := leaders[s]
+		for _, r := range mem.byServer[s] {
+			if r == l || r == root {
+				continue
+			}
+			path, err := pb.route(r, l, m)
+			if err != nil {
+				return nil, err
+			}
+			addFlow(r, l, path)
+		}
+	}
+
+	// Inter-server structure over the leader set.
+	var others []int // servers other than root's, deterministic order
+	for _, s := range mem.servers {
+		if s != rootServer {
+			others = append(others, s)
+		}
+	}
+	// Rotate the order by m so parallel sub-collectives chain and pair
+	// servers differently.
+	if len(others) > 1 {
+		rot := m % len(others)
+		others = append(append([]int(nil), others[rot:]...), others[:rot]...)
+	}
+
+	switch v {
+	case variantHierStar:
+		for _, s := range others {
+			l := leaders[s]
+			path, err := pb.route(l, root, m)
+			if err != nil {
+				return nil, err
+			}
+			addFlow(l, root, path)
+		}
+	case variantServerChain:
+		for i, s := range others {
+			l := leaders[s]
+			next := root
+			if i+1 < len(others) {
+				next = leaders[others[i+1]]
+			}
+			path, err := pb.route(l, next, m)
+			if err != nil {
+				return nil, err
+			}
+			addFlow(l, next, path)
+		}
+	case variantServerTree:
+		// Binary in-tree: index i sends to (i-1)/2; index 0 to root.
+		for i, s := range others {
+			l := leaders[s]
+			next := root
+			if i > 0 {
+				next = leaders[others[(i-1)/2]]
+			}
+			path, err := pb.route(l, next, m)
+			if err != nil {
+				return nil, err
+			}
+			addFlow(l, next, path)
+		}
+	default:
+		return nil, fmt.Errorf("synth: unsupported reduce variant %v", v)
+	}
+	return sc, nil
+}
+
+// broadcastSub builds a Broadcast sub-collective by reversing the
+// corresponding Reduce structure (paper Sec. IV-D: AllReduce executes
+// Broadcast reversely; plain Broadcast uses the same trees outward).
+func broadcastSub(g *topology.Graph, v variant, ranks []int, relays []int, root, m int) (*strategy.SubCollective, error) {
+	red, err := reduceSub(g, v, ranks, relays, root, m)
+	if err != nil {
+		return nil, err
+	}
+	out := &strategy.SubCollective{ID: m, Root: root}
+	for i := len(red.Flows) - 1; i >= 0; i-- {
+		f := red.Flows[i]
+		rev := make([]topology.NodeID, len(f.Path))
+		for j, n := range f.Path {
+			rev[len(f.Path)-1-j] = n
+		}
+		out.Flows = append(out.Flows, strategy.Flow{
+			ID:      len(out.Flows),
+			SrcRank: f.DstRank,
+			DstRank: f.SrcRank,
+			Path:    rev,
+		})
+	}
+	return out, nil
+}
+
+// alltoallSub builds the AlltoAll flow set: one directly-routed flow per
+// ordered rank pair, with NIC selection rotated by m.
+func alltoallSub(g *topology.Graph, ranks []int, m int) (*strategy.SubCollective, error) {
+	pb := pathBuilder{g: g}
+	sc := &strategy.SubCollective{ID: m, Root: -1}
+	id := 0
+	for _, src := range ranks {
+		for _, dst := range ranks {
+			if src == dst {
+				continue
+			}
+			path, err := pb.route(src, dst, m)
+			if err != nil {
+				return nil, err
+			}
+			sc.Flows = append(sc.Flows, strategy.Flow{ID: id, SrcRank: src, DstRank: dst, Path: path})
+			id++
+		}
+	}
+	return sc, nil
+}

@@ -1,0 +1,104 @@
+// Package synth implements AdapCC's Synthesizer (paper Sec. IV-D): given
+// the logical graph and profiled α–β link properties it derives, for each
+// collective primitive, M parallel sub-collectives with routing paths,
+// partition sizes, chunk sizes and per-node aggregation control, minimising
+// the predicted completion time of Eq. (4) subject to the flow, chunking
+// and bandwidth-sharing constraints of Eq. (1)–(3), (5)–(6).
+//
+// The paper solves the mixed-integer program with Gurobi; Gurobi is
+// proprietary, so this package substitutes a structured search: candidate
+// communication graphs (hierarchical leader trees, flat stars, server
+// chains) are generated from the topology, and an analytic evaluator of the
+// paper's own timing model scores every combination of candidate graph,
+// chunk size and aggregation flags, with a partition-rebalancing loop over
+// the M sub-collectives. A brute-force enumerator (exact.go) validates the
+// heuristic on small instances in tests.
+package synth
+
+import (
+	"time"
+
+	"adapcc/internal/profile"
+	"adapcc/internal/topology"
+)
+
+// Costs is the α–β view of the logical graph the synthesizer optimises
+// against: profiled values where available, nominal hardware values
+// elsewhere.
+type Costs struct {
+	graph  *topology.Graph
+	alpha  []time.Duration
+	stream []float64
+	agg    []float64
+}
+
+// NewCosts merges a graph with a profiling report (which may be nil,
+// falling back entirely to nominal values — the "AdapCC without profiling"
+// ablation).
+func NewCosts(g *topology.Graph, rep *profile.Report) *Costs {
+	c := &Costs{
+		graph:  g,
+		alpha:  make([]time.Duration, g.NumEdges()),
+		stream: make([]float64, g.NumEdges()),
+		agg:    make([]float64, g.NumEdges()),
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		eid := topology.EdgeID(i)
+		e := g.Edge(eid)
+		if rep != nil {
+			c.alpha[i] = rep.Alpha(g, eid)
+			c.stream[i] = rep.StreamBps(g, eid)
+			c.agg[i] = rep.AggregateBps(g, eid)
+			continue
+		}
+		c.alpha[i] = e.Alpha
+		c.agg[i] = e.BandwidthBps
+		if e.PerStreamBps > 0 && e.PerStreamBps < e.BandwidthBps {
+			c.stream[i] = e.PerStreamBps
+		} else {
+			c.stream[i] = e.BandwidthBps
+		}
+	}
+	return c
+}
+
+// Graph returns the underlying logical graph.
+func (c *Costs) Graph() *topology.Graph { return c.graph }
+
+// Alpha returns the latency of an edge.
+func (c *Costs) Alpha(eid topology.EdgeID) time.Duration { return c.alpha[eid] }
+
+// StreamBps returns the single-flow bandwidth of an edge.
+func (c *Costs) StreamBps(eid topology.EdgeID) float64 { return c.stream[eid] }
+
+// AggregateBps returns the many-flow bandwidth of an edge.
+func (c *Costs) AggregateBps(eid topology.EdgeID) float64 { return c.agg[eid] }
+
+// SingleStreamView returns a cost view in which an edge's aggregate
+// bandwidth is clamped to its single-stream rate: the analytic model of a
+// single-channel backend (NCCL), whose flows all share one stream.
+func (c *Costs) SingleStreamView() *Costs {
+	out := &Costs{graph: c.graph, alpha: c.alpha, stream: c.stream, agg: make([]float64, len(c.agg))}
+	for i := range c.agg {
+		out.agg[i] = c.agg[i]
+		if c.stream[i] < out.agg[i] {
+			out.agg[i] = c.stream[i]
+		}
+	}
+	return out
+}
+
+// FlowBps returns the bandwidth one flow obtains on an edge carrying load
+// concurrent flows (Eq. 3, refined with the per-stream cap): the aggregate
+// bandwidth is shared equally, but a single flow can never exceed the
+// profiled per-stream rate.
+func (c *Costs) FlowBps(eid topology.EdgeID, load int) float64 {
+	if load < 1 {
+		load = 1
+	}
+	share := c.agg[eid] / float64(load)
+	if c.stream[eid] < share {
+		return c.stream[eid]
+	}
+	return share
+}

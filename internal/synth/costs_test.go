@@ -1,0 +1,191 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/profile"
+	"adapcc/internal/topology"
+)
+
+func tcpCosts(t *testing.T) (*Costs, *topology.Graph) {
+	t.Helper()
+	c, err := cluster.Homogeneous(topology.TransportTCP, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCosts(g, nil), g
+}
+
+func TestCostsAccessorsNominal(t *testing.T) {
+	costs, g := tcpCosts(t)
+	if costs.Graph() != g {
+		t.Fatal("Graph() lost the graph")
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		eid := topology.EdgeID(i)
+		e := g.Edge(eid)
+		if costs.Alpha(eid) != e.Alpha {
+			t.Errorf("edge %d: alpha %v, want nominal %v", i, costs.Alpha(eid), e.Alpha)
+		}
+		if costs.AggregateBps(eid) != e.BandwidthBps {
+			t.Errorf("edge %d: aggregate %v, want nominal %v", i, costs.AggregateBps(eid), e.BandwidthBps)
+		}
+		want := e.BandwidthBps
+		if e.PerStreamBps > 0 && e.PerStreamBps < want {
+			want = e.PerStreamBps
+		}
+		if costs.StreamBps(eid) != want {
+			t.Errorf("edge %d: stream %v, want %v", i, costs.StreamBps(eid), want)
+		}
+	}
+}
+
+func TestSingleStreamViewClampsAggregate(t *testing.T) {
+	costs, g := tcpCosts(t)
+	single := costs.SingleStreamView()
+	capped := 0
+	for i := 0; i < g.NumEdges(); i++ {
+		eid := topology.EdgeID(i)
+		if single.AggregateBps(eid) > costs.StreamBps(eid) {
+			t.Errorf("edge %d: single-stream aggregate %v above stream rate %v",
+				i, single.AggregateBps(eid), costs.StreamBps(eid))
+		}
+		if single.AggregateBps(eid) < costs.AggregateBps(eid) {
+			capped++
+		}
+	}
+	if capped == 0 {
+		t.Error("TCP cluster should have per-stream-capped network edges")
+	}
+	// The original view is untouched.
+	for i := 0; i < g.NumEdges(); i++ {
+		eid := topology.EdgeID(i)
+		if costs.AggregateBps(eid) != g.Edge(eid).BandwidthBps {
+			t.Error("SingleStreamView mutated its parent")
+		}
+	}
+}
+
+func TestCostsFromProfileReport(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade a link, then profile: the cost view must see the live rate.
+	var victim topology.EdgeID = -1
+	for _, e := range env.Graph.Edges() {
+		if e.Type.Network() {
+			victim = e.ID
+			break
+		}
+	}
+	env.Fabric.SetScale(victim, 0.5)
+	var rep *profile.Report
+	profile.New(env.Fabric, profile.Options{}).Run(func(r *profile.Report) { rep = r })
+	env.Engine.Run()
+	costs := NewCosts(env.Graph, rep)
+	nominal := env.Graph.Edge(victim).BandwidthBps
+	got := costs.AggregateBps(victim)
+	// The joint port attribution may split a one-directional degradation
+	// across the path's segments; what matters is that the cost view sees
+	// a clearly degraded port instead of the nominal label.
+	if got > 0.75*nominal || got < 0.25*nominal {
+		t.Errorf("profiled aggregate %v, want clearly degraded vs nominal %v", got, nominal)
+	}
+}
+
+func TestNewLiveCostsTracksFabricScale(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportTCP, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim topology.EdgeID = -1
+	for _, e := range env.Graph.Edges() {
+		if e.Type.Network() {
+			victim = e.ID
+			break
+		}
+	}
+	before := NewLiveCosts(env.Fabric).AggregateBps(victim)
+	env.Fabric.SetScale(victim, 0.25)
+	after := NewLiveCosts(env.Fabric).AggregateBps(victim)
+	if ratio := after / before; ratio < 0.24 || ratio > 0.26 {
+		t.Errorf("live aggregate ratio %v, want 0.25", ratio)
+	}
+	// The per-stream cap still binds when the live rate is above it.
+	live := NewLiveCosts(env.Fabric)
+	for _, e := range env.Graph.Edges() {
+		if e.PerStreamBps > 0 && live.StreamBps(e.ID) > e.PerStreamBps {
+			t.Errorf("edge %d: live stream rate %v above the cap %v",
+				e.ID, live.StreamBps(e.ID), e.PerStreamBps)
+		}
+	}
+}
+
+func TestParseVariantNames(t *testing.T) {
+	for _, v := range allVariants() {
+		if got := parseVariant(v.String()); got != v {
+			t.Errorf("parseVariant(%q) = %v", v.String(), got)
+		}
+	}
+	if got := parseVariant("unknown"); got != variantHierStar {
+		t.Errorf("unknown variant parsed to %v, want the hier-star default", got)
+	}
+}
+
+func TestRebalancePreservesTotalAndAlignment(t *testing.T) {
+	// Heterogeneous sub-collective speeds: rebalancing shifts bytes toward
+	// the faster sub while preserving the exact total and alignment.
+	parts := []int64{16 << 20, 16 << 20}
+	ev := &Eval{Subs: []SubEval{
+		{Time: 40 * time.Millisecond}, // 0.4 GB/s on 16 MiB
+		{Time: 10 * time.Millisecond}, // 1.6 GB/s
+	}}
+	total := int64(32 << 20)
+	out := rebalance(parts, ev, total)
+	var sum int64
+	for i, p := range out {
+		sum += p
+		if p%4 != 0 {
+			t.Errorf("part %d = %d not float32-aligned", i, p)
+		}
+		if p < 4 {
+			t.Errorf("part %d = %d below one element", i, p)
+		}
+	}
+	if sum != total {
+		t.Fatalf("parts sum to %d, want %d", sum, total)
+	}
+	if out[1] <= out[0] {
+		t.Errorf("faster sub got %d bytes, slower %d — rebalance went backwards", out[1], out[0])
+	}
+	// 4x throughput ratio: the fast sub should carry ~4/5 of the bytes.
+	frac := float64(out[1]) / float64(total)
+	if frac < 0.75 || frac > 0.85 {
+		t.Errorf("fast-sub share %.2f, want ~0.8", frac)
+	}
+
+	// Degenerate inputs return the original split.
+	if got := rebalance(parts, &Eval{}, total); &got[0] == &out[0] {
+		t.Error("mismatched eval should return parts unchanged")
+	}
+	zero := &Eval{Subs: []SubEval{{Time: 0}, {Time: time.Millisecond}}}
+	if got := rebalance(parts, zero, total); got[0] != parts[0] || got[1] != parts[1] {
+		t.Error("zero-time sub should leave the split unchanged")
+	}
+}

@@ -1,0 +1,151 @@
+package synth
+
+import (
+	"testing"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// enumerateReduceTrees yields every in-tree over the ranks (each non-root
+// rank picks a parent among the other ranks; cyclic assignments are
+// filtered), with flows routed over the standard intra/inter paths.
+func enumerateReduceTrees(t *testing.T, g *topology.Graph, ranks []int, root int) []*strategy.SubCollective {
+	t.Helper()
+	var nonRoot []int
+	for _, r := range ranks {
+		if r != root {
+			nonRoot = append(nonRoot, r)
+		}
+	}
+	pb := pathBuilder{g: g}
+	var out []*strategy.SubCollective
+
+	parents := make(map[int]int, len(nonRoot))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(nonRoot) {
+			// Acyclic and rooted?
+			for _, r := range nonRoot {
+				seen := map[int]bool{}
+				cur := r
+				for cur != root {
+					if seen[cur] {
+						return
+					}
+					seen[cur] = true
+					next, ok := parents[cur]
+					if !ok {
+						return
+					}
+					cur = next
+				}
+			}
+			sc := &strategy.SubCollective{ID: 0, Root: root}
+			for fi, r := range nonRoot {
+				path, err := pb.route(r, parents[r], 0)
+				if err != nil {
+					return // infeasible routing
+				}
+				sc.Flows = append(sc.Flows, strategy.Flow{ID: fi, SrcRank: r, DstRank: parents[r], Path: path})
+			}
+			out = append(out, sc)
+			return
+		}
+		r := nonRoot[i]
+		for _, p := range ranks {
+			if p == r {
+				continue
+			}
+			parents[r] = p
+			rec(i + 1)
+		}
+		delete(parents, r)
+	}
+	rec(0)
+	return out
+}
+
+// TestSearchWithinFactorOfExhaustive is DESIGN.md's heuristic-validation
+// check: on small instances, exhaustively enumerate every reduce in-tree ×
+// chunk size (at M = 1) and verify the synthesizer's choice is within a
+// small factor of the optimum under the model's own objective.
+func TestSearchWithinFactorOfExhaustive(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*topology.Cluster, error)
+	}{
+		{"homo-2x2", func() (*topology.Cluster, error) { return cluster.Homogeneous(topology.TransportRDMA, 2, 2) }},
+		{"heter-2+2", func() (*topology.Cluster, error) {
+			return topology.NewCluster(topology.TransportRDMA, cluster.A100Server(2), cluster.V100Server(2))
+		}},
+		{"tcp-4x1", func() (*topology.Cluster, error) { return cluster.Homogeneous(topology.TransportTCP, 4, 1) }},
+	}
+	const bytes = 16 << 20
+	grid := []int64{256 << 10, 1 << 20, 4 << 20}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := c.LogicalGraph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			costs := NewCosts(g, nil)
+			ranks := make([]int, c.NumGPUs())
+			for i := range ranks {
+				ranks[i] = i
+			}
+
+			// Exhaustive optimum over all trees × chunk sizes.
+			var bestExact *Eval
+			trees := enumerateReduceTrees(t, g, ranks, 0)
+			if len(trees) < 3 {
+				t.Fatalf("only %d trees enumerated", len(trees))
+			}
+			for _, tree := range trees {
+				for _, chunk := range grid {
+					sc := *tree
+					sc.Bytes = bytes
+					sc.ChunkBytes = chunk
+					st := &strategy.Strategy{
+						Primitive:      strategy.Reduce,
+						TotalBytes:     bytes,
+						SubCollectives: []strategy.SubCollective{sc},
+					}
+					if err := st.Validate(g); err != nil {
+						continue
+					}
+					ev, err := Evaluate(costs, st)
+					if err != nil {
+						continue
+					}
+					if bestExact == nil || ev.Time < bestExact.Time {
+						bestExact = ev
+					}
+				}
+			}
+			if bestExact == nil {
+				t.Fatal("no feasible tree evaluated")
+			}
+
+			res, err := Synthesize(costs, Request{
+				Primitive: strategy.Reduce, Bytes: bytes, Root: 0,
+				M: 1, ChunkGrid: grid,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := float64(res.Eval.Time) / float64(bestExact.Time)
+			t.Logf("%s: search %v vs exhaustive optimum %v (%.2fx, %d trees)",
+				tc.name, res.Eval.Time, bestExact.Time, ratio, len(trees))
+			if ratio > 1.15 {
+				t.Errorf("search is %.2fx the exhaustive optimum", ratio)
+			}
+		})
+	}
+}

@@ -1,0 +1,37 @@
+package synth
+
+import (
+	"time"
+
+	"adapcc/internal/fabric"
+	"adapcc/internal/topology"
+)
+
+// NewLiveCosts builds a cost view from the fabric's *instantaneous* link
+// state (nominal bandwidth × current volatility scale). The training
+// simulator uses it to price what a collective actually costs right now —
+// as opposed to the possibly stale profiled view AdapCC synthesises
+// against, which is exactly the gap the volatile-network experiment
+// (Fig. 18a) measures.
+func NewLiveCosts(fab *fabric.Fabric) *Costs {
+	g := fab.Graph()
+	c := &Costs{
+		graph:  g,
+		alpha:  make([]time.Duration, g.NumEdges()),
+		stream: make([]float64, g.NumEdges()),
+		agg:    make([]float64, g.NumEdges()),
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		eid := topology.EdgeID(i)
+		e := g.Edge(eid)
+		live := fab.LiveBandwidthBps(eid)
+		c.alpha[i] = e.Alpha
+		c.agg[i] = live
+		if e.PerStreamBps > 0 && e.PerStreamBps < live {
+			c.stream[i] = e.PerStreamBps
+		} else {
+			c.stream[i] = live
+		}
+	}
+	return c
+}

@@ -1,0 +1,337 @@
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// SubEval is the predicted timing of one sub-collective under the paper's
+// pipeline model.
+type SubEval struct {
+	// Lead is max_f h^f_dst: when the first chunk of the slowest flow is
+	// ready at its destination (Eq. 2).
+	Lead time.Duration
+	// Bottle is max_f T^f_bottle: the slowest per-chunk stage (Eq. 6).
+	Bottle time.Duration
+	// Chunks is ceil(S_m / C_m).
+	Chunks int
+	// Time is max_f T_f (Eq. 5), the sub-collective completion time.
+	Time time.Duration
+}
+
+// Eval is the predicted timing of a full strategy.
+type Eval struct {
+	Subs []SubEval
+	// Time is the objective of Eq. 4: the completion time of the whole
+	// collective (max over sub-collectives and flows).
+	Time time.Duration
+}
+
+// Evaluate scores a strategy against the cost model using the paper's
+// analytic formulation: per-edge loads by the bandwidth-sharing rules of
+// Eq. 3 (summed across sub-collectives), chunk ready-time recursion of
+// Eq. 2, and pipeline completion of Eq. 5–6.
+//
+// Two of the paper's Eq. 3 cases are encoded structurally in this IR
+// rather than as per-node flags: aggregation (a_{m,g} = 1) happens exactly
+// where flows terminate, so merged data continues as the aggregator's own
+// single flow; and broadcast replica-grouping is realised by hierarchical
+// trees in which each edge carries one flow. Under that encoding the load
+// N^m_{i,j} of every primitive is simply the number of flows traversing
+// the edge, which also matches what the executor physically sends.
+//
+// For AllReduce the reduce stage is evaluated as synthesised and the
+// broadcast stage on the reversed graph; the two stages pipeline
+// chunk-by-chunk (Sec. V-B), so the combined time is the lead of both
+// stages plus the chunk count times the slower stage's bottleneck.
+func Evaluate(c *Costs, s *strategy.Strategy) (*Eval, error) {
+	if err := s.Validate(c.graph); err != nil {
+		return nil, err
+	}
+
+	// Pass 1: per-edge loads summed over all sub-collectives (Eq. 3
+	// couples them). The AllReduce broadcast stage pipelines with the
+	// reduce stage, and with rotated per-sub roots its reversed flows
+	// land on edges the forward stage of other sub-collectives also
+	// uses, so both stages contribute to one shared load map.
+	loads := make(map[topology.EdgeID]int)
+	for i := range s.SubCollectives {
+		sc := &s.SubCollectives[i]
+		if err := accumulateLoads(c.graph, sc, false, loads); err != nil {
+			return nil, err
+		}
+		if s.Primitive == strategy.AllReduce {
+			if err := accumulateLoads(c.graph, sc, true, loads); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pass 2: ready-time recursion per sub-collective.
+	ev := &Eval{Subs: make([]SubEval, len(s.SubCollectives))}
+	for i := range s.SubCollectives {
+		sc := &s.SubCollectives[i]
+		fwd, err := subEval(c, sc, s.Primitive, loads, false)
+		if err != nil {
+			return nil, err
+		}
+		se := fwd
+		if s.Primitive == strategy.AllReduce {
+			rev, err := subEval(c, sc, s.Primitive, loads, true)
+			if err != nil {
+				return nil, err
+			}
+			bottle := fwd.Bottle
+			if rev.Bottle > bottle {
+				bottle = rev.Bottle
+			}
+			se = SubEval{
+				Lead:   fwd.Lead + rev.Lead,
+				Bottle: bottle,
+				Chunks: fwd.Chunks,
+			}
+			se.Time = se.Lead + time.Duration(se.Chunks)*bottle
+		}
+		ev.Subs[i] = se
+		if se.Time > ev.Time {
+			ev.Time = se.Time
+		}
+	}
+	return ev, nil
+}
+
+// flowPath returns a flow's path, reversed for the broadcast stage of
+// AllReduce.
+func flowPath(f *strategy.Flow, reversed bool) []topology.NodeID {
+	if !reversed {
+		return f.Path
+	}
+	out := make([]topology.NodeID, len(f.Path))
+	for i, n := range f.Path {
+		out[len(f.Path)-1-i] = n
+	}
+	return out
+}
+
+// accumulateLoads adds one sub-collective's per-edge flow counts.
+func accumulateLoads(g *topology.Graph, sc *strategy.SubCollective, reversed bool, loads map[topology.EdgeID]int) error {
+	for i := range sc.Flows {
+		path := flowPath(&sc.Flows[i], reversed)
+		for j := 1; j < len(path); j++ {
+			eid, ok := g.EdgeBetween(path[j-1], path[j])
+			if !ok {
+				return fmt.Errorf("synth: no edge %v -> %v", path[j-1], path[j])
+			}
+			loads[eid]++
+		}
+	}
+	return nil
+}
+
+// flowOrder topologically orders flows by their data dependencies: a flow
+// originating at node o runs after every flow terminating at o (whose data
+// is an input — the aggregated tensor for reduce, the received replica for
+// broadcast). Validation guarantees acyclicity; a cycle here is an internal
+// error.
+func flowOrder(sc *strategy.SubCollective, reversed, dependent bool) ([]int, error) {
+	n := len(sc.Flows)
+	if !dependent {
+		// AlltoAll flows carry independent local data: no ordering.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order, nil
+	}
+	terminatesAt := make(map[topology.NodeID][]int)
+	for i := range sc.Flows {
+		p := flowPath(&sc.Flows[i], reversed)
+		last := p[len(p)-1]
+		terminatesAt[last] = append(terminatesAt[last], i)
+	}
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for i := range sc.Flows {
+		origin := flowPath(&sc.Flows[i], reversed)[0]
+		for _, j := range terminatesAt[origin] {
+			dependents[j] = append(dependents[j], i)
+			indeg[i]++
+		}
+	}
+	var queue, order []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		order = append(order, f)
+		for _, d := range dependents[f] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("synth: flow dependency cycle in sub-collective %d", sc.ID)
+	}
+	return order, nil
+}
+
+// subEval runs the Eq. 2 ready-time recursion for one sub-collective given
+// the (global) per-edge loads.
+func subEval(c *Costs, sc *strategy.SubCollective, p strategy.Primitive, loads map[topology.EdgeID]int, reversed bool) (SubEval, error) {
+	dependent := p != strategy.AlltoAll
+	order, err := flowOrder(sc, reversed, dependent)
+	if err != nil {
+		return SubEval{}, err
+	}
+
+	aggregating := p.NeedsAggregation() && !reversed
+
+	chunk := sc.ChunkBytes
+	if chunk > sc.Bytes {
+		chunk = sc.Bytes
+	}
+	// Per-chunk GPU-side costs the executor charges: a launch to initiate
+	// each chunk's send at the source, and an aggregation kernel at every
+	// flow-terminal GPU (launch plus reduce throughput).
+	const launch = 4 * time.Microsecond
+	aggKernel := launch + time.Duration(float64(2*chunk)/600e9*float64(time.Second))
+	t := func(from, to topology.NodeID, firstHop bool) (time.Duration, error) {
+		eid, ok := c.graph.EdgeBetween(from, to)
+		if !ok {
+			return 0, fmt.Errorf("synth: no edge %v -> %v", from, to)
+		}
+		bps := c.FlowBps(eid, loads[eid])
+		if bps <= 0 {
+			return 0, fmt.Errorf("synth: edge %v has no bandwidth", eid)
+		}
+		d := c.alpha[eid] + time.Duration(float64(chunk)/bps*float64(time.Second))
+		if firstHop {
+			// The source pays a launch per chunk, serialised on its
+			// stream ahead of the link.
+			d += launch
+		}
+		return d, nil
+	}
+
+	// waitH[n]: when node n's first chunk of data is complete — the max
+	// terminal arrival over flows ending at n (Eq. 2's aggregation max;
+	// for broadcast, the replica arrival). Flows originating at n start
+	// there; pure sources start at 0.
+	waitH := make(map[topology.NodeID]time.Duration)
+	type result struct {
+		hops    []time.Duration
+		arrival time.Duration
+	}
+	results := make([]result, len(sc.Flows))
+
+	// periodAt[n]: the steady-state per-chunk period of the data stream
+	// held at node n — the slowest link along the merged upstream tree.
+	// The Eq. 2 aggregation skew (waiting for the slowest sibling's
+	// FIRST chunk) is paid once and lands in the lead term; in steady
+	// state the pipeline refills, so each subsequent chunk costs only
+	// the bottleneck link time (this matches the event-driven executor).
+	periodAt := make(map[topology.NodeID]time.Duration)
+	periods := make([]time.Duration, len(sc.Flows))
+
+	for _, fi := range order {
+		path := flowPath(&sc.Flows[fi], reversed)
+		hops := make([]time.Duration, len(path))
+		period := time.Duration(0)
+		if dependent {
+			hops[0] = waitH[path[0]]
+			period = periodAt[path[0]]
+		}
+		for i := 1; i < len(path); i++ {
+			tt, err := t(path[i-1], path[i], i == 1)
+			if err != nil {
+				return SubEval{}, err
+			}
+			hops[i] = hops[i-1] + tt
+			if tt > period {
+				period = tt
+			}
+		}
+		if aggregating {
+			// The terminal aggregation kernel is one more pipeline
+			// stage: it overlaps transfers on the device stream, so
+			// it gates the period only if it is the slowest stage,
+			// and adds once to the first chunk's latency.
+			hops[len(hops)-1] += aggKernel
+			if aggKernel > period {
+				period = aggKernel
+			}
+		}
+		arrival := hops[len(hops)-1]
+		results[fi] = result{hops: hops, arrival: arrival}
+		periods[fi] = period
+		dst := path[len(path)-1]
+		if arrival > waitH[dst] {
+			waitH[dst] = arrival
+		}
+		if period > periodAt[dst] {
+			periodAt[dst] = period
+		}
+	}
+
+	chunks := sc.Chunks()
+	if p == strategy.AlltoAll {
+		// Each AlltoAll flow moves only its block — one participant's
+		// share of the partition — not the whole partition.
+		n := len(participantSet(sc))
+		if n > 0 {
+			block := sc.Bytes / int64(n)
+			if block < 1 {
+				block = 1
+			}
+			c := sc.ChunkBytes
+			if c > block {
+				c = block
+			}
+			chunks = int((block + c - 1) / c)
+		}
+	}
+	var se SubEval
+	se.Chunks = chunks
+	for fi := range sc.Flows {
+		res := results[fi]
+		path := flowPath(&sc.Flows[fi], reversed)
+		dst := path[len(path)-1]
+		// Under aggregation the flow's first chunk is usable only once
+		// all sibling chunks arrived (Eq. 2's max).
+		hDst := res.arrival
+		if aggregating {
+			hDst = waitH[dst]
+		}
+		bottle := periods[fi]
+		tf := hDst + time.Duration(chunks)*bottle
+		if hDst > se.Lead {
+			se.Lead = hDst
+		}
+		if bottle > se.Bottle {
+			se.Bottle = bottle
+		}
+		if tf > se.Time {
+			se.Time = tf
+		}
+	}
+	return se, nil
+}
+
+// participantSet returns the distinct ranks in a sub-collective's flows.
+func participantSet(sc *strategy.SubCollective) map[int]bool {
+	set := make(map[int]bool)
+	for i := range sc.Flows {
+		set[sc.Flows[i].SrcRank] = true
+		set[sc.Flows[i].DstRank] = true
+	}
+	return set
+}

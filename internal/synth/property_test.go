@@ -1,0 +1,92 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// TestEvaluateMonotoneInBytesProperty: scaling every sub-collective of a
+// synthesised strategy by an integer factor never decreases the predicted
+// completion time — the Eq. 1–6 model has no size cliffs.
+func TestEvaluateMonotoneInBytesProperty(t *testing.T) {
+	c, err := cluster.Heterogeneous(topology.TransportRDMA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := NewCosts(g, nil)
+	base, err := Synthesize(costs, Request{
+		Primitive: strategy.AllReduce, Bytes: 4 << 20, Root: -1, M: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scale := func(st *strategy.Strategy, k int64) *strategy.Strategy {
+		out := &strategy.Strategy{Primitive: st.Primitive, TotalBytes: st.TotalBytes * k}
+		for _, sc := range st.SubCollectives {
+			sc.Bytes *= k
+			out.SubCollectives = append(out.SubCollectives, sc)
+		}
+		return out
+	}
+
+	f := func(rawK uint8) bool {
+		k := int64(rawK)%16 + 1
+		small, err := Evaluate(costs, base.Strategy)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		big, err := Evaluate(costs, scale(base.Strategy, k))
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		if big.Time < small.Time {
+			t.Errorf("k=%d: %v bytes predicted %v, %v bytes predicted %v (shrank)",
+				k, base.Strategy.TotalBytes, small.Time, base.Strategy.TotalBytes*k, big.Time)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSynthesizeMonotoneInBytes: the searched optimum itself is monotone in
+// payload size across a doubling ladder (a bigger tensor can never be
+// predicted to finish sooner than a smaller one).
+func TestSynthesizeMonotoneInBytes(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportTCP, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := NewCosts(g, nil)
+	var prev *Eval
+	for bytes := int64(1 << 20); bytes <= 128<<20; bytes *= 2 {
+		res, err := Synthesize(costs, Request{
+			Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, M: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && res.Eval.Time < prev.Time {
+			t.Errorf("%d MiB predicted %v, faster than the previous smaller size (%v)",
+				bytes>>20, res.Eval.Time, prev.Time)
+		}
+		prev = res.Eval
+	}
+}

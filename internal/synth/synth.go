@@ -1,0 +1,414 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// DefaultM is the default number of parallel sub-collectives (the paper
+// chooses M = 4 for its testbed, Fig. 19a).
+const DefaultM = 4
+
+// defaultChunkGrid is the chunk-size search grid. The optimum trades
+// pipeline depth (small chunks hide latency and kernel launches) against
+// per-chunk α overhead (large chunks amortise it) — Eq. 5.
+var defaultChunkGrid = []int64{
+	256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20,
+}
+
+// Request describes one collective to synthesise a strategy for.
+type Request struct {
+	Primitive strategy.Primitive
+	// Bytes is the tensor size S each GPU communicates.
+	Bytes int64
+	// Ranks are the contributing workers (nil = every GPU in the graph).
+	Ranks []int
+	// Relays are non-contributing workers whose GPUs may be used as
+	// aggregation/forwarding intermediaries (Sec. IV-C).
+	Relays []int
+	// Root is the root rank for Reduce/Broadcast. For AllReduce a
+	// negative Root lets the synthesizer rotate per-sub-collective roots
+	// to spread load.
+	Root int
+	// M is the number of parallel sub-collectives (default DefaultM).
+	M int
+	// ChunkGrid overrides the chunk-size candidates.
+	ChunkGrid []int64
+	// ForceVariant pins the graph family ("hier-star", "flat-star",
+	// "server-chain", "server-tree") — used by ablation benches. Empty
+	// searches all.
+	ForceVariant string
+	// ExactM pins the sub-collective count to M instead of letting the
+	// search also consider a single sub-collective (used by the Fig. 19a
+	// parallelization-degree sweep).
+	ExactM bool
+	// FastSearch restricts the search to one variant and one chunk size
+	// and skips partition rebalancing. The relay coordinator uses it for
+	// the per-iteration phase-1/phase-2 strategies, where synthesis
+	// latency matters more than the last few percent of quality (the
+	// full search still produces the steady-state strategies).
+	FastSearch bool
+}
+
+// Result is a synthesised strategy with its predicted timing.
+type Result struct {
+	Strategy *strategy.Strategy
+	Eval     *Eval
+	// Variant is the graph family chosen.
+	Variant string
+	// SolveTime is the simulated cost of running the synthesis (part of
+	// the reconstruction overhead of Fig. 19c), derived from the number
+	// of candidate evaluations.
+	SolveTime time.Duration
+}
+
+// perEvalCost approximates the wall time one candidate evaluation costs the
+// optimiser on rank 0 (the paper's Gurobi solve times in Fig. 19c are tens
+// to hundreds of ms at testbed scale; the structured search is cheaper but
+// not free).
+const perEvalCost = 4 * time.Millisecond
+
+// Synthesize derives the best strategy for the request.
+func Synthesize(c *Costs, req Request) (*Result, error) {
+	ranks := req.Ranks
+	if ranks == nil {
+		for _, id := range c.graph.GPUs() {
+			ranks = append(ranks, c.graph.Node(id).Rank)
+		}
+	}
+	ranks = append([]int(nil), ranks...)
+	sort.Ints(ranks)
+	if len(ranks) < 2 {
+		return nil, fmt.Errorf("synth: need at least 2 participating ranks, have %d", len(ranks))
+	}
+	if req.Bytes <= 0 {
+		return nil, fmt.Errorf("synth: non-positive tensor size %d", req.Bytes)
+	}
+
+	m := req.M
+	if m <= 0 {
+		m = DefaultM
+	}
+	// Partitions must hold at least one float32 element each.
+	for m > 1 && req.Bytes/int64(m) < 4 {
+		m--
+	}
+
+	grid := req.ChunkGrid
+	if len(grid) == 0 {
+		grid = defaultChunkGrid
+	}
+
+	variants, err := requestVariants(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.FastSearch {
+		variants = variants[:1]
+		grid = []int64{1 << 20, 4 << 20}
+	}
+
+	evals := 0
+	var best *Result
+	bestPerVariant := make(map[variant]*Result, len(variants))
+	consider := func(s *strategy.Strategy, v variant) (*Result, error) {
+		evals++
+		ev, err := Evaluate(c, s)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Strategy: s, Eval: ev, Variant: v.String()}
+		if cur := bestPerVariant[v]; cur == nil || ev.Time < cur.Eval.Time {
+			bestPerVariant[v] = res
+		}
+		if best == nil || ev.Time < best.Eval.Time {
+			best = res
+		}
+		return res, nil
+	}
+
+	// M is a cap, not a mandate: a single sub-collective can win when
+	// per-message latency dominates (small tensors, latency-bound
+	// AlltoAll), so the search also evaluates m = 1.
+	ms := []int{m}
+	if m > 1 && !req.FastSearch && !req.ExactM {
+		ms = append(ms, 1)
+	}
+	plans := rootPlans(c, req, ranks)
+	for _, v := range variants {
+		for _, chunk := range grid {
+			for _, mm := range ms {
+				for _, plan := range plans {
+					s, err := buildStrategy(c, req, v, ranks, mm, equalParts(req.Bytes, mm), chunk, plan)
+					if err != nil {
+						// A variant can be infeasible on this topology
+						// (e.g. no NVLink and no NIC path); skip it.
+						continue
+					}
+					if _, err := consider(s, v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("synth: no feasible strategy for %v over %d ranks", req.Primitive, len(ranks))
+	}
+
+	// Partition rebalancing: shift bytes toward faster sub-collectives,
+	// applied to every variant's best so a variant that rebalances well
+	// can still win.
+	if m > 1 && !req.FastSearch {
+		for _, v := range variants {
+			seed := bestPerVariant[v]
+			if seed == nil {
+				continue
+			}
+			chunk := seed.Strategy.SubCollectives[0].ChunkBytes
+			parts := partsOf(seed.Strategy)
+			ev := seed.Eval
+			plan := rootsOf(seed.Strategy)
+			for iter := 0; iter < 3 && len(parts) > 1; iter++ {
+				parts = rebalance(parts, ev, req.Bytes)
+				s, err := buildStrategy(c, req, v, ranks, len(parts), parts, chunk, plan)
+				if err != nil {
+					break
+				}
+				res, err := consider(s, v)
+				if err != nil {
+					return nil, err
+				}
+				ev = res.Eval
+			}
+		}
+	}
+
+	best.SolveTime = time.Duration(evals) * perEvalCost
+	return best, nil
+}
+
+func requestVariants(req Request) ([]variant, error) {
+	if req.Primitive == strategy.AlltoAll {
+		return []variant{variantFlatStar}, nil // structure fixed; name unused
+	}
+	if req.ForceVariant == "" {
+		return allVariants(), nil
+	}
+	for _, v := range allVariants() {
+		if v.String() == req.ForceVariant {
+			return []variant{v}, nil
+		}
+	}
+	return nil, fmt.Errorf("synth: unknown variant %q", req.ForceVariant)
+}
+
+func parseVariant(name string) variant {
+	for _, v := range allVariants() {
+		if v.String() == name {
+			return v
+		}
+	}
+	return variantHierStar
+}
+
+// rootPlan assigns each sub-collective index a root rank.
+type rootPlan func(sub, m int) int
+
+// rootPlans builds candidate root placements. A fixed request root yields
+// one plan; AllReduce with a free root gets (a) rotation across all ranks
+// (spreads load evenly — right when links are uniform) and (b) roots
+// concentrated on the servers with the best profiled port bandwidth (what
+// the paper's Fig. 2a adaptation does when a server's ingress degrades).
+func rootPlans(c *Costs, req Request, ranks []int) []rootPlan {
+	if req.Primitive != strategy.AllReduce || req.Root >= 0 {
+		return []rootPlan{func(sub, m int) int { return req.Root }}
+	}
+	rotate := func(sub, m int) int {
+		return ranks[(sub*len(ranks)/m)%len(ranks)]
+	}
+	plans := []rootPlan{rotate}
+	if req.FastSearch {
+		return plans
+	}
+	if good := goodServerRanks(c, ranks); len(good) > 0 && len(good) < len(ranks) {
+		plans = append(plans, func(sub, m int) int {
+			return good[(sub*len(good)/m)%len(good)]
+		})
+	}
+	return plans
+}
+
+// rootsOf reconstructs a plan from an existing strategy's roots.
+func rootsOf(s *strategy.Strategy) rootPlan {
+	roots := make([]int, len(s.SubCollectives))
+	for i := range s.SubCollectives {
+		roots[i] = s.SubCollectives[i].Root
+	}
+	return func(sub, m int) int {
+		if sub < len(roots) {
+			return roots[sub]
+		}
+		return roots[0]
+	}
+}
+
+// goodServerRanks returns the participating ranks on servers whose
+// profiled aggregate port bandwidth is within 85% of the best server's —
+// rooting sub-collectives only there steers the extra root-ingress load
+// away from degraded servers.
+func goodServerRanks(c *Costs, ranks []int) []int {
+	g := c.graph
+	score := make(map[int]float64)
+	for _, e := range g.Edges() {
+		if !e.Type.Network() {
+			continue
+		}
+		endpoint := g.Node(e.From)
+		if endpoint.Kind != topology.KindNIC {
+			endpoint = g.Node(e.To)
+		}
+		if endpoint.Kind == topology.KindNIC {
+			score[endpoint.Server] += c.agg[e.ID]
+		}
+	}
+	best := 0.0
+	for _, sc := range score {
+		if sc > best {
+			best = sc
+		}
+	}
+	if best <= 0 {
+		return nil
+	}
+	var out []int
+	for _, r := range ranks {
+		id, ok := g.GPUByRank(r)
+		if !ok {
+			continue
+		}
+		if score[g.Node(id).Server] >= 0.85*best {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// buildStrategy assembles M sub-collectives of one variant with the given
+// partition sizes, a common chunk size and a root placement.
+func buildStrategy(c *Costs, req Request, v variant, ranks []int, m int, parts []int64, chunk int64, plan rootPlan) (*strategy.Strategy, error) {
+	s := &strategy.Strategy{
+		Primitive:  req.Primitive,
+		TotalBytes: req.Bytes,
+	}
+	for i := 0; i < m; i++ {
+		var (
+			sc  *strategy.SubCollective
+			err error
+		)
+		switch req.Primitive {
+		case strategy.Reduce, strategy.Broadcast, strategy.AllReduce:
+			root := plan(i, m)
+			if root < 0 {
+				root = ranks[0]
+			}
+			if req.Primitive == strategy.Broadcast {
+				sc, err = broadcastSub(c.graph, v, ranks, req.Relays, root, i)
+			} else {
+				sc, err = reduceSub(c.graph, v, ranks, req.Relays, root, i)
+			}
+		case strategy.AlltoAll:
+			sc, err = alltoallSub(c.graph, ranks, i)
+		default:
+			return nil, fmt.Errorf("synth: unsupported primitive %v", req.Primitive)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sc.ID = i
+		sc.Bytes = parts[i]
+		sc.ChunkBytes = clampChunk(chunk, parts[i])
+		s.SubCollectives = append(s.SubCollectives, *sc)
+	}
+	return s, nil
+}
+
+// equalParts splits total into m float32-aligned partitions.
+func equalParts(total int64, m int) []int64 {
+	parts := make([]int64, m)
+	base := total / int64(m) / 4 * 4
+	var used int64
+	for i := 0; i < m; i++ {
+		parts[i] = base
+		used += base
+	}
+	parts[m-1] += total - used
+	return parts
+}
+
+// partsOf extracts the partition sizes of a strategy.
+func partsOf(s *strategy.Strategy) []int64 {
+	parts := make([]int64, len(s.SubCollectives))
+	for i := range s.SubCollectives {
+		parts[i] = s.SubCollectives[i].Bytes
+	}
+	return parts
+}
+
+// rebalance reallocates bytes proportionally to each sub-collective's
+// achieved throughput, keeping float32 alignment and the exact total.
+func rebalance(parts []int64, ev *Eval, total int64) []int64 {
+	m := len(parts)
+	if m != len(ev.Subs) {
+		return parts
+	}
+	thr := make([]float64, m)
+	var sum float64
+	for i, se := range ev.Subs {
+		t := se.Time.Seconds()
+		if t <= 0 {
+			return parts
+		}
+		thr[i] = float64(parts[i]) / t
+		sum += thr[i]
+	}
+	if sum <= 0 {
+		return parts
+	}
+	out := make([]int64, m)
+	var used int64
+	for i := 0; i < m; i++ {
+		share := int64(float64(total)*thr[i]/sum) / 4 * 4
+		if share < 4 {
+			share = 4
+		}
+		out[i] = share
+		used += share
+	}
+	// Give the remainder (possibly negative) to the fastest sub.
+	fastest := 0
+	for i := 1; i < m; i++ {
+		if thr[i] > thr[fastest] {
+			fastest = i
+		}
+	}
+	out[fastest] += total - used
+	if out[fastest] < 4 {
+		return parts // degenerate; keep previous partitioning
+	}
+	return out
+}
+
+func clampChunk(chunk, part int64) int64 {
+	if chunk > part {
+		chunk = part
+	}
+	if chunk < 4 {
+		chunk = 4
+	}
+	return chunk / 4 * 4
+}

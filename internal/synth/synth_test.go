@@ -1,0 +1,388 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+func costsFor(t *testing.T, c *topology.Cluster) *Costs {
+	t.Helper()
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCosts(g, nil)
+}
+
+func testbedCosts(t *testing.T) *Costs {
+	t.Helper()
+	c, err := cluster.Testbed(topology.TransportRDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return costsFor(t, c)
+}
+
+const MB = 1 << 20
+
+func TestSynthesizeAllPrimitivesValid(t *testing.T) {
+	costs := testbedCosts(t)
+	for _, p := range []strategy.Primitive{
+		strategy.Reduce, strategy.Broadcast, strategy.AllReduce, strategy.AlltoAll,
+	} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			res, err := Synthesize(costs, Request{Primitive: p, Bytes: 64 * MB, Root: rootFor(p)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Strategy.Validate(costs.Graph()); err != nil {
+				t.Fatalf("synthesised invalid strategy: %v", err)
+			}
+			if res.Eval.Time <= 0 {
+				t.Fatal("non-positive predicted time")
+			}
+			if got := len(res.Strategy.SubCollectives); got < 1 || got > DefaultM {
+				t.Errorf("sub-collectives = %d, want 1..%d (M is a cap)", got, DefaultM)
+			}
+			if res.SolveTime <= 0 {
+				t.Error("no solve time accounted")
+			}
+		})
+	}
+}
+
+func rootFor(p strategy.Primitive) int {
+	if p == strategy.AllReduce || p == strategy.AlltoAll {
+		return -1
+	}
+	return 0
+}
+
+func TestEvaluateMatchesHandComputation(t *testing.T) {
+	// 2 A100 GPUs, one NVLink edge: α = 2 µs, 150 GB/s.
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := costsFor(t, c)
+	g := costs.Graph()
+	a, _ := g.GPUByRank(1)
+	b, _ := g.GPUByRank(0)
+	s := &strategy.Strategy{
+		Primitive:  strategy.Reduce,
+		TotalBytes: 64 * MB,
+		SubCollectives: []strategy.SubCollective{{
+			ID: 0, Bytes: 64 * MB, ChunkBytes: 4 * MB, Root: 0,
+			Flows: []strategy.Flow{{ID: 0, SrcRank: 1, DstRank: 0, Path: []topology.NodeID{a, b}}},
+		}},
+	}
+	ev, err := Evaluate(costs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per chunk: α (2 µs) + launch (4 µs) + transfer at 150 GB/s; the
+	// aggregation kernel (launch + 2·C at 600 GB/s) is an extra pipeline
+	// stage that charges the first chunk's latency once.
+	chunkSec := float64(4*MB) / 150e9
+	tChunk := 2*time.Microsecond + 4*time.Microsecond + time.Duration(chunkSec*float64(time.Second))
+	kernelSec := float64(2*4*MB) / 600e9
+	aggKernel := 4*time.Microsecond + time.Duration(kernelSec*float64(time.Second))
+	want := tChunk + aggKernel + 16*tChunk // h_dst + ceil(S/C)·bottleneck
+	diff := ev.Time - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Microsecond {
+		t.Fatalf("Evaluate = %v, hand computation = %v", ev.Time, want)
+	}
+	if ev.Subs[0].Chunks != 16 {
+		t.Errorf("chunks = %d, want 16", ev.Subs[0].Chunks)
+	}
+}
+
+func TestChunkSizeTradeoff(t *testing.T) {
+	// On a high-latency TCP link, tiny chunks pay α per chunk and huge
+	// chunks lose pipelining; the middle of the grid must win.
+	c, err := cluster.Homogeneous(topology.TransportTCP, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := costsFor(t, c)
+	timeFor := func(chunk int64) time.Duration {
+		res, err := Synthesize(costs, Request{
+			Primitive: strategy.Reduce, Bytes: 64 * MB, Root: 0, M: 1,
+			ChunkGrid: []int64{chunk},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Eval.Time
+	}
+	tiny := timeFor(16 << 10)
+	mid := timeFor(2 * MB)
+	huge := timeFor(64 * MB)
+	if mid >= tiny {
+		t.Errorf("2MB chunks (%v) not better than 16KB (%v)", mid, tiny)
+	}
+	if mid >= huge {
+		t.Errorf("2MB chunks (%v) not better than one 64MB chunk (%v)", mid, huge)
+	}
+}
+
+func TestSearchedBeatsForcedVariants(t *testing.T) {
+	costs := testbedCosts(t)
+	best, err := Synthesize(costs, Request{Primitive: strategy.Reduce, Bytes: 256 * MB, Root: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"hier-star", "flat-star", "server-chain", "server-tree"} {
+		res, err := Synthesize(costs, Request{
+			Primitive: strategy.Reduce, Bytes: 256 * MB, Root: 0, ForceVariant: v,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Eval.Time > res.Eval.Time {
+			t.Errorf("full search (%v) worse than forced %s (%v)", best.Eval.Time, v, res.Eval.Time)
+		}
+	}
+}
+
+func TestParallelSubCollectivesHelpOnTCP(t *testing.T) {
+	// TCP caps one stream at ~20 Gbps; M = 4 sub-collectives multiply
+	// throughput (the mechanism behind Fig. 19a).
+	c, err := cluster.Homogeneous(topology.TransportTCP, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := costsFor(t, c)
+	timeForM := func(m int) time.Duration {
+		res, err := Synthesize(costs, Request{Primitive: strategy.Reduce, Bytes: 256 * MB, Root: 0, M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Eval.Time
+	}
+	t1, t4 := timeForM(1), timeForM(4)
+	if float64(t4) > 0.5*float64(t1) {
+		t.Errorf("M=4 (%v) should be ≥2× faster than M=1 (%v) on TCP", t4, t1)
+	}
+}
+
+func TestHeterogeneousAvoidsSlowBottleneck(t *testing.T) {
+	// With V100 servers on 50 Gbps NICs, a naive flat star into a V100
+	// root forces everything through the slow NIC; the search must do
+	// better than the worst variant.
+	c, err := cluster.Heterogeneous(topology.TransportRDMA, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := costsFor(t, c)
+	best, err := Synthesize(costs, Request{Primitive: strategy.AllReduce, Bytes: 256 * MB, Root: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Synthesize(costs, Request{
+		Primitive: strategy.AllReduce, Bytes: 256 * MB, Root: 15, // V100 root
+		ForceVariant: "flat-star", M: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Eval.Time >= flat.Eval.Time {
+		t.Errorf("searched strategy (%v) not better than naive flat star into V100 (%v)",
+			best.Eval.Time, flat.Eval.Time)
+	}
+}
+
+func TestRelaysBecomeLeaders(t *testing.T) {
+	costs := testbedCosts(t)
+	// Ranks 4..7 (server 1) are not ready; rank 4 offered as relay.
+	ready := []int{0, 1, 2, 3, 8, 9, 10, 11}
+	res, err := Synthesize(costs, Request{
+		Primitive: strategy.Reduce, Bytes: 64 * MB, Root: 0,
+		Ranks: ready, Relays: []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Strategy.Validate(costs.Graph()); err != nil {
+		t.Fatalf("relay strategy invalid: %v", err)
+	}
+	// Relay rank 4 is on a server with no ready workers, so it cannot
+	// aggregate anything useful there; but the strategy must still be
+	// buildable and only route ready workers' data.
+	for _, sc := range res.Strategy.SubCollectives {
+		for _, f := range sc.Flows {
+			if f.SrcRank == 4 && f.DstRank != 0 {
+				t.Errorf("unexpected relay flow %+v", f)
+			}
+		}
+	}
+}
+
+func TestRelayOnReadyServerAggregates(t *testing.T) {
+	costs := testbedCosts(t)
+	// Server 1 has ready ranks 5,6,7 and relay rank 4: the relay should
+	// serve as the server's aggregation leader in some sub-collective.
+	ready := []int{0, 1, 2, 3, 5, 6, 7}
+	res, err := Synthesize(costs, Request{
+		Primitive: strategy.Reduce, Bytes: 64 * MB, Root: 0,
+		Ranks: ready, Relays: []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usedRelay := false
+	for _, sc := range res.Strategy.SubCollectives {
+		for _, f := range sc.Flows {
+			if f.DstRank == 4 || f.SrcRank == 4 {
+				usedRelay = true
+			}
+		}
+	}
+	if res.Variant != "flat-star" && !usedRelay {
+		t.Errorf("hierarchical strategy (%s) ignored the relay", res.Variant)
+	}
+}
+
+func TestAlltoAllLoadsSum(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := costsFor(t, c)
+	res, err := Synthesize(costs, Request{Primitive: strategy.AlltoAll, Bytes: 16 * MB, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := res.Strategy.SubCollectives[0]
+	if got, want := len(sc.Flows), 12; got != want { // 4 ranks × 3 peers
+		t.Fatalf("flows = %d, want %d", got, want)
+	}
+	loads := make(map[topology.EdgeID]int)
+	if err := accumulateLoads(costs.Graph(), &sc, false, loads); err != nil {
+		t.Fatal(err)
+	}
+	// Each server's 2 GPUs send to 2 remote GPUs: every port edge
+	// carries 4 cross-server flows.
+	for eid, load := range loads {
+		if costs.Graph().Edge(eid).Type.Network() && load != 4 {
+			t.Errorf("port edge %v load = %d, want 4", eid, load)
+		}
+	}
+}
+
+func TestReduceAggregationCollapsesLoad(t *testing.T) {
+	costs := testbedCosts(t)
+	res, err := Synthesize(costs, Request{
+		Primitive: strategy.Reduce, Bytes: 64 * MB, Root: 0,
+		ForceVariant: "hier-star", M: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := res.Strategy.SubCollectives[0]
+	loads := make(map[topology.EdgeID]int)
+	if err := accumulateLoads(costs.Graph(), &sc, false, loads); err != nil {
+		t.Fatal(err)
+	}
+	// Leaders aggregate 4 local tensors into one flow, so every server
+	// UPLINK carries load exactly 1; the root's ingress port carries one
+	// flow per remote server.
+	g := costs.Graph()
+	sw, ok := g.Switch()
+	if !ok {
+		t.Fatal("no switch")
+	}
+	for eid, load := range loads {
+		e := g.Edge(eid)
+		if !e.Type.Network() {
+			continue
+		}
+		if e.To == sw && load != 1 {
+			t.Errorf("uplink %v load = %d, want 1 after aggregation", eid, load)
+		}
+		if e.From == sw && load != 5 {
+			t.Errorf("root ingress %v load = %d, want 5 (one flow per remote server)", eid, load)
+		}
+	}
+}
+
+func TestPartitionsAlignedAndSumToTotal(t *testing.T) {
+	costs := testbedCosts(t)
+	total := int64(256*MB) + 4 // deliberately awkward
+	res, err := Synthesize(costs, Request{Primitive: strategy.AllReduce, Bytes: total, Root: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, sc := range res.Strategy.SubCollectives {
+		sum += sc.Bytes
+		if sc.Bytes%4 != 0 && sc.Bytes != total-sum+sc.Bytes {
+			t.Errorf("partition %d not float32-aligned", sc.Bytes)
+		}
+	}
+	if sum != total {
+		t.Fatalf("partitions sum %d, want %d", sum, total)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	costs := testbedCosts(t)
+	if _, err := Synthesize(costs, Request{Primitive: strategy.Reduce, Bytes: MB, Ranks: []int{0}}); err == nil {
+		t.Error("single rank accepted")
+	}
+	if _, err := Synthesize(costs, Request{Primitive: strategy.Reduce, Bytes: 0, Root: 0}); err == nil {
+		t.Error("zero bytes accepted")
+	}
+	if _, err := Synthesize(costs, Request{Primitive: strategy.Reduce, Bytes: MB, Root: 0, ForceVariant: "nope"}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if _, err := Synthesize(costs, Request{Primitive: strategy.Reduce, Bytes: MB, Ranks: []int{0, 99}}); err == nil {
+		t.Error("unknown rank accepted")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	costs := testbedCosts(t)
+	req := Request{Primitive: strategy.AllReduce, Bytes: 128 * MB, Root: -1}
+	a, err := Synthesize(costs, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(costs, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Eval.Time != b.Eval.Time || a.Variant != b.Variant {
+		t.Fatalf("non-deterministic synthesis: %v/%s vs %v/%s",
+			a.Eval.Time, a.Variant, b.Eval.Time, b.Variant)
+	}
+	ax, _ := a.Strategy.MarshalXMLBytes()
+	bx, _ := b.Strategy.MarshalXMLBytes()
+	if string(ax) != string(bx) {
+		t.Fatal("strategies differ across identical runs")
+	}
+}
+
+func TestFragmentedServerFeasible(t *testing.T) {
+	// No NVLink at all: flows must bounce via the NIC host path.
+	c, err := topology.NewCluster(topology.TransportRDMA, cluster.FragmentedA100Server(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := costsFor(t, c)
+	res, err := Synthesize(costs, Request{Primitive: strategy.Reduce, Bytes: 16 * MB, Root: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Strategy.Validate(costs.Graph()); err != nil {
+		t.Fatalf("fragmented strategy invalid: %v", err)
+	}
+}

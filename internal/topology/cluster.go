@@ -1,0 +1,260 @@
+package topology
+
+import (
+	"fmt"
+)
+
+// ServerSpec describes one physical server (cloud instance): its GPUs, NICs
+// and internal layout. The layout fields (NUMA and PCIe-switch placement)
+// are the ground truth the Detector must rediscover through probing.
+type ServerSpec struct {
+	GPUs []GPUModel
+	NICs []NICSpec
+
+	PCIe PCIeGen
+
+	// NVLinkPairs lists GPU index pairs directly connected by NVLink.
+	// Nil means "full mesh among NVLink-capable GPUs". An explicit empty
+	// (non-nil, zero-length) slice means no NVLink at all — the
+	// resource-fragmentation case where NCCL falls back to PCIe rings
+	// (paper Sec. II-A).
+	NVLinkPairs [][2]int
+
+	// NUMACount is the number of NUMA nodes (default 2).
+	NUMACount int
+	// GPUNuma[i] is the NUMA node of GPU i (default: first half on 0,
+	// second half on 1).
+	GPUNuma []int
+	// NICNuma[i] is the NUMA node of NIC i (default: all on node 0).
+	NICNuma []int
+	// GPUSwitch[i] is the PCIe switch id of GPU i (default: one switch
+	// per NUMA node, GPUs follow their NUMA node).
+	GPUSwitch []int
+	// NICSwitch[i] is the PCIe switch id of NIC i (default: switch of
+	// the NIC's NUMA node).
+	NICSwitch []int
+}
+
+// normalize fills defaulted layout fields and validates sizes.
+func (s *ServerSpec) normalize() error {
+	if len(s.GPUs) == 0 {
+		return fmt.Errorf("server has no GPUs")
+	}
+	if len(s.NICs) == 0 {
+		return fmt.Errorf("server has no NICs")
+	}
+	if s.PCIe == 0 {
+		s.PCIe = PCIe4
+	}
+	if s.NUMACount <= 0 {
+		s.NUMACount = 2
+	}
+	if s.GPUNuma == nil {
+		s.GPUNuma = make([]int, len(s.GPUs))
+		for i := range s.GPUNuma {
+			s.GPUNuma[i] = i * s.NUMACount / len(s.GPUs)
+		}
+	}
+	if len(s.GPUNuma) != len(s.GPUs) {
+		return fmt.Errorf("GPUNuma has %d entries for %d GPUs", len(s.GPUNuma), len(s.GPUs))
+	}
+	if s.NICNuma == nil {
+		s.NICNuma = make([]int, len(s.NICs))
+	}
+	if len(s.NICNuma) != len(s.NICs) {
+		return fmt.Errorf("NICNuma has %d entries for %d NICs", len(s.NICNuma), len(s.NICs))
+	}
+	if s.GPUSwitch == nil {
+		s.GPUSwitch = make([]int, len(s.GPUs))
+		copy(s.GPUSwitch, s.GPUNuma)
+	}
+	if len(s.GPUSwitch) != len(s.GPUs) {
+		return fmt.Errorf("GPUSwitch has %d entries for %d GPUs", len(s.GPUSwitch), len(s.GPUs))
+	}
+	if s.NICSwitch == nil {
+		s.NICSwitch = make([]int, len(s.NICs))
+		copy(s.NICSwitch, s.NICNuma)
+	}
+	if len(s.NICSwitch) != len(s.NICs) {
+		return fmt.Errorf("NICSwitch has %d entries for %d NICs", len(s.NICSwitch), len(s.NICs))
+	}
+	for i, n := range s.GPUNuma {
+		if n < 0 || n >= s.NUMACount {
+			return fmt.Errorf("GPU %d on invalid NUMA node %d", i, n)
+		}
+	}
+	for i, n := range s.NICNuma {
+		if n < 0 || n >= s.NUMACount {
+			return fmt.Errorf("NIC %d on invalid NUMA node %d", i, n)
+		}
+	}
+	return nil
+}
+
+// nvlinkPairs resolves the NVLink pair list (nil → full mesh of capable
+// GPUs).
+func (s *ServerSpec) nvlinkPairs() [][2]int {
+	if s.NVLinkPairs != nil {
+		return s.NVLinkPairs
+	}
+	var pairs [][2]int
+	for i := 0; i < len(s.GPUs); i++ {
+		if s.GPUs[i].NVLinkBps() == 0 {
+			continue
+		}
+		for j := i + 1; j < len(s.GPUs); j++ {
+			if s.GPUs[j].NVLinkBps() == 0 {
+				continue
+			}
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return pairs
+}
+
+// Cluster is the physical description of a training job's resources: the
+// set of servers and the inter-server transport. It is the ground truth
+// behind detection probes and the source of the logical graph.
+type Cluster struct {
+	Servers   []ServerSpec
+	Transport Transport
+}
+
+// NewCluster validates and normalizes the server specs.
+func NewCluster(transport Transport, servers ...ServerSpec) (*Cluster, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("topology: cluster needs at least one server")
+	}
+	if transport != TransportRDMA && transport != TransportTCP {
+		return nil, fmt.Errorf("topology: unknown transport %v", transport)
+	}
+	c := &Cluster{Transport: transport, Servers: make([]ServerSpec, len(servers))}
+	copy(c.Servers, servers)
+	for i := range c.Servers {
+		if err := c.Servers[i].normalize(); err != nil {
+			return nil, fmt.Errorf("topology: server %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// NumGPUs returns the total GPU (worker) count.
+func (c *Cluster) NumGPUs() int {
+	n := 0
+	for _, s := range c.Servers {
+		n += len(s.GPUs)
+	}
+	return n
+}
+
+// RankLocation returns the server and local GPU index of a global rank
+// (ranks are assigned server-major: server 0's GPUs first).
+func (c *Cluster) RankLocation(rank int) (server, gpu int, err error) {
+	r := rank
+	for si, s := range c.Servers {
+		if r < len(s.GPUs) {
+			return si, r, nil
+		}
+		r -= len(s.GPUs)
+	}
+	return 0, 0, fmt.Errorf("topology: rank %d out of range (cluster has %d GPUs)", rank, c.NumGPUs())
+}
+
+// ModelOfRank returns the GPU model backing a global rank.
+func (c *Cluster) ModelOfRank(rank int) (GPUModel, error) {
+	s, g, err := c.RankLocation(rank)
+	if err != nil {
+		return 0, err
+	}
+	return c.Servers[s].GPUs[g], nil
+}
+
+// LogicalGraph builds the logical communication graph of the cluster
+// (Fig. 5a): one GPU node per worker, one NIC node per NIC; NVLink edges
+// between paired local GPUs, PCIe edges between every GPU and every local
+// NIC, and NIC port edges through a network-core switch connecting all
+// servers (instance-to-instance connectivity is a full mesh through the
+// core, with per-port capacity). Edge properties are the nominal hardware
+// values; the profiler refines them later.
+func (c *Cluster) LogicalGraph() (*Graph, error) {
+	g := NewGraph()
+	rank := 0
+	gpuIDs := make([][]NodeID, len(c.Servers))
+	nicIDs := make([][]NodeID, len(c.Servers))
+	for si, srv := range c.Servers {
+		for gi := range srv.GPUs {
+			id := g.AddNode(Node{Kind: KindGPU, Server: si, Index: gi, Rank: rank})
+			gpuIDs[si] = append(gpuIDs[si], id)
+			rank++
+		}
+		for ni := range srv.NICs {
+			id := g.AddNode(Node{Kind: KindNIC, Server: si, Index: ni, Rank: -1})
+			nicIDs[si] = append(nicIDs[si], id)
+		}
+	}
+
+	for si, srv := range c.Servers {
+		for _, pair := range srv.nvlinkPairs() {
+			a, b := pair[0], pair[1]
+			if a < 0 || b < 0 || a >= len(srv.GPUs) || b >= len(srv.GPUs) || a == b {
+				return nil, fmt.Errorf("topology: server %d: invalid NVLink pair %v", si, pair)
+			}
+			bw := srv.GPUs[a].NVLinkBps()
+			if other := srv.GPUs[b].NVLinkBps(); other < bw {
+				bw = other
+			}
+			if bw == 0 {
+				return nil, fmt.Errorf("topology: server %d: NVLink pair %v between non-NVLink GPUs", si, pair)
+			}
+			g.AddBidirectional(Edge{
+				From: gpuIDs[si][a], To: gpuIDs[si][b],
+				Type: LinkNVLink, Alpha: NVLinkAlpha, BandwidthBps: bw,
+			})
+		}
+		for _, gid := range gpuIDs[si] {
+			for _, nid := range nicIDs[si] {
+				g.AddBidirectional(Edge{
+					From: gid, To: nid,
+					Type: LinkPCIe, Alpha: PCIeAlpha, BandwidthBps: srv.PCIe.Bps(),
+				})
+			}
+		}
+	}
+
+	// Network core: each NIC gets an uplink (egress port) and downlink
+	// (ingress port) to one switch node, so a server's aggregate network
+	// bandwidth is bounded by its NIC ports while all instance pairs
+	// remain directly connected. The per-hop latency is half the
+	// end-to-end link latency so NIC-to-NIC cost matches the physical
+	// connection.
+	if len(c.Servers) > 1 {
+		linkType := c.Transport.LinkType()
+		alpha := RDMAAlpha / 2
+		perStream := 0.0
+		if c.Transport == TransportTCP {
+			alpha = TCPAlpha / 2
+			perStream = TCPPerStreamBps
+		}
+		sw := g.AddNode(Node{Kind: KindSwitch, Server: -1, Rank: -1})
+		for si := range c.Servers {
+			for _, nid := range nicIDs[si] {
+				bw := c.Servers[si].NICs[g.Node(nid).Index].BandwidthBps
+				g.AddEdge(Edge{
+					From: nid, To: sw,
+					Type: linkType, Alpha: alpha,
+					BandwidthBps: bw, PerStreamBps: perStream,
+				})
+				g.AddEdge(Edge{
+					From: sw, To: nid,
+					Type: linkType, Alpha: alpha,
+					BandwidthBps: bw, PerStreamBps: perStream,
+				})
+			}
+		}
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: built invalid graph: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the logical graph in Graphviz DOT form: one subgraph
+// cluster per server, GPUs as boxes, NICs as hexagons, the core switch as a
+// diamond, and one undirected-looking edge per bidirectional link pair
+// labelled with its type and bandwidth. Render with
+//
+//	dot -Tsvg topo.dot -o topo.svg
+func (g *Graph) WriteDOT(w io.Writer) error {
+	p := &errWriter{w: w}
+	p.printf("digraph topology {\n")
+	p.printf("  rankdir=LR;\n")
+	p.printf("  node [fontname=\"Helvetica\", fontsize=10];\n")
+	p.printf("  edge [fontname=\"Helvetica\", fontsize=8];\n")
+
+	byServer := make(map[int][]Node)
+	var switches []Node
+	for _, n := range g.nodes {
+		if n.Kind == KindSwitch {
+			switches = append(switches, n)
+			continue
+		}
+		byServer[n.Server] = append(byServer[n.Server], n)
+	}
+	servers := make([]int, 0, len(byServer))
+	for s := range byServer {
+		servers = append(servers, s)
+	}
+	sort.Ints(servers)
+	for _, s := range servers {
+		p.printf("  subgraph cluster_server%d {\n", s)
+		p.printf("    label=\"server %d\"; style=rounded;\n", s)
+		for _, n := range byServer[s] {
+			switch n.Kind {
+			case KindGPU:
+				p.printf("    n%d [label=\"gpu%d\\nrank %d\", shape=box, style=filled, fillcolor=\"#c6dbef\"];\n",
+					n.ID, n.Index, n.Rank)
+			default:
+				p.printf("    n%d [label=\"nic%d\", shape=hexagon, style=filled, fillcolor=\"#fdd0a2\"];\n",
+					n.ID, n.Index)
+			}
+		}
+		p.printf("  }\n")
+	}
+	for _, n := range switches {
+		p.printf("  n%d [label=\"core switch\", shape=diamond, style=filled, fillcolor=\"#e5e5e5\"];\n", n.ID)
+	}
+
+	// Collapse each bidirectional pair to one rendered edge.
+	seen := make(map[[2]NodeID]bool)
+	for _, e := range g.edges {
+		rev := [2]NodeID{e.To, e.From}
+		if seen[rev] {
+			continue
+		}
+		seen[[2]NodeID{e.From, e.To}] = true
+		_, hasRev := g.EdgeBetween(e.To, e.From)
+		dirAttr := ", dir=both"
+		if !hasRev {
+			dirAttr = ""
+		}
+		p.printf("  n%d -> n%d [label=\"%v\\n%.0f GB/s\"%s%s];\n",
+			e.From, e.To, e.Type, e.BandwidthBps/1e9, dirAttr, edgeStyle(e.Type))
+	}
+	p.printf("}\n")
+	return p.err
+}
+
+func edgeStyle(t LinkType) string {
+	switch t {
+	case LinkNVLink:
+		return ", color=\"#2171b5\", penwidth=2"
+	case LinkRDMA:
+		return ", color=\"#238b45\""
+	case LinkTCP:
+		return ", color=\"#cb181d\", style=dashed"
+	default:
+		return ""
+	}
+}
+
+// errWriter folds write errors so the printers stay uncluttered.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *errWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}

@@ -1,0 +1,100 @@
+package topology_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/topology"
+)
+
+func TestWriteDOTStructure(t *testing.T) {
+	c, err := topology.NewCluster(topology.TransportRDMA,
+		cluster.A100Server(2), cluster.V100Server(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+
+	if !strings.HasPrefix(dot, "digraph topology {") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("output is not a closed digraph")
+	}
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Fatal("unbalanced braces")
+	}
+	for _, want := range []string{
+		"subgraph cluster_server0", "subgraph cluster_server1",
+		"core switch", "rank 0", "rank 3",
+		"nvlink", "rdma",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// One node statement per graph node.
+	nodes := strings.Count(dot, "  n") + strings.Count(dot, "    n")
+	if nodes < g.NumNodes() {
+		t.Errorf("%d node/edge statements for %d nodes", nodes, g.NumNodes())
+	}
+	// Bidirectional pairs collapse: rendered edges = pairs/2.
+	if got, want := strings.Count(dot, "->"), g.NumEdges()/2; got != want {
+		t.Errorf("%d rendered edges, want %d (one per bidirectional pair)", got, want)
+	}
+	if !strings.Contains(dot, "dir=both") {
+		t.Error("bidirectional pairs not marked dir=both")
+	}
+}
+
+func TestWriteDOTSingleServerNoSwitch(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "core switch") {
+		t.Error("single-server graph rendered a core switch")
+	}
+}
+
+// failAfter errors on the nth write, exercising error propagation.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errWriteFailed
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errWriteFailed = errors.New("write failed")
+
+func TestWriteDOTPropagatesWriteErrors(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteDOT(&failAfter{n: 3}); err == nil {
+		t.Error("write error swallowed")
+	}
+}

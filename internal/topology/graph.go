@@ -1,0 +1,294 @@
+package topology
+
+import "fmt"
+
+// Graph is the logical communication graph: GPU and NIC nodes connected by
+// directed edges. It is immutable after construction; run-time link state
+// (queues, live bandwidth) lives in the fabric, and profiled α–β values live
+// in profile.Report.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+	out   [][]EdgeID
+	in    [][]EdgeID
+	// byPair maps (from,to) to the edge id; at most one edge per ordered
+	// pair (parallel physical links are modelled as one fatter edge).
+	byPair map[[2]NodeID]EdgeID
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{byPair: make(map[[2]NodeID]EdgeID)}
+}
+
+// AddNode appends a node, assigning and returning its NodeID. The caller's
+// Server/Index/Rank/Kind fields are preserved.
+func (g *Graph) AddNode(n Node) NodeID {
+	n.ID = NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, n)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return n.ID
+}
+
+// AddEdge appends a directed edge, assigning and returning its EdgeID.
+// Adding a second edge between the same ordered pair panics: the logical
+// graph is a simple directed graph by construction.
+func (g *Graph) AddEdge(e Edge) EdgeID {
+	if !g.valid(e.From) || !g.valid(e.To) {
+		panic(fmt.Sprintf("topology: edge %v->%v references unknown node", e.From, e.To))
+	}
+	if e.From == e.To {
+		panic(fmt.Sprintf("topology: self-loop on node %v", e.From))
+	}
+	key := [2]NodeID{e.From, e.To}
+	if _, dup := g.byPair[key]; dup {
+		panic(fmt.Sprintf("topology: duplicate edge %v->%v", e.From, e.To))
+	}
+	e.ID = EdgeID(len(g.edges))
+	g.edges = append(g.edges, e)
+	g.out[e.From] = append(g.out[e.From], e.ID)
+	g.in[e.To] = append(g.in[e.To], e.ID)
+	g.byPair[key] = e.ID
+	return e.ID
+}
+
+// AddBidirectional adds the edge and its reverse with identical properties,
+// returning both ids (forward first).
+func (g *Graph) AddBidirectional(e Edge) (EdgeID, EdgeID) {
+	fwd := g.AddEdge(e)
+	rev := e
+	rev.From, rev.To = e.To, e.From
+	return fwd, g.AddEdge(rev)
+}
+
+func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// SetEdgeProps overwrites the α–β properties of an edge (used by the
+// profiler to install measured values). A zero PerStreamBps in props leaves
+// the existing per-stream cap untouched.
+func (g *Graph) SetEdgeProps(id EdgeID, props Edge) {
+	g.edges[id].Alpha = props.Alpha
+	g.edges[id].BandwidthBps = props.BandwidthBps
+	if props.PerStreamBps != 0 {
+		g.edges[id].PerStreamBps = props.PerStreamBps
+	}
+}
+
+// Out returns the ids of edges leaving n. The returned slice must not be
+// modified.
+func (g *Graph) Out(n NodeID) []EdgeID { return g.out[n] }
+
+// In returns the ids of edges entering n. The returned slice must not be
+// modified.
+func (g *Graph) In(n NodeID) []EdgeID { return g.in[n] }
+
+// EdgeBetween returns the edge id from one node to another, if present.
+func (g *Graph) EdgeBetween(from, to NodeID) (EdgeID, bool) {
+	id, ok := g.byPair[[2]NodeID{from, to}]
+	return id, ok
+}
+
+// Nodes returns a copy of all nodes.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Edges returns a copy of all edges.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// GPUs returns the ids of all GPU nodes in rank order.
+func (g *Graph) GPUs() []NodeID {
+	var ids []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == KindGPU {
+			ids = append(ids, n.ID)
+		}
+	}
+	// Nodes are added in rank order by the builder, but sort defensively
+	// by rank so callers can index the result by rank.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && g.nodes[ids[j]].Rank < g.nodes[ids[j-1]].Rank; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// NICs returns the ids of all NIC nodes.
+func (g *Graph) NICs() []NodeID {
+	var ids []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == KindNIC {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// GPUByRank returns the node id of the GPU with the given global rank.
+func (g *Graph) GPUByRank(rank int) (NodeID, bool) {
+	for _, n := range g.nodes {
+		if n.Kind == KindGPU && n.Rank == rank {
+			return n.ID, true
+		}
+	}
+	return 0, false
+}
+
+// Switch returns the core switch node id, if the graph has one.
+func (g *Graph) Switch() (NodeID, bool) {
+	for _, n := range g.nodes {
+		if n.Kind == KindSwitch {
+			return n.ID, true
+		}
+	}
+	return 0, false
+}
+
+// NICOfServer returns the id of the idx-th NIC on a server.
+func (g *Graph) NICOfServer(server, idx int) (NodeID, bool) {
+	for _, n := range g.nodes {
+		if n.Kind == KindNIC && n.Server == server && n.Index == idx {
+			return n.ID, true
+		}
+	}
+	return 0, false
+}
+
+// SameServer reports whether two nodes live on the same server.
+func (g *Graph) SameServer(a, b NodeID) bool {
+	return g.nodes[a].Server == g.nodes[b].Server
+}
+
+// ShortestPath returns the node sequence of a minimum-hop path from src to
+// dst (inclusive), or nil if unreachable. Ties are broken deterministically
+// by edge insertion order.
+func (g *Graph) ShortestPath(src, dst NodeID) []NodeID {
+	if src == dst {
+		return []NodeID{src}
+	}
+	prev := make([]NodeID, len(g.nodes))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.out[cur] {
+			next := g.edges[eid].To
+			if prev[next] != -1 {
+				continue
+			}
+			prev[next] = cur
+			if next == dst {
+				return g.tracePath(prev, src, dst)
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+func (g *Graph) tracePath(prev []NodeID, src, dst NodeID) []NodeID {
+	var rev []NodeID
+	for cur := dst; ; cur = prev[cur] {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+	}
+	path := make([]NodeID, len(rev))
+	for i, n := range rev {
+		path[len(rev)-1-i] = n
+	}
+	return path
+}
+
+// Validate checks structural invariants: GPU ranks are unique and contiguous
+// from 0, every server has at least one NIC if the graph spans multiple
+// servers, and edge endpoints respect physical possibility (network edges
+// connect NICs on different servers; NVLink edges connect GPUs on the same
+// server; PCIe edges connect a GPU and a NIC on the same server).
+func (g *Graph) Validate() error {
+	ranks := make(map[int]bool)
+	servers := make(map[int]bool)
+	nicServers := make(map[int]bool)
+	for _, n := range g.nodes {
+		if n.Kind != KindSwitch {
+			servers[n.Server] = true
+		}
+		switch n.Kind {
+		case KindGPU:
+			if ranks[n.Rank] {
+				return fmt.Errorf("duplicate GPU rank %d", n.Rank)
+			}
+			ranks[n.Rank] = true
+		case KindNIC:
+			nicServers[n.Server] = true
+		}
+	}
+	for r := 0; r < len(ranks); r++ {
+		if !ranks[r] {
+			return fmt.Errorf("GPU ranks not contiguous: missing rank %d of %d", r, len(ranks))
+		}
+	}
+	if len(servers) > 1 {
+		for s := range servers {
+			if !nicServers[s] {
+				return fmt.Errorf("server %d has no NIC in a multi-server graph", s)
+			}
+		}
+	}
+	for _, e := range g.edges {
+		from, to := g.nodes[e.From], g.nodes[e.To]
+		switch e.Type {
+		case LinkNVLink:
+			if from.Kind != KindGPU || to.Kind != KindGPU || from.Server != to.Server {
+				return fmt.Errorf("edge %d: NVLink must connect GPUs on one server (%v -> %v)", e.ID, from, to)
+			}
+		case LinkPCIe:
+			if from.Server != to.Server {
+				return fmt.Errorf("edge %d: PCIe edge crosses servers (%v -> %v)", e.ID, from, to)
+			}
+			if from.Kind == to.Kind {
+				return fmt.Errorf("edge %d: PCIe edge must connect a GPU and a NIC (%v -> %v)", e.ID, from, to)
+			}
+		case LinkRDMA, LinkTCP:
+			nicSwitch := (from.Kind == KindNIC && to.Kind == KindSwitch) ||
+				(from.Kind == KindSwitch && to.Kind == KindNIC)
+			if !nicSwitch {
+				return fmt.Errorf("edge %d: network edge must connect a NIC and the core switch (%v -> %v)", e.ID, from, to)
+			}
+		default:
+			return fmt.Errorf("edge %d: unknown link type %v", e.ID, e.Type)
+		}
+		if e.BandwidthBps <= 0 {
+			return fmt.Errorf("edge %d: non-positive bandwidth %v", e.ID, e.BandwidthBps)
+		}
+		if e.Alpha < 0 {
+			return fmt.Errorf("edge %d: negative latency %v", e.ID, e.Alpha)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,501 @@
+package topology
+
+import (
+	"testing"
+	"time"
+)
+
+func twoServerCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(TransportRDMA,
+		ServerSpec{
+			GPUs: []GPUModel{GPUA100, GPUA100},
+			NICs: []NICSpec{{BandwidthBps: Gbps(100)}},
+		},
+		ServerSpec{
+			GPUs: []GPUModel{GPUV100, GPUV100},
+			NICs: []NICSpec{{BandwidthBps: Gbps(50)}},
+		},
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+func TestLogicalGraphStructure(t *testing.T) {
+	g, err := twoServerCluster(t).LogicalGraph()
+	if err != nil {
+		t.Fatalf("LogicalGraph: %v", err)
+	}
+	if got := len(g.GPUs()); got != 4 {
+		t.Errorf("GPU nodes = %d, want 4", got)
+	}
+	if got := len(g.NICs()); got != 2 {
+		t.Errorf("NIC nodes = %d, want 2", got)
+	}
+	// 2 NVLink pairs ×2 dirs + 4 GPU-NIC PCIe pairs ×2 dirs + 2 NICs ×
+	// (uplink+downlink)
+	if got := g.NumEdges(); got != 4+8+4 {
+		t.Errorf("edges = %d, want 16", got)
+	}
+	if _, ok := g.Switch(); !ok {
+		t.Error("multi-server graph lacks a core switch")
+	}
+}
+
+func TestRanksAreServerMajor(t *testing.T) {
+	g, err := twoServerCluster(t).LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 4; rank++ {
+		id, ok := g.GPUByRank(rank)
+		if !ok {
+			t.Fatalf("rank %d missing", rank)
+		}
+		n := g.Node(id)
+		wantServer, wantIdx := rank/2, rank%2
+		if n.Server != wantServer || n.Index != wantIdx {
+			t.Errorf("rank %d at server %d idx %d, want server %d idx %d",
+				rank, n.Server, n.Index, wantServer, wantIdx)
+		}
+	}
+}
+
+func TestNVLinkBandwidthIsMinOfPair(t *testing.T) {
+	c, err := NewCluster(TransportRDMA, ServerSpec{
+		GPUs: []GPUModel{GPUA100, GPUV100},
+		NICs: []NICSpec{{BandwidthBps: Gbps(100)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.GPUByRank(0)
+	b, _ := g.GPUByRank(1)
+	eid, ok := g.EdgeBetween(a, b)
+	if !ok {
+		t.Fatal("no NVLink edge between local GPUs")
+	}
+	if got, want := g.Edge(eid).BandwidthBps, GPUV100.NVLinkBps(); got != want {
+		t.Errorf("mixed-pair NVLink bandwidth = %v, want min %v", got, want)
+	}
+}
+
+func TestNetworkPortEdgesMatchNICRate(t *testing.T) {
+	g, err := twoServerCluster(t).LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, ok := g.Switch()
+	if !ok {
+		t.Fatal("no core switch")
+	}
+	nic1, _ := g.NICOfServer(1, 0) // 50 Gbps server
+	up, ok := g.EdgeBetween(nic1, sw)
+	if !ok {
+		t.Fatal("uplink missing")
+	}
+	down, ok := g.EdgeBetween(sw, nic1)
+	if !ok {
+		t.Fatal("downlink missing")
+	}
+	for _, eid := range []EdgeID{up, down} {
+		if got, want := g.Edge(eid).BandwidthBps, Gbps(50); got != want {
+			t.Errorf("port bandwidth = %v, want NIC rate %v", got, want)
+		}
+	}
+}
+
+func TestTCPTransportSetsPerStreamCap(t *testing.T) {
+	c := twoServerCluster(t)
+	c.Transport = TransportTCP
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := g.Switch()
+	nic0, _ := g.NICOfServer(0, 0)
+	eid, _ := g.EdgeBetween(nic0, sw)
+	e := g.Edge(eid)
+	if e.Type != LinkTCP {
+		t.Errorf("link type = %v, want tcp", e.Type)
+	}
+	if e.PerStreamBps != TCPPerStreamBps {
+		t.Errorf("per-stream cap = %v, want %v", e.PerStreamBps, TCPPerStreamBps)
+	}
+	if e.Alpha != TCPAlpha/2 {
+		t.Errorf("per-hop alpha = %v, want %v", e.Alpha, TCPAlpha/2)
+	}
+}
+
+func TestFragmentedServerHasNoNVLink(t *testing.T) {
+	c, err := NewCluster(TransportRDMA, ServerSpec{
+		GPUs:        []GPUModel{GPUA100, GPUA100, GPUA100, GPUA100},
+		NICs:        []NICSpec{{BandwidthBps: Gbps(100)}},
+		NVLinkPairs: [][2]int{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if e.Type == LinkNVLink {
+			t.Fatal("fragmented server still has NVLink edges")
+		}
+	}
+}
+
+func TestShortestPathCrossServer(t *testing.T) {
+	g, err := twoServerCluster(t).LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.GPUByRank(0)
+	dst, _ := g.GPUByRank(3)
+	path := g.ShortestPath(src, dst)
+	if len(path) != 5 {
+		t.Fatalf("path = %v, want GPU→NIC→switch→NIC→GPU (5 nodes)", path)
+	}
+	kinds := []NodeKind{KindGPU, KindNIC, KindSwitch, KindNIC, KindGPU}
+	for i, id := range path {
+		if g.Node(id).Kind != kinds[i] {
+			t.Errorf("hop %d kind = %v, want %v", i, g.Node(id).Kind, kinds[i])
+		}
+	}
+}
+
+func TestShortestPathSameNode(t *testing.T) {
+	g, err := twoServerCluster(t).LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.GPUByRank(0)
+	if p := g.ShortestPath(src, src); len(p) != 1 || p[0] != src {
+		t.Errorf("self path = %v, want [%v]", p, src)
+	}
+}
+
+func TestValidateCatchesBadGraphs(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() *Graph
+	}{
+		{
+			name: "duplicate rank",
+			build: func() *Graph {
+				g := NewGraph()
+				g.AddNode(Node{Kind: KindGPU, Rank: 0})
+				g.AddNode(Node{Kind: KindGPU, Rank: 0})
+				return g
+			},
+		},
+		{
+			name: "gap in ranks",
+			build: func() *Graph {
+				g := NewGraph()
+				g.AddNode(Node{Kind: KindGPU, Rank: 0})
+				g.AddNode(Node{Kind: KindGPU, Rank: 2})
+				return g
+			},
+		},
+		{
+			name: "nvlink across servers",
+			build: func() *Graph {
+				g := NewGraph()
+				a := g.AddNode(Node{Kind: KindGPU, Server: 0, Rank: 0})
+				b := g.AddNode(Node{Kind: KindGPU, Server: 1, Rank: 1})
+				n0 := g.AddNode(Node{Kind: KindNIC, Server: 0, Rank: -1})
+				n1 := g.AddNode(Node{Kind: KindNIC, Server: 1, Rank: -1})
+				sw := g.AddNode(Node{Kind: KindSwitch, Server: -1, Rank: -1})
+				g.AddEdge(Edge{From: n0, To: sw, Type: LinkRDMA, BandwidthBps: 1})
+				g.AddEdge(Edge{From: sw, To: n1, Type: LinkRDMA, BandwidthBps: 1})
+				g.AddEdge(Edge{From: a, To: b, Type: LinkNVLink, BandwidthBps: 1})
+				return g
+			},
+		},
+		{
+			name: "network edge between NICs directly",
+			build: func() *Graph {
+				g := NewGraph()
+				g.AddNode(Node{Kind: KindGPU, Server: 0, Rank: 0})
+				a := g.AddNode(Node{Kind: KindNIC, Server: 0, Index: 0, Rank: -1})
+				b := g.AddNode(Node{Kind: KindNIC, Server: 1, Index: 0, Rank: -1})
+				g.AddNode(Node{Kind: KindGPU, Server: 1, Rank: 1})
+				g.AddEdge(Edge{From: a, To: b, Type: LinkRDMA, BandwidthBps: 1})
+				return g
+			},
+		},
+		{
+			name: "zero bandwidth",
+			build: func() *Graph {
+				g := NewGraph()
+				a := g.AddNode(Node{Kind: KindGPU, Server: 0, Rank: 0})
+				b := g.AddNode(Node{Kind: KindGPU, Server: 0, Rank: 1})
+				g.AddEdge(Edge{From: a, To: b, Type: LinkNVLink})
+				return g
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.build().Validate(); err == nil {
+				t.Error("Validate accepted an invalid graph")
+			}
+		})
+	}
+}
+
+func TestAddEdgeRejectsDuplicatesAndSelfLoops(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(Node{Kind: KindGPU, Rank: 0})
+	b := g.AddNode(Node{Kind: KindGPU, Rank: 1})
+	g.AddEdge(Edge{From: a, To: b, Type: LinkNVLink, BandwidthBps: 1})
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate edge", func() {
+		g.AddEdge(Edge{From: a, To: b, Type: LinkNVLink, BandwidthBps: 1})
+	})
+	mustPanic("self loop", func() {
+		g.AddEdge(Edge{From: a, To: a, Type: LinkNVLink, BandwidthBps: 1})
+	})
+	mustPanic("unknown node", func() {
+		g.AddEdge(Edge{From: a, To: 99, Type: LinkNVLink, BandwidthBps: 1})
+	})
+}
+
+func TestEdgeTransferTime(t *testing.T) {
+	e := Edge{Alpha: 10 * time.Microsecond, BandwidthBps: 1e9}
+	got := e.TransferTime(1e6) // 1 MB at 1 GB/s = 1 ms
+	want := 10*time.Microsecond + time.Millisecond
+	if got != want {
+		t.Errorf("TransferTime = %v, want %v", got, want)
+	}
+	if beta := e.Beta(); beta != 1e-9 {
+		t.Errorf("Beta = %v, want 1e-9", beta)
+	}
+}
+
+func TestRankLocation(t *testing.T) {
+	c := twoServerCluster(t)
+	tests := []struct {
+		rank, server, gpu int
+	}{
+		{0, 0, 0}, {1, 0, 1}, {2, 1, 0}, {3, 1, 1},
+	}
+	for _, tt := range tests {
+		s, g, err := c.RankLocation(tt.rank)
+		if err != nil {
+			t.Fatalf("rank %d: %v", tt.rank, err)
+		}
+		if s != tt.server || g != tt.gpu {
+			t.Errorf("rank %d at (%d,%d), want (%d,%d)", tt.rank, s, g, tt.server, tt.gpu)
+		}
+	}
+	if _, _, err := c.RankLocation(4); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestSpecNormalizeDefaults(t *testing.T) {
+	s := ServerSpec{
+		GPUs: []GPUModel{GPUA100, GPUA100, GPUA100, GPUA100},
+		NICs: []NICSpec{{BandwidthBps: Gbps(100)}},
+	}
+	if err := s.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NUMACount != 2 {
+		t.Errorf("NUMACount = %d, want 2", s.NUMACount)
+	}
+	wantNuma := []int{0, 0, 1, 1}
+	for i, n := range s.GPUNuma {
+		if n != wantNuma[i] {
+			t.Errorf("GPUNuma[%d] = %d, want %d", i, n, wantNuma[i])
+		}
+	}
+	if s.NICNuma[0] != 0 {
+		t.Errorf("NICNuma[0] = %d, want 0", s.NICNuma[0])
+	}
+	if s.PCIe != PCIe4 {
+		t.Errorf("PCIe = %v, want Gen4 default", s.PCIe)
+	}
+}
+
+func TestSpecNormalizeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		spec ServerSpec
+	}{
+		{"no gpus", ServerSpec{NICs: []NICSpec{{BandwidthBps: 1}}}},
+		{"no nics", ServerSpec{GPUs: []GPUModel{GPUA100}}},
+		{
+			"numa size mismatch",
+			ServerSpec{
+				GPUs:    []GPUModel{GPUA100, GPUA100},
+				NICs:    []NICSpec{{BandwidthBps: 1}},
+				GPUNuma: []int{0},
+			},
+		},
+		{
+			"numa out of range",
+			ServerSpec{
+				GPUs:      []GPUModel{GPUA100},
+				NICs:      []NICSpec{{BandwidthBps: 1}},
+				NUMACount: 2,
+				GPUNuma:   []int{5},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := tt.spec
+			if err := spec.normalize(); err == nil {
+				t.Error("normalize accepted invalid spec")
+			}
+		})
+	}
+}
+
+func TestStringersAndCatalog(t *testing.T) {
+	// Kind/link/transport strings (also exercise unknown values).
+	if KindGPU.String() != "gpu" || KindNIC.String() != "nic" || KindSwitch.String() != "switch" {
+		t.Error("node kind strings wrong")
+	}
+	if NodeKind(99).String() == "" || LinkType(99).String() == "" || Transport(99).String() == "" {
+		t.Error("unknown enum strings empty")
+	}
+	if LinkNVLink.String() != "nvlink" || LinkPCIe.String() != "pcie" ||
+		LinkRDMA.String() != "rdma" || LinkTCP.String() != "tcp" {
+		t.Error("link strings wrong")
+	}
+	if !LinkRDMA.Network() || !LinkTCP.Network() || LinkNVLink.Network() || LinkPCIe.Network() {
+		t.Error("Network() wrong")
+	}
+	if TransportRDMA.String() != "rdma" || TransportTCP.String() != "tcp" {
+		t.Error("transport strings wrong")
+	}
+	if TransportRDMA.LinkType() != LinkRDMA || TransportTCP.LinkType() != LinkTCP {
+		t.Error("transport link types wrong")
+	}
+
+	// GPU catalog monotonicity: newer generations are faster.
+	if !(GPUH100.NVLinkBps() > GPUA100.NVLinkBps() && GPUA100.NVLinkBps() > GPUV100.NVLinkBps()) {
+		t.Error("NVLink bandwidths not ordered by generation")
+	}
+	if GPUM40.NVLinkBps() != 0 {
+		t.Error("M40 should have no NVLink")
+	}
+	if !(GPUH100.ComputeScale() > GPUA100.ComputeScale() && GPUA100.ComputeScale() > GPUV100.ComputeScale() && GPUV100.ComputeScale() > GPUM40.ComputeScale()) {
+		t.Error("compute scales not ordered")
+	}
+	for _, m := range []GPUModel{GPUA100, GPUV100, GPUH100, GPUM40} {
+		if m.String() == "" || m.String() == "GPU?" {
+			t.Errorf("model %d has no name", m)
+		}
+	}
+	if GPUModel(99).String() != "GPU?" {
+		t.Error("unknown model string")
+	}
+	if !(PCIe5.Bps() > PCIe4.Bps() && PCIe4.Bps() > PCIe3.Bps()) {
+		t.Error("PCIe generations not ordered")
+	}
+	if Gbps(8) != 1e9 {
+		t.Errorf("Gbps(8) = %v, want 1e9 B/s", Gbps(8))
+	}
+}
+
+func TestNodeAndEdgeStrings(t *testing.T) {
+	g, err := twoServerCluster(t).LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := g.GPUByRank(0)
+	if s := g.Node(id).String(); s != "gpu0@s0(rank0)" {
+		t.Errorf("gpu string = %q", s)
+	}
+	sw, _ := g.Switch()
+	if s := g.Node(sw).String(); s != "core-switch" {
+		t.Errorf("switch string = %q", s)
+	}
+	nic, _ := g.NICOfServer(1, 0)
+	if s := g.Node(nic).String(); s != "nic0@s1" {
+		t.Errorf("nic string = %q", s)
+	}
+}
+
+func TestModelOfRankAndErrors(t *testing.T) {
+	c := twoServerCluster(t)
+	m, err := c.ModelOfRank(3)
+	if err != nil || m != GPUV100 {
+		t.Fatalf("ModelOfRank(3) = %v, %v", m, err)
+	}
+	if _, err := c.ModelOfRank(99); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if _, err := NewCluster(TransportRDMA); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, err := NewCluster(Transport(9), ServerSpec{GPUs: []GPUModel{GPUA100}, NICs: []NICSpec{{BandwidthBps: 1}}}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
+func TestSingleServerHasNoSwitch(t *testing.T) {
+	c, err := NewCluster(TransportRDMA, ServerSpec{
+		GPUs: []GPUModel{GPUA100, GPUA100},
+		NICs: []NICSpec{{BandwidthBps: Gbps(100)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Switch(); ok {
+		t.Fatal("single-server graph should not build a core switch")
+	}
+	for _, e := range g.Edges() {
+		if e.Type.Network() {
+			t.Fatal("single-server graph has network edges")
+		}
+	}
+}
+
+func TestSetEdgeProps(t *testing.T) {
+	g, err := twoServerCluster(t).LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eid := g.Edges()[0].ID
+	g.SetEdgeProps(eid, Edge{Alpha: 7 * time.Microsecond, BandwidthBps: 123})
+	e := g.Edge(eid)
+	if e.Alpha != 7*time.Microsecond || e.BandwidthBps != 123 {
+		t.Fatalf("props not applied: %+v", e)
+	}
+	// Zero per-stream cap leaves the existing value.
+	g.SetEdgeProps(eid, Edge{Alpha: e.Alpha, BandwidthBps: e.BandwidthBps, PerStreamBps: 55})
+	if g.Edge(eid).PerStreamBps != 55 {
+		t.Fatal("per-stream cap not applied")
+	}
+	g.SetEdgeProps(eid, Edge{Alpha: e.Alpha, BandwidthBps: e.BandwidthBps})
+	if g.Edge(eid).PerStreamBps != 55 {
+		t.Fatal("zero per-stream cap overwrote existing value")
+	}
+}

@@ -1,0 +1,111 @@
+package topology
+
+import "time"
+
+// GPUModel identifies a GPU generation. The catalog values below set NVLink
+// bandwidth and relative compute throughput; they are calibrated to the
+// ratios the paper's testbed exhibits (A100 vs V100, NVLink gens, PCIe 3/4),
+// not to any single vendor datasheet number.
+type GPUModel int
+
+// Supported GPU models.
+const (
+	GPUA100 GPUModel = iota + 1
+	GPUV100
+	GPUH100
+	GPUM40
+)
+
+// String names the GPU generation.
+func (m GPUModel) String() string {
+	switch m {
+	case GPUA100:
+		return "A100"
+	case GPUV100:
+		return "V100"
+	case GPUH100:
+		return "H100"
+	case GPUM40:
+		return "M40"
+	default:
+		return "GPU?"
+	}
+}
+
+// NVLinkBps returns the per-direction bandwidth of one NVLink peer
+// connection in bytes/second, or 0 if the model has no NVLink.
+func (m GPUModel) NVLinkBps() float64 {
+	switch m {
+	case GPUH100:
+		return 450e9 // NVLink 4.0 class
+	case GPUA100:
+		return 150e9 // NVLink 3.0 class
+	case GPUV100:
+		return 60e9 // NVLink 2.0 class
+	default:
+		return 0 // M40 era: PCIe only
+	}
+}
+
+// ComputeScale returns relative training throughput (A100 ≡ 1.0). The
+// straggler model divides per-iteration compute time by this factor.
+func (m GPUModel) ComputeScale() float64 {
+	switch m {
+	case GPUH100:
+		return 2.2
+	case GPUA100:
+		return 1.0
+	case GPUV100:
+		return 0.45
+	case GPUM40:
+		return 0.12
+	default:
+		return 1.0
+	}
+}
+
+// PCIeGen identifies a PCIe generation (x16 effective host link bandwidth).
+type PCIeGen int
+
+// Supported PCIe generations.
+const (
+	PCIe3 PCIeGen = 3
+	PCIe4 PCIeGen = 4
+	PCIe5 PCIeGen = 5
+)
+
+// Bps returns the effective x16 bandwidth in bytes per second.
+func (g PCIeGen) Bps() float64 {
+	switch g {
+	case PCIe5:
+		return 48e9
+	case PCIe4:
+		return 24e9
+	default:
+		return 12e9
+	}
+}
+
+// Nominal per-message latencies of the link classes. The profiler estimates
+// these at run time; the fabric uses them as ground truth.
+const (
+	NVLinkAlpha = 2 * time.Microsecond
+	PCIeAlpha   = 3 * time.Microsecond
+	RDMAAlpha   = 5 * time.Microsecond
+	TCPAlpha    = 30 * time.Microsecond
+)
+
+// TCPPerStreamBps is the peak bandwidth one TCP stream achieves due to
+// kernel-space overhead (the paper measures ~20 Gbps per channel on a
+// 100 Gbps NIC, Sec. VI-D). Parallel streams share the NIC up to its full
+// capacity.
+const TCPPerStreamBps = 2.5e9
+
+// Gbps converts gigabits per second to bytes per second.
+func Gbps(g float64) float64 { return g * 1e9 / 8 }
+
+// NICSpec describes one network interface card.
+type NICSpec struct {
+	// BandwidthBps is the full-duplex line rate in bytes per second.
+	BandwidthBps float64
+}

@@ -1,0 +1,164 @@
+// Package topology models the physical layout of a training cluster (servers,
+// GPUs, NICs, NUMA nodes, PCIe switches) and the logical communication graph
+// AdapCC routes collectives over: GPU and NIC nodes connected by NVLink,
+// PCIe and network edges (paper Sec. III, Fig. 5a).
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a node in a logical Graph.
+type NodeID int
+
+// EdgeID identifies a directed edge in a logical Graph.
+type EdgeID int
+
+// NodeKind distinguishes the two node classes of the logical graph.
+type NodeKind int
+
+// Logical graph node kinds.
+const (
+	KindGPU NodeKind = iota + 1
+	KindNIC
+	// KindSwitch is the network core: every NIC connects to it with an
+	// uplink (egress port) and a downlink (ingress port) edge, so a
+	// server's total network bandwidth is bounded by its NIC ports —
+	// while any instance pair can still communicate directly (the
+	// paper's fully-connected instance-to-instance view).
+	KindSwitch
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindGPU:
+		return "gpu"
+	case KindNIC:
+		return "nic"
+	case KindSwitch:
+		return "switch"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// LinkType classifies a logical edge. AdapCC profiles NVLink and network
+// links; PCIe transfers are overlapped with network transmission and carry
+// nominal parameters only (paper Sec. IV-B).
+type LinkType int
+
+// Logical link types.
+const (
+	LinkNVLink LinkType = iota + 1
+	LinkPCIe
+	LinkRDMA
+	LinkTCP
+)
+
+// String names the link type.
+func (t LinkType) String() string {
+	switch t {
+	case LinkNVLink:
+		return "nvlink"
+	case LinkPCIe:
+		return "pcie"
+	case LinkRDMA:
+		return "rdma"
+	case LinkTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("link(%d)", int(t))
+	}
+}
+
+// Network reports whether the link crosses servers.
+func (t LinkType) Network() bool { return t == LinkRDMA || t == LinkTCP }
+
+// Transport selects the inter-server network stack for a cluster build.
+type Transport int
+
+// Inter-server transports (paper Sec. II-A: NICs range 1–200 Gbps and use
+// either RDMA or TCP stacks).
+const (
+	TransportRDMA Transport = iota + 1
+	TransportTCP
+)
+
+// String names the inter-server transport.
+func (t Transport) String() string {
+	switch t {
+	case TransportRDMA:
+		return "rdma"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("transport(%d)", int(t))
+	}
+}
+
+// LinkType returns the logical link type realised by this transport.
+func (t Transport) LinkType() LinkType {
+	if t == TransportTCP {
+		return LinkTCP
+	}
+	return LinkRDMA
+}
+
+// Node is a vertex of the logical communication graph.
+type Node struct {
+	ID     NodeID
+	Kind   NodeKind
+	Server int // instance index within the job
+	Index  int // GPU or NIC index within the server
+	Rank   int // global worker rank for GPUs; -1 for NICs
+}
+
+// String renders a compact node identity ("gpu2@s1(rank6)").
+func (n Node) String() string {
+	switch n.Kind {
+	case KindGPU:
+		return fmt.Sprintf("gpu%d@s%d(rank%d)", n.Index, n.Server, n.Rank)
+	case KindSwitch:
+		return "core-switch"
+	default:
+		return fmt.Sprintf("nic%d@s%d", n.Index, n.Server)
+	}
+}
+
+// Edge is a directed logical link with its nominal α–β properties. The
+// profiler refines Alpha/BandwidthBps at run time; the fabric additionally
+// applies time-varying bandwidth schedules.
+type Edge struct {
+	ID   EdgeID
+	From NodeID
+	To   NodeID
+	Type LinkType
+
+	// Alpha is the per-message latency (the α of the α–β cost model).
+	Alpha time.Duration
+	// BandwidthBps is the link bandwidth in bytes per second (1/β).
+	BandwidthBps float64
+	// PerStreamBps caps the bandwidth a single stream can extract, or 0
+	// for no cap. Models the ~20 Gbps single-TCP-channel kernel-space
+	// ceiling the paper observes (Sec. VI-D).
+	PerStreamBps float64
+}
+
+// Beta returns the inverse bandwidth in seconds per byte.
+func (e Edge) Beta() float64 {
+	if e.BandwidthBps <= 0 {
+		return 0
+	}
+	return 1 / e.BandwidthBps
+}
+
+// TransferTime returns α + β·size for a message of the given size, using the
+// nominal link parameters.
+func (e Edge) TransferTime(size int64) time.Duration {
+	if e.BandwidthBps <= 0 {
+		return e.Alpha
+	}
+	return e.Alpha + time.Duration(float64(size)/e.BandwidthBps*float64(time.Second))
+}

@@ -1,0 +1,204 @@
+// Package trace records virtual-time execution events — chunk transfers on
+// links, aggregation kernels, collective milestones — and exports them in
+// the Chrome trace-event format, so a simulated collective can be inspected
+// visually in chrome://tracing or Perfetto exactly like a real NCCL/NSight
+// timeline.
+//
+// The recorder is wired into the collective executor with
+// Executor.SetTracer; it is inert (and costs nothing) when unset. All
+// methods assume the single-threaded simulation loop: the recorder is not
+// safe for concurrent use.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Phase is the Chrome trace-event phase of an event.
+type Phase string
+
+const (
+	// Complete events ("X") span a duration on one track.
+	Complete Phase = "X"
+	// Instant events ("i") mark a point in time.
+	Instant Phase = "i"
+)
+
+// Event is one recorded occurrence, timed on the virtual clock.
+type Event struct {
+	// Name labels the event in the viewer ("sub0 flow3 chunk17").
+	Name string
+	// Cat is the Chrome category used for filtering ("net", "kernel").
+	Cat string
+	// PID selects the process track group (a rank, or the network group).
+	PID int
+	// TID selects the thread track within the group (a stream or a link).
+	TID int
+	// Start is the event's virtual start time.
+	Start time.Duration
+	// Dur is the event's duration (zero for instants).
+	Dur time.Duration
+	// Phase defaults to Complete when empty.
+	Phase Phase
+	// Args carries extra key/values shown in the viewer's detail pane.
+	Args map[string]any
+}
+
+// Tracer accumulates events and track labels.
+type Tracer struct {
+	events     []Event
+	procNames  map[int]string
+	procSort   map[int]int
+	threadName map[[2]int]string
+}
+
+// New returns an empty tracer.
+func New() *Tracer {
+	return &Tracer{
+		procNames:  make(map[int]string),
+		procSort:   make(map[int]int),
+		threadName: make(map[[2]int]string),
+	}
+}
+
+// LabelProcess names a process track group (idempotent).
+func (t *Tracer) LabelProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.procNames[pid] = name
+	if _, ok := t.procSort[pid]; !ok {
+		t.procSort[pid] = pid
+	}
+}
+
+// LabelThread names a thread track within a process group (idempotent).
+func (t *Tracer) LabelThread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.threadName[[2]int{pid, tid}] = name
+}
+
+// Add records one event. Nil tracers ignore the call so instrumentation
+// sites don't need a guard.
+func (t *Tracer) Add(ev Event) {
+	if t == nil {
+		return
+	}
+	if ev.Phase == "" {
+		ev.Phase = Complete
+	}
+	t.events = append(t.events, ev)
+}
+
+// Len reports the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in insertion order. The slice is the
+// tracer's own backing store; callers must not mutate it.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Reset discards all recorded events but keeps track labels.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.events = t.events[:0]
+}
+
+// jsonEvent is the wire form of the Chrome trace-event format.
+type jsonEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON writes the trace as a Chrome trace-event JSON array: metadata
+// events naming every labelled track, then the recorded events in start
+// order. The output loads directly into chrome://tracing and Perfetto.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: nil tracer")
+	}
+	var out []jsonEvent
+	pids := make([]int, 0, len(t.procNames))
+	for pid := range t.procNames {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		out = append(out, jsonEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": t.procNames[pid]},
+		})
+		out = append(out, jsonEvent{
+			Name: "process_sort_index", Ph: "M", PID: pid,
+			Args: map[string]any{"sort_index": t.procSort[pid]},
+		})
+	}
+	keys := make([][2]int, 0, len(t.threadName))
+	for k := range t.threadName {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		out = append(out, jsonEvent{
+			Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
+			Args: map[string]any{"name": t.threadName[k]},
+		})
+	}
+
+	evs := append([]Event(nil), t.events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+	for _, ev := range evs {
+		je := jsonEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   string(ev.Phase),
+			TS:   micros(ev.Start),
+			PID:  ev.PID,
+			TID:  ev.TID,
+			Args: ev.Args,
+		}
+		if ev.Phase == Complete {
+			d := micros(ev.Dur)
+			je.Dur = &d
+		}
+		if ev.Phase == Instant {
+			je.Scope = "t" // thread-scoped tick mark
+		}
+		out = append(out, je)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	tr := New()
+	tr.LabelProcess(3, "rank 3")
+	tr.LabelThread(3, 0, "sub0 stream")
+	tr.Add(Event{
+		Name: "xfer", Cat: "net", PID: 3, TID: 0,
+		Start: 10 * time.Microsecond, Dur: 5 * time.Microsecond,
+		Args: map[string]any{"bytes": 4096},
+	})
+	tr.Add(Event{
+		Name: "mark", Cat: "milestone", PID: 3, TID: 0,
+		Start: 20 * time.Microsecond, Phase: Instant,
+	})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 2 process metadata + 1 thread metadata + 2 events.
+	if len(out) != 5 {
+		t.Fatalf("emitted %d records, want 5", len(out))
+	}
+	byName := make(map[string]map[string]any)
+	for _, rec := range out {
+		byName[rec["name"].(string)] = rec
+	}
+	x := byName["xfer"]
+	if x["ph"] != "X" {
+		t.Errorf("xfer phase = %v, want X", x["ph"])
+	}
+	if x["ts"].(float64) != 10 {
+		t.Errorf("xfer ts = %v µs, want 10", x["ts"])
+	}
+	if x["dur"].(float64) != 5 {
+		t.Errorf("xfer dur = %v µs, want 5", x["dur"])
+	}
+	i := byName["mark"]
+	if i["ph"] != "i" {
+		t.Errorf("mark phase = %v, want i", i["ph"])
+	}
+	if _, hasDur := i["dur"]; hasDur {
+		t.Error("instant event carries a duration")
+	}
+	if i["s"] != "t" {
+		t.Errorf("instant scope = %v, want thread", i["s"])
+	}
+	m := byName["process_name"]
+	if m["ph"] != "M" {
+		t.Errorf("metadata phase = %v, want M", m["ph"])
+	}
+}
+
+func TestEventsSortedByStartInOutput(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Name: "b", PID: 1, Start: 30 * time.Microsecond, Dur: time.Microsecond})
+	tr.Add(Event{Name: "a", PID: 1, Start: 10 * time.Microsecond, Dur: time.Microsecond})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	last := -1.0
+	for _, rec := range out {
+		if rec["ph"] == "M" {
+			continue
+		}
+		ts := rec["ts"].(float64)
+		if ts < last {
+			t.Fatalf("events out of order: %v after %v", ts, last)
+		}
+		last = ts
+	}
+	// Insertion order preserved in Events().
+	if tr.Events()[0].Name != "b" {
+		t.Error("Events() reordered the backing store")
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Add(Event{Name: "x"})  // must not panic
+	tr.LabelProcess(1, "p")   // must not panic
+	tr.LabelThread(1, 2, "t") // must not panic
+	tr.Reset()                // must not panic
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil tracer reports events")
+	}
+	if err := tr.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Error("nil tracer serialised successfully")
+	}
+}
+
+func TestResetKeepsLabels(t *testing.T) {
+	tr := New()
+	tr.LabelProcess(1, "p1")
+	tr.Add(Event{Name: "x", PID: 1, Dur: time.Microsecond})
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatalf("Len after reset = %d", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rec := range out {
+		if rec["name"] == "process_name" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("labels lost on reset")
+	}
+}

@@ -1,0 +1,165 @@
+package train
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+)
+
+func TestWorkloadsCatalog(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 4 {
+		t.Fatalf("%d workloads, want the paper's 4", len(ws))
+	}
+	seen := make(map[string]bool)
+	for _, w := range ws {
+		if w.ParamBytes <= 0 || w.BaseStep <= 0 || w.RefBatch <= 0 {
+			t.Errorf("%s has zero fields", w.Name)
+		}
+		seen[w.Name] = true
+	}
+	for _, name := range []string{"VGG16", "GPT2", "ViT", "MoE"} {
+		if !seen[name] {
+			t.Errorf("missing workload %s", name)
+		}
+	}
+	if MoE().Collective != strategy.AlltoAll {
+		t.Error("MoE must communicate via AlltoAll")
+	}
+}
+
+func TestComputeTimeEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := VGG16()
+	gpu := topology.GPUA100
+
+	// Non-positive batch falls back to the reference batch.
+	d0 := w.ComputeTime(gpu, 0, rng, 1)
+	if d0 <= 0 {
+		t.Fatal("zero-batch compute time not positive")
+	}
+	// Slowdown below 1 is clamped to 1; above 1 stretches time on average.
+	rngA := rand.New(rand.NewSource(2))
+	rngB := rand.New(rand.NewSource(2))
+	plain := w.ComputeTime(gpu, w.RefBatch, rngA, 0.5)
+	slowed := w.ComputeTime(gpu, w.RefBatch, rngB, 2)
+	if slowed <= plain {
+		t.Errorf("slowdown 2 (%v) not slower than clamped 0.5 (%v)", slowed, plain)
+	}
+	// V100 is slower than A100 for the same draw.
+	rngC := rand.New(rand.NewSource(3))
+	rngD := rand.New(rand.NewSource(3))
+	a100 := w.ComputeTime(topology.GPUA100, w.RefBatch, rngC, 1)
+	v100 := w.ComputeTime(topology.GPUV100, w.RefBatch, rngD, 1)
+	if v100 <= a100 {
+		t.Errorf("V100 (%v) not slower than A100 (%v)", v100, a100)
+	}
+}
+
+func TestDriverAndPlannerNames(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		planner Planner
+		want    string
+	}{
+		{NCCLPlanner(env), "NCCL"},
+		{MSCCLPlanner(env), "MSCCL"},
+		{BlinkPlanner(env), "Blink"},
+	} {
+		if got := tc.planner.Name(); got != tc.want {
+			t.Errorf("planner name = %q, want %q", got, tc.want)
+		}
+		d := NewWaitAllDriver(env, tc.planner, strategy.AllReduce, 1<<20, env.AllRanks())
+		if d.Name() != tc.want {
+			t.Errorf("wait-all driver name = %q, want %q", d.Name(), tc.want)
+		}
+	}
+}
+
+func TestAdaptiveDriverAccessors(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := setupAdapCC(t, c)
+	d, err := NewAdaptiveDriver(a, env.AllRanks(), strategy.AllReduce, 1<<20, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "AdapCC" {
+		t.Errorf("Name() = %q", d.Name())
+	}
+	if d.Coordinator() == nil {
+		t.Error("no coordinator")
+	}
+	if q := d.Quality(); q != 1 {
+		t.Errorf("initial quality = %v, want 1", q)
+	}
+	if _, err := NewAdaptiveDriver(a, env.AllRanks(), strategy.Reduce, 1<<20, nil, nil); err == nil {
+		t.Error("adaptive driver accepted a non-AllReduce primitive")
+	}
+}
+
+func TestStatsEdgeCases(t *testing.T) {
+	var empty Stats
+	if empty.Throughput() != 0 {
+		t.Error("empty stats report throughput")
+	}
+	if empty.MeanComm() != 0 {
+		t.Error("empty stats report comm time")
+	}
+	it := IterStats{Spread: time.Millisecond, Exec: 0}
+	if it.WaitRatio() != 0 {
+		t.Error("zero-exec iteration reports a wait ratio")
+	}
+}
+
+func TestCatchupCommTimeEdges(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := setupAdapCC(t, c)
+	live := synth.NewLiveCosts(env.Fabric)
+	ranks := env.AllRanks()
+
+	// No late workers or no missed fraction: free.
+	if d, err := CatchupCommTime(a, live, 64<<20, ranks, nil, 0.5); err != nil || d != 0 {
+		t.Errorf("no-late catch-up = (%v, %v), want (0, nil)", d, err)
+	}
+	if d, err := CatchupCommTime(a, live, 64<<20, ranks, ranks[3:], 0); err != nil || d != 0 {
+		t.Errorf("zero-frac catch-up = (%v, %v), want (0, nil)", d, err)
+	}
+	// frac > 1 clamps to a full pass; monotone in frac.
+	full, err := CatchupCommTime(a, live, 64<<20, ranks, ranks[3:], 1.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := CatchupCommTime(a, live, 64<<20, ranks, ranks[3:], 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := CatchupCommTime(a, live, 64<<20, ranks, ranks[3:], 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tiny <= half && half <= full) {
+		t.Errorf("catch-up not monotone in frac: %v / %v / %v", tiny, half, full)
+	}
+	if tiny <= 0 {
+		t.Error("positive frac with late workers should cost something (1 MiB floor)")
+	}
+}

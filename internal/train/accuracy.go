@@ -1,0 +1,87 @@
+package train
+
+import "math/rand"
+
+// AccuracySim is the convergence model behind Fig. 19b. It is a standard
+// exponential-approach learning curve where each iteration's progress is
+// scaled by the *gradient quality* q — the fraction of workers whose
+// gradients entered the aggregate:
+//
+//   - AdapCC (phase 1 + phase 2) and NCCL aggregate every worker: q = 1
+//     every iteration, so their curves coincide.
+//   - 'Relay Async' discards straggler tensors: q < 1 on straggler
+//     iterations, which both slows convergence and lowers the asymptote
+//     (gradient noise from inconsistent aggregation).
+//   - 'AdapCC-nccl graph' changes only the aggregation *order*; floating
+//     point non-associativity is a vanishing perturbation, so q = 1 and
+//     the curve matches (the paper's observation that a different graph
+//     does not affect convergence).
+type AccuracySim struct {
+	// MaxAcc is the converged top-1 accuracy with full gradients
+	// (VGG16 on the downscaled 100k-image ImageNet: ≈0.68).
+	MaxAcc float64
+	// Tau is the convergence time constant in iterations.
+	Tau float64
+	// InitAcc is the random-init accuracy.
+	InitAcc float64
+	// QualityPenalty scales how strongly dropped gradients depress the
+	// reachable asymptote.
+	QualityPenalty float64
+	// NoiseSigma is per-evaluation measurement noise.
+	NoiseSigma float64
+}
+
+// DefaultAccuracySim returns the Fig. 19b configuration.
+func DefaultAccuracySim() AccuracySim {
+	return AccuracySim{
+		MaxAcc:         0.68,
+		Tau:            900,
+		InitAcc:        0.02,
+		QualityPenalty: 0.35,
+		NoiseSigma:     0.004,
+	}
+}
+
+// Curve simulates the accuracy trajectory given per-iteration gradient
+// qualities; the returned slice has one point per iteration.
+func (a AccuracySim) Curve(qualities []float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, len(qualities))
+	acc := a.InitAcc
+	for i, q := range qualities {
+		if q > 1 {
+			q = 1
+		}
+		if q < 0 {
+			q = 0
+		}
+		// Dropped gradients both shrink the step (×q) and pull the
+		// asymptote down.
+		target := a.MaxAcc * (1 - a.QualityPenalty*(1-q))
+		acc += q * (target - acc) / a.Tau
+		noisy := acc + rng.NormFloat64()*a.NoiseSigma
+		if noisy < 0 {
+			noisy = 0
+		}
+		if noisy > 1 {
+			noisy = 1
+		}
+		out[i] = noisy
+	}
+	return out
+}
+
+// FinalAccuracy returns the mean of the last window points of a curve.
+func FinalAccuracy(curve []float64, window int) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	if window <= 0 || window > len(curve) {
+		window = len(curve)
+	}
+	sum := 0.0
+	for _, v := range curve[len(curve)-window:] {
+		sum += v
+	}
+	return sum / float64(window)
+}

@@ -1,0 +1,86 @@
+package train
+
+import (
+	"math/rand"
+	"testing"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// TestChaosRandomFaultsNeverHang randomises worker deaths (and some
+// revivals) across seeds and asserts the adaptive training loop always
+// completes every iteration with a sane world size — the end-to-end
+// no-deadlock property of the coordinator + executor + trainer stack.
+func TestChaosRandomFaultsNeverHang(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iterations = 16
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed * 977))
+			env, a := setupAdapCC(t, c)
+			world := env.AllRanks()
+
+			// 1–2 random victims die at random iterations; some rejoin.
+			dead := make(map[int]int)
+			revive := make(map[int]int)
+			nVictims := 1 + rng.Intn(2)
+			perm := rng.Perm(len(world))
+			for v := 0; v < nVictims; v++ {
+				r := world[perm[v]]
+				at := 2 + rng.Intn(iterations-6)
+				dead[r] = at
+				if rng.Intn(2) == 0 {
+					revive[r] = at + 4 + rng.Intn(4)
+				}
+			}
+
+			var faulted []int
+			d, err := NewAdaptiveDriver(a, world, strategy.AllReduce, ViT().ParamBytes, nil,
+				func(f []int) { faulted = append(faulted, f...) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats := runTraining(t, Config{
+				Workload: ViT(), Env: env, Cluster: c, Driver: d,
+				Iterations: iterations, Seed: seed,
+				DeadAfter:   dead,
+				ReviveAfter: revive,
+			})
+			if len(stats.Iters) != iterations {
+				t.Fatalf("seed %d: completed %d/%d iterations (dead=%v revive=%v)",
+					seed, len(stats.Iters), iterations, dead, revive)
+			}
+			// Every non-revived victim is excluded; revived ones are back.
+			alive := make(map[int]bool)
+			for _, r := range d.Alive() {
+				alive[r] = true
+			}
+			for r := range dead {
+				if _, revives := revive[r]; revives {
+					if !alive[r] {
+						t.Errorf("seed %d: revived rank %d still excluded", seed, r)
+					}
+				} else if alive[r] {
+					t.Errorf("seed %d: dead rank %d still in the group", seed, r)
+				}
+			}
+			for _, f := range faulted {
+				if _, wasDead := dead[f]; !wasDead {
+					t.Errorf("seed %d: healthy rank %d declared faulty", seed, f)
+				}
+			}
+			// Iterations kept making progress: total time strictly grows.
+			for i, it := range stats.Iters {
+				if it.Total <= 0 {
+					t.Errorf("seed %d: iteration %d has non-positive duration", seed, i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/core"
+	"adapcc/internal/sim"
+	"adapcc/internal/strategy"
+)
+
+// DefaultBucketBytes matches PyTorch DDP's 25 MiB gradient buckets.
+const DefaultBucketBytes = 25 << 20
+
+// BucketSchedule models DDP's communication hook (paper Sec. VI-A: "we
+// provide a communication hook for PyTorch DDP"): the backward pass
+// produces gradient buckets back to front, and each bucket's AllReduce is
+// submitted to the work queue as soon as it is ready, overlapping
+// communication with the rest of the backward computation.
+type BucketSchedule struct {
+	// Buckets holds each bucket's byte size, in production order.
+	Buckets []int64
+	// ReadyAt holds each bucket's readiness offset within the backward
+	// pass (monotone non-decreasing).
+	ReadyAt []time.Duration
+}
+
+// NewBucketSchedule splits a model's gradients into buckets and spreads
+// their readiness uniformly across the backward pass (gradients arrive
+// back to front as backprop walks the layers).
+func NewBucketSchedule(paramBytes int64, bucketBytes int64, backward time.Duration) BucketSchedule {
+	if bucketBytes <= 0 {
+		bucketBytes = DefaultBucketBytes
+	}
+	var s BucketSchedule
+	remaining := paramBytes
+	for remaining > 0 {
+		b := bucketBytes
+		if b > remaining {
+			b = remaining
+		}
+		s.Buckets = append(s.Buckets, b/4*4)
+		remaining -= b
+	}
+	n := len(s.Buckets)
+	for i := 0; i < n; i++ {
+		// Bucket i becomes ready after (i+1)/n of the backward pass.
+		s.ReadyAt = append(s.ReadyAt, backward*time.Duration(i+1)/time.Duration(n))
+	}
+	return s
+}
+
+// RunBucketedIteration drives one DDP iteration over an ordered work
+// queue: buckets are submitted as the (simulated) backward pass produces
+// them and execute in order; onDone receives the iteration's communication
+// tail — the time between the backward pass finishing and the last
+// bucket's AllReduce completing (the part communication failed to hide) —
+// and the total iteration span.
+func RunBucketedIteration(a *core.AdapCC, q *core.Queue, sched BucketSchedule, onDone func(tail, total time.Duration)) error {
+	if len(sched.Buckets) == 0 {
+		return fmt.Errorf("train: empty bucket schedule")
+	}
+	env := a.Env()
+	eng := env.Engine
+	start := eng.Now()
+	backwardEnd := start + sched.ReadyAt[len(sched.ReadyAt)-1]
+	ranks := env.AllRanks()
+
+	done := sim.NewCountdown(len(sched.Buckets), func() {
+		total := eng.Now() - start
+		tail := eng.Now() - backwardEnd
+		if tail < 0 {
+			tail = 0
+		}
+		if onDone != nil {
+			onDone(tail, total)
+		}
+	})
+	for i := range sched.Buckets {
+		bytes := sched.Buckets[i]
+		at := sched.ReadyAt[i]
+		eng.At(start+at, func() {
+			q.Submit(backend.Request{
+				Primitive: strategy.AllReduce,
+				Bytes:     bytes,
+				Root:      -1,
+				Inputs:    backend.MakeInputs(ranks, bytes),
+				OnDone:    func(collective.Result) { done.Done() },
+			})
+		})
+	}
+	return nil
+}

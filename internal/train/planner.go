@@ -1,0 +1,168 @@
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/baseline/blink"
+	"adapcc/internal/baseline/msccl"
+	"adapcc/internal/baseline/nccl"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+)
+
+// Planner prices one collective for the training loop: the backend picks
+// its communication graph by its own rules, and the cost is evaluated
+// against the fabric's live link state.
+type Planner interface {
+	Name() string
+	// CommTime returns the collective's execution time under current
+	// link conditions.
+	CommTime(live *synth.Costs, p strategy.Primitive, bytes int64, ranks []int) (time.Duration, error)
+}
+
+// strategyBuilder is satisfied by the NCCL and MSCCL baselines.
+type strategyBuilder interface {
+	Name() string
+	BuildStrategy(p strategy.Primitive, bytes int64, ranks []int, root int) (*strategy.Strategy, error)
+}
+
+// builderPlanner prices single-strategy backends.
+type builderPlanner struct {
+	b strategyBuilder
+	// singleStream clamps each edge to one stream's rate (NCCL's single
+	// channel).
+	singleStream bool
+}
+
+// NCCLPlanner prices the NCCL baseline.
+func NCCLPlanner(env *backend.Env) Planner {
+	return builderPlanner{b: nccl.New(env), singleStream: true}
+}
+
+// MSCCLPlanner prices the MSCCL baseline.
+func MSCCLPlanner(env *backend.Env) Planner { return builderPlanner{b: msccl.New(env)} }
+
+func (p builderPlanner) Name() string { return p.b.Name() }
+
+func (p builderPlanner) CommTime(live *synth.Costs, prim strategy.Primitive, bytes int64, ranks []int) (time.Duration, error) {
+	st, err := p.b.BuildStrategy(prim, bytes, ranks, -1)
+	if err != nil {
+		return 0, err
+	}
+	costs := live
+	if p.singleStream {
+		costs = live.SingleStreamView()
+	}
+	ev, err := synth.Evaluate(costs, st)
+	if err != nil {
+		return 0, err
+	}
+	return ev.Time, nil
+}
+
+// blinkPlanner prices Blink's barrier-separated stages: within a stage the
+// slowest parallel strategy gates; stages sum.
+type blinkPlanner struct {
+	b *blink.Backend
+}
+
+// BlinkPlanner prices the Blink baseline.
+func BlinkPlanner(env *backend.Env) Planner { return blinkPlanner{b: blink.New(env)} }
+
+func (p blinkPlanner) Name() string { return "Blink" }
+
+func (p blinkPlanner) CommTime(live *synth.Costs, prim strategy.Primitive, bytes int64, ranks []int) (time.Duration, error) {
+	stages, err := p.b.StagePlans(prim, bytes, ranks, -1)
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for _, stage := range stages {
+		var slowest time.Duration
+		for _, st := range stage {
+			ev, err := synth.Evaluate(live, st)
+			if err != nil {
+				return 0, err
+			}
+			if ev.Time > slowest {
+				slowest = ev.Time
+			}
+		}
+		total += slowest
+	}
+	return total, nil
+}
+
+// adapccPlanner chooses graphs with the AdapCC synthesizer (profiled,
+// possibly stale costs) and prices them against the live state — the gap
+// between the two is what reprofiling closes.
+type adapccPlanner struct {
+	a *core.AdapCC
+}
+
+// AdapCCPlanner prices AdapCC's synthesised strategies.
+func AdapCCPlanner(a *core.AdapCC) Planner { return adapccPlanner{a: a} }
+
+func (p adapccPlanner) Name() string { return "AdapCC" }
+
+func (p adapccPlanner) CommTime(live *synth.Costs, prim strategy.Primitive, bytes int64, ranks []int) (time.Duration, error) {
+	res, err := p.a.Strategy(prim, bytes, ranks, nil, -1)
+	if err != nil {
+		return 0, err
+	}
+	ev, err := synth.Evaluate(live, res.Strategy)
+	if err != nil {
+		return 0, err
+	}
+	return ev.Time, nil
+}
+
+// PartialCommTime prices a phase-1 partial collective (ready workers with
+// relays) — used by the adaptive driver.
+func PartialCommTime(a *core.AdapCC, live *synth.Costs, prim strategy.Primitive, bytes int64, ready, relays []int) (time.Duration, error) {
+	res, err := a.Strategy(prim, bytes, ready, relays, -1)
+	if err != nil {
+		return 0, err
+	}
+	ev, err := synth.Evaluate(live, res.Strategy)
+	if err != nil {
+		return 0, err
+	}
+	return ev.Time, nil
+}
+
+// CatchupCommTime prices phase 2 with the paper's partial-join semantics:
+// chunks that joined the ongoing phase-1 aggregation need no catch-up, so
+// only frac ∈ (0,1] of the tensor moves — as one pipelined
+// allreduce-shaped pass (reduce the late contributions, broadcast the
+// result) over the alive workers, plus the local combine kernel.
+func CatchupCommTime(a *core.AdapCC, live *synth.Costs, bytes int64, participants, late []int, frac float64) (time.Duration, error) {
+	if len(late) == 0 || frac <= 0 {
+		return 0, nil
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// Round to 1 MiB so transient fractions reuse cached strategies.
+	scaled := (int64(float64(bytes)*frac) + 1<<20 - 1) / (1 << 20) * (1 << 20)
+	if scaled < 1<<20 {
+		scaled = 1 << 20
+	}
+	if scaled > bytes {
+		scaled = bytes / 4 * 4
+	}
+	res, err := a.Strategy(strategy.AllReduce, scaled, participants, nil, -1)
+	if err != nil {
+		return 0, fmt.Errorf("catch-up allreduce: %w", err)
+	}
+	ev, err := synth.Evaluate(live, res.Strategy)
+	if err != nil {
+		return 0, err
+	}
+	// Local combine: one reduce over the late aggregate.
+	combine := time.Duration(float64(scaled) / 600e9 * float64(time.Second))
+	return ev.Time + combine, nil
+}

@@ -1,0 +1,100 @@
+// Package train simulates distributed DNN training over the AdapCC stack
+// (paper Sec. VI-D): the four evaluation workloads (VGG16, GPT-2, ViT,
+// MoE), a per-GPU compute-time model calibrated to the A100/V100 speed
+// ratio, straggler variance, online-serving interference, data-loader
+// redistribution after faults, and a convergence model for the accuracy
+// experiment (Fig. 19b).
+//
+// Training iterations use the analytic Eq. 2–6 evaluator (cross-validated
+// against the event-driven executor in the collective tests) so that 10⁴
+// iteration runs remain tractable: communication strategies are still the
+// real synthesised/baseline graphs, and they are priced against the
+// fabric's *live* link state, so volatility and reprofiling behave exactly
+// as in full execution.
+package train
+
+import (
+	"math/rand"
+	"time"
+
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// Workload is one benchmark model.
+type Workload struct {
+	Name string
+	// ParamBytes is the gradient volume synchronised per iteration (for
+	// MoE: the token volume exchanged by AlltoAll).
+	ParamBytes int64
+	// RefBatch is the per-GPU batch the paper uses by default.
+	RefBatch int
+	// BaseStep is the forward+backward time on an A100 at RefBatch.
+	BaseStep time.Duration
+	// Collective is the per-iteration primitive (AllReduce for
+	// data-parallel models, AlltoAll for MoE token dispatch).
+	Collective strategy.Primitive
+}
+
+// The paper's four workloads with their reported model sizes.
+func VGG16() Workload {
+	return Workload{Name: "VGG16", ParamBytes: 528 << 20, RefBatch: 128, BaseStep: 160 * time.Millisecond, Collective: strategy.AllReduce}
+}
+
+// GPT2 uses the personal-chat dataset with local batch 16.
+func GPT2() Workload {
+	return Workload{Name: "GPT2", ParamBytes: 475 << 20, RefBatch: 16, BaseStep: 210 * time.Millisecond, Collective: strategy.AllReduce}
+}
+
+// ViT trains on ImageNet.
+func ViT() Workload {
+	return Workload{Name: "ViT", ParamBytes: 208 << 20, RefBatch: 128, BaseStep: 130 * time.Millisecond, Collective: strategy.AllReduce}
+}
+
+// MoE is the fastMoE-style expert-parallel model: one expert per GPU, the
+// collective is the token AlltoAll.
+func MoE() Workload {
+	return Workload{Name: "MoE", ParamBytes: 512 << 20, RefBatch: 128, BaseStep: 150 * time.Millisecond, Collective: strategy.AlltoAll}
+}
+
+// Workloads lists all four evaluation models.
+func Workloads() []Workload {
+	return []Workload{VGG16(), GPT2(), ViT(), MoE()}
+}
+
+// computeNoiseSigma is the relative iteration-time jitter of a healthy
+// worker (calibrated so the homogeneous wait-time-ratio CDF of Fig. 3b has
+// its median above 10%).
+const computeNoiseSigma = 0.06
+
+// Heavy-tail hiccups: occasionally an iteration runs much longer (garbage
+// collection, data-loader stalls, page faults) — the stragglers that make
+// even homogeneous clusters pick relays (Fig. 15's spread-out homogeneous
+// distribution).
+const (
+	hiccupProb = 0.06
+	hiccupMin  = 1.25
+	hiccupMax  = 1.8
+)
+
+// ComputeTime draws one worker's forward+backward duration: base time
+// scaled by batch, divided by the GPU generation's throughput, with
+// lognormal-ish jitter and an external slowdown factor (online-serving
+// interference, Fig. 18b).
+func (w Workload) ComputeTime(gpu topology.GPUModel, batch int, rng *rand.Rand, slowdown float64) time.Duration {
+	if batch <= 0 {
+		batch = w.RefBatch
+	}
+	if slowdown < 1 {
+		slowdown = 1
+	}
+	base := w.BaseStep.Seconds() * float64(batch) / float64(w.RefBatch) / gpu.ComputeScale()
+	noise := 1 + rng.NormFloat64()*computeNoiseSigma
+	if noise < 0.7 {
+		noise = 0.7
+	}
+	if rng.Float64() < hiccupProb {
+		noise *= hiccupMin + rng.Float64()*(hiccupMax-hiccupMin)
+	}
+	return time.Duration(base * noise * slowdown * float64(time.Second))
+}
