@@ -19,6 +19,7 @@ import (
 	"adapcc/internal/collective"
 	"adapcc/internal/core"
 	"adapcc/internal/experiments"
+	"adapcc/internal/payload"
 	"adapcc/internal/profile"
 	"adapcc/internal/relay"
 	"adapcc/internal/strategy"
@@ -82,9 +83,16 @@ func BenchmarkFig11Reduce(b *testing.B) {
 }
 
 func BenchmarkFig12AllReduce(b *testing.B) {
+	// Allocation guard: phantom payloads (the benchCfg default) must keep
+	// allocs/op at chunk-metadata scale, and the dense scratch pool's
+	// high-water mark is reported so regressions in buffer recycling show
+	// up in the bench table.
+	payload.ResetPoolStats()
+	b.ReportAllocs()
 	runFigure(b, "fig12", func(tab *experiments.Table, b *testing.B) {
 		metric(b, tab, tab.Rows[0].Label, "AdapCC", "adapcc-GB/s")
 		metric(b, tab, tab.Rows[0].Label, "NCCL", "nccl-GB/s")
+		b.ReportMetric(float64(payload.PoolStats().Peak), "pool-peak-bufs")
 	})
 }
 
@@ -206,8 +214,7 @@ func benchExec(b *testing.B, c *topology.Cluster, mutate func(*synth.Request)) t
 		b.Fatal(err)
 	}
 	var elapsed time.Duration
-	inputs := backend.MakeInputs(env.AllRanks(), req.Bytes)
-	err = env.Exec.Run(toOp(res, inputs, &elapsed))
+	err = env.Exec.Run(toOp(res, payload.Phantom, &elapsed))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -402,7 +409,7 @@ func BenchmarkAblationNCCLAlgorithm(b *testing.B) {
 			b.Fatal(err)
 		}
 		var elapsed time.Duration
-		op := toOp(&synth.Result{Strategy: st}, backend.MakeInputs(env.AllRanks(), bytes), &elapsed)
+		op := toOp(&synth.Result{Strategy: st}, payload.Phantom, &elapsed)
 		op.SingleStream = true
 		if err := env.Exec.Run(op); err != nil {
 			b.Fatal(err)
@@ -575,8 +582,7 @@ func BenchmarkExecutor(b *testing.B) {
 			b.Fatal(err)
 		}
 		var elapsed time.Duration
-		inputs := backend.MakeInputs(env.AllRanks(), 8<<20)
-		if err := env.Exec.Run(toOp(res, inputs, &elapsed)); err != nil {
+		if err := env.Exec.Run(toOp(res, payload.Phantom, &elapsed)); err != nil {
 			b.Fatal(err)
 		}
 		env.Engine.Run()
@@ -585,10 +591,12 @@ func BenchmarkExecutor(b *testing.B) {
 
 // helpers ---------------------------------------------------------------
 
-func toOp(res *synth.Result, inputs map[int][]float32, elapsed *time.Duration) collective.Op {
+// toOp wraps a synthesised strategy in an Op running in the given payload
+// mode (benchmarks default to Phantom: identical timeline, no tensor data).
+func toOp(res *synth.Result, mode payload.Mode, elapsed *time.Duration) collective.Op {
 	return collective.Op{
 		Strategy: res.Strategy,
-		Inputs:   inputs,
+		Mode:     mode,
 		OnDone:   func(r collective.Result) { *elapsed = r.Elapsed },
 	}
 }

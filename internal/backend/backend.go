@@ -12,6 +12,7 @@ import (
 	"adapcc/internal/collective"
 	"adapcc/internal/device"
 	"adapcc/internal/fabric"
+	"adapcc/internal/payload"
 	"adapcc/internal/sim"
 	"adapcc/internal/strategy"
 	"adapcc/internal/topology"
@@ -26,8 +27,13 @@ type Request struct {
 	Ranks []int
 	// Root for Reduce/Broadcast; ignored otherwise.
 	Root int
-	// Inputs holds each participating rank's tensor. Backends that only
-	// need timing may be driven with synthetic inputs from MakeInputs.
+	// Mode selects the data plane (Dense default). Timing-only sweeps use
+	// Phantom: no float32 tensors are materialised and the measured
+	// timeline is identical to the Dense run of the same seed.
+	Mode payload.Mode
+	// Inputs holds each participating rank's tensor. Dense mode only;
+	// backends that only need timing may be driven with synthetic inputs
+	// from MakeInputs, or with Mode set to Phantom and no Inputs at all.
 	Inputs map[int][]float32
 	// OnDone receives the result.
 	OnDone func(collective.Result)
@@ -102,10 +108,28 @@ func MakeInputs(ranks []int, bytes int64) map[int][]float32 {
 	return in
 }
 
+// MakePayloads builds deterministic per-rank payloads for a request: dense
+// wraps MakeInputs tensors, phantom synthesises provenance-only inputs.
+func MakePayloads(ranks []int, bytes int64, mode payload.Mode) map[int]payload.Payload {
+	out := make(map[int]payload.Payload, len(ranks))
+	if mode == payload.Phantom {
+		elems := int(bytes / 4)
+		for _, r := range ranks {
+			out[r] = payload.PhantomInput(r, elems)
+		}
+		return out
+	}
+	for r, v := range MakeInputs(ranks, bytes) {
+		out[r] = payload.WrapDense(v)
+	}
+	return out
+}
+
 // Measure synchronously runs one collective on a backend and returns the
-// elapsed virtual time (it drains the engine).
+// elapsed virtual time (it drains the engine). Phantom requests skip input
+// materialisation entirely.
 func Measure(env *Env, b Backend, req Request) (time.Duration, error) {
-	if req.Inputs == nil {
+	if req.Inputs == nil && req.Mode == payload.Dense {
 		ranks := req.Ranks
 		if ranks == nil {
 			ranks = env.AllRanks()

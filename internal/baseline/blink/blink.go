@@ -9,14 +9,15 @@
 package blink
 
 import (
+	"adapcc/internal/baseline/common"
 	"fmt"
 	"sort"
 
 	"adapcc/internal/backend"
 	"adapcc/internal/collective"
+	"adapcc/internal/payload"
 	"adapcc/internal/sim"
 	"adapcc/internal/strategy"
-	"adapcc/internal/topology"
 )
 
 // ChunkBytes is Blink's empirical chunk size (8 MB).
@@ -41,7 +42,7 @@ func (b *Backend) Run(req backend.Request) error {
 	if ranks == nil {
 		ranks = b.env.AllRanks()
 	}
-	byServer, servers, err := groupRanks(b.env.Graph, ranks)
+	byServer, servers, err := common.GroupRanks(b.env.Graph, ranks, "blink")
 	if err != nil {
 		return err
 	}
@@ -88,15 +89,34 @@ func (b *Backend) runReduceLike(req backend.Request, ranks []int, byServer map[i
 	}
 	sort.Ints(leaderRanks)
 
-	finalOutputs := make(map[int][]float32)
+	// inputPayload is a rank's original contribution, stage-chained as a
+	// payload so dense and phantom modes flow through the same pipeline.
+	inputPayload := func(r int) payload.Payload {
+		if req.Mode == payload.Phantom {
+			return payload.PhantomInput(r, int(req.Bytes/4))
+		}
+		return payload.WrapDense(req.Inputs[r])
+	}
+
+	finalPayloads := make(map[int]payload.Payload)
+	var finalOutputs map[int][]float32
+	if req.Mode == payload.Dense {
+		finalOutputs = make(map[int][]float32)
+	}
+	record := func(r int, p payload.Payload) {
+		finalPayloads[r] = p
+		if finalOutputs != nil {
+			finalOutputs[r] = p.Float32()
+		}
+	}
 	finish := func() {
 		if req.OnDone != nil {
-			req.OnDone(collective.Result{Outputs: finalOutputs, Elapsed: eng.Now() - start})
+			req.OnDone(collective.Result{Outputs: finalOutputs, Payloads: finalPayloads, Elapsed: eng.Now() - start})
 		}
 	}
 
 	// Stage 2 inputs: per-leader local sums.
-	stage2Inputs := make(map[int][]float32, len(leaderRanks))
+	stage2Inputs := make(map[int]payload.Payload, len(leaderRanks))
 
 	stage3 := func() {
 		if req.Primitive == strategy.Reduce {
@@ -125,18 +145,19 @@ func (b *Backend) runReduceLike(req backend.Request, ranks []int, byServer map[i
 			if err != nil {
 				panic(err) // structure was validated in stage 1
 			}
-			inputs := map[int][]float32{l: finalOutputs[l]}
+			inputs := map[int]payload.Payload{l: finalPayloads[l]}
 			for _, r := range rs {
 				if r != l {
-					inputs[r] = finalOutputs[l] // unused by broadcast non-roots
+					inputs[r] = finalPayloads[l] // unused by broadcast non-roots
 				}
 			}
 			err = b.env.Exec.Run(collective.Op{
 				Strategy: st,
-				Inputs:   inputs,
+				Mode:     req.Mode,
+				Payloads: inputs,
 				OnDone: func(res collective.Result) {
-					for r, out := range res.Outputs {
-						finalOutputs[r] = out
+					for r, out := range res.Payloads {
+						record(r, out)
 					}
 					barrier.Done()
 				},
@@ -149,7 +170,7 @@ func (b *Backend) runReduceLike(req backend.Request, ranks []int, byServer map[i
 
 	stage2 := func() {
 		if len(leaderRanks) == 1 {
-			finalOutputs[leaderRanks[0]] = stage2Inputs[leaderRanks[0]]
+			record(leaderRanks[0], stage2Inputs[leaderRanks[0]])
 			stage3()
 			return
 		}
@@ -163,10 +184,11 @@ func (b *Backend) runReduceLike(req backend.Request, ranks []int, byServer map[i
 		}
 		err = b.env.Exec.Run(collective.Op{
 			Strategy: st,
-			Inputs:   stage2Inputs,
+			Mode:     req.Mode,
+			Payloads: stage2Inputs,
 			OnDone: func(res collective.Result) {
-				for r, out := range res.Outputs {
-					finalOutputs[r] = out
+				for r, out := range res.Payloads {
+					record(r, out)
 				}
 				stage3()
 			},
@@ -183,7 +205,7 @@ func (b *Backend) runReduceLike(req backend.Request, ranks []int, byServer map[i
 			ops++
 		} else {
 			l := leaders[s]
-			stage2Inputs[l] = req.Inputs[l]
+			stage2Inputs[l] = inputPayload(l)
 		}
 	}
 	if ops == 0 {
@@ -201,15 +223,16 @@ func (b *Backend) runReduceLike(req backend.Request, ranks []int, byServer map[i
 		if err != nil {
 			return err
 		}
-		inputs := make(map[int][]float32, len(rs))
+		inputs := make(map[int]payload.Payload, len(rs))
 		for _, r := range rs {
-			inputs[r] = req.Inputs[r]
+			inputs[r] = inputPayload(r)
 		}
 		err = b.env.Exec.Run(collective.Op{
 			Strategy: st,
-			Inputs:   inputs,
+			Mode:     req.Mode,
+			Payloads: inputs,
 			OnDone: func(res collective.Result) {
-				stage2Inputs[l] = res.Outputs[l]
+				stage2Inputs[l] = res.Payloads[l]
 				barrier.Done()
 			},
 		})
@@ -224,13 +247,14 @@ func (b *Backend) runReduceLike(req backend.Request, ranks []int, byServer map[i
 // over NVLink, or via the host path without NVLink).
 func (b *Backend) localTree(p strategy.Primitive, bytes int64, rs []int, leader int) (*strategy.Strategy, error) {
 	g := b.env.Graph
-	sc := strategy.SubCollective{ID: 0, Bytes: bytes, ChunkBytes: chunkFor(bytes), Root: leader}
+	sc := strategy.SubCollective{ID: 0, Bytes: bytes, ChunkBytes: common.ChunkFor(bytes, ChunkBytes), Root: leader}
 	id := 0
+	rt := common.Router{G: g, Sys: "blink"}
 	for _, r := range rs {
 		if r == leader {
 			continue
 		}
-		path, err := route(g, r, leader)
+		path, err := rt.Route(r, leader)
 		if err != nil {
 			return nil, err
 		}
@@ -239,7 +263,7 @@ func (b *Backend) localTree(p strategy.Primitive, bytes int64, rs []int, leader 
 	}
 	st := &strategy.Strategy{Primitive: p, TotalBytes: bytes, SubCollectives: []strategy.SubCollective{sc}}
 	if p == strategy.Broadcast {
-		st = reverse(st)
+		st = common.ReverseRooted(st)
 	}
 	return st, nil
 }
@@ -247,7 +271,7 @@ func (b *Backend) localTree(p strategy.Primitive, bytes int64, rs []int, leader 
 // interTree builds the NCCL-style binary tree among server leaders.
 func (b *Backend) interTree(p strategy.Primitive, bytes int64, leaders []int, root int) (*strategy.Strategy, error) {
 	g := b.env.Graph
-	sc := strategy.SubCollective{ID: 0, Bytes: bytes, ChunkBytes: chunkFor(bytes), Root: root}
+	sc := strategy.SubCollective{ID: 0, Bytes: bytes, ChunkBytes: common.ChunkFor(bytes, ChunkBytes), Root: root}
 	var others []int
 	for _, l := range leaders {
 		if l != root {
@@ -260,7 +284,7 @@ func (b *Backend) interTree(p strategy.Primitive, bytes int64, leaders []int, ro
 		if i > 0 {
 			up = others[(i-1)/2]
 		}
-		path, err := route(g, l, up)
+		path, err := common.Router{G: g, Sys: "blink"}.Route(l, up)
 		if err != nil {
 			return nil, err
 		}
@@ -272,14 +296,14 @@ func (b *Backend) interTree(p strategy.Primitive, bytes int64, leaders []int, ro
 
 func (b *Backend) runLocalAlltoAll(req backend.Request, ranks []int) error {
 	g := b.env.Graph
-	sc := strategy.SubCollective{ID: 0, Bytes: req.Bytes, ChunkBytes: chunkFor(req.Bytes), Root: -1}
+	sc := strategy.SubCollective{ID: 0, Bytes: req.Bytes, ChunkBytes: common.ChunkFor(req.Bytes, ChunkBytes), Root: -1}
 	id := 0
 	for _, src := range ranks {
 		for _, dst := range ranks {
 			if src == dst {
 				continue
 			}
-			path, err := route(g, src, dst)
+			path, err := common.Router{G: g, Sys: "blink"}.Route(src, dst)
 			if err != nil {
 				return err
 			}
@@ -288,92 +312,7 @@ func (b *Backend) runLocalAlltoAll(req backend.Request, ranks []int) error {
 		}
 	}
 	st := &strategy.Strategy{Primitive: strategy.AlltoAll, TotalBytes: req.Bytes, SubCollectives: []strategy.SubCollective{sc}}
-	return b.env.Exec.Run(collective.Op{Strategy: st, Inputs: req.Inputs, OnDone: req.OnDone})
-}
-
-func chunkFor(bytes int64) int64 {
-	c := int64(ChunkBytes)
-	if c > bytes {
-		c = bytes
-	}
-	if c < 4 {
-		c = 4
-	}
-	return c / 4 * 4
-}
-
-func route(g *topology.Graph, fromRank, toRank int) ([]topology.NodeID, error) {
-	from, ok := g.GPUByRank(fromRank)
-	if !ok {
-		return nil, fmt.Errorf("blink: unknown rank %d", fromRank)
-	}
-	to, ok := g.GPUByRank(toRank)
-	if !ok {
-		return nil, fmt.Errorf("blink: unknown rank %d", toRank)
-	}
-	if g.SameServer(from, to) {
-		if _, direct := g.EdgeBetween(from, to); direct {
-			return []topology.NodeID{from, to}, nil
-		}
-		nic, ok := g.NICOfServer(g.Node(from).Server, 0)
-		if !ok {
-			return nil, fmt.Errorf("blink: server %d has no NIC", g.Node(from).Server)
-		}
-		return []topology.NodeID{from, nic, to}, nil
-	}
-	fromNIC, ok := g.NICOfServer(g.Node(from).Server, 0)
-	if !ok {
-		return nil, fmt.Errorf("blink: server %d has no NIC", g.Node(from).Server)
-	}
-	toNIC, ok := g.NICOfServer(g.Node(to).Server, 0)
-	if !ok {
-		return nil, fmt.Errorf("blink: server %d has no NIC", g.Node(to).Server)
-	}
-	sw, ok := g.Switch()
-	if !ok {
-		return nil, fmt.Errorf("blink: no core switch in a multi-server graph")
-	}
-	return []topology.NodeID{from, fromNIC, sw, toNIC, to}, nil
-}
-
-func groupRanks(g *topology.Graph, ranks []int) (map[int][]int, []int, error) {
-	byServer := make(map[int][]int)
-	for _, r := range ranks {
-		id, ok := g.GPUByRank(r)
-		if !ok {
-			return nil, nil, fmt.Errorf("blink: unknown rank %d", r)
-		}
-		byServer[g.Node(id).Server] = append(byServer[g.Node(id).Server], r)
-	}
-	servers := make([]int, 0, len(byServer))
-	for s := range byServer {
-		sort.Ints(byServer[s])
-		servers = append(servers, s)
-	}
-	sort.Ints(servers)
-	return byServer, servers, nil
-}
-
-func reverse(st *strategy.Strategy) *strategy.Strategy {
-	out := &strategy.Strategy{Primitive: st.Primitive, TotalBytes: st.TotalBytes}
-	for _, sc := range st.SubCollectives {
-		rev := strategy.SubCollective{ID: sc.ID, Bytes: sc.Bytes, ChunkBytes: sc.ChunkBytes, Root: sc.Root}
-		for i := len(sc.Flows) - 1; i >= 0; i-- {
-			f := sc.Flows[i]
-			path := make([]topology.NodeID, len(f.Path))
-			for j, n := range f.Path {
-				path[len(f.Path)-1-j] = n
-			}
-			rev.Flows = append(rev.Flows, strategy.Flow{
-				ID:      len(rev.Flows),
-				SrcRank: f.DstRank,
-				DstRank: f.SrcRank,
-				Path:    path,
-			})
-		}
-		out.SubCollectives = append(out.SubCollectives, rev)
-	}
-	return out
+	return b.env.Exec.Run(collective.Op{Strategy: st, Mode: req.Mode, Inputs: req.Inputs, OnDone: req.OnDone})
 }
 
 // StagePlans returns the strategies of each barrier-separated stage for
@@ -386,7 +325,7 @@ func (b *Backend) StagePlans(p strategy.Primitive, bytes int64, ranks []int, roo
 		return nil, fmt.Errorf("blink: StagePlans supports Reduce/AllReduce only")
 	}
 	g := b.env.Graph
-	byServer, servers, err := groupRanks(g, ranks)
+	byServer, servers, err := common.GroupRanks(g, ranks, "blink")
 	if err != nil {
 		return nil, err
 	}

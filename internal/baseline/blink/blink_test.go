@@ -1,6 +1,7 @@
 package blink
 
 import (
+	"adapcc/internal/baseline/common"
 	"testing"
 
 	"adapcc/internal/backend"
@@ -29,13 +30,13 @@ func homoEnv(t *testing.T, servers, gpus int) *backend.Env {
 }
 
 func TestChunkForCapsAtEightMB(t *testing.T) {
-	if got := chunkFor(64 << 20); got != ChunkBytes {
+	if got := common.ChunkFor(64<<20, ChunkBytes); got != ChunkBytes {
 		t.Errorf("chunkFor(64MB) = %d, want the fixed 8 MB", got)
 	}
-	if got := chunkFor(1 << 20); got != 1<<20 {
+	if got := common.ChunkFor(1<<20, ChunkBytes); got != 1<<20 {
 		t.Errorf("chunkFor(1MB) = %d, want the whole buffer", got)
 	}
-	if got := chunkFor(2); got != 4 {
+	if got := common.ChunkFor(2, ChunkBytes); got != 4 {
 		t.Errorf("chunkFor(2) = %d, want the 4-byte floor", got)
 	}
 }

@@ -1,0 +1,123 @@
+// Package common holds the topology helpers every baseline backend
+// (NCCL, MSCCL, Blink) needs: bucketing participants by server, routing
+// between ranks the way static transports do, reversing a rooted reduce
+// tree into its broadcast mirror, and clamping chunk sizes. The three
+// systems differ in the plans they build, not in these mechanics, so the
+// helpers live here once, parameterised by the backend's error prefix.
+package common
+
+import (
+	"fmt"
+	"sort"
+
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// GroupRanks buckets participant ranks by server, returning the bucket map
+// (rank lists sorted) and the sorted server list. sys prefixes error
+// messages ("nccl", "msccl", "blink").
+func GroupRanks(g *topology.Graph, ranks []int, sys string) (map[int][]int, []int, error) {
+	byServer := make(map[int][]int)
+	for _, r := range ranks {
+		id, ok := g.GPUByRank(r)
+		if !ok {
+			return nil, nil, fmt.Errorf("%s: unknown rank %d", sys, r)
+		}
+		s := g.Node(id).Server
+		byServer[s] = append(byServer[s], r)
+	}
+	servers := make([]int, 0, len(byServer))
+	for s := range byServer {
+		sort.Ints(byServer[s])
+		servers = append(servers, s)
+	}
+	sort.Ints(servers)
+	return byServer, servers, nil
+}
+
+// Router resolves rank-to-rank paths the way static transports do: NVLink
+// if a direct edge exists, a host/PCIe bounce through the server's NIC
+// otherwise, and NIC → core switch → NIC across servers.
+type Router struct {
+	G *topology.Graph
+	// Sys prefixes error messages ("nccl", "msccl", "blink").
+	Sys string
+}
+
+// Route returns the node path from one rank's GPU to another's.
+func (rt Router) Route(fromRank, toRank int) ([]topology.NodeID, error) {
+	g := rt.G
+	from, ok := g.GPUByRank(fromRank)
+	if !ok {
+		return nil, fmt.Errorf("%s: unknown rank %d", rt.Sys, fromRank)
+	}
+	to, ok := g.GPUByRank(toRank)
+	if !ok {
+		return nil, fmt.Errorf("%s: unknown rank %d", rt.Sys, toRank)
+	}
+	if g.SameServer(from, to) {
+		if _, direct := g.EdgeBetween(from, to); direct {
+			return []topology.NodeID{from, to}, nil
+		}
+		nic, ok := g.NICOfServer(g.Node(from).Server, 0)
+		if !ok {
+			return nil, fmt.Errorf("%s: server %d has no NIC", rt.Sys, g.Node(from).Server)
+		}
+		return []topology.NodeID{from, nic, to}, nil
+	}
+	fromNIC, ok := g.NICOfServer(g.Node(from).Server, 0)
+	if !ok {
+		return nil, fmt.Errorf("%s: server %d has no NIC", rt.Sys, g.Node(from).Server)
+	}
+	toNIC, ok := g.NICOfServer(g.Node(to).Server, 0)
+	if !ok {
+		return nil, fmt.Errorf("%s: server %d has no NIC", rt.Sys, g.Node(to).Server)
+	}
+	sw, ok := g.Switch()
+	if !ok {
+		return nil, fmt.Errorf("%s: no core switch in a multi-server graph", rt.Sys)
+	}
+	return []topology.NodeID{from, fromNIC, sw, toNIC, to}, nil
+}
+
+// ReverseRooted turns a reduce in-tree strategy into the broadcast
+// out-tree with the same shape: every flow swaps endpoints and walks its
+// path backwards, in reverse flow order so dependency chains still
+// resolve leaf-last.
+func ReverseRooted(st *strategy.Strategy) *strategy.Strategy {
+	out := &strategy.Strategy{Primitive: st.Primitive, TotalBytes: st.TotalBytes}
+	for _, sc := range st.SubCollectives {
+		rev := strategy.SubCollective{ID: sc.ID, Bytes: sc.Bytes, ChunkBytes: sc.ChunkBytes, Root: sc.Root}
+		for i := len(sc.Flows) - 1; i >= 0; i-- {
+			f := sc.Flows[i]
+			path := make([]topology.NodeID, len(f.Path))
+			for j, n := range f.Path {
+				path[len(f.Path)-1-j] = n
+			}
+			rev.Flows = append(rev.Flows, strategy.Flow{
+				ID:      len(rev.Flows),
+				SrcRank: f.DstRank,
+				DstRank: f.SrcRank,
+				Path:    path,
+			})
+		}
+		out.SubCollectives = append(out.SubCollectives, rev)
+	}
+	return out
+}
+
+// ChunkFor clamps a backend's fixed chunk size to the tensor: min(bytes,
+// cap), floored at one element and rounded down to whole float32s. The
+// cap is the system-specific policy (NCCL 512 KB, Blink 8 MB); MSCCL's
+// count-based split stays in its own package.
+func ChunkFor(bytes, cap int64) int64 {
+	c := cap
+	if c > bytes {
+		c = bytes
+	}
+	if c < 4 {
+		c = 4
+	}
+	return c / 4 * 4
+}

@@ -8,13 +8,12 @@
 package msccl
 
 import (
+	"adapcc/internal/baseline/common"
 	"fmt"
-	"sort"
 
 	"adapcc/internal/backend"
 	"adapcc/internal/collective"
 	"adapcc/internal/strategy"
-	"adapcc/internal/topology"
 )
 
 const (
@@ -52,6 +51,7 @@ func (b *Backend) Run(req backend.Request) error {
 	}
 	return b.env.Exec.Run(collective.Op{
 		Strategy: st,
+		Mode:     req.Mode,
 		Inputs:   req.Inputs,
 		OnDone:   req.OnDone,
 	})
@@ -63,7 +63,7 @@ func (b *Backend) Run(req backend.Request) error {
 // homogeneous topology and blind to actual NIC speeds).
 func (b *Backend) BuildStrategy(p strategy.Primitive, bytes int64, ranks []int, root int) (*strategy.Strategy, error) {
 	g := b.env.Graph
-	byServer, servers, err := groupRanks(g, ranks)
+	byServer, servers, err := common.GroupRanks(g, ranks, "msccl")
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +99,7 @@ func (b *Backend) BuildStrategy(p strategy.Primitive, bytes int64, ranks []int, 
 		st.SubCollectives = append(st.SubCollectives, *sc)
 	}
 	if p == strategy.Broadcast {
-		st = reverseRooted(st)
+		st = common.ReverseRooted(st)
 	}
 	return st, nil
 }
@@ -111,12 +111,12 @@ func (b *Backend) rootedSub(p strategy.Primitive, byServer map[int][]int, server
 		return nil, fmt.Errorf("msccl: unknown root %d", root)
 	}
 	rootServer := g.Node(rootID).Server
-	pb := pathResolver{g: g}
+	pb := common.Router{G: g, Sys: "msccl"}
 
 	sc := &strategy.SubCollective{Root: root}
 	id := 0
 	add := func(src, dst int) error {
-		path, err := pb.route(src, dst)
+		path, err := pb.Route(src, dst)
 		if err != nil {
 			return err
 		}
@@ -165,7 +165,7 @@ func (b *Backend) rootedSub(p strategy.Primitive, byServer map[int][]int, server
 }
 
 func (b *Backend) alltoallSub(ranks []int, ch int) (*strategy.SubCollective, error) {
-	pb := pathResolver{g: b.env.Graph}
+	pb := common.Router{G: b.env.Graph, Sys: "msccl"}
 	sc := &strategy.SubCollective{Root: -1}
 	id := 0
 	for _, src := range ranks {
@@ -173,7 +173,7 @@ func (b *Backend) alltoallSub(ranks []int, ch int) (*strategy.SubCollective, err
 			if src == dst {
 				continue
 			}
-			path, err := pb.route(src, dst)
+			path, err := pb.Route(src, dst)
 			if err != nil {
 				return nil, err
 			}
@@ -194,83 +194,4 @@ func splitBytes(total int64, n int) []int64 {
 	}
 	parts[n-1] += total - used
 	return parts
-}
-
-func groupRanks(g *topology.Graph, ranks []int) (map[int][]int, []int, error) {
-	byServer := make(map[int][]int)
-	for _, r := range ranks {
-		id, ok := g.GPUByRank(r)
-		if !ok {
-			return nil, nil, fmt.Errorf("msccl: unknown rank %d", r)
-		}
-		byServer[g.Node(id).Server] = append(byServer[g.Node(id).Server], r)
-	}
-	servers := make([]int, 0, len(byServer))
-	for s := range byServer {
-		sort.Ints(byServer[s])
-		servers = append(servers, s)
-	}
-	sort.Ints(servers)
-	return byServer, servers, nil
-}
-
-type pathResolver struct {
-	g *topology.Graph
-}
-
-func (pr pathResolver) route(fromRank, toRank int) ([]topology.NodeID, error) {
-	g := pr.g
-	from, ok := g.GPUByRank(fromRank)
-	if !ok {
-		return nil, fmt.Errorf("msccl: unknown rank %d", fromRank)
-	}
-	to, ok := g.GPUByRank(toRank)
-	if !ok {
-		return nil, fmt.Errorf("msccl: unknown rank %d", toRank)
-	}
-	if g.SameServer(from, to) {
-		if _, direct := g.EdgeBetween(from, to); direct {
-			return []topology.NodeID{from, to}, nil
-		}
-		nic, ok := g.NICOfServer(g.Node(from).Server, 0)
-		if !ok {
-			return nil, fmt.Errorf("msccl: server %d has no NIC", g.Node(from).Server)
-		}
-		return []topology.NodeID{from, nic, to}, nil
-	}
-	fromNIC, ok := g.NICOfServer(g.Node(from).Server, 0)
-	if !ok {
-		return nil, fmt.Errorf("msccl: server %d has no NIC", g.Node(from).Server)
-	}
-	toNIC, ok := g.NICOfServer(g.Node(to).Server, 0)
-	if !ok {
-		return nil, fmt.Errorf("msccl: server %d has no NIC", g.Node(to).Server)
-	}
-	sw, ok := g.Switch()
-	if !ok {
-		return nil, fmt.Errorf("msccl: no core switch in a multi-server graph")
-	}
-	return []topology.NodeID{from, fromNIC, sw, toNIC, to}, nil
-}
-
-func reverseRooted(st *strategy.Strategy) *strategy.Strategy {
-	out := &strategy.Strategy{Primitive: st.Primitive, TotalBytes: st.TotalBytes}
-	for _, sc := range st.SubCollectives {
-		rev := strategy.SubCollective{ID: sc.ID, Bytes: sc.Bytes, ChunkBytes: sc.ChunkBytes, Root: sc.Root}
-		for i := len(sc.Flows) - 1; i >= 0; i-- {
-			f := sc.Flows[i]
-			path := make([]topology.NodeID, len(f.Path))
-			for j, n := range f.Path {
-				path[len(f.Path)-1-j] = n
-			}
-			rev.Flows = append(rev.Flows, strategy.Flow{
-				ID:      len(rev.Flows),
-				SrcRank: f.DstRank,
-				DstRank: f.SrcRank,
-				Path:    path,
-			})
-		}
-		out.SubCollectives = append(out.SubCollectives, rev)
-	}
-	return out
 }

@@ -10,13 +10,13 @@
 package nccl
 
 import (
+	"adapcc/internal/baseline/common"
 	"fmt"
 	"sort"
 
 	"adapcc/internal/backend"
 	"adapcc/internal/collective"
 	"adapcc/internal/strategy"
-	"adapcc/internal/topology"
 )
 
 // ChunkBytes is NCCL's fixed pipeline chunk size.
@@ -47,6 +47,7 @@ func (b *Backend) Run(req backend.Request) error {
 	}
 	return b.env.Exec.Run(collective.Op{
 		Strategy:     st,
+		Mode:         req.Mode,
 		Inputs:       req.Inputs,
 		SingleStream: true, // one channel / one stream
 		OnDone:       req.OnDone,
@@ -78,7 +79,7 @@ func (b *Backend) rootedStrategy(p strategy.Primitive, bytes int64, ranks []int,
 	if p == strategy.AllReduce || root < 0 {
 		root = ranks[0]
 	}
-	byServer, servers, err := groupRanks(g, ranks)
+	byServer, servers, err := common.GroupRanks(g, ranks, "nccl")
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +132,7 @@ func (b *Backend) rootedStrategy(p strategy.Primitive, bytes int64, ranks []int,
 	parts[trees-1] += bytes - used
 
 	st := &strategy.Strategy{Primitive: p, TotalBytes: bytes}
-	pb := pathResolver{g: g}
+	pb := common.Router{G: g, Sys: "nccl"}
 	for tree := 0; tree < trees; tree++ {
 		parent := make(map[int]int, len(intraParent)+len(others))
 		for k, v := range intraParent {
@@ -154,7 +155,7 @@ func (b *Backend) rootedStrategy(p strategy.Primitive, bytes int64, ranks []int,
 			parent[leader[s]] = leader[up]
 		}
 
-		sc := strategy.SubCollective{ID: tree, Bytes: parts[tree], ChunkBytes: chunkFor(parts[tree]), Root: root}
+		sc := strategy.SubCollective{ID: tree, Bytes: parts[tree], ChunkBytes: common.ChunkFor(parts[tree], ChunkBytes), Root: root}
 		id := 0
 		for _, r := range ranks {
 			if r == root {
@@ -164,7 +165,7 @@ func (b *Backend) rootedStrategy(p strategy.Primitive, bytes int64, ranks []int,
 			if !ok {
 				return nil, fmt.Errorf("nccl: rank %d has no parent", r)
 			}
-			path, err := pb.route(r, pRank)
+			path, err := pb.Route(r, pRank)
 			if err != nil {
 				return nil, err
 			}
@@ -174,7 +175,7 @@ func (b *Backend) rootedStrategy(p strategy.Primitive, bytes int64, ranks []int,
 		st.SubCollectives = append(st.SubCollectives, sc)
 	}
 	if p == strategy.Broadcast {
-		st = reverseRooted(st)
+		st = common.ReverseRooted(st)
 	}
 	return st, nil
 }
@@ -182,15 +183,15 @@ func (b *Backend) rootedStrategy(p strategy.Primitive, bytes int64, ranks []int,
 // alltoallStrategy: NCCL has no native AlltoAll; the paper implements it
 // with pairwise ncclSend/ncclRecv — direct flows, one channel.
 func (b *Backend) alltoallStrategy(bytes int64, ranks []int) (*strategy.Strategy, error) {
-	pb := pathResolver{g: b.env.Graph}
-	sc := strategy.SubCollective{ID: 0, Bytes: bytes, ChunkBytes: chunkFor(bytes), Root: -1}
+	pb := common.Router{G: b.env.Graph, Sys: "nccl"}
+	sc := strategy.SubCollective{ID: 0, Bytes: bytes, ChunkBytes: common.ChunkFor(bytes, ChunkBytes), Root: -1}
 	id := 0
 	for _, src := range ranks {
 		for _, dst := range ranks {
 			if src == dst {
 				continue
 			}
-			path, err := pb.route(src, dst)
+			path, err := pb.Route(src, dst)
 			if err != nil {
 				return nil, err
 			}
@@ -203,101 +204,4 @@ func (b *Backend) alltoallStrategy(bytes int64, ranks []int) (*strategy.Strategy
 		TotalBytes:     bytes,
 		SubCollectives: []strategy.SubCollective{sc},
 	}, nil
-}
-
-func chunkFor(bytes int64) int64 {
-	c := int64(ChunkBytes)
-	if c > bytes {
-		c = bytes
-	}
-	if c < 4 {
-		c = 4
-	}
-	return c / 4 * 4
-}
-
-// groupRanks buckets participant ranks by server.
-func groupRanks(g *topology.Graph, ranks []int) (map[int][]int, []int, error) {
-	byServer := make(map[int][]int)
-	for _, r := range ranks {
-		id, ok := g.GPUByRank(r)
-		if !ok {
-			return nil, nil, fmt.Errorf("nccl: unknown rank %d", r)
-		}
-		s := g.Node(id).Server
-		byServer[s] = append(byServer[s], r)
-	}
-	servers := make([]int, 0, len(byServer))
-	for s := range byServer {
-		sort.Ints(byServer[s])
-		servers = append(servers, s)
-	}
-	sort.Ints(servers)
-	return byServer, servers, nil
-}
-
-// pathResolver routes between two ranks the way NCCL's transports do:
-// NVLink if present, host/PCIe bounce otherwise, NIC-to-NIC across
-// servers.
-type pathResolver struct {
-	g *topology.Graph
-}
-
-func (pr pathResolver) route(fromRank, toRank int) ([]topology.NodeID, error) {
-	g := pr.g
-	from, ok := g.GPUByRank(fromRank)
-	if !ok {
-		return nil, fmt.Errorf("nccl: unknown rank %d", fromRank)
-	}
-	to, ok := g.GPUByRank(toRank)
-	if !ok {
-		return nil, fmt.Errorf("nccl: unknown rank %d", toRank)
-	}
-	if g.SameServer(from, to) {
-		if _, direct := g.EdgeBetween(from, to); direct {
-			return []topology.NodeID{from, to}, nil
-		}
-		nic, ok := g.NICOfServer(g.Node(from).Server, 0)
-		if !ok {
-			return nil, fmt.Errorf("nccl: server %d has no NIC", g.Node(from).Server)
-		}
-		return []topology.NodeID{from, nic, to}, nil
-	}
-	fromNIC, ok := g.NICOfServer(g.Node(from).Server, 0)
-	if !ok {
-		return nil, fmt.Errorf("nccl: server %d has no NIC", g.Node(from).Server)
-	}
-	toNIC, ok := g.NICOfServer(g.Node(to).Server, 0)
-	if !ok {
-		return nil, fmt.Errorf("nccl: server %d has no NIC", g.Node(to).Server)
-	}
-	sw, ok := g.Switch()
-	if !ok {
-		return nil, fmt.Errorf("nccl: no core switch in a multi-server graph")
-	}
-	return []topology.NodeID{from, fromNIC, sw, toNIC, to}, nil
-}
-
-// reverseRooted turns a reduce in-tree strategy into the broadcast
-// out-tree with the same shape.
-func reverseRooted(st *strategy.Strategy) *strategy.Strategy {
-	out := &strategy.Strategy{Primitive: st.Primitive, TotalBytes: st.TotalBytes}
-	for _, sc := range st.SubCollectives {
-		rev := strategy.SubCollective{ID: sc.ID, Bytes: sc.Bytes, ChunkBytes: sc.ChunkBytes, Root: sc.Root}
-		for i := len(sc.Flows) - 1; i >= 0; i-- {
-			f := sc.Flows[i]
-			path := make([]topology.NodeID, len(f.Path))
-			for j, n := range f.Path {
-				path[len(f.Path)-1-j] = n
-			}
-			rev.Flows = append(rev.Flows, strategy.Flow{
-				ID:      len(rev.Flows),
-				SrcRank: f.DstRank,
-				DstRank: f.SrcRank,
-				Path:    path,
-			})
-		}
-		out.SubCollectives = append(out.SubCollectives, rev)
-	}
-	return out
 }

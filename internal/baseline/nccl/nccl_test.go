@@ -1,6 +1,7 @@
 package nccl
 
 import (
+	"adapcc/internal/baseline/common"
 	"testing"
 
 	"adapcc/internal/backend"
@@ -187,7 +188,7 @@ func TestChunkFor(t *testing.T) {
 		{1002, 1000},           // 4-aligned
 	}
 	for _, c := range cases {
-		if got := chunkFor(c.bytes); got != c.want {
+		if got := common.ChunkFor(c.bytes, ChunkBytes); got != c.want {
 			t.Errorf("chunkFor(%d) = %d, want %d", c.bytes, got, c.want)
 		}
 	}
@@ -195,22 +196,22 @@ func TestChunkFor(t *testing.T) {
 
 func TestRouteShapes(t *testing.T) {
 	env := homoEnv(t, 2, 2)
-	pr := pathResolver{g: env.Graph}
-	intra, err := pr.route(0, 1)
+	pr := common.Router{G: env.Graph, Sys: "nccl"}
+	intra, err := pr.Route(0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(intra) != 2 {
 		t.Errorf("NVLink route has %d hops, want direct (2 nodes)", len(intra))
 	}
-	inter, err := pr.route(0, 2)
+	inter, err := pr.Route(0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(inter) != 5 {
 		t.Errorf("cross-server route has %d nodes, want 5 (gpu-nic-switch-nic-gpu)", len(inter))
 	}
-	if _, err := pr.route(0, 99); err == nil {
+	if _, err := pr.Route(0, 99); err == nil {
 		t.Error("unknown rank routed without error")
 	}
 }

@@ -1,6 +1,7 @@
 package nccl
 
 import (
+	"adapcc/internal/baseline/common"
 	"fmt"
 	"sort"
 
@@ -71,7 +72,7 @@ func (b *Backend) RingStrategy(p strategy.Primitive, bytes int64, ranks []int, r
 	}
 	parts[channels-1] += bytes - used
 
-	pb := pathResolver{g: b.env.Graph}
+	pb := common.Router{G: b.env.Graph, Sys: "nccl"}
 	st := &strategy.Strategy{Primitive: p, TotalBytes: bytes}
 	n := len(order)
 	for ch := 0; ch < channels; ch++ {
@@ -79,13 +80,13 @@ func (b *Backend) RingStrategy(p strategy.Primitive, bytes int64, ranks []int, r
 		sc := strategy.SubCollective{
 			ID:         ch,
 			Bytes:      parts[ch],
-			ChunkBytes: chunkFor(parts[ch]),
+			ChunkBytes: common.ChunkFor(parts[ch], ChunkBytes),
 			Root:       order[(cut+n-1)%n],
 		}
 		for i := 0; i < n-1; i++ {
 			src := order[(cut+i)%n]
 			dst := order[(cut+i+1)%n]
-			path, err := pb.route(src, dst)
+			path, err := pb.Route(src, dst)
 			if err != nil {
 				return nil, err
 			}
@@ -102,7 +103,7 @@ func (b *Backend) RingStrategy(p strategy.Primitive, bytes int64, ranks []int, r
 // than Reduce/AllReduce always use the tree/pairwise builders.
 func (b *Backend) AutoStrategy(p strategy.Primitive, bytes int64, ranks []int, root int) (*strategy.Strategy, error) {
 	if (p == strategy.AllReduce || (p == strategy.Reduce && root < 0)) && bytes >= RingThresholdBytes {
-		if _, servers, err := groupRanks(b.env.Graph, ranks); err == nil && len(servers) >= 3 {
+		if _, servers, err := common.GroupRanks(b.env.Graph, ranks, "nccl"); err == nil && len(servers) >= 3 {
 			return b.RingStrategy(p, bytes, ranks, root)
 		}
 	}
@@ -113,7 +114,7 @@ func (b *Backend) AutoStrategy(p strategy.Primitive, bytes int64, ranks []int, r
 // order, each server's GPUs in rank order, so the cycle uses NVLink inside
 // a server and one NIC crossing per server boundary.
 func (b *Backend) ringOrder(ranks []int) ([]int, error) {
-	byServer, servers, err := groupRanks(b.env.Graph, ranks)
+	byServer, servers, err := common.GroupRanks(b.env.Graph, ranks, "nccl")
 	if err != nil {
 		return nil, err
 	}

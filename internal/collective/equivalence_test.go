@@ -1,0 +1,287 @@
+package collective_test
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/payload"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+	"adapcc/internal/trace"
+)
+
+// timelineEvent is the timing-plane fingerprint of one trace event: every
+// field the simulation clock produced, none of the data plane.
+type timelineEvent struct {
+	Name       string
+	Cat        string
+	PID, TID   int
+	Start, Dur time.Duration
+}
+
+// runTimeline executes one synthesised collective in the given payload
+// mode and returns its full traced timeline plus the result.
+func runTimeline(t *testing.T, build func() (*topology.Cluster, error), prim strategy.Primitive, bytes int64, m int, mode payload.Mode) ([]timelineEvent, collective.Result) {
+	t.Helper()
+	c, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := synth.Request{Primitive: prim, Bytes: bytes, Root: -1, M: m}
+	if prim == strategy.Reduce || prim == strategy.Broadcast {
+		req.Root = 0
+	}
+	res, err := synth.Synthesize(synth.NewCosts(env.Graph, nil), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	env.Exec.SetTracer(tr)
+	op := collective.Op{Strategy: res.Strategy, Mode: mode}
+	if mode == payload.Dense {
+		op.Inputs = backend.MakeInputs(env.AllRanks(), bytes)
+	}
+	var got collective.Result
+	op.OnDone = func(r collective.Result) { got = r }
+	if err := env.Exec.Run(op); err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if got.Elapsed <= 0 {
+		t.Fatalf("%v collective never completed", mode)
+	}
+	evs := make([]timelineEvent, 0, tr.Len())
+	for _, e := range tr.Events() {
+		evs = append(evs, timelineEvent{Name: e.Name, Cat: e.Cat, PID: e.PID, TID: e.TID, Start: e.Start, Dur: e.Dur})
+	}
+	return evs, got
+}
+
+// TestDensePhantomTimelinesIdentical is the load-bearing guarantee of the
+// payload split: a phantom run of a collective produces a bit-identical
+// virtual timeline — same events, same order, same timestamps, same
+// completion time — as the dense run of the same seed. Every timing sweep
+// that defaults to phantom mode rests on this.
+func TestDensePhantomTimelinesIdentical(t *testing.T) {
+	shapes := []struct {
+		name  string
+		build func() (*topology.Cluster, error)
+	}{
+		{"1x4", func() (*topology.Cluster, error) { return cluster.Homogeneous(topology.TransportRDMA, 1, 4) }},
+		{"3x2tcp", func() (*topology.Cluster, error) { return cluster.Homogeneous(topology.TransportTCP, 3, 2) }},
+		{"a2v2", func() (*topology.Cluster, error) {
+			return topology.NewCluster(topology.TransportRDMA, cluster.A100Server(2), cluster.V100Server(2))
+		}},
+	}
+	prims := []strategy.Primitive{strategy.Reduce, strategy.Broadcast, strategy.AllReduce, strategy.AlltoAll}
+	for _, sh := range shapes {
+		for _, prim := range prims {
+			for _, m := range []int{1, 4} {
+				name := fmt.Sprintf("%s/%v/M%d", sh.name, prim, m)
+				t.Run(name, func(t *testing.T) {
+					const bytes = 2 << 20
+					dEvs, dRes := runTimeline(t, sh.build, prim, bytes, m, payload.Dense)
+					pEvs, pRes := runTimeline(t, sh.build, prim, bytes, m, payload.Phantom)
+					if dRes.Elapsed != pRes.Elapsed {
+						t.Errorf("elapsed diverged: dense %v, phantom %v", dRes.Elapsed, pRes.Elapsed)
+					}
+					if len(dEvs) != len(pEvs) {
+						t.Fatalf("event counts diverged: dense %d, phantom %d", len(dEvs), len(pEvs))
+					}
+					for i := range dEvs {
+						if dEvs[i] != pEvs[i] {
+							t.Fatalf("event %d diverged:\ndense   %+v\nphantom %+v", i, dEvs[i], pEvs[i])
+						}
+					}
+					if dRes.Outputs == nil || pRes.Outputs != nil {
+						t.Error("dense should populate Outputs, phantom should not")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDensePhantomEquivalenceProperty drives random topologies, primitives
+// and tensor sizes (hence chunk layouts) through both modes and demands
+// identical timelines and per-rank completion metadata everywhere.
+func TestDensePhantomEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is slow")
+	}
+	f := func(srvSel, gpuSel, primSel, sizeSel, mSel uint8) bool {
+		servers := 1 + int(srvSel)%3 // 1..3
+		gpus := 1 + int(gpuSel)%3    // 1..3
+		if servers*gpus < 2 {
+			gpus = 2
+		}
+		prims := []strategy.Primitive{strategy.Reduce, strategy.Broadcast, strategy.AllReduce, strategy.AlltoAll}
+		prim := prims[int(primSel)%len(prims)]
+		// Odd sizes exercise chunk-tail handling and AlltoAll remainders.
+		sizes := []int64{64 << 10, 1 << 20, (1 << 20) + 4, 3<<20 + 12}
+		bytes := sizes[int(sizeSel)%len(sizes)]
+		m := []int{1, 2, 4}[int(mSel)%3]
+		build := func() (*topology.Cluster, error) {
+			return cluster.Homogeneous(topology.TransportRDMA, servers, gpus)
+		}
+		dEvs, dRes := runTimeline(t, build, prim, bytes, m, payload.Dense)
+		pEvs, pRes := runTimeline(t, build, prim, bytes, m, payload.Phantom)
+		return dRes.Elapsed == pRes.Elapsed && reflect.DeepEqual(dEvs, pEvs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhantomCollectiveProvenance verifies the phantom data plane carries
+// meaningful semantics: collective outputs report exactly which ranks'
+// contributions reached them, with the positional reference checksum.
+func TestPhantomCollectiveProvenance(t *testing.T) {
+	run := func(prim strategy.Primitive, root int) (collective.Result, []int, int) {
+		c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := backend.NewEnv(c, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := synth.Request{Primitive: prim, Bytes: 1 << 20, Root: root, M: 2}
+		res, err := synth.Synthesize(synth.NewCosts(env.Graph, nil), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got collective.Result
+		err = env.Exec.Run(collective.Op{
+			Strategy: res.Strategy,
+			Mode:     payload.Phantom,
+			OnDone:   func(r collective.Result) { got = r },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Engine.Run()
+		return got, env.AllRanks(), int((1 << 20) / 4)
+	}
+
+	t.Run("allreduce", func(t *testing.T) {
+		got, ranks, elems := run(strategy.AllReduce, -1)
+		if len(got.Payloads) != len(ranks) {
+			t.Fatalf("got %d outputs, want %d", len(got.Payloads), len(ranks))
+		}
+		want := payload.PhantomChecksum(ranks, 0, elems)
+		for r, p := range got.Payloads {
+			if !reflect.DeepEqual(p.Provenance(), ranks) {
+				t.Errorf("rank %d provenance = %v, want all ranks %v", r, p.Provenance(), ranks)
+			}
+			if p.Checksum() != want {
+				t.Errorf("rank %d checksum = %#x, want %#x", r, p.Checksum(), want)
+			}
+		}
+	})
+	t.Run("reduce", func(t *testing.T) {
+		got, ranks, elems := run(strategy.Reduce, 0)
+		p := got.Payloads[0]
+		if p == nil {
+			t.Fatal("root has no output payload")
+		}
+		if !reflect.DeepEqual(p.Provenance(), ranks) {
+			t.Errorf("root provenance = %v, want %v", p.Provenance(), ranks)
+		}
+		if want := payload.PhantomChecksum(ranks, 0, elems); p.Checksum() != want {
+			t.Errorf("root checksum = %#x, want %#x", p.Checksum(), want)
+		}
+	})
+	t.Run("broadcast", func(t *testing.T) {
+		got, ranks, elems := run(strategy.Broadcast, 0)
+		if len(got.Payloads) != len(ranks) {
+			t.Fatalf("got %d outputs, want %d", len(got.Payloads), len(ranks))
+		}
+		want := payload.PhantomChecksum([]int{0}, 0, elems)
+		for r, p := range got.Payloads {
+			if !reflect.DeepEqual(p.Provenance(), []int{0}) {
+				t.Errorf("rank %d provenance = %v, want just the root", r, p.Provenance())
+			}
+			if p.Checksum() != want {
+				t.Errorf("rank %d checksum = %#x, want %#x", r, p.Checksum(), want)
+			}
+		}
+	})
+	t.Run("alltoall", func(t *testing.T) {
+		got, ranks, elems := run(strategy.AlltoAll, -1)
+		if len(got.Payloads) != len(ranks) {
+			t.Fatalf("got %d outputs, want %d", len(got.Payloads), len(ranks))
+		}
+		for r, p := range got.Payloads {
+			// Provenance is the intersection over the window; no single
+			// sender covers a whole AlltoAll output, so it must be empty.
+			if len(p.Provenance()) != 0 {
+				t.Errorf("rank %d whole-tensor provenance = %v, want none", r, p.Provenance())
+			}
+			// But sampling elementwise, every sender's block must appear.
+			union := map[int]bool{}
+			for i := 0; i < elems; i += 64 {
+				for _, s := range p.View(i, i+1).Provenance() {
+					union[s] = true
+				}
+			}
+			if len(union) != len(ranks) {
+				t.Errorf("rank %d received blocks from %d senders, want %d", r, len(union), len(ranks))
+			}
+		}
+	})
+}
+
+// TestPhantomAllocationsAreMetadataSized guards the point of phantom mode:
+// a phantom AllReduce must allocate memory proportional to chunk metadata,
+// not to tensor elements. 4 ranks × 32 MiB dense would touch >256 MiB of
+// float32s (inputs + outputs + scratch); phantom must stay under a few MiB.
+func TestPhantomAllocationsAreMetadataSized(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 32 << 20
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	env, err := backend.NewEnv(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := synth.Synthesize(synth.NewCosts(env.Graph, nil), synth.Request{Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	err = env.Exec.Run(collective.Op{
+		Strategy: res.Strategy,
+		Mode:     payload.Phantom,
+		OnDone:   func(collective.Result) { done = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	runtime.ReadMemStats(&after)
+	if !done {
+		t.Fatal("collective never completed")
+	}
+	allocated := after.TotalAlloc - before.TotalAlloc
+	if allocated > 8<<20 {
+		t.Errorf("phantom AllReduce allocated %d bytes; want metadata-sized (<8 MiB) for a %d-byte tensor", allocated, int64(bytes))
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"adapcc/internal/device"
 	"adapcc/internal/fabric"
+	"adapcc/internal/payload"
 	"adapcc/internal/relay"
 	"adapcc/internal/sim"
 	"adapcc/internal/strategy"
@@ -18,6 +19,24 @@ type Executor struct {
 	fab    *fabric.Fabric
 	gpus   map[int]*device.GPU
 	tracer *trace.Tracer
+	// hopFree recycles the per-hop send/arrive callback structs — the
+	// single hottest allocation site of a run (one per chunk per hop).
+	hopFree []*hopSend
+}
+
+func (e *Executor) getHop() *hopSend {
+	if n := len(e.hopFree); n > 0 {
+		h := e.hopFree[n-1]
+		e.hopFree[n-1] = nil
+		e.hopFree = e.hopFree[:n-1]
+		return h
+	}
+	return new(hopSend)
+}
+
+func (e *Executor) putHop(h *hopSend) {
+	*h = hopSend{}
+	e.hopFree = append(e.hopFree, h)
 }
 
 // NewExecutor wires an executor to a fabric and the per-rank GPUs.
@@ -31,8 +50,18 @@ func (e *Executor) Fabric() *fabric.Fabric { return e.fab }
 // Op is one collective invocation.
 type Op struct {
 	Strategy *strategy.Strategy
+	// Mode selects the data plane: Dense (default) moves real float32s,
+	// Phantom moves provenance metadata only. Timing is identical either
+	// way — the simulation charges time from byte counts alone.
+	Mode payload.Mode
 	// Inputs holds each active rank's tensor (TotalBytes/4 float32s).
+	// Dense mode only; ignored for ranks present in Payloads.
 	Inputs map[int][]float32
+	// Payloads optionally supplies pre-built payloads per rank (e.g. to
+	// chain one collective's outputs into the next stage). Takes
+	// precedence over Inputs. In Phantom mode ranks without an entry get
+	// a synthesised PhantomInput carrying their own provenance.
+	Payloads map[int]payload.Payload
 	// Active marks contributing ranks; nil means every participant of
 	// the strategy is active. Inactive participants act as relays per
 	// their behaviour tuples.
@@ -50,7 +79,11 @@ type Result struct {
 	// Outputs maps rank → result tensor. Which ranks hold outputs
 	// depends on the primitive: the roots for Reduce, every tree rank
 	// for AllReduce/Broadcast, every participant for AlltoAll.
+	// Populated in Dense mode only; nil for Phantom runs.
 	Outputs map[int][]float32
+	// Payloads maps rank → result payload in both modes. Phantom results
+	// carry provenance and a positional checksum instead of data.
+	Payloads map[int]payload.Payload
 	// Elapsed is the virtual time from start to the last delivery.
 	Elapsed time.Duration
 }
@@ -85,17 +118,32 @@ func (e *Executor) Run(op Op) error {
 	}
 	totalElems := elemsOf(st.TotalBytes)
 	anyActive := false
+	inputs := make(map[int]payload.Payload)
 	for r, a := range active {
 		if !a {
 			continue
 		}
 		anyActive = true
-		in, ok := op.Inputs[r]
-		if !ok {
-			return fmt.Errorf("collective: active rank %d has no input", r)
-		}
-		if len(in) != totalElems {
-			return fmt.Errorf("collective: rank %d input has %d elems, want %d", r, len(in), totalElems)
+		switch p, ok := op.Payloads[r]; {
+		case ok:
+			if p.Mode() != op.Mode {
+				return fmt.Errorf("collective: rank %d payload is %v, op is %v", r, p.Mode(), op.Mode)
+			}
+			if p.Len() != totalElems {
+				return fmt.Errorf("collective: rank %d input has %d elems, want %d", r, p.Len(), totalElems)
+			}
+			inputs[r] = p
+		case op.Mode == payload.Phantom:
+			inputs[r] = payload.PhantomInput(r, totalElems)
+		default:
+			in, ok := op.Inputs[r]
+			if !ok {
+				return fmt.Errorf("collective: active rank %d has no input", r)
+			}
+			if len(in) != totalElems {
+				return fmt.Errorf("collective: rank %d input has %d elems, want %d", r, len(in), totalElems)
+			}
+			inputs[r] = payload.WrapDense(in)
 		}
 		if _, ok := e.gpus[r]; !ok {
 			return fmt.Errorf("collective: rank %d has no GPU", r)
@@ -113,9 +161,11 @@ func (e *Executor) Run(op Op) error {
 	run := &opRun{
 		ex:      e,
 		st:      st,
+		mode:    op.Mode,
 		active:  active,
-		inputs:  op.Inputs,
-		outputs: make(map[int][]float32),
+		inputs:  inputs,
+		outputs: make(map[int]payload.Payload),
+		arena:   payload.NewArena(op.Mode),
 		started: e.fab.Engine().Now(),
 		streams: make(map[streamKey]*device.Stream),
 		onDone:  op.OnDone,
@@ -152,11 +202,16 @@ type streamKey struct {
 
 // opRun is the shared state of one in-flight collective.
 type opRun struct {
-	ex        *Executor
-	st        *strategy.Strategy
-	active    map[int]bool
-	inputs    map[int][]float32
-	outputs   map[int][]float32
+	ex     *Executor
+	st     *strategy.Strategy
+	mode   payload.Mode
+	active map[int]bool
+	inputs map[int]payload.Payload
+	// outputs maps rank → result payload (allocated on first write).
+	outputs map[int]payload.Payload
+	// arena owns the aggregation scratch buffers; released back to the
+	// pool in finish(), after the last delivery has consumed them.
+	arena     *payload.Arena
 	started   sim.Time
 	remaining *sim.Countdown
 	streams   map[streamKey]*device.Stream
@@ -174,7 +229,7 @@ type opRun struct {
 
 // initiate charges the per-chunk launch cost on a stream and runs send when
 // the stream's initiation slot frees up.
-func (r *opRun) initiate(stream fabric.StreamID, send func()) {
+func (r *opRun) initiate(stream fabric.StreamID, send sim.Caller) {
 	if r.streamFree == nil {
 		r.streamFree = make(map[fabric.StreamID]sim.Time)
 	}
@@ -185,16 +240,16 @@ func (r *opRun) initiate(stream fabric.StreamID, send func()) {
 	}
 	start += device.KernelLaunchLatency
 	r.streamFree[stream] = start
-	eng.At(start, send)
+	eng.DoCall(start, send)
 }
 
 func (r *opRun) engine() *sim.Engine { return r.ex.fab.Engine() }
 
 // output returns (allocating on first use) a rank's result tensor.
-func (r *opRun) output(rank int) []float32 {
+func (r *opRun) output(rank int) payload.Payload {
 	out, ok := r.outputs[rank]
 	if !ok {
-		out = r.ex.gpus[rank].Alloc(elemsOf(r.st.TotalBytes))
+		out = r.ex.gpus[rank].AllocPayload(elemsOf(r.st.TotalBytes), r.mode)
 		r.outputs[rank] = out
 	}
 	return out
@@ -210,13 +265,21 @@ func (r *opRun) stream(k streamKey) *device.Stream {
 }
 
 func (r *opRun) finish() {
-	if r.onDone == nil {
-		return
+	if r.onDone != nil {
+		res := Result{
+			Payloads: r.outputs,
+			Elapsed:  r.engine().Now() - r.started,
+		}
+		if r.mode == payload.Dense {
+			res.Outputs = make(map[int][]float32, len(r.outputs))
+			for rank, p := range r.outputs {
+				res.Outputs[rank] = p.Float32()
+			}
+		}
+		r.onDone(res)
 	}
-	r.onDone(Result{
-		Outputs: r.outputs,
-		Elapsed: r.engine().Now() - r.started,
-	})
+	// Every delivery has happened; scratch buffers can recycle.
+	r.arena.Release()
 }
 
 // subRun executes one sub-collective (one transmission context per rank).
@@ -261,8 +324,8 @@ type flowRun struct {
 type aggState struct {
 	rank     int
 	node     topology.NodeID
-	expected int                 // carrying terminal flows
-	got      map[int][][]float32 // chunk -> received buffers
+	expected int                       // carrying terminal flows
+	got      map[int][]payload.Payload // chunk -> received buffers
 	hasLocal bool
 }
 
@@ -389,7 +452,7 @@ func (s *subRun) setupReduce(g *topology.Graph) {
 			rank:     rank,
 			node:     node,
 			expected: n,
-			got:      make(map[int][][]float32),
+			got:      make(map[int][]payload.Payload),
 			hasLocal: s.op.active[rank],
 		}
 	}
@@ -506,7 +569,7 @@ func (s *subRun) startBroadcast() {
 	out := s.op.output(root)
 	for c, sp := range s.chunks {
 		data := s.localChunk(root, c)
-		copy(out[sp.Start:sp.End], data)
+		out.View(sp.Start, sp.End).CopyFrom(data)
 		for fi := range s.flows {
 			if s.flows[fi].f.SrcRank == root {
 				s.sender(fi).enqueue(c, data)
@@ -525,9 +588,10 @@ func (s *subRun) startAlltoAll() {
 		idx := s.rankIndex[rank]
 		sp := equalBlock(s.pspan, n, idx)
 		out := s.op.output(rank)
-		copy(out[sp.Start:sp.End], s.op.inputs[rank][sp.Start:sp.End])
+		in := s.op.inputs[rank]
+		out.View(sp.Start, sp.End).CopyFrom(in.View(sp.Start, sp.End))
 		tail := alltoallTail(s.pspan, n)
-		copy(out[tail.Start:tail.End], s.op.inputs[rank][tail.Start:tail.End])
+		out.View(tail.Start, tail.End).CopyFrom(in.View(tail.Start, tail.End))
 	}
 	for fi := range s.flows {
 		fr := &s.flows[fi]
@@ -535,15 +599,15 @@ func (s *subRun) startAlltoAll() {
 			continue
 		}
 		for c, sp := range fr.blockChunks {
-			s.sender(fi).enqueue(c, s.op.inputs[fr.f.SrcRank][sp.Start:sp.End])
+			s.sender(fi).enqueue(c, s.op.inputs[fr.f.SrcRank].View(sp.Start, sp.End))
 		}
 	}
 }
 
-// localChunk returns a rank's input slice for chunk c of this partition.
-func (s *subRun) localChunk(rank, c int) []float32 {
+// localChunk returns a view of a rank's input for chunk c of this partition.
+func (s *subRun) localChunk(rank, c int) payload.Payload {
 	sp := s.chunks[c]
-	return s.op.inputs[rank][sp.Start:sp.End]
+	return s.op.inputs[rank].View(sp.Start, sp.End)
 }
 
 // sender lazily creates the pipelined sender of a flow.
@@ -554,27 +618,31 @@ func (s *subRun) sender(fi int) *flowSender {
 	return s.flows[fi].sender
 }
 
-// chunkMsg is one chunk in flight.
+// chunkMsg is one chunk in flight. data is a payload view; the wire cost
+// comes from its SizeBytes, never its contents.
 type chunkMsg struct {
 	flowIdx  int
 	chunk    int
 	hop      int // index of the hop just traversed (0-based)
-	data     []float32
+	data     payload.Payload
 	reversed bool // AllReduce broadcast stage
 }
 
 // flowSender pipelines chunks onto a flow's first hop: the next chunk is
 // posted when the previous finishes serialising on the first link, so
 // chunks stream hop-by-hop exactly as the Eq. 5 pipeline model assumes.
+// The queue drains through head (rather than re-slicing) so its backing
+// array is reused across the whole run.
 type flowSender struct {
 	sub      *subRun
 	flowIdx  int
 	reversed bool
 	queue    []chunkMsg
+	head     int
 	busy     bool
 }
 
-func (fs *flowSender) enqueue(chunk int, data []float32) {
+func (fs *flowSender) enqueue(chunk int, data payload.Payload) {
 	fs.queue = append(fs.queue, chunkMsg{
 		flowIdx:  fs.flowIdx,
 		chunk:    chunk,
@@ -587,21 +655,58 @@ func (fs *flowSender) enqueue(chunk int, data []float32) {
 }
 
 func (fs *flowSender) kick() {
-	if len(fs.queue) == 0 {
+	if fs.head == len(fs.queue) {
+		fs.queue = fs.queue[:0]
+		fs.head = 0
 		fs.busy = false
 		return
 	}
 	fs.busy = true
-	msg := fs.queue[0]
-	fs.queue = fs.queue[1:]
-	fs.sub.sendHop(msg, func() { fs.kick() })
+	msg := fs.queue[fs.head]
+	fs.queue[fs.head] = chunkMsg{}
+	fs.head++
+	fs.sub.sendHop(msg, fs)
 }
 
-// sendHop transmits msg over its next hop. onFirstHopDone (nil for
-// forwarding hops) fires when this hop's serialisation+latency completes,
-// releasing the sender to post the next chunk. The source hop additionally
-// pays the per-chunk launch cost, serialised on the flow's stream.
-func (s *subRun) sendHop(msg chunkMsg, onFirstHopDone func()) {
+// hopSend carries one chunk across one hop. One pooled struct serves as the
+// launch callback (Call posts the chunk onto the wire) and the fabric
+// arrival callback (OnArrive), so the hottest path of a run — one
+// launch+transfer+arrival per chunk per hop — allocates nothing in steady
+// state.
+type hopSend struct {
+	s         *subRun
+	msg       chunkMsg
+	eid       topology.EdgeID
+	stream    fabric.StreamID
+	bytes     int64
+	sendStart sim.Time
+	// fs, on a flow's first hop, is the sender released to post its next
+	// chunk once this hop's serialisation+latency completes.
+	fs *flowSender
+}
+
+// Call posts the chunk onto the wire (the send initiation completing).
+func (h *hopSend) Call() {
+	h.sendStart = h.s.op.engine().Now()
+	h.s.op.ex.fab.SendStreamTo(h.eid, h.stream, h.bytes, nil, h)
+}
+
+// OnArrive handles the chunk landing after this hop.
+func (h *hopSend) OnArrive(any) {
+	s, msg, eid, sendStart, bytes, fs := h.s, h.msg, h.eid, h.sendStart, h.bytes, h.fs
+	s.op.ex.putHop(h)
+	s.traceTransfer(msg, eid, sendStart, bytes)
+	if fs != nil {
+		fs.kick()
+	}
+	s.arrived(msg)
+}
+
+// sendHop transmits msg over its next hop. fs (nil for forwarding hops) is
+// the flow sender to release when this hop completes. The source hop
+// additionally pays the per-chunk launch cost, serialised on the flow's
+// stream.
+func (s *subRun) sendHop(msg chunkMsg, fs *flowSender) {
 	fr := &s.flows[msg.flowIdx]
 	edges := fr.edges
 	stream := fr.streamFwd
@@ -610,29 +715,17 @@ func (s *subRun) sendHop(msg chunkMsg, onFirstHopDone func()) {
 		stream = fr.streamRev
 	}
 	eid := edges[msg.hop]
-	bytes := int64(len(msg.data)) * 4
+	bytes := msg.data.SizeBytes()
 	if bytes == 0 {
 		bytes = 4 // metadata-only chunk, still costs a message
 	}
-	send := func() {
-		sendStart := s.op.engine().Now()
-		s.op.ex.fab.SendStream(eid, stream, bytes, msg, func(payload any) {
-			m, ok := payload.(chunkMsg)
-			if !ok {
-				panic("collective: foreign payload on flow")
-			}
-			s.traceTransfer(m, eid, sendStart, bytes)
-			if onFirstHopDone != nil {
-				onFirstHopDone()
-			}
-			s.arrived(m)
-		})
-	}
+	h := s.op.ex.getHop()
+	*h = hopSend{s: s, msg: msg, eid: eid, stream: stream, bytes: bytes, fs: fs}
 	if msg.hop == 0 {
-		s.op.initiate(stream, send)
+		s.op.initiate(stream, h)
 		return
 	}
-	send()
+	h.Call()
 }
 
 // arrived handles a chunk landing at the node after hop msg.hop.
@@ -689,19 +782,22 @@ func (s *subRun) aggArrival(node topology.NodeID, msg chunkMsg) {
 		s.aggregated(agg, chunk, inputs[0])
 		return
 	}
-	// Aggregate into a fresh buffer: local chunk (if any) plus inputs.
+	// Aggregate into a pooled scratch buffer: local chunk (if any) plus
+	// inputs. The seeding copy is free on the simulation clock (it models
+	// the kernel reading its first operand); the reduce kernel is charged
+	// from the remaining inputs' bytes.
 	sp := s.chunks[chunk]
-	buf := make([]float32, sp.Len())
+	buf := s.op.arena.Scratch(sp.Len())
 	if agg.hasLocal {
-		copy(buf, s.localChunk(agg.rank, chunk))
+		buf.CopyFrom(s.localChunk(agg.rank, chunk))
 	} else {
-		copy(buf, inputs[0])
+		buf.CopyFrom(inputs[0])
 		inputs = inputs[1:]
 	}
 	key := streamKey{rank: agg.rank, sub: s.idx}
 	kernelStart := s.op.engine().Now()
 	nInputs := len(inputs)
-	s.op.stream(key).LaunchReduceMulti(buf, inputs, func() {
+	s.op.stream(key).LaunchReduceInto(buf, inputs, func() {
 		s.traceKernel(agg.rank, chunk, nInputs, kernelStart)
 		s.aggregated(agg, chunk, buf)
 	})
@@ -709,7 +805,7 @@ func (s *subRun) aggArrival(node topology.NodeID, msg chunkMsg) {
 
 // aggregated routes a completed aggregation: onward to the parent, or
 // finalisation at the root.
-func (s *subRun) aggregated(agg *aggState, chunk int, data []float32) {
+func (s *subRun) aggregated(agg *aggState, chunk int, data payload.Payload) {
 	if agg.rank == s.sc.Root {
 		s.finalizeRootChunk(chunk, data)
 		return
@@ -724,10 +820,10 @@ func (s *subRun) aggregated(agg *aggState, chunk int, data []float32) {
 // finalizeRootChunk records the fully reduced chunk at the root and, for
 // AllReduce, immediately pipelines it down the reversed tree (multi-stage
 // parallelism, Sec. V-B).
-func (s *subRun) finalizeRootChunk(chunk int, data []float32) {
+func (s *subRun) finalizeRootChunk(chunk int, data payload.Payload) {
 	sp := s.chunks[chunk]
 	out := s.op.output(s.sc.Root)
-	copy(out[sp.Start:sp.End], data)
+	out.View(sp.Start, sp.End).CopyFrom(data)
 	s.traceRootChunk(chunk)
 	s.op.remaining.Done()
 	if s.op.st.Primitive != strategy.AllReduce {
@@ -760,7 +856,7 @@ func (s *subRun) reversedDelivered(msg chunkMsg, node topology.NodeID) {
 	rank := g.Node(node).Rank
 	sp := s.chunks[msg.chunk]
 	out := s.op.output(rank)
-	copy(out[sp.Start:sp.End], msg.data)
+	out.View(sp.Start, sp.End).CopyFrom(msg.data)
 	s.op.remaining.Done()
 	// Cascade: reversed flows originating here are the original flows
 	// that terminated at this node.
@@ -779,7 +875,7 @@ func (s *subRun) broadcastDelivered(node topology.NodeID, msg chunkMsg) {
 	rank := g.Node(node).Rank
 	sp := s.chunks[msg.chunk]
 	out := s.op.output(rank)
-	copy(out[sp.Start:sp.End], msg.data)
+	out.View(sp.Start, sp.End).CopyFrom(msg.data)
 	s.op.remaining.Done()
 	for fi := range s.flows {
 		if s.flows[fi].f.SrcRank == rank {
@@ -797,6 +893,6 @@ func (s *subRun) alltoallDelivered(msg chunkMsg) {
 	srcBlock := equalBlock(s.pspan, len(s.participantsSorted), s.rankIndex[fr.f.DstRank])
 	offset := srcChunk.Start - srcBlock.Start
 	dst := s.op.output(fr.f.DstRank)
-	copy(dst[fr.blockDst.Start+offset:fr.blockDst.Start+offset+srcChunk.Len()], msg.data)
+	dst.View(fr.blockDst.Start+offset, fr.blockDst.Start+offset+srcChunk.Len()).CopyFrom(msg.data)
 	s.op.remaining.Done()
 }

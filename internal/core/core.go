@@ -182,6 +182,7 @@ func (a *AdapCC) Run(req backend.Request) error {
 	}
 	return a.env.Exec.Run(collective.Op{
 		Strategy: res.Strategy,
+		Mode:     req.Mode,
 		Inputs:   req.Inputs,
 		OnDone:   req.OnDone,
 	})
@@ -196,6 +197,7 @@ func (a *AdapCC) runFast(req backend.Request) error {
 	}
 	return a.env.Exec.Run(collective.Op{
 		Strategy: res.Strategy,
+		Mode:     req.Mode,
 		Inputs:   req.Inputs,
 		OnDone:   req.OnDone,
 	})
@@ -214,6 +216,7 @@ func (a *AdapCC) RunPartial(req backend.Request, relays []int) error {
 	}
 	return a.env.Exec.Run(collective.Op{
 		Strategy: res.Strategy,
+		Mode:     req.Mode,
 		Inputs:   req.Inputs,
 		Active:   active,
 		OnDone:   req.OnDone,

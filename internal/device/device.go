@@ -1,18 +1,21 @@
 // Package device simulates GPUs: memory buffers, CUDA-like streams whose
 // kernels serialise per stream but run concurrently across streams, and
-// aggregation ("reduce") kernels that operate on real float32 data.
+// aggregation ("reduce") kernels that operate on payload.Payload tensors.
 //
-// This is the substitute for the CUDA runtime: collectives move actual
-// numbers through these buffers, so tests can assert that every rank ends
-// with the true aggregate, while kernel-launch latency and reduce throughput
-// are charged on the simulation clock exactly where a real GPU would spend
-// them (paper Sec. V-B: pipelining hides kernel launch under NVLink time).
+// This is the substitute for the CUDA runtime: in dense mode collectives
+// move actual numbers through these buffers, so tests can assert that every
+// rank ends with the true aggregate; in phantom mode only provenance
+// metadata moves. Either way kernel-launch latency and reduce throughput
+// are charged on the simulation clock from byte counts alone, exactly where
+// a real GPU would spend them (paper Sec. V-B: pipelining hides kernel
+// launch under NVLink time), so both modes produce identical timelines.
 package device
 
 import (
 	"fmt"
 	"time"
 
+	"adapcc/internal/payload"
 	"adapcc/internal/sim"
 	"adapcc/internal/topology"
 )
@@ -64,6 +67,18 @@ func (g *GPU) Alloc(n int) []float32 {
 	return make([]float32, n)
 }
 
+// AllocPayload allocates an n-element device tensor in the given payload
+// mode. Memory accounting is identical in both modes — a phantom tensor
+// stands in for the same registered device buffer — so footprint reports
+// do not depend on the data-plane fidelity.
+func (g *GPU) AllocPayload(n int, mode payload.Mode) payload.Payload {
+	if mode == payload.Phantom {
+		g.allocBytes += int64(n) * 4
+		return payload.NewPhantom(n)
+	}
+	return payload.WrapDense(g.Alloc(n))
+}
+
 // AllocatedBytes reports the cumulative device memory registered.
 func (g *GPU) AllocatedBytes() int64 { return g.allocBytes }
 
@@ -83,57 +98,71 @@ type Stream struct {
 	busyUntil sim.Time
 }
 
+// LaunchReduceInto enqueues a kernel that accumulates every source payload
+// into dst in one launch (dst += Σ srcs) and calls onDone when the kernel
+// retires. All payloads must have dst's length and mode. Time is charged
+// from the source byte counts, so dense and phantom kernels retire at the
+// same virtual instant.
+func (s *Stream) LaunchReduceInto(dst payload.Payload, srcs []payload.Payload, onDone func()) {
+	var bytes int64
+	for _, src := range srcs {
+		if src.Len() != dst.Len() {
+			panic(fmt.Sprintf("device: reduce length mismatch %d vs %d", dst.Len(), src.Len()))
+		}
+		bytes += src.SizeBytes()
+	}
+	s.launch(bytes, func() {
+		dst.AddFrom(srcs...)
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// LaunchCopyInto enqueues a kernel that copies src into dst (intra-device
+// movement, e.g. staging a result buffer).
+func (s *Stream) LaunchCopyInto(dst, src payload.Payload, onDone func()) {
+	if dst.Len() != src.Len() {
+		panic(fmt.Sprintf("device: copy length mismatch %d vs %d", dst.Len(), src.Len()))
+	}
+	s.launch(src.SizeBytes(), func() {
+		dst.CopyFrom(src)
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
 // LaunchReduce enqueues a kernel that accumulates src element-wise into dst
-// (dst[i] += src[i]) and calls onDone when the kernel retires. The slices
-// must be equal length.
+// (dst[i] += src[i]). Dense-mode convenience over LaunchReduceInto.
 func (s *Stream) LaunchReduce(dst, src []float32, onDone func()) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("device: reduce length mismatch %d vs %d", len(dst), len(src)))
 	}
-	s.launch(int64(len(src))*4, func() {
-		for i, v := range src {
-			dst[i] += v
-		}
-		if onDone != nil {
-			onDone()
-		}
-	})
+	s.LaunchReduceInto(payload.WrapDense(dst), []payload.Payload{payload.WrapDense(src)}, onDone)
 }
 
 // LaunchReduceMulti enqueues a kernel that accumulates every source into dst
 // in one launch (used when several predecessors' chunks are ready together).
+// Dense-mode convenience over LaunchReduceInto.
 func (s *Stream) LaunchReduceMulti(dst []float32, srcs [][]float32, onDone func()) {
-	var bytes int64
-	for _, src := range srcs {
+	ps := make([]payload.Payload, len(srcs))
+	for i, src := range srcs {
 		if len(src) != len(dst) {
 			panic(fmt.Sprintf("device: reduce length mismatch %d vs %d", len(dst), len(src)))
 		}
-		bytes += int64(len(src)) * 4
+		ps[i] = payload.WrapDense(src)
 	}
-	s.launch(bytes, func() {
-		for _, src := range srcs {
-			for i, v := range src {
-				dst[i] += v
-			}
-		}
-		if onDone != nil {
-			onDone()
-		}
-	})
+	s.LaunchReduceInto(payload.WrapDense(dst), ps, onDone)
 }
 
-// LaunchCopy enqueues a kernel that copies src into dst (intra-device
-// movement, e.g. staging a result buffer).
+// LaunchCopy enqueues a kernel that copies src into dst. Dense-mode
+// convenience over LaunchCopyInto.
 func (s *Stream) LaunchCopy(dst, src []float32, onDone func()) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("device: copy length mismatch %d vs %d", len(dst), len(src)))
 	}
-	s.launch(int64(len(src))*4, func() {
-		copy(dst, src)
-		if onDone != nil {
-			onDone()
-		}
-	})
+	s.LaunchCopyInto(payload.WrapDense(dst), payload.WrapDense(src), onDone)
 }
 
 // launch charges launch latency plus throughput time, serialised after any
@@ -148,5 +177,5 @@ func (s *Stream) launch(bytes int64, body func()) {
 	dur := KernelLaunchLatency + sim.Time(float64(bytes)/reduceThroughputBps(g.model)*1e9)
 	finish := start + dur
 	s.busyUntil = finish
-	g.eng.At(finish, body)
+	g.eng.Do(finish, body)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"adapcc/internal/payload"
 	"adapcc/internal/sim"
 	"adapcc/internal/topology"
 )
@@ -149,6 +150,55 @@ func TestLengthMismatchPanics(t *testing.T) {
 			}()
 			fn()
 		})
+	}
+}
+
+// TestKernelTimingModeIndependent drives one reduce kernel with dense and
+// phantom payloads of the same length: the virtual retire time must be
+// bit-identical (the data plane never feeds the timing plane).
+func TestKernelTimingModeIndependent(t *testing.T) {
+	timeOf := func(mode payload.Mode) sim.Time {
+		eng := sim.NewEngine(1)
+		g := New(eng, topology.GPUA100, 0)
+		dst := g.AllocPayload(1_500_000, mode)
+		src := g.AllocPayload(1_500_000, mode)
+		var at sim.Time = -1
+		g.NewStream().LaunchReduceInto(dst, []payload.Payload{src}, func() { at = eng.Now() })
+		eng.Run()
+		return at
+	}
+	d, p := timeOf(payload.Dense), timeOf(payload.Phantom)
+	if d != p || d < 0 {
+		t.Fatalf("dense retired at %v, phantom at %v", d, p)
+	}
+}
+
+func TestPhantomReduceTracksProvenance(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := New(eng, topology.GPUA100, 0)
+	dst := payload.NewPhantom(8)
+	dst.CopyFrom(payload.PhantomInput(0, 8))
+	g.NewStream().LaunchReduceInto(dst, []payload.Payload{payload.PhantomInput(1, 8), payload.PhantomInput(2, 8)}, nil)
+	eng.Run()
+	prov := dst.Provenance()
+	if len(prov) != 3 || prov[0] != 0 || prov[1] != 1 || prov[2] != 2 {
+		t.Fatalf("Provenance = %v, want [0 1 2]", prov)
+	}
+	if got, want := dst.Checksum(), payload.PhantomChecksum([]int{0, 1, 2}, 0, 8); got != want {
+		t.Fatalf("Checksum = %#x, want %#x", got, want)
+	}
+}
+
+func TestAllocPayloadTracksBytesBothModes(t *testing.T) {
+	for _, mode := range []payload.Mode{payload.Dense, payload.Phantom} {
+		g := New(sim.NewEngine(1), topology.GPUA100, 0)
+		p := g.AllocPayload(1000, mode)
+		if p.Len() != 1000 || p.Mode() != mode {
+			t.Fatalf("%v: AllocPayload shape wrong", mode)
+		}
+		if got := g.AllocatedBytes(); got != 4000 {
+			t.Fatalf("%v: AllocatedBytes = %d, want 4000", mode, got)
+		}
 	}
 }
 

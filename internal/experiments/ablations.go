@@ -44,11 +44,15 @@ func Ablations(cfg Config) (*Table, error) {
 			return 0, err
 		}
 		var elapsed time.Duration
-		err = env.Exec.Run(collective.Op{
+		op := collective.Op{
 			Strategy: res.Strategy,
-			Inputs:   backend.MakeInputs(env.AllRanks(), cfg.Bytes),
+			Mode:     cfg.mode(),
 			OnDone:   func(r collective.Result) { elapsed = r.Elapsed },
-		})
+		}
+		if cfg.DenseData {
+			op.Inputs = backend.MakeInputs(env.AllRanks(), cfg.Bytes)
+		}
+		err = env.Exec.Run(op)
 		if err != nil {
 			return 0, err
 		}
@@ -97,7 +101,7 @@ func Ablations(cfg Config) (*Table, error) {
 		a.Setup(func() {})
 		env.Engine.Run()
 		return backend.Measure(env, a, backend.Request{
-			Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1,
+			Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1, Mode: cfg.mode(),
 		})
 	}
 	profiled, err := degraded(false)
@@ -131,12 +135,16 @@ func Ablations(cfg Config) (*Table, error) {
 			return 0, err
 		}
 		var elapsed time.Duration
-		err = env.Exec.Run(collective.Op{
+		op := collective.Op{
 			Strategy:     st,
-			Inputs:       backend.MakeInputs(env.AllRanks(), cfg.Bytes),
+			Mode:         cfg.mode(),
 			SingleStream: true,
 			OnDone:       func(r collective.Result) { elapsed = r.Elapsed },
-		})
+		}
+		if cfg.DenseData {
+			op.Inputs = backend.MakeInputs(env.AllRanks(), cfg.Bytes)
+		}
+		err = env.Exec.Run(op)
 		if err != nil {
 			return 0, err
 		}

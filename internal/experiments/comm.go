@@ -65,6 +65,7 @@ func algoBandwidthGBps(cfg Config, bc cluster.Case, system string, prim strategy
 		Primitive: prim,
 		Bytes:     cfg.Bytes,
 		Root:      rootFor(prim),
+		Mode:      cfg.mode(),
 	})
 	if err != nil {
 		return -1, nil // unsupported combination: hole in the figure
@@ -158,7 +159,7 @@ func Fig19aParallelism(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	ncclTime, err := backend.Measure(envN, nccl.New(envN), backend.Request{
-		Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1,
+		Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1, Mode: cfg.mode(),
 	})
 	if err != nil {
 		return nil, err
@@ -180,7 +181,7 @@ func Fig19aParallelism(cfg Config) (*Table, error) {
 		a.Setup(func() {})
 		env.Engine.Run()
 		elapsed, err := backend.Measure(env, a, backend.Request{
-			Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1,
+			Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1, Mode: cfg.mode(),
 		})
 		if err != nil {
 			return nil, err

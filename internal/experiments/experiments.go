@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"adapcc/internal/payload"
 )
 
 // Table is one reproduced figure: labelled rows of named columns.
@@ -123,6 +125,21 @@ type Config struct {
 	Iterations int
 	// Quick shrinks workloads for test runs.
 	Quick bool
+	// DenseData forces real float32 tensors through the timing sweeps.
+	// The default (false) runs them with phantom payloads — provenance
+	// metadata instead of element data — which is safe because dense and
+	// phantom runs of the same seed produce bit-identical timelines (see
+	// DESIGN.md "Data plane vs timing plane"). Correctness tests always
+	// use dense payloads regardless of this knob.
+	DenseData bool
+}
+
+// mode maps the DenseData knob to the payload mode of timing sweeps.
+func (c Config) mode() payload.Mode {
+	if c.DenseData {
+		return payload.Dense
+	}
+	return payload.Phantom
 }
 
 func (c Config) defaults() Config {

@@ -96,7 +96,7 @@ func scalingAdapCC(cl *topology.Cluster, cfg Config) (float64, error) {
 	a.Setup(func() {})
 	env.Engine.Run()
 	elapsed, err := backend.Measure(env, a, backend.Request{
-		Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1,
+		Primitive: strategy.AllReduce, Bytes: cfg.Bytes, Root: -1, Mode: cfg.mode(),
 	})
 	if err != nil {
 		return 0, err
@@ -120,12 +120,16 @@ func scalingNCCL(cl *topology.Cluster, cfg Config, ring bool) (float64, error) {
 		return 0, err
 	}
 	var elapsed time.Duration
-	err = env.Exec.Run(collective.Op{
+	op := collective.Op{
 		Strategy:     st,
-		Inputs:       backend.MakeInputs(env.AllRanks(), cfg.Bytes),
+		Mode:         cfg.mode(),
 		SingleStream: true,
 		OnDone:       func(r collective.Result) { elapsed = r.Elapsed },
-	})
+	}
+	if cfg.DenseData {
+		op.Inputs = backend.MakeInputs(env.AllRanks(), cfg.Bytes)
+	}
+	err = env.Exec.Run(op)
 	if err != nil {
 		return 0, err
 	}

@@ -12,6 +12,13 @@
 // The fabric replaces NVLink/PCIe/RDMA/TCP hardware: contention, chunk
 // pipelining, heterogeneous rates and mid-training bandwidth changes all
 // emerge from this model.
+//
+// The fabric is a pure timing plane: a transfer's duration depends only on
+// the byte size declared to Send, never on the payload value, which rides
+// along as an opaque token and is handed back to onArrive untouched. In
+// practice that token is a payload.Payload view — dense (real float32
+// data) or phantom (length + provenance metadata) — and this indifference
+// is what lets dense and phantom runs produce bit-identical timelines.
 package fabric
 
 import (
@@ -35,7 +42,14 @@ const epsilonBytes = 1e-3
 // own stream".
 type StreamID int64
 
-// Transfer is one in-flight chunk on one link.
+// Arrival is the interface form of an arrival callback: the fabric calls
+// OnArrive(payload) when the transfer completes. Hot callers pre-bind the
+// callback state in the receiver, so posting a chunk allocates no closure.
+type Arrival interface{ OnArrive(payload any) }
+
+// Transfer is one in-flight chunk on one link. The handle returned by the
+// Send family is valid until the transfer completes; completed transfers
+// are recycled for later sends.
 type Transfer struct {
 	link      *link
 	stream    StreamID
@@ -43,12 +57,28 @@ type Transfer struct {
 	rate      float64 // bytes/sec currently granted
 	payload   any
 	onArrive  func(payload any)
+	arr       Arrival
 	size      int64
 	started   sim.Time
 }
 
 // Size returns the transfer's total size in bytes.
 func (t *Transfer) Size() int64 { return t.size }
+
+// Call fires the transfer's arrival callback and recycles the struct. The
+// fabric schedules it (as a pooled simulation event) one link latency α
+// after serialisation completes; it is not for external use.
+func (t *Transfer) Call() {
+	payload, onArrive, arr := t.payload, t.onArrive, t.arr
+	f := t.link.fab
+	*t = Transfer{}
+	f.free = append(f.free, t)
+	if arr != nil {
+		arr.OnArrive(payload)
+		return
+	}
+	onArrive(payload)
+}
 
 // Fabric simulates the data plane over a logical graph.
 type Fabric struct {
@@ -57,6 +87,7 @@ type Fabric struct {
 	links    []*link
 	streamID StreamID
 	uniqueID StreamID
+	free     []*Transfer // recycled transfer structs
 }
 
 // NewStreamID allocates a fresh logical stream identifier.
@@ -97,6 +128,17 @@ func (f *Fabric) Send(edge topology.EdgeID, size int64, payload any, onArrive fu
 // (0 = independent). Concurrent transfers of one stream share a single
 // per-stream bandwidth allowance on the link.
 func (f *Fabric) SendStream(edge topology.EdgeID, stream StreamID, size int64, payload any, onArrive func(payload any)) *Transfer {
+	return f.send(edge, stream, size, payload, onArrive, nil)
+}
+
+// SendStreamTo is SendStream with an interface arrival callback (see
+// Arrival): the per-chunk hot path of the collective executor uses it so
+// posting a chunk allocates no closure.
+func (f *Fabric) SendStreamTo(edge topology.EdgeID, stream StreamID, size int64, payload any, arr Arrival) *Transfer {
+	return f.send(edge, stream, size, payload, nil, arr)
+}
+
+func (f *Fabric) send(edge topology.EdgeID, stream StreamID, size int64, payload any, onArrive func(payload any), arr Arrival) *Transfer {
 	if size <= 0 {
 		panic(fmt.Sprintf("fabric: transfer size %d must be positive", size))
 	}
@@ -106,13 +148,22 @@ func (f *Fabric) SendStream(edge topology.EdgeID, stream StreamID, size int64, p
 		stream = f.uniqueID
 	}
 	l := f.links[edge]
-	t := &Transfer{
+	var t *Transfer
+	if n := len(f.free); n > 0 {
+		t = f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+	} else {
+		t = new(Transfer)
+	}
+	*t = Transfer{
 		link:      l,
 		stream:    stream,
 		remaining: float64(size),
 		size:      size,
 		payload:   payload,
 		onArrive:  onArrive,
+		arr:       arr,
 		started:   f.eng.Now(),
 	}
 	l.advance()
@@ -196,6 +247,9 @@ type link struct {
 	lastUpdate sim.Time
 	nextEv     *sim.Event
 	bytesDone  int64
+	// reused scratch for reallocate's stream grouping (hot path).
+	streams       []StreamID
+	servedScratch []StreamID
 }
 
 // advance integrates transferred bytes up to the current virtual time and
@@ -209,13 +263,18 @@ func (l *link) advance() {
 			t.remaining -= t.rate * dt
 		}
 	}
-	var still []*Transfer
+	// Filter in place: the backing array is reused across calls, so the
+	// per-event integration step allocates nothing.
+	still := l.active[:0]
 	for _, t := range l.active {
 		if t.remaining <= epsilonBytes {
 			l.deliver(t)
 			continue
 		}
 		still = append(still, t)
+	}
+	for i := len(still); i < len(l.active); i++ {
+		l.active[i] = nil
 	}
 	l.active = still
 }
@@ -235,23 +294,42 @@ func (l *link) reallocate() {
 	if len(l.active) == 0 {
 		return
 	}
-	groups := make(map[StreamID]bool, len(l.active))
+	// A link carries few distinct streams at once, so a linear scan over a
+	// reused scratch slice beats per-call map allocations on the hot path.
+	seen := l.streams[:0]
 	for _, t := range l.active {
-		groups[t.stream] = true
+		found := false
+		for _, s := range seen {
+			if s == t.stream {
+				found = true
+				break
+			}
+		}
+		if !found {
+			seen = append(seen, t.stream)
+		}
 	}
+	l.streams = seen
 	capacity := l.edge.BandwidthBps * l.scale
-	streamShare := capacity / float64(len(groups))
+	streamShare := capacity / float64(len(seen))
 	if cap := l.edge.PerStreamBps; cap > 0 && cap < streamShare {
 		streamShare = cap
 	}
 	soonest := math.Inf(1)
-	served := make(map[StreamID]bool, len(groups))
+	served := l.servedScratch[:0]
 	for _, t := range l.active { // insertion order = FIFO per stream
-		if served[t.stream] {
+		already := false
+		for _, s := range served {
+			if s == t.stream {
+				already = true
+				break
+			}
+		}
+		if already {
 			t.rate = 0
 			continue
 		}
-		served[t.stream] = true
+		served = append(served, t.stream)
 		t.rate = streamShare
 		if t.rate > 0 {
 			if sec := t.remaining / t.rate; sec < soonest {
@@ -259,28 +337,36 @@ func (l *link) reallocate() {
 			}
 		}
 	}
+	l.servedScratch = served
 	if math.IsInf(soonest, 1) {
 		return // link stalled; a future SetScale will reschedule
 	}
 	// Round up to the next nanosecond: rounding down could fire the
 	// completion event fractionally early and spin without progress.
 	d := time.Duration(math.Ceil(soonest * float64(time.Second)))
-	l.nextEv = l.fab.eng.After(d, func() {
-		l.nextEv = nil
-		l.advance()
-		l.reallocate()
-	})
+	l.nextEv = l.fab.eng.CallAfter(d, l)
+}
+
+// Call handles the link's next-completion event: it integrates progress and
+// recomputes rates. The handle discipline of Engine.CallAfter holds because
+// nextEv is dropped here before anything else can observe it, and dropped
+// at the (single) Cancel site in reallocate.
+func (l *link) Call() {
+	l.nextEv = nil
+	l.advance()
+	l.reallocate()
 }
 
 // deliver finishes a transfer: counts its bytes and fires the arrival
-// callback after the link latency α.
+// callback after the link latency α. The transfer itself is the scheduled
+// callback (see Transfer.Call), so delivery allocates nothing; it is
+// recycled once the callback has fired.
 func (l *link) deliver(t *Transfer) {
 	l.bytesDone += t.size
-	t.remaining = 0
-	if t.onArrive == nil {
+	if t.onArrive == nil && t.arr == nil {
+		*t = Transfer{}
+		l.fab.free = append(l.fab.free, t)
 		return
 	}
-	payload, onArrive := t.payload, t.onArrive
-	t.onArrive = nil
-	l.fab.eng.After(l.edge.Alpha, func() { onArrive(payload) })
+	l.fab.eng.DoCallAfter(l.edge.Alpha, t)
 }

@@ -1,0 +1,200 @@
+package payload
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	data := []float32{1, 2, 3, 4}
+	p := WrapDense(data)
+	if p.Mode() != Dense || p.Len() != 4 || p.SizeBytes() != 16 {
+		t.Fatalf("dense shape wrong: %v %d %d", p.Mode(), p.Len(), p.SizeBytes())
+	}
+	if p.Provenance() != nil {
+		t.Error("dense provenance should be nil")
+	}
+	v := p.View(1, 3)
+	v.AddFrom(WrapDense([]float32{10, 10}))
+	if data[1] != 12 || data[2] != 13 {
+		t.Fatalf("view write not visible: %v", data)
+	}
+	v.CopyFrom(WrapDense([]float32{7, 8}))
+	if data[1] != 7 || data[2] != 8 {
+		t.Fatalf("copy through view failed: %v", data)
+	}
+	if p.Float32()[0] != 1 {
+		t.Error("Float32 should alias backing data")
+	}
+}
+
+func TestDenseChecksumSensitive(t *testing.T) {
+	a := WrapDense([]float32{1, 2, 3})
+	b := WrapDense([]float32{1, 2, 4})
+	if a.Checksum() == b.Checksum() {
+		t.Error("different data, same checksum")
+	}
+	if a.Checksum() != WrapDense([]float32{1, 2, 3}).Checksum() {
+		t.Error("checksum not deterministic")
+	}
+}
+
+func TestDenseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	WrapDense(make([]float32, 2)).CopyFrom(WrapDense(make([]float32, 3)))
+}
+
+func TestModeMixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mode mismatch did not panic")
+		}
+	}()
+	NewPhantom(2).CopyFrom(WrapDense(make([]float32, 2)))
+}
+
+func TestPhantomInputProvenance(t *testing.T) {
+	p := PhantomInput(3, 10)
+	if got := p.Provenance(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("Provenance = %v, want [3]", got)
+	}
+	if got := p.View(2, 5).Provenance(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("view Provenance = %v, want [3]", got)
+	}
+	if NewPhantom(4).Checksum() != 0 {
+		t.Error("blank phantom should have zero checksum")
+	}
+}
+
+func TestPhantomReduceMatchesReference(t *testing.T) {
+	// Simulate a 3-rank reduce into rank 0's scratch over [0, 100).
+	dst := NewPhantom(100)
+	dst.CopyFrom(PhantomInput(0, 100))
+	dst.AddFrom(PhantomInput(1, 100), PhantomInput(2, 100))
+	want := PhantomChecksum([]int{0, 1, 2}, 0, 100)
+	if got := dst.Checksum(); got != want {
+		t.Fatalf("Checksum = %#x, want %#x", got, want)
+	}
+	if got := dst.Provenance(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("Provenance = %v", got)
+	}
+}
+
+func TestPhantomChecksumSplitsUnderViews(t *testing.T) {
+	p := NewPhantom(64)
+	p.CopyFrom(PhantomInput(1, 64))
+	p.View(16, 48).AddFrom(PhantomInput(2, 64).View(16, 48))
+	// Checksum of the whole = sum of any partition of it.
+	whole := p.Checksum()
+	parts := p.View(0, 10).Checksum() + p.View(10, 48).Checksum() + p.View(48, 64).Checksum()
+	if whole != parts {
+		t.Fatalf("checksum not additive under views: %#x vs %#x", whole, parts)
+	}
+	// Position sensitivity: same provenance in a different place differs.
+	q := NewPhantom(64)
+	q.CopyFrom(PhantomInput(1, 64))
+	q.View(0, 32).AddFrom(PhantomInput(2, 64).View(0, 32))
+	if p.Checksum() == q.Checksum() {
+		t.Error("checksum ignores where a contribution landed")
+	}
+}
+
+func TestPhantomCopyRebasesPositions(t *testing.T) {
+	// AlltoAll-style move: sender's block [20,30) lands at receiver's
+	// [50,60); the receiver's checksum must use destination positions.
+	src := PhantomInput(7, 100)
+	dst := NewPhantom(100)
+	dst.View(50, 60).CopyFrom(src.View(20, 30))
+	if got, want := dst.View(50, 60).Checksum(), PhantomChecksum([]int{7}, 50, 60); got != want {
+		t.Fatalf("rebased checksum = %#x, want %#x", got, want)
+	}
+}
+
+func TestPhantomPartialOverlapWrites(t *testing.T) {
+	p := NewPhantom(10)
+	p.View(0, 6).CopyFrom(PhantomInput(1, 6))
+	p.View(4, 10).CopyFrom(PhantomInput(2, 6))
+	if got := p.View(0, 4).Provenance(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("head = %v", got)
+	}
+	if got := p.View(4, 10).Provenance(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("tail = %v", got)
+	}
+	// Intersection semantics across the mixed range: no rank covers all.
+	if got := p.Provenance(); len(got) != 0 {
+		t.Fatalf("mixed-range provenance = %v, want empty", got)
+	}
+}
+
+func TestPhantomSegmentsCoalesce(t *testing.T) {
+	p := NewPhantom(1000)
+	for i := 0; i < 1000; i += 10 {
+		p.View(i, i+10).CopyFrom(PhantomInput(4, 1000).View(i, i+10))
+	}
+	ph := p.(phantom)
+	if len(ph.t.segs) != 1 {
+		t.Fatalf("adjacent equal segments did not coalesce: %d segs", len(ph.t.segs))
+	}
+}
+
+func TestArenaPoolRecycles(t *testing.T) {
+	ResetPoolStats()
+	a := NewArena(Dense)
+	s := a.Scratch(100)
+	if s.Len() != 100 || s.Mode() != Dense {
+		t.Fatalf("scratch shape wrong")
+	}
+	a.Release()
+	b := NewArena(Dense)
+	b.Scratch(100) // same bucket: should reuse
+	b.Release()
+	st := PoolStats()
+	if st.Gets != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 gets / 1 miss", st)
+	}
+	if st.InUse != 0 {
+		t.Fatalf("buffers leaked: %+v", st)
+	}
+	if NewArena(Phantom).Scratch(8).Mode() != Phantom {
+		t.Error("phantom arena produced wrong mode")
+	}
+}
+
+func TestRankSetProperties(t *testing.T) {
+	f := func(araw, braw []uint8) bool {
+		mk := func(raw []uint8) rankSet {
+			seen := map[int]bool{}
+			var s rankSet
+			for _, v := range raw {
+				if !seen[int(v%32)] {
+					seen[int(v%32)] = true
+					s = append(s, int(v%32))
+				}
+			}
+			sortInts(s)
+			return s
+		}
+		a, b := mk(araw), mk(braw)
+		u := unionSet(a, b)
+		in := intersectSet(a, b)
+		// Union contains both; intersection contained in both.
+		return subsetOf(a, u) && subsetOf(b, u) && subsetOf(in, a) && subsetOf(in, b) &&
+			len(u)+len(in) == len(a)+len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketFor(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}} {
+		if got := bucketFor(c.n); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package payload
+
+import "fmt"
+
+// phantom is the metadata-only implementation: a view over a segment
+// tensor that tracks, per element range, which ranks' contributions have
+// been folded in. No element data exists; the checksum is derived from
+// provenance and absolute element positions, so it is O(segments) to
+// compute, splits exactly under views, and is additive under reduction.
+type phantom struct {
+	t          *ptensor
+	start, end int // view window, absolute tensor coordinates
+}
+
+// ptensor is the shared backing state of one phantom tensor: sorted,
+// non-overlapping segments covering [0, n). spare is the previous
+// generation's segment array, recycled by write so steady-state rewriting
+// (one write per delivered chunk) allocates nothing.
+type ptensor struct {
+	n     int
+	segs  []pseg
+	spare []pseg
+}
+
+// pseg annotates [start, end) with the set of contributing ranks. An
+// empty set means "zeros": no contribution yet.
+type pseg struct {
+	start, end int
+	prov       rankSet
+}
+
+// NewPhantom returns a blank (zero-contribution) phantom tensor of n
+// elements.
+func NewPhantom(n int) Payload {
+	return newPhantomProv(n, nil)
+}
+
+// PhantomInput returns a phantom tensor of n elements representing the
+// given rank's local input: every element carries that rank's
+// contribution and nothing else.
+func PhantomInput(rank, n int) Payload {
+	return newPhantomProv(n, rankSet{rank})
+}
+
+func newPhantomProv(n int, prov rankSet) Payload {
+	t := &ptensor{n: n}
+	if n > 0 {
+		t.segs = []pseg{{start: 0, end: n, prov: prov}}
+	}
+	return phantom{t: t, start: 0, end: n}
+}
+
+func (p phantom) Mode() Mode         { return Phantom }
+func (p phantom) Len() int           { return p.end - p.start }
+func (p phantom) SizeBytes() int64   { return int64(p.end-p.start) * 4 }
+func (p phantom) Float32() []float32 { return nil }
+
+func (p phantom) View(start, end int) Payload {
+	if start < 0 || end < start || p.start+end > p.end {
+		panic(fmt.Sprintf("payload: phantom view [%d,%d) out of range (len %d)", start, end, p.Len()))
+	}
+	return phantom{t: p.t, start: p.start + start, end: p.start + end}
+}
+
+func (p phantom) CopyFrom(src Payload) {
+	s := mustPhantom("CopyFrom", src, p.Len())
+	if s.t != p.t {
+		// Distinct tensors: iterate the source's live segments directly —
+		// writes only touch p.t, so no snapshot is needed.
+		for _, seg := range s.t.segs {
+			if seg.end <= s.start || seg.start >= s.end {
+				continue
+			}
+			a, b := max(seg.start, s.start), min(seg.end, s.end)
+			p.t.write(p.start+(a-s.start), p.start+(b-s.start), seg.prov)
+		}
+		return
+	}
+	// Aliasing windows of one tensor: snapshot first.
+	for _, pc := range s.pieces() {
+		p.t.write(p.start+pc.start, p.start+pc.end, pc.prov)
+	}
+}
+
+func (p phantom) AddFrom(srcs ...Payload) {
+	lists := make([][]pseg, 0, len(srcs)+1)
+	lists = append(lists, p.pieces())
+	for _, src := range srcs {
+		s := mustPhantom("AddFrom", src, p.Len())
+		lists = append(lists, s.pieces())
+	}
+	// Sweep the elementary intervals induced by every list's boundaries
+	// and union the covering provenance sets.
+	bounds := boundarySet(lists, p.Len())
+	idx := make([]int, len(lists))
+	for i := 1; i < len(bounds); i++ {
+		a, b := bounds[i-1], bounds[i]
+		var prov rankSet
+		for li, list := range lists {
+			for idx[li] < len(list) && list[idx[li]].end <= a {
+				idx[li]++
+			}
+			if idx[li] < len(list) && list[idx[li]].start <= a {
+				prov = unionSet(prov, list[idx[li]].prov)
+			}
+		}
+		p.t.write(p.start+a, p.start+b, prov)
+	}
+}
+
+// Checksum derives the positional checksum of the window: each rank r
+// contributes mixRank(r) * Σ_{i in range} (i+1), summed mod 2^64. The
+// per-element weight makes the checksum sensitive to WHERE a
+// contribution landed, and range sums telescope (triangular numbers), so
+// evaluation is O(segments), not O(elements).
+func (p phantom) Checksum() uint64 {
+	var sum uint64
+	for _, s := range p.t.segs {
+		if s.end <= p.start || s.start >= p.end {
+			continue
+		}
+		w := triWeight(max(s.start, p.start), min(s.end, p.end))
+		for _, r := range s.prov {
+			sum += mixRank(r) * w
+		}
+	}
+	return sum
+}
+
+// Provenance returns the ranks whose contributions reached EVERY element
+// of the window (set intersection across segments), sorted.
+func (p phantom) Provenance() []int {
+	var acc rankSet
+	found := false
+	for _, s := range p.t.segs {
+		if s.end <= p.start || s.start >= p.end {
+			continue
+		}
+		if !found {
+			acc, found = s.prov, true
+		} else {
+			acc = intersectSet(acc, s.prov)
+		}
+	}
+	if !found {
+		return []int{}
+	}
+	return append([]int{}, acc...)
+}
+
+// pieces snapshots the window's segments in window-relative coordinates.
+// A snapshot (not an iterator) so CopyFrom/AddFrom tolerate src and dst
+// aliasing the same tensor.
+func (p phantom) pieces() []pseg {
+	var out []pseg
+	for _, s := range p.t.segs {
+		if s.end <= p.start || s.start >= p.end {
+			continue
+		}
+		a, b := s.start, s.end
+		if a < p.start {
+			a = p.start
+		}
+		if b > p.end {
+			b = p.end
+		}
+		out = append(out, pseg{start: a - p.start, end: b - p.start, prov: s.prov})
+	}
+	return out
+}
+
+// write replaces [start, end) of the tensor with the given provenance,
+// splitting boundary segments and coalescing equal neighbours.
+func (t *ptensor) write(start, end int, prov rankSet) {
+	if start >= end {
+		return
+	}
+	out := t.spare[:0]
+	inserted := false
+	for _, s := range t.segs {
+		if s.end <= start || s.start >= end {
+			if !inserted && s.start >= end {
+				out = appendSeg(out, pseg{start: start, end: end, prov: prov})
+				inserted = true
+			}
+			out = appendSeg(out, s)
+			continue
+		}
+		if s.start < start {
+			out = appendSeg(out, pseg{start: s.start, end: start, prov: s.prov})
+		}
+		if !inserted {
+			out = appendSeg(out, pseg{start: start, end: end, prov: prov})
+			inserted = true
+		}
+		if s.end > end {
+			out = appendSeg(out, pseg{start: end, end: s.end, prov: s.prov})
+		}
+	}
+	if !inserted {
+		out = appendSeg(out, pseg{start: start, end: end, prov: prov})
+	}
+	t.spare = t.segs
+	t.segs = out
+}
+
+func appendSeg(segs []pseg, s pseg) []pseg {
+	if s.start >= s.end {
+		return segs
+	}
+	if n := len(segs); n > 0 && segs[n-1].end == s.start && equalSet(segs[n-1].prov, s.prov) {
+		segs[n-1].end = s.end
+		return segs
+	}
+	return append(segs, s)
+}
+
+func mustPhantom(op string, p Payload, wantLen int) phantom {
+	s, ok := p.(phantom)
+	if !ok {
+		panic(fmt.Sprintf("payload: %s mode mismatch (phantom vs %v)", op, p.Mode()))
+	}
+	if s.Len() != wantLen {
+		panic(fmt.Sprintf("payload: %s length mismatch %d vs %d", op, wantLen, s.Len()))
+	}
+	return s
+}
+
+// boundarySet returns the sorted, deduplicated boundaries of every list
+// plus 0 and length.
+func boundarySet(lists [][]pseg, length int) []int {
+	seen := map[int]bool{0: true, length: true}
+	out := []int{0, length}
+	for _, list := range lists {
+		for _, s := range list {
+			for _, b := range [2]int{s.start, s.end} {
+				if !seen[b] {
+					seen[b] = true
+					out = append(out, b)
+				}
+			}
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// PhantomChecksum computes the checksum a phantom range [start, end) (in
+// absolute tensor coordinates) carries after the contributions of exactly
+// the given ranks reached every element — the reference value tests
+// compare collective outputs against.
+func PhantomChecksum(ranks []int, start, end int) uint64 {
+	w := triWeight(start, end)
+	var sum uint64
+	for _, r := range ranks {
+		sum += mixRank(r) * w
+	}
+	return sum
+}
+
+// triWeight is Σ_{i=start}^{end-1} (i+1) = T(end) - T(start) with
+// T(n) = n(n+1)/2, computed in uint64 (wraparound is fine: all checksum
+// arithmetic is mod 2^64).
+func triWeight(start, end int) uint64 {
+	tri := func(n int) uint64 {
+		u := uint64(n)
+		return u * (u + 1) / 2
+	}
+	return tri(end) - tri(start)
+}
+
+// mixRank maps a rank to a well-spread 64-bit multiplier (splitmix64
+// finaliser) so distinct rank sets virtually never collide.
+func mixRank(r int) uint64 {
+	z := uint64(r+1) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

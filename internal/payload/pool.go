@@ -1,0 +1,158 @@
+package payload
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// The dense scratch pool: power-of-two size buckets of float32 slices,
+// shared process-wide. Collectives allocate one scratch buffer per
+// in-flight aggregation chunk; pooling turns that from O(chunks)
+// allocations per run into O(peak concurrent chunks) for the process.
+var pools [48]sync.Pool
+
+var (
+	poolGets   atomic.Int64
+	poolMisses atomic.Int64
+	poolPuts   atomic.Int64
+	poolInUse  atomic.Int64
+	poolPeak   atomic.Int64
+)
+
+// bucketFor returns the pool index whose buffers have capacity >= n.
+func bucketFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+func getBuf(n int) *[]float32 {
+	b := bucketFor(n)
+	poolGets.Add(1)
+	use := poolInUse.Add(1)
+	for {
+		peak := poolPeak.Load()
+		if use <= peak || poolPeak.CompareAndSwap(peak, use) {
+			break
+		}
+	}
+	if v := pools[b].Get(); v != nil {
+		return v.(*[]float32)
+	}
+	poolMisses.Add(1)
+	buf := make([]float32, 1<<b)
+	return &buf
+}
+
+func putBuf(buf *[]float32) {
+	poolPuts.Add(1)
+	poolInUse.Add(-1)
+	pools[bucketFor(cap(*buf))].Put(buf)
+}
+
+// PoolStatsSnapshot reports the dense scratch pool's counters.
+type PoolStatsSnapshot struct {
+	// Gets counts Scratch acquisitions; Misses the subset that had to
+	// allocate a fresh buffer.
+	Gets, Misses int64
+	// Puts counts buffers returned by Arena.Release.
+	Puts int64
+	// InUse is the number of buffers currently held; Peak the high-water
+	// mark since the last reset.
+	InUse, Peak int64
+}
+
+// PoolStats snapshots the pool counters (benchmarks report Peak as the
+// pooled-buffer footprint).
+func PoolStats() PoolStatsSnapshot {
+	return PoolStatsSnapshot{
+		Gets:   poolGets.Load(),
+		Misses: poolMisses.Load(),
+		Puts:   poolPuts.Load(),
+		InUse:  poolInUse.Load(),
+		Peak:   poolPeak.Load(),
+	}
+}
+
+// ResetPoolStats zeroes the counters (buffers stay pooled).
+func ResetPoolStats() {
+	poolGets.Store(0)
+	poolMisses.Store(0)
+	poolPuts.Store(0)
+	poolPeak.Store(poolInUse.Load())
+}
+
+// ptensors recycles phantom backing tensors (segment arrays included), the
+// phantom-mode analogue of the dense float32 pool.
+var ptensors = sync.Pool{New: func() any { return new(ptensor) }}
+
+func getPtensor(n int) *ptensor {
+	poolGets.Add(1)
+	use := poolInUse.Add(1)
+	for {
+		peak := poolPeak.Load()
+		if use <= peak || poolPeak.CompareAndSwap(peak, use) {
+			break
+		}
+	}
+	t := ptensors.Get().(*ptensor)
+	t.n = n
+	t.segs = t.segs[:0]
+	if n > 0 {
+		t.segs = append(t.segs, pseg{start: 0, end: n, prov: nil})
+	}
+	return t
+}
+
+func putPtensor(t *ptensor) {
+	poolPuts.Add(1)
+	poolInUse.Add(-1)
+	ptensors.Put(t)
+}
+
+// Arena hands out per-run scratch payloads and releases them all at once
+// when the run completes. Dense scratch comes from the shared float32
+// pool; phantom scratch reuses pooled segment tensors. Contents are
+// UNINITIALISED: callers must CopyFrom before AddFrom, which is exactly
+// the executor's aggregation pattern.
+//
+// Release must only be called when no event can still touch the scratch —
+// the executor calls it from the collective's completion countdown, after
+// the last delivery.
+type Arena struct {
+	mode  Mode
+	held  []*[]float32
+	heldP []*ptensor
+}
+
+// NewArena returns an arena producing scratch in the given mode.
+func NewArena(mode Mode) *Arena { return &Arena{mode: mode} }
+
+// Mode reports the arena's payload mode.
+func (a *Arena) Mode() Mode { return a.mode }
+
+// Scratch returns an n-element scratch payload owned by the arena.
+func (a *Arena) Scratch(n int) Payload {
+	if a.mode == Phantom {
+		t := getPtensor(n)
+		a.heldP = append(a.heldP, t)
+		return phantom{t: t, start: 0, end: n}
+	}
+	buf := getBuf(n)
+	a.held = append(a.held, buf)
+	return dense{data: (*buf)[:n]}
+}
+
+// Release returns every scratch buffer/tensor to its pool.
+func (a *Arena) Release() {
+	for _, buf := range a.held {
+		putBuf(buf)
+	}
+	a.held = nil
+	for _, t := range a.heldP {
+		putPtensor(t)
+	}
+	a.heldP = nil
+}

@@ -1,0 +1,103 @@
+package payload
+
+import "sort"
+
+// rankSet is a sorted, deduplicated rank list treated as immutable:
+// set operations return one of their operands when possible and fresh
+// slices otherwise, so segments can share sets freely.
+type rankSet []int
+
+func unionSet(a, b rankSet) rankSet {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	if subsetOf(b, a) {
+		return a
+	}
+	if subsetOf(a, b) {
+		return b
+	}
+	out := make(rankSet, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func intersectSet(a, b rankSet) rankSet {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	if subsetOf(a, b) {
+		return a
+	}
+	if subsetOf(b, a) {
+		return b
+	}
+	var out rankSet
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// subsetOf reports whether every element of a is in b.
+func subsetOf(a, b rankSet) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+func equalSet(a, b rankSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortInts(v []int) { sort.Ints(v) }

@@ -22,12 +22,19 @@ type Time = time.Duration
 // Event is a scheduled callback. It is returned by the scheduling methods so
 // callers can cancel it before it fires.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	idx  int // heap index, -1 when not queued
-	dead bool
+	at     Time
+	seq    uint64
+	fn     func()
+	call   Caller
+	idx    int // heap index, -1 when not queued
+	dead   bool
+	pooled bool // recyclable: the holder drops the handle at fire/cancel
 }
+
+// Caller is a pre-bound callback: the receiver itself carries the state a
+// closure would capture, so scheduling one on the hot path allocates
+// nothing. Interface dispatch on an existing pointer does not box.
+type Caller interface{ Call() }
 
 // At returns the virtual time at which the event is (or was) scheduled.
 func (e *Event) At() Time { return e.at }
@@ -43,6 +50,7 @@ type Engine struct {
 	seq    uint64
 	rng    *rand.Rand
 	fired  uint64
+	free   []*Event // recycled pooled events
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -91,8 +99,76 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// Do schedules fn at absolute virtual time t without returning a handle.
+// The backing event is recycled after it fires, so fire-and-forget
+// scheduling (the per-chunk hot path: kernel completions, chunk launches,
+// arrival callbacks) allocates nothing in steady state. Use At when the
+// caller may need to Cancel.
+func (e *Engine) Do(t Time, fn func()) {
+	e.schedule(t, fn, nil)
+}
+
+// DoAfter schedules fn to run d after now, handle-free like Do. Negative d
+// is clamped to zero.
+func (e *Engine) DoAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, fn, nil)
+}
+
+// DoCall schedules c.Call() at absolute virtual time t, pooled and
+// handle-free like Do, but without even the closure: the Caller's receiver
+// carries the callback state.
+func (e *Engine) DoCall(t Time, c Caller) {
+	e.schedule(t, nil, c)
+}
+
+// DoCallAfter schedules c.Call() d after now, handle-free like DoCall.
+// Negative d is clamped to zero.
+func (e *Engine) DoCallAfter(d time.Duration, c Caller) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, nil, c)
+}
+
+// CallAfter schedules c.Call() d after now on a pooled event and returns
+// the handle so the caller may Cancel it. The handle is strictly
+// single-use: the event is recycled both when it fires and when it is
+// cancelled, so the holder must drop the handle at exactly those two
+// points (the fabric's per-link completion event follows this discipline).
+// Prefer After when in doubt — its events are never recycled.
+func (e *Engine) CallAfter(d time.Duration, c Caller) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.schedule(e.now+d, nil, c)
+}
+
+// schedule queues a pooled event carrying either fn or c.
+func (e *Engine) schedule(t Time, fn func(), c Caller) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	*ev = Event{at: t, seq: e.seq, fn: fn, call: c, idx: -1, pooled: true}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
 // Cancel prevents ev from firing. Cancelling a nil, already-fired or
 // already-cancelled event is a no-op, so callers need no bookkeeping.
+// Cancelled pooled events are recycled immediately, so a handle obtained
+// from CallAfter must not be touched after cancelling it.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.dead {
 		return
@@ -100,6 +176,10 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.dead = true
 	if ev.idx >= 0 {
 		heap.Remove(&e.events, ev.idx)
+	}
+	if ev.pooled {
+		ev.fn, ev.call = nil, nil
+		e.free = append(e.free, ev)
 	}
 }
 
@@ -117,7 +197,19 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		ev.dead = true
 		e.fired++
-		ev.fn()
+		fn, call := ev.fn, ev.call
+		if ev.pooled {
+			// Any handle holder drops the handle at fire time, so the
+			// event can be reused as soon as it is off the heap — even
+			// by the callback itself.
+			ev.fn, ev.call = nil, nil
+			e.free = append(e.free, ev)
+		}
+		if call != nil {
+			call.Call()
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false

@@ -33,6 +33,84 @@ func groupByServer(g *topology.Graph, ranks []int) (members, error) {
 	return m, nil
 }
 
+// subBuilder caches the rank groupings shared by every candidate of one
+// synthesis request. The search evaluates hundreds of (variant, chunk, M,
+// root-plan) candidates over the same participant set, so grouping ranks
+// by server once per candidate — rather than once per request — dominated
+// allocation profiles.
+type subBuilder struct {
+	g              *topology.Graph
+	ranks          []int
+	relays         []int
+	mem            members
+	relaysByServer map[int][]int
+	// cache reuses built sub-collectives across candidates: the flow
+	// structure depends only on (primitive, variant, root, sub index),
+	// never on the chunk size or partition bytes the search sweeps, so
+	// the same structure is requested many times per synthesis. Cached
+	// entries share their Flows slice between candidate strategies —
+	// safe because flows are immutable once built.
+	cache map[subKey]*strategy.SubCollective
+}
+
+// subKey identifies one cached sub-collective structure.
+type subKey struct {
+	prim strategy.Primitive
+	v    variant
+	root int
+	sub  int
+}
+
+// sub returns the (cached) flow structure of one sub-collective. Callers
+// own the returned struct's scalar fields (ID, Bytes, ChunkBytes are
+// overwritten per candidate) but must treat Flows as read-only.
+func (bld *subBuilder) sub(p strategy.Primitive, v variant, root, m int) (*strategy.SubCollective, error) {
+	key := subKey{prim: p, v: v, root: root, sub: m}
+	if sc, ok := bld.cache[key]; ok {
+		return sc, nil
+	}
+	var (
+		sc  *strategy.SubCollective
+		err error
+	)
+	switch p {
+	case strategy.Broadcast:
+		sc, err = bld.broadcastSub(v, root, m)
+	case strategy.Reduce, strategy.AllReduce:
+		sc, err = bld.reduceSub(v, root, m)
+	case strategy.AlltoAll:
+		sc, err = bld.alltoallSub(m)
+	default:
+		err = fmt.Errorf("synth: unsupported primitive %v", p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if bld.cache == nil {
+		bld.cache = make(map[subKey]*strategy.SubCollective)
+	}
+	bld.cache[key] = sc
+	return sc, nil
+}
+
+func newSubBuilder(g *topology.Graph, ranks, relays []int) (*subBuilder, error) {
+	mem, err := groupByServer(g, ranks)
+	if err != nil {
+		return nil, err
+	}
+	rbs := make(map[int][]int)
+	for _, r := range relays {
+		if id, ok := g.GPUByRank(r); ok {
+			s := g.Node(id).Server
+			rbs[s] = append(rbs[s], r)
+		}
+	}
+	for s := range rbs {
+		sort.Ints(rbs[s])
+	}
+	return &subBuilder{g: g, ranks: ranks, relays: relays, mem: mem, relaysByServer: rbs}, nil
+}
+
 // pathBuilder constructs routed paths over the logical graph.
 type pathBuilder struct {
 	g *topology.Graph
@@ -158,41 +236,29 @@ func allVariants() []variant {
 	return []variant{variantHierStar, variantFlatStar, variantServerChain, variantServerTree}
 }
 
+// addFlow appends a flow with the next sequential ID.
+func addFlow(sc *strategy.SubCollective, src, dst int, path []topology.NodeID) {
+	sc.Flows = append(sc.Flows, strategy.Flow{ID: len(sc.Flows), SrcRank: src, DstRank: dst, Path: path})
+}
+
 // reduceSub builds the flow set of one Reduce sub-collective.
 //
 // root is the sub-collective's root rank; m rotates leader and NIC choices
-// so the M parallel sub-collectives use different resources; relays lists
-// non-contributing ranks usable as extra aggregation/forwarding points
-// (Sec. IV-C relay control); ranks are the contributing workers.
-func reduceSub(g *topology.Graph, v variant, ranks []int, relays []int, root, m int) (*strategy.SubCollective, error) {
+// so the M parallel sub-collectives use different resources; the builder's
+// relays list non-contributing ranks usable as extra aggregation/forwarding
+// points (Sec. IV-C relay control) and its ranks the contributing workers.
+func (bld *subBuilder) reduceSub(v variant, root, m int) (*strategy.SubCollective, error) {
+	g := bld.g
 	pb := pathBuilder{g: g}
-	mem, err := groupByServer(g, ranks)
-	if err != nil {
-		return nil, err
-	}
+	mem := bld.mem
+	relaysByServer := bld.relaysByServer
 	rootID, err := pb.gpu(root)
 	if err != nil {
 		return nil, err
 	}
 	rootServer := g.Node(rootID).Server
 
-	relaysByServer := make(map[int][]int)
-	for _, r := range relays {
-		if id, ok := g.GPUByRank(r); ok {
-			s := g.Node(id).Server
-			relaysByServer[s] = append(relaysByServer[s], r)
-		}
-	}
-	for s := range relaysByServer {
-		sort.Ints(relaysByServer[s])
-	}
-
 	sc := &strategy.SubCollective{ID: m, Root: root}
-	flowID := 0
-	addFlow := func(src, dst int, path []topology.NodeID) {
-		sc.Flows = append(sc.Flows, strategy.Flow{ID: flowID, SrcRank: src, DstRank: dst, Path: path})
-		flowID++
-	}
 
 	// leader returns the aggregation point of a server: the root on the
 	// root's server; otherwise a rank rotated by m among the server's
@@ -216,7 +282,7 @@ func reduceSub(g *topology.Graph, v variant, ranks []int, relays []int, root, m 
 	}
 
 	if v == variantFlatStar {
-		for _, r := range ranks {
+		for _, r := range bld.ranks {
 			if r == root {
 				continue
 			}
@@ -224,7 +290,7 @@ func reduceSub(g *topology.Graph, v variant, ranks []int, relays []int, root, m 
 			if err != nil {
 				return nil, err
 			}
-			addFlow(r, root, path)
+			addFlow(sc, r, root, path)
 		}
 		return sc, nil
 	}
@@ -247,7 +313,7 @@ func reduceSub(g *topology.Graph, v variant, ranks []int, relays []int, root, m 
 			if err != nil {
 				return nil, err
 			}
-			addFlow(r, l, path)
+			addFlow(sc, r, l, path)
 		}
 	}
 
@@ -273,7 +339,7 @@ func reduceSub(g *topology.Graph, v variant, ranks []int, relays []int, root, m 
 			if err != nil {
 				return nil, err
 			}
-			addFlow(l, root, path)
+			addFlow(sc, l, root, path)
 		}
 	case variantServerChain:
 		for i, s := range others {
@@ -286,7 +352,7 @@ func reduceSub(g *topology.Graph, v variant, ranks []int, relays []int, root, m 
 			if err != nil {
 				return nil, err
 			}
-			addFlow(l, next, path)
+			addFlow(sc, l, next, path)
 		}
 	case variantServerTree:
 		// Binary in-tree: index i sends to (i-1)/2; index 0 to root.
@@ -300,7 +366,7 @@ func reduceSub(g *topology.Graph, v variant, ranks []int, relays []int, root, m 
 			if err != nil {
 				return nil, err
 			}
-			addFlow(l, next, path)
+			addFlow(sc, l, next, path)
 		}
 	default:
 		return nil, fmt.Errorf("synth: unsupported reduce variant %v", v)
@@ -311,8 +377,8 @@ func reduceSub(g *topology.Graph, v variant, ranks []int, relays []int, root, m 
 // broadcastSub builds a Broadcast sub-collective by reversing the
 // corresponding Reduce structure (paper Sec. IV-D: AllReduce executes
 // Broadcast reversely; plain Broadcast uses the same trees outward).
-func broadcastSub(g *topology.Graph, v variant, ranks []int, relays []int, root, m int) (*strategy.SubCollective, error) {
-	red, err := reduceSub(g, v, ranks, relays, root, m)
+func (bld *subBuilder) broadcastSub(v variant, root, m int) (*strategy.SubCollective, error) {
+	red, err := bld.reduceSub(v, root, m)
 	if err != nil {
 		return nil, err
 	}
@@ -335,12 +401,12 @@ func broadcastSub(g *topology.Graph, v variant, ranks []int, relays []int, root,
 
 // alltoallSub builds the AlltoAll flow set: one directly-routed flow per
 // ordered rank pair, with NIC selection rotated by m.
-func alltoallSub(g *topology.Graph, ranks []int, m int) (*strategy.SubCollective, error) {
-	pb := pathBuilder{g: g}
+func (bld *subBuilder) alltoallSub(m int) (*strategy.SubCollective, error) {
+	pb := pathBuilder{g: bld.g}
 	sc := &strategy.SubCollective{ID: m, Root: -1}
 	id := 0
-	for _, src := range ranks {
-		for _, dst := range ranks {
+	for _, src := range bld.ranks {
+		for _, dst := range bld.ranks {
 			if src == dst {
 				continue
 			}

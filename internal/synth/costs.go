@@ -30,6 +30,8 @@ type Costs struct {
 	alpha  []time.Duration
 	stream []float64
 	agg    []float64
+	// sc is the evaluator's reusable working state (see evalScratch).
+	sc *evalScratch
 }
 
 // NewCosts merges a graph with a profiling report (which may be nil,

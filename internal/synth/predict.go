@@ -30,6 +30,60 @@ type Eval struct {
 	Time time.Duration
 }
 
+// evalScratch holds the evaluator's working state, reused across the
+// hundreds of candidate evaluations of one synthesis search. Node- and
+// edge-indexed slices replace per-call maps; everything is reset (O(nodes +
+// edges + flows), no allocation) at the start of each use. Costs is
+// single-threaded like the simulation it serves, so one scratch per Costs
+// suffices.
+type evalScratch struct {
+	loads    []int           // per-edge flow counts (Eq. 3)
+	waitH    []time.Duration // per-node first-chunk ready time
+	periodAt []time.Duration // per-node steady-state period
+	arrivals []time.Duration // per-flow terminal arrival
+	periods  []time.Duration // per-flow bottleneck period
+	termAt   [][]int         // per-node: flows terminating there
+	deps     [][]int         // per-flow dependents
+	indeg    []int           // per-flow in-degree
+	queue    []int           // topological work list
+	order    []int           // resulting flow order
+}
+
+// scratch returns the (lazily created) evaluator scratch sized for the
+// graph.
+func (c *Costs) scratch() *evalScratch {
+	if c.sc == nil {
+		n := c.graph.NumNodes()
+		c.sc = &evalScratch{
+			loads:    make([]int, c.graph.NumEdges()),
+			waitH:    make([]time.Duration, n),
+			periodAt: make([]time.Duration, n),
+			termAt:   make([][]int, n),
+		}
+	}
+	return c.sc
+}
+
+// perFlow resizes the per-flow slices for n flows and clears them.
+func (sc *evalScratch) perFlow(n int) {
+	if cap(sc.arrivals) < n {
+		sc.arrivals = make([]time.Duration, n)
+		sc.periods = make([]time.Duration, n)
+		sc.deps = make([][]int, n)
+		sc.indeg = make([]int, n)
+	}
+	sc.arrivals = sc.arrivals[:n]
+	sc.periods = sc.periods[:n]
+	sc.deps = sc.deps[:n]
+	sc.indeg = sc.indeg[:n]
+	for i := 0; i < n; i++ {
+		sc.arrivals[i] = 0
+		sc.periods[i] = 0
+		sc.deps[i] = sc.deps[i][:0]
+		sc.indeg[i] = 0
+	}
+}
+
 // Evaluate scores a strategy against the cost model using the paper's
 // analytic formulation: per-edge loads by the bandwidth-sharing rules of
 // Eq. 3 (summed across sub-collectives), chunk ready-time recursion of
@@ -56,8 +110,10 @@ func Evaluate(c *Costs, s *strategy.Strategy) (*Eval, error) {
 	// couples them). The AllReduce broadcast stage pipelines with the
 	// reduce stage, and with rotated per-sub roots its reversed flows
 	// land on edges the forward stage of other sub-collectives also
-	// uses, so both stages contribute to one shared load map.
-	loads := make(map[topology.EdgeID]int)
+	// uses, so both stages contribute to one shared load table.
+	scr := c.scratch()
+	loads := scr.loads
+	clear(loads)
 	for i := range s.SubCollectives {
 		sc := &s.SubCollectives[i]
 		if err := accumulateLoads(c.graph, sc, false, loads); err != nil {
@@ -103,27 +159,25 @@ func Evaluate(c *Costs, s *strategy.Strategy) (*Eval, error) {
 	return ev, nil
 }
 
-// flowPath returns a flow's path, reversed for the broadcast stage of
-// AllReduce.
-func flowPath(f *strategy.Flow, reversed bool) []topology.NodeID {
-	if !reversed {
-		return f.Path
+// pathNode returns the i-th node of a flow's path, walking backwards for
+// the broadcast stage of AllReduce. Index-based so the evaluator (called
+// for every candidate strategy of the synthesis search) never materialises
+// reversed path slices.
+func pathNode(f *strategy.Flow, reversed bool, i int) topology.NodeID {
+	if reversed {
+		return f.Path[len(f.Path)-1-i]
 	}
-	out := make([]topology.NodeID, len(f.Path))
-	for i, n := range f.Path {
-		out[len(f.Path)-1-i] = n
-	}
-	return out
+	return f.Path[i]
 }
 
 // accumulateLoads adds one sub-collective's per-edge flow counts.
-func accumulateLoads(g *topology.Graph, sc *strategy.SubCollective, reversed bool, loads map[topology.EdgeID]int) error {
+func accumulateLoads(g *topology.Graph, sc *strategy.SubCollective, reversed bool, loads []int) error {
 	for i := range sc.Flows {
-		path := flowPath(&sc.Flows[i], reversed)
-		for j := 1; j < len(path); j++ {
-			eid, ok := g.EdgeBetween(path[j-1], path[j])
+		f := &sc.Flows[i]
+		for j := 1; j < len(f.Path); j++ {
+			eid, ok := g.EdgeBetween(pathNode(f, reversed, j-1), pathNode(f, reversed, j))
 			if !ok {
-				return fmt.Errorf("synth: no edge %v -> %v", path[j-1], path[j])
+				return fmt.Errorf("synth: no edge %v -> %v", pathNode(f, reversed, j-1), pathNode(f, reversed, j))
 			}
 			loads[eid]++
 		}
@@ -136,48 +190,55 @@ func accumulateLoads(g *topology.Graph, sc *strategy.SubCollective, reversed boo
 // is an input — the aggregated tensor for reduce, the received replica for
 // broadcast). Validation guarantees acyclicity; a cycle here is an internal
 // error.
-func flowOrder(sc *strategy.SubCollective, reversed, dependent bool) ([]int, error) {
+func flowOrder(scr *evalScratch, sc *strategy.SubCollective, reversed, dependent bool) ([]int, error) {
 	n := len(sc.Flows)
+	order := scr.order[:0]
 	if !dependent {
 		// AlltoAll flows carry independent local data: no ordering.
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
+		for i := 0; i < n; i++ {
+			order = append(order, i)
 		}
+		scr.order = order
 		return order, nil
 	}
-	terminatesAt := make(map[topology.NodeID][]int)
+	// Reset the termAt entries of every node this sub-collective touches
+	// (stale entries at other nodes are never read).
 	for i := range sc.Flows {
-		p := flowPath(&sc.Flows[i], reversed)
-		last := p[len(p)-1]
-		terminatesAt[last] = append(terminatesAt[last], i)
+		f := &sc.Flows[i]
+		scr.termAt[pathNode(f, reversed, 0)] = scr.termAt[pathNode(f, reversed, 0)][:0]
+		last := pathNode(f, reversed, len(f.Path)-1)
+		scr.termAt[last] = scr.termAt[last][:0]
 	}
-	indeg := make([]int, n)
-	dependents := make([][]int, n)
 	for i := range sc.Flows {
-		origin := flowPath(&sc.Flows[i], reversed)[0]
-		for _, j := range terminatesAt[origin] {
-			dependents[j] = append(dependents[j], i)
-			indeg[i]++
+		f := &sc.Flows[i]
+		last := pathNode(f, reversed, len(f.Path)-1)
+		scr.termAt[last] = append(scr.termAt[last], i)
+	}
+	for i := range sc.Flows {
+		origin := pathNode(&sc.Flows[i], reversed, 0)
+		for _, j := range scr.termAt[origin] {
+			scr.deps[j] = append(scr.deps[j], i)
+			scr.indeg[i]++
 		}
 	}
-	var queue, order []int
+	queue := scr.queue[:0]
 	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
+		if scr.indeg[i] == 0 {
 			queue = append(queue, i)
 		}
 	}
-	for len(queue) > 0 {
-		f := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		f := queue[head]
 		order = append(order, f)
-		for _, d := range dependents[f] {
-			indeg[d]--
-			if indeg[d] == 0 {
+		for _, d := range scr.deps[f] {
+			scr.indeg[d]--
+			if scr.indeg[d] == 0 {
 				queue = append(queue, d)
 			}
 		}
 	}
+	scr.queue = queue
+	scr.order = order
 	if len(order) != n {
 		return nil, fmt.Errorf("synth: flow dependency cycle in sub-collective %d", sc.ID)
 	}
@@ -186,9 +247,20 @@ func flowOrder(sc *strategy.SubCollective, reversed, dependent bool) ([]int, err
 
 // subEval runs the Eq. 2 ready-time recursion for one sub-collective given
 // the (global) per-edge loads.
-func subEval(c *Costs, sc *strategy.SubCollective, p strategy.Primitive, loads map[topology.EdgeID]int, reversed bool) (SubEval, error) {
+func subEval(c *Costs, sc *strategy.SubCollective, p strategy.Primitive, loads []int, reversed bool) (SubEval, error) {
 	dependent := p != strategy.AlltoAll
-	order, err := flowOrder(sc, reversed, dependent)
+	scr := c.scratch()
+	scr.perFlow(len(sc.Flows))
+	// Reset the per-node state of every node this sub-collective touches
+	// (stale entries at other nodes are never read).
+	for i := range sc.Flows {
+		f := &sc.Flows[i]
+		origin := pathNode(f, reversed, 0)
+		dst := pathNode(f, reversed, len(f.Path)-1)
+		scr.waitH[origin], scr.waitH[dst] = 0, 0
+		scr.periodAt[origin], scr.periodAt[dst] = 0, 0
+	}
+	order, err := flowOrder(scr, sc, reversed, dependent)
 	if err != nil {
 		return SubEval{}, err
 	}
@@ -226,12 +298,8 @@ func subEval(c *Costs, sc *strategy.SubCollective, p strategy.Primitive, loads m
 	// terminal arrival over flows ending at n (Eq. 2's aggregation max;
 	// for broadcast, the replica arrival). Flows originating at n start
 	// there; pure sources start at 0.
-	waitH := make(map[topology.NodeID]time.Duration)
-	type result struct {
-		hops    []time.Duration
-		arrival time.Duration
-	}
-	results := make([]result, len(sc.Flows))
+	waitH := scr.waitH
+	arrivals := scr.arrivals
 
 	// periodAt[n]: the steady-state per-chunk period of the data stream
 	// held at node n — the slowest link along the merged upstream tree.
@@ -239,23 +307,25 @@ func subEval(c *Costs, sc *strategy.SubCollective, p strategy.Primitive, loads m
 	// FIRST chunk) is paid once and lands in the lead term; in steady
 	// state the pipeline refills, so each subsequent chunk costs only
 	// the bottleneck link time (this matches the event-driven executor).
-	periodAt := make(map[topology.NodeID]time.Duration)
-	periods := make([]time.Duration, len(sc.Flows))
+	periodAt := scr.periodAt
+	periods := scr.periods
 
 	for _, fi := range order {
-		path := flowPath(&sc.Flows[fi], reversed)
-		hops := make([]time.Duration, len(path))
+		f := &sc.Flows[fi]
+		// h accumulates the hop-by-hop first-chunk latency; only the
+		// terminal value matters, so no per-flow slice is materialised.
+		h := time.Duration(0)
 		period := time.Duration(0)
 		if dependent {
-			hops[0] = waitH[path[0]]
-			period = periodAt[path[0]]
+			h = waitH[pathNode(f, reversed, 0)]
+			period = periodAt[pathNode(f, reversed, 0)]
 		}
-		for i := 1; i < len(path); i++ {
-			tt, err := t(path[i-1], path[i], i == 1)
+		for i := 1; i < len(f.Path); i++ {
+			tt, err := t(pathNode(f, reversed, i-1), pathNode(f, reversed, i), i == 1)
 			if err != nil {
 				return SubEval{}, err
 			}
-			hops[i] = hops[i-1] + tt
+			h += tt
 			if tt > period {
 				period = tt
 			}
@@ -265,15 +335,15 @@ func subEval(c *Costs, sc *strategy.SubCollective, p strategy.Primitive, loads m
 			// stage: it overlaps transfers on the device stream, so
 			// it gates the period only if it is the slowest stage,
 			// and adds once to the first chunk's latency.
-			hops[len(hops)-1] += aggKernel
+			h += aggKernel
 			if aggKernel > period {
 				period = aggKernel
 			}
 		}
-		arrival := hops[len(hops)-1]
-		results[fi] = result{hops: hops, arrival: arrival}
+		arrival := h
+		arrivals[fi] = arrival
 		periods[fi] = period
-		dst := path[len(path)-1]
+		dst := pathNode(f, reversed, len(f.Path)-1)
 		if arrival > waitH[dst] {
 			waitH[dst] = arrival
 		}
@@ -302,12 +372,11 @@ func subEval(c *Costs, sc *strategy.SubCollective, p strategy.Primitive, loads m
 	var se SubEval
 	se.Chunks = chunks
 	for fi := range sc.Flows {
-		res := results[fi]
-		path := flowPath(&sc.Flows[fi], reversed)
-		dst := path[len(path)-1]
+		f := &sc.Flows[fi]
+		dst := pathNode(f, reversed, len(f.Path)-1)
 		// Under aggregation the flow's first chunk is usable only once
 		// all sibling chunks arrived (Eq. 2's max).
-		hDst := res.arrival
+		hDst := arrivals[fi]
 		if aggregating {
 			hDst = waitH[dst]
 		}

@@ -107,6 +107,10 @@ func Synthesize(c *Costs, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	bld, err := newSubBuilder(c.graph, ranks, req.Relays)
+	if err != nil {
+		return nil, err
+	}
 	if req.FastSearch {
 		variants = variants[:1]
 		grid = []int64{1 << 20, 4 << 20}
@@ -143,7 +147,7 @@ func Synthesize(c *Costs, req Request) (*Result, error) {
 		for _, chunk := range grid {
 			for _, mm := range ms {
 				for _, plan := range plans {
-					s, err := buildStrategy(c, req, v, ranks, mm, equalParts(req.Bytes, mm), chunk, plan)
+					s, err := buildStrategy(bld, req, v, mm, equalParts(req.Bytes, mm), chunk, plan)
 					if err != nil {
 						// A variant can be infeasible on this topology
 						// (e.g. no NVLink and no NIC path); skip it.
@@ -175,7 +179,7 @@ func Synthesize(c *Costs, req Request) (*Result, error) {
 			plan := rootsOf(seed.Strategy)
 			for iter := 0; iter < 3 && len(parts) > 1; iter++ {
 				parts = rebalance(parts, ev, req.Bytes)
-				s, err := buildStrategy(c, req, v, ranks, len(parts), parts, chunk, plan)
+				s, err := buildStrategy(bld, req, v, len(parts), parts, chunk, plan)
 				if err != nil {
 					break
 				}
@@ -300,32 +304,20 @@ func goodServerRanks(c *Costs, ranks []int) []int {
 
 // buildStrategy assembles M sub-collectives of one variant with the given
 // partition sizes, a common chunk size and a root placement.
-func buildStrategy(c *Costs, req Request, v variant, ranks []int, m int, parts []int64, chunk int64, plan rootPlan) (*strategy.Strategy, error) {
+func buildStrategy(bld *subBuilder, req Request, v variant, m int, parts []int64, chunk int64, plan rootPlan) (*strategy.Strategy, error) {
 	s := &strategy.Strategy{
 		Primitive:  req.Primitive,
 		TotalBytes: req.Bytes,
 	}
 	for i := 0; i < m; i++ {
-		var (
-			sc  *strategy.SubCollective
-			err error
-		)
-		switch req.Primitive {
-		case strategy.Reduce, strategy.Broadcast, strategy.AllReduce:
-			root := plan(i, m)
+		root := -1
+		if req.Primitive != strategy.AlltoAll {
+			root = plan(i, m)
 			if root < 0 {
-				root = ranks[0]
+				root = bld.ranks[0]
 			}
-			if req.Primitive == strategy.Broadcast {
-				sc, err = broadcastSub(c.graph, v, ranks, req.Relays, root, i)
-			} else {
-				sc, err = reduceSub(c.graph, v, ranks, req.Relays, root, i)
-			}
-		case strategy.AlltoAll:
-			sc, err = alltoallSub(c.graph, ranks, i)
-		default:
-			return nil, fmt.Errorf("synth: unsupported primitive %v", req.Primitive)
 		}
+		sc, err := bld.sub(req.Primitive, v, root, i)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 	"adapcc/internal/backend"
 	"adapcc/internal/collective"
 	"adapcc/internal/core"
+	"adapcc/internal/payload"
 	"adapcc/internal/sim"
 	"adapcc/internal/strategy"
 )
@@ -25,6 +26,10 @@ type BucketSchedule struct {
 	// ReadyAt holds each bucket's readiness offset within the backward
 	// pass (monotone non-decreasing).
 	ReadyAt []time.Duration
+	// Mode selects the payload data plane for the bucket AllReduces
+	// (Dense default). Phantom skips materialising gradient tensors while
+	// producing the identical timeline.
+	Mode payload.Mode
 }
 
 // NewBucketSchedule splits a model's gradients into buckets and spreads
@@ -82,13 +87,17 @@ func RunBucketedIteration(a *core.AdapCC, q *core.Queue, sched BucketSchedule, o
 		bytes := sched.Buckets[i]
 		at := sched.ReadyAt[i]
 		eng.At(start+at, func() {
-			q.Submit(backend.Request{
+			req := backend.Request{
 				Primitive: strategy.AllReduce,
 				Bytes:     bytes,
 				Root:      -1,
-				Inputs:    backend.MakeInputs(ranks, bytes),
+				Mode:      sched.Mode,
 				OnDone:    func(collective.Result) { done.Done() },
-			})
+			}
+			if sched.Mode == payload.Dense {
+				req.Inputs = backend.MakeInputs(ranks, bytes)
+			}
+			q.Submit(req)
 		})
 	}
 	return nil
