@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"adapcc/internal/backend"
+	"adapcc/internal/chaos"
 	"adapcc/internal/cluster"
 	"adapcc/internal/collective"
 	"adapcc/internal/core"
@@ -44,6 +45,7 @@ func run(args []string) error {
 		dumpXML   = fs.Bool("xml", false, "print the full strategy XML")
 		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the execution to this file (open in chrome://tracing or Perfetto)")
 		dotOut    = fs.String("dot", "", "write the synthesised strategy as Graphviz DOT to this file")
+		chaosSpec = fs.String("chaos", "", "fault schedule to inject, e.g. \"seed=7;down@2ms+10ms:edge=3;crash@5ms:rank=2\" (kinds: down flap degrade loss hold crash hang straggler); the collective runs with detect/retransmit/re-synthesize recovery")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,14 +133,56 @@ func run(args []string) error {
 
 	inputs := backend.MakeInputs(env.AllRanks(), *bytes)
 	var measured time.Duration
-	err = a.Run(backend.Request{
-		Primitive: prim, Bytes: *bytes, Root: root, Inputs: inputs,
-		OnDone: func(r collective.Result) { measured = r.Elapsed },
-	})
-	if err != nil {
-		return err
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		ch := chaos.New(env.Engine, env.Fabric, env.GPUs, spec)
+		if tracer != nil {
+			ch.SetTracer(tracer)
+		}
+		if err := ch.Arm(); err != nil {
+			return err
+		}
+		fmt.Printf("chaos: armed %d fault(s), seed %d\n", len(spec.Faults), spec.Seed)
+		var rres core.ResilientResult
+		var rerr error
+		err = a.RunResilient(backend.Request{
+			Primitive: prim, Bytes: *bytes, Root: root, Inputs: inputs,
+		}, core.ResilientOptions{}, func(r core.ResilientResult, err error) { rres, rerr = r, err })
+		if err != nil {
+			return err
+		}
+		env.Engine.Run()
+		for _, ev := range rres.Events {
+			fmt.Printf("chaos: attempt %d faulted (%v); excluded pair %v, ranks %v; retried via %s synthesis after %v overhead\n",
+				ev.Attempt+1, ev.Report, ev.ExcludedPair, ev.ExcludedRanks, ev.Ladder,
+				ev.Overhead.Round(time.Millisecond))
+		}
+		cnt := ch.Counters()
+		stats := env.Exec.RecoveryStats()
+		fmt.Printf("chaos: injected %d scale events, %d drops, %d holds, %d kernel stalls\n",
+			cnt.ScaleEvents, cnt.Drops, cnt.Holds, cnt.KernelStalls)
+		fmt.Printf("recovery: %d deadlines, %d retransmits, %d link faults, %d stall faults\n",
+			stats.Deadlines, stats.Retransmits, stats.LinkFaults, stats.StallFaults)
+		if rerr != nil {
+			return fmt.Errorf("collective did not survive the schedule: %w", rerr)
+		}
+		measured = rres.Result.Elapsed
+		fmt.Printf("survived: %v end-to-end over ranks %v (%d attempt(s), %v detecting+reconstructing)\n",
+			rres.Elapsed.Round(time.Microsecond), rres.Survivors, rres.Attempts,
+			rres.TimeToRecover().Round(time.Microsecond))
+	} else {
+		err = a.Run(backend.Request{
+			Primitive: prim, Bytes: *bytes, Root: root, Inputs: inputs,
+			OnDone: func(r collective.Result) { measured = r.Elapsed },
+		})
+		if err != nil {
+			return err
+		}
+		env.Engine.Run()
 	}
-	env.Engine.Run()
 	fmt.Printf("executed: %v (algorithm bandwidth %.2f GB/s; prediction off by %+.1f%%)\n",
 		measured.Round(time.Microsecond),
 		collective.AlgoBandwidthBps(*bytes, measured)/1e9,

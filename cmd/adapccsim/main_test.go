@@ -31,6 +31,25 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestRunWithChaosSchedule(t *testing.T) {
+	if err := run([]string{"-case", "A100:(2,2)", "-bytes", "1048576",
+		"-chaos", "seed=3;down@1ms+3ms:edge=0;straggler@0s+20ms:rank=1,stall=200us"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadChaosSpec(t *testing.T) {
+	for _, spec := range []string{
+		"explode@1ms:edge=0", // unknown kind
+		"down@1ms:edge=999",  // edge out of range, caught at Arm
+		"crash@1ms:rank=99",  // unknown rank, caught at Arm
+	} {
+		if err := run([]string{"-case", "A100:(2,2)", "-chaos", spec}); err == nil {
+			t.Errorf("chaos spec %q accepted", spec)
+		}
+	}
+}
+
 func TestParsePrimitive(t *testing.T) {
 	for _, name := range []string{"reduce", "broadcast", "allreduce", "alltoall"} {
 		if _, err := parsePrimitive(name); err != nil {

@@ -1,0 +1,272 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adapcc/internal/device"
+	"adapcc/internal/fabric"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+	"adapcc/internal/trace"
+)
+
+// ChaosPID is the trace process id of the chaos track (the executor uses
+// 1..N for ranks and 10000 for the network).
+const ChaosPID = 20000
+
+// crashStall is the kernel delay modelling a dead worker: far beyond any
+// stall timeout, finite so the engine still drains.
+const crashStall = 1e6 * time.Second
+
+// Counters tallies what the engine actually did — the observability side of
+// injection, matched against the executor's RecoveryStats in tests.
+type Counters struct {
+	// ScaleEvents counts bandwidth re-scales fired (down/flap/degrade
+	// transitions, crash link kills, restorations included).
+	ScaleEvents int
+	// Drops / Holds count transfers blackholed / parked by Admit.
+	Drops int
+	Holds int
+	// KernelStalls counts kernels that were given extra latency.
+	KernelStalls int
+}
+
+// Engine schedules a Spec against a fabric and its devices. All
+// probabilistic decisions come from a rand seeded by Spec.Seed and are
+// consumed in deterministic simulation order, so a fixed (spec, workload)
+// pair replays one bit-identical timeline.
+type Engine struct {
+	eng  *sim.Engine
+	fab  *fabric.Fabric
+	g    *topology.Graph
+	gpus map[int]*device.GPU
+	rng  *rand.Rand
+	spec Spec
+
+	lossWin  map[topology.EdgeID][]window
+	holdWin  map[topology.EdgeID][]window
+	saved    map[topology.EdgeID]float64 // pre-fault scale, for restoration
+	stalls   map[int][]stallRule
+	counters Counters
+	tracer   *trace.Tracer
+	armed    bool
+}
+
+// window is an edge-local fault interval. end of 0 means open-ended.
+type window struct {
+	start, end sim.Time
+	prob       float64
+	delay      time.Duration
+}
+
+func (w window) covers(now sim.Time) bool {
+	return now >= w.start && (w.end == 0 || now < w.end)
+}
+
+// stallRule is a worker-local kernel-delay interval.
+type stallRule struct {
+	start, end sim.Time // end of 0 means forever (crash)
+	delay      time.Duration
+	untilEnd   bool // hang: stall to the end of the window, not a fixed delay
+}
+
+// New builds a chaos engine for a fabric and its GPUs. Nothing happens
+// until Arm.
+func New(eng *sim.Engine, fab *fabric.Fabric, gpus map[int]*device.GPU, spec Spec) *Engine {
+	return &Engine{
+		eng:     eng,
+		fab:     fab,
+		g:       fab.Graph(),
+		gpus:    gpus,
+		rng:     rand.New(rand.NewSource(spec.Seed)),
+		spec:    spec,
+		lossWin: make(map[topology.EdgeID][]window),
+		holdWin: make(map[topology.EdgeID][]window),
+		saved:   make(map[topology.EdgeID]float64),
+		stalls:  make(map[int][]stallRule),
+	}
+}
+
+// SetTracer mirrors injected faults onto a trace track ("chaos" category).
+func (e *Engine) SetTracer(tr *trace.Tracer) { e.tracer = tr }
+
+// Counters returns a snapshot of injection activity.
+func (e *Engine) Counters() Counters { return e.counters }
+
+// Spec returns the armed schedule.
+func (e *Engine) Spec() Spec { return e.spec }
+
+// Arm validates the spec against the topology, installs the fabric
+// injector and device stall hooks, and schedules every fault relative to
+// the current virtual time. Arm may be called once.
+func (e *Engine) Arm() error {
+	if e.armed {
+		return fmt.Errorf("chaos: already armed")
+	}
+	for _, f := range e.spec.Faults {
+		if f.Edge >= 0 && int(f.Edge) >= e.g.NumEdges() {
+			return fmt.Errorf("chaos: fault %q targets edge %d of a %d-edge graph",
+				f.String(), f.Edge, e.g.NumEdges())
+		}
+		if f.Rank >= 0 {
+			if _, ok := e.gpus[f.Rank]; !ok {
+				return fmt.Errorf("chaos: fault %q targets unknown rank %d", f.String(), f.Rank)
+			}
+		}
+	}
+	e.armed = true
+	now := e.eng.Now()
+	for _, f := range e.spec.Faults {
+		e.arm(f, now)
+	}
+	e.fab.SetInjector(e)
+	for rank, gpu := range e.gpus {
+		if rules := e.stalls[rank]; len(rules) > 0 {
+			gpu.SetKernelStall(e.stallFn(rules))
+		}
+	}
+	return nil
+}
+
+func (e *Engine) arm(f Fault, now sim.Time) {
+	start := now + f.Start
+	end := sim.Time(0)
+	if f.Dur > 0 {
+		end = start + f.Dur
+	}
+	switch f.Kind {
+	case LinkDown:
+		e.eng.Do(start, func() { e.setScale(f.Edge, 0, "down") })
+		if end != 0 {
+			e.eng.Do(end, func() { e.restoreScale(f.Edge, "up") })
+		}
+	case LinkFlap:
+		downNow := true
+		for t := start; t < end; t += f.Period {
+			if downNow {
+				e.eng.Do(t, func() { e.setScale(f.Edge, 0, "flap-down") })
+			} else {
+				e.eng.Do(t, func() { e.restoreScale(f.Edge, "flap-up") })
+			}
+			downNow = !downNow
+		}
+		e.eng.Do(end, func() { e.restoreScale(f.Edge, "flap-end") })
+	case Degrade:
+		scale := f.Scale
+		e.eng.Do(start, func() { e.setScale(f.Edge, scale, "degrade") })
+		if end != 0 {
+			e.eng.Do(end, func() { e.restoreScale(f.Edge, "restore") })
+		}
+	case Loss:
+		e.lossWin[f.Edge] = append(e.lossWin[f.Edge], window{start: start, end: end, prob: f.Prob})
+	case Hold:
+		e.holdWin[f.Edge] = append(e.holdWin[f.Edge], window{start: start, end: end, delay: f.Stall})
+	case Crash:
+		rank := f.Rank
+		e.eng.Do(start, func() { e.crash(rank) })
+		e.stalls[rank] = append(e.stalls[rank], stallRule{start: start, delay: crashStall})
+	case Hang:
+		e.stalls[f.Rank] = append(e.stalls[f.Rank], stallRule{start: start, end: end, untilEnd: true})
+	case Straggler:
+		e.stalls[f.Rank] = append(e.stalls[f.Rank], stallRule{start: start, end: end, delay: f.Stall})
+	}
+}
+
+// crash kills every link touching the rank's GPU node, both directions.
+func (e *Engine) crash(rank int) {
+	id, ok := e.g.GPUByRank(rank)
+	if !ok {
+		return
+	}
+	for _, eid := range e.g.Out(id) {
+		e.setScale(eid, 0, "crash")
+	}
+	for _, eid := range e.g.In(id) {
+		e.setScale(eid, 0, "crash")
+	}
+	e.traceInstant(fmt.Sprintf("crash rank %d", rank), int(id))
+}
+
+// setScale zeroes/collapses an edge, remembering the healthy value once so
+// flap and nested windows restore what the experiment had configured, not
+// a hardcoded 1.0.
+func (e *Engine) setScale(edge topology.EdgeID, scale float64, what string) {
+	if _, ok := e.saved[edge]; !ok {
+		e.saved[edge] = e.fab.Scale(edge)
+	}
+	e.fab.SetScale(edge, scale)
+	e.counters.ScaleEvents++
+	e.traceInstant(fmt.Sprintf("%s edge %d (scale %g)", what, edge, scale), int(edge))
+}
+
+func (e *Engine) restoreScale(edge topology.EdgeID, what string) {
+	prev, ok := e.saved[edge]
+	if !ok {
+		return // restore without a preceding fault transition: no-op
+	}
+	e.fab.SetScale(edge, prev)
+	e.counters.ScaleEvents++
+	e.traceInstant(fmt.Sprintf("%s edge %d (scale %g)", what, edge, prev), int(edge))
+}
+
+// Admit implements fabric.Injector: consulted once per transfer entering a
+// link, it applies the loss and hold windows covering the current instant.
+func (e *Engine) Admit(edge topology.EdgeID, size int64) (fabric.Verdict, time.Duration) {
+	now := e.eng.Now()
+	for _, w := range e.lossWin[edge] {
+		if w.covers(now) && e.rng.Float64() < w.prob {
+			e.counters.Drops++
+			e.traceInstant(fmt.Sprintf("drop %dB edge %d", size, edge), int(edge))
+			return fabric.VerdictDrop, 0
+		}
+	}
+	for _, w := range e.holdWin[edge] {
+		if w.covers(now) {
+			e.counters.Holds++
+			e.traceInstant(fmt.Sprintf("hold %dB edge %d for %v", size, edge, w.delay), int(edge))
+			return fabric.VerdictHold, w.delay
+		}
+	}
+	return fabric.VerdictPass, 0
+}
+
+// stallFn composes a rank's stall rules into the single device hook: the
+// largest applicable delay wins (a crashed worker is not rescued by an
+// overlapping straggler window).
+func (e *Engine) stallFn(rules []stallRule) func(now sim.Time) time.Duration {
+	return func(now sim.Time) time.Duration {
+		var d time.Duration
+		for _, r := range rules {
+			if now < r.start || (r.end != 0 && now >= r.end) {
+				continue
+			}
+			delay := r.delay
+			if r.untilEnd {
+				delay = r.end - now
+			}
+			if delay > d {
+				d = delay
+			}
+		}
+		if d > 0 {
+			e.counters.KernelStalls++
+		}
+		return d
+	}
+}
+
+func (e *Engine) traceInstant(name string, tid int) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Add(trace.Event{
+		Name:  name,
+		Cat:   "chaos",
+		PID:   ChaosPID,
+		TID:   tid,
+		Start: e.eng.Now(),
+		Phase: trace.Instant,
+	})
+}

@@ -1,0 +1,230 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"adapcc/internal/fabric"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	in := "seed=42;down@5ms+20ms:edge=3;flap@1ms+8ms:edge=2,period=1ms;" +
+		"degrade@0s+10ms:edge=1,scale=0.25;loss@2ms+30ms:edge=7,prob=0.3;" +
+		"hold@1ms+5ms:edge=4,stall=2ms;crash@10ms:rank=2;hang@3ms+6ms:rank=1;" +
+		"straggler@0s+40ms:rank=3,stall=500us"
+	spec, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 42 {
+		t.Errorf("seed = %d, want 42", spec.Seed)
+	}
+	if len(spec.Faults) != 8 {
+		t.Fatalf("parsed %d faults, want 8", len(spec.Faults))
+	}
+	respec, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", spec.String(), err)
+	}
+	if respec.Seed != spec.Seed || len(respec.Faults) != len(spec.Faults) {
+		t.Fatalf("round trip changed the spec: %q vs %q", spec.String(), respec.String())
+	}
+	for i := range spec.Faults {
+		if spec.Faults[i] != respec.Faults[i] {
+			t.Errorf("fault %d changed across round trip: %+v vs %+v",
+				i, spec.Faults[i], respec.Faults[i])
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	bad := map[string]string{
+		"explode@1ms:edge=0":         "unknown fault kind",
+		"down@1ms":                   "needs edge=",
+		"crash@1ms":                  "needs rank=",
+		"flap@1ms+5ms:edge=0":        "needs period=",
+		"flap@1ms:edge=0,period=1ms": "bounded",
+		"degrade@1ms:edge=0,scale=2": "scale in (0,1)",
+		"loss@1ms:edge=0,prob=0":     "prob in (0,1]",
+		"hold@1ms:edge=0":            "needs stall=",
+		"hang@1ms:rank=0":            "bounded",
+		"down@xyz:edge=0":            "bad start",
+		"down@1ms:edge=0,wat=1":      "unknown param",
+		"seed=notanumber":            "bad seed",
+		"straggler@1ms+2ms:rank=0":   "needs stall=",
+		"down@1ms:edge=zero":         "bad edge",
+	}
+	for in, frag := range bad {
+		_, err := ParseSpec(in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("ParseSpec(%q) error %q lacks %q", in, err, frag)
+		}
+	}
+}
+
+// chaosEnv is a two-GPU, one-bidirectional-link fabric for injector tests.
+func chaosEnv(t *testing.T) (*sim.Engine, *fabric.Fabric, topology.EdgeID, topology.EdgeID) {
+	t.Helper()
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 0, Rank: 0})
+	b := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 0, Rank: 1})
+	fwd, rev := g.AddBidirectional(topology.Edge{
+		From: a, To: b, Type: topology.LinkNVLink, BandwidthBps: 1e9,
+	})
+	eng := sim.NewEngine(3)
+	return eng, fabric.New(eng, g), fwd, rev
+}
+
+func TestLossWindowDrops(t *testing.T) {
+	eng, fab, fwd, _ := chaosEnv(t)
+	spec, err := ParseSpec("seed=1;loss@1ms+2ms:edge=0,prob=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := New(eng, fab, nil, spec)
+	if err := ch.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	var before, inside, after bool
+	fab.Send(fwd, 1000, nil, func(any) { before = true })
+	eng.At(2*time.Millisecond, func() {
+		fab.Send(fwd, 1000, nil, func(any) { inside = true })
+	})
+	eng.At(4*time.Millisecond, func() {
+		fab.Send(fwd, 1000, nil, func(any) { after = true })
+	})
+	eng.Run()
+	if !before || !after {
+		t.Errorf("deliveries outside the loss window: before=%v after=%v, want true/true", before, after)
+	}
+	if inside {
+		t.Error("prob=1 loss window delivered a transfer")
+	}
+	if c := ch.Counters(); c.Drops != 1 {
+		t.Errorf("Drops = %d, want 1", c.Drops)
+	}
+	if n := fab.ParkedTransfers(fwd); n != 1 {
+		t.Errorf("ParkedTransfers = %d, want 1 (blackholed)", n)
+	}
+}
+
+func TestHoldWindowDelays(t *testing.T) {
+	eng, fab, fwd, _ := chaosEnv(t)
+	spec, err := ParseSpec("hold@0s+10ms:edge=0,stall=3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := New(eng, fab, nil, spec)
+	if err := ch.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	var at time.Duration = -1
+	fab.Send(fwd, 1000, nil, func(any) { at = eng.Now() })
+	eng.Run()
+	if at < 0 {
+		t.Fatal("held transfer never delivered")
+	}
+	if at < 3*time.Millisecond {
+		t.Errorf("held transfer arrived at %v, want >= 3ms", at)
+	}
+	if c := ch.Counters(); c.Holds != 1 {
+		t.Errorf("Holds = %d, want 1", c.Holds)
+	}
+}
+
+func TestDownRestoresConfiguredScale(t *testing.T) {
+	eng, fab, fwd, _ := chaosEnv(t)
+	fab.SetScale(fwd, 0.5) // the experiment had degraded this link already
+	spec, err := ParseSpec("down@1ms+2ms:edge=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := New(eng, fab, nil, spec)
+	if err := ch.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(2 * time.Millisecond)
+	if s := fab.Scale(fwd); s != 0 {
+		t.Errorf("scale during down window = %v, want 0", s)
+	}
+	eng.Run()
+	if s := fab.Scale(fwd); s != 0.5 {
+		t.Errorf("restored scale = %v, want the configured 0.5", s)
+	}
+	if c := ch.Counters(); c.ScaleEvents != 2 {
+		t.Errorf("ScaleEvents = %d, want 2", c.ScaleEvents)
+	}
+}
+
+func TestFlapTogglesAndHeals(t *testing.T) {
+	eng, fab, fwd, _ := chaosEnv(t)
+	spec, err := ParseSpec("flap@1ms+4ms:edge=0,period=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := New(eng, fab, nil, spec)
+	if err := ch.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if s := fab.Scale(fwd); s != 1 {
+		t.Errorf("scale after flap window = %v, want healed 1", s)
+	}
+	if c := ch.Counters(); c.ScaleEvents < 4 {
+		t.Errorf("ScaleEvents = %d, want >= 4 toggles", c.ScaleEvents)
+	}
+	// A transfer sent after the window is unaffected.
+	ok := false
+	fab.Send(fwd, 1000, nil, func(any) { ok = true })
+	eng.Run()
+	if !ok {
+		t.Error("post-flap transfer never delivered")
+	}
+}
+
+func TestArmRejectsBadTargets(t *testing.T) {
+	eng, fab, _, _ := chaosEnv(t)
+	spec, _ := ParseSpec("down@1ms:edge=99")
+	if err := New(eng, fab, nil, spec).Arm(); err == nil {
+		t.Error("Arm accepted an out-of-range edge")
+	}
+	spec, _ = ParseSpec("crash@1ms:rank=5")
+	if err := New(eng, fab, nil, spec).Arm(); err == nil {
+		t.Error("Arm accepted an unknown rank")
+	}
+}
+
+func TestRandomSpecDeterministicAndValid(t *testing.T) {
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 0, Rank: 0})
+	b := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 0, Rank: 1})
+	c := g.AddNode(topology.Node{Kind: topology.KindGPU, Server: 0, Rank: 2})
+	g.AddBidirectional(topology.Edge{From: a, To: b, Type: topology.LinkNVLink, BandwidthBps: 1e9})
+	g.AddBidirectional(topology.Edge{From: b, To: c, Type: topology.LinkNVLink, BandwidthBps: 1e9})
+	for seed := int64(1); seed <= 20; seed++ {
+		s1 := RandomSpec(seed, g, 6, 20*time.Millisecond)
+		s2 := RandomSpec(seed, g, 6, 20*time.Millisecond)
+		if s1.String() != s2.String() {
+			t.Fatalf("seed %d: RandomSpec not deterministic:\n%s\n%s", seed, s1, s2)
+		}
+		if len(s1.Faults) != 6 {
+			t.Fatalf("seed %d: %d faults, want 6", seed, len(s1.Faults))
+		}
+		for _, f := range s1.Faults {
+			if err := f.validate(); err != nil {
+				t.Errorf("seed %d: invalid random fault %q: %v", seed, f, err)
+			}
+		}
+		// The grammar must round-trip whatever RandomSpec draws.
+		if _, err := ParseSpec(s1.String()); err != nil {
+			t.Errorf("seed %d: RandomSpec output unparseable: %v", seed, err)
+		}
+	}
+}

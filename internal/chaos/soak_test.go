@@ -1,0 +1,182 @@
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/chaos"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// soakOutcome is everything a soak run observes; two runs of the same seed
+// must produce identical outcomes (invariant 7: determinism under a fixed
+// chaos seed).
+type soakOutcome struct {
+	Err       string
+	Attempts  int
+	Events    int
+	Survivors string
+	Elapsed   time.Duration
+	Chaos     chaos.Counters
+	Recovery  collective.RecoveryStats
+	SumProbe  float32 // out[0] on the lowest survivor, AllReduce only
+}
+
+// soakRecovery keeps detection latencies small so a soak run's virtual
+// timeline stays in the tens of milliseconds.
+func soakRecovery() collective.Recovery {
+	return collective.Recovery{
+		DeadlineMult:  2,
+		DeadlineFloor: 200 * time.Microsecond,
+		MaxRetries:    3,
+		Backoff:       100 * time.Microsecond,
+		StallTimeout:  50 * time.Millisecond,
+	}
+}
+
+// runSoak executes one seeded chaos schedule against one primitive on the
+// heterogeneous testbed and verifies the recovery contract: the engine
+// drains (no hang), completion implies correct aggregates over exactly the
+// surviving ranks, and failure is a clean exclusion error.
+func runSoak(t *testing.T, seed int64, prim strategy.Primitive) soakOutcome {
+	t.Helper()
+	c, err := cluster.Heterogeneous(topology.TransportRDMA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(env, core.Options{SkipProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := chaos.RandomSpec(seed, env.Graph, 4, 10*time.Millisecond)
+	ch := chaos.New(env.Engine, env.Fabric, env.GPUs, spec)
+	if err := ch.Arm(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+	inputs := backend.MakeInputs(ranks, bytes)
+	var res core.ResilientResult
+	var resErr error
+	done := false
+	err = a.RunResilient(backend.Request{
+		Primitive: prim, Bytes: bytes, Root: -1, Inputs: inputs,
+	}, core.ResilientOptions{Recovery: soakRecovery()}, func(r core.ResilientResult, err error) {
+		res, resErr, done = r, err, true
+	})
+	if err != nil {
+		t.Fatalf("seed %d: RunResilient: %v", seed, err)
+	}
+	env.Engine.Run() // a hang here is a failed soak: the engine must drain
+	if !done {
+		t.Fatalf("seed %d: neither completion nor clean failure", seed)
+	}
+
+	out := soakOutcome{
+		Attempts:  res.Attempts,
+		Events:    len(res.Events),
+		Survivors: fmt.Sprint(res.Survivors),
+		Elapsed:   res.Elapsed,
+		Chaos:     ch.Counters(),
+		Recovery:  env.Exec.RecoveryStats(),
+	}
+	if resErr != nil {
+		out.Err = resErr.Error()
+		return out
+	}
+
+	// Completion: every survivor must hold a full-length output, and for
+	// AllReduce the values must be the exact sum over the survivor set —
+	// which also proves no chunk was aggregated twice (a double delivery
+	// would inflate the sums).
+	elems := int(bytes / 4)
+	if len(res.Survivors) < 2 {
+		t.Fatalf("seed %d: completed with %d survivors", seed, len(res.Survivors))
+	}
+	for _, r := range res.Survivors {
+		o := res.Result.Outputs[r]
+		if len(o) != elems {
+			t.Fatalf("seed %d: survivor %d output has %d elems, want %d", seed, r, len(o), elems)
+		}
+	}
+	if prim == strategy.AllReduce {
+		want := make([]float32, elems)
+		for _, r := range res.Survivors {
+			for i, v := range inputs[r] {
+				want[i] += v
+			}
+		}
+		for _, r := range res.Survivors {
+			o := res.Result.Outputs[r]
+			for i := 0; i < elems; i += 251 {
+				diff := o[i] - want[i]
+				if diff < -1e-3 || diff > 1e-3 {
+					t.Fatalf("seed %d: survivor %d elem %d = %v, want %v (survivors %v)",
+						seed, r, i, o[i], want[i], res.Survivors)
+				}
+			}
+		}
+		out.SumProbe = res.Result.Outputs[res.Survivors[0]][0]
+	}
+	return out
+}
+
+// TestChaosSoak: for each seed, a random fault schedule (link down/flap,
+// bandwidth collapse, chunk loss/stall, worker crash/hang, stragglers) runs
+// against AllReduce and AlltoAll on the heterogeneous testbed. Every run
+// must terminate — completing with correct aggregates over the survivors or
+// cleanly reporting an exclusion error — and replaying a seed must
+// reproduce its timeline bit-identically.
+func TestChaosSoak(t *testing.T) {
+	prims := []struct {
+		name string
+		p    strategy.Primitive
+	}{
+		{"AllReduce", strategy.AllReduce},
+		{"AlltoAll", strategy.AlltoAll},
+	}
+	completed, recovered, injected := 0, 0, 0
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, pr := range prims {
+			pr := pr
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed%d", pr.name, seed), func(t *testing.T) {
+				first := runSoak(t, seed, pr.p)
+				replay := runSoak(t, seed, pr.p)
+				if first != replay {
+					t.Errorf("seed %d timeline not reproducible:\n first: %+v\nreplay: %+v",
+						seed, first, replay)
+				}
+				injected += first.Chaos.ScaleEvents + first.Chaos.Drops +
+					first.Chaos.Holds + first.Chaos.KernelStalls
+				recovered += first.Recovery.Deadlines + first.Recovery.LinkFaults +
+					first.Recovery.StallFaults
+				if first.Err == "" {
+					completed++
+				} else {
+					t.Logf("seed %d %s cleanly failed: %s", seed, pr.name, first.Err)
+				}
+			})
+		}
+	}
+	if completed == 0 {
+		t.Error("no soak run completed a collective — schedules may be unrecoverable by construction")
+	}
+	if injected == 0 {
+		t.Error("no chaos activity across 8 seeds — the schedules never touched the runs")
+	}
+	if recovered == 0 {
+		t.Error("no detection activity across 8 seeds — faults were injected but never observed")
+	}
+}

@@ -22,6 +22,9 @@ type Executor struct {
 	// hopFree recycles the per-hop send/arrive callback structs — the
 	// single hottest allocation site of a run (one per chunk per hop).
 	hopFree []*hopSend
+	// stats accumulates fault-detection counters across ops (see
+	// RecoveryStats); untouched when ops run without Recovery.
+	stats RecoveryStats
 }
 
 func (e *Executor) getHop() *hopSend {
@@ -70,6 +73,10 @@ type Op struct {
 	// stream — the NCCL single-channel behaviour, which caps the whole
 	// collective at one stream's TCP rate.
 	SingleStream bool
+	// Recovery, when non-nil, arms chunk-granularity fault detection:
+	// per-chunk transfer deadlines with bounded retransmission and an
+	// op-level stall watchdog. See the Recovery type.
+	Recovery *Recovery
 	// OnDone fires when the collective completes.
 	OnDone func(Result)
 }
@@ -173,6 +180,12 @@ func (e *Executor) Run(op Op) error {
 	if op.SingleStream {
 		run.rankStream = make(map[int]fabric.StreamID)
 	}
+	if op.Recovery != nil {
+		rec := op.Recovery.normalized()
+		run.rec = &rec
+		run.lastProgress = run.started
+		run.pendingKernels = make(map[int]int)
+	}
 
 	subs := make([]*subRun, len(st.SubCollectives))
 	expected := 0
@@ -190,6 +203,9 @@ func (e *Executor) Run(op Op) error {
 	run.remaining = sim.NewCountdown(expected, run.finish)
 	for _, sub := range subs {
 		sub.start()
+	}
+	if run.rec != nil && run.rec.StallTimeout > 0 {
+		run.engine().DoCallAfter(run.rec.StallTimeout, &progressWatch{op: run})
 	}
 	return nil
 }
@@ -225,6 +241,17 @@ type opRun struct {
 	// them (Sec. V-A multi-stream parallelism).
 	streamFree map[fabric.StreamID]sim.Time
 	onDone     func(Result)
+
+	// Fault-detection state (nil/zero unless Op.Recovery was set).
+	rec      *Recovery
+	failed   bool
+	finished bool
+	// lastProgress is the latest arrival/retry/kernel-retire instant, the
+	// stall watchdog's liveness stamp.
+	lastProgress sim.Time
+	// pendingKernels counts launched-but-unretired aggregation kernels
+	// per rank, so a stall can be attributed to a hung device.
+	pendingKernels map[int]int
 }
 
 // initiate charges the per-chunk launch cost on a stream and runs send when
@@ -265,6 +292,7 @@ func (r *opRun) stream(k streamKey) *device.Stream {
 }
 
 func (r *opRun) finish() {
+	r.finished = true
 	if r.onDone != nil {
 		res := Result{
 			Payloads: r.outputs,
@@ -683,18 +711,44 @@ type hopSend struct {
 	// fs, on a flow's first hop, is the sender released to post its next
 	// chunk once this hop's serialisation+latency completes.
 	fs *flowSender
+	// Fault-detection state (zero unless the op runs with Recovery): the
+	// (handle, gen) pair of the current wire attempt, its deadline event,
+	// and how many retransmissions this chunk hop has spent.
+	transfer *fabric.Transfer
+	tgen     uint64
+	watchdog *sim.Event
+	retries  int
 }
 
-// Call posts the chunk onto the wire (the send initiation completing).
+// Call posts the chunk onto the wire (the send initiation completing, or a
+// retransmission backoff expiring).
 func (h *hopSend) Call() {
-	h.sendStart = h.s.op.engine().Now()
-	h.s.op.ex.fab.SendStreamTo(h.eid, h.stream, h.bytes, nil, h)
+	op := h.s.op
+	if op.failed {
+		op.ex.putHop(h)
+		return
+	}
+	h.sendStart = op.engine().Now()
+	t := op.ex.fab.SendStreamTo(h.eid, h.stream, h.bytes, nil, h)
+	if op.rec != nil {
+		h.transfer, h.tgen = t, t.Gen()
+		h.armDeadline()
+	}
 }
 
 // OnArrive handles the chunk landing after this hop.
 func (h *hopSend) OnArrive(any) {
 	s, msg, eid, sendStart, bytes, fs := h.s, h.msg, h.eid, h.sendStart, h.bytes, h.fs
+	if h.watchdog != nil {
+		s.op.engine().Cancel(h.watchdog)
+	}
 	s.op.ex.putHop(h)
+	if s.op.failed {
+		return
+	}
+	if s.op.rec != nil {
+		s.op.progress()
+	}
 	s.traceTransfer(msg, eid, sendStart, bytes)
 	if fs != nil {
 		fs.kick()
@@ -797,7 +851,17 @@ func (s *subRun) aggArrival(node topology.NodeID, msg chunkMsg) {
 	key := streamKey{rank: agg.rank, sub: s.idx}
 	kernelStart := s.op.engine().Now()
 	nInputs := len(inputs)
+	if s.op.rec != nil {
+		s.op.pendingKernels[agg.rank]++
+	}
 	s.op.stream(key).LaunchReduceInto(buf, inputs, func() {
+		if s.op.rec != nil {
+			s.op.pendingKernels[agg.rank]--
+			s.op.progress()
+		}
+		if s.op.failed {
+			return
+		}
 		s.traceKernel(agg.rank, chunk, nInputs, kernelStart)
 		s.aggregated(agg, chunk, buf)
 	})

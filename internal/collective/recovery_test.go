@@ -1,0 +1,291 @@
+package collective
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/device"
+	"adapcc/internal/fabric"
+	"adapcc/internal/sim"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+)
+
+// recoveryEnv is env plus the GPU map (for kernel-stall injection).
+type recoveryEnv struct {
+	*env
+	gpus map[int]*device.GPU
+}
+
+func testbedRecoveryEnv(t *testing.T) *recoveryEnv {
+	t.Helper()
+	c, err := cluster.Testbed(topology.TransportRDMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(11)
+	fab := fabric.New(eng, g)
+	gpus := make(map[int]*device.GPU)
+	for _, id := range g.GPUs() {
+		n := g.Node(id)
+		model, err := c.ModelOfRank(n.Rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpus[n.Rank] = device.New(eng, model, n.Rank)
+	}
+	return &recoveryEnv{
+		env:  &env{eng: eng, fab: fab, ex: NewExecutor(fab, gpus), costs: synth.NewCosts(g, nil), c: c},
+		gpus: gpus,
+	}
+}
+
+// tightRecovery is a Recovery tuned so faults are detected within a few
+// milliseconds of virtual time (test speed, not realism).
+func tightRecovery() *Recovery {
+	return &Recovery{
+		DeadlineMult:  2,
+		DeadlineFloor: 200 * time.Microsecond,
+		MaxRetries:    8,
+		Backoff:       100 * time.Microsecond,
+		StallTimeout:  time.Second,
+	}
+}
+
+// TestRetransmitThroughTransientStall: every link goes dark mid-collective
+// and comes back; chunk deadlines must abort the stalled transfers and the
+// retransmissions must carry the op to a correct completion — no fault, no
+// hang, right sums.
+func TestRetransmitThroughTransientStall(t *testing.T) {
+	e := testbedRecoveryEnv(t)
+	ranks := ranksOf(e.c)
+	const bytes = 4 << 20
+	res, err := synth.Synthesize(e.costs, synth.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Ranks: ranks, Root: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dark window: 1 ms → 4 ms on every edge.
+	g := e.fab.Graph()
+	e.eng.At(time.Millisecond, func() {
+		for i := 0; i < g.NumEdges(); i++ {
+			e.fab.SetScale(topology.EdgeID(i), 0)
+		}
+	})
+	e.eng.At(4*time.Millisecond, func() {
+		for i := 0; i < g.NumEdges(); i++ {
+			e.fab.SetScale(topology.EdgeID(i), 1)
+		}
+	})
+
+	rec := tightRecovery()
+	rec.OnFault = func(rep FaultReport) { t.Errorf("unexpected fault: %v", rep) }
+	inputs := pattern(ranks, elemsOf(bytes))
+	want := sumOfActive(inputs, nil, elemsOf(bytes))
+	var got Result
+	if err := e.ex.Run(Op{
+		Strategy: res.Strategy, Inputs: inputs, Recovery: rec,
+		OnDone: func(r Result) { got = r },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.eng.Run()
+	if got.Elapsed <= 0 {
+		t.Fatal("collective never completed")
+	}
+	for _, r := range ranks {
+		out := got.Outputs[r]
+		if out == nil {
+			t.Fatalf("rank %d got no output", r)
+		}
+		for i := 0; i < len(out); i += 997 {
+			if !approxEqual(out[i], want[i]) {
+				t.Fatalf("rank %d elem %d = %v, want %v", r, i, out[i], want[i])
+			}
+		}
+	}
+	stats := e.ex.RecoveryStats()
+	if stats.Deadlines == 0 {
+		t.Error("no chunk deadline fired through a 3 ms dark window")
+	}
+	if stats.Retransmits == 0 {
+		t.Error("no retransmission recorded")
+	}
+	if stats.LinkFaults != 0 || stats.StallFaults != 0 {
+		t.Errorf("spurious faults: %+v", stats)
+	}
+}
+
+// TestPermanentLinkDownDeclaresFault: one strategy edge dies for good; the
+// retry budget must exhaust and declare a LinkFault naming a dead edge —
+// and the engine must drain rather than hang.
+func TestPermanentLinkDownDeclaresFault(t *testing.T) {
+	e := testbedRecoveryEnv(t)
+	ranks := ranksOf(e.c)
+	const bytes = 4 << 20
+	res, err := synth.Synthesize(e.costs, synth.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Ranks: ranks, Root: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the first hop of the first flow, both directions, from t=0.
+	g := e.fab.Graph()
+	path := res.Strategy.SubCollectives[0].Flows[0].Path
+	fwd, ok := g.EdgeBetween(path[0], path[1])
+	if !ok {
+		t.Fatal("strategy hop has no edge")
+	}
+	dead := map[topology.EdgeID]bool{fwd: true}
+	e.fab.SetScale(fwd, 0)
+	if rev, ok := g.EdgeBetween(path[1], path[0]); ok {
+		e.fab.SetScale(rev, 0)
+		dead[rev] = true
+	}
+
+	rec := tightRecovery()
+	var fault *FaultReport
+	rec.OnFault = func(rep FaultReport) {
+		if fault != nil {
+			t.Errorf("second fault declared: %v", rep)
+			return
+		}
+		fault = &rep
+	}
+	done := false
+	if err := e.ex.Run(Op{
+		Strategy: res.Strategy, Inputs: pattern(ranks, elemsOf(bytes)), Recovery: rec,
+		OnDone: func(Result) { done = true },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.eng.Run()
+	if done {
+		t.Error("OnDone fired for a faulted op")
+	}
+	if fault == nil {
+		t.Fatal("no fault declared with a permanently dead strategy edge")
+	}
+	if fault.Kind != LinkFault {
+		t.Fatalf("fault kind = %v, want link", fault.Kind)
+	}
+	if !dead[fault.Edge] {
+		t.Errorf("fault names edge %d, want one of the dead edges %v", fault.Edge, dead)
+	}
+	if fault.Retries != rec.MaxRetries {
+		t.Errorf("fault after %d retries, want %d", fault.Retries, rec.MaxRetries)
+	}
+	stats := e.ex.RecoveryStats()
+	if stats.LinkFaults != 1 {
+		t.Errorf("LinkFaults = %d, want 1", stats.LinkFaults)
+	}
+	if stats.Retransmits < rec.MaxRetries {
+		t.Errorf("Retransmits = %d, want >= %d", stats.Retransmits, rec.MaxRetries)
+	}
+}
+
+// TestHungKernelDeclaresStallFault: a worker's aggregation kernels never
+// retire; with nothing left in flight the op-level watchdog must declare a
+// StallFault naming that rank.
+func TestHungKernelDeclaresStallFault(t *testing.T) {
+	e := testbedRecoveryEnv(t)
+	ranks := ranksOf(e.c)
+	const bytes = 1 << 20
+	res, err := synth.Synthesize(e.costs, synth.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Ranks: ranks, Root: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 is the chain root of the testbed strategies: it always
+	// aggregates, so its hang is observable for any synthesized plan.
+	const hungRank = 0
+	e.gpus[hungRank].SetKernelStall(func(sim.Time) time.Duration { return 1e6 * time.Second })
+
+	rec := tightRecovery()
+	rec.StallTimeout = 20 * time.Millisecond
+	var fault *FaultReport
+	rec.OnFault = func(rep FaultReport) {
+		if fault == nil {
+			fault = &rep
+		}
+	}
+	done := false
+	if err := e.ex.Run(Op{
+		Strategy: res.Strategy, Inputs: pattern(ranks, elemsOf(bytes)), Recovery: rec,
+		OnDone: func(Result) { done = true },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.eng.Run()
+	if done {
+		t.Error("OnDone fired with a hung aggregation kernel")
+	}
+	if fault == nil {
+		t.Fatal("no stall fault declared")
+	}
+	if fault.Kind != StallFault {
+		t.Fatalf("fault kind = %v, want stall", fault.Kind)
+	}
+	if fault.Rank != hungRank {
+		t.Errorf("culprit rank = %d, want %d", fault.Rank, hungRank)
+	}
+	if s := e.ex.RecoveryStats(); s.StallFaults != 1 {
+		t.Errorf("StallFaults = %d, want 1", s.StallFaults)
+	}
+}
+
+// TestRecoveryDeterminism: the same workload with the same recovery config
+// and the same fault schedule replays the same timeline — elapsed times and
+// counters are bit-identical across fresh environments.
+func TestRecoveryDeterminism(t *testing.T) {
+	run := func() (time.Duration, RecoveryStats) {
+		e := testbedRecoveryEnv(t)
+		ranks := ranksOf(e.c)
+		const bytes = 4 << 20
+		res, err := synth.Synthesize(e.costs, synth.Request{
+			Primitive: strategy.AllReduce, Bytes: bytes, Ranks: ranks, Root: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := e.fab.Graph()
+		e.eng.At(time.Millisecond, func() {
+			for i := 0; i < g.NumEdges(); i++ {
+				e.fab.SetScale(topology.EdgeID(i), 0)
+			}
+		})
+		e.eng.At(3*time.Millisecond, func() {
+			for i := 0; i < g.NumEdges(); i++ {
+				e.fab.SetScale(topology.EdgeID(i), 1)
+			}
+		})
+		var got Result
+		if err := e.ex.Run(Op{
+			Strategy: res.Strategy, Inputs: pattern(ranks, elemsOf(bytes)),
+			Recovery: tightRecovery(), OnDone: func(r Result) { got = r },
+		}); err != nil {
+			t.Fatal(err)
+		}
+		e.eng.Run()
+		return got.Elapsed, e.ex.RecoveryStats()
+	}
+	e1, s1 := run()
+	e2, s2 := run()
+	if e1 != e2 {
+		t.Errorf("elapsed differs across replays: %v vs %v", e1, e2)
+	}
+	if s1 != s2 {
+		t.Errorf("stats differ across replays: %+v vs %+v", s1, s2)
+	}
+	if e1 <= 0 {
+		t.Error("replayed run never completed")
+	}
+}

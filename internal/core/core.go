@@ -53,6 +53,15 @@ type AdapCC struct {
 
 	cache map[string]*synth.Result
 
+	// Fault-exclusion state (chunk-granularity recovery, resilient.go):
+	// links and ranks the controller has written off. Synthesis runs over
+	// a clone of the graph without them; the fabric keeps the full graph,
+	// so previously-cached node paths remain executable.
+	deadPairs map[[2]topology.NodeID]bool
+	deadRanks map[int]bool
+	survGraph *topology.Graph // lazily built fault-filtered clone
+	survCosts *synth.Costs    // cost view remapped onto survGraph
+
 	// Accounting for the reconstruction-overhead experiment (Fig. 19c).
 	lastProfileTime time.Duration
 	lastSolveTime   time.Duration
@@ -85,6 +94,8 @@ func New(env *backend.Env, opts Options) (*AdapCC, error) {
 		detection: det,
 		costs:     synth.NewCosts(env.Graph, nil),
 		cache:     make(map[string]*synth.Result),
+		deadPairs: make(map[[2]topology.NodeID]bool),
+		deadRanks: make(map[int]bool),
 	}
 	return a, nil
 }
@@ -133,6 +144,7 @@ func (a *AdapCC) Reconstruct(onDone func(overhead time.Duration)) {
 		} else {
 			a.lastProfileTime = 0
 		}
+		a.survGraph, a.survCosts = nil, nil // rebuilt from the fresh costs
 		a.cache = make(map[string]*synth.Result)
 		a.lastSolveTime = 0
 		setup := a.setupTime()
@@ -247,7 +259,7 @@ func (a *AdapCC) synthesize(p strategy.Primitive, bytes int64, ranks, relays []i
 	if res, ok := a.cache[key]; ok {
 		return res, nil
 	}
-	res, err := synth.Synthesize(a.costs, synth.Request{
+	res, err := synth.Synthesize(a.activeCosts(), synth.Request{
 		Primitive:  p,
 		Bytes:      bytes,
 		Ranks:      ranks,

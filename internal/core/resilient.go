@@ -1,0 +1,397 @@
+// Fault-aware execution: the Fig. 19c reconstruction path driven by
+// chunk-granularity fault detections instead of iteration-boundary worker
+// deaths. RunResilient executes a collective with the executor's Recovery
+// machinery armed; on an unrecoverable link or rank fault the controller
+// excludes it, charges the reconstruction overhead (strategy re-solve +
+// transmission-context set-up — profiling is skipped, because probing a
+// fabric with dead links would itself hang on them), re-synthesizes over
+// the surviving topology, and re-runs. The synthesis ladder degrades
+// gracefully: full candidate search, then the restricted fast search, then
+// a shortest-path flat ring (synth.DegradedRing), before giving up.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/relay"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+)
+
+// DefaultMaxAttempts bounds RunResilient's execution attempts. Every failed
+// attempt permanently excludes a link or a rank, so the loop terminates
+// regardless; the cap is a safety valve against pathological schedules.
+const DefaultMaxAttempts = 8
+
+// ResilientOptions configures RunResilient.
+type ResilientOptions struct {
+	// Recovery sets the detection knobs (deadline multiple, retry budget,
+	// stall timeout). Its OnFault is owned by RunResilient and must be
+	// nil. Zero values take the collective package defaults.
+	Recovery collective.Recovery
+	// MaxAttempts bounds execution attempts (default DefaultMaxAttempts).
+	MaxAttempts int
+	// Coordinator, when non-nil, receives every fault via ReportLinkFault
+	// so rank exclusions propagate to the training control loop alongside
+	// the T_fault path.
+	Coordinator *relay.Coordinator
+}
+
+// RecoveryEvent records one detect→exclude→re-synthesize cycle.
+type RecoveryEvent struct {
+	// Attempt is the (0-based) attempt that faulted.
+	Attempt int
+	// Report is the executor's fault declaration.
+	Report collective.FaultReport
+	// ExcludedPair is the link written off ([2]{-1,-1} for rank faults).
+	ExcludedPair [2]topology.NodeID
+	// ExcludedRanks are the ranks dropped in this cycle: the implicated
+	// rank and/or ranks left unreachable by the link exclusion.
+	ExcludedRanks []int
+	// Ladder is the synthesis rung the retry used: "full", "fast" or
+	// "degraded-ring".
+	Ladder string
+	// DetectLatency is fault declaration minus attempt start.
+	DetectLatency time.Duration
+	// Overhead is the reconstruction charge before the retry started
+	// (strategy re-solve + context set-up).
+	Overhead time.Duration
+}
+
+// ResilientResult is the outcome of a RunResilient call.
+type ResilientResult struct {
+	// Result is the completed collective over the survivors.
+	Result collective.Result
+	// Survivors are the ranks that participated in the successful attempt.
+	Survivors []int
+	// Attempts is how many executions ran (1 = no fault).
+	Attempts int
+	// Events are the recovery cycles, in order.
+	Events []RecoveryEvent
+	// Elapsed is start-to-completion virtual time, recoveries included.
+	Elapsed time.Duration
+}
+
+// TimeToRecover sums detection latency + reconstruction overhead across all
+// recovery cycles: the total virtual time the fault path cost this
+// collective compared to a fault-free run of the final strategy.
+func (r *ResilientResult) TimeToRecover() time.Duration {
+	var t time.Duration
+	for _, ev := range r.Events {
+		t += ev.DetectLatency + ev.Overhead
+	}
+	return t
+}
+
+// ExcludeLink writes a directed link (both directions) off the synthesis
+// topology: cached strategies are dropped and every future synthesis routes
+// around it. The fabric is untouched — the link may still carry traffic of
+// previously-started collectives.
+func (a *AdapCC) ExcludeLink(from, to topology.NodeID) {
+	a.deadPairs[[2]topology.NodeID{from, to}] = true
+	a.deadPairs[[2]topology.NodeID{to, from}] = true
+	a.exclusionsChanged()
+}
+
+// ExcludeRank writes a worker off the synthesis topology: its GPU node's
+// links are dropped and it is removed from default participant sets.
+func (a *AdapCC) ExcludeRank(rank int) {
+	a.deadRanks[rank] = true
+	a.exclusionsChanged()
+}
+
+// ExcludedRanks returns the written-off workers, sorted.
+func (a *AdapCC) ExcludedRanks() []int {
+	out := make([]int, 0, len(a.deadRanks))
+	for r := range a.deadRanks {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ClearExclusions forgets all fault exclusions (elastic re-admission after
+// repair: the counterpart of relay.Coordinator.Readmit).
+func (a *AdapCC) ClearExclusions() {
+	a.deadPairs = make(map[[2]topology.NodeID]bool)
+	a.deadRanks = make(map[int]bool)
+	a.exclusionsChanged()
+}
+
+func (a *AdapCC) exclusionsChanged() {
+	a.survGraph, a.survCosts = nil, nil
+	a.cache = make(map[string]*synth.Result)
+}
+
+// activeGraph returns the synthesis topology: the full graph, or a
+// node-preserving clone without excluded links and without any link
+// touching an excluded rank's GPU (a crashed worker cannot forward).
+func (a *AdapCC) activeGraph() *topology.Graph {
+	if len(a.deadPairs) == 0 && len(a.deadRanks) == 0 {
+		return a.env.Graph
+	}
+	if a.survGraph == nil {
+		deadNodes := make(map[topology.NodeID]bool, len(a.deadRanks))
+		for r := range a.deadRanks {
+			if id, ok := a.env.Graph.GPUByRank(r); ok {
+				deadNodes[id] = true
+			}
+		}
+		a.survGraph = a.env.Graph.CloneFilteredEdges(func(e topology.Edge) bool {
+			return !a.deadPairs[[2]topology.NodeID{e.From, e.To}] &&
+				!deadNodes[e.From] && !deadNodes[e.To]
+		})
+	}
+	return a.survGraph
+}
+
+// activeCosts returns the synthesizer's cost view over activeGraph,
+// remapping profiled values onto the filtered clone.
+func (a *AdapCC) activeCosts() *synth.Costs {
+	g := a.activeGraph()
+	if g == a.env.Graph {
+		return a.costs
+	}
+	if a.survCosts == nil {
+		a.survCosts = a.costs.RemapTo(g)
+	}
+	return a.survCosts
+}
+
+// pruneUnreachable splits ranks into the largest mutually-reachable group
+// on the surviving topology and the rest. Round-trip reachability is what
+// the executor needs (AllReduce runs each path forward and reversed). Ties
+// between equally large groups break toward the lowest-ranked member.
+func (a *AdapCC) pruneUnreachable(ranks []int) (alive, dropped []int) {
+	g := a.activeGraph()
+	node := make(map[int]topology.NodeID, len(ranks))
+	var usable []int
+	for _, r := range ranks {
+		if a.deadRanks[r] {
+			dropped = append(dropped, r)
+			continue
+		}
+		id, ok := g.GPUByRank(r)
+		if !ok {
+			dropped = append(dropped, r)
+			continue
+		}
+		node[r] = id
+		usable = append(usable, r)
+	}
+	sort.Ints(usable)
+	mutual := func(x, y int) bool {
+		return g.ShortestPath(node[x], node[y]) != nil && g.ShortestPath(node[y], node[x]) != nil
+	}
+	var best []int
+	for _, base := range usable {
+		group := []int{base}
+		for _, r := range usable {
+			if r != base && mutual(base, r) {
+				group = append(group, r)
+			}
+		}
+		if len(group) > len(best) {
+			best = group
+		}
+	}
+	sort.Ints(best)
+	inBest := make(map[int]bool, len(best))
+	for _, r := range best {
+		inBest[r] = true
+	}
+	for _, r := range usable {
+		if !inBest[r] {
+			dropped = append(dropped, r)
+		}
+	}
+	sort.Ints(dropped)
+	return best, dropped
+}
+
+// synthesizeLadder walks the degradation ladder for the survivors: the full
+// candidate search, the restricted fast search, then the shortest-path flat
+// ring. It returns the strategy and the rung name.
+func (a *AdapCC) synthesizeLadder(req backend.Request, ranks []int) (*synth.Result, string, error) {
+	res, err := a.Strategy(req.Primitive, req.Bytes, ranks, nil, req.Root)
+	if err == nil {
+		return res, "full", nil
+	}
+	res, ferr := a.FastStrategy(req.Primitive, req.Bytes, ranks, nil, req.Root)
+	if ferr == nil {
+		return res, "fast", nil
+	}
+	res, derr := synth.DegradedRing(a.activeCosts(), synth.Request{
+		Primitive: req.Primitive,
+		Bytes:     req.Bytes,
+		Ranks:     ranks,
+		Root:      req.Root,
+		M:         1,
+	})
+	if derr == nil {
+		a.lastSolveTime += res.SolveTime
+		return res, "degraded-ring", nil
+	}
+	return nil, "", fmt.Errorf("core: no feasible strategy over survivors: %v; fast: %v; degraded ring: %v", err, ferr, derr)
+}
+
+// resilientRun is the state of one RunResilient invocation.
+type resilientRun struct {
+	a      *AdapCC
+	req    backend.Request
+	opts   ResilientOptions
+	onDone func(ResilientResult, error)
+
+	started  time.Duration
+	attempts int
+	events   []RecoveryEvent
+	ranks    []int
+}
+
+// RunResilient executes a collective with chunk-granularity fault recovery.
+// Progress happens on the simulation engine; completion or terminal failure
+// is delivered through onDone (exactly once). The immediate return error
+// covers malformed calls only. Like the executor it feeds, RunResilient is
+// single-flight: start the next collective after onDone fires.
+//
+// Ranks already excluded by earlier faults are silently dropped from the
+// request's participant set; the collective completes with correct
+// aggregates over the survivors of the final attempt.
+func (a *AdapCC) RunResilient(req backend.Request, opts ResilientOptions, onDone func(ResilientResult, error)) error {
+	if onDone == nil {
+		return fmt.Errorf("core: RunResilient needs an onDone callback")
+	}
+	if opts.Recovery.OnFault != nil {
+		return fmt.Errorf("core: ResilientOptions.Recovery.OnFault is owned by RunResilient")
+	}
+	if req.OnDone != nil {
+		return fmt.Errorf("core: use the RunResilient onDone, not Request.OnDone")
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	ranks := req.Ranks
+	if ranks == nil {
+		ranks = a.env.AllRanks()
+	}
+	rr := &resilientRun{
+		a:       a,
+		req:     req,
+		opts:    opts,
+		onDone:  onDone,
+		started: a.env.Engine.Now(),
+		ranks:   append([]int(nil), ranks...),
+	}
+	rr.attempt()
+	return nil
+}
+
+// attempt prunes the participant set, synthesizes via the ladder and starts
+// one execution; the rung used is recorded on the pending recovery event.
+func (rr *resilientRun) attempt() {
+	a := rr.a
+	alive, droppedNow := a.pruneUnreachable(rr.ranks)
+	rr.ranks = alive
+	if n := len(rr.events); n > 0 && len(droppedNow) > 0 {
+		rr.events[n-1].ExcludedRanks = append(rr.events[n-1].ExcludedRanks, droppedNow...)
+	}
+	if len(alive) < 2 {
+		rr.fail(fmt.Errorf("core: only %d rank(s) survive — nothing to communicate", len(alive)))
+		return
+	}
+	res, ladder, err := a.synthesizeLadder(rr.req, alive)
+	if err != nil {
+		rr.fail(err)
+		return
+	}
+	if n := len(rr.events); n > 0 {
+		rr.events[n-1].Ladder = ladder
+	}
+	active := make(map[int]bool, len(alive))
+	for _, r := range alive {
+		active[r] = true
+	}
+	rec := rr.opts.Recovery
+	rec.OnFault = rr.onFault
+	rr.attempts++
+	err = a.env.Exec.Run(collective.Op{
+		Strategy: res.Strategy,
+		Mode:     rr.req.Mode,
+		Inputs:   rr.req.Inputs,
+		Active:   active,
+		Recovery: &rec,
+		OnDone:   rr.complete,
+	})
+	if err != nil {
+		rr.fail(fmt.Errorf("core: attempt %d failed to start: %w", rr.attempts, err))
+	}
+}
+
+// onFault is the executor's fault callback: exclude, report, charge the
+// reconstruction overhead, retry.
+func (rr *resilientRun) onFault(rep collective.FaultReport) {
+	a := rr.a
+	ev := RecoveryEvent{
+		Attempt:       rr.attempts - 1,
+		Report:        rep,
+		ExcludedPair:  [2]topology.NodeID{-1, -1},
+		DetectLatency: rep.At - rep.Started,
+	}
+	switch rep.Kind {
+	case collective.LinkFault:
+		a.ExcludeLink(rep.From, rep.To)
+		ev.ExcludedPair = [2]topology.NodeID{rep.From, rep.To}
+	case collective.StallFault:
+		if rep.Rank < 0 {
+			rr.events = append(rr.events, ev)
+			rr.fail(fmt.Errorf("core: unattributable stall at %v — no link or rank to exclude", rep.At))
+			return
+		}
+		a.ExcludeRank(rep.Rank)
+		ev.ExcludedRanks = append(ev.ExcludedRanks, rep.Rank)
+	}
+	if rr.opts.Coordinator != nil {
+		rr.opts.Coordinator.ReportLinkFault(relay.LinkFault{
+			Edge: rep.Edge, From: rep.From, To: rep.To, Rank: rep.Rank, At: rep.At,
+		})
+	}
+	if rr.attempts >= rr.opts.MaxAttempts {
+		rr.events = append(rr.events, ev)
+		rr.fail(fmt.Errorf("core: fault on final attempt %d/%d: %v", rr.attempts, rr.opts.MaxAttempts, rep))
+		return
+	}
+	// The Fig. 19c reconstruction charge, minus profiling: contexts are
+	// re-registered for the new strategy, the solver re-runs (charged via
+	// SolveTime inside synthesis), nothing restarts.
+	setup := a.setupTime()
+	a.lastSetupTime = setup
+	a.setupCount++
+	ev.Overhead = setup
+	rr.events = append(rr.events, ev)
+	a.env.Engine.After(setup, func() { rr.attempt() })
+}
+
+func (rr *resilientRun) complete(res collective.Result) {
+	out := ResilientResult{
+		Result:    res,
+		Survivors: append([]int(nil), rr.ranks...),
+		Attempts:  rr.attempts,
+		Events:    rr.events,
+		Elapsed:   rr.a.env.Engine.Now() - rr.started,
+	}
+	rr.onDone(out, nil)
+}
+
+func (rr *resilientRun) fail(err error) {
+	out := ResilientResult{
+		Survivors: append([]int(nil), rr.ranks...),
+		Attempts:  rr.attempts,
+		Events:    rr.events,
+		Elapsed:   rr.a.env.Engine.Now() - rr.started,
+	}
+	rr.onDone(out, err)
+}

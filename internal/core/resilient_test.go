@@ -1,0 +1,306 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/sim"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+func resilientEnv(t *testing.T) (*backend.Env, *AdapCC) {
+	t.Helper()
+	c, err := cluster.Heterogeneous(topology.TransportRDMA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(env, Options{SkipProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, a
+}
+
+// tightRecovery keeps detection latencies in the low milliseconds so the
+// tests run a short virtual timeline.
+func tightRecovery() collective.Recovery {
+	return collective.Recovery{
+		DeadlineMult:  2,
+		DeadlineFloor: 200 * time.Microsecond,
+		MaxRetries:    4,
+		Backoff:       100 * time.Microsecond,
+		StallTimeout:  50 * time.Millisecond,
+	}
+}
+
+func checkSums(t *testing.T, res ResilientResult, inputs map[int][]float32, elems int) {
+	t.Helper()
+	want := make([]float32, elems)
+	for _, r := range res.Survivors {
+		for i, v := range inputs[r] {
+			want[i] += v
+		}
+	}
+	if len(res.Survivors) == 0 {
+		t.Fatal("no survivors")
+	}
+	for _, r := range res.Survivors {
+		out := res.Result.Outputs[r]
+		if out == nil {
+			t.Fatalf("survivor %d has no output", r)
+		}
+		for i := 0; i < len(out); i += 509 {
+			diff := out[i] - want[i]
+			if diff < -1e-3 || diff > 1e-3 {
+				t.Fatalf("survivor %d elem %d = %v, want %v", r, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestResilientCompletesWithoutFault(t *testing.T) {
+	env, a := resilientEnv(t)
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+	inputs := backend.MakeInputs(ranks, bytes)
+	var got ResilientResult
+	var gotErr error
+	err := a.RunResilient(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
+	}, ResilientOptions{Recovery: tightRecovery()}, func(r ResilientResult, err error) {
+		got, gotErr = r, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if got.Attempts != 1 || len(got.Events) != 0 {
+		t.Errorf("healthy run took %d attempts, %d events", got.Attempts, len(got.Events))
+	}
+	if len(got.Survivors) != len(ranks) {
+		t.Errorf("survivors = %v, want all %d ranks", got.Survivors, len(ranks))
+	}
+	checkSums(t, got, inputs, int(bytes/4))
+}
+
+// TestResilientReroutesAroundDeadLink: an NVLink hop of the running
+// strategy dies permanently mid-collective. The fault must be detected,
+// the link excluded, synthesis re-run over the survivors and the
+// collective completed with every rank still participating (the server's
+// PCIe/NIC path remains).
+func TestResilientReroutesAroundDeadLink(t *testing.T) {
+	env, a := resilientEnv(t)
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+	g := env.Graph
+
+	// Find an NVLink (GPU→GPU) hop of the strategy the first attempt uses.
+	res, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var from, to topology.NodeID = -1, -1
+	for _, sub := range res.Strategy.SubCollectives {
+		for _, f := range sub.Flows {
+			for h := 0; h+1 < len(f.Path); h++ {
+				if g.Node(f.Path[h]).Kind == topology.KindGPU && g.Node(f.Path[h+1]).Kind == topology.KindGPU {
+					from, to = f.Path[h], f.Path[h+1]
+					break
+				}
+			}
+		}
+	}
+	if from < 0 {
+		t.Skip("strategy uses no NVLink hop")
+	}
+	kill := func(x, y topology.NodeID) {
+		if eid, ok := g.EdgeBetween(x, y); ok {
+			env.Fabric.SetScale(eid, 0)
+		}
+	}
+	env.Engine.After(200*time.Microsecond, func() { kill(from, to); kill(to, from) })
+
+	inputs := backend.MakeInputs(ranks, bytes)
+	var got ResilientResult
+	var gotErr error
+	err = a.RunResilient(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
+	}, ResilientOptions{Recovery: tightRecovery()}, func(r ResilientResult, err error) {
+		got, gotErr = r, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if got.Attempts < 2 {
+		t.Fatalf("dead link produced %d attempts, want >= 2", got.Attempts)
+	}
+	if len(got.Events) == 0 {
+		t.Fatal("no recovery events recorded")
+	}
+	ev := got.Events[0]
+	if ev.Report.Kind != collective.LinkFault {
+		t.Errorf("event kind = %v, want link fault", ev.Report.Kind)
+	}
+	if ev.Ladder == "" {
+		t.Error("recovery event records no synthesis ladder rung")
+	}
+	if ev.Overhead <= 0 {
+		t.Error("recovery charged no reconstruction overhead")
+	}
+	if len(got.Survivors) != len(ranks) {
+		t.Errorf("survivors = %v, want all %d ranks (PCIe route remains)", got.Survivors, len(ranks))
+	}
+	if got.TimeToRecover() <= 0 {
+		t.Error("TimeToRecover = 0 after a recovery")
+	}
+	checkSums(t, got, inputs, int(bytes/4))
+
+	// The exclusion persists: the next collective avoids the link without
+	// faulting again.
+	var again ResilientResult
+	err = a.RunResilient(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
+	}, ResilientOptions{Recovery: tightRecovery()}, func(r ResilientResult, err error) {
+		again, gotErr = r, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if again.Attempts != 1 {
+		t.Errorf("post-exclusion run took %d attempts, want 1", again.Attempts)
+	}
+}
+
+// TestResilientDropsCrashedRank: a worker dies outright — every link
+// touching its GPU goes dark and its kernels hang. The controller must
+// write off enough of the rank's connectivity (or the rank itself) to
+// finish the collective over the survivors.
+func TestResilientDropsCrashedRank(t *testing.T) {
+	env, a := resilientEnv(t)
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+	g := env.Graph
+	const crashed = 3
+	gid, ok := g.GPUByRank(crashed)
+	if !ok {
+		t.Fatal("no GPU for rank 3")
+	}
+	env.Engine.After(100*time.Microsecond, func() {
+		for _, eid := range g.Out(gid) {
+			env.Fabric.SetScale(eid, 0)
+		}
+		for _, eid := range g.In(gid) {
+			env.Fabric.SetScale(eid, 0)
+		}
+		env.GPUs[crashed].SetKernelStall(func(sim.Time) time.Duration { return 1e6 * time.Second })
+	})
+
+	inputs := backend.MakeInputs(ranks, bytes)
+	var got ResilientResult
+	var gotErr error
+	err := a.RunResilient(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
+	}, ResilientOptions{Recovery: tightRecovery(), MaxAttempts: 10}, func(r ResilientResult, err error) {
+		got, gotErr = r, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	for _, r := range got.Survivors {
+		if r == crashed {
+			t.Fatalf("crashed rank %d listed as survivor", crashed)
+		}
+	}
+	if len(got.Survivors) != len(ranks)-1 {
+		t.Errorf("survivors = %v, want the other %d ranks", got.Survivors, len(ranks)-1)
+	}
+	if got.Attempts < 2 {
+		t.Errorf("crash recovered in %d attempts, want >= 2", got.Attempts)
+	}
+	checkSums(t, got, inputs, int(bytes/4))
+}
+
+// TestExclusionState: the bookkeeping under the resilient loop — filtered
+// graphs, cache purging, reachability pruning, re-admission.
+func TestExclusionState(t *testing.T) {
+	env, a := resilientEnv(t)
+	g := env.Graph
+	if a.activeGraph() != g {
+		t.Fatal("activeGraph is not the identity without exclusions")
+	}
+	if a.activeCosts() != a.costs {
+		t.Fatal("activeCosts is not the identity without exclusions")
+	}
+
+	// Excluding one NVLink pair keeps everyone reachable.
+	g0, _ := g.GPUByRank(0)
+	g1, _ := g.GPUByRank(1)
+	a.ExcludeLink(g0, g1)
+	ag := a.activeGraph()
+	if ag == g {
+		t.Fatal("activeGraph did not change after ExcludeLink")
+	}
+	if ag.NumNodes() != g.NumNodes() {
+		t.Errorf("filtered graph has %d nodes, want %d", ag.NumNodes(), g.NumNodes())
+	}
+	if _, ok := ag.EdgeBetween(g0, g1); ok {
+		t.Error("excluded edge still present in activeGraph")
+	}
+	if _, ok := ag.EdgeBetween(g1, g0); ok {
+		t.Error("reverse of excluded edge still present (exclusion must be bidirectional)")
+	}
+	alive, dropped := a.pruneUnreachable(env.AllRanks())
+	if len(dropped) != 0 {
+		t.Errorf("NVLink exclusion dropped ranks %v; PCIe route should remain", dropped)
+	}
+	if len(alive) != len(env.AllRanks()) {
+		t.Errorf("alive = %v, want all ranks", alive)
+	}
+
+	// Excluding a rank prunes it.
+	a.ExcludeRank(2)
+	alive, dropped = a.pruneUnreachable(env.AllRanks())
+	for _, r := range alive {
+		if r == 2 {
+			t.Error("excluded rank 2 still alive")
+		}
+	}
+	if len(dropped) != 1 || dropped[0] != 2 {
+		t.Errorf("dropped = %v, want [2]", dropped)
+	}
+	if got := a.ExcludedRanks(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("ExcludedRanks = %v, want [2]", got)
+	}
+
+	// ClearExclusions restores the identity view.
+	a.ClearExclusions()
+	if a.activeGraph() != g {
+		t.Error("activeGraph not restored by ClearExclusions")
+	}
+	if len(a.ExcludedRanks()) != 0 {
+		t.Error("ExcludedRanks non-empty after ClearExclusions")
+	}
+}

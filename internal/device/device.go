@@ -46,7 +46,17 @@ type GPU struct {
 
 	allocBytes int64
 	kernels    int64
+	// stall, when installed, returns extra latency added to every kernel
+	// launched from this instant on (straggler/hang injection). Nil — the
+	// default — costs one pointer comparison per launch.
+	stall func(now sim.Time) time.Duration
 }
+
+// SetKernelStall installs (or, with nil, removes) a per-kernel stall hook:
+// each launch asks it for extra duration charged on top of the modelled
+// kernel time. The chaos engine uses it for straggler kernels (small
+// delays) and hung workers (delays beyond the executor's stall timeout).
+func (g *GPU) SetKernelStall(fn func(now sim.Time) time.Duration) { g.stall = fn }
 
 // New returns a GPU of the given model for the given global rank.
 func New(eng *sim.Engine, model topology.GPUModel, rank int) *GPU {
@@ -175,6 +185,9 @@ func (s *Stream) launch(bytes int64, body func()) {
 		start = s.busyUntil
 	}
 	dur := KernelLaunchLatency + sim.Time(float64(bytes)/reduceThroughputBps(g.model)*1e9)
+	if g.stall != nil {
+		dur += g.stall(start)
+	}
 	finish := start + dur
 	s.busyUntil = finish
 	g.eng.Do(finish, body)

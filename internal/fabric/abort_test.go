@@ -1,0 +1,216 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/topology"
+)
+
+// testInjector scripts verdicts for the next sends, then passes everything.
+type testInjector struct {
+	verdicts []Verdict
+	delay    time.Duration
+}
+
+func (ti *testInjector) Admit(topology.EdgeID, int64) (Verdict, time.Duration) {
+	if len(ti.verdicts) == 0 {
+		return VerdictPass, 0
+	}
+	v := ti.verdicts[0]
+	ti.verdicts = ti.verdicts[1:]
+	return v, ti.delay
+}
+
+// TestAbortActive: withdrawing an in-flight transfer suppresses its arrival,
+// moves its bytes to the aborted ledger, and leaves the link consistent for
+// later traffic.
+func TestAbortActive(t *testing.T) {
+	eng, fab, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	arrived := 0
+	tr := fab.Send(eid, 1_000_000, nil, func(any) { arrived++ })
+	gen := tr.Gen()
+	eng.RunFor(100 * time.Microsecond) // ~10% serialised
+	if !fab.Abort(tr, gen) {
+		t.Fatal("Abort of an in-flight transfer returned false")
+	}
+	if fab.Abort(tr, gen) {
+		t.Error("second Abort of the same (handle, gen) returned true")
+	}
+	eng.Run()
+	if arrived != 0 {
+		t.Errorf("aborted transfer arrived %d times", arrived)
+	}
+	if got := fab.BytesAborted(eid); got != 1_000_000 {
+		t.Errorf("BytesAborted = %d, want 1000000", got)
+	}
+	if got := fab.BytesDelivered(eid); got != 0 {
+		t.Errorf("BytesDelivered = %d, want 0", got)
+	}
+	if n := fab.ActiveTransfers(eid); n != 0 {
+		t.Errorf("ActiveTransfers = %d, want 0", n)
+	}
+
+	// The link still works afterwards.
+	ok := false
+	fab.Send(eid, 1000, nil, func(any) { ok = true })
+	eng.Run()
+	if !ok {
+		t.Error("transfer after abort never delivered")
+	}
+}
+
+// TestAbortLimbo: once a transfer has fully serialised, its arrival callback
+// is committed (pending behind α); Abort must refuse so the chunk is not
+// both delivered and retransmitted.
+func TestAbortLimbo(t *testing.T) {
+	alpha := 50 * time.Microsecond
+	eng, fab, eid := lineGraph(t, topology.Edge{Alpha: alpha, BandwidthBps: 1e9})
+	arrived := 0
+	size := int64(1_000_000) // 1 ms serialisation
+	tr := fab.Send(eid, size, nil, func(any) { arrived++ })
+	gen := tr.Gen()
+	eng.RunFor(1*time.Millisecond + alpha/2) // serialised, arrival still pending
+	if fab.Abort(tr, gen) {
+		t.Fatal("Abort during the latency limbo returned true")
+	}
+	eng.Run()
+	if arrived != 1 {
+		t.Errorf("transfer arrived %d times, want exactly 1", arrived)
+	}
+	if got := fab.BytesAborted(eid); got != 0 {
+		t.Errorf("BytesAborted = %d, want 0", got)
+	}
+}
+
+// TestAbortAfterDelivery: a stale (handle, gen) pair — the struct was
+// recycled, possibly into a different live transfer — never aborts anything.
+func TestAbortAfterDelivery(t *testing.T) {
+	eng, fab, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	tr := fab.Send(eid, 1000, nil, func(any) {})
+	gen := tr.Gen()
+	eng.Run()
+	if fab.Abort(tr, gen) {
+		t.Error("Abort with a stale generation returned true")
+	}
+	// Recycle the struct into a new transfer; the old gen must not kill it.
+	arrived := false
+	tr2 := fab.Send(eid, 2000, nil, func(any) { arrived = true })
+	if tr2 == tr && tr2.Gen() == gen {
+		t.Fatal("generation reused across recycling")
+	}
+	if fab.Abort(tr, gen) {
+		t.Error("stale gen aborted a recycled transfer")
+	}
+	eng.Run()
+	if !arrived {
+		t.Error("recycled transfer never delivered")
+	}
+}
+
+// TestAbortParked: a blackholed (VerdictDrop) transfer never delivers on its
+// own and is reclaimed by Abort — the loss + retransmission-deadline cycle.
+func TestAbortParked(t *testing.T) {
+	eng, fab, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	fab.SetInjector(&testInjector{verdicts: []Verdict{VerdictDrop}})
+	arrived := false
+	tr := fab.Send(eid, 5000, nil, func(any) { arrived = true })
+	eng.RunFor(time.Second)
+	if arrived {
+		t.Fatal("blackholed transfer delivered")
+	}
+	if n := fab.ParkedTransfers(eid); n != 1 {
+		t.Fatalf("ParkedTransfers = %d, want 1", n)
+	}
+	if !fab.Abort(tr, tr.Gen()) {
+		t.Fatal("Abort of a parked transfer returned false")
+	}
+	if n := fab.ParkedTransfers(eid); n != 0 {
+		t.Errorf("ParkedTransfers = %d after abort, want 0", n)
+	}
+	if got := fab.BytesAborted(eid); got != 5000 {
+		t.Errorf("BytesAborted = %d, want 5000", got)
+	}
+}
+
+// TestHoldDelaysDelivery: a held (VerdictHold) transfer delivers exactly
+// once, no earlier than hold + serialisation.
+func TestHoldDelaysDelivery(t *testing.T) {
+	hold := 3 * time.Millisecond
+	eng, fab, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	fab.SetInjector(&testInjector{verdicts: []Verdict{VerdictHold}, delay: hold})
+	size := int64(1_000_000) // 1 ms serialisation
+	arrivals := 0
+	var at time.Duration
+	fab.Send(eid, size, nil, func(any) { arrivals++; at = eng.Now() })
+	eng.Run()
+	if arrivals != 1 {
+		t.Fatalf("held transfer arrived %d times, want 1", arrivals)
+	}
+	if want := hold + time.Millisecond; at < want {
+		t.Errorf("held transfer arrived at %v, floor %v", at, want)
+	}
+}
+
+// TestHoldAbortedBeforeRelease: aborting a held transfer wins the race with
+// its scheduled release; the release must not resurrect it.
+func TestHoldAbortedBeforeRelease(t *testing.T) {
+	eng, fab, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	fab.SetInjector(&testInjector{verdicts: []Verdict{VerdictHold}, delay: 10 * time.Millisecond})
+	arrived := false
+	tr := fab.Send(eid, 5000, nil, func(any) { arrived = true })
+	gen := tr.Gen()
+	eng.RunFor(time.Millisecond)
+	if !fab.Abort(tr, gen) {
+		t.Fatal("Abort of a held transfer returned false")
+	}
+	eng.Run() // the release event fires here and must be a no-op
+	if arrived {
+		t.Error("aborted held transfer delivered after its release fired")
+	}
+	if n := fab.ActiveTransfers(eid); n != 0 {
+		t.Errorf("ActiveTransfers = %d, want 0", n)
+	}
+}
+
+// TestConservationWithAborts: delivered + aborted bytes account for every
+// admitted byte once the engine drains, whatever mix of aborts happens.
+func TestConservationWithAborts(t *testing.T) {
+	eng, fab, eid := lineGraph(t, topology.Edge{BandwidthBps: 1e9})
+	sizes := []int64{10_000, 250_000, 1_000_000, 40_000, 777_777, 5}
+	var total, deliveredBytes int64
+	type handle struct {
+		tr  *Transfer
+		gen uint64
+		sz  int64
+	}
+	var hs []handle
+	for i, sz := range sizes {
+		sz := sz
+		total += sz
+		tr := fab.Send(eid, sz, nil, func(any) { deliveredBytes += sz })
+		hs = append(hs, handle{tr, tr.Gen(), sz})
+		_ = i
+	}
+	// Abort every other transfer partway through.
+	eng.RunFor(200 * time.Microsecond)
+	var abortedBytes int64
+	for i, h := range hs {
+		if i%2 == 1 {
+			if fab.Abort(h.tr, h.gen) {
+				abortedBytes += h.sz
+			}
+		}
+	}
+	eng.Run()
+	if got := fab.BytesAborted(eid); got != abortedBytes {
+		t.Errorf("BytesAborted = %d, want %d", got, abortedBytes)
+	}
+	if deliveredBytes+abortedBytes != total {
+		t.Errorf("delivered %d + aborted %d != admitted %d",
+			deliveredBytes, abortedBytes, total)
+	}
+	if got := fab.BytesDelivered(eid); got != deliveredBytes {
+		t.Errorf("BytesDelivered = %d, want %d", got, deliveredBytes)
+	}
+}

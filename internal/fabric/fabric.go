@@ -34,6 +34,14 @@ import (
 // (absorbs float rounding between rate integration and event timestamps).
 const epsilonBytes = 1e-3
 
+// maxScheduleSeconds bounds the horizon of a completion event. A nearly-zero
+// link rate can push a transfer's finish time past what time.Duration can
+// represent; converting that float would overflow into a negative duration
+// and the completion event would spin at the current instant forever. Beyond
+// this horizon (~31 virtual years) the link is treated as stalled, exactly
+// like scale zero: a future SetScale or Abort reschedules it.
+const maxScheduleSeconds = 1e9
+
 // StreamID groups transfers that belong to one logical stream (e.g. the
 // pipelined chunks of one flow in one transmission context). A link's
 // per-stream bandwidth cap applies to the whole group, not to each chunk:
@@ -49,7 +57,9 @@ type Arrival interface{ OnArrive(payload any) }
 
 // Transfer is one in-flight chunk on one link. The handle returned by the
 // Send family is valid until the transfer completes; completed transfers
-// are recycled for later sends.
+// are recycled for later sends. Callers that may outlive the transfer (e.g.
+// retransmission watchdogs) must pair the handle with its Gen and go
+// through Abort, which rejects stale generations.
 type Transfer struct {
 	link      *link
 	stream    StreamID
@@ -60,10 +70,16 @@ type Transfer struct {
 	arr       Arrival
 	size      int64
 	started   sim.Time
+	gen       uint64 // identity stamp; 0 only on recycled structs
 }
 
 // Size returns the transfer's total size in bytes.
 func (t *Transfer) Size() int64 { return t.size }
+
+// Gen returns the transfer's generation stamp. A (handle, gen) pair is the
+// only safe way to refer to a transfer asynchronously: the struct is pooled,
+// so by the time a watchdog fires the handle may describe a different send.
+func (t *Transfer) Gen() uint64 { return t.gen }
 
 // Call fires the transfer's arrival callback and recycles the struct. The
 // fabric schedules it (as a pooled simulation event) one link latency α
@@ -80,6 +96,29 @@ func (t *Transfer) Call() {
 	onArrive(payload)
 }
 
+// Verdict is an Injector's decision about one transfer entering a link.
+type Verdict int
+
+const (
+	// VerdictPass admits the transfer normally.
+	VerdictPass Verdict = iota
+	// VerdictDrop blackholes the transfer: it is parked outside the
+	// link's bandwidth accounting and never delivers. Only Abort (a
+	// retransmission deadline) reclaims it — this models chunk loss.
+	VerdictDrop
+	// VerdictHold parks the transfer for the returned delay before it
+	// enters the link — this models a mid-path stall (a paused queue, a
+	// flapping port buffering traffic).
+	VerdictHold
+)
+
+// Injector is the fault-injection hook consulted once per send. A nil
+// injector (the default) costs a single pointer comparison on the send
+// path; the chaos engine installs one to impose loss and stall windows.
+type Injector interface {
+	Admit(edge topology.EdgeID, size int64) (Verdict, time.Duration)
+}
+
 // Fabric simulates the data plane over a logical graph.
 type Fabric struct {
 	eng      *sim.Engine
@@ -88,7 +127,12 @@ type Fabric struct {
 	streamID StreamID
 	uniqueID StreamID
 	free     []*Transfer // recycled transfer structs
+	genCount uint64
+	inj      Injector
 }
+
+// SetInjector installs (or, with nil, removes) the fault-injection hook.
+func (f *Fabric) SetInjector(inj Injector) { f.inj = inj }
 
 // NewStreamID allocates a fresh logical stream identifier.
 func (f *Fabric) NewStreamID() StreamID {
@@ -156,6 +200,7 @@ func (f *Fabric) send(edge topology.EdgeID, stream StreamID, size int64, payload
 	} else {
 		t = new(Transfer)
 	}
+	f.genCount++
 	*t = Transfer{
 		link:      l,
 		stream:    stream,
@@ -165,11 +210,86 @@ func (f *Fabric) send(edge topology.EdgeID, stream StreamID, size int64, payload
 		onArrive:  onArrive,
 		arr:       arr,
 		started:   f.eng.Now(),
+		gen:       f.genCount,
+	}
+	if f.inj != nil {
+		switch v, d := f.inj.Admit(edge, size); v {
+		case VerdictDrop:
+			l.parked = append(l.parked, t)
+			return t
+		case VerdictHold:
+			l.parked = append(l.parked, t)
+			gen := t.gen
+			f.eng.After(d, func() { f.release(t, gen) })
+			return t
+		}
 	}
 	l.advance()
 	l.active = append(l.active, t)
 	l.reallocate()
 	return t
+}
+
+// release moves a held transfer from the parked list onto the link proper.
+// The generation check makes it a no-op if the transfer was aborted (and
+// possibly recycled into a different send) in the meantime.
+func (f *Fabric) release(t *Transfer, gen uint64) {
+	if t.gen != gen || t.link == nil {
+		return
+	}
+	l := t.link
+	for i, p := range l.parked {
+		if p != t {
+			continue
+		}
+		l.parked = append(l.parked[:i], l.parked[i+1:]...)
+		l.advance()
+		l.active = append(l.active, t)
+		l.reallocate()
+		return
+	}
+}
+
+// Abort withdraws an in-flight or parked transfer, recycling it without
+// firing its arrival callback, and reports whether it did. False means the
+// (handle, gen) pair no longer names a live transfer: it was delivered —
+// possibly with its arrival callback still pending behind the link latency
+// α — or already aborted. Callers (retransmission deadlines) must treat
+// false as "the chunk got through after all" and do nothing.
+func (f *Fabric) Abort(t *Transfer, gen uint64) bool {
+	if t == nil || gen == 0 || t.gen != gen || t.link == nil {
+		return false
+	}
+	l := t.link
+	for i, p := range l.parked {
+		if p == t {
+			l.parked = append(l.parked[:i], l.parked[i+1:]...)
+			l.bytesAborted += t.size
+			f.recycle(t)
+			return true
+		}
+	}
+	// Integrate progress first: a transfer that completed exactly now is
+	// delivered, not aborted.
+	l.advance()
+	for i, p := range l.active {
+		if p != t {
+			continue
+		}
+		copy(l.active[i:], l.active[i+1:])
+		l.active[len(l.active)-1] = nil
+		l.active = l.active[:len(l.active)-1]
+		l.bytesAborted += t.size
+		f.recycle(t)
+		l.reallocate()
+		return true
+	}
+	return false
+}
+
+func (f *Fabric) recycle(t *Transfer) {
+	*t = Transfer{}
+	f.free = append(f.free, t)
 }
 
 // SendBetween is a convenience that sends over the edge from one node to
@@ -211,6 +331,16 @@ func (f *Fabric) BytesDelivered(edge topology.EdgeID) int64 { return f.links[edg
 // ActiveTransfers returns the number of in-flight transfers on an edge.
 func (f *Fabric) ActiveTransfers(edge topology.EdgeID) int { return len(f.links[edge].active) }
 
+// ParkedTransfers returns the number of transfers held off an edge by the
+// injector (dropped or stalled, not yet aborted or released).
+func (f *Fabric) ParkedTransfers(edge topology.EdgeID) int { return len(f.links[edge].parked) }
+
+// BytesAborted returns the cumulative bytes withdrawn from an edge via
+// Abort. Together with BytesDelivered and the in-flight set this preserves
+// the conservation ledger: every admitted byte is delivered, aborted, or
+// still in flight/parked.
+func (f *Fabric) BytesAborted(edge topology.EdgeID) int64 { return f.links[edge].bytesAborted }
+
 // SetServerIngressScale applies a bandwidth scale to every network edge
 // entering the given server (the paper's Fig. 2a scenario: server B's
 // ingress degrades under cross-traffic).
@@ -240,13 +370,17 @@ func (f *Fabric) SetServerNetworkScale(server int, scale float64) {
 
 // link is the per-edge fluid model state.
 type link struct {
-	fab        *Fabric
-	edge       topology.Edge
-	scale      float64
-	active     []*Transfer
-	lastUpdate sim.Time
-	nextEv     *sim.Event
-	bytesDone  int64
+	fab    *Fabric
+	edge   topology.Edge
+	scale  float64
+	active []*Transfer
+	// parked holds injector-withheld transfers: they consume no bandwidth
+	// and deliver nothing until released (VerdictHold) or aborted.
+	parked       []*Transfer
+	lastUpdate   sim.Time
+	nextEv       *sim.Event
+	bytesDone    int64
+	bytesAborted int64
 	// reused scratch for reallocate's stream grouping (hot path).
 	streams       []StreamID
 	servedScratch []StreamID
@@ -338,8 +472,8 @@ func (l *link) reallocate() {
 		}
 	}
 	l.servedScratch = served
-	if math.IsInf(soonest, 1) {
-		return // link stalled; a future SetScale will reschedule
+	if math.IsInf(soonest, 1) || soonest > maxScheduleSeconds {
+		return // link stalled; a future SetScale (or Abort) will reschedule
 	}
 	// Round up to the next nanosecond: rounding down could fire the
 	// completion event fractionally early and spin without progress.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"adapcc/internal/sim"
+	"adapcc/internal/topology"
 )
 
 // DefaultCycle is the coordinator's decision period (the paper uses 5 ms).
@@ -64,6 +65,23 @@ type Config struct {
 	Callbacks Callbacks
 }
 
+// LinkFault is a chunk-granularity fault report from the communication
+// executor (a link that exhausted its retransmission budget, or a rank whose
+// device hung mid-collective) — the fine-grained sibling of the T_fault
+// worker path.
+type LinkFault struct {
+	// Edge and its endpoints on the logical graph; Edge is -1 when the
+	// fault is a rank-level stall with no single link to blame.
+	Edge     topology.EdgeID
+	From, To topology.NodeID
+	// Rank is the implicated worker to exclude, or -1 to only record the
+	// link (the controller re-routes around it without shrinking the
+	// worker set).
+	Rank int
+	// At is the virtual time of the detection.
+	At time.Duration
+}
+
 // Stats aggregates coordinator telemetry across iterations.
 type Stats struct {
 	Iterations   int
@@ -73,6 +91,9 @@ type Stats struct {
 	RPCSamples   []time.Duration
 	WaitTime     time.Duration // total time spent waiting for stragglers
 	FaultedRanks []int
+	// LinkFaults are the chunk-granularity fault reports received via
+	// ReportLinkFault, in arrival order.
+	LinkFaults []LinkFault
 }
 
 // RelayProbability returns the fraction of iterations each rank relayed
@@ -167,7 +188,46 @@ func (c *Coordinator) Stats() Stats {
 	}
 	out.RPCSamples = append([]time.Duration(nil), c.stats.RPCSamples...)
 	out.FaultedRanks = append([]int(nil), c.stats.FaultedRanks...)
+	out.LinkFaults = append([]LinkFault(nil), c.stats.LinkFaults...)
 	return out
+}
+
+// ReportLinkFault feeds a chunk-granularity fault detection into the
+// coordinator, alongside the T_fault worker path: the report is recorded,
+// and if it implicates a rank that rank is excluded exactly as a T_fault
+// exclusion would (stats, OnFault callback, and — mid-iteration — the
+// pending decision re-evaluated, since the excluded rank may be the one
+// everyone was waiting on).
+func (c *Coordinator) ReportLinkFault(f LinkFault) {
+	c.stats.LinkFaults = append(c.stats.LinkFaults, f)
+	if f.Rank < 0 || c.excluded[f.Rank] {
+		return
+	}
+	known := false
+	for _, r := range c.cfg.World {
+		if r == f.Rank {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return
+	}
+	c.excluded[f.Rank] = true
+	c.stats.FaultedRanks = append(c.stats.FaultedRanks, f.Rank)
+	if c.cfg.Callbacks.OnFault != nil {
+		c.cfg.Callbacks.OnFault([]int{f.Rank})
+	}
+	if !c.inIteration {
+		return
+	}
+	if !c.started && c.anyReady && c.allReady() {
+		c.startFull()
+		return
+	}
+	if c.started && c.phase1Done && !c.phase2Going {
+		c.maybeStartPhase2()
+	}
 }
 
 // Readmit returns a previously excluded (faulted) worker to the training

@@ -61,3 +61,87 @@ func TestRelayProbabilityAccounting(t *testing.T) {
 		t.Errorf("RelayProbability(1) = %v, want 0", got)
 	}
 }
+
+// TestReportLinkFaultExclusion: chunk-granularity fault reports land in the
+// stats, and a report implicating a rank excludes it exactly like the
+// T_fault path — once, with the OnFault callback, surviving Readmit.
+func TestReportLinkFaultExclusion(t *testing.T) {
+	h := newCoordHarness(t, []int{0, 1, 2, 3}, BreakEven{})
+
+	// A pure link report (Rank -1) is recorded but excludes nobody.
+	h.co.ReportLinkFault(LinkFault{Edge: 5, From: 1, To: 2, Rank: -1, At: time.Millisecond})
+	if st := h.co.Stats(); len(st.LinkFaults) != 1 || len(st.FaultedRanks) != 0 {
+		t.Fatalf("after link-only report: %d link faults, faulted %v", len(st.LinkFaults), st.FaultedRanks)
+	}
+	if got := h.co.Alive(); len(got) != 4 {
+		t.Fatalf("link-only report shrank the worker set to %v", got)
+	}
+
+	// Implicating rank 2 excludes it and fires OnFault.
+	h.co.ReportLinkFault(LinkFault{Edge: -1, Rank: 2, At: 2 * time.Millisecond})
+	if got := h.co.Alive(); len(got) != 3 {
+		t.Fatalf("alive = %v, want rank 2 gone", got)
+	}
+	for _, r := range h.co.Alive() {
+		if r == 2 {
+			t.Fatal("rank 2 still alive after implicating report")
+		}
+	}
+	if len(h.events) != 1 || h.events[0] != "fault" {
+		t.Fatalf("events = %v, want [fault]", h.events)
+	}
+
+	// Duplicate and unknown-rank reports are recorded, nothing else.
+	h.co.ReportLinkFault(LinkFault{Edge: -1, Rank: 2, At: 3 * time.Millisecond})
+	h.co.ReportLinkFault(LinkFault{Edge: -1, Rank: 99, At: 3 * time.Millisecond})
+	st := h.co.Stats()
+	if len(st.LinkFaults) != 4 {
+		t.Errorf("LinkFaults = %d, want all 4 reports recorded", len(st.LinkFaults))
+	}
+	if len(st.FaultedRanks) != 1 || st.FaultedRanks[0] != 2 {
+		t.Errorf("FaultedRanks = %v, want [2]", st.FaultedRanks)
+	}
+	if len(h.events) != 1 {
+		t.Errorf("events = %v, want no second fault callback", h.events)
+	}
+
+	// Readmission brings the rank back.
+	h.co.Readmit(2)
+	if got := h.co.Alive(); len(got) != 4 {
+		t.Errorf("alive after readmit = %v, want all 4", got)
+	}
+}
+
+// TestReportLinkFaultUnblocksIteration: everyone is waiting on one straggler
+// when a link fault implicates it; the pending decision must be re-evaluated
+// so the iteration proceeds with the survivors instead of hanging until the
+// T_fault deadline.
+func TestReportLinkFaultUnblocksIteration(t *testing.T) {
+	h := newCoordHarness(t, []int{0, 1, 2, 3}, AlwaysWait{})
+	var elapsed time.Duration = -1
+	h.co.BeginIteration(func() { elapsed = h.eng.Now() })
+	for _, r := range []int{0, 1, 2} {
+		r := r
+		h.eng.At(time.Millisecond, func() { h.co.WorkerReady(r) })
+	}
+	// Rank 3 never reports ready; its fault arrives at 5 ms.
+	h.eng.At(5*time.Millisecond, func() {
+		h.co.ReportLinkFault(LinkFault{Edge: 9, From: 3, To: 7, Rank: 3, At: h.eng.Now()})
+	})
+	h.eng.Run()
+	if elapsed < 0 {
+		t.Fatal("iteration never completed after the straggler faulted")
+	}
+	if elapsed > 50*time.Millisecond {
+		t.Errorf("iteration took %v; fault should unblock well before any T_fault deadline", elapsed)
+	}
+	found := false
+	for _, ev := range h.events {
+		if ev == "full" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("events = %v, want a full run among the survivors", h.events)
+	}
+}

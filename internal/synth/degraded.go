@@ -1,0 +1,185 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// degradedChunkBytes caps the pipelining chunk of last-resort strategies.
+const degradedChunkBytes = 1 << 20
+
+// RemapTo returns a cost view over a node-preserving clone of this view's
+// graph (see topology.CloneFilteredEdges): each edge of the clone inherits
+// the α/stream/aggregate values of the matching edge (same endpoints) in
+// the original view, so profiled link properties survive fault exclusion
+// without re-profiling — re-profiling a fabric with dead links would itself
+// hang on them.
+func (c *Costs) RemapTo(g *topology.Graph) *Costs {
+	out := &Costs{
+		graph:  g,
+		alpha:  make([]time.Duration, g.NumEdges()),
+		stream: make([]float64, g.NumEdges()),
+		agg:    make([]float64, g.NumEdges()),
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(topology.EdgeID(i))
+		if oid, ok := c.graph.EdgeBetween(e.From, e.To); ok {
+			out.alpha[i] = c.alpha[oid]
+			out.stream[i] = c.stream[oid]
+			out.agg[i] = c.agg[oid]
+			continue
+		}
+		out.alpha[i] = e.Alpha
+		out.agg[i] = e.BandwidthBps
+		if e.PerStreamBps > 0 && e.PerStreamBps < e.BandwidthBps {
+			out.stream[i] = e.PerStreamBps
+		} else {
+			out.stream[i] = e.BandwidthBps
+		}
+	}
+	return out
+}
+
+// DegradedRing synthesizes the last rung of the fault-recovery ladder: a
+// single sub-collective whose flows are chained rank-to-rank (a flat ring)
+// with every hop routed by shortest path over the — already fault-filtered —
+// graph. It trades all of AdapCC's parallelism for feasibility: the
+// structured candidate search commits to fixed NIC rotation patterns and
+// fails entirely when each pattern touches a dead uplink, while shortest
+// paths route around anything that is still connected. AlltoAll degrades to
+// shortest-path pairwise flows instead of a chain.
+func DegradedRing(c *Costs, req Request) (*Result, error) {
+	g := c.graph
+	ranks := req.Ranks
+	if ranks == nil {
+		for _, id := range g.GPUs() {
+			ranks = append(ranks, g.Node(id).Rank)
+		}
+	}
+	ranks = append([]int(nil), ranks...)
+	sort.Ints(ranks)
+	if len(ranks) < 2 {
+		return nil, fmt.Errorf("synth: degraded ring needs >= 2 ranks, have %d", len(ranks))
+	}
+	if req.Bytes <= 0 {
+		return nil, fmt.Errorf("synth: non-positive size %d", req.Bytes)
+	}
+	root := ranks[0]
+	if req.Primitive != strategy.AlltoAll && req.Root >= 0 {
+		for _, r := range ranks {
+			if r == req.Root {
+				root = req.Root
+				break
+			}
+		}
+	}
+	// Root-first ring order.
+	order := make([]int, 0, len(ranks))
+	order = append(order, root)
+	for _, r := range ranks {
+		if r != root {
+			order = append(order, r)
+		}
+	}
+
+	route := func(src, dst int) ([]topology.NodeID, error) {
+		a, ok := g.GPUByRank(src)
+		if !ok {
+			return nil, fmt.Errorf("synth: unknown rank %d", src)
+		}
+		b, ok := g.GPUByRank(dst)
+		if !ok {
+			return nil, fmt.Errorf("synth: unknown rank %d", dst)
+		}
+		p := g.ShortestPath(a, b)
+		if p == nil {
+			return nil, fmt.Errorf("synth: rank %d unreachable from rank %d over surviving links", dst, src)
+		}
+		return p, nil
+	}
+
+	var flows []strategy.Flow
+	addFlow := func(src, dst int) error {
+		p, err := route(src, dst)
+		if err != nil {
+			return err
+		}
+		flows = append(flows, strategy.Flow{ID: len(flows), SrcRank: src, DstRank: dst, Path: p})
+		return nil
+	}
+
+	switch req.Primitive {
+	case strategy.Reduce, strategy.AllReduce:
+		// In-tree chain toward the root: order[i] sends to order[i-1].
+		for i := len(order) - 1; i >= 1; i-- {
+			if err := addFlow(order[i], order[i-1]); err != nil {
+				return nil, err
+			}
+		}
+		if req.Primitive == strategy.AllReduce {
+			// The broadcast stage runs each flow's path in reverse; the
+			// reverse edges must exist on the filtered graph too.
+			for _, f := range flows {
+				for h := len(f.Path) - 1; h >= 1; h-- {
+					if _, ok := g.EdgeBetween(f.Path[h], f.Path[h-1]); !ok {
+						return nil, fmt.Errorf("synth: no reverse edge %v -> %v for the broadcast stage",
+							f.Path[h], f.Path[h-1])
+					}
+				}
+			}
+		}
+	case strategy.Broadcast:
+		// Out-tree chain away from the root: order[i-1] sends to order[i].
+		for i := 1; i < len(order); i++ {
+			if err := addFlow(order[i-1], order[i]); err != nil {
+				return nil, err
+			}
+		}
+	case strategy.AlltoAll:
+		root = -1
+		for _, a := range ranks {
+			for _, b := range ranks {
+				if a == b {
+					continue
+				}
+				if err := addFlow(a, b); err != nil {
+					return nil, err
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("synth: unknown primitive %v", req.Primitive)
+	}
+
+	chunk := int64(degradedChunkBytes)
+	if chunk > req.Bytes {
+		chunk = req.Bytes
+	}
+	s := &strategy.Strategy{
+		Primitive:  req.Primitive,
+		TotalBytes: req.Bytes,
+		SubCollectives: []strategy.SubCollective{{
+			ID:         0,
+			Bytes:      req.Bytes,
+			ChunkBytes: chunk,
+			Root:       root,
+			Flows:      flows,
+		}},
+	}
+	eval, err := Evaluate(c, s)
+	if err != nil {
+		return nil, fmt.Errorf("synth: degraded ring invalid: %w", err)
+	}
+	return &Result{
+		Strategy: s,
+		Eval:     eval,
+		Variant:  "degraded-ring",
+		// One candidate, one evaluation (simulated solver cost; see
+		// perEvalCost — deterministic, unlike wall clock).
+		SolveTime: perEvalCost,
+	}, nil
+}

@@ -179,6 +179,25 @@ func (g *Graph) SameServer(a, b NodeID) bool {
 	return g.nodes[a].Server == g.nodes[b].Server
 }
 
+// CloneFilteredEdges returns a new graph with every node of g (preserving
+// NodeIDs, so rank lookups and paths stay valid across both graphs) and
+// only the edges for which keep returns true. EdgeIDs are renumbered
+// densely. The fault-recovery path synthesizes over such a clone: a
+// strategy routed on it references nodes only, so it stays executable on
+// the original graph while structurally avoiding the excluded links.
+func (g *Graph) CloneFilteredEdges(keep func(Edge) bool) *Graph {
+	out := NewGraph()
+	for _, n := range g.nodes {
+		out.AddNode(n)
+	}
+	for _, e := range g.edges {
+		if keep(e) {
+			out.AddEdge(e)
+		}
+	}
+	return out
+}
+
 // ShortestPath returns the node sequence of a minimum-hop path from src to
 // dst (inclusive), or nil if unreachable. Ties are broken deterministically
 // by edge insertion order.
