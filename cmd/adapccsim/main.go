@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"adapcc/internal/backend"
@@ -21,6 +22,7 @@ import (
 	"adapcc/internal/cluster"
 	"adapcc/internal/collective"
 	"adapcc/internal/core"
+	"adapcc/internal/metrics"
 	"adapcc/internal/strategy"
 	"adapcc/internal/topology"
 	"adapcc/internal/trace"
@@ -46,6 +48,7 @@ func run(args []string) error {
 		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the execution to this file (open in chrome://tracing or Perfetto)")
 		dotOut    = fs.String("dot", "", "write the synthesised strategy as Graphviz DOT to this file")
 		chaosSpec = fs.String("chaos", "", "fault schedule to inject, e.g. \"seed=7;down@2ms+10ms:edge=3;crash@5ms:rank=2\" (kinds: down flap degrade loss hold crash hang straggler); the collective runs with detect/retransmit/re-synthesize recovery")
+		metricsOut = fs.String("metrics", "", "write the virtual-time metrics registry to this file (.json gets a JSON snapshot, anything else the Prometheus text format)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +81,11 @@ func run(args []string) error {
 	a, err := core.New(env, core.Options{M: *m})
 	if err != nil {
 		return err
+	}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.New()
+		a.SetMetrics(reg)
 	}
 	fmt.Printf("topology inference: %v (constant in job scale, concurrent per server)\n",
 		a.InitTime().Round(time.Millisecond))
@@ -133,6 +141,7 @@ func run(args []string) error {
 
 	inputs := backend.MakeInputs(env.AllRanks(), *bytes)
 	var measured time.Duration
+	var stats collective.StatsReport
 	if *chaosSpec != "" {
 		spec, err := chaos.ParseSpec(*chaosSpec)
 		if err != nil {
@@ -141,6 +150,9 @@ func run(args []string) error {
 		ch := chaos.New(env.Engine, env.Fabric, env.GPUs, spec)
 		if tracer != nil {
 			ch.SetTracer(tracer)
+		}
+		if reg != nil {
+			ch.SetMetrics(reg)
 		}
 		if err := ch.Arm(); err != nil {
 			return err
@@ -161,22 +173,23 @@ func run(args []string) error {
 				ev.Overhead.Round(time.Millisecond))
 		}
 		cnt := ch.Counters()
-		stats := env.Exec.RecoveryStats()
+		rec := env.Exec.RecoveryStats()
 		fmt.Printf("chaos: injected %d scale events, %d drops, %d holds, %d kernel stalls\n",
 			cnt.ScaleEvents, cnt.Drops, cnt.Holds, cnt.KernelStalls)
 		fmt.Printf("recovery: %d deadlines, %d retransmits, %d link faults, %d stall faults\n",
-			stats.Deadlines, stats.Retransmits, stats.LinkFaults, stats.StallFaults)
+			rec.Deadlines, rec.Retransmits, rec.LinkFaults, rec.StallFaults)
 		if rerr != nil {
 			return fmt.Errorf("collective did not survive the schedule: %w", rerr)
 		}
 		measured = rres.Result.Elapsed
+		stats = rres.Result.Stats
 		fmt.Printf("survived: %v end-to-end over ranks %v (%d attempt(s), %v detecting+reconstructing)\n",
 			rres.Elapsed.Round(time.Microsecond), rres.Survivors, rres.Attempts,
 			rres.TimeToRecover().Round(time.Microsecond))
 	} else {
 		err = a.Run(backend.Request{
 			Primitive: prim, Bytes: *bytes, Root: root, Inputs: inputs,
-			OnDone: func(r collective.Result) { measured = r.Elapsed },
+			OnDone: func(r collective.Result) { measured, stats = r.Elapsed, r.Stats },
 		})
 		if err != nil {
 			return err
@@ -187,6 +200,9 @@ func run(args []string) error {
 		measured.Round(time.Microsecond),
 		collective.AlgoBandwidthBps(*bytes, measured)/1e9,
 		(float64(res.Eval.Time)/float64(measured)-1)*100)
+	fmt.Printf("stats: %d chunks delivered over %d hops, %.1f MiB on wire, %d kernels, %d deadlines, %d retransmits\n",
+		stats.ChunksDelivered, stats.ChunkHops, float64(stats.BytesOnWire)/(1<<20),
+		stats.Kernels, stats.Deadlines, stats.Retransmits)
 
 	if tracer != nil {
 		f, err := os.Create(*traceOut)
@@ -201,6 +217,25 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("trace: %d events -> %s\n", tracer.Len(), *traceOut)
+	}
+	if reg != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(*metricsOut, ".json") {
+			err = reg.WriteJSON(f)
+		} else {
+			err = reg.WritePrometheus(f)
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %d families -> %s\n", len(reg.Snapshot().Families), *metricsOut)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -58,6 +59,58 @@ func TestParsePrimitive(t *testing.T) {
 	}
 	if _, err := parsePrimitive("allgather"); err == nil {
 		t.Error("unknown primitive accepted")
+	}
+}
+
+func TestRunWritesMetricsJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"-case", "A100:(2,2)", "-bytes", "4194304", "-metrics", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Families []struct {
+			Name string `json:"name"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics output is not valid JSON: %v", err)
+	}
+	names := make(map[string]bool, len(snap.Families))
+	for _, f := range snap.Families {
+		names[f.Name] = true
+	}
+	for _, want := range []string{
+		"adapcc_link_bytes_total", "adapcc_gpu_kernels_total", "adapcc_chunk_hops_total",
+	} {
+		if !names[want] {
+			t.Errorf("family %s missing from JSON export", want)
+		}
+	}
+}
+
+func TestRunWritesMetricsPrometheus(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := run([]string{"-case", "A100:(2,2)", "-bytes", "4194304", "-metrics", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"# TYPE adapcc_link_bytes_total counter",
+		"# TYPE adapcc_chunk_hop_seconds histogram",
+		"adapcc_chunk_hop_seconds_bucket",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus export missing %q", want)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"adapcc/internal/collective"
 	"adapcc/internal/device"
 	"adapcc/internal/fabric"
+	"adapcc/internal/metrics"
 	"adapcc/internal/payload"
 	"adapcc/internal/sim"
 	"adapcc/internal/strategy"
@@ -56,6 +57,20 @@ type Env struct {
 	Fabric  *fabric.Fabric
 	GPUs    map[int]*device.GPU
 	Exec    *collective.Executor
+	// Metrics is the registry installed by SetMetrics (nil = disabled).
+	Metrics *metrics.Registry
+}
+
+// SetMetrics installs (or, with nil, removes) a metrics registry across the
+// whole hardware environment: every fabric link, every GPU and the
+// collective executor record into it.
+func (e *Env) SetMetrics(reg *metrics.Registry) {
+	e.Metrics = reg
+	e.Fabric.SetMetrics(reg)
+	e.Exec.SetMetrics(reg)
+	for _, g := range e.GPUs {
+		g.SetMetrics(reg)
+	}
 }
 
 // NewEnv builds the hardware environment for a cluster.

@@ -7,6 +7,7 @@ import (
 
 	"adapcc/internal/device"
 	"adapcc/internal/fabric"
+	"adapcc/internal/metrics"
 	"adapcc/internal/sim"
 	"adapcc/internal/topology"
 	"adapcc/internal/trace"
@@ -51,7 +52,17 @@ type Engine struct {
 	stalls   map[int][]stallRule
 	counters Counters
 	tracer   *trace.Tracer
+	cm       *chaosMetrics // nil when metrics are disabled
 	armed    bool
+}
+
+// chaosMetrics mirrors Counters into a metrics registry, stamped with the
+// virtual time each injection fired (see SetMetrics).
+type chaosMetrics struct {
+	scaleEvents  *metrics.Counter
+	drops        *metrics.Counter
+	holds        *metrics.Counter
+	kernelStalls *metrics.Counter
 }
 
 // window is an edge-local fault interval. end of 0 means open-ended.
@@ -91,6 +102,26 @@ func New(eng *sim.Engine, fab *fabric.Fabric, gpus map[int]*device.GPU, spec Spe
 
 // SetTracer mirrors injected faults onto a trace track ("chaos" category).
 func (e *Engine) SetTracer(tr *trace.Tracer) { e.tracer = tr }
+
+// SetMetrics mirrors the injection counters into a metrics registry (nil
+// removes it), so chaos activity appears next to the recovery metrics it
+// provokes.
+func (e *Engine) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		e.cm = nil
+		return
+	}
+	e.cm = &chaosMetrics{
+		scaleEvents: reg.Counter("adapcc_chaos_scale_events_total",
+			"bandwidth re-scales fired by the chaos engine"),
+		drops: reg.Counter("adapcc_chaos_drops_total",
+			"transfers blackholed by injected loss"),
+		holds: reg.Counter("adapcc_chaos_holds_total",
+			"transfers parked by injected stalls"),
+		kernelStalls: reg.Counter("adapcc_chaos_kernel_stalls_total",
+			"kernels delayed by straggler/hang injection"),
+	}
+}
 
 // Counters returns a snapshot of injection activity.
 func (e *Engine) Counters() Counters { return e.counters }
@@ -198,6 +229,9 @@ func (e *Engine) setScale(edge topology.EdgeID, scale float64, what string) {
 	}
 	e.fab.SetScale(edge, scale)
 	e.counters.ScaleEvents++
+	if e.cm != nil {
+		e.cm.scaleEvents.Inc(e.eng.Now())
+	}
 	e.traceInstant(fmt.Sprintf("%s edge %d (scale %g)", what, edge, scale), int(edge))
 }
 
@@ -208,6 +242,9 @@ func (e *Engine) restoreScale(edge topology.EdgeID, what string) {
 	}
 	e.fab.SetScale(edge, prev)
 	e.counters.ScaleEvents++
+	if e.cm != nil {
+		e.cm.scaleEvents.Inc(e.eng.Now())
+	}
 	e.traceInstant(fmt.Sprintf("%s edge %d (scale %g)", what, edge, prev), int(edge))
 }
 
@@ -218,6 +255,9 @@ func (e *Engine) Admit(edge topology.EdgeID, size int64) (fabric.Verdict, time.D
 	for _, w := range e.lossWin[edge] {
 		if w.covers(now) && e.rng.Float64() < w.prob {
 			e.counters.Drops++
+			if e.cm != nil {
+				e.cm.drops.Inc(now)
+			}
 			e.traceInstant(fmt.Sprintf("drop %dB edge %d", size, edge), int(edge))
 			return fabric.VerdictDrop, 0
 		}
@@ -225,6 +265,9 @@ func (e *Engine) Admit(edge topology.EdgeID, size int64) (fabric.Verdict, time.D
 	for _, w := range e.holdWin[edge] {
 		if w.covers(now) {
 			e.counters.Holds++
+			if e.cm != nil {
+				e.cm.holds.Inc(now)
+			}
 			e.traceInstant(fmt.Sprintf("hold %dB edge %d for %v", size, edge, w.delay), int(edge))
 			return fabric.VerdictHold, w.delay
 		}
@@ -252,6 +295,9 @@ func (e *Engine) stallFn(rules []stallRule) func(now sim.Time) time.Duration {
 		}
 		if d > 0 {
 			e.counters.KernelStalls++
+			if e.cm != nil {
+				e.cm.kernelStalls.Inc(now)
+			}
 		}
 		return d
 	}

@@ -6,6 +6,7 @@ import (
 
 	"adapcc/internal/device"
 	"adapcc/internal/fabric"
+	"adapcc/internal/metrics"
 	"adapcc/internal/payload"
 	"adapcc/internal/relay"
 	"adapcc/internal/sim"
@@ -25,6 +26,10 @@ type Executor struct {
 	// stats accumulates fault-detection counters across ops (see
 	// RecoveryStats); untouched when ops run without Recovery.
 	stats RecoveryStats
+	// reg/em are the metrics registry and its pre-resolved instrument
+	// bundle; both nil (free) unless SetMetrics installed a registry.
+	reg *metrics.Registry
+	em  *execMetrics
 }
 
 func (e *Executor) getHop() *hopSend {
@@ -93,6 +98,9 @@ type Result struct {
 	Payloads map[int]payload.Payload
 	// Elapsed is the virtual time from start to the last delivery.
 	Elapsed time.Duration
+	// Stats summarises the run: chunk deliveries, wire bytes, kernels,
+	// retransmission activity.
+	Stats StatsReport
 }
 
 // AlgoBandwidthBps is the evaluation metric of Sec. VI-C: input tensor
@@ -200,6 +208,8 @@ func (e *Executor) Run(op Op) error {
 	if expected == 0 {
 		return fmt.Errorf("collective: nothing to communicate (no carrying flows)")
 	}
+	run.subs = subs
+	run.expected = expected
 	run.remaining = sim.NewCountdown(expected, run.finish)
 	for _, sub := range subs {
 		sub.start()
@@ -235,6 +245,12 @@ type opRun struct {
 	// all its flows and stages (single-channel mode: NCCL's one CUDA
 	// stream per device).
 	rankStream map[int]fabric.StreamID
+	// subs/expected/stats feed the per-collective StatsReport; the counters
+	// are plain ints, so tracking costs nothing whether or not metrics are
+	// enabled.
+	subs     []*subRun
+	expected int
+	stats    StatsReport
 	// streamFree serialises chunk send-initiations per stream: each
 	// initiation costs a kernel/copy launch, so a single stream issues
 	// sends strictly one after another while parallel contexts overlap
@@ -293,10 +309,15 @@ func (r *opRun) stream(k streamKey) *device.Stream {
 
 func (r *opRun) finish() {
 	r.finished = true
+	elapsed := time.Duration(r.engine().Now() - r.started)
+	r.stats.ChunksDelivered = r.expected
+	r.stats.Elapsed = elapsed
+	r.recordFinish(elapsed)
 	if r.onDone != nil {
 		res := Result{
 			Payloads: r.outputs,
-			Elapsed:  r.engine().Now() - r.started,
+			Elapsed:  elapsed,
+			Stats:    r.stats,
 		}
 		if r.mode == payload.Dense {
 			res.Outputs = make(map[int][]float32, len(r.outputs))
@@ -347,6 +368,9 @@ type flowRun struct {
 	// blockChunks is the AlltoAll chunk layout of this flow's block.
 	blockChunks []span
 	blockDst    span // where the receiver stores the block
+	// delivered counts this flow's end-to-end chunk deliveries (both
+	// stages), the per-flow progress figure of the metrics layer.
+	delivered int
 }
 
 type aggState struct {
@@ -749,6 +773,14 @@ func (h *hopSend) OnArrive(any) {
 	if s.op.rec != nil {
 		s.op.progress()
 	}
+	s.op.stats.ChunkHops++
+	s.op.stats.BytesOnWire += bytes
+	if em := s.op.ex.em; em != nil {
+		now := s.op.engine().Now()
+		em.hops.Inc(now)
+		em.bytes.Add(now, float64(bytes))
+		em.hopLatency.ObserveDuration(now, time.Duration(now-sendStart))
+	}
 	s.traceTransfer(msg, eid, sendStart, bytes)
 	if fs != nil {
 		fs.kick()
@@ -798,6 +830,7 @@ func (s *subRun) arrived(msg chunkMsg) {
 		s.sendHop(msg, nil)
 		return
 	}
+	fr.delivered++
 	if msg.reversed {
 		s.reversedDelivered(msg, node)
 		return
@@ -851,6 +884,7 @@ func (s *subRun) aggArrival(node topology.NodeID, msg chunkMsg) {
 	key := streamKey{rank: agg.rank, sub: s.idx}
 	kernelStart := s.op.engine().Now()
 	nInputs := len(inputs)
+	s.op.stats.Kernels++
 	if s.op.rec != nil {
 		s.op.pendingKernels[agg.rank]++
 	}

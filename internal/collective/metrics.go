@@ -1,0 +1,98 @@
+package collective
+
+import (
+	"strconv"
+	"time"
+
+	"adapcc/internal/metrics"
+)
+
+// StatsReport summarises one collective run quantitatively. It is tracked
+// as plain counters on the run (free whether or not metrics are enabled)
+// and returned in Result.Stats, so callers get per-collective numbers
+// without a registry.
+type StatsReport struct {
+	// ChunksDelivered is the number of terminal chunk deliveries (the
+	// completion events the collective waited on).
+	ChunksDelivered int
+	// ChunkHops is the number of chunk-hop wire deliveries (one chunk
+	// crossing one link once; retransmitted attempts count on success only).
+	ChunkHops int
+	// BytesOnWire is the bytes serialised across all chunk hops.
+	BytesOnWire int64
+	// Kernels is the number of aggregation kernels launched.
+	Kernels int
+	// Deadlines / Retransmits count fault-detection activity of this run
+	// (zero without Op.Recovery).
+	Deadlines   int
+	Retransmits int
+	// Elapsed is the virtual start-to-finish time (same as Result.Elapsed).
+	Elapsed time.Duration
+}
+
+// execMetrics is the executor's pre-resolved instrument bundle (see
+// SetMetrics). Per-flow counters are resolved lazily at op completion — a
+// cold path — because flow identities vary per strategy.
+type execMetrics struct {
+	hops        *metrics.Counter   // chunk-hop wire deliveries
+	bytes       *metrics.Counter   // bytes serialised across chunk hops
+	hopLatency  *metrics.Histogram // launch-to-arrival latency per chunk hop
+	deadlines   *metrics.Counter   // transfers aborted by their deadline
+	retransmits *metrics.Counter   // chunks re-posted after a deadline
+	collectives *metrics.Counter   // completed collectives
+	opTime      *metrics.Histogram // elapsed virtual time per collective
+}
+
+// SetMetrics installs (or, with nil, removes) the metrics registry. The
+// executor records per-chunk hop latency, wire bytes, retransmission
+// activity, per-collective elapsed time and per-flow chunk progress.
+func (e *Executor) SetMetrics(reg *metrics.Registry) {
+	e.reg = reg
+	if reg == nil {
+		e.em = nil
+		return
+	}
+	e.em = &execMetrics{
+		hops: reg.Counter("adapcc_chunk_hops_total",
+			"chunk-hop wire deliveries"),
+		bytes: reg.Counter("adapcc_collective_wire_bytes_total",
+			"bytes serialised across chunk hops"),
+		hopLatency: reg.Histogram("adapcc_chunk_hop_seconds",
+			"virtual launch-to-arrival latency per chunk hop",
+			metrics.DurationBuckets),
+		deadlines: reg.Counter("adapcc_chunk_deadlines_total",
+			"chunk transfers aborted by their delivery deadline"),
+		retransmits: reg.Counter("adapcc_chunk_retransmits_total",
+			"chunks re-posted after a missed deadline"),
+		collectives: reg.Counter("adapcc_collectives_total",
+			"completed collectives"),
+		opTime: reg.Histogram("adapcc_collective_seconds",
+			"virtual elapsed time per completed collective",
+			metrics.DurationBuckets),
+	}
+}
+
+// recordFinish emits the op-completion metrics: collective counters plus
+// per-flow chunk-progress counters, labelled by sub-collective and flow id.
+func (r *opRun) recordFinish(elapsed time.Duration) {
+	em := r.ex.em
+	if em == nil {
+		return
+	}
+	now := r.engine().Now()
+	em.collectives.Inc(now)
+	em.opTime.ObserveDuration(now, elapsed)
+	for _, sub := range r.subs {
+		for fi := range sub.flows {
+			fr := &sub.flows[fi]
+			if fr.delivered == 0 {
+				continue
+			}
+			r.ex.reg.Counter("adapcc_flow_chunks_total",
+				"end-to-end chunk deliveries per flow",
+				"sub", strconv.Itoa(sub.idx),
+				"flow", strconv.Itoa(int(fr.f.ID))).
+				Add(now, float64(fr.delivered))
+		}
+	}
+}

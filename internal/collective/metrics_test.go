@@ -1,0 +1,157 @@
+package collective_test
+
+import (
+	"testing"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/metrics"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+)
+
+// TestMetricsCoverCollective runs an AllReduce with a registry installed
+// across the environment and checks that every layer recorded: fabric link
+// counters, GPU kernel instruments, executor chunk-hop instruments — and
+// that the registry's figures reconcile with the run's StatsReport.
+func TestMetricsCoverCollective(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	env.SetMetrics(reg)
+
+	const bytesTotal = 8 << 20
+	res, err := synth.Synthesize(synth.NewCosts(env.Graph, nil), synth.Request{
+		Primitive: strategy.AllReduce, Bytes: bytesTotal, Root: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done collective.Result
+	err = env.Exec.Run(collective.Op{
+		Strategy: res.Strategy,
+		Inputs:   backend.MakeInputs(env.AllRanks(), bytesTotal),
+		OnDone:   func(r collective.Result) { done = r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if done.Outputs == nil {
+		t.Fatal("collective never finished")
+	}
+
+	st := done.Stats
+	if st.ChunksDelivered <= 0 || st.ChunkHops < st.ChunksDelivered {
+		t.Errorf("stats: ChunksDelivered=%d ChunkHops=%d", st.ChunksDelivered, st.ChunkHops)
+	}
+	if st.BytesOnWire <= 0 || st.Kernels <= 0 {
+		t.Errorf("stats: BytesOnWire=%d Kernels=%d", st.BytesOnWire, st.Kernels)
+	}
+	if st.Elapsed != done.Elapsed {
+		t.Errorf("stats elapsed %v != result elapsed %v", st.Elapsed, done.Elapsed)
+	}
+	if st.Deadlines != 0 || st.Retransmits != 0 {
+		t.Errorf("fault-free run counted Deadlines=%d Retransmits=%d", st.Deadlines, st.Retransmits)
+	}
+
+	snap := reg.Snapshot()
+	mustFamily := func(name string) metrics.FamilySnap {
+		t.Helper()
+		f, ok := snap.Family(name)
+		if !ok {
+			t.Fatalf("family %s missing from snapshot", name)
+		}
+		return f
+	}
+
+	// Fabric: bytes on links reconcile with the executor's wire count.
+	linkBytes := mustFamily("adapcc_link_bytes_total")
+	if got := int64(linkBytes.Total()); got != st.BytesOnWire {
+		t.Errorf("link bytes %d != stats BytesOnWire %d", got, st.BytesOnWire)
+	}
+	mustFamily("adapcc_link_wait_seconds")
+	mustFamily("adapcc_link_utilization")
+	mustFamily("adapcc_link_queue_depth")
+
+	// Device: kernel launches cover at least the aggregation kernels.
+	gpuKernels := mustFamily("adapcc_gpu_kernels_total")
+	if got := int(gpuKernels.Total()); got < st.Kernels {
+		t.Errorf("gpu kernels %d < stats Kernels %d", got, st.Kernels)
+	}
+	mustFamily("adapcc_gpu_kernel_seconds")
+
+	// Executor: hop count and latency observations match the stats.
+	hops := mustFamily("adapcc_chunk_hops_total")
+	if got := int(hops.Total()); got != st.ChunkHops {
+		t.Errorf("chunk hops metric %d != stats ChunkHops %d", got, st.ChunkHops)
+	}
+	hopLat := mustFamily("adapcc_chunk_hop_seconds")
+	if got := hopLat.Series[0].Count; got != uint64(st.ChunkHops) {
+		t.Errorf("hop latency observations %d != ChunkHops %d", got, st.ChunkHops)
+	}
+	if cols := mustFamily("adapcc_collectives_total").Total(); cols != 1 {
+		t.Errorf("collectives counter = %v, want 1", cols)
+	}
+
+	// Per-flow progress totals the end-to-end deliveries, which is at
+	// least one per completion event (multi-hop flows deliver once).
+	flow := mustFamily("adapcc_flow_chunks_total")
+	if got := int(flow.Total()); got < st.ChunksDelivered {
+		t.Errorf("flow chunk deliveries %d < ChunksDelivered %d", got, st.ChunksDelivered)
+	}
+
+	// Virtual timestamps: no sample stamped after completion.
+	maxMillis := metrics.VirtualMillisOf(env.Engine.Now())
+	for _, f := range snap.Families {
+		for _, s := range f.Series {
+			if s.VirtualMillis < 0 || s.VirtualMillis > maxMillis {
+				t.Errorf("%s stamped at %dms outside [0, %d]", f.Name, s.VirtualMillis, maxMillis)
+			}
+		}
+	}
+}
+
+// TestStatsReportWithoutMetrics checks the per-collective StatsReport is
+// populated with no registry installed (plain counters, no instruments).
+func TestStatsReportWithoutMetrics(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytesTotal = 1 << 20
+	res, err := synth.Synthesize(synth.NewCosts(env.Graph, nil), synth.Request{
+		Primitive: strategy.AllReduce, Bytes: bytesTotal, Root: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done collective.Result
+	err = env.Exec.Run(collective.Op{
+		Strategy: res.Strategy,
+		Inputs:   backend.MakeInputs(env.AllRanks(), bytesTotal),
+		OnDone:   func(r collective.Result) { done = r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if done.Outputs == nil {
+		t.Fatal("collective never finished")
+	}
+	if done.Stats.ChunksDelivered <= 0 || done.Stats.BytesOnWire <= 0 {
+		t.Errorf("StatsReport empty without metrics: %+v", done.Stats)
+	}
+}

@@ -160,6 +160,10 @@ func (h *hopSend) onDeadline() {
 	}
 	h.transfer, h.tgen = nil, 0
 	op.ex.stats.Deadlines++
+	op.stats.Deadlines++
+	if em := op.ex.em; em != nil {
+		em.deadlines.Inc(op.engine().Now())
+	}
 	if op.failed {
 		op.ex.putHop(h)
 		return
@@ -185,6 +189,10 @@ func (h *hopSend) onDeadline() {
 	}
 	h.retries++
 	op.ex.stats.Retransmits++
+	op.stats.Retransmits++
+	if em := op.ex.em; em != nil {
+		em.retransmits.Inc(op.engine().Now())
+	}
 	op.progress()
 	h.s.traceRetry(h.msg, h.eid, h.retries)
 	backoff := rec.Backoff << uint(h.retries-1)
@@ -207,6 +215,13 @@ func (r *opRun) fail(rep FaultReport) {
 		return
 	}
 	r.failed = true
+	if reg := r.ex.reg; reg != nil {
+		// Cold path: faults are rare, so the per-kind counter is resolved
+		// on demand rather than pre-bound.
+		reg.Counter("adapcc_collective_faults_total",
+			"fault declarations by kind", "kind", rep.Kind.String()).
+			Inc(r.engine().Now())
+	}
 	if r.rec.OnFault != nil {
 		r.rec.OnFault(rep)
 	}

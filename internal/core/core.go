@@ -22,6 +22,7 @@ import (
 	"adapcc/internal/backend"
 	"adapcc/internal/collective"
 	"adapcc/internal/detect"
+	"adapcc/internal/metrics"
 	"adapcc/internal/profile"
 	"adapcc/internal/strategy"
 	"adapcc/internal/synth"
@@ -67,6 +68,11 @@ type AdapCC struct {
 	lastSolveTime   time.Duration
 	lastSetupTime   time.Duration
 	setupCount      int
+
+	// reg/cm are the metrics registry and the controller's pre-resolved
+	// instrument bundle; both nil (free) unless SetMetrics was called.
+	reg *metrics.Registry
+	cm  *coreMetrics
 }
 
 var _ backend.Backend = (*AdapCC)(nil)
@@ -150,6 +156,7 @@ func (a *AdapCC) Reconstruct(onDone func(overhead time.Duration)) {
 		setup := a.setupTime()
 		a.lastSetupTime = setup
 		a.setupCount++
+		a.recordReconstruct()
 		a.env.Engine.After(setup, func() {
 			if onDone != nil {
 				onDone(a.env.Engine.Now() - start)

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"time"
+
+	"adapcc/internal/metrics"
+)
+
+// coreMetrics is the controller's pre-resolved instrument bundle (see
+// SetMetrics). Per-kind fault counters resolve lazily in the (cold) fault
+// path.
+type coreMetrics struct {
+	reconstructions *metrics.Counter   // Reconstruct + fault-retry set-up charges
+	attempts        *metrics.Counter   // resilient execution attempts
+	timeToRecover   *metrics.Histogram // per-collective TimeToRecover
+}
+
+// SetMetrics installs (or, with nil, removes) a metrics registry on the
+// controller and the whole hardware environment beneath it (fabric links,
+// GPUs, executor). The controller itself records reconstructions, resilient
+// attempts, fault declarations by kind and TimeToRecover.
+func (a *AdapCC) SetMetrics(reg *metrics.Registry) {
+	a.env.SetMetrics(reg)
+	a.reg = reg
+	if reg == nil {
+		a.cm = nil
+		return
+	}
+	a.cm = &coreMetrics{
+		reconstructions: reg.Counter("adapcc_reconstructions_total",
+			"transmission-context (re)constructions: Setup, Reconstruct and fault retries"),
+		attempts: reg.Counter("adapcc_resilient_attempts_total",
+			"execution attempts started by RunResilient"),
+		timeToRecover: reg.Histogram("adapcc_time_to_recover_seconds",
+			"detection latency + reconstruction overhead per recovered collective",
+			metrics.DurationBuckets),
+	}
+}
+
+// recordReconstruct counts one context (re)construction charge.
+func (a *AdapCC) recordReconstruct() {
+	if a.cm != nil {
+		a.cm.reconstructions.Inc(a.env.Engine.Now())
+	}
+}
+
+// recordFault counts one fault declaration by kind (cold path: the counter
+// resolves on demand).
+func (a *AdapCC) recordFault(kind string) {
+	if a.reg != nil {
+		a.reg.Counter("adapcc_core_faults_total",
+			"fault declarations handled by the resilient controller, by kind",
+			"kind", kind).Inc(a.env.Engine.Now())
+	}
+}
+
+// recordRecovered records a completed resilient collective: its attempt
+// count and, when it recovered from faults, the TimeToRecover.
+func (a *AdapCC) recordRecovered(attempts int, ttr time.Duration) {
+	if a.cm == nil {
+		return
+	}
+	now := a.env.Engine.Now()
+	a.cm.attempts.Add(now, float64(attempts))
+	if ttr > 0 {
+		a.cm.timeToRecover.ObserveDuration(now, ttr)
+	}
+}

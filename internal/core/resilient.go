@@ -341,6 +341,7 @@ func (rr *resilientRun) onFault(rep collective.FaultReport) {
 		ExcludedPair:  [2]topology.NodeID{-1, -1},
 		DetectLatency: rep.At - rep.Started,
 	}
+	a.recordFault(rep.Kind.String())
 	switch rep.Kind {
 	case collective.LinkFault:
 		a.ExcludeLink(rep.From, rep.To)
@@ -370,6 +371,7 @@ func (rr *resilientRun) onFault(rep collective.FaultReport) {
 	setup := a.setupTime()
 	a.lastSetupTime = setup
 	a.setupCount++
+	a.recordReconstruct()
 	ev.Overhead = setup
 	rr.events = append(rr.events, ev)
 	a.env.Engine.After(setup, func() { rr.attempt() })
@@ -383,6 +385,7 @@ func (rr *resilientRun) complete(res collective.Result) {
 		Events:    rr.events,
 		Elapsed:   rr.a.env.Engine.Now() - rr.started,
 	}
+	rr.a.recordRecovered(out.Attempts, out.TimeToRecover())
 	rr.onDone(out, nil)
 }
 

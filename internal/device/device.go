@@ -13,8 +13,10 @@ package device
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
+	"adapcc/internal/metrics"
 	"adapcc/internal/payload"
 	"adapcc/internal/sim"
 	"adapcc/internal/topology"
@@ -50,6 +52,39 @@ type GPU struct {
 	// launched from this instant on (straggler/hang injection). Nil — the
 	// default — costs one pointer comparison per launch.
 	stall func(now sim.Time) time.Duration
+	gm    *gpuMetrics // nil when metrics are disabled
+}
+
+// gpuMetrics is a GPU's pre-resolved instrument bundle (see SetMetrics).
+type gpuMetrics struct {
+	kernels    *metrics.Counter   // kernels launched
+	busy       *metrics.Counter   // virtual seconds of kernel execution
+	kernelTime *metrics.Histogram // per-kernel duration
+	backlog    *metrics.Histogram // stream occupancy: queue delay at launch
+}
+
+// SetMetrics installs (or, with nil, removes) the metrics registry. The GPU
+// records kernel launches, per-kernel duration, cumulative busy time and
+// stream occupancy (how long each launch waits behind kernels already
+// queued on its stream), labelled by rank.
+func (g *GPU) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		g.gm = nil
+		return
+	}
+	rank := strconv.Itoa(g.rank)
+	g.gm = &gpuMetrics{
+		kernels: reg.Counter("adapcc_gpu_kernels_total",
+			"kernels launched per GPU", "rank", rank),
+		busy: reg.Counter("adapcc_gpu_busy_seconds_total",
+			"virtual seconds of kernel execution per GPU", "rank", rank),
+		kernelTime: reg.Histogram("adapcc_gpu_kernel_seconds",
+			"per-kernel virtual duration (launch latency + throughput time)",
+			metrics.DurationBuckets, "rank", rank),
+		backlog: reg.Histogram("adapcc_gpu_stream_backlog_seconds",
+			"queue delay behind earlier kernels on the same stream at launch",
+			metrics.DurationBuckets, "rank", rank),
+	}
 }
 
 // SetKernelStall installs (or, with nil, removes) a per-kernel stall hook:
@@ -190,5 +225,12 @@ func (s *Stream) launch(bytes int64, body func()) {
 	}
 	finish := start + dur
 	s.busyUntil = finish
+	if g.gm != nil {
+		now := g.eng.Now()
+		g.gm.kernels.Inc(now)
+		g.gm.busy.Add(now, time.Duration(dur).Seconds())
+		g.gm.kernelTime.ObserveDuration(now, time.Duration(dur))
+		g.gm.backlog.ObserveDuration(now, time.Duration(start-now))
+	}
 	g.eng.Do(finish, body)
 }

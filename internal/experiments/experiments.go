@@ -197,6 +197,7 @@ func Registry() []struct {
 		{"summary", SummarySpeedups},
 		{"ablations", Ablations},
 		{"scaling", Scaling},
+		{"metrics", MetricsReport},
 	}
 }
 

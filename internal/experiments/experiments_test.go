@@ -35,6 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig3b", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18a", "fig18b", "fig19a", "fig19b",
 		"fig19c", "fig19d", "summary", "ablations", "scaling",
+		"metrics",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -324,6 +325,26 @@ func TestScalingShape(t *testing.T) {
 	heter := tab.Rows[4]
 	if heter.Values[0] < 1.2*heter.Values[2] {
 		t.Errorf("heterogeneous: AdapCC %.2f should clearly beat the gated ring %.2f", heter.Values[0], heter.Values[2])
+	}
+}
+
+func TestMetricsReportShape(t *testing.T) {
+	tab := run(t, "metrics")
+	for _, r := range tab.Rows {
+		gbps, wireMB, hops := r.Values[0], r.Values[1], r.Values[2]
+		p50, p99, kernels := r.Values[3], r.Values[4], r.Values[5]
+		if gbps <= 0 || wireMB <= 0 || hops <= 0 || kernels <= 0 {
+			t.Errorf("%s: non-positive figures %v", r.Label, r.Values)
+		}
+		if p50 <= 0 || p99 < p50 {
+			t.Errorf("%s: hop latency quantiles inverted (p50=%.1fus p99=%.1fus)", r.Label, p50, p99)
+		}
+	}
+	// More payload means more wire traffic.
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	if last.Values[1] <= first.Values[1] {
+		t.Errorf("wire traffic did not grow with payload: %.1f MB vs %.1f MB",
+			first.Values[1], last.Values[1])
 	}
 }
 

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/core"
+	"adapcc/internal/metrics"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// MetricsReport summarises AllReduce runs from the virtual-time metrics
+// registry rather than the executor's return value: the wire traffic,
+// chunk-hop latency distribution and device activity the observability
+// layer recorded while each collective ran. It doubles as an end-to-end
+// exercise of the registry wiring — wire bytes must reconcile with the
+// executor's own StatsReport, cell for cell.
+func MetricsReport(cfg Config) (*Table, error) {
+	cfg = cfg.defaults()
+	t := &Table{
+		ID:      "metrics",
+		Title:   "AllReduce observability summary (metrics registry)",
+		Columns: []string{"GB/s", "wire-MB", "hops", "hop-p50-us", "hop-p99-us", "kernels", "gpu-busy-ms"},
+	}
+	sizes := []int64{1 << 20, 8 << 20, cfg.Bytes}
+	if cfg.Quick {
+		sizes = []int64{1 << 20, cfg.Bytes}
+	}
+	cl, err := cluster.Testbed(topology.TransportRDMA)
+	if err != nil {
+		return nil, err
+	}
+	for _, bytes := range sizes {
+		env, err := backend.NewEnv(cl, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.New(env, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		done := false
+		a.Setup(func() { done = true })
+		env.Engine.Run()
+		if !done {
+			return nil, fmt.Errorf("metrics: AdapCC setup incomplete")
+		}
+
+		// Install the registry after set-up so the report covers exactly
+		// one collective, not the profiling sweeps.
+		reg := metrics.New()
+		a.SetMetrics(reg)
+		var res collective.Result
+		elapsed, err := backend.Measure(env, a, backend.Request{
+			Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Mode: cfg.mode(),
+			OnDone: func(r collective.Result) { res = r },
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		snap := reg.Snapshot()
+		wire := famTotal(snap, "adapcc_link_bytes_total")
+		if int64(wire) != res.Stats.BytesOnWire {
+			return nil, fmt.Errorf("metrics: link bytes %g do not reconcile with StatsReport %d",
+				wire, res.Stats.BytesOnWire)
+		}
+		var p50, p99 float64
+		if f, ok := snap.Family("adapcc_chunk_hop_seconds"); ok && len(f.Series) > 0 {
+			p50 = f.Series[0].Quantile(0.50) * 1e6
+			p99 = f.Series[0].Quantile(0.99) * 1e6
+		}
+		t.AddRow(fmt.Sprintf("%d MiB", bytes>>20),
+			collective.AlgoBandwidthBps(bytes, elapsed)/1e9,
+			wire/1e6,
+			famTotal(snap, "adapcc_chunk_hops_total"),
+			p50,
+			p99,
+			famTotal(snap, "adapcc_gpu_kernels_total"),
+			famTotal(snap, "adapcc_gpu_busy_seconds_total")*1e3,
+		)
+	}
+	t.Note("registry installed after set-up, so each row covers exactly one collective")
+	t.Note("wire-MB is read from adapcc_link_bytes_total and verified against the executor's StatsReport")
+	return t, nil
+}
+
+// famTotal sums a family's series in a snapshot, 0 when absent.
+func famTotal(snap metrics.Snapshot, name string) float64 {
+	f, ok := snap.Family(name)
+	if !ok {
+		return 0
+	}
+	return f.Total()
+}

@@ -265,6 +265,9 @@ func (f *Fabric) Abort(t *Transfer, gen uint64) bool {
 		if p == t {
 			l.parked = append(l.parked[:i], l.parked[i+1:]...)
 			l.bytesAborted += t.size
+			if l.lm != nil {
+				l.lm.aborted.Add(f.eng.Now(), float64(t.size))
+			}
 			f.recycle(t)
 			return true
 		}
@@ -280,6 +283,9 @@ func (f *Fabric) Abort(t *Transfer, gen uint64) bool {
 		l.active[len(l.active)-1] = nil
 		l.active = l.active[:len(l.active)-1]
 		l.bytesAborted += t.size
+		if l.lm != nil {
+			l.lm.aborted.Add(f.eng.Now(), float64(t.size))
+		}
 		f.recycle(t)
 		l.reallocate()
 		return true
@@ -384,6 +390,7 @@ type link struct {
 	// reused scratch for reallocate's stream grouping (hot path).
 	streams       []StreamID
 	servedScratch []StreamID
+	lm            *linkMetrics // nil when metrics are disabled
 }
 
 // advance integrates transferred bytes up to the current virtual time and
@@ -426,6 +433,9 @@ func (l *link) reallocate() {
 		l.nextEv = nil
 	}
 	if len(l.active) == 0 {
+		if l.lm != nil {
+			l.lm.utilization.Set(l.fab.eng.Now(), 0)
+		}
 		return
 	}
 	// A link carries few distinct streams at once, so a linear scan over a
@@ -472,6 +482,15 @@ func (l *link) reallocate() {
 		}
 	}
 	l.servedScratch = served
+	if l.lm != nil {
+		now := l.fab.eng.Now()
+		l.lm.queueDepth.Observe(now, float64(len(l.active)))
+		util := 0.0
+		if capacity > 0 {
+			util = streamShare * float64(len(served)) / capacity
+		}
+		l.lm.utilization.Set(now, util)
+	}
 	if math.IsInf(soonest, 1) || soonest > maxScheduleSeconds {
 		return // link stalled; a future SetScale (or Abort) will reschedule
 	}
@@ -497,6 +516,11 @@ func (l *link) Call() {
 // recycled once the callback has fired.
 func (l *link) deliver(t *Transfer) {
 	l.bytesDone += t.size
+	if l.lm != nil {
+		now := l.fab.eng.Now()
+		l.lm.bytes.Add(now, float64(t.size))
+		l.lm.wait.ObserveDuration(now, time.Duration(now-t.started))
+	}
 	if t.onArrive == nil && t.arr == nil {
 		*t = Transfer{}
 		l.fab.free = append(l.fab.free, t)

@@ -1,0 +1,47 @@
+package fabric
+
+import (
+	"strconv"
+
+	"adapcc/internal/metrics"
+)
+
+// linkMetrics is one link's pre-resolved instrument bundle. Instruments are
+// resolved once in SetMetrics so the per-event hot paths (deliver,
+// reallocate, Abort) never touch the registry's name tables; a nil bundle —
+// the default — costs one pointer comparison per hook.
+type linkMetrics struct {
+	bytes       *metrics.Counter   // bytes fully serialised
+	aborted     *metrics.Counter   // bytes withdrawn via Abort
+	utilization *metrics.Gauge     // share of live capacity granted
+	queueDepth  *metrics.Histogram // in-flight transfers at reallocate
+	wait        *metrics.Histogram // send-to-delivery time per transfer
+}
+
+// SetMetrics installs (or, with nil, removes) the metrics registry. Each
+// link records bytes delivered/aborted, instantaneous utilization, queue
+// depth and per-transfer wait time, labelled by edge id and link type.
+func (f *Fabric) SetMetrics(reg *metrics.Registry) {
+	for _, l := range f.links {
+		if reg == nil {
+			l.lm = nil
+			continue
+		}
+		id := strconv.Itoa(int(l.edge.ID))
+		typ := l.edge.Type.String()
+		l.lm = &linkMetrics{
+			bytes: reg.Counter("adapcc_link_bytes_total",
+				"bytes fully serialised per link", "link", id, "type", typ),
+			aborted: reg.Counter("adapcc_link_bytes_aborted_total",
+				"bytes withdrawn from a link via Abort", "link", id, "type", typ),
+			utilization: reg.Gauge("adapcc_link_utilization",
+				"share of a link's live bandwidth granted to transfers", "link", id, "type", typ),
+			queueDepth: reg.Histogram("adapcc_link_queue_depth",
+				"in-flight transfers on a link at each rate reallocation",
+				metrics.DepthBuckets, "link", id, "type", typ),
+			wait: reg.Histogram("adapcc_link_wait_seconds",
+				"virtual send-to-delivery time per transfer",
+				metrics.DurationBuckets, "link", id, "type", typ),
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"adapcc/internal/sim"
+)
+
+// Snapshot is a point-in-time copy of a registry, in deterministic order:
+// families in registration order, series sorted by label key. Exporters and
+// the experiments summaries read snapshots, never the live registry.
+type Snapshot struct {
+	Families []FamilySnap `json:"families"`
+}
+
+// FamilySnap is one metric family of a snapshot.
+type FamilySnap struct {
+	Name    string       `json:"name"`
+	Help    string       `json:"help,omitempty"`
+	Kind    string       `json:"kind"`
+	Buckets []float64    `json:"buckets,omitempty"`
+	Series  []SeriesSnap `json:"series"`
+}
+
+// SeriesSnap is one labelled series of a family. Value holds counters and
+// gauges; Counts/Sum/Count hold histograms (Counts is per-bucket,
+// non-cumulative, with a final overflow bucket).
+type SeriesSnap struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	Counts []uint64          `json:"counts,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+	Count  uint64            `json:"count,omitempty"`
+	// VirtualMillis is the virtual time of the series' last record, in
+	// milliseconds since simulation start.
+	VirtualMillis int64 `json:"virtual_ms"`
+
+	labelList []string // registration-order labels, for Prometheus export
+	bounds    []float64
+}
+
+// Quantile estimates the q-th quantile (0..1) of a histogram series by
+// linear interpolation within its buckets; the overflow bucket reports the
+// highest finite bound. Returns 0 for non-histogram or empty series.
+func (s SeriesSnap) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			if i >= len(s.bounds) { // overflow bucket
+				if len(s.bounds) == 0 {
+					return 0
+				}
+				return s.bounds[len(s.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.bounds[i-1]
+			}
+			hi := s.bounds[i]
+			frac := (target - cum) / float64(c)
+			if v := lo + frac*(hi-lo); v < hi {
+				return v
+			}
+			return hi
+		}
+		cum = next
+	}
+	if len(s.bounds) == 0 {
+		return 0
+	}
+	return s.bounds[len(s.bounds)-1]
+}
+
+// Mean returns the mean observation of a histogram series (0 when empty).
+func (s SeriesSnap) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot copies the registry. Series that never recorded are omitted, so
+// registering instruments is free in the export. Nil registries snapshot
+// empty.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	for _, f := range r.families {
+		fs := FamilySnap{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		if f.kind == KindHistogram {
+			fs.Buckets = append([]float64(nil), f.buckets...)
+		}
+		ordered := append([]*series(nil), f.series...)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+		for _, s := range ordered {
+			if !s.set {
+				continue
+			}
+			ss := SeriesSnap{
+				VirtualMillis: s.at.Milliseconds(),
+				labelList:     s.labels,
+				bounds:        f.buckets,
+			}
+			if len(s.labels) > 0 {
+				ss.Labels = make(map[string]string, len(s.labels)/2)
+				for i := 0; i+1 < len(s.labels); i += 2 {
+					ss.Labels[s.labels[i]] = s.labels[i+1]
+				}
+			}
+			if f.kind == KindHistogram {
+				ss.Counts = append([]uint64(nil), s.counts...)
+				ss.Sum = s.sum
+				ss.Count = s.count
+			} else {
+				ss.Value = s.val
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		if len(fs.Series) > 0 {
+			snap.Families = append(snap.Families, fs)
+		}
+	}
+	return snap
+}
+
+// Family returns the named family of a snapshot, or false.
+func (s Snapshot) Family(name string) (FamilySnap, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnap{}, false
+}
+
+// Total sums a family's counter/gauge values (histograms sum their Sum).
+func (f FamilySnap) Total() float64 {
+	var t float64
+	for _, s := range f.Series {
+		if f.Kind == "histogram" {
+			t += s.Sum
+		} else {
+			t += s.Value
+		}
+	}
+	return t
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format. Every sample carries a timestamp equal to the *virtual* time of
+// its last record, in milliseconds — scraping a finished simulation yields
+// a time series positioned on the simulated clock, not the wall clock.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Series {
+			switch f.Kind {
+			case "histogram":
+				var cum uint64
+				for i, c := range s.Counts {
+					cum += c
+					le := "+Inf"
+					if i < len(f.Buckets) {
+						le = formatFloat(f.Buckets[i])
+					}
+					fmt.Fprintf(&b, "%s_bucket%s %d %d\n",
+						f.Name, labelString(s.labelList, "le", le), cum, s.VirtualMillis)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s %d\n",
+					f.Name, labelString(s.labelList), formatFloat(s.Sum), s.VirtualMillis)
+				fmt.Fprintf(&b, "%s_count%s %d %d\n",
+					f.Name, labelString(s.labelList), s.Count, s.VirtualMillis)
+			default:
+				fmt.Fprintf(&b, "%s%s %s %d\n",
+					f.Name, labelString(s.labelList), formatFloat(s.Value), s.VirtualMillis)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelString renders {k="v",...} from alternating pairs plus optional
+// extra pairs; empty when there are no labels at all.
+func labelString(labels []string, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	emit := func(k, v string) {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+		n++
+	}
+	for i := 0; i+1 < len(labels); i += 2 {
+		emit(labels[i], labels[i+1])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		emit(extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// VirtualMillisOf converts a virtual timestamp to the millisecond stamps
+// the exports carry (exposed for tests and external consumers).
+func VirtualMillisOf(t sim.Time) int64 { return time.Duration(t).Milliseconds() }

@@ -1,0 +1,258 @@
+// Package metrics is the quantitative observability layer of the
+// simulator: a virtual-time-aware registry of counters, gauges and
+// histograms that the fabric, device, collective, core and chaos layers
+// record into. Where internal/trace answers "what happened, when" for a
+// human in chrome://tracing, this package answers "how much, how fast" for
+// a controller or operator: every sample is stamped with the virtual clock
+// (sim.Time) at which it was recorded, and the whole registry exports in
+// Prometheus text format and as JSON.
+//
+// Like the tracer, the registry is inert when unset: a nil *Registry
+// returns nil instruments, and every method on a nil instrument is a
+// no-op, so instrumentation sites need exactly one pointer comparison and
+// no guard logic. Components pre-resolve their instruments once (at
+// SetMetrics time), so the per-event hot paths never touch the registry's
+// name tables.
+//
+// All methods assume the single-threaded simulation loop: the registry is
+// not safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"adapcc/internal/sim"
+)
+
+// Kind classifies an instrument family.
+type Kind int
+
+const (
+	// KindCounter is a monotonically non-decreasing sum.
+	KindCounter Kind = iota
+	// KindGauge is a last-written value.
+	KindGauge
+	// KindHistogram is a bucketed distribution with sum and count.
+	KindHistogram
+)
+
+// String names the kind as the Prometheus TYPE line spells it.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// DurationBuckets are the default histogram bounds for virtual durations in
+// seconds: 1 µs to ~67 s in powers of four, a range that spans kernel
+// launches (microseconds) through faulted-collective recoveries (seconds).
+var DurationBuckets = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4, 16, 64,
+}
+
+// DepthBuckets are the default histogram bounds for queue depths and other
+// small cardinalities.
+var DepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+
+// Registry holds instrument families in registration order. The zero value
+// is not usable; construct with New. A nil registry hands out nil
+// instruments, which record nothing.
+type Registry struct {
+	families []*family
+	byName   map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed kind across all label sets.
+type family struct {
+	name, help string
+	kind       Kind
+	buckets    []float64 // histogram upper bounds, ascending
+	series     []*series
+	byKey      map[string]*series
+}
+
+// series is one labelled time series of a family.
+type series struct {
+	labels []string // alternating name, value — registration order
+	key    string
+
+	val    float64  // counter / gauge
+	counts []uint64 // histogram per-bucket (non-cumulative)
+	sum    float64
+	count  uint64
+
+	at  sim.Time // virtual time of the last record
+	set bool
+}
+
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return strings.Join(labels, "\x00")
+}
+
+func (r *Registry) upsert(kind Kind, name, help string, buckets []float64, labels []string) (*family, *series) {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: %s: odd label list %v", name, labels))
+	}
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets,
+			byKey: make(map[string]*series)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %v, requested as %v", name, f.kind, kind))
+	}
+	key := labelKey(labels)
+	s := f.byKey[key]
+	if s == nil {
+		s = &series{labels: append([]string(nil), labels...), key: key}
+		if kind == KindHistogram {
+			s.counts = make([]uint64, len(f.buckets)+1) // +1: overflow bucket
+		}
+		f.byKey[key] = s
+		f.series = append(f.series, s)
+	}
+	return f, s
+}
+
+// Counter registers (or finds) the counter series with the given name and
+// alternating label name/value pairs. Nil registries return nil, which
+// records nothing.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	_, s := r.upsert(KindCounter, name, help, nil, labels)
+	return &Counter{s: s}
+}
+
+// Gauge registers (or finds) the gauge series with the given name and
+// labels. Nil registries return nil.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	_, s := r.upsert(KindGauge, name, help, nil, labels)
+	return &Gauge{s: s}
+}
+
+// Histogram registers (or finds) the histogram series with the given name,
+// ascending bucket upper bounds and labels. All series of one family share
+// the first registration's buckets. Nil registries return nil.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s: buckets not ascending: %v", name, buckets))
+		}
+	}
+	f, s := r.upsert(KindHistogram, name, help, buckets, labels)
+	return &Histogram{s: s, bounds: f.buckets}
+}
+
+// Counter is a monotonically non-decreasing sum. Nil counters record
+// nothing.
+type Counter struct{ s *series }
+
+// Add increases the counter by v (negative v is ignored) at virtual time at.
+func (c *Counter) Add(at sim.Time, v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	c.s.val += v
+	c.s.at = at
+	c.s.set = true
+}
+
+// Inc increases the counter by one at virtual time at.
+func (c *Counter) Inc(at sim.Time) { c.Add(at, 1) }
+
+// Value returns the accumulated sum (zero for nil counters).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.s.val
+}
+
+// Gauge is a last-written value. Nil gauges record nothing.
+type Gauge struct{ s *series }
+
+// Set writes the gauge at virtual time at.
+func (g *Gauge) Set(at sim.Time, v float64) {
+	if g == nil {
+		return
+	}
+	g.s.val = v
+	g.s.at = at
+	g.s.set = true
+}
+
+// Value returns the last-written value (zero for nil gauges).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.s.val
+}
+
+// Histogram is a bucketed distribution. Nil histograms record nothing.
+type Histogram struct {
+	s      *series
+	bounds []float64 // alias of the family's upper bounds
+}
+
+// Observe records v at virtual time at.
+func (h *Histogram) Observe(at sim.Time, v float64) {
+	if h == nil {
+		return
+	}
+	s := h.s
+	i := sort.SearchFloat64s(h.bounds, v) // first bucket with bound >= v
+	s.counts[i]++
+	s.sum += v
+	s.count++
+	s.at = at
+	s.set = true
+}
+
+// ObserveDuration records a virtual duration in seconds at virtual time at.
+func (h *Histogram) ObserveDuration(at sim.Time, d time.Duration) {
+	h.Observe(at, d.Seconds())
+}
+
+// Count returns the number of observations (zero for nil histograms).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.s.count
+}
+
+// Sum returns the sum of observations (zero for nil histograms).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.s.sum
+}

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "help")
+	g := r.Gauge("g", "help")
+	h := r.Histogram("h", "help", DurationBuckets)
+	c.Inc(time.Millisecond)
+	c.Add(time.Millisecond, 5)
+	g.Set(time.Millisecond, 3)
+	h.Observe(time.Millisecond, 0.5)
+	h.ObserveDuration(time.Millisecond, time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments recorded something")
+	}
+	if n := len(r.Snapshot().Families); n != 0 {
+		t.Errorf("nil registry snapshot has %d families", n)
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	r := New()
+	c := r.Counter("x_total", "")
+	c.Add(0, 2)
+	c.Add(time.Second, -5) // ignored: counters never decrease
+	c.Inc(2 * time.Second)
+	if c.Value() != 3 {
+		t.Errorf("counter = %v, want 3", c.Value())
+	}
+	// Re-registering the same (name, labels) returns the same series.
+	if v := r.Counter("x_total", "").Value(); v != 3 {
+		t.Errorf("re-registered counter = %v, want 3", v)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(time.Second, v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	snap := r.Snapshot()
+	f, ok := snap.Family("lat_seconds")
+	if !ok || len(f.Series) != 1 {
+		t.Fatalf("missing family/series: %+v", snap)
+	}
+	s := f.Series[0]
+	wantCounts := []uint64{1, 2, 1, 1, 1}
+	for i, c := range s.Counts {
+		if c != wantCounts[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, wantCounts[i])
+		}
+	}
+	if med := s.Quantile(0.5); med < 0.001 || med > 0.01 {
+		t.Errorf("p50 = %v, want within (0.001, 0.01]", med)
+	}
+	// The overflow bucket clamps to the highest finite bound.
+	if q := s.Quantile(1); q != 1 {
+		t.Errorf("p100 = %v, want 1 (highest bound)", q)
+	}
+	if mean := s.Mean(); math.Abs(mean-(0.0005+0.005+0.005+0.05+0.5+5)/6) > 1e-12 {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+// golden exercises one instrument of each kind with fixed virtual stamps.
+func golden() *Registry {
+	r := New()
+	c := r.Counter("adapcc_link_bytes_total", "bytes fully serialised per link", "link", "0", "type", "nvlink")
+	c.Add(1500*time.Microsecond, 4096)
+	c.Add(2500*time.Microsecond, 4096)
+	r.Counter("adapcc_link_bytes_total", "bytes fully serialised per link", "link", "1", "type", "net").
+		Add(3*time.Millisecond, 65536)
+	r.Gauge("adapcc_link_utilization", "share of link bandwidth granted", "link", "0").
+		Set(2500*time.Microsecond, 0.75)
+	h := r.Histogram("adapcc_chunk_wait_seconds", "send-to-delivery wait per chunk", []float64{0.001, 0.01})
+	h.Observe(4*time.Millisecond, 0.0005)
+	h.Observe(5*time.Millisecond, 0.002)
+	h.Observe(6*time.Millisecond, 0.5)
+	// Registered but never recorded: must be absent from both exports.
+	r.Counter("adapcc_idle_total", "never recorded")
+	return r
+}
+
+const goldenProm = `# HELP adapcc_link_bytes_total bytes fully serialised per link
+# TYPE adapcc_link_bytes_total counter
+adapcc_link_bytes_total{link="0",type="nvlink"} 8192 2
+adapcc_link_bytes_total{link="1",type="net"} 65536 3
+# HELP adapcc_link_utilization share of link bandwidth granted
+# TYPE adapcc_link_utilization gauge
+adapcc_link_utilization{link="0"} 0.75 2
+# HELP adapcc_chunk_wait_seconds send-to-delivery wait per chunk
+# TYPE adapcc_chunk_wait_seconds histogram
+adapcc_chunk_wait_seconds_bucket{le="0.001"} 1 6
+adapcc_chunk_wait_seconds_bucket{le="0.01"} 2 6
+adapcc_chunk_wait_seconds_bucket{le="+Inf"} 3 6
+adapcc_chunk_wait_seconds_sum 0.5025 6
+adapcc_chunk_wait_seconds_count 3 6
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := golden().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenProm {
+		t.Errorf("prometheus output mismatch:\ngot:\n%s\nwant:\n%s", b.String(), goldenProm)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := golden().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Families []struct {
+			Name   string    `json:"name"`
+			Kind   string    `json:"kind"`
+			Series []struct {
+				Labels    map[string]string `json:"labels"`
+				Value     float64           `json:"value"`
+				Counts    []uint64          `json:"counts"`
+				Sum       float64           `json:"sum"`
+				Count     uint64            `json:"count"`
+				VirtualMS int64             `json:"virtual_ms"`
+			} `json:"series"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("JSON export is not valid JSON: %v", err)
+	}
+	if len(snap.Families) != 3 {
+		t.Fatalf("JSON has %d families, want 3 (idle family omitted)", len(snap.Families))
+	}
+	f0 := snap.Families[0]
+	if f0.Name != "adapcc_link_bytes_total" || f0.Kind != "counter" {
+		t.Errorf("family 0 = %s/%s", f0.Name, f0.Kind)
+	}
+	if f0.Series[0].Value != 8192 || f0.Series[0].VirtualMS != 2 {
+		t.Errorf("series 0 = %+v", f0.Series[0])
+	}
+	if f0.Series[0].Labels["type"] != "nvlink" {
+		t.Errorf("labels = %v", f0.Series[0].Labels)
+	}
+	hist := snap.Families[2]
+	if hist.Kind != "histogram" || hist.Series[0].Count != 3 || hist.Series[0].Sum != 0.5025 {
+		t.Errorf("histogram snap = %+v", hist)
+	}
+	// Determinism: a second export is byte-identical.
+	var b2 strings.Builder
+	if err := golden().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("JSON export is not deterministic")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Gauge("g", "", "path", `a"b\c`).Set(0, 1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\"b\\c"`) {
+		t.Errorf("unescaped label in %q", b.String())
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name as two kinds did not panic")
+		}
+	}()
+	r := New()
+	r.Counter("dual", "")
+	r.Gauge("dual", "")
+}

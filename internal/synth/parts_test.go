@@ -1,0 +1,145 @@
+package synth
+
+import (
+	"testing"
+
+	"adapcc/internal/strategy"
+)
+
+func TestEqualPartsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		total int64
+		m     int
+		want  []int64
+	}{
+		{"one part", 1 << 20, 1, []int64{1 << 20}},
+		{"even split", 16, 4, []int64{4, 4, 4, 4}},
+		{"whole-element remainder", 20, 2, []int64{8, 12}},
+		{"total smaller than 4m", 8, 4, []int64{4, 4}},
+		{"single element many parts", 4, 8, []int64{4}},
+		{"unaligned total", 10, 4, []int64{4, 6}},
+		{"one element plus tail", 7, 3, []int64{7}},
+		{"two elements plus tail", 11, 3, []int64{4, 7}},
+		{"sub-element tensor", 3, 4, []int64{3}},
+		{"unaligned one part", 9, 1, []int64{9}},
+		{"large aligned", 64 << 20, 4, []int64{16 << 20, 16 << 20, 16 << 20, 16 << 20}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := equalParts(tc.total, tc.m)
+			if len(got) != len(tc.want) {
+				t.Fatalf("equalParts(%d, %d) = %v, want %v", tc.total, tc.m, got, tc.want)
+			}
+			var sum int64
+			for i, p := range got {
+				if p != tc.want[i] {
+					t.Fatalf("equalParts(%d, %d) = %v, want %v", tc.total, tc.m, got, tc.want)
+				}
+				if p <= 0 {
+					t.Errorf("partition %d is empty: %v", i, got)
+				}
+				// Every boundary between partitions is element-aligned:
+				// all parts except the last are multiples of 4.
+				if i < len(got)-1 && p%4 != 0 {
+					t.Errorf("interior partition %d = %d is unaligned", i, p)
+				}
+				sum += p
+			}
+			if sum != tc.total {
+				t.Errorf("partitions sum to %d, want %d", sum, tc.total)
+			}
+		})
+	}
+}
+
+// TestEqualPartsInvariants sweeps small totals and part counts: never a
+// zero-byte partition, always the exact total, interior boundaries aligned.
+func TestEqualPartsInvariants(t *testing.T) {
+	for total := int64(1); total <= 256; total++ {
+		for m := 1; m <= 8; m++ {
+			got := equalParts(total, m)
+			if len(got) == 0 || len(got) > m {
+				t.Fatalf("equalParts(%d, %d) returned %d parts", total, m, len(got))
+			}
+			var sum int64
+			for i, p := range got {
+				if p <= 0 {
+					t.Fatalf("equalParts(%d, %d) = %v has empty partition", total, m, got)
+				}
+				if i < len(got)-1 && p%4 != 0 {
+					t.Fatalf("equalParts(%d, %d) = %v has unaligned interior partition", total, m, got)
+				}
+				sum += p
+			}
+			if sum != total {
+				t.Fatalf("equalParts(%d, %d) = %v sums to %d", total, m, got, sum)
+			}
+		}
+	}
+}
+
+// TestTieBreakIndependentOfGridOrder asserts the deterministic tie-break:
+// for a small tensor every chunk-size candidate clamps to the same effective
+// chunk, producing genuine cost ties, so reversing the search grid must not
+// change the chosen strategy.
+func TestTieBreakIndependentOfGridOrder(t *testing.T) {
+	costs := testbedCosts(t)
+	grid := []int64{256 << 10, 512 << 10, 1 << 20, 2 << 20}
+	rev := []int64{2 << 20, 1 << 20, 512 << 10, 256 << 10}
+	for _, bytes := range []int64{256, 4 << 10, 64 << 10} {
+		a, err := Synthesize(costs, Request{
+			Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, ChunkGrid: grid,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Synthesize(costs, Request{
+			Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, ChunkGrid: rev,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Variant != b.Variant || a.Eval.Time != b.Eval.Time {
+			t.Fatalf("bytes=%d: grid order changed the winner: %s/%v vs %s/%v",
+				bytes, a.Variant, a.Eval.Time, b.Variant, b.Eval.Time)
+		}
+		ax, _ := a.Strategy.MarshalXMLBytes()
+		bx, _ := b.Strategy.MarshalXMLBytes()
+		if string(ax) != string(bx) {
+			t.Fatalf("bytes=%d: grid order changed the synthesised strategy", bytes)
+		}
+	}
+}
+
+// TestSmallTensorNoZeroByteSubs runs the synthesizer across the tiny-tensor
+// range and asserts no sub-collective is ever empty or misaligned at an
+// interior boundary.
+func TestSmallTensorNoZeroByteSubs(t *testing.T) {
+	costs := testbedCosts(t)
+	for bytes := int64(4); bytes <= 64<<10; bytes *= 4 {
+		res, err := Synthesize(costs, Request{
+			Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+		})
+		if err != nil {
+			t.Fatalf("bytes=%d: %v", bytes, err)
+		}
+		var sum int64
+		n := len(res.Strategy.SubCollectives)
+		for i, sc := range res.Strategy.SubCollectives {
+			if sc.Bytes <= 0 {
+				t.Errorf("bytes=%d: sub %d has %d bytes", bytes, i, sc.Bytes)
+			}
+			if i < n-1 && sc.Bytes%4 != 0 {
+				t.Errorf("bytes=%d: interior sub %d is unaligned (%d)", bytes, i, sc.Bytes)
+			}
+			if sc.ChunkBytes <= 0 {
+				t.Errorf("bytes=%d: sub %d has chunk %d", bytes, i, sc.ChunkBytes)
+			}
+			sum += sc.Bytes
+		}
+		if sum != bytes {
+			t.Errorf("bytes=%d: subs sum to %d", bytes, sum)
+		}
+	}
+}

@@ -126,10 +126,10 @@ func Synthesize(c *Costs, req Request) (*Result, error) {
 			return nil, err
 		}
 		res := &Result{Strategy: s, Eval: ev, Variant: v.String()}
-		if cur := bestPerVariant[v]; cur == nil || ev.Time < cur.Eval.Time {
+		if cur := bestPerVariant[v]; cur == nil || better(res, cur) {
 			bestPerVariant[v] = res
 		}
-		if best == nil || ev.Time < best.Eval.Time {
+		if best == nil || better(res, best) {
 			best = res
 		}
 		return res, nil
@@ -147,7 +147,11 @@ func Synthesize(c *Costs, req Request) (*Result, error) {
 		for _, chunk := range grid {
 			for _, mm := range ms {
 				for _, plan := range plans {
-					s, err := buildStrategy(bld, req, v, mm, equalParts(req.Bytes, mm), chunk, plan)
+					// equalParts may clamp the partition count below mm
+					// (tiny tensors), so the strategy is built from the
+					// parts actually produced.
+					parts := equalParts(req.Bytes, mm)
+					s, err := buildStrategy(bld, req, v, len(parts), parts, chunk, plan)
 					if err != nil {
 						// A variant can be infeasible on this topology
 						// (e.g. no NVLink and no NIC path); skip it.
@@ -194,6 +198,28 @@ func Synthesize(c *Costs, req Request) (*Result, error) {
 
 	best.SolveTime = time.Duration(evals) * perEvalCost
 	return best, nil
+}
+
+// better is the search's deterministic total order: predicted time, then
+// variant ordinal, then smaller chunk size, then more sub-collectives.
+// Equal-cost candidates are routine for small tensors (every chunk size in
+// the grid clamps to the same effective value), and comparing on time alone
+// would let the candidate-loop evaluation order pick the winner — a benign
+// loop reorder would silently change the synthesised strategy and break
+// deterministic replay.
+func better(a, b *Result) bool {
+	if a.Eval.Time != b.Eval.Time {
+		return a.Eval.Time < b.Eval.Time
+	}
+	if av, bv := parseVariant(a.Variant), parseVariant(b.Variant); av != bv {
+		return av < bv
+	}
+	ac := a.Strategy.SubCollectives[0].ChunkBytes
+	bc := b.Strategy.SubCollectives[0].ChunkBytes
+	if ac != bc {
+		return ac < bc
+	}
+	return len(a.Strategy.SubCollectives) > len(b.Strategy.SubCollectives)
 }
 
 func requestVariants(req Request) ([]variant, error) {
@@ -329,10 +355,25 @@ func buildStrategy(bld *subBuilder, req Request, v variant, m int, parts []int64
 	return s, nil
 }
 
-// equalParts splits total into m float32-aligned partitions.
+// equalParts splits total into at most m non-empty float32-aligned
+// partitions. The count is clamped to the number of whole elements (down to
+// one), so a tiny tensor never produces zero-byte partitions, and the
+// remainder — whole leftover elements plus any sub-element byte tail —
+// folds into the last partition, keeping every boundary between partitions
+// element-aligned.
 func equalParts(total int64, m int) []int64 {
+	elems := total / 4
+	if elems < 1 {
+		elems = 1 // sub-element tensor: one partition carries it whole
+	}
+	if int64(m) > elems {
+		m = int(elems)
+	}
+	if m < 1 {
+		m = 1
+	}
 	parts := make([]int64, m)
-	base := total / int64(m) / 4 * 4
+	base := elems / int64(m) * 4
 	var used int64
 	for i := 0; i < m; i++ {
 		parts[i] = base
