@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"adapcc/internal/health"
+)
+
+// parseHealSpec parses the -heal flag grammar: comma-separated key=value
+// knobs of the healing state machine, e.g.
+//
+//	quarantine=2ms,probe=500us,k=3,bytes=65536,giveup=6,backoff=2,maxq=500ms
+//
+// Omitted keys take the health package defaults. An empty spec ("on" seen
+// as just "-heal=") enables healing with all defaults.
+func parseHealSpec(s string) (health.Options, error) {
+	var o health.Options
+	if strings.TrimSpace(s) == "" {
+		return o, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return o, fmt.Errorf("heal spec: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "quarantine":
+			o.Quarantine, err = time.ParseDuration(v)
+		case "probe":
+			o.ProbeInterval, err = time.ParseDuration(v)
+		case "k":
+			o.ProbationK, err = strconv.Atoi(v)
+		case "bytes":
+			o.ProbeBytes, err = strconv.ParseInt(v, 10, 64)
+		case "giveup":
+			o.GiveUpAfter, err = strconv.Atoi(v)
+		case "backoff":
+			o.BackoffFactor, err = strconv.ParseFloat(v, 64)
+		case "maxq":
+			o.MaxQuarantine, err = time.ParseDuration(v)
+		default:
+			return o, fmt.Errorf("heal spec: unknown key %q", k)
+		}
+		if err != nil {
+			return o, fmt.Errorf("heal spec: %s: %v", k, err)
+		}
+	}
+	return o, nil
+}
+
+// healSpecString renders options back in the grammar parseHealSpec
+// accepts (only the keys that differ from the zero value).
+func healSpecString(o health.Options) string {
+	var parts []string
+	if o.Quarantine > 0 {
+		parts = append(parts, fmt.Sprintf("quarantine=%s", o.Quarantine))
+	}
+	if o.ProbeInterval > 0 {
+		parts = append(parts, fmt.Sprintf("probe=%s", o.ProbeInterval))
+	}
+	if o.ProbationK > 0 {
+		parts = append(parts, fmt.Sprintf("k=%d", o.ProbationK))
+	}
+	if o.ProbeBytes > 0 {
+		parts = append(parts, fmt.Sprintf("bytes=%d", o.ProbeBytes))
+	}
+	if o.GiveUpAfter > 0 {
+		parts = append(parts, fmt.Sprintf("giveup=%d", o.GiveUpAfter))
+	}
+	if o.BackoffFactor > 0 {
+		parts = append(parts, fmt.Sprintf("backoff=%g", o.BackoffFactor))
+	}
+	if o.MaxQuarantine > 0 {
+		parts = append(parts, fmt.Sprintf("maxq=%s", o.MaxQuarantine))
+	}
+	return strings.Join(parts, ",")
+}
+
+// describeHealEvent renders one monitor event for the console.
+func describeHealEvent(verb string, ev health.Event) string {
+	target := fmt.Sprintf("link %d-%d", ev.From, ev.To)
+	if ev.Kind == health.KindRank {
+		target = fmt.Sprintf("rank %d", ev.Rank)
+	}
+	return fmt.Sprintf("heal: %s %s after %v (%d probes, %d relapses)",
+		target, verb, ev.TimeToHeal.Round(time.Microsecond), ev.Probes, ev.Relapses)
+}

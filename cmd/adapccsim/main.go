@@ -22,6 +22,7 @@ import (
 	"adapcc/internal/cluster"
 	"adapcc/internal/collective"
 	"adapcc/internal/core"
+	"adapcc/internal/health"
 	"adapcc/internal/metrics"
 	"adapcc/internal/strategy"
 	"adapcc/internal/topology"
@@ -48,10 +49,20 @@ func run(args []string) error {
 		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the execution to this file (open in chrome://tracing or Perfetto)")
 		dotOut    = fs.String("dot", "", "write the synthesised strategy as Graphviz DOT to this file")
 		chaosSpec = fs.String("chaos", "", "fault schedule to inject, e.g. \"seed=7;down@2ms+10ms:edge=3;crash@5ms:rank=2\" (kinds: down flap degrade loss hold crash hang straggler); the collective runs with detect/retransmit/re-synthesize recovery")
+		healSpec  = fs.String("heal", "", "enable background healing of excluded links/ranks (requires -chaos); knobs as \"quarantine=2ms,probe=500us,k=3,bytes=65536,giveup=6,backoff=2,maxq=500ms\" (empty value = defaults); healed targets are re-admitted and a post-heal collective reports the reclaimed topology")
 		metricsOut = fs.String("metrics", "", "write the virtual-time metrics registry to this file (.json gets a JSON snapshot, anything else the Prometheus text format)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	healSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "heal" {
+			healSet = true
+		}
+	})
+	if healSet && *chaosSpec == "" {
+		return fmt.Errorf("-heal requires -chaos (healing re-admits what the fault path excluded)")
 	}
 
 	prim, err := parsePrimitive(*primName)
@@ -158,11 +169,30 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("chaos: armed %d fault(s), seed %d\n", len(spec.Faults), spec.Seed)
+		ropts := core.ResilientOptions{}
+		healed := 0
+		if healSet {
+			hopts, err := parseHealSpec(*healSpec)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("heal: monitor armed (%s)\n", healSpecString(hopts))
+			ropts.Heal = &core.HealOptions{
+				Options: hopts,
+				OnHeal: func(ev health.Event) {
+					healed++
+					fmt.Println(describeHealEvent("re-admitted", ev))
+				},
+				OnCondemn: func(ev health.Event) {
+					fmt.Println(describeHealEvent("condemned", ev))
+				},
+			}
+		}
 		var rres core.ResilientResult
 		var rerr error
 		err = a.RunResilient(backend.Request{
 			Primitive: prim, Bytes: *bytes, Root: root, Inputs: inputs,
-		}, core.ResilientOptions{}, func(r core.ResilientResult, err error) { rres, rerr = r, err })
+		}, ropts, func(r core.ResilientResult, err error) { rres, rerr = r, err })
 		if err != nil {
 			return err
 		}
@@ -186,6 +216,24 @@ func run(args []string) error {
 		fmt.Printf("survived: %v end-to-end over ranks %v (%d attempt(s), %v detecting+reconstructing)\n",
 			rres.Elapsed.Round(time.Microsecond), rres.Survivors, rres.Attempts,
 			rres.TimeToRecover().Round(time.Microsecond))
+		if healed > 0 {
+			// The engine drained with re-admissions applied: run one more
+			// collective over the reclaimed topology to show the recovery.
+			var after collective.Result
+			err = a.Run(backend.Request{
+				Primitive: prim, Bytes: *bytes, Root: root, Inputs: inputs,
+				OnDone: func(r collective.Result) { after = r },
+			})
+			if err != nil {
+				return err
+			}
+			env.Engine.Run()
+			fmt.Printf("post-heal: %v over the full topology (%.2f GB/s; %d link pair(s) still excluded; %.1f Gbps reclaimed)\n",
+				after.Elapsed.Round(time.Microsecond),
+				collective.AlgoBandwidthBps(*bytes, after.Elapsed)/1e9,
+				len(a.ExcludedLinks()),
+				a.Healer().ReclaimedBandwidthBps()/1e9)
+		}
 	} else {
 		err = a.Run(backend.Request{
 			Primitive: prim, Bytes: *bytes, Root: root, Inputs: inputs,

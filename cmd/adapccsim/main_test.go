@@ -137,3 +137,48 @@ func TestRunWritesTrace(t *testing.T) {
 		t.Error("trace holds no transfer events")
 	}
 }
+
+func TestRunWithHealing(t *testing.T) {
+	if err := run([]string{"-case", "A100:(2,2)", "-bytes", "1048576",
+		"-chaos", "seed=3;down@0s+400ms:edge=0;down@0s+400ms:edge=1",
+		"-heal", "quarantine=2ms,probe=1ms,k=3,giveup=50,maxq=20ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHealRequiresChaos(t *testing.T) {
+	if err := run([]string{"-case", "A100:(2,2)", "-heal", "k=3"}); err == nil {
+		t.Error("-heal without -chaos accepted")
+	}
+}
+
+func TestRunRejectsBadHealSpec(t *testing.T) {
+	for _, spec := range []string{
+		"quarantine=later", // unparseable duration
+		"verve=3",          // unknown key
+		"k",                // not key=value
+	} {
+		if err := run([]string{"-case", "A100:(2,2)",
+			"-chaos", "down@1ms+2ms:edge=0", "-heal", spec}); err == nil {
+			t.Errorf("heal spec %q accepted", spec)
+		}
+	}
+}
+
+func TestHealSpecRoundTrip(t *testing.T) {
+	const spec = "quarantine=2ms,probe=500µs,k=3,bytes=65536,giveup=6,backoff=2,maxq=500ms"
+	opts, err := parseHealSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := healSpecString(opts); got != spec {
+		t.Fatalf("round trip: %q -> %q", spec, got)
+	}
+	reopts, err := parseHealSpec(healSpecString(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healSpecString(reopts) != spec {
+		t.Fatalf("re-parse drifted: %+v vs %+v", reopts, opts)
+	}
+}

@@ -1,0 +1,322 @@
+package chaos_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/chaos"
+	"adapcc/internal/cluster"
+	"adapcc/internal/core"
+	"adapcc/internal/health"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// soakHeal is a generous healing profile: quarantines stay short so the
+// soak timelines are bounded, and GiveUpAfter is high enough that a link
+// flapping through its whole fault window is never condemned — only
+// genuinely permanent faults exhaust it.
+func soakHeal() health.Options {
+	return health.Options{
+		Quarantine:    500 * time.Microsecond,
+		ProbeInterval: 200 * time.Microsecond,
+		ProbationK:    3,
+		ProbeBytes:    256 << 10,
+		DeadlineFloor: 200 * time.Microsecond,
+		GiveUpAfter:   50,
+		MaxQuarantine: 2 * time.Millisecond,
+	}
+}
+
+// pairOf normalises an edge to its undirected (lo, hi) node pair.
+func pairOf(g *topology.Graph, eid topology.EdgeID) [2]topology.NodeID {
+	e := g.Edge(eid)
+	lo, hi := e.From, e.To
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return [2]topology.NodeID{lo, hi}
+}
+
+// bothDirections appends f for eid and its reverse edge (same window).
+func bothDirections(g *topology.Graph, spec *chaos.Spec, f chaos.Fault, eid topology.EdgeID) {
+	f.Edge = eid
+	spec.Faults = append(spec.Faults, f)
+	e := g.Edge(eid)
+	if rev, ok := g.EdgeBetween(e.To, e.From); ok {
+		f.Edge = rev
+		spec.Faults = append(spec.Faults, f)
+	}
+}
+
+// linkSchedule builds a seeded link-only fault schedule: a few closed
+// down/flap/degrade windows on distinct links, plus (for odd seeds) one
+// permanently dead link. Both directions of each link share the window, so
+// "the link recovered" is well defined.
+func linkSchedule(seed int64, g *topology.Graph) (chaos.Spec, map[[2]topology.NodeID]bool) {
+	rng := rand.New(rand.NewSource(seed * 7919))
+	edges := g.Edges()
+	perm := rng.Perm(len(edges))
+	spec := chaos.Spec{Seed: seed}
+	permanent := make(map[[2]topology.NodeID]bool)
+
+	// Edges() lists both directions of a link separately; draw until the
+	// undirected pair is fresh so windows never overlap on one link.
+	usedPairs := make(map[[2]topology.NodeID]bool)
+	pick := 0
+	nextEdge := func() (topology.EdgeID, bool) {
+		for pick < len(perm) {
+			eid := edges[perm[pick]].ID
+			pick++
+			if p := pairOf(g, eid); !usedPairs[p] {
+				usedPairs[p] = true
+				return eid, true
+			}
+		}
+		return 0, false
+	}
+
+	n := 2 + rng.Intn(2) // 2–3 recoverable windows
+	for i := 0; i < n; i++ {
+		eid, ok := nextEdge()
+		if !ok {
+			break
+		}
+		f := chaos.Fault{
+			Rank:  -1,
+			Start: time.Duration(rng.Intn(5000)) * time.Microsecond,
+			Dur:   time.Duration(1000+rng.Intn(7000)) * time.Microsecond,
+		}
+		switch rng.Intn(3) {
+		case 0:
+			f.Kind = chaos.LinkDown
+		case 1:
+			f.Kind = chaos.LinkFlap
+			f.Period = time.Duration(200+rng.Intn(800)) * time.Microsecond
+		default:
+			f.Kind = chaos.Degrade
+			f.Scale = 0.0001
+		}
+		bothDirections(g, &spec, f, eid)
+	}
+	if seed%2 == 1 {
+		if eid, ok := nextEdge(); ok {
+			bothDirections(g, &spec, chaos.Fault{
+				Kind: chaos.LinkDown, Rank: -1,
+				Start: time.Duration(rng.Intn(3000)) * time.Microsecond,
+			}, eid) // Dur 0: open-ended, never recovers
+			permanent[pairOf(g, eid)] = true
+		}
+	}
+	return spec, permanent
+}
+
+// TestHealLinkScheduleProperties is the healing property test: under any
+// seeded link-only flap schedule, (a) a completed collective still sums
+// exactly over its survivors, (b) once the engine drains, every link whose
+// fault window closed has been re-admitted — the exclusion set is a subset
+// of the permanently dead pairs — and (c) a permanently dead link is never
+// promoted back to health.
+func TestHealLinkScheduleProperties(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c, err := cluster.Heterogeneous(topology.TransportRDMA, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := backend.NewEnv(c, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := core.New(env, core.Options{SkipProfiling: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := env.Graph
+			spec, permanent := linkSchedule(seed, g)
+			// Cross-check the generator against the schedule's own
+			// fault-end view: exactly the permanent pairs report an
+			// open-ended window.
+			for _, w := range spec.Windows() {
+				if w.Kind != chaos.Crash && w.Edge >= 0 {
+					if w.Permanent() != permanent[pairOf(g, w.Edge)] {
+						t.Fatalf("window %+v permanence disagrees with generator", w)
+					}
+				}
+			}
+			ch := chaos.New(env.Engine, env.Fabric, env.GPUs, spec)
+			if err := ch.Arm(); err != nil {
+				t.Fatal(err)
+			}
+
+			var healedPairs [][2]topology.NodeID
+			ranks := env.AllRanks()
+			const bytes = 1 << 20
+			inputs := backend.MakeInputs(ranks, bytes)
+			var res core.ResilientResult
+			var resErr error
+			done := false
+			err = a.RunResilient(backend.Request{
+				Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
+			}, core.ResilientOptions{
+				Recovery: soakRecovery(),
+				Heal: &core.HealOptions{
+					Options: soakHeal(),
+					OnHeal: func(ev health.Event) {
+						if ev.Kind == health.KindLink {
+							lo, hi := ev.From, ev.To
+							if hi < lo {
+								lo, hi = hi, lo
+							}
+							healedPairs = append(healedPairs, [2]topology.NodeID{lo, hi})
+						}
+					},
+				},
+			}, func(r core.ResilientResult, err error) { res, resErr, done = r, err, true })
+			if err != nil {
+				t.Fatal(err)
+			}
+			env.Engine.Run() // must drain: heal or condemn every watch
+			if !done {
+				t.Fatal("neither completion nor clean failure")
+			}
+
+			// (a) completion implies exact sums over the survivors.
+			if resErr == nil {
+				elems := int(bytes / 4)
+				want := make([]float32, elems)
+				for _, r := range res.Survivors {
+					for i, v := range inputs[r] {
+						want[i] += v
+					}
+				}
+				for _, r := range res.Survivors {
+					o := res.Result.Outputs[r]
+					for i := 0; i < elems; i += 251 {
+						diff := o[i] - want[i]
+						if diff < -1e-3 || diff > 1e-3 {
+							t.Fatalf("survivor %d elem %d = %v, want %v", r, i, o[i], want[i])
+						}
+					}
+				}
+			} else {
+				t.Logf("cleanly failed: %v", resErr)
+			}
+
+			// (b) every closed-window link was re-admitted.
+			for _, p := range a.ExcludedLinks() {
+				if !permanent[p] {
+					t.Errorf("link %v still excluded after drain but its fault window closed", p)
+				}
+			}
+			// (c) a permanently dead link never heals.
+			for _, p := range healedPairs {
+				if permanent[p] {
+					t.Errorf("permanently dead link %v was promoted back to health", p)
+				}
+			}
+		})
+	}
+}
+
+// healOutcome extends the soak outcome with the healing counters; replays
+// of one seed must reproduce it exactly.
+type healOutcome struct {
+	soakOutcome
+	Healed    int
+	Condemned int
+	Excluded  string
+}
+
+// runHealSoak is runSoak with healing enabled on top of the random chaos
+// schedule (which also throws rank faults at the monitor).
+func runHealSoak(t *testing.T, seed int64) healOutcome {
+	t.Helper()
+	c, err := cluster.Heterogeneous(topology.TransportRDMA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(env, core.Options{SkipProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := chaos.RandomSpec(seed, env.Graph, 4, 10*time.Millisecond)
+	ch := chaos.New(env.Engine, env.Fabric, env.GPUs, spec)
+	if err := ch.Arm(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+	inputs := backend.MakeInputs(ranks, bytes)
+	var res core.ResilientResult
+	var resErr error
+	done := false
+	err = a.RunResilient(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
+	}, core.ResilientOptions{
+		Recovery: soakRecovery(),
+		Heal:     &core.HealOptions{Options: soakHeal()},
+	}, func(r core.ResilientResult, err error) {
+		res, resErr, done = r, err, true
+	})
+	if err != nil {
+		t.Fatalf("seed %d: RunResilient: %v", seed, err)
+	}
+	env.Engine.Run()
+	if !done {
+		t.Fatalf("seed %d: neither completion nor clean failure", seed)
+	}
+
+	out := healOutcome{
+		soakOutcome: soakOutcome{
+			Attempts:  res.Attempts,
+			Events:    len(res.Events),
+			Survivors: fmt.Sprint(res.Survivors),
+			Elapsed:   res.Elapsed,
+			Chaos:     ch.Counters(),
+			Recovery:  env.Exec.RecoveryStats(),
+		},
+		Healed:    a.Healer().Healed(),
+		Condemned: a.Healer().Condemned(),
+		Excluded:  fmt.Sprint(a.ExcludedLinks()),
+	}
+	if resErr != nil {
+		out.Err = resErr.Error()
+	} else if len(res.Survivors) > 0 {
+		out.SumProbe = res.Result.Outputs[res.Survivors[0]][0]
+	}
+	return out
+}
+
+// TestHealSoak re-runs the random chaos schedules with healing enabled:
+// every seed must drain (the monitor either heals or condemns every watch,
+// so background probing cannot keep the engine alive forever) and replay
+// bit-identically, healing counters included.
+func TestHealSoak(t *testing.T) {
+	healedTotal, condemnedTotal := 0, 0
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			first := runHealSoak(t, seed)
+			replay := runHealSoak(t, seed)
+			if first != replay {
+				t.Errorf("seed %d heal timeline not reproducible:\n first: %+v\nreplay: %+v",
+					seed, first, replay)
+			}
+			healedTotal += first.Healed
+			condemnedTotal += first.Condemned
+		})
+	}
+	if healedTotal+condemnedTotal == 0 {
+		t.Log("no watches across 8 seeds — schedules never faulted the runs")
+	}
+}

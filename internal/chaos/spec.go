@@ -348,3 +348,93 @@ func RandomSpec(seed int64, g *topology.Graph, n int, horizon time.Duration) Spe
 	})
 	return spec
 }
+
+// Window is one fault's resolved activity interval on its target — the
+// fault-end visibility heal soaks assert against without peeking at engine
+// internals. End of 0 means open-ended (permanent): a crash, or a windowed
+// kind armed without a duration.
+type Window struct {
+	Kind Kind
+	// Edge is the targeted link (-1 for worker faults); Rank the targeted
+	// worker (-1 for link faults). A crash is reported on the rank only,
+	// even though it also kills the adjacent links.
+	Edge topology.EdgeID
+	Rank int
+	// Start/End are relative to Engine.Arm, like Fault.Start.
+	Start, End time.Duration
+}
+
+// Covers reports whether the window is active at t (relative to Arm).
+func (w Window) Covers(t time.Duration) bool {
+	return t >= w.Start && (w.End == 0 || t < w.End)
+}
+
+// Permanent reports whether the window never closes.
+func (w Window) Permanent() bool { return w.End == 0 }
+
+// Windows resolves the schedule into per-fault activity windows, in
+// schedule order.
+func (s Spec) Windows() []Window {
+	out := make([]Window, 0, len(s.Faults))
+	for _, f := range s.Faults {
+		w := Window{Kind: f.Kind, Edge: f.Edge, Rank: f.Rank, Start: f.Start}
+		if f.Kind != Crash && f.Dur > 0 {
+			w.End = f.Start + f.Dur
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// EdgeFaultEnd returns when the last fault window targeting the edge
+// closes, and whether any of them is permanent (in which case the returned
+// end covers only the bounded ones). An edge with no windows returns
+// (0, false).
+func (s Spec) EdgeFaultEnd(edge topology.EdgeID) (end time.Duration, permanent bool) {
+	for _, w := range s.Windows() {
+		if w.Edge != edge {
+			continue
+		}
+		if w.Permanent() {
+			permanent = true
+			continue
+		}
+		if w.End > end {
+			end = w.End
+		}
+	}
+	return end, permanent
+}
+
+// RankFaultEnd is EdgeFaultEnd for worker faults.
+func (s Spec) RankFaultEnd(rank int) (end time.Duration, permanent bool) {
+	for _, w := range s.Windows() {
+		if w.Rank < 0 || w.Rank != rank {
+			continue
+		}
+		if w.Permanent() {
+			permanent = true
+			continue
+		}
+		if w.End > end {
+			end = w.End
+		}
+	}
+	return end, permanent
+}
+
+// Horizon returns when the last bounded fault window closes and whether any
+// window is permanent — after (horizon, false), the infrastructure is fully
+// healthy again and healing should eventually re-admit everything.
+func (s Spec) Horizon() (end time.Duration, permanent bool) {
+	for _, w := range s.Windows() {
+		if w.Permanent() {
+			permanent = true
+			continue
+		}
+		if w.End > end {
+			end = w.End
+		}
+	}
+	return end, permanent
+}

@@ -22,8 +22,10 @@ import (
 	"adapcc/internal/backend"
 	"adapcc/internal/collective"
 	"adapcc/internal/detect"
+	"adapcc/internal/health"
 	"adapcc/internal/metrics"
 	"adapcc/internal/profile"
+	"adapcc/internal/relay"
 	"adapcc/internal/strategy"
 	"adapcc/internal/synth"
 	"adapcc/internal/topology"
@@ -62,6 +64,14 @@ type AdapCC struct {
 	deadRanks map[int]bool
 	survGraph *topology.Graph // lazily built fault-filtered clone
 	survCosts *synth.Costs    // cost view remapped onto survGraph
+
+	// Elastic healing (heal.go): the background monitor re-admitting
+	// excluded hardware, the last coordinator to tell about healed ranks,
+	// and the user observers. All nil/free until EnableHealing.
+	healer        *health.Monitor
+	healCo        *relay.Coordinator
+	healOnHeal    func(health.Event)
+	healOnCondemn func(health.Event)
 
 	// Accounting for the reconstruction-overhead experiment (Fig. 19c).
 	lastProfileTime time.Duration

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/chaos"
+	"adapcc/internal/collective"
+	"adapcc/internal/health"
+	"adapcc/internal/metrics"
+	"adapcc/internal/sim"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// strategyNVLinkHop returns a GPU→GPU hop of the strategy the first
+// attempt will use, so a fault on it is guaranteed to hit the collective.
+func strategyNVLinkHop(t *testing.T, a *AdapCC, bytes int64, ranks []int) (topology.NodeID, topology.NodeID) {
+	t.Helper()
+	g := a.Env().Graph
+	res, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range res.Strategy.SubCollectives {
+		for _, f := range sub.Flows {
+			for h := 0; h+1 < len(f.Path); h++ {
+				if g.Node(f.Path[h]).Kind == topology.KindGPU && g.Node(f.Path[h+1]).Kind == topology.KindGPU {
+					return f.Path[h], f.Path[h+1]
+				}
+			}
+		}
+	}
+	t.Skip("strategy uses no NVLink hop")
+	return 0, 0
+}
+
+// tightHeal keeps the healing timeline within the chaos window's scale.
+func tightHeal() health.Options {
+	return health.Options{
+		Quarantine:    500 * time.Microsecond,
+		ProbeInterval: 200 * time.Microsecond,
+		ProbationK:    3,
+		ProbeBytes:    256 << 10,
+		DeadlineFloor: 200 * time.Microsecond,
+		GiveUpAfter:   50,
+		MaxQuarantine: 5 * time.Millisecond,
+	}
+}
+
+// runOnce runs one resilient collective to completion and returns the
+// result plus the virtual time it took.
+func runOnce(t *testing.T, env *backend.Env, a *AdapCC, bytes int64, opts ResilientOptions) (ResilientResult, time.Duration) {
+	t.Helper()
+	ranks := env.AllRanks()
+	inputs := backend.MakeInputs(ranks, bytes)
+	var got ResilientResult
+	var gotErr error
+	start := env.Engine.Now()
+	doneAt := start
+	err := a.RunResilient(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
+	}, opts, func(r ResilientResult, err error) {
+		got, gotErr = r, err
+		doneAt = env.Engine.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run drains past completion (stall watchdogs, background healing);
+	// elapsed is measured at the completion callback.
+	env.Engine.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	checkSums(t, got, inputs, int(bytes/4))
+	return got, time.Duration(doneAt - start)
+}
+
+// TestHealEndToEnd is the issue's acceptance scenario: a seeded
+// degrade-with-duration chaos window collapses a strategy NVLink, the
+// resilient run detects and excludes it, and after the window closes the
+// health monitor probes the link back to health and re-admits it — so a
+// third collective runs the full topology at pre-fault speed, with the
+// heal visible in the metrics snapshot.
+func TestHealEndToEnd(t *testing.T) {
+	env, a := resilientEnv(t)
+	reg := metrics.New()
+	a.SetMetrics(reg)
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+	g := env.Graph
+
+	from, to := strategyNVLinkHop(t, a, bytes, ranks)
+	fwd, ok := g.EdgeBetween(from, to)
+	if !ok {
+		t.Fatal("no forward edge")
+	}
+
+	// Leg 1: healthy baseline.
+	base, baseElapsed := runOnce(t, env, a, bytes, ResilientOptions{Recovery: tightRecovery()})
+	if base.Attempts != 1 {
+		t.Fatalf("baseline took %d attempts", base.Attempts)
+	}
+
+	// Leg 2: a degrade window collapses the link for the first 30ms of
+	// virtual time, then lifts. Both directions degrade (a sick
+	// transceiver hits the lane pair).
+	spec := chaos.Spec{Seed: 11, Faults: []chaos.Fault{
+		{Kind: chaos.Degrade, Start: 0, Dur: 30 * time.Millisecond,
+			Edge: fwd, Rank: -1, Scale: 0.0001},
+	}}
+	if rev, ok := g.EdgeBetween(to, from); ok {
+		spec.Faults = append(spec.Faults, chaos.Fault{
+			Kind: chaos.Degrade, Start: 0, Dur: 30 * time.Millisecond,
+			Edge: rev, Rank: -1, Scale: 0.0001})
+	}
+	// The schedule itself knows when the fault clears — the healer's
+	// earliest legal promotion time.
+	windowEnd, permanent := spec.EdgeFaultEnd(fwd)
+	if permanent || windowEnd != 30*time.Millisecond {
+		t.Fatalf("EdgeFaultEnd = %v permanent=%v", windowEnd, permanent)
+	}
+	armAt := time.Duration(env.Engine.Now())
+	ch := chaos.New(env.Engine, env.Fabric, env.GPUs, spec)
+	ch.SetMetrics(reg)
+	if err := ch.Arm(); err != nil {
+		t.Fatal(err)
+	}
+
+	var healEvents []health.Event
+	faulted, faultedElapsed := runOnce(t, env, a, bytes, ResilientOptions{
+		Recovery: tightRecovery(),
+		Heal: &HealOptions{
+			Options: tightHeal(),
+			OnHeal:  func(ev health.Event) { healEvents = append(healEvents, ev) },
+		},
+	})
+	if faulted.Attempts < 2 {
+		t.Fatalf("degraded run took %d attempts, want >= 2", faulted.Attempts)
+	}
+	if faulted.Events[0].Report.Kind != collective.LinkFault {
+		t.Fatalf("fault kind = %v, want link fault", faulted.Events[0].Report.Kind)
+	}
+	// The drain above also ran the healer to completion: the window
+	// closed, probes passed probation, the link was re-admitted.
+	if len(healEvents) != 1 {
+		t.Fatalf("heal events = %d, want 1", len(healEvents))
+	}
+	ev := healEvents[0]
+	if ev.Kind != health.KindLink {
+		t.Fatalf("heal kind = %v, want link", ev.Kind)
+	}
+	if ev.At < sim.Time(armAt+windowEnd) {
+		t.Fatalf("healed at %v, before the chaos window closed at %v",
+			time.Duration(ev.At), armAt+windowEnd)
+	}
+	if ev.TimeToHeal <= 0 {
+		t.Fatalf("TimeToHeal = %v", ev.TimeToHeal)
+	}
+	if left := a.ExcludedLinks(); len(left) != 0 {
+		t.Fatalf("exclusions after heal: %v", left)
+	}
+	if a.Healer().Healed() != 1 {
+		t.Fatalf("monitor healed = %d, want 1", a.Healer().Healed())
+	}
+	_ = faultedElapsed
+
+	// Leg 3: the healed topology performs like the pre-fault one.
+	healedRun, healedElapsed := runOnce(t, env, a, bytes, ResilientOptions{Recovery: tightRecovery()})
+	if healedRun.Attempts != 1 {
+		t.Fatalf("post-heal run took %d attempts", healedRun.Attempts)
+	}
+	ratio := healedElapsed.Seconds() / baseElapsed.Seconds()
+	if ratio > 1.05 || ratio < 0.95 {
+		t.Fatalf("post-heal elapsed %v vs baseline %v (ratio %.3f), want within 5%%",
+			healedElapsed, baseElapsed, ratio)
+	}
+
+	// The heal shows up in the metrics snapshot.
+	snap := reg.Snapshot()
+	tth, ok := snap.Family("adapcc_time_to_heal_seconds")
+	if !ok {
+		t.Fatal("no adapcc_time_to_heal_seconds family")
+	}
+	var count uint64
+	for _, s := range tth.Series {
+		count += s.Count
+	}
+	if count < 1 {
+		t.Fatalf("time_to_heal count = %d, want >= 1", count)
+	}
+	if fam, ok := snap.Family("adapcc_health_reclaimed_bandwidth_bps"); !ok || fam.Total() <= 0 {
+		t.Fatalf("reclaimed bandwidth gauge missing or zero (ok=%v)", ok)
+	}
+	if fam, ok := snap.Family("adapcc_core_readmissions_total"); !ok || fam.Total() < 1 {
+		t.Fatalf("core readmissions missing (ok=%v)", ok)
+	}
+}
+
+// TestHealDisabledKeepsExclusions is the control leg: the identical
+// degrade window without ResilientOptions.Heal leaves the link excluded
+// forever — healing is strictly opt-in.
+func TestHealDisabledKeepsExclusions(t *testing.T) {
+	env, a := resilientEnv(t)
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+	g := env.Graph
+
+	from, to := strategyNVLinkHop(t, a, bytes, ranks)
+	fwd, _ := g.EdgeBetween(from, to)
+	spec := chaos.Spec{Seed: 11, Faults: []chaos.Fault{
+		{Kind: chaos.Degrade, Start: 0, Dur: 30 * time.Millisecond,
+			Edge: fwd, Rank: -1, Scale: 0.0001},
+	}}
+	if rev, ok := g.EdgeBetween(to, from); ok {
+		spec.Faults = append(spec.Faults, chaos.Fault{
+			Kind: chaos.Degrade, Start: 0, Dur: 30 * time.Millisecond,
+			Edge: rev, Rank: -1, Scale: 0.0001})
+	}
+	ch := chaos.New(env.Engine, env.Fabric, env.GPUs, spec)
+	if err := ch.Arm(); err != nil {
+		t.Fatal(err)
+	}
+
+	faulted, _ := runOnce(t, env, a, bytes, ResilientOptions{Recovery: tightRecovery()})
+	if faulted.Attempts < 2 {
+		t.Fatalf("degraded run took %d attempts, want >= 2", faulted.Attempts)
+	}
+	if a.Healer() != nil {
+		t.Fatal("healer installed without opt-in")
+	}
+	if left := a.ExcludedLinks(); len(left) == 0 {
+		t.Fatal("exclusion vanished without healing enabled")
+	}
+}
+
+// TestReadmitLinkAndRankAPI exercises the manual re-admission surface.
+func TestReadmitLinkAndRankAPI(t *testing.T) {
+	_, a := resilientEnv(t)
+	if a.ReadmitLink(1, 2) {
+		t.Fatal("readmitted a link that was never excluded")
+	}
+	a.ExcludeLink(1, 2)
+	if len(a.ExcludedLinks()) != 1 {
+		t.Fatalf("excluded links = %v", a.ExcludedLinks())
+	}
+	if !a.ReadmitLink(2, 1) { // order-insensitive
+		t.Fatal("ReadmitLink did not lift the exclusion")
+	}
+	if len(a.ExcludedLinks()) != 0 {
+		t.Fatalf("excluded links = %v after readmit", a.ExcludedLinks())
+	}
+	if a.ReadmitRank(0) {
+		t.Fatal("readmitted a rank that was never excluded")
+	}
+	a.ExcludeRank(0)
+	if !a.ReadmitRank(0) {
+		t.Fatal("ReadmitRank did not lift the exclusion")
+	}
+}

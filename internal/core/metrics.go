@@ -22,6 +22,9 @@ type coreMetrics struct {
 func (a *AdapCC) SetMetrics(reg *metrics.Registry) {
 	a.env.SetMetrics(reg)
 	a.reg = reg
+	if a.healer != nil {
+		a.healer.SetMetrics(reg)
+	}
 	if reg == nil {
 		a.cm = nil
 		return

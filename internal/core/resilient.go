@@ -37,8 +37,14 @@ type ResilientOptions struct {
 	MaxAttempts int
 	// Coordinator, when non-nil, receives every fault via ReportLinkFault
 	// so rank exclusions propagate to the training control loop alongside
-	// the T_fault path.
+	// the T_fault path. With healing enabled it also receives Readmit
+	// calls for ranks that recover.
 	Coordinator *relay.Coordinator
+	// Heal, when non-nil, opts into elastic healing (heal.go): every
+	// exclusion this run makes is watched by a background health monitor
+	// and re-admitted once it passes probation. The first RunResilient
+	// with Heal set installs the monitor; its knobs win over later calls.
+	Heal *HealOptions
 }
 
 // RecoveryEvent records one detect→exclude→re-synthesize cycle.
@@ -278,6 +284,12 @@ func (a *AdapCC) RunResilient(req backend.Request, opts ResilientOptions, onDone
 	if ranks == nil {
 		ranks = a.env.AllRanks()
 	}
+	if opts.Heal != nil {
+		a.EnableHealing(*opts.Heal)
+	}
+	if opts.Coordinator != nil {
+		a.healCo = opts.Coordinator
+	}
 	rr := &resilientRun{
 		a:       a,
 		req:     req,
@@ -285,6 +297,12 @@ func (a *AdapCC) RunResilient(req backend.Request, opts ResilientOptions, onDone
 		onDone:  onDone,
 		started: a.env.Engine.Now(),
 		ranks:   append([]int(nil), ranks...),
+	}
+	// Fault↔heal livelock guard: promotions are held for the duration of
+	// the run, so every failed attempt strictly shrinks the topology and
+	// the MaxAttempts termination argument still holds.
+	if a.healer != nil {
+		a.healer.Hold()
 	}
 	rr.attempt()
 	return nil
@@ -346,6 +364,9 @@ func (rr *resilientRun) onFault(rep collective.FaultReport) {
 	case collective.LinkFault:
 		a.ExcludeLink(rep.From, rep.To)
 		ev.ExcludedPair = [2]topology.NodeID{rep.From, rep.To}
+		if a.healer != nil {
+			a.healer.WatchLink(rep.From, rep.To)
+		}
 	case collective.StallFault:
 		if rep.Rank < 0 {
 			rr.events = append(rr.events, ev)
@@ -354,6 +375,9 @@ func (rr *resilientRun) onFault(rep collective.FaultReport) {
 		}
 		a.ExcludeRank(rep.Rank)
 		ev.ExcludedRanks = append(ev.ExcludedRanks, rep.Rank)
+		if a.healer != nil {
+			a.healer.WatchRank(rep.Rank)
+		}
 	}
 	if rr.opts.Coordinator != nil {
 		rr.opts.Coordinator.ReportLinkFault(relay.LinkFault{
@@ -378,6 +402,9 @@ func (rr *resilientRun) onFault(rep collective.FaultReport) {
 }
 
 func (rr *resilientRun) complete(res collective.Result) {
+	if rr.a.healer != nil {
+		rr.a.healer.Release()
+	}
 	out := ResilientResult{
 		Result:    res,
 		Survivors: append([]int(nil), rr.ranks...),
@@ -390,6 +417,9 @@ func (rr *resilientRun) complete(res collective.Result) {
 }
 
 func (rr *resilientRun) fail(err error) {
+	if rr.a.healer != nil {
+		rr.a.healer.Release()
+	}
 	out := ResilientResult{
 		Survivors: append([]int(nil), rr.ranks...),
 		Attempts:  rr.attempts,

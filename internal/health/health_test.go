@@ -1,0 +1,291 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/profile"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+func testEnv(t *testing.T) *backend.Env {
+	t.Helper()
+	c, err := cluster.Heterogeneous(topology.TransportRDMA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// tightOptions keeps the healing timeline in single-digit milliseconds.
+func tightOptions() Options {
+	return Options{
+		Quarantine:    500 * time.Microsecond,
+		ProbeInterval: 200 * time.Microsecond,
+		ProbationK:    3,
+		ProbeBytes:    16 << 10,
+		GiveUpAfter:   4,
+		MaxQuarantine: 5 * time.Millisecond,
+	}
+}
+
+// nvlinkPair returns the endpoints of some NVLink edge.
+func nvlinkPair(t *testing.T, g *topology.Graph) (topology.NodeID, topology.NodeID, topology.EdgeID) {
+	t.Helper()
+	for _, e := range g.Edges() {
+		if e.Type == topology.LinkNVLink {
+			return e.From, e.To, e.ID
+		}
+	}
+	t.Fatal("no NVLink edge in graph")
+	return 0, 0, 0
+}
+
+func TestHealthyLinkPromotesAfterK(t *testing.T) {
+	env := testEnv(t)
+	from, to, _ := nvlinkPair(t, env.Graph)
+	var events []Event
+	m := New(env.Engine, env.Fabric, env.GPUs, tightOptions(), Hooks{
+		OnHeal: func(ev Event) { events = append(events, ev) },
+	})
+	m.WatchLink(from, to)
+	if st, ok := m.LinkState(from, to); !ok || st != StateExcluded {
+		t.Fatalf("fresh watch: state %v ok=%v, want excluded", st, ok)
+	}
+	env.Engine.Run()
+	if len(events) != 1 {
+		t.Fatalf("heal events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Kind != KindLink {
+		t.Fatalf("kind = %v, want link", ev.Kind)
+	}
+	if ev.Probes != 3 {
+		t.Fatalf("probes = %d, want exactly K=3 on a healthy link", ev.Probes)
+	}
+	if ev.Relapses != 0 {
+		t.Fatalf("relapses = %d, want 0", ev.Relapses)
+	}
+	if len(ev.Measurements) != len(ev.Edges) {
+		t.Fatalf("measurements for %d of %d edges", len(ev.Measurements), len(ev.Edges))
+	}
+	for _, ms := range ev.Measurements {
+		if ms.StreamBps <= 0 {
+			t.Fatalf("edge %d re-profiled StreamBps = %v", ms.Edge, ms.StreamBps)
+		}
+	}
+	if ev.TimeToHeal <= 0 {
+		t.Fatalf("TimeToHeal = %v", ev.TimeToHeal)
+	}
+	if _, ok := m.LinkState(from, to); ok {
+		t.Fatal("healed target still watched")
+	}
+	if m.Healed() != 1 || m.Watched() != 0 {
+		t.Fatalf("healed=%d watched=%d", m.Healed(), m.Watched())
+	}
+	if m.ReclaimedBandwidthBps() <= 0 {
+		t.Fatal("no reclaimed bandwidth after heal")
+	}
+}
+
+func TestDeadLinkIsCondemnedNeverHealed(t *testing.T) {
+	env := testEnv(t)
+	from, to, eid := nvlinkPair(t, env.Graph)
+	env.Fabric.SetScale(eid, 0)
+	if rev, ok := env.Graph.EdgeBetween(to, from); ok {
+		env.Fabric.SetScale(rev, 0)
+	}
+	healed := 0
+	var condemned []Event
+	m := New(env.Engine, env.Fabric, env.GPUs, tightOptions(), Hooks{
+		OnHeal:    func(Event) { healed++ },
+		OnCondemn: func(ev Event) { condemned = append(condemned, ev) },
+	})
+	m.WatchLink(from, to)
+	env.Engine.Run()
+	if healed != 0 {
+		t.Fatalf("dead link healed %d times", healed)
+	}
+	if len(condemned) != 1 {
+		t.Fatalf("condemnations = %d, want 1", len(condemned))
+	}
+	if condemned[0].Relapses != 4 {
+		t.Fatalf("relapses = %d, want GiveUpAfter=4", condemned[0].Relapses)
+	}
+	if st, ok := m.LinkState(from, to); !ok || st != StateCondemned {
+		t.Fatalf("state %v ok=%v, want condemned", st, ok)
+	}
+	// A condemned target is not re-animated by a later watch.
+	m.WatchLink(from, to)
+	env.Engine.Run()
+	if healed != 0 || len(condemned) != 1 {
+		t.Fatalf("re-watch changed outcome: healed=%d condemned=%d", healed, len(condemned))
+	}
+}
+
+func TestFlappingLinkHealsAfterWindowCloses(t *testing.T) {
+	env := testEnv(t)
+	from, to, eid := nvlinkPair(t, env.Graph)
+	var rev topology.EdgeID = -1
+	if r, ok := env.Graph.EdgeBetween(to, from); ok {
+		rev = r
+	}
+	down := func() {
+		env.Fabric.SetScale(eid, 0)
+		if rev >= 0 {
+			env.Fabric.SetScale(rev, 0)
+		}
+	}
+	up := func() {
+		env.Fabric.SetScale(eid, 1)
+		if rev >= 0 {
+			env.Fabric.SetScale(rev, 1)
+		}
+	}
+	down()
+	// Restore for good at 4ms — the monitor should relapse while the link
+	// is down, then promote after.
+	env.Engine.After(4*time.Millisecond, up)
+	var events []Event
+	opts := tightOptions()
+	opts.GiveUpAfter = 20
+	m := New(env.Engine, env.Fabric, env.GPUs, opts, Hooks{
+		OnHeal: func(ev Event) { events = append(events, ev) },
+	})
+	m.WatchLink(from, to)
+	env.Engine.Run()
+	if len(events) != 1 {
+		t.Fatalf("heal events = %d, want 1", len(events))
+	}
+	if events[0].Relapses == 0 {
+		t.Fatal("expected at least one relapse while the link was down")
+	}
+	if got := sim.Time(events[0].At); got < 4*time.Millisecond {
+		t.Fatalf("healed at %v, before the link was restored", got)
+	}
+}
+
+func TestQuarantineGrowsForRepeatOffenders(t *testing.T) {
+	env := testEnv(t)
+	m := New(env.Engine, env.Fabric, env.GPUs, Options{
+		Quarantine:    time.Millisecond,
+		BackoffFactor: 2,
+		MaxQuarantine: 10 * time.Millisecond,
+	}, Hooks{})
+	if got := m.quarantineFor(0); got != time.Millisecond {
+		t.Fatalf("quarantineFor(0) = %v", got)
+	}
+	if got := m.quarantineFor(2); got != 4*time.Millisecond {
+		t.Fatalf("quarantineFor(2) = %v, want 4ms", got)
+	}
+	if got := m.quarantineFor(10); got != 10*time.Millisecond {
+		t.Fatalf("quarantineFor(10) = %v, want the 10ms cap", got)
+	}
+}
+
+func TestHoldParksPromotionsUntilRelease(t *testing.T) {
+	env := testEnv(t)
+	from, to, _ := nvlinkPair(t, env.Graph)
+	healedAt := sim.Time(-1)
+	m := New(env.Engine, env.Fabric, env.GPUs, tightOptions(), Hooks{
+		OnHeal: func(ev Event) { healedAt = ev.At },
+	})
+	m.Hold()
+	m.WatchLink(from, to)
+	env.Engine.Run()
+	if healedAt != -1 {
+		t.Fatal("promotion fired while held")
+	}
+	if m.Watched() != 1 {
+		t.Fatalf("watched = %d under hold, want 1", m.Watched())
+	}
+	m.Release()
+	if healedAt < 0 {
+		t.Fatal("promotion did not fire on release")
+	}
+	if m.Held() {
+		t.Fatal("still held after release")
+	}
+}
+
+func TestHungRankFailsKernelProbe(t *testing.T) {
+	env := testEnv(t)
+	const rank = 1
+	// Device hangs until 3ms, links stay healthy: only the kernel probe
+	// can detect this, and it must also stop failing once the hang ends.
+	env.GPUs[rank].SetKernelStall(func(now sim.Time) time.Duration {
+		if now < 3*time.Millisecond {
+			return 3*time.Millisecond - now
+		}
+		return 0
+	})
+	var events []Event
+	opts := tightOptions()
+	opts.GiveUpAfter = 20
+	m := New(env.Engine, env.Fabric, env.GPUs, opts, Hooks{
+		OnHeal: func(ev Event) { events = append(events, ev) },
+	})
+	m.WatchRank(rank)
+	env.Engine.Run()
+	if len(events) != 1 {
+		t.Fatalf("heal events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Kind != KindRank || ev.Rank != rank {
+		t.Fatalf("event = %+v, want rank %d", ev, rank)
+	}
+	if ev.Relapses == 0 {
+		t.Fatal("expected relapses while the device hung")
+	}
+	if sim.Time(ev.At) < 3*time.Millisecond {
+		t.Fatalf("healed at %v, before the hang ended", ev.At)
+	}
+}
+
+func TestReclaimedBandwidthRetractsOnRefault(t *testing.T) {
+	env := testEnv(t)
+	from, to, _ := nvlinkPair(t, env.Graph)
+	m := New(env.Engine, env.Fabric, env.GPUs, tightOptions(), Hooks{})
+	m.WatchLink(from, to)
+	env.Engine.Run()
+	reclaimed := m.ReclaimedBandwidthBps()
+	if reclaimed <= 0 {
+		t.Fatal("nothing reclaimed after heal")
+	}
+	// The same pair faults again: its bandwidth is no longer reclaimed.
+	m.WatchLink(from, to)
+	if got := m.ReclaimedBandwidthBps(); got != 0 {
+		t.Fatalf("reclaimed = %v after re-fault, want 0", got)
+	}
+	env.Engine.Run()
+	if got := m.ReclaimedBandwidthBps(); got != reclaimed {
+		t.Fatalf("reclaimed = %v after second heal, want %v", got, reclaimed)
+	}
+}
+
+func TestProbeEdgesMeasuresOnlyNamedDirections(t *testing.T) {
+	env := testEnv(t)
+	_, _, eid := nvlinkPair(t, env.Graph)
+	p := profile.New(env.Fabric, profile.Options{
+		NVLinkCombos: []profile.Combo{{Count: 2, Size: 32 << 10}},
+	})
+	var got []profile.Measurement
+	p.ProbeEdges([]topology.EdgeID{eid}, func(ms []profile.Measurement) { got = ms })
+	env.Engine.Run()
+	if len(got) != 1 {
+		t.Fatalf("measurements = %d, want 1 (no mirroring)", len(got))
+	}
+	if got[0].Edge != eid {
+		t.Fatalf("measured edge %d, want %d", got[0].Edge, eid)
+	}
+	if got[0].StreamBps <= 0 {
+		t.Fatalf("StreamBps = %v", got[0].StreamBps)
+	}
+}

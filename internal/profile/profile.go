@@ -500,12 +500,54 @@ type observation struct {
 	secs  float64
 }
 
+// ProbeEdges runs the per-edge probe plan over the given directed edges
+// sequentially and hands the fitted measurements to onDone — the reduced
+// re-profiling pass the health monitor runs on freshly healed hardware.
+// Quarantined edges are probed alone, so the interference-free multi-round
+// schedule is unnecessary; combos come from the edge's class (NVLink vs
+// network), and unlike a full profiling run nothing is mirrored onto
+// reverse edges — callers name each direction they want measured. Work
+// happens on the fabric's engine; ProbeEdges returns immediately.
+func (p *Profiler) ProbeEdges(edges []topology.EdgeID, onDone func([]Measurement)) {
+	report := &Report{ByEdge: make(map[topology.EdgeID]Measurement, len(edges))}
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(edges) {
+			out := make([]Measurement, 0, len(edges))
+			for _, eid := range edges {
+				if m, ok := report.ByEdge[eid]; ok {
+					out = append(out, m)
+				}
+			}
+			onDone(out)
+			return
+		}
+		p.probeEdgeCombos(edges[i], p.combosFor(edges[i]), false, report, func() {
+			next(i + 1)
+		})
+	}
+	next(0)
+}
+
+// combosFor picks the probe plan for an edge by link class.
+func (p *Profiler) combosFor(eid topology.EdgeID) []Combo {
+	if p.fab.Graph().Edge(eid).Type.Network() {
+		return p.opts.NetworkCombos
+	}
+	return p.opts.NVLinkCombos
+}
+
 // probeEdge runs the full probe plan on one edge and records the fit. For
 // NVLink edges the measurement is mirrored onto the reverse direction.
 func (p *Profiler) probeEdge(eid topology.EdgeID, report *Report, onDone func()) {
+	p.probeEdgeCombos(eid, p.opts.NVLinkCombos, true, report, onDone)
+}
+
+// probeEdgeCombos runs the (n,s) probe plan on one edge and records the
+// fit, optionally mirroring it onto the reverse direction.
+func (p *Profiler) probeEdgeCombos(eid topology.EdgeID, combos []Combo, mirror bool, report *Report, onDone func()) {
 	g := p.fab.Graph()
 	edge := g.Edge(eid)
-	combos := p.opts.NVLinkCombos
 
 	var obs []observation
 	finishFit := func() {
@@ -524,10 +566,12 @@ func (p *Profiler) probeEdge(eid topology.EdgeID, report *Report, onDone func())
 		}
 		m.AggregateBps = m.StreamBps
 		report.ByEdge[eid] = m
-		if rev, ok := g.EdgeBetween(edge.To, edge.From); ok {
-			rm := m
-			rm.Edge = rev
-			report.ByEdge[rev] = rm
+		if mirror {
+			if rev, ok := g.EdgeBetween(edge.To, edge.From); ok {
+				rm := m
+				rm.Edge = rev
+				report.ByEdge[rev] = rm
+			}
 		}
 		onDone()
 	}

@@ -41,6 +41,10 @@ type Callbacks struct {
 	// training side must redistribute the data loader so the global
 	// batch size stays constant (Sec. IV-C(2)).
 	OnFault func(faulty []int)
+	// OnReadmit reports workers returned to the group (elastic healing or
+	// an explicit Readmit). The training side redistributes the data
+	// loader back, shrinking per-GPU batches to the original share.
+	OnReadmit func(readmitted []int)
 }
 
 // Config parameterises a Coordinator.
@@ -91,6 +95,9 @@ type Stats struct {
 	RPCSamples   []time.Duration
 	WaitTime     time.Duration // total time spent waiting for stragglers
 	FaultedRanks []int
+	// ReadmittedRanks are workers returned to the group via Readmit, in
+	// application order (a rank can appear once per fault/heal cycle).
+	ReadmittedRanks []int
 	// LinkFaults are the chunk-granularity fault reports received via
 	// ReportLinkFault, in arrival order.
 	LinkFaults []LinkFault
@@ -128,6 +135,10 @@ type Coordinator struct {
 	faultEvent   *sim.Event
 	phase1Done   bool
 	phase2Going  bool
+	// pendingReadmit queues Readmit calls that arrive mid-iteration; they
+	// apply at the iteration boundary (finish), since a worker cannot join
+	// a collective already being decided.
+	pendingReadmit []int
 }
 
 // NewCoordinator validates the config and builds a coordinator.
@@ -188,6 +199,7 @@ func (c *Coordinator) Stats() Stats {
 	}
 	out.RPCSamples = append([]time.Duration(nil), c.stats.RPCSamples...)
 	out.FaultedRanks = append([]int(nil), c.stats.FaultedRanks...)
+	out.ReadmittedRanks = append([]int(nil), c.stats.ReadmittedRanks...)
 	out.LinkFaults = append([]LinkFault(nil), c.stats.LinkFaults...)
 	return out
 }
@@ -231,15 +243,49 @@ func (c *Coordinator) ReportLinkFault(f LinkFault) {
 }
 
 // Readmit returns a previously excluded (faulted) worker to the training
-// group — the elastic-scaling counterpart of fault exclusion: a restarted
-// worker rejoins from the next iteration without any job restart. It is a
-// no-op for unknown or never-excluded ranks.
+// group — the elastic-scaling counterpart of fault exclusion: a recovered
+// worker rejoins from the next iteration without any job restart. Mid-
+// iteration calls defer to the iteration boundary (the rank has computed
+// nothing this iteration and cannot join a collective already being
+// decided). It is a no-op for unknown or never-excluded ranks.
 func (c *Coordinator) Readmit(rank int) {
+	known := false
 	for _, r := range c.cfg.World {
 		if r == rank {
-			delete(c.excluded, rank)
+			known = true
+			break
+		}
+	}
+	if !known || !c.excluded[rank] {
+		return
+	}
+	for _, r := range c.pendingReadmit {
+		if r == rank {
 			return
 		}
+	}
+	if c.inIteration {
+		c.pendingReadmit = append(c.pendingReadmit, rank)
+		return
+	}
+	c.applyReadmit([]int{rank})
+}
+
+func (c *Coordinator) applyReadmit(ranks []int) {
+	var applied []int
+	for _, r := range ranks {
+		if !c.excluded[r] {
+			continue
+		}
+		delete(c.excluded, r)
+		applied = append(applied, r)
+	}
+	if len(applied) == 0 {
+		return
+	}
+	c.stats.ReadmittedRanks = append(c.stats.ReadmittedRanks, applied...)
+	if c.cfg.Callbacks.OnReadmit != nil {
+		c.cfg.Callbacks.OnReadmit(applied)
 	}
 }
 
@@ -460,6 +506,11 @@ func (c *Coordinator) finish() {
 	if c.faultEvent != nil {
 		c.cfg.Engine.Cancel(c.faultEvent)
 		c.faultEvent = nil
+	}
+	if len(c.pendingReadmit) > 0 {
+		pending := c.pendingReadmit
+		c.pendingReadmit = nil
+		c.applyReadmit(pending)
 	}
 	done := c.onComplete
 	c.onComplete = nil

@@ -7,6 +7,7 @@ import (
 
 	"adapcc/internal/backend"
 	"adapcc/internal/core"
+	"adapcc/internal/health"
 	"adapcc/internal/relay"
 	"adapcc/internal/strategy"
 	"adapcc/internal/synth"
@@ -87,6 +88,12 @@ type AdaptiveDriver struct {
 	// aggregated in the last iteration (1.0 with phase 2).
 	lastQuality float64
 
+	// healer watches faulted ranks and readmits them once their hardware
+	// passes probation (nil until EnableHealing); onFault is the user's
+	// fault observer, invoked after the healer registered the ranks.
+	healer  *health.Monitor
+	onFault func([]int)
+
 	// per-iteration timing for partial-join accounting
 	iterStart   time.Duration
 	readyAt     map[int]time.Duration
@@ -99,7 +106,7 @@ func NewAdaptiveDriver(a *core.AdapCC, world []int, prim strategy.Primitive, byt
 	if prim != strategy.AllReduce {
 		return nil, fmt.Errorf("train: adaptive relay control drives AllReduce (got %v)", prim)
 	}
-	d := &AdaptiveDriver{a: a, prim: prim, bytes: bytes, lastQuality: 1}
+	d := &AdaptiveDriver{a: a, prim: prim, bytes: bytes, lastQuality: 1, onFault: onFault}
 	est := &core.PredictEstimator{A: a, TensorBytes: bytes, World: len(world)}
 	co, err := relay.NewCoordinator(relay.Config{
 		Engine:    a.Env().Engine,
@@ -110,7 +117,7 @@ func NewAdaptiveDriver(a *core.AdapCC, world []int, prim strategy.Primitive, byt
 			StartFull:   d.startFull,
 			StartPhase1: d.startPhase1,
 			StartPhase2: d.startPhase2,
-			OnFault:     onFault,
+			OnFault:     d.faulted,
 		},
 	})
 	if err != nil {
@@ -135,6 +142,49 @@ func (d *AdaptiveDriver) Quality() float64 { return d.lastQuality }
 // Readmit implements Readmitter: a restarted worker rejoins the group from
 // the next iteration, with no job restart (elastic scale-up).
 func (d *AdaptiveDriver) Readmit(rank int) { d.co.Readmit(rank) }
+
+// faulted is the coordinator's OnFault hook: hand every excluded rank to
+// the healer (when installed) before the user's observer sees it.
+func (d *AdaptiveDriver) faulted(ranks []int) {
+	if d.healer != nil {
+		for _, r := range ranks {
+			d.healer.WatchRank(r)
+		}
+	}
+	if d.onFault != nil {
+		d.onFault(ranks)
+	}
+}
+
+// EnableHealing installs a health monitor over the coordinator's fault
+// path (idempotent): ranks excluded by T_fault or link-fault reports are
+// watched, probed over the live fabric and device, and — after passing
+// probation — readmitted into the next iteration, with the healed edges'
+// fresh measurements absorbed into the cost model. The data loader
+// redistributes back automatically: the trainer recomputes per-GPU batches
+// from Alive() every iteration.
+func (d *AdaptiveDriver) EnableHealing(opts health.Options) *health.Monitor {
+	if d.healer != nil {
+		return d.healer
+	}
+	env := d.a.Env()
+	d.healer = health.New(env.Engine, env.Fabric, env.GPUs, opts, health.Hooks{
+		OnHeal: func(ev health.Event) {
+			switch ev.Kind {
+			case health.KindRank:
+				d.a.ReadmitRank(ev.Rank)
+				d.co.Readmit(ev.Rank)
+			case health.KindLink:
+				d.a.ReadmitLink(ev.From, ev.To)
+			}
+			d.a.AbsorbMeasurements(ev.Measurements)
+		},
+	})
+	return d.healer
+}
+
+// Healer returns the driver's health monitor (nil before EnableHealing).
+func (d *AdaptiveDriver) Healer() *health.Monitor { return d.healer }
 
 // Begin implements Driver.
 func (d *AdaptiveDriver) Begin(readyAt map[int]time.Duration, done func(execTime time.Duration)) {

@@ -157,6 +157,12 @@ type Config struct {
 	// data loader re-redistributes, shrinking survivors' per-GPU batch
 	// back. Requires a driver implementing Readmitter.
 	ReviveAfter map[int]int
+	// HealReadmit leaves re-admission to an external healing path (e.g.
+	// AdaptiveDriver.EnableHealing): ReviveAfter still gates when a
+	// revived rank's compute returns, but the trainer stops calling
+	// Readmit itself — the rank rejoins the group only when the health
+	// monitor promotes its hardware.
+	HealReadmit bool
 	// Seed drives the compute-noise streams.
 	Seed int64
 }
@@ -276,7 +282,7 @@ type Readmitter interface {
 
 func (t *Trainer) runIteration(i int, onDone func(*Stats)) {
 	eng := t.cfg.Env.Engine
-	if rd, ok := t.cfg.Driver.(Readmitter); ok {
+	if rd, ok := t.cfg.Driver.(Readmitter); ok && !t.cfg.HealReadmit {
 		for r, ri := range t.cfg.ReviveAfter {
 			if i >= ri {
 				rd.Readmit(r) // idempotent
