@@ -269,7 +269,7 @@ func BenchmarkAblationRelayPolicy(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		a, err := core.New(env, core.Options{})
+		a, err := core.New(env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -279,10 +279,7 @@ func BenchmarkAblationRelayPolicy(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		tr, err := train.NewTrainer(train.Config{
-			Workload: train.VGG16(), Env: env, Cluster: cl, Driver: d,
-			Iterations: 25, Seed: 7,
-		})
+		tr, err := train.New(train.VGG16(), env, cl, d, 25, train.WithSeed(7))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -316,7 +313,11 @@ func BenchmarkAblationProfiling(b *testing.B) {
 		}
 		// A degraded server the nominal labels know nothing about.
 		env.Fabric.SetServerNetworkScale(2, 0.3)
-		a, err := core.New(env, core.Options{SkipProfiling: skipProfiling})
+		var copts []core.Option
+		if skipProfiling {
+			copts = append(copts, core.WithSkipProfiling())
+		}
+		a, err := core.New(env, copts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -353,7 +354,7 @@ func BenchmarkAblationProfileRounds(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			a, err := core.New(env, core.Options{})
+			a, err := core.New(env)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -443,7 +444,7 @@ func BenchmarkCompose(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		a, err := core.New(env, core.Options{})
+		a, err := core.New(env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -507,7 +508,7 @@ func BenchmarkDetect(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				a, err := core.New(env, core.Options{})
+				a, err := core.New(env)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,9 +22,11 @@ import (
 	"adapcc/internal/chaos"
 	"adapcc/internal/cluster"
 	"adapcc/internal/collective"
+	"adapcc/internal/comm"
 	"adapcc/internal/core"
 	"adapcc/internal/health"
 	"adapcc/internal/metrics"
+	"adapcc/internal/payload"
 	"adapcc/internal/strategy"
 	"adapcc/internal/topology"
 	"adapcc/internal/trace"
@@ -51,6 +54,7 @@ func run(args []string) error {
 		chaosSpec = fs.String("chaos", "", "fault schedule to inject, e.g. \"seed=7;down@2ms+10ms:edge=3;crash@5ms:rank=2\" (kinds: down flap degrade loss hold crash hang straggler); the collective runs with detect/retransmit/re-synthesize recovery")
 		healSpec  = fs.String("heal", "", "enable background healing of excluded links/ranks (requires -chaos); knobs as \"quarantine=2ms,probe=500us,k=3,bytes=65536,giveup=6,backoff=2,maxq=500ms\" (empty value = defaults); healed targets are re-admitted and a post-heal collective reports the reclaimed topology")
 		metricsOut = fs.String("metrics", "", "write the virtual-time metrics registry to this file (.json gets a JSON snapshot, anything else the Prometheus text format)")
+		hybridSpec = fs.String("hybrid", "", "run a hybrid-parallel communicator-group demo instead of a single collective: \"DPxTPxPP\" (e.g. \"2x2x2\"); every group runs one -bytes collective concurrently on the shared fabric")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +67,9 @@ func run(args []string) error {
 	})
 	if healSet && *chaosSpec == "" {
 		return fmt.Errorf("-heal requires -chaos (healing re-admits what the fault path excluded)")
+	}
+	if *hybridSpec != "" && *chaosSpec != "" {
+		return fmt.Errorf("-hybrid and -chaos are mutually exclusive")
 	}
 
 	prim, err := parsePrimitive(*primName)
@@ -89,7 +96,7 @@ func run(args []string) error {
 	fmt.Printf("cluster: %s over %s (%d GPUs on %d servers)\n",
 		bc.Name, tp, cl.NumGPUs(), len(cl.Servers))
 
-	a, err := core.New(env, core.Options{M: *m})
+	a, err := core.New(env, core.WithM(*m))
 	if err != nil {
 		return err
 	}
@@ -107,6 +114,13 @@ func run(args []string) error {
 	prof, _, setup := a.Overheads()
 	fmt.Printf("setup: %v total (profiling %v, context set-up %v)\n",
 		setupOverhead.Round(time.Millisecond), prof.Round(time.Millisecond), setup.Round(time.Millisecond))
+
+	if *hybridSpec != "" {
+		if err := runHybrid(env, a, *hybridSpec, *bytes); err != nil {
+			return err
+		}
+		return writeMetrics(reg, *metricsOut)
+	}
 
 	root := -1
 	if prim == strategy.Reduce || prim == strategy.Broadcast {
@@ -169,7 +183,7 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("chaos: armed %d fault(s), seed %d\n", len(spec.Faults), spec.Seed)
-		ropts := core.ResilientOptions{}
+		var ropts []core.ResilientOption
 		healed := 0
 		if healSet {
 			hopts, err := parseHealSpec(*healSpec)
@@ -177,7 +191,7 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Printf("heal: monitor armed (%s)\n", healSpecString(hopts))
-			ropts.Heal = &core.HealOptions{
+			ropts = append(ropts, core.WithHeal(core.HealOptions{
 				Options: hopts,
 				OnHeal: func(ev health.Event) {
 					healed++
@@ -186,13 +200,13 @@ func run(args []string) error {
 				OnCondemn: func(ev health.Event) {
 					fmt.Println(describeHealEvent("condemned", ev))
 				},
-			}
+			}))
 		}
 		var rres core.ResilientResult
 		var rerr error
 		err = a.RunResilient(backend.Request{
 			Primitive: prim, Bytes: *bytes, Root: root, Inputs: inputs,
-		}, ropts, func(r core.ResilientResult, err error) { rres, rerr = r, err })
+		}, func(r core.ResilientResult, err error) { rres, rerr = r, err }, ropts...)
 		if err != nil {
 			return err
 		}
@@ -266,26 +280,112 @@ func run(args []string) error {
 		}
 		fmt.Printf("trace: %d events -> %s\n", tracer.Len(), *traceOut)
 	}
-	if reg != nil {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			return err
-		}
-		if strings.HasSuffix(*metricsOut, ".json") {
-			err = reg.WriteJSON(f)
-		} else {
-			err = reg.WritePrometheus(f)
-		}
-		if err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("metrics: %d families -> %s\n", len(reg.Snapshot().Families), *metricsOut)
+	return writeMetrics(reg, *metricsOut)
+}
+
+// writeMetrics dumps the registry (if installed) to path, JSON or
+// Prometheus text by extension.
+func writeMetrics(reg *metrics.Registry, path string) error {
+	if reg == nil {
+		return nil
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = reg.WriteJSON(f)
+	} else {
+		err = reg.WritePrometheus(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("metrics: %d families -> %s\n", len(reg.Snapshot().Families), path)
 	return nil
+}
+
+// runHybrid carves the cluster into DP x TP x PP communicator groups and
+// runs one collective per group, all concurrently on the shared fabric:
+// TP and DP groups all-reduce, PP groups broadcast stage activations.
+// Traffic classes follow the spec's default ladder (TP > PP > DP).
+func runHybrid(env *backend.Env, a *core.AdapCC, specStr string, bytes int64) error {
+	spec, err := parseHybridSpec(specStr)
+	if err != nil {
+		return err
+	}
+	if spec.World() != len(env.AllRanks()) {
+		return fmt.Errorf("-hybrid %s needs %d GPUs, cluster has %d",
+			specStr, spec.World(), len(env.AllRanks()))
+	}
+	specs, err := spec.Groups()
+	if err != nil {
+		return err
+	}
+	m, err := comm.NewManager(a)
+	if err != nil {
+		return err
+	}
+	groups, err := m.NewGroups(specs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hybrid: %d DP x %d TP x %d PP over %d GPUs -> %d groups, one traffic class each\n",
+		spec.DP, spec.TP, spec.PP, spec.World(), len(groups))
+
+	type outcome struct {
+		group   *comm.Group
+		elapsed time.Duration
+	}
+	done := make([]outcome, 0, len(groups))
+	for _, g := range groups {
+		g := g
+		prim := strategy.AllReduce
+		req := backend.Request{Primitive: prim, Bytes: bytes, Root: -1, Mode: payload.Phantom}
+		if strings.HasPrefix(g.Name(), "pp") {
+			req.Primitive = strategy.Broadcast
+			req.Root = g.Ranks()[0]
+		}
+		req.OnDone = func(r collective.Result) {
+			done = append(done, outcome{g, r.Elapsed})
+		}
+		if err := g.Run(req); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("launched: %d collectives of %d MiB in flight concurrently\n", m.InFlight(), bytes>>20)
+	env.Engine.Run()
+
+	for _, o := range done {
+		info := env.Fabric.ClassInfo(o.group.Class())
+		fmt.Printf("  %-4s ranks %v  prio %d weight %g: %10v (%.1f MiB on wire)\n",
+			o.group.Name(), o.group.Ranks(), info.Priority, info.Weight,
+			o.elapsed.Round(time.Microsecond), float64(o.group.WireBytes())/(1<<20))
+	}
+	fmt.Printf("strategy cache: %d entries for %d groups (same-shape groups share)\n",
+		a.CachedStrategies(), len(groups))
+	return nil
+}
+
+// parseHybridSpec parses "DPxTPxPP", e.g. "2x2x2".
+func parseHybridSpec(s string) (comm.Spec, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return comm.Spec{}, fmt.Errorf("hybrid spec %q: want DPxTPxPP, e.g. 2x2x2", s)
+	}
+	var dims [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return comm.Spec{}, fmt.Errorf("hybrid spec %q: bad dimension %q", s, p)
+		}
+		dims[i] = n
+	}
+	return comm.Spec{DP: dims[0], TP: dims[1], PP: dims[2]}, nil
 }
 
 func parsePrimitive(name string) (strategy.Primitive, error) {

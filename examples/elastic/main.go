@@ -49,7 +49,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(env, core.Options{})
+	a, err := core.New(env)
 	if err != nil {
 		return err
 	}
@@ -77,22 +77,19 @@ func run() error {
 		leaver, crashIter, reviveIter)
 
 	worldLog := make([]int, iterations)
-	tr, err := train.NewTrainer(train.Config{
-		Workload: w, Env: env, Cluster: cl, Driver: driver,
-		Iterations:  iterations,
-		BatchPerGPU: 64,
-		Seed:        23,
-		DeadAfter:   map[int]int{leaver: crashIter},
-		ReviveAfter: map[int]int{leaver: reviveIter},
-		OnIteration: func(i int, _ train.IterStats) {
+	tr, err := train.New(w, env, cl, driver, iterations,
+		train.WithBatchPerGPU(64),
+		train.WithSeed(23),
+		train.WithDeadAfter(map[int]int{leaver: crashIter}),
+		train.WithReviveAfter(map[int]int{leaver: reviveIter}),
+		train.WithOnIteration(func(i int, _ train.IterStats) {
 			worldLog[i] = len(driver.Alive())
 			switch i {
 			case crashIter - 1, crashIter + 3, reviveIter, iterations - 1:
 				fmt.Printf("t=%-8v iteration %2d: %d workers in the group\n",
 					env.Engine.Now().Round(time.Millisecond), i, len(driver.Alive()))
 			}
-		},
-	})
+		}))
 	if err != nil {
 		return err
 	}
@@ -122,7 +119,7 @@ func runHealingAct() error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(env, core.Options{})
+	a, err := core.New(env)
 	if err != nil {
 		return err
 	}
@@ -167,23 +164,20 @@ func runHealingAct() error {
 
 	healedSeen := false
 	var iters []train.IterStats
-	tr, err := train.NewTrainer(train.Config{
-		Workload: w, Env: env, Cluster: cl, Driver: driver,
-		Iterations:  iterations,
-		BatchPerGPU: 64,
-		Seed:        23,
-		DeadAfter:   map[int]int{victim: faultIter},
-		ReviveAfter: map[int]int{victim: faultIter + 1},
-		HealReadmit: true, // no scripted Readmit: the monitor must earn it
-		OnIteration: func(i int, st train.IterStats) {
+	tr, err := train.New(w, env, cl, driver, iterations,
+		train.WithBatchPerGPU(64),
+		train.WithSeed(23),
+		train.WithDeadAfter(map[int]int{victim: faultIter}),
+		train.WithReviveAfter(map[int]int{victim: faultIter + 1}),
+		train.WithHealReadmit(), // no scripted Readmit: the monitor must earn it
+		train.WithOnIteration(func(i int, st train.IterStats) {
 			iters = append(iters, st)
 			if !healedSeen && m.Healed() > 0 {
 				healedSeen = true
 				fmt.Printf("t=%-8v monitor healed rank %d (probation passed); group back to %d workers\n",
 					env.Engine.Now().Round(time.Millisecond), victim, len(driver.Alive()))
 			}
-		},
-	})
+		}))
 	if err != nil {
 		return err
 	}

@@ -49,7 +49,7 @@ func runLinkFailure() error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(env, core.Options{})
+	a, err := core.New(env)
 	if err != nil {
 		return err
 	}
@@ -81,12 +81,11 @@ func runLinkFailure() error {
 	var resErr error
 	err = a.RunResilient(backend.Request{
 		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
-	}, core.ResilientOptions{
-		Recovery: collective.Recovery{
+	}, func(r core.ResilientResult, err error) { res, resErr = r, err },
+		core.WithRecovery(collective.Recovery{
 			DeadlineFloor: time.Millisecond,
 			MaxRetries:    3,
-		},
-	}, func(r core.ResilientResult, err error) { res, resErr = r, err })
+		}))
 	if err != nil {
 		return err
 	}
@@ -117,7 +116,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(env, core.Options{})
+	a, err := core.New(env)
 	if err != nil {
 		return err
 	}
@@ -140,13 +139,10 @@ func run() error {
 	perIter := func(stats *train.Stats, i int) time.Duration {
 		return stats.Iters[i].Total
 	}
-	tr, err := train.NewTrainer(train.Config{
-		Workload: w, Env: env, Cluster: cl, Driver: driver,
-		Iterations:  24,
-		BatchPerGPU: 128,
-		Seed:        17,
-		DeadAfter:   map[int]int{crashed: crashIteration},
-	})
+	tr, err := train.New(w, env, cl, driver, 24,
+		train.WithBatchPerGPU(128),
+		train.WithSeed(17),
+		train.WithDeadAfter(map[int]int{crashed: crashIteration}))
 	if err != nil {
 		return err
 	}

@@ -79,7 +79,7 @@ func trainAdapCC(w train.Workload) (*train.Stats, interface {
 	if err != nil {
 		return nil, nil, err
 	}
-	a, err := core.New(env, core.Options{})
+	a, err := core.New(env)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -111,10 +111,7 @@ func trainNCCL(w train.Workload) (*train.Stats, error) {
 }
 
 func runTrainer(env *backend.Env, cl *topology.Cluster, w train.Workload, driver train.Driver) (*train.Stats, error) {
-	tr, err := train.NewTrainer(train.Config{
-		Workload: w, Env: env, Cluster: cl, Driver: driver,
-		Iterations: iterations, Seed: 9,
-	})
+	tr, err := train.New(w, env, cl, driver, iterations, train.WithSeed(9))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,264 @@
+// Hybrid parallelism: communicator groups sharing one fabric.
+//
+// A Megatron-style 2 DP × 2 TP × 2 PP job on 8 single-GPU cloud
+// instances runs three kinds of collectives at once, all crossing the
+// same NICs:
+//
+//   - TP all-reduce chains — small, latency-critical, on the forward
+//     path of every layer;
+//   - PP activation transfers — medium broadcasts between stages;
+//   - DP gradient sync — one bulk all-reduce per iteration, overlapped
+//     with the next iteration's compute.
+//
+// Act 1 schedules all twelve groups in one undifferentiated class: at
+// every shared link the bulk DP chunks and the latency-critical TP
+// chunks split bandwidth equally, so iterations that overlap a gradient
+// sync stretch out and the tail grows.
+//
+// Act 2 gives each parallelism dimension its own traffic class
+// (TP > PP > DP, the default ladder of comm.Spec): weighted-fair
+// queueing at chunk granularity lets TP and PP cut ahead of in-flight
+// gradient syncs without ever preempting a chunk mid-wire. Same fabric,
+// same traffic, shorter tail.
+//
+// Run with: go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/comm"
+	"adapcc/internal/core"
+	"adapcc/internal/payload"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+const (
+	iterations = 20
+	tpRounds   = 6       // serial TP all-reduces per iteration (per layer block)
+	tpBytes    = 4 << 20 // activation all-reduce
+	ppBytes    = 8 << 20 // stage-boundary activation transfer
+	dpBytes    = 64 << 20 // gradient bucket
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("hybrid 2 DP x 2 TP x 2 PP on 8 single-GPU instances; every group crosses the NICs")
+	fmt.Printf("per iteration: %d x %d MiB TP all-reduces (serial), %d MiB PP transfer, %d MiB DP sync (overlapped)\n\n",
+		tpRounds, tpBytes>>20, ppBytes>>20, dpBytes>>20)
+
+	naive, err := runAct(false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("act 1 — one class for everything (naive FIFO):\n%s\n", naive)
+
+	classed, err := runAct(true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("act 2 — per-dimension classes, TP > PP > DP:\n%s\n", classed)
+
+	fmt.Printf("tail iteration (p95): %v -> %v (%.2fx)\n",
+		naive.p95().Round(time.Microsecond), classed.p95().Round(time.Microsecond),
+		float64(naive.p95())/float64(classed.p95()))
+	fmt.Println("the gradient sync takes what the critical path leaves; it no longer sets the tail")
+	return nil
+}
+
+// actResult holds per-iteration critical-path times (TP + PP completion)
+// for one scheduling policy.
+type actResult struct {
+	iters []time.Duration
+	total time.Duration // until the last gradient sync drained
+}
+
+func (r *actResult) String() string {
+	return fmt.Sprintf("  iteration mean %v, p95 %v, max %v; all syncs drained at %v",
+		r.mean().Round(time.Microsecond), r.p95().Round(time.Microsecond),
+		r.max().Round(time.Microsecond), r.total.Round(time.Millisecond))
+}
+
+func (r *actResult) mean() time.Duration {
+	var sum time.Duration
+	for _, d := range r.iters {
+		sum += d
+	}
+	return sum / time.Duration(len(r.iters))
+}
+
+func (r *actResult) p95() time.Duration {
+	s := append([]time.Duration(nil), r.iters...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)*95/100]
+}
+
+func (r *actResult) max() time.Duration {
+	var m time.Duration
+	for _, d := range r.iters {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// runAct drives the full hybrid job once. classed=false flattens every
+// group into priority 0 / weight 1 (what a group-oblivious runtime
+// does); classed=true keeps the spec's TP > PP > DP ladder.
+func runAct(classed bool) (*actResult, error) {
+	cl, err := cluster.SingleGPUInstances(topology.TransportRDMA, 8)
+	if err != nil {
+		return nil, err
+	}
+	env, err := backend.NewEnv(cl, 7)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.New(env, core.WithSkipProfiling())
+	if err != nil {
+		return nil, err
+	}
+	m, err := comm.NewManager(a)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := comm.Spec{DP: 2, TP: 2, PP: 2}.Groups()
+	if err != nil {
+		return nil, err
+	}
+	if !classed {
+		for i := range specs {
+			specs[i].Priority = comm.PriorityBulk
+			specs[i].Weight = 1
+		}
+	}
+	groups, err := m.NewGroups(specs)
+	if err != nil {
+		return nil, err
+	}
+	var tpG, dpG, ppG []*comm.Group
+	for _, g := range groups {
+		switch g.Name()[:2] {
+		case "tp":
+			tpG = append(tpG, g)
+		case "dp":
+			dpG = append(dpG, g)
+		case "pp":
+			ppG = append(ppG, g)
+		}
+	}
+
+	res := &actResult{}
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	// The gradient sync of iteration i overlaps iteration i+1's compute:
+	// each DP group launches as soon as both its previous sync finished
+	// and the new iteration started.
+	dpBusy := make(map[string]bool)
+	dpOwed := make(map[string]int)
+	var launchDP func(g *comm.Group)
+	launchDP = func(g *comm.Group) {
+		dpBusy[g.Name()] = true
+		err := g.Run(backend.Request{
+			Primitive: strategy.AllReduce, Bytes: dpBytes, Root: -1,
+			Mode: payload.Phantom,
+			OnDone: func(collective.Result) {
+				dpBusy[g.Name()] = false
+				if dpOwed[g.Name()] > 0 {
+					dpOwed[g.Name()]--
+					launchDP(g)
+				}
+			},
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	var startIter func()
+	var iterStart time.Duration
+	pending := 0
+	finishOne := func() {
+		pending--
+		if pending > 0 {
+			return
+		}
+		res.iters = append(res.iters, time.Duration(env.Engine.Now())-iterStart)
+		if len(res.iters) < iterations && runErr == nil {
+			startIter()
+		}
+	}
+	startIter = func() {
+		iterStart = time.Duration(env.Engine.Now())
+		for _, g := range dpG {
+			if dpBusy[g.Name()] {
+				dpOwed[g.Name()]++
+			} else {
+				launchDP(g)
+			}
+		}
+		// The iteration's critical path: every TP chain and PP transfer.
+		pending = len(tpG) + len(ppG)
+		for _, g := range tpG {
+			g := g
+			round := 0
+			var step func()
+			step = func() {
+				err := g.Run(backend.Request{
+					Primitive: strategy.AllReduce, Bytes: tpBytes, Root: -1,
+					Mode: payload.Phantom,
+					OnDone: func(collective.Result) {
+						round++
+						if round < tpRounds {
+							step()
+						} else {
+							finishOne()
+						}
+					},
+				})
+				if err != nil {
+					fail(err)
+				}
+			}
+			step()
+		}
+		for _, g := range ppG {
+			err := g.Run(backend.Request{
+				Primitive: strategy.Broadcast, Bytes: ppBytes, Root: g.Ranks()[0],
+				Mode: payload.Phantom,
+				OnDone: func(collective.Result) { finishOne() },
+			})
+			if err != nil {
+				fail(err)
+			}
+		}
+	}
+	startIter()
+	env.Engine.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if len(res.iters) != iterations {
+		return nil, fmt.Errorf("completed %d/%d iterations", len(res.iters), iterations)
+	}
+	res.total = time.Duration(env.Engine.Now())
+	return res, nil
+}

@@ -59,7 +59,7 @@ func dispatchWith(cl *topology.Cluster, system string) (time.Duration, error) {
 	}
 	var b backend.Backend
 	if system == "adapcc" {
-		a, err := core.New(env, core.Options{})
+		a, err := core.New(env)
 		if err != nil {
 			return 0, err
 		}

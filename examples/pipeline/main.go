@@ -42,7 +42,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(env, core.Options{})
+	a, err := core.New(env)
 	if err != nil {
 		return err
 	}

@@ -40,7 +40,7 @@ func run() error {
 	}
 
 	// adapcc.init(): detect GPU placement, NIC affinity, logical topology.
-	a, err := core.New(env, core.Options{})
+	a, err := core.New(env)
 	if err != nil {
 		return err
 	}

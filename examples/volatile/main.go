@@ -34,7 +34,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(env, core.Options{})
+	a, err := core.New(env)
 	if err != nil {
 		return err
 	}
@@ -58,11 +58,9 @@ func run() error {
 		return err
 	}
 	reconstructions := 0
-	tr, err := train.NewTrainer(train.Config{
-		Workload: w, Env: env, Cluster: cl, Driver: driver,
-		Iterations: 1200, Seed: 5,
-		ReprofileEvery: 300,
-		Reprofile: func(done func()) {
+	tr, err := train.New(w, env, cl, driver, 1200,
+		train.WithSeed(5),
+		train.WithReprofile(300, func(done func()) {
 			a.Reconstruct(func(overhead time.Duration) {
 				reconstructions++
 				prof, solve, setup := a.Overheads()
@@ -72,8 +70,7 @@ func run() error {
 					solve.Round(time.Millisecond), setup.Round(time.Millisecond))
 				done()
 			})
-		},
-	})
+		}))
 	if err != nil {
 		return err
 	}

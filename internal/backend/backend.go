@@ -45,8 +45,11 @@ type Backend interface {
 	// Name identifies the system in printed tables.
 	Name() string
 	// Run starts the collective; completion is signalled via
-	// req.OnDone on the simulation engine.
-	Run(req Request) error
+	// req.OnDone on the simulation engine. Run validates the request
+	// (ValidateIn) before touching the fabric. Options customise one
+	// invocation; backends without the corresponding machinery (e.g.
+	// relays on the fixed-graph baselines) ignore them.
+	Run(req Request, opts ...RunOption) error
 }
 
 // Env bundles the shared simulated hardware a backend runs on.
@@ -142,8 +145,8 @@ func MakePayloads(ranks []int, bytes int64, mode payload.Mode) map[int]payload.P
 
 // Measure synchronously runs one collective on a backend and returns the
 // elapsed virtual time (it drains the engine). Phantom requests skip input
-// materialisation entirely.
-func Measure(env *Env, b Backend, req Request) (time.Duration, error) {
+// materialisation entirely. Options pass through to Backend.Run.
+func Measure(env *Env, b Backend, req Request, opts ...RunOption) (time.Duration, error) {
 	if req.Inputs == nil && req.Mode == payload.Dense {
 		ranks := req.Ranks
 		if ranks == nil {
@@ -159,7 +162,7 @@ func Measure(env *Env, b Backend, req Request) (time.Duration, error) {
 			userDone(r)
 		}
 	}
-	if err := b.Run(req); err != nil {
+	if err := b.Run(req, opts...); err != nil {
 		return 0, err
 	}
 	env.Engine.Run()
@@ -171,8 +174,8 @@ func Measure(env *Env, b Backend, req Request) (time.Duration, error) {
 
 // AlgoBandwidth runs a collective and reports the algorithm bandwidth in
 // bytes/second (Sec. VI-C metric).
-func AlgoBandwidth(env *Env, b Backend, req Request) (float64, error) {
-	elapsed, err := Measure(env, b, req)
+func AlgoBandwidth(env *Env, b Backend, req Request, opts ...RunOption) (float64, error) {
+	elapsed, err := Measure(env, b, req, opts...)
 	if err != nil {
 		return 0, err
 	}

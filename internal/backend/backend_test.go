@@ -63,7 +63,7 @@ type fakeBackend struct {
 }
 
 func (f *fakeBackend) Name() string { return "fake" }
-func (f *fakeBackend) Run(req Request) error {
+func (f *fakeBackend) Run(req Request, _ ...RunOption) error {
 	f.seen = req
 	if f.fail {
 		return errFake

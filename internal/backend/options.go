@@ -1,0 +1,58 @@
+package backend
+
+import "adapcc/internal/fabric"
+
+// RunConfig collects the per-invocation options of Backend.Run. Callers
+// use the With* functional options; backends resolve the final config with
+// BuildRunConfig. The zero value is the plain collective: full strategy,
+// no relays, default traffic class.
+type RunConfig struct {
+	// Relays lists non-ready workers that participate relay-only in a
+	// partial collective over the ready ranks (AdapCC Sec. IV-B). Only the
+	// AdapCC backend honours it; baselines have no relay concept.
+	Relays []int
+	// FastPath selects the pre-synthesised fast-recovery strategy instead
+	// of a fresh full synthesis (AdapCC only).
+	FastPath bool
+	// Group labels the collective with a communicator-group name for
+	// per-group metrics and tracing. Empty = ungrouped.
+	Group string
+	// Class is the fabric traffic class the collective's chunks compete
+	// under at shared links. Zero is the default best-effort class.
+	Class fabric.ClassID
+}
+
+// RunOption customises one Backend.Run invocation.
+type RunOption func(*RunConfig)
+
+// WithRelays runs the collective as a partial aggregation over the
+// request's ranks, with the given non-ready workers attached relay-only.
+// Zero relays still request partial semantics (only req.Ranks contribute).
+func WithRelays(relays ...int) RunOption {
+	return func(c *RunConfig) {
+		if relays == nil {
+			relays = []int{}
+		}
+		c.Relays = relays
+	}
+}
+
+// WithFastPath uses the backend's pre-synthesised fast-recovery strategy.
+func WithFastPath() RunOption {
+	return func(c *RunConfig) { c.FastPath = true }
+}
+
+// WithGroup runs the collective on behalf of a named communicator group,
+// under that group's fabric traffic class.
+func WithGroup(name string, class fabric.ClassID) RunOption {
+	return func(c *RunConfig) { c.Group, c.Class = name, class }
+}
+
+// BuildRunConfig resolves functional options into a RunConfig.
+func BuildRunConfig(opts []RunOption) RunConfig {
+	var c RunConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}

@@ -1,0 +1,88 @@
+package backend
+
+import (
+	"fmt"
+
+	"adapcc/internal/strategy"
+)
+
+// ErrInvalidRequest reports a malformed collective Request. Every backend
+// entry point (AdapCC and the baselines) validates the request once before
+// touching the fabric, so callers can rely on one typed error — and one
+// set of rules — instead of per-backend fmt.Errorf conventions. Match it
+// with errors.As.
+type ErrInvalidRequest struct {
+	// Field names the offending Request field.
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+// Error implements error.
+func (e *ErrInvalidRequest) Error() string {
+	return fmt.Sprintf("backend: invalid request: %s: %s", e.Field, e.Reason)
+}
+
+func invalid(field, format string, args ...any) error {
+	return &ErrInvalidRequest{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the request for self-consistency: positive byte count, a
+// known primitive, no negative or duplicate ranks, and a root that is a
+// member of the explicit rank set when both are given. A negative Root
+// means "backend default" and is always acceptable; membership of ranks in
+// the actual topology needs an environment — see ValidateIn.
+func (r Request) Validate() error {
+	if r.Bytes <= 0 {
+		return invalid("Bytes", "%d must be positive", r.Bytes)
+	}
+	switch r.Primitive {
+	case strategy.Reduce, strategy.Broadcast, strategy.AllReduce, strategy.AlltoAll:
+	default:
+		return invalid("Primitive", "unknown primitive %v", r.Primitive)
+	}
+	if r.Ranks != nil && len(r.Ranks) == 0 {
+		return invalid("Ranks", "empty rank set (use nil for every GPU)")
+	}
+	// Root only means something for rooted primitives; AllReduce and
+	// AlltoAll callers routinely leave it at the zero value.
+	rooted := r.Primitive == strategy.Reduce || r.Primitive == strategy.Broadcast
+	rootSeen := !rooted || r.Root < 0 || r.Ranks == nil
+	for i, a := range r.Ranks {
+		if a < 0 {
+			return invalid("Ranks", "negative rank %d", a)
+		}
+		if a == r.Root {
+			rootSeen = true
+		}
+		for _, b := range r.Ranks[:i] {
+			if a == b {
+				return invalid("Ranks", "duplicate rank %d", a)
+			}
+		}
+	}
+	if !rootSeen {
+		return invalid("Root", "root %d is not in Ranks %v", r.Root, r.Ranks)
+	}
+	return nil
+}
+
+// ValidateIn is Validate plus the world-dependent checks: every explicit
+// rank — and a non-negative Root even when Ranks is nil — must name a GPU
+// of the environment.
+func (r Request) ValidateIn(env *Env) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	for _, a := range r.Ranks {
+		if _, ok := env.Graph.GPUByRank(a); !ok {
+			return invalid("Ranks", "rank %d is not a GPU of this cluster", a)
+		}
+	}
+	if r.Root >= 0 && (r.Primitive == strategy.Reduce || r.Primitive == strategy.Broadcast) {
+		if _, ok := env.Graph.GPUByRank(r.Root); !ok {
+			return invalid("Root", "root %d is not a GPU of this cluster", r.Root)
+		}
+	}
+	return nil
+}

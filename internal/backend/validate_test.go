@@ -1,0 +1,98 @@
+package backend
+
+import (
+	"errors"
+	"testing"
+
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// TestRequestValidate is the table over the self-consistency rules every
+// backend entry point enforces before touching the fabric.
+func TestRequestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		// field names the expected ErrInvalidRequest.Field; "" means valid.
+		field string
+	}{
+		{"minimal allreduce", Request{Primitive: strategy.AllReduce, Bytes: 1}, ""},
+		{"explicit ranks", Request{Primitive: strategy.AlltoAll, Bytes: 64, Ranks: []int{0, 1, 2}}, ""},
+		{"rooted with member root", Request{Primitive: strategy.Broadcast, Bytes: 64, Ranks: []int{1, 3}, Root: 3}, ""},
+		{"rooted with default root", Request{Primitive: strategy.Reduce, Bytes: 64, Ranks: []int{1, 3}, Root: -1}, ""},
+		{"allreduce ignores zero root", Request{Primitive: strategy.AllReduce, Bytes: 64, Ranks: []int{4, 5}}, ""},
+
+		{"zero bytes", Request{Primitive: strategy.AllReduce}, "Bytes"},
+		{"negative bytes", Request{Primitive: strategy.AllReduce, Bytes: -8}, "Bytes"},
+		{"unknown primitive", Request{Primitive: strategy.Primitive(99), Bytes: 8}, "Primitive"},
+		{"empty rank set", Request{Primitive: strategy.AllReduce, Bytes: 8, Ranks: []int{}}, "Ranks"},
+		{"negative rank", Request{Primitive: strategy.AllReduce, Bytes: 8, Ranks: []int{0, -2}}, "Ranks"},
+		{"duplicate rank", Request{Primitive: strategy.AllReduce, Bytes: 8, Ranks: []int{0, 1, 0}}, "Ranks"},
+		{"root outside ranks", Request{Primitive: strategy.Broadcast, Bytes: 8, Ranks: []int{1, 2}, Root: 7}, "Root"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.req.Validate()
+			if c.field == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			var inv *ErrInvalidRequest
+			if !errors.As(err, &inv) {
+				t.Fatalf("Validate() = %v, want *ErrInvalidRequest", err)
+			}
+			if inv.Field != c.field {
+				t.Fatalf("Field = %q, want %q (err: %v)", inv.Field, c.field, err)
+			}
+		})
+	}
+}
+
+// TestRequestValidateIn adds the world checks: explicit ranks and rooted
+// roots must name GPUs of the environment.
+func TestRequestValidateIn(t *testing.T) {
+	c, err := topology.NewCluster(topology.TransportRDMA, topology.ServerSpec{
+		GPUs: []topology.GPUModel{topology.GPUA100, topology.GPUA100},
+		NICs: []topology.NICSpec{{BandwidthBps: topology.Gbps(100)}},
+		PCIe: topology.PCIe4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		req   Request
+		field string
+	}{
+		{"all GPUs", Request{Primitive: strategy.AllReduce, Bytes: 8}, ""},
+		{"both ranks", Request{Primitive: strategy.AllReduce, Bytes: 8, Ranks: []int{0, 1}}, ""},
+		{"rank beyond world", Request{Primitive: strategy.AllReduce, Bytes: 8, Ranks: []int{0, 2}}, "Ranks"},
+		{"rooted ghost root, nil ranks", Request{Primitive: strategy.Broadcast, Bytes: 8, Root: 9}, "Root"},
+		{"self-check still first", Request{Primitive: strategy.AllReduce, Bytes: 0, Ranks: []int{0, 9}}, "Bytes"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.req.ValidateIn(env)
+			if c.field == "" {
+				if err != nil {
+					t.Fatalf("ValidateIn() = %v, want nil", err)
+				}
+				return
+			}
+			var inv *ErrInvalidRequest
+			if !errors.As(err, &inv) {
+				t.Fatalf("ValidateIn() = %v, want *ErrInvalidRequest", err)
+			}
+			if inv.Field != c.field {
+				t.Fatalf("Field = %q, want %q (err: %v)", inv.Field, c.field, err)
+			}
+		})
+	}
+}

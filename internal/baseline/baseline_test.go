@@ -102,7 +102,7 @@ func TestPaperOrderingOnHeterogeneousReduce(t *testing.T) {
 		case "blink":
 			b = blink.New(env)
 		case "adapcc":
-			a, err := core.New(env, core.Options{})
+			a, err := core.New(env)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -154,7 +154,7 @@ func TestNCCLSingleChannelHurtsOnTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	envA := newEnv(t, c)
-	a, err := core.New(envA, core.Options{})
+	a, err := core.New(envA)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,8 +36,13 @@ func New(env *backend.Env) *Backend { return &Backend{env: env} }
 // Name implements backend.Backend.
 func (b *Backend) Name() string { return "Blink" }
 
-// Run implements backend.Backend.
-func (b *Backend) Run(req backend.Request) error {
+// Run implements backend.Backend. Blink's staged pipeline moves bytes
+// directly on the fabric, so per-invocation options (relays, fast path,
+// traffic class) are ignored.
+func (b *Backend) Run(req backend.Request, _ ...backend.RunOption) error {
+	if err := req.ValidateIn(b.env); err != nil {
+		return err
+	}
 	ranks := req.Ranks
 	if ranks == nil {
 		ranks = b.env.AllRanks()

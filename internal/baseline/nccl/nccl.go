@@ -35,8 +35,14 @@ func New(env *backend.Env) *Backend { return &Backend{env: env} }
 // Name implements backend.Backend.
 func (b *Backend) Name() string { return "NCCL" }
 
-// Run implements backend.Backend.
-func (b *Backend) Run(req backend.Request) error {
+// Run implements backend.Backend. Relay and fast-path options do not
+// apply to NCCL's fixed graphs and are ignored; a traffic class set via
+// backend.WithGroup is honoured.
+func (b *Backend) Run(req backend.Request, opts ...backend.RunOption) error {
+	if err := req.ValidateIn(b.env); err != nil {
+		return err
+	}
+	cfg := backend.BuildRunConfig(opts)
 	ranks := req.Ranks
 	if ranks == nil {
 		ranks = b.env.AllRanks()
@@ -50,6 +56,7 @@ func (b *Backend) Run(req backend.Request) error {
 		Mode:         req.Mode,
 		Inputs:       req.Inputs,
 		SingleStream: true, // one channel / one stream
+		Class:        cfg.Class,
 		OnDone:       req.OnDone,
 	})
 }

@@ -132,7 +132,7 @@ func TestHealLinkScheduleProperties(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			a, err := core.New(env, core.Options{SkipProfiling: true})
+			a, err := core.New(env, core.WithSkipProfiling())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -162,9 +162,9 @@ func TestHealLinkScheduleProperties(t *testing.T) {
 			done := false
 			err = a.RunResilient(backend.Request{
 				Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
-			}, core.ResilientOptions{
-				Recovery: soakRecovery(),
-				Heal: &core.HealOptions{
+			}, func(r core.ResilientResult, err error) { res, resErr, done = r, err, true },
+				core.WithRecovery(soakRecovery()),
+				core.WithHeal(core.HealOptions{
 					Options: soakHeal(),
 					OnHeal: func(ev health.Event) {
 						if ev.Kind == health.KindLink {
@@ -175,8 +175,7 @@ func TestHealLinkScheduleProperties(t *testing.T) {
 							healedPairs = append(healedPairs, [2]topology.NodeID{lo, hi})
 						}
 					},
-				},
-			}, func(r core.ResilientResult, err error) { res, resErr, done = r, err, true })
+				}))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -244,7 +243,7 @@ func runHealSoak(t *testing.T, seed int64) healOutcome {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := core.New(env, core.Options{SkipProfiling: true})
+	a, err := core.New(env, core.WithSkipProfiling())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,12 +261,9 @@ func runHealSoak(t *testing.T, seed int64) healOutcome {
 	done := false
 	err = a.RunResilient(backend.Request{
 		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
-	}, core.ResilientOptions{
-		Recovery: soakRecovery(),
-		Heal:     &core.HealOptions{Options: soakHeal()},
 	}, func(r core.ResilientResult, err error) {
 		res, resErr, done = r, err, true
-	})
+	}, core.WithRecovery(soakRecovery()), core.WithHeal(core.HealOptions{Options: soakHeal()}))
 	if err != nil {
 		t.Fatalf("seed %d: RunResilient: %v", seed, err)
 	}

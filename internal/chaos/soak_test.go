@@ -54,7 +54,7 @@ func runSoak(t *testing.T, seed int64, prim strategy.Primitive) soakOutcome {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := core.New(env, core.Options{SkipProfiling: true})
+	a, err := core.New(env, core.WithSkipProfiling())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,9 +72,9 @@ func runSoak(t *testing.T, seed int64, prim strategy.Primitive) soakOutcome {
 	done := false
 	err = a.RunResilient(backend.Request{
 		Primitive: prim, Bytes: bytes, Root: -1, Inputs: inputs,
-	}, core.ResilientOptions{Recovery: soakRecovery()}, func(r core.ResilientResult, err error) {
+	}, func(r core.ResilientResult, err error) {
 		res, resErr, done = r, err, true
-	})
+	}, core.WithRecovery(soakRecovery()))
 	if err != nil {
 		t.Fatalf("seed %d: RunResilient: %v", seed, err)
 	}

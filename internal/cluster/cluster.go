@@ -66,6 +66,19 @@ func Heterogeneous(transport topology.Transport, gpusEach int) (*topology.Cluste
 		V100Server(gpusEach), V100Server(gpusEach))
 }
 
+// SingleGPUInstances returns n single-A100 cloud instances: every rank
+// sits behind its own NIC, so all collective traffic crosses the shared
+// network fabric. This is the cloud resource-fragmentation setting of
+// Sec. II-A pushed to the extreme, and the one where communicator-group
+// scheduling matters most — every group's traffic contends at the NICs.
+func SingleGPUInstances(transport topology.Transport, n int) (*topology.Cluster, error) {
+	servers := make([]topology.ServerSpec, n)
+	for i := range servers {
+		servers[i] = A100Server(1)
+	}
+	return topology.NewCluster(transport, servers...)
+}
+
 // Case describes one x-axis configuration of Figs. 11–13: the number of
 // GPUs used on each A100 server and each V100 server.
 type Case struct {

@@ -78,6 +78,10 @@ type Op struct {
 	// stream — the NCCL single-channel behaviour, which caps the whole
 	// collective at one stream's TCP rate.
 	SingleStream bool
+	// Class is the fabric traffic class every chunk of this collective
+	// competes under at shared links (communicator-group scheduling).
+	// Zero is the default best-effort class.
+	Class fabric.ClassID
 	// Recovery, when non-nil, arms chunk-granularity fault detection:
 	// per-chunk transfer deadlines with bounded retransmission and an
 	// op-level stall watchdog. See the Recovery type.
@@ -177,6 +181,7 @@ func (e *Executor) Run(op Op) error {
 		ex:      e,
 		st:      st,
 		mode:    op.Mode,
+		class:   op.Class,
 		active:  active,
 		inputs:  inputs,
 		outputs: make(map[int]payload.Payload),
@@ -231,6 +236,7 @@ type opRun struct {
 	ex     *Executor
 	st     *strategy.Strategy
 	mode   payload.Mode
+	class  fabric.ClassID
 	active map[int]bool
 	inputs map[int]payload.Payload
 	// outputs maps rank → result payload (allocated on first write).
@@ -753,7 +759,7 @@ func (h *hopSend) Call() {
 		return
 	}
 	h.sendStart = op.engine().Now()
-	t := op.ex.fab.SendStreamTo(h.eid, h.stream, h.bytes, nil, h)
+	t := op.ex.fab.SendStreamClassTo(h.eid, h.stream, op.class, h.bytes, nil, h)
 	if op.rec != nil {
 		h.transfer, h.tgen = t, t.Gen()
 		h.armDeadline()

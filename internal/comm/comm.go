@@ -1,0 +1,327 @@
+package comm
+
+import (
+	"fmt"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/core"
+	"adapcc/internal/fabric"
+	"adapcc/internal/metrics"
+)
+
+// Default traffic classes for the three hybrid-parallel dimensions.
+// Tensor-parallel collectives sit on every forward/backward critical path,
+// pipeline activations gate the next stage, and data-parallel gradient
+// all-reduces are bulk background traffic that can absorb delay — so at a
+// shared link TP strictly overtakes PP, which strictly overtakes DP.
+const (
+	PriorityBulk    = 0 // data-parallel gradient traffic
+	PriorityStage   = 1 // pipeline activations/gradients
+	PriorityLatency = 2 // tensor-parallel collectives
+)
+
+// GroupSpec names a communicator group and its traffic class.
+type GroupSpec struct {
+	// Name labels the group in metrics and fabric class shares.
+	Name string
+	// Ranks are the member workers.
+	Ranks []int
+	// Priority orders the group's chunks at shared links (strictly).
+	Priority int
+	// Weight is the fair share among equal-priority groups (<=0 means 1).
+	Weight float64
+}
+
+// Spec is a Megatron-style hybrid-parallel decomposition of the world:
+// DP×TP×PP must equal the world size, with rank
+//
+//	rank = pp·(DP·TP) + dp·TP + tp
+//
+// so tensor-parallel ranks are contiguous (fastest-varying, ideally
+// NVLink-adjacent), data-parallel replicas sit at stride TP, and pipeline
+// stages at stride DP·TP.
+type Spec struct {
+	DP, TP, PP int
+}
+
+// World returns the world size the spec decomposes.
+func (s Spec) World() int { return s.DP * s.TP * s.PP }
+
+func (s Spec) validate() error {
+	if s.DP < 1 || s.TP < 1 || s.PP < 1 {
+		return fmt.Errorf("comm: spec %dx%dx%d has a dimension < 1", s.DP, s.TP, s.PP)
+	}
+	return nil
+}
+
+// Groups expands the spec into one GroupSpec per communicator: TP groups
+// (one per pipeline stage per replica), DP groups (one per stage per
+// shard position) and PP groups (one per replica per shard position),
+// with the default class ladder TP > PP > DP. Dimensions of size 1
+// produce no groups — a one-rank communicator has nothing to say on the
+// wire. Callers may adjust Priority/Weight on the result before
+// Manager.NewGroups.
+func (s Spec) Groups() ([]GroupSpec, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	rank := func(dp, tp, pp int) int { return pp*(s.DP*s.TP) + dp*s.TP + tp }
+	var specs []GroupSpec
+	if s.TP > 1 {
+		for pp := 0; pp < s.PP; pp++ {
+			for dp := 0; dp < s.DP; dp++ {
+				ranks := make([]int, s.TP)
+				for tp := range ranks {
+					ranks[tp] = rank(dp, tp, pp)
+				}
+				specs = append(specs, GroupSpec{
+					Name:     fmt.Sprintf("tp%d", pp*s.DP+dp),
+					Ranks:    ranks,
+					Priority: PriorityLatency,
+					Weight:   1,
+				})
+			}
+		}
+	}
+	if s.DP > 1 {
+		for pp := 0; pp < s.PP; pp++ {
+			for tp := 0; tp < s.TP; tp++ {
+				ranks := make([]int, s.DP)
+				for dp := range ranks {
+					ranks[dp] = rank(dp, tp, pp)
+				}
+				specs = append(specs, GroupSpec{
+					Name:     fmt.Sprintf("dp%d", pp*s.TP+tp),
+					Ranks:    ranks,
+					Priority: PriorityBulk,
+					Weight:   1,
+				})
+			}
+		}
+	}
+	if s.PP > 1 {
+		for dp := 0; dp < s.DP; dp++ {
+			for tp := 0; tp < s.TP; tp++ {
+				ranks := make([]int, s.PP)
+				for pp := range ranks {
+					ranks[pp] = rank(dp, tp, pp)
+				}
+				specs = append(specs, GroupSpec{
+					Name:     fmt.Sprintf("pp%d", dp*s.TP+tp),
+					Ranks:    ranks,
+					Priority: PriorityStage,
+					Weight:   1,
+				})
+			}
+		}
+	}
+	return specs, nil
+}
+
+// Manager carves one AdapCC instance into communicator groups. Groups
+// share the instance's strategy cache (keyed by participant set, so equal
+// shapes never solve twice) and the one simulated fabric, where each
+// group's traffic class arbitrates its chunks against the others'.
+type Manager struct {
+	a      *core.AdapCC
+	env    *backend.Env
+	groups map[string]*Group
+	order  []string
+}
+
+// NewManager wraps an AdapCC instance for group use.
+func NewManager(a *core.AdapCC) (*Manager, error) {
+	if a == nil {
+		return nil, fmt.Errorf("comm: nil AdapCC instance")
+	}
+	return &Manager{a: a, env: a.Env(), groups: make(map[string]*Group)}, nil
+}
+
+// NewGroup registers one communicator group: it validates the member set,
+// registers the group's traffic class with the fabric and returns the
+// handle collectives run through.
+func (m *Manager) NewGroup(spec GroupSpec) (*Group, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("comm: group needs a name")
+	}
+	if _, dup := m.groups[spec.Name]; dup {
+		return nil, fmt.Errorf("comm: duplicate group %q", spec.Name)
+	}
+	if len(spec.Ranks) < 2 {
+		return nil, fmt.Errorf("comm: group %q has %d ranks, need >= 2", spec.Name, len(spec.Ranks))
+	}
+	seen := make(map[int]bool, len(spec.Ranks))
+	for _, r := range spec.Ranks {
+		if _, ok := m.env.Graph.GPUByRank(r); !ok {
+			return nil, fmt.Errorf("comm: group %q rank %d is not a GPU in this cluster", spec.Name, r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("comm: group %q lists rank %d twice", spec.Name, r)
+		}
+		seen[r] = true
+	}
+	class := m.env.Fabric.NewClass(fabric.Class{
+		Name:     spec.Name,
+		Priority: spec.Priority,
+		Weight:   spec.Weight,
+	})
+	g := &Group{
+		m:     m,
+		name:  spec.Name,
+		ranks: append([]int(nil), spec.Ranks...),
+		class: class,
+	}
+	m.groups[spec.Name] = g
+	m.order = append(m.order, spec.Name)
+	return g, nil
+}
+
+// NewGroups registers every spec, failing atomically on the first bad one
+// (fabric classes of the preceding specs stay registered but unused).
+func (m *Manager) NewGroups(specs []GroupSpec) ([]*Group, error) {
+	out := make([]*Group, 0, len(specs))
+	for _, s := range specs {
+		g, err := m.NewGroup(s)
+		if err != nil {
+			for _, reg := range out {
+				delete(m.groups, reg.name)
+				m.order = m.order[:len(m.order)-1]
+			}
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// Group returns a registered group by name (nil if absent).
+func (m *Manager) Group(name string) *Group { return m.groups[name] }
+
+// Groups lists the registered groups in registration order.
+func (m *Manager) Groups() []*Group {
+	out := make([]*Group, len(m.order))
+	for i, n := range m.order {
+		out[i] = m.groups[n]
+	}
+	return out
+}
+
+// InFlight is the number of collectives currently running across all
+// groups on the shared fabric.
+func (m *Manager) InFlight() int {
+	n := 0
+	for _, g := range m.groups {
+		n += g.inflight
+	}
+	return n
+}
+
+// Group is one communicator: a named rank subset with its own traffic
+// class, running collectives through the shared AdapCC instance.
+type Group struct {
+	m     *Manager
+	name  string
+	ranks []int
+	class fabric.ClassID
+
+	inflight    int
+	completed   int
+	wireBytes   int64
+	gInflight   *metrics.Gauge
+	cCollective *metrics.Counter
+	cWire       *metrics.Counter
+}
+
+// Name returns the group's name.
+func (g *Group) Name() string { return g.name }
+
+// Ranks returns the member ranks (callers must not mutate).
+func (g *Group) Ranks() []int { return g.ranks }
+
+// Class returns the fabric traffic class the group's chunks travel in.
+func (g *Group) Class() fabric.ClassID { return g.class }
+
+// InFlight is the number of this group's collectives currently running.
+func (g *Group) InFlight() int { return g.inflight }
+
+// Completed is the number of collectives the group has finished.
+func (g *Group) Completed() int { return g.completed }
+
+// WireBytes is the total bytes the group's collectives put on the wire.
+func (g *Group) WireBytes() int64 { return g.wireBytes }
+
+// Run starts a collective on this group's ranks in this group's traffic
+// class. A nil req.Ranks means the whole group; a non-nil set must be a
+// subset of the group (a partial, e.g. with backend.WithRelays). Any
+// further options are passed through to the unified Run entry point.
+// Completion is observed by wrapping req.OnDone, so per-group accounting
+// works even for callers that pass no callback.
+func (g *Group) Run(req backend.Request, opts ...backend.RunOption) error {
+	if req.Ranks == nil {
+		req.Ranks = g.ranks
+	} else if err := g.contains(req.Ranks); err != nil {
+		return err
+	}
+	done := req.OnDone
+	req.OnDone = func(r collective.Result) {
+		g.inflight--
+		g.completed++
+		g.wireBytes += r.Stats.BytesOnWire
+		if g.instruments() {
+			now := g.m.env.Engine.Now()
+			g.gInflight.Set(now, float64(g.inflight))
+			g.cCollective.Inc(now)
+			g.cWire.Add(now, float64(r.Stats.BytesOnWire))
+		}
+		if done != nil {
+			done(r)
+		}
+	}
+	all := make([]backend.RunOption, 0, len(opts)+1)
+	all = append(all, backend.WithGroup(g.name, g.class))
+	all = append(all, opts...)
+	if err := g.m.a.Run(req, all...); err != nil {
+		return fmt.Errorf("comm: group %q: %w", g.name, err)
+	}
+	g.inflight++
+	if g.instruments() {
+		g.gInflight.Set(g.m.env.Engine.Now(), float64(g.inflight))
+	}
+	return nil
+}
+
+func (g *Group) contains(ranks []int) error {
+	member := make(map[int]bool, len(g.ranks))
+	for _, r := range g.ranks {
+		member[r] = true
+	}
+	for _, r := range ranks {
+		if !member[r] {
+			return fmt.Errorf("comm: rank %d is not in group %q %v", r, g.name, g.ranks)
+		}
+	}
+	return nil
+}
+
+// instruments lazily resolves the group's metric instruments, so a
+// registry installed after group creation still sees the group. Returns
+// false (and records nothing) while no registry is installed.
+func (g *Group) instruments() bool {
+	reg := g.m.env.Metrics
+	if reg == nil {
+		return false
+	}
+	if g.gInflight == nil {
+		g.gInflight = reg.Gauge("adapcc_comm_inflight",
+			"collectives currently in flight per communicator group",
+			"group", g.name)
+		g.cCollective = reg.Counter("adapcc_comm_collectives_total",
+			"collectives completed per communicator group",
+			"group", g.name)
+		g.cWire = reg.Counter("adapcc_comm_wire_bytes_total",
+			"bytes put on the wire per communicator group",
+			"group", g.name)
+	}
+	return true
+}

@@ -1,0 +1,381 @@
+package comm_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/comm"
+	"adapcc/internal/core"
+	"adapcc/internal/metrics"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// hybridEnv builds an 8-GPU two-server environment with a manager over a
+// fresh AdapCC instance (nominal costs, so timing is seed-independent).
+func hybridEnv(t *testing.T, seed int64) (*backend.Env, *core.AdapCC, *comm.Manager) {
+	t.Helper()
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(env, core.WithSkipProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := comm.NewManager(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, a, m
+}
+
+func TestSpecGroupsMegatronLayout(t *testing.T) {
+	specs, err := comm.Spec{DP: 2, TP: 2, PP: 2}.Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]int{
+		// TP contiguous within each (dp, pp) cell.
+		"tp0": {0, 1}, "tp1": {2, 3}, "tp2": {4, 5}, "tp3": {6, 7},
+		// DP at stride TP within each pipeline stage.
+		"dp0": {0, 2}, "dp1": {1, 3}, "dp2": {4, 6}, "dp3": {5, 7},
+		// PP at stride DP·TP.
+		"pp0": {0, 4}, "pp1": {1, 5}, "pp2": {2, 6}, "pp3": {3, 7},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(specs), len(want))
+	}
+	prio := map[byte]int{'t': comm.PriorityLatency, 'd': comm.PriorityBulk, 'p': comm.PriorityStage}
+	for _, s := range specs {
+		if !reflect.DeepEqual(s.Ranks, want[s.Name]) {
+			t.Errorf("group %s ranks = %v, want %v", s.Name, s.Ranks, want[s.Name])
+		}
+		if s.Priority != prio[s.Name[0]] {
+			t.Errorf("group %s priority = %d, want %d", s.Name, s.Priority, prio[s.Name[0]])
+		}
+	}
+
+	// Degenerate dimensions produce no groups.
+	specs, err = comm.Spec{DP: 4, TP: 1, PP: 1}.Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Name != "dp0" || len(specs[0].Ranks) != 4 {
+		t.Fatalf("DP-only spec expanded to %+v", specs)
+	}
+	if _, err := (comm.Spec{DP: 0, TP: 2, PP: 1}).Groups(); err == nil {
+		t.Fatal("zero dimension accepted")
+	}
+}
+
+// TestConcurrentGroups is the tentpole acceptance check: at least three
+// communicator groups run collectives concurrently on one fabric, every
+// group's aggregate is exact, and the per-group metrics add up.
+func TestConcurrentGroups(t *testing.T) {
+	env, _, m := hybridEnv(t, 3)
+	reg := metrics.New()
+	env.SetMetrics(reg)
+	specs, err := comm.Spec{DP: 2, TP: 2, PP: 2}.Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := m.NewGroups(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 12 {
+		t.Fatalf("2x2x2 spec gave %d groups, want 12", len(groups))
+	}
+
+	const bytes = 1 << 18
+	elems := int(bytes / 4)
+	type check struct {
+		g      *comm.Group
+		inputs map[int][]float32
+		got    collective.Result
+	}
+	var checks []*check
+	// Launch an all-reduce on every group before the engine runs at all:
+	// all twelve are in flight together on the shared fabric.
+	for _, g := range groups {
+		ck := &check{g: g, inputs: backend.MakeInputs(g.Ranks(), bytes)}
+		checks = append(checks, ck)
+		err := g.Run(backend.Request{
+			Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+			Inputs: ck.inputs,
+			OnDone: func(r collective.Result) { ck.got = r },
+		})
+		if err != nil {
+			t.Fatalf("group %s: %v", g.Name(), err)
+		}
+	}
+	if m.InFlight() != len(groups) {
+		t.Fatalf("InFlight = %d before engine run, want %d", m.InFlight(), len(groups))
+	}
+	env.Engine.Run()
+	if m.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain, want 0", m.InFlight())
+	}
+
+	for _, ck := range checks {
+		if ck.got.Outputs == nil {
+			t.Fatalf("group %s never completed", ck.g.Name())
+		}
+		want := make([]float32, elems)
+		for _, r := range ck.g.Ranks() {
+			for i, v := range ck.inputs[r] {
+				want[i] += v
+			}
+		}
+		for _, r := range ck.g.Ranks() {
+			o := ck.got.Outputs[r]
+			if len(o) != elems {
+				t.Fatalf("group %s rank %d output has %d elems, want %d",
+					ck.g.Name(), r, len(o), elems)
+			}
+			for i := 0; i < elems; i += 509 {
+				diff := o[i] - want[i]
+				if diff < -1e-3 || diff > 1e-3 {
+					t.Fatalf("group %s rank %d elem %d = %v, want %v",
+						ck.g.Name(), r, i, o[i], want[i])
+				}
+			}
+		}
+		if ck.g.Completed() != 1 {
+			t.Errorf("group %s Completed = %d, want 1", ck.g.Name(), ck.g.Completed())
+		}
+		if ck.g.WireBytes() != ck.got.Stats.BytesOnWire || ck.g.WireBytes() == 0 {
+			t.Errorf("group %s WireBytes = %d, stats say %d",
+				ck.g.Name(), ck.g.WireBytes(), ck.got.Stats.BytesOnWire)
+		}
+	}
+
+	// The registry agrees with the per-group accounting.
+	snap := reg.Snapshot()
+	for _, ck := range checks {
+		name := ck.g.Name()
+		if v := findSeries(t, snap, "adapcc_comm_collectives_total", name); v != 1 {
+			t.Errorf("group %s collectives_total = %v, want 1", name, v)
+		}
+		if v := findSeries(t, snap, "adapcc_comm_wire_bytes_total", name); v != float64(ck.g.WireBytes()) {
+			t.Errorf("group %s wire_bytes_total = %v, want %d", name, v, ck.g.WireBytes())
+		}
+		if v := findSeries(t, snap, "adapcc_comm_inflight", name); v != 0 {
+			t.Errorf("group %s inflight = %v, want 0", name, v)
+		}
+	}
+}
+
+// findSeries digs one group-labelled series value out of a snapshot.
+func findSeries(t *testing.T, snap metrics.Snapshot, name, group string) float64 {
+	t.Helper()
+	for _, fam := range snap.Families {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Series {
+			if s.Labels["group"] == group {
+				return s.Value
+			}
+		}
+	}
+	t.Fatalf("series %s{group=%s} not found", name, group)
+	return 0
+}
+
+// TestSharedStrategyCache: groups with identical participant sets share
+// one cache entry; a new shape adds exactly one.
+func TestSharedStrategyCache(t *testing.T) {
+	env, a, m := hybridEnv(t, 5)
+	g1, err := m.NewGroup(comm.GroupSpec{Name: "left", Ranks: []int{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m.NewGroup(comm.GroupSpec{Name: "left-twin", Ranks: []int{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := m.NewGroup(comm.GroupSpec{Name: "right", Ranks: []int{4, 5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 1 << 16
+	run := func(g *comm.Group) {
+		t.Helper()
+		if err := g.Run(backend.Request{
+			Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+			Inputs: backend.MakeInputs(g.Ranks(), bytes),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		env.Engine.Run()
+	}
+	run(g1)
+	if n := a.CachedStrategies(); n != 1 {
+		t.Fatalf("after first group: %d cached strategies, want 1", n)
+	}
+	run(g2) // identical shape — no new synthesis
+	if n := a.CachedStrategies(); n != 1 {
+		t.Fatalf("after twin group: %d cached strategies, want 1", n)
+	}
+	run(g3) // new shape
+	if n := a.CachedStrategies(); n != 2 {
+		t.Fatalf("after second shape: %d cached strategies, want 2", n)
+	}
+	// Distinct groups still ran in distinct traffic classes.
+	if g1.Class() == g2.Class() || g2.Class() == g3.Class() {
+		t.Fatal("groups share a traffic class")
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	_, _, m := hybridEnv(t, 7)
+	cases := []struct {
+		name string
+		spec comm.GroupSpec
+	}{
+		{"unnamed", comm.GroupSpec{Ranks: []int{0, 1}}},
+		{"single rank", comm.GroupSpec{Name: "solo", Ranks: []int{3}}},
+		{"unknown rank", comm.GroupSpec{Name: "ghost", Ranks: []int{0, 99}}},
+		{"duplicate rank", comm.GroupSpec{Name: "dup", Ranks: []int{1, 1}}},
+	}
+	for _, c := range cases {
+		if _, err := m.NewGroup(c.spec); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := m.NewGroup(comm.GroupSpec{Name: "ok", Ranks: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewGroup(comm.GroupSpec{Name: "ok", Ranks: []int{2, 3}}); err == nil {
+		t.Error("duplicate group name accepted")
+	}
+	if m.Group("ok") == nil || m.Group("missing") != nil {
+		t.Error("Group lookup broken")
+	}
+}
+
+func TestGroupRunRejectsForeignRanks(t *testing.T) {
+	env, _, m := hybridEnv(t, 9)
+	g, err := m.NewGroup(comm.GroupSpec{Name: "pair", Ranks: []int{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 1 << 16
+	err = g.Run(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+		Ranks:  []int{0, 5},
+		Inputs: backend.MakeInputs([]int{0, 5}, bytes),
+	})
+	if err == nil {
+		t.Fatal("foreign rank accepted")
+	}
+	// A subset of the group is a legal partial.
+	inputs := backend.MakeInputs([]int{0, 1}, bytes)
+	if err := g.Run(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+		Ranks: []int{0, 1}, Inputs: inputs,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if g.Completed() != 1 {
+		t.Fatalf("Completed = %d, want 1", g.Completed())
+	}
+}
+
+// groupSoakOutcome summarises one multi-group soak run for replay checks.
+type groupSoakOutcome struct {
+	Completed string
+	WireBytes string
+	Drained   int64
+}
+
+// runGroupSoak drives three overlapping groups with chained collectives
+// (each completion immediately launches the next) until a virtual
+// deadline, with full dense-data verification on every completion.
+func runGroupSoak(t *testing.T, seed int64) groupSoakOutcome {
+	t.Helper()
+	env, _, m := hybridEnv(t, seed)
+	specs, err := comm.Spec{DP: 2, TP: 4, PP: 1}.Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := m.NewGroups(specs) // tp0 tp1 dp0 dp1 dp2 dp3
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 1 << 18
+	const deadline = 20_000_000 // 20 ms of virtual time
+	elems := int(bytes / 4)
+	for _, g := range groups {
+		g := g
+		inputs := backend.MakeInputs(g.Ranks(), bytes)
+		var launch func()
+		launch = func() {
+			err := g.Run(backend.Request{
+				Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
+				OnDone: func(r collective.Result) {
+					for _, rk := range g.Ranks() {
+						if len(r.Outputs[rk]) != elems {
+							t.Errorf("group %s rank %d short output", g.Name(), rk)
+						}
+					}
+					if int64(env.Engine.Now()) < deadline {
+						launch()
+					}
+				},
+			})
+			if err != nil {
+				t.Fatalf("group %s: %v", g.Name(), err)
+			}
+		}
+		launch()
+	}
+	env.Engine.Run()
+	completed, wire := "", ""
+	for _, g := range groups {
+		completed += fmt.Sprintf("%s:%d ", g.Name(), g.Completed())
+		wire += fmt.Sprintf("%d ", g.WireBytes())
+	}
+	return groupSoakOutcome{Completed: completed, WireBytes: wire, Drained: int64(env.Engine.Now())}
+}
+
+// TestGroupSoak: across seeds, concurrent chained collectives from six
+// overlapping groups always drain, every group makes progress, and a
+// replay of the same seed is bit-identical.
+func TestGroupSoak(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			first := runGroupSoak(t, seed)
+			replay := runGroupSoak(t, seed)
+			if first != replay {
+				t.Errorf("seed %d not reproducible:\n first: %+v\nreplay: %+v", seed, first, replay)
+			}
+			for _, part := range []string{"tp0:0", "dp0:0"} {
+				if contains(first.Completed, part+" ") {
+					t.Errorf("seed %d: a group completed nothing: %s", seed, first.Completed)
+				}
+			}
+		})
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+package comm_test
+
+import (
+	"fmt"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/comm"
+	"adapcc/internal/core"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// ExampleManager carves a 4-GPU world into 2 data-parallel × 2
+// tensor-parallel communicator groups and runs a latency-critical TP
+// all-reduce concurrently with a bulk DP all-reduce, using the package's
+// With* functional-option style end to end.
+func ExampleManager() {
+	c, _ := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	env, _ := backend.NewEnv(c, 1)
+	a, _ := core.New(env, core.WithSkipProfiling())
+	m, _ := comm.NewManager(a)
+
+	specs, _ := comm.Spec{DP: 2, TP: 2, PP: 1}.Groups()
+	groups, _ := m.NewGroups(specs)
+	for _, g := range groups {
+		fmt.Printf("%s: ranks %v priority %d\n", g.Name(), g.Ranks(), env.Fabric.ClassInfo(g.Class()).Priority)
+	}
+
+	const bytes = 1 << 20
+	for _, name := range []string{"tp0", "dp0"} {
+		g := m.Group(name)
+		g.Run(backend.Request{
+			Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+			Inputs: backend.MakeInputs(g.Ranks(), bytes),
+			OnDone: func(r collective.Result) {
+				fmt.Printf("%s done: %d ranks aggregated\n", g.Name(), len(r.Outputs))
+			},
+		})
+	}
+	fmt.Printf("in flight: %d\n", m.InFlight())
+	env.Engine.Run()
+	fmt.Printf("completed: tp0=%d dp0=%d\n", m.Group("tp0").Completed(), m.Group("dp0").Completed())
+
+	// Output:
+	// tp0: ranks [0 1] priority 2
+	// tp1: ranks [2 3] priority 2
+	// dp0: ranks [0 2] priority 0
+	// dp1: ranks [1 3] priority 0
+	// in flight: 2
+	// tp0 done: 2 ranks aggregated
+	// dp0 done: 2 ranks aggregated
+	// completed: tp0=1 dp0=1
+}

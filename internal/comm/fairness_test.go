@@ -1,0 +1,125 @@
+package comm_test
+
+import (
+	"testing"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/comm"
+	"adapcc/internal/core"
+	"adapcc/internal/payload"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// fairnessOutcome is everything one weighted-fairness run observes.
+type fairnessOutcome struct {
+	Heavy, Light int
+	Drained      int64
+}
+
+// runFairness drives two cross-server groups that share a NIC — group
+// "heavy" at weight 2, group "light" at weight 1, equal priority — with
+// back-to-back broadcasts until a virtual deadline, and reports each
+// group's completed-collective count. Broadcasts (not all-reduces) keep
+// both groups' wire traffic in the same direction the whole time, so the
+// shared server-0 egress port is the only bottleneck and the completion
+// ratio isolates the weighted-fair arbitration.
+func runFairness(t *testing.T, seed int64) fairnessOutcome {
+	t.Helper()
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(env, core.WithSkipProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := comm.NewManager(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranks 0,1 live on server 0 and ranks 2,3 on server 1: both groups
+	// cross the same pair of NICs, so every chunk of one contends with
+	// the other at the shared links.
+	heavy, err := m.NewGroup(comm.GroupSpec{Name: "heavy", Ranks: []int{0, 2}, Weight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := m.NewGroup(comm.GroupSpec{Name: "light", Ranks: []int{1, 3}, Weight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const bytes = 32 << 20
+	const deadline = 200_000_000 // 200 ms of virtual time
+	chain := func(g *comm.Group, root int) {
+		var launch func()
+		launch = func() {
+			err := g.Run(backend.Request{
+				Primitive: strategy.Broadcast, Bytes: bytes, Root: root,
+				Mode: payload.Phantom,
+				OnDone: func(collective.Result) {
+					if int64(env.Engine.Now()) < deadline {
+						launch()
+					}
+				},
+			})
+			if err != nil {
+				t.Fatalf("group %s: %v", g.Name(), err)
+			}
+		}
+		launch()
+	}
+	// Three chains per group keep each class's traffic continuously at the
+	// NICs: with a single outstanding collective, a group's serial phases
+	// (aggregation kernels, α latencies) would let the other group run at
+	// line rate in the gaps and wash out the weighted split.
+	for i := 0; i < 3; i++ {
+		chain(heavy, 0) // server-0 roots: all wire bytes flow server 0 → 1
+		chain(light, 1)
+	}
+	env.Engine.Run()
+	return fairnessOutcome{
+		Heavy:   heavy.Completed(),
+		Light:   light.Completed(),
+		Drained: int64(env.Engine.Now()),
+	}
+}
+
+// TestCrossGroupFairness: two groups sharing the NICs at weights 2:1 see
+// throughput in ratio 2:1 (±15%), and the outcome is bit-identical across
+// engine seeds — with profiling skipped, the whole timeline is a pure
+// function of the weighted-fair arbitration.
+func TestCrossGroupFairness(t *testing.T) {
+	var first fairnessOutcome
+	for seed := int64(1); seed <= 4; seed++ {
+		out := runFairness(t, seed)
+		if seed == 1 {
+			first = out
+			if out.Light == 0 {
+				t.Fatalf("light group starved: %+v", out)
+			}
+			ratio := float64(out.Heavy) / float64(out.Light)
+			if ratio < 1.7 || ratio > 2.3 {
+				t.Errorf("throughput ratio = %.2f (heavy %d, light %d), want 2.0 +/- 15%%",
+					ratio, out.Heavy, out.Light)
+			}
+			if out.Heavy+out.Light < 12 {
+				t.Errorf("only %d collectives in %dms — too few for a stable ratio",
+					out.Heavy+out.Light, first.Drained/1_000_000)
+			}
+			continue
+		}
+		if out != first {
+			t.Errorf("seed %d outcome %+v differs from seed 1 %+v", seed, out, first)
+		}
+	}
+	t.Logf("fairness: heavy %d vs light %d (ratio %.2f)",
+		first.Heavy, first.Light, float64(first.Heavy)/float64(first.Light))
+}

@@ -113,7 +113,7 @@ func (ad *Adaptive) startFull(ranks []int, done func()) {
 
 func (ad *Adaptive) startPhase1(ready, relays []int, done func()) {
 	ad.phase1Ready = append([]int(nil), ready...)
-	err := ad.a.RunPartial(backend.Request{
+	err := ad.a.Run(backend.Request{
 		Primitive: strategy.AllReduce,
 		Bytes:     ad.bytes,
 		Ranks:     ready,
@@ -127,7 +127,7 @@ func (ad *Adaptive) startPhase1(ready, relays []int, done func()) {
 			ad.lastResults = res.Outputs
 			done()
 		},
-	}, relays)
+	}, backend.WithRelays(relays...))
 	if err != nil {
 		panic(fmt.Sprintf("core: adaptive phase-1 allreduce: %v", err))
 	}
@@ -198,7 +198,7 @@ func (ad *Adaptive) startPhase2(participants, late []int, done func()) {
 		for _, r := range participants {
 			bcastInputs[r] = lateSum
 		}
-		err := ad.a.runFast(backend.Request{
+		err := ad.a.Run(backend.Request{
 			Primitive: strategy.Broadcast,
 			Bytes:     ad.bytes,
 			Ranks:     participants,
@@ -213,7 +213,7 @@ func (ad *Adaptive) startPhase2(participants, late []int, done func()) {
 				lateAgg[lateRoot] = lateSum
 				barrier.Done()
 			},
-		})
+		}, backend.WithFastPath())
 		if err != nil {
 			panic(fmt.Sprintf("core: phase-2 late-aggregate broadcast: %v", err))
 		}
@@ -223,7 +223,7 @@ func (ad *Adaptive) startPhase2(participants, late []int, done func()) {
 		for _, r := range group {
 			aggInputs[r] = ad.phase1Out[anchor]
 		}
-		err = ad.a.runFast(backend.Request{
+		err = ad.a.Run(backend.Request{
 			Primitive: strategy.Broadcast,
 			Bytes:     ad.bytes,
 			Ranks:     group,
@@ -235,7 +235,7 @@ func (ad *Adaptive) startPhase2(participants, late []int, done func()) {
 				}
 				barrier.Done()
 			},
-		})
+		}, backend.WithFastPath())
 		if err != nil {
 			panic(fmt.Sprintf("core: phase-2 aggregate broadcast: %v", err))
 		}
@@ -246,7 +246,7 @@ func (ad *Adaptive) startPhase2(participants, late []int, done func()) {
 		stage2(ad.inputs[lateRoot])
 		return
 	}
-	err := ad.a.RunPartial(backend.Request{
+	err := ad.a.Run(backend.Request{
 		Primitive: strategy.Reduce,
 		Bytes:     ad.bytes,
 		Ranks:     late,
@@ -255,7 +255,7 @@ func (ad *Adaptive) startPhase2(participants, late []int, done func()) {
 		OnDone: func(res collective.Result) {
 			stage2(res.Outputs[lateRoot])
 		},
-	}, ad.phase1Ready)
+	}, backend.WithRelays(ad.phase1Ready...))
 	if err != nil {
 		panic(fmt.Sprintf("core: phase-2 late reduce: %v", err))
 	}

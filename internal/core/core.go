@@ -3,7 +3,7 @@
 // the Communicator/Executor. The lifecycle mirrors the paper's Python
 // module:
 //
-//	a, _ := core.New(env, core.Options{})       // adapcc.init(): detect topology
+//	a, _ := core.New(env)       // adapcc.init(): detect topology
 //	a.Setup(done)                               // adapcc.setup(): profile + register contexts
 //	a.Run(backend.Request{...})                 // adapcc.allreduce() / alltoall() / ...
 //	a.Reconstruct(done)                         // runtime re-profiling + graph reconstruction
@@ -31,7 +31,9 @@ import (
 	"adapcc/internal/topology"
 )
 
-// Options configures an AdapCC instance.
+// Options configures an AdapCC instance. Callers construct it through the
+// With* functional options of New; the struct stays exported so the
+// resolved configuration can be inspected.
 type Options struct {
 	// M is the number of parallel sub-collectives (default synth.DefaultM).
 	M int
@@ -42,6 +44,34 @@ type Options struct {
 	// SkipProfiling makes the synthesizer run on nominal hardware labels
 	// (the profiling ablation).
 	SkipProfiling bool
+}
+
+// Option configures New, in the package-wide With* functional-option
+// style (see doc.go of internal/comm for the convention).
+type Option func(*Options)
+
+// WithM caps the number of parallel sub-collectives (transmission
+// contexts) the synthesizer may use.
+func WithM(m int) Option {
+	return func(o *Options) { o.M = m }
+}
+
+// WithExactM pins the sub-collective count to exactly m (the Fig. 19a
+// ablation sweep), instead of treating it as a cap.
+func WithExactM(m int) Option {
+	return func(o *Options) { o.M, o.ExactM = m, true }
+}
+
+// WithChunkGrid overrides the chunk-size search grid.
+func WithChunkGrid(grid ...int64) Option {
+	return func(o *Options) { o.ChunkGrid = grid }
+}
+
+// WithSkipProfiling makes the synthesizer run on nominal hardware labels
+// instead of profiled ones (the profiling ablation; also what keeps
+// timing independent of the profiling phase's seed).
+func WithSkipProfiling() Option {
+	return func(o *Options) { o.SkipProfiling = true }
 }
 
 // AdapCC is one job-wide library instance (logically replicated on every
@@ -92,7 +122,20 @@ var _ backend.Backend = (*AdapCC)(nil)
 // cost is the constant per-server probe time (Sec. VI-E: ≈1.2 s,
 // concurrent across servers) and is reported by InitTime rather than
 // charged to the engine, since it happens before training starts.
-func New(env *backend.Env, opts Options) (*AdapCC, error) {
+//
+//	a, err := core.New(env, core.WithM(4), core.WithSkipProfiling())
+func New(env *backend.Env, options ...Option) (*AdapCC, error) {
+	var opts Options
+	for _, o := range options {
+		o(&opts)
+	}
+	return NewWithOptions(env, opts)
+}
+
+// NewWithOptions is New over an explicit Options struct.
+//
+// Deprecated: use New with With* functional options.
+func NewWithOptions(env *backend.Env, opts Options) (*AdapCC, error) {
 	if env == nil {
 		return nil, fmt.Errorf("core: nil environment")
 	}
@@ -202,54 +245,56 @@ func (a *AdapCC) Overheads() (profiling, solving, setup time.Duration) {
 	return a.lastProfileTime, a.lastSolveTime, a.lastSetupTime
 }
 
-// Run implements backend.Backend: it synthesises (or reuses) the strategy
-// for the request and executes it.
-func (a *AdapCC) Run(req backend.Request) error {
-	res, err := a.Strategy(req.Primitive, req.Bytes, req.Ranks, nil, req.Root)
+// Run implements backend.Backend: it validates the request, synthesises
+// (or reuses) the strategy, and executes it. It is the single execution
+// entry point — what used to be RunPartial and the internal fast path are
+// expressed as options:
+//
+//	a.Run(req)                                   // full collective
+//	a.Run(req, backend.WithRelays(relays...))    // partial: req.Ranks ready, relays attached
+//	a.Run(req, backend.WithFastPath())           // restricted per-iteration synthesis
+//	a.Run(req, backend.WithGroup("tp0", class))  // on behalf of a communicator group
+func (a *AdapCC) Run(req backend.Request, opts ...backend.RunOption) error {
+	if err := req.ValidateIn(a.env); err != nil {
+		return err
+	}
+	cfg := backend.BuildRunConfig(opts)
+	synthesize := a.Strategy
+	if cfg.FastPath {
+		synthesize = a.FastStrategy
+	}
+	res, err := synthesize(req.Primitive, req.Bytes, req.Ranks, cfg.Relays, req.Root)
 	if err != nil {
 		return err
 	}
-	return a.env.Exec.Run(collective.Op{
+	op := collective.Op{
 		Strategy: res.Strategy,
 		Mode:     req.Mode,
 		Inputs:   req.Inputs,
+		Class:    cfg.Class,
 		OnDone:   req.OnDone,
-	})
-}
-
-// runFast executes a collective synthesised with the restricted search
-// (per-iteration catch-up operations).
-func (a *AdapCC) runFast(req backend.Request) error {
-	res, err := a.Strategy(req.Primitive, req.Bytes, req.Ranks, nil, req.Root)
-	if err != nil {
-		return err
 	}
-	return a.env.Exec.Run(collective.Op{
-		Strategy: res.Strategy,
-		Mode:     req.Mode,
-		Inputs:   req.Inputs,
-		OnDone:   req.OnDone,
-	})
+	if cfg.Relays != nil {
+		// Partial collective: only the request's ranks contribute data;
+		// the relays participate per their behaviour tuples.
+		active := make(map[int]bool, len(req.Ranks))
+		for _, r := range req.Ranks {
+			active[r] = true
+		}
+		op.Active = active
+	}
+	return a.env.Exec.Run(op)
 }
 
 // RunPartial executes a collective among ready workers only, using the
 // given relays (phase 1 of the adaptive relay control).
+//
+// Deprecated: use Run with backend.WithRelays.
 func (a *AdapCC) RunPartial(req backend.Request, relays []int) error {
-	res, err := a.Strategy(req.Primitive, req.Bytes, req.Ranks, relays, req.Root)
-	if err != nil {
-		return err
+	if relays == nil {
+		relays = []int{}
 	}
-	active := make(map[int]bool, len(req.Ranks))
-	for _, r := range req.Ranks {
-		active[r] = true
-	}
-	return a.env.Exec.Run(collective.Op{
-		Strategy: res.Strategy,
-		Mode:     req.Mode,
-		Inputs:   req.Inputs,
-		Active:   active,
-		OnDone:   req.OnDone,
-	})
+	return a.Run(req, backend.WithRelays(relays...))
 }
 
 // Strategy synthesises (with caching) the plan for a collective using the
@@ -294,6 +339,12 @@ func (a *AdapCC) synthesize(p strategy.Primitive, bytes int64, ranks, relays []i
 	a.lastSolveTime += res.SolveTime
 	return res, nil
 }
+
+// CachedStrategies reports the number of synthesized strategies in the
+// shared cache. Communicator groups (internal/comm) with identical
+// participant sets resolve to one entry — the cache is keyed by shape,
+// not by group.
+func (a *AdapCC) CachedStrategies() int { return len(a.cache) }
 
 // Predict returns the synthesizer's predicted completion time for a
 // collective (the coordinator's cost estimates use this).

@@ -12,13 +12,13 @@ import (
 	"adapcc/internal/topology"
 )
 
-func newInstance(t *testing.T, c *topology.Cluster, opts Options) (*backend.Env, *AdapCC) {
+func newInstance(t *testing.T, c *topology.Cluster, opts ...Option) (*backend.Env, *AdapCC) {
 	t.Helper()
 	env, err := backend.NewEnv(c, 21)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := New(env, opts)
+	a, err := New(env, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func testbedInstance(t *testing.T) (*backend.Env, *AdapCC) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newInstance(t, c, Options{})
+	return newInstance(t, c)
 }
 
 func setup(t *testing.T, env *backend.Env, a *AdapCC) {
@@ -328,7 +328,7 @@ func TestAllGather(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	setup(t, env, a)
 	ranks := env.AllRanks()
 	const shardLen = 1 << 18
@@ -369,7 +369,7 @@ func TestReduceScatter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	setup(t, env, a)
 	ranks := env.AllRanks()
 	total := 1 << 20

@@ -15,7 +15,7 @@ func TestPredictEstimatorScaling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	setup(t, env, a)
 
 	est := &PredictEstimator{A: a, TensorBytes: 64 << 20, World: 16}
@@ -54,7 +54,7 @@ func TestFastStrategyCachesSeparately(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	setup(t, env, a)
 
 	full, err := a.Strategy(strategy.AllReduce, 32<<20, nil, nil, -1)
@@ -86,7 +86,7 @@ func TestAggregateBandwidthSingleServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	_ = env
 	// No network edges: fall back to accumulated NVLink bandwidth.
 	if bw := a.AggregateBandwidthBps([]int{0, 1, 2, 3}, nil); bw <= 0 {
@@ -99,7 +99,7 @@ func TestQueuePanicsOnInvalidRequest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	setup(t, env, a)
 	q := a.NewQueue()
 	defer func() {
@@ -115,7 +115,7 @@ func TestCoreAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	if a.Env() != env {
 		t.Error("Env() does not return the wired environment")
 	}

@@ -18,7 +18,7 @@ import (
 func Example() {
 	cl, _ := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
 	env, _ := backend.NewEnv(cl, 1)
-	a, _ := core.New(env, core.Options{}) // adapcc.init()
+	a, _ := core.New(env) // adapcc.init()
 	a.Setup(func() {})                    // adapcc.setup()
 	env.Engine.Run()
 
@@ -55,7 +55,7 @@ func Example() {
 func ExampleAdapCC_Send() {
 	cl, _ := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
 	env, _ := backend.NewEnv(cl, 1)
-	a, _ := core.New(env, core.Options{})
+	a, _ := core.New(env)
 	a.Setup(func() {})
 	env.Engine.Run()
 

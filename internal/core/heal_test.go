@@ -51,7 +51,7 @@ func tightHeal() health.Options {
 
 // runOnce runs one resilient collective to completion and returns the
 // result plus the virtual time it took.
-func runOnce(t *testing.T, env *backend.Env, a *AdapCC, bytes int64, opts ResilientOptions) (ResilientResult, time.Duration) {
+func runOnce(t *testing.T, env *backend.Env, a *AdapCC, bytes int64, opts ...ResilientOption) (ResilientResult, time.Duration) {
 	t.Helper()
 	ranks := env.AllRanks()
 	inputs := backend.MakeInputs(ranks, bytes)
@@ -61,10 +61,10 @@ func runOnce(t *testing.T, env *backend.Env, a *AdapCC, bytes int64, opts Resili
 	doneAt := start
 	err := a.RunResilient(backend.Request{
 		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
-	}, opts, func(r ResilientResult, err error) {
+	}, func(r ResilientResult, err error) {
 		got, gotErr = r, err
 		doneAt = env.Engine.Now()
-	})
+	}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestHealEndToEnd(t *testing.T) {
 	}
 
 	// Leg 1: healthy baseline.
-	base, baseElapsed := runOnce(t, env, a, bytes, ResilientOptions{Recovery: tightRecovery()})
+	base, baseElapsed := runOnce(t, env, a, bytes, WithRecovery(tightRecovery()))
 	if base.Attempts != 1 {
 		t.Fatalf("baseline took %d attempts", base.Attempts)
 	}
@@ -130,13 +130,12 @@ func TestHealEndToEnd(t *testing.T) {
 	}
 
 	var healEvents []health.Event
-	faulted, faultedElapsed := runOnce(t, env, a, bytes, ResilientOptions{
-		Recovery: tightRecovery(),
-		Heal: &HealOptions{
+	faulted, faultedElapsed := runOnce(t, env, a, bytes,
+		WithRecovery(tightRecovery()),
+		WithHeal(HealOptions{
 			Options: tightHeal(),
 			OnHeal:  func(ev health.Event) { healEvents = append(healEvents, ev) },
-		},
-	})
+		}))
 	if faulted.Attempts < 2 {
 		t.Fatalf("degraded run took %d attempts, want >= 2", faulted.Attempts)
 	}
@@ -168,7 +167,7 @@ func TestHealEndToEnd(t *testing.T) {
 	_ = faultedElapsed
 
 	// Leg 3: the healed topology performs like the pre-fault one.
-	healedRun, healedElapsed := runOnce(t, env, a, bytes, ResilientOptions{Recovery: tightRecovery()})
+	healedRun, healedElapsed := runOnce(t, env, a, bytes, WithRecovery(tightRecovery()))
 	if healedRun.Attempts != 1 {
 		t.Fatalf("post-heal run took %d attempts", healedRun.Attempts)
 	}
@@ -224,7 +223,7 @@ func TestHealDisabledKeepsExclusions(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	faulted, _ := runOnce(t, env, a, bytes, ResilientOptions{Recovery: tightRecovery()})
+	faulted, _ := runOnce(t, env, a, bytes, WithRecovery(tightRecovery()))
 	if faulted.Attempts < 2 {
 		t.Fatalf("degraded run took %d attempts, want >= 2", faulted.Attempts)
 	}

@@ -13,7 +13,7 @@ func TestSendDeliversAcrossServers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	setup(t, env, a)
 
 	data := make([]float32, 1<<18)
@@ -46,7 +46,7 @@ func TestSendErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	setup(t, env, a)
 	if err := a.Send(0, 0, []float32{1}, nil); err == nil {
 		t.Error("self-send accepted")
@@ -61,7 +61,7 @@ func TestGatherConcatenatesInRankOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	setup(t, env, a)
 
 	const shardLen = 1 << 14
@@ -95,7 +95,7 @@ func TestScatterInvertsGather(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	setup(t, env, a)
 
 	const shardLen = 1 << 14
@@ -129,7 +129,7 @@ func TestGatherScatterErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, a := newInstance(t, c, Options{})
+	env, a := newInstance(t, c)
 	setup(t, env, a)
 
 	if err := a.Gather(nil, 9, map[int][]float32{0: {1}, 1: {1}, 2: {1}, 3: {1}}, nil); err == nil {

@@ -27,7 +27,9 @@ import (
 // regardless; the cap is a safety valve against pathological schedules.
 const DefaultMaxAttempts = 8
 
-// ResilientOptions configures RunResilient.
+// ResilientOptions is the resolved configuration of RunResilient. Callers
+// construct it through the With* resilient options; the struct stays
+// exported so the resolved configuration can be inspected.
 type ResilientOptions struct {
 	// Recovery sets the detection knobs (deadline multiple, retry budget,
 	// stall timeout). Its OnFault is owned by RunResilient and must be
@@ -45,6 +47,35 @@ type ResilientOptions struct {
 	// and re-admitted once it passes probation. The first RunResilient
 	// with Heal set installs the monitor; its knobs win over later calls.
 	Heal *HealOptions
+}
+
+// ResilientOption configures one RunResilient call, in the package-wide
+// With* functional-option style.
+type ResilientOption func(*ResilientOptions)
+
+// WithRecovery sets the fault-detection knobs (deadline multiple, retry
+// budget, stall timeout). Its OnFault is owned by RunResilient and must
+// be nil.
+func WithRecovery(rec collective.Recovery) ResilientOption {
+	return func(o *ResilientOptions) { o.Recovery = rec }
+}
+
+// WithMaxAttempts bounds execution attempts (default DefaultMaxAttempts).
+func WithMaxAttempts(n int) ResilientOption {
+	return func(o *ResilientOptions) { o.MaxAttempts = n }
+}
+
+// WithCoordinator propagates every fault to a relay coordinator via
+// ReportLinkFault (and, with healing, Readmit).
+func WithCoordinator(co *relay.Coordinator) ResilientOption {
+	return func(o *ResilientOptions) { o.Coordinator = co }
+}
+
+// WithHeal opts into elastic healing: every exclusion this run makes is
+// watched by the background health monitor and re-admitted once it passes
+// probation.
+func WithHeal(h HealOptions) ResilientOption {
+	return func(o *ResilientOptions) { o.Heal = &h }
 }
 
 // RecoveryEvent records one detect→exclude→re-synthesize cycle.
@@ -267,9 +298,25 @@ type resilientRun struct {
 // Ranks already excluded by earlier faults are silently dropped from the
 // request's participant set; the collective completes with correct
 // aggregates over the survivors of the final attempt.
-func (a *AdapCC) RunResilient(req backend.Request, opts ResilientOptions, onDone func(ResilientResult, error)) error {
+//
+//	a.RunResilient(req, cb, core.WithMaxAttempts(4), core.WithHeal(hopts))
+func (a *AdapCC) RunResilient(req backend.Request, onDone func(ResilientResult, error), options ...ResilientOption) error {
+	var opts ResilientOptions
+	for _, o := range options {
+		o(&opts)
+	}
+	return a.RunResilientWithOptions(req, opts, onDone)
+}
+
+// RunResilientWithOptions is RunResilient over an explicit options struct.
+//
+// Deprecated: use RunResilient with With* resilient options.
+func (a *AdapCC) RunResilientWithOptions(req backend.Request, opts ResilientOptions, onDone func(ResilientResult, error)) error {
 	if onDone == nil {
 		return fmt.Errorf("core: RunResilient needs an onDone callback")
+	}
+	if err := req.ValidateIn(a.env); err != nil {
+		return err
 	}
 	if opts.Recovery.OnFault != nil {
 		return fmt.Errorf("core: ResilientOptions.Recovery.OnFault is owned by RunResilient")

@@ -22,7 +22,7 @@ func resilientEnv(t *testing.T) (*backend.Env, *AdapCC) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := New(env, Options{SkipProfiling: true})
+	a, err := New(env, WithSkipProfiling())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,9 +75,9 @@ func TestResilientCompletesWithoutFault(t *testing.T) {
 	var gotErr error
 	err := a.RunResilient(backend.Request{
 		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
-	}, ResilientOptions{Recovery: tightRecovery()}, func(r ResilientResult, err error) {
+	}, func(r ResilientResult, err error) {
 		got, gotErr = r, err
-	})
+	}, WithRecovery(tightRecovery()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,9 +136,9 @@ func TestResilientReroutesAroundDeadLink(t *testing.T) {
 	var gotErr error
 	err = a.RunResilient(backend.Request{
 		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
-	}, ResilientOptions{Recovery: tightRecovery()}, func(r ResilientResult, err error) {
+	}, func(r ResilientResult, err error) {
 		got, gotErr = r, err
-	})
+	}, WithRecovery(tightRecovery()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,9 +175,9 @@ func TestResilientReroutesAroundDeadLink(t *testing.T) {
 	var again ResilientResult
 	err = a.RunResilient(backend.Request{
 		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
-	}, ResilientOptions{Recovery: tightRecovery()}, func(r ResilientResult, err error) {
+	}, func(r ResilientResult, err error) {
 		again, gotErr = r, err
-	})
+	}, WithRecovery(tightRecovery()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,9 +219,9 @@ func TestResilientDropsCrashedRank(t *testing.T) {
 	var gotErr error
 	err := a.RunResilient(backend.Request{
 		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
-	}, ResilientOptions{Recovery: tightRecovery(), MaxAttempts: 10}, func(r ResilientResult, err error) {
+	}, func(r ResilientResult, err error) {
 		got, gotErr = r, err
-	})
+	}, WithRecovery(tightRecovery()), WithMaxAttempts(10))
 	if err != nil {
 		t.Fatal(err)
 	}

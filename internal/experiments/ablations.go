@@ -94,7 +94,11 @@ func Ablations(cfg Config) (*Table, error) {
 			return 0, err
 		}
 		env.Fabric.SetServerNetworkScale(2, 0.3)
-		a, err := core.New(env, core.Options{SkipProfiling: skipProfiling})
+		var copts []core.Option
+		if skipProfiling {
+			copts = append(copts, core.WithSkipProfiling())
+		}
+		a, err := core.New(env, copts...)
 		if err != nil {
 			return 0, err
 		}

@@ -23,7 +23,7 @@ var systemNames = []string{"AdapCC", "MSCCL", "NCCL", "Blink"}
 func makeBackend(name string, env *backend.Env) (backend.Backend, error) {
 	switch name {
 	case "AdapCC":
-		a, err := core.New(env, core.Options{})
+		a, err := core.New(env)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +174,7 @@ func Fig19aParallelism(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		a, err := core.New(env, core.Options{M: m, ExactM: true})
+		a, err := core.New(env, core.WithExactM(m))
 		if err != nil {
 			return nil, err
 		}

@@ -38,7 +38,7 @@ func MetricsReport(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		a, err := core.New(env, core.Options{})
+		a, err := core.New(env)
 		if err != nil {
 			return nil, err
 		}

@@ -106,13 +106,11 @@ func relayAsyncQualities(cfg Config, iters int) ([]float64, error) {
 	d.DropLateTensors = true
 	observe := cfg.iters(120)
 	var qualities []float64
-	if _, err := runTrainingWith(te, train.Config{
-		Workload: train.VGG16(), Env: te.env, Cluster: heter, Driver: d,
-		Iterations: observe, Seed: cfg.Seed,
-		OnIteration: func(i int, _ train.IterStats) {
+	if _, err := runTrainingWith(te, train.VGG16(), d, observe,
+		train.WithSeed(cfg.Seed),
+		train.WithOnIteration(func(i int, _ train.IterStats) {
 			qualities = append(qualities, d.Quality())
-		},
-	}); err != nil {
+		})); err != nil {
 		return nil, err
 	}
 	out := make([]float64, iters)
@@ -156,7 +154,7 @@ func Fig19cReconstruction(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		a, err := core.New(env, core.Options{})
+		a, err := core.New(env)
 		if err != nil {
 			return nil, err
 		}
@@ -214,10 +212,7 @@ func Fig19dRPCDelay(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := runTrainingWith(te, train.Config{
-		Workload: train.VGG16(), Env: te.env, Cluster: cl, Driver: d,
-		Iterations: iters, Seed: cfg.Seed,
-	}); err != nil {
+	if _, err := runTrainingWith(te, train.VGG16(), d, iters, train.WithSeed(cfg.Seed)); err != nil {
 		return nil, err
 	}
 	samples := d.Coordinator().Stats().RPCSamples

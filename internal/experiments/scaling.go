@@ -89,7 +89,7 @@ func scalingAdapCC(cl *topology.Cluster, cfg Config) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	a, err := core.New(env, core.Options{})
+	a, err := core.New(env)
 	if err != nil {
 		return 0, err
 	}

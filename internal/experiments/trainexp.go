@@ -28,7 +28,7 @@ func newTrainEnv(cl *topology.Cluster, seed int64, withAdapCC bool) (*trainEnv, 
 	}
 	te := &trainEnv{cluster: cl, env: env}
 	if withAdapCC {
-		a, err := core.New(env, core.Options{})
+		a, err := core.New(env)
 		if err != nil {
 			return nil, err
 		}
@@ -43,9 +43,9 @@ func newTrainEnv(cl *topology.Cluster, seed int64, withAdapCC bool) (*trainEnv, 
 	return te, nil
 }
 
-// runTrainingWith executes a configured trainer to completion.
-func runTrainingWith(te *trainEnv, cfg train.Config) (*train.Stats, error) {
-	tr, err := train.NewTrainer(cfg)
+// runTrainingWith executes a trainer to completion on the env's engine.
+func runTrainingWith(te *trainEnv, w train.Workload, driver train.Driver, iterations int, opts ...train.Option) (*train.Stats, error) {
+	tr, err := train.New(w, te.env, te.cluster, driver, iterations, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -90,16 +90,10 @@ func trainOnce(cfg Config, cl *topology.Cluster, w train.Workload, system string
 	default:
 		return nil, nil, fmt.Errorf("experiments: unknown training system %q", system)
 	}
-	stats, err := runTrainingWith(te, train.Config{
-		Workload:     w,
-		Env:          te.env,
-		Cluster:      cl,
-		Driver:       driver,
-		Iterations:   iters,
-		BatchPerGPU:  batch,
-		Interference: inf,
-		Seed:         cfg.Seed,
-	})
+	stats, err := runTrainingWith(te, w, driver, iters,
+		train.WithBatchPerGPU(batch),
+		train.WithInterference(inf),
+		train.WithSeed(cfg.Seed))
 	return stats, driver, err
 }
 
@@ -222,10 +216,7 @@ func Fig15RelayProbability(cfg Config) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		if _, err := runTrainingWith(te, train.Config{
-			Workload: train.VGG16(), Env: te.env, Cluster: cl, Driver: d,
-			Iterations: iters, Seed: cfg.Seed,
-		}); err != nil {
+		if _, err := runTrainingWith(te, train.VGG16(), d, iters, train.WithSeed(cfg.Seed)); err != nil {
 			return err
 		}
 		st := d.Coordinator().Stats()
@@ -336,25 +327,20 @@ func Fig18aVolatile(cfg Config) (*Table, error) {
 			defer app.Stop()
 
 			var driver train.Driver
-			tcfg := train.Config{
-				Workload: train.VGG16(), Env: te.env, Cluster: cl,
-				Iterations: iters, Seed: cfg.Seed,
-			}
+			topts := []train.Option{train.WithSeed(cfg.Seed)}
 			if system == "AdapCC" {
 				d, err := train.NewAdaptiveDriver(te.adapcc, te.env.AllRanks(), strategy.AllReduce, train.VGG16().ParamBytes, nil, nil)
 				if err != nil {
 					return 0, err
 				}
 				driver = d
-				tcfg.ReprofileEvery = 500
-				tcfg.Reprofile = func(done func()) {
+				topts = append(topts, train.WithReprofile(500, func(done func()) {
 					te.adapcc.Reconstruct(func(time.Duration) { done() })
-				}
+				}))
 			} else {
 				driver = train.NewWaitAllDriver(te.env, train.NCCLPlanner(te.env), strategy.AllReduce, train.VGG16().ParamBytes, te.env.AllRanks())
 			}
-			tcfg.Driver = driver
-			stats, err := runTrainingWith(te, tcfg)
+			stats, err := runTrainingWith(te, train.VGG16(), driver, iters, topts...)
 			if err != nil {
 				return 0, err
 			}

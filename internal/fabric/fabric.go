@@ -26,6 +26,7 @@ import (
 	"math"
 	"time"
 
+	"adapcc/internal/metrics"
 	"adapcc/internal/sim"
 	"adapcc/internal/topology"
 )
@@ -50,6 +51,29 @@ const maxScheduleSeconds = 1e9
 // own stream".
 type StreamID int64
 
+// ClassID names a registered traffic class. The zero value is the default
+// class: priority 0, and — uniquely — every default-class stream counts as
+// its own weight-1 flow, which reproduces the historical equal per-stream
+// split exactly. Register non-default classes with NewClass.
+type ClassID int32
+
+// Class describes one traffic class for the link scheduler. Arbitration at
+// each link is strict-priority between classes and weighted-fair within a
+// priority level, at chunk granularity: a chunk already on the wire is
+// never preempted, but once it completes, waiting higher-priority chunks
+// are served before lower-priority ones, and same-priority classes split
+// bandwidth in proportion to Weight (counted once per class, not per
+// stream — a class with many streams does not multiply its share).
+type Class struct {
+	// Name labels the class in metrics (adapcc_link_class_share).
+	Name string
+	// Priority orders classes at a link: higher strictly wins. Default 0.
+	Priority int
+	// Weight is the fair-share weight among serving classes of the top
+	// priority level. Non-positive weights are registered as 1.
+	Weight float64
+}
+
 // Arrival is the interface form of an arrival callback: the fabric calls
 // OnArrive(payload) when the transfer completes. Hot callers pre-bind the
 // callback state in the receiver, so posting a chunk allocates no closure.
@@ -63,6 +87,7 @@ type Arrival interface{ OnArrive(payload any) }
 type Transfer struct {
 	link      *link
 	stream    StreamID
+	class     ClassID
 	remaining float64
 	rate      float64 // bytes/sec currently granted
 	payload   any
@@ -129,6 +154,8 @@ type Fabric struct {
 	free     []*Transfer // recycled transfer structs
 	genCount uint64
 	inj      Injector
+	classes  []Class
+	reg      *metrics.Registry // lazily resolves per-class link-share gauges
 }
 
 // SetInjector installs (or, with nil, removes) the fault-injection hook.
@@ -140,10 +167,28 @@ func (f *Fabric) NewStreamID() StreamID {
 	return f.streamID
 }
 
+// NewClass registers a traffic class and returns its id. Classes are
+// append-only for the fabric's lifetime: a ClassID handed out stays valid
+// and keeps its priority and weight.
+func (f *Fabric) NewClass(c Class) ClassID {
+	if c.Weight <= 0 {
+		c.Weight = 1
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("class%d", len(f.classes))
+	}
+	f.classes = append(f.classes, c)
+	return ClassID(len(f.classes) - 1)
+}
+
+// ClassInfo returns the definition of a registered class.
+func (f *Fabric) ClassInfo(id ClassID) Class { return f.classes[id] }
+
 // New builds a fabric over the graph. Every edge starts at its nominal
 // bandwidth (scale 1.0).
 func New(eng *sim.Engine, graph *topology.Graph) *Fabric {
-	f := &Fabric{eng: eng, graph: graph}
+	f := &Fabric{eng: eng, graph: graph,
+		classes: []Class{{Name: "default", Priority: 0, Weight: 1}}}
 	f.links = make([]*link, graph.NumEdges())
 	for i := range f.links {
 		f.links[i] = &link{
@@ -179,10 +224,21 @@ func (f *Fabric) SendStream(edge topology.EdgeID, stream StreamID, size int64, p
 // Arrival): the per-chunk hot path of the collective executor uses it so
 // posting a chunk allocates no closure.
 func (f *Fabric) SendStreamTo(edge topology.EdgeID, stream StreamID, size int64, payload any, arr Arrival) *Transfer {
-	return f.send(edge, stream, size, payload, nil, arr)
+	return f.sendClass(edge, stream, 0, size, payload, nil, arr)
+}
+
+// SendStreamClassTo is SendStreamTo under a registered traffic class: the
+// chunk competes at every shared link with that class's priority and
+// weight. Class 0 is the default best-effort class.
+func (f *Fabric) SendStreamClassTo(edge topology.EdgeID, stream StreamID, class ClassID, size int64, payload any, arr Arrival) *Transfer {
+	return f.sendClass(edge, stream, class, size, payload, nil, arr)
 }
 
 func (f *Fabric) send(edge topology.EdgeID, stream StreamID, size int64, payload any, onArrive func(payload any), arr Arrival) *Transfer {
+	return f.sendClass(edge, stream, 0, size, payload, onArrive, arr)
+}
+
+func (f *Fabric) sendClass(edge topology.EdgeID, stream StreamID, class ClassID, size int64, payload any, onArrive func(payload any), arr Arrival) *Transfer {
 	if size <= 0 {
 		panic(fmt.Sprintf("fabric: transfer size %d must be positive", size))
 	}
@@ -204,6 +260,7 @@ func (f *Fabric) send(edge topology.EdgeID, stream StreamID, size int64, payload
 	*t = Transfer{
 		link:      l,
 		stream:    stream,
+		class:     class,
 		remaining: float64(size),
 		size:      size,
 		payload:   payload,
@@ -387,10 +444,16 @@ type link struct {
 	nextEv       *sim.Event
 	bytesDone    int64
 	bytesAborted int64
-	// reused scratch for reallocate's stream grouping (hot path).
-	streams       []StreamID
-	servedScratch []StreamID
-	lm            *linkMetrics // nil when metrics are disabled
+	// reused scratch for reallocate's stream grouping and class
+	// arbitration (hot path: no per-call allocations once warmed up).
+	streams     []StreamID
+	heads       []*Transfer
+	serving     []*Transfer
+	classIDs    []ClassID
+	classN      []int
+	classGrant  []float64
+	classGauges []*metrics.Gauge // indexed by ClassID; lazily resolved
+	lm          *linkMetrics     // nil when metrics are disabled
 }
 
 // advance integrates transferred bytes up to the current virtual time and
@@ -421,12 +484,26 @@ func (l *link) advance() {
 }
 
 // reallocate recomputes per-transfer rates and schedules the next
-// completion event. Bandwidth is shared equally among logical *streams*
-// (with the per-stream cap applied per stream). Within one stream the
-// transfers are served FIFO — the whole stream allowance goes to the
-// oldest in-flight chunk — matching in-order byte-stream delivery; an
-// equal split would make queued chunks of a stream complete together (a
-// convoy), which breaks downstream chunk pipelining.
+// completion event. Within one stream the transfers are served FIFO — the
+// whole stream allowance goes to the oldest in-flight chunk — matching
+// in-order byte-stream delivery; an equal split would make queued chunks
+// of a stream complete together (a convoy), which breaks downstream chunk
+// pipelining.
+//
+// Across streams the arbitration is class-aware, at chunk granularity:
+//
+//   - Only the highest priority present among the stream heads is served,
+//     except that a chunk already mid-transmission is never preempted —
+//     it keeps (its share of) the link until it completes, and newly
+//     arrived higher-priority chunks share with it until then.
+//   - Serving classes split capacity by weight. A named class's weight is
+//     counted once no matter how many of its streams are serving (the
+//     class splits its own share FIFO-fairly among them), so a group
+//     cannot grow its link share by opening more streams. Default-class
+//     (ClassID 0) streams are each their own weight-1 flow, which makes a
+//     fabric with no registered classes behave exactly like the
+//     historical equal per-stream split.
+//   - The per-stream cap still applies to each head after weighting.
 func (l *link) reallocate() {
 	if l.nextEv != nil {
 		l.fab.eng.Cancel(l.nextEv)
@@ -438,10 +515,13 @@ func (l *link) reallocate() {
 		}
 		return
 	}
-	// A link carries few distinct streams at once, so a linear scan over a
-	// reused scratch slice beats per-call map allocations on the hot path.
+	// A link carries few distinct streams at once, so linear scans over
+	// reused scratch slices beat per-call map allocations on the hot path.
+	classes := l.fab.classes
 	seen := l.streams[:0]
-	for _, t := range l.active {
+	heads := l.heads[:0]
+	maxPrio := math.MinInt64
+	for _, t := range l.active { // insertion order = FIFO per stream
 		found := false
 		for _, s := range seen {
 			if s == t.stream {
@@ -449,47 +529,110 @@ func (l *link) reallocate() {
 				break
 			}
 		}
-		if !found {
-			seen = append(seen, t.stream)
+		if found {
+			t.rate = 0 // queued behind its stream's head
+			continue
+		}
+		seen = append(seen, t.stream)
+		heads = append(heads, t)
+		if p := classes[t.class].Priority; p > maxPrio {
+			maxPrio = p
 		}
 	}
 	l.streams = seen
-	capacity := l.edge.BandwidthBps * l.scale
-	streamShare := capacity / float64(len(seen))
-	if cap := l.edge.PerStreamBps; cap > 0 && cap < streamShare {
-		streamShare = cap
+	l.heads = heads
+	// Serving set: top-priority heads plus any head already on the wire
+	// (remaining < size ⇒ it has received bandwidth; no mid-chunk
+	// preemption). Everything else waits at rate 0.
+	serving := l.serving[:0]
+	for _, t := range heads {
+		if classes[t.class].Priority == maxPrio || t.remaining < float64(t.size) {
+			serving = append(serving, t)
+		} else {
+			t.rate = 0
+		}
 	}
-	soonest := math.Inf(1)
-	served := l.servedScratch[:0]
-	for _, t := range l.active { // insertion order = FIFO per stream
-		already := false
-		for _, s := range served {
-			if s == t.stream {
-				already = true
+	l.serving = serving
+	// Weight accounting: each default-class head contributes 1; each named
+	// class contributes its weight once, split over its serving heads.
+	cids := l.classIDs[:0]
+	cns := l.classN[:0]
+	totalW := 0.0
+	for _, t := range serving {
+		if t.class == 0 {
+			totalW++
+			continue
+		}
+		idx := -1
+		for i, id := range cids {
+			if id == t.class {
+				idx = i
 				break
 			}
 		}
-		if already {
-			t.rate = 0
-			continue
+		if idx < 0 {
+			cids = append(cids, t.class)
+			cns = append(cns, 1)
+			totalW += classes[t.class].Weight
+		} else {
+			cns[idx]++
 		}
-		served = append(served, t.stream)
-		t.rate = streamShare
-		if t.rate > 0 {
-			if sec := t.remaining / t.rate; sec < soonest {
+	}
+	l.classIDs, l.classN = cids, cns
+	capacity := l.edge.BandwidthBps * l.scale
+	grant := l.classGrant[:0]
+	for range cids {
+		grant = append(grant, 0)
+	}
+	l.classGrant = grant
+	soonest := math.Inf(1)
+	granted := 0.0
+	for _, t := range serving {
+		var share float64
+		if t.class == 0 {
+			share = capacity / totalW
+		} else {
+			for i, id := range cids {
+				if id == t.class {
+					share = capacity * classes[t.class].Weight / totalW / float64(cns[i])
+					break
+				}
+			}
+		}
+		if cap := l.edge.PerStreamBps; cap > 0 && cap < share {
+			share = cap
+		}
+		t.rate = share
+		granted += share
+		if t.class != 0 {
+			for i, id := range cids {
+				if id == t.class {
+					grant[i] += share
+					break
+				}
+			}
+		}
+		if share > 0 {
+			if sec := t.remaining / share; sec < soonest {
 				soonest = sec
 			}
 		}
 	}
-	l.servedScratch = served
 	if l.lm != nil {
 		now := l.fab.eng.Now()
 		l.lm.queueDepth.Observe(now, float64(len(l.active)))
 		util := 0.0
 		if capacity > 0 {
-			util = streamShare * float64(len(served)) / capacity
+			util = granted / capacity
 		}
 		l.lm.utilization.Set(now, util)
+		for i, id := range cids {
+			share := 0.0
+			if capacity > 0 {
+				share = grant[i] / capacity
+			}
+			l.classShareGauge(id).Set(now, share)
+		}
 	}
 	if math.IsInf(soonest, 1) || soonest > maxScheduleSeconds {
 		return // link stalled; a future SetScale (or Abort) will reschedule

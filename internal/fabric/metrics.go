@@ -20,9 +20,13 @@ type linkMetrics struct {
 
 // SetMetrics installs (or, with nil, removes) the metrics registry. Each
 // link records bytes delivered/aborted, instantaneous utilization, queue
-// depth and per-transfer wait time, labelled by edge id and link type.
+// depth and per-transfer wait time, labelled by edge id and link type;
+// links carrying classed traffic additionally record the per-class
+// bandwidth share (adapcc_link_class_share, labelled by class name).
 func (f *Fabric) SetMetrics(reg *metrics.Registry) {
+	f.reg = reg
 	for _, l := range f.links {
+		l.classGauges = nil
 		if reg == nil {
 			l.lm = nil
 			continue
@@ -44,4 +48,22 @@ func (f *Fabric) SetMetrics(reg *metrics.Registry) {
 				metrics.DurationBuckets, "link", id, "type", typ),
 		}
 	}
+}
+
+// classShareGauge resolves (once per link and class) the gauge recording
+// what fraction of the link's live bandwidth a traffic class currently
+// holds. Only called with metrics enabled and classed traffic serving, so
+// the default hot path never reaches it.
+func (l *link) classShareGauge(id ClassID) *metrics.Gauge {
+	for int(id) >= len(l.classGauges) {
+		l.classGauges = append(l.classGauges, nil)
+	}
+	g := l.classGauges[id]
+	if g == nil {
+		g = l.fab.reg.Gauge("adapcc_link_class_share",
+			"share of a link's live bandwidth held by a traffic class",
+			"link", strconv.Itoa(int(l.edge.ID)), "class", l.fab.classes[id].Name)
+		l.classGauges[id] = g
+	}
+	return g
 }

@@ -20,7 +20,7 @@ func setupAdapCC(t *testing.T, c *topology.Cluster) (*backend.Env, *core.AdapCC)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := core.New(env, core.Options{})
+	a, err := core.New(env)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -232,7 +232,68 @@ type Trainer struct {
 	start time.Duration
 }
 
-// NewTrainer validates the config.
+// Option configures New, in the package-wide With* functional-option
+// style (see doc.go of internal/comm for the convention).
+type Option func(*Config)
+
+// WithBatchPerGPU overrides the per-GPU batch (default: the workload's
+// reference batch).
+func WithBatchPerGPU(n int) Option {
+	return func(c *Config) { c.BatchPerGPU = n }
+}
+
+// WithInterference slows victim workers with the given schedule.
+func WithInterference(inf *Interference) Option {
+	return func(c *Config) { c.Interference = inf }
+}
+
+// WithReprofile blocks training every `every` iterations while reprofile
+// runs (AdapCC's profiling-period hook; call done to resume).
+func WithReprofile(every int, reprofile func(done func())) Option {
+	return func(c *Config) { c.ReprofileEvery, c.Reprofile = every, reprofile }
+}
+
+// WithOnIteration observes each completed iteration.
+func WithOnIteration(f func(i int, stats IterStats)) Option {
+	return func(c *Config) { c.OnIteration = f }
+}
+
+// WithDeadAfter crashes each rank at the given iteration.
+func WithDeadAfter(deaths map[int]int) Option {
+	return func(c *Config) { c.DeadAfter = deaths }
+}
+
+// WithReviveAfter rejoins each crashed rank at the given iteration
+// (elastic scale-up; requires a driver implementing Readmitter).
+func WithReviveAfter(revivals map[int]int) Option {
+	return func(c *Config) { c.ReviveAfter = revivals }
+}
+
+// WithHealReadmit leaves re-admission of revived ranks to an external
+// healing path instead of a scripted Readmit.
+func WithHealReadmit() Option {
+	return func(c *Config) { c.HealReadmit = true }
+}
+
+// WithSeed seeds the compute-noise streams.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// New builds a trainer for the workload on the environment:
+//
+//	tr, err := train.New(w, env, cl, driver, 30, train.WithSeed(7))
+func New(w Workload, env *backend.Env, cl *topology.Cluster, d Driver, iterations int, options ...Option) (*Trainer, error) {
+	cfg := Config{Workload: w, Env: env, Cluster: cl, Driver: d, Iterations: iterations}
+	for _, o := range options {
+		o(&cfg)
+	}
+	return NewTrainer(cfg)
+}
+
+// NewTrainer validates an explicit Config.
+//
+// Deprecated: use New with With* functional options.
 func NewTrainer(cfg Config) (*Trainer, error) {
 	if cfg.Env == nil || cfg.Cluster == nil || cfg.Driver == nil {
 		return nil, fmt.Errorf("train: missing env, cluster or driver")
