@@ -42,22 +42,30 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("adapccsim", flag.ContinueOnError)
 	var (
-		caseName  = fs.String("case", "A100:(4,4) V100:(4,4)", "GPU allocation, e.g. \"A100:(4,4,4,4) V100:(4,4)\"")
-		primName  = fs.String("primitive", "allreduce", "reduce | broadcast | allreduce | alltoall")
-		transport = fs.String("transport", "rdma", "rdma | tcp")
-		bytes     = fs.Int64("bytes", 64<<20, "per-GPU tensor size")
-		m         = fs.Int("m", 4, "parallel sub-collectives M")
-		seed      = fs.Int64("seed", 1, "simulation seed")
-		dumpXML   = fs.Bool("xml", false, "print the full strategy XML")
-		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON of the execution to this file (open in chrome://tracing or Perfetto)")
-		dotOut    = fs.String("dot", "", "write the synthesised strategy as Graphviz DOT to this file")
-		chaosSpec = fs.String("chaos", "", "fault schedule to inject, e.g. \"seed=7;down@2ms+10ms:edge=3;crash@5ms:rank=2\" (kinds: down flap degrade loss hold crash hang straggler); the collective runs with detect/retransmit/re-synthesize recovery")
-		healSpec  = fs.String("heal", "", "enable background healing of excluded links/ranks (requires -chaos); knobs as \"quarantine=2ms,probe=500us,k=3,bytes=65536,giveup=6,backoff=2,maxq=500ms\" (empty value = defaults); healed targets are re-admitted and a post-heal collective reports the reclaimed topology")
+		caseName   = fs.String("case", "A100:(4,4) V100:(4,4)", "GPU allocation, e.g. \"A100:(4,4,4,4) V100:(4,4)\"")
+		primName   = fs.String("primitive", "allreduce", "reduce | broadcast | allreduce | alltoall")
+		transport  = fs.String("transport", "rdma", "rdma | tcp")
+		bytes      = fs.Int64("bytes", 64<<20, "per-GPU tensor size")
+		m          = fs.Int("m", 4, "parallel sub-collectives M")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		dumpXML    = fs.Bool("xml", false, "print the full strategy XML")
+		traceOut   = fs.String("trace", "", "write a Chrome trace-event JSON of the execution to this file (open in chrome://tracing or Perfetto)")
+		dotOut     = fs.String("dot", "", "write the synthesised strategy as Graphviz DOT to this file")
+		chaosSpec  = fs.String("chaos", "", "fault schedule to inject, e.g. \"seed=7;down@2ms+10ms:edge=3;crash@5ms:rank=2\" (kinds: down flap degrade loss hold crash hang straggler); the collective runs with detect/retransmit/re-synthesize recovery")
+		healSpec   = fs.String("heal", "", "enable background healing of excluded links/ranks (requires -chaos); knobs as \"quarantine=2ms,probe=500us,k=3,bytes=65536,giveup=6,backoff=2,maxq=500ms\" (empty value = defaults); healed targets are re-admitted and a post-heal collective reports the reclaimed topology")
 		metricsOut = fs.String("metrics", "", "write the virtual-time metrics registry to this file (.json gets a JSON snapshot, anything else the Prometheus text format)")
 		hybridSpec = fs.String("hybrid", "", "run a hybrid-parallel communicator-group demo instead of a single collective: \"DPxTPxPP\" (e.g. \"2x2x2\"); every group runs one -bytes collective concurrently on the shared fabric")
+		topoSpec   = fs.String("topo", "", "run a datacenter-scale AllReduce sweep on a generated topology instead of the testbed pipeline: \"fattree:pods=8,servers=4\", \"rail:groups=16,servers=8,rails=8\" or \"multinic:servers=32,group=8\"; each pod/group is one simulation domain of the partitioned event engine")
+		workers    = fs.Int("workers", 1, "worker-pool size for the partitioned engine (with -topo); results are bit-identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *topoSpec != "" {
+		if *chaosSpec != "" || *hybridSpec != "" {
+			return fmt.Errorf("-topo is mutually exclusive with -chaos and -hybrid")
+		}
+		return runScale(*topoSpec, *workers, *bytes, *seed, *metricsOut)
 	}
 	healSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -281,6 +289,31 @@ func run(args []string) error {
 		fmt.Printf("trace: %d events -> %s\n", tracer.Len(), *traceOut)
 	}
 	return writeMetrics(reg, *metricsOut)
+}
+
+// runScale runs the -topo sweep: a hierarchical AllReduce over a generated
+// datacenter topology on the partitioned event engine.
+func runScale(spec string, workers int, bytes, seed int64, metricsOut string) error {
+	var reg *metrics.Registry
+	if metricsOut != "" {
+		reg = metrics.New()
+	}
+	res, err := core.RunScale(core.ScaleRequest{
+		Topo: spec, Workers: workers, SegBytes: bytes, Seed: seed, Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %s (%d ranks, %d domains)\n", res.Name, res.Ranks, res.Domains)
+	fmt.Printf("allreduce: %v virtual, verified checksum %#x\n",
+		res.Elapsed.Round(time.Microsecond), res.Checksum)
+	fmt.Printf("engine: %d events in %d windows on %d worker(s), %v wall (%.2fx busy/wall)\n",
+		res.Fired, res.Windows, res.Workers, res.Wall.Round(time.Millisecond), res.Speedup)
+	for _, s := range res.Stats {
+		fmt.Printf("  %-10s %8d events, %5d stalls, max queue %d\n",
+			s.Name, s.Fired, s.Stalls, s.MaxQueueDepth)
+	}
+	return writeMetrics(reg, metricsOut)
 }
 
 // writeMetrics dumps the registry (if installed) to path, JSON or

@@ -182,3 +182,40 @@ func TestHealSpecRoundTrip(t *testing.T) {
 		t.Fatalf("re-parse drifted: %+v vs %+v", reopts, opts)
 	}
 }
+
+func TestRunScaleTopo(t *testing.T) {
+	if err := run([]string{"-topo", "rail:groups=2,servers=2,rails=2", "-workers", "2", "-bytes", "65536"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScaleTopoMetrics(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "scale.json")
+	if err := run([]string{"-topo", "fattree:pods=2,servers=2,gpus=2,spines=1",
+		"-bytes", "65536", "-metrics", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics output is not JSON: %v", err)
+	}
+	if !strings.Contains(string(data), "adapcc_engine_events_fired_total") {
+		t.Error("metrics JSON missing engine stats")
+	}
+}
+
+func TestRunScaleTopoRejectsBadSpec(t *testing.T) {
+	for _, args := range [][]string{
+		{"-topo", "mesh:servers=4"},
+		{"-topo", "rail:groups=2", "-chaos", "seed=1;down@1ms+1ms:edge=0"},
+		{"-topo", "rail:groups=2", "-hybrid", "2x2x2"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"adapcc/internal/metrics"
+	"adapcc/internal/scale"
+	"adapcc/internal/topology"
+)
+
+// ScaleRequest configures a thousand-rank AllReduce sweep over a generated
+// datacenter topology. This path bypasses the per-rank detection/profiling
+// pipeline (which is sized for testbed-scale jobs) and drives the
+// partitioned event engine directly: the topology's pod/group structure
+// becomes the domain decomposition.
+type ScaleRequest struct {
+	// Topo is a generated-topology spec accepted by topology.ParseTopo,
+	// e.g. "rail:groups=16,servers=8,rails=8" or "fattree:pods=8".
+	Topo string
+	// Workers sizes the engine's worker pool (minimum 1).
+	Workers int
+	// Monolithic forces single-domain execution (the reference order).
+	Monolithic bool
+	// SegBytes is the per-segment transfer size (default 256 KiB).
+	SegBytes int64
+	// Seed drives engines and synthetic data.
+	Seed int64
+	// Metrics optionally receives per-domain engine stats.
+	Metrics *metrics.Registry
+}
+
+// RunScale parses, builds, partitions and sweeps a generated topology,
+// returning the verified result.
+func RunScale(req ScaleRequest) (*scale.Result, error) {
+	spec, err := topology.ParseTopo(req.Topo)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := scale.Run(scale.Options{
+		Topo:       topo,
+		Workers:    req.Workers,
+		Monolithic: req.Monolithic,
+		SegBytes:   req.SegBytes,
+		Seed:       req.Seed,
+		Metrics:    req.Metrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: scale sweep %s: %w", spec.Name(), err)
+	}
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package fabric
+
+import (
+	"fmt"
+
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// Sharded is the partitioned data plane: one independent Fabric per
+// simulation domain, coordinated by a sim.Parallel whose lookahead is the
+// partition's minimum cross-domain link latency.
+//
+// Callers address the data plane in global terms — global edge ids and
+// global node paths — and Sharded routes each transfer to the owning
+// domain's fabric. An intra-domain edge behaves exactly as in a monolithic
+// Fabric. A cross-domain edge is simulated in two halves that reproduce the
+// monolithic timing bit for bit: serialization (with all its contention)
+// runs in the source domain over the partition's zero-α leg, and the link
+// latency α is then paid as the cross-domain post delay, so the arrival
+// callback fires in the destination domain at exactly serialization-end+α —
+// the same instant a single-engine simulation would deliver it.
+//
+// With a single-domain partition there are no cross edges and sim.Parallel
+// drains the lone engine directly, so a Sharded over the trivial partition
+// is byte-identical in timing to a plain Fabric over the global graph.
+type Sharded struct {
+	par  *sim.Parallel
+	part *topology.Partition
+	fabs []*Fabric
+}
+
+// NewSharded builds one fabric per domain of the partition. Domain d's
+// engine is seeded with seed+d, so a given (partition, seed) pair fully
+// determines the simulation regardless of worker count.
+func NewSharded(part *topology.Partition, seed int64) *Sharded {
+	par := sim.NewParallel(part.Lookahead)
+	s := &Sharded{par: par, part: part, fabs: make([]*Fabric, part.Domains)}
+	for d := 0; d < part.Domains; d++ {
+		_, eng := par.NewDomain(fmt.Sprintf("domain%d", d), seed+int64(d))
+		s.fabs[d] = New(eng, part.Subs[d])
+	}
+	return s
+}
+
+// Parallel returns the coordinator.
+func (s *Sharded) Parallel() *sim.Parallel { return s.par }
+
+// Partition returns the topology partition the fabrics are built over.
+func (s *Sharded) Partition() *topology.Partition { return s.part }
+
+// Fabric returns domain d's fabric.
+func (s *Sharded) Fabric(d int) *Fabric { return s.fabs[d] }
+
+// Engine returns domain d's engine (for scheduling domain-local events).
+func (s *Sharded) Engine(d int) *sim.Engine { return s.par.Domain(d) }
+
+// Run executes all domains to completion on the given worker count. The
+// result is deterministic for any worker count (see sim.Parallel).
+func (s *Sharded) Run(workers int) { s.par.Run(workers) }
+
+// SendGlobal transfers size bytes over one global edge. Like Fabric.Send,
+// onArrive fires after serialization plus the edge's α — but in the domain
+// owning the edge's destination node, which for a cross-domain edge differs
+// from the domain that simulates the serialization. It must be called from
+// the source domain (an event on that domain's engine, or before Run).
+func (s *Sharded) SendGlobal(ge topology.EdgeID, size int64, payload any, onArrive func(payload any)) {
+	d := s.part.EdgeDomain[ge]
+	local := s.part.EdgeLocal[ge]
+	if ci := s.part.EdgeCross[ge]; ci >= 0 {
+		ce := s.part.Cross[ci]
+		s.fabs[d].Send(local, size, payload, func(p any) {
+			s.par.Post(ce.Src, ce.Dst, ce.Global.Alpha, func() { onArrive(p) })
+		})
+		return
+	}
+	s.fabs[d].Send(local, size, payload, onArrive)
+}
+
+// SendPath store-and-forwards size bytes along a path of global node ids:
+// the payload fully serializes over each hop before entering the next, each
+// hop simulated in (and contending within) the domain that owns it.
+// onArrive fires in the final node's domain. Panics if consecutive path
+// nodes are not connected in the global graph.
+func (s *Sharded) SendPath(path []topology.NodeID, size int64, payload any, onArrive func(payload any)) {
+	if len(path) < 2 {
+		panic(fmt.Sprintf("fabric: path %v has no hops", path))
+	}
+	s.hop(path, 0, size, payload, onArrive)
+}
+
+func (s *Sharded) hop(path []topology.NodeID, i int, size int64, payload any, onArrive func(payload any)) {
+	ge, ok := s.part.Graph.EdgeBetween(path[i], path[i+1])
+	if !ok {
+		panic(fmt.Sprintf("fabric: path hop %v -> %v has no edge", path[i], path[i+1]))
+	}
+	if i+2 == len(path) {
+		s.SendGlobal(ge, size, payload, onArrive)
+		return
+	}
+	s.SendGlobal(ge, size, payload, func(p any) { s.hop(path, i+1, size, p, onArrive) })
+}

@@ -1,0 +1,111 @@
+package fabric
+
+import (
+	"testing"
+
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// shardedWorld builds a Sharded over a small rail-optimized topology with
+// the given domain assignment (nil = the topology's own grouping).
+func shardedWorld(t *testing.T, nodeDomain []int) (*topology.Topo, *Sharded) {
+	t.Helper()
+	topo, err := topology.RailSpec{Groups: 2, Servers: 2, Rails: 2}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodeDomain == nil {
+		nodeDomain = topo.NodeDomain
+	}
+	part, err := topology.NewPartition(topo.Graph, nodeDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, NewSharded(part, 1)
+}
+
+// pathBetween routes between two global ranks on the global graph.
+func pathBetween(t *testing.T, g *topology.Graph, a, b int) []topology.NodeID {
+	t.Helper()
+	na, _ := g.GPUByRank(a)
+	nb, _ := g.GPUByRank(b)
+	path := g.ShortestPath(na, nb)
+	if path == nil {
+		t.Fatalf("no path between ranks %d and %d", a, b)
+	}
+	return path
+}
+
+// TestShardedMatchesMonolithic is the fabric-layer timing-equivalence
+// property: the same multi-hop transfers — one crossing the partition
+// boundary, one staying inside a domain — arrive at the same virtual time
+// whether the graph runs monolithically (trivial one-domain partition) or
+// partitioned, with one worker or several.
+func TestShardedMatchesMonolithic(t *testing.T) {
+	run := func(nodeDomain []int, workers int) (sim.Time, []sim.Time) {
+		topo, s := shardedWorld(t, nodeDomain)
+		// Cross-group transfer (rank 0 -> rank 7) and intra-server transfer
+		// (rank 2 -> rank 3), both launched at t=0, plus a contending
+		// transfer sharing rank 0's PCIe uplink. Arrivals record into
+		// distinct slice slots: each slot is written by exactly one domain.
+		type tc struct{ src, dst int }
+		cases := []tc{{0, 7}, {2, 3}, {0, 6}}
+		arrivals := make([]sim.Time, len(cases))
+		for i, c := range cases {
+			i, c := i, c
+			path := pathBetween(t, topo.Graph, c.src, c.dst)
+			d := s.Partition().RankDomain[c.src]
+			s.Engine(d).At(0, func() {
+				s.SendPath(path, 1<<20, i, func(p any) {
+					arrivals[p.(int)] = s.Engine(s.Partition().RankDomain[c.dst]).Now()
+				})
+			})
+		}
+		s.Run(workers)
+		return s.Parallel().Now(), arrivals
+	}
+
+	topo, _ := shardedWorld(t, nil)
+	mono := make([]int, topo.Graph.NumNodes()) // all zeros: one domain
+	refNow, refArr := run(mono, 1)
+	if refNow == 0 {
+		t.Fatalf("reference run incomplete: now=%v arrivals=%v", refNow, refArr)
+	}
+	for _, workers := range []int{1, 4} {
+		now, arr := run(nil, workers)
+		if now != refNow {
+			t.Errorf("workers=%d: final time %v != monolithic %v", workers, now, refNow)
+		}
+		for i, at := range refArr {
+			if at == 0 {
+				t.Errorf("transfer %d never arrived in reference run", i)
+			}
+			if arr[i] != at {
+				t.Errorf("workers=%d: transfer %d arrived at %v, monolithic %v", workers, i, arr[i], at)
+			}
+		}
+	}
+}
+
+// TestShardedCrossContention checks that serialization of a cross-domain
+// transfer contends in the source domain: two simultaneous transfers over
+// the same cross edge take twice as long as one.
+func TestShardedCrossContention(t *testing.T) {
+	elapsed := func(n int) sim.Time {
+		topo, s := shardedWorld(t, nil)
+		path := pathBetween(t, topo.Graph, 0, 4) // group 0 -> group 1
+		src := s.Partition().RankDomain[0]
+		for i := 0; i < n; i++ {
+			s.Engine(src).At(0, func() {
+				s.SendPath(path, 8<<20, nil, func(any) {})
+			})
+		}
+		s.Run(2)
+		return s.Parallel().Now()
+	}
+	one, two := elapsed(1), elapsed(2)
+	if two <= one {
+		t.Fatalf("two contending transfers (%v) not slower than one (%v)", two, one)
+	}
+}

@@ -1,0 +1,384 @@
+// Package scale runs thousand-rank AllReduce sweeps over generated
+// datacenter topologies on the partitioned event engine.
+//
+// The collective is a hierarchical ring AllReduce shaped by the topology's
+// domain structure (pods / rail groups), the layout AdapCC's coordinator
+// would pick for a two-tier fabric: a ring reduce-scatter inside each
+// group, a per-segment ring across groups (accumulate pass then broadcast
+// pass over the group owners of that segment), and a ring allgather back
+// inside each group. Intra-group traffic stays inside one simulation
+// domain; only the per-segment group ring crosses domains, which is what
+// lets the partitioned engine overlap the groups' work.
+//
+// Every rank carries one uint64 word per segment, reduced by wrapping
+// addition (commutative and associative, so the result is independent of
+// arrival interleaving), and the initial words derive from a splitmix64
+// hash of (seed, rank, segment). The final checksum therefore pins the
+// complete data plane: a lost, duplicated or misrouted chunk anywhere in a
+// million-transfer sweep changes it.
+package scale
+
+import (
+	"fmt"
+	"time"
+
+	"adapcc/internal/fabric"
+	"adapcc/internal/metrics"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// Options configures one sweep.
+type Options struct {
+	// Topo is the generated topology to run over.
+	Topo *topology.Topo
+	// Workers is the worker-pool size for the partitioned engine (min 1).
+	Workers int
+	// Monolithic forces the whole graph into a single simulation domain
+	// (the pre-refactor execution order) — the reference the equivalence
+	// tests compare against. Timing and checksum must match the
+	// partitioned run exactly.
+	Monolithic bool
+	// SegBytes is the simulated size of one segment transfer. Default
+	// 256 KiB.
+	SegBytes int64
+	// Seed drives the engines and the synthetic data.
+	Seed int64
+	// Metrics, when non-nil, receives the per-domain engine stats.
+	Metrics *metrics.Registry
+}
+
+// Result is the outcome of one sweep.
+type Result struct {
+	Name     string        // canonical topology name
+	Ranks    int           // GPU count
+	Domains  int           // simulation domains used
+	Workers  int           // worker-pool size
+	Elapsed  time.Duration // virtual time of the AllReduce
+	Wall     time.Duration // real time the sweep took
+	Fired    uint64        // events executed
+	Windows  uint64        // lookahead windows
+	Checksum uint64        // fold over the final per-rank values
+	Speedup  float64       // busy-wall / total-wall estimate
+	Stats    []sim.DomainStats
+}
+
+// mix64 is splitmix64's finalizer, the hash behind the synthetic data.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chunk phases.
+const (
+	phaseRS    = iota // intra-group ring reduce-scatter
+	phaseAccum        // cross-group accumulate pass
+	phaseBcast        // cross-group broadcast pass
+	phaseAG           // intra-group ring allgather
+)
+
+// chunk is the payload of one rank-to-rank transfer.
+type chunk struct {
+	phase int
+	seg   int
+	hops  int // remaining forwards (RS, bcast, AG)
+	val   uint64
+}
+
+// sweep is the in-flight state of one run.
+type sweep struct {
+	opts  Options
+	sh    *fabric.Sharded
+	part  *topology.Partition
+	seg   int64   // bytes per segment transfer
+	m     int     // ranks per group = segments
+	g     int     // groups
+	group [][]int // [group][pos] -> global rank
+	pos   []int   // global rank -> position in its group
+	grp   []int   // global rank -> group
+	// nextPath[r] routes rank r to its successor in the group ring;
+	// crossPath[r] routes owner rank r to the same position in the next
+	// group (nil for non-owner positions never used).
+	nextPath  [][]topology.NodeID
+	crossPath [][]topology.NodeID
+	// vals[r][s] is rank r's current word for segment s. Each rank's row
+	// is touched only from its home domain's events.
+	vals [][]uint64
+	// owner-rank phase-2 state, indexed by global rank.
+	p1done []bool
+	stash  []uint64
+	hasSt  []bool
+}
+
+// Run executes one sweep and verifies the result against the closed-form
+// expected reduction before returning.
+func Run(opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.Topo == nil {
+		return nil, fmt.Errorf("scale: no topology")
+	}
+	if opts.SegBytes <= 0 {
+		opts.SegBytes = 256 << 10
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	s, err := newSweep(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.kickoff()
+	s.sh.Run(opts.Workers)
+	return s.finish(start)
+}
+
+func newSweep(opts Options) (*sweep, error) {
+	topo := opts.Topo
+	g := topo.Graph
+
+	// Logical groups come from the topology's own domain labelling of GPU
+	// nodes, independent of how the run is executed (partitioned or
+	// monolithic), so both execution modes run the identical algorithm.
+	s := &sweep{opts: opts, seg: opts.SegBytes, g: topo.Domains}
+	s.group = make([][]int, topo.Domains)
+	ranks := 0
+	for _, n := range g.Nodes() {
+		if n.Kind == topology.KindGPU {
+			ranks++
+		}
+	}
+	s.pos = make([]int, ranks)
+	s.grp = make([]int, ranks)
+	for _, id := range g.GPUs() {
+		n := g.Node(id)
+		d := topo.NodeDomain[n.ID]
+		s.grp[n.Rank] = d
+		s.pos[n.Rank] = len(s.group[d])
+		s.group[d] = append(s.group[d], n.Rank)
+	}
+	s.m = len(s.group[0])
+	for d, members := range s.group {
+		if len(members) != s.m {
+			return nil, fmt.Errorf("scale: group %d has %d ranks, group 0 has %d (uniform groups required)", d, len(members), s.m)
+		}
+	}
+
+	nodeDomain := topo.NodeDomain
+	if opts.Monolithic {
+		nodeDomain = make([]int, g.NumNodes())
+	}
+	part, err := topology.NewPartition(g, nodeDomain)
+	if err != nil {
+		return nil, err
+	}
+	s.part = part
+	s.sh = fabric.NewSharded(part, opts.Seed)
+
+	// Routes: every rank to its group-ring successor, and every rank to
+	// its position peer in the next group (the per-segment cross ring).
+	s.nextPath = make([][]topology.NodeID, ranks)
+	s.crossPath = make([][]topology.NodeID, ranks)
+	gpu := g.GPUs()
+	for r := 0; r < ranks; r++ {
+		grp, p := s.grp[r], s.pos[r]
+		if s.m > 1 {
+			next := s.group[grp][(p+1)%s.m]
+			s.nextPath[r] = g.ShortestPath(gpu[r], gpu[next])
+			if s.nextPath[r] == nil {
+				return nil, fmt.Errorf("scale: no route rank %d -> %d", r, next)
+			}
+		}
+		if s.g > 1 {
+			peer := s.group[(grp+1)%s.g][p]
+			s.crossPath[r] = g.ShortestPath(gpu[r], gpu[peer])
+			if s.crossPath[r] == nil {
+				return nil, fmt.Errorf("scale: no route rank %d -> %d", r, peer)
+			}
+		}
+	}
+
+	// Synthetic data and phase-2 state.
+	s.vals = make([][]uint64, ranks)
+	for r := range s.vals {
+		row := make([]uint64, s.m)
+		for seg := range row {
+			row[seg] = s.initVal(r, seg)
+		}
+		s.vals[r] = row
+	}
+	s.p1done = make([]bool, ranks)
+	s.stash = make([]uint64, ranks)
+	s.hasSt = make([]bool, ranks)
+	return s, nil
+}
+
+func (s *sweep) initVal(rank, seg int) uint64 {
+	return mix64(uint64(s.opts.Seed)<<32 ^ uint64(rank)<<16 ^ uint64(seg))
+}
+
+// ownerPos returns the in-group position that owns segment seg after the
+// reduce-scatter (the chunk injected at position seg travels m-1 hops).
+func (s *sweep) ownerPos(seg int) int { return (seg + s.m - 1) % s.m }
+
+// send routes one chunk from rank src along a precomputed path. It must be
+// invoked from src's home domain.
+func (s *sweep) send(path []topology.NodeID, c *chunk, onArrive func(*chunk)) {
+	s.sh.SendPath(path, s.seg, c, func(p any) { onArrive(p.(*chunk)) })
+}
+
+// kickoff schedules every rank's first action at t=0 in its home domain.
+func (s *sweep) kickoff() {
+	for r := range s.vals {
+		r := r
+		d := s.part.RankDomain[r]
+		s.sh.Engine(d).At(0, func() {
+			if s.m == 1 {
+				// Degenerate group: the single rank owns its single
+				// segment outright.
+				s.phase1Done(r, 0)
+				return
+			}
+			// Reduce-scatter step 0: inject the chunk for the segment at
+			// this rank's own position.
+			seg := s.pos[r]
+			s.send(s.nextPath[r], &chunk{phase: phaseRS, seg: seg, hops: s.m - 2, val: s.vals[r][seg]}, s.arriveAt(r))
+		})
+	}
+}
+
+// arriveAt binds a receiving rank's arrival handler. The callback runs in
+// the rank's home domain (paths end at its GPU node), so all state it
+// touches is domain-local.
+func (s *sweep) arriveAt(sender int) func(*chunk) {
+	grp, p := s.grp[sender], s.pos[sender]
+	recv := s.group[grp][(p+1)%s.m]
+	return func(c *chunk) { s.arrive(recv, c) }
+}
+
+// arriveCrossAt binds the arrival handler of the position peer in the next
+// group.
+func (s *sweep) arriveCrossAt(sender int) func(*chunk) {
+	recv := s.group[(s.grp[sender]+1)%s.g][s.pos[sender]]
+	return func(c *chunk) { s.arrive(recv, c) }
+}
+
+// arrive is the per-rank event handler; it always executes in rank r's
+// home domain.
+func (s *sweep) arrive(r int, c *chunk) {
+	switch c.phase {
+	case phaseRS:
+		c.val += s.vals[r][c.seg]
+		if c.hops > 0 {
+			c.hops--
+			s.send(s.nextPath[r], c, s.arriveAt(r))
+			return
+		}
+		// Final hop: r owns the group reduction of this segment.
+		s.vals[r][c.seg] = c.val
+		s.phase1Done(r, c.seg)
+	case phaseAccum:
+		if !s.p1done[r] {
+			// Local reduce-scatter still running: park the partial until
+			// phase1Done merges and forwards it.
+			s.stash[r], s.hasSt[r] = c.val, true
+			return
+		}
+		s.accumulate(r, c.seg, c.val)
+	case phaseBcast:
+		s.vals[r][c.seg] = c.val
+		if c.hops > 0 {
+			c.hops--
+			s.send(s.crossPath[r], c, s.arriveCrossAt(r))
+		}
+		s.startAllgather(r, c.seg)
+	case phaseAG:
+		s.vals[r][c.seg] = c.val
+		if c.hops > 0 {
+			c.hops--
+			s.send(s.nextPath[r], c, s.arriveAt(r))
+		}
+	}
+}
+
+// phase1Done runs when rank r's group owns segment seg fully reduced
+// within the group; r is the owner (position ownerPos(seg)).
+func (s *sweep) phase1Done(r, seg int) {
+	s.p1done[r] = true
+	if s.g == 1 {
+		// No cross phase: the group sum is the global sum.
+		s.startAllgather(r, seg)
+		return
+	}
+	if s.grp[r] == 0 {
+		// Ring head: start the accumulate pass with the local sum.
+		s.send(s.crossPath[r], &chunk{phase: phaseAccum, seg: seg, val: s.vals[r][seg]}, s.arriveCrossAt(r))
+		return
+	}
+	if s.hasSt[r] {
+		s.hasSt[r] = false
+		s.accumulate(r, seg, s.stash[r])
+	}
+}
+
+// accumulate merges an incoming cross-group partial with the local group
+// sum and moves the ring forward; the last group turns it into the
+// broadcast pass.
+func (s *sweep) accumulate(r, seg int, incoming uint64) {
+	total := incoming + s.vals[r][seg]
+	if s.grp[r] == s.g-1 {
+		// Ring tail: total is the global sum. Store it and broadcast to
+		// the g-1 remaining owners.
+		s.vals[r][seg] = total
+		s.send(s.crossPath[r], &chunk{phase: phaseBcast, seg: seg, hops: s.g - 2, val: total}, s.arriveCrossAt(r))
+		s.startAllgather(r, seg)
+		return
+	}
+	s.send(s.crossPath[r], &chunk{phase: phaseAccum, seg: seg, val: total}, s.arriveCrossAt(r))
+}
+
+// startAllgather distributes rank r's finished segment around its group.
+func (s *sweep) startAllgather(r, seg int) {
+	if s.m == 1 {
+		return
+	}
+	s.send(s.nextPath[r], &chunk{phase: phaseAG, seg: seg, hops: s.m - 2, val: s.vals[r][seg]}, s.arriveAt(r))
+}
+
+// finish validates every rank's values against the closed-form reduction
+// and assembles the result.
+func (s *sweep) finish(start time.Time) (*Result, error) {
+	expect := make([]uint64, s.m)
+	for seg := range expect {
+		var sum uint64
+		for r := range s.vals {
+			sum += s.initVal(r, seg)
+		}
+		expect[seg] = sum
+	}
+	var checksum uint64
+	for r, row := range s.vals {
+		for seg, v := range row {
+			if v != expect[seg] {
+				return nil, fmt.Errorf("scale: rank %d segment %d = %#x, want %#x (collective incomplete or corrupt)", r, seg, v, expect[seg])
+			}
+			checksum = mix64(checksum ^ v ^ uint64(r))
+		}
+	}
+	par := s.sh.Parallel()
+	stats := metrics.RecordEngine(s.opts.Metrics, par, nil)
+	return &Result{
+		Name:     s.opts.Topo.Spec.Name(),
+		Ranks:    len(s.vals),
+		Domains:  s.part.Domains,
+		Workers:  s.opts.Workers,
+		Elapsed:  time.Duration(par.Now()),
+		Wall:     time.Since(start),
+		Fired:    par.Fired(),
+		Windows:  par.Windows(),
+		Checksum: checksum,
+		Speedup:  par.SpeedupEstimate(),
+		Stats:    stats,
+	}, nil
+}

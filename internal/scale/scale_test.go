@@ -1,0 +1,109 @@
+package scale
+
+import (
+	"testing"
+
+	"adapcc/internal/metrics"
+	"adapcc/internal/topology"
+)
+
+func buildTopo(t *testing.T, spec topology.Spec) *topology.Topo {
+	t.Helper()
+	topo, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestSweepEquivalence is the scale-level determinism property: the same
+// AllReduce produces the identical virtual completion time and data
+// checksum whether it runs monolithically (single global event order),
+// partitioned with one worker, or partitioned with several workers — and
+// the two partitioned runs are fully identical, event counts included.
+func TestSweepEquivalence(t *testing.T) {
+	for _, spec := range []topology.Spec{
+		topology.RailSpec{Groups: 4, Servers: 2, Rails: 2},
+		topology.FatTreeSpec{Pods: 2, Servers: 2, GPUs: 4, Spines: 2},
+		topology.MultiNICSpec{Servers: 4, GPUs: 2, NICs: 2, Group: 2},
+	} {
+		topo := buildTopo(t, spec)
+		for seed := int64(0); seed < 3; seed++ {
+			mono, err := Run(Options{Topo: topo, Monolithic: true, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: monolithic: %v", spec.Name(), seed, err)
+			}
+			p1, err := Run(Options{Topo: topo, Workers: 1, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: partitioned: %v", spec.Name(), seed, err)
+			}
+			p4, err := Run(Options{Topo: topo, Workers: 4, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: partitioned 4w: %v", spec.Name(), seed, err)
+			}
+			if p1.Elapsed != mono.Elapsed || p1.Checksum != mono.Checksum {
+				t.Errorf("%s seed %d: partitioned (%v, %#x) != monolithic (%v, %#x)",
+					spec.Name(), seed, p1.Elapsed, p1.Checksum, mono.Elapsed, mono.Checksum)
+			}
+			if p4.Elapsed != p1.Elapsed || p4.Checksum != p1.Checksum || p4.Fired != p1.Fired || p4.Windows != p1.Windows {
+				t.Errorf("%s seed %d: 4-worker (%v, %#x, %d ev) != 1-worker (%v, %#x, %d ev)",
+					spec.Name(), seed, p4.Elapsed, p4.Checksum, p4.Fired, p1.Elapsed, p1.Checksum, p1.Fired)
+			}
+			if mono.Domains != 1 || p1.Domains != topo.Domains {
+				t.Errorf("%s seed %d: domains mono=%d part=%d", spec.Name(), seed, mono.Domains, p1.Domains)
+			}
+			if p1.Elapsed <= 0 || p1.Fired == 0 {
+				t.Errorf("%s seed %d: degenerate sweep: %+v", spec.Name(), seed, p1)
+			}
+		}
+	}
+}
+
+// TestSweepMetrics checks the per-domain engine stats surface through the
+// metrics registry with one series per domain.
+func TestSweepMetrics(t *testing.T) {
+	topo := buildTopo(t, topology.RailSpec{Groups: 2, Servers: 2, Rails: 2})
+	reg := metrics.New()
+	res, err := Run(Options{Topo: topo, Workers: 2, Seed: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	fired, ok := snap.Family("adapcc_engine_events_fired_total")
+	if !ok {
+		t.Fatal("no adapcc_engine_events_fired_total family")
+	}
+	if len(fired.Series) != topo.Domains {
+		t.Fatalf("%d fired series, want %d", len(fired.Series), topo.Domains)
+	}
+	if got := uint64(fired.Total()); got != res.Fired {
+		t.Errorf("metrics count %d events, result says %d", got, res.Fired)
+	}
+	for _, name := range []string{
+		"adapcc_engine_lookahead_stalls_total",
+		"adapcc_engine_queue_depth_max",
+		"adapcc_engine_windows_total",
+		"adapcc_engine_speedup",
+	} {
+		if _, ok := snap.Family(name); !ok {
+			t.Errorf("missing metric family %s", name)
+		}
+	}
+}
+
+// TestSweepSegBytesScaling sanity-checks the physics: quadrupling the
+// segment size strictly increases the virtual completion time.
+func TestSweepSegBytesScaling(t *testing.T) {
+	topo := buildTopo(t, topology.RailSpec{Groups: 2, Servers: 2, Rails: 2})
+	small, err := Run(Options{Topo: topo, Seed: 1, SegBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(Options{Topo: topo, Seed: 1, SegBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Elapsed <= small.Elapsed {
+		t.Errorf("4x segment size did not increase elapsed time: %v vs %v", big.Elapsed, small.Elapsed)
+	}
+}

@@ -223,17 +223,49 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to deadline (even if the queue still holds later events).
+//
+// Clock-advance semantics, precisely:
+//
+//   - The deadline is inclusive: an event scheduled at exactly deadline
+//     fires, and so does any event it schedules at deadline — the boundary
+//     is drained until no event at or before deadline remains.
+//   - Same-timestamp events at the boundary fire in FIFO scheduling order
+//     (the heap's (time, seq) order), exactly as they would mid-run.
+//   - After draining, the clock is at deadline even if no event fired
+//     there, so a subsequent After(d) measures from the deadline.
+//   - A deadline in the past is a no-op: the clock never moves backwards.
 func (e *Engine) RunUntil(deadline Time) {
-	for {
-		ev := e.peek()
-		if ev == nil || ev.at > deadline {
-			break
-		}
-		e.Step()
-	}
+	e.RunWindow(deadline)
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// RunWindow executes events with timestamps <= limit (inclusive, with the
+// same boundary-drain and FIFO guarantees as RunUntil) and returns how many
+// fired. Unlike RunUntil it leaves the clock at the last fired event rather
+// than forcing it to limit: the parallel coordinator uses it to advance a
+// domain through one conservative-lookahead window without disturbing the
+// domain's notion of "now" for windows in which it had nothing to do.
+func (e *Engine) RunWindow(limit Time) int {
+	n := 0
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > limit {
+			return n
+		}
+		e.Step()
+		n++
+	}
+}
+
+// NextEventTime returns the timestamp of the earliest pending event, if any.
+func (e *Engine) NextEventTime() (Time, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
 }
 
 // RunFor executes events within the next d of virtual time.

@@ -325,3 +325,72 @@ func TestTickerStopIsIdempotent(t *testing.T) {
 		t.Fatalf("ticks = %d, want 3", n)
 	}
 }
+
+// TestRunUntilDeadlineBoundary pins the deadline semantics: the deadline is
+// inclusive, same-timestamp events at the boundary drain in FIFO order —
+// including events scheduled at the deadline BY an event at the deadline —
+// and strictly-later events stay queued while the clock lands exactly on
+// the deadline.
+func TestRunUntilDeadlineBoundary(t *testing.T) {
+	eng := NewEngine(1)
+	deadline := 5 * time.Microsecond
+	var order []string
+	eng.At(deadline, func() {
+		order = append(order, "a")
+		// Scheduled mid-drain at exactly the deadline: must still fire,
+		// after every event already queued at the deadline.
+		eng.After(0, func() { order = append(order, "spawn") })
+	})
+	eng.At(deadline, func() { order = append(order, "b") })
+	eng.At(deadline+time.Nanosecond, func() { order = append(order, "late") })
+
+	eng.RunUntil(deadline)
+	want := []string{"a", "b", "spawn"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	if eng.Now() != deadline {
+		t.Fatalf("clock at %v, want %v", eng.Now(), deadline)
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("pending %d, want the strictly-later event to remain", eng.Pending())
+	}
+
+	// A deadline in the past neither fires anything nor rewinds the clock.
+	eng.RunUntil(deadline - time.Microsecond)
+	if eng.Now() != deadline || len(order) != 3 {
+		t.Fatalf("past deadline moved the clock to %v or fired events (%v)", eng.Now(), order)
+	}
+
+	eng.RunUntil(deadline + time.Nanosecond)
+	if len(order) != 4 || order[3] != "late" {
+		t.Fatalf("later deadline drained %v", order)
+	}
+}
+
+// TestRunWindowLeavesClock pins RunWindow's contract: it drains the same
+// inclusive window as RunUntil but leaves the clock at the last fired
+// event instead of forcing it to the limit.
+func TestRunWindowLeavesClock(t *testing.T) {
+	eng := NewEngine(1)
+	fired := 0
+	eng.At(2*time.Microsecond, func() { fired++ })
+	eng.At(9*time.Microsecond, func() { fired++ })
+	if n := eng.RunWindow(5 * time.Microsecond); n != 1 || fired != 1 {
+		t.Fatalf("RunWindow fired %d events (callback saw %d), want 1", n, fired)
+	}
+	if eng.Now() != 2*time.Microsecond {
+		t.Fatalf("clock at %v, want to stay at the last fired event", eng.Now())
+	}
+	if n := eng.RunWindow(time.Microsecond); n != 0 {
+		t.Fatalf("empty window fired %d", n)
+	}
+	if eng.Now() != 2*time.Microsecond {
+		t.Fatalf("empty window moved the clock to %v", eng.Now())
+	}
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// mix64 is splitmix64's finalizer: the deterministic "genome" hash that
+// drives every random-looking choice in the equivalence workload. Deriving
+// all choices from event genomes (rather than an RNG consumed in firing
+// order) makes the workload's behaviour independent of how same-timestamp
+// events interleave, which is exactly the freedom the partitioned schedule
+// has relative to a single global heap.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+const (
+	eqLookahead = 20 * time.Microsecond
+	eqMaxDepth  = 7
+	eqRoots     = 4
+)
+
+// eqSched abstracts the two ways of running the workload: one global
+// engine (the pre-refactor order) versus a partitioned Parallel.
+type eqSched interface {
+	now(d int) Time
+	local(d int, delay time.Duration, fn func())
+	cross(src, dst int, delay time.Duration, fn func())
+}
+
+type globalSched struct{ eng *Engine }
+
+func (g globalSched) now(int) Time                                   { return g.eng.Now() }
+func (g globalSched) local(_ int, delay time.Duration, fn func())    { g.eng.After(delay, fn) }
+func (g globalSched) cross(_, _ int, delay time.Duration, fn func()) { g.eng.After(delay, fn) }
+
+type partSched struct{ par *Parallel }
+
+func (p partSched) now(d int) Time { return p.par.Domain(d).Now() }
+func (p partSched) local(d int, delay time.Duration, fn func()) {
+	p.par.Domain(d).After(delay, fn)
+}
+func (p partSched) cross(src, dst int, delay time.Duration, fn func()) {
+	p.par.Post(src, dst, delay, fn)
+}
+
+// eqDomain accumulates a per-domain digest. Same-timestamp contributions
+// are combined commutatively (wrapping add) and folded into a rolling hash
+// whenever the domain's clock advances, so the digest pins the exact
+// multiset of events per (domain, timestamp) and the exact time sequence,
+// while staying indifferent to tie order — the one ordering freedom the
+// deterministic merge rule (time, source domain, sequence) legitimately
+// exercises relative to a global (time, sequence) heap.
+type eqDomain struct {
+	lastT  Time
+	bucket uint64
+	hash   uint64
+}
+
+func (d *eqDomain) record(t Time, term uint64) {
+	if t != d.lastT {
+		d.fold()
+		d.lastT = t
+	}
+	d.bucket += term
+}
+
+func (d *eqDomain) fold() {
+	d.hash = mix64(d.hash ^ d.bucket ^ uint64(d.lastT))
+	d.bucket = 0
+}
+
+type eqWorld struct {
+	s    eqSched
+	doms []*eqDomain
+}
+
+// fire is one workload event: it records a genome-derived term and spawns
+// 0–2 children, each locally or across a domain boundary, with delays
+// derived from the child's genome.
+func (w *eqWorld) fire(d, depth int, genome uint64) {
+	t := w.s.now(d)
+	w.doms[d].record(t, mix64(genome^uint64(t)))
+	if depth >= eqMaxDepth {
+		return
+	}
+	n := len(w.doms)
+	for k := uint64(0); k < mix64(genome)%3; k++ {
+		cg := mix64(genome + 2*k + 1)
+		delay := time.Duration(cg % uint64(50*time.Microsecond))
+		if cg&(1<<63) != 0 && n > 1 {
+			dst := int((cg >> 32) % uint64(n))
+			if dst == d {
+				dst = (dst + 1) % n
+			}
+			cg := cg // pin for the closure
+			w.s.cross(d, dst, eqLookahead+delay, func() { w.fire(dst, depth+1, cg) })
+		} else {
+			cg := cg
+			w.s.local(d, delay, func() { w.fire(d, depth+1, cg) })
+		}
+	}
+}
+
+type eqResult struct {
+	fired  uint64
+	now    Time
+	digest []uint64
+}
+
+func (w *eqWorld) result(fired uint64, now Time) eqResult {
+	digest := make([]uint64, len(w.doms))
+	for i, d := range w.doms {
+		d.fold()
+		digest[i] = d.hash
+	}
+	return eqResult{fired: fired, now: now, digest: digest}
+}
+
+func newEqWorld(s eqSched, n int) *eqWorld {
+	w := &eqWorld{s: s, doms: make([]*eqDomain, n)}
+	for i := range w.doms {
+		w.doms[i] = &eqDomain{}
+	}
+	return w
+}
+
+func runGlobal(seed int64, n int) eqResult {
+	eng := NewEngine(seed)
+	w := newEqWorld(globalSched{eng}, n)
+	forEachRoot(seed, n, func(d int, t Time, g uint64) {
+		eng.At(t, func() { w.fire(d, 0, g) })
+	})
+	eng.Run()
+	return w.result(eng.Fired(), eng.Now())
+}
+
+func runPartitioned(seed int64, n, workers int) eqResult {
+	par := NewParallel(eqLookahead)
+	for d := 0; d < n; d++ {
+		par.NewDomain("", seed+int64(d))
+	}
+	w := newEqWorld(partSched{par}, n)
+	forEachRoot(seed, n, func(d int, t Time, g uint64) {
+		par.Domain(d).At(t, func() { w.fire(d, 0, g) })
+	})
+	par.Run(workers)
+	return w.result(par.Fired(), par.Now())
+}
+
+func forEachRoot(seed int64, n int, at func(d int, t Time, g uint64)) {
+	for d := 0; d < n; d++ {
+		for r := 0; r < eqRoots; r++ {
+			g := mix64(uint64(seed)*1000003 + uint64(d)*131 + uint64(r))
+			at(d, Time(g%uint64(30*time.Microsecond)), g)
+		}
+	}
+}
+
+func assertEqResult(t *testing.T, label string, a, b eqResult) {
+	t.Helper()
+	if a.fired != b.fired {
+		t.Errorf("%s: fired %d != %d", label, a.fired, b.fired)
+	}
+	if a.now != b.now {
+		t.Errorf("%s: now %v != %v", label, a.now, b.now)
+	}
+	for i := range a.digest {
+		if a.digest[i] != b.digest[i] {
+			t.Errorf("%s: domain %d digest %#x != %#x", label, i, a.digest[i], b.digest[i])
+		}
+	}
+}
+
+// TestParallelEquivalence is the acceptance property of the partitioned
+// engine: across >= 8 seeds, the same workload produces identical
+// (Fired, Now, result bytes) whether it runs on one global event heap
+// (pre-refactor order), on the partitioned engine with a single worker, or
+// on the partitioned engine with several workers.
+func TestParallelEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		n := 2 + int(seed%4)
+		global := runGlobal(seed, n)
+		if global.fired == 0 {
+			t.Fatalf("seed %d: degenerate workload fired no events", seed)
+		}
+		p1 := runPartitioned(seed, n, 1)
+		assertEqResult(t, "global vs 1-worker", global, p1)
+		p4 := runPartitioned(seed, n, 4)
+		assertEqResult(t, "1-worker vs 4-worker", p1, p4)
+	}
+}
+
+// TestParallelSingleDomainIdentical pins the degenerate partition: one
+// domain under the coordinator fires the exact event sequence, clock and
+// count of a bare Engine — the bit-identical sequential mode the existing
+// golden and soak tests rely on.
+func TestParallelSingleDomainIdentical(t *testing.T) {
+	schedule := func(eng *Engine, log *[]Time) {
+		for i := 0; i < 5; i++ {
+			i := i
+			eng.At(Time(i)*time.Microsecond, func() {
+				*log = append(*log, eng.Now())
+				if i == 2 {
+					eng.After(500*time.Nanosecond, func() { *log = append(*log, eng.Now()) })
+				}
+			})
+		}
+	}
+	var plainLog, parLog []Time
+	plain := NewEngine(7)
+	schedule(plain, &plainLog)
+	plain.Run()
+
+	par := NewParallel(0)
+	_, dom := par.NewDomain("solo", 7)
+	schedule(dom, &parLog)
+	par.Run(1)
+
+	if plain.Fired() != par.Fired() || plain.Now() != par.Now() {
+		t.Fatalf("single-domain mismatch: fired %d/%d now %v/%v",
+			plain.Fired(), par.Fired(), plain.Now(), par.Now())
+	}
+	if len(plainLog) != len(parLog) {
+		t.Fatalf("log length %d != %d", len(plainLog), len(parLog))
+	}
+	for i := range plainLog {
+		if plainLog[i] != parLog[i] {
+			t.Fatalf("event %d fired at %v vs %v", i, plainLog[i], parLog[i])
+		}
+	}
+}
+
+// TestPostBelowLookaheadPanics pins the conservative contract: a
+// cross-domain post closer than the lookahead would violate the window
+// causality argument and must be rejected loudly.
+func TestPostBelowLookaheadPanics(t *testing.T) {
+	par := NewParallel(10 * time.Microsecond)
+	a, engA := par.NewDomain("a", 1)
+	b, _ := par.NewDomain("b", 2)
+	engA.At(0, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for post below lookahead")
+		}
+	}()
+	par.Post(a, b, 5*time.Microsecond, func() {})
+}
+
+// TestParallelStats sanity-checks the per-domain accounting: fired counts
+// sum to the engine totals and a domain that idles through windows records
+// lookahead stalls.
+func TestParallelStats(t *testing.T) {
+	par := NewParallel(10 * time.Microsecond)
+	busyID, busy := par.NewDomain("busy", 1)
+	_, idle := par.NewDomain("idle", 2)
+	for i := 0; i < 100; i++ {
+		busy.At(Time(i)*time.Microsecond, func() {})
+	}
+	idle.At(0, func() {})
+	_ = busyID
+	par.Run(2)
+	stats := par.Stats()
+	var fired uint64
+	for _, s := range stats {
+		fired += s.Fired
+	}
+	if fired != par.Fired() || fired != 101 {
+		t.Fatalf("stats fired %d, engine fired %d, want 101", fired, par.Fired())
+	}
+	if stats[1].Stalls == 0 {
+		t.Errorf("idle domain recorded no lookahead stalls over %d windows", par.Windows())
+	}
+	if stats[0].MaxQueueDepth == 0 {
+		t.Errorf("busy domain recorded zero max queue depth")
+	}
+}

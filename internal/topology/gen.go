@@ -1,0 +1,537 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file generates datacenter-scale cluster topologies — fat-tree,
+// rail-optimized and multi-NIC leaf fabrics — parameterized by pods/rails,
+// oversubscription and NIC rates, together with the domain assignment the
+// partitioned event engine needs. The shapes follow the multi-NIC /
+// rail-optimized GPU-cluster layouts described in "Demystifying NCCL"
+// (PAPERS.md); the paper's 6-server testbed (internal/cluster) remains the
+// single-switch special case.
+
+// Spec is a generated-topology specification. Name returns a canonical
+// string that ParseTopo round-trips (the scale analogue of
+// cluster.ParseCase naming).
+type Spec interface {
+	Name() string
+	Build() (*Topo, error)
+}
+
+// Topo is a generated topology: the physical cluster, the logical graph
+// with its multi-tier switch fabric, the domain each node belongs to, and
+// the declared one-direction bisection capacity of the canonical half/half
+// cut (pods or groups 0..D/2-1 versus the rest), which the property tests
+// check against the generated edges.
+type Topo struct {
+	Spec       Spec
+	Cluster    *Cluster
+	Graph      *Graph
+	NodeDomain []int
+	Domains    int
+	Bisection  float64
+}
+
+// Partition splits the topology's graph along its domain assignment.
+func (t *Topo) Partition() (*Partition, error) {
+	return NewPartition(t.Graph, t.NodeDomain)
+}
+
+// FatTreeSpec is a two-tier fat-tree: every pod has one leaf switch
+// aggregating its servers' NICs, and all pods share a spine layer. The pod
+// uplink totals Servers×NIC/Oversub, split evenly over the spines. Each
+// pod is one simulation domain; spines are distributed round-robin over
+// the pod domains.
+type FatTreeSpec struct {
+	Pods    int     // number of pods (= domains)
+	Servers int     // servers per pod
+	GPUs    int     // GPUs per server
+	Spines  int     // spine switches shared by all pods
+	Oversub float64 // pod uplink oversubscription factor (>= 1)
+	NICGbps float64 // per-server NIC line rate in Gbit/s
+}
+
+func (s FatTreeSpec) withDefaults() FatTreeSpec {
+	if s.Servers == 0 {
+		s.Servers = 4
+	}
+	if s.GPUs == 0 {
+		s.GPUs = 8
+	}
+	if s.Spines == 0 {
+		s.Spines = max(1, s.Pods/2)
+	}
+	if s.Oversub == 0 {
+		s.Oversub = 1
+	}
+	if s.NICGbps == 0 {
+		s.NICGbps = 100
+	}
+	return s
+}
+
+// Name returns the canonical round-trippable form.
+func (s FatTreeSpec) Name() string {
+	s = s.withDefaults()
+	return fmt.Sprintf("fattree:pods=%d,servers=%d,gpus=%d,spines=%d,oversub=%s,nic=%s",
+		s.Pods, s.Servers, s.GPUs, s.Spines, fmtF(s.Oversub), fmtF(s.NICGbps))
+}
+
+// Build materialises the fat-tree.
+func (s FatTreeSpec) Build() (*Topo, error) {
+	s = s.withDefaults()
+	if s.Pods < 1 || s.Servers < 1 || s.GPUs < 1 || s.Spines < 1 {
+		return nil, fmt.Errorf("topology: %s: all counts must be positive", s.Name())
+	}
+	if s.Oversub < 1 || s.NICGbps <= 0 {
+		return nil, fmt.Errorf("topology: %s: oversub must be >= 1 and nic positive", s.Name())
+	}
+	nicBps := Gbps(s.NICGbps)
+	specs := make([]ServerSpec, s.Pods*s.Servers)
+	for i := range specs {
+		specs[i] = genServer(s.GPUs, 1, nicBps)
+	}
+	cl, err := NewCluster(TransportRDMA, specs...)
+	if err != nil {
+		return nil, err
+	}
+	g, nicIDs, dom, err := genServerGraph(cl, false, func(server int) int { return server / s.Servers })
+	if err != nil {
+		return nil, err
+	}
+
+	uplink := float64(s.Servers) * nicBps / s.Oversub
+	leaves := make([]NodeID, s.Pods)
+	for p := 0; p < s.Pods; p++ {
+		leaves[p] = g.AddNode(Node{Kind: KindSwitch, Server: -1, Index: p, Rank: -1})
+		*dom = append(*dom, p)
+		for srv := p * s.Servers; srv < (p+1)*s.Servers; srv++ {
+			g.AddBidirectional(Edge{
+				From: nicIDs[srv][0], To: leaves[p],
+				Type: LinkRDMA, Alpha: RDMAAlpha / 2, BandwidthBps: nicBps,
+			})
+		}
+	}
+	for sp := 0; sp < s.Spines; sp++ {
+		spine := g.AddNode(Node{Kind: KindSwitch, Server: -1, Index: s.Pods + sp, Rank: -1})
+		*dom = append(*dom, sp%s.Pods)
+		for p := 0; p < s.Pods; p++ {
+			g.AddBidirectional(Edge{
+				From: leaves[p], To: spine,
+				Type: LinkRDMA, Alpha: RDMAAlpha / 2, BandwidthBps: uplink / float64(s.Spines),
+			})
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: %s: %w", s.Name(), err)
+	}
+	return &Topo{
+		Spec: s, Cluster: cl, Graph: g, NodeDomain: *dom, Domains: s.Pods,
+		Bisection: float64(s.Pods/2) * uplink,
+	}, nil
+}
+
+// RailSpec is a rail-optimized cluster (the DGX-style layout of
+// "Demystifying NCCL"): every server has Rails GPUs and Rails NICs, GPU i
+// is wired to NIC i only, and NIC i of every server in a group connects to
+// the group's rail-i switch. Rail switches of rail i across groups meet at
+// a per-rail spine. Each group is one simulation domain; per-rail spines
+// are distributed round-robin over the group domains.
+type RailSpec struct {
+	Groups  int     // rail-optimized groups (= domains)
+	Servers int     // servers per group
+	Rails   int     // rails = NICs per server = GPUs per server
+	Oversub float64 // rail uplink oversubscription factor (>= 1)
+	NICGbps float64 // per-NIC line rate in Gbit/s
+}
+
+func (s RailSpec) withDefaults() RailSpec {
+	if s.Servers == 0 {
+		s.Servers = 4
+	}
+	if s.Rails == 0 {
+		s.Rails = 8
+	}
+	if s.Oversub == 0 {
+		s.Oversub = 1
+	}
+	if s.NICGbps == 0 {
+		s.NICGbps = 100
+	}
+	return s
+}
+
+// Name returns the canonical round-trippable form.
+func (s RailSpec) Name() string {
+	s = s.withDefaults()
+	return fmt.Sprintf("rail:groups=%d,servers=%d,rails=%d,oversub=%s,nic=%s",
+		s.Groups, s.Servers, s.Rails, fmtF(s.Oversub), fmtF(s.NICGbps))
+}
+
+// Build materialises the rail-optimized cluster.
+func (s RailSpec) Build() (*Topo, error) {
+	s = s.withDefaults()
+	if s.Groups < 1 || s.Servers < 1 || s.Rails < 1 {
+		return nil, fmt.Errorf("topology: %s: all counts must be positive", s.Name())
+	}
+	if s.Oversub < 1 || s.NICGbps <= 0 {
+		return nil, fmt.Errorf("topology: %s: oversub must be >= 1 and nic positive", s.Name())
+	}
+	nicBps := Gbps(s.NICGbps)
+	specs := make([]ServerSpec, s.Groups*s.Servers)
+	for i := range specs {
+		specs[i] = genServer(s.Rails, s.Rails, nicBps)
+	}
+	cl, err := NewCluster(TransportRDMA, specs...)
+	if err != nil {
+		return nil, err
+	}
+	g, nicIDs, dom, err := genServerGraph(cl, true, func(server int) int { return server / s.Servers })
+	if err != nil {
+		return nil, err
+	}
+
+	uplink := float64(s.Servers) * nicBps / s.Oversub
+	rails := make([][]NodeID, s.Groups) // [group][rail]
+	idx := 0
+	for grp := 0; grp < s.Groups; grp++ {
+		rails[grp] = make([]NodeID, s.Rails)
+		for r := 0; r < s.Rails; r++ {
+			rails[grp][r] = g.AddNode(Node{Kind: KindSwitch, Server: -1, Index: idx, Rank: -1})
+			*dom = append(*dom, grp)
+			idx++
+			for srv := grp * s.Servers; srv < (grp+1)*s.Servers; srv++ {
+				g.AddBidirectional(Edge{
+					From: nicIDs[srv][r], To: rails[grp][r],
+					Type: LinkRDMA, Alpha: RDMAAlpha / 2, BandwidthBps: nicBps,
+				})
+			}
+		}
+	}
+	if s.Groups > 1 {
+		for r := 0; r < s.Rails; r++ {
+			spine := g.AddNode(Node{Kind: KindSwitch, Server: -1, Index: idx, Rank: -1})
+			*dom = append(*dom, r%s.Groups)
+			idx++
+			for grp := 0; grp < s.Groups; grp++ {
+				g.AddBidirectional(Edge{
+					From: rails[grp][r], To: spine,
+					Type: LinkRDMA, Alpha: RDMAAlpha / 2, BandwidthBps: uplink,
+				})
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: %s: %w", s.Name(), err)
+	}
+	return &Topo{
+		Spec: s, Cluster: cl, Graph: g, NodeDomain: *dom, Domains: s.Groups,
+		Bisection: float64(s.Groups/2) * float64(s.Rails) * uplink,
+	}, nil
+}
+
+// MultiNICSpec is a flat multi-NIC cluster: every server has several NICs
+// (every GPU can use any local NIC), servers are grouped under leaf
+// switches, and the leaves form a full mesh. Each group is one simulation
+// domain.
+type MultiNICSpec struct {
+	Servers int     // total servers (must be divisible by Group)
+	GPUs    int     // GPUs per server
+	NICs    int     // NICs per server
+	Group   int     // servers per leaf switch (= per domain)
+	Oversub float64 // leaf uplink oversubscription factor (>= 1)
+	NICGbps float64 // per-NIC line rate in Gbit/s
+}
+
+func (s MultiNICSpec) withDefaults() MultiNICSpec {
+	if s.GPUs == 0 {
+		s.GPUs = 8
+	}
+	if s.NICs == 0 {
+		s.NICs = 4
+	}
+	if s.Group == 0 {
+		s.Group = max(1, s.Servers/4)
+	}
+	if s.Oversub == 0 {
+		s.Oversub = 1
+	}
+	if s.NICGbps == 0 {
+		s.NICGbps = 100
+	}
+	return s
+}
+
+// Name returns the canonical round-trippable form.
+func (s MultiNICSpec) Name() string {
+	s = s.withDefaults()
+	return fmt.Sprintf("multinic:servers=%d,gpus=%d,nics=%d,group=%d,oversub=%s,nic=%s",
+		s.Servers, s.GPUs, s.NICs, s.Group, fmtF(s.Oversub), fmtF(s.NICGbps))
+}
+
+// Build materialises the multi-NIC cluster.
+func (s MultiNICSpec) Build() (*Topo, error) {
+	s = s.withDefaults()
+	if s.Servers < 1 || s.GPUs < 1 || s.NICs < 1 || s.Group < 1 {
+		return nil, fmt.Errorf("topology: %s: all counts must be positive", s.Name())
+	}
+	if s.Servers%s.Group != 0 {
+		return nil, fmt.Errorf("topology: %s: %d servers not divisible by group size %d", s.Name(), s.Servers, s.Group)
+	}
+	if s.Oversub < 1 || s.NICGbps <= 0 {
+		return nil, fmt.Errorf("topology: %s: oversub must be >= 1 and nic positive", s.Name())
+	}
+	nicBps := Gbps(s.NICGbps)
+	groups := s.Servers / s.Group
+	specs := make([]ServerSpec, s.Servers)
+	for i := range specs {
+		specs[i] = genServer(s.GPUs, s.NICs, nicBps)
+	}
+	cl, err := NewCluster(TransportRDMA, specs...)
+	if err != nil {
+		return nil, err
+	}
+	g, nicIDs, dom, err := genServerGraph(cl, false, func(server int) int { return server / s.Group })
+	if err != nil {
+		return nil, err
+	}
+
+	leaves := make([]NodeID, groups)
+	for grp := 0; grp < groups; grp++ {
+		leaves[grp] = g.AddNode(Node{Kind: KindSwitch, Server: -1, Index: grp, Rank: -1})
+		*dom = append(*dom, grp)
+		for srv := grp * s.Group; srv < (grp+1)*s.Group; srv++ {
+			for _, nic := range nicIDs[srv] {
+				g.AddBidirectional(Edge{
+					From: nic, To: leaves[grp],
+					Type: LinkRDMA, Alpha: RDMAAlpha / 2, BandwidthBps: nicBps,
+				})
+			}
+		}
+	}
+	uplink := float64(s.Group*s.NICs) * nicBps / s.Oversub
+	if groups > 1 {
+		pair := uplink / float64(groups-1)
+		for a := 0; a < groups; a++ {
+			for b := a + 1; b < groups; b++ {
+				g.AddBidirectional(Edge{
+					From: leaves[a], To: leaves[b],
+					Type: LinkRDMA, Alpha: RDMAAlpha, BandwidthBps: pair,
+				})
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: %s: %w", s.Name(), err)
+	}
+	bisect := 0.0
+	if groups > 1 {
+		half := groups / 2
+		bisect = float64(half) * float64(groups-half) * uplink / float64(groups-1)
+	}
+	return &Topo{
+		Spec: s, Cluster: cl, Graph: g, NodeDomain: *dom, Domains: groups,
+		Bisection: bisect,
+	}, nil
+}
+
+// genServer builds one generated-cluster server: gpus A100s (full NVLink
+// mesh), nics NICs at nicBps each.
+func genServer(gpus, nics int, nicBps float64) ServerSpec {
+	n := make([]NICSpec, nics)
+	for i := range n {
+		n[i] = NICSpec{BandwidthBps: nicBps}
+	}
+	g := make([]GPUModel, gpus)
+	for i := range g {
+		g[i] = GPUA100
+	}
+	return ServerSpec{GPUs: g, NICs: n}
+}
+
+// genServerGraph builds the intra-server part of a generated topology's
+// graph — GPU and NIC nodes, NVLink mesh, PCIe host links — mirroring
+// Cluster.LogicalGraph but leaving the network fabric to the caller. With
+// rail set, GPU i is wired only to NIC i (the rail-optimized property);
+// otherwise every GPU reaches every local NIC. It returns the per-server
+// NIC node ids and the node→domain assignment so far (a pointer so the
+// caller can keep appending switch domains).
+func genServerGraph(c *Cluster, rail bool, domainOf func(server int) int) (*Graph, [][]NodeID, *[]int, error) {
+	g := NewGraph()
+	var dom []int
+	rank := 0
+	gpuIDs := make([][]NodeID, len(c.Servers))
+	nicIDs := make([][]NodeID, len(c.Servers))
+	for si, srv := range c.Servers {
+		for gi := range srv.GPUs {
+			id := g.AddNode(Node{Kind: KindGPU, Server: si, Index: gi, Rank: rank})
+			gpuIDs[si] = append(gpuIDs[si], id)
+			dom = append(dom, domainOf(si))
+			rank++
+		}
+		for ni := range srv.NICs {
+			id := g.AddNode(Node{Kind: KindNIC, Server: si, Index: ni, Rank: -1})
+			nicIDs[si] = append(nicIDs[si], id)
+			dom = append(dom, domainOf(si))
+		}
+	}
+	for si, srv := range c.Servers {
+		for _, pair := range srv.nvlinkPairs() {
+			a, b := pair[0], pair[1]
+			bw := srv.GPUs[a].NVLinkBps()
+			if other := srv.GPUs[b].NVLinkBps(); other < bw {
+				bw = other
+			}
+			g.AddBidirectional(Edge{
+				From: gpuIDs[si][a], To: gpuIDs[si][b],
+				Type: LinkNVLink, Alpha: NVLinkAlpha, BandwidthBps: bw,
+			})
+		}
+		for gi, gid := range gpuIDs[si] {
+			for ni, nid := range nicIDs[si] {
+				if rail && gi != ni {
+					continue
+				}
+				g.AddBidirectional(Edge{
+					From: gid, To: nid,
+					Type: LinkPCIe, Alpha: PCIeAlpha, BandwidthBps: srv.PCIe.Bps(),
+				})
+			}
+		}
+	}
+	return g, nicIDs, &dom, nil
+}
+
+// ParseTopo parses a generated-topology name: "kind:key=value,...", e.g.
+// "rail:groups=8,servers=16,rails=8" or "fattree:pods=8,oversub=2".
+// Omitted keys take the spec's defaults; Spec.Name always prints every key
+// canonically, so ParseTopo(spec.Name()) round-trips exactly.
+func ParseTopo(s string) (Spec, error) {
+	kind, rest, _ := strings.Cut(strings.TrimSpace(s), ":")
+	kv, err := parseKV(rest)
+	if err != nil {
+		return nil, fmt.Errorf("topology: spec %q: %w", s, err)
+	}
+	geti := func(key string) (int, bool, error) {
+		v, ok := kv[key]
+		if !ok {
+			return 0, false, nil
+		}
+		delete(kv, key)
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, false, fmt.Errorf("bad %s=%q", key, v)
+		}
+		return n, true, nil
+	}
+	getf := func(key string) (float64, bool, error) {
+		v, ok := kv[key]
+		if !ok {
+			return 0, false, nil
+		}
+		delete(kv, key)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return 0, false, fmt.Errorf("bad %s=%q", key, v)
+		}
+		return f, true, nil
+	}
+	var spec Spec
+	switch strings.ToLower(kind) {
+	case "fattree":
+		var ft FatTreeSpec
+		err = firstErr(
+			setInt(&ft.Pods, "pods", geti), setInt(&ft.Servers, "servers", geti),
+			setInt(&ft.GPUs, "gpus", geti), setInt(&ft.Spines, "spines", geti),
+			setFloat(&ft.Oversub, "oversub", getf), setFloat(&ft.NICGbps, "nic", getf),
+		)
+		spec = ft.withDefaults()
+	case "rail":
+		var r RailSpec
+		err = firstErr(
+			setInt(&r.Groups, "groups", geti), setInt(&r.Servers, "servers", geti),
+			setInt(&r.Rails, "rails", geti),
+			setFloat(&r.Oversub, "oversub", getf), setFloat(&r.NICGbps, "nic", getf),
+		)
+		spec = r.withDefaults()
+	case "multinic":
+		var m MultiNICSpec
+		err = firstErr(
+			setInt(&m.Servers, "servers", geti), setInt(&m.GPUs, "gpus", geti),
+			setInt(&m.NICs, "nics", geti), setInt(&m.Group, "group", geti),
+			setFloat(&m.Oversub, "oversub", getf), setFloat(&m.NICGbps, "nic", getf),
+		)
+		spec = m.withDefaults()
+	default:
+		return nil, fmt.Errorf("topology: unknown topology kind %q (want fattree, rail or multinic)", kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("topology: spec %q: %w", s, err)
+	}
+	if len(kv) > 0 {
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return nil, fmt.Errorf("topology: spec %q: unknown key(s) %v", s, keys)
+	}
+	return spec, nil
+}
+
+func parseKV(s string) (map[string]string, error) {
+	kv := make(map[string]string)
+	if strings.TrimSpace(s) == "" {
+		return kv, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("malformed parameter %q", part)
+		}
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("duplicate key %q", k)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+func setInt(dst *int, key string, get func(string) (int, bool, error)) error {
+	v, ok, err := get(key)
+	if err != nil {
+		return err
+	}
+	if ok {
+		*dst = v
+	}
+	return nil
+}
+
+func setFloat(dst *float64, key string, get func(string) (float64, bool, error)) error {
+	v, ok, err := get(key)
+	if err != nil {
+		return err
+	}
+	if ok {
+		*dst = v
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtF formats a float for canonical topology names.
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,0 +1,259 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// genSpecs is the spec matrix the property tests sweep: every generator,
+// several shapes, with and without oversubscription.
+func genSpecs() []Spec {
+	return []Spec{
+		FatTreeSpec{Pods: 2, Servers: 2, GPUs: 2, Spines: 1},
+		FatTreeSpec{Pods: 4, Servers: 4, GPUs: 4, Spines: 2, Oversub: 2},
+		FatTreeSpec{Pods: 8, Servers: 4, GPUs: 8, Spines: 4, NICGbps: 200},
+		RailSpec{Groups: 1, Servers: 2, Rails: 2},
+		RailSpec{Groups: 4, Servers: 2, Rails: 4, Oversub: 2},
+		RailSpec{Groups: 8, Servers: 4, Rails: 8, NICGbps: 400},
+		MultiNICSpec{Servers: 4, GPUs: 2, NICs: 2, Group: 2},
+		MultiNICSpec{Servers: 8, GPUs: 4, NICs: 2, Group: 2, Oversub: 4},
+		MultiNICSpec{Servers: 16, GPUs: 8, NICs: 4, Group: 4},
+	}
+}
+
+// TestTopoConnected checks the first structural property: every generated
+// graph is strongly connected (BFS over directed edges reaches all nodes),
+// so any rank can talk to any other rank.
+func TestTopoConnected(t *testing.T) {
+	for _, spec := range genSpecs() {
+		topo, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		g := topo.Graph
+		visited := make([]bool, g.NumNodes())
+		queue := []NodeID{0}
+		visited[0] = true
+		seen := 1
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, eid := range g.Out(cur) {
+				next := g.Edge(eid).To
+				if !visited[next] {
+					visited[next] = true
+					seen++
+					queue = append(queue, next)
+				}
+			}
+		}
+		if seen != g.NumNodes() {
+			t.Errorf("%s: only %d of %d nodes reachable from node 0", spec.Name(), seen, g.NumNodes())
+		}
+	}
+}
+
+// TestTopoBisection checks the declared bisection bandwidth against the
+// actual cut: summing the capacity of directed edges from the first half of
+// the domains to the second half must equal Topo.Bisection.
+func TestTopoBisection(t *testing.T) {
+	for _, spec := range genSpecs() {
+		topo, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		if topo.Domains < 2 {
+			if topo.Bisection != 0 {
+				t.Errorf("%s: single-domain topology declares bisection %v", spec.Name(), topo.Bisection)
+			}
+			continue
+		}
+		half := topo.Domains / 2
+		var cut float64
+		for _, e := range topo.Graph.Edges() {
+			if topo.NodeDomain[e.From] < half && topo.NodeDomain[e.To] >= half {
+				cut += e.BandwidthBps
+			}
+		}
+		if math.Abs(cut-topo.Bisection) > 1e-6*topo.Bisection {
+			t.Errorf("%s: cut capacity %.3g Bps != declared bisection %.3g Bps", spec.Name(), cut, topo.Bisection)
+		}
+	}
+}
+
+// TestTopoNameRoundTrip checks ParseTopo(spec.Name()) reproduces the spec
+// exactly (the scale analogue of cluster.ParseCase round-tripping).
+func TestTopoNameRoundTrip(t *testing.T) {
+	for _, spec := range genSpecs() {
+		parsed, err := ParseTopo(spec.Name())
+		if err != nil {
+			t.Fatalf("ParseTopo(%q): %v", spec.Name(), err)
+		}
+		if parsed.Name() != spec.Name() {
+			t.Errorf("round trip: %q -> %q", spec.Name(), parsed.Name())
+		}
+	}
+	// Partial specs take defaults but still round-trip through Name.
+	partial, err := ParseTopo("rail:groups=8")
+	if err != nil {
+		t.Fatalf("partial spec: %v", err)
+	}
+	if !strings.Contains(partial.Name(), "groups=8") || !strings.Contains(partial.Name(), "servers=4") {
+		t.Errorf("partial spec name %q missing explicit or defaulted key", partial.Name())
+	}
+	if reparsed, err := ParseTopo(partial.Name()); err != nil || reparsed.Name() != partial.Name() {
+		t.Errorf("partial round trip: %q -> %q (%v)", partial.Name(), reparsed, err)
+	}
+	for _, bad := range []string{
+		"mesh:servers=4",        // unknown kind
+		"rail:groups=8,bogus=1", // unknown key
+		"rail:groups=x",         // malformed int
+		"fattree:pods=2,pods=4", // duplicate key
+		"multinic:servers",      // missing value
+		"fattree:oversub=-1",    // negative float
+	} {
+		if _, err := ParseTopo(bad); err == nil {
+			t.Errorf("ParseTopo(%q) accepted an invalid spec", bad)
+		}
+	}
+}
+
+// TestTopoRailWiring pins the rail-optimized property: GPU i connects only
+// to NIC i on its server.
+func TestTopoRailWiring(t *testing.T) {
+	topo, err := RailSpec{Groups: 2, Servers: 2, Rails: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range topo.Graph.Edges() {
+		if e.Type != LinkPCIe {
+			continue
+		}
+		from, to := topo.Graph.Node(e.From), topo.Graph.Node(e.To)
+		if from.Index != to.Index {
+			t.Fatalf("rail violation: PCIe edge between %v and %v (different indices)", from, to)
+		}
+	}
+}
+
+// TestTopoPartition checks the generated domain assignment survives
+// NewPartition: ranks distribute evenly, lookahead is the network α, cross
+// edges only appear between switch tiers, and per-domain subgraphs carry
+// contiguous local ranks that map back to the global numbering.
+func TestTopoPartition(t *testing.T) {
+	for _, spec := range genSpecs() {
+		topo, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		p, err := topo.Partition()
+		if err != nil {
+			t.Fatalf("%s: partition: %v", spec.Name(), err)
+		}
+		if p.Domains != topo.Domains {
+			t.Errorf("%s: partition has %d domains, topo declares %d", spec.Name(), p.Domains, topo.Domains)
+		}
+		if p.Ranks() != topo.Cluster.NumGPUs() {
+			t.Errorf("%s: partition has %d ranks, cluster has %d", spec.Name(), p.Ranks(), topo.Cluster.NumGPUs())
+		}
+		want := p.Ranks() / p.Domains
+		for d := 0; d < p.Domains; d++ {
+			if p.DomainRanks(d) != want {
+				t.Errorf("%s: domain %d has %d ranks, want %d", spec.Name(), d, p.DomainRanks(d), want)
+			}
+		}
+		if p.Domains > 1 {
+			if len(p.Cross) == 0 {
+				t.Errorf("%s: multi-domain partition has no cross edges", spec.Name())
+			}
+			if p.Lookahead != RDMAAlpha/2 && p.Lookahead != RDMAAlpha {
+				t.Errorf("%s: lookahead %v is not a network hop latency", spec.Name(), p.Lookahead)
+			}
+		}
+		for _, ce := range p.Cross {
+			if !ce.Global.Type.Network() {
+				t.Errorf("%s: non-network cross edge %v", spec.Name(), ce.Global.Type)
+			}
+			if leg := p.Subs[ce.Src].Edge(ce.SrcEdge); leg.Alpha != 0 {
+				t.Errorf("%s: serialization leg keeps α=%v (should be folded into the post delay)", spec.Name(), leg.Alpha)
+			}
+		}
+		// Round-trip every global rank through the local numbering.
+		for r := 0; r < p.Ranks(); r++ {
+			d, local := p.LocalGPU(r)
+			n := p.Subs[d].Node(local)
+			if p.GlobalRanks[d][n.Rank] != r {
+				t.Errorf("%s: rank %d maps to domain %d local %d which maps back to %d",
+					spec.Name(), r, d, n.Rank, p.GlobalRanks[d][n.Rank])
+			}
+		}
+	}
+}
+
+// TestPartitionRejectsSplitServer checks the guard: assigning two GPUs of
+// one server to different domains must fail (NVLink cannot cross domains).
+func TestPartitionRejectsSplitServer(t *testing.T) {
+	topo, err := FatTreeSpec{Pods: 2, Servers: 1, GPUs: 2, Spines: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := append([]int(nil), topo.NodeDomain...)
+	gpus := topo.Graph.GPUs()
+	dom[gpus[0]] = 0
+	dom[gpus[1]] = 1
+	if _, err := NewPartition(topo.Graph, dom); err == nil || !strings.Contains(err.Error(), "splits a server") {
+		t.Fatalf("expected split-server error, got %v", err)
+	}
+}
+
+// TestPartitionSingleDomain checks the degenerate all-in-one partition:
+// no cross edges, zero lookahead, subgraph identical in size to the input.
+func TestPartitionSingleDomain(t *testing.T) {
+	topo, err := RailSpec{Groups: 2, Servers: 2, Rails: 2}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := make([]int, topo.Graph.NumNodes())
+	p, err := NewPartition(topo.Graph, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cross) != 0 || p.Lookahead != 0 {
+		t.Fatalf("single-domain partition has %d cross edges, lookahead %v", len(p.Cross), p.Lookahead)
+	}
+	if p.Subs[0].NumNodes() != topo.Graph.NumNodes() || p.Subs[0].NumEdges() != topo.Graph.NumEdges() {
+		t.Fatalf("single-domain subgraph %d nodes/%d edges, want %d/%d",
+			p.Subs[0].NumNodes(), p.Subs[0].NumEdges(), topo.Graph.NumNodes(), topo.Graph.NumEdges())
+	}
+}
+
+// TestTopoScaleCounts sanity-checks the thousand-rank shapes the sweep
+// benchmark uses: 1024 and 4096 ranks materialise with the expected node
+// counts in well under a second.
+func TestTopoScaleCounts(t *testing.T) {
+	start := time.Now()
+	for _, tc := range []struct {
+		spec  Spec
+		ranks int
+	}{
+		{RailSpec{Groups: 16, Servers: 8, Rails: 8}, 1024},
+		{RailSpec{Groups: 32, Servers: 16, Rails: 8}, 4096},
+		{FatTreeSpec{Pods: 16, Servers: 8, GPUs: 8, Spines: 8}, 1024},
+	} {
+		topo, err := tc.spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec.Name(), err)
+		}
+		if got := topo.Cluster.NumGPUs(); got != tc.ranks {
+			t.Errorf("%s: %d ranks, want %d", tc.spec.Name(), got, tc.ranks)
+		}
+		if _, err := topo.Partition(); err != nil {
+			t.Errorf("%s: partition: %v", tc.spec.Name(), err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("scale topology construction took %v", elapsed)
+	}
+}

@@ -294,10 +294,14 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("edge %d: PCIe edge must connect a GPU and a NIC (%v -> %v)", e.ID, from, to)
 			}
 		case LinkRDMA, LinkTCP:
-			nicSwitch := (from.Kind == KindNIC && to.Kind == KindSwitch) ||
-				(from.Kind == KindSwitch && to.Kind == KindNIC)
-			if !nicSwitch {
-				return fmt.Errorf("edge %d: network edge must connect a NIC and the core switch (%v -> %v)", e.ID, from, to)
+			// NIC↔switch (server ports) or switch↔switch (the multi-tier
+			// fabrics of generated datacenter topologies: leaf↔spine,
+			// rail↔spine, leaf↔leaf).
+			ok := (from.Kind == KindNIC && to.Kind == KindSwitch) ||
+				(from.Kind == KindSwitch && to.Kind == KindNIC) ||
+				(from.Kind == KindSwitch && to.Kind == KindSwitch)
+			if !ok {
+				return fmt.Errorf("edge %d: network edge must connect a NIC and a switch, or two switches (%v -> %v)", e.ID, from, to)
 			}
 		default:
 			return fmt.Errorf("edge %d: unknown link type %v", e.ID, e.Type)

@@ -1,0 +1,209 @@
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// CrossEdge is one directed logical edge whose endpoints live in different
+// simulation domains. The edge is owned by its source domain: serialization
+// (the β·size occupancy, including contention with every other transfer on
+// the edge) is simulated there over SrcEdge, whose latency is zeroed; the
+// original link latency α is then paid as the cross-domain post delay. The
+// arrival therefore lands at exactly the virtual time a monolithic
+// simulation would produce, and the minimum α over all cross edges is the
+// conservative lookahead that keeps the partitioned schedule causal.
+type CrossEdge struct {
+	// Global is the original edge, with global node ids and the full α.
+	Global Edge
+	// Src and Dst are the source and destination domains.
+	Src, Dst int
+	// SrcEdge is the serialization leg in the source domain's subgraph:
+	// a copy of Global with α = 0, ending at a ghost copy of the target
+	// node.
+	SrcEdge EdgeID
+	// DstNode is the destination node's local id in the destination
+	// domain's subgraph.
+	DstNode NodeID
+}
+
+// Partition splits a logical graph into per-domain subgraphs for the
+// partitioned event engine (sim.Parallel): every node belongs to exactly
+// one domain, intra-domain edges are replicated into the domain's
+// subgraph, and edges crossing domains become CrossEdges. Only network
+// edges may cross: NVLink and PCIe stay inside a server, so a partition
+// that splits a server is rejected.
+type Partition struct {
+	// Graph is the original, unpartitioned graph.
+	Graph *Graph
+	// Domains is the number of domains.
+	Domains int
+	// NodeDomain maps each global node to its domain.
+	NodeDomain []int
+	// Subs are the per-domain subgraphs. GPU ranks are renumbered to be
+	// contiguous from 0 within each domain (see GlobalRanks).
+	Subs []*Graph
+	// ToLocal maps a global node id to its local id in its home domain.
+	ToLocal []NodeID
+	// GlobalRanks maps (domain, local rank) back to the global rank.
+	GlobalRanks [][]int
+	// RankDomain and RankLocal map a global rank to its domain and local
+	// rank.
+	RankDomain []int
+	RankLocal  []int
+	// Cross lists every domain-crossing edge.
+	Cross []CrossEdge
+	// EdgeLocal maps a global edge to its local edge id — in its own
+	// domain's subgraph for intra-domain edges, or the serialization leg
+	// in the source domain for cross edges.
+	EdgeLocal []EdgeID
+	// EdgeDomain maps a global edge to the domain that simulates it (the
+	// domain of its From node).
+	EdgeDomain []int
+	// EdgeCross maps a global edge to its index in Cross, or -1.
+	EdgeCross []int
+	// Lookahead is the minimum α over all cross edges (0 when nothing
+	// crosses, i.e. a single-domain partition).
+	Lookahead time.Duration
+}
+
+// NewPartition builds the partition of g induced by nodeDomain, which must
+// assign every node a domain in [0, D) with every domain non-empty.
+func NewPartition(g *Graph, nodeDomain []int) (*Partition, error) {
+	if len(nodeDomain) != g.NumNodes() {
+		return nil, fmt.Errorf("topology: partition assigns %d nodes, graph has %d", len(nodeDomain), g.NumNodes())
+	}
+	domains := 0
+	for n, d := range nodeDomain {
+		if d < 0 {
+			return nil, fmt.Errorf("topology: node %d assigned negative domain %d", n, d)
+		}
+		if d+1 > domains {
+			domains = d + 1
+		}
+	}
+	if domains == 0 {
+		return nil, fmt.Errorf("topology: empty partition")
+	}
+	seen := make([]bool, domains)
+	for _, d := range nodeDomain {
+		seen[d] = true
+	}
+	for d, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("topology: domain %d of %d is empty", d, domains)
+		}
+	}
+
+	p := &Partition{
+		Graph:      g,
+		Domains:    domains,
+		NodeDomain: append([]int(nil), nodeDomain...),
+		Subs:       make([]*Graph, domains),
+		ToLocal:    make([]NodeID, g.NumNodes()),
+		EdgeLocal:  make([]EdgeID, g.NumEdges()),
+		EdgeDomain: make([]int, g.NumEdges()),
+		EdgeCross:  make([]int, g.NumEdges()),
+	}
+	for i := range p.Subs {
+		p.Subs[i] = NewGraph()
+	}
+
+	// Home nodes, in global order. GPU local ranks are renumbered
+	// contiguously per domain in global-rank order so each subgraph
+	// validates on its own.
+	nextRank := make([]int, domains)
+	p.GlobalRanks = make([][]int, domains)
+	totalRanks := 0
+	for _, n := range g.Nodes() {
+		if n.Kind == KindGPU {
+			totalRanks++
+		}
+	}
+	p.RankDomain = make([]int, totalRanks)
+	p.RankLocal = make([]int, totalRanks)
+	for _, n := range g.Nodes() {
+		d := nodeDomain[n.ID]
+		local := n
+		if n.Kind == KindGPU {
+			local.Rank = nextRank[d]
+			nextRank[d]++
+			p.GlobalRanks[d] = append(p.GlobalRanks[d], n.Rank)
+			p.RankDomain[n.Rank] = d
+			p.RankLocal[n.Rank] = local.Rank
+		}
+		p.ToLocal[n.ID] = p.Subs[d].AddNode(local)
+	}
+
+	// Edges: intra-domain edges replicate; cross edges get a serialization
+	// leg in the source domain, ending at a ghost copy of the target node.
+	ghosts := make([]map[NodeID]NodeID, domains) // global target -> local ghost
+	for i := range ghosts {
+		ghosts[i] = make(map[NodeID]NodeID)
+	}
+	for _, e := range g.Edges() {
+		src, dst := nodeDomain[e.From], nodeDomain[e.To]
+		p.EdgeDomain[e.ID] = src
+		if src == dst {
+			local := e
+			local.From = p.ToLocal[e.From]
+			local.To = p.ToLocal[e.To]
+			p.EdgeLocal[e.ID] = p.Subs[src].AddEdge(local)
+			p.EdgeCross[e.ID] = -1
+			continue
+		}
+		if !e.Type.Network() {
+			return nil, fmt.Errorf("topology: partition splits a server: %v edge %v -> %v crosses domains %d/%d",
+				e.Type, g.Node(e.From), g.Node(e.To), src, dst)
+		}
+		if e.Alpha <= 0 {
+			return nil, fmt.Errorf("topology: cross-domain edge %v -> %v has no latency; the partition would have zero lookahead",
+				g.Node(e.From), g.Node(e.To))
+		}
+		ghost, ok := ghosts[src][e.To]
+		if !ok {
+			gn := g.Node(e.To)
+			gn.Rank = -1 // ghosts carry no rank even if (impossibly) a GPU
+			ghost = p.Subs[src].AddNode(gn)
+			ghosts[src][e.To] = ghost
+		}
+		leg := e
+		leg.From = p.ToLocal[e.From]
+		leg.To = ghost
+		leg.Alpha = 0 // α is paid by the cross-domain post instead
+		legID := p.Subs[src].AddEdge(leg)
+		p.EdgeLocal[e.ID] = legID
+		p.EdgeCross[e.ID] = len(p.Cross)
+		p.Cross = append(p.Cross, CrossEdge{
+			Global: e, Src: src, Dst: dst,
+			SrcEdge: legID, DstNode: p.ToLocal[e.To],
+		})
+		if p.Lookahead == 0 || e.Alpha < p.Lookahead {
+			p.Lookahead = e.Alpha
+		}
+	}
+
+	for d, sub := range p.Subs {
+		if err := sub.Validate(); err != nil {
+			return nil, fmt.Errorf("topology: domain %d subgraph invalid: %w", d, err)
+		}
+	}
+	return p, nil
+}
+
+// Ranks returns the total number of GPU ranks across all domains.
+func (p *Partition) Ranks() int { return len(p.RankDomain) }
+
+// DomainRanks returns how many ranks live in domain d.
+func (p *Partition) DomainRanks(d int) int { return len(p.GlobalRanks[d]) }
+
+// LocalGPU returns the local node id of a global rank's GPU in its home
+// domain's subgraph.
+func (p *Partition) LocalGPU(rank int) (domain int, node NodeID) {
+	d := p.RankDomain[rank]
+	id, ok := p.Subs[d].GPUByRank(p.RankLocal[rank])
+	if !ok {
+		panic(fmt.Sprintf("topology: rank %d lost in partition", rank))
+	}
+	return d, id
+}
