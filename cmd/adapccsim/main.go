@@ -61,12 +61,6 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *topoSpec != "" {
-		if *chaosSpec != "" || *hybridSpec != "" {
-			return fmt.Errorf("-topo is mutually exclusive with -chaos and -hybrid")
-		}
-		return runScale(*topoSpec, *workers, *bytes, *seed, *metricsOut)
-	}
 	healSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "heal" {
@@ -75,6 +69,20 @@ func run(args []string) error {
 	})
 	if healSet && *chaosSpec == "" {
 		return fmt.Errorf("-heal requires -chaos (healing re-admits what the fault path excluded)")
+	}
+	if *topoSpec != "" {
+		if *hybridSpec != "" {
+			return fmt.Errorf("-topo is mutually exclusive with -hybrid")
+		}
+		var heal *health.Options
+		if healSet {
+			hopts, err := parseHealSpec(*healSpec)
+			if err != nil {
+				return err
+			}
+			heal = &hopts
+		}
+		return runScale(*topoSpec, *workers, *bytes, *seed, *chaosSpec, heal, *metricsOut)
 	}
 	if *hybridSpec != "" && *chaosSpec != "" {
 		return fmt.Errorf("-hybrid and -chaos are mutually exclusive")
@@ -292,14 +300,16 @@ func run(args []string) error {
 }
 
 // runScale runs the -topo sweep: a hierarchical AllReduce over a generated
-// datacenter topology on the partitioned event engine.
-func runScale(spec string, workers int, bytes, seed int64, metricsOut string) error {
+// datacenter topology on the partitioned event engine, optionally with a
+// chaos schedule and background healing riding on the recovery layer.
+func runScale(spec string, workers int, bytes, seed int64, chaosSpec string, heal *health.Options, metricsOut string) error {
 	var reg *metrics.Registry
 	if metricsOut != "" {
 		reg = metrics.New()
 	}
 	res, err := core.RunScale(core.ScaleRequest{
 		Topo: spec, Workers: workers, SegBytes: bytes, Seed: seed, Metrics: reg,
+		Chaos: chaosSpec, Heal: heal,
 	})
 	if err != nil {
 		return err
@@ -312,6 +322,20 @@ func runScale(spec string, workers int, bytes, seed int64, metricsOut string) er
 	for _, s := range res.Stats {
 		fmt.Printf("  %-10s %8d events, %5d stalls, max queue %d\n",
 			s.Name, s.Fired, s.Stalls, s.MaxQueueDepth)
+	}
+	if rec := res.Recovery; rec != nil {
+		fmt.Printf("chaos: injected %d scale events, %d drops, %d holds\n",
+			rec.Injected.ScaleEvents, rec.Injected.Drops, rec.Injected.Holds)
+		fmt.Printf("recovery: %d deadline(s), %d retransmit(s), %d reroute(s), %d duplicate(s) dropped, %d stall warning(s)\n",
+			rec.Deadlines, rec.Retransmits, rec.Reroutes, rec.Duplicates, rec.StallWarnings)
+		fmt.Printf("recovery: %d domain-local + %d boundary recoveries (fabric counters %d/%d), max time-to-recover %v\n",
+			rec.DomainLocal, rec.Boundary,
+			res.RecoveryEvents.DomainLocal, res.RecoveryEvents.Boundary,
+			rec.TimeToRecoverMax.Round(time.Microsecond))
+		if rec.Healed > 0 || rec.Condemned > 0 {
+			fmt.Printf("heal: %d edge(s) re-admitted (max time-to-heal %v), %d condemned\n",
+				rec.Healed, rec.TimeToHealMax.Round(time.Microsecond), rec.Condemned)
+		}
 	}
 	return writeMetrics(reg, metricsOut)
 }

@@ -211,11 +211,24 @@ func TestRunScaleTopoMetrics(t *testing.T) {
 func TestRunScaleTopoRejectsBadSpec(t *testing.T) {
 	for _, args := range [][]string{
 		{"-topo", "mesh:servers=4"},
-		{"-topo", "rail:groups=2", "-chaos", "seed=1;down@1ms+1ms:edge=0"},
 		{"-topo", "rail:groups=2", "-hybrid", "2x2x2"},
+		// Healing without faults: nothing is ever excluded.
+		{"-topo", "rail:groups=2", "-heal", "quarantine=1ms"},
+		// Kernel-model fault kinds have no sharded implementation.
+		{"-topo", "rail:groups=2", "-chaos", "hang@1ms+1ms:rank=0"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunScaleTopoChaosHeal: the fault/heal flags compose with -topo — a
+// bounded link kill recovers and heals on the sharded fabric.
+func TestRunScaleTopoChaosHeal(t *testing.T) {
+	if err := run([]string{"-topo", "rail:groups=2",
+		"-chaos", "seed=1;down@1ms+1ms:edge=0",
+		"-heal", "quarantine=1ms,probe=500us,k=2"}); err != nil {
+		t.Fatalf("chaos+heal with -topo rejected: %v", err)
 	}
 }

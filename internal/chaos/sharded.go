@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adapcc/internal/fabric"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// Sharded schedules a Spec against a partitioned fabric. The schedule is
+// written in global terms — global edge ids, global ranks — and every fault
+// is routed to the domain that owns its target: bandwidth transitions run
+// as events on the owning domain's engine, and loss/hold verdicts draw from
+// that domain's private rand. All mutable state is therefore partitioned by
+// domain and touched only from that domain's events, which is what keeps a
+// chaos-laden sweep bit-identical for any worker count (the per-domain rngs
+// are consumed in domain event order, which sim.Parallel fixes).
+//
+// Supported kinds are the link faults (down/flap/degrade/loss/hold) and
+// crash (which kills every edge adjacent to the rank's GPU — all owned by
+// one domain, since GPU-adjacent links never cross). Hang and straggler
+// need the kernel model, which the scale sweep does not simulate; Arm
+// rejects them loudly rather than silently no-oping.
+type Sharded struct {
+	sh   *fabric.Sharded
+	part *topology.Partition
+	spec Spec
+
+	rngs []*rand.Rand
+	// lossWin/holdWin are read-only after Arm: windows are looked up from
+	// many domains concurrently, but never mutated during Run.
+	lossWin map[topology.EdgeID][]window
+	holdWin map[topology.EdgeID][]window
+	// saved and counters are per-domain, each entry owned by its domain.
+	saved    []map[topology.EdgeID]float64
+	counters []Counters
+	armed    bool
+}
+
+// NewSharded builds a chaos engine over a partitioned fabric. Nothing
+// happens until Arm.
+func NewSharded(sh *fabric.Sharded, spec Spec) *Sharded {
+	part := sh.Partition()
+	e := &Sharded{
+		sh:       sh,
+		part:     part,
+		spec:     spec,
+		rngs:     make([]*rand.Rand, part.Domains),
+		lossWin:  make(map[topology.EdgeID][]window),
+		holdWin:  make(map[topology.EdgeID][]window),
+		saved:    make([]map[topology.EdgeID]float64, part.Domains),
+		counters: make([]Counters, part.Domains),
+	}
+	for d := 0; d < part.Domains; d++ {
+		e.rngs[d] = rand.New(rand.NewSource(spec.Seed + int64(d+1)*0x517cc1b727220a95))
+		e.saved[d] = make(map[topology.EdgeID]float64)
+	}
+	return e
+}
+
+// Spec returns the armed schedule.
+func (e *Sharded) Spec() Spec { return e.spec }
+
+// Counters folds the per-domain injection tallies. Only meaningful once Run
+// has returned (or before it starts).
+func (e *Sharded) Counters() Counters {
+	var out Counters
+	for _, c := range e.counters {
+		out.ScaleEvents += c.ScaleEvents
+		out.Drops += c.Drops
+		out.Holds += c.Holds
+		out.KernelStalls += c.KernelStalls
+	}
+	return out
+}
+
+// Arm validates the spec against the global graph, installs the sharded
+// injector, and schedules every fault on its owning domain's engine,
+// relative to that engine's current virtual time. Arm may be called once,
+// before Run.
+func (e *Sharded) Arm() error {
+	if e.armed {
+		return fmt.Errorf("chaos: already armed")
+	}
+	g := e.part.Graph
+	for _, f := range e.spec.Faults {
+		if f.Edge >= 0 && int(f.Edge) >= g.NumEdges() {
+			return fmt.Errorf("chaos: fault %q targets edge %d of a %d-edge graph",
+				f.String(), f.Edge, g.NumEdges())
+		}
+		switch f.Kind {
+		case Hang, Straggler:
+			return fmt.Errorf("chaos: %s faults need the kernel model, which the sharded sweep does not simulate (fault %q)",
+				f.Kind, f.String())
+		case Crash:
+			if _, ok := g.GPUByRank(f.Rank); !ok {
+				return fmt.Errorf("chaos: fault %q targets unknown rank %d", f.String(), f.Rank)
+			}
+		}
+	}
+	e.armed = true
+	for _, f := range e.spec.Faults {
+		e.arm(f)
+	}
+	e.sh.SetInjector(e)
+	return nil
+}
+
+// domainOf returns the domain owning an edge fault's target.
+func (e *Sharded) domainOf(ge topology.EdgeID) int { return e.part.EdgeDomain[ge] }
+
+func (e *Sharded) arm(f Fault) {
+	switch f.Kind {
+	case LinkDown, LinkFlap, Degrade:
+		d := e.domainOf(f.Edge)
+		eng := e.sh.Engine(d)
+		now := eng.Now()
+		start := now + f.Start
+		end := sim.Time(0)
+		if f.Dur > 0 {
+			end = start + f.Dur
+		}
+		switch f.Kind {
+		case LinkDown:
+			eng.Do(start, func() { e.setScale(d, f.Edge, 0) })
+			if end != 0 {
+				eng.Do(end, func() { e.restoreScale(d, f.Edge) })
+			}
+		case LinkFlap:
+			downNow := true
+			for t := start; t < end; t += f.Period {
+				if downNow {
+					eng.Do(t, func() { e.setScale(d, f.Edge, 0) })
+				} else {
+					eng.Do(t, func() { e.restoreScale(d, f.Edge) })
+				}
+				downNow = !downNow
+			}
+			eng.Do(end, func() { e.restoreScale(d, f.Edge) })
+		case Degrade:
+			scale := f.Scale
+			eng.Do(start, func() { e.setScale(d, f.Edge, scale) })
+			if end != 0 {
+				eng.Do(end, func() { e.restoreScale(d, f.Edge) })
+			}
+		}
+	case Loss, Hold:
+		d := e.domainOf(f.Edge)
+		start := e.sh.Engine(d).Now() + f.Start
+		end := sim.Time(0)
+		if f.Dur > 0 {
+			end = start + f.Dur
+		}
+		if f.Kind == Loss {
+			e.lossWin[f.Edge] = append(e.lossWin[f.Edge], window{start: start, end: end, prob: f.Prob})
+		} else {
+			e.holdWin[f.Edge] = append(e.holdWin[f.Edge], window{start: start, end: end, delay: f.Stall})
+		}
+	case Crash:
+		// Every edge adjacent to the GPU is intra-server, hence owned by
+		// the rank's home domain: one event there kills them all.
+		id, ok := e.part.Graph.GPUByRank(f.Rank)
+		if !ok {
+			return
+		}
+		d := e.part.NodeDomain[id]
+		eng := e.sh.Engine(d)
+		start := eng.Now() + f.Start
+		edges := append([]topology.EdgeID(nil), e.part.Graph.Out(id)...)
+		edges = append(edges, e.part.Graph.In(id)...)
+		eng.Do(start, func() {
+			for _, ge := range edges {
+				e.setScale(d, ge, 0)
+			}
+		})
+	}
+}
+
+// setScale collapses a global edge's bandwidth from its owning domain,
+// remembering the healthy value once so restores return what the
+// experiment had configured.
+func (e *Sharded) setScale(d int, ge topology.EdgeID, scale float64) {
+	if _, ok := e.saved[d][ge]; !ok {
+		e.saved[d][ge] = e.sh.ScaleGlobal(ge)
+	}
+	e.sh.SetScaleGlobal(ge, scale)
+	e.counters[d].ScaleEvents++
+}
+
+func (e *Sharded) restoreScale(d int, ge topology.EdgeID) {
+	prev, ok := e.saved[d][ge]
+	if !ok {
+		return
+	}
+	e.sh.SetScaleGlobal(ge, prev)
+	e.counters[d].ScaleEvents++
+}
+
+// Admit implements fabric.Injector over global edge ids (the sharded fabric
+// translates each domain's local admissions before calling here). The
+// clock, the rand, and the counters are all the owning domain's own, so
+// concurrent admissions from different domains never share state.
+func (e *Sharded) Admit(ge topology.EdgeID, size int64) (fabric.Verdict, time.Duration) {
+	d := e.part.EdgeDomain[ge]
+	now := e.sh.Engine(d).Now()
+	for _, w := range e.lossWin[ge] {
+		if w.covers(now) && e.rngs[d].Float64() < w.prob {
+			e.counters[d].Drops++
+			return fabric.VerdictDrop, 0
+		}
+	}
+	for _, w := range e.holdWin[ge] {
+		if w.covers(now) {
+			e.counters[d].Holds++
+			return fabric.VerdictHold, w.delay
+		}
+	}
+	return fabric.VerdictPass, 0
+}

@@ -349,6 +349,45 @@ func RandomSpec(seed int64, g *topology.Graph, n int, horizon time.Duration) Spe
 	return spec
 }
 
+// RandomLinkSpec draws a schedule of n link faults (down/flap/degrade/
+// loss/hold — no worker faults) from the seed over the given graph within
+// the horizon: the generator behind the sharded chaos soaks, where worker
+// faults would need the kernel model the scale sweep does not simulate.
+// Loss probabilities are kept low and loss windows short so a bounded
+// retransmission budget can ride out the window.
+func RandomLinkSpec(seed int64, g *topology.Graph, n int, horizon time.Duration) Spec {
+	rng := rand.New(rand.NewSource(seed))
+	edges := g.NumEdges()
+	linkKinds := []Kind{LinkDown, LinkFlap, Degrade, Loss, Hold}
+	spec := Spec{Seed: seed}
+	for i := 0; i < n; i++ {
+		k := linkKinds[rng.Intn(len(linkKinds))]
+		f := Fault{
+			Kind:  k,
+			Start: time.Duration(rng.Int63n(int64(horizon))),
+			Edge:  topology.EdgeID(rng.Intn(edges)),
+			Rank:  -1,
+		}
+		window := horizon / 4
+		f.Dur = time.Duration(1 + rng.Int63n(int64(window)))
+		switch k {
+		case LinkFlap:
+			f.Period = f.Dur/time.Duration(2+rng.Intn(6)) + time.Microsecond
+		case Degrade:
+			f.Scale = 0.05 + 0.5*rng.Float64()
+		case Loss:
+			f.Prob = 0.02 + 0.2*rng.Float64()
+		case Hold:
+			f.Stall = time.Duration(1 + rng.Int63n(int64(200*time.Microsecond)))
+		}
+		spec.Faults = append(spec.Faults, f)
+	}
+	sort.SliceStable(spec.Faults, func(i, j int) bool {
+		return spec.Faults[i].Start < spec.Faults[j].Start
+	})
+	return spec
+}
+
 // Window is one fault's resolved activity interval on its target — the
 // fault-end visibility heal soaks assert against without peeking at engine
 // internals. End of 0 means open-ended (permanent): a crash, or a windowed

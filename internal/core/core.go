@@ -94,6 +94,12 @@ type AdapCC struct {
 	deadRanks map[int]bool
 	survGraph *topology.Graph // lazily built fault-filtered clone
 	survCosts *synth.Costs    // cost view remapped onto survGraph
+	// fingerprint canonically encodes the current exclusion set (sorted
+	// dead pairs + dead ranks); empty when nothing is excluded. It prefixes
+	// strategy-cache keys, so strategies synthesised under different fault
+	// sets coexist and a healing flap that restores a previous topology
+	// hits the cache instead of re-solving (see exclusionsChanged).
+	fingerprint string
 
 	// Elastic healing (heal.go): the background monitor re-admitting
 	// excluded hardware, the last coordinator to tell about healed ranks,
@@ -240,6 +246,14 @@ func (a *AdapCC) setupTime() time.Duration {
 		time.Duration(servers*a.opts.M)*setupPerServer
 }
 
+// incrementalSetupTime is the reduced context charge of the incremental
+// recovery rung (resilient.go): a domain-local patch keeps every partition,
+// chunk size and aggregation site, so only the faulted server's M contexts
+// re-register — one server's share of setupTime, with no base charge.
+func (a *AdapCC) incrementalSetupTime() time.Duration {
+	return setupPerContext + time.Duration(a.opts.M)*setupPerServer
+}
+
 // Overheads reports the components of the last reconstruction.
 func (a *AdapCC) Overheads() (profiling, solving, setup time.Duration) {
 	return a.lastProfileTime, a.lastSolveTime, a.lastSetupTime
@@ -318,9 +332,14 @@ func (a *AdapCC) synthesize(p strategy.Primitive, bytes int64, ranks, relays []i
 	if fast {
 		key = "fast|" + key
 	}
+	if a.fingerprint != "" {
+		key = a.fingerprint + key
+	}
 	if res, ok := a.cache[key]; ok {
+		a.recordCacheLookup(true)
 		return res, nil
 	}
+	a.recordCacheLookup(false)
 	res, err := synth.Synthesize(a.activeCosts(), synth.Request{
 		Primitive:  p,
 		Bytes:      bytes,

@@ -19,7 +19,7 @@ func Example() {
 	cl, _ := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
 	env, _ := backend.NewEnv(cl, 1)
 	a, _ := core.New(env) // adapcc.init()
-	a.Setup(func() {})                    // adapcc.setup()
+	a.Setup(func() {})    // adapcc.setup()
 	env.Engine.Run()
 
 	const bytes = 4 << 20

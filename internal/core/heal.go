@@ -9,6 +9,7 @@ package core
 
 import (
 	"sort"
+	"strconv"
 
 	"adapcc/internal/health"
 	"adapcc/internal/profile"
@@ -51,6 +52,13 @@ func (a *AdapCC) EnableHealing(opts HealOptions) *health.Monitor {
 		},
 	})
 	m.SetMetrics(a.reg)
+	m.SetHealLabels(strconv.Itoa(len(a.env.AllRanks())), func(ev health.Event) string {
+		if ev.Kind == health.KindLink && ev.From >= 0 && ev.To >= 0 &&
+			a.env.Graph.Node(ev.From).Server != a.env.Graph.Node(ev.To).Server {
+			return LocalityBoundary
+		}
+		return LocalityDomainLocal
+	})
 	a.healer = m
 	return m
 }
@@ -145,6 +153,10 @@ func (a *AdapCC) AbsorbMeasurements(ms []profile.Measurement) {
 		a.report.ByEdge[m.Edge] = m
 	}
 	a.costs = synth.NewCosts(a.env.Graph, a.report)
+	// Costs changed, so every cached strategy — under any exclusion
+	// fingerprint — is stale; this is one of the two outright cache wipes
+	// (the other is Reconstruct). Mere exclusion flips keep the cache.
+	a.cache = make(map[string]*synth.Result)
 	a.exclusionsChanged()
 }
 

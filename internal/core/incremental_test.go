@@ -1,0 +1,280 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/metrics"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// seriesValue sums the counter series of a family matching every given
+// label pair (zero when absent).
+func seriesValue(snap metrics.Snapshot, name string, labels map[string]string) float64 {
+	fam, ok := snap.Family(name)
+	if !ok {
+		return 0
+	}
+	var total float64
+	for _, se := range fam.Series {
+		match := true
+		for k, v := range labels {
+			if se.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			total += se.Value
+		}
+	}
+	return total
+}
+
+// strategyHop finds the first hop of the synthesized AllReduce strategy
+// matching pred, or (-1, -1).
+func strategyHop(t *testing.T, a *AdapCC, bytes int64, ranks []int,
+	pred func(g *topology.Graph, from, to topology.NodeID) bool) (topology.NodeID, topology.NodeID) {
+	t.Helper()
+	res, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.env.Graph
+	for _, sub := range res.Strategy.SubCollectives {
+		for _, f := range sub.Flows {
+			for h := 0; h+1 < len(f.Path); h++ {
+				if pred(g, f.Path[h], f.Path[h+1]) {
+					return f.Path[h], f.Path[h+1]
+				}
+			}
+		}
+	}
+	return -1, -1
+}
+
+// TestResilientIncrementalDomainLocalPatch: a same-server NVLink hop dies
+// mid-collective. The fault is domain-local, so recovery must take the
+// incremental path — the previous strategy patched in place (only the flows
+// crossing the dead pair rerouted) instead of a global re-synthesis — and
+// charge only the subdomain setup cost. Survivor sums stay exact.
+func TestResilientIncrementalDomainLocalPatch(t *testing.T) {
+	env, a := resilientEnv(t)
+	reg := metrics.New()
+	a.SetMetrics(reg)
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+	g := env.Graph
+
+	from, to := strategyHop(t, a, bytes, ranks, func(g *topology.Graph, x, y topology.NodeID) bool {
+		return g.Node(x).Kind == topology.KindGPU && g.Node(y).Kind == topology.KindGPU &&
+			g.Node(x).Server == g.Node(y).Server
+	})
+	if from < 0 {
+		t.Skip("strategy uses no same-server NVLink hop")
+	}
+	kill := func(x, y topology.NodeID) {
+		if eid, ok := g.EdgeBetween(x, y); ok {
+			env.Fabric.SetScale(eid, 0)
+		}
+	}
+	env.Engine.After(200*time.Microsecond, func() { kill(from, to); kill(to, from) })
+
+	inputs := backend.MakeInputs(ranks, bytes)
+	var got ResilientResult
+	var gotErr error
+	err := a.RunResilient(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
+	}, func(r ResilientResult, err error) {
+		got, gotErr = r, err
+	}, WithRecovery(tightRecovery()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if len(got.Events) == 0 {
+		t.Fatal("no recovery events recorded")
+	}
+	ev := got.Events[0]
+	if ev.Report.Kind != collective.LinkFault {
+		t.Fatalf("event kind = %v, want link fault", ev.Report.Kind)
+	}
+	if ev.Locality != LocalityDomainLocal {
+		t.Errorf("locality = %q, want %q", ev.Locality, LocalityDomainLocal)
+	}
+	if ev.Ladder != "incremental" {
+		t.Errorf("ladder = %q, want incremental (global search must not run for a domain-local fault)", ev.Ladder)
+	}
+	if ev.Overhead != a.incrementalSetupTime() {
+		t.Errorf("overhead = %v, want the incremental setup charge %v (full setup is %v)",
+			ev.Overhead, a.incrementalSetupTime(), a.setupTime())
+	}
+	if a.incrementalSetupTime() >= a.setupTime() {
+		t.Errorf("incremental setup %v not cheaper than full setup %v", a.incrementalSetupTime(), a.setupTime())
+	}
+	if len(got.Survivors) != len(ranks) {
+		t.Errorf("survivors = %v, want all %d ranks", got.Survivors, len(ranks))
+	}
+	checkSums(t, got, inputs, int(bytes/4))
+
+	snap := reg.Snapshot()
+	if n := seriesValue(snap, "adapcc_core_recoveries_total",
+		map[string]string{"ladder": "incremental", "locality": LocalityDomainLocal}); n != 1 {
+		t.Errorf("adapcc_core_recoveries_total{incremental,domain_local} = %v, want 1", n)
+	}
+	if n := seriesValue(snap, "adapcc_core_recoveries_total",
+		map[string]string{"locality": LocalityBoundary}); n != 0 {
+		t.Errorf("boundary recovery recorded for a same-server fault: %v", n)
+	}
+	// The family holds the unlabeled aggregate histogram plus one labeled
+	// series per (world, locality) recovery.
+	fam, ok := snap.Family("adapcc_time_to_recover_seconds")
+	if !ok {
+		t.Fatal("no adapcc_time_to_recover_seconds family")
+	}
+	labeled := false
+	for _, se := range fam.Series {
+		if se.Labels["world"] != "" && se.Labels["locality"] == LocalityDomainLocal {
+			labeled = true
+		}
+	}
+	if !labeled {
+		t.Error("no {world, locality=domain_local} time-to-recover series recorded")
+	}
+}
+
+// TestResilientBoundaryFaultFullLadder: a cross-server hop dies. Boundary
+// faults cannot be patched domain-locally, so recovery must classify the
+// event as boundary and fall back to the global synthesis ladder.
+func TestResilientBoundaryFaultFullLadder(t *testing.T) {
+	env, a := resilientEnv(t)
+	reg := metrics.New()
+	a.SetMetrics(reg)
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+	g := env.Graph
+
+	from, to := strategyHop(t, a, bytes, ranks, func(g *topology.Graph, x, y topology.NodeID) bool {
+		return g.Node(x).Server != g.Node(y).Server
+	})
+	if from < 0 {
+		t.Skip("strategy uses no cross-server hop")
+	}
+	kill := func(x, y topology.NodeID) {
+		if eid, ok := g.EdgeBetween(x, y); ok {
+			env.Fabric.SetScale(eid, 0)
+		}
+	}
+	env.Engine.After(200*time.Microsecond, func() { kill(from, to); kill(to, from) })
+
+	inputs := backend.MakeInputs(ranks, bytes)
+	var got ResilientResult
+	var gotErr error
+	err := a.RunResilient(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
+	}, func(r ResilientResult, err error) {
+		got, gotErr = r, err
+	}, WithRecovery(tightRecovery()), WithMaxAttempts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if len(got.Events) == 0 {
+		t.Fatal("no recovery events recorded")
+	}
+	ev := got.Events[0]
+	if ev.Locality != LocalityBoundary {
+		t.Errorf("locality = %q, want %q", ev.Locality, LocalityBoundary)
+	}
+	if ev.Ladder == "incremental" || ev.Ladder == "" {
+		t.Errorf("ladder = %q, want a global ladder rung for a boundary fault", ev.Ladder)
+	}
+	if ev.Overhead != a.setupTime() {
+		t.Errorf("overhead = %v, want the full setup charge %v", ev.Overhead, a.setupTime())
+	}
+	checkSums(t, got, inputs, int(bytes/4))
+	snap := reg.Snapshot()
+	if n := seriesValue(snap, "adapcc_core_recoveries_total",
+		map[string]string{"locality": LocalityBoundary}); n < 1 {
+		t.Errorf("no boundary recovery counted: %v", n)
+	}
+}
+
+// TestFingerprintCacheAcrossHealFlap: exclusion flips no longer wipe the
+// strategy cache — entries are keyed by the exclusion-set fingerprint, so a
+// healing flap (exclude → readmit → re-exclude the same link) hits the
+// cache on every revisit of a previously seen exclusion set.
+func TestFingerprintCacheAcrossHealFlap(t *testing.T) {
+	env, a := resilientEnv(t)
+	reg := metrics.New()
+	a.SetMetrics(reg)
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+	g := env.Graph
+	g0, _ := g.GPUByRank(0)
+	g1, _ := g.GPUByRank(1)
+
+	base, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := a.CachedStrategies()
+
+	a.ExcludeLink(g0, g1)
+	excl1, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := a.CachedStrategies()
+	if c1 <= c0 {
+		t.Fatalf("exclusion did not add a fingerprinted cache entry (%d -> %d)", c0, c1)
+	}
+
+	// Heal: back to the unexcluded fingerprint — the original entry must
+	// still be there.
+	a.ReadmitLink(g0, g1)
+	healed, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed != base {
+		t.Error("readmission did not restore the cached unexcluded strategy")
+	}
+	if a.CachedStrategies() != c1 {
+		t.Errorf("readmission changed the cache size (%d -> %d)", c1, a.CachedStrategies())
+	}
+
+	// Relapse: the same exclusion set returns — its fingerprinted entry
+	// must hit, not re-synthesize.
+	a.ExcludeLink(g0, g1)
+	relapse, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relapse != excl1 {
+		t.Error("relapsed exclusion set missed its fingerprinted cache entry")
+	}
+	if a.CachedStrategies() != c1 {
+		t.Errorf("relapse changed the cache size (%d -> %d)", c1, a.CachedStrategies())
+	}
+
+	snap := reg.Snapshot()
+	if hits := seriesValue(snap, "adapcc_strategy_cache_total", map[string]string{"result": "hit"}); hits < 2 {
+		t.Errorf("adapcc_strategy_cache_total{hit} = %v, want >= 2 (heal + relapse)", hits)
+	}
+
+	// Cost changes still invalidate everything, fingerprints included.
+	a.AbsorbMeasurements(nil) // no-op: empty measurement set keeps the cache
+	if a.CachedStrategies() != c1 {
+		t.Errorf("empty AbsorbMeasurements changed the cache size (%d -> %d)", c1, a.CachedStrategies())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"time"
 
 	"adapcc/internal/metrics"
@@ -67,5 +68,51 @@ func (a *AdapCC) recordRecovered(attempts int, ttr time.Duration) {
 	a.cm.attempts.Add(now, float64(attempts))
 	if ttr > 0 {
 		a.cm.timeToRecover.ObserveDuration(now, ttr)
+	}
+}
+
+// recordCacheLookup counts one strategy-cache lookup. With the cache keyed
+// by exclusion fingerprint, the hit counter is what proves a healing flap
+// re-used a previously solved strategy instead of re-synthesizing.
+func (a *AdapCC) recordCacheLookup(hit bool) {
+	if a.reg == nil {
+		return
+	}
+	result := "miss"
+	if hit {
+		result = "hit"
+	}
+	a.reg.Counter("adapcc_strategy_cache_total",
+		"strategy-cache lookups by result",
+		"result", result).Inc(a.env.Engine.Now())
+}
+
+// recordRecovery counts one recovery cycle by the synthesis rung the retry
+// used and the fault's locality (cold path: the counter resolves on
+// demand). The domain_local/incremental cell is the scale-out headline —
+// it asserts that single-server faults never invoked the global search.
+func (a *AdapCC) recordRecovery(ladder, locality string) {
+	if a.reg == nil {
+		return
+	}
+	a.reg.Counter("adapcc_core_recoveries_total",
+		"recovery cycles completed by the resilient controller, by synthesis rung and fault locality",
+		"ladder", ladder, "locality", locality).Inc(a.env.Engine.Now())
+}
+
+// recordRecoveryEvents observes the labeled time-to-recover series — one
+// sample per recovery cycle, labeled by world size and fault locality —
+// alongside the unlabeled aggregate histogram recordRecovered keeps.
+func (a *AdapCC) recordRecoveryEvents(world int, events []RecoveryEvent) {
+	if a.reg == nil || len(events) == 0 {
+		return
+	}
+	now := a.env.Engine.Now()
+	w := strconv.Itoa(world)
+	for _, ev := range events {
+		a.reg.Histogram("adapcc_time_to_recover_seconds",
+			"detection latency + reconstruction overhead per recovered collective",
+			metrics.DurationBuckets,
+			"world", w, "locality", ev.Locality).ObserveDuration(now, ev.DetectLatency+ev.Overhead)
 	}
 }

@@ -13,11 +13,13 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"adapcc/internal/backend"
 	"adapcc/internal/collective"
 	"adapcc/internal/relay"
+	"adapcc/internal/strategy"
 	"adapcc/internal/synth"
 	"adapcc/internal/topology"
 )
@@ -78,6 +80,16 @@ func WithHeal(h HealOptions) ResilientOption {
 	return func(o *ResilientOptions) { o.Heal = &h }
 }
 
+// Fault-locality classes (RecoveryEvent.Locality). The classification
+// mirrors the scale path's domain decomposition, where every server is one
+// simulation domain: a fault whose blast radius stays inside one server can
+// be repaired by patching that server's sub-collective alone, while a fault
+// on the cross-server fabric forces the global degradation ladder.
+const (
+	LocalityDomainLocal = "domain_local"
+	LocalityBoundary    = "boundary"
+)
+
 // RecoveryEvent records one detect→exclude→re-synthesize cycle.
 type RecoveryEvent struct {
 	// Attempt is the (0-based) attempt that faulted.
@@ -89,9 +101,13 @@ type RecoveryEvent struct {
 	// ExcludedRanks are the ranks dropped in this cycle: the implicated
 	// rank and/or ranks left unreachable by the link exclusion.
 	ExcludedRanks []int
-	// Ladder is the synthesis rung the retry used: "full", "fast" or
-	// "degraded-ring".
+	// Ladder is the synthesis rung the retry used: "incremental", "full",
+	// "fast" or "degraded-ring".
 	Ladder string
+	// Locality classifies the fault: LocalityDomainLocal for faults
+	// confined to one server's domain, LocalityBoundary for faults on the
+	// cross-server fabric.
+	Locality string
 	// DetectLatency is fault declaration minus attempt start.
 	DetectLatency time.Duration
 	// Overhead is the reconstruction charge before the retry started
@@ -159,9 +175,58 @@ func (a *AdapCC) ClearExclusions() {
 	a.exclusionsChanged()
 }
 
+// exclusionsChanged refreshes the fault-filtered views after the exclusion
+// set moved. The strategy cache survives: entries are keyed under the
+// exclusion fingerprint (see synthesize), so strategies solved for other
+// fault sets stay addressable and a healing flap that restores a previous
+// topology hits the cache instead of re-solving. Only cost changes
+// (Reconstruct, AbsorbMeasurements) wipe the cache outright.
 func (a *AdapCC) exclusionsChanged() {
 	a.survGraph, a.survCosts = nil, nil
-	a.cache = make(map[string]*synth.Result)
+	a.fingerprint = a.exclusionFingerprint()
+}
+
+// exclusionFingerprint canonically encodes the exclusion set: the sorted
+// dead pairs, then the sorted dead ranks. Empty when nothing is excluded,
+// so the fault-free fast path builds the exact same cache keys (and
+// allocates nothing extra) as before fault support existed.
+func (a *AdapCC) exclusionFingerprint() string {
+	if len(a.deadPairs) == 0 && len(a.deadRanks) == 0 {
+		return ""
+	}
+	links := a.ExcludedLinks()
+	ranks := a.ExcludedRanks()
+	b := make([]byte, 0, 8+12*len(links)+6*len(ranks))
+	b = append(b, "x!"...)
+	for _, p := range links {
+		b = strconv.AppendInt(b, int64(p[0]), 10)
+		b = append(b, '-')
+		b = strconv.AppendInt(b, int64(p[1]), 10)
+		b = append(b, ',')
+	}
+	b = append(b, '/')
+	for _, r := range ranks {
+		b = strconv.AppendInt(b, int64(r), 10)
+		b = append(b, ',')
+	}
+	b = append(b, '|')
+	return string(b)
+}
+
+// faultLocality classifies a fault report by server geometry: a link whose
+// endpoints share a server — or a rank fault, since a GPU and its intra-
+// server links live on exactly one server — is domain-local; a link between
+// servers is a boundary fault on the shared fabric.
+func (a *AdapCC) faultLocality(rep collective.FaultReport) string {
+	if rep.Kind != collective.LinkFault {
+		return LocalityDomainLocal
+	}
+	g := a.env.Graph
+	if rep.From >= 0 && rep.To >= 0 &&
+		g.Node(rep.From).Server == g.Node(rep.To).Server {
+		return LocalityDomainLocal
+	}
+	return LocalityBoundary
 }
 
 // activeGraph returns the synthesis topology: the full graph, or a
@@ -276,6 +341,59 @@ func (a *AdapCC) synthesizeLadder(req backend.Request, ranks []int) (*synth.Resu
 	return nil, "", fmt.Errorf("core: no feasible strategy over survivors: %v; fast: %v; degraded ring: %v", err, ferr, derr)
 }
 
+// patchStrategy is the incremental rung above the synthesis ladder: after a
+// domain-local link fault it deep-copies the last executed strategy and
+// re-routes only the flows whose path traverses the excluded pair — every
+// other flow, and all partition/chunk/aggregation tuning, is kept verbatim.
+// That is the sub-collective-local repair of the scale-out fault model: the
+// faulted server re-routes around its own dead link (NVLink meshes always
+// offer a detour) while the rest of the job's plan is untouched. Returns
+// nil when any affected flow has no surviving route or the patched plan
+// fails validation; the caller then falls back to the full ladder.
+func (a *AdapCC) patchStrategy(prev *strategy.Strategy, pair [2]topology.NodeID) *strategy.Strategy {
+	g := a.activeGraph()
+	out := *prev
+	out.SubCollectives = append([]strategy.SubCollective(nil), prev.SubCollectives...)
+	rerouted := 0
+	for si := range out.SubCollectives {
+		sc := &out.SubCollectives[si]
+		sc.Flows = append([]strategy.Flow(nil), sc.Flows...)
+		for fi := range sc.Flows {
+			f := &sc.Flows[fi]
+			if !pathUsesPair(f.Path, pair) {
+				continue
+			}
+			np := g.ShortestPath(f.Path[0], f.Path[len(f.Path)-1])
+			if np == nil {
+				return nil
+			}
+			f.Path = np
+			rerouted++
+		}
+	}
+	if rerouted == 0 {
+		// The excluded link carried no flow of the last plan (the fault
+		// was collateral, e.g. probe traffic): the old plan still stands.
+		return &out
+	}
+	if err := out.Validate(g); err != nil {
+		return nil
+	}
+	return &out
+}
+
+// pathUsesPair reports whether a routed path traverses the node pair in
+// either direction.
+func pathUsesPair(path []topology.NodeID, pair [2]topology.NodeID) bool {
+	for i := 1; i < len(path); i++ {
+		if (path[i-1] == pair[0] && path[i] == pair[1]) ||
+			(path[i-1] == pair[1] && path[i] == pair[0]) {
+			return true
+		}
+	}
+	return false
+}
+
 // resilientRun is the state of one RunResilient invocation.
 type resilientRun struct {
 	a      *AdapCC
@@ -287,6 +405,15 @@ type resilientRun struct {
 	attempts int
 	events   []RecoveryEvent
 	ranks    []int
+	world    int
+
+	// Incremental-recovery state: the strategy the last attempt executed
+	// and — when the pending fault qualifies (domain-local link fault, no
+	// ranks dropped) — the excluded pair to patch around instead of
+	// re-synthesizing from scratch.
+	lastStrategy   *strategy.Strategy
+	tryIncremental bool
+	patchPair      [2]topology.NodeID
 }
 
 // RunResilient executes a collective with chunk-granularity fault recovery.
@@ -344,6 +471,7 @@ func (a *AdapCC) RunResilientWithOptions(req backend.Request, opts ResilientOpti
 		onDone:  onDone,
 		started: a.env.Engine.Now(),
 		ranks:   append([]int(nil), ranks...),
+		world:   len(ranks),
 	}
 	// Fault↔heal livelock guard: promotions are held for the duration of
 	// the run, so every failed attempt strictly shrinks the topology and
@@ -368,14 +496,41 @@ func (rr *resilientRun) attempt() {
 		rr.fail(fmt.Errorf("core: only %d rank(s) survive — nothing to communicate", len(alive)))
 		return
 	}
-	res, ladder, err := a.synthesizeLadder(rr.req, alive)
-	if err != nil {
-		rr.fail(err)
-		return
+	var strat *strategy.Strategy
+	var ladder string
+	if rr.tryIncremental {
+		rr.tryIncremental = false
+		if rr.lastStrategy != nil && len(droppedNow) == 0 {
+			if p := a.patchStrategy(rr.lastStrategy, rr.patchPair); p != nil {
+				strat, ladder = p, "incremental"
+			}
+		}
+		if strat == nil {
+			// The cheap domain-local patch failed: pay the rest of the
+			// full reconstruction charge (onFault charged only the
+			// incremental share) before the full ladder runs.
+			diff := a.setupTime() - a.incrementalSetupTime()
+			if n := len(rr.events); n > 0 {
+				rr.events[n-1].Overhead += diff
+			}
+			a.lastSetupTime = a.setupTime()
+			a.env.Engine.After(diff, func() { rr.attempt() })
+			return
+		}
+	}
+	if strat == nil {
+		res, l, err := a.synthesizeLadder(rr.req, alive)
+		if err != nil {
+			rr.fail(err)
+			return
+		}
+		strat, ladder = res.Strategy, l
 	}
 	if n := len(rr.events); n > 0 {
 		rr.events[n-1].Ladder = ladder
+		a.recordRecovery(ladder, rr.events[n-1].Locality)
 	}
+	rr.lastStrategy = strat
 	active := make(map[int]bool, len(alive))
 	for _, r := range alive {
 		active[r] = true
@@ -383,8 +538,8 @@ func (rr *resilientRun) attempt() {
 	rec := rr.opts.Recovery
 	rec.OnFault = rr.onFault
 	rr.attempts++
-	err = a.env.Exec.Run(collective.Op{
-		Strategy: res.Strategy,
+	err := a.env.Exec.Run(collective.Op{
+		Strategy: strat,
 		Mode:     rr.req.Mode,
 		Inputs:   rr.req.Inputs,
 		Active:   active,
@@ -404,13 +559,20 @@ func (rr *resilientRun) onFault(rep collective.FaultReport) {
 		Attempt:       rr.attempts - 1,
 		Report:        rep,
 		ExcludedPair:  [2]topology.NodeID{-1, -1},
+		Locality:      a.faultLocality(rep),
 		DetectLatency: rep.At - rep.Started,
 	}
 	a.recordFault(rep.Kind.String())
+	rr.tryIncremental = false
 	switch rep.Kind {
 	case collective.LinkFault:
 		a.ExcludeLink(rep.From, rep.To)
 		ev.ExcludedPair = [2]topology.NodeID{rep.From, rep.To}
+		// A link fault confined to one server qualifies for the
+		// incremental rung: patch the last strategy around the pair
+		// instead of walking the global synthesis ladder.
+		rr.tryIncremental = ev.Locality == LocalityDomainLocal
+		rr.patchPair = ev.ExcludedPair
 		if a.healer != nil {
 			a.healer.WatchLink(rep.From, rep.To)
 		}
@@ -438,8 +600,14 @@ func (rr *resilientRun) onFault(rep collective.FaultReport) {
 	}
 	// The Fig. 19c reconstruction charge, minus profiling: contexts are
 	// re-registered for the new strategy, the solver re-runs (charged via
-	// SolveTime inside synthesis), nothing restarts.
+	// SolveTime inside synthesis), nothing restarts. A fault that
+	// qualifies for the incremental rung is charged only the faulted
+	// server's share up front; if the patch then fails, attempt() charges
+	// the remainder before falling back to the full ladder.
 	setup := a.setupTime()
+	if rr.tryIncremental {
+		setup = a.incrementalSetupTime()
+	}
 	a.lastSetupTime = setup
 	a.setupCount++
 	a.recordReconstruct()
@@ -460,6 +628,7 @@ func (rr *resilientRun) complete(res collective.Result) {
 		Elapsed:   rr.a.env.Engine.Now() - rr.started,
 	}
 	rr.a.recordRecovered(out.Attempts, out.TimeToRecover())
+	rr.a.recordRecoveryEvents(rr.world, rr.events)
 	rr.onDone(out, nil)
 }
 

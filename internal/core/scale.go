@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"adapcc/internal/chaos"
+	"adapcc/internal/health"
 	"adapcc/internal/metrics"
 	"adapcc/internal/scale"
 	"adapcc/internal/topology"
@@ -27,6 +29,20 @@ type ScaleRequest struct {
 	Seed int64
 	// Metrics optionally receives per-domain engine stats.
 	Metrics *metrics.Registry
+	// Chaos, when non-empty, is a fault schedule in the chaos grammar
+	// ("seed=7;down@2ms+10ms:edge=3;...") armed against the sharded fabric:
+	// every fault is routed to the domain owning its target, and the sweep
+	// runs with the per-chunk recovery machinery (transfer deadlines,
+	// bounded-backoff retransmission, blacklist re-routing, progress
+	// watchdog). Kinds needing the kernel model (hang, straggler) are
+	// rejected loudly rather than silently ignored.
+	Chaos string
+	// Heal, when non-nil, arms background healing on the recovery layer:
+	// blacklisted edges are probed by per-domain health monitors and
+	// re-admitted (with a domain-local re-profiling pass) once they pass
+	// probation. Requires Chaos — without faults nothing is ever
+	// blacklisted.
+	Heal *health.Options
 }
 
 // RunScale parses, builds, partitions and sweeps a generated topology,
@@ -40,14 +56,28 @@ func RunScale(req ScaleRequest) (*scale.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := scale.Run(scale.Options{
+	opts := scale.Options{
 		Topo:       topo,
 		Workers:    req.Workers,
 		Monolithic: req.Monolithic,
 		SegBytes:   req.SegBytes,
 		Seed:       req.Seed,
 		Metrics:    req.Metrics,
-	})
+	}
+	if req.Heal != nil && req.Chaos == "" {
+		return nil, fmt.Errorf("core: scale healing requires a chaos schedule (without faults nothing is ever excluded)")
+	}
+	if req.Chaos != "" {
+		spec, err := chaos.ParseSpec(req.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		opts.Chaos = &spec
+	}
+	if req.Heal != nil {
+		opts.Recovery = &scale.Resilience{Heal: req.Heal}
+	}
+	res, err := scale.Run(opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: scale sweep %s: %w", spec.Name(), err)
 	}

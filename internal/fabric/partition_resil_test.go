@@ -1,0 +1,179 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// recordingInjector admits everything and records the edge ids it was
+// consulted with. Safe only under a single worker.
+type recordingInjector struct {
+	seen map[topology.EdgeID]int
+}
+
+func (ri *recordingInjector) Admit(edge topology.EdgeID, size int64) (Verdict, time.Duration) {
+	ri.seen[edge]++
+	return VerdictPass, 0
+}
+
+// TestShardedInjectorSeesGlobalIDs: the admission hook installed through
+// Sharded.SetInjector must be consulted with GLOBAL edge ids, for both a
+// transfer wholly inside a non-zero domain (whose local edge numbering
+// differs from the global one) and a cross-domain transfer's boundary leg.
+func TestShardedInjectorSeesGlobalIDs(t *testing.T) {
+	topo, s := shardedWorld(t, nil)
+	g := topo.Graph
+	inj := &recordingInjector{seen: make(map[topology.EdgeID]int)}
+	s.SetInjector(inj)
+
+	// Rank 4 -> 5 lives wholly in domain 1; rank 0 -> 4 crosses domains.
+	want := make(map[topology.EdgeID]bool)
+	for _, tc := range []struct{ src, dst int }{{4, 5}, {0, 4}} {
+		tc := tc
+		path := pathBetween(t, g, tc.src, tc.dst)
+		for i := 0; i+1 < len(path); i++ {
+			if ge, ok := g.EdgeBetween(path[i], path[i+1]); ok {
+				want[ge] = true
+			}
+		}
+		d := s.Partition().RankDomain[tc.src]
+		s.Engine(d).At(0, func() {
+			s.SendPath(path, 1<<20, nil, func(any) {})
+		})
+	}
+	s.Run(1)
+
+	if len(inj.seen) == 0 {
+		t.Fatal("injector never consulted")
+	}
+	for ge := range inj.seen {
+		if !want[ge] {
+			t.Errorf("injector consulted with edge %d, not a global edge of either path (local id leaked?)", ge)
+		}
+	}
+	for ge := range want {
+		if inj.seen[ge] == 0 {
+			t.Errorf("path edge %d never admitted", ge)
+		}
+	}
+}
+
+// TestShardedScaleGlobalStallAndResume: SetScaleGlobal routes through the
+// owning domain's fabric shard — zeroing an edge in domain 1 stalls a
+// transfer over it, and restoring the scale from that domain's events
+// releases it.
+func TestShardedScaleGlobalStallAndResume(t *testing.T) {
+	topo, s := shardedWorld(t, nil)
+	g := topo.Graph
+	path := pathBetween(t, g, 4, 5) // wholly inside domain 1
+	ge, ok := g.EdgeBetween(path[0], path[1])
+	if !ok {
+		t.Fatal("no first-hop edge")
+	}
+	d := s.Partition().EdgeDomain[ge]
+	if d == 0 {
+		t.Fatalf("edge %d owned by domain 0; want a non-zero domain to exercise id translation", ge)
+	}
+
+	s.SetScaleGlobal(ge, 0)
+	if got := s.ScaleGlobal(ge); got != 0 {
+		t.Fatalf("ScaleGlobal after zeroing = %v, want 0", got)
+	}
+
+	var arrived sim.Time
+	restore := sim.Time(2 * time.Millisecond)
+	s.Engine(d).At(0, func() {
+		s.SendPath(path, 1<<20, nil, func(any) { arrived = s.Engine(d).Now() })
+	})
+	s.Engine(d).At(restore, func() { s.SetScaleGlobal(ge, 1) })
+	s.Run(2)
+
+	if arrived == 0 {
+		t.Fatal("transfer never arrived after the edge was restored")
+	}
+	if arrived < restore {
+		t.Errorf("transfer arrived at %v, before the dead edge was restored at %v", arrived, restore)
+	}
+	if got := s.ScaleGlobal(ge); got != 1 {
+		t.Errorf("ScaleGlobal after restore = %v, want 1", got)
+	}
+}
+
+// TestShardedAbortGenerations: the generation check of Fabric.Abort is
+// preserved across SendPath — an abort in the send's instant reclaims the
+// transfer, while an abort after delivery reports false (and a zero handle
+// is inert).
+func TestShardedAbortGenerations(t *testing.T) {
+	topo, s := shardedWorld(t, nil)
+	g := topo.Graph
+	path := pathBetween(t, g, 4, 5)
+	d := s.Partition().RankDomain[4]
+
+	var zero GlobalTransfer
+	if zero.Valid() || s.Abort(zero) {
+		t.Error("zero GlobalTransfer is not inert")
+	}
+
+	delivered := 0
+	var hAborted, hDelivered GlobalTransfer
+	abortedEarly := false
+	s.Engine(d).At(0, func() {
+		hAborted = s.SendPath(path, 1<<20, nil, func(any) { delivered++ })
+		if !hAborted.Valid() {
+			t.Error("SendPath returned an invalid handle")
+		}
+		abortedEarly = s.Abort(hAborted)
+		hDelivered = s.SendPath(path, 1<<20, nil, func(any) { delivered++ })
+	})
+	s.Run(1)
+
+	if !abortedEarly {
+		t.Error("abort in the send's instant did not reclaim the transfer")
+	}
+	if delivered != 1 {
+		t.Fatalf("%d deliveries, want exactly 1 (aborted send must not arrive)", delivered)
+	}
+	if s.Abort(hDelivered) {
+		t.Error("abort after delivery reported success (generation check lost)")
+	}
+	if s.Abort(hAborted) {
+		t.Error("double abort reported success")
+	}
+}
+
+// TestShardedCrossAbortAfterFlight: once a cross-domain send's payload has
+// cleared its serialization leg, the handle no longer aborts it.
+func TestShardedCrossAbortAfterFlight(t *testing.T) {
+	topo, s := shardedWorld(t, nil)
+	g := topo.Graph
+	path := pathBetween(t, g, 0, 4)
+	d := s.Partition().RankDomain[0]
+	delivered := false
+	var h GlobalTransfer
+	s.Engine(d).At(0, func() {
+		h = s.SendPath(path, 1<<20, nil, func(any) { delivered = true })
+	})
+	s.Run(2)
+	if !delivered {
+		t.Fatal("cross-domain transfer never arrived")
+	}
+	if s.Abort(h) {
+		t.Error("abort succeeded after the cross-domain payload delivered")
+	}
+}
+
+// TestShardedRecoveryCounters: per-domain recovery tallies fold across
+// domains by locality.
+func TestShardedRecoveryCounters(t *testing.T) {
+	_, s := shardedWorld(t, nil)
+	s.RecordRecovery(0, false)
+	s.RecordRecovery(0, false)
+	s.RecordRecovery(1, true)
+	got := s.RecoveryEvents()
+	if got.DomainLocal != 2 || got.Boundary != 1 {
+		t.Errorf("RecoveryEvents = %+v, want {DomainLocal:2 Boundary:1}", got)
+	}
+}

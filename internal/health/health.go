@@ -204,11 +204,11 @@ type target struct {
 // Monitor watches excluded links and ranks and earns them back. It is
 // single-threaded on the simulation engine, like everything else here.
 type Monitor struct {
-	eng  *sim.Engine
-	fab  *fabric.Fabric
-	g    *topology.Graph
-	gpus map[int]*device.GPU
-	opts Options
+	eng   *sim.Engine
+	fab   *fabric.Fabric
+	g     *topology.Graph
+	gpus  map[int]*device.GPU
+	opts  Options
 	hooks Hooks
 
 	targets map[targetKey]*target
@@ -231,6 +231,10 @@ type Monitor struct {
 	kdst, ksrc []float32
 
 	hm *healthMetrics // nil when metrics are disabled
+	// healWorld/healClassify opt the time-to-heal histogram into labeled
+	// series (see SetHealLabels); nil classify keeps the unlabeled one.
+	healWorld    string
+	healClassify func(Event) string
 }
 
 // New builds a monitor over a fabric and its devices. Targets arrive via
@@ -493,7 +497,15 @@ func (m *Monitor) finishPromotion(t *target) {
 	ev := m.event(t, t.measurements)
 	if m.hm != nil {
 		m.hm.healedTotal.Inc(now)
-		m.hm.timeToHeal.ObserveDuration(now, ev.TimeToHeal)
+		if m.healClassify != nil {
+			m.hm.reg.Histogram("adapcc_time_to_heal_seconds",
+				"exclusion-to-re-admission latency per healed target",
+				metrics.DurationBuckets,
+				"world", m.healWorld, "locality", m.healClassify(ev)).
+				ObserveDuration(now, ev.TimeToHeal)
+		} else {
+			m.hm.timeToHeal.ObserveDuration(now, ev.TimeToHeal)
+		}
 		m.hm.reclaimedBps.Set(now, m.reclaimedTotalBps)
 		m.hm.watched.Set(now, float64(m.watchedCount()))
 	}
@@ -671,6 +683,7 @@ func (m *Monitor) Stop() {
 
 // healthMetrics is the pre-resolved instrument bundle (see SetMetrics).
 type healthMetrics struct {
+	reg            *metrics.Registry
 	probesOK       *metrics.Counter
 	probesFail     *metrics.Counter
 	healedTotal    *metrics.Counter
@@ -678,6 +691,15 @@ type healthMetrics struct {
 	timeToHeal     *metrics.Histogram
 	reclaimedBps   *metrics.Gauge
 	watched        *metrics.Gauge
+}
+
+// SetHealLabels opts the time-to-heal histogram into labeled series: each
+// promotion is observed as adapcc_time_to_heal_seconds{world, locality}
+// instead of the unlabeled aggregate, with the locality produced by
+// classify (the resilient controller classifies by server geometry).
+// Inert until SetMetrics installs a registry.
+func (m *Monitor) SetHealLabels(world string, classify func(Event) string) {
+	m.healWorld, m.healClassify = world, classify
 }
 
 // SetMetrics installs (or, with nil, removes) a metrics registry: probe
@@ -689,6 +711,7 @@ func (m *Monitor) SetMetrics(reg *metrics.Registry) {
 		return
 	}
 	m.hm = &healthMetrics{
+		reg: reg,
 		probesOK: reg.Counter("adapcc_health_probes_total",
 			"health probe cycles by result", "result", "ok"),
 		probesFail: reg.Counter("adapcc_health_probes_total",

@@ -1,0 +1,709 @@
+package scale
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"adapcc/internal/chaos"
+	"adapcc/internal/fabric"
+	"adapcc/internal/health"
+	"adapcc/internal/metrics"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// Resilience arms the sender-side recovery machinery of the sweep: every
+// logical chunk transfer is guarded by a deadline scaled off its path's
+// nominal α–β cost, an expired deadline aborts the stuck transfer (if it
+// still occupies its first hop), scans the sender-owned path edges for dead
+// links, blacklists and re-routes around them, and retransmits with bounded
+// exponential backoff. A per-domain progress watchdog flags intervals with
+// outstanding guards but no deliveries. All recovery state — blacklists,
+// dedup bitsets, counters, healers — is partitioned by domain and touched
+// only from that domain's events, so a faulted sweep replays bit-identically
+// for any worker count, exactly like the fault-free one.
+type Resilience struct {
+	// DeadlineMult × the path's nominal transfer time is the per-chunk
+	// delivery deadline (default 16), floored at DeadlineFloor (default
+	// 1ms) and doubled per retry. The floor must comfortably exceed the
+	// partition lookahead so cross-domain acks beat the deadline.
+	DeadlineMult  float64
+	DeadlineFloor time.Duration
+	// MaxRetries bounds retransmissions per logical chunk (default 4);
+	// exhausting it records a gave-up failure and fails the sweep.
+	MaxRetries int
+	// Backoff is the pre-retransmit delay (default 100µs), doubled per
+	// attempt.
+	Backoff time.Duration
+	// StallTimeout is the progress-watchdog interval (default 5ms): a
+	// domain with outstanding guards and no deliveries for a full interval
+	// records a stall warning.
+	StallTimeout time.Duration
+	// BlacklistFor is how long a dead edge stays blacklisted when healing
+	// is disabled (default 25ms) — time-based re-admission; the next
+	// deadline re-blacklists it if it is still dead. Suspected foreign
+	// edges always expire on this clock.
+	BlacklistFor time.Duration
+	// Heal, when non-nil, upgrades re-admission from the BlacklistFor
+	// timer to probing: each domain runs its own health.Monitor over its
+	// fabric shard, blacklisted owned edges are watched, and a promotion
+	// (probe-verified recovery, re-profiled α–β) lifts the blacklist for
+	// just that domain. Cross-domain boundary links are probed over their
+	// serialization leg, so even their healing stays domain-local.
+	Heal *health.Options
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.DeadlineMult <= 0 {
+		r.DeadlineMult = 16
+	}
+	if r.DeadlineFloor <= 0 {
+		r.DeadlineFloor = time.Millisecond
+	}
+	if r.MaxRetries <= 0 {
+		r.MaxRetries = 4
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = 100 * time.Microsecond
+	}
+	if r.StallTimeout <= 0 {
+		r.StallTimeout = 5 * time.Millisecond
+	}
+	if r.BlacklistFor <= 0 {
+		r.BlacklistFor = 25 * time.Millisecond
+	}
+	return r
+}
+
+// RecoveryStats is the fold of the per-domain recovery tallies of one
+// resilient sweep. All fields are comparable, so two runs' stats can be
+// checked for bit-identity with ==.
+type RecoveryStats struct {
+	// Deadlines counts guard deadlines that expired undelivered;
+	// Retransmits the re-sends they triggered; Reroutes how many of those
+	// took a detour around a blacklisted edge; Duplicates the late
+	// original deliveries suppressed by the receiver dedup.
+	Deadlines   uint64
+	Retransmits uint64
+	Reroutes    uint64
+	Duplicates  uint64
+	// GaveUp counts chunks that exhausted MaxRetries (the sweep fails).
+	GaveUp uint64
+	// StallWarnings counts watchdog intervals with guards outstanding but
+	// zero deliveries in the domain.
+	StallWarnings uint64
+	// DomainLocal / Boundary count recovered deliveries by fault locality:
+	// whether every edge involved was owned by the sender's domain
+	// (domain_local) or the fault touched a cross-domain / foreign edge
+	// (boundary). They mirror the sharded fabric's RecoveryEvents fold.
+	DomainLocal uint64
+	Boundary    uint64
+	// Healed / Condemned count per-domain health.Monitor outcomes.
+	Healed    uint64
+	Condemned uint64
+	// Recoveries counts recovered deliveries (= DomainLocal + Boundary);
+	// TimeToRecoverMax/Sum aggregate first-deadline→delivery latencies.
+	Recoveries       uint64
+	TimeToRecoverMax time.Duration
+	TimeToRecoverSum time.Duration
+	// TimeToHealMax/Sum aggregate exclusion→re-admission latencies.
+	TimeToHealMax time.Duration
+	TimeToHealSum time.Duration
+	// Injected is what the chaos engine actually did.
+	Injected chaos.Counters
+}
+
+// blEntry is one blacklisted global edge in a domain's routing view.
+type blEntry struct {
+	until    sim.Time // 0 = until healed or condemned (heal mode)
+	boundary bool
+	watched  bool
+}
+
+// domRecovery is one domain's recovery state, owned by that domain's
+// events.
+type domRecovery struct {
+	deliveries uint64 // non-duplicate deliveries into this domain
+	pending    int    // outstanding guards whose sender lives here
+
+	bl    map[topology.EdgeID]*blEntry
+	watch map[[2]topology.NodeID][]topology.EdgeID // local pair -> blacklisted global edges
+
+	deadlines   uint64
+	retransmits uint64
+	reroutes    uint64
+	duplicates  uint64
+	gaveUp      []string
+	stalls      uint64
+
+	ttrLocal    []time.Duration
+	ttrBoundary []time.Duration
+	tthLocal    []time.Duration
+	tthBoundary []time.Duration
+	condemned   uint64
+
+	heal *health.Monitor
+
+	watchArmed     bool
+	lastDeliveries uint64
+}
+
+// wireMsg is the payload of one guarded transmission. Every field the
+// receiver touches is a value copy frozen at send time; the guard pointer
+// is carried opaquely and only ever dereferenced back in the sender's
+// domain (directly for an intra-domain delivery, via a lookahead-delayed
+// Post for a cross-domain one).
+type wireMsg struct {
+	c       chunk
+	recv    int // receiver's global rank
+	sdom    int // sender's domain
+	attempt int
+	g       *guard
+}
+
+// guard is the sender-side state of one logical chunk transfer.
+type guard struct {
+	phase, seg, hops int
+	val              uint64
+	recv             int
+	dom              int // sender domain
+	rdom             int // receiver domain
+	path             []topology.NodeID
+
+	attempt    int
+	h          fabric.GlobalTransfer
+	deadlineEv *sim.Event
+	faultAt    sim.Time // first deadline expiry; 0 = clean so far
+	boundary   bool     // fault locality of this guard's recovery
+	delivered  bool
+}
+
+// resil hangs the recovery machinery off a sweep.
+type resil struct {
+	s   *sweep
+	cfg Resilience
+	ds  []*domRecovery
+	// seen[r] is rank r's (phase, seg) delivery bitset, owned by r's home
+	// domain.
+	seen     [][]uint64
+	seenWord int
+}
+
+func newResil(s *sweep, cfg Resilience) *resil {
+	r := &resil{s: s, cfg: cfg.withDefaults()}
+	r.ds = make([]*domRecovery, s.part.Domains)
+	for d := range r.ds {
+		r.ds[d] = &domRecovery{
+			bl:    make(map[topology.EdgeID]*blEntry),
+			watch: make(map[[2]topology.NodeID][]topology.EdgeID),
+		}
+	}
+	r.seenWord = (4*s.m + 63) / 64
+	r.seen = make([][]uint64, len(s.vals))
+	for i := range r.seen {
+		r.seen[i] = make([]uint64, r.seenWord)
+	}
+	return r
+}
+
+// markSeen records delivery of (recv, phase, seg) and reports whether it
+// was already delivered. The (receiver, phase, segment) triple uniquely
+// names a logical message of the hierarchical ring, so a bitset replaces a
+// multi-megabyte map at 4096 ranks.
+func (r *resil) markSeen(recv, phase, seg int) bool {
+	idx := phase*r.s.m + seg
+	w, b := idx/64, uint64(1)<<(idx%64)
+	if r.seen[recv][w]&b != 0 {
+		return true
+	}
+	r.seen[recv][w] |= b
+	return false
+}
+
+// nominal is the contention-free delivery time of size bytes store-and-
+// forwarded along path: Σ per hop (α + size/bandwidth).
+func (r *resil) nominal(path []topology.NodeID) time.Duration {
+	g := r.s.part.Graph
+	var total time.Duration
+	for i := 0; i+1 < len(path); i++ {
+		ge, ok := g.EdgeBetween(path[i], path[i+1])
+		if !ok {
+			continue
+		}
+		e := g.Edge(ge)
+		total += e.Alpha
+		if e.BandwidthBps > 0 {
+			total += time.Duration(float64(r.s.seg) / e.BandwidthBps * 1e9)
+		}
+	}
+	return total
+}
+
+// send is the guarded counterpart of sweep.send: it wraps the chunk in a
+// guard, detours around already-blacklisted edges, transmits, and arms the
+// delivery deadline. Runs in the sender's domain.
+func (r *resil) send(path []topology.NodeID, c *chunk) {
+	s := r.s
+	last := path[len(path)-1]
+	g := &guard{
+		phase: c.phase, seg: c.seg, hops: c.hops, val: c.val,
+		recv: s.part.Graph.Node(last).Rank,
+		dom:  s.part.NodeDomain[path[0]],
+		rdom: s.part.NodeDomain[last],
+		path: path,
+	}
+	d := r.ds[g.dom]
+	d.pending++
+	if len(d.bl) > 0 {
+		if p, rerouted, boundary := r.route(g, d); p != nil && rerouted {
+			// Known-dead edge avoided before the first attempt: a reroute,
+			// but not a recovery event — nothing was lost. A nil detour
+			// (blacklist disconnects the endpoints) keeps the original
+			// path: if the fault is transient the retry machinery waits it
+			// out, and if it is permanent the retries exhaust loudly.
+			g.path = p
+			g.boundary = boundary
+			d.reroutes++
+		}
+	}
+	r.transmit(g)
+	r.armWatchdog(g.dom)
+}
+
+// transmit fires one attempt of the guard and arms its deadline.
+func (r *resil) transmit(g *guard) {
+	wm := &wireMsg{
+		c:    chunk{phase: g.phase, seg: g.seg, hops: g.hops, val: g.val},
+		recv: g.recv, sdom: g.dom, attempt: g.attempt, g: g,
+	}
+	g.h = r.s.sh.SendPath(g.path, r.s.seg, wm, r.deliver)
+	deadline := time.Duration(r.cfg.DeadlineMult * float64(r.nominal(g.path)))
+	if deadline < r.cfg.DeadlineFloor {
+		deadline = r.cfg.DeadlineFloor
+	}
+	shift := g.attempt
+	if shift > 16 {
+		shift = 16
+	}
+	deadline <<= uint(shift)
+	g.deadlineEv = r.s.sh.Engine(g.dom).After(deadline, func() { r.onDeadline(g) })
+}
+
+// deliver runs in the receiver's domain: dedup, hand the chunk to the
+// collective, and ack the sender so the deadline is disarmed.
+func (r *resil) deliver(p any) {
+	wm := p.(*wireMsg)
+	rd := r.ds[r.s.part.RankDomain[wm.recv]]
+	if r.markSeen(wm.recv, wm.c.phase, wm.c.seg) {
+		rd.duplicates++
+		return
+	}
+	rd.deliveries++
+	if wm.sdom == r.s.part.RankDomain[wm.recv] {
+		r.ack(wm.g)
+	} else {
+		// The ack crosses back into the sender's domain; the partition
+		// lookahead is the smallest causally-safe delay.
+		r.s.sh.Parallel().Post(r.s.part.RankDomain[wm.recv], wm.sdom, r.s.part.Lookahead, func() { r.ack(wm.g) })
+	}
+	r.s.arrive(wm.recv, &wm.c)
+}
+
+// ack runs in the sender's domain: the chunk is delivered, disarm the
+// deadline and settle the guard's recovery accounting.
+func (r *resil) ack(g *guard) {
+	if g.delivered {
+		return
+	}
+	g.delivered = true
+	eng := r.s.sh.Engine(g.dom)
+	if g.deadlineEv != nil {
+		eng.Cancel(g.deadlineEv)
+		g.deadlineEv = nil
+	}
+	d := r.ds[g.dom]
+	d.pending--
+	if g.faultAt > 0 {
+		ttr := time.Duration(eng.Now() - g.faultAt)
+		if g.boundary {
+			d.ttrBoundary = append(d.ttrBoundary, ttr)
+		} else {
+			d.ttrLocal = append(d.ttrLocal, ttr)
+		}
+		r.s.sh.RecordRecovery(g.dom, g.boundary)
+	}
+}
+
+// onDeadline runs in the sender's domain when a guard's delivery deadline
+// expires: reclaim the transfer if it is still stuck on its first hop,
+// blacklist dead sender-owned path edges, re-route, back off, retransmit.
+func (r *resil) onDeadline(g *guard) {
+	g.deadlineEv = nil
+	if g.delivered {
+		return
+	}
+	d := r.ds[g.dom]
+	d.deadlines++
+	eng := r.s.sh.Engine(g.dom)
+	if g.faultAt == 0 {
+		g.faultAt = eng.Now()
+		g.boundary = r.pathCrossesDomains(g)
+	}
+	aborted := r.s.sh.Abort(g.h)
+	r.scanPath(g, d)
+	if !aborted && g.attempt >= 1 {
+		// Two deadlines with the chunk already past our first hop: the
+		// stall is downstream, on edges this domain cannot observe.
+		// Suspect them for a while so the re-route detours globally.
+		r.suspectForeign(g, d)
+	}
+	if g.attempt >= r.cfg.MaxRetries {
+		r.giveUp(g, d, "retries exhausted")
+		return
+	}
+	g.attempt++
+	path, rerouted, boundary := r.route(g, d)
+	if path != nil && rerouted {
+		g.path = path
+		g.boundary = g.boundary || boundary
+		d.reroutes++
+	}
+	// A nil path means the blacklist disconnects the endpoints; keep the
+	// original path — a transient fault clears before the retries exhaust,
+	// a permanent one fails loudly through the MaxRetries bound.
+	backoff := r.cfg.Backoff
+	shift := g.attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	backoff <<= uint(shift)
+	d.retransmits++
+	eng.After(backoff, func() {
+		if g.delivered {
+			// The original crawled in during the backoff; the ack already
+			// settled the guard.
+			return
+		}
+		r.transmit(g)
+	})
+}
+
+// pathCrossesDomains reports whether any edge of the guard's path is a
+// cross-domain boundary link or owned by a foreign domain.
+func (r *resil) pathCrossesDomains(g *guard) bool {
+	part := r.s.part
+	for i := 0; i+1 < len(g.path); i++ {
+		ge, ok := part.Graph.EdgeBetween(g.path[i], g.path[i+1])
+		if !ok {
+			continue
+		}
+		if part.EdgeDomain[ge] != g.dom || part.EdgeCross[ge] >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// scanPath blacklists every sender-owned path edge whose bandwidth scale
+// has been collapsed to zero — the domain-local fault-detection step. For a
+// fully intra-domain path that covers every hop; for a cross-group path it
+// covers the hops up to and including the boundary link itself (whose
+// serialization leg the sender's domain owns).
+func (r *resil) scanPath(g *guard, d *domRecovery) {
+	part := r.s.part
+	for i := 0; i+1 < len(g.path); i++ {
+		ge, ok := part.Graph.EdgeBetween(g.path[i], g.path[i+1])
+		if !ok || part.EdgeDomain[ge] != g.dom {
+			continue
+		}
+		if r.s.sh.Fabric(g.dom).Scale(part.EdgeLocal[ge]) > 0 {
+			continue
+		}
+		r.blacklist(g.dom, d, ge, part.EdgeCross[ge] >= 0)
+	}
+}
+
+// suspectForeign blacklists the path edges the sender's domain does not own
+// for BlacklistFor, so repeated downstream stalls get detoured even though
+// their fault is invisible from here. Always boundary locality.
+func (r *resil) suspectForeign(g *guard, d *domRecovery) {
+	part := r.s.part
+	now := r.s.sh.Engine(g.dom).Now()
+	for i := 0; i+1 < len(g.path); i++ {
+		ge, ok := part.Graph.EdgeBetween(g.path[i], g.path[i+1])
+		if !ok || part.EdgeDomain[ge] == g.dom {
+			continue
+		}
+		if e, ok := d.bl[ge]; ok {
+			if e.until != 0 && now+sim.Time(r.cfg.BlacklistFor) > e.until {
+				e.until = now + sim.Time(r.cfg.BlacklistFor)
+			}
+			continue
+		}
+		d.bl[ge] = &blEntry{until: now + sim.Time(r.cfg.BlacklistFor), boundary: true}
+	}
+}
+
+// blacklist records a dead edge in the domain's routing view. With healing
+// enabled the entry persists until a probe-verified promotion lifts it;
+// otherwise it expires after BlacklistFor (time-based re-admission).
+func (r *resil) blacklist(dom int, d *domRecovery, ge topology.EdgeID, boundary bool) {
+	now := r.s.sh.Engine(dom).Now()
+	if e, ok := d.bl[ge]; ok {
+		if e.until != 0 {
+			e.until = now + sim.Time(r.cfg.BlacklistFor)
+		}
+		return
+	}
+	e := &blEntry{boundary: boundary}
+	if r.cfg.Heal == nil {
+		e.until = now + sim.Time(r.cfg.BlacklistFor)
+	} else {
+		e.watched = true
+		r.watchHeal(dom, d, ge)
+	}
+	d.bl[ge] = e
+}
+
+// active reports whether a blacklist entry still diverts routes at now,
+// deleting it lazily once expired.
+func (d *domRecovery) active(ge topology.EdgeID, now sim.Time) bool {
+	e, ok := d.bl[ge]
+	if !ok {
+		return false
+	}
+	if e.until != 0 && now >= e.until {
+		delete(d.bl, ge)
+		return false
+	}
+	return true
+}
+
+// route checks the guard's path against the domain blacklist and, when it
+// hits an active entry, computes a min-hop detour avoiding every active
+// entry. Returns (path, rerouted, boundaryLocality); a nil path means the
+// blacklist disconnects the endpoints.
+func (r *resil) route(g *guard, d *domRecovery) ([]topology.NodeID, bool, bool) {
+	part := r.s.part
+	now := r.s.sh.Engine(g.dom).Now()
+	hit, boundary := false, false
+	for i := 0; i+1 < len(g.path); i++ {
+		ge, ok := part.Graph.EdgeBetween(g.path[i], g.path[i+1])
+		if !ok || !d.active(ge, now) {
+			continue
+		}
+		hit = true
+		if d.bl[ge].boundary {
+			boundary = true
+		}
+	}
+	if !hit {
+		return g.path, false, false
+	}
+	p := part.Graph.ShortestPathAvoid(g.path[0], g.path[len(g.path)-1],
+		func(ge topology.EdgeID) bool { return d.active(ge, now) })
+	if p == nil {
+		return nil, false, boundary
+	}
+	return p, true, boundary
+}
+
+// giveUp retires a guard that exhausted its options; the sweep will fail
+// with the collected diagnostics.
+func (r *resil) giveUp(g *guard, d *domRecovery, why string) {
+	d.pending--
+	d.gaveUp = append(d.gaveUp, fmt.Sprintf(
+		"chunk(phase=%d seg=%d) rank path %v attempt %d: %s", g.phase, g.seg, g.path, g.attempt, why))
+}
+
+// watchHeal lazily builds the domain's health monitor and points it at the
+// blacklisted edge's local endpoints. For a boundary link the local "to"
+// endpoint is the serialization-leg ghost, so the probe — and therefore the
+// whole heal — stays inside the owning domain.
+func (r *resil) watchHeal(dom int, d *domRecovery, ge topology.EdgeID) {
+	part := r.s.part
+	if d.heal == nil {
+		d.heal = health.New(r.s.sh.Engine(dom), r.s.sh.Fabric(dom), nil, *r.cfg.Heal, health.Hooks{
+			OnHeal:    func(ev health.Event) { r.onHealed(dom, ev) },
+			OnCondemn: func(ev health.Event) { r.onCondemned(dom, ev) },
+		})
+	}
+	le := part.Subs[dom].Edge(part.EdgeLocal[ge])
+	lo, hi := le.From, le.To
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	key := [2]topology.NodeID{lo, hi}
+	d.watch[key] = append(d.watch[key], ge)
+	d.heal.WatchLink(le.From, le.To)
+}
+
+// onHealed runs in the healed edge's domain: lift the blacklist entries the
+// watched pair covers and account the heal.
+func (r *resil) onHealed(dom int, ev health.Event) {
+	d := r.ds[dom]
+	key := [2]topology.NodeID{ev.From, ev.To}
+	for _, ge := range d.watch[key] {
+		if e, ok := d.bl[ge]; ok {
+			if e.boundary {
+				d.tthBoundary = append(d.tthBoundary, ev.TimeToHeal)
+			} else {
+				d.tthLocal = append(d.tthLocal, ev.TimeToHeal)
+			}
+			delete(d.bl, ge)
+		}
+	}
+	delete(d.watch, key)
+}
+
+// onCondemned runs in the condemned edge's domain: the blacklist entries
+// become permanent and probing stops, letting the engine drain.
+func (r *resil) onCondemned(dom int, ev health.Event) {
+	d := r.ds[dom]
+	d.condemned++
+	delete(d.watch, [2]topology.NodeID{ev.From, ev.To})
+}
+
+// armWatchdog keeps a per-domain progress watchdog running while the
+// domain has outstanding guards. Guards outstanding imply pending deadline
+// events, so the re-arm never extends the engine's life by more than one
+// interval past the last deadline.
+func (r *resil) armWatchdog(dom int) {
+	d := r.ds[dom]
+	if d.watchArmed {
+		return
+	}
+	d.watchArmed = true
+	d.lastDeliveries = d.deliveries
+	var tick func()
+	tick = func() {
+		if d.pending <= 0 {
+			d.watchArmed = false
+			return
+		}
+		if d.deliveries == d.lastDeliveries {
+			d.stalls++
+		}
+		d.lastDeliveries = d.deliveries
+		r.s.sh.Engine(dom).After(r.cfg.StallTimeout, tick)
+	}
+	r.s.sh.Engine(dom).After(r.cfg.StallTimeout, tick)
+}
+
+// gaveUpError folds the per-domain failure diagnostics, or nil.
+func (r *resil) gaveUpError() error {
+	var total int
+	var first string
+	for _, d := range r.ds {
+		total += len(d.gaveUp)
+		if first == "" && len(d.gaveUp) > 0 {
+			first = d.gaveUp[0]
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	return fmt.Errorf("scale: %d chunk(s) undeliverable after recovery (first: %s)", total, first)
+}
+
+// fold aggregates the per-domain recovery state into one comparable
+// RecoveryStats. Domain order is fixed, so the fold is deterministic.
+func (r *resil) fold(injected chaos.Counters) RecoveryStats {
+	var out RecoveryStats
+	out.Injected = injected
+	for _, d := range r.ds {
+		out.Deadlines += d.deadlines
+		out.Retransmits += d.retransmits
+		out.Reroutes += d.reroutes
+		out.Duplicates += d.duplicates
+		out.GaveUp += uint64(len(d.gaveUp))
+		out.StallWarnings += d.stalls
+		out.DomainLocal += uint64(len(d.ttrLocal))
+		out.Boundary += uint64(len(d.ttrBoundary))
+		out.Condemned += d.condemned
+		if d.heal != nil {
+			out.Healed += uint64(d.heal.Healed())
+		}
+		for _, ttr := range d.ttrLocal {
+			out.TimeToRecoverSum += ttr
+			if ttr > out.TimeToRecoverMax {
+				out.TimeToRecoverMax = ttr
+			}
+		}
+		for _, ttr := range d.ttrBoundary {
+			out.TimeToRecoverSum += ttr
+			if ttr > out.TimeToRecoverMax {
+				out.TimeToRecoverMax = ttr
+			}
+		}
+		for _, tth := range append(append([]time.Duration(nil), d.tthLocal...), d.tthBoundary...) {
+			out.TimeToHealSum += tth
+			if tth > out.TimeToHealMax {
+				out.TimeToHealMax = tth
+			}
+		}
+	}
+	out.Recoveries = out.DomainLocal + out.Boundary
+	return out
+}
+
+// exportMetrics publishes the recovery fold into a registry, labeled by
+// world size and fault locality. Runs single-threaded after Run, which is
+// what makes a (not concurrency-safe) metrics.Registry usable here.
+func (r *resil) exportMetrics(reg *metrics.Registry, world int, stats RecoveryStats) {
+	if reg == nil {
+		return
+	}
+	now := sim.Time(r.s.sh.Parallel().Now())
+	w := strconv.Itoa(world)
+	rec := r.s.sh.RecoveryEvents()
+	reg.Counter("adapcc_sharded_recovery_events_total",
+		"recovery events recorded on the sharded fabric by fault locality",
+		"world", w, "locality", "domain_local").Add(now, float64(rec.DomainLocal))
+	reg.Counter("adapcc_sharded_recovery_events_total",
+		"recovery events recorded on the sharded fabric by fault locality",
+		"world", w, "locality", "boundary").Add(now, float64(rec.Boundary))
+	for _, a := range []struct {
+		action string
+		n      uint64
+	}{
+		{"deadline", stats.Deadlines},
+		{"retransmit", stats.Retransmits},
+		{"reroute", stats.Reroutes},
+		{"duplicate", stats.Duplicates},
+		{"gaveup", stats.GaveUp},
+		{"stall_warning", stats.StallWarnings},
+	} {
+		reg.Counter("adapcc_scale_recovery_actions_total",
+			"recovery actions taken by the resilient sweep", "action", a.action).Add(now, float64(a.n))
+	}
+	for _, d := range r.ds {
+		for _, ttr := range d.ttrLocal {
+			reg.Histogram("adapcc_time_to_recover_seconds",
+				"fault-detection-to-recovered-delivery latency", metrics.DurationBuckets,
+				"world", w, "locality", "domain_local").ObserveDuration(now, ttr)
+		}
+		for _, ttr := range d.ttrBoundary {
+			reg.Histogram("adapcc_time_to_recover_seconds",
+				"fault-detection-to-recovered-delivery latency", metrics.DurationBuckets,
+				"world", w, "locality", "boundary").ObserveDuration(now, ttr)
+		}
+		for _, tth := range d.tthLocal {
+			reg.Histogram("adapcc_time_to_heal_seconds",
+				"exclusion-to-re-admission latency per healed target", metrics.DurationBuckets,
+				"world", w, "locality", "domain_local").ObserveDuration(now, tth)
+		}
+		for _, tth := range d.tthBoundary {
+			reg.Histogram("adapcc_time_to_heal_seconds",
+				"exclusion-to-re-admission latency per healed target", metrics.DurationBuckets,
+				"world", w, "locality", "boundary").ObserveDuration(now, tth)
+		}
+	}
+	reg.Counter("adapcc_chaos_scale_events_total",
+		"bandwidth re-scales fired by the chaos engine").Add(now, float64(stats.Injected.ScaleEvents))
+	reg.Counter("adapcc_chaos_drops_total",
+		"transfers blackholed by injected loss").Add(now, float64(stats.Injected.Drops))
+	reg.Counter("adapcc_chaos_holds_total",
+		"transfers parked by injected stalls").Add(now, float64(stats.Injected.Holds))
+}

@@ -1,0 +1,268 @@
+package scale
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"adapcc/internal/chaos"
+	"adapcc/internal/health"
+	"adapcc/internal/metrics"
+	"adapcc/internal/topology"
+)
+
+// chaosRun executes one guarded sweep under the given fault schedule.
+func chaosRun(topo *topology.Topo, workers int, seed int64, spec chaos.Spec, heal *health.Options) (*Result, error) {
+	opts := Options{Topo: topo, Workers: workers, Seed: seed, Chaos: &spec}
+	if heal != nil {
+		opts.Recovery = &Resilience{Heal: heal}
+	}
+	return Run(opts)
+}
+
+// requireIdentical asserts two runs of the same faulted sweep are
+// bit-identical: same outcome (down to the failure text when both fail),
+// same virtual time, checksum, event counts and complete recovery fold.
+func requireIdentical(t *testing.T, label string, a, b *Result, aerr, berr error) {
+	t.Helper()
+	if (aerr != nil) != (berr != nil) {
+		t.Fatalf("%s: outcomes diverge: %v vs %v", label, aerr, berr)
+	}
+	if aerr != nil {
+		if aerr.Error() != berr.Error() {
+			t.Fatalf("%s: failures diverge: %q vs %q", label, aerr, berr)
+		}
+		return
+	}
+	if a.Elapsed != b.Elapsed || a.Checksum != b.Checksum || a.Fired != b.Fired || a.Windows != b.Windows {
+		t.Fatalf("%s: timelines diverge: (%v, %#x, %d ev, %d win) vs (%v, %#x, %d ev, %d win)",
+			label, a.Elapsed, a.Checksum, a.Fired, a.Windows, b.Elapsed, b.Checksum, b.Fired, b.Windows)
+	}
+	if (a.Recovery == nil) != (b.Recovery == nil) {
+		t.Fatalf("%s: recovery fold present in one run only", label)
+	}
+	if a.Recovery != nil && *a.Recovery != *b.Recovery {
+		t.Fatalf("%s: recovery folds diverge:\n%+v\nvs\n%+v", label, *a.Recovery, *b.Recovery)
+	}
+	if a.RecoveryEvents != b.RecoveryEvents {
+		t.Fatalf("%s: fabric recovery counters diverge: %+v vs %+v", label, a.RecoveryEvents, b.RecoveryEvents)
+	}
+}
+
+// firstHopEdge returns the edge of a path's first hop.
+func firstHopEdge(t *testing.T, topo *topology.Topo, path []topology.NodeID) topology.EdgeID {
+	t.Helper()
+	if len(path) < 2 {
+		t.Fatalf("degenerate path %v", path)
+	}
+	ge, ok := topo.Graph.EdgeBetween(path[0], path[1])
+	if !ok {
+		t.Fatalf("no edge %d -> %d", path[0], path[1])
+	}
+	return ge
+}
+
+// TestSweepChaosEquivalence extends the genome-digest determinism property
+// to faulted timelines: under the same random link-fault schedule, a sweep
+// run with 1, 2 and 4 workers produces the identical outcome — success with
+// the same virtual time, checksum and recovery fold, or failure with the
+// same diagnostic. Per-domain chaos rngs and domain-owned recovery state
+// are what make this hold regardless of worker interleaving.
+func TestSweepChaosEquivalence(t *testing.T) {
+	for _, spec := range []topology.Spec{
+		topology.RailSpec{Groups: 4, Servers: 2, Rails: 2},
+		topology.FatTreeSpec{Pods: 2, Servers: 2, GPUs: 4, Spines: 2},
+	} {
+		topo := buildTopo(t, spec)
+		clean, err := Run(Options{Topo: topo, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: fault-free reference: %v", spec.Name(), err)
+		}
+		for seed := int64(0); seed < 3; seed++ {
+			cs := chaos.RandomLinkSpec(seed*1001+7, topo.Graph, 5, clean.Elapsed)
+			r1, e1 := chaosRun(topo, 1, seed, cs, nil)
+			r2, e2 := chaosRun(topo, 2, seed, cs, nil)
+			r4, e4 := chaosRun(topo, 4, seed, cs, nil)
+			requireIdentical(t, fmt.Sprintf("%s seed %d w1/w2", spec.Name(), seed), r1, r2, e1, e2)
+			requireIdentical(t, fmt.Sprintf("%s seed %d w1/w4", spec.Name(), seed), r1, r4, e1, e4)
+			if e1 == nil && r1.Recovery == nil {
+				t.Fatalf("%s seed %d: chaos run without a recovery fold", spec.Name(), seed)
+			}
+		}
+	}
+}
+
+// TestSweepChaosDomainLocalKill1024 is the headline survivor check: kill an
+// intra-domain NVLink edge on rank 0's ring path at t=0, permanently, in a
+// 1024-rank fat-tree sweep (pod = domain). The sweep must complete with
+// every rank's values exactly matching the closed-form sums (finish()
+// enforces this before returning), the recovery must be classified
+// domain-local on both the resilience fold and the sharded fabric's own
+// counters — no boundary machinery involved — and the whole faulted
+// timeline must replay bit-identically at two workers.
+func TestSweepChaosDomainLocalKill1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-rank sweep")
+	}
+	topo := buildTopo(t, topology.FatTreeSpec{Pods: 16, Servers: 8, GPUs: 8, Spines: 8})
+	s, err := newSweep(Options{Topo: topo, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := s.nextPath[0]
+	ge := firstHopEdge(t, topo, path)
+	if s.part.EdgeCross[ge] >= 0 || s.part.EdgeDomain[ge] != s.part.NodeDomain[path[0]] {
+		t.Fatalf("edge %d is not domain-local to rank 0 (cross=%d dom=%d)",
+			ge, s.part.EdgeCross[ge], s.part.EdgeDomain[ge])
+	}
+	spec := chaos.Spec{Seed: 1, Faults: []chaos.Fault{
+		{Kind: chaos.LinkDown, Start: 0, Edge: ge, Rank: -1}, // Dur 0 = permanent
+	}}
+	r1, e1 := chaosRun(topo, 1, 1, spec, nil)
+	if e1 != nil {
+		t.Fatalf("survivor sweep failed: %v", e1)
+	}
+	rec := r1.Recovery
+	if rec == nil || rec.DomainLocal == 0 {
+		t.Fatalf("no domain-local recovery recorded: %+v", rec)
+	}
+	if rec.Boundary != 0 || r1.RecoveryEvents.Boundary != 0 {
+		t.Errorf("boundary recovery recorded for an intra-domain fault: fold %+v fabric %+v",
+			rec, r1.RecoveryEvents)
+	}
+	if r1.RecoveryEvents.DomainLocal == 0 {
+		t.Errorf("sharded fabric saw no domain-local recovery: %+v", r1.RecoveryEvents)
+	}
+	if rec.Reroutes == 0 {
+		t.Errorf("permanently dead edge was never detoured: %+v", rec)
+	}
+	r2, e2 := chaosRun(topo, 2, 1, spec, nil)
+	requireIdentical(t, "1024-rank kill w1/w2", r1, r2, e1, e2)
+}
+
+// TestSweepChaosBoundaryFault kills a cross-domain boundary link on a used
+// cross-group route (fat-tree with two spines, so a detour exists) and
+// checks the recovery is classified boundary on both the fold and the
+// fabric counters.
+func TestSweepChaosBoundaryFault(t *testing.T) {
+	topo := buildTopo(t, topology.FatTreeSpec{Pods: 2, Servers: 2, GPUs: 4, Spines: 2})
+	s, err := newSweep(Options{Topo: topo, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := s.crossPath[s.group[0][0]]
+	ge := topology.EdgeID(-1)
+	for i := 0; i+1 < len(path); i++ {
+		e, ok := topo.Graph.EdgeBetween(path[i], path[i+1])
+		if ok && s.part.EdgeCross[e] >= 0 {
+			ge = e
+			break
+		}
+	}
+	if ge < 0 {
+		t.Fatalf("cross-group path %v has no boundary edge", path)
+	}
+	spec := chaos.Spec{Seed: 1, Faults: []chaos.Fault{
+		{Kind: chaos.LinkDown, Start: 0, Edge: ge, Rank: -1},
+	}}
+	r1, e1 := chaosRun(topo, 1, 1, spec, nil)
+	if e1 != nil {
+		t.Fatalf("boundary-faulted sweep failed: %v", e1)
+	}
+	if r1.Recovery == nil || r1.Recovery.Boundary == 0 {
+		t.Fatalf("no boundary recovery recorded: %+v", r1.Recovery)
+	}
+	if r1.RecoveryEvents.Boundary == 0 {
+		t.Errorf("sharded fabric saw no boundary recovery: %+v", r1.RecoveryEvents)
+	}
+	r2, e2 := chaosRun(topo, 2, 1, spec, nil)
+	requireIdentical(t, "boundary kill w1/w2", r1, r2, e1, e2)
+}
+
+// TestSweepChaosHealReadmission runs a bounded link-down with per-domain
+// health monitors armed: the blacklisted edge must be probed, promoted once
+// the fault window closes, and the heal accounted with a positive
+// exclusion-to-re-admission latency. The labeled TTR/TTH histograms and the
+// recovery counters must surface in the metrics registry.
+func TestSweepChaosHealReadmission(t *testing.T) {
+	topo := buildTopo(t, topology.RailSpec{Groups: 2, Servers: 2, Rails: 2})
+	s, err := newSweep(Options{Topo: topo, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge := firstHopEdge(t, topo, s.nextPath[0])
+	spec := chaos.Spec{Seed: 1, Faults: []chaos.Fault{
+		{Kind: chaos.LinkDown, Start: 0, Dur: 3 * time.Millisecond, Edge: ge, Rank: -1},
+	}}
+	heal := &health.Options{
+		Quarantine:    500 * time.Microsecond,
+		ProbeInterval: 200 * time.Microsecond,
+		ProbationK:    2,
+	}
+	reg := metrics.New()
+	res, err := Run(Options{
+		Topo: topo, Workers: 2, Seed: 1,
+		Chaos: &spec, Recovery: &Resilience{Heal: heal}, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatalf("healed sweep failed: %v", err)
+	}
+	rec := res.Recovery
+	if rec == nil || rec.DomainLocal == 0 {
+		t.Fatalf("no domain-local recovery recorded: %+v", rec)
+	}
+	if rec.Healed == 0 {
+		t.Fatalf("blacklisted edge was never re-admitted: %+v", rec)
+	}
+	if rec.TimeToHealMax <= 0 {
+		t.Errorf("healed with non-positive time-to-heal: %+v", rec)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"adapcc_sharded_recovery_events_total",
+		"adapcc_scale_recovery_actions_total",
+		"adapcc_time_to_recover_seconds",
+		"adapcc_time_to_heal_seconds",
+	} {
+		if _, ok := snap.Family(name); !ok {
+			t.Errorf("missing metric family %s", name)
+		}
+	}
+	if fam, ok := snap.Family("adapcc_time_to_heal_seconds"); ok {
+		for _, se := range fam.Series {
+			if se.Labels["world"] == "" || se.Labels["locality"] == "" {
+				t.Errorf("time-to-heal series missing world/locality labels: %+v", se.Labels)
+			}
+		}
+	}
+}
+
+// TestShardedChaosSoak replays random multi-fault schedules at one and two
+// workers and requires bit-identical outcomes. The default run stays small;
+// ADAPCC_CHAOS_SOAK=1 (the CI soak step) scales it to 1024 ranks across
+// four seeds.
+func TestShardedChaosSoak(t *testing.T) {
+	spec := topology.Spec(topology.RailSpec{Groups: 4, Servers: 2, Rails: 2})
+	seeds, faults := int64(2), 6
+	if os.Getenv("ADAPCC_CHAOS_SOAK") != "" {
+		spec = topology.RailSpec{Groups: 16, Servers: 8, Rails: 8}
+		seeds, faults = 4, 10
+	}
+	topo := buildTopo(t, spec)
+	clean, err := Run(Options{Topo: topo, Seed: 1})
+	if err != nil {
+		t.Fatalf("fault-free reference: %v", err)
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		cs := chaos.RandomLinkSpec(seed*0x5eed+11, topo.Graph, faults, clean.Elapsed)
+		r1, e1 := chaosRun(topo, 1, seed, cs, nil)
+		r2, e2 := chaosRun(topo, 2, seed, cs, nil)
+		requireIdentical(t, fmt.Sprintf("soak seed %d", seed), r1, r2, e1, e2)
+		if e1 != nil {
+			t.Logf("soak seed %d: deterministic failure (acceptable): %v", seed, e1)
+			continue
+		}
+		t.Logf("soak seed %d: elapsed %v recovery %+v", seed, r1.Elapsed, *r1.Recovery)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"adapcc/internal/chaos"
 	"adapcc/internal/fabric"
 	"adapcc/internal/metrics"
 	"adapcc/internal/sim"
@@ -46,6 +47,14 @@ type Options struct {
 	Seed int64
 	// Metrics, when non-nil, receives the per-domain engine stats.
 	Metrics *metrics.Registry
+	// Chaos, when non-nil, arms this fault schedule on the sharded fabric
+	// (see chaos.Sharded). A chaos schedule implies Recovery: a faulted
+	// sweep without the recovery machinery would simply never finish.
+	Chaos *chaos.Spec
+	// Recovery, when non-nil (or implied by Chaos), guards every chunk
+	// transfer with deadlines, retransmission, blacklist re-routing and a
+	// progress watchdog. Zero fields take defaults (see Resilience).
+	Recovery *Resilience
 }
 
 // Result is the outcome of one sweep.
@@ -61,6 +70,11 @@ type Result struct {
 	Checksum uint64        // fold over the final per-rank values
 	Speedup  float64       // busy-wall / total-wall estimate
 	Stats    []sim.DomainStats
+	// Recovery is the resilience fold (nil for a fault-free, unguarded
+	// sweep); RecoveryEvents is the sharded fabric's own counter of
+	// recovered deliveries by locality.
+	Recovery       *RecoveryStats
+	RecoveryEvents fabric.RecoveryCounters
 }
 
 // mix64 is splitmix64's finalizer, the hash behind the synthetic data.
@@ -110,6 +124,10 @@ type sweep struct {
 	p1done []bool
 	stash  []uint64
 	hasSt  []bool
+	// res, when non-nil, interposes the recovery machinery on every send;
+	// ch is the armed chaos engine (nil without a fault schedule).
+	res *resil
+	ch  *chaos.Sharded
 }
 
 // Run executes one sweep and verifies the result against the closed-form
@@ -211,6 +229,22 @@ func newSweep(opts Options) (*sweep, error) {
 	s.p1done = make([]bool, ranks)
 	s.stash = make([]uint64, ranks)
 	s.hasSt = make([]bool, ranks)
+
+	// Resilience: a chaos schedule implies the recovery machinery, and the
+	// machinery can also run on a healthy fabric (guards simply never fire).
+	if opts.Recovery != nil || opts.Chaos != nil {
+		var cfg Resilience
+		if opts.Recovery != nil {
+			cfg = *opts.Recovery
+		}
+		s.res = newResil(s, cfg)
+	}
+	if opts.Chaos != nil {
+		s.ch = chaos.NewSharded(s.sh, *opts.Chaos)
+		if err := s.ch.Arm(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -223,8 +257,15 @@ func (s *sweep) initVal(rank, seg int) uint64 {
 func (s *sweep) ownerPos(seg int) int { return (seg + s.m - 1) % s.m }
 
 // send routes one chunk from rank src along a precomputed path. It must be
-// invoked from src's home domain.
+// invoked from src's home domain. In resilient mode the transfer is guarded
+// (deadline, retransmission, re-routing) and the receiving rank is derived
+// from the path's final node, which names the same GPU onArrive would
+// resolve; the unguarded fast path is untouched.
 func (s *sweep) send(path []topology.NodeID, c *chunk, onArrive func(*chunk)) {
+	if s.res != nil {
+		s.res.send(path, c)
+		return
+	}
 	s.sh.SendPath(path, s.seg, c, func(p any) { onArrive(p.(*chunk)) })
 }
 
@@ -349,6 +390,11 @@ func (s *sweep) startAllgather(r, seg int) {
 // finish validates every rank's values against the closed-form reduction
 // and assembles the result.
 func (s *sweep) finish(start time.Time) (*Result, error) {
+	if s.res != nil {
+		if err := s.res.gaveUpError(); err != nil {
+			return nil, err
+		}
+	}
 	expect := make([]uint64, s.m)
 	for seg := range expect {
 		var sum uint64
@@ -368,17 +414,29 @@ func (s *sweep) finish(start time.Time) (*Result, error) {
 	}
 	par := s.sh.Parallel()
 	stats := metrics.RecordEngine(s.opts.Metrics, par, nil)
+	var recovery *RecoveryStats
+	if s.res != nil {
+		var injected chaos.Counters
+		if s.ch != nil {
+			injected = s.ch.Counters()
+		}
+		rs := s.res.fold(injected)
+		s.res.exportMetrics(s.opts.Metrics, len(s.vals), rs)
+		recovery = &rs
+	}
 	return &Result{
-		Name:     s.opts.Topo.Spec.Name(),
-		Ranks:    len(s.vals),
-		Domains:  s.part.Domains,
-		Workers:  s.opts.Workers,
-		Elapsed:  time.Duration(par.Now()),
-		Wall:     time.Since(start),
-		Fired:    par.Fired(),
-		Windows:  par.Windows(),
-		Checksum: checksum,
-		Speedup:  par.SpeedupEstimate(),
-		Stats:    stats,
+		Name:           s.opts.Topo.Spec.Name(),
+		Ranks:          len(s.vals),
+		Domains:        s.part.Domains,
+		Workers:        s.opts.Workers,
+		Elapsed:        time.Duration(par.Now()),
+		Wall:           time.Since(start),
+		Fired:          par.Fired(),
+		Windows:        par.Windows(),
+		Checksum:       checksum,
+		Speedup:        par.SpeedupEstimate(),
+		Stats:          stats,
+		Recovery:       recovery,
+		RecoveryEvents: s.sh.RecoveryEvents(),
 	}, nil
 }

@@ -1,0 +1,84 @@
+package topology
+
+import "testing"
+
+// TestShortestPathAvoidNilPredicate: a nil predicate degrades to plain
+// shortest-path routing.
+func TestShortestPathAvoidNilPredicate(t *testing.T) {
+	g, err := twoServerCluster(t).LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.GPUByRank(0)
+	dst, _ := g.GPUByRank(3)
+	want := g.ShortestPath(src, dst)
+	got := g.ShortestPathAvoid(src, dst, nil)
+	if len(got) != len(want) {
+		t.Fatalf("nil-predicate path %v != ShortestPath %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nil-predicate path %v != ShortestPath %v", got, want)
+		}
+	}
+}
+
+// TestShortestPathAvoidDetours: blacklisting the direct NVLink edge between
+// two same-server GPUs forces a detour that really avoids it.
+func TestShortestPathAvoidDetours(t *testing.T) {
+	g, err := twoServerCluster(t).LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.GPUByRank(0)
+	dst, _ := g.GPUByRank(1)
+	direct, ok := g.EdgeBetween(src, dst)
+	if !ok {
+		t.Fatal("no direct NVLink edge between same-server GPUs")
+	}
+	path := g.ShortestPathAvoid(src, dst, func(ge EdgeID) bool { return ge == direct })
+	if path == nil {
+		t.Fatal("no detour found around the NVLink edge (PCIe route exists)")
+	}
+	if path[0] != src || path[len(path)-1] != dst {
+		t.Fatalf("detour %v does not connect %v -> %v", path, src, dst)
+	}
+	if len(path) < 3 {
+		t.Fatalf("detour %v still direct", path)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if ge, ok := g.EdgeBetween(path[i], path[i+1]); ok && ge == direct {
+			t.Fatalf("detour %v still uses avoided edge %d", path, direct)
+		}
+	}
+}
+
+// TestShortestPathAvoidDisconnected: avoiding every edge out of the source
+// disconnects it — the router must return nil, not panic or loop.
+func TestShortestPathAvoidDisconnected(t *testing.T) {
+	g, err := twoServerCluster(t).LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.GPUByRank(0)
+	dst, _ := g.GPUByRank(3)
+	avoid := make(map[EdgeID]bool)
+	for _, ge := range g.Out(src) {
+		avoid[ge] = true
+	}
+	if p := g.ShortestPathAvoid(src, dst, func(ge EdgeID) bool { return avoid[ge] }); p != nil {
+		t.Fatalf("path %v found with every source edge avoided", p)
+	}
+}
+
+// TestShortestPathAvoidSelf: the self path survives any predicate.
+func TestShortestPathAvoidSelf(t *testing.T) {
+	g, err := twoServerCluster(t).LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.GPUByRank(0)
+	if p := g.ShortestPathAvoid(src, src, func(EdgeID) bool { return true }); len(p) != 1 || p[0] != src {
+		t.Errorf("self path = %v, want [%v]", p, src)
+	}
+}

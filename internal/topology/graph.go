@@ -229,6 +229,45 @@ func (g *Graph) ShortestPath(src, dst NodeID) []NodeID {
 	return nil
 }
 
+// ShortestPathAvoid is ShortestPath restricted to edges for which avoid
+// returns false — the re-routing primitive of the resilience layer, which
+// detours around blacklisted (faulted) links without mutating the graph.
+// Ties are broken deterministically by edge insertion order, so for a given
+// avoid set the detour is unique. Returns nil if every route is avoided.
+func (g *Graph) ShortestPathAvoid(src, dst NodeID, avoid func(EdgeID) bool) []NodeID {
+	if avoid == nil {
+		return g.ShortestPath(src, dst)
+	}
+	if src == dst {
+		return []NodeID{src}
+	}
+	prev := make([]NodeID, len(g.nodes))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.out[cur] {
+			if avoid(eid) {
+				continue
+			}
+			next := g.edges[eid].To
+			if prev[next] != -1 {
+				continue
+			}
+			prev[next] = cur
+			if next == dst {
+				return g.tracePath(prev, src, dst)
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
 func (g *Graph) tracePath(prev []NodeID, src, dst NodeID) []NodeID {
 	var rev []NodeID
 	for cur := dst; ; cur = prev[cur] {
