@@ -57,6 +57,7 @@ func run(args []string) error {
 		hybridSpec = fs.String("hybrid", "", "run a hybrid-parallel communicator-group demo instead of a single collective: \"DPxTPxPP\" (e.g. \"2x2x2\"); every group runs one -bytes collective concurrently on the shared fabric")
 		topoSpec   = fs.String("topo", "", "run a datacenter-scale AllReduce sweep on a generated topology instead of the testbed pipeline: \"fattree:pods=8,servers=4\", \"rail:groups=16,servers=8,rails=8\" or \"multinic:servers=32,group=8\"; each pod/group is one simulation domain of the partitioned event engine")
 		workers    = fs.Int("workers", 1, "worker-pool size for the partitioned engine (with -topo); results are bit-identical for any value")
+		verify     = fs.Bool("verify", false, "lower every synthesised strategy to the chunk-level IR and prove it correct before executing (send/recv matching, no use-before-receive, no double reduction, exact postconditions); prints a verification summary and exits non-zero on rejection")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,7 +113,11 @@ func run(args []string) error {
 	fmt.Printf("cluster: %s over %s (%d GPUs on %d servers)\n",
 		bc.Name, tp, cl.NumGPUs(), len(cl.Servers))
 
-	a, err := core.New(env, core.WithM(*m))
+	copts := []core.Option{core.WithM(*m)}
+	if *verify {
+		copts = append(copts, core.WithVerify())
+	}
+	a, err := core.New(env, copts...)
 	if err != nil {
 		return err
 	}
@@ -151,6 +156,15 @@ func run(args []string) error {
 	for _, sc := range res.Strategy.SubCollectives {
 		fmt.Printf("  sub %d: %d bytes, %d chunks of %d KiB, root rank %d, %d flows\n",
 			sc.ID, sc.Bytes, sc.Chunks(), sc.ChunkBytes>>10, sc.Root, len(sc.Flows))
+	}
+	if *verify {
+		prog, err := core.VerifyStrategy(res.Strategy, false)
+		if err != nil {
+			return fmt.Errorf("verification rejected the synthesised strategy: %w", err)
+		}
+		st := prog.Stats()
+		fmt.Printf("verified: %s schedule proven correct — %d ranks, %d chunks, %d steps; %d sends, %d recvs, %d reduces, %d copies\n",
+			prog.Collective, st.Ranks, st.Chunks, st.Steps, st.Sends, st.Recvs, st.Reduces, st.Copies)
 	}
 	if *dumpXML {
 		xml, err := res.Strategy.MarshalXMLBytes()

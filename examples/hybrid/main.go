@@ -42,9 +42,9 @@ import (
 
 const (
 	iterations = 20
-	tpRounds   = 6       // serial TP all-reduces per iteration (per layer block)
-	tpBytes    = 4 << 20 // activation all-reduce
-	ppBytes    = 8 << 20 // stage-boundary activation transfer
+	tpRounds   = 6        // serial TP all-reduces per iteration (per layer block)
+	tpBytes    = 4 << 20  // activation all-reduce
+	ppBytes    = 8 << 20  // stage-boundary activation transfer
 	dpBytes    = 64 << 20 // gradient bucket
 )
 
@@ -243,7 +243,7 @@ func runAct(classed bool) (*actResult, error) {
 		for _, g := range ppG {
 			err := g.Run(backend.Request{
 				Primitive: strategy.Broadcast, Bytes: ppBytes, Root: g.Ranks()[0],
-				Mode: payload.Phantom,
+				Mode:   payload.Phantom,
 				OnDone: func(collective.Result) { finishOne() },
 			})
 			if err != nil {

@@ -1,0 +1,69 @@
+package blink_test
+
+import (
+	"fmt"
+	"testing"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/baseline/blink"
+	"adapcc/internal/cluster"
+	"adapcc/internal/ir"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// TestIRVerifyBlinkStages proves every barrier-separated Blink stage —
+// local reduce trees, the inter-server tree, local broadcasts — through
+// the chunk-level verifier at 4, 8 and 16 ranks. Each stage strategy is a
+// standalone collective over its own rank subset, so each is lowered and
+// checked on its own.
+func TestIRVerifyBlinkStages(t *testing.T) {
+	shapes := []struct{ servers, gpus int }{{1, 4}, {2, 4}, {4, 4}}
+	for _, sh := range shapes {
+		c, err := cluster.Homogeneous(topology.TransportRDMA, sh.servers, sh.gpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := backend.NewEnv(c, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := blink.New(env)
+		for _, pc := range []struct {
+			prim strategy.Primitive
+			root int
+		}{
+			{strategy.Reduce, 0},
+			{strategy.AllReduce, -1},
+		} {
+			t.Run(fmt.Sprintf("%dx%d/%v", sh.servers, sh.gpus, pc.prim), func(t *testing.T) {
+				stages, err := b.StagePlans(pc.prim, 1<<20, env.AllRanks(), pc.root)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(stages) == 0 {
+					t.Fatal("no stages")
+				}
+				verified := 0
+				for si, stage := range stages {
+					for sj, st := range stage {
+						if st == nil || len(st.Participants()) < 2 {
+							continue
+						}
+						prog, err := ir.FromStrategy(st)
+						if err != nil {
+							t.Fatalf("stage %d plan %d: %v", si, sj, err)
+						}
+						if err := ir.Verify(prog); err != nil {
+							t.Errorf("stage %d plan %d rejected: %v", si, sj, err)
+						}
+						verified++
+					}
+				}
+				if verified == 0 {
+					t.Fatal("no stage plans verified")
+				}
+			})
+		}
+	}
+}

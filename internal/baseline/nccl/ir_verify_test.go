@@ -1,0 +1,55 @@
+package nccl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/baseline/nccl"
+	"adapcc/internal/cluster"
+	"adapcc/internal/ir"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// TestIRVerifyNCCLStrategies proves the NCCL-style communication graphs —
+// intra-server chains plus dual binary trees — through the same chunk-level
+// verifier as the synthesised schedules, at 4, 8 and 16 ranks.
+func TestIRVerifyNCCLStrategies(t *testing.T) {
+	shapes := []struct{ servers, gpus int }{{1, 4}, {2, 4}, {4, 4}}
+	prims := []struct {
+		prim strategy.Primitive
+		root int
+	}{
+		{strategy.Reduce, 0},
+		{strategy.Broadcast, 0},
+		{strategy.AllReduce, -1},
+		{strategy.AlltoAll, -1},
+	}
+	for _, sh := range shapes {
+		c, err := cluster.Homogeneous(topology.TransportRDMA, sh.servers, sh.gpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := backend.NewEnv(c, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := nccl.New(env)
+		for _, pc := range prims {
+			t.Run(fmt.Sprintf("%dx%d/%v", sh.servers, sh.gpus, pc.prim), func(t *testing.T) {
+				st, err := b.BuildStrategy(pc.prim, 1<<20, env.AllRanks(), pc.root)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, err := ir.FromStrategy(st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ir.Verify(prog); err != nil {
+					t.Errorf("verifier rejected the NCCL %v graph: %v", pc.prim, err)
+				}
+			})
+		}
+	}
+}

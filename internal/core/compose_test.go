@@ -1,0 +1,235 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/fabric"
+	"adapcc/internal/metrics"
+	"adapcc/internal/sim"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// classShareSeen reports whether any link recorded a bandwidth share for
+// the named traffic class.
+func classShareSeen(reg *metrics.Registry, class string) bool {
+	for _, f := range reg.Snapshot().Families {
+		if f.Name != "adapcc_link_class_share" {
+			continue
+		}
+		for _, s := range f.Series {
+			if s.Labels["class"] == class {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestGroupedCollectivesCarryClass is the regression for the dropped
+// RunOption threading: every composed and point-to-point API must honour
+// backend.WithGroup, so a grouped call's traffic lands in its group's
+// traffic class on the fabric. Before the fix AllGather, ReduceScatter,
+// Send, Gather and Scatter silently ignored their options.
+func TestGroupedCollectivesCarryClass(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c)
+	setup(t, env, a)
+	reg := metrics.New()
+	a.SetMetrics(reg)
+	ranks := env.AllRanks()
+
+	const shardLen = 1 << 14
+	shards := make(map[int][]float32, len(ranks))
+	tensors := make(map[int][]float32, len(ranks))
+	for _, r := range ranks {
+		shards[r] = make([]float32, shardLen)
+		tensors[r] = make([]float32, shardLen*len(ranks))
+	}
+
+	calls := []struct {
+		name string
+		call func(opt backend.RunOption) error
+	}{
+		{"allgather", func(opt backend.RunOption) error {
+			return a.AllGather(ranks, shards, nil, opt)
+		}},
+		{"reducescatter", func(opt backend.RunOption) error {
+			return a.ReduceScatter(ranks, tensors, nil, opt)
+		}},
+		{"alltoall", func(opt backend.RunOption) error {
+			return a.AlltoAll(ranks, tensors, nil, opt)
+		}},
+		{"send", func(opt backend.RunOption) error {
+			return a.Send(ranks[0], ranks[1], shards[ranks[0]], nil, opt)
+		}},
+		{"gather", func(opt backend.RunOption) error {
+			return a.Gather(ranks, ranks[0], shards, nil, opt)
+		}},
+		{"scatter", func(opt backend.RunOption) error {
+			return a.Scatter(ranks, ranks[0], tensors[ranks[0]], nil, opt)
+		}},
+		{"composed-allgather", func(opt backend.RunOption) error {
+			return a.ComposedAllGather(ranks, shards, nil, opt)
+		}},
+		{"composed-reducescatter", func(opt backend.RunOption) error {
+			return a.ComposedReduceScatter(ranks, tensors, nil, opt)
+		}},
+	}
+	for _, tc := range calls {
+		class := env.Fabric.NewClass(fabric.Class{Name: "grp-" + tc.name, Weight: 2})
+		if err := tc.call(backend.WithGroup("g-"+tc.name, class)); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+	}
+	env.Engine.Run()
+	for _, tc := range calls {
+		if !classShareSeen(reg, "grp-"+tc.name) {
+			t.Errorf("%s: no fabric traffic carried class grp-%s — its RunOption was dropped", tc.name, tc.name)
+		}
+	}
+}
+
+// TestComposedReduceScatterElidedRootOutput is the regression for the
+// missing nil-root-output guard: a backend that elides a root's
+// self-delivery (its output equals its own input slice) must not crash
+// the composed ReduceScatter, and each root must fall back to its own
+// contribution. ComposedAllGather had this guard from the start; the
+// ReduceScatter path assigned res.Outputs[root] unconditionally.
+func TestComposedReduceScatterElidedRootOutput(t *testing.T) {
+	ranks := []int{0, 1}
+	tensors := map[int][]float32{
+		0: {1, 1, 2, 2},
+		1: {3, 3, 4, 4},
+	}
+	deps := composeDeps{
+		run: func(req backend.Request, opts ...backend.RunOption) error {
+			// A degenerate backend: completes instantly, returns no outputs
+			// at all — every root's entry is elided.
+			req.OnDone(collective.Result{Outputs: map[int][]float32{}})
+			return nil
+		},
+		now:      func() sim.Time { return 0 },
+		allRanks: func() []int { return ranks },
+	}
+	var results map[int][]float32
+	err := composedReduceScatter(deps, ranks, 2, tensors, func(res map[int][]float32, _ time.Duration) {
+		results = res
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results == nil {
+		t.Fatal("reducescatter never completed")
+	}
+	// With only the root's own contribution available, each shard falls
+	// back to the root's slice of its own tensor.
+	if got := results[0]; len(got) != 2 || got[0] != 1 || got[1] != 1 {
+		t.Errorf("rank 0 shard = %v, want [1 1]", got)
+	}
+	if got := results[1]; len(got) != 2 || got[0] != 4 || got[1] != 4 {
+		t.Errorf("rank 1 shard = %v, want [4 4]", got)
+	}
+}
+
+// TestComposedAllGatherElidedRootOutput pins the matching guard on the
+// AllGather side.
+func TestComposedAllGatherElidedRootOutput(t *testing.T) {
+	ranks := []int{0, 1}
+	shards := map[int][]float32{0: {5, 6}, 1: {7, 8}}
+	deps := composeDeps{
+		run: func(req backend.Request, opts ...backend.RunOption) error {
+			req.OnDone(collective.Result{Outputs: map[int][]float32{}})
+			return nil
+		},
+		now:      func() sim.Time { return 0 },
+		allRanks: func() []int { return ranks },
+	}
+	var results map[int][]float32
+	err := composedAllGather(deps, ranks, 2, shards, func(res map[int][]float32, _ time.Duration) {
+		results = res
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results == nil {
+		t.Fatal("allgather never completed")
+	}
+	// Each root's own slot must carry its shard via the fallback.
+	if got := results[0]; got[0] != 5 || got[1] != 6 {
+		t.Errorf("rank 0 result = %v, want own shard [5 6] at slot 0", got)
+	}
+	if got := results[1]; got[2] != 7 || got[3] != 8 {
+		t.Errorf("rank 1 result = %v, want own shard [7 8] at slot 1", got)
+	}
+}
+
+// TestWithVerifyEndToEnd turns the verifier on for a live instance: every
+// synthesised strategy — single-root, rootless and multi-root — must pass
+// verification, and every decision must be counted in
+// adapcc_ir_verify_total{result="accept"}.
+func TestWithVerifyEndToEnd(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, a := newInstance(t, c, WithVerify())
+	reg := metrics.New()
+	a.SetMetrics(reg)
+	setup(t, env, a)
+	ranks := env.AllRanks()
+
+	const bytes = 1 << 20
+	done := 0
+	if err := a.Run(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1,
+		Inputs: backend.MakeInputs(ranks, bytes),
+		OnDone: func(collective.Result) { done++ },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	shards := make(map[int][]float32, len(ranks))
+	tensors := make(map[int][]float32, len(ranks))
+	for _, r := range ranks {
+		shards[r] = make([]float32, 1<<14)
+		tensors[r] = make([]float32, len(ranks)<<14)
+	}
+	if err := a.AllGather(ranks, shards, func(map[int][]float32, time.Duration) { done++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReduceScatter(ranks, tensors, func(map[int][]float32, time.Duration) { done++ }); err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+	if done != 3 {
+		t.Fatalf("%d of 3 verified collectives completed", done)
+	}
+
+	var accepts, rejects float64
+	for _, f := range reg.Snapshot().Families {
+		if f.Name != "adapcc_ir_verify_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			switch s.Labels["result"] {
+			case "accept":
+				accepts = s.Value
+			case "reject":
+				rejects = s.Value
+			}
+		}
+	}
+	if accepts < 3 {
+		t.Errorf("adapcc_ir_verify_total{result=accept} = %v, want >= 3", accepts)
+	}
+	if rejects != 0 {
+		t.Errorf("adapcc_ir_verify_total{result=reject} = %v, want 0", rejects)
+	}
+}

@@ -44,6 +44,12 @@ type Options struct {
 	// SkipProfiling makes the synthesizer run on nominal hardware labels
 	// (the profiling ablation).
 	SkipProfiling bool
+	// Verify lowers every freshly synthesised strategy to the chunk-level
+	// IR (internal/ir) and rejects it unless the verifier proves the
+	// schedule delivers each rank its required chunks with every
+	// contribution reduced exactly once. Decisions are counted in
+	// adapcc_ir_verify_total{result}.
+	Verify bool
 }
 
 // Option configures New, in the package-wide With* functional-option
@@ -72,6 +78,13 @@ func WithChunkGrid(grid ...int64) Option {
 // timing independent of the profiling phase's seed).
 func WithSkipProfiling() Option {
 	return func(o *Options) { o.SkipProfiling = true }
+}
+
+// WithVerify proves every freshly synthesised strategy correct through
+// the chunk-level IR verifier before it is cached or executed (the
+// adapccsim -verify flag).
+func WithVerify() Option {
+	return func(o *Options) { o.Verify = true }
 }
 
 // AdapCC is one job-wide library instance (logically replicated on every
@@ -352,6 +365,9 @@ func (a *AdapCC) synthesize(p strategy.Primitive, bytes int64, ranks, relays []i
 		FastSearch: fast,
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := a.verifyStrategy(res.Strategy, false); err != nil {
 		return nil, err
 	}
 	a.cache[key] = res

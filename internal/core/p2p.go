@@ -16,7 +16,7 @@ import (
 // ncclRecv equivalents), exposed for pipeline parallelism: stage
 // activations and gradients travel between neighbouring stages through the
 // same profiled, chunk-pipelined fabric as the collectives.
-func (a *AdapCC) Send(src, dst int, data []float32, onDone func([]float32, time.Duration)) error {
+func (a *AdapCC) Send(src, dst int, data []float32, onDone func([]float32, time.Duration), opts ...backend.RunOption) error {
 	if src == dst {
 		return fmt.Errorf("core: send to self (rank %d)", src)
 	}
@@ -35,13 +35,13 @@ func (a *AdapCC) Send(src, dst int, data []float32, onDone func([]float32, time.
 				onDone(res.Outputs[dst], a.env.Engine.Now()-start)
 			}
 		},
-	})
+	}, opts...)
 }
 
 // Gather collects every rank's shard at the root, concatenated in rank
 // order (the inverse of Scatter). Composed of one point-to-point transfer
 // per non-root rank, all in flight concurrently.
-func (a *AdapCC) Gather(ranks []int, root int, shards map[int][]float32, onDone func([]float32, time.Duration)) error {
+func (a *AdapCC) Gather(ranks []int, root int, shards map[int][]float32, onDone func([]float32, time.Duration), opts ...backend.RunOption) error {
 	ranks, shardLen, err := validateShards(a, ranks, shards)
 	if err != nil {
 		return fmt.Errorf("core: gather: %w", err)
@@ -67,7 +67,7 @@ func (a *AdapCC) Gather(ranks []int, root int, shards map[int][]float32, onDone 
 		err := a.Send(r, root, shards[r], func(data []float32, _ time.Duration) {
 			copy(out[i*shardLen:(i+1)*shardLen], data)
 			barrier.Done()
-		})
+		}, opts...)
 		if err != nil {
 			return fmt.Errorf("core: gather from %d: %w", r, err)
 		}
@@ -78,7 +78,7 @@ func (a *AdapCC) Gather(ranks []int, root int, shards map[int][]float32, onDone 
 // Scatter slices the root's tensor into len(ranks) equal shards and
 // delivers the i-th to the i-th rank in sorted order (the root keeps its
 // own slot). The tensor length must divide evenly.
-func (a *AdapCC) Scatter(ranks []int, root int, tensor []float32, onDone func(map[int][]float32, time.Duration)) error {
+func (a *AdapCC) Scatter(ranks []int, root int, tensor []float32, onDone func(map[int][]float32, time.Duration), opts ...backend.RunOption) error {
 	if ranks == nil {
 		ranks = a.env.AllRanks()
 	}
@@ -112,7 +112,7 @@ func (a *AdapCC) Scatter(ranks []int, root int, tensor []float32, onDone func(ma
 		err := a.Send(root, r, tensor[i*shardLen:(i+1)*shardLen], func(data []float32, _ time.Duration) {
 			results[r] = data
 			barrier.Done()
-		})
+		}, opts...)
 		if err != nil {
 			return fmt.Errorf("core: scatter to %d: %w", r, err)
 		}

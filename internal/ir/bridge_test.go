@@ -1,0 +1,137 @@
+package ir_test
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/collective"
+	"adapcc/internal/ir"
+	"adapcc/internal/payload"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+	"adapcc/internal/trace"
+)
+
+// timelineEvent is the timing-plane fingerprint of one trace event.
+type timelineEvent struct {
+	Name       string
+	Cat        string
+	PID, TID   int
+	Start, Dur time.Duration
+}
+
+// runAllReduce synthesises and executes one AllReduce on a fresh
+// deterministic environment, routed either directly through the executor
+// or through the verified IR bridge.
+func runAllReduce(t *testing.T, viaIR bool) ([]timelineEvent, collective.Result) {
+	t.Helper()
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := synth.Synthesize(synth.NewCosts(env.Graph, nil), synth.Request{
+		Primitive: strategy.AllReduce, Bytes: 2 << 20, Root: -1, M: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	env.Exec.SetTracer(tr)
+	var got collective.Result
+	op := collective.Op{
+		Mode:   payload.Phantom,
+		OnDone: func(r collective.Result) { got = r },
+	}
+	if viaIR {
+		low, err := ir.Lower(res.Strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := low.Play(env.Exec, op); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		op.Strategy = res.Strategy
+		if err := env.Exec.Run(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env.Engine.Run()
+	if got.Elapsed <= 0 {
+		t.Fatal("collective never completed")
+	}
+	evs := make([]timelineEvent, 0, tr.Len())
+	for _, e := range tr.Events() {
+		evs = append(evs, timelineEvent{Name: e.Name, Cat: e.Cat, PID: e.PID, TID: e.TID, Start: e.Start, Dur: e.Dur})
+	}
+	return evs, got
+}
+
+// TestPlayTimelineBitIdentical is the bridge's load-bearing guarantee: an
+// AllReduce played through Lower + Play — verification included — has a
+// bit-identical virtual timeline to the direct strategy path. The IR adds
+// a proof, never a perturbation.
+func TestPlayTimelineBitIdentical(t *testing.T) {
+	dEvs, dRes := runAllReduce(t, false)
+	iEvs, iRes := runAllReduce(t, true)
+	if dRes.Elapsed != iRes.Elapsed {
+		t.Errorf("elapsed diverged: direct %v, via IR %v", dRes.Elapsed, iRes.Elapsed)
+	}
+	if len(dEvs) != len(iEvs) {
+		t.Fatalf("event counts diverged: direct %d, via IR %d", len(dEvs), len(iEvs))
+	}
+	for i := range dEvs {
+		if dEvs[i] != iEvs[i] {
+			t.Fatalf("event %d diverged:\ndirect %+v\nvia IR %+v", i, dEvs[i], iEvs[i])
+		}
+	}
+}
+
+// TestPlayRefusesCorruptProgram proves Play is a gate, not a formality: a
+// corrupted program never reaches the executor.
+func TestPlayRefusesCorruptProgram(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := synth.Synthesize(synth.NewCosts(env.Graph, nil), synth.Request{
+		Primitive: strategy.AllReduce, Bytes: 1 << 20, Root: -1, M: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := ir.Lower(res.Strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the proof artefact: drop the first transfer op.
+	for i, op := range low.Program.Ops {
+		if op.Kind == ir.OpSend {
+			low.Program.Ops = append(low.Program.Ops[:i:i], low.Program.Ops[i+1:]...)
+			break
+		}
+	}
+	ran := false
+	err = low.Play(env.Exec, collective.Op{
+		Mode:   payload.Phantom,
+		OnDone: func(collective.Result) { ran = true },
+	})
+	if err == nil {
+		t.Fatal("Play accepted a corrupted program")
+	}
+	env.Engine.Run()
+	if ran {
+		t.Fatal("executor ran despite a failed verification")
+	}
+}

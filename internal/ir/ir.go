@@ -1,0 +1,262 @@
+// Package ir is the chunk-level collective intermediate representation
+// (the GC3/SCCL direction named in the ROADMAP): a collective schedule is
+// a flat list of send / recv / reduce / copy operations keyed by
+// (rank, chunk, step), together with a chunk table tying every chunk to
+// its role in the collective's pre- and postconditions. Both the
+// synthesizer's strategies and hand-written ring/tree algorithms lower
+// into this form (lower.go, schedules.go), and a verifier (verify.go)
+// proves — per GC3's correctness check — that the schedule delivers each
+// rank its required chunks with every contribution reduced exactly once.
+//
+// The IR deliberately models the *logical* data movement only: routing,
+// link speeds and stream scheduling live in internal/strategy and the
+// executor. A step is a logical dependency tick, not a unit of time —
+// data received at step s is usable at step s+1 — so the verifier checks
+// causality and correctness, never performance.
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind names an IR operation.
+type Kind uint8
+
+const (
+	// OpSend transmits the rank's current copy of a chunk to Peer. The
+	// matching OpRecv or OpReduce at Peer must carry the same (chunk, step).
+	OpSend Kind = iota + 1
+	// OpRecv receives a chunk from Peer, overwriting any local copy.
+	OpRecv
+	// OpReduce receives a chunk from Peer and combines it element-wise into
+	// the local copy, which must exist and must not share contributions
+	// with the incoming data (each rank's input is summed exactly once).
+	OpReduce
+	// OpCopy touches a locally held chunk (e.g. an input→output copy of a
+	// root's own shard, or an AlltoAll diagonal block that never travels).
+	// It asserts the chunk is held; it moves no data between ranks.
+	OpCopy
+)
+
+// String names the op kind as the textual IR spells it.
+func (k Kind) String() string {
+	switch k {
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpReduce:
+		return "reduce"
+	case OpCopy:
+		return "copy"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Op is one IR operation, executed by Rank at logical Step.
+type Op struct {
+	Kind Kind
+	// Rank executes the op.
+	Rank int
+	// Peer is the counterpart rank: the destination of a Send, the source
+	// of a Recv/Reduce; -1 for Copy.
+	Peer int
+	// Chunk indexes the program's chunk table.
+	Chunk int
+	// Step is the logical dependency tick. All sends of a step read the
+	// state left by step-1; all receives of a step commit together at its
+	// end, so a chunk received at step s is usable from step s+1 on.
+	Step int
+}
+
+// String formats the op as "step 3: send r0 -> r1 chunk 7".
+func (o Op) String() string {
+	switch o.Kind {
+	case OpSend:
+		return fmt.Sprintf("step %d: send r%d -> r%d chunk %d", o.Step, o.Rank, o.Peer, o.Chunk)
+	case OpRecv:
+		return fmt.Sprintf("step %d: recv r%d <- r%d chunk %d", o.Step, o.Rank, o.Peer, o.Chunk)
+	case OpReduce:
+		return fmt.Sprintf("step %d: reduce r%d <- r%d chunk %d", o.Step, o.Rank, o.Peer, o.Chunk)
+	case OpCopy:
+		return fmt.Sprintf("step %d: copy r%d chunk %d", o.Step, o.Rank, o.Chunk)
+	default:
+		return fmt.Sprintf("step %d: %v r%d chunk %d", o.Step, o.Kind, o.Rank, o.Chunk)
+	}
+}
+
+// Collective names the semantics a program must satisfy. Unlike
+// strategy.Primitive this includes ReduceScatter and AllGather, which the
+// strategy layer only knows as multi-root Reduce/Broadcast assemblies.
+type Collective uint8
+
+const (
+	Broadcast Collective = iota + 1
+	Reduce
+	AllReduce
+	ReduceScatter
+	AllGather
+	AlltoAll
+)
+
+// String names the collective.
+func (c Collective) String() string {
+	switch c {
+	case Broadcast:
+		return "broadcast"
+	case Reduce:
+		return "reduce"
+	case AllReduce:
+		return "allreduce"
+	case ReduceScatter:
+		return "reducescatter"
+	case AllGather:
+		return "allgather"
+	case AlltoAll:
+		return "alltoall"
+	default:
+		return fmt.Sprintf("collective(%d)", int(c))
+	}
+}
+
+// Chunk ties one chunk id to its role in the collective's conditions.
+type Chunk struct {
+	// Shard, for ReduceScatter/AllGather, is the index (into Ranks) of the
+	// shard the chunk belongs to; -1 for the unsharded primitives.
+	Shard int
+	// Src and Dst, for AlltoAll, are the block's sender and receiver
+	// ranks (Src == Dst for a diagonal block that stays local); -1
+	// elsewhere.
+	Src, Dst int
+}
+
+// Program is one verifiable collective schedule. The pre- and
+// postconditions are derived from (Collective, Ranks, Root, Chunks) by the
+// verifier — never stated by the lowering — so a schedule cannot weaken
+// the specification it is checked against.
+type Program struct {
+	// Name labels the program in errors and reports.
+	Name string
+	// Collective selects the pre/postcondition pair.
+	Collective Collective
+	// Ranks are the participating workers, sorted, distinct.
+	Ranks []int
+	// Root is the root rank for Broadcast/Reduce; -1 otherwise.
+	Root int
+	// Chunks is the chunk table; op Chunk fields index into it.
+	Chunks []Chunk
+	// Ops is the schedule.
+	Ops []Op
+}
+
+// UnshardedChunk is the chunk-table entry of the primitives whose chunks
+// carry no shard or pair identity (Broadcast/Reduce/AllReduce).
+func UnshardedChunk() Chunk { return Chunk{Shard: -1, Src: -1, Dst: -1} }
+
+// ShardChunk is a ReduceScatter/AllGather chunk belonging to shard s.
+func ShardChunk(s int) Chunk { return Chunk{Shard: s, Src: -1, Dst: -1} }
+
+// PairChunk is an AlltoAll block from src to dst.
+func PairChunk(src, dst int) Chunk { return Chunk{Shard: -1, Src: src, Dst: dst} }
+
+// Stats summarises a program for reports and the -verify CLI output.
+type Stats struct {
+	Ranks, Chunks, Steps          int
+	Sends, Recvs, Reduces, Copies int
+}
+
+// Stats counts the program's shape.
+func (p *Program) Stats() Stats {
+	s := Stats{Ranks: len(p.Ranks), Chunks: len(p.Chunks)}
+	maxStep := -1
+	for _, op := range p.Ops {
+		if op.Step > maxStep {
+			maxStep = op.Step
+		}
+		switch op.Kind {
+		case OpSend:
+			s.Sends++
+		case OpRecv:
+			s.Recvs++
+		case OpReduce:
+			s.Reduces++
+		case OpCopy:
+			s.Copies++
+		}
+	}
+	s.Steps = maxStep + 1
+	return s
+}
+
+// rankIndex maps rank value → position in Ranks, or -1.
+func (p *Program) rankIndex(rank int) int {
+	i := sort.SearchInts(p.Ranks, rank)
+	if i < len(p.Ranks) && p.Ranks[i] == rank {
+		return i
+	}
+	return -1
+}
+
+// contrib is a set of contributing rank indices (positions in Ranks),
+// stored as a bitset so union/intersection over thousands of ranks stays
+// cheap during verification.
+type contrib []uint64
+
+func newContrib(n int) contrib { return make(contrib, (n+63)/64) }
+
+func singleton(n, idx int) contrib {
+	c := newContrib(n)
+	c[idx/64] |= 1 << uint(idx%64)
+	return c
+}
+
+func fullContrib(n int) contrib {
+	c := newContrib(n)
+	for i := 0; i < n; i++ {
+		c[i/64] |= 1 << uint(i%64)
+	}
+	return c
+}
+
+func (c contrib) clone() contrib {
+	out := make(contrib, len(c))
+	copy(out, c)
+	return out
+}
+
+func (c contrib) equal(o contrib) bool {
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c contrib) intersects(o contrib) bool {
+	for i := range c {
+		if c[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (c contrib) union(o contrib) {
+	for i := range c {
+		c[i] |= o[i]
+	}
+}
+
+// ranks lists the member rank values for error messages.
+func (c contrib) ranks(p *Program) []int {
+	var out []int
+	for i, r := range p.Ranks {
+		if c[i/64]&(1<<uint(i%64)) != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package ir_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/ir"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+)
+
+// synthCosts builds a homogeneous cluster and its cost model.
+func synthCosts(t *testing.T, servers, gpus int) *synth.Costs {
+	t.Helper()
+	c, err := cluster.Homogeneous(topology.TransportRDMA, servers, gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return synth.NewCosts(env.Graph, nil)
+}
+
+// TestLowerSynthesizedStrategies lowers every primitive the synthesizer
+// emits — at 4, 8 and 16 ranks — into the IR and runs the verifier on
+// each. This is the end-to-end guarantee that synthesised plans are
+// provably correct schedules, not just plausible ones.
+func TestLowerSynthesizedStrategies(t *testing.T) {
+	shapes := []struct{ servers, gpus int }{{1, 4}, {2, 4}, {4, 4}}
+	prims := []struct {
+		prim strategy.Primitive
+		root int
+		want ir.Collective
+	}{
+		{strategy.Reduce, 0, ir.Reduce},
+		{strategy.Broadcast, 0, ir.Broadcast},
+		{strategy.AllReduce, -1, ir.AllReduce},
+		{strategy.AlltoAll, -1, ir.AlltoAll},
+	}
+	for _, sh := range shapes {
+		costs := synthCosts(t, sh.servers, sh.gpus)
+		for _, pc := range prims {
+			for _, m := range []int{1, 2} {
+				name := fmt.Sprintf("%dx%d/%v/M%d", sh.servers, sh.gpus, pc.prim, m)
+				t.Run(name, func(t *testing.T) {
+					res, err := synth.Synthesize(costs, synth.Request{
+						Primitive: pc.prim, Bytes: 1 << 20, Root: pc.root, M: m,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					prog, err := ir.FromStrategy(res.Strategy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if prog.Collective != pc.want {
+						t.Fatalf("lowered to %v, want %v", prog.Collective, pc.want)
+					}
+					if len(prog.Ranks) != sh.servers*sh.gpus {
+						t.Fatalf("program spans %d ranks, want %d", len(prog.Ranks), sh.servers*sh.gpus)
+					}
+					if err := ir.Verify(prog); err != nil {
+						t.Errorf("verifier rejected a synthesised schedule: %v", err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestLowerMultiRootAssemblies lowers the multi-root ReduceScatter and
+// AllGather assemblies — the plans the first-class core collectives run —
+// and verifies them at 4, 8 and 16 ranks.
+func TestLowerMultiRootAssemblies(t *testing.T) {
+	shapes := []struct{ servers, gpus int }{{1, 4}, {2, 4}, {4, 4}}
+	for _, sh := range shapes {
+		costs := synthCosts(t, sh.servers, sh.gpus)
+		n := sh.servers * sh.gpus
+		for _, pc := range []struct {
+			prim  strategy.Primitive
+			lower func(*strategy.Strategy) (*ir.Program, error)
+			want  ir.Collective
+		}{
+			{strategy.Reduce, ir.ReduceScatterFromStrategy, ir.ReduceScatter},
+			{strategy.Broadcast, ir.AllGatherFromStrategy, ir.AllGather},
+		} {
+			t.Run(fmt.Sprintf("%dx%d/%v", sh.servers, sh.gpus, pc.want), func(t *testing.T) {
+				res, err := synth.MultiRoot(costs, synth.Request{
+					Primitive: pc.prim, Bytes: int64(n) << 18,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := len(res.Strategy.SubCollectives); got < n {
+					t.Fatalf("assembly has %d sub-collectives, want >= %d", got, n)
+				}
+				prog, err := pc.lower(res.Strategy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prog.Collective != pc.want {
+					t.Fatalf("lowered to %v, want %v", prog.Collective, pc.want)
+				}
+				if err := ir.Verify(prog); err != nil {
+					t.Errorf("verifier rejected a multi-root assembly: %v", err)
+				}
+
+				// The single-root lowering must refuse the same strategy:
+				// its roots differ per sub-collective by construction.
+				if _, err := ir.FromStrategy(res.Strategy); !errors.Is(err, ir.ErrProgram) {
+					t.Errorf("FromStrategy accepted a multi-root assembly: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestLowerRejectsWrongPrimitive pins the lowering entry contracts.
+func TestLowerRejectsWrongPrimitive(t *testing.T) {
+	costs := synthCosts(t, 1, 4)
+	res, err := synth.Synthesize(costs, synth.Request{Primitive: strategy.AllReduce, Bytes: 1 << 20, Root: -1, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.ReduceScatterFromStrategy(res.Strategy); !errors.Is(err, ir.ErrProgram) {
+		t.Errorf("ReduceScatterFromStrategy accepted an AllReduce strategy: %v", err)
+	}
+	if _, err := ir.AllGatherFromStrategy(res.Strategy); !errors.Is(err, ir.ErrProgram) {
+		t.Errorf("AllGatherFromStrategy accepted an AllReduce strategy: %v", err)
+	}
+	if _, err := ir.FromStrategy(nil); !errors.Is(err, ir.ErrProgram) {
+		t.Errorf("FromStrategy accepted nil: %v", err)
+	}
+}

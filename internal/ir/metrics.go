@@ -1,0 +1,22 @@
+package ir
+
+import (
+	"adapcc/internal/metrics"
+	"adapcc/internal/sim"
+)
+
+// RecordVerify counts one verifier decision in
+// adapcc_ir_verify_total{result="accept"|"reject"}. A nil registry is a
+// no-op, matching the repo-wide metrics convention.
+func RecordVerify(reg *metrics.Registry, now sim.Time, err error) {
+	if reg == nil {
+		return
+	}
+	result := "accept"
+	if err != nil {
+		result = "reject"
+	}
+	reg.Counter("adapcc_ir_verify_total",
+		"IR verifier decisions on lowered collective schedules.",
+		"result", result).Inc(now)
+}

@@ -1,0 +1,177 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// clone deep-copies a program so mutants never share op slices.
+func clone(p *Program) *Program {
+	out := *p
+	out.Ranks = append([]int(nil), p.Ranks...)
+	out.Chunks = append([]Chunk(nil), p.Chunks...)
+	out.Ops = append([]Op(nil), p.Ops...)
+	return &out
+}
+
+func goodPrograms(t *testing.T, n int) []*Program {
+	t.Helper()
+	ranks := spacedRanks(n)
+	root := ranks[0]
+	var progs []*Program
+	for _, b := range []func() (*Program, error){
+		func() (*Program, error) { return RingReduceScatter(ranks) },
+		func() (*Program, error) { return RingAllGather(ranks) },
+		func() (*Program, error) { return RingAllReduce(ranks) },
+		func() (*Program, error) { return PairwiseAlltoAll(ranks) },
+		func() (*Program, error) { return BinomialTreeBroadcast(ranks, root) },
+		func() (*Program, error) { return BinomialTreeReduce(ranks, root) },
+	} {
+		p, err := b()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(p); err != nil {
+			t.Fatalf("%s: seed program must verify: %v", p.Name, err)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+// TestMutationDropEveryTransfer drops each Send/Recv/Reduce op of every
+// reference schedule, one at a time, and demands the verifier reject
+// every mutant. (Copies are excluded: a root's input→output copy is
+// already implied by the precondition, so dropping it is benign.)
+func TestMutationDropEveryTransfer(t *testing.T) {
+	for _, p := range goodPrograms(t, 4) {
+		mutants := 0
+		for i, op := range p.Ops {
+			if op.Kind == OpCopy {
+				continue
+			}
+			m := clone(p)
+			m.Ops = append(m.Ops[:i:i], m.Ops[i+1:]...)
+			m.Name = fmt.Sprintf("%s/drop-%d", p.Name, i)
+			if err := Verify(m); err == nil {
+				t.Errorf("%s: dropping %v went undetected", p.Name, op)
+			}
+			mutants++
+		}
+		if mutants == 0 {
+			t.Errorf("%s: no transfer ops to mutate", p.Name)
+		}
+	}
+}
+
+// TestMutationTargeted checks that each corruption family lands on the
+// intended rejection class, not merely on any error.
+func TestMutationTargeted(t *testing.T) {
+	ranks := []int{0, 1, 2, 3}
+
+	t.Run("drop a send+recv pair", func(t *testing.T) {
+		p, _ := RingAllReduce(ranks)
+		// Remove the last allgather-phase pair: the schedule stays
+		// internally consistent but a rank misses its final chunk.
+		m := clone(p)
+		m.Ops = m.Ops[:len(m.Ops)-2]
+		if err := Verify(m); !errors.Is(err, ErrPostcondition) {
+			t.Errorf("got %v, want ErrPostcondition", err)
+		}
+	})
+
+	t.Run("drop only the recv", func(t *testing.T) {
+		p, _ := RingAllGather(ranks)
+		m := clone(p)
+		m.Ops = m.Ops[:len(m.Ops)-1] // last op is the recv of a pair
+		if err := Verify(m); !errors.Is(err, ErrUnmatched) {
+			t.Errorf("got %v, want ErrUnmatched", err)
+		}
+	})
+
+	t.Run("retarget a send's chunk", func(t *testing.T) {
+		p, _ := RingReduceScatter(ranks)
+		m := clone(p)
+		for i := range m.Ops {
+			if m.Ops[i].Kind == OpSend {
+				m.Ops[i].Chunk = (m.Ops[i].Chunk + 1) % len(m.Chunks)
+				break
+			}
+		}
+		if err := Verify(m); !errors.Is(err, ErrUnmatched) {
+			t.Errorf("got %v, want ErrUnmatched", err)
+		}
+	})
+
+	t.Run("duplicate a send+reduce pair", func(t *testing.T) {
+		p, _ := RingReduceScatter(ranks)
+		m := clone(p)
+		m.Ops = append(m.Ops, m.Ops[0], m.Ops[1]) // chunk reduced twice
+		if err := Verify(m); !errors.Is(err, ErrDoubleReduce) {
+			t.Errorf("got %v, want ErrDoubleReduce", err)
+		}
+	})
+
+	t.Run("reduce weakened to recv", func(t *testing.T) {
+		p, _ := RingReduceScatter(ranks)
+		m := clone(p)
+		for i := range m.Ops {
+			if m.Ops[i].Kind == OpReduce {
+				m.Ops[i].Kind = OpRecv // overwrites instead of accumulating
+				break
+			}
+		}
+		if err := Verify(m); !errors.Is(err, ErrPostcondition) {
+			t.Errorf("got %v, want ErrPostcondition", err)
+		}
+	})
+
+	t.Run("transfer shifted before its data arrives", func(t *testing.T) {
+		p, _ := RingAllGather(ranks)
+		m := clone(p)
+		moved := 0
+		for i := range m.Ops {
+			// Pull one step-1 pair (forwarding a chunk received at step 0)
+			// back to step 0.
+			if m.Ops[i].Step == 1 {
+				m.Ops[i].Step = 0
+				if moved++; moved == 2 {
+					break
+				}
+			}
+		}
+		if moved != 2 {
+			t.Fatal("expected a step-1 send/recv pair to exist")
+		}
+		if err := Verify(m); !errors.Is(err, ErrUseBeforeRecv) {
+			t.Errorf("got %v, want ErrUseBeforeRecv", err)
+		}
+	})
+
+	t.Run("duplicated recv races itself", func(t *testing.T) {
+		p, _ := RingAllGather(ranks)
+		m := clone(p)
+		m.Ops = append(m.Ops, m.Ops[0], m.Ops[1]) // same send+recv twice in one step
+		if err := Verify(m); !errors.Is(err, ErrWriteConflict) {
+			t.Errorf("got %v, want ErrWriteConflict", err)
+		}
+	})
+
+	t.Run("swap reduce direction", func(t *testing.T) {
+		p, _ := BinomialTreeReduce(ranks, 0)
+		m := clone(p)
+		// Reverse the first send+reduce pair: the child reduces the
+		// parent instead, so the root ends with a partial sum.
+		for i := 0; i+1 < len(m.Ops); i++ {
+			if m.Ops[i].Kind == OpSend && m.Ops[i+1].Kind == OpReduce {
+				m.Ops[i].Rank, m.Ops[i].Peer = m.Ops[i].Peer, m.Ops[i].Rank
+				m.Ops[i+1].Rank, m.Ops[i+1].Peer = m.Ops[i+1].Peer, m.Ops[i+1].Rank
+				break
+			}
+		}
+		if err := Verify(m); err == nil {
+			t.Error("swapped reduce direction went undetected")
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package ir
+
+import "fmt"
+
+// Hand-written reference schedules. These are the textbook algorithms
+// expressed directly in the IR — both a seed corpus for the verifier's
+// tests and programs users can adapt for custom collectives.
+
+// RingReduceScatter is the classic n-1 step ring: at step s, rank index r
+// sends chunk (r-s-1 mod n) to its ring successor, which reduces it into
+// its own partial. After n-1 steps rank i holds the fully reduced shard i.
+func RingReduceScatter(ranks []int) (*Program, error) {
+	n := len(ranks)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: ring needs at least 2 ranks", ErrProgram)
+	}
+	p := &Program{
+		Name:       fmt.Sprintf("ring-reducescatter/%d", n),
+		Collective: ReduceScatter,
+		Ranks:      sortedCopy(ranks),
+		Root:       -1,
+	}
+	for i := 0; i < n; i++ {
+		p.Chunks = append(p.Chunks, ShardChunk(i))
+	}
+	for s := 0; s < n-1; s++ {
+		for r := 0; r < n; r++ {
+			c := ((r-s-1)%n + n) % n
+			next := (r + 1) % n
+			p.Ops = append(p.Ops,
+				Op{Kind: OpSend, Rank: p.Ranks[r], Peer: p.Ranks[next], Chunk: c, Step: s},
+				Op{Kind: OpReduce, Rank: p.Ranks[next], Peer: p.Ranks[r], Chunk: c, Step: s},
+			)
+		}
+	}
+	return p, nil
+}
+
+// RingAllGather is the n-1 step ring: at step s, rank index r forwards
+// chunk (r-s mod n) — its own shard first, then whatever just arrived —
+// to its ring successor.
+func RingAllGather(ranks []int) (*Program, error) {
+	n := len(ranks)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: ring needs at least 2 ranks", ErrProgram)
+	}
+	p := &Program{
+		Name:       fmt.Sprintf("ring-allgather/%d", n),
+		Collective: AllGather,
+		Ranks:      sortedCopy(ranks),
+		Root:       -1,
+	}
+	for i := 0; i < n; i++ {
+		p.Chunks = append(p.Chunks, ShardChunk(i))
+	}
+	for s := 0; s < n-1; s++ {
+		for r := 0; r < n; r++ {
+			c := ((r-s)%n + n) % n
+			next := (r + 1) % n
+			p.Ops = append(p.Ops,
+				Op{Kind: OpSend, Rank: p.Ranks[r], Peer: p.Ranks[next], Chunk: c, Step: s},
+				Op{Kind: OpRecv, Rank: p.Ranks[next], Peer: p.Ranks[r], Chunk: c, Step: s},
+			)
+		}
+	}
+	return p, nil
+}
+
+// RingAllReduce composes the two ring phases into the bandwidth-optimal
+// 2(n-1)-step AllReduce: reduce-scatter for steps [0, n-1), then allgather
+// of the reduced shards for steps [n-1, 2n-2).
+func RingAllReduce(ranks []int) (*Program, error) {
+	n := len(ranks)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: ring needs at least 2 ranks", ErrProgram)
+	}
+	p := &Program{
+		Name:       fmt.Sprintf("ring-allreduce/%d", n),
+		Collective: AllReduce,
+		Ranks:      sortedCopy(ranks),
+		Root:       -1,
+	}
+	for i := 0; i < n; i++ {
+		p.Chunks = append(p.Chunks, UnshardedChunk())
+	}
+	for s := 0; s < n-1; s++ {
+		for r := 0; r < n; r++ {
+			c := ((r-s-1)%n + n) % n
+			next := (r + 1) % n
+			p.Ops = append(p.Ops,
+				Op{Kind: OpSend, Rank: p.Ranks[r], Peer: p.Ranks[next], Chunk: c, Step: s},
+				Op{Kind: OpReduce, Rank: p.Ranks[next], Peer: p.Ranks[r], Chunk: c, Step: s},
+			)
+		}
+	}
+	// After the first phase rank index r holds the full sum of chunk r.
+	for t := 0; t < n-1; t++ {
+		s := n - 1 + t
+		for r := 0; r < n; r++ {
+			c := ((r-t)%n + n) % n
+			next := (r + 1) % n
+			p.Ops = append(p.Ops,
+				Op{Kind: OpSend, Rank: p.Ranks[r], Peer: p.Ranks[next], Chunk: c, Step: s},
+				Op{Kind: OpRecv, Rank: p.Ranks[next], Peer: p.Ranks[r], Chunk: c, Step: s},
+			)
+		}
+	}
+	return p, nil
+}
+
+// PairwiseAlltoAll exchanges every off-diagonal block directly: at step
+// s-1 (s in [1, n)), rank index i sends its block for rank (i+s) mod n.
+// Diagonal blocks stay local.
+func PairwiseAlltoAll(ranks []int) (*Program, error) {
+	n := len(ranks)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: alltoall needs at least 2 ranks", ErrProgram)
+	}
+	p := &Program{
+		Name:       fmt.Sprintf("pairwise-alltoall/%d", n),
+		Collective: AlltoAll,
+		Ranks:      sortedCopy(ranks),
+		Root:       -1,
+	}
+	for i := 0; i < n; i++ {
+		c := len(p.Chunks)
+		p.Chunks = append(p.Chunks, PairChunk(p.Ranks[i], p.Ranks[i]))
+		p.Ops = append(p.Ops, Op{Kind: OpCopy, Rank: p.Ranks[i], Peer: -1, Chunk: c, Step: 0})
+	}
+	for s := 1; s < n; s++ {
+		for i := 0; i < n; i++ {
+			j := (i + s) % n
+			c := len(p.Chunks)
+			p.Chunks = append(p.Chunks, PairChunk(p.Ranks[i], p.Ranks[j]))
+			p.Ops = append(p.Ops,
+				Op{Kind: OpSend, Rank: p.Ranks[i], Peer: p.Ranks[j], Chunk: c, Step: s - 1},
+				Op{Kind: OpRecv, Rank: p.Ranks[j], Peer: p.Ranks[i], Chunk: c, Step: s - 1},
+			)
+		}
+	}
+	return p, nil
+}
+
+// BinomialTreeBroadcast doubles the holder set each step: at step s every
+// relative index below 2^s that holds the data sends to index + 2^s.
+// Relative index 0 is the root.
+func BinomialTreeBroadcast(ranks []int, root int) (*Program, error) {
+	n := len(ranks)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: broadcast needs at least 2 ranks", ErrProgram)
+	}
+	p := &Program{
+		Name:       fmt.Sprintf("binomial-broadcast/%d", n),
+		Collective: Broadcast,
+		Ranks:      sortedCopy(ranks),
+		Root:       root,
+	}
+	ri := p.rankIndex(root)
+	if ri < 0 {
+		return nil, fmt.Errorf("%w: root %d not in ranks", ErrProgram, root)
+	}
+	p.Chunks = append(p.Chunks, UnshardedChunk())
+	// rel maps relative index → rank value, root first.
+	rel := relOrder(p.Ranks, ri)
+	p.Ops = append(p.Ops, Op{Kind: OpCopy, Rank: root, Peer: -1, Chunk: 0, Step: 0})
+	for s, span := 0, 1; span < n; s, span = s+1, span*2 {
+		for r := 0; r < span && r+span < n; r++ {
+			p.Ops = append(p.Ops,
+				Op{Kind: OpSend, Rank: rel[r], Peer: rel[r+span], Chunk: 0, Step: s},
+				Op{Kind: OpRecv, Rank: rel[r+span], Peer: rel[r], Chunk: 0, Step: s},
+			)
+		}
+	}
+	return p, nil
+}
+
+// BinomialTreeReduce is the mirror image: the holder set halves each
+// step until relative index 0 — the root — holds the full sum.
+func BinomialTreeReduce(ranks []int, root int) (*Program, error) {
+	n := len(ranks)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: reduce needs at least 2 ranks", ErrProgram)
+	}
+	p := &Program{
+		Name:       fmt.Sprintf("binomial-reduce/%d", n),
+		Collective: Reduce,
+		Ranks:      sortedCopy(ranks),
+		Root:       root,
+	}
+	ri := p.rankIndex(root)
+	if ri < 0 {
+		return nil, fmt.Errorf("%w: root %d not in ranks", ErrProgram, root)
+	}
+	p.Chunks = append(p.Chunks, UnshardedChunk())
+	rel := relOrder(p.Ranks, ri)
+	spans := []int{}
+	for span := 1; span < n; span *= 2 {
+		spans = append(spans, span)
+	}
+	for t := len(spans) - 1; t >= 0; t-- {
+		span := spans[t]
+		s := len(spans) - 1 - t
+		for r := 0; r < span && r+span < n; r++ {
+			p.Ops = append(p.Ops,
+				Op{Kind: OpSend, Rank: rel[r+span], Peer: rel[r], Chunk: 0, Step: s},
+				Op{Kind: OpReduce, Rank: rel[r], Peer: rel[r+span], Chunk: 0, Step: s},
+			)
+		}
+	}
+	return p, nil
+}
+
+// relOrder lists rank values in relative order: the root first, then the
+// remaining ranks rotated so the ordering is deterministic.
+func relOrder(sorted []int, rootIdx int) []int {
+	n := len(sorted)
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, sorted[(rootIdx+i)%n])
+	}
+	return out
+}
+
+func sortedCopy(ranks []int) []int {
+	out := make([]int, len(ranks))
+	copy(out, ranks)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Sentinel error classes. Verify wraps each with program context, so
+// callers test them with errors.Is.
+var (
+	// ErrProgram marks a structurally malformed program (bad ranks, op
+	// fields out of range, chunk table not covering the collective).
+	ErrProgram = errors.New("ir: malformed program")
+	// ErrUnmatched marks a Send with no matching receiver, or a
+	// Recv/Reduce with no matching Send, at the same (step, chunk, src, dst).
+	ErrUnmatched = errors.New("ir: unmatched transfer")
+	// ErrUseBeforeRecv marks a rank sending or copying a chunk it does not
+	// hold at that step.
+	ErrUseBeforeRecv = errors.New("ir: use before receive")
+	// ErrDoubleReduce marks a reduction that would fold some rank's
+	// contribution into an accumulator that already contains it.
+	ErrDoubleReduce = errors.New("ir: double reduce")
+	// ErrWriteConflict marks two receives landing on the same (rank, chunk)
+	// in the same step with no defined order.
+	ErrWriteConflict = errors.New("ir: conflicting writes")
+	// ErrPostcondition marks a schedule that runs cleanly but leaves some
+	// rank without its required chunks or with the wrong contribution set.
+	ErrPostcondition = errors.New("ir: postcondition failed")
+)
+
+// slot addresses one chunk's state at one rank (both as indices).
+type slot struct{ rank, chunk int }
+
+// xferKey identifies a point-to-point transfer for send/recv matching.
+type xferKey struct{ step, chunk, src, dst int }
+
+// Verify proves the program implements its collective: starting from the
+// precondition state, executing the ops in step order leaves every rank
+// holding exactly the chunks — with exactly the contribution sets — the
+// postcondition demands. It rejects structurally malformed programs,
+// unmatched transfers, use-before-receive, double reduction, and
+// same-step write conflicts.
+//
+// Semantics: all ops of a step read the state committed by previous
+// steps; all receives of a step commit together at its end. Data can
+// therefore never be forwarded in the step it arrives.
+func Verify(p *Program) error {
+	n := len(p.Ranks)
+	if err := p.validateStructure(); err != nil {
+		return err
+	}
+
+	// state[slot] = contribution set currently held, or absent.
+	state := make(map[slot]contrib)
+	for s, c := range p.preconditions() {
+		state[s] = c
+	}
+
+	// Pair sends with receivers: every Send must have exactly as many
+	// matching Recv/Reduce ops at the same (step, chunk, src, dst), and
+	// vice versa. Our IR is point-to-point, so the counts must be equal
+	// (a multicast is expressed as multiple sends).
+	sends := make(map[xferKey]int)
+	recvs := make(map[xferKey]int)
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpSend:
+			sends[xferKey{op.Step, op.Chunk, op.Rank, op.Peer}]++
+		case OpRecv, OpReduce:
+			recvs[xferKey{op.Step, op.Chunk, op.Peer, op.Rank}]++
+		}
+	}
+	for k, cnt := range sends {
+		if recvs[k] != cnt {
+			return fmt.Errorf("%w: %s: step %d chunk %d r%d -> r%d has %d send(s) but %d receive(s)",
+				ErrUnmatched, p.Name, k.step, k.chunk, k.src, k.dst, cnt, recvs[k])
+		}
+	}
+	for k, cnt := range recvs {
+		if sends[k] != cnt {
+			return fmt.Errorf("%w: %s: step %d chunk %d r%d -> r%d has %d receive(s) but %d send(s)",
+				ErrUnmatched, p.Name, k.step, k.chunk, k.src, k.dst, cnt, sends[k])
+		}
+	}
+
+	// Group ops by step, ascending.
+	byStep := make(map[int][]Op)
+	var steps []int
+	for _, op := range p.Ops {
+		if _, ok := byStep[op.Step]; !ok {
+			steps = append(steps, op.Step)
+		}
+		byStep[op.Step] = append(byStep[op.Step], op)
+	}
+	sort.Ints(steps)
+
+	for _, step := range steps {
+		ops := byStep[step]
+
+		// Phase A: reads. Senders and copiers must hold their chunk in the
+		// state committed by earlier steps.
+		inflight := make(map[xferKey]contrib)
+		for _, op := range ops {
+			switch op.Kind {
+			case OpSend:
+				held, ok := state[slot{p.rankIndex(op.Rank), op.Chunk}]
+				if !ok {
+					return fmt.Errorf("%w: %s: %v: r%d does not hold chunk %d yet",
+						ErrUseBeforeRecv, p.Name, op, op.Rank, op.Chunk)
+				}
+				inflight[xferKey{op.Step, op.Chunk, op.Rank, op.Peer}] = held
+			case OpCopy:
+				if _, ok := state[slot{p.rankIndex(op.Rank), op.Chunk}]; !ok {
+					return fmt.Errorf("%w: %s: %v: r%d does not hold chunk %d yet",
+						ErrUseBeforeRecv, p.Name, op, op.Rank, op.Chunk)
+				}
+			}
+		}
+
+		// Phase B: writes. Computed against the start-of-step state and
+		// committed together afterwards. At most one Recv may land on a
+		// slot per step; Reduces may stack on a slot if their contribution
+		// sets stay disjoint; a Recv and a Reduce on the same slot in the
+		// same step have no defined order.
+		type pendingWrite struct {
+			val     contrib
+			recvs   int
+			reduces int
+		}
+		pending := make(map[slot]*pendingWrite)
+		for _, op := range ops {
+			if op.Kind != OpRecv && op.Kind != OpReduce {
+				continue
+			}
+			src := inflight[xferKey{op.Step, op.Chunk, op.Peer, op.Rank}]
+			if src == nil {
+				// Matched counts guarantee a Send exists at this key, but it
+				// may itself have failed phase A only if we returned already;
+				// reaching here with nil means counts matched yet no sender
+				// held data — impossible, guard anyway.
+				return fmt.Errorf("%w: %s: %v: no in-flight data", ErrUnmatched, p.Name, op)
+			}
+			sl := slot{p.rankIndex(op.Rank), op.Chunk}
+			pw := pending[sl]
+			switch op.Kind {
+			case OpRecv:
+				if pw != nil {
+					return fmt.Errorf("%w: %s: %v: chunk %d at r%d already written this step",
+						ErrWriteConflict, p.Name, op, op.Chunk, op.Rank)
+				}
+				pending[sl] = &pendingWrite{val: src.clone(), recvs: 1}
+			case OpReduce:
+				base, ok := state[sl]
+				if !ok {
+					return fmt.Errorf("%w: %s: %v: r%d has no local chunk %d to reduce into",
+						ErrUseBeforeRecv, p.Name, op, op.Rank, op.Chunk)
+				}
+				if pw == nil {
+					pw = &pendingWrite{val: base.clone()}
+					pending[sl] = pw
+				} else if pw.recvs > 0 {
+					return fmt.Errorf("%w: %s: %v: recv and reduce hit chunk %d at r%d in the same step",
+						ErrWriteConflict, p.Name, op, op.Chunk, op.Rank)
+				}
+				if pw.val.intersects(src) {
+					return fmt.Errorf("%w: %s: %v: contributions %v already folded in",
+						ErrDoubleReduce, p.Name, op, src.ranks(p))
+				}
+				pw.val.union(src)
+				pw.reduces++
+			}
+		}
+		for sl, pw := range pending {
+			state[sl] = pw.val
+		}
+	}
+
+	// Postconditions.
+	for sl, want := range p.postconditions() {
+		got, ok := state[sl]
+		if !ok {
+			return fmt.Errorf("%w: %s: r%d never receives chunk %d",
+				ErrPostcondition, p.Name, p.Ranks[sl.rank], sl.chunk)
+		}
+		if !got.equal(want) {
+			return fmt.Errorf("%w: %s: r%d chunk %d holds contributions %v, want %v",
+				ErrPostcondition, p.Name, p.Ranks[sl.rank], sl.chunk, got.ranks(p), contribRanks(want, p))
+		}
+	}
+	_ = n
+	return nil
+}
+
+func contribRanks(c contrib, p *Program) []int { return c.ranks(p) }
+
+// validateStructure checks the program shell before any simulation.
+func (p *Program) validateStructure() error {
+	n := len(p.Ranks)
+	if n < 2 {
+		return fmt.Errorf("%w: %s: need at least 2 ranks, have %d", ErrProgram, p.Name, n)
+	}
+	for i := 1; i < n; i++ {
+		if p.Ranks[i] <= p.Ranks[i-1] {
+			return fmt.Errorf("%w: %s: ranks must be sorted and distinct", ErrProgram, p.Name)
+		}
+	}
+	switch p.Collective {
+	case Broadcast, Reduce:
+		if p.rankIndex(p.Root) < 0 {
+			return fmt.Errorf("%w: %s: root %d is not a participant", ErrProgram, p.Name, p.Root)
+		}
+	case AllReduce, ReduceScatter, AllGather, AlltoAll:
+		// rootless
+	default:
+		return fmt.Errorf("%w: %s: unknown collective %d", ErrProgram, p.Name, int(p.Collective))
+	}
+	if len(p.Chunks) == 0 {
+		return fmt.Errorf("%w: %s: no chunks", ErrProgram, p.Name)
+	}
+
+	// Chunk-table coverage: the chunk roles must span the collective's
+	// full footprint, otherwise a schedule could satisfy a postcondition
+	// trivially by declaring less data.
+	switch p.Collective {
+	case ReduceScatter, AllGather:
+		seen := make([]bool, n)
+		for ci, c := range p.Chunks {
+			if c.Shard < 0 || c.Shard >= n {
+				return fmt.Errorf("%w: %s: chunk %d shard %d out of range", ErrProgram, p.Name, ci, c.Shard)
+			}
+			seen[c.Shard] = true
+		}
+		for s, ok := range seen {
+			if !ok {
+				return fmt.Errorf("%w: %s: shard %d has no chunks", ErrProgram, p.Name, s)
+			}
+		}
+	case AlltoAll:
+		covered := make(map[[2]int]bool)
+		for ci, c := range p.Chunks {
+			if p.rankIndex(c.Src) < 0 || p.rankIndex(c.Dst) < 0 {
+				return fmt.Errorf("%w: %s: chunk %d pair (%d,%d) not participants", ErrProgram, p.Name, ci, c.Src, c.Dst)
+			}
+			covered[[2]int{c.Src, c.Dst}] = true
+		}
+		for _, src := range p.Ranks {
+			for _, dst := range p.Ranks {
+				if !covered[[2]int{src, dst}] {
+					return fmt.Errorf("%w: %s: no chunk for pair r%d -> r%d", ErrProgram, p.Name, src, dst)
+				}
+			}
+		}
+	}
+
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpSend, OpRecv, OpReduce, OpCopy:
+		default:
+			return fmt.Errorf("%w: %s: bad op kind %d", ErrProgram, p.Name, int(op.Kind))
+		}
+		if p.rankIndex(op.Rank) < 0 {
+			return fmt.Errorf("%w: %s: %v: rank %d is not a participant", ErrProgram, p.Name, op, op.Rank)
+		}
+		if op.Chunk < 0 || op.Chunk >= len(p.Chunks) {
+			return fmt.Errorf("%w: %s: %v: chunk index out of range", ErrProgram, p.Name, op)
+		}
+		if op.Step < 0 {
+			return fmt.Errorf("%w: %s: %v: negative step", ErrProgram, p.Name, op)
+		}
+		switch op.Kind {
+		case OpSend, OpRecv, OpReduce:
+			if p.rankIndex(op.Peer) < 0 {
+				return fmt.Errorf("%w: %s: %v: peer %d is not a participant", ErrProgram, p.Name, op, op.Peer)
+			}
+			if op.Peer == op.Rank {
+				return fmt.Errorf("%w: %s: %v: self transfer", ErrProgram, p.Name, op)
+			}
+		case OpCopy:
+			if op.Peer != -1 {
+				return fmt.Errorf("%w: %s: %v: copy must have peer -1", ErrProgram, p.Name, op)
+			}
+		}
+	}
+	return nil
+}
+
+// preconditions derives the initial chunk state from the collective.
+func (p *Program) preconditions() map[slot]contrib {
+	n := len(p.Ranks)
+	pre := make(map[slot]contrib)
+	for ci, c := range p.Chunks {
+		switch p.Collective {
+		case Broadcast:
+			ri := p.rankIndex(p.Root)
+			pre[slot{ri, ci}] = singleton(n, ri)
+		case Reduce, AllReduce, ReduceScatter:
+			// Every rank starts with its own contribution for every chunk.
+			for ri := 0; ri < n; ri++ {
+				pre[slot{ri, ci}] = singleton(n, ri)
+			}
+		case AllGather:
+			// Shard s starts at rank index s only.
+			pre[slot{c.Shard, ci}] = singleton(n, c.Shard)
+		case AlltoAll:
+			ri := p.rankIndex(c.Src)
+			pre[slot{ri, ci}] = singleton(n, ri)
+		}
+	}
+	return pre
+}
+
+// postconditions derives the required final chunk state.
+func (p *Program) postconditions() map[slot]contrib {
+	n := len(p.Ranks)
+	post := make(map[slot]contrib)
+	for ci, c := range p.Chunks {
+		switch p.Collective {
+		case Broadcast:
+			root := singleton(n, p.rankIndex(p.Root))
+			for ri := 0; ri < n; ri++ {
+				post[slot{ri, ci}] = root
+			}
+		case Reduce:
+			post[slot{p.rankIndex(p.Root), ci}] = fullContrib(n)
+		case AllReduce:
+			full := fullContrib(n)
+			for ri := 0; ri < n; ri++ {
+				post[slot{ri, ci}] = full
+			}
+		case ReduceScatter:
+			post[slot{c.Shard, ci}] = fullContrib(n)
+		case AllGather:
+			src := singleton(n, c.Shard)
+			for ri := 0; ri < n; ri++ {
+				post[slot{ri, ci}] = src
+			}
+		case AlltoAll:
+			post[slot{p.rankIndex(c.Dst), ci}] = singleton(n, p.rankIndex(c.Src))
+		}
+	}
+	return post
+}

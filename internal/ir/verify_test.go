@@ -1,0 +1,289 @@
+package ir
+
+import (
+	"errors"
+	"testing"
+)
+
+// spacedRanks builds a non-contiguous rank set so the tests exercise
+// rank-value → index translation, not just identity mappings.
+func spacedRanks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i*3 + 1
+	}
+	return out
+}
+
+// TestHandSchedulesVerify proves every shipped reference schedule at a
+// spread of sizes, including non-powers of two and non-contiguous ranks.
+func TestHandSchedulesVerify(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8, 16} {
+		ranks := spacedRanks(n)
+		root := ranks[n/2]
+		builds := []struct {
+			name  string
+			build func() (*Program, error)
+		}{
+			{"ring-reducescatter", func() (*Program, error) { return RingReduceScatter(ranks) }},
+			{"ring-allgather", func() (*Program, error) { return RingAllGather(ranks) }},
+			{"ring-allreduce", func() (*Program, error) { return RingAllReduce(ranks) }},
+			{"pairwise-alltoall", func() (*Program, error) { return PairwiseAlltoAll(ranks) }},
+			{"binomial-broadcast", func() (*Program, error) { return BinomialTreeBroadcast(ranks, root) }},
+			{"binomial-reduce", func() (*Program, error) { return BinomialTreeReduce(ranks, root) }},
+		}
+		for _, b := range builds {
+			p, err := b.build()
+			if err != nil {
+				t.Fatalf("%s/%d: build: %v", b.name, n, err)
+			}
+			if err := Verify(p); err != nil {
+				t.Errorf("%s/%d: %v", b.name, n, err)
+			}
+			st := p.Stats()
+			if st.Ranks != n || st.Steps < 1 {
+				t.Errorf("%s/%d: implausible stats %+v", b.name, n, st)
+			}
+		}
+	}
+}
+
+// TestVerifyStructuralErrors drives every structural rejection path.
+func TestVerifyStructuralErrors(t *testing.T) {
+	base := func() *Program {
+		return &Program{
+			Name:       "bad",
+			Collective: Broadcast,
+			Ranks:      []int{0, 1},
+			Root:       0,
+			Chunks:     []Chunk{UnshardedChunk()},
+			Ops: []Op{
+				{Kind: OpCopy, Rank: 0, Peer: -1, Chunk: 0, Step: 0},
+				{Kind: OpSend, Rank: 0, Peer: 1, Chunk: 0, Step: 0},
+				{Kind: OpRecv, Rank: 1, Peer: 0, Chunk: 0, Step: 0},
+			},
+		}
+	}
+	if err := Verify(base()); err != nil {
+		t.Fatalf("baseline program must verify: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+	}{
+		{"one rank", func(p *Program) { p.Ranks = []int{0} }},
+		{"unsorted ranks", func(p *Program) { p.Ranks = []int{1, 0} }},
+		{"duplicate ranks", func(p *Program) { p.Ranks = []int{0, 0} }},
+		{"root not a participant", func(p *Program) { p.Root = 7 }},
+		{"unknown collective", func(p *Program) { p.Collective = Collective(99) }},
+		{"no chunks", func(p *Program) { p.Chunks = nil }},
+		{"bad op kind", func(p *Program) { p.Ops[1].Kind = Kind(42) }},
+		{"op rank not a participant", func(p *Program) { p.Ops[1].Rank = 9 }},
+		{"chunk index out of range", func(p *Program) { p.Ops[1].Chunk = 3 }},
+		{"negative step", func(p *Program) { p.Ops[1].Step = -1 }},
+		{"peer not a participant", func(p *Program) { p.Ops[1].Peer = 9 }},
+		{"self transfer", func(p *Program) { p.Ops[1].Peer = p.Ops[1].Rank }},
+		{"copy with a peer", func(p *Program) { p.Ops[0].Peer = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base()
+			tc.mutate(p)
+			if err := Verify(p); !errors.Is(err, ErrProgram) {
+				t.Errorf("got %v, want ErrProgram", err)
+			}
+		})
+	}
+
+	t.Run("shard gap", func(t *testing.T) {
+		p, err := RingReduceScatter([]int{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Chunks[2] = ShardChunk(0) // shard 2 loses its only chunk
+		if err := Verify(p); !errors.Is(err, ErrProgram) {
+			t.Errorf("got %v, want ErrProgram", err)
+		}
+	})
+	t.Run("shard out of range", func(t *testing.T) {
+		p, err := RingAllGather([]int{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Chunks[0] = ShardChunk(5)
+		if err := Verify(p); !errors.Is(err, ErrProgram) {
+			t.Errorf("got %v, want ErrProgram", err)
+		}
+	})
+	t.Run("alltoall pair missing", func(t *testing.T) {
+		p, err := PairwiseAlltoAll([]int{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Chunks[len(p.Chunks)-1] = p.Chunks[len(p.Chunks)-2] // last pair now duplicated, one pair uncovered
+		if err := Verify(p); !errors.Is(err, ErrProgram) {
+			t.Errorf("got %v, want ErrProgram", err)
+		}
+	})
+}
+
+// TestVerifySemanticErrors drives each semantic sentinel with a minimal
+// hand-built trigger.
+func TestVerifySemanticErrors(t *testing.T) {
+	t.Run("send without receiver", func(t *testing.T) {
+		p := &Program{
+			Name: "t", Collective: Broadcast, Ranks: []int{0, 1}, Root: 0,
+			Chunks: []Chunk{UnshardedChunk()},
+			Ops: []Op{
+				{Kind: OpSend, Rank: 0, Peer: 1, Chunk: 0, Step: 0},
+			},
+		}
+		if err := Verify(p); !errors.Is(err, ErrUnmatched) {
+			t.Errorf("got %v, want ErrUnmatched", err)
+		}
+	})
+	t.Run("recv without sender", func(t *testing.T) {
+		p := &Program{
+			Name: "t", Collective: Broadcast, Ranks: []int{0, 1}, Root: 0,
+			Chunks: []Chunk{UnshardedChunk()},
+			Ops: []Op{
+				{Kind: OpRecv, Rank: 1, Peer: 0, Chunk: 0, Step: 0},
+			},
+		}
+		if err := Verify(p); !errors.Is(err, ErrUnmatched) {
+			t.Errorf("got %v, want ErrUnmatched", err)
+		}
+	})
+	t.Run("send of an unheld chunk", func(t *testing.T) {
+		// In an AllGather, rank 0 never holds shard 1's chunk at step 0.
+		p := &Program{
+			Name: "t", Collective: AllGather, Ranks: []int{0, 1}, Root: -1,
+			Chunks: []Chunk{ShardChunk(0), ShardChunk(1)},
+			Ops: []Op{
+				{Kind: OpSend, Rank: 0, Peer: 1, Chunk: 1, Step: 0},
+				{Kind: OpRecv, Rank: 1, Peer: 0, Chunk: 1, Step: 0},
+			},
+		}
+		if err := Verify(p); !errors.Is(err, ErrUseBeforeRecv) {
+			t.Errorf("got %v, want ErrUseBeforeRecv", err)
+		}
+	})
+	t.Run("copy of an unheld chunk", func(t *testing.T) {
+		p := &Program{
+			Name: "t", Collective: AllGather, Ranks: []int{0, 1}, Root: -1,
+			Chunks: []Chunk{ShardChunk(0), ShardChunk(1)},
+			Ops: []Op{
+				{Kind: OpCopy, Rank: 0, Peer: -1, Chunk: 1, Step: 0},
+			},
+		}
+		if err := Verify(p); !errors.Is(err, ErrUseBeforeRecv) {
+			t.Errorf("got %v, want ErrUseBeforeRecv", err)
+		}
+	})
+	t.Run("reduce without a local base", func(t *testing.T) {
+		p := &Program{
+			Name: "t", Collective: AllGather, Ranks: []int{0, 1}, Root: -1,
+			Chunks: []Chunk{ShardChunk(0), ShardChunk(1)},
+			Ops: []Op{
+				{Kind: OpSend, Rank: 0, Peer: 1, Chunk: 0, Step: 0},
+				{Kind: OpReduce, Rank: 1, Peer: 0, Chunk: 0, Step: 0},
+			},
+		}
+		if err := Verify(p); !errors.Is(err, ErrUseBeforeRecv) {
+			t.Errorf("got %v, want ErrUseBeforeRecv", err)
+		}
+	})
+	t.Run("double reduce across steps", func(t *testing.T) {
+		p := &Program{
+			Name: "t", Collective: Reduce, Ranks: []int{0, 1}, Root: 0,
+			Chunks: []Chunk{UnshardedChunk()},
+			Ops: []Op{
+				{Kind: OpSend, Rank: 1, Peer: 0, Chunk: 0, Step: 0},
+				{Kind: OpReduce, Rank: 0, Peer: 1, Chunk: 0, Step: 0},
+				{Kind: OpSend, Rank: 1, Peer: 0, Chunk: 0, Step: 1},
+				{Kind: OpReduce, Rank: 0, Peer: 1, Chunk: 0, Step: 1},
+			},
+		}
+		if err := Verify(p); !errors.Is(err, ErrDoubleReduce) {
+			t.Errorf("got %v, want ErrDoubleReduce", err)
+		}
+	})
+	t.Run("two recvs race on one slot", func(t *testing.T) {
+		p := &Program{
+			Name: "t", Collective: Broadcast, Ranks: []int{0, 1, 2, 3}, Root: 0,
+			Chunks: []Chunk{UnshardedChunk()},
+			Ops: []Op{
+				{Kind: OpSend, Rank: 0, Peer: 1, Chunk: 0, Step: 0},
+				{Kind: OpRecv, Rank: 1, Peer: 0, Chunk: 0, Step: 0},
+				{Kind: OpSend, Rank: 0, Peer: 2, Chunk: 0, Step: 0},
+				{Kind: OpRecv, Rank: 2, Peer: 0, Chunk: 0, Step: 0},
+				{Kind: OpSend, Rank: 1, Peer: 3, Chunk: 0, Step: 1},
+				{Kind: OpRecv, Rank: 3, Peer: 1, Chunk: 0, Step: 1},
+				{Kind: OpSend, Rank: 2, Peer: 3, Chunk: 0, Step: 1},
+				{Kind: OpRecv, Rank: 3, Peer: 2, Chunk: 0, Step: 1},
+			},
+		}
+		if err := Verify(p); !errors.Is(err, ErrWriteConflict) {
+			t.Errorf("got %v, want ErrWriteConflict", err)
+		}
+	})
+	t.Run("recv and reduce race on one slot", func(t *testing.T) {
+		p := &Program{
+			Name: "t", Collective: Reduce, Ranks: []int{0, 1}, Root: 0,
+			Chunks: []Chunk{UnshardedChunk()},
+			Ops: []Op{
+				{Kind: OpSend, Rank: 1, Peer: 0, Chunk: 0, Step: 0},
+				{Kind: OpRecv, Rank: 0, Peer: 1, Chunk: 0, Step: 0},
+				{Kind: OpSend, Rank: 1, Peer: 0, Chunk: 0, Step: 0},
+				{Kind: OpReduce, Rank: 0, Peer: 1, Chunk: 0, Step: 0},
+			},
+		}
+		if err := Verify(p); !errors.Is(err, ErrWriteConflict) {
+			t.Errorf("got %v, want ErrWriteConflict", err)
+		}
+	})
+	t.Run("rank never receives", func(t *testing.T) {
+		p := &Program{
+			Name: "t", Collective: Broadcast, Ranks: []int{0, 1}, Root: 0,
+			Chunks: []Chunk{UnshardedChunk()},
+			Ops: []Op{
+				{Kind: OpCopy, Rank: 0, Peer: -1, Chunk: 0, Step: 0},
+			},
+		}
+		if err := Verify(p); !errors.Is(err, ErrPostcondition) {
+			t.Errorf("got %v, want ErrPostcondition", err)
+		}
+	})
+	t.Run("partial sum at the root", func(t *testing.T) {
+		p := &Program{
+			Name: "t", Collective: Reduce, Ranks: []int{0, 1, 2}, Root: 0,
+			Chunks: []Chunk{UnshardedChunk()},
+			Ops: []Op{
+				{Kind: OpSend, Rank: 1, Peer: 0, Chunk: 0, Step: 0},
+				{Kind: OpReduce, Rank: 0, Peer: 1, Chunk: 0, Step: 0},
+				// rank 2's contribution never reaches the root
+			},
+		}
+		if err := Verify(p); !errors.Is(err, ErrPostcondition) {
+			t.Errorf("got %v, want ErrPostcondition", err)
+		}
+	})
+	t.Run("forwarding in the arrival step", func(t *testing.T) {
+		// r1 receives at step 0 and forwards at step 0: data committed at
+		// the END of a step cannot leave in the same step.
+		p := &Program{
+			Name: "t", Collective: Broadcast, Ranks: []int{0, 1, 2}, Root: 0,
+			Chunks: []Chunk{UnshardedChunk()},
+			Ops: []Op{
+				{Kind: OpSend, Rank: 0, Peer: 1, Chunk: 0, Step: 0},
+				{Kind: OpRecv, Rank: 1, Peer: 0, Chunk: 0, Step: 0},
+				{Kind: OpSend, Rank: 1, Peer: 2, Chunk: 0, Step: 0},
+				{Kind: OpRecv, Rank: 2, Peer: 1, Chunk: 0, Step: 0},
+			},
+		}
+		if err := Verify(p); !errors.Is(err, ErrUseBeforeRecv) {
+			t.Errorf("got %v, want ErrUseBeforeRecv", err)
+		}
+	})
+}

@@ -129,8 +129,8 @@ func TestJSONGolden(t *testing.T) {
 	}
 	var snap struct {
 		Families []struct {
-			Name   string    `json:"name"`
-			Kind   string    `json:"kind"`
+			Name   string `json:"name"`
+			Kind   string `json:"kind"`
 			Series []struct {
 				Labels    map[string]string `json:"labels"`
 				Value     float64           `json:"value"`

@@ -1,0 +1,109 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adapcc/internal/strategy"
+)
+
+// MultiRoot synthesises a multi-root assembly: one sub-collective per
+// participating rank, with sub i rooted at ranks[i] and carrying shard i
+// of the tensor. A Reduce request yields the ReduceScatter plan (every
+// rank ends holding its own fully reduced shard); a Broadcast request
+// yields the AllGather plan (every rank's shard reaches everyone). This
+// replaces the API-layer one-collective-per-root composition: the whole
+// assembly is a single strategy the executor runs as one op, and a single
+// IR program the verifier can check end to end.
+//
+// The search mirrors Synthesize's variant × chunk-size sweep, but the
+// sub-collective count and root placement are fixed by the semantics, so
+// there is no M search and no root-plan search.
+func MultiRoot(c *Costs, req Request) (*Result, error) {
+	if req.Primitive != strategy.Reduce && req.Primitive != strategy.Broadcast {
+		return nil, fmt.Errorf("synth: multi-root assemblies are built from Reduce or Broadcast, not %v", req.Primitive)
+	}
+	ranks := req.Ranks
+	if ranks == nil {
+		for _, id := range c.graph.GPUs() {
+			ranks = append(ranks, c.graph.Node(id).Rank)
+		}
+	}
+	ranks = append([]int(nil), ranks...)
+	sort.Ints(ranks)
+	n := len(ranks)
+	if n < 2 {
+		return nil, fmt.Errorf("synth: need at least 2 participating ranks, have %d", n)
+	}
+	if req.Bytes <= 0 {
+		return nil, fmt.Errorf("synth: non-positive tensor size %d", req.Bytes)
+	}
+	shards := equalParts(req.Bytes, n)
+	if len(shards) != n {
+		return nil, fmt.Errorf("synth: tensor of %d bytes cannot shard across %d ranks (one float32 per rank minimum)", req.Bytes, n)
+	}
+
+	grid := req.ChunkGrid
+	if len(grid) == 0 {
+		grid = defaultChunkGrid
+	}
+	variants := allVariants()
+	if req.ForceVariant != "" {
+		variants = nil
+		for _, v := range allVariants() {
+			if v.String() == req.ForceVariant {
+				variants = []variant{v}
+			}
+		}
+		if variants == nil {
+			return nil, fmt.Errorf("synth: unknown variant %q", req.ForceVariant)
+		}
+	}
+	if req.FastSearch {
+		variants = variants[:1]
+		grid = []int64{1 << 20, 4 << 20}
+	}
+
+	bld, err := newSubBuilder(c.graph, ranks, req.Relays)
+	if err != nil {
+		return nil, err
+	}
+
+	evals := 0
+	var best *Result
+	for _, v := range variants {
+		for _, chunk := range grid {
+			s := &strategy.Strategy{Primitive: req.Primitive, TotalBytes: req.Bytes}
+			feasible := true
+			for i, root := range ranks {
+				sc, err := bld.sub(req.Primitive, v, root, i)
+				if err != nil {
+					feasible = false
+					break
+				}
+				sc.ID = i
+				sc.Bytes = shards[i]
+				sc.ChunkBytes = clampChunk(chunk, shards[i])
+				s.SubCollectives = append(s.SubCollectives, *sc)
+			}
+			if !feasible {
+				continue
+			}
+			evals++
+			ev, err := Evaluate(c, s)
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{Strategy: s, Eval: ev, Variant: v.String()}
+			if best == nil || better(res, best) {
+				best = res
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("synth: no feasible multi-root %v assembly over %d ranks", req.Primitive, n)
+	}
+	best.SolveTime = time.Duration(evals) * perEvalCost
+	return best, nil
+}

@@ -1,0 +1,113 @@
+package synth_test
+
+import (
+	"testing"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+)
+
+func multiRootEnv(t *testing.T, servers, gpus int) *backend.Env {
+	t.Helper()
+	c, err := cluster.Homogeneous(topology.TransportRDMA, servers, gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestMultiRootAssemblies pins the structural contract of the multi-root
+// synthesis: one sub-collective per rank, sub i rooted at sorted rank i
+// carrying shard i, bytes covering the whole tensor, and a strategy the
+// routing validator accepts.
+func TestMultiRootAssemblies(t *testing.T) {
+	for _, prim := range []strategy.Primitive{strategy.Reduce, strategy.Broadcast} {
+		for _, sh := range []struct{ servers, gpus int }{{1, 4}, {2, 4}, {4, 4}} {
+			env := multiRootEnv(t, sh.servers, sh.gpus)
+			n := sh.servers * sh.gpus
+			const bytes = 4 << 20
+			res, err := synth.MultiRoot(synth.NewCosts(env.Graph, nil), synth.Request{
+				Primitive: prim, Bytes: bytes,
+			})
+			if err != nil {
+				t.Fatalf("%v %dx%d: %v", prim, sh.servers, sh.gpus, err)
+			}
+			st := res.Strategy
+			if st.Primitive != prim {
+				t.Fatalf("assembly primitive %v, want %v", st.Primitive, prim)
+			}
+			if len(st.SubCollectives) != n {
+				t.Fatalf("%d sub-collectives, want %d", len(st.SubCollectives), n)
+			}
+			if err := st.Validate(env.Graph); err != nil {
+				t.Fatalf("assembly fails routing validation: %v", err)
+			}
+			ranks := st.Participants()
+			var total int64
+			for i := range st.SubCollectives {
+				sc := &st.SubCollectives[i]
+				if sc.Root != ranks[i] {
+					t.Errorf("sub %d rooted at %d, want %d", i, sc.Root, ranks[i])
+				}
+				if sc.Bytes <= 0 || sc.ChunkBytes <= 0 || sc.ChunkBytes > sc.Bytes {
+					t.Errorf("sub %d has bad sizes: %d bytes, %d chunk", i, sc.Bytes, sc.ChunkBytes)
+				}
+				total += sc.Bytes
+			}
+			if total != bytes {
+				t.Errorf("shards cover %d bytes, want %d", total, bytes)
+			}
+			if res.Eval == nil || res.SolveTime <= 0 {
+				t.Errorf("missing evaluation metadata: eval=%v solve=%v", res.Eval, res.SolveTime)
+			}
+		}
+	}
+}
+
+// TestMultiRootRejections pins the request contract.
+func TestMultiRootRejections(t *testing.T) {
+	env := multiRootEnv(t, 1, 4)
+	costs := synth.NewCosts(env.Graph, nil)
+	cases := []struct {
+		name string
+		req  synth.Request
+	}{
+		{"allreduce primitive", synth.Request{Primitive: strategy.AllReduce, Bytes: 1 << 20}},
+		{"alltoall primitive", synth.Request{Primitive: strategy.AlltoAll, Bytes: 1 << 20}},
+		{"one rank", synth.Request{Primitive: strategy.Reduce, Bytes: 1 << 20, Ranks: []int{0}}},
+		{"no bytes", synth.Request{Primitive: strategy.Reduce, Bytes: 0}},
+		{"unknown variant", synth.Request{Primitive: strategy.Reduce, Bytes: 1 << 20, ForceVariant: "no-such"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := synth.MultiRoot(costs, tc.req); err == nil {
+				t.Error("request accepted, want error")
+			}
+		})
+	}
+}
+
+// TestMultiRootFastSearch checks the latency-sensitive path still yields
+// a valid assembly.
+func TestMultiRootFastSearch(t *testing.T) {
+	env := multiRootEnv(t, 2, 2)
+	res, err := synth.MultiRoot(synth.NewCosts(env.Graph, nil), synth.Request{
+		Primitive: strategy.Broadcast, Bytes: 1 << 20, FastSearch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Strategy.Validate(env.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strategy.SubCollectives) != 4 {
+		t.Fatalf("%d sub-collectives, want 4", len(res.Strategy.SubCollectives))
+	}
+}
