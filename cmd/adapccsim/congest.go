@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"adapcc/internal/scale"
+)
+
+// parseCongestSpec parses the -congest flag grammar: comma-separated
+// key=value knobs of the congestion plane and its gray-failure detector,
+// e.g.
+//
+//	adaptive=true,iters=8,pause=0.02,pfc=1048576,interval=200us,after=3
+//
+// Omitted keys take the fabric/grayfail package defaults. An empty spec
+// ("-congest=") enables the plane with all defaults, adaptive. Returns the
+// spec plus the iteration count (0 = caller default).
+func parseCongestSpec(s string) (scale.CongestSpec, int, error) {
+	cs := scale.CongestSpec{Adaptive: true}
+	iters := 0
+	if strings.TrimSpace(s) == "" {
+		return cs, iters, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cs, iters, fmt.Errorf("congest spec: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "adaptive":
+			cs.Adaptive, err = strconv.ParseBool(v)
+		case "iters":
+			iters, err = strconv.Atoi(v)
+		case "pfc":
+			cs.Fabric.PFCThreshold, err = strconv.ParseInt(v, 10, 64)
+		case "release":
+			cs.Fabric.PFCRelease, err = strconv.ParseInt(v, 10, 64)
+		case "pause":
+			cs.Fabric.PauseScale, err = strconv.ParseFloat(v, 64)
+		case "knee":
+			cs.Fabric.DegradeKnee, err = strconv.ParseInt(v, 10, 64)
+		case "floor":
+			cs.Fabric.DegradeFloor, err = strconv.ParseFloat(v, 64)
+		case "interval":
+			cs.Detect.Interval, err = time.ParseDuration(v)
+		case "below":
+			cs.Detect.DegradeBelow, err = strconv.ParseFloat(v, 64)
+		case "above":
+			cs.Detect.RecoverAbove, err = strconv.ParseFloat(v, 64)
+		case "after":
+			cs.Detect.DegradeAfter, err = strconv.Atoi(v)
+		case "minq":
+			cs.Detect.MinQueueBytes, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return cs, iters, fmt.Errorf("congest spec: unknown key %q", k)
+		}
+		if err != nil {
+			return cs, iters, fmt.Errorf("congest spec: %s: %v", k, err)
+		}
+	}
+	return cs, iters, nil
+}
+
+// congestSpecString renders a spec back in the grammar parseCongestSpec
+// accepts (only the keys that differ from the defaults-taking zero value,
+// plus the always-meaningful adaptive bit).
+func congestSpecString(cs scale.CongestSpec, iters int) string {
+	parts := []string{fmt.Sprintf("adaptive=%v", cs.Adaptive)}
+	if iters > 0 {
+		parts = append(parts, fmt.Sprintf("iters=%d", iters))
+	}
+	if cs.Fabric.PFCThreshold > 0 {
+		parts = append(parts, fmt.Sprintf("pfc=%d", cs.Fabric.PFCThreshold))
+	}
+	if cs.Fabric.PFCRelease > 0 {
+		parts = append(parts, fmt.Sprintf("release=%d", cs.Fabric.PFCRelease))
+	}
+	if cs.Fabric.PauseScale > 0 {
+		parts = append(parts, fmt.Sprintf("pause=%g", cs.Fabric.PauseScale))
+	}
+	if cs.Fabric.DegradeKnee > 0 {
+		parts = append(parts, fmt.Sprintf("knee=%d", cs.Fabric.DegradeKnee))
+	}
+	if cs.Fabric.DegradeFloor > 0 {
+		parts = append(parts, fmt.Sprintf("floor=%g", cs.Fabric.DegradeFloor))
+	}
+	if cs.Detect.Interval > 0 {
+		parts = append(parts, fmt.Sprintf("interval=%s", cs.Detect.Interval))
+	}
+	if cs.Detect.DegradeBelow > 0 {
+		parts = append(parts, fmt.Sprintf("below=%g", cs.Detect.DegradeBelow))
+	}
+	if cs.Detect.RecoverAbove > 0 {
+		parts = append(parts, fmt.Sprintf("above=%g", cs.Detect.RecoverAbove))
+	}
+	if cs.Detect.DegradeAfter > 0 {
+		parts = append(parts, fmt.Sprintf("after=%d", cs.Detect.DegradeAfter))
+	}
+	if cs.Detect.MinQueueBytes > 0 {
+		parts = append(parts, fmt.Sprintf("minq=%d", cs.Detect.MinQueueBytes))
+	}
+	return strings.Join(parts, ",")
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ import (
 	"adapcc/internal/health"
 	"adapcc/internal/metrics"
 	"adapcc/internal/payload"
+	"adapcc/internal/scale"
 	"adapcc/internal/strategy"
 	"adapcc/internal/topology"
 	"adapcc/internal/trace"
@@ -56,20 +58,27 @@ func run(args []string) error {
 		metricsOut = fs.String("metrics", "", "write the virtual-time metrics registry to this file (.json gets a JSON snapshot, anything else the Prometheus text format)")
 		hybridSpec = fs.String("hybrid", "", "run a hybrid-parallel communicator-group demo instead of a single collective: \"DPxTPxPP\" (e.g. \"2x2x2\"); every group runs one -bytes collective concurrently on the shared fabric")
 		topoSpec   = fs.String("topo", "", "run a datacenter-scale AllReduce sweep on a generated topology instead of the testbed pipeline: \"fattree:pods=8,servers=4\", \"rail:groups=16,servers=8,rails=8\" or \"multinic:servers=32,group=8\"; each pod/group is one simulation domain of the partitioned event engine")
+		congSpec   = fs.String("congest", "", "enable the in-fabric congestion plane and gray-failure detection on a -topo sweep; knobs as \"adaptive=true,iters=8,pause=0.02,pfc=1048576,interval=200us,below=0.55,after=3\" (empty value = defaults, adaptive); composes with -chaos congestion kinds (incast, hashcollide, pfcstorm) and -heal")
 		workers    = fs.Int("workers", 1, "worker-pool size for the partitioned engine (with -topo); results are bit-identical for any value")
 		verify     = fs.Bool("verify", false, "lower every synthesised strategy to the chunk-level IR and prove it correct before executing (send/recv matching, no use-before-receive, no double reduction, exact postconditions); prints a verification summary and exits non-zero on rejection")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	healSet := false
+	healSet, congSet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "heal" {
+		switch f.Name {
+		case "heal":
 			healSet = true
+		case "congest":
+			congSet = true
 		}
 	})
 	if healSet && *chaosSpec == "" {
 		return fmt.Errorf("-heal requires -chaos (healing re-admits what the fault path excluded)")
+	}
+	if congSet && *topoSpec == "" {
+		return fmt.Errorf("-congest requires -topo (the congestion plane lives on the sharded fabric)")
 	}
 	if *topoSpec != "" {
 		if *hybridSpec != "" {
@@ -83,7 +92,17 @@ func run(args []string) error {
 			}
 			heal = &hopts
 		}
-		return runScale(*topoSpec, *workers, *bytes, *seed, *chaosSpec, heal, *metricsOut)
+		var congest *scale.CongestSpec
+		iters := 0
+		if congSet {
+			cs, n, err := parseCongestSpec(*congSpec)
+			if err != nil {
+				return err
+			}
+			congest, iters = &cs, n
+			fmt.Printf("congest: plane armed (%s)\n", congestSpecString(cs, n))
+		}
+		return runScale(*topoSpec, *workers, *bytes, *seed, *chaosSpec, heal, congest, iters, *metricsOut)
 	}
 	if *hybridSpec != "" && *chaosSpec != "" {
 		return fmt.Errorf("-hybrid and -chaos are mutually exclusive")
@@ -210,6 +229,9 @@ func run(args []string) error {
 			ch.SetMetrics(reg)
 		}
 		if err := ch.Arm(); err != nil {
+			if errors.Is(err, chaos.ErrUnsupportedKind) {
+				return fmt.Errorf("%w\n(congestion kinds — incast, hashcollide, pfcstorm — need the congestion plane: run a -topo sweep with -congest)", err)
+			}
 			return err
 		}
 		fmt.Printf("chaos: armed %d fault(s), seed %d\n", len(spec.Faults), spec.Seed)
@@ -315,17 +337,21 @@ func run(args []string) error {
 
 // runScale runs the -topo sweep: a hierarchical AllReduce over a generated
 // datacenter topology on the partitioned event engine, optionally with a
-// chaos schedule and background healing riding on the recovery layer.
-func runScale(spec string, workers int, bytes, seed int64, chaosSpec string, heal *health.Options, metricsOut string) error {
+// chaos schedule, background healing and the congestion plane riding on
+// the recovery layer.
+func runScale(spec string, workers int, bytes, seed int64, chaosSpec string, heal *health.Options, congest *scale.CongestSpec, iters int, metricsOut string) error {
 	var reg *metrics.Registry
 	if metricsOut != "" {
 		reg = metrics.New()
 	}
 	res, err := core.RunScale(core.ScaleRequest{
 		Topo: spec, Workers: workers, SegBytes: bytes, Seed: seed, Metrics: reg,
-		Chaos: chaosSpec, Heal: heal,
+		Chaos: chaosSpec, Heal: heal, Congest: congest, Iterations: iters,
 	})
 	if err != nil {
+		if errors.Is(err, chaos.ErrUnsupportedKind) {
+			return fmt.Errorf("%w\n(congestion kinds — incast, hashcollide, pfcstorm — need the congestion plane: add -congest; kernel kinds — hang, straggler — need the testbed pipeline)", err)
+		}
 		return err
 	}
 	fmt.Printf("topology: %s (%d ranks, %d domains)\n", res.Name, res.Ranks, res.Domains)
@@ -350,6 +376,24 @@ func runScale(spec string, workers int, bytes, seed int64, chaosSpec string, hea
 			fmt.Printf("heal: %d edge(s) re-admitted (max time-to-heal %v), %d condemned\n",
 				rec.Healed, rec.TimeToHealMax.Round(time.Microsecond), rec.Condemned)
 		}
+	}
+	if cg := res.Congest; cg != nil {
+		fmt.Printf("congest: %d pause frame(s), max queue %d bytes; verdicts %d degraded / %d restored / %d condemned\n",
+			cg.PauseFrames, cg.MaxQueueBytes, cg.Degraded, cg.Restored, cg.Condemned)
+		if cg.Adaptations > 0 {
+			fmt.Printf("congest: adapted %d time(s), %d path reroute(s), max time-to-adapt %v\n",
+				cg.Adaptations, cg.PathReroutes, cg.TimeToAdaptMax.Round(time.Microsecond))
+		}
+	}
+	if n := len(res.IterDurations); n > 1 {
+		worst := res.IterDurations[0]
+		for _, d := range res.IterDurations[1:] {
+			if d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("iterations: %d barriers, mean %v, worst %v\n",
+			n, (res.Elapsed / time.Duration(n)).Round(time.Microsecond), worst.Round(time.Microsecond))
 	}
 	return writeMetrics(reg, metricsOut)
 }

@@ -232,3 +232,42 @@ func TestRunScaleTopoChaosHeal(t *testing.T) {
 		t.Fatalf("chaos+heal with -topo rejected: %v", err)
 	}
 }
+
+// TestRunScaleTopoCongest: the congestion plane composes with -topo and a
+// congestion-kind chaos schedule; iterations run under the barrier.
+func TestRunScaleTopoCongest(t *testing.T) {
+	if err := run([]string{"-topo", "fattree:pods=2,servers=2,gpus=4,spines=2",
+		"-congest", "iters=2,interval=100us",
+		"-chaos", "seed=7;pfcstorm@0s+1ms:edge=24"}); err != nil {
+		t.Fatalf("-congest with -topo rejected: %v", err)
+	}
+}
+
+func TestRunCongestRequiresTopo(t *testing.T) {
+	if err := run([]string{"-case", "A100:(2,2)", "-congest", "adaptive=true"}); err == nil {
+		t.Error("-congest without -topo accepted")
+	}
+}
+
+func TestRunRejectsBadCongestSpec(t *testing.T) {
+	for _, spec := range []string{
+		"adaptive=perhaps", // unparseable bool
+		"verve=3",          // unknown key
+		"pause",            // not key=value
+	} {
+		if err := run([]string{"-topo", "rail:groups=2", "-congest", spec}); err == nil {
+			t.Errorf("congest spec %q accepted", spec)
+		}
+	}
+}
+
+func TestCongestSpecRoundTrip(t *testing.T) {
+	const spec = "adaptive=false,iters=8,pfc=1048576,release=524288,pause=0.02,knee=524288,floor=0.5,interval=200µs,below=0.55,above=0.85,after=3,minq=65536"
+	cs, iters, err := parseCongestSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := congestSpecString(cs, iters); got != spec {
+		t.Fatalf("round trip: %q -> %q", spec, got)
+	}
+}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -21,6 +22,19 @@ const ChaosPID = 20000
 // stall timeout, finite so the engine still drains.
 const crashStall = 1e6 * time.Second
 
+// ErrUnsupportedKind marks a fault kind the arming engine cannot simulate
+// (e.g. kernel-model kinds on the sharded sweep, or congestion kinds on a
+// fabric without the congestion plane). Callers detect it with errors.Is
+// and can degrade gracefully instead of treating the spec as malformed.
+var ErrUnsupportedKind = errors.New("fault kind unsupported by this engine")
+
+// Incast defaults applied at arm time: an unspecified fan-in counts 8
+// senders, each contributing one 256 KiB flow of standing queue load.
+const (
+	defaultFanin    = 8
+	incastFlowBytes = 256 << 10
+)
+
 // Counters tallies what the engine actually did — the observability side of
 // injection, matched against the executor's RecoveryStats in tests.
 type Counters struct {
@@ -32,6 +46,9 @@ type Counters struct {
 	Holds int
 	// KernelStalls counts kernels that were given extra latency.
 	KernelStalls int
+	// CongestEvents counts congestion-plane transitions fired (incast /
+	// hashcollide / pfcstorm window edges).
+	CongestEvents int
 }
 
 // Engine schedules a Spec against a fabric and its devices. All
@@ -59,10 +76,11 @@ type Engine struct {
 // chaosMetrics mirrors Counters into a metrics registry, stamped with the
 // virtual time each injection fired (see SetMetrics).
 type chaosMetrics struct {
-	scaleEvents  *metrics.Counter
-	drops        *metrics.Counter
-	holds        *metrics.Counter
-	kernelStalls *metrics.Counter
+	scaleEvents   *metrics.Counter
+	drops         *metrics.Counter
+	holds         *metrics.Counter
+	kernelStalls  *metrics.Counter
+	congestEvents *metrics.Counter
 }
 
 // window is an edge-local fault interval. end of 0 means open-ended.
@@ -120,6 +138,8 @@ func (e *Engine) SetMetrics(reg *metrics.Registry) {
 			"transfers parked by injected stalls"),
 		kernelStalls: reg.Counter("adapcc_chaos_kernel_stalls_total",
 			"kernels delayed by straggler/hang injection"),
+		congestEvents: reg.Counter("adapcc_chaos_congest_events_total",
+			"congestion-plane transitions fired (incast/hashcollide/pfcstorm)"),
 	}
 }
 
@@ -144,6 +164,18 @@ func (e *Engine) Arm() error {
 		if f.Rank >= 0 {
 			if _, ok := e.gpus[f.Rank]; !ok {
 				return fmt.Errorf("chaos: fault %q targets unknown rank %d", f.String(), f.Rank)
+			}
+		}
+		if f.Kind.congestKind() {
+			if e.fab.Congestion() == nil {
+				return fmt.Errorf("chaos: %w: %s fault %q needs the congestion plane (fabric.EnableCongestion)",
+					ErrUnsupportedKind, f.Kind, f.String())
+			}
+			if f.Kind == PFCStorm && f.Edge < 0 {
+				if _, ok := e.podUplink(f.Pod); !ok {
+					return fmt.Errorf("chaos: fault %q targets pod %d, which has no switch uplink",
+						f.String(), f.Pod)
+				}
 			}
 		}
 	}
@@ -202,7 +234,81 @@ func (e *Engine) arm(f Fault, now sim.Time) {
 		e.stalls[f.Rank] = append(e.stalls[f.Rank], stallRule{start: start, end: end, untilEnd: true})
 	case Straggler:
 		e.stalls[f.Rank] = append(e.stalls[f.Rank], stallRule{start: start, end: end, delay: f.Stall})
+	case Incast:
+		fanin := f.Fanin
+		if fanin <= 0 {
+			fanin = defaultFanin
+		}
+		load := int64(fanin) * incastFlowBytes
+		edge := f.Edge
+		e.eng.Do(start, func() {
+			e.congestEvent(edge, fmt.Sprintf("incast on (%d B)", load), func(c *fabric.Congest) {
+				c.SetPhantom(edge, load)
+			})
+		})
+		if end != 0 {
+			e.eng.Do(end, func() {
+				e.congestEvent(edge, "incast off", func(c *fabric.Congest) { c.SetPhantom(edge, 0) })
+			})
+		}
+	case HashCollide:
+		scale := f.Scale
+		if scale <= 0 || scale >= 1 {
+			scale = 0.5
+		}
+		edge := f.Edge
+		e.eng.Do(start, func() {
+			e.congestEvent(edge, fmt.Sprintf("hashcollide on (×%g)", scale), func(c *fabric.Congest) {
+				c.SetCollision(edge, scale)
+			})
+		})
+		if end != 0 {
+			e.eng.Do(end, func() {
+				e.congestEvent(edge, "hashcollide off", func(c *fabric.Congest) { c.SetCollision(edge, 1) })
+			})
+		}
+	case PFCStorm:
+		edge := f.Edge
+		if edge < 0 {
+			edge, _ = e.podUplink(f.Pod) // validated in Arm
+		}
+		e.eng.Do(start, func() {
+			e.congestEvent(edge, "pfcstorm on", func(c *fabric.Congest) { c.ForcePause(edge, true) })
+		})
+		if end != 0 {
+			e.eng.Do(end, func() {
+				e.congestEvent(edge, "pfcstorm off", func(c *fabric.Congest) { c.ForcePause(edge, false) })
+			})
+		}
 	}
+}
+
+// congestEvent applies one congestion-plane transition, counting and
+// tracing it like the scale-event path does.
+func (e *Engine) congestEvent(edge topology.EdgeID, what string, fn func(*fabric.Congest)) {
+	fn(e.fab.Congestion())
+	e.counters.CongestEvents++
+	if e.cm != nil {
+		e.cm.congestEvents.Inc(e.eng.Now())
+	}
+	e.traceInstant(fmt.Sprintf("%s edge %d", what, edge), int(edge))
+}
+
+// podUplink resolves a pod id to the pod's first leaf→spine uplink (lowest
+// edge id): the port a pfcstorm targets when given pod= instead of edge=.
+func (e *Engine) podUplink(pod int) (topology.EdgeID, bool) {
+	return podUplink(e.g, pod)
+}
+
+func podUplink(g *topology.Graph, pod int) (topology.EdgeID, bool) {
+	for _, ed := range g.Edges() {
+		if ed.Type.Network() &&
+			g.Node(ed.From).Kind == topology.KindSwitch && g.Node(ed.From).Index == pod &&
+			g.Node(ed.To).Kind == topology.KindSwitch {
+			return ed.ID, true
+		}
+	}
+	return 0, false
 }
 
 // crash kills every link touching the rank's GPU node, both directions.

@@ -1,0 +1,237 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"adapcc/internal/fabric"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+func TestParseSpecCongestRoundTrip(t *testing.T) {
+	in := "seed=9;incast@1ms+4ms:edge=2,fanin=12;hashcollide@2ms+3ms:link=5,scale=0.4;" +
+		"pfcstorm@3ms+2ms:pod=1;pfcstorm@1ms+1ms:edge=7"
+	spec, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Faults) != 4 {
+		t.Fatalf("parsed %d faults, want 4", len(spec.Faults))
+	}
+	// ParseSpec stable-sorts by start time: incast@1ms, pfcstorm@1ms,
+	// hashcollide@2ms, pfcstorm@3ms.
+	if spec.Faults[0].Fanin != 12 || spec.Faults[2].Edge != 5 || spec.Faults[3].Pod != 1 {
+		t.Errorf("congestion params lost in parse: %+v", spec.Faults)
+	}
+	respec, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", spec.String(), err)
+	}
+	for i := range spec.Faults {
+		if spec.Faults[i] != respec.Faults[i] {
+			t.Errorf("fault %d changed across round trip: %+v vs %+v",
+				i, spec.Faults[i], respec.Faults[i])
+		}
+	}
+}
+
+func TestParseSpecCongestRejects(t *testing.T) {
+	bad := map[string]string{
+		"incast@1ms+2ms":                     "needs edge=",
+		"incast@1ms+2ms:edge=0,fanin=1":      "fanin",
+		"hashcollide@1ms+2ms:edge=0,scale=2": "scale in (0,1)",
+		"pfcstorm@1ms+2ms":                   "edge= or pod=",
+		"pfcstorm@1ms+2ms:rank=0":            "edge= or pod=",
+	}
+	for in, frag := range bad {
+		_, err := ParseSpec(in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("ParseSpec(%q) error %q lacks %q", in, err, frag)
+		}
+	}
+}
+
+// TestErrUnsupportedKindTyped: the sharded engine's kernel-fault rejection
+// and both engines' congestion-without-plane rejections carry the typed
+// sentinel, so callers can branch with errors.Is.
+func TestErrUnsupportedKindTyped(t *testing.T) {
+	for _, kind := range []Kind{Hang, Straggler} {
+		_, sh := shardedFixture(t)
+		e := NewSharded(sh, Spec{Faults: []Fault{
+			{Kind: kind, Start: time.Millisecond, Dur: time.Millisecond, Edge: -1, Rank: 0, Pod: -1},
+		}})
+		if err := e.Arm(); !errors.Is(err, ErrUnsupportedKind) {
+			t.Errorf("sharded %s rejection is not ErrUnsupportedKind: %v", kind, err)
+		}
+	}
+
+	// Congestion kinds on a sharded fabric without the congestion plane.
+	_, sh := shardedFixture(t)
+	e := NewSharded(sh, Spec{Faults: []Fault{
+		{Kind: Incast, Start: 0, Dur: time.Millisecond, Edge: 0, Rank: -1, Pod: -1},
+	}})
+	if err := e.Arm(); !errors.Is(err, ErrUnsupportedKind) {
+		t.Errorf("sharded incast without congestion plane: %v", err)
+	}
+
+	// Same on the monolithic engine.
+	eng, fab, _ := congestFixture(t)
+	_ = eng
+	ch := New(eng, fab, nil, Spec{Faults: []Fault{
+		{Kind: PFCStorm, Start: 0, Dur: time.Millisecond, Edge: 0, Rank: -1, Pod: -1},
+	}})
+	if err := ch.Arm(); !errors.Is(err, ErrUnsupportedKind) {
+		t.Errorf("monolithic pfcstorm without congestion plane: %v", err)
+	}
+
+	// A classic link fault does NOT carry the sentinel.
+	_, sh2 := shardedFixture(t)
+	e2 := NewSharded(sh2, Spec{Faults: []Fault{
+		{Kind: LinkDown, Start: 0, Dur: time.Millisecond, Edge: topology.EdgeID(1 << 20), Rank: -1, Pod: -1},
+	}})
+	if err := e2.Arm(); err == nil || errors.Is(err, ErrUnsupportedKind) {
+		t.Errorf("bad-target rejection misclassified as ErrUnsupportedKind: %v", err)
+	}
+}
+
+// congestFixture is a two-pod fat-tree on a monolithic fabric, the smallest
+// topology with pod uplinks for congestion faults to target.
+func congestFixture(t *testing.T) (*sim.Engine, *fabric.Fabric, *topology.Topo) {
+	t.Helper()
+	topo, err := topology.FatTreeSpec{Pods: 2, Servers: 1, GPUs: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(5)
+	return eng, fabric.New(eng, topo.Graph), topo
+}
+
+// TestCongestFaultsDriveThePlane: an armed schedule of all three congestion
+// kinds actually moves the fabric's congestion plane — phantom load appears
+// during the incast window, the collision multiplier during hashcollide,
+// and the pod's uplink is pause-throttled during the pfcstorm — and every
+// window closes cleanly.
+func TestCongestFaultsDriveThePlane(t *testing.T) {
+	eng, fab, topo := congestFixture(t)
+	c := fab.EnableCongestion(fabric.CongestOptions{PFCThreshold: 16 << 20})
+	hot, ok := podUplink(topo.Graph, 0)
+	if !ok {
+		t.Fatal("pod 0 has no uplink")
+	}
+	storm, ok := podUplink(topo.Graph, 1)
+	if !ok {
+		t.Fatal("pod 1 has no uplink")
+	}
+	spec, err := ParseSpec(fmt.Sprintf(
+		"seed=3;incast@0s+2ms:edge=%d,fanin=4;hashcollide@3ms+2ms:edge=%d,scale=0.25;pfcstorm@6ms+2ms:pod=1",
+		hot, hot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := New(eng, fab, nil, spec)
+	if err := ch.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	eng.At(sim.Time(time.Millisecond), func() {
+		if q := fab.QueueBytes(hot); q < 4*(256<<10) {
+			t.Errorf("incast window: queue %d B, want >= 1 MiB of phantom load", q)
+		}
+	})
+	eng.At(sim.Time(4*time.Millisecond), func() {
+		if got := c.Factor(hot); got != 0.25 {
+			t.Errorf("hashcollide window: factor %g, want 0.25", got)
+		}
+	})
+	eng.At(sim.Time(7*time.Millisecond), func() {
+		if !c.Paused(storm) {
+			t.Error("pfcstorm window: pod-1 uplink not pause-throttled")
+		}
+	})
+	eng.At(sim.Time(9*time.Millisecond), func() {
+		if c.Paused(storm) || c.Factor(hot) != 1 || fab.QueueBytes(hot) != 0 {
+			t.Errorf("windows closed dirty: paused=%v factor=%g queue=%d",
+				c.Paused(storm), c.Factor(hot), fab.QueueBytes(hot))
+		}
+	})
+	eng.Run()
+	if got := ch.Counters().CongestEvents; got != 6 {
+		t.Errorf("CongestEvents = %d, want 6 (three on/off window pairs)", got)
+	}
+}
+
+// TestShardedCongestSchedule: the same congestion schedule armed on a
+// partitioned fabric drives the per-domain congestion planes, counts its
+// transitions, and replays bit-identically for any worker count while a
+// real transfer crosses the stormed pod.
+func TestShardedCongestSchedule(t *testing.T) {
+	run := func(workers int) (sim.Time, uint64, int, Counters) {
+		topo, err := topology.FatTreeSpec{Pods: 2, Servers: 1, GPUs: 1}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := topo.Partition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := fabric.NewSharded(part, 11)
+		sc := sh.EnableCongestion(fabric.CongestOptions{PFCThreshold: 128 << 10, PauseScale: 0.01})
+		storm, ok := podUplink(part.Graph, 1)
+		if !ok {
+			t.Fatal("pod 1 has no uplink")
+		}
+		spec, err := ParseSpec(fmt.Sprintf(
+			"seed=5;pfcstorm@0s+4ms:pod=1;incast@1ms+2ms:edge=%d,fanin=3", storm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := NewSharded(sh, spec)
+		if err := ch.Arm(); err != nil {
+			t.Fatal(err)
+		}
+		g := part.Graph
+		src, _ := g.GPUByRank(1) // pod 1: sends must cross the stormed uplink
+		dst, _ := g.GPUByRank(0)
+		path := g.ShortestPath(src, dst)
+		if path == nil {
+			t.Fatal("no cross-pod path")
+		}
+		arrivals := 0
+		srcDom := part.RankDomain[1]
+		for i := 0; i < 4; i++ {
+			d := sim.Time(time.Duration(i) * 50 * time.Microsecond)
+			sh.Engine(srcDom).At(d, func() {
+				sh.SendPath(path, 32<<10, nil, func(any) { arrivals++ })
+			})
+		}
+		sh.Run(workers)
+		var latest sim.Time
+		for d := 0; d < part.Domains; d++ {
+			if now := sh.Engine(d).Now(); now > latest {
+				latest = now
+			}
+		}
+		return latest, sc.PauseFrames(), arrivals, ch.Counters()
+	}
+	t1, f1, a1, c1 := run(1)
+	if a1 != 4 {
+		t.Fatalf("%d of 4 transfers arrived; congestion must be performance-only", a1)
+	}
+	if c1.CongestEvents != 4 {
+		t.Errorf("CongestEvents = %d, want 4", c1.CongestEvents)
+	}
+	for _, w := range []int{2, 4} {
+		tw, fw, aw, cw := run(w)
+		if tw != t1 || fw != f1 || aw != a1 || cw != c1 {
+			t.Fatalf("workers=%d diverged: (time=%v frames=%d arrivals=%d %+v) != (%v, %d, %d, %+v)",
+				w, tw, fw, aw, cw, t1, f1, a1, c1)
+		}
+	}
+}

@@ -19,11 +19,13 @@ import (
 // chaos-laden sweep bit-identical for any worker count (the per-domain rngs
 // are consumed in domain event order, which sim.Parallel fixes).
 //
-// Supported kinds are the link faults (down/flap/degrade/loss/hold) and
-// crash (which kills every edge adjacent to the rank's GPU — all owned by
-// one domain, since GPU-adjacent links never cross). Hang and straggler
-// need the kernel model, which the scale sweep does not simulate; Arm
-// rejects them loudly rather than silently no-oping.
+// Supported kinds are the link faults (down/flap/degrade/loss/hold), crash
+// (which kills every edge adjacent to the rank's GPU — all owned by one
+// domain, since GPU-adjacent links never cross), and the congestion kinds
+// (incast/hashcollide/pfcstorm, which need Sharded.EnableCongestion). Hang
+// and straggler need the kernel model, which the scale sweep does not
+// simulate; Arm rejects them with ErrUnsupportedKind rather than silently
+// no-oping.
 type Sharded struct {
 	sh   *fabric.Sharded
 	part *topology.Partition
@@ -73,6 +75,7 @@ func (e *Sharded) Counters() Counters {
 		out.Drops += c.Drops
 		out.Holds += c.Holds
 		out.KernelStalls += c.KernelStalls
+		out.CongestEvents += c.CongestEvents
 	}
 	return out
 }
@@ -93,11 +96,23 @@ func (e *Sharded) Arm() error {
 		}
 		switch f.Kind {
 		case Hang, Straggler:
-			return fmt.Errorf("chaos: %s faults need the kernel model, which the sharded sweep does not simulate (fault %q)",
-				f.Kind, f.String())
+			return fmt.Errorf("chaos: %w: %s faults need the kernel model, which the sharded sweep does not simulate (fault %q)",
+				ErrUnsupportedKind, f.Kind, f.String())
 		case Crash:
 			if _, ok := g.GPUByRank(f.Rank); !ok {
 				return fmt.Errorf("chaos: fault %q targets unknown rank %d", f.String(), f.Rank)
+			}
+		}
+		if f.Kind.congestKind() {
+			if e.sh.Congestion() == nil {
+				return fmt.Errorf("chaos: %w: %s fault %q needs the congestion plane (Sharded.EnableCongestion)",
+					ErrUnsupportedKind, f.Kind, f.String())
+			}
+			if f.Kind == PFCStorm && f.Edge < 0 {
+				if _, ok := podUplink(g, f.Pod); !ok {
+					return fmt.Errorf("chaos: fault %q targets pod %d, which has no switch uplink",
+						f.String(), f.Pod)
+				}
 			}
 		}
 	}
@@ -176,6 +191,46 @@ func (e *Sharded) arm(f Fault) {
 				e.setScale(d, ge, 0)
 			}
 		})
+	case Incast, HashCollide, PFCStorm:
+		ge := f.Edge
+		if ge < 0 {
+			ge, _ = podUplink(e.part.Graph, f.Pod) // validated in Arm
+		}
+		d := e.domainOf(ge)
+		eng := e.sh.Engine(d)
+		now := eng.Now()
+		start := now + f.Start
+		end := sim.Time(0)
+		if f.Dur > 0 {
+			end = start + f.Dur
+		}
+		sc := e.sh.Congestion()
+		switch f.Kind {
+		case Incast:
+			fanin := f.Fanin
+			if fanin <= 0 {
+				fanin = defaultFanin
+			}
+			load := int64(fanin) * incastFlowBytes
+			eng.Do(start, func() { sc.SetPhantomGlobal(ge, load); e.counters[d].CongestEvents++ })
+			if end != 0 {
+				eng.Do(end, func() { sc.SetPhantomGlobal(ge, 0); e.counters[d].CongestEvents++ })
+			}
+		case HashCollide:
+			scale := f.Scale
+			if scale <= 0 || scale >= 1 {
+				scale = 0.5
+			}
+			eng.Do(start, func() { sc.SetCollisionGlobal(ge, scale); e.counters[d].CongestEvents++ })
+			if end != 0 {
+				eng.Do(end, func() { sc.SetCollisionGlobal(ge, 1); e.counters[d].CongestEvents++ })
+			}
+		case PFCStorm:
+			eng.Do(start, func() { sc.ForcePauseGlobal(ge, true); e.counters[d].CongestEvents++ })
+			if end != 0 {
+				eng.Do(end, func() { sc.ForcePauseGlobal(ge, false); e.counters[d].CongestEvents++ })
+			}
+		}
 	}
 }
 

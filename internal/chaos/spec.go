@@ -45,9 +45,46 @@ const (
 	// Straggler adds Stall to every kernel the worker launches during the
 	// window (a slowdown, not a fault — recovery must NOT trigger).
 	Straggler Kind = "straggler"
+	// Incast parks a standing phantom load of Fanin×256 KiB on the edge's
+	// egress queue for the window (a fan-in burst the collective cannot
+	// see), driving queue-occupancy degradation and possibly PFC.
+	Incast Kind = "incast"
+	// HashCollide halves (Scale, default 0.5) the edge's service rate for
+	// the window — an ECMP hash collision from the victim flow's view.
+	// "link=" is accepted as an alias of "edge=".
+	HashCollide Kind = "hashcollide"
+	// PFCStorm forces a rogue pause assertion onto a port for the window:
+	// real traffic then piles up behind it and the congestion plane spreads
+	// pause frames upstream on its own. Target an edge, or a pod (the pod's
+	// first switch→switch uplink, sharded engine only).
+	PFCStorm Kind = "pfcstorm"
 )
 
-var allKinds = []Kind{LinkDown, LinkFlap, Degrade, Loss, Hold, Crash, Hang, Straggler}
+// allKinds is the parse-time vocabulary; RandomSpec draws only from
+// classicKinds so historical soak schedules replay unchanged, and
+// congestion kinds come from RandomCongestSpec (they need a fabric with
+// the congestion plane enabled).
+var allKinds = []Kind{LinkDown, LinkFlap, Degrade, Loss, Hold, Crash, Hang, Straggler,
+	Incast, HashCollide, PFCStorm}
+
+var classicKinds = []Kind{LinkDown, LinkFlap, Degrade, Loss, Hold, Crash, Hang, Straggler}
+
+// congestKind reports whether the kind is one of the congestion kinds,
+// which drive the fabric's congestion plane instead of scales/verdicts.
+func (k Kind) congestKind() bool { return k == Incast || k == HashCollide || k == PFCStorm }
+
+// PerformanceOnly reports whether every fault in the spec is a congestion
+// kind — faults that slow traffic down but never drop, corrupt or reorder
+// it. A performance-only schedule needs no recovery machinery: the sweep
+// finishes on its own, just later.
+func (s Spec) PerformanceOnly() bool {
+	for _, f := range s.Faults {
+		if !f.Kind.congestKind() {
+			return false
+		}
+	}
+	return true
+}
 
 // Fault is one scheduled fault. Edge faults set Edge; worker faults set
 // Rank. Start is relative to Engine.Arm; Dur of 0 means open-ended for
@@ -69,6 +106,11 @@ type Fault struct {
 	// Stall is the per-transfer park delay (hold) or per-kernel extra
 	// latency (straggler).
 	Stall time.Duration
+	// Fanin is the incast fan-in degree (phantom load = Fanin×256 KiB).
+	Fanin int
+	// Pod targets a pfcstorm at a pod instead of a named edge (Edge takes
+	// precedence when both are set). Parsed clauses default to -1.
+	Pod int
 }
 
 // Spec is a complete chaos schedule: a seed (driving every probabilistic
@@ -116,6 +158,12 @@ func (f Fault) String() string {
 	if f.Stall > 0 {
 		kv = append(kv, fmt.Sprintf("stall=%s", f.Stall))
 	}
+	if f.Kind == Incast && f.Fanin > 0 {
+		kv = append(kv, fmt.Sprintf("fanin=%d", f.Fanin))
+	}
+	if f.Kind == PFCStorm && f.Pod >= 0 {
+		kv = append(kv, fmt.Sprintf("pod=%d", f.Pod))
+	}
 	if len(kv) > 0 {
 		b.WriteByte(':')
 		b.WriteString(strings.Join(kv, ","))
@@ -129,7 +177,8 @@ func (f Fault) String() string {
 //	clause := "seed=" int
 //	        | kind '@' dur ['+' dur] [':' key '=' val (',' key '=' val)*]
 //	kind   := down|flap|degrade|loss|hold|crash|hang|straggler
-//	key    := edge|rank|scale|prob|period|stall
+//	        | incast|hashcollide|pfcstorm
+//	key    := edge|link|rank|scale|prob|period|stall|fanin|pod
 //
 // Durations use Go syntax ("5ms", "1.5s"). Example:
 //
@@ -162,7 +211,7 @@ func ParseSpec(s string) (Spec, error) {
 }
 
 func parseFault(clause string) (Fault, error) {
-	f := Fault{Edge: -1, Rank: -1}
+	f := Fault{Edge: -1, Rank: -1, Pod: -1}
 	head, params, _ := strings.Cut(clause, ":")
 	kindStr, when, ok := strings.Cut(head, "@")
 	if !ok {
@@ -199,10 +248,10 @@ func parseFault(clause string) (Fault, error) {
 				return f, fmt.Errorf("chaos: bad param %q in %q", kv, clause)
 			}
 			switch key {
-			case "edge":
+			case "edge", "link":
 				n, err := strconv.Atoi(val)
 				if err != nil {
-					return f, fmt.Errorf("chaos: bad edge %q: %v", val, err)
+					return f, fmt.Errorf("chaos: bad %s %q: %v", key, val, err)
 				}
 				f.Edge = topology.EdgeID(n)
 			case "rank":
@@ -227,6 +276,14 @@ func parseFault(clause string) (Fault, error) {
 				if f.Stall, err = time.ParseDuration(val); err != nil {
 					return f, fmt.Errorf("chaos: bad stall %q: %v", val, err)
 				}
+			case "fanin":
+				if f.Fanin, err = strconv.Atoi(val); err != nil {
+					return f, fmt.Errorf("chaos: bad fanin %q: %v", val, err)
+				}
+			case "pod":
+				if f.Pod, err = strconv.Atoi(val); err != nil {
+					return f, fmt.Errorf("chaos: bad pod %q: %v", val, err)
+				}
 			default:
 				return f, fmt.Errorf("chaos: unknown param %q in %q", key, clause)
 			}
@@ -237,11 +294,15 @@ func parseFault(clause string) (Fault, error) {
 
 func (f Fault) validate() error {
 	edgeKind := f.Kind == LinkDown || f.Kind == LinkFlap || f.Kind == Degrade ||
-		f.Kind == Loss || f.Kind == Hold
+		f.Kind == Loss || f.Kind == Hold || f.Kind == Incast || f.Kind == HashCollide
 	if edgeKind && f.Edge < 0 {
 		return fmt.Errorf("chaos: %s needs edge=", f.Kind)
 	}
-	if !edgeKind && f.Rank < 0 {
+	if f.Kind == PFCStorm {
+		if f.Edge < 0 && f.Pod < 0 {
+			return fmt.Errorf("chaos: pfcstorm needs edge= or pod=")
+		}
+	} else if !edgeKind && f.Rank < 0 {
 		return fmt.Errorf("chaos: %s needs rank=", f.Kind)
 	}
 	switch f.Kind {
@@ -272,6 +333,18 @@ func (f Fault) validate() error {
 		if f.Dur <= 0 {
 			return fmt.Errorf("chaos: hang needs a bounded +duration (use crash for permanence)")
 		}
+	case Incast:
+		if f.Fanin != 0 && f.Fanin < 2 {
+			return fmt.Errorf("chaos: incast needs fanin >= 2, got %d", f.Fanin)
+		}
+	case HashCollide:
+		if f.Scale != 0 && (f.Scale <= 0 || f.Scale >= 1) {
+			return fmt.Errorf("chaos: hashcollide needs scale in (0,1), got %g", f.Scale)
+		}
+	case PFCStorm:
+		if f.Pod < -1 {
+			return fmt.Errorf("chaos: bad pod %d", f.Pod)
+		}
 	}
 	if f.Start < 0 || f.Dur < 0 {
 		return fmt.Errorf("chaos: negative time in %s fault", f.Kind)
@@ -294,7 +367,7 @@ func RandomSpec(seed int64, g *topology.Graph, n int, horizon time.Duration) Spe
 	spec := Spec{Seed: seed}
 	crashed := false
 	for i := 0; i < n; i++ {
-		k := allKinds[rng.Intn(len(allKinds))]
+		k := classicKinds[rng.Intn(len(classicKinds))]
 		if k == Crash {
 			if crashed || len(ranks) <= 2 {
 				k = LinkDown // keep >= 2 survivors possible
@@ -307,6 +380,7 @@ func RandomSpec(seed int64, g *topology.Graph, n int, horizon time.Duration) Spe
 			Start: time.Duration(rng.Int63n(int64(horizon))),
 			Edge:  -1,
 			Rank:  -1,
+			Pod:   -1,
 		}
 		window := horizon / 4
 		switch k {
@@ -367,6 +441,7 @@ func RandomLinkSpec(seed int64, g *topology.Graph, n int, horizon time.Duration)
 			Start: time.Duration(rng.Int63n(int64(horizon))),
 			Edge:  topology.EdgeID(rng.Intn(edges)),
 			Rank:  -1,
+			Pod:   -1,
 		}
 		window := horizon / 4
 		f.Dur = time.Duration(1 + rng.Int63n(int64(window)))
@@ -379,6 +454,45 @@ func RandomLinkSpec(seed int64, g *topology.Graph, n int, horizon time.Duration)
 			f.Prob = 0.02 + 0.2*rng.Float64()
 		case Hold:
 			f.Stall = time.Duration(1 + rng.Int63n(int64(200*time.Microsecond)))
+		}
+		spec.Faults = append(spec.Faults, f)
+	}
+	sort.SliceStable(spec.Faults, func(i, j int) bool {
+		return spec.Faults[i].Start < spec.Faults[j].Start
+	})
+	return spec
+}
+
+// RandomCongestSpec draws a schedule of n congestion faults (incast /
+// hashcollide / pfcstorm — performance-only, nothing is ever lost) from
+// the seed within the horizon, targeting random network edges of the
+// graph: the generator behind the congestion soaks. The target fabric must
+// have its congestion plane enabled.
+func RandomCongestSpec(seed int64, g *topology.Graph, n int, horizon time.Duration) Spec {
+	rng := rand.New(rand.NewSource(seed))
+	var netEdges []topology.EdgeID
+	for _, e := range g.Edges() {
+		if e.Type.Network() {
+			netEdges = append(netEdges, e.ID)
+		}
+	}
+	kinds := []Kind{Incast, HashCollide, PFCStorm}
+	spec := Spec{Seed: seed}
+	for i := 0; i < n; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		f := Fault{
+			Kind:  k,
+			Start: time.Duration(rng.Int63n(int64(horizon))),
+			Edge:  netEdges[rng.Intn(len(netEdges))],
+			Rank:  -1,
+			Pod:   -1,
+		}
+		f.Dur = time.Duration(1 + rng.Int63n(int64(horizon/4)))
+		switch k {
+		case Incast:
+			f.Fanin = 2 + rng.Intn(15)
+		case HashCollide:
+			f.Scale = 0.1 + 0.8*rng.Float64()
 		}
 		spec.Faults = append(spec.Faults, f)
 	}

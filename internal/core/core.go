@@ -22,6 +22,7 @@ import (
 	"adapcc/internal/backend"
 	"adapcc/internal/collective"
 	"adapcc/internal/detect"
+	"adapcc/internal/grayfail"
 	"adapcc/internal/health"
 	"adapcc/internal/metrics"
 	"adapcc/internal/profile"
@@ -107,6 +108,13 @@ type AdapCC struct {
 	deadRanks map[int]bool
 	survGraph *topology.Graph // lazily built fault-filtered clone
 	survCosts *synth.Costs    // cost view remapped onto survGraph
+	// Gray-failure state (grayfail.go): links the congestion detector has
+	// ruled degraded — alive, delivering, just slow. They stay on the
+	// synthesis topology but their bandwidths are down-weighted by the
+	// stored factor, so re-synthesis steers around them without writing
+	// them off. softPairs holds both directions of each pair.
+	softPairs map[[2]topology.NodeID]float64
+	softCosts *synth.Costs // lazily reweighted view over activeCosts' base
 	// fingerprint canonically encodes the current exclusion set (sorted
 	// dead pairs + dead ranks); empty when nothing is excluded. It prefixes
 	// strategy-cache keys, so strategies synthesised under different fault
@@ -121,6 +129,12 @@ type AdapCC struct {
 	healCo        *relay.Coordinator
 	healOnHeal    func(health.Event)
 	healOnCondemn func(health.Event)
+
+	// Gray-failure detection (grayfail.go): the in-fabric congestion
+	// monitor and its observer. Nil/free until EnableGrayfail.
+	grayMon       *grayfail.Monitor
+	grayOnVerdict func(grayfail.Event)
+	grayWeight    float64
 
 	// Accounting for the reconstruction-overhead experiment (Fig. 19c).
 	lastProfileTime time.Duration
@@ -174,6 +188,7 @@ func NewWithOptions(env *backend.Env, opts Options) (*AdapCC, error) {
 		cache:     make(map[string]*synth.Result),
 		deadPairs: make(map[[2]topology.NodeID]bool),
 		deadRanks: make(map[int]bool),
+		softPairs: make(map[[2]topology.NodeID]float64),
 	}
 	return a, nil
 }
@@ -222,7 +237,7 @@ func (a *AdapCC) Reconstruct(onDone func(overhead time.Duration)) {
 		} else {
 			a.lastProfileTime = 0
 		}
-		a.survGraph, a.survCosts = nil, nil // rebuilt from the fresh costs
+		a.survGraph, a.survCosts, a.softCosts = nil, nil, nil // rebuilt from the fresh costs
 		a.cache = make(map[string]*synth.Result)
 		a.lastSolveTime = 0
 		setup := a.setupTime()

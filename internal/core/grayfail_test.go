@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/collective"
+	"adapcc/internal/fabric"
+	"adapcc/internal/grayfail"
+	"adapcc/internal/health"
+	"adapcc/internal/metrics"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// strategyNetworkEdge returns a network edge the first strategy routes a
+// flow over, so congestion on it is guaranteed to hit the collective.
+func strategyNetworkEdge(t *testing.T, a *AdapCC, bytes int64) topology.EdgeID {
+	t.Helper()
+	g := a.Env().Graph
+	res, err := a.Strategy(strategy.AllReduce, bytes, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range res.Strategy.SubCollectives {
+		for _, f := range sub.Flows {
+			for h := 0; h+1 < len(f.Path); h++ {
+				if e, ok := g.EdgeBetween(f.Path[h], f.Path[h+1]); ok && g.Edge(e).Type.Network() {
+					return e
+				}
+			}
+		}
+	}
+	t.Skip("strategy uses no network edge")
+	return 0
+}
+
+// TestDegradeLinkReweightsSynthesis exercises the reweight rung without the
+// detector: degrading every network pair makes the cross-server prediction
+// strictly slower (the evaluator prices the down-weight), the strategy
+// cache keeps the clean and degraded plans under separate fingerprints, and
+// restoring the pairs lands back on the cached clean entry.
+func TestDegradeLinkReweightsSynthesis(t *testing.T) {
+	_, a := resilientEnv(t)
+	const bytes = 4 << 20
+
+	clean, err := a.Predict(strategy.AllReduce, bytes, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := a.CachedStrategies()
+
+	g := a.Env().Graph
+	pairs := make(map[[2]topology.NodeID]bool)
+	for _, e := range g.Edges() {
+		if e.Type.Network() {
+			pairs[[2]topology.NodeID{e.From, e.To}] = true
+		}
+	}
+	for p := range pairs {
+		a.DegradeLink(p[0], p[1], 0.1)
+	}
+	if len(a.DegradedLinks()) == 0 {
+		t.Fatal("no degraded links recorded")
+	}
+	if a.fingerprint == "" {
+		t.Fatal("degraded links left the exclusion fingerprint empty")
+	}
+	slow, err := a.Predict(strategy.AllReduce, bytes, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow <= clean {
+		t.Errorf("degrading every network link did not slow the prediction: clean %v, degraded %v", clean, slow)
+	}
+	if got := a.CachedStrategies(); got != cached+1 {
+		t.Errorf("degraded synthesis should add one cache entry: %d -> %d", cached, got)
+	}
+
+	for p := range pairs {
+		a.RestoreLink(p[0], p[1])
+	}
+	if a.fingerprint != "" {
+		t.Fatalf("restore left fingerprint %q", a.fingerprint)
+	}
+	if a.RestoreLink(0, 1) {
+		t.Error("RestoreLink reported a change on a never-degraded pair")
+	}
+	back, err := a.Predict(strategy.AllReduce, bytes, nil, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != clean {
+		t.Errorf("restored prediction %v differs from clean %v (cache miss?)", back, clean)
+	}
+	if got := a.CachedStrategies(); got != cached+1 {
+		t.Errorf("restored synthesis should hit the clean cache entry: have %d entries, want %d", got, cached+1)
+	}
+}
+
+// TestGrayfailEndToEnd drives the full verdict loop on the live fabric: a
+// rogue PFC pause throttles a strategy network port to a trickle, the
+// collective's own traffic backs up behind it, the detector rules the link
+// degraded (down-weighting it for the next synthesis), and once the pause
+// is withdrawn the probe machinery restores it to full weight.
+func TestGrayfailEndToEnd(t *testing.T) {
+	env, a := resilientEnv(t)
+	reg := metrics.New()
+	a.SetMetrics(reg)
+	const bytes = 2 << 20
+
+	hot := strategyNetworkEdge(t, a, bytes)
+	cong := env.Fabric.EnableCongestion(fabric.CongestOptions{})
+
+	var degradedAt, restoredAt []time.Duration
+	var duringDegrade int
+	mon := a.EnableGrayfail(GrayfailOptions{
+		// The whole backed-up neighborhood degrades behind the paused port,
+		// so its probes contend with each other on the shared NIC and
+		// switch ports: give them headroom above the default barely-above-
+		// nominal deadline, while staying far under the 50x pause trickle.
+		Options: grayfail.Options{Heal: health.Options{
+			DeadlineMult: 8,
+			ProbeBytes:   256 << 10,
+		}},
+		OnVerdict: func(ev grayfail.Event) {
+			switch ev.Verdict {
+			case grayfail.VerdictDegraded:
+				degradedAt = append(degradedAt, time.Duration(ev.At))
+				duringDegrade = len(a.DegradedLinks())
+			case grayfail.VerdictRestored:
+				restoredAt = append(restoredAt, time.Duration(ev.At))
+				if len(a.DegradedLinks()) == 0 {
+					a.Grayfail().Stop()
+				}
+			}
+		},
+	})
+	if a.EnableGrayfail(GrayfailOptions{}) != mon {
+		t.Fatal("EnableGrayfail is not idempotent")
+	}
+	// Safety horizon: if the heal machinery never promotes, stop anyway so
+	// the engine can drain and the assertions below report what happened.
+	env.Engine.After(time.Second, mon.Stop)
+
+	cong.ForcePause(hot, true)
+	inputs := backend.MakeInputs(env.AllRanks(), bytes)
+	var done bool
+	err := a.Run(backend.Request{
+		Primitive: strategy.AllReduce, Bytes: bytes, Root: -1, Inputs: inputs,
+		OnDone: func(collective.Result) {
+			done = true
+			cong.ForcePause(hot, false) // storm ends; the link should heal
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Engine.Run()
+
+	if !done {
+		t.Fatal("collective never completed")
+	}
+	if len(degradedAt) == 0 {
+		t.Fatal("paused strategy port drew no degraded verdict")
+	}
+	if duringDegrade == 0 {
+		t.Error("degraded verdict did not down-weight the link")
+	}
+	if len(restoredAt) == 0 {
+		t.Fatal("link never restored after the pause was withdrawn")
+	}
+	if len(a.DegradedLinks()) != 0 {
+		t.Errorf("links still degraded after restore: %v", a.DegradedLinks())
+	}
+	snap := reg.Snapshot()
+	if f, ok := snap.Family("adapcc_grayfail_verdicts_total"); !ok || len(f.Series) == 0 {
+		t.Error("no adapcc_grayfail_verdicts_total samples")
+	}
+	var reweights float64
+	if f, ok := snap.Family("adapcc_core_recoveries_total"); ok {
+		for _, s := range f.Series {
+			if s.Labels["ladder"] == "reweight" {
+				reweights += s.Value
+			}
+		}
+	}
+	if reweights == 0 {
+		t.Error("no reweight recoveries recorded")
+	}
+}

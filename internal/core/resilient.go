@@ -182,21 +182,24 @@ func (a *AdapCC) ClearExclusions() {
 // topology hits the cache instead of re-solving. Only cost changes
 // (Reconstruct, AbsorbMeasurements) wipe the cache outright.
 func (a *AdapCC) exclusionsChanged() {
-	a.survGraph, a.survCosts = nil, nil
+	a.survGraph, a.survCosts, a.softCosts = nil, nil, nil
 	a.fingerprint = a.exclusionFingerprint()
 }
 
 // exclusionFingerprint canonically encodes the exclusion set: the sorted
-// dead pairs, then the sorted dead ranks. Empty when nothing is excluded,
+// dead pairs, the sorted dead ranks, then the sorted degraded pairs with
+// their down-weights quantized to percent (a weight wobble below 1% is
+// noise, not a new topology). Empty when nothing is excluded or degraded,
 // so the fault-free fast path builds the exact same cache keys (and
 // allocates nothing extra) as before fault support existed.
 func (a *AdapCC) exclusionFingerprint() string {
-	if len(a.deadPairs) == 0 && len(a.deadRanks) == 0 {
+	if len(a.deadPairs) == 0 && len(a.deadRanks) == 0 && len(a.softPairs) == 0 {
 		return ""
 	}
 	links := a.ExcludedLinks()
 	ranks := a.ExcludedRanks()
-	b := make([]byte, 0, 8+12*len(links)+6*len(ranks))
+	soft := a.DegradedLinks()
+	b := make([]byte, 0, 8+12*len(links)+6*len(ranks)+16*len(soft))
 	b = append(b, "x!"...)
 	for _, p := range links {
 		b = strconv.AppendInt(b, int64(p[0]), 10)
@@ -208,6 +211,17 @@ func (a *AdapCC) exclusionFingerprint() string {
 	for _, r := range ranks {
 		b = strconv.AppendInt(b, int64(r), 10)
 		b = append(b, ',')
+	}
+	if len(soft) > 0 {
+		b = append(b, '~')
+		for _, p := range soft {
+			b = strconv.AppendInt(b, int64(p[0]), 10)
+			b = append(b, '-')
+			b = strconv.AppendInt(b, int64(p[1]), 10)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, int64(a.softPairs[p]*100), 10)
+			b = append(b, ',')
+		}
 	}
 	b = append(b, '|')
 	return string(b)
@@ -252,16 +266,29 @@ func (a *AdapCC) activeGraph() *topology.Graph {
 }
 
 // activeCosts returns the synthesizer's cost view over activeGraph,
-// remapping profiled values onto the filtered clone.
+// remapping profiled values onto the filtered clone and down-weighting
+// links the gray-failure detector has ruled degraded.
 func (a *AdapCC) activeCosts() *synth.Costs {
 	g := a.activeGraph()
-	if g == a.env.Graph {
-		return a.costs
+	base := a.costs
+	if g != a.env.Graph {
+		if a.survCosts == nil {
+			a.survCosts = a.costs.RemapTo(g)
+		}
+		base = a.survCosts
 	}
-	if a.survCosts == nil {
-		a.survCosts = a.costs.RemapTo(g)
+	if len(a.softPairs) == 0 {
+		return base
 	}
-	return a.survCosts
+	if a.softCosts == nil {
+		a.softCosts = base.Reweighted(func(from, to topology.NodeID) float64 {
+			if w, ok := a.softPairs[[2]topology.NodeID{from, to}]; ok {
+				return w
+			}
+			return 1
+		})
+	}
+	return a.softCosts
 }
 
 // pruneUnreachable splits ranks into the largest mutually-reachable group

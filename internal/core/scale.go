@@ -43,6 +43,15 @@ type ScaleRequest struct {
 	// probation. Requires Chaos — without faults nothing is ever
 	// blacklisted.
 	Heal *health.Options
+	// Iterations runs the sweep as a multi-round training loop with a
+	// verified barrier between rounds (default 1). Per-round durations are
+	// reported in the result — the congestion benchmarks' tail metric.
+	Iterations int
+	// Congest, when non-nil, enables the fabric's congestion plane and the
+	// per-domain gray-failure detectors; with Congest.Adaptive the sweep
+	// also reroutes flows around links ruled degraded. Congestion chaos
+	// kinds (pfcstorm, incast, hashcollide) require this.
+	Congest *scale.CongestSpec
 }
 
 // RunScale parses, builds, partitions and sweeps a generated topology,
@@ -63,6 +72,8 @@ func RunScale(req ScaleRequest) (*scale.Result, error) {
 		SegBytes:   req.SegBytes,
 		Seed:       req.Seed,
 		Metrics:    req.Metrics,
+		Iterations: req.Iterations,
+		Congest:    req.Congest,
 	}
 	if req.Heal != nil && req.Chaos == "" {
 		return nil, fmt.Errorf("core: scale healing requires a chaos schedule (without faults nothing is ever excluded)")

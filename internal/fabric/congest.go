@@ -1,0 +1,282 @@
+package fabric
+
+import "adapcc/internal/topology"
+
+// The congestion plane models the in-fabric gray failures of real Ethernet
+// datacenter fabrics on the simulated fluid links:
+//
+//   - Per-port egress queues. A port's occupancy is the bytes still
+//     serializing on its edge plus any injected standing load ("phantom"
+//     cross traffic, e.g. an incast fan-in the collective cannot see).
+//   - Queue-occupancy service degradation. Past a knee, a port serves at a
+//     degraded rate (head-of-line blocking, pause-frame duty cycles, switch
+//     buffer pressure folded into one multiplier), linear down to a floor
+//     at the PFC threshold.
+//   - ECMP hash collisions. A collision multiplier models two flows hashed
+//     onto one uplink from the victim flow's point of view: the port
+//     serves the watched traffic at a fraction of nominal.
+//   - PFC (priority flow control). When a port's queue crosses the
+//     threshold it asserts pause frames one hop upstream — every network
+//     port feeding its switch drops to a trickle (PauseScale) until the
+//     hot queue drains below the release mark (hysteresis). A single hot
+//     port can therefore storm a pod, which is exactly the gray-failure
+//     scenario the detection layer must catch.
+//
+// Congestion is performance-only by construction: it changes service
+// rates, never drops or reorders bytes, so survivor sums stay exact and
+// dense↔phantom timelines stay bit-identical. All state lives per-fabric
+// (per-domain in a Sharded), is touched only from the owning engine's
+// events, and costs one nil pointer check on the send path when disabled.
+
+// CongestOptions tunes the congestion plane. Zero values take defaults.
+type CongestOptions struct {
+	// PFCThreshold is the queue occupancy (bytes) at which a port asserts
+	// pause upstream. Default 1 MiB.
+	PFCThreshold int64
+	// PFCRelease is the occupancy at which an asserting port releases its
+	// pause (must be below PFCThreshold for hysteresis). Default
+	// PFCThreshold/2.
+	PFCRelease int64
+	// PauseScale is the service-rate multiplier of a paused port. It must
+	// be positive: a paused port serves a trickle, so queues always drain,
+	// pause release always eventually fires, and a run that never adapts
+	// still terminates. Default 0.02.
+	PauseScale float64
+	// DegradeKnee is the occupancy at which queue-driven degradation
+	// starts. Default PFCThreshold/2.
+	DegradeKnee int64
+	// DegradeFloor is the service multiplier at PFCThreshold occupancy
+	// (degradation is linear between the knee and the threshold). Default
+	// 0.5.
+	DegradeFloor float64
+}
+
+func (o CongestOptions) withDefaults() CongestOptions {
+	if o.PFCThreshold <= 0 {
+		o.PFCThreshold = 1 << 20
+	}
+	if o.PFCRelease <= 0 {
+		o.PFCRelease = o.PFCThreshold / 2
+	}
+	if o.PauseScale <= 0 {
+		o.PauseScale = 0.02
+	}
+	if o.DegradeKnee <= 0 {
+		o.DegradeKnee = o.PFCThreshold / 2
+	}
+	if o.DegradeFloor <= 0 {
+		o.DegradeFloor = 0.5
+	}
+	return o
+}
+
+// port is the per-edge congestion state. Only network-type edges are
+// managed; intra-server NVLink/PCIe edges keep multiplier 1 forever.
+type port struct {
+	managed   bool
+	phantom   int64   // injected standing queue bytes (incast cross traffic)
+	collide   float64 // ECMP-collision service multiplier (1 = none)
+	pausedBy  int     // pause assertions currently received from downstream
+	forced    int     // pfcstorm: rogue pause frames forced onto this port
+	asserting bool    // this port is currently pausing its upstreams
+	pauseTx   uint64  // pause-frame assertions sent by this port
+	maxQueue  int64   // high-water occupancy, for post-run histograms
+}
+
+// Congest is one fabric's congestion plane. All methods must be called
+// from events on the fabric's engine (or before the run starts); in a
+// Sharded each domain has its own Congest (see Sharded.EnableCongestion).
+type Congest struct {
+	fab   *Fabric
+	opts  CongestOptions
+	ports []port
+	// upstream overrides the one-hop pause propagation walk. The default
+	// (nil) walks the local graph's in-edges; Sharded installs a
+	// global-graph walk that posts deltas to foreign owning domains,
+	// because a domain's subgraph does not contain foreign in-edges at its
+	// ghost nodes.
+	upstream func(edge topology.EdgeID, delta int)
+	frames   uint64 // total pause-frame assertions
+}
+
+// EnableCongestion installs the congestion plane on the fabric and returns
+// it. Call once, before traffic starts.
+func (f *Fabric) EnableCongestion(opts CongestOptions) *Congest {
+	if f.cong != nil {
+		return f.cong
+	}
+	c := &Congest{fab: f, opts: opts.withDefaults(), ports: make([]port, f.graph.NumEdges())}
+	for i := range c.ports {
+		if f.graph.Edge(topology.EdgeID(i)).Type.Network() {
+			c.ports[i] = port{managed: true, collide: 1}
+		}
+	}
+	f.cong = c
+	return c
+}
+
+// Congestion returns the fabric's congestion plane, or nil when disabled.
+func (f *Fabric) Congestion() *Congest { return f.cong }
+
+// QueueBytes returns the current egress-queue occupancy of an edge: bytes
+// still serializing plus any injected phantom load. It is a pure read —
+// progress since the last link event is accounted without mutating it.
+func (f *Fabric) QueueBytes(edge topology.EdgeID) int64 {
+	l := f.links[edge]
+	dt := (f.eng.Now() - l.lastUpdate).Seconds()
+	sum := 0.0
+	for _, t := range l.active {
+		rem := t.remaining
+		if dt > 0 {
+			rem -= t.rate * dt
+		}
+		if rem > 0 {
+			sum += rem
+		}
+	}
+	q := int64(sum)
+	if f.cong != nil {
+		q += f.cong.ports[edge].phantom
+	}
+	return q
+}
+
+// Options returns the effective (default-filled) options.
+func (c *Congest) Options() CongestOptions { return c.opts }
+
+// SetPhantom installs a standing phantom load of the given bytes on an
+// edge's queue (0 clears it) — the injection hook for incast windows.
+func (c *Congest) SetPhantom(edge topology.EdgeID, bytes int64) {
+	if !c.ports[edge].managed {
+		return
+	}
+	c.ports[edge].phantom = bytes
+	c.touch(edge)
+}
+
+// SetCollision sets an edge's ECMP-collision service multiplier (1 clears
+// it) — the injection hook for hashcollide windows.
+func (c *Congest) SetCollision(edge topology.EdgeID, factor float64) {
+	if !c.ports[edge].managed {
+		return
+	}
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	c.ports[edge].collide = factor
+	c.touch(edge)
+}
+
+// ForcePause forces (or, with on=false, withdraws) a rogue pause assertion
+// onto an edge — the injection hook for pfcstorm windows: the port itself
+// is paused as if a broken peer were flooding it with pause frames, its
+// real queue then builds past the threshold, and the storm spreads
+// upstream on its own.
+func (c *Congest) ForcePause(edge topology.EdgeID, on bool) {
+	if !c.ports[edge].managed {
+		return
+	}
+	if on {
+		c.ports[edge].forced++
+	} else if c.ports[edge].forced > 0 {
+		c.ports[edge].forced--
+	}
+	c.touch(edge)
+}
+
+// PauseDelta applies a pause assertion delta received from a downstream
+// port (the propagation primitive; Sharded posts these across domains).
+func (c *Congest) PauseDelta(edge topology.EdgeID, delta int) {
+	if !c.ports[edge].managed {
+		return
+	}
+	c.ports[edge].pausedBy += delta
+	c.touch(edge)
+}
+
+// Paused reports whether an edge is currently pause-throttled.
+func (c *Congest) Paused(edge topology.EdgeID) bool {
+	p := &c.ports[edge]
+	return p.managed && p.pausedBy+p.forced > 0
+}
+
+// Factor returns the edge's current effective service multiplier.
+func (c *Congest) Factor(edge topology.EdgeID) float64 { return c.factor(edge) }
+
+// PauseFrames returns the total pause-frame assertions sent on this
+// fabric's ports.
+func (c *Congest) PauseFrames() uint64 { return c.frames }
+
+// MaxQueueBytes returns the high-water queue occupancy observed on an
+// edge (for post-run queue-depth histograms).
+func (c *Congest) MaxQueueBytes(edge topology.EdgeID) int64 { return c.ports[edge].maxQueue }
+
+// factor composes the edge's service multiplier: ECMP collision times
+// either the pause trickle (when any pause is asserted on the port) or the
+// queue-occupancy degradation curve.
+func (c *Congest) factor(edge topology.EdgeID) float64 {
+	p := &c.ports[edge]
+	if !p.managed {
+		return 1
+	}
+	m := p.collide
+	if p.pausedBy+p.forced > 0 {
+		return m * c.opts.PauseScale
+	}
+	occ := c.fab.QueueBytes(edge)
+	switch {
+	case occ <= c.opts.DegradeKnee:
+		return m
+	case occ >= c.opts.PFCThreshold:
+		return m * c.opts.DegradeFloor
+	}
+	frac := float64(occ-c.opts.DegradeKnee) / float64(c.opts.PFCThreshold-c.opts.DegradeKnee)
+	return m * (1 - frac*(1-c.opts.DegradeFloor))
+}
+
+// touch re-evaluates one port after its state may have changed: it applies
+// the current service multiplier and runs the PFC assert/release
+// hysteresis. Called (nil-guarded) from every occupancy-changing site in
+// the fabric — send, delivery, release, abort, rescale — so assertion
+// state is always in sync with occupancy. Pause propagation terminates:
+// pausing an upstream port changes its rate, not its occupancy, so the
+// cascade can only flip each port once per instant.
+func (c *Congest) touch(edge topology.EdgeID) {
+	p := &c.ports[edge]
+	if !p.managed {
+		return
+	}
+	m := c.factor(edge)
+	l := c.fab.links[edge]
+	if l.cscale != m {
+		l.advance()
+		l.cscale = m
+		l.reallocate()
+	}
+	occ := c.fab.QueueBytes(edge)
+	if occ > p.maxQueue {
+		p.maxQueue = occ
+	}
+	if !p.asserting && occ >= c.opts.PFCThreshold {
+		p.asserting = true
+		p.pauseTx++
+		c.frames++
+		c.propagate(edge, +1)
+	} else if p.asserting && occ <= c.opts.PFCRelease {
+		p.asserting = false
+		c.propagate(edge, -1)
+	}
+}
+
+// propagate sends a pause delta one hop upstream: to every network port
+// feeding the congested edge's source switch.
+func (c *Congest) propagate(edge topology.EdgeID, delta int) {
+	if c.upstream != nil {
+		c.upstream(edge, delta)
+		return
+	}
+	from := c.fab.graph.Edge(edge).From
+	for _, ue := range c.fab.graph.In(from) {
+		c.PauseDelta(ue, delta)
+	}
+}

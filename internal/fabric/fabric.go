@@ -156,6 +156,7 @@ type Fabric struct {
 	inj      Injector
 	classes  []Class
 	reg      *metrics.Registry // lazily resolves per-class link-share gauges
+	cong     *Congest          // nil when the congestion plane is disabled
 }
 
 // SetInjector installs (or, with nil, removes) the fault-injection hook.
@@ -192,9 +193,10 @@ func New(eng *sim.Engine, graph *topology.Graph) *Fabric {
 	f.links = make([]*link, graph.NumEdges())
 	for i := range f.links {
 		f.links[i] = &link{
-			fab:   f,
-			edge:  graph.Edge(topology.EdgeID(i)),
-			scale: 1.0,
+			fab:    f,
+			edge:   graph.Edge(topology.EdgeID(i)),
+			scale:  1.0,
+			cscale: 1.0,
 		}
 	}
 	return f
@@ -284,6 +286,9 @@ func (f *Fabric) sendClass(edge topology.EdgeID, stream StreamID, class ClassID,
 	l.advance()
 	l.active = append(l.active, t)
 	l.reallocate()
+	if f.cong != nil {
+		f.cong.touch(edge)
+	}
 	return t
 }
 
@@ -303,6 +308,9 @@ func (f *Fabric) release(t *Transfer, gen uint64) {
 		l.advance()
 		l.active = append(l.active, t)
 		l.reallocate()
+		if f.cong != nil {
+			f.cong.touch(l.edge.ID)
+		}
 		return
 	}
 }
@@ -345,6 +353,9 @@ func (f *Fabric) Abort(t *Transfer, gen uint64) bool {
 		}
 		f.recycle(t)
 		l.reallocate()
+		if f.cong != nil {
+			f.cong.touch(l.edge.ID)
+		}
 		return true
 	}
 	return false
@@ -377,15 +388,19 @@ func (f *Fabric) SetScale(edge topology.EdgeID, scale float64) {
 	l.advance()
 	l.scale = scale
 	l.reallocate()
+	if f.cong != nil {
+		f.cong.touch(edge)
+	}
 }
 
 // Scale returns the current bandwidth multiplier of an edge.
 func (f *Fabric) Scale(edge topology.EdgeID) float64 { return f.links[edge].scale }
 
-// LiveBandwidthBps returns the instantaneous total bandwidth of an edge.
+// LiveBandwidthBps returns the instantaneous total bandwidth of an edge,
+// including any congestion-plane service-rate reduction.
 func (f *Fabric) LiveBandwidthBps(edge topology.EdgeID) float64 {
 	l := f.links[edge]
-	return l.edge.BandwidthBps * l.scale
+	return l.edge.BandwidthBps * l.scale * l.cscale
 }
 
 // BytesDelivered returns the cumulative bytes fully serialised on an edge.
@@ -433,9 +448,13 @@ func (f *Fabric) SetServerNetworkScale(server int, scale float64) {
 
 // link is the per-edge fluid model state.
 type link struct {
-	fab    *Fabric
-	edge   topology.Edge
-	scale  float64
+	fab   *Fabric
+	edge  topology.Edge
+	scale float64
+	// cscale is the congestion plane's service-rate multiplier (queue
+	// occupancy degradation, ECMP collisions, PFC pause). Always 1.0 when
+	// congestion is disabled; composed multiplicatively with scale.
+	cscale float64
 	active []*Transfer
 	// parked holds injector-withheld transfers: they consume no bandwidth
 	// and deliver nothing until released (VerdictHold) or aborted.
@@ -579,7 +598,7 @@ func (l *link) reallocate() {
 		}
 	}
 	l.classIDs, l.classN = cids, cns
-	capacity := l.edge.BandwidthBps * l.scale
+	capacity := l.edge.BandwidthBps * l.scale * l.cscale
 	grant := l.classGrant[:0]
 	for range cids {
 		grant = append(grant, 0)
@@ -651,6 +670,9 @@ func (l *link) Call() {
 	l.nextEv = nil
 	l.advance()
 	l.reallocate()
+	if l.fab.cong != nil {
+		l.fab.cong.touch(l.edge.ID)
+	}
 }
 
 // deliver finishes a transfer: counts its bytes and fires the arrival

@@ -182,6 +182,107 @@ func (s *Sharded) RecoveryEvents() RecoveryCounters {
 	return out
 }
 
+// ShardedCongest addresses the per-domain congestion planes in global
+// terms, mirroring SetScaleGlobal's ownership discipline: every mutation
+// must come from the owning domain's events (or before Run), where the
+// owning domain is EdgeDomain[ge]. chaos.Sharded's congestion kinds are
+// the intended caller.
+type ShardedCongest struct {
+	sh    *Sharded
+	congs []*Congest
+}
+
+// EnableCongestion installs a congestion plane on every domain fabric with
+// one-hop pause propagation over the *global* graph: a domain's subgraph
+// does not contain foreign in-edges at its ghost nodes, so the upstream
+// walk enumerates global in-edges and posts pause deltas to foreign owning
+// domains with the partition's lookahead as the propagation delay (the
+// simulated flight time of a pause frame across the boundary).
+func (s *Sharded) EnableCongestion(opts CongestOptions) *ShardedCongest {
+	sc := &ShardedCongest{sh: s, congs: make([]*Congest, s.part.Domains)}
+	for d := range s.fabs {
+		sc.congs[d] = s.fabs[d].EnableCongestion(opts)
+	}
+	for d := range s.fabs {
+		d := d
+		sc.congs[d].upstream = func(local topology.EdgeID, delta int) {
+			ge := s.globalEdge[d][local]
+			from := s.part.Graph.Edge(ge).From
+			for _, ue := range s.part.Graph.In(from) {
+				if !s.part.Graph.Edge(ue).Type.Network() {
+					continue
+				}
+				dd := s.part.EdgeDomain[ue]
+				le := s.part.EdgeLocal[ue]
+				if dd == d {
+					sc.congs[d].PauseDelta(le, delta)
+					continue
+				}
+				delta := delta
+				s.par.Post(d, dd, s.part.Lookahead, func() {
+					sc.congs[dd].PauseDelta(le, delta)
+				})
+			}
+		}
+	}
+	return sc
+}
+
+// Congestion returns the sharded congestion plane, or nil when disabled.
+func (s *Sharded) Congestion() *ShardedCongest {
+	if s.fabs[0].Congestion() == nil {
+		return nil
+	}
+	sc := &ShardedCongest{sh: s, congs: make([]*Congest, len(s.fabs))}
+	for d := range s.fabs {
+		sc.congs[d] = s.fabs[d].Congestion()
+	}
+	return sc
+}
+
+// Domain returns domain d's congestion plane.
+func (sc *ShardedCongest) Domain(d int) *Congest { return sc.congs[d] }
+
+// SetPhantomGlobal installs a standing phantom load on a global edge's
+// queue. Owning-domain events only.
+func (sc *ShardedCongest) SetPhantomGlobal(ge topology.EdgeID, bytes int64) {
+	sc.congs[sc.sh.part.EdgeDomain[ge]].SetPhantom(sc.sh.part.EdgeLocal[ge], bytes)
+}
+
+// SetCollisionGlobal sets a global edge's ECMP-collision multiplier.
+// Owning-domain events only.
+func (sc *ShardedCongest) SetCollisionGlobal(ge topology.EdgeID, factor float64) {
+	sc.congs[sc.sh.part.EdgeDomain[ge]].SetCollision(sc.sh.part.EdgeLocal[ge], factor)
+}
+
+// ForcePauseGlobal forces (or withdraws) a rogue pause assertion on a
+// global edge. Owning-domain events only.
+func (sc *ShardedCongest) ForcePauseGlobal(ge topology.EdgeID, on bool) {
+	sc.congs[sc.sh.part.EdgeDomain[ge]].ForcePause(sc.sh.part.EdgeLocal[ge], on)
+}
+
+// PausedGlobal reports whether a global edge is currently pause-throttled.
+// Owning-domain events only.
+func (sc *ShardedCongest) PausedGlobal(ge topology.EdgeID) bool {
+	return sc.congs[sc.sh.part.EdgeDomain[ge]].Paused(sc.sh.part.EdgeLocal[ge])
+}
+
+// MaxQueueBytesGlobal returns a global edge's high-water queue occupancy.
+// Only meaningful once Run has returned (or from owning-domain events).
+func (sc *ShardedCongest) MaxQueueBytesGlobal(ge topology.EdgeID) int64 {
+	return sc.congs[sc.sh.part.EdgeDomain[ge]].MaxQueueBytes(sc.sh.part.EdgeLocal[ge])
+}
+
+// PauseFrames folds the per-domain pause-frame counters. Only meaningful
+// once Run has returned (or before it starts).
+func (sc *ShardedCongest) PauseFrames() uint64 {
+	var total uint64
+	for _, c := range sc.congs {
+		total += c.PauseFrames()
+	}
+	return total
+}
+
 // SendGlobal transfers size bytes over one global edge. Like Fabric.Send,
 // onArrive fires after serialization plus the edge's α — but in the domain
 // owning the edge's destination node, which for a cross-domain edge differs

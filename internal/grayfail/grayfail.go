@@ -1,0 +1,385 @@
+// Package grayfail detects in-fabric congestion as a *gray* failure: a link
+// that still delivers every byte, just slowly. The classic fault loop
+// (deadline miss → exclude → heal) cannot see it — a congested link never
+// misses a liveness deadline outright, it just drags the collective's tail.
+//
+// The Monitor samples each watched link on a fixed virtual-time cadence and
+// compares achieved throughput against the link's profiled baseline. A
+// sample only counts when the link is backlogged (queue occupancy above
+// MinQueueBytes): an idle link transfers nothing and proves nothing. The
+// per-link utilization ratio is folded into an EWMA; when the EWMA sits
+// below DegradeBelow for DegradeAfter consecutive backlogged samples, the
+// monitor issues a *degraded* verdict — not dead — and hands the link to a
+// tightly-tuned health.Monitor (DeadlineMult barely above nominal, so a
+// probe through a still-congested port misses and relapses) whose
+// quarantine→probation→healthy machinery decides when the link has
+// un-degraded. Promotions surface as restored verdicts; links that never
+// recover are condemned.
+//
+// Hysteresis lives in three places: the EWMA itself, the DegradeAfter
+// streak, and the health machinery's K-streak probation — so an ECMP hash
+// flap does not thrash the strategy layer.
+package grayfail
+
+import (
+	"sort"
+	"time"
+
+	"adapcc/internal/fabric"
+	"adapcc/internal/health"
+	"adapcc/internal/metrics"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// Verdict classifies a gray-failure event.
+type Verdict int
+
+const (
+	// VerdictDegraded: the link is alive but persistently under-delivering.
+	VerdictDegraded Verdict = iota
+	// VerdictRestored: the health machinery promoted the link back.
+	VerdictRestored
+	// VerdictCondemned: the link never recovered; treat it as dead.
+	VerdictCondemned
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictDegraded:
+		return "degraded"
+	case VerdictRestored:
+		return "restored"
+	case VerdictCondemned:
+		return "condemned"
+	default:
+		return "verdict(?)"
+	}
+}
+
+// Options tunes the detector. Zero values take defaults.
+type Options struct {
+	// Interval is the sampling cadence (default 200µs).
+	Interval time.Duration
+	// Alpha is the EWMA weight of each new sample (default 0.3).
+	Alpha float64
+	// DegradeBelow is the utilization ratio under which a backlogged sample
+	// counts against the link (default 0.55 — safely below the congestion
+	// plane's default degradation floor yet far above a PFC pause trickle).
+	DegradeBelow float64
+	// RecoverAbove resets the bad-sample streak (default 0.85). The gap
+	// between the two thresholds is the detector's own hysteresis band.
+	RecoverAbove float64
+	// DegradeAfter is the consecutive-bad-sample streak that triggers the
+	// degraded verdict (default 3).
+	DegradeAfter int
+	// MinQueueBytes is the backlog below which a sample is uninformative and
+	// skipped (default 64 KiB).
+	MinQueueBytes int64
+	// Heal tunes the un-degrade machinery. The defaults here differ from
+	// health's own: probes are large (1 MiB) with a deadline barely above
+	// nominal (×1.2), so a probe across a still-congested port fails — which
+	// is exactly the "is it still slow?" question, not "is it alive?".
+	Heal health.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 200 * time.Microsecond
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = 0.3
+	}
+	if o.DegradeBelow <= 0 {
+		o.DegradeBelow = 0.55
+	}
+	if o.RecoverAbove <= 0 {
+		o.RecoverAbove = 0.85
+	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = 3
+	}
+	if o.MinQueueBytes <= 0 {
+		o.MinQueueBytes = 64 << 10
+	}
+	h := &o.Heal
+	if h.ProbeBytes <= 0 {
+		h.ProbeBytes = 1 << 20
+	}
+	if h.DeadlineMult <= 0 {
+		h.DeadlineMult = 1.2
+	}
+	if h.DeadlineFloor <= 0 {
+		h.DeadlineFloor = time.Microsecond
+	}
+	if h.Quarantine <= 0 {
+		h.Quarantine = 2 * time.Millisecond
+	}
+	if h.ProbeInterval <= 0 {
+		h.ProbeInterval = 500 * time.Microsecond
+	}
+	if h.ProbationK <= 0 {
+		h.ProbationK = 3
+	}
+	if h.GiveUpAfter <= 0 {
+		h.GiveUpAfter = 6
+	}
+	if h.MaxQuarantine <= 0 {
+		h.MaxQuarantine = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Event is one verdict, handed to the monitor's callback on the owning
+// engine's event loop.
+type Event struct {
+	Edge     topology.EdgeID
+	From, To topology.NodeID
+	Verdict  Verdict
+	// Ratio is the EWMA utilization at verdict time (degraded verdicts).
+	Ratio float64
+	At    sim.Time
+	// SuspectedFor is how long the bad streak ran before the degraded
+	// verdict, or how long the link was degraded before restore/condemn —
+	// the detector's contribution to time-to-adapt.
+	SuspectedFor time.Duration
+}
+
+// watch is one link's detector state.
+type watch struct {
+	edge        topology.EdgeID
+	baselineBps float64 // profiled nominal service rate at Watch time
+	lastBytes   int64
+	ewma        float64
+	primed      bool
+	badStreak   int
+	badSince    sim.Time
+	degraded    bool
+	degradedAt  sim.Time
+}
+
+// Monitor watches links for gray failures. Single-threaded on its engine;
+// in a sharded sweep each domain runs its own Monitor over its own fabric.
+type Monitor struct {
+	eng     *sim.Engine
+	fab     *fabric.Fabric
+	g       *topology.Graph
+	opts    Options
+	onEvent func(Event)
+	heal    *health.Monitor
+
+	links   map[topology.EdgeID]*watch
+	order   []topology.EdgeID // deterministic sampling order
+	running bool
+	stopped bool
+
+	verdicts map[Verdict]int
+}
+
+// New builds a monitor over a fabric. onEvent receives every verdict; links
+// arrive via Watch and sampling starts at Start.
+func New(eng *sim.Engine, fab *fabric.Fabric, opts Options, onEvent func(Event)) *Monitor {
+	m := &Monitor{
+		eng:      eng,
+		fab:      fab,
+		g:        fab.Graph(),
+		opts:     opts.withDefaults(),
+		onEvent:  onEvent,
+		links:    make(map[topology.EdgeID]*watch),
+		verdicts: make(map[Verdict]int),
+	}
+	m.heal = health.New(eng, fab, nil, m.opts.Heal, health.Hooks{
+		OnHeal:    m.onHeal,
+		OnCondemn: m.onCondemn,
+	})
+	return m
+}
+
+// Options returns the effective (default-filled) options.
+func (m *Monitor) Options() Options { return m.opts }
+
+// Watch adds a link to the sampled set (idempotent). Its baseline is the
+// link's current nominal service rate — call after profiling, before chaos.
+func (m *Monitor) Watch(edge topology.EdgeID) {
+	if m.stopped {
+		return
+	}
+	if _, ok := m.links[edge]; ok {
+		return
+	}
+	e := m.g.Edge(edge)
+	m.links[edge] = &watch{
+		edge:        edge,
+		baselineBps: e.BandwidthBps * m.fab.Scale(edge),
+		lastBytes:   m.fab.BytesDelivered(edge),
+	}
+	m.order = append(m.order, edge)
+	sort.Slice(m.order, func(i, j int) bool { return m.order[i] < m.order[j] })
+}
+
+// Start begins the sampling loop. Call once, from before the run or an
+// event on the engine.
+func (m *Monitor) Start() {
+	if m.running || m.stopped {
+		return
+	}
+	m.running = true
+	m.eng.After(m.opts.Interval, m.tick)
+}
+
+// Stop retires the monitor: no further samples or verdicts, and the health
+// machinery is stopped so the engine can drain.
+func (m *Monitor) Stop() {
+	m.stopped = true
+	m.heal.Stop()
+}
+
+// Degraded reports whether a watched link currently holds a degraded
+// verdict.
+func (m *Monitor) Degraded(edge topology.EdgeID) bool {
+	w := m.links[edge]
+	return w != nil && w.degraded
+}
+
+// Verdicts returns how many verdicts of each kind have fired.
+func (m *Monitor) Verdicts() map[Verdict]int {
+	out := make(map[Verdict]int, len(m.verdicts))
+	for k, v := range m.verdicts {
+		out[k] = v
+	}
+	return out
+}
+
+// ExportMetrics writes the verdict tallies into a registry as
+// adapcc_grayfail_verdicts_total{world,verdict}. Call after the run: the
+// registry is not written from concurrent domain events.
+func (m *Monitor) ExportMetrics(reg *metrics.Registry, world string, at sim.Time) {
+	for _, v := range []Verdict{VerdictDegraded, VerdictRestored, VerdictCondemned} {
+		if n := m.verdicts[v]; n > 0 {
+			reg.Counter("adapcc_grayfail_verdicts_total",
+				"gray-failure verdicts issued by the congestion detector",
+				"world", world, "verdict", v.String()).Add(at, float64(n))
+		}
+	}
+}
+
+func (m *Monitor) tick() {
+	if m.stopped {
+		return
+	}
+	now := m.eng.Now()
+	for _, eid := range m.order {
+		m.sample(m.links[eid], now)
+	}
+	m.eng.After(m.opts.Interval, m.tick)
+}
+
+func (m *Monitor) sample(w *watch, now sim.Time) {
+	delivered := m.fab.BytesDelivered(w.edge)
+	delta := delivered - w.lastBytes
+	w.lastBytes = delivered
+	if w.degraded {
+		return // the health machinery owns the link until it rules
+	}
+	// The queue must be backlogged for the ratio to mean anything: count
+	// what is still waiting plus what just left.
+	backlog := m.fab.QueueBytes(w.edge) + delta
+	if backlog < m.opts.MinQueueBytes || w.baselineBps <= 0 {
+		return
+	}
+	expect := w.baselineBps * m.opts.Interval.Seconds()
+	ratio := float64(delta) / expect
+	if ratio > 1 {
+		ratio = 1
+	}
+	if !w.primed {
+		w.ewma, w.primed = ratio, true
+	} else {
+		w.ewma = m.opts.Alpha*ratio + (1-m.opts.Alpha)*w.ewma
+	}
+	switch {
+	case w.ewma < m.opts.DegradeBelow:
+		if w.badStreak == 0 {
+			w.badSince = now
+		}
+		w.badStreak++
+		if w.badStreak >= m.opts.DegradeAfter {
+			m.degrade(w, now)
+		}
+	case w.ewma > m.opts.RecoverAbove:
+		w.badStreak = 0
+	}
+}
+
+func (m *Monitor) degrade(w *watch, now sim.Time) {
+	w.degraded = true
+	w.degradedAt = now
+	m.verdicts[VerdictDegraded]++
+	e := m.g.Edge(w.edge)
+	if m.onEvent != nil {
+		m.onEvent(Event{
+			Edge: w.edge, From: e.From, To: e.To,
+			Verdict: VerdictDegraded, Ratio: w.ewma, At: now,
+			SuspectedFor: now - w.badSince,
+		})
+	}
+	m.heal.WatchLink(e.From, e.To)
+}
+
+// matching returns the watched links between a healed/condemned node pair
+// (the health monitor reports pairs, we watch directed edges).
+func (m *Monitor) matching(from, to topology.NodeID) []*watch {
+	var out []*watch
+	for _, eid := range m.order {
+		w := m.links[eid]
+		e := m.g.Edge(eid)
+		lo, hi := e.From, e.To
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		if lo == from && hi == to && w.degraded {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (m *Monitor) onHeal(ev health.Event) {
+	if m.stopped {
+		return
+	}
+	now := m.eng.Now()
+	for _, w := range m.matching(ev.From, ev.To) {
+		w.degraded = false
+		w.badStreak = 0
+		w.primed = false
+		w.lastBytes = m.fab.BytesDelivered(w.edge)
+		m.verdicts[VerdictRestored]++
+		e := m.g.Edge(w.edge)
+		if m.onEvent != nil {
+			m.onEvent(Event{
+				Edge: w.edge, From: e.From, To: e.To,
+				Verdict: VerdictRestored, Ratio: w.ewma, At: now,
+				SuspectedFor: now - w.degradedAt,
+			})
+		}
+	}
+}
+
+func (m *Monitor) onCondemn(ev health.Event) {
+	if m.stopped {
+		return
+	}
+	now := m.eng.Now()
+	for _, w := range m.matching(ev.From, ev.To) {
+		m.verdicts[VerdictCondemned]++
+		e := m.g.Edge(w.edge)
+		if m.onEvent != nil {
+			m.onEvent(Event{
+				Edge: w.edge, From: e.From, To: e.To,
+				Verdict: VerdictCondemned, Ratio: w.ewma, At: now,
+				SuspectedFor: now - w.degradedAt,
+			})
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package grayfail
+
+import (
+	"testing"
+	"time"
+
+	"adapcc/internal/fabric"
+	"adapcc/internal/metrics"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// grayEnv is a one-hop network fabric with the congestion plane enabled:
+// NIC a → switch x → switch y, the x→y edge being the watched hot port.
+func grayEnv(t *testing.T) (*sim.Engine, *fabric.Fabric, *fabric.Congest, topology.EdgeID) {
+	t.Helper()
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Node{Kind: topology.KindNIC, Server: 0, Index: 0, Rank: -1})
+	x := g.AddNode(topology.Node{Kind: topology.KindSwitch, Server: -1, Rank: -1})
+	y := g.AddNode(topology.Node{Kind: topology.KindSwitch, Server: -1, Rank: -1})
+	g.AddEdge(topology.Edge{From: a, To: x, Type: topology.LinkRDMA, Alpha: time.Microsecond, BandwidthBps: 1e9})
+	hot := g.AddEdge(topology.Edge{From: x, To: y, Type: topology.LinkRDMA, Alpha: time.Microsecond, BandwidthBps: 1e9})
+	eng := sim.NewEngine(1)
+	fab := fabric.New(eng, g)
+	c := fab.EnableCongestion(fabric.CongestOptions{PFCThreshold: 64 << 20})
+	return eng, fab, c, hot
+}
+
+// backlog keeps the hot port busy so samples are informative.
+func backlog(fab *fabric.Fabric, edge topology.EdgeID, n int, size int64) {
+	for i := 0; i < n; i++ {
+		fab.Send(edge, size, nil, nil)
+	}
+}
+
+// TestGrayfailDegradeAndRestore: a collided link under load draws a
+// degraded verdict within a few sampling intervals; once the collision
+// clears, the tightly-tuned health probes promote it back and a restored
+// verdict fires.
+func TestGrayfailDegradeAndRestore(t *testing.T) {
+	eng, fab, c, hot := grayEnv(t)
+	var events []Event
+	m := New(eng, fab, Options{}, func(ev Event) { events = append(events, ev) })
+	m.Watch(hot)
+	m.Start()
+
+	eng.At(0, func() {
+		c.SetCollision(hot, 0.3)
+		backlog(fab, hot, 10, 256<<10)
+	})
+	eng.At(sim.Time(20*time.Millisecond), func() { c.SetCollision(hot, 1) })
+	eng.At(sim.Time(80*time.Millisecond), func() { m.Stop() })
+	eng.Run()
+
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want degraded then restored: %+v", len(events), events)
+	}
+	deg := events[0]
+	if deg.Verdict != VerdictDegraded || deg.Edge != hot {
+		t.Fatalf("first event = %+v, want degraded on edge %d", deg, hot)
+	}
+	if deg.At > sim.Time(2*time.Millisecond) {
+		t.Errorf("degraded verdict at %v; detection should take a few sampling intervals", deg.At)
+	}
+	if deg.Ratio >= 0.55 {
+		t.Errorf("degraded ratio %g, want < DegradeBelow", deg.Ratio)
+	}
+	res := events[len(events)-1]
+	if res.Verdict != VerdictRestored || res.Edge != hot {
+		t.Fatalf("last event = %+v, want restored on edge %d", res, hot)
+	}
+	if res.At < sim.Time(20*time.Millisecond) {
+		t.Errorf("restored at %v, before the collision cleared", res.At)
+	}
+	if m.Degraded(hot) {
+		t.Error("link still marked degraded after restore")
+	}
+	if v := m.Verdicts(); v[VerdictDegraded] != 1 || v[VerdictRestored] != 1 {
+		t.Errorf("verdict tallies %v, want one degraded and one restored", v)
+	}
+
+	reg := metrics.New()
+	m.ExportMetrics(reg, "w", eng.Now())
+	got := reg.Counter("adapcc_grayfail_verdicts_total", "",
+		"world", "w", "verdict", "degraded").Value()
+	if got != 1 {
+		t.Errorf("exported degraded counter = %g, want 1", got)
+	}
+}
+
+// TestGrayfailCondemnsPersistent: a link that never recovers exhausts the
+// health machinery's relapses and is condemned.
+func TestGrayfailCondemnsPersistent(t *testing.T) {
+	eng, fab, c, hot := grayEnv(t)
+	var events []Event
+	m := New(eng, fab, Options{}, func(ev Event) { events = append(events, ev) })
+	m.Watch(hot)
+	m.Start()
+	eng.At(0, func() {
+		c.SetCollision(hot, 0.1) // forever
+		backlog(fab, hot, 12, 256<<10)
+	})
+	eng.At(sim.Time(400*time.Millisecond), func() { m.Stop() })
+	eng.Run()
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want degraded then condemned: %+v", len(events), events)
+	}
+	if events[0].Verdict != VerdictDegraded {
+		t.Fatalf("first event %+v, want degraded", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Verdict != VerdictCondemned {
+		t.Fatalf("last event %+v, want condemned", last)
+	}
+	if last.SuspectedFor <= 0 {
+		t.Error("condemn event carries no suspicion duration")
+	}
+}
+
+// TestGrayfailIdleLinkStaysQuiet: an idle (or barely loaded) link produces
+// no samples and no verdicts, whatever its multiplier — no traffic, no
+// evidence.
+func TestGrayfailIdleLinkStaysQuiet(t *testing.T) {
+	eng, fab, c, hot := grayEnv(t)
+	var events []Event
+	m := New(eng, fab, Options{}, func(ev Event) { events = append(events, ev) })
+	m.Watch(hot)
+	m.Start()
+	eng.At(0, func() { c.SetCollision(hot, 0.2) })
+	eng.At(sim.Time(10*time.Millisecond), func() {
+		fab.Send(hot, 1<<10, nil, nil) // 1 KiB: below MinQueueBytes
+	})
+	eng.At(sim.Time(30*time.Millisecond), func() { m.Stop() })
+	eng.Run()
+	if len(events) != 0 {
+		t.Fatalf("idle link drew verdicts: %+v", events)
+	}
+}

@@ -1,0 +1,364 @@
+package scale
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"adapcc/internal/fabric"
+	"adapcc/internal/grayfail"
+	"adapcc/internal/metrics"
+	"adapcc/internal/sim"
+	"adapcc/internal/topology"
+)
+
+// CongestSpec enables the in-fabric congestion plane on a sweep: per-port
+// egress queues with PFC on the sharded fabric, ECMP flow-keyed initial
+// routes (so distinct flows spread across equal-cost spines — and can
+// collide), per-domain gray-failure detectors, and, when Adaptive, online
+// strategy switching: on a degraded verdict every domain's routing view
+// soft-avoids the link, and each rank lazily recomputes its ring routes
+// around it at the next send. With Adaptive off the detectors still run
+// (the verdict stream is the experiment's control) but routes stay frozen.
+type CongestSpec struct {
+	// Fabric tunes the congestion plane (PFC thresholds, pause trickle).
+	Fabric fabric.CongestOptions
+	// Detect tunes the gray-failure detectors (one per domain).
+	Detect grayfail.Options
+	// Adaptive switches strategies on degraded verdicts; false freezes the
+	// routes, the baseline the adaptation is measured against.
+	Adaptive bool
+}
+
+// CongestStats is the fold of one congested sweep's detection and
+// adaptation activity. All fields are comparable, so worker-count
+// bit-identity can be checked with ==.
+type CongestStats struct {
+	// Degraded / Restored / Condemned count gray-failure verdicts.
+	Degraded  uint64
+	Restored  uint64
+	Condemned uint64
+	// PathReroutes counts rank route recomputes that changed a path.
+	PathReroutes uint64
+	// PauseFrames / MaxQueueBytes summarize the congestion plane itself.
+	PauseFrames   uint64
+	MaxQueueBytes int64
+	// Adaptations counts degrade→reroute episodes; TimeToAdaptMax/Sum
+	// aggregate their verdict-to-first-reroute latencies.
+	Adaptations    uint64
+	TimeToAdaptMax time.Duration
+	TimeToAdaptSum time.Duration
+}
+
+// congestState wires the congestion plane, the per-domain detectors and the
+// adaptive routing view into a sweep. Per-domain slices are owned by their
+// domain's events; per-rank slices by the rank's home domain.
+type congestState struct {
+	spec CongestSpec
+	sc   *fabric.ShardedCongest
+	mons []*grayfail.Monitor
+
+	// view[d] is domain d's degraded-edge set (global ids); viewVer[d]
+	// bumps on every change so ranks can refresh their routes lazily.
+	view    []map[topology.EdgeID]bool
+	viewVer []uint64
+	// core[ge] marks switch-to-switch edges — the multipath tiers where an
+	// equal-cost detour can exist. A PFC storm's pause propagates upstream
+	// into single-path host links, which then draw degraded verdicts of
+	// their own; routing can only steer around the core members of the
+	// view, so refresh falls back to avoiding just those.
+	core []bool
+	// pendingAt[d] is the earliest not-yet-adapted degraded verdict, the
+	// start of the time-to-adapt clock.
+	pendingAt []sim.Time
+
+	// pathVer[r] is the view version rank r's routes were computed at.
+	pathVer []uint64
+
+	degraded, restored, condemned, rerouted []uint64
+	ttas                                    [][]time.Duration
+}
+
+// ProbeSpineEdge routes the sweep the given options describe (without
+// running it) and returns the first switch-to-switch network edge on a
+// cross-group ring route — a spine port the collective is guaranteed to
+// traverse, which is what a congestion benchmark wants to storm. The probe
+// sends no traffic.
+func ProbeSpineEdge(opts Options) (topology.EdgeID, error) {
+	if opts.Congest == nil {
+		opts.Congest = &CongestSpec{}
+	}
+	s, err := newSweep(opts)
+	if err != nil {
+		return 0, err
+	}
+	g := s.part.Graph
+	for _, members := range s.group {
+		p := s.crossPath[members[0]]
+		for i := 0; i+1 < len(p); i++ {
+			ge, ok := g.EdgeBetween(p[i], p[i+1])
+			if !ok || !g.Edge(ge).Type.Network() {
+				continue
+			}
+			if g.Node(p[i]).Kind == topology.KindSwitch && g.Node(p[i+1]).Kind == topology.KindSwitch {
+				return ge, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("scale: no switch-to-switch edge on any cross-group route (single-switch topology?)")
+}
+
+// flowKeyNext / flowKeyCross are the per-rank ECMP flow keys of the group
+// ring and the cross ring — the simulator's 5-tuples. Distinct keys fan the
+// rings' flows across equal-cost spines; an unlucky pair hashing onto one
+// uplink is exactly the collision the hashcollide fault models.
+func (s *sweep) flowKeyNext(r int) uint64 {
+	return mix64(uint64(s.opts.Seed)<<32 ^ uint64(r)<<20 ^ 0x85157af5)
+}
+
+func (s *sweep) flowKeyCross(r int) uint64 {
+	return mix64(uint64(s.opts.Seed)<<32 ^ uint64(r)<<20 ^ 0xc4051ab9)
+}
+
+// routeNext / routeCross compute rank r's ring routes by flow-keyed ECMP,
+// restricted to edges avoid admits (nil avoid = the whole fabric).
+func (s *sweep) routeNext(r int, avoid func(topology.EdgeID) bool) []topology.NodeID {
+	gpu := s.part.Graph.GPUs()
+	next := s.group[s.grp[r]][(s.pos[r]+1)%s.m]
+	return s.part.Graph.ECMPPathAvoid(gpu[r], gpu[next], s.flowKeyNext(r), avoid)
+}
+
+func (s *sweep) routeCross(r int, avoid func(topology.EdgeID) bool) []topology.NodeID {
+	gpu := s.part.Graph.GPUs()
+	peer := s.group[(s.grp[r]+1)%s.g][s.pos[r]]
+	return s.part.Graph.ECMPPathAvoid(gpu[r], gpu[peer], s.flowKeyCross(r), avoid)
+}
+
+func newCongestState(s *sweep, spec CongestSpec) *congestState {
+	doms := s.part.Domains
+	cs := &congestState{
+		spec:      spec,
+		sc:        s.sh.EnableCongestion(spec.Fabric),
+		mons:      make([]*grayfail.Monitor, doms),
+		view:      make([]map[topology.EdgeID]bool, doms),
+		viewVer:   make([]uint64, doms),
+		pendingAt: make([]sim.Time, doms),
+		pathVer:   make([]uint64, len(s.vals)),
+		degraded:  make([]uint64, doms),
+		restored:  make([]uint64, doms),
+		condemned: make([]uint64, doms),
+		rerouted:  make([]uint64, doms),
+		ttas:      make([][]time.Duration, doms),
+	}
+	for d := 0; d < doms; d++ {
+		d := d
+		cs.view[d] = make(map[topology.EdgeID]bool)
+		cs.mons[d] = grayfail.New(s.sh.Engine(d), s.sh.Fabric(d), spec.Detect,
+			func(ev grayfail.Event) { cs.onVerdict(s, d, ev) })
+	}
+	// Watch every network edge from its owning domain's detector.
+	g := s.part.Graph
+	cs.core = make([]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		if !e.Type.Network() {
+			continue
+		}
+		cs.core[e.ID] = g.Node(e.From).Kind == topology.KindSwitch &&
+			g.Node(e.To).Kind == topology.KindSwitch
+		d := s.part.EdgeDomain[e.ID]
+		cs.mons[d].Watch(s.part.EdgeLocal[e.ID])
+	}
+	for d := 0; d < doms; d++ {
+		cs.mons[d].Start()
+	}
+	return cs
+}
+
+// onVerdict runs in domain d's events (the detector lives there). The view
+// delta is applied locally and posted to every other domain at the
+// lookahead horizon, so all routing views converge deterministically.
+func (cs *congestState) onVerdict(s *sweep, d int, ev grayfail.Event) {
+	ge := s.sh.GlobalEdge(d, ev.Edge)
+	switch ev.Verdict {
+	case grayfail.VerdictDegraded:
+		cs.degraded[d]++
+	case grayfail.VerdictRestored:
+		cs.restored[d]++
+	case grayfail.VerdictCondemned:
+		// The edge stays in the view for good: condemned is the ladder's
+		// terminal rung, the link is treated as lost capacity.
+		cs.condemned[d]++
+		return
+	}
+	if !cs.spec.Adaptive {
+		return
+	}
+	on := ev.Verdict == grayfail.VerdictDegraded
+	for dd := 0; dd < s.part.Domains; dd++ {
+		dd := dd
+		if dd == d {
+			cs.applyView(s, dd, ge, on)
+			continue
+		}
+		s.sh.Parallel().Post(d, dd, s.part.Lookahead, func() { cs.applyView(s, dd, ge, on) })
+	}
+}
+
+func (cs *congestState) applyView(s *sweep, d int, ge topology.EdgeID, on bool) {
+	if on == cs.view[d][ge] {
+		return
+	}
+	if on {
+		cs.view[d][ge] = true
+		if cs.pendingAt[d] == 0 {
+			cs.pendingAt[d] = s.sh.Engine(d).Now()
+		}
+	} else {
+		delete(cs.view[d], ge)
+	}
+	cs.viewVer[d]++
+}
+
+// refresh lazily recomputes rank r's ring routes when its home domain's
+// degraded view has changed since they were last computed. A nil detour
+// (the view disconnects the endpoints) keeps the current path: degraded
+// links are slow, not dead — soft avoidance never strands a flow.
+func (cs *congestState) refresh(s *sweep, r int) {
+	d := s.part.RankDomain[r]
+	if cs.pathVer[r] == cs.viewVer[d] {
+		return
+	}
+	cs.pathVer[r] = cs.viewVer[d]
+	var avoid, avoidCore func(topology.EdgeID) bool
+	if len(cs.view[d]) > 0 {
+		avoid = func(ge topology.EdgeID) bool { return cs.view[d][ge] }
+		avoidCore = func(ge topology.EdgeID) bool { return cs.view[d][ge] && cs.core[ge] }
+	}
+	pick := func(route func(int, func(topology.EdgeID) bool) []topology.NodeID) []topology.NodeID {
+		if p := route(r, avoid); p != nil {
+			return p
+		}
+		if avoid == nil {
+			return nil
+		}
+		// The full view disconnects the endpoints (degraded host links have
+		// no siblings): steer around just its core members.
+		return route(r, avoidCore)
+	}
+	changed := false
+	if s.m > 1 {
+		if p := pick(s.routeNext); p != nil && !samePath(p, s.nextPath[r]) {
+			s.nextPath[r] = p
+			changed = true
+		}
+	}
+	if s.g > 1 {
+		if p := pick(s.routeCross); p != nil && !samePath(p, s.crossPath[r]) {
+			s.crossPath[r] = p
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	cs.rerouted[d]++
+	if cs.pendingAt[d] != 0 {
+		cs.ttas[d] = append(cs.ttas[d], time.Duration(s.sh.Engine(d).Now()-cs.pendingAt[d]))
+		cs.pendingAt[d] = 0
+	}
+}
+
+func samePath(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fold aggregates the per-domain tallies plus the congestion plane's own
+// counters into one comparable snapshot. Runs single-threaded after Run.
+func (cs *congestState) fold(s *sweep) CongestStats {
+	var out CongestStats
+	for d := range cs.degraded {
+		out.Degraded += cs.degraded[d]
+		out.Restored += cs.restored[d]
+		out.Condemned += cs.condemned[d]
+		out.PathReroutes += cs.rerouted[d]
+		for _, tta := range cs.ttas[d] {
+			out.Adaptations++
+			out.TimeToAdaptSum += tta
+			if tta > out.TimeToAdaptMax {
+				out.TimeToAdaptMax = tta
+			}
+		}
+	}
+	out.PauseFrames = cs.sc.PauseFrames()
+	for _, e := range s.part.Graph.Edges() {
+		if !e.Type.Network() {
+			continue
+		}
+		if q := cs.sc.MaxQueueBytesGlobal(e.ID); q > out.MaxQueueBytes {
+			out.MaxQueueBytes = q
+		}
+	}
+	return out
+}
+
+// queueDepthBuckets are byte buckets for the queue-depth histogram,
+// 4 KiB → 64 MiB in powers of four.
+var queueDepthBuckets = []float64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+
+// exportMetrics publishes the congestion fold into a registry, labeled by
+// world size. Runs single-threaded after Run (the registry is not
+// concurrency-safe).
+func (cs *congestState) exportMetrics(s *sweep, reg *metrics.Registry, stats CongestStats) {
+	if reg == nil {
+		return
+	}
+	world := strconv.Itoa(len(s.vals))
+	now := sim.Time(s.sh.Parallel().Now())
+	for _, v := range []struct {
+		verdict string
+		n       uint64
+	}{
+		{"degraded", stats.Degraded},
+		{"restored", stats.Restored},
+		{"condemned", stats.Condemned},
+	} {
+		if v.n > 0 {
+			reg.Counter("adapcc_grayfail_verdicts_total",
+				"gray-failure verdicts issued by the congestion detector",
+				"world", world, "verdict", v.verdict).Add(now, float64(v.n))
+		}
+	}
+	reg.Counter("adapcc_congest_pause_frames_total",
+		"PFC pause-frame assertions sent by fabric ports",
+		"world", world).Add(now, float64(stats.PauseFrames))
+	reg.Counter("adapcc_scale_path_reroutes_total",
+		"rank ring routes recomputed around degraded links",
+		"world", world).Add(now, float64(stats.PathReroutes))
+	qh := reg.Histogram("adapcc_congest_queue_depth_bytes",
+		"per-port high-water egress queue occupancy", queueDepthBuckets,
+		"world", world)
+	for _, e := range s.part.Graph.Edges() {
+		if !e.Type.Network() {
+			continue
+		}
+		if q := cs.sc.MaxQueueBytesGlobal(e.ID); q > 0 {
+			qh.Observe(now, float64(q))
+		}
+	}
+	th := reg.Histogram("adapcc_time_to_adapt_seconds",
+		"degraded-verdict-to-first-reroute latency", metrics.DurationBuckets,
+		"world", world)
+	for d := range cs.ttas {
+		for _, tta := range cs.ttas[d] {
+			th.ObserveDuration(now, tta)
+		}
+	}
+}

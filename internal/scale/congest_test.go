@@ -1,0 +1,241 @@
+package scale
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"adapcc/internal/chaos"
+	"adapcc/internal/topology"
+)
+
+// congestRun executes one sweep with the congestion plane enabled.
+func congestRun(topo *topology.Topo, workers int, seed int64, iters int, adaptive bool, spec *chaos.Spec, rec *Resilience) (*Result, error) {
+	return Run(Options{
+		Topo: topo, Workers: workers, Seed: seed, Iterations: iters,
+		Congest: &CongestSpec{Adaptive: adaptive},
+		Chaos:   spec, Recovery: rec,
+	})
+}
+
+// requireCongestIdentical extends requireIdentical to the congestion fold
+// and the per-iteration duration series.
+func requireCongestIdentical(t *testing.T, label string, a, b *Result, aerr, berr error) {
+	t.Helper()
+	requireIdentical(t, label, a, b, aerr, berr)
+	if aerr != nil {
+		return
+	}
+	if (a.Congest == nil) != (b.Congest == nil) {
+		t.Fatalf("%s: congestion fold present in one run only", label)
+	}
+	if a.Congest != nil && *a.Congest != *b.Congest {
+		t.Fatalf("%s: congestion folds diverge:\n%+v\nvs\n%+v", label, *a.Congest, *b.Congest)
+	}
+	if len(a.IterDurations) != len(b.IterDurations) {
+		t.Fatalf("%s: iteration counts diverge: %d vs %d", label, len(a.IterDurations), len(b.IterDurations))
+	}
+	for i := range a.IterDurations {
+		if a.IterDurations[i] != b.IterDurations[i] {
+			t.Fatalf("%s: iteration %d durations diverge: %v vs %v",
+				label, i, a.IterDurations, b.IterDurations)
+		}
+	}
+}
+
+// spineEdge picks the first switch-to-switch network edge along a path — a
+// spine-tier port with equal-cost siblings, the kind a reroute can avoid.
+func spineEdge(t *testing.T, topo *topology.Topo, path []topology.NodeID) topology.EdgeID {
+	t.Helper()
+	g := topo.Graph
+	for i := 0; i+1 < len(path); i++ {
+		ge, ok := g.EdgeBetween(path[i], path[i+1])
+		if !ok || !g.Edge(ge).Type.Network() {
+			continue
+		}
+		if g.Node(path[i]).Kind == topology.KindSwitch && g.Node(path[i+1]).Kind == topology.KindSwitch {
+			return ge
+		}
+	}
+	t.Fatalf("path %v has no switch-switch network edge", path)
+	return 0
+}
+
+// TestSweepIterationsBarrier: the multi-iteration barrier alone (no
+// congestion) — every round re-verified, the duration series recorded, the
+// timeline bit-identical across worker counts, and the guarded variant
+// (which exercises the per-iteration dedup reset and stale-chunk gate)
+// reaching the same data.
+func TestSweepIterationsBarrier(t *testing.T) {
+	topo := buildTopo(t, topology.RailSpec{Groups: 2, Servers: 2, Rails: 2})
+	r1, e1 := Run(Options{Topo: topo, Seed: 3, Iterations: 3})
+	if e1 != nil {
+		t.Fatal(e1)
+	}
+	if len(r1.IterDurations) != 3 {
+		t.Fatalf("IterDurations = %v, want 3 entries", r1.IterDurations)
+	}
+	for i, d := range r1.IterDurations {
+		if d <= 0 {
+			t.Errorf("iteration %d has non-positive duration %v", i, d)
+		}
+	}
+	if r1.Congest != nil {
+		t.Error("congestion fold present without Options.Congest")
+	}
+	r2, e2 := Run(Options{Topo: topo, Seed: 3, Iterations: 3, Workers: 2})
+	requireCongestIdentical(t, "iterations w1/w2", r1, r2, e1, e2)
+
+	guarded, err := Run(Options{Topo: topo, Seed: 3, Iterations: 3, Recovery: &Resilience{}})
+	if err != nil {
+		t.Fatalf("guarded iterated sweep failed: %v", err)
+	}
+	if guarded.Checksum != r1.Checksum {
+		t.Errorf("guarded checksum %#x != unguarded %#x", guarded.Checksum, r1.Checksum)
+	}
+
+	mono, err := Run(Options{Topo: topo, Seed: 3, Iterations: 3, Monolithic: true})
+	if err != nil {
+		t.Fatalf("monolithic iterated sweep failed: %v", err)
+	}
+	if mono.Checksum != r1.Checksum {
+		t.Errorf("monolithic checksum %#x != partitioned %#x", mono.Checksum, r1.Checksum)
+	}
+}
+
+// TestSweepCongestEquivalence is the performance-only property: a seeded
+// schedule of all three congestion kinds over a multi-iteration adaptive
+// sweep still sums every rank exactly (finish and the per-iteration barrier
+// both verify against the closed form), draws real degraded verdicts, runs
+// slower than the clean fabric — and the whole congested, adapting timeline
+// replays bit-identically at 1, 2 and 4 workers, congestion fold included.
+func TestSweepCongestEquivalence(t *testing.T) {
+	topo := buildTopo(t, topology.FatTreeSpec{Pods: 2, Servers: 2, GPUs: 4, Spines: 2})
+	probe, err := newSweep(Options{Topo: topo, Seed: 1, Iterations: 1, Congest: &CongestSpec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := spineEdge(t, topo, probe.crossPath[probe.group[0][0]])
+	spec, err := chaos.ParseSpec(fmt.Sprintf(
+		"seed=7;pfcstorm@0s+3ms:edge=%d;incast@500us+2ms:edge=%d,fanin=6;hashcollide@1ms+2ms:edge=%d,scale=0.3",
+		hot, hot, hot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := congestRun(topo, 1, 1, 3, true, nil, nil)
+	if err != nil {
+		t.Fatalf("clean congest-enabled run: %v", err)
+	}
+	r1, e1 := congestRun(topo, 1, 1, 3, true, &spec, nil)
+	if e1 != nil {
+		t.Fatalf("congested sweep failed: %v", e1)
+	}
+	if r1.Congest == nil || r1.Congest.Degraded == 0 {
+		t.Fatalf("no degraded verdicts under a PFC storm: %+v", r1.Congest)
+	}
+	if r1.Elapsed <= clean.Elapsed {
+		t.Errorf("congestion did not cost time: %v vs clean %v", r1.Elapsed, clean.Elapsed)
+	}
+	if r1.Recovery != nil {
+		t.Error("performance-only chaos schedule armed the recovery machinery")
+	}
+	for _, w := range []int{2, 4} {
+		rw, ew := congestRun(topo, w, 1, 3, true, &spec, nil)
+		requireCongestIdentical(t, fmt.Sprintf("congest w1/w%d", w), r1, rw, e1, ew)
+	}
+}
+
+// TestSweepCongestAdaptiveBeatsFrozen is the adaptation headline at unit
+// scale: under a permanent PFC storm on a spine port of a used cross-group
+// route, the adaptive sweep detects the degradation, reroutes around the
+// port and settles back near clean speed, while the frozen sweep pays the
+// pause trickle every iteration. Steady-state iterations must be at least
+// 1.3x faster adaptive than frozen.
+func TestSweepCongestAdaptiveBeatsFrozen(t *testing.T) {
+	topo := buildTopo(t, topology.FatTreeSpec{Pods: 2, Servers: 2, GPUs: 4, Spines: 2})
+	probe, err := newSweep(Options{Topo: topo, Seed: 1, Iterations: 1, Congest: &CongestSpec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := spineEdge(t, topo, probe.crossPath[probe.group[0][0]])
+	spec := chaos.Spec{Seed: 1, Faults: []chaos.Fault{
+		{Kind: chaos.PFCStorm, Start: 0, Edge: hot, Rank: -1, Pod: -1}, // Dur 0 = permanent
+	}}
+	const iters = 8
+	frozen, err := congestRun(topo, 2, 1, iters, false, &spec, nil)
+	if err != nil {
+		t.Fatalf("frozen sweep failed: %v", err)
+	}
+	adaptive, err := congestRun(topo, 2, 1, iters, true, &spec, nil)
+	if err != nil {
+		t.Fatalf("adaptive sweep failed: %v", err)
+	}
+	// Steady state: the worst iteration after the first half, once the
+	// adaptive run has detected and rerouted (the shared warmup iterations
+	// pay the in-flight crawl through the paused port either way).
+	tail := func(r *Result) time.Duration {
+		var worst time.Duration
+		for _, d := range r.IterDurations[iters/2:] {
+			if d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	ft, at := tail(frozen), tail(adaptive)
+	if at*13 > ft*10 {
+		t.Errorf("adaptive steady-state %v not >=1.3x better than frozen %v (frozen %v, adaptive %v)",
+			at, ft, frozen.IterDurations, adaptive.IterDurations)
+	}
+	ac := adaptive.Congest
+	if ac.Degraded == 0 || ac.PathReroutes == 0 || ac.Adaptations == 0 {
+		t.Errorf("adaptive run shows no adaptation: %+v", ac)
+	}
+	if ac.TimeToAdaptMax <= 0 {
+		t.Errorf("adaptation with non-positive time-to-adapt: %+v", ac)
+	}
+	if frozen.Congest.PathReroutes != 0 {
+		t.Errorf("frozen run rerouted: %+v", frozen.Congest)
+	}
+	if frozen.Congest.Degraded == 0 {
+		t.Errorf("frozen run detected nothing (the verdict stream is the control): %+v", frozen.Congest)
+	}
+}
+
+// TestCongestSoak replays random congestion schedules — half of them with
+// the recovery machinery layered on top — at one and two workers and
+// requires bit-identical outcomes. The default run is a 16-rank fat-tree;
+// ADAPCC_CHAOS_SOAK=1 (the CI soak step) scales ranks and rounds up.
+func TestCongestSoak(t *testing.T) {
+	spec := topology.Spec(topology.FatTreeSpec{Pods: 2, Servers: 2, GPUs: 4, Spines: 2})
+	iters, faults := 2, 3
+	if os.Getenv("ADAPCC_CHAOS_SOAK") != "" {
+		spec = topology.FatTreeSpec{Pods: 4, Servers: 4, GPUs: 4, Spines: 4}
+		iters, faults = 4, 6
+	}
+	topo := buildTopo(t, spec)
+	clean, err := congestRun(topo, 1, 1, iters, true, nil, nil)
+	if err != nil {
+		t.Fatalf("clean reference: %v", err)
+	}
+	horizon := clean.Elapsed
+	for seed := int64(0); seed < 8; seed++ {
+		cs := chaos.RandomCongestSpec(seed*0xC0+5, topo.Graph, faults, horizon)
+		var rec *Resilience
+		if seed%2 == 1 {
+			// Guards with deadlines far beyond any congestion-induced
+			// slowdown: exercises the guard/iteration plumbing without
+			// mistaking slow links for dead ones.
+			rec = &Resilience{DeadlineMult: 4096}
+		}
+		r1, e1 := congestRun(topo, 1, seed, iters, true, &cs, rec)
+		r2, e2 := congestRun(topo, 2, seed, iters, true, &cs, rec)
+		requireCongestIdentical(t, fmt.Sprintf("congest soak seed %d", seed), r1, r2, e1, e2)
+		if e1 != nil {
+			t.Logf("congest soak seed %d: deterministic failure (acceptable): %v", seed, e1)
+			continue
+		}
+		t.Logf("congest soak seed %d: elapsed %v congest %+v", seed, r1.Elapsed, *r1.Congest)
+	}
+}

@@ -1,0 +1,223 @@
+package scale
+
+import (
+	"fmt"
+	"time"
+
+	"adapcc/internal/sim"
+)
+
+// iterState is the multi-iteration barrier of a sweep: each domain counts
+// the final-value writes of its own ranks, verifies its rows against the
+// closed-form reduction when the count drains, and reports to domain 0,
+// which closes the iteration, records its duration and broadcasts the next
+// round (or, after the last round, the shutdown that lets the congestion
+// detectors stop ticking so the engines drain).
+//
+// The barrier is deliberately one-way — domains report up, domain 0 fans
+// out — and every cross-domain signal travels as a lookahead-delayed Post.
+// A domain's first chunk of iteration k+1 therefore always arrives at its
+// receiver strictly after that receiver's own startIter: the chunk pays the
+// cross edge's latency (≥ lookahead) plus at least one positive intra-domain
+// hop on top of the sender's start time, while the start broadcast paid
+// exactly one lookahead. The only out-of-iteration traffic that can exist
+// is a resilient-mode duplicate from a finished round, which deliver drops.
+type iterState struct {
+	total int
+	// cur / remain / quota are per-domain, each entry owned by its domain:
+	// the running iteration number, the final writes outstanding in it, and
+	// the per-iteration write budget (ranks in the domain × segments).
+	cur    []int
+	remain []int
+	quota  []int
+	// domRanks[d] lists the global ranks homed in domain d.
+	domRanks [][]int
+	// errs[d] is domain d's first verification failure, if any.
+	errs []error
+	// done / lastMark / durs are domain 0's round bookkeeping.
+	done     int
+	lastMark sim.Time
+	durs     []time.Duration
+}
+
+func newIterState(s *sweep, total int) *iterState {
+	doms := s.part.Domains
+	it := &iterState{
+		total:    total,
+		cur:      make([]int, doms),
+		remain:   make([]int, doms),
+		quota:    make([]int, doms),
+		domRanks: make([][]int, doms),
+		errs:     make([]error, doms),
+	}
+	for r := range s.vals {
+		d := s.part.RankDomain[r]
+		it.domRanks[d] = append(it.domRanks[d], r)
+	}
+	for d := 0; d < doms; d++ {
+		it.quota[d] = len(it.domRanks[d]) * s.m
+		it.remain[d] = it.quota[d]
+	}
+	return it
+}
+
+// iterOf is the iteration tag for chunks rank r injects right now.
+func (s *sweep) iterOf(r int) int {
+	if s.it == nil {
+		return 0
+	}
+	return s.it.cur[s.part.RankDomain[r]]
+}
+
+// initValIter extends initVal to later iterations; iteration 0 is bit-for-
+// bit the classic synthetic data, so single-iteration sweeps are unchanged.
+func (s *sweep) initValIter(rank, seg, iter int) uint64 {
+	v := s.initVal(rank, seg)
+	if iter > 0 {
+		v = mix64(v ^ uint64(iter)*0x9e3779b97f4a7c15)
+	}
+	return v
+}
+
+// lastIter is the iteration whose values finish verifies.
+func (s *sweep) lastIter() int {
+	if s.it == nil {
+		return 0
+	}
+	return s.it.total - 1
+}
+
+// final records one final-value write for rank r's current iteration. Runs
+// in r's home domain; when the domain's budget drains, the domain verifies
+// itself and reports to domain 0.
+func (s *sweep) final(r int) {
+	it := s.it
+	if it == nil {
+		return
+	}
+	d := s.part.RankDomain[r]
+	it.remain[d]--
+	if it.remain[d] > 0 {
+		return
+	}
+	s.verifyDomain(d)
+	if d == 0 {
+		s.domainDone()
+		return
+	}
+	s.sh.Parallel().Post(d, 0, s.part.Lookahead, s.domainDone)
+}
+
+// verifyDomain checks every row the domain owns against the closed-form
+// reduction of the running iteration, inline at the barrier — a corrupt
+// chunk is pinned to the iteration that produced it, not discovered after
+// the last round overwrote the evidence.
+func (s *sweep) verifyDomain(d int) {
+	it := s.it
+	if it.errs[d] != nil {
+		return
+	}
+	iter := it.cur[d]
+	expect := make([]uint64, s.m)
+	for seg := range expect {
+		var sum uint64
+		for r := range s.vals {
+			sum += s.initValIter(r, seg, iter)
+		}
+		expect[seg] = sum
+	}
+	for _, r := range it.domRanks[d] {
+		for seg, v := range s.vals[r] {
+			if v != expect[seg] {
+				it.errs[d] = fmt.Errorf("scale: iteration %d rank %d segment %d = %#x, want %#x (collective incomplete or corrupt)",
+					iter, r, seg, v, expect[seg])
+				return
+			}
+		}
+	}
+}
+
+// domainDone runs on domain 0's engine, once per domain per iteration.
+func (s *sweep) domainDone() {
+	it := s.it
+	it.done++
+	if it.done < s.part.Domains {
+		return
+	}
+	it.done = 0
+	now := s.sh.Engine(0).Now()
+	it.durs = append(it.durs, time.Duration(now-it.lastMark))
+	it.lastMark = now
+	next := it.cur[0] + 1
+	if next >= it.total {
+		s.shutdown()
+		return
+	}
+	for d := 0; d < s.part.Domains; d++ {
+		d := d
+		if d == 0 {
+			s.startIter(0, next)
+			continue
+		}
+		s.sh.Parallel().Post(0, d, s.part.Lookahead, func() { s.startIter(d, next) })
+	}
+}
+
+// startIter resets domain d's ranks for the next round and re-injects their
+// first chunks. Runs in domain d.
+func (s *sweep) startIter(d, next int) {
+	it := s.it
+	it.cur[d] = next
+	it.remain[d] = it.quota[d]
+	for _, r := range it.domRanks[d] {
+		row := s.vals[r]
+		for seg := range row {
+			row[seg] = s.initValIter(r, seg, next)
+		}
+		s.p1done[r] = false
+		s.hasSt[r] = false
+		if s.res != nil {
+			s.res.resetSeen(r)
+		}
+	}
+	for _, r := range it.domRanks[d] {
+		s.start(r)
+	}
+}
+
+// shutdown runs on domain 0 after the last iteration: fan the stop signal
+// out so every domain's congestion detector quits its tick chain and the
+// engines can drain.
+func (s *sweep) shutdown() { s.stopDetectors(0) }
+
+// stopDetectors stops every domain's congestion detector from domain
+// `from` — at the end of the last iteration, or the moment a guarded chunk
+// gives up (the barrier can never fill then, and detectors ticking forever
+// would keep Run from returning the failure). Stops are idempotent, so
+// concurrent give-ups at worst repeat them.
+func (s *sweep) stopDetectors(from int) {
+	if s.cong == nil {
+		return
+	}
+	for d := 0; d < s.part.Domains; d++ {
+		d := d
+		if d == from {
+			s.cong.mons[d].Stop()
+			continue
+		}
+		s.sh.Parallel().Post(from, d, s.part.Lookahead, func() { s.cong.mons[d].Stop() })
+	}
+}
+
+// iterError folds the per-domain verification failures, or nil.
+func (it *iterState) iterError() error {
+	if it == nil {
+		return nil
+	}
+	for _, err := range it.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -165,6 +165,7 @@ type wireMsg struct {
 // guard is the sender-side state of one logical chunk transfer.
 type guard struct {
 	phase, seg, hops int
+	iter             int
 	val              uint64
 	recv             int
 	dom              int // sender domain
@@ -221,6 +222,15 @@ func (r *resil) markSeen(recv, phase, seg int) bool {
 	return false
 }
 
+// resetSeen clears rank r's delivery bitset at an iteration barrier. Runs
+// in r's home domain, which owns the bitset row.
+func (r *resil) resetSeen(rank int) {
+	row := r.seen[rank]
+	for i := range row {
+		row[i] = 0
+	}
+}
+
 // nominal is the contention-free delivery time of size bytes store-and-
 // forwarded along path: Σ per hop (α + size/bandwidth).
 func (r *resil) nominal(path []topology.NodeID) time.Duration {
@@ -247,7 +257,7 @@ func (r *resil) send(path []topology.NodeID, c *chunk) {
 	s := r.s
 	last := path[len(path)-1]
 	g := &guard{
-		phase: c.phase, seg: c.seg, hops: c.hops, val: c.val,
+		phase: c.phase, seg: c.seg, hops: c.hops, iter: c.iter, val: c.val,
 		recv: s.part.Graph.Node(last).Rank,
 		dom:  s.part.NodeDomain[path[0]],
 		rdom: s.part.NodeDomain[last],
@@ -255,7 +265,7 @@ func (r *resil) send(path []topology.NodeID, c *chunk) {
 	}
 	d := r.ds[g.dom]
 	d.pending++
-	if len(d.bl) > 0 {
+	if len(d.bl) > 0 || r.degradedAvoid(g.dom) != nil {
 		if p, rerouted, boundary := r.route(g, d); p != nil && rerouted {
 			// Known-dead edge avoided before the first attempt: a reroute,
 			// but not a recovery event — nothing was lost. A nil detour
@@ -274,7 +284,7 @@ func (r *resil) send(path []topology.NodeID, c *chunk) {
 // transmit fires one attempt of the guard and arms its deadline.
 func (r *resil) transmit(g *guard) {
 	wm := &wireMsg{
-		c:    chunk{phase: g.phase, seg: g.seg, hops: g.hops, val: g.val},
+		c:    chunk{phase: g.phase, seg: g.seg, hops: g.hops, iter: g.iter, val: g.val},
 		recv: g.recv, sdom: g.dom, attempt: g.attempt, g: g,
 	}
 	g.h = r.s.sh.SendPath(g.path, r.s.seg, wm, r.deliver)
@@ -294,7 +304,16 @@ func (r *resil) transmit(g *guard) {
 // collective, and ack the sender so the deadline is disarmed.
 func (r *resil) deliver(p any) {
 	wm := p.(*wireMsg)
-	rd := r.ds[r.s.part.RankDomain[wm.recv]]
+	rdom := r.s.part.RankDomain[wm.recv]
+	rd := r.ds[rdom]
+	if r.s.it != nil && wm.c.iter != r.s.it.cur[rdom] {
+		// A retransmit (or crawling original) from an iteration the barrier
+		// already closed: its delivery was counted before the round could
+		// complete, so this copy is a duplicate. It must not touch the seen
+		// bitset — the bits now belong to the running iteration.
+		rd.duplicates++
+		return
+	}
 	if r.markSeen(wm.recv, wm.c.phase, wm.c.seg) {
 		rd.duplicates++
 		return
@@ -480,17 +499,38 @@ func (d *domRecovery) active(ge topology.EdgeID, now sim.Time) bool {
 	return true
 }
 
-// route checks the guard's path against the domain blacklist and, when it
-// hits an active entry, computes a min-hop detour avoiding every active
-// entry. Returns (path, rerouted, boundaryLocality); a nil path means the
-// blacklist disconnects the endpoints.
+// degradedAvoid is the domain's degraded-link view as an avoidance
+// predicate, or nil when there is nothing to steer around (no congestion
+// plane, adaptation frozen, or an empty view).
+func (r *resil) degradedAvoid(dom int) func(topology.EdgeID) bool {
+	cs := r.s.cong
+	if cs == nil || !cs.spec.Adaptive || len(cs.view[dom]) == 0 {
+		return nil
+	}
+	return func(ge topology.EdgeID) bool { return cs.view[dom][ge] }
+}
+
+// route checks the guard's path against the domain blacklist and the
+// degraded-link view and, on a hit, computes a min-hop detour. Blacklisted
+// edges are avoided hard; degraded edges softly — if avoiding both
+// disconnects the endpoints, the detour retries with the blacklist alone
+// (degraded links are slow, not dead). Returns (path, rerouted,
+// boundaryLocality); a nil path means the blacklist disconnects the
+// endpoints.
 func (r *resil) route(g *guard, d *domRecovery) ([]topology.NodeID, bool, bool) {
 	part := r.s.part
 	now := r.s.sh.Engine(g.dom).Now()
-	hit, boundary := false, false
+	deg := r.degradedAvoid(g.dom)
+	hit, degHit, boundary := false, false, false
 	for i := 0; i+1 < len(g.path); i++ {
 		ge, ok := part.Graph.EdgeBetween(g.path[i], g.path[i+1])
-		if !ok || !d.active(ge, now) {
+		if !ok {
+			continue
+		}
+		if deg != nil && deg(ge) {
+			degHit = true
+		}
+		if !d.active(ge, now) {
 			continue
 		}
 		hit = true
@@ -498,13 +538,24 @@ func (r *resil) route(g *guard, d *domRecovery) ([]topology.NodeID, bool, bool) 
 			boundary = true
 		}
 	}
-	if !hit {
+	if !hit && !degHit {
 		return g.path, false, false
 	}
-	p := part.Graph.ShortestPathAvoid(g.path[0], g.path[len(g.path)-1],
-		func(ge topology.EdgeID) bool { return d.active(ge, now) })
+	blOnly := func(ge topology.EdgeID) bool { return d.active(ge, now) }
+	avoid := blOnly
+	if deg != nil {
+		avoid = func(ge topology.EdgeID) bool { return blOnly(ge) || deg(ge) }
+	}
+	p := part.Graph.ShortestPathAvoid(g.path[0], g.path[len(g.path)-1], avoid)
+	if p == nil && deg != nil {
+		p = part.Graph.ShortestPathAvoid(g.path[0], g.path[len(g.path)-1], blOnly)
+	}
 	if p == nil {
 		return nil, false, boundary
+	}
+	if !hit && samePath(p, g.path) {
+		// Degraded-only hit with no usable detour: not a reroute.
+		return g.path, false, false
 	}
 	return p, true, boundary
 }
@@ -515,6 +566,9 @@ func (r *resil) giveUp(g *guard, d *domRecovery, why string) {
 	d.pending--
 	d.gaveUp = append(d.gaveUp, fmt.Sprintf(
 		"chunk(phase=%d seg=%d) rank path %v attempt %d: %s", g.phase, g.seg, g.path, g.attempt, why))
+	// The iteration barrier can never fill without this chunk; stop the
+	// congestion detectors so the engines drain and Run reports the failure.
+	r.s.stopDetectors(g.dom)
 }
 
 // watchHeal lazily builds the domain's health monitor and points it at the

@@ -55,6 +55,16 @@ type Options struct {
 	// transfer with deadlines, retransmission, blacklist re-routing and a
 	// progress watchdog. Zero fields take defaults (see Resilience).
 	Recovery *Resilience
+	// Iterations repeats the AllReduce (default 1), a training loop whose
+	// rounds are separated by a verified barrier; Result.IterDurations
+	// records each round's virtual time, the series tail-latency studies
+	// take their p99 from.
+	Iterations int
+	// Congest, when non-nil, enables the in-fabric congestion plane,
+	// flow-keyed ECMP initial routes, per-domain gray-failure detection
+	// and (if CongestSpec.Adaptive) online strategy switching around
+	// degraded links. Congestion-kind chaos faults require it.
+	Congest *CongestSpec
 }
 
 // Result is the outcome of one sweep.
@@ -75,6 +85,11 @@ type Result struct {
 	// recovered deliveries by locality.
 	Recovery       *RecoveryStats
 	RecoveryEvents fabric.RecoveryCounters
+	// IterDurations is the per-iteration virtual time series (one entry for
+	// a classic single-shot sweep with congestion enabled, nil otherwise);
+	// Congest is the congestion-plane fold (nil without Options.Congest).
+	IterDurations []time.Duration
+	Congest       *CongestStats
 }
 
 // mix64 is splitmix64's finalizer, the hash behind the synthetic data.
@@ -98,6 +113,7 @@ type chunk struct {
 	phase int
 	seg   int
 	hops  int // remaining forwards (RS, bcast, AG)
+	iter  int // iteration the chunk belongs to (0 in single-shot sweeps)
 	val   uint64
 }
 
@@ -128,6 +144,10 @@ type sweep struct {
 	// ch is the armed chaos engine (nil without a fault schedule).
 	res *resil
 	ch  *chaos.Sharded
+	// cong, when non-nil, runs the congestion plane and its detectors; it
+	// drives the multi-iteration barrier (nil for classic one-shot sweeps).
+	cong *congestState
+	it   *iterState
 }
 
 // Run executes one sweep and verifies the result against the closed-form
@@ -142,6 +162,9 @@ func Run(opts Options) (*Result, error) {
 	}
 	if opts.Workers < 1 {
 		opts.Workers = 1
+	}
+	if opts.Iterations < 1 {
+		opts.Iterations = 1
 	}
 	s, err := newSweep(opts)
 	if err != nil {
@@ -196,6 +219,10 @@ func newSweep(opts Options) (*sweep, error) {
 
 	// Routes: every rank to its group-ring successor, and every rank to
 	// its position peer in the next group (the per-segment cross ring).
+	// With the congestion plane enabled the initial routes are flow-keyed
+	// ECMP — distinct flows spread across the equal-cost spines exactly as
+	// hashed fabrics spread them; otherwise the classic single shortest
+	// path keeps legacy sweeps bit-identical.
 	s.nextPath = make([][]topology.NodeID, ranks)
 	s.crossPath = make([][]topology.NodeID, ranks)
 	gpu := g.GPUs()
@@ -203,14 +230,22 @@ func newSweep(opts Options) (*sweep, error) {
 		grp, p := s.grp[r], s.pos[r]
 		if s.m > 1 {
 			next := s.group[grp][(p+1)%s.m]
-			s.nextPath[r] = g.ShortestPath(gpu[r], gpu[next])
+			if opts.Congest != nil {
+				s.nextPath[r] = s.routeNext(r, nil)
+			} else {
+				s.nextPath[r] = g.ShortestPath(gpu[r], gpu[next])
+			}
 			if s.nextPath[r] == nil {
 				return nil, fmt.Errorf("scale: no route rank %d -> %d", r, next)
 			}
 		}
 		if s.g > 1 {
 			peer := s.group[(grp+1)%s.g][p]
-			s.crossPath[r] = g.ShortestPath(gpu[r], gpu[peer])
+			if opts.Congest != nil {
+				s.crossPath[r] = s.routeCross(r, nil)
+			} else {
+				s.crossPath[r] = g.ShortestPath(gpu[r], gpu[peer])
+			}
 			if s.crossPath[r] == nil {
 				return nil, fmt.Errorf("scale: no route rank %d -> %d", r, peer)
 			}
@@ -230,14 +265,26 @@ func newSweep(opts Options) (*sweep, error) {
 	s.stash = make([]uint64, ranks)
 	s.hasSt = make([]bool, ranks)
 
-	// Resilience: a chaos schedule implies the recovery machinery, and the
-	// machinery can also run on a healthy fabric (guards simply never fire).
-	if opts.Recovery != nil || opts.Chaos != nil {
+	// Resilience: a chaos schedule implies the recovery machinery — unless
+	// every fault is performance-only congestion, which slows chunks down
+	// but never loses them (guarding those by default would let tight
+	// deadlines mistake a stormed link for a dead one). The machinery can
+	// also run on a healthy fabric (guards simply never fire).
+	if opts.Recovery != nil || (opts.Chaos != nil && !opts.Chaos.PerformanceOnly()) {
 		var cfg Resilience
 		if opts.Recovery != nil {
 			cfg = *opts.Recovery
 		}
 		s.res = newResil(s, cfg)
+	}
+	// Congestion plane, detectors and the iteration barrier. The plane must
+	// be enabled before chaos arms: congestion-kind faults validate against
+	// the sharded fabric's Congestion() hook.
+	if opts.Congest != nil {
+		s.cong = newCongestState(s, *opts.Congest)
+	}
+	if opts.Iterations > 1 || opts.Congest != nil {
+		s.it = newIterState(s, opts.Iterations)
 	}
 	if opts.Chaos != nil {
 		s.ch = chaos.NewSharded(s.sh, *opts.Chaos)
@@ -274,19 +321,39 @@ func (s *sweep) kickoff() {
 	for r := range s.vals {
 		r := r
 		d := s.part.RankDomain[r]
-		s.sh.Engine(d).At(0, func() {
-			if s.m == 1 {
-				// Degenerate group: the single rank owns its single
-				// segment outright.
-				s.phase1Done(r, 0)
-				return
-			}
-			// Reduce-scatter step 0: inject the chunk for the segment at
-			// this rank's own position.
-			seg := s.pos[r]
-			s.send(s.nextPath[r], &chunk{phase: phaseRS, seg: seg, hops: s.m - 2, val: s.vals[r][seg]}, s.arriveAt(r))
-		})
+		s.sh.Engine(d).At(0, func() { s.start(r) })
 	}
+}
+
+// start injects rank r's first chunk of the current iteration. Runs in r's
+// home domain — at t=0 from kickoff, and again at every iteration barrier.
+func (s *sweep) start(r int) {
+	if s.m == 1 {
+		// Degenerate group: the single rank owns its single segment
+		// outright.
+		s.phase1Done(r, 0)
+		return
+	}
+	// Reduce-scatter step 0: inject the chunk for the segment at this
+	// rank's own position.
+	seg := s.pos[r]
+	s.send(s.pathNext(r), &chunk{phase: phaseRS, seg: seg, hops: s.m - 2, iter: s.iterOf(r), val: s.vals[r][seg]}, s.arriveAt(r))
+}
+
+// pathNext / pathCross are the ring routes of rank r, refreshed against the
+// domain's degraded-link view when adaptive congestion handling is on.
+func (s *sweep) pathNext(r int) []topology.NodeID {
+	if s.cong != nil {
+		s.cong.refresh(s, r)
+	}
+	return s.nextPath[r]
+}
+
+func (s *sweep) pathCross(r int) []topology.NodeID {
+	if s.cong != nil {
+		s.cong.refresh(s, r)
+	}
+	return s.crossPath[r]
 }
 
 // arriveAt binds a receiving rank's arrival handler. The callback runs in
@@ -313,7 +380,7 @@ func (s *sweep) arrive(r int, c *chunk) {
 		c.val += s.vals[r][c.seg]
 		if c.hops > 0 {
 			c.hops--
-			s.send(s.nextPath[r], c, s.arriveAt(r))
+			s.send(s.pathNext(r), c, s.arriveAt(r))
 			return
 		}
 		// Final hop: r owns the group reduction of this segment.
@@ -331,15 +398,17 @@ func (s *sweep) arrive(r int, c *chunk) {
 		s.vals[r][c.seg] = c.val
 		if c.hops > 0 {
 			c.hops--
-			s.send(s.crossPath[r], c, s.arriveCrossAt(r))
+			s.send(s.pathCross(r), c, s.arriveCrossAt(r))
 		}
 		s.startAllgather(r, c.seg)
+		s.final(r)
 	case phaseAG:
 		s.vals[r][c.seg] = c.val
 		if c.hops > 0 {
 			c.hops--
-			s.send(s.nextPath[r], c, s.arriveAt(r))
+			s.send(s.pathNext(r), c, s.arriveAt(r))
 		}
+		s.final(r)
 	}
 }
 
@@ -350,11 +419,12 @@ func (s *sweep) phase1Done(r, seg int) {
 	if s.g == 1 {
 		// No cross phase: the group sum is the global sum.
 		s.startAllgather(r, seg)
+		s.final(r)
 		return
 	}
 	if s.grp[r] == 0 {
 		// Ring head: start the accumulate pass with the local sum.
-		s.send(s.crossPath[r], &chunk{phase: phaseAccum, seg: seg, val: s.vals[r][seg]}, s.arriveCrossAt(r))
+		s.send(s.pathCross(r), &chunk{phase: phaseAccum, seg: seg, iter: s.iterOf(r), val: s.vals[r][seg]}, s.arriveCrossAt(r))
 		return
 	}
 	if s.hasSt[r] {
@@ -372,11 +442,12 @@ func (s *sweep) accumulate(r, seg int, incoming uint64) {
 		// Ring tail: total is the global sum. Store it and broadcast to
 		// the g-1 remaining owners.
 		s.vals[r][seg] = total
-		s.send(s.crossPath[r], &chunk{phase: phaseBcast, seg: seg, hops: s.g - 2, val: total}, s.arriveCrossAt(r))
+		s.send(s.pathCross(r), &chunk{phase: phaseBcast, seg: seg, hops: s.g - 2, iter: s.iterOf(r), val: total}, s.arriveCrossAt(r))
 		s.startAllgather(r, seg)
+		s.final(r)
 		return
 	}
-	s.send(s.crossPath[r], &chunk{phase: phaseAccum, seg: seg, val: total}, s.arriveCrossAt(r))
+	s.send(s.pathCross(r), &chunk{phase: phaseAccum, seg: seg, iter: s.iterOf(r), val: total}, s.arriveCrossAt(r))
 }
 
 // startAllgather distributes rank r's finished segment around its group.
@@ -384,7 +455,7 @@ func (s *sweep) startAllgather(r, seg int) {
 	if s.m == 1 {
 		return
 	}
-	s.send(s.nextPath[r], &chunk{phase: phaseAG, seg: seg, hops: s.m - 2, val: s.vals[r][seg]}, s.arriveAt(r))
+	s.send(s.pathNext(r), &chunk{phase: phaseAG, seg: seg, hops: s.m - 2, iter: s.iterOf(r), val: s.vals[r][seg]}, s.arriveAt(r))
 }
 
 // finish validates every rank's values against the closed-form reduction
@@ -395,11 +466,15 @@ func (s *sweep) finish(start time.Time) (*Result, error) {
 			return nil, err
 		}
 	}
+	if err := s.it.iterError(); err != nil {
+		return nil, err
+	}
+	last := s.lastIter()
 	expect := make([]uint64, s.m)
 	for seg := range expect {
 		var sum uint64
 		for r := range s.vals {
-			sum += s.initVal(r, seg)
+			sum += s.initValIter(r, seg, last)
 		}
 		expect[seg] = sum
 	}
@@ -424,6 +499,19 @@ func (s *sweep) finish(start time.Time) (*Result, error) {
 		s.res.exportMetrics(s.opts.Metrics, len(s.vals), rs)
 		recovery = &rs
 	}
+	var congest *CongestStats
+	if s.cong != nil {
+		cst := s.cong.fold(s)
+		s.cong.exportMetrics(s, s.opts.Metrics, cst)
+		congest = &cst
+	}
+	var iterDurs []time.Duration
+	if s.it != nil {
+		if got := len(s.it.durs); got != s.it.total {
+			return nil, fmt.Errorf("scale: %d of %d iterations completed (barrier wedged)", got, s.it.total)
+		}
+		iterDurs = s.it.durs
+	}
 	return &Result{
 		Name:           s.opts.Topo.Spec.Name(),
 		Ranks:          len(s.vals),
@@ -438,5 +526,7 @@ func (s *sweep) finish(start time.Time) (*Result, error) {
 		Stats:          stats,
 		Recovery:       recovery,
 		RecoveryEvents: s.sh.RecoveryEvents(),
+		IterDurations:  iterDurs,
+		Congest:        congest,
 	}, nil
 }

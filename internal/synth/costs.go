@@ -90,6 +90,33 @@ func (c *Costs) SingleStreamView() *Costs {
 	return out
 }
 
+// Reweighted returns a view in which every edge's bandwidths (stream and
+// aggregate) are multiplied by weight(from, to) — the gray-failure
+// down-weight. Unlike fault exclusion the link stays routable: the
+// evaluator simply prices its congestion, so the search prefers clean
+// alternatives and falls back to the slow link only where nothing else
+// connects. Weights outside (0, 1] are treated as 1 (no change); latency
+// is untouched (congestion queues serialize bytes, they do not lengthen
+// the wire).
+func (c *Costs) Reweighted(weight func(from, to topology.NodeID) float64) *Costs {
+	out := &Costs{
+		graph:  c.graph,
+		alpha:  c.alpha,
+		stream: make([]float64, len(c.stream)),
+		agg:    make([]float64, len(c.agg)),
+	}
+	for i := 0; i < c.graph.NumEdges(); i++ {
+		e := c.graph.Edge(topology.EdgeID(i))
+		w := weight(e.From, e.To)
+		if w <= 0 || w > 1 {
+			w = 1
+		}
+		out.stream[i] = c.stream[i] * w
+		out.agg[i] = c.agg[i] * w
+	}
+	return out
+}
+
 // FlowBps returns the bandwidth one flow obtains on an edge carrying load
 // concurrent flows (Eq. 3, refined with the per-stream cap): the aggregate
 // bandwidth is shared equally, but a single flow can never exceed the

@@ -1,0 +1,87 @@
+package topology
+
+// Flow-keyed equal-cost multipath (ECMP) routing. Real fabrics hash each
+// flow's 5-tuple at every switch and pick among the equal-cost next hops;
+// different flows between the same endpoints spread over the spine layer,
+// and an unlucky pair of hashes can collide on one uplink while its twins
+// idle — the gray failure the congestion plane reproduces. ECMPPath is the
+// simulator's stand-in: a deterministic hash of (flow key, hop depth,
+// current node) picks among the minimum-hop next hops, so a given key
+// always routes the same way (replay-stable at any worker count) while
+// distinct keys fan out across equal-cost uplinks.
+
+// ECMPPath returns a minimum-hop path from src to dst chosen by flow-keyed
+// hashing over equal-cost next hops, or nil if unreachable. The same
+// (graph, src, dst, key) always yields the same path.
+func (g *Graph) ECMPPath(src, dst NodeID, key uint64) []NodeID {
+	return g.ECMPPathAvoid(src, dst, key, nil)
+}
+
+// ECMPPathAvoid is ECMPPath restricted to edges for which avoid returns
+// false — the soft-avoidance primitive the adaptive layer uses to steer
+// flows off degraded (but still alive) links. Returns nil if every route
+// is avoided.
+func (g *Graph) ECMPPathAvoid(src, dst NodeID, key uint64, avoid func(EdgeID) bool) []NodeID {
+	if src == dst {
+		return []NodeID{src}
+	}
+	// Reverse BFS from dst over the admitted edges: dist[n] = hops n→dst.
+	dist := make([]int, len(g.nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := []NodeID{dst}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.in[cur] {
+			if avoid != nil && avoid(eid) {
+				continue
+			}
+			from := g.edges[eid].From
+			if dist[from] != -1 {
+				continue
+			}
+			dist[from] = dist[cur] + 1
+			queue = append(queue, from)
+		}
+	}
+	if dist[src] == -1 {
+		return nil
+	}
+	// Forward walk: at every hop, the equal-cost candidates are the
+	// admitted out-neighbours one step closer to dst, ordered by node id
+	// (the ordering is part of the route's definition — it must not depend
+	// on edge insertion order), and the flow hash picks one.
+	path := make([]NodeID, 0, dist[src]+1)
+	path = append(path, src)
+	var cand []NodeID
+	for cur := src; cur != dst; {
+		cand = cand[:0]
+		for _, eid := range g.out[cur] {
+			if avoid != nil && avoid(eid) {
+				continue
+			}
+			if next := g.edges[eid].To; dist[next] == dist[cur]-1 {
+				cand = append(cand, next)
+			}
+		}
+		sortNodeIDs(cand)
+		cur = cand[ecmpHash(key, uint64(len(path)), uint64(cur))%uint64(len(cand))]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// ecmpHash mixes (flow key, hop depth, switch id) with a splitmix64-style
+// finalizer — the simulator's analogue of a switch's per-hop 5-tuple hash.
+func ecmpHash(key, depth, node uint64) uint64 {
+	x := key ^ depth*0x9e3779b97f4a7c15 ^ node*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,164 @@
+package topology
+
+import "testing"
+
+// diamondGraph builds src → {a, b} → dst with the middle nodes' edges
+// inserted in the given order, yielding two equal-cost detours.
+func diamondGraph(swapInsertion bool) (*Graph, NodeID, NodeID, NodeID, NodeID) {
+	g := NewGraph()
+	src := g.AddNode(Node{Kind: KindSwitch, Server: -1, Rank: -1})
+	a := g.AddNode(Node{Kind: KindSwitch, Server: -1, Rank: -1})
+	b := g.AddNode(Node{Kind: KindSwitch, Server: -1, Rank: -1})
+	dst := g.AddNode(Node{Kind: KindSwitch, Server: -1, Rank: -1})
+	mids := []NodeID{a, b}
+	if swapInsertion {
+		mids = []NodeID{b, a}
+	}
+	for _, mid := range mids {
+		g.AddEdge(Edge{From: src, To: mid, Type: LinkRDMA, BandwidthBps: 1e9})
+		g.AddEdge(Edge{From: mid, To: dst, Type: LinkRDMA, BandwidthBps: 1e9})
+	}
+	return g, src, a, b, dst
+}
+
+// TestShortestPathAvoidLexTieBreak: among equal-hop detours the
+// lexicographically smallest node sequence must win regardless of edge
+// insertion order — the regression for congestion reroutes replaying
+// bit-identically at any worker count, where each domain rebuilds the
+// detour independently.
+func TestShortestPathAvoidLexTieBreak(t *testing.T) {
+	for _, swap := range []bool{false, true} {
+		g, src, a, _, dst := diamondGraph(swap)
+		path := g.ShortestPathAvoid(src, dst, func(EdgeID) bool { return false })
+		want := []NodeID{src, a, dst} // a < b, so src→a→dst is lex-smaller
+		if len(path) != len(want) {
+			t.Fatalf("swap=%v: path %v, want %v", swap, path, want)
+		}
+		for i := range want {
+			if path[i] != want[i] {
+				t.Fatalf("swap=%v: path %v, want %v (insertion order leaked into tie-break)", swap, path, want)
+			}
+		}
+	}
+}
+
+// TestShortestPathAvoidLexPrefersShorter: the lex tie-break must never
+// trade hops for node order — cost still dominates.
+func TestShortestPathAvoidLexPrefersShorter(t *testing.T) {
+	g := NewGraph()
+	src := g.AddNode(Node{Kind: KindSwitch, Server: -1, Rank: -1})
+	mid := g.AddNode(Node{Kind: KindSwitch, Server: -1, Rank: -1})
+	dst := g.AddNode(Node{Kind: KindSwitch, Server: -1, Rank: -1})
+	far := g.AddNode(Node{Kind: KindSwitch, Server: -1, Rank: -1})
+	g.AddEdge(Edge{From: src, To: mid, Type: LinkRDMA, BandwidthBps: 1e9})
+	g.AddEdge(Edge{From: mid, To: far, Type: LinkRDMA, BandwidthBps: 1e9})
+	g.AddEdge(Edge{From: far, To: dst, Type: LinkRDMA, BandwidthBps: 1e9})
+	g.AddEdge(Edge{From: mid, To: dst, Type: LinkRDMA, BandwidthBps: 1e9})
+	path := g.ShortestPathAvoid(src, dst, func(EdgeID) bool { return false })
+	if len(path) != 3 || path[1] != mid {
+		t.Fatalf("path %v, want the 2-hop route via %v", path, mid)
+	}
+}
+
+// TestECMPPathValid: every keyed path on a fat-tree is a minimum-hop route
+// between its endpoints, and the same key always picks the same path.
+func TestECMPPathValid(t *testing.T) {
+	topo, err := FatTreeSpec{Pods: 4, Servers: 2, GPUs: 2}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.Graph
+	src, _ := g.GPUByRank(0)
+	dst, _ := g.GPUByRank(15) // last pod → cross-pod route over the spines
+	base := g.ShortestPath(src, dst)
+	for key := uint64(0); key < 32; key++ {
+		path := g.ECMPPath(src, dst, key)
+		if path == nil {
+			t.Fatalf("key %d: no path", key)
+		}
+		if len(path) != len(base) {
+			t.Fatalf("key %d: path %v has %d hops, shortest is %d", key, path, len(path)-1, len(base)-1)
+		}
+		if path[0] != src || path[len(path)-1] != dst {
+			t.Fatalf("key %d: path %v does not connect %v→%v", key, path, src, dst)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if _, ok := g.EdgeBetween(path[i], path[i+1]); !ok {
+				t.Fatalf("key %d: path %v uses non-edge %v→%v", key, path, path[i], path[i+1])
+			}
+		}
+		again := g.ECMPPath(src, dst, key)
+		for i := range path {
+			if again[i] != path[i] {
+				t.Fatalf("key %d: non-deterministic path %v vs %v", key, path, again)
+			}
+		}
+	}
+}
+
+// TestECMPPathSpreads: with several equal-cost spines, distinct flow keys
+// must not all collapse onto one uplink.
+func TestECMPPathSpreads(t *testing.T) {
+	topo, err := FatTreeSpec{Pods: 4, Servers: 2, GPUs: 2, Spines: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.Graph
+	src, _ := g.GPUByRank(0)
+	dst, _ := g.GPUByRank(15)
+	spines := make(map[NodeID]bool)
+	for key := uint64(0); key < 64; key++ {
+		path := g.ECMPPath(src, dst, key)
+		for _, n := range path {
+			if node := g.Node(n); node.Kind == KindSwitch && node.Index >= 4 {
+				spines[n] = true
+			}
+		}
+	}
+	if len(spines) < 2 {
+		t.Fatalf("64 flow keys used %d spine(s); ECMP is not spreading", len(spines))
+	}
+}
+
+// TestECMPPathAvoid: avoiding one spine's uplinks steers every key off it;
+// avoiding everything returns nil.
+func TestECMPPathAvoid(t *testing.T) {
+	topo, err := FatTreeSpec{Pods: 4, Servers: 2, GPUs: 2, Spines: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.Graph
+	src, _ := g.GPUByRank(0)
+	dst, _ := g.GPUByRank(15)
+	var banned NodeID = -1
+	for _, n := range g.Nodes() {
+		if n.Kind == KindSwitch && n.Index >= 4 {
+			banned = n.ID
+			break
+		}
+	}
+	if banned == -1 {
+		t.Fatal("no spine found")
+	}
+	avoid := func(ge EdgeID) bool {
+		e := g.Edge(ge)
+		return e.From == banned || e.To == banned
+	}
+	for key := uint64(0); key < 32; key++ {
+		path := g.ECMPPathAvoid(src, dst, key, avoid)
+		if path == nil {
+			t.Fatalf("key %d: no path with one of four spines avoided", key)
+		}
+		for _, n := range path {
+			if n == banned {
+				t.Fatalf("key %d: path %v crosses avoided spine %v", key, path, banned)
+			}
+		}
+	}
+	if p := g.ECMPPathAvoid(src, dst, 0, func(EdgeID) bool { return true }); p != nil {
+		t.Fatalf("path %v found with every edge avoided", p)
+	}
+	if p := g.ECMPPathAvoid(src, src, 0, func(EdgeID) bool { return true }); len(p) != 1 || p[0] != src {
+		t.Fatalf("self path = %v, want [%v]", p, src)
+	}
+}

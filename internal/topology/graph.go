@@ -232,8 +232,14 @@ func (g *Graph) ShortestPath(src, dst NodeID) []NodeID {
 // ShortestPathAvoid is ShortestPath restricted to edges for which avoid
 // returns false — the re-routing primitive of the resilience layer, which
 // detours around blacklisted (faulted) links without mutating the graph.
-// Ties are broken deterministically by edge insertion order, so for a given
-// avoid set the detour is unique. Returns nil if every route is avoided.
+// Among equal-hop detours the lexicographically smallest node sequence
+// wins, so the chosen route is a function of the graph and the avoid set
+// alone — independent of edge insertion order, and therefore identical
+// when recomputed on any domain of a partitioned run. Returns nil if
+// every route is avoided.
+//
+// A nil predicate degrades to plain ShortestPath (which keeps its
+// historical insertion-order tie-break, pinning legacy routes).
 func (g *Graph) ShortestPathAvoid(src, dst NodeID, avoid func(EdgeID) bool) []NodeID {
 	if avoid == nil {
 		return g.ShortestPath(src, dst)
@@ -247,14 +253,23 @@ func (g *Graph) ShortestPathAvoid(src, dst NodeID, avoid func(EdgeID) bool) []No
 	}
 	prev[src] = src
 	queue := []NodeID{src}
+	var scratch []NodeID
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
+		// Expand neighbours in ascending node order: with a FIFO queue and
+		// first-touch predecessors, each BFS level is then discovered in the
+		// lexicographic order of its members' smallest paths, so the traced
+		// path is the lexicographically smallest among minimum-hop ones.
+		scratch = scratch[:0]
 		for _, eid := range g.out[cur] {
 			if avoid(eid) {
 				continue
 			}
-			next := g.edges[eid].To
+			scratch = append(scratch, g.edges[eid].To)
+		}
+		sortNodeIDs(scratch)
+		for _, next := range scratch {
 			if prev[next] != -1 {
 				continue
 			}
@@ -266,6 +281,16 @@ func (g *Graph) ShortestPathAvoid(src, dst NodeID, avoid func(EdgeID) bool) []No
 		}
 	}
 	return nil
+}
+
+// sortNodeIDs insertion-sorts a small node-id slice in place (out-degrees
+// in our topologies are tiny, so this beats sort.Slice on the hot path).
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
 }
 
 func (g *Graph) tracePath(prev []NodeID, src, dst NodeID) []NodeID {
