@@ -30,6 +30,7 @@ import (
 	"adapcc/internal/payload"
 	"adapcc/internal/scale"
 	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
 	"adapcc/internal/topology"
 	"adapcc/internal/trace"
 )
@@ -59,6 +60,7 @@ func run(args []string) error {
 		hybridSpec = fs.String("hybrid", "", "run a hybrid-parallel communicator-group demo instead of a single collective: \"DPxTPxPP\" (e.g. \"2x2x2\"); every group runs one -bytes collective concurrently on the shared fabric")
 		topoSpec   = fs.String("topo", "", "run a datacenter-scale AllReduce sweep on a generated topology instead of the testbed pipeline: \"fattree:pods=8,servers=4\", \"rail:groups=16,servers=8,rails=8\" or \"multinic:servers=32,group=8\"; each pod/group is one simulation domain of the partitioned event engine")
 		congSpec   = fs.String("congest", "", "enable the in-fabric congestion plane and gray-failure detection on a -topo sweep; knobs as \"adaptive=true,iters=8,pause=0.02,pfc=1048576,interval=200us,below=0.55,after=3\" (empty value = defaults, adaptive); composes with -chaos congestion kinds (incast, hashcollide, pfcstorm) and -heal")
+		sketchSpec = fs.String("sketch", "", "guide synthesis with a communication sketch, e.g. \"leaders=0,4;ring=desc;cut=server;allow=hier-star,server-chain;chunk=4194304\" — hints only prune the candidate space (never add to it); an infeasible sketch fails loudly instead of silently falling back to the full search")
 		workers    = fs.Int("workers", 1, "worker-pool size for the partitioned engine (with -topo); results are bit-identical for any value")
 		verify     = fs.Bool("verify", false, "lower every synthesised strategy to the chunk-level IR and prove it correct before executing (send/recv matching, no use-before-receive, no double reduction, exact postconditions); prints a verification summary and exits non-zero on rejection")
 	)
@@ -83,6 +85,9 @@ func run(args []string) error {
 	if *topoSpec != "" {
 		if *hybridSpec != "" {
 			return fmt.Errorf("-topo is mutually exclusive with -hybrid")
+		}
+		if *sketchSpec != "" {
+			return fmt.Errorf("-sketch guides the synthesis pipeline; the -topo sweep uses fixed hierarchical rings")
 		}
 		var heal *health.Options
 		if healSet {
@@ -135,6 +140,14 @@ func run(args []string) error {
 	copts := []core.Option{core.WithM(*m)}
 	if *verify {
 		copts = append(copts, core.WithVerify())
+	}
+	if *sketchSpec != "" {
+		sk, err := synth.ParseSketch(*sketchSpec)
+		if err != nil {
+			return err
+		}
+		copts = append(copts, core.WithSketch(sk))
+		fmt.Printf("sketch: %s\n", sk.Fingerprint())
 	}
 	a, err := core.New(env, copts...)
 	if err != nil {

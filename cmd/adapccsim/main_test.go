@@ -32,6 +32,25 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestRunWithSketch(t *testing.T) {
+	if err := run([]string{"-case", "A100:(2,2)", "-bytes", "1048576", "-verify",
+		"-sketch", "leaders=0,2;cut=server;chunk=262144"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadSketch(t *testing.T) {
+	for _, args := range [][]string{
+		{"-case", "A100:(2,2)", "-sketch", "ring=sideways"},              // malformed
+		{"-case", "A100:(2,2)", "-sketch", "cut=server;allow=flat-star"}, // infeasible
+		{"-topo", "rail:groups=2", "-sketch", "cut=server"},              // wrong pipeline
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
 func TestRunWithChaosSchedule(t *testing.T) {
 	if err := run([]string{"-case", "A100:(2,2)", "-bytes", "1048576",
 		"-chaos", "seed=3;down@1ms+3ms:edge=0;straggler@0s+20ms:rank=1,stall=200us"}); err != nil {

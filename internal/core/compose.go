@@ -16,8 +16,8 @@ import (
 // multi-root Broadcast assembly (synth.MultiRoot): n out-trees, the one
 // rooted at rank i carrying shard i, executed as a single op — a single
 // synthesised strategy, a single setup, a single completion — instead of
-// the previous one-Broadcast-per-root composition (kept as
-// ComposedAllGather). With verification enabled the assembly is lowered
+// the previous one-Broadcast-per-root composition (surviving unexported as
+// composedAllGather). With verification enabled the assembly is lowered
 // to IR and proven to deliver every shard everywhere before running.
 //
 // shards maps rank → its shard; every shard must have equal length.
@@ -72,9 +72,9 @@ func (a *AdapCC) AllGather(ranks []int, shards map[int][]float32, onDone func(ma
 // ReduceScatter reduces the full tensors element-wise and leaves each
 // rank with its own shard of the sum (rank i gets the i-th of len(ranks)
 // equal slices). It runs as ONE multi-root Reduce assembly: n in-trees,
-// the one rooted at rank i reducing shard i, executed as a single op
-// (the per-root composition survives as ComposedReduceScatter). The
-// tensor length must be divisible by the rank count.
+// the one rooted at rank i reducing shard i, executed as a single op —
+// the per-root composition it replaced is gone. The tensor length must be
+// divisible by the rank count.
 func (a *AdapCC) ReduceScatter(ranks []int, tensors map[int][]float32, onDone func(map[int][]float32, time.Duration), opts ...backend.RunOption) error {
 	ranks, total, err := validateTensors(a, ranks, tensors)
 	if err != nil {
@@ -194,20 +194,13 @@ func (a *AdapCC) composeDeps() composeDeps {
 	return composeDeps{run: a.Run, now: a.env.Engine.Now, allRanks: a.env.AllRanks}
 }
 
-// ComposedAllGather is the paper's API-layer construction (Sec. IV-D):
-// one Broadcast per GPU, all running concurrently over synthesised
-// trees. AllGather's single multi-root op supersedes it; it remains for
-// comparison benchmarks and as the fallback for backends without
-// multi-root synthesis. Options are threaded through to every per-root
-// Run, so group and traffic-class routing applies.
-func (a *AdapCC) ComposedAllGather(ranks []int, shards map[int][]float32, onDone func(map[int][]float32, time.Duration), opts ...backend.RunOption) error {
-	ranks, shardLen, err := validateShards(a, ranks, shards)
-	if err != nil {
-		return fmt.Errorf("core: allgather %w", err)
-	}
-	return composedAllGather(a.composeDeps(), ranks, shardLen, shards, onDone, opts...)
-}
-
+// composedAllGather is the paper's API-layer construction (Sec. IV-D): one
+// Broadcast per GPU, all running concurrently over synthesised trees.
+// AllGather's single multi-root op superseded it as the public route; it
+// survives unexported as the one per-root fallback for backends without
+// multi-root synthesis (its ReduceScatter sibling had no such caller left
+// and is gone). Options are threaded through to every per-root Run, so
+// group and traffic-class routing applies.
 func composedAllGather(deps composeDeps, ranks []int, shardLen int, shards map[int][]float32, onDone func(map[int][]float32, time.Duration), opts ...backend.RunOption) error {
 	start := deps.now()
 	results := make(map[int][]float32, len(ranks))
@@ -245,61 +238,6 @@ func composedAllGather(deps composeDeps, ranks []int, shardLen int, shards map[i
 		}, opts...)
 		if err != nil {
 			return fmt.Errorf("core: allgather broadcast from %d: %w", root, err)
-		}
-	}
-	return nil
-}
-
-// ComposedReduceScatter is the paper's API-layer construction: one Reduce
-// per GPU over synthesised trees. ReduceScatter's single multi-root op
-// supersedes it; it remains for comparison benchmarks and fallback use.
-// Options are threaded through to every per-root Run.
-func (a *AdapCC) ComposedReduceScatter(ranks []int, tensors map[int][]float32, onDone func(map[int][]float32, time.Duration), opts ...backend.RunOption) error {
-	ranks, total, err := validateTensors(a, ranks, tensors)
-	if err != nil {
-		return fmt.Errorf("core: reducescatter %w", err)
-	}
-	if total%len(ranks) != 0 {
-		return fmt.Errorf("core: tensor length %d not divisible by %d ranks", total, len(ranks))
-	}
-	return composedReduceScatter(a.composeDeps(), ranks, total/len(ranks), tensors, onDone, opts...)
-}
-
-func composedReduceScatter(deps composeDeps, ranks []int, shardLen int, tensors map[int][]float32, onDone func(map[int][]float32, time.Duration), opts ...backend.RunOption) error {
-	start := deps.now()
-	results := make(map[int][]float32, len(ranks))
-	barrier := sim.NewCountdown(len(ranks), func() {
-		if onDone != nil {
-			onDone(results, deps.now()-start)
-		}
-	})
-	bytes := int64(shardLen) * 4
-	for slot, root := range ranks {
-		slot, root := slot, root
-		inputs := make(map[int][]float32, len(ranks))
-		for _, r := range ranks {
-			inputs[r] = tensors[r][slot*shardLen : (slot+1)*shardLen]
-		}
-		err := deps.run(backend.Request{
-			Primitive: strategy.Reduce,
-			Bytes:     bytes,
-			Ranks:     ranks,
-			Root:      root,
-			Inputs:    inputs,
-			OnDone: func(res collective.Result) {
-				out := res.Outputs[root]
-				if out == nil {
-					// Mirror AllGather's guard: an executor that elides the
-					// root's self-delivery leaves the root's own slice as the
-					// only locally-held data.
-					out = inputs[root]
-				}
-				results[root] = out
-				barrier.Done()
-			},
-		}, opts...)
-		if err != nil {
-			return fmt.Errorf("core: reducescatter reduce to %d: %w", root, err)
 		}
 	}
 	return nil

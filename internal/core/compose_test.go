@@ -77,10 +77,7 @@ func TestGroupedCollectivesCarryClass(t *testing.T) {
 			return a.Scatter(ranks, ranks[0], tensors[ranks[0]], nil, opt)
 		}},
 		{"composed-allgather", func(opt backend.RunOption) error {
-			return a.ComposedAllGather(ranks, shards, nil, opt)
-		}},
-		{"composed-reducescatter", func(opt backend.RunOption) error {
-			return a.ComposedReduceScatter(ranks, tensors, nil, opt)
+			return composedAllGather(a.composeDeps(), ranks, 1<<14, shards, nil, opt)
 		}},
 	}
 	for _, tc := range calls {
@@ -97,50 +94,10 @@ func TestGroupedCollectivesCarryClass(t *testing.T) {
 	}
 }
 
-// TestComposedReduceScatterElidedRootOutput is the regression for the
-// missing nil-root-output guard: a backend that elides a root's
-// self-delivery (its output equals its own input slice) must not crash
-// the composed ReduceScatter, and each root must fall back to its own
-// contribution. ComposedAllGather had this guard from the start; the
-// ReduceScatter path assigned res.Outputs[root] unconditionally.
-func TestComposedReduceScatterElidedRootOutput(t *testing.T) {
-	ranks := []int{0, 1}
-	tensors := map[int][]float32{
-		0: {1, 1, 2, 2},
-		1: {3, 3, 4, 4},
-	}
-	deps := composeDeps{
-		run: func(req backend.Request, opts ...backend.RunOption) error {
-			// A degenerate backend: completes instantly, returns no outputs
-			// at all — every root's entry is elided.
-			req.OnDone(collective.Result{Outputs: map[int][]float32{}})
-			return nil
-		},
-		now:      func() sim.Time { return 0 },
-		allRanks: func() []int { return ranks },
-	}
-	var results map[int][]float32
-	err := composedReduceScatter(deps, ranks, 2, tensors, func(res map[int][]float32, _ time.Duration) {
-		results = res
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if results == nil {
-		t.Fatal("reducescatter never completed")
-	}
-	// With only the root's own contribution available, each shard falls
-	// back to the root's slice of its own tensor.
-	if got := results[0]; len(got) != 2 || got[0] != 1 || got[1] != 1 {
-		t.Errorf("rank 0 shard = %v, want [1 1]", got)
-	}
-	if got := results[1]; len(got) != 2 || got[0] != 4 || got[1] != 4 {
-		t.Errorf("rank 1 shard = %v, want [4 4]", got)
-	}
-}
-
-// TestComposedAllGatherElidedRootOutput pins the matching guard on the
-// AllGather side.
+// TestComposedAllGatherElidedRootOutput pins the nil-root-output guard on
+// the surviving per-root fallback: a backend that elides a root's
+// self-delivery (its output equals its own input slice) must not crash the
+// composition, and each root's own slot must fall back to its shard.
 func TestComposedAllGatherElidedRootOutput(t *testing.T) {
 	ranks := []int{0, 1}
 	shards := map[int][]float32{0: {5, 6}, 1: {7, 8}}

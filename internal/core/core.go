@@ -51,6 +51,12 @@ type Options struct {
 	// contribution reduced exactly once. Decisions are counted in
 	// adapcc_ir_verify_total{result}.
 	Verify bool
+	// Sketch, when non-nil, restricts every synthesis this instance runs
+	// (synth.Sketch: leader hints, ring orientation, hierarchy cut,
+	// candidate-family allow/deny, pinned chunk). Validated by New; a
+	// sketch that is well-formed but infeasible for a given request
+	// surfaces as synth.ErrInfeasibleSketch from that request.
+	Sketch *synth.Sketch
 }
 
 // Option configures New, in the package-wide With* functional-option
@@ -98,6 +104,12 @@ type AdapCC struct {
 	report    *profile.Report
 	costs     *synth.Costs
 
+	// planner is the stateful synthesizer face: it keeps subBuilders (and
+	// their per-subdomain flow fragments) alive across every synthesis this
+	// instance runs, so hierarchical re-synthesis after a fault re-derives
+	// only what the changed topology invalidates.
+	planner *synth.Planner
+
 	cache map[string]*synth.Result
 
 	// Fault-exclusion state (chunk-granularity recovery, resilient.go):
@@ -121,6 +133,20 @@ type AdapCC struct {
 	// sets coexist and a healing flap that restores a previous topology
 	// hits the cache instead of re-solving (see exclusionsChanged).
 	fingerprint string
+	// baseCostFP is the cost view's content hash captured at the last
+	// Reconstruct; costPrefix is empty while the current costs still match
+	// it (the fault-free fast path allocates nothing extra) and carries the
+	// hash otherwise, so strategies solved under different measurement sets
+	// coexist in the cache instead of wiping each other (heal.go).
+	baseCostFP uint64
+	costPrefix string
+	// prevPrefix/lastDelta remember the cache prefix before the most recent
+	// single-link change and what that change was, so a cache miss after an
+	// exclusion, re-admission or reweight first tries synth.Patch against
+	// the previous epoch's entry — gated through ir.Verify — before paying
+	// a full search. Rank-level and wholesale changes clear the delta.
+	prevPrefix string
+	lastDelta  *synth.Delta
 
 	// Elastic healing (heal.go): the background monitor re-admitting
 	// excluded hardware, the last coordinator to tell about healed ranks,
@@ -175,6 +201,9 @@ func NewWithOptions(env *backend.Env, opts Options) (*AdapCC, error) {
 	if opts.M <= 0 {
 		opts.M = synth.DefaultM
 	}
+	if err := opts.Sketch.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidOption, err)
+	}
 	prober := detect.NewHardwareProber(env.Cluster, env.Engine.Fork())
 	det, err := detect.Detect(env.Cluster, prober)
 	if err != nil {
@@ -185,11 +214,13 @@ func NewWithOptions(env *backend.Env, opts Options) (*AdapCC, error) {
 		opts:      opts,
 		detection: det,
 		costs:     synth.NewCosts(env.Graph, nil),
+		planner:   synth.NewPlanner(),
 		cache:     make(map[string]*synth.Result),
 		deadPairs: make(map[[2]topology.NodeID]bool),
 		deadRanks: make(map[int]bool),
 		softPairs: make(map[[2]topology.NodeID]float64),
 	}
+	a.baseCostFP = a.costs.Fingerprint()
 	return a, nil
 }
 
@@ -239,6 +270,12 @@ func (a *AdapCC) Reconstruct(onDone func(overhead time.Duration)) {
 		}
 		a.survGraph, a.survCosts, a.softCosts = nil, nil, nil // rebuilt from the fresh costs
 		a.cache = make(map[string]*synth.Result)
+		// The fresh measurements become the new cost baseline: the
+		// fault-free path keys with no cost prefix again, and any
+		// pending single-link delta is meaningless against it.
+		a.baseCostFP = a.costs.Fingerprint()
+		a.costPrefix = ""
+		a.lastDelta = nil
 		a.lastSolveTime = 0
 		setup := a.setupTime()
 		a.lastSetupTime = setup
@@ -352,6 +389,12 @@ func (a *AdapCC) FastStrategy(p strategy.Primitive, bytes int64, ranks, relays [
 	return a.synthesize(p, bytes, ranks, relays, root, true)
 }
 
+// prefix composes the cache-key prefix of the current epoch: the cost
+// fingerprint (non-empty only after AbsorbMeasurements moved the costs off
+// the Reconstruct baseline) followed by the exclusion fingerprint. Empty on
+// the fault-free path, so those keys allocate nothing extra.
+func (a *AdapCC) prefix() string { return a.costPrefix + a.fingerprint }
+
 func (a *AdapCC) synthesize(p strategy.Primitive, bytes int64, ranks, relays []int, root int, fast bool) (*synth.Result, error) {
 	if ranks == nil {
 		ranks = a.env.AllRanks()
@@ -360,15 +403,21 @@ func (a *AdapCC) synthesize(p strategy.Primitive, bytes int64, ranks, relays []i
 	if fast {
 		key = "fast|" + key
 	}
-	if a.fingerprint != "" {
-		key = a.fingerprint + key
+	full := key
+	if pre := a.prefix(); pre != "" {
+		full = pre + key
 	}
-	if res, ok := a.cache[key]; ok {
+	if res, ok := a.cache[full]; ok {
 		a.recordCacheLookup(true)
 		return res, nil
 	}
 	a.recordCacheLookup(false)
-	res, err := synth.Synthesize(a.activeCosts(), synth.Request{
+	if res := a.patchFromPrevious(key, false); res != nil {
+		a.cache[full] = res
+		a.lastSolveTime += res.SolveTime
+		return res, nil
+	}
+	res, err := a.planner.Synthesize(a.activeCosts(), synth.Request{
 		Primitive:  p,
 		Bytes:      bytes,
 		Ranks:      ranks,
@@ -378,6 +427,7 @@ func (a *AdapCC) synthesize(p strategy.Primitive, bytes int64, ranks, relays []i
 		ExactM:     a.opts.ExactM,
 		ChunkGrid:  a.opts.ChunkGrid,
 		FastSearch: fast,
+		Sketch:     a.opts.Sketch,
 	})
 	if err != nil {
 		return nil, err
@@ -385,9 +435,52 @@ func (a *AdapCC) synthesize(p strategy.Primitive, bytes int64, ranks, relays []i
 	if err := a.verifyStrategy(res.Strategy, false); err != nil {
 		return nil, err
 	}
-	a.cache[key] = res
+	mode := "full"
+	if fast {
+		mode = "fast"
+	}
+	a.recordSynth(mode, res.SolveTime)
+	a.cache[full] = res
 	a.lastSolveTime += res.SolveTime
 	return res, nil
+}
+
+// patchFromPrevious is the incremental tier of the strategy cache: when the
+// most recent topology change was a single-link delta, a miss under the new
+// prefix first looks the same shape up under the previous epoch's prefix and
+// asks synth.Patch to reroute/re-price that result instead of re-searching.
+// The patched strategy must validate on the surviving graph and pass the IR
+// verifier (unconditionally — patches skip the search's vetted candidate
+// space, so they are never adopted on trust); any failure falls back to the
+// full synthesis the caller was about to run anyway.
+func (a *AdapCC) patchFromPrevious(key string, multiRoot bool) *synth.Result {
+	if a.lastDelta == nil {
+		return nil
+	}
+	cur := a.prefix()
+	if a.prevPrefix == cur {
+		return nil
+	}
+	prev, ok := a.cache[a.prevPrefix+key]
+	if !ok {
+		return nil
+	}
+	res, stats, err := synth.Patch(a.activeCosts(), prev, *a.lastDelta)
+	if err != nil {
+		a.recordPatch(stats, false)
+		return nil
+	}
+	if err := res.Strategy.Validate(a.activeGraph()); err != nil {
+		a.recordPatch(stats, false)
+		return nil
+	}
+	if err := a.verifyPatched(res.Strategy, multiRoot); err != nil {
+		a.recordPatch(stats, false)
+		return nil
+	}
+	a.recordPatch(stats, true)
+	a.recordSynth("patched", res.SolveTime)
+	return res
 }
 
 // CachedStrategies reports the number of synthesized strategies in the

@@ -30,14 +30,23 @@ type HealOptions struct {
 	OnCondemn func(health.Event)
 }
 
-// EnableHealing installs the background health monitor (idempotent: the
-// first call's knobs win, later calls return the existing monitor). It is
-// called implicitly by RunResilient when ResilientOptions.Heal is set.
-// Exclusions registered by the fault path are watched, probed over the live
-// fabric and devices, and — after K consecutive successful probes — re-
-// admitted: ReadmitLink/ReadmitRank, measurements absorbed, the last known
-// coordinator told to Readmit the rank.
+// EnableHealing installs the background health monitor from an explicit
+// options struct — a thin wrapper over the installer StartHealing shares.
+//
+// Deprecated: use StartHealing with With* heal options.
 func (a *AdapCC) EnableHealing(opts HealOptions) *health.Monitor {
+	return a.installHealing(opts)
+}
+
+// installHealing is the monitor installer behind StartHealing and
+// EnableHealing (idempotent: the first call's knobs win, later calls
+// return the existing monitor). It also runs implicitly from RunResilient
+// when ResilientOptions.Heal is set. Exclusions registered by the fault
+// path are watched, probed over the live fabric and devices, and — after K
+// consecutive successful probes — re-admitted: ReadmitLink/ReadmitRank,
+// measurements absorbed, the last known coordinator told to Readmit the
+// rank.
+func (a *AdapCC) installHealing(opts HealOptions) *health.Monitor {
 	if a.healer != nil {
 		return a.healer
 	}
@@ -96,6 +105,7 @@ func (a *AdapCC) ReadmitLink(from, to topology.NodeID) bool {
 	if !a.deadPairs[k1] && !a.deadPairs[k2] {
 		return false
 	}
+	a.noteDelta(synth.DeltaReadmit, from, to)
 	delete(a.deadPairs, k1)
 	delete(a.deadPairs, k2)
 	a.exclusionsChanged()
@@ -109,6 +119,7 @@ func (a *AdapCC) ReadmitRank(rank int) bool {
 	if !a.deadRanks[rank] {
 		return false
 	}
+	a.clearDelta()
 	delete(a.deadRanks, rank)
 	a.exclusionsChanged()
 	return true
@@ -140,8 +151,13 @@ func (a *AdapCC) ExcludedLinks() [][2]topology.NodeID {
 
 // AbsorbMeasurements folds fresh per-edge measurements (the healed-edge
 // re-profiling pass) into the cost model without a full Reconstruct: the
-// report gains the edges, costs rebuild from it, and strategy caches drop.
-// Unmeasured edges keep their previous (or nominal) values.
+// report gains the edges and costs rebuild from it. Unmeasured edges keep
+// their previous (or nominal) values. The strategy cache survives — entries
+// are re-keyed under the new cost fingerprint (see prefix), so strategies
+// solved under other measurement sets stay addressable, and a healing flap
+// that restores byte-identical measurements restores the previous cache
+// prefix: its strategies come back as pointer-identity hits instead of
+// re-solves. Only Reconstruct (a full re-profiling) wipes outright.
 func (a *AdapCC) AbsorbMeasurements(ms []profile.Measurement) {
 	if len(ms) == 0 {
 		return
@@ -153,10 +169,11 @@ func (a *AdapCC) AbsorbMeasurements(ms []profile.Measurement) {
 		a.report.ByEdge[m.Edge] = m
 	}
 	a.costs = synth.NewCosts(a.env.Graph, a.report)
-	// Costs changed, so every cached strategy — under any exclusion
-	// fingerprint — is stale; this is one of the two outright cache wipes
-	// (the other is Reconstruct). Mere exclusion flips keep the cache.
-	a.cache = make(map[string]*synth.Result)
+	if fp := a.costs.Fingerprint(); fp == a.baseCostFP {
+		a.costPrefix = ""
+	} else {
+		a.costPrefix = "c!" + strconv.FormatUint(fp, 16) + "|"
+	}
 	a.exclusionsChanged()
 }
 

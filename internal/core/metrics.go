@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"adapcc/internal/metrics"
+	"adapcc/internal/synth"
 )
 
 // coreMetrics is the controller's pre-resolved instrument bundle (see
@@ -101,8 +102,11 @@ func (a *AdapCC) recordRecovery(ladder, locality string) {
 }
 
 // recordRecoveryEvents observes the labeled time-to-recover series — one
-// sample per recovery cycle, labeled by world size and fault locality —
-// alongside the unlabeled aggregate histogram recordRecovered keeps.
+// sample per recovery cycle, labeled by world size, fault locality and the
+// synthesis rung ("mode") the retry used — alongside the unlabeled
+// aggregate histogram recordRecovered keeps. The mode split is what shows
+// incremental recoveries bounding TTR while full re-syntheses pay the
+// whole search.
 func (a *AdapCC) recordRecoveryEvents(world int, events []RecoveryEvent) {
 	if a.reg == nil || len(events) == 0 {
 		return
@@ -113,6 +117,51 @@ func (a *AdapCC) recordRecoveryEvents(world int, events []RecoveryEvent) {
 		a.reg.Histogram("adapcc_time_to_recover_seconds",
 			"detection latency + reconstruction overhead per recovered collective",
 			metrics.DurationBuckets,
-			"world", w, "locality", ev.Locality).ObserveDuration(now, ev.DetectLatency+ev.Overhead)
+			"world", w, "locality", ev.Locality, "mode", ev.Ladder).ObserveDuration(now, ev.DetectLatency+ev.Overhead)
 	}
+}
+
+// recordSynth counts one strategy resolution that actually ran the
+// synthesizer (cache hits are not resolutions) by mode — "full", "fast",
+// "multiroot", "patched" or "degraded-ring" — and observes its virtual
+// solve time. The patched-vs-full split across these two instruments is
+// the incremental-synthesis headline.
+func (a *AdapCC) recordSynth(mode string, solve time.Duration) {
+	if a.reg == nil {
+		return
+	}
+	now := a.env.Engine.Now()
+	a.reg.Counter("adapcc_synth_resolves_total",
+		"strategy resolutions that ran the synthesizer, by mode",
+		"mode", mode).Inc(now)
+	a.reg.Histogram("adapcc_resynthesis_seconds",
+		"virtual solve time per synthesizer run, by mode",
+		metrics.DurationBuckets,
+		"mode", mode).ObserveDuration(now, solve)
+}
+
+// recordPatch counts one synth.Patch attempt and, when the patch was
+// adopted, how many sub-collectives it touched versus kept — the proof
+// that an incremental repair patched only the affected sub-collectives.
+func (a *AdapCC) recordPatch(stats synth.PatchStats, adopted bool) {
+	if a.reg == nil {
+		return
+	}
+	now := a.env.Engine.Now()
+	result := "rejected"
+	if adopted {
+		result = "adopted"
+	}
+	a.reg.Counter("adapcc_synth_patches_total",
+		"incremental strategy patches attempted, by outcome",
+		"result", result).Inc(now)
+	if !adopted {
+		return
+	}
+	a.reg.Counter("adapcc_synth_patched_subs_total",
+		"sub-collectives of adopted patches, by whether they were rerouted or kept verbatim",
+		"state", "patched").Add(now, float64(stats.SubsPatched))
+	a.reg.Counter("adapcc_synth_patched_subs_total",
+		"sub-collectives of adopted patches, by whether they were rerouted or kept verbatim",
+		"state", "kept").Add(now, float64(stats.SubsTotal-stats.SubsPatched))
 }

@@ -1,0 +1,186 @@
+// One option shape for the controller's opt-in subsystems. New, healing
+// and gray-failure detection historically took three different
+// configuration forms (functional options, HealOptions struct,
+// GrayfailOptions struct); this file unifies them on the package-wide
+// With* functional-option convention with typed validation — a malformed
+// option surfaces as ErrInvalidOption at enable time, not as a silent
+// fallback to a default deep in the subsystem. The struct forms survive as
+// thin wrappers for callers that build configuration programmatically.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"adapcc/internal/grayfail"
+	"adapcc/internal/health"
+	"adapcc/internal/synth"
+)
+
+// ErrInvalidOption is wrapped by every option-validation failure of New,
+// StartHealing and StartGrayfail; match with errors.Is.
+var ErrInvalidOption = errors.New("core: invalid option")
+
+// WithSketch restricts every synthesis of the instance with a
+// communication sketch (synth.Sketch): leader hints, ring orientation,
+// hierarchy cut, candidate-family allow/deny and a pinned chunk size. The
+// sketch is validated by New (ErrInvalidOption wrapping the synth error);
+// a sketch that is well-formed but infeasible for a given request fails
+// that request with synth.ErrInfeasibleSketch.
+func WithSketch(sk *synth.Sketch) Option {
+	return func(o *Options) { o.Sketch = sk }
+}
+
+// HealOption configures StartHealing. Unlike the plain With* option funcs
+// of New, heal options validate: a nonsensical knob is reported as
+// ErrInvalidOption instead of being silently replaced by a default.
+type HealOption func(*HealOptions) error
+
+// WithHealQuarantine sets the minimum exclusion dwell before the first
+// probe. Must be positive.
+func WithHealQuarantine(d time.Duration) HealOption {
+	return func(o *HealOptions) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: heal quarantine %v must be positive", ErrInvalidOption, d)
+		}
+		o.Quarantine = d
+		return nil
+	}
+}
+
+// WithHealProbation sets the consecutive-success streak required for
+// promotion. Must be positive.
+func WithHealProbation(k int) HealOption {
+	return func(o *HealOptions) error {
+		if k <= 0 {
+			return fmt.Errorf("%w: heal probation streak %d must be positive", ErrInvalidOption, k)
+		}
+		o.ProbationK = k
+		return nil
+	}
+}
+
+// WithHealGiveUpAfter sets the relapse count after which a target is
+// condemned. Must be positive.
+func WithHealGiveUpAfter(n int) HealOption {
+	return func(o *HealOptions) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: heal give-up count %d must be positive", ErrInvalidOption, n)
+		}
+		o.GiveUpAfter = n
+		return nil
+	}
+}
+
+// WithHealProbeInterval sets the cadence of probe cycles inside probation.
+// Must be positive.
+func WithHealProbeInterval(d time.Duration) HealOption {
+	return func(o *HealOptions) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: heal probe interval %v must be positive", ErrInvalidOption, d)
+		}
+		o.ProbeInterval = d
+		return nil
+	}
+}
+
+// WithOnHeal observes each promotion after the controller has applied it.
+// The observer must be non-nil.
+func WithOnHeal(fn func(health.Event)) HealOption {
+	return func(o *HealOptions) error {
+		if fn == nil {
+			return fmt.Errorf("%w: nil OnHeal observer", ErrInvalidOption)
+		}
+		o.OnHeal = fn
+		return nil
+	}
+}
+
+// WithOnCondemn observes targets written off permanently. The observer
+// must be non-nil.
+func WithOnCondemn(fn func(health.Event)) HealOption {
+	return func(o *HealOptions) error {
+		if fn == nil {
+			return fmt.Errorf("%w: nil OnCondemn observer", ErrInvalidOption)
+		}
+		o.OnCondemn = fn
+		return nil
+	}
+}
+
+// StartHealing installs the background health monitor from functional
+// options — the canonical form of EnableHealing. Idempotent like it: the
+// first installer's knobs win and later calls return the existing monitor,
+// though their options are still validated.
+func (a *AdapCC) StartHealing(options ...HealOption) (*health.Monitor, error) {
+	var opts HealOptions
+	for _, o := range options {
+		if err := o(&opts); err != nil {
+			return nil, err
+		}
+	}
+	return a.installHealing(opts), nil
+}
+
+// GrayfailOption configures StartGrayfail, validating like HealOption.
+type GrayfailOption func(*GrayfailOptions) error
+
+// WithGrayWeight sets the bandwidth multiplier applied to degraded links.
+// Must lie strictly between 0 and 1.
+func WithGrayWeight(w float64) GrayfailOption {
+	return func(o *GrayfailOptions) error {
+		if w <= 0 || w >= 1 {
+			return fmt.Errorf("%w: degraded weight %v must be in (0, 1)", ErrInvalidOption, w)
+		}
+		o.Weight = w
+		return nil
+	}
+}
+
+// WithGrayInterval sets the congestion-sampling cadence. Must be positive.
+func WithGrayInterval(d time.Duration) GrayfailOption {
+	return func(o *GrayfailOptions) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: grayfail interval %v must be positive", ErrInvalidOption, d)
+		}
+		o.Interval = d
+		return nil
+	}
+}
+
+// WithGrayDegradeAfter sets the consecutive-bad-sample streak that
+// triggers the degraded verdict. Must be positive.
+func WithGrayDegradeAfter(n int) GrayfailOption {
+	return func(o *GrayfailOptions) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: grayfail degrade streak %d must be positive", ErrInvalidOption, n)
+		}
+		o.DegradeAfter = n
+		return nil
+	}
+}
+
+// WithOnVerdict observes every congestion verdict after the controller has
+// applied it. The observer must be non-nil.
+func WithOnVerdict(fn func(grayfail.Event)) GrayfailOption {
+	return func(o *GrayfailOptions) error {
+		if fn == nil {
+			return fmt.Errorf("%w: nil OnVerdict observer", ErrInvalidOption)
+		}
+		o.OnVerdict = fn
+		return nil
+	}
+}
+
+// StartGrayfail installs the in-fabric congestion detector from functional
+// options — the canonical form of EnableGrayfail. Idempotent like it.
+func (a *AdapCC) StartGrayfail(options ...GrayfailOption) (*grayfail.Monitor, error) {
+	var opts GrayfailOptions
+	for _, o := range options {
+		if err := o(&opts); err != nil {
+			return nil, err
+		}
+	}
+	return a.installGrayfail(opts), nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"adapcc/internal/backend"
+	"adapcc/internal/cluster"
+	"adapcc/internal/metrics"
+	"adapcc/internal/strategy"
+	"adapcc/internal/synth"
+	"adapcc/internal/topology"
+)
+
+// patchableHop finds a hop of the synthesised AllReduce strategy that (a)
+// stays inside one server — a 2-GPU server keeps every endpoint routable
+// around one missing intra-server edge — and (b) is absent from at least
+// one sub-collective, so an adopted patch must keep that sub verbatim.
+// Returns (-1, -1) when the strategy offers none.
+func patchableHop(t *testing.T, a *AdapCC, bytes int64, ranks []int) (topology.NodeID, topology.NodeID) {
+	t.Helper()
+	res, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.env.Graph
+	usesPair := func(sc *strategy.SubCollective, x, y topology.NodeID) bool {
+		for _, f := range sc.Flows {
+			for h := 0; h+1 < len(f.Path); h++ {
+				if (f.Path[h] == x && f.Path[h+1] == y) || (f.Path[h] == y && f.Path[h+1] == x) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for si := range res.Strategy.SubCollectives {
+		for _, f := range res.Strategy.SubCollectives[si].Flows {
+			for h := 0; h+1 < len(f.Path); h++ {
+				x, y := f.Path[h], f.Path[h+1]
+				if g.Node(x).Server < 0 || g.Node(x).Server != g.Node(y).Server {
+					continue
+				}
+				for sj := range res.Strategy.SubCollectives {
+					if !usesPair(&res.Strategy.SubCollectives[sj], x, y) {
+						return x, y
+					}
+				}
+			}
+		}
+	}
+	return -1, -1
+}
+
+// TestPatchedResynthesisCounters: an exclusion whose delta is patchable
+// must resolve the next strategy through synth.Patch, not a full search —
+// and the patched-vs-full counters must prove that only the affected
+// sub-collectives were touched while the patched program passed the IR
+// verifier.
+func TestPatchedResynthesisCounters(t *testing.T) {
+	c, err := cluster.Heterogeneous(topology.TransportRDMA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := backend.NewEnv(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two pinned sub-collectives: the exclusion below hits one of them,
+	// so "kept" has something to count.
+	a, err := New(env, WithSkipProfiling(), WithExactM(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	a.SetMetrics(reg)
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+
+	from, to := patchableHop(t, a, bytes, ranks)
+	if from < 0 {
+		t.Skip("no same-server hop absent from some sub-collective")
+	}
+	base, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := len(base.Strategy.SubCollectives)
+
+	a.ExcludeLink(from, to)
+	patched, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched == base {
+		t.Fatal("exclusion returned the unexcluded strategy")
+	}
+
+	snap := reg.Snapshot()
+	if n := seriesValue(snap, "adapcc_synth_patches_total", map[string]string{"result": "adopted"}); n != 1 {
+		t.Fatalf("adapcc_synth_patches_total{adopted} = %v, want 1", n)
+	}
+	if n := seriesValue(snap, "adapcc_synth_patches_total", map[string]string{"result": "rejected"}); n != 0 {
+		t.Errorf("adapcc_synth_patches_total{rejected} = %v, want 0", n)
+	}
+	touched := seriesValue(snap, "adapcc_synth_patched_subs_total", map[string]string{"state": "patched"})
+	kept := seriesValue(snap, "adapcc_synth_patched_subs_total", map[string]string{"state": "kept"})
+	if touched < 1 || kept < 1 {
+		t.Errorf("patched/kept = %v/%v, want both >= 1 (only affected subs may be touched)", touched, kept)
+	}
+	if int(touched+kept) != subs {
+		t.Errorf("patched %v + kept %v != %d sub-collectives", touched, kept, subs)
+	}
+	if n := seriesValue(snap, "adapcc_synth_resolves_total", map[string]string{"mode": "patched"}); n != 1 {
+		t.Errorf("adapcc_synth_resolves_total{patched} = %v, want 1", n)
+	}
+	if n := seriesValue(snap, "adapcc_synth_resolves_total", map[string]string{"mode": "full"}); n < 1 {
+		t.Errorf("adapcc_synth_resolves_total{full} = %v, want >= 1 (the pre-fault synthesis)", n)
+	}
+	// Patched programs are verified unconditionally, even without
+	// WithVerify: the adoption above must have recorded an IR accept.
+	if n := seriesValue(snap, "adapcc_ir_verify_total", map[string]string{"result": "accept"}); n < 1 {
+		t.Errorf("adapcc_ir_verify_total{accept} = %v, want >= 1 (patch adoption is gated on ir.Verify)", n)
+	}
+	if n := seriesValue(snap, "adapcc_ir_verify_total", map[string]string{"result": "reject"}); n != 0 {
+		t.Errorf("adapcc_ir_verify_total{reject} = %v, want 0", n)
+	}
+
+	// The patched entry is cached under the exclusion fingerprint: asking
+	// again is a pointer-identity hit, no second patch.
+	again, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != patched {
+		t.Error("second resolution under the same exclusion re-synthesised")
+	}
+	if n := seriesValue(reg.Snapshot(), "adapcc_synth_patches_total", nil); n != 1 {
+		t.Errorf("cache hit ran another patch (%v attempts)", n)
+	}
+}
+
+// TestFlapSoakCacheHits is the flap soak: heal flaps (exclude/readmit) and
+// gray flaps (degrade/restore) cycling over the same links must converge
+// to pure cache service — after the first full cycle every state revisit
+// returns the previously synthesised strategy by pointer and the
+// synthesizer never runs again. Run with -race in CI; the soak also
+// doubles as a determinism check on the fingerprint keying.
+func TestFlapSoakCacheHits(t *testing.T) {
+	env, a := resilientEnv(t)
+	reg := metrics.New()
+	a.SetMetrics(reg)
+	ranks := env.AllRanks()
+	const bytes = 1 << 20
+	g := env.Graph
+	g0, _ := g.GPUByRank(0)
+	g1, _ := g.GPUByRank(1)
+	g2, _ := g.GPUByRank(2)
+
+	resolve := func() *synth.Result {
+		t.Helper()
+		res, err := a.Strategy(strategy.AllReduce, bytes, ranks, nil, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	synthRuns := func() float64 {
+		return seriesValue(reg.Snapshot(), "adapcc_synth_resolves_total", nil)
+	}
+
+	// One cycle visits four states: clean, excluded, degraded, both.
+	cycle := func() [4]*synth.Result {
+		var out [4]*synth.Result
+		out[0] = resolve()
+		a.ExcludeLink(g0, g1)
+		out[1] = resolve()
+		a.ReadmitLink(g0, g1)
+		a.DegradeLink(g1, g2, 0.25)
+		out[2] = resolve()
+		a.ExcludeLink(g0, g1)
+		out[3] = resolve()
+		a.ReadmitLink(g0, g1)
+		a.RestoreLink(g1, g2)
+		return out
+	}
+
+	first := cycle()
+	warmRuns := synthRuns()
+	warmSize := a.CachedStrategies()
+	const soak = 16
+	for i := 0; i < soak; i++ {
+		got := cycle()
+		for s := range got {
+			if got[s] != first[s] {
+				t.Fatalf("soak cycle %d state %d missed the cache (new strategy pointer)", i, s)
+			}
+		}
+	}
+	if runs := synthRuns(); runs != warmRuns {
+		t.Errorf("soak ran the synthesizer %v more times after warm-up", runs-warmRuns)
+	}
+	if size := a.CachedStrategies(); size != warmSize {
+		t.Errorf("soak grew the cache %d -> %d; flaps must be revisits", warmSize, size)
+	}
+	if hits := seriesValue(reg.Snapshot(), "adapcc_strategy_cache_total", map[string]string{"result": "hit"}); hits < 4*soak {
+		t.Errorf("adapcc_strategy_cache_total{hit} = %v, want >= %d", hits, 4*soak)
+	}
+}

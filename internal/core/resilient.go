@@ -19,7 +19,6 @@ import (
 	"adapcc/internal/backend"
 	"adapcc/internal/collective"
 	"adapcc/internal/relay"
-	"adapcc/internal/strategy"
 	"adapcc/internal/synth"
 	"adapcc/internal/topology"
 )
@@ -140,11 +139,27 @@ func (r *ResilientResult) TimeToRecover() time.Duration {
 	return t
 }
 
+// noteDelta records a single-link change about to be applied: the cache
+// prefix of the epoch being left behind plus the delta itself, so the next
+// cache miss can patch forward from that epoch's entries (patchFromPrevious)
+// instead of re-searching. Must run before the mutation that moves the
+// fingerprint. Successive single-link changes chain — each patch starts
+// from the strategy the previous one produced.
+func (a *AdapCC) noteDelta(k synth.DeltaKind, from, to topology.NodeID) {
+	a.prevPrefix = a.prefix()
+	a.lastDelta = &synth.Delta{Kind: k, Pair: [2]topology.NodeID{from, to}}
+}
+
+// clearDelta forgets the patch anchor: rank-level and wholesale changes
+// invalidate too much structure for a single-link patch to be sound.
+func (a *AdapCC) clearDelta() { a.lastDelta = nil }
+
 // ExcludeLink writes a directed link (both directions) off the synthesis
 // topology: cached strategies are dropped and every future synthesis routes
 // around it. The fabric is untouched — the link may still carry traffic of
 // previously-started collectives.
 func (a *AdapCC) ExcludeLink(from, to topology.NodeID) {
+	a.noteDelta(synth.DeltaExclude, from, to)
 	a.deadPairs[[2]topology.NodeID{from, to}] = true
 	a.deadPairs[[2]topology.NodeID{to, from}] = true
 	a.exclusionsChanged()
@@ -153,6 +168,7 @@ func (a *AdapCC) ExcludeLink(from, to topology.NodeID) {
 // ExcludeRank writes a worker off the synthesis topology: its GPU node's
 // links are dropped and it is removed from default participant sets.
 func (a *AdapCC) ExcludeRank(rank int) {
+	a.clearDelta()
 	a.deadRanks[rank] = true
 	a.exclusionsChanged()
 }
@@ -170,6 +186,7 @@ func (a *AdapCC) ExcludedRanks() []int {
 // ClearExclusions forgets all fault exclusions (elastic re-admission after
 // repair: the counterpart of relay.Coordinator.Readmit).
 func (a *AdapCC) ClearExclusions() {
+	a.clearDelta()
 	a.deadPairs = make(map[[2]topology.NodeID]bool)
 	a.deadRanks = make(map[int]bool)
 	a.exclusionsChanged()
@@ -363,62 +380,38 @@ func (a *AdapCC) synthesizeLadder(req backend.Request, ranks []int) (*synth.Resu
 	})
 	if derr == nil {
 		a.lastSolveTime += res.SolveTime
+		a.recordSynth("degraded-ring", res.SolveTime)
 		return res, "degraded-ring", nil
 	}
 	return nil, "", fmt.Errorf("core: no feasible strategy over survivors: %v; fast: %v; degraded ring: %v", err, ferr, derr)
 }
 
-// patchStrategy is the incremental rung above the synthesis ladder: after a
-// domain-local link fault it deep-copies the last executed strategy and
-// re-routes only the flows whose path traverses the excluded pair — every
-// other flow, and all partition/chunk/aggregation tuning, is kept verbatim.
-// That is the sub-collective-local repair of the scale-out fault model: the
-// faulted server re-routes around its own dead link (NVLink meshes always
-// offer a detour) while the rest of the job's plan is untouched. Returns
-// nil when any affected flow has no surviving route or the patched plan
-// fails validation; the caller then falls back to the full ladder.
-func (a *AdapCC) patchStrategy(prev *strategy.Strategy, pair [2]topology.NodeID) *strategy.Strategy {
-	g := a.activeGraph()
-	out := *prev
-	out.SubCollectives = append([]strategy.SubCollective(nil), prev.SubCollectives...)
-	rerouted := 0
-	for si := range out.SubCollectives {
-		sc := &out.SubCollectives[si]
-		sc.Flows = append([]strategy.Flow(nil), sc.Flows...)
-		for fi := range sc.Flows {
-			f := &sc.Flows[fi]
-			if !pathUsesPair(f.Path, pair) {
-				continue
-			}
-			np := g.ShortestPath(f.Path[0], f.Path[len(f.Path)-1])
-			if np == nil {
-				return nil
-			}
-			f.Path = np
-			rerouted++
-		}
-	}
-	if rerouted == 0 {
-		// The excluded link carried no flow of the last plan (the fault
-		// was collateral, e.g. probe traffic): the old plan still stands.
-		return &out
-	}
-	if err := out.Validate(g); err != nil {
+// patchResult is the incremental rung above the synthesis ladder: after a
+// domain-local link fault it hands the last executed result and the excluded
+// pair to synth.Patch, which reroutes only the flows whose path traverses
+// the pair — every untouched sub-collective shares its flows with the
+// previous strategy verbatim, and all partition/chunk/aggregation tuning is
+// kept. The patched plan must validate on the surviving graph and pass the
+// IR verifier (unconditionally); on any failure the caller falls back to
+// the full ladder.
+func (a *AdapCC) patchResult(prev *synth.Result, pair [2]topology.NodeID) *synth.Result {
+	res, stats, err := synth.Patch(a.activeCosts(), prev, synth.Delta{Kind: synth.DeltaExclude, Pair: pair})
+	if err != nil {
+		a.recordPatch(stats, false)
 		return nil
 	}
-	return &out
-}
-
-// pathUsesPair reports whether a routed path traverses the node pair in
-// either direction.
-func pathUsesPair(path []topology.NodeID, pair [2]topology.NodeID) bool {
-	for i := 1; i < len(path); i++ {
-		if (path[i-1] == pair[0] && path[i] == pair[1]) ||
-			(path[i-1] == pair[1] && path[i] == pair[0]) {
-			return true
-		}
+	if err := res.Strategy.Validate(a.activeGraph()); err != nil {
+		a.recordPatch(stats, false)
+		return nil
 	}
-	return false
+	if err := a.verifyPatched(res.Strategy, false); err != nil {
+		a.recordPatch(stats, false)
+		return nil
+	}
+	a.recordPatch(stats, true)
+	a.recordSynth("patched", res.SolveTime)
+	a.lastSolveTime += res.SolveTime
+	return res
 }
 
 // resilientRun is the state of one RunResilient invocation.
@@ -434,11 +427,11 @@ type resilientRun struct {
 	ranks    []int
 	world    int
 
-	// Incremental-recovery state: the strategy the last attempt executed
-	// and — when the pending fault qualifies (domain-local link fault, no
-	// ranks dropped) — the excluded pair to patch around instead of
-	// re-synthesizing from scratch.
-	lastStrategy   *strategy.Strategy
+	// Incremental-recovery state: the synthesis result the last attempt
+	// executed and — when the pending fault qualifies (domain-local link
+	// fault, no ranks dropped) — the excluded pair to patch around instead
+	// of re-synthesizing from scratch.
+	lastResult     *synth.Result
 	tryIncremental bool
 	patchPair      [2]topology.NodeID
 }
@@ -523,12 +516,12 @@ func (rr *resilientRun) attempt() {
 		rr.fail(fmt.Errorf("core: only %d rank(s) survive — nothing to communicate", len(alive)))
 		return
 	}
-	var strat *strategy.Strategy
+	var strat *synth.Result
 	var ladder string
 	if rr.tryIncremental {
 		rr.tryIncremental = false
-		if rr.lastStrategy != nil && len(droppedNow) == 0 {
-			if p := a.patchStrategy(rr.lastStrategy, rr.patchPair); p != nil {
+		if rr.lastResult != nil && len(droppedNow) == 0 {
+			if p := a.patchResult(rr.lastResult, rr.patchPair); p != nil {
 				strat, ladder = p, "incremental"
 			}
 		}
@@ -551,13 +544,13 @@ func (rr *resilientRun) attempt() {
 			rr.fail(err)
 			return
 		}
-		strat, ladder = res.Strategy, l
+		strat, ladder = res, l
 	}
 	if n := len(rr.events); n > 0 {
 		rr.events[n-1].Ladder = ladder
 		a.recordRecovery(ladder, rr.events[n-1].Locality)
 	}
-	rr.lastStrategy = strat
+	rr.lastResult = strat
 	active := make(map[int]bool, len(alive))
 	for _, r := range alive {
 		active[r] = true
@@ -566,7 +559,7 @@ func (rr *resilientRun) attempt() {
 	rec.OnFault = rr.onFault
 	rr.attempts++
 	err := a.env.Exec.Run(collective.Op{
-		Strategy: strat,
+		Strategy: strat.Strategy,
 		Mode:     rr.req.Mode,
 		Inputs:   rr.req.Inputs,
 		Active:   active,

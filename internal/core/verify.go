@@ -19,21 +19,28 @@ func (a *AdapCC) multiRootStrategy(p strategy.Primitive, bytes int64, ranks []in
 	if cfg.FastPath {
 		key = "fast|" + key
 	}
-	if a.fingerprint != "" {
-		key = a.fingerprint + key
+	full := key
+	if pre := a.prefix(); pre != "" {
+		full = pre + key
 	}
-	if res, ok := a.cache[key]; ok {
+	if res, ok := a.cache[full]; ok {
 		a.recordCacheLookup(true)
 		return res, nil
 	}
 	a.recordCacheLookup(false)
-	res, err := synth.MultiRoot(a.activeCosts(), synth.Request{
+	if res := a.patchFromPrevious(key, true); res != nil {
+		a.cache[full] = res
+		a.lastSolveTime += res.SolveTime
+		return res, nil
+	}
+	res, err := a.planner.MultiRoot(a.activeCosts(), synth.Request{
 		Primitive:  p,
 		Bytes:      bytes,
 		Ranks:      ranks,
 		Relays:     cfg.Relays,
 		ChunkGrid:  a.opts.ChunkGrid,
 		FastSearch: cfg.FastPath,
+		Sketch:     a.opts.Sketch,
 	})
 	if err != nil {
 		return nil, err
@@ -41,7 +48,8 @@ func (a *AdapCC) multiRootStrategy(p strategy.Primitive, bytes int64, ranks []in
 	if err := a.verifyStrategy(res.Strategy, true); err != nil {
 		return nil, err
 	}
-	a.cache[key] = res
+	a.recordSynth("multiroot", res.SolveTime)
+	a.cache[full] = res
 	a.lastSolveTime += res.SolveTime
 	return res, nil
 }
@@ -75,6 +83,35 @@ func (a *AdapCC) verifyStrategy(st *strategy.Strategy, multiRoot bool) error {
 	if err != nil {
 		return fmt.Errorf("core: synthesised %v strategy (%s bytes) failed verification: %w",
 			st.Primitive, strconv.FormatInt(st.TotalBytes, 10), err)
+	}
+	return nil
+}
+
+// verifyPatched is the unconditional IR gate on incrementally patched
+// strategies: unlike verifyStrategy it runs regardless of Options.Verify,
+// because a patch bypasses the search's vetted candidate space — its flows
+// were rerouted by shortest-path surgery, so correctness is proven (chunk
+// delivery + exactly-once reduction), never assumed. Decisions land in the
+// same adapcc_ir_verify_total{result} counter.
+func (a *AdapCC) verifyPatched(st *strategy.Strategy, multiRoot bool) error {
+	var (
+		prog *ir.Program
+		err  error
+	)
+	switch {
+	case multiRoot && st.Primitive == strategy.Reduce:
+		prog, err = ir.ReduceScatterFromStrategy(st)
+	case multiRoot && st.Primitive == strategy.Broadcast:
+		prog, err = ir.AllGatherFromStrategy(st)
+	default:
+		prog, err = ir.FromStrategy(st)
+	}
+	if err == nil {
+		err = ir.Verify(prog)
+	}
+	ir.RecordVerify(a.reg, a.env.Engine.Now(), err)
+	if err != nil {
+		return fmt.Errorf("core: patched %v strategy failed verification: %w", st.Primitive, err)
 	}
 	return nil
 }

@@ -60,8 +60,18 @@ type congestState struct {
 
 	// view[d] is domain d's degraded-edge set (global ids); viewVer[d]
 	// bumps on every change so ranks can refresh their routes lazily.
+	// viewFP[d] is the XOR-of-edgeHash membership fingerprint of view[d]:
+	// unlike the monotonic version it returns to its previous value when a
+	// degrade/restore flap undoes itself, which is what lets the route memo
+	// (and the resilience tier's detour memo) serve flaps from cache.
 	view    []map[topology.EdgeID]bool
 	viewVer []uint64
+	viewFP  []uint64
+	// routeMemo[d] caches refresh's picked ring routes per (rank, viewFP):
+	// a flap that restores a previous view reuses the ECMP detours
+	// wholesale. Per-domain maps, owned by the rank's home domain's events —
+	// no cross-domain sharing, so parallel sweeps stay race-free.
+	routeMemo []map[rankRouteKey][2][]topology.NodeID
 	// core[ge] marks switch-to-switch edges — the multipath tiers where an
 	// equal-cost detour can exist. A PFC storm's pause propagates upstream
 	// into single-path host links, which then draw degraded verdicts of
@@ -142,6 +152,8 @@ func newCongestState(s *sweep, spec CongestSpec) *congestState {
 		mons:      make([]*grayfail.Monitor, doms),
 		view:      make([]map[topology.EdgeID]bool, doms),
 		viewVer:   make([]uint64, doms),
+		viewFP:    make([]uint64, doms),
+		routeMemo: make([]map[rankRouteKey][2][]topology.NodeID, doms),
 		pendingAt: make([]sim.Time, doms),
 		pathVer:   make([]uint64, len(s.vals)),
 		degraded:  make([]uint64, doms),
@@ -153,6 +165,7 @@ func newCongestState(s *sweep, spec CongestSpec) *congestState {
 	for d := 0; d < doms; d++ {
 		d := d
 		cs.view[d] = make(map[topology.EdgeID]bool)
+		cs.routeMemo[d] = make(map[rankRouteKey][2][]topology.NodeID)
 		cs.mons[d] = grayfail.New(s.sh.Engine(d), s.sh.Fabric(d), spec.Detect,
 			func(ev grayfail.Event) { cs.onVerdict(s, d, ev) })
 	}
@@ -217,46 +230,64 @@ func (cs *congestState) applyView(s *sweep, d int, ge topology.EdgeID, on bool) 
 		delete(cs.view[d], ge)
 	}
 	cs.viewVer[d]++
+	cs.viewFP[d] ^= edgeHash(ge)
+}
+
+// rankRouteKey names one memoised pair of ring-route picks: the rank plus
+// the degraded-view fingerprint they were computed under.
+type rankRouteKey struct {
+	rank int
+	view uint64
 }
 
 // refresh lazily recomputes rank r's ring routes when its home domain's
-// degraded view has changed since they were last computed. A nil detour
-// (the view disconnects the endpoints) keeps the current path: degraded
-// links are slow, not dead — soft avoidance never strands a flow.
+// degraded view has changed since they were last computed, memoising the
+// picks per (rank, view fingerprint) so a flap back to a previous view is
+// a map hit. A nil pick (the view disconnects the endpoints) keeps the
+// current path: degraded links are slow, not dead — soft avoidance never
+// strands a flow. The keep-current decision stays per-call (it depends on
+// the rank's live path, not just the view), so only the searches memoise.
 func (cs *congestState) refresh(s *sweep, r int) {
 	d := s.part.RankDomain[r]
 	if cs.pathVer[r] == cs.viewVer[d] {
 		return
 	}
 	cs.pathVer[r] = cs.viewVer[d]
-	var avoid, avoidCore func(topology.EdgeID) bool
-	if len(cs.view[d]) > 0 {
-		avoid = func(ge topology.EdgeID) bool { return cs.view[d][ge] }
-		avoidCore = func(ge topology.EdgeID) bool { return cs.view[d][ge] && cs.core[ge] }
-	}
-	pick := func(route func(int, func(topology.EdgeID) bool) []topology.NodeID) []topology.NodeID {
-		if p := route(r, avoid); p != nil {
-			return p
+	key := rankRouteKey{rank: r, view: cs.viewFP[d]}
+	picks, memoised := cs.routeMemo[d][key]
+	if !memoised {
+		var avoid, avoidCore func(topology.EdgeID) bool
+		if len(cs.view[d]) > 0 {
+			avoid = func(ge topology.EdgeID) bool { return cs.view[d][ge] }
+			avoidCore = func(ge topology.EdgeID) bool { return cs.view[d][ge] && cs.core[ge] }
 		}
-		if avoid == nil {
-			return nil
+		pick := func(route func(int, func(topology.EdgeID) bool) []topology.NodeID) []topology.NodeID {
+			if p := route(r, avoid); p != nil {
+				return p
+			}
+			if avoid == nil {
+				return nil
+			}
+			// The full view disconnects the endpoints (degraded host links
+			// have no siblings): steer around just its core members.
+			return route(r, avoidCore)
 		}
-		// The full view disconnects the endpoints (degraded host links have
-		// no siblings): steer around just its core members.
-		return route(r, avoidCore)
+		if s.m > 1 {
+			picks[0] = pick(s.routeNext)
+		}
+		if s.g > 1 {
+			picks[1] = pick(s.routeCross)
+		}
+		cs.routeMemo[d][key] = picks
 	}
 	changed := false
-	if s.m > 1 {
-		if p := pick(s.routeNext); p != nil && !samePath(p, s.nextPath[r]) {
-			s.nextPath[r] = p
-			changed = true
-		}
+	if p := picks[0]; p != nil && !samePath(p, s.nextPath[r]) {
+		s.nextPath[r] = p
+		changed = true
 	}
-	if s.g > 1 {
-		if p := pick(s.routeCross); p != nil && !samePath(p, s.crossPath[r]) {
-			s.crossPath[r] = p
-			changed = true
-		}
+	if p := picks[1]; p != nil && !samePath(p, s.crossPath[r]) {
+		s.crossPath[r] = p
+		changed = true
 	}
 	if !changed {
 		return

@@ -129,6 +129,15 @@ type domRecovery struct {
 
 	bl    map[topology.EdgeID]*blEntry
 	watch map[[2]topology.NodeID][]topology.EdgeID // local pair -> blacklisted global edges
+	// blFP is the XOR of edgeHash over the currently blacklisted edges —
+	// the membership fingerprint of this domain's routing view. Together
+	// with the congestion view's fingerprint it keys detours, the min-hop
+	// detour memo: healing flaps restore a previous (blacklist, view) pair,
+	// so their reroutes become map hits instead of shortest-path searches.
+	// Maintained by blacklist/suspectForeign/prune/onHealed; consistent
+	// only after prune ran for the current time (route's first step).
+	blFP    uint64
+	detours map[detourKey][]topology.NodeID
 
 	deadlines   uint64
 	retransmits uint64
@@ -148,6 +157,19 @@ type domRecovery struct {
 	watchArmed     bool
 	lastDeliveries uint64
 }
+
+// detourKey names one memoised detour: the endpoints plus the blacklist
+// and degraded-view fingerprints the avoidance ran under. The two
+// fingerprints stay separate fields — XORing them together would let
+// distinct (blacklist, view) set pairs collide on one key.
+type detourKey struct {
+	from, to topology.NodeID
+	bl, view uint64
+}
+
+// edgeHash is the per-edge mixing term of the routing-view fingerprints
+// (+1 keeps the zero edge ID away from splitmix64's zero fixed point).
+func edgeHash(ge topology.EdgeID) uint64 { return mix64(uint64(ge) + 1) }
 
 // wireMsg is the payload of one guarded transmission. Every field the
 // receiver touches is a value copy frozen at send time; the guard pointer
@@ -196,8 +218,9 @@ func newResil(s *sweep, cfg Resilience) *resil {
 	r.ds = make([]*domRecovery, s.part.Domains)
 	for d := range r.ds {
 		r.ds[d] = &domRecovery{
-			bl:    make(map[topology.EdgeID]*blEntry),
-			watch: make(map[[2]topology.NodeID][]topology.EdgeID),
+			bl:      make(map[topology.EdgeID]*blEntry),
+			watch:   make(map[[2]topology.NodeID][]topology.EdgeID),
+			detours: make(map[detourKey][]topology.NodeID),
 		}
 	}
 	r.seenWord = (4*s.m + 63) / 64
@@ -265,7 +288,8 @@ func (r *resil) send(path []topology.NodeID, c *chunk) {
 	}
 	d := r.ds[g.dom]
 	d.pending++
-	if len(d.bl) > 0 || r.degradedAvoid(g.dom) != nil {
+	deg, _ := r.degradedView(g.dom)
+	if len(d.bl) > 0 || deg != nil {
 		if p, rerouted, boundary := r.route(g, d); p != nil && rerouted {
 			// Known-dead edge avoided before the first attempt: a reroute,
 			// but not a recovery event — nothing was lost. A nil detour
@@ -461,6 +485,7 @@ func (r *resil) suspectForeign(g *guard, d *domRecovery) {
 			continue
 		}
 		d.bl[ge] = &blEntry{until: now + sim.Time(r.cfg.BlacklistFor), boundary: true}
+		d.blFP ^= edgeHash(ge)
 	}
 }
 
@@ -483,44 +508,49 @@ func (r *resil) blacklist(dom int, d *domRecovery, ge topology.EdgeID, boundary 
 		r.watchHeal(dom, d, ge)
 	}
 	d.bl[ge] = e
+	d.blFP ^= edgeHash(ge)
 }
 
-// active reports whether a blacklist entry still diverts routes at now,
-// deleting it lazily once expired.
-func (d *domRecovery) active(ge topology.EdgeID, now sim.Time) bool {
-	e, ok := d.bl[ge]
-	if !ok {
-		return false
+// prune eagerly expires timed-out blacklist entries, keeping blFP
+// consistent with the map before it keys the detour memo. (The previous
+// lazy per-edge expiry inside the avoidance predicate would mutate the
+// fingerprint mid-search.)
+func (d *domRecovery) prune(now sim.Time) {
+	for ge, e := range d.bl {
+		if e.until != 0 && now >= e.until {
+			delete(d.bl, ge)
+			d.blFP ^= edgeHash(ge)
+		}
 	}
-	if e.until != 0 && now >= e.until {
-		delete(d.bl, ge)
-		return false
-	}
-	return true
 }
 
-// degradedAvoid is the domain's degraded-link view as an avoidance
-// predicate, or nil when there is nothing to steer around (no congestion
-// plane, adaptation frozen, or an empty view).
-func (r *resil) degradedAvoid(dom int) func(topology.EdgeID) bool {
+// degradedView is the domain's degraded-link view as an avoidance
+// predicate plus its membership fingerprint, or (nil, 0) when there is
+// nothing to steer around (no congestion plane, adaptation frozen, or an
+// empty view). The fingerprint keys the detour memo alongside the
+// blacklist's.
+func (r *resil) degradedView(dom int) (func(topology.EdgeID) bool, uint64) {
 	cs := r.s.cong
 	if cs == nil || !cs.spec.Adaptive || len(cs.view[dom]) == 0 {
-		return nil
+		return nil, 0
 	}
-	return func(ge topology.EdgeID) bool { return cs.view[dom][ge] }
+	return func(ge topology.EdgeID) bool { return cs.view[dom][ge] }, cs.viewFP[dom]
 }
 
 // route checks the guard's path against the domain blacklist and the
 // degraded-link view and, on a hit, computes a min-hop detour. Blacklisted
 // edges are avoided hard; degraded edges softly — if avoiding both
 // disconnects the endpoints, the detour retries with the blacklist alone
-// (degraded links are slow, not dead). Returns (path, rerouted,
+// (degraded links are slow, not dead). Detours are memoised per
+// (endpoints, blacklist fingerprint, view fingerprint): a heal/degrade
+// flap that restores a previous routing view turns its reroutes into map
+// hits instead of shortest-path searches. Returns (path, rerouted,
 // boundaryLocality); a nil path means the blacklist disconnects the
 // endpoints.
 func (r *resil) route(g *guard, d *domRecovery) ([]topology.NodeID, bool, bool) {
 	part := r.s.part
-	now := r.s.sh.Engine(g.dom).Now()
-	deg := r.degradedAvoid(g.dom)
+	d.prune(r.s.sh.Engine(g.dom).Now())
+	deg, degFP := r.degradedView(g.dom)
 	hit, degHit, boundary := false, false, false
 	for i := 0; i+1 < len(g.path); i++ {
 		ge, ok := part.Graph.EdgeBetween(g.path[i], g.path[i+1])
@@ -530,25 +560,33 @@ func (r *resil) route(g *guard, d *domRecovery) ([]topology.NodeID, bool, bool) 
 		if deg != nil && deg(ge) {
 			degHit = true
 		}
-		if !d.active(ge, now) {
+		e, ok := d.bl[ge]
+		if !ok {
 			continue
 		}
 		hit = true
-		if d.bl[ge].boundary {
+		if e.boundary {
 			boundary = true
 		}
 	}
 	if !hit && !degHit {
 		return g.path, false, false
 	}
-	blOnly := func(ge topology.EdgeID) bool { return d.active(ge, now) }
-	avoid := blOnly
-	if deg != nil {
-		avoid = func(ge topology.EdgeID) bool { return blOnly(ge) || deg(ge) }
-	}
-	p := part.Graph.ShortestPathAvoid(g.path[0], g.path[len(g.path)-1], avoid)
-	if p == nil && deg != nil {
-		p = part.Graph.ShortestPathAvoid(g.path[0], g.path[len(g.path)-1], blOnly)
+	key := detourKey{from: g.path[0], to: g.path[len(g.path)-1], bl: d.blFP, view: degFP}
+	p, memoised := d.detours[key]
+	if !memoised {
+		blOnly := func(ge topology.EdgeID) bool { _, ok := d.bl[ge]; return ok }
+		avoid := blOnly
+		if deg != nil {
+			avoid = func(ge topology.EdgeID) bool { return blOnly(ge) || deg(ge) }
+		}
+		p = part.Graph.ShortestPathAvoid(g.path[0], g.path[len(g.path)-1], avoid)
+		if p == nil && deg != nil {
+			p = part.Graph.ShortestPathAvoid(g.path[0], g.path[len(g.path)-1], blOnly)
+		}
+		// A nil result is memoised too: "these fingerprints disconnect the
+		// endpoints" is as reusable as a concrete detour.
+		d.detours[key] = p
 	}
 	if p == nil {
 		return nil, false, boundary
@@ -606,6 +644,7 @@ func (r *resil) onHealed(dom int, ev health.Event) {
 				d.tthLocal = append(d.tthLocal, ev.TimeToHeal)
 			}
 			delete(d.bl, ge)
+			d.blFP ^= edgeHash(ge)
 		}
 	}
 	delete(d.watch, key)

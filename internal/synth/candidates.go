@@ -44,6 +44,10 @@ type subBuilder struct {
 	relays         []int
 	mem            members
 	relaysByServer map[int][]int
+	// Sketch restrictions (sketch.go): per-server leader pools and the
+	// inter-server ring orientation. Both nil/false without a sketch.
+	leadersByServer map[int][]int
+	desc            bool
 	// cache reuses built sub-collectives across candidates: the flow
 	// structure depends only on (primitive, variant, root, sub index),
 	// never on the chunk size or partition bytes the search sweeps, so
@@ -51,6 +55,20 @@ type subBuilder struct {
 	// entries share their Flows slice between candidate strategies —
 	// safe because flows are immutable once built.
 	cache map[subKey]*strategy.SubCollective
+	// intraCache is the per-subdomain fragment cache: the flows feeding
+	// one server's leader depend only on (server, leader, sub index), so
+	// every hierarchical variant — and every root placement whose leader
+	// choice coincides — shares one built fragment per server subdomain.
+	// Fragments keep their paths immutable; IDs are assigned at assembly.
+	intraCache map[intraKey][]strategy.Flow
+}
+
+// intraKey identifies one server subdomain's cached local-aggregation
+// fragment.
+type intraKey struct {
+	server int
+	leader int
+	sub    int
 }
 
 // subKey identifies one cached sub-collective structure.
@@ -93,7 +111,7 @@ func (bld *subBuilder) sub(p strategy.Primitive, v variant, root, m int) (*strat
 	return sc, nil
 }
 
-func newSubBuilder(g *topology.Graph, ranks, relays []int) (*subBuilder, error) {
+func newSubBuilder(g *topology.Graph, ranks, relays []int, sk *Sketch) (*subBuilder, error) {
 	mem, err := groupByServer(g, ranks)
 	if err != nil {
 		return nil, err
@@ -108,7 +126,71 @@ func newSubBuilder(g *topology.Graph, ranks, relays []int) (*subBuilder, error) 
 	for s := range rbs {
 		sort.Ints(rbs[s])
 	}
-	return &subBuilder{g: g, ranks: ranks, relays: relays, mem: mem, relaysByServer: rbs}, nil
+	bld := &subBuilder{g: g, ranks: ranks, relays: relays, mem: mem, relaysByServer: rbs}
+	if set := sk.leaderSet(); set != nil {
+		bld.leadersByServer = make(map[int][]int)
+		for s, rs := range mem.byServer {
+			for _, r := range rs {
+				if set[r] {
+					bld.leadersByServer[s] = append(bld.leadersByServer[s], r)
+				}
+			}
+		}
+		for s, rl := range rbs {
+			for _, r := range rl {
+				if set[r] {
+					bld.leadersByServer[s] = append(bld.leadersByServer[s], r)
+				}
+			}
+		}
+		for s := range bld.leadersByServer {
+			sort.Ints(bld.leadersByServer[s])
+		}
+	}
+	if sk != nil {
+		bld.desc = sk.RingOrder == RingDesc
+	}
+	return bld, nil
+}
+
+// intraFlows returns the (cached) local-aggregation fragment of one server
+// subdomain: the flows feeding each of the server's contributors into its
+// leader. The fragment is independent of variant and — when the leader
+// choice coincides — of the root, so hierarchical per-subdomain synthesis
+// builds each server's flows once and shares them across every candidate
+// and every request routed through the same builder. Flow IDs are assigned
+// by the caller at assembly (addFlow); paths are immutable once built.
+func (bld *subBuilder) intraFlows(server, leader, m int) ([]strategy.Flow, error) {
+	key := intraKey{server: server, leader: leader, sub: m}
+	if frag, ok := bld.intraCache[key]; ok {
+		return frag, nil
+	}
+	pb := pathBuilder{g: bld.g}
+	frag := []strategy.Flow{}
+	for _, r := range bld.mem.byServer[server] {
+		if r == leader {
+			continue
+		}
+		path, err := pb.route(r, leader, m)
+		if err != nil {
+			return nil, err
+		}
+		frag = append(frag, strategy.Flow{SrcRank: r, DstRank: leader, Path: path})
+	}
+	if bld.intraCache == nil {
+		bld.intraCache = make(map[intraKey][]strategy.Flow)
+	}
+	bld.intraCache[key] = frag
+	return frag, nil
+}
+
+// builderFor resolves the builder through the planner's cache when one is
+// in play, or builds a throwaway for a one-shot synthesis.
+func builderFor(pl *Planner, g *topology.Graph, ranks, relays []int, sk *Sketch) (*subBuilder, error) {
+	if pl != nil {
+		return pl.builder(g, ranks, relays, sk)
+	}
+	return newSubBuilder(g, ranks, relays, sk)
 }
 
 // pathBuilder constructs routed paths over the logical graph.
@@ -262,13 +344,18 @@ func (bld *subBuilder) reduceSub(v variant, root, m int) (*strategy.SubCollectiv
 
 	// leader returns the aggregation point of a server: the root on the
 	// root's server; otherwise a rank rotated by m among the server's
-	// contributors. Alternate sub-collectives prefer a relay GPU when one
-	// is available — the relay absorbs aggregation work and adds links
-	// (Sec. IV-C) — while the others keep a ready leader, so a straggling
-	// relay's host path never carries the whole partition set.
+	// contributors. A sketch's leader hints, when any land on the server,
+	// restrict the pool to exactly them. Without hints, alternate
+	// sub-collectives prefer a relay GPU when one is available — the relay
+	// absorbs aggregation work and adds links (Sec. IV-C) — while the
+	// others keep a ready leader, so a straggling relay's host path never
+	// carries the whole partition set.
 	leader := func(server int) int {
 		if server == rootServer {
 			return root
+		}
+		if pool := bld.leadersByServer[server]; len(pool) > 0 {
+			return pool[m%len(pool)]
 		}
 		rl := relaysByServer[server]
 		rs := mem.byServer[server]
@@ -304,16 +391,12 @@ func (bld *subBuilder) reduceSub(v variant, root, m int) (*strategy.SubCollectiv
 	// contributor lives there.
 	leaders[rootServer] = root
 	for _, s := range mem.servers {
-		l := leaders[s]
-		for _, r := range mem.byServer[s] {
-			if r == l || r == root {
-				continue
-			}
-			path, err := pb.route(r, l, m)
-			if err != nil {
-				return nil, err
-			}
-			addFlow(sc, r, l, path)
+		frag, err := bld.intraFlows(s, leaders[s], m)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range frag {
+			addFlow(sc, f.SrcRank, f.DstRank, f.Path)
 		}
 	}
 
@@ -322,6 +405,13 @@ func (bld *subBuilder) reduceSub(v variant, root, m int) (*strategy.SubCollectiv
 	for _, s := range mem.servers {
 		if s != rootServer {
 			others = append(others, s)
+		}
+	}
+	// A descending-ring sketch reverses the server ordering before the
+	// rotation, flipping the chain/tree orientation.
+	if bld.desc {
+		for i, j := 0, len(others)-1; i < j; i, j = i+1, j-1 {
+			others[i], others[j] = others[j], others[i]
 		}
 	}
 	// Rotate the order by m so parallel sub-collectives chain and pair

@@ -117,6 +117,33 @@ func (c *Costs) Reweighted(weight func(from, to topology.NodeID) float64) *Costs
 	return out
 }
 
+// Fingerprint hashes the cost view's content — per-edge α and bandwidths,
+// with bandwidths quantized to whole bytes/s to absorb float noise — into
+// a stable identity. The controller keys its strategy cache by it: two
+// cost views with equal fingerprints price every candidate identically, so
+// a healing flap that restores the previous measurements restores the
+// previous cache entries instead of re-solving.
+func (c *Costs) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for i := range c.alpha {
+		mix(uint64(c.alpha[i]))
+		mix(uint64(c.stream[i]))
+		mix(uint64(c.agg[i]))
+	}
+	return h
+}
+
 // FlowBps returns the bandwidth one flow obtains on an edge carrying load
 // concurrent flows (Eq. 3, refined with the per-stream cap): the aggregate
 // bandwidth is shared equally, but a single flow can never exceed the

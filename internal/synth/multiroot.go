@@ -21,6 +21,10 @@ import (
 // sub-collective count and root placement are fixed by the semantics, so
 // there is no M search and no root-plan search.
 func MultiRoot(c *Costs, req Request) (*Result, error) {
+	return multiRoot(nil, c, req)
+}
+
+func multiRoot(pl *Planner, c *Costs, req Request) (*Result, error) {
 	if req.Primitive != strategy.Reduce && req.Primitive != strategy.Broadcast {
 		return nil, fmt.Errorf("synth: multi-root assemblies are built from Reduce or Broadcast, not %v", req.Primitive)
 	}
@@ -62,10 +66,26 @@ func MultiRoot(c *Costs, req Request) (*Result, error) {
 	}
 	if req.FastSearch {
 		variants = variants[:1]
-		grid = []int64{1 << 20, 4 << 20}
+		if req.Sketch.Empty() || req.Sketch.ChunkBytes == 0 {
+			grid = []int64{1 << 20, 4 << 20}
+		}
+	}
+	// Sketch restrictions: the roots are fixed by the assembly's semantics
+	// (one per rank), so leader hints only steer the per-server leader
+	// choice inside the builder; family and chunk pruning apply as in the
+	// single-root search.
+	if sk := req.Sketch; !sk.Empty() {
+		if err := sk.Validate(); err != nil {
+			return nil, err
+		}
+		grid = sk.pruneGrid(grid)
+		var err error
+		if variants, err = sk.pruneVariants(variants); err != nil {
+			return nil, err
+		}
 	}
 
-	bld, err := newSubBuilder(c.graph, ranks, req.Relays)
+	bld, err := builderFor(pl, c.graph, ranks, req.Relays, req.Sketch)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,212 @@
+// Planner: the stateful face of the synthesizer. A Planner keeps the
+// subBuilder (and through it every built flow structure and intra-server
+// fragment) alive across synthesis calls, so hierarchical per-subdomain
+// synthesis re-derives nothing: two requests over the same participant set
+// — or the same subdomain of it — share one builder, and a re-synthesis
+// after a fault rebuilds only what the changed topology invalidates.
+// Patch is the incremental rung below a full re-synthesis: a single-link
+// delta against an already-solved strategy reroutes only the affected
+// flows and re-prices the result with one evaluator pass.
+package synth
+
+import (
+	"fmt"
+	"strconv"
+
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// Planner caches subBuilders across synthesis calls. The zero value is not
+// usable; construct with NewPlanner. A Planner is not concurrency-safe —
+// like the rest of the synthesizer it runs on the controller's event loop.
+type Planner struct {
+	builders map[builderKey]*subBuilder
+}
+
+// builderKey identifies one cached builder: the graph identity plus the
+// canonical participant/relay/sketch signature. A fault that filters the
+// graph produces a different *topology.Graph and therefore different
+// builders; a healing flap that restores a previous graph pointer gets its
+// old builders (and their flow caches) back verbatim.
+type builderKey struct {
+	g   *topology.Graph
+	sig string
+}
+
+// NewPlanner returns an empty planner.
+func NewPlanner() *Planner {
+	return &Planner{builders: make(map[builderKey]*subBuilder)}
+}
+
+// builder returns the cached subBuilder for (graph, ranks, relays, sketch),
+// building and memoising it on first use.
+func (pl *Planner) builder(g *topology.Graph, ranks, relays []int, sk *Sketch) (*subBuilder, error) {
+	key := builderKey{g: g, sig: participantSig(ranks, relays) + sk.Fingerprint()}
+	if bld, ok := pl.builders[key]; ok {
+		return bld, nil
+	}
+	bld, err := newSubBuilder(g, ranks, relays, sk)
+	if err != nil {
+		return nil, err
+	}
+	pl.builders[key] = bld
+	return bld, nil
+}
+
+// participantSig canonically encodes sorted rank/relay sets (callers pass
+// already-sorted ranks).
+func participantSig(ranks, relays []int) string {
+	b := make([]byte, 0, 4*(len(ranks)+len(relays))+2)
+	for _, r := range ranks {
+		b = strconv.AppendInt(b, int64(r), 10)
+		b = append(b, ',')
+	}
+	b = append(b, '|')
+	for _, r := range relays {
+		b = strconv.AppendInt(b, int64(r), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// Synthesize is Synthesize with the planner's builder cache.
+func (pl *Planner) Synthesize(c *Costs, req Request) (*Result, error) {
+	return synthesize(pl, c, req)
+}
+
+// MultiRoot is MultiRoot with the planner's builder cache.
+func (pl *Planner) MultiRoot(c *Costs, req Request) (*Result, error) {
+	return multiRoot(pl, c, req)
+}
+
+// DeltaKind classifies a single-link topology/cost change.
+type DeltaKind int
+
+const (
+	// DeltaExclude: the pair was written off; flows over it must reroute.
+	DeltaExclude DeltaKind = iota + 1
+	// DeltaReadmit: a previously excluded pair returned; the strategy's
+	// structure stays valid and only the pricing changes.
+	DeltaReadmit
+	// DeltaReweight: the pair was down-weighted or restored (gray
+	// failure); structure stays, pricing changes.
+	DeltaReweight
+)
+
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaExclude:
+		return "exclude"
+	case DeltaReadmit:
+		return "readmit"
+	case DeltaReweight:
+		return "reweight"
+	default:
+		return fmt.Sprintf("delta(%d)", int(k))
+	}
+}
+
+// Delta is one single-link change against a previously solved strategy.
+type Delta struct {
+	Kind DeltaKind
+	Pair [2]topology.NodeID
+}
+
+// PatchStats reports how much of the previous strategy a Patch touched.
+type PatchStats struct {
+	// SubsTotal is the sub-collective count of the strategy.
+	SubsTotal int
+	// SubsPatched counts sub-collectives with at least one rerouted flow;
+	// the rest share their Flows slices with the previous strategy by
+	// pointer (the "patches only affected sub-collectives" invariant).
+	SubsPatched int
+	// FlowsRerouted counts individual rerouted flows.
+	FlowsRerouted int
+}
+
+// Patch incrementally re-synthesises a previously solved strategy against
+// a single-link delta, instead of re-running the candidate search:
+//
+//   - DeltaExclude reroutes only the flows whose path traverses the pair
+//     (shortest path over the cost view's graph, which must already
+//     exclude it); every untouched sub-collective shares its Flows slice
+//     with the previous strategy verbatim.
+//   - DeltaReadmit / DeltaReweight keep the whole structure and only
+//     re-price it under the new cost view.
+//
+// The patched strategy is validated and evaluated once; SolveTime is a
+// single evaluation's charge, versus the tens-to-hundreds a full search
+// pays. Callers gate adoption through the IR verifier (ir.Verify) and fall
+// back to full synthesis when Patch errors or the proof fails.
+func Patch(c *Costs, prev *Result, d Delta) (*Result, PatchStats, error) {
+	stats := PatchStats{}
+	if prev == nil || prev.Strategy == nil {
+		return nil, stats, fmt.Errorf("synth: nothing to patch")
+	}
+	st := prev.Strategy
+	stats.SubsTotal = len(st.SubCollectives)
+	out := st
+	if d.Kind == DeltaExclude {
+		patched := *st
+		patched.SubCollectives = append([]strategy.SubCollective(nil), st.SubCollectives...)
+		for si := range patched.SubCollectives {
+			sc := &patched.SubCollectives[si]
+			touched := false
+			for _, f := range sc.Flows {
+				if pathUsesPair(f.Path, d.Pair) {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue // Flows slice shared with prev by pointer
+			}
+			stats.SubsPatched++
+			sc.Flows = append([]strategy.Flow(nil), sc.Flows...)
+			for fi := range sc.Flows {
+				f := &sc.Flows[fi]
+				if !pathUsesPair(f.Path, d.Pair) {
+					continue
+				}
+				np := c.graph.ShortestPath(f.Path[0], f.Path[len(f.Path)-1])
+				if np == nil {
+					return nil, stats, fmt.Errorf("%v flow %d->%d has no surviving route around (%d,%d)",
+						st.Primitive, f.SrcRank, f.DstRank, d.Pair[0], d.Pair[1])
+				}
+				f.Path = np
+				stats.FlowsRerouted++
+			}
+		}
+		if stats.FlowsRerouted > 0 {
+			out = &patched
+		} else {
+			// The excluded pair carried no flow of the plan (the fault was
+			// collateral, e.g. probe traffic): the old structure stands and
+			// only the pricing refreshes.
+			stats.SubsPatched = 0
+		}
+	}
+	ev, err := Evaluate(c, out)
+	if err != nil {
+		return nil, stats, fmt.Errorf("patched strategy rejected: %w", err)
+	}
+	return &Result{
+		Strategy:  out,
+		Eval:      ev,
+		Variant:   prev.Variant,
+		SolveTime: perEvalCost,
+	}, stats, nil
+}
+
+// pathUsesPair reports whether a routed path traverses the node pair in
+// either direction.
+func pathUsesPair(path []topology.NodeID, pair [2]topology.NodeID) bool {
+	for i := 1; i < len(path); i++ {
+		if (path[i-1] == pair[0] && path[i] == pair[1]) ||
+			(path[i-1] == pair[1] && path[i] == pair[0]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,324 @@
+// Communication sketches (TACCL's direction, PAPERS.md): a small human- or
+// driver-supplied hint set — leader placement, ring orientation, hierarchy
+// cut, candidate-family allow/deny, a pinned chunk size — that prunes the
+// synthesis candidate space by orders of magnitude. The sketch never adds
+// candidates, it only removes them, so every sketched strategy is one the
+// unsketched search could also have produced; a sketch that removes every
+// candidate is reported as ErrInfeasibleSketch instead of silently falling
+// back to the full search.
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sentinel errors of the sketch surface. Validation failures (a malformed
+// sketch, independent of any topology) wrap ErrInvalidSketch; a well-formed
+// sketch that admits no candidate on the request at hand wraps
+// ErrInfeasibleSketch. Both are matched with errors.Is.
+var (
+	ErrInvalidSketch    = errors.New("synth: invalid sketch")
+	ErrInfeasibleSketch = errors.New("synth: infeasible sketch")
+)
+
+// Sketch cut and ring-order values.
+const (
+	// CutServer keeps only the hierarchical families (per-server leader
+	// aggregation): hier-star, server-chain, server-tree.
+	CutServer = "server"
+	// CutFlat keeps only the flat family (no intra-server aggregation).
+	CutFlat = "flat"
+
+	// RingAsc / RingDesc orient the inter-server structures by ascending /
+	// descending server index.
+	RingAsc  = "asc"
+	RingDesc = "desc"
+)
+
+// Sketch is a communication sketch: optional hints that restrict the
+// synthesis search. The zero value is the empty sketch (no restriction).
+type Sketch struct {
+	// Leaders restricts aggregation points: on every server that hosts at
+	// least one listed rank, only listed ranks may serve as the server's
+	// leader; and root placement (for free-root AllReduce) rotates over the
+	// listed ranks only. A fixed request root that is not listed is an
+	// infeasibility, not an override.
+	Leaders []int
+	// RingOrder orients the inter-server chain/tree ordering: "" (both /
+	// default), RingAsc or RingDesc.
+	RingOrder string
+	// Cut selects the hierarchy cut: "" (no restriction), CutServer
+	// (hierarchical families only) or CutFlat (flat family only).
+	Cut string
+	// Allow, when non-empty, keeps only the named candidate families
+	// ("hier-star", "flat-star", "server-chain", "server-tree").
+	Allow []string
+	// Deny removes the named candidate families.
+	Deny []string
+	// ChunkBytes pins the chunk size instead of sweeping the grid
+	// (float32-aligned; 0 = sweep).
+	ChunkBytes int64
+}
+
+// Empty reports whether the sketch restricts nothing.
+func (sk *Sketch) Empty() bool {
+	return sk == nil || (len(sk.Leaders) == 0 && sk.RingOrder == "" && sk.Cut == "" &&
+		len(sk.Allow) == 0 && len(sk.Deny) == 0 && sk.ChunkBytes == 0)
+}
+
+// Validate checks the sketch's static well-formedness (everything checkable
+// without a topology). Violations wrap ErrInvalidSketch.
+func (sk *Sketch) Validate() error {
+	if sk == nil {
+		return nil
+	}
+	switch sk.RingOrder {
+	case "", RingAsc, RingDesc:
+	default:
+		return fmt.Errorf("%w: ring order %q (want %q or %q)", ErrInvalidSketch, sk.RingOrder, RingAsc, RingDesc)
+	}
+	switch sk.Cut {
+	case "", CutServer, CutFlat:
+	default:
+		return fmt.Errorf("%w: cut %q (want %q or %q)", ErrInvalidSketch, sk.Cut, CutServer, CutFlat)
+	}
+	for _, set := range [][]string{sk.Allow, sk.Deny} {
+		for _, name := range set {
+			if !knownFamily(name) {
+				return fmt.Errorf("%w: unknown candidate family %q", ErrInvalidSketch, name)
+			}
+		}
+	}
+	for _, r := range sk.Leaders {
+		if r < 0 {
+			return fmt.Errorf("%w: negative leader rank %d", ErrInvalidSketch, r)
+		}
+	}
+	if sk.ChunkBytes < 0 {
+		return fmt.Errorf("%w: negative chunk size %d", ErrInvalidSketch, sk.ChunkBytes)
+	}
+	if sk.ChunkBytes > 0 && (sk.ChunkBytes < 4 || sk.ChunkBytes%4 != 0) {
+		return fmt.Errorf("%w: chunk size %d not float32-aligned", ErrInvalidSketch, sk.ChunkBytes)
+	}
+	return nil
+}
+
+func knownFamily(name string) bool {
+	for _, v := range allVariants() {
+		if v.String() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Fingerprint canonically encodes the sketch for cache keys. The empty
+// sketch fingerprints to "", so unsketched callers build the exact same
+// keys (and allocate nothing extra) as before sketches existed.
+func (sk *Sketch) Fingerprint() string {
+	if sk.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("sk{")
+	if len(sk.Leaders) > 0 {
+		ls := append([]int(nil), sk.Leaders...)
+		sort.Ints(ls)
+		b.WriteString("l=")
+		for _, r := range ls {
+			b.WriteString(strconv.Itoa(r))
+			b.WriteByte(',')
+		}
+	}
+	if sk.RingOrder != "" {
+		b.WriteString("r=" + sk.RingOrder + ";")
+	}
+	if sk.Cut != "" {
+		b.WriteString("c=" + sk.Cut + ";")
+	}
+	if len(sk.Allow) > 0 {
+		b.WriteString("a=" + canonicalFamilies(sk.Allow) + ";")
+	}
+	if len(sk.Deny) > 0 {
+		b.WriteString("d=" + canonicalFamilies(sk.Deny) + ";")
+	}
+	if sk.ChunkBytes > 0 {
+		b.WriteString("b=" + strconv.FormatInt(sk.ChunkBytes, 10) + ";")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func canonicalFamilies(names []string) string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// ParseSketch parses the -sketch CLI grammar: semicolon-separated
+// key=value clauses, e.g.
+//
+//	leaders=0,8;ring=desc;cut=server;allow=hier-star,server-chain;chunk=4194304
+//
+// Keys: leaders (comma-separated ranks), ring (asc|desc), cut
+// (server|flat), allow / deny (comma-separated family names), chunk
+// (bytes). An empty string parses to the empty sketch.
+func ParseSketch(s string) (*Sketch, error) {
+	sk := &Sketch{}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: clause %q is not key=value", ErrInvalidSketch, clause)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "leaders":
+			for _, f := range strings.Split(val, ",") {
+				r, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					return nil, fmt.Errorf("%w: leader rank %q", ErrInvalidSketch, f)
+				}
+				sk.Leaders = append(sk.Leaders, r)
+			}
+		case "ring":
+			sk.RingOrder = val
+		case "cut":
+			sk.Cut = val
+		case "allow":
+			sk.Allow = append(sk.Allow, splitFamilies(val)...)
+		case "deny":
+			sk.Deny = append(sk.Deny, splitFamilies(val)...)
+		case "chunk":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: chunk size %q", ErrInvalidSketch, val)
+			}
+			sk.ChunkBytes = n
+		default:
+			return nil, fmt.Errorf("%w: unknown key %q", ErrInvalidSketch, key)
+		}
+	}
+	if err := sk.Validate(); err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+func splitFamilies(val string) []string {
+	var out []string
+	for _, f := range strings.Split(val, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// pruneVariants applies the cut and the allow/deny lists to the candidate
+// family set. An empty result is the infeasibility the mutation tests pin:
+// a typed error, never a silent fall-back to the full search.
+func (sk *Sketch) pruneVariants(variants []variant) ([]variant, error) {
+	if sk.Empty() {
+		return variants, nil
+	}
+	keep := func(v variant) bool {
+		name := v.String()
+		switch sk.Cut {
+		case CutServer:
+			if v == variantFlatStar {
+				return false
+			}
+		case CutFlat:
+			if v != variantFlatStar {
+				return false
+			}
+		}
+		if len(sk.Allow) > 0 {
+			found := false
+			for _, a := range sk.Allow {
+				if a == name {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		for _, d := range sk.Deny {
+			if d == name {
+				return false
+			}
+		}
+		return true
+	}
+	var out []variant
+	for _, v := range variants {
+		if keep(v) {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: cut/allow/deny admit no candidate family", ErrInfeasibleSketch)
+	}
+	return out, nil
+}
+
+// pruneGrid pins the chunk size when the sketch carries one.
+func (sk *Sketch) pruneGrid(grid []int64) []int64 {
+	if sk == nil || sk.ChunkBytes == 0 {
+		return grid
+	}
+	return []int64{sk.ChunkBytes}
+}
+
+// leaderSet returns the sketch's leader ranks as a set (nil when the
+// sketch places no leader hints).
+func (sk *Sketch) leaderSet() map[int]bool {
+	if sk == nil || len(sk.Leaders) == 0 {
+		return nil
+	}
+	set := make(map[int]bool, len(sk.Leaders))
+	for _, r := range sk.Leaders {
+		set[r] = true
+	}
+	return set
+}
+
+// checkRoot verifies a fixed request root against the leader hints: a root
+// the sketch excludes from aggregation duty is a contradiction the caller
+// must hear about, not silently override.
+func (sk *Sketch) checkRoot(root int) error {
+	set := sk.leaderSet()
+	if set == nil || root < 0 || set[root] {
+		return nil
+	}
+	return fmt.Errorf("%w: fixed root %d is not among the sketched leaders", ErrInfeasibleSketch, root)
+}
+
+// leaderRanks intersects the leader hints with the participating ranks,
+// preserving rank order. With hints present but no participating leader the
+// sketch is infeasible for this request.
+func (sk *Sketch) leaderRanks(ranks []int) ([]int, error) {
+	set := sk.leaderSet()
+	if set == nil {
+		return nil, nil
+	}
+	var out []int
+	for _, r := range ranks {
+		if set[r] {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no sketched leader participates (leaders %v)", ErrInfeasibleSketch, sk.Leaders)
+	}
+	return out, nil
+}

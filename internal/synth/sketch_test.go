@@ -1,0 +1,399 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+
+	"adapcc/internal/cluster"
+	"adapcc/internal/ir"
+	"adapcc/internal/strategy"
+	"adapcc/internal/topology"
+)
+
+// sketchBoundFactor bounds how much worse a sketched optimum may be than
+// the unsketched one. A sketch only prunes candidates, so the sketched
+// best is the best of a subset — it can lose, but on the small testbed
+// topologies below the worst admissible family (flat-star over TCP) stays
+// within this factor. A regression past it means pruning broke the search,
+// not that a hint was merely costly.
+const sketchBoundFactor = 8.0
+
+func testTopologies(t *testing.T) map[string]*Costs {
+	t.Helper()
+	out := make(map[string]*Costs)
+	for name, build := range map[string]func() (*topology.Cluster, error){
+		"rdma-2x4":  func() (*topology.Cluster, error) { return cluster.Homogeneous(topology.TransportRDMA, 2, 4) },
+		"tcp-4x4":   func() (*topology.Cluster, error) { return cluster.Homogeneous(topology.TransportTCP, 4, 4) },
+		"hetero-2s": func() (*topology.Cluster, error) { return cluster.Heterogeneous(topology.TransportRDMA, 2) },
+	} {
+		c, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g, err := c.LogicalGraph()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = NewCosts(g, nil)
+	}
+	return out
+}
+
+// validSketches enumerates feasible sketches over the given rank set:
+// every hint kind alone and a few compositions. All of them must admit at
+// least one candidate on any topology hosting those ranks.
+func validSketches(ranks []int) []*Sketch {
+	half := ranks[:len(ranks)/2]
+	return []*Sketch{
+		{},
+		{Cut: CutServer},
+		{Cut: CutFlat},
+		{RingOrder: RingAsc},
+		{RingOrder: RingDesc},
+		{Allow: []string{"hier-star", "server-chain"}},
+		{Deny: []string{"server-tree"}},
+		{Leaders: append([]int(nil), ranks...)},
+		{Leaders: half},
+		{ChunkBytes: 1 << 20},
+		{Leaders: half, RingOrder: RingDesc, Cut: CutServer, ChunkBytes: 2 << 20},
+		{Cut: CutServer, Deny: []string{"server-chain"}, ChunkBytes: 512 << 10},
+	}
+}
+
+// TestSketchPropertyVerifiedAndBounded is the satellite property test: on
+// every <=16-rank testbed topology, every valid sketch yields a strategy
+// that (a) the chunk-level IR verifier proves correct and (b) costs no
+// more than sketchBoundFactor x the unsketched optimum.
+func TestSketchPropertyVerifiedAndBounded(t *testing.T) {
+	for name, costs := range testTopologies(t) {
+		var ranks []int
+		for _, id := range costs.Graph().GPUs() {
+			ranks = append(ranks, costs.Graph().Node(id).Rank)
+		}
+		if len(ranks) > 16 {
+			t.Fatalf("%s: %d ranks, property test wants <= 16", name, len(ranks))
+		}
+		base, err := Synthesize(costs, Request{
+			Primitive: strategy.AllReduce, Bytes: 8 << 20, Root: -1, M: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s: unsketched synthesis: %v", name, err)
+		}
+		for i, sk := range validSketches(ranks) {
+			if err := sk.Validate(); err != nil {
+				t.Fatalf("%s sketch %d: not valid: %v", name, i, err)
+			}
+			res, err := Synthesize(costs, Request{
+				Primitive: strategy.AllReduce, Bytes: 8 << 20, Root: -1, M: 4, Sketch: sk,
+			})
+			if err != nil {
+				t.Errorf("%s sketch %d (%s): synthesis failed: %v", name, i, sk.Fingerprint(), err)
+				continue
+			}
+			prog, err := ir.FromStrategy(res.Strategy)
+			if err == nil {
+				err = ir.Verify(prog)
+			}
+			if err != nil {
+				t.Errorf("%s sketch %d (%s): IR verification rejected the sketched strategy: %v",
+					name, i, sk.Fingerprint(), err)
+			}
+			if limit := time64(base.Eval.Time) * sketchBoundFactor; time64(res.Eval.Time) > limit {
+				t.Errorf("%s sketch %d (%s): predicted %v, more than %gx the unsketched %v",
+					name, i, sk.Fingerprint(), res.Eval.Time, sketchBoundFactor, base.Eval.Time)
+			}
+			if sk.ChunkBytes > 0 {
+				for _, sc := range res.Strategy.SubCollectives {
+					want := clampChunk(sk.ChunkBytes, sc.Bytes)
+					if sc.ChunkBytes != want {
+						t.Errorf("%s sketch %d: sub %d chunk %d, pinned %d", name, i, sc.ID, sc.ChunkBytes, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func time64(d interface{ Seconds() float64 }) float64 { return d.Seconds() }
+
+// TestSketchInfeasibleIsTyped is the satellite mutation test: a sketch
+// that admits no candidate must surface ErrInfeasibleSketch (and a
+// malformed one ErrInvalidSketch) — never a silent fall-back to the full
+// search.
+func TestSketchInfeasibleIsTyped(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := NewCosts(g, nil)
+	for _, tc := range []struct {
+		name string
+		req  Request
+		want error
+	}{
+		{"deny-everything", Request{
+			Primitive: strategy.AllReduce, Bytes: 4 << 20, Root: -1,
+			Sketch: &Sketch{Deny: []string{"hier-star", "flat-star", "server-chain", "server-tree"}},
+		}, ErrInfeasibleSketch},
+		{"cut-vs-allow-contradiction", Request{
+			Primitive: strategy.AllReduce, Bytes: 4 << 20, Root: -1,
+			Sketch: &Sketch{Cut: CutServer, Allow: []string{"flat-star"}},
+		}, ErrInfeasibleSketch},
+		{"leaders-disjoint-from-ranks", Request{
+			Primitive: strategy.AllReduce, Bytes: 4 << 20, Root: -1,
+			Sketch: &Sketch{Leaders: []int{100, 101}},
+		}, ErrInfeasibleSketch},
+		{"fixed-root-not-a-leader", Request{
+			Primitive: strategy.Reduce, Bytes: 4 << 20, Root: 0,
+			Sketch: &Sketch{Leaders: []int{1, 2}},
+		}, ErrInfeasibleSketch},
+		{"malformed-ring-order", Request{
+			Primitive: strategy.AllReduce, Bytes: 4 << 20, Root: -1,
+			Sketch: &Sketch{RingOrder: "sideways"},
+		}, ErrInvalidSketch},
+	} {
+		res, err := Synthesize(costs, tc.req)
+		if res != nil || !errors.Is(err, tc.want) {
+			t.Errorf("%s: got (%v, %v), want a nil result wrapping %v", tc.name, res, err, tc.want)
+		}
+	}
+}
+
+// TestParseSketchGrammar pins the CLI grammar round trip and its error
+// typing.
+func TestParseSketchGrammar(t *testing.T) {
+	sk, err := ParseSketch("leaders=0,4; ring=desc; cut=server; allow=hier-star,server-chain; chunk=4194304")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sk.Leaders) != 2 || sk.RingOrder != RingDesc || sk.Cut != CutServer ||
+		len(sk.Allow) != 2 || sk.ChunkBytes != 4<<20 {
+		t.Fatalf("parsed %+v", sk)
+	}
+	if sk2, err := ParseSketch(""); err != nil || !sk2.Empty() {
+		t.Fatalf("empty spec: (%+v, %v), want empty sketch", sk2, err)
+	}
+	for _, spec := range []string{
+		"leaders",            // not key=value
+		"speed=11",           // unknown key
+		"leaders=a,b",        // bad rank
+		"chunk=two",          // bad size
+		"chunk=-4",           // negative
+		"chunk=6",            // not float32-aligned
+		"ring=sideways",      // bad order
+		"cut=rack",           // bad cut
+		"allow=mystery-tree", // unknown family
+	} {
+		if _, err := ParseSketch(spec); !errors.Is(err, ErrInvalidSketch) {
+			t.Errorf("spec %q: err %v, want ErrInvalidSketch", spec, err)
+		}
+	}
+}
+
+// TestSketchFingerprintCanonical: hint order must not affect the cache
+// key, and the empty sketch must fingerprint to "" (so unsketched cache
+// keys are byte-identical to the pre-sketch era).
+func TestSketchFingerprintCanonical(t *testing.T) {
+	a := &Sketch{Leaders: []int{4, 0}, Allow: []string{"server-chain", "hier-star"}}
+	b := &Sketch{Leaders: []int{0, 4}, Allow: []string{"hier-star", "server-chain"}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("order-sensitive fingerprints: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	var empty *Sketch
+	if empty.Fingerprint() != "" || (&Sketch{}).Fingerprint() != "" {
+		t.Error("empty sketch must fingerprint to the empty string")
+	}
+}
+
+// TestPlannerReusesBuilders: repeated synthesis over the same (graph,
+// participants, sketch) triple must share one subBuilder — the
+// hierarchical per-subdomain reuse the planner exists for — while a
+// different sketch gets its own.
+func TestPlannerReusesBuilders(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := NewCosts(g, nil)
+	pl := NewPlanner()
+	req := Request{Primitive: strategy.AllReduce, Bytes: 4 << 20, Root: -1, M: 4}
+	for i := 0; i < 3; i++ {
+		if _, err := pl.Synthesize(costs, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(pl.builders); n != 1 {
+		t.Errorf("3 identical syntheses built %d builders, want 1", n)
+	}
+	req.Sketch = &Sketch{Cut: CutServer}
+	if _, err := pl.Synthesize(costs, req); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(pl.builders); n != 2 {
+		t.Errorf("sketched synthesis reused the unsketched builder (%d builders, want 2)", n)
+	}
+	// Sub-collective synthesis over a subdomain of the same graph adds its
+	// own builder but leaves the full-set one untouched.
+	sub := Request{Primitive: strategy.AllReduce, Bytes: 4 << 20, Root: -1, M: 2, Ranks: []int{0, 1, 2, 3}}
+	if _, err := pl.Synthesize(costs, sub); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(pl.builders); n != 3 {
+		t.Errorf("subdomain synthesis: %d builders, want 3", n)
+	}
+}
+
+// excludePair finds a node pair on a flow of the strategy whose exclusion
+// leaves every affected flow an alternative route, plus the filtered
+// graph. Deterministic: first hop (in flow order) that qualifies.
+func excludePair(t *testing.T, g *topology.Graph, st *strategy.Strategy) ([2]topology.NodeID, *topology.Graph) {
+	t.Helper()
+	for _, sc := range st.SubCollectives {
+		for _, f := range sc.Flows {
+			for i := 1; i < len(f.Path); i++ {
+				pair := [2]topology.NodeID{f.Path[i-1], f.Path[i]}
+				fg := g.CloneFilteredEdges(func(e topology.Edge) bool {
+					return !(e.From == pair[0] && e.To == pair[1]) &&
+						!(e.From == pair[1] && e.To == pair[0])
+				})
+				ok := true
+				for _, sc2 := range st.SubCollectives {
+					for _, f2 := range sc2.Flows {
+						if !pathUsesPair(f2.Path, pair) {
+							continue
+						}
+						if fg.ShortestPath(f2.Path[0], f2.Path[len(f2.Path)-1]) == nil {
+							ok = false
+						}
+					}
+				}
+				if ok {
+					return pair, fg
+				}
+			}
+		}
+	}
+	t.Fatal("no excludable pair leaves the strategy routable")
+	return [2]topology.NodeID{}, nil
+}
+
+// TestPatchExcludeReroutesOnlyAffected is the incremental-synthesis core
+// invariant: a single-link exclusion patch reroutes exactly the flows
+// that crossed the pair, leaves every untouched sub-collective sharing
+// its Flows slice with the previous strategy by pointer, and produces a
+// program the IR verifier accepts.
+func TestPatchExcludeReroutesOnlyAffected(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := NewCosts(g, nil)
+	prev, err := Synthesize(costs, Request{
+		Primitive: strategy.AllReduce, Bytes: 8 << 20, Root: -1, M: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, fg := excludePair(t, g, prev.Strategy)
+	patched, stats, err := Patch(costs.RemapTo(fg), prev, Delta{Kind: DeltaExclude, Pair: pair})
+	if err != nil {
+		t.Fatalf("patch around %v: %v", pair, err)
+	}
+	if stats.FlowsRerouted == 0 || stats.SubsPatched == 0 {
+		t.Fatalf("pair %v was on a flow, but stats = %+v", pair, stats)
+	}
+	if stats.SubsTotal != len(prev.Strategy.SubCollectives) {
+		t.Errorf("SubsTotal %d, want %d", stats.SubsTotal, len(prev.Strategy.SubCollectives))
+	}
+	if patched.Strategy == prev.Strategy {
+		t.Error("patched strategy aliases the previous one despite rerouted flows")
+	}
+	for si := range prev.Strategy.SubCollectives {
+		prevSC := &prev.Strategy.SubCollectives[si]
+		patchSC := &patched.Strategy.SubCollectives[si]
+		touched := false
+		for _, f := range prevSC.Flows {
+			if pathUsesPair(f.Path, pair) {
+				touched = true
+			}
+		}
+		if !touched {
+			if len(prevSC.Flows) > 0 && &prevSC.Flows[0] != &patchSC.Flows[0] {
+				t.Errorf("sub %d untouched by the delta but its Flows were copied", si)
+			}
+			continue
+		}
+		for _, f := range patchSC.Flows {
+			if pathUsesPair(f.Path, pair) {
+				t.Errorf("sub %d flow %d->%d still crosses excluded pair %v", si, f.SrcRank, f.DstRank, pair)
+			}
+		}
+	}
+	if patched.SolveTime != perEvalCost {
+		t.Errorf("patch charged %v, want one evaluation (%v)", patched.SolveTime, perEvalCost)
+	}
+	prog, err := ir.FromStrategy(patched.Strategy)
+	if err == nil {
+		err = ir.Verify(prog)
+	}
+	if err != nil {
+		t.Errorf("IR verification rejected the patched strategy: %v", err)
+	}
+}
+
+// TestPatchReweightKeepsStructure: a reweight/readmit delta re-prices the
+// previous strategy without touching its structure — the returned
+// strategy is the same pointer, so downstream caches stay
+// pointer-identical across a degrade/restore flap.
+func TestPatchReweightKeepsStructure(t *testing.T) {
+	c, err := cluster.Homogeneous(topology.TransportRDMA, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.LogicalGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := NewCosts(g, nil)
+	prev, err := Synthesize(costs, Request{
+		Primitive: strategy.AllReduce, Bytes: 8 << 20, Root: -1, M: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := [2]topology.NodeID{prev.Strategy.SubCollectives[0].Flows[0].Path[0],
+		prev.Strategy.SubCollectives[0].Flows[0].Path[1]}
+	soft := costs.Reweighted(func(from, to topology.NodeID) float64 {
+		if (from == pair[0] && to == pair[1]) || (from == pair[1] && to == pair[0]) {
+			return 0.25
+		}
+		return 1
+	})
+	for _, kind := range []DeltaKind{DeltaReweight, DeltaReadmit} {
+		patched, stats, err := Patch(soft, prev, Delta{Kind: kind, Pair: pair})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if patched.Strategy != prev.Strategy {
+			t.Errorf("%v: structure was copied; want the previous strategy pointer", kind)
+		}
+		if stats.SubsPatched != 0 || stats.FlowsRerouted != 0 {
+			t.Errorf("%v: stats %+v, want untouched", kind, stats)
+		}
+	}
+	if _, _, err := Patch(costs, nil, Delta{Kind: DeltaReweight, Pair: pair}); err == nil {
+		t.Error("patching a nil result must error")
+	}
+}

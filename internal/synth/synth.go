@@ -52,6 +52,10 @@ type Request struct {
 	// latency matters more than the last few percent of quality (the
 	// full search still produces the steady-state strategies).
 	FastSearch bool
+	// Sketch, when non-nil and non-empty, prunes the candidate space with
+	// the supplied communication sketch (sketch.go). A sketch that admits
+	// no candidate yields ErrInfeasibleSketch, never a silent full search.
+	Sketch *Sketch
 }
 
 // Result is a synthesised strategy with its predicted timing.
@@ -72,8 +76,14 @@ type Result struct {
 // not free).
 const perEvalCost = 4 * time.Millisecond
 
-// Synthesize derives the best strategy for the request.
+// Synthesize derives the best strategy for the request. Callers that
+// synthesise repeatedly over the same participant sets should go through a
+// Planner, which keeps the flow-structure caches alive across calls.
 func Synthesize(c *Costs, req Request) (*Result, error) {
+	return synthesize(nil, c, req)
+}
+
+func synthesize(pl *Planner, c *Costs, req Request) (*Result, error) {
 	ranks := req.Ranks
 	if ranks == nil {
 		for _, id := range c.graph.GPUs() {
@@ -107,13 +117,36 @@ func Synthesize(c *Costs, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	bld, err := newSubBuilder(c.graph, ranks, req.Relays)
+	// Sketch pruning: families, chunk size, leader/root placement. The
+	// AlltoAll structure is fixed (one flow per ordered pair), so family
+	// and leader hints don't apply to it — only the chunk pin does.
+	var sketchLeaders []int
+	if sk := req.Sketch; !sk.Empty() {
+		if err := sk.Validate(); err != nil {
+			return nil, err
+		}
+		grid = sk.pruneGrid(grid)
+		if req.Primitive != strategy.AlltoAll {
+			if variants, err = sk.pruneVariants(variants); err != nil {
+				return nil, err
+			}
+			if err := sk.checkRoot(req.Root); err != nil {
+				return nil, err
+			}
+			if sketchLeaders, err = sk.leaderRanks(ranks); err != nil {
+				return nil, err
+			}
+		}
+	}
+	bld, err := builderFor(pl, c.graph, ranks, req.Relays, req.Sketch)
 	if err != nil {
 		return nil, err
 	}
 	if req.FastSearch {
 		variants = variants[:1]
-		grid = []int64{1 << 20, 4 << 20}
+		if req.Sketch.Empty() || req.Sketch.ChunkBytes == 0 {
+			grid = []int64{1 << 20, 4 << 20}
+		}
 	}
 
 	evals := 0
@@ -142,7 +175,7 @@ func Synthesize(c *Costs, req Request) (*Result, error) {
 	if m > 1 && !req.FastSearch && !req.ExactM {
 		ms = append(ms, 1)
 	}
-	plans := rootPlans(c, req, ranks)
+	plans := rootPlans(c, req, ranks, sketchLeaders)
 	for _, v := range variants {
 		for _, chunk := range grid {
 			for _, mm := range ms {
@@ -254,9 +287,16 @@ type rootPlan func(sub, m int) int
 // (spreads load evenly — right when links are uniform) and (b) roots
 // concentrated on the servers with the best profiled port bandwidth (what
 // the paper's Fig. 2a adaptation does when a server's ingress degrades).
-func rootPlans(c *Costs, req Request, ranks []int) []rootPlan {
+// Sketch leader hints collapse the free-root search to a single rotation
+// over the hinted ranks — the placement the sketch author asked for.
+func rootPlans(c *Costs, req Request, ranks, sketchLeaders []int) []rootPlan {
 	if req.Primitive != strategy.AllReduce || req.Root >= 0 {
 		return []rootPlan{func(sub, m int) int { return req.Root }}
+	}
+	if len(sketchLeaders) > 0 {
+		return []rootPlan{func(sub, m int) int {
+			return sketchLeaders[(sub*len(sketchLeaders)/m)%len(sketchLeaders)]
+		}}
 	}
 	rotate := func(sub, m int) int {
 		return ranks[(sub*len(ranks)/m)%len(ranks)]
